@@ -1,0 +1,59 @@
+//! Criterion end-to-end pipeline benchmarks, including the DESIGN.md
+//! ablations: over-tainting on/off and per-device scaling (small, medium
+//! and large corpora — devices 15, 10 and 14).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use firmres::{analyze_firmware, AnalysisConfig};
+use firmres_corpus::{generate_device, GeneratedDevice};
+use std::hint::black_box;
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline/full");
+    group.sample_size(20);
+    for (label, id) in [("small_dev15", 15u8), ("medium_dev10", 10), ("large_dev14", 14)] {
+        let dev: GeneratedDevice = generate_device(id, 7);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let analysis =
+                    analyze_firmware(&dev.firmware, None, &AnalysisConfig::default());
+                black_box(analysis.identified().count())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_overtaint_ablation(c: &mut Criterion) {
+    let dev = generate_device(13, 7);
+    let mut group = c.benchmark_group("pipeline/overtaint_ablation");
+    group.sample_size(20);
+    let mut on = AnalysisConfig::default();
+    on.taint.overtaint = true;
+    let mut off = AnalysisConfig::default();
+    off.taint.overtaint = false;
+    group.bench_function("overtaint_on", |b| {
+        b.iter(|| {
+            let a = analyze_firmware(&dev.firmware, None, &on);
+            black_box(a.identified().map(|m| m.slices.len()).sum::<usize>())
+        })
+    });
+    group.bench_function("overtaint_off", |b| {
+        b.iter(|| {
+            let a = analyze_firmware(&dev.firmware, None, &off);
+            black_box(a.identified().map(|m| m.slices.len()).sum::<usize>())
+        })
+    });
+    group.finish();
+}
+
+fn bench_corpus_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("corpus/generate");
+    group.sample_size(20);
+    group.bench_function("device14_full_generation", |b| {
+        b.iter(|| black_box(generate_device(14, 7).plans.len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_pipeline, bench_overtaint_ablation, bench_corpus_generation);
+criterion_main!(benches);

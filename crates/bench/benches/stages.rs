@@ -1,0 +1,188 @@
+//! Criterion micro-benchmarks for each pipeline stage and substrate
+//! (DESIGN.md experiment E2 support): taint tracing, executable
+//! identification, MFT construction and transformation, classifier
+//! inference, firmware packing, cloud probing, and LCS clustering.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use firmres::{score_handlers, ExeIdConfig};
+use firmres_corpus::generate_device;
+use firmres_dataflow::TaintEngine;
+use firmres_firmware::FirmwareImage;
+use firmres_ir::Program;
+use firmres_isa::lift;
+use firmres_mft::{cluster, reconstruct, slices_for_tree, Mft};
+use firmres_semantics::{Classifier, Primitive, TrainConfig};
+use std::hint::black_box;
+
+fn agent_program(id: u8) -> (Program, Vec<(u64, u64, usize)>) {
+    let dev = generate_device(id, 7);
+    let exe = dev
+        .firmware
+        .load_executable(dev.cloud_executable.as_deref().unwrap())
+        .unwrap()
+        .unwrap();
+    let program = lift(&exe, "agent").unwrap();
+    let mut callsites = Vec::new();
+    for f in program.functions() {
+        for op in f.callsites() {
+            if let Some(name) = op.call_target().and_then(|t| program.callee_name(t)) {
+                if let Some(arg) = firmres_dataflow::delivery_payload_arg(name) {
+                    callsites.push((f.entry(), op.addr, arg));
+                }
+            }
+        }
+    }
+    (program, callsites)
+}
+
+fn bench_taint(c: &mut Criterion) {
+    let (program, callsites) = agent_program(13);
+    c.bench_function("taint/trace_all_messages_dev13", |b| {
+        b.iter(|| {
+            let mut engine = TaintEngine::new(&program);
+            let mut nodes = 0usize;
+            for (func, addr, arg) in &callsites {
+                nodes += engine.trace(*func, *addr, *arg).len();
+            }
+            black_box(nodes)
+        })
+    });
+}
+
+fn bench_exeid(c: &mut Criterion) {
+    let (program, _) = agent_program(14);
+    c.bench_function("exeid/score_handlers_dev14", |b| {
+        b.iter(|| black_box(score_handlers(&program).len()))
+    });
+    c.bench_function("exeid/full_identification_dev14", |b| {
+        b.iter(|| {
+            black_box(firmres::identify_device_cloud(&program, &ExeIdConfig::default()).len())
+        })
+    });
+}
+
+fn bench_mft(c: &mut Criterion) {
+    let (program, callsites) = agent_program(13);
+    let mut engine = TaintEngine::new(&program);
+    let trees: Vec<_> = callsites
+        .iter()
+        .map(|(f, a, arg)| engine.trace(*f, *a, *arg))
+        .collect();
+    c.bench_function("mft/build_simplify_invert", |b| {
+        b.iter(|| {
+            let mut n = 0;
+            for t in &trees {
+                let mft = Mft::from_taint(t);
+                n += mft.simplified().inverted().len();
+            }
+            black_box(n)
+        })
+    });
+    let mfts: Vec<Mft> = trees.iter().map(Mft::from_taint).collect();
+    c.bench_function("mft/reconstruct_messages", |b| {
+        b.iter(|| {
+            let mut fields = 0;
+            for m in &mfts {
+                fields += reconstruct(m).fields.len();
+            }
+            black_box(fields)
+        })
+    });
+    c.bench_function("mft/slice_generation", |b| {
+        b.iter(|| {
+            let mut n = 0;
+            for m in &mfts {
+                n += slices_for_tree(&program, m).len();
+            }
+            black_box(n)
+        })
+    });
+}
+
+fn bench_classifier(c: &mut Criterion) {
+    let data: Vec<(String, Primitive)> = (0..200)
+        .map(|i| {
+            let (text, label) = match i % 4 {
+                0 => (format!("CALL (Fun, get_mac_addr) mac {i}"), Primitive::DevIdentifier),
+                1 => (format!("(Cons, \"password\") login {i}"), Primitive::UserCred),
+                2 => (format!("(Cons, \"token={i}\") session"), Primitive::BindToken),
+                _ => (format!("(Cons, \"ts={i}\")"), Primitive::None),
+            };
+            (text, label)
+        })
+        .collect();
+    c.bench_function("semantics/train_200_slices_30_epochs", |b| {
+        b.iter(|| {
+            black_box(Classifier::train(
+                &data,
+                &TrainConfig { epochs: 30, ..Default::default() },
+            ))
+        })
+    });
+    let model = Classifier::train(&data, &TrainConfig { epochs: 30, ..Default::default() });
+    c.bench_function("semantics/predict_one_slice", |b| {
+        b.iter(|| black_box(model.predict("CALL (Fun, nvram_get), (Cons, \"serial_no\")")))
+    });
+}
+
+fn bench_firmware(c: &mut Criterion) {
+    let dev = generate_device(14, 7);
+    c.bench_function("firmware/pack_dev14", |b| {
+        b.iter(|| black_box(dev.firmware.pack().len()))
+    });
+    let packed = dev.firmware.pack();
+    c.bench_function("firmware/unpack_dev14", |b| {
+        b.iter(|| black_box(FirmwareImage::unpack(&packed).unwrap().file_count()))
+    });
+    let exe_bytes = dev
+        .firmware
+        .executables()
+        .next()
+        .map(|(_, b)| b.to_vec())
+        .unwrap();
+    c.bench_function("isa/parse_and_lift_dev14_agent", |b| {
+        b.iter_batched(
+            || exe_bytes.clone(),
+            |bytes| {
+                let exe = firmres_isa::Executable::from_bytes(&bytes).unwrap();
+                black_box(lift(&exe, "agent").unwrap().function_count())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_cloud(c: &mut Criterion) {
+    let dev = generate_device(20, 7);
+    let body = format!("deviceId={}", dev.identity.device_id);
+    c.bench_function("cloud/probe_storage_auth", |b| {
+        b.iter(|| {
+            let req = firmres_cloud::HttpRequest::new(
+                "/store-server/api/v1/storages/auth",
+                body.clone(),
+            );
+            black_box(dev.cloud.handle(&req).status)
+        })
+    });
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let items: Vec<String> = (0..64)
+        .map(|i| format!("{}{}=%s", ["mac", "sn", "uid", "token"][i % 4], i))
+        .collect();
+    c.bench_function("lcs/cluster_64_chunks_thd06", |b| {
+        b.iter(|| black_box(cluster(&items, 0.6).len()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_taint,
+    bench_exeid,
+    bench_mft,
+    bench_classifier,
+    bench_firmware,
+    bench_cloud,
+    bench_clustering
+);
+criterion_main!(benches);

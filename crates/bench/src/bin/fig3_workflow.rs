@@ -1,0 +1,82 @@
+//! Demonstrates paper Fig. 3: the FIRMRES workflow, stage by stage, on
+//! one device (the Teltonika RUT241 carrying the CVE-2023-2586 pattern).
+//!
+//! Usage: `cargo run -p firmres-bench --bin fig3_workflow`
+
+use firmres::{analyze_firmware, extract_endpoint, fill_message, probe_cloud, AnalysisConfig};
+use firmres_corpus::generate_device;
+
+fn main() {
+    println!("Fig. 3 — FIRMRES workflow on device 11 (Teltonika RUT241)\n");
+    let dev = generate_device(11, 7);
+    println!(
+        "input: firmware image of {} {} ({} files, {} executables)",
+        dev.spec.vendor,
+        dev.spec.model,
+        dev.firmware.file_count(),
+        dev.firmware.executables().count()
+    );
+
+    let analysis = analyze_firmware(&dev.firmware, None, &AnalysisConfig::default());
+
+    println!("\n[1] pinpointing device-cloud executables");
+    println!("    → {}", analysis.executable.as_deref().unwrap_or("none"));
+    for h in &analysis.handlers {
+        println!(
+            "      async handler `{}` (P_f = {:.2})",
+            h.handler_name, h.score
+        );
+    }
+
+    println!("\n[2] identifying message fields (backward taint)");
+    let fields: usize = analysis.identified().map(|m| m.slices.len()).sum();
+    println!(
+        "    → {} messages, {} taint-identified fields",
+        analysis.identified().count(),
+        fields
+    );
+
+    println!("\n[3] recovering field semantics");
+    let reg = analysis
+        .identified()
+        .find(|m| m.function == "snd_00")
+        .expect("registration message");
+    for f in &reg.message.fields {
+        println!(
+            "      {:<12} {:<32} → {}",
+            f.key.as_deref().unwrap_or("_"),
+            f.origin.to_string(),
+            f.semantic.as_deref().unwrap_or("?")
+        );
+    }
+
+    println!("\n[4] concatenating message fields");
+    println!("      {}", reg.message);
+
+    println!("\n[5] message form check");
+    for flaw in &reg.flaws {
+        println!("      ALARM: {flaw}");
+    }
+
+    println!("\n[6] probing the vendor cloud (manual verification, automated here)");
+    let filled = fill_message(&reg.message, &dev.firmware);
+    println!(
+        "      forged request to {} with {:?}",
+        extract_endpoint(&reg.message).unwrap_or_default(),
+        filled.params.keys().collect::<Vec<_>>()
+    );
+    let outcome = probe_cloud(&dev.cloud, &filled);
+    println!("      cloud says: {}", outcome.status);
+    for (k, v) in &outcome.leaked {
+        println!("      LEAKED {k} = {v}");
+    }
+    assert!(
+        outcome
+            .leaked
+            .iter()
+            .any(|(_, v)| v == &dev.identity.secret),
+        "the device certificate leaks, as in CVE-2023-2586"
+    );
+    println!("\nresult: registration with serial+MAC alone returns the device certificate —");
+    println!("the known CVE-2023-2586 pattern, rediscovered end-to-end from the firmware.");
+}

@@ -1,0 +1,71 @@
+//! Reproduces the semantics-model evaluation of §V-C: train the
+//! classifier on code slices harvested from the corpus under the paper's
+//! 7:2:1 split and report validation/test accuracy (paper: 92.23% /
+//! 91.74% for the BERT-TextCNN; see DESIGN.md for the model
+//! substitution).
+//!
+//! Also reports per-primitive precision on the test split.
+//!
+//! Usage: `cargo run --release -p firmres-bench --bin semantics_eval`
+
+use firmres::{analyze_firmware, AnalysisConfig};
+use firmres_bench::{build_slice_dataset, render_table};
+use firmres_corpus::generate_corpus;
+use firmres_semantics::{split_dataset, Classifier, Primitive, TrainConfig};
+
+fn main() {
+    eprintln!("harvesting code slices from the corpus…");
+    let corpus = generate_corpus(7);
+    let config = AnalysisConfig::default();
+    let analyses: Vec<_> = corpus
+        .iter()
+        .filter(|d| d.cloud_executable.is_some())
+        .map(|d| (d, analyze_firmware(&d.firmware, None, &config)))
+        .collect();
+    let dataset = build_slice_dataset(&analyses);
+    eprintln!("dataset: {} slices (paper: 30,941 from 147k images)", dataset.len());
+
+    let split = split_dataset(&dataset, 7);
+    eprintln!(
+        "split 7:2:1 → train {}, validation {}, test {}",
+        split.train.len(),
+        split.validation.len(),
+        split.test.len()
+    );
+    eprintln!("training (100 epochs, as in the paper)…");
+    let model = Classifier::train(&split.train, &TrainConfig::default());
+
+    let val = model.accuracy(&split.validation);
+    let test = model.accuracy(&split.test);
+    println!("\nsemantics model accuracy:");
+    println!("  training:   {:6.2}%", model.report().train_accuracy * 100.0);
+    println!("  validation: {:6.2}%  (paper 92.23%)", val * 100.0);
+    println!("  test:       {:6.2}%  (paper 91.74%)", test * 100.0);
+
+    // Per-class precision/recall on the test split.
+    let mut rows = Vec::new();
+    for class in Primitive::ALL {
+        let mut tp = 0usize;
+        let mut fp = 0usize;
+        let mut fn_ = 0usize;
+        for (text, label) in &split.test {
+            let predicted = model.predict(text).0;
+            match (predicted == class, *label == class) {
+                (true, true) => tp += 1,
+                (true, false) => fp += 1,
+                (false, true) => fn_ += 1,
+                _ => {}
+            }
+        }
+        let prec = if tp + fp == 0 { f64::NAN } else { tp as f64 / (tp + fp) as f64 };
+        let rec = if tp + fn_ == 0 { f64::NAN } else { tp as f64 / (tp + fn_) as f64 };
+        rows.push(vec![
+            class.label().to_string(),
+            (tp + fn_).to_string(),
+            if prec.is_nan() { "-".into() } else { format!("{:.1}%", prec * 100.0) },
+            if rec.is_nan() { "-".into() } else { format!("{:.1}%", rec * 100.0) },
+        ]);
+    }
+    println!("\nper-primitive results on the test split:");
+    println!("{}", render_table(&["Primitive", "Support", "Precision", "Recall"], &rows));
+}

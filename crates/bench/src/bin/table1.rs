@@ -1,0 +1,29 @@
+//! Regenerates paper Table I: the list of evaluated devices.
+//!
+//! Usage: `cargo run -p firmres-bench --bin table1`
+
+use firmres_bench::render_table;
+use firmres_corpus::device_table;
+
+fn main() {
+    let rows: Vec<Vec<String>> = device_table()
+        .iter()
+        .map(|d| {
+            vec![
+                d.id.to_string(),
+                format!("{}: {}", d.vendor, d.model),
+                d.device_type.to_string(),
+                d.firmware_version.to_string(),
+                if d.script_based { "scripts (out of scope)".into() } else { "binary".into() },
+            ]
+        })
+        .collect();
+    println!("Table I — evaluated devices (synthetic corpus mirroring the paper):");
+    println!(
+        "{}",
+        render_table(
+            &["ID", "Device Model", "Device Type", "Firmware Version", "Device-cloud logic"],
+            &rows
+        )
+    );
+}

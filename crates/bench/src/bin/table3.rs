@@ -1,0 +1,61 @@
+//! Regenerates paper Table III: summary of discovered vulnerabilities.
+//!
+//! The pipeline reconstructs each device's messages, the probe harness
+//! forges them against the simulated vendor clouds, and a finding is
+//! confirmed when a forged request is fully accepted by an endpoint whose
+//! policy audits as flawed. The paper found 14 vulnerabilities (13
+//! previously unknown + 1 known) across 8 devices.
+//!
+//! Usage: `cargo run -p firmres-bench --bin table3`
+
+use firmres::{analyze_firmware, AnalysisConfig};
+use firmres_bench::{discover_vulnerabilities, render_table};
+use firmres_corpus::generate_corpus;
+
+fn main() {
+    eprintln!("generating corpus and probing clouds…\n");
+    let corpus = generate_corpus(7);
+    let config = AnalysisConfig::default();
+    let mut rows = Vec::new();
+    let mut total = 0;
+    let mut known = 0;
+    let mut flagged_total = 0;
+    for dev in corpus.iter().filter(|d| d.cloud_executable.is_some()) {
+        let analysis = analyze_firmware(&dev.firmware, None, &config);
+        flagged_total += analysis.flagged().count();
+        for v in discover_vulnerabilities(dev, &analysis) {
+            total += 1;
+            if v.known {
+                known += 1;
+            }
+            let leak = if v.leaked.is_empty() {
+                String::new()
+            } else {
+                format!(" [leaks: {}]", v.leaked.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>().join(", "))
+            };
+            rows.push(vec![
+                v.device.to_string(),
+                v.functionality.clone(),
+                v.path.clone(),
+                v.params.join("/"),
+                v.flaw.to_string(),
+                format!("{}{leak}", v.consequence),
+            ]);
+        }
+    }
+    println!("Table III — discovered vulnerabilities (measured):");
+    println!(
+        "{}",
+        render_table(
+            &["Dev", "Functionality", "Path / Method", "Params", "Flaw class", "Consequence"],
+            &rows
+        )
+    );
+    println!(
+        "confirmed vulnerabilities: {total} ({} previously unknown + {known} known; paper: 13 + 1)",
+        total - known
+    );
+    println!(
+        "form-check reports across the corpus: {flagged_total} flawed messages, {total} confirmed (paper: 26 reported, 15 confirmed)"
+    );
+}

@@ -1,0 +1,65 @@
+//! Regenerates paper Table IV: comparison with LEAKSCOPE and
+//! IOT-APISCANNER.
+//!
+//! The FIRMRES row is *measured* from this reproduction (tested cloud
+//! interfaces = valid reconstructed messages; recovery accuracy = valid /
+//! identified). The other two rows are the paper's reported values —
+//! those tools analyze mobile apps, which is out of scope here.
+//!
+//! Usage: `cargo run -p firmres-bench --bin table4`
+
+use firmres::{analyze_firmware, AnalysisConfig};
+use firmres_bench::{render_table, score_analysis};
+use firmres_corpus::generate_corpus;
+
+fn main() {
+    eprintln!("measuring the FIRMRES row…\n");
+    let corpus = generate_corpus(7);
+    let config = AnalysisConfig::default();
+    let mut identified = 0usize;
+    let mut valid = 0usize;
+    for dev in corpus.iter().filter(|d| d.cloud_executable.is_some()) {
+        let analysis = analyze_firmware(&dev.firmware, None, &config);
+        let s = score_analysis(dev, &analysis);
+        identified += s.identified_messages;
+        valid += s.valid_messages;
+    }
+    let accuracy = 100.0 * valid as f64 / identified as f64;
+    let rows = vec![
+        vec![
+            "FIRMRES (this reproduction)".into(),
+            "IoT firmware".into(),
+            "IoT vendor clouds (simulated)".into(),
+            valid.to_string(),
+            format!("{accuracy:.1}% (paper 87.5%)"),
+        ],
+        vec![
+            "LEAKSCOPE (paper-reported)".into(),
+            "Mobile app".into(),
+            "AWS, Azure, FireBase".into(),
+            "32".into(),
+            "100%".into(),
+        ],
+        vec![
+            "IOT-APISCANNER (paper-reported)".into(),
+            "Mobile IoT app".into(),
+            "IoT platforms".into(),
+            "157".into(),
+            "100%".into(),
+        ],
+    ];
+    println!("Table IV — comparison of existing works:");
+    println!(
+        "{}",
+        render_table(
+            &["Tool", "Inputs", "Target cloud platforms", "#Cloud interfaces", "Recovery accuracy"],
+            &rows
+        )
+    );
+    println!(
+        "\nNote: LEAKSCOPE/IOT-APISCANNER are dynamic-analysis tools over mobile apps\n\
+         with documented APIs; their 100% recovery and interface counts are quoted\n\
+         from the paper. FIRMRES's static reconstruction trades accuracy for reach\n\
+         into undocumented vendor clouds — the same trade-off the paper reports."
+    );
+}

@@ -1,0 +1,260 @@
+//! Endpoint definitions and access-control policies.
+
+use std::fmt;
+
+/// Transport kind of an endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EndpointKind {
+    /// HTTP path (`/auth/get_bind_params`, `?m=camera&a=login`).
+    Http,
+    /// MQTT topic (`/sys/properties/report`).
+    MqttTopic,
+}
+
+/// One access-control check an endpoint performs on an incoming message.
+///
+/// Field names refer to message parameters. A *secure* endpoint verifies
+/// device authenticity (secret/signature/token), not just identity; the
+/// vulnerable endpoints of Table III omit exactly these checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Check {
+    /// Parameter must be present (any value).
+    FieldPresent(String),
+    /// Parameter must name a registered device (Dev-Identifier check).
+    KnownDevice(String),
+    /// `(identifier field, secret field)` must match the provisioned
+    /// Dev-Secret.
+    SecretValid(String, String),
+    /// `(user field, password field)` must be a valid account (User-Cred).
+    UserCredValid(String, String),
+    /// `(identifier field, token field)` must be a valid Bind-Token.
+    TokenValid(String, String),
+    /// `(identifier field, signature field)` must verify against the
+    /// device secret (Signature).
+    SignatureValid(String, String),
+}
+
+impl Check {
+    /// Whether this check verifies *authenticity* (not just identity).
+    pub fn is_authenticity(&self) -> bool {
+        matches!(
+            self,
+            Check::SecretValid(..)
+                | Check::UserCredValid(..)
+                | Check::TokenValid(..)
+                | Check::SignatureValid(..)
+        )
+    }
+}
+
+/// What a successful request returns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResponseSpec {
+    /// Plain acknowledgement.
+    Ok,
+    /// A fixed, device-independent token (the Table III device-5 flaw).
+    FixedToken(String),
+    /// The device's real bind token (sensitive when auth is weak).
+    BindToken(String),
+    /// The device certificate / secret (CVE-2023-2586 pattern).
+    DeviceSecret(String),
+    /// Storage access/secret keys.
+    StorageKeys(String),
+    /// List of stored resources (cloud recordings, share lists).
+    ResourceList(String),
+}
+
+impl ResponseSpec {
+    /// Whether the response leaks material useful for impersonation.
+    pub fn leaks_credentials(&self) -> bool {
+        matches!(
+            self,
+            ResponseSpec::FixedToken(_)
+                | ResponseSpec::BindToken(_)
+                | ResponseSpec::DeviceSecret(_)
+                | ResponseSpec::StorageKeys(_)
+        )
+    }
+}
+
+/// A cloud endpoint with its access-control policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Endpoint {
+    /// Path (HTTP) or topic (MQTT).
+    pub path: String,
+    /// Transport kind.
+    pub kind: EndpointKind,
+    /// Human description ("Uploading crash logs.") for Table III.
+    pub functionality: String,
+    /// Checks performed, in order.
+    pub checks: Vec<Check>,
+    /// Response on success.
+    pub response: ResponseSpec,
+    /// Impact statement when the policy is flawed (Table III
+    /// "Consequence" column).
+    pub consequence: Option<String>,
+}
+
+/// Classification of an endpoint's access-control weakness, mirroring the
+/// paper's findings (§V-D: 10 identifier-only interfaces, 2 missing
+/// Dev-Secret, 1 missing User-Cred).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FlawClass {
+    /// Only Dev-Identifier fields are checked — forgeable from public or
+    /// guessable identifiers.
+    IdentifierOnly,
+    /// Registration/bind flow without any Dev-Secret proof.
+    MissingDevSecret,
+    /// Binding without the owning user's credential.
+    MissingUserCred,
+    /// Returns a fixed token regardless of the device.
+    FixedTokenIssued,
+}
+
+impl fmt::Display for FlawClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FlawClass::IdentifierOnly => "identifier-only authentication",
+            FlawClass::MissingDevSecret => "missing Dev-Secret",
+            FlawClass::MissingUserCred => "missing User-Cred",
+            FlawClass::FixedTokenIssued => "fixed token issued",
+        })
+    }
+}
+
+impl Endpoint {
+    /// Audit this endpoint's policy: `None` when some authenticity check
+    /// is present, otherwise the flaw class.
+    pub fn flaw(&self) -> Option<FlawClass> {
+        if self.checks.iter().any(Check::is_authenticity) {
+            // Secure unless it still hands out a fixed token.
+            if matches!(self.response, ResponseSpec::FixedToken(_)) {
+                return Some(FlawClass::FixedTokenIssued);
+            }
+            return None;
+        }
+        if matches!(self.response, ResponseSpec::FixedToken(_)) {
+            return Some(FlawClass::FixedTokenIssued);
+        }
+        let is_bind = self.functionality.to_ascii_lowercase().contains("bind");
+        let is_register = self.functionality.to_ascii_lowercase().contains("regist");
+        if is_bind {
+            return Some(FlawClass::MissingUserCred);
+        }
+        if is_register {
+            return Some(FlawClass::MissingDevSecret);
+        }
+        Some(FlawClass::IdentifierOnly)
+    }
+
+    /// Parameter names the endpoint expects (union of check fields).
+    pub fn expected_params(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for c in &self.checks {
+            match c {
+                Check::FieldPresent(f) | Check::KnownDevice(f) => out.push(f),
+                Check::SecretValid(a, b)
+                | Check::UserCredValid(a, b)
+                | Check::TokenValid(a, b)
+                | Check::SignatureValid(a, b) => {
+                    out.push(a);
+                    out.push(b);
+                }
+            }
+        }
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn endpoint(checks: Vec<Check>, response: ResponseSpec, functionality: &str) -> Endpoint {
+        Endpoint {
+            path: "/x".into(),
+            kind: EndpointKind::Http,
+            functionality: functionality.into(),
+            checks,
+            response,
+            consequence: None,
+        }
+    }
+
+    #[test]
+    fn secure_endpoint_has_no_flaw() {
+        let e = endpoint(
+            vec![
+                Check::KnownDevice("deviceId".into()),
+                Check::SecretValid("deviceId".into(), "secret".into()),
+            ],
+            ResponseSpec::Ok,
+            "Uploading telemetry.",
+        );
+        assert_eq!(e.flaw(), None);
+    }
+
+    #[test]
+    fn identifier_only_is_flagged() {
+        let e = endpoint(
+            vec![Check::KnownDevice("uid".into()), Check::FieldPresent("version".into())],
+            ResponseSpec::Ok,
+            "Uploading crash logs.",
+        );
+        assert_eq!(e.flaw(), Some(FlawClass::IdentifierOnly));
+    }
+
+    #[test]
+    fn bind_without_user_cred() {
+        let e = endpoint(
+            vec![Check::KnownDevice("deviceID".into())],
+            ResponseSpec::Ok,
+            "Binding the device to the cloud user.",
+        );
+        assert_eq!(e.flaw(), Some(FlawClass::MissingUserCred));
+    }
+
+    #[test]
+    fn registration_without_secret() {
+        let e = endpoint(
+            vec![Check::KnownDevice("serialNumber".into())],
+            ResponseSpec::DeviceSecret("cert".into()),
+            "Registrating device to the cloud.",
+        );
+        assert_eq!(e.flaw(), Some(FlawClass::MissingDevSecret));
+    }
+
+    #[test]
+    fn fixed_token_flagged_even_with_auth() {
+        let e = endpoint(
+            vec![Check::SecretValid("id".into(), "secret".into())],
+            ResponseSpec::FixedToken("FIXED-1".into()),
+            "Registrating device to the cloud.",
+        );
+        assert_eq!(e.flaw(), Some(FlawClass::FixedTokenIssued));
+    }
+
+    #[test]
+    fn expected_params_and_leaks() {
+        let e = endpoint(
+            vec![
+                Check::KnownDevice("deviceId".into()),
+                Check::TokenValid("deviceId".into(), "token".into()),
+            ],
+            ResponseSpec::StorageKeys("keys".into()),
+            "Authenticating to storage.",
+        );
+        assert_eq!(e.expected_params(), vec!["deviceId", "token"]);
+        assert!(e.response.leaks_credentials());
+        assert!(!ResponseSpec::Ok.leaks_credentials());
+    }
+
+    #[test]
+    fn authenticity_classification() {
+        assert!(Check::SecretValid("a".into(), "b".into()).is_authenticity());
+        assert!(Check::TokenValid("a".into(), "b".into()).is_authenticity());
+        assert!(!Check::KnownDevice("a".into()).is_authenticity());
+        assert!(!Check::FieldPresent("a".into()).is_authenticity());
+    }
+}

@@ -1,0 +1,380 @@
+//! A minimal JSON value, parser and printer.
+//!
+//! Device-cloud message bodies are a small JSON subset (objects, arrays,
+//! strings, integer numbers, booleans, null); building the parser keeps
+//! the workspace dependency-light (see DESIGN.md) and exercises real
+//! message-parsing paths in the cloud simulator.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true`/`false`
+    Bool(bool),
+    /// Integer number (floats are out of scope for device messages).
+    Num(i64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object with deterministic key order.
+    Obj(BTreeMap<String, Json>),
+}
+
+/// Parse error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the error.
+    pub at: usize,
+    /// Description.
+    pub msg: &'static str,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Parse a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] with the byte offset of the first problem;
+    /// trailing non-whitespace input is an error.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let bytes = text.as_bytes();
+        let mut p = Parser { bytes, pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != bytes.len() {
+            return Err(JsonError { at: p.pos, msg: "trailing input" });
+        }
+        Ok(v)
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The object member `key`, if this is an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// Object members as strings: for flat device messages, the
+    /// `key → stringified value` view used by the access-control checks.
+    pub fn flat_params(&self) -> BTreeMap<String, String> {
+        let mut out = BTreeMap::new();
+        if let Json::Obj(m) = self {
+            for (k, v) in m {
+                let s = match v {
+                    Json::Str(s) => s.clone(),
+                    Json::Num(n) => n.to_string(),
+                    Json::Bool(b) => b.to_string(),
+                    Json::Null => "null".to_string(),
+                    other => other.to_string(),
+                };
+                out.insert(k.clone(), s);
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => write!(f, "null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Num(n) => write!(f, "{n}"),
+            Json::Str(s) => write_escaped(f, s),
+            Json::Arr(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Json::Obj(members) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write_escaped(f, k)?;
+                    write!(f, ":{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    write!(f, "\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => write!(f, "\\\"")?,
+            '\\' => write!(f, "\\\\")?,
+            '\n' => write!(f, "\\n")?,
+            '\t' => write!(f, "\\t")?,
+            '\r' => write!(f, "\\r")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    write!(f, "\"")
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8, msg: &'static str) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JsonError { at: self.pos, msg })
+        }
+    }
+
+    fn literal(&mut self, lit: &str, msg: &'static str) -> Result<(), JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(JsonError { at: self.pos, msg })
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", "expected `true`").map(|()| Json::Bool(true)),
+            Some(b'f') => self.literal("false", "expected `false`").map(|()| Json::Bool(false)),
+            Some(b'n') => self.literal("null", "expected `null`").map(|()| Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(JsonError { at: self.pos, msg: "expected a value" }),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.eat(b'{', "expected `{`")?;
+        let mut members = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':', "expected `:`")?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(JsonError { at: self.pos, msg: "expected `,` or `}`" }),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.eat(b'[', "expected `[`")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(JsonError { at: self.pos, msg: "expected `,` or `]`" }),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"', "expected `\"`")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(JsonError { at: self.pos, msg: "unterminated string" }),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let start = self.pos + 1;
+                            let hex = self
+                                .bytes
+                                .get(start..start + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or(JsonError { at: self.pos, msg: "bad \\u escape" })?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(JsonError { at: self.pos, msg: "bad escape" }),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| JsonError { at: self.pos, msg: "invalid utf-8" })?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits");
+        text.parse::<i64>()
+            .map(Json::Num)
+            .map_err(|_| JsonError { at: start, msg: "bad number" })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_device_message() {
+        let v = Json::parse(
+            "{\"mac\":\"00:11:22:33:44:55\",\"sn\":\"SN42\",\"ver\":7,\"ok\":true,\"x\":null}",
+        )
+        .unwrap();
+        assert_eq!(v.get("mac").and_then(Json::as_str), Some("00:11:22:33:44:55"));
+        assert_eq!(v.get("ver"), Some(&Json::Num(7)));
+        let params = v.flat_params();
+        assert_eq!(params["sn"], "SN42");
+        assert_eq!(params["ok"], "true");
+        assert_eq!(params["x"], "null");
+    }
+
+    #[test]
+    fn print_parse_round_trip() {
+        let src = "{\"a\":[1,2,{\"b\":\"c\"}],\"d\":\"e\\\"f\",\"n\":-5}";
+        let v = Json::parse(src).unwrap();
+        let printed = v.to_string();
+        assert_eq!(Json::parse(&printed).unwrap(), v);
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let v = Json::Str("line\nquote\" tab\t back\\".to_string());
+        let t = v.to_string();
+        assert_eq!(Json::parse(&t).unwrap(), v);
+    }
+
+    #[test]
+    fn unicode_escape() {
+        let v = Json::parse("\"\\u0041\\u00e9\"").unwrap();
+        assert_eq!(v.as_str(), Some("Aé"));
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        for (src, _frag) in [
+            ("{", "expected"),
+            ("{\"a\":}", "value"),
+            ("[1,]", "value"),
+            ("\"abc", "unterminated"),
+            ("123x", "trailing"),
+            ("", "value"),
+            ("{\"a\" 1}", ":"),
+        ] {
+            let err = Json::parse(src).unwrap_err();
+            assert!(err.at <= src.len(), "{src}: offset in range");
+        }
+    }
+
+    #[test]
+    fn nested_arrays_and_empty_containers() {
+        assert_eq!(Json::parse("[]").unwrap(), Json::Arr(vec![]));
+        assert_eq!(Json::parse("{}").unwrap(), Json::Obj(BTreeMap::new()));
+        let v = Json::parse("[[1],[2,[3]]]").unwrap();
+        assert_eq!(v.to_string(), "[[1],[2,[3]]]");
+    }
+
+    #[test]
+    fn flat_params_on_non_object() {
+        assert!(Json::Num(1).flat_params().is_empty());
+        assert!(Json::parse("[1]").unwrap().flat_params().is_empty());
+    }
+}

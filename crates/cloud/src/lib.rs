@@ -1,0 +1,42 @@
+//! # firmres-cloud
+//!
+//! An in-process IoT cloud simulator: the probing target of the FIRMRES
+//! pipeline.
+//!
+//! The paper validates reconstructed messages against live vendor clouds
+//! and manually confirms access-control flaws (§IV-E, §V-C/D). This crate
+//! replaces the live clouds with a configurable simulator:
+//!
+//! * [`Cloud`] — hosts HTTP-style and MQTT-style endpoints over a shared
+//!   [`state::CloudState`] (registered devices, user accounts, bind
+//!   tokens, stored resources).
+//! * [`Endpoint`]/[`Check`] — per-endpoint access-control policy. Flawed
+//!   policies (identifier-only auth, fixed tokens, missing credentials)
+//!   mirror the vulnerability classes of Table III.
+//! * [`probe`] — response classification exactly as §V-C: `Request OK`,
+//!   `No Permission` and `Access Denied` confirm a *valid* reconstructed
+//!   message; `Bad Request`, `Request Not Supported` and `Path Not Exists`
+//!   mean the reconstruction is wrong.
+//! * [`json`] — a minimal JSON parser/printer so the cloud actually
+//!   parses the rendered device messages.
+//!
+//! Tokens and signatures use a keyed FNV construction
+//! ([`mac::keyed_mac`]) — **not cryptographically secure**, deliberately:
+//! only the equality/derivation structure matters for access-control
+//! checking.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod mac;
+pub mod mqtt;
+pub mod probe;
+pub mod state;
+
+mod endpoint;
+mod server;
+
+pub use endpoint::{Check, Endpoint, EndpointKind, FlawClass, ResponseSpec};
+pub use probe::{classify_response, ProbeOutcome, ResponseStatus};
+pub use server::{Cloud, HttpRequest, HttpResponse};
+pub use state::{CloudState, DeviceRecord};

@@ -1,0 +1,65 @@
+//! A keyed hash for token and signature derivation.
+//!
+//! **Not cryptographically secure.** The simulator only needs the
+//! *structure* of token schemes — `Bind-Token = f(secret, device, user)`,
+//! `Signature = f(Dev-Secret)` (paper §II-B) — so a keyed FNV-1a is used.
+//! A production cloud would use HMAC-SHA256; swapping it in would not
+//! change any analysis result in this repository.
+
+/// Compute a keyed MAC over `parts`, rendered as 16 hex digits.
+pub fn keyed_mac(key: &str, parts: &[&str]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut absorb = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= 0x9e37_79b9_7f4a_7c15;
+        h = h.rotate_left(17);
+    };
+    absorb(key.as_bytes());
+    for p in parts {
+        absorb(p.as_bytes());
+    }
+    format!("{h:016x}")
+}
+
+/// Derive a device signature from its secret (the paper's
+/// `Signature = f(Dev-Secret)`).
+pub fn derive_signature(dev_secret: &str, dev_identifier: &str) -> String {
+    keyed_mac("sig", &[dev_secret, dev_identifier])
+}
+
+/// Derive a bind token for a (device, user) pair under a cloud key.
+pub fn derive_bind_token(cloud_key: &str, dev_identifier: &str, user: &str) -> String {
+    keyed_mac("bind", &[cloud_key, dev_identifier, user])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_key_sensitive() {
+        let a = keyed_mac("k1", &["x", "y"]);
+        assert_eq!(a, keyed_mac("k1", &["x", "y"]));
+        assert_ne!(a, keyed_mac("k2", &["x", "y"]));
+        assert_ne!(a, keyed_mac("k1", &["x", "z"]));
+        assert_eq!(a.len(), 16);
+    }
+
+    #[test]
+    fn part_boundaries_matter() {
+        assert_ne!(keyed_mac("k", &["ab", "c"]), keyed_mac("k", &["a", "bc"]));
+    }
+
+    #[test]
+    fn derivations_differ_per_device_and_user() {
+        let s1 = derive_signature("secret", "dev1");
+        let s2 = derive_signature("secret", "dev2");
+        assert_ne!(s1, s2);
+        let t1 = derive_bind_token("ck", "dev1", "alice");
+        let t2 = derive_bind_token("ck", "dev1", "bob");
+        assert_ne!(t1, t2);
+    }
+}

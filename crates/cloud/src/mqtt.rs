@@ -1,0 +1,450 @@
+//! An MQTT-style broker (paper §II-A).
+//!
+//! The broker is the core component of an MQTT-based vendor cloud: topics
+//! are file-path-like strings (`/sys/properties/report`), devices and
+//! services connect with credentials, subscribe with wildcard filters and
+//! publish payloads. This model supports the paper's impersonation story
+//! end to end: an attacker holding a leaked device certificate (the
+//! CVE-2023-2586 outcome) connects to the broker *as the device* and can
+//! both publish forged telemetry and subscribe to the device's command
+//! topic.
+
+use crate::state::CloudState;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Credentials presented on connect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MqttAuth {
+    /// Username/password account.
+    UserPass {
+        /// Account name.
+        user: String,
+        /// Account password.
+        password: String,
+    },
+    /// Device certificate (the device secret in this model).
+    DeviceCert {
+        /// The certificate/secret string.
+        cert: String,
+    },
+    /// Device identifier plus bind token.
+    DeviceToken {
+        /// Any device identifier.
+        identifier: String,
+        /// The bind token.
+        token: String,
+    },
+    /// No credentials (anonymous).
+    Anonymous,
+}
+
+/// Broker errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MqttError {
+    /// Credentials rejected.
+    NotAuthorized,
+    /// Unknown session id.
+    NoSuchSession,
+    /// Topic or filter is syntactically invalid.
+    BadTopic(String),
+    /// Session lacks permission for the topic.
+    Forbidden,
+}
+
+impl fmt::Display for MqttError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MqttError::NotAuthorized => write!(f, "connection not authorized"),
+            MqttError::NoSuchSession => write!(f, "no such session"),
+            MqttError::BadTopic(t) => write!(f, "bad topic `{t}`"),
+            MqttError::Forbidden => write!(f, "not permitted on this topic"),
+        }
+    }
+}
+
+impl std::error::Error for MqttError {}
+
+/// Handle to a connected client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionId(u64);
+
+/// A delivered message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MqttMessage {
+    /// Concrete topic it was published on.
+    pub topic: String,
+    /// Payload bytes (UTF-8 text in this model).
+    pub payload: String,
+    /// Client id of the publisher.
+    pub publisher: String,
+}
+
+#[derive(Debug)]
+struct Session {
+    client_id: String,
+    /// The device this session authenticated *as* (None for user/service
+    /// sessions).
+    device_identity: Option<String>,
+    subscriptions: Vec<String>,
+    inbox: Vec<MqttMessage>,
+}
+
+/// The broker: sessions, subscriptions, retained messages.
+///
+/// # Examples
+///
+/// ```
+/// use firmres_cloud::{mqtt::{Broker, MqttAuth}, CloudState, DeviceRecord};
+///
+/// let mut state = CloudState::new("k");
+/// state.register_device(DeviceRecord {
+///     identifiers: [("deviceId".to_string(), "D-1".to_string())].into_iter().collect(),
+///     secret: "cert-123".into(),
+///     bound_user: None,
+/// });
+/// let mut broker = Broker::new(state);
+/// let dev = broker.connect("dev-1", MqttAuth::DeviceCert { cert: "cert-123".into() })?;
+/// broker.publish(dev, "/sys/properties/report", "{\"t\":21}")?;
+/// # Ok::<(), firmres_cloud::mqtt::MqttError>(())
+/// ```
+#[derive(Debug)]
+pub struct Broker {
+    state: CloudState,
+    sessions: BTreeMap<SessionId, Session>,
+    retained: BTreeMap<String, MqttMessage>,
+    next_id: u64,
+    /// Log of all publishes, for auditing in tests.
+    log: Vec<MqttMessage>,
+}
+
+impl Broker {
+    /// A broker over the given cloud state (device registry, accounts).
+    pub fn new(state: CloudState) -> Self {
+        Broker {
+            state,
+            sessions: BTreeMap::new(),
+            retained: BTreeMap::new(),
+            next_id: 1,
+            log: Vec::new(),
+        }
+    }
+
+    /// Connect a client.
+    ///
+    /// # Errors
+    ///
+    /// [`MqttError::NotAuthorized`] when the credentials do not match a
+    /// registered device or account. Anonymous connections are rejected —
+    /// the weakness this model studies is *weak* credentials, not absent
+    /// ones.
+    pub fn connect(
+        &mut self,
+        client_id: impl Into<String>,
+        auth: MqttAuth,
+    ) -> Result<SessionId, MqttError> {
+        let device_identity = match &auth {
+            MqttAuth::UserPass { user, password } => {
+                if !self.state.valid_user(user, password) {
+                    return Err(MqttError::NotAuthorized);
+                }
+                None
+            }
+            MqttAuth::DeviceCert { cert } => {
+                let dev = self
+                    .state
+                    .devices()
+                    .iter()
+                    .find(|d| &d.secret == cert)
+                    .ok_or(MqttError::NotAuthorized)?;
+                Some(dev.canonical_id().to_string())
+            }
+            MqttAuth::DeviceToken { identifier, token } => {
+                if !self.state.valid_token(identifier, token) {
+                    return Err(MqttError::NotAuthorized);
+                }
+                let dev = self
+                    .state
+                    .device_by_identifier(identifier)
+                    .ok_or(MqttError::NotAuthorized)?;
+                Some(dev.canonical_id().to_string())
+            }
+            MqttAuth::Anonymous => return Err(MqttError::NotAuthorized),
+        };
+        let id = SessionId(self.next_id);
+        self.next_id += 1;
+        self.sessions.insert(id, Session {
+            client_id: client_id.into(),
+            device_identity,
+            subscriptions: Vec::new(),
+            inbox: Vec::new(),
+        });
+        Ok(id)
+    }
+
+    /// The device identity a session authenticated as, if any.
+    pub fn session_device(&self, session: SessionId) -> Option<&str> {
+        self.sessions
+            .get(&session)?
+            .device_identity
+            .as_deref()
+    }
+
+    /// Subscribe with an MQTT filter (`+` single-level, `#` multi-level
+    /// tail wildcard). Retained messages matching the filter are delivered
+    /// immediately.
+    pub fn subscribe(&mut self, session: SessionId, filter: &str) -> Result<(), MqttError> {
+        validate_filter(filter)?;
+        let retained: Vec<MqttMessage> = self
+            .retained
+            .values()
+            .filter(|m| topic_matches(filter, &m.topic))
+            .cloned()
+            .collect();
+        let s = self.sessions.get_mut(&session).ok_or(MqttError::NoSuchSession)?;
+        s.subscriptions.push(filter.to_string());
+        s.inbox.extend(retained);
+        Ok(())
+    }
+
+    /// Publish to a concrete topic; fan out to matching subscriptions.
+    pub fn publish(
+        &mut self,
+        session: SessionId,
+        topic: &str,
+        payload: &str,
+    ) -> Result<usize, MqttError> {
+        self.publish_retained(session, topic, payload, false)
+    }
+
+    /// Publish with the retained flag.
+    ///
+    /// # Errors
+    ///
+    /// [`MqttError::BadTopic`] for wildcard characters in a publish topic;
+    /// [`MqttError::NoSuchSession`] for an unknown session.
+    pub fn publish_retained(
+        &mut self,
+        session: SessionId,
+        topic: &str,
+        payload: &str,
+        retain: bool,
+    ) -> Result<usize, MqttError> {
+        if topic.contains(['+', '#']) || topic.is_empty() {
+            return Err(MqttError::BadTopic(topic.to_string()));
+        }
+        let publisher = self
+            .sessions
+            .get(&session)
+            .ok_or(MqttError::NoSuchSession)?
+            .client_id
+            .clone();
+        let msg = MqttMessage {
+            topic: topic.to_string(),
+            payload: payload.to_string(),
+            publisher,
+        };
+        if retain {
+            self.retained.insert(topic.to_string(), msg.clone());
+        }
+        self.log.push(msg.clone());
+        let mut delivered = 0;
+        for s in self.sessions.values_mut() {
+            if s.subscriptions.iter().any(|f| topic_matches(f, topic)) {
+                s.inbox.push(msg.clone());
+                delivered += 1;
+            }
+        }
+        Ok(delivered)
+    }
+
+    /// Drain a session's inbox.
+    pub fn poll(&mut self, session: SessionId) -> Result<Vec<MqttMessage>, MqttError> {
+        let s = self.sessions.get_mut(&session).ok_or(MqttError::NoSuchSession)?;
+        Ok(std::mem::take(&mut s.inbox))
+    }
+
+    /// Every message ever published (test/audit hook).
+    pub fn audit_log(&self) -> &[MqttMessage] {
+        &self.log
+    }
+}
+
+fn validate_filter(filter: &str) -> Result<(), MqttError> {
+    if filter.is_empty() {
+        return Err(MqttError::BadTopic(filter.to_string()));
+    }
+    let levels: Vec<&str> = filter.split('/').collect();
+    for (i, level) in levels.iter().enumerate() {
+        if level.contains('#') && (*level != "#" || i != levels.len() - 1) {
+            return Err(MqttError::BadTopic(filter.to_string()));
+        }
+        if level.contains('+') && *level != "+" {
+            return Err(MqttError::BadTopic(filter.to_string()));
+        }
+    }
+    Ok(())
+}
+
+/// MQTT topic-filter matching: `+` matches one level, a trailing `#`
+/// matches any remainder.
+pub fn topic_matches(filter: &str, topic: &str) -> bool {
+    let f: Vec<&str> = filter.split('/').collect();
+    let t: Vec<&str> = topic.split('/').collect();
+    let mut i = 0;
+    loop {
+        match (f.get(i), t.get(i)) {
+            (Some(&"#"), _) => return i == f.len() - 1,
+            (Some(&"+"), Some(_)) => {}
+            (Some(fl), Some(tl)) if fl == tl => {}
+            (None, None) => return true,
+            _ => return false,
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::DeviceRecord;
+
+    fn broker() -> Broker {
+        let mut state = CloudState::new("bk");
+        state.register_device(DeviceRecord {
+            identifiers: [
+                ("deviceId".to_string(), "D-77".to_string()),
+                ("mac".to_string(), "00:11:22:33:44:77".to_string()),
+            ]
+            .into_iter()
+            .collect(),
+            secret: "cert-abc".into(),
+            bound_user: None,
+        });
+        state.create_user("alice", "pw");
+        state.bind("D-77", "alice").unwrap();
+        Broker::new(state)
+    }
+
+    #[test]
+    fn topic_matching_rules() {
+        assert!(topic_matches("/sys/properties/report", "/sys/properties/report"));
+        assert!(topic_matches("/sys/+/report", "/sys/properties/report"));
+        assert!(topic_matches("/sys/#", "/sys/properties/report"));
+        assert!(topic_matches("#", "/anything/at/all"));
+        assert!(!topic_matches("/sys/+", "/sys/properties/report"));
+        assert!(!topic_matches("/sys/properties", "/sys/properties/report"));
+        assert!(!topic_matches("/other/#", "/sys/x"));
+    }
+
+    #[test]
+    fn connect_auth_paths() {
+        let mut b = broker();
+        assert!(b.connect("u", MqttAuth::UserPass { user: "alice".into(), password: "pw" .into()}).is_ok());
+        assert_eq!(
+            b.connect("u", MqttAuth::UserPass { user: "alice".into(), password: "no".into() }),
+            Err(MqttError::NotAuthorized)
+        );
+        let s = b.connect("d", MqttAuth::DeviceCert { cert: "cert-abc".into() }).unwrap();
+        assert_eq!(b.session_device(s), Some("D-77"));
+        assert_eq!(
+            b.connect("d", MqttAuth::DeviceCert { cert: "wrong".into() }),
+            Err(MqttError::NotAuthorized)
+        );
+        assert_eq!(b.connect("a", MqttAuth::Anonymous), Err(MqttError::NotAuthorized));
+    }
+
+    #[test]
+    fn token_auth_maps_to_device() {
+        let mut b = broker();
+        let token = b.state.token_for("D-77").unwrap();
+        let s = b
+            .connect("d", MqttAuth::DeviceToken { identifier: "00:11:22:33:44:77".into(), token })
+            .unwrap();
+        assert_eq!(b.session_device(s), Some("D-77"));
+    }
+
+    #[test]
+    fn pub_sub_round_trip() {
+        let mut b = broker();
+        let user = b
+            .connect("app", MqttAuth::UserPass { user: "alice".into(), password: "pw".into() })
+            .unwrap();
+        b.subscribe(user, "/dev/D-77/#").unwrap();
+        let dev = b.connect("dev", MqttAuth::DeviceCert { cert: "cert-abc".into() }).unwrap();
+        let delivered = b.publish(dev, "/dev/D-77/telemetry", "{\"t\":20}").unwrap();
+        assert_eq!(delivered, 1);
+        let msgs = b.poll(user).unwrap();
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].topic, "/dev/D-77/telemetry");
+        assert_eq!(msgs[0].publisher, "dev");
+        assert!(b.poll(user).unwrap().is_empty(), "inbox drained");
+    }
+
+    #[test]
+    fn retained_messages_replay_on_subscribe() {
+        let mut b = broker();
+        let dev = b.connect("dev", MqttAuth::DeviceCert { cert: "cert-abc".into() }).unwrap();
+        b.publish_retained(dev, "/dev/D-77/status", "online", true).unwrap();
+        let user = b
+            .connect("app", MqttAuth::UserPass { user: "alice".into(), password: "pw".into() })
+            .unwrap();
+        b.subscribe(user, "/dev/+/status").unwrap();
+        let msgs = b.poll(user).unwrap();
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].payload, "online");
+    }
+
+    #[test]
+    fn impersonation_with_leaked_cert() {
+        // The CVE-2023-2586 end state: the attacker got the certificate
+        // from the registration endpoint and now *is* the device.
+        let mut b = broker();
+        let user = b
+            .connect("victim-app", MqttAuth::UserPass { user: "alice".into(), password: "pw".into() })
+            .unwrap();
+        b.subscribe(user, "/dev/D-77/alarm").unwrap();
+        let attacker = b
+            .connect("attacker", MqttAuth::DeviceCert { cert: "cert-abc".into() })
+            .unwrap();
+        assert_eq!(b.session_device(attacker), Some("D-77"), "full device identity");
+        b.publish(attacker, "/dev/D-77/alarm", "{\"alarm\":\"intrusion\"}").unwrap();
+        let msgs = b.poll(user).unwrap();
+        assert_eq!(msgs.len(), 1, "victim receives the forged alarm");
+        // And the attacker can watch the device's command channel.
+        b.subscribe(attacker, "/dev/D-77/cmd/#").unwrap();
+        let cloud = b
+            .connect("cloud-svc", MqttAuth::UserPass { user: "alice".into(), password: "pw".into() })
+            .unwrap();
+        b.publish(cloud, "/dev/D-77/cmd/reboot", "{}").unwrap();
+        assert_eq!(b.poll(attacker).unwrap().len(), 1, "attacker sees device commands");
+    }
+
+    #[test]
+    fn bad_topics_and_filters_rejected() {
+        let mut b = broker();
+        let dev = b.connect("d", MqttAuth::DeviceCert { cert: "cert-abc".into() }).unwrap();
+        assert!(matches!(b.publish(dev, "/x/+", "p"), Err(MqttError::BadTopic(_))));
+        assert!(matches!(b.publish(dev, "", "p"), Err(MqttError::BadTopic(_))));
+        assert!(matches!(b.subscribe(dev, "/a/#/b"), Err(MqttError::BadTopic(_))));
+        assert!(matches!(b.subscribe(dev, "/a/b+"), Err(MqttError::BadTopic(_))));
+        assert!(b.subscribe(dev, "/a/+/b").is_ok());
+    }
+
+    #[test]
+    fn unknown_sessions_error() {
+        let mut b = broker();
+        let ghost = SessionId(999);
+        assert_eq!(b.poll(ghost), Err(MqttError::NoSuchSession));
+        assert!(matches!(b.publish(ghost, "/t", "p"), Err(MqttError::NoSuchSession)));
+    }
+
+    #[test]
+    fn audit_log_records_everything() {
+        let mut b = broker();
+        let dev = b.connect("d", MqttAuth::DeviceCert { cert: "cert-abc".into() }).unwrap();
+        b.publish(dev, "/a", "1").unwrap();
+        b.publish(dev, "/b", "2").unwrap();
+        assert_eq!(b.audit_log().len(), 2);
+    }
+}

@@ -1,0 +1,138 @@
+//! Probe-response classification (paper §V-C).
+//!
+//! *"The responses such as 'Request OK', 'No Permission' and 'Access
+//! Denied' indicate that the reconstructed message is valid. The
+//! responses like 'Bad Request', 'Request Not Supported', and 'Path Not
+//! Exits' mean the device-cloud messages are invalid."*
+
+use std::fmt;
+
+/// Cloud response status, with the paper's exact phrases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ResponseStatus {
+    /// The request was accepted and acted on.
+    RequestOk,
+    /// Authenticated identity lacks permission.
+    NoPermission,
+    /// Authentication failed.
+    AccessDenied,
+    /// The message shape was wrong (missing/garbled parameters).
+    BadRequest,
+    /// The endpoint exists but the operation is not supported.
+    RequestNotSupported,
+    /// No such endpoint.
+    PathNotExists,
+}
+
+impl ResponseStatus {
+    /// The response phrase as the paper quotes it.
+    pub fn phrase(self) -> &'static str {
+        match self {
+            ResponseStatus::RequestOk => "Request OK",
+            ResponseStatus::NoPermission => "No Permission",
+            ResponseStatus::AccessDenied => "Access Denied",
+            ResponseStatus::BadRequest => "Bad Request",
+            ResponseStatus::RequestNotSupported => "Request Not Supported",
+            ResponseStatus::PathNotExists => "Path Not Exists",
+        }
+    }
+
+    /// Whether this response *validates* the reconstructed message (the
+    /// message reached and was understood by a real endpoint).
+    pub fn validates_message(self) -> bool {
+        matches!(
+            self,
+            ResponseStatus::RequestOk | ResponseStatus::NoPermission | ResponseStatus::AccessDenied
+        )
+    }
+}
+
+impl fmt::Display for ResponseStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.phrase())
+    }
+}
+
+/// Classify a raw response phrase back into a status (for responses that
+/// cross a serialization boundary).
+pub fn classify_response(phrase: &str) -> Option<ResponseStatus> {
+    let all = [
+        ResponseStatus::RequestOk,
+        ResponseStatus::NoPermission,
+        ResponseStatus::AccessDenied,
+        ResponseStatus::BadRequest,
+        ResponseStatus::RequestNotSupported,
+        ResponseStatus::PathNotExists,
+    ];
+    all.into_iter().find(|s| s.phrase() == phrase)
+}
+
+/// Outcome of probing one reconstructed message against the cloud.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbeOutcome {
+    /// The endpoint probed.
+    pub path: String,
+    /// Response status.
+    pub status: ResponseStatus,
+    /// Values leaked in the response body (key, value).
+    pub leaked: Vec<(String, String)>,
+}
+
+impl ProbeOutcome {
+    /// Whether the probe validated the reconstruction.
+    pub fn message_valid(&self) -> bool {
+        self.status.validates_message()
+    }
+
+    /// Whether the probe demonstrated unauthorized success: a forged
+    /// message fully accepted.
+    pub fn forged_accepted(&self) -> bool {
+        self.status == ResponseStatus::RequestOk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validity_classification_matches_paper() {
+        assert!(ResponseStatus::RequestOk.validates_message());
+        assert!(ResponseStatus::NoPermission.validates_message());
+        assert!(ResponseStatus::AccessDenied.validates_message());
+        assert!(!ResponseStatus::BadRequest.validates_message());
+        assert!(!ResponseStatus::RequestNotSupported.validates_message());
+        assert!(!ResponseStatus::PathNotExists.validates_message());
+    }
+
+    #[test]
+    fn phrases_round_trip() {
+        for s in [
+            ResponseStatus::RequestOk,
+            ResponseStatus::NoPermission,
+            ResponseStatus::AccessDenied,
+            ResponseStatus::BadRequest,
+            ResponseStatus::RequestNotSupported,
+            ResponseStatus::PathNotExists,
+        ] {
+            assert_eq!(classify_response(s.phrase()), Some(s));
+        }
+        assert_eq!(classify_response("I'm a teapot"), None);
+    }
+
+    #[test]
+    fn outcome_helpers() {
+        let ok = ProbeOutcome {
+            path: "/x".into(),
+            status: ResponseStatus::RequestOk,
+            leaked: vec![("token".into(), "t".into())],
+        };
+        assert!(ok.message_valid());
+        assert!(ok.forged_accepted());
+        let denied = ProbeOutcome { path: "/x".into(), status: ResponseStatus::AccessDenied, leaked: vec![] };
+        assert!(denied.message_valid());
+        assert!(!denied.forged_accepted());
+        let bad = ProbeOutcome { path: "/x".into(), status: ResponseStatus::BadRequest, leaked: vec![] };
+        assert!(!bad.message_valid());
+    }
+}

@@ -1,0 +1,416 @@
+//! The cloud server: request parsing, check evaluation, responses.
+
+use crate::endpoint::{Check, Endpoint, EndpointKind, ResponseSpec};
+use crate::json::Json;
+use crate::probe::ResponseStatus;
+use crate::state::CloudState;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+/// A device-cloud request as received by the cloud.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Request path (HTTP) or topic (MQTT publish).
+    pub path: String,
+    /// Raw body: JSON object, query string, or empty.
+    pub body: String,
+}
+
+impl HttpRequest {
+    /// Build a request.
+    pub fn new(path: impl Into<String>, body: impl Into<String>) -> Self {
+        HttpRequest { path: path.into(), body: body.into() }
+    }
+
+    /// Parse the parameters from the path query string and the body
+    /// (JSON object or `a=1&b=2` form). Body values win on key clashes.
+    pub fn params(&self) -> BTreeMap<String, String> {
+        let mut params = BTreeMap::new();
+        if let Some((_, query)) = self.path.split_once('?') {
+            parse_query(query, &mut params);
+        }
+        let body = self.body.trim();
+        if body.starts_with('{') {
+            if let Ok(v) = Json::parse(body) {
+                params.extend(v.flat_params());
+            }
+        } else if !body.is_empty() {
+            parse_query(body, &mut params);
+        }
+        params
+    }
+
+    /// Whether the body looked structured but failed to parse.
+    pub fn body_malformed(&self) -> bool {
+        let body = self.body.trim();
+        body.starts_with('{') && Json::parse(body).is_err()
+    }
+
+    /// Path without the query string.
+    pub fn route(&self) -> &str {
+        self.path.split('?').next().unwrap_or(&self.path)
+    }
+}
+
+fn parse_query(query: &str, out: &mut BTreeMap<String, String>) {
+    for pair in query.split('&') {
+        if let Some((k, v)) = pair.split_once('=') {
+            if !k.is_empty() {
+                out.insert(k.to_string(), v.to_string());
+            }
+        }
+    }
+}
+
+/// A cloud response: classified status plus a JSON body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Classified status (maps to the paper's response phrases).
+    pub status: ResponseStatus,
+    /// Response body.
+    pub body: Json,
+}
+
+impl HttpResponse {
+    fn simple(status: ResponseStatus) -> Self {
+        let mut obj = BTreeMap::new();
+        obj.insert("status".to_string(), Json::Str(status.phrase().to_string()));
+        HttpResponse { status, body: Json::Obj(obj) }
+    }
+
+    /// String values leaked in the body under credential-ish keys.
+    pub fn leaked_values(&self) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        if let Json::Obj(m) = &self.body {
+            for (k, v) in m {
+                if k == "status" {
+                    continue;
+                }
+                match v {
+                    Json::Str(s) => out.push((k.clone(), s.clone())),
+                    Json::Arr(items) => {
+                        for i in items {
+                            if let Json::Str(s) = i {
+                                out.push((k.clone(), s.clone()));
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One vendor cloud: endpoints plus shared state.
+///
+/// The state sits behind a mutex so a cloud can be shared between a
+/// binding flow and concurrent probes in tests.
+#[derive(Debug)]
+pub struct Cloud {
+    name: String,
+    endpoints: Vec<Endpoint>,
+    state: Mutex<CloudState>,
+}
+
+impl Cloud {
+    /// Create a cloud with the given endpoints and initial state.
+    pub fn new(name: impl Into<String>, endpoints: Vec<Endpoint>, state: CloudState) -> Self {
+        Cloud { name: name.into(), endpoints, state: Mutex::new(state) }
+    }
+
+    /// Vendor/cloud name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The hosted endpoints.
+    pub fn endpoints(&self) -> &[Endpoint] {
+        &self.endpoints
+    }
+
+    /// Run `f` against the cloud state.
+    pub fn with_state<R>(&self, f: impl FnOnce(&mut CloudState) -> R) -> R {
+        f(&mut self.state.lock())
+    }
+
+    /// Handle a device request (HTTP request or MQTT publish).
+    pub fn handle(&self, req: &HttpRequest) -> HttpResponse {
+        let Some(endpoint) = self.match_endpoint(req.route()) else {
+            return HttpResponse::simple(ResponseStatus::PathNotExists);
+        };
+        if req.body_malformed() {
+            return HttpResponse::simple(ResponseStatus::BadRequest);
+        }
+        let params = req.params();
+        let state = self.state.lock();
+        // Evaluate the policy.
+        for check in &endpoint.checks {
+            match check {
+                Check::FieldPresent(f) => {
+                    if !params.contains_key(f.as_str()) {
+                        return HttpResponse::simple(ResponseStatus::BadRequest);
+                    }
+                }
+                Check::KnownDevice(f) => {
+                    let Some(v) = params.get(f.as_str()) else {
+                        return HttpResponse::simple(ResponseStatus::BadRequest);
+                    };
+                    if state.device_by_identifier(v).is_none() {
+                        return HttpResponse::simple(ResponseStatus::AccessDenied);
+                    }
+                }
+                Check::SecretValid(idf, sf) => {
+                    let (Some(id), Some(secret)) = (params.get(idf.as_str()), params.get(sf.as_str())) else {
+                        return HttpResponse::simple(ResponseStatus::BadRequest);
+                    };
+                    if !state.valid_secret(id, secret) {
+                        return HttpResponse::simple(ResponseStatus::AccessDenied);
+                    }
+                }
+                Check::UserCredValid(uf, pf) => {
+                    let (Some(u), Some(p)) = (params.get(uf.as_str()), params.get(pf.as_str())) else {
+                        return HttpResponse::simple(ResponseStatus::BadRequest);
+                    };
+                    if !state.valid_user(u, p) {
+                        return HttpResponse::simple(ResponseStatus::NoPermission);
+                    }
+                }
+                Check::TokenValid(idf, tf) => {
+                    let (Some(id), Some(t)) = (params.get(idf.as_str()), params.get(tf.as_str())) else {
+                        return HttpResponse::simple(ResponseStatus::BadRequest);
+                    };
+                    if !state.valid_token(id, t) {
+                        return HttpResponse::simple(ResponseStatus::NoPermission);
+                    }
+                }
+                Check::SignatureValid(idf, sf) => {
+                    let (Some(id), Some(s)) = (params.get(idf.as_str()), params.get(sf.as_str())) else {
+                        return HttpResponse::simple(ResponseStatus::BadRequest);
+                    };
+                    if !state.valid_signature(id, s) {
+                        return HttpResponse::simple(ResponseStatus::NoPermission);
+                    }
+                }
+            }
+        }
+        // Success: render the response.
+        let mut obj = BTreeMap::new();
+        obj.insert(
+            "status".to_string(),
+            Json::Str(ResponseStatus::RequestOk.phrase().to_string()),
+        );
+        let identifier = self.request_identifier(endpoint, &params);
+        match &endpoint.response {
+            ResponseSpec::Ok => {}
+            ResponseSpec::FixedToken(key) => {
+                obj.insert(key.clone(), Json::Str("FIXED-TOKEN-0001".to_string()));
+            }
+            ResponseSpec::BindToken(key) => {
+                if let Some(id) = &identifier {
+                    if let Some(t) = state.token_for(id) {
+                        obj.insert(key.clone(), Json::Str(t));
+                    }
+                }
+            }
+            ResponseSpec::DeviceSecret(key) => {
+                if let Some(id) = &identifier {
+                    if let Some(d) = state.device_by_identifier(id) {
+                        obj.insert(key.clone(), Json::Str(d.secret.clone()));
+                    }
+                }
+            }
+            ResponseSpec::StorageKeys(key) => {
+                if let Some(id) = &identifier {
+                    let access = crate::mac::keyed_mac("access", &[id]);
+                    let secret = crate::mac::keyed_mac("storage", &[id]);
+                    obj.insert(format!("{key}-access"), Json::Str(access));
+                    obj.insert(format!("{key}-secret"), Json::Str(secret));
+                }
+            }
+            ResponseSpec::ResourceList(key) => {
+                if let Some(id) = &identifier {
+                    let items: Vec<Json> = state
+                        .resources_for(id)
+                        .iter()
+                        .map(|r| Json::Str(r.clone()))
+                        .collect();
+                    obj.insert(key.clone(), Json::Arr(items));
+                }
+            }
+        }
+        HttpResponse { status: ResponseStatus::RequestOk, body: Json::Obj(obj) }
+    }
+
+    /// The first identifier-ish parameter value named by the checks.
+    fn request_identifier(
+        &self,
+        endpoint: &Endpoint,
+        params: &BTreeMap<String, String>,
+    ) -> Option<String> {
+        for check in &endpoint.checks {
+            let field = match check {
+                Check::KnownDevice(f) => f,
+                Check::SecretValid(f, _)
+                | Check::TokenValid(f, _)
+                | Check::SignatureValid(f, _) => f,
+                _ => continue,
+            };
+            if let Some(v) = params.get(field.as_str()) {
+                return Some(v.clone());
+            }
+        }
+        None
+    }
+
+    fn match_endpoint(&self, route: &str) -> Option<&Endpoint> {
+        self.endpoints.iter().find(|e| {
+            match e.kind {
+                EndpointKind::Http => {
+                    // Match on the path ignoring its own query part.
+                    e.path.split('?').next().unwrap_or(&e.path) == route
+                }
+                EndpointKind::MqttTopic => e.path == route,
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::DeviceRecord;
+
+    fn test_cloud() -> Cloud {
+        let mut state = CloudState::new("cloud-key");
+        state.register_device(DeviceRecord {
+            identifiers: [("serial".to_string(), "SN42".to_string())].into_iter().collect(),
+            secret: "devsecret".into(),
+            bound_user: None,
+        });
+        state.create_user("alice", "pw");
+        state.bind("SN42", "alice").unwrap();
+        state.add_resource("SN42", "/video/1.mp4");
+        let endpoints = vec![
+            Endpoint {
+                path: "/logs/upload".into(),
+                kind: EndpointKind::Http,
+                functionality: "Uploading crash logs.".into(),
+                checks: vec![
+                    Check::KnownDevice("serialNo".into()),
+                    Check::FieldPresent("log".into()),
+                ],
+                response: ResponseSpec::Ok,
+                consequence: Some("Attackers upload fake crash logs.".into()),
+            },
+            Endpoint {
+                path: "/storage/auth".into(),
+                kind: EndpointKind::Http,
+                functionality: "Authenticating to storage.".into(),
+                checks: vec![
+                    Check::KnownDevice("deviceId".into()),
+                    Check::TokenValid("deviceId".into(), "token".into()),
+                ],
+                response: ResponseSpec::StorageKeys("key".into()),
+                consequence: None,
+            },
+            Endpoint {
+                path: "/videos/list".into(),
+                kind: EndpointKind::Http,
+                functionality: "Querying stored videos.".into(),
+                checks: vec![Check::KnownDevice("deviceId".into())],
+                response: ResponseSpec::ResourceList("videos".into()),
+                consequence: Some("Privacy information leakage.".into()),
+            },
+        ];
+        Cloud::new("test-vendor", endpoints, state)
+    }
+
+    #[test]
+    fn unknown_path_is_path_not_exists() {
+        let cloud = test_cloud();
+        let r = cloud.handle(&HttpRequest::new("/nope", ""));
+        assert_eq!(r.status, ResponseStatus::PathNotExists);
+    }
+
+    #[test]
+    fn missing_params_is_bad_request() {
+        let cloud = test_cloud();
+        let r = cloud.handle(&HttpRequest::new("/logs/upload", "serialNo=SN42"));
+        assert_eq!(r.status, ResponseStatus::BadRequest, "log param missing");
+    }
+
+    #[test]
+    fn unknown_device_is_access_denied() {
+        let cloud = test_cloud();
+        let r = cloud.handle(&HttpRequest::new("/logs/upload", "serialNo=NOPE&log=x"));
+        assert_eq!(r.status, ResponseStatus::AccessDenied);
+    }
+
+    #[test]
+    fn identifier_only_endpoint_accepts_forged_request() {
+        let cloud = test_cloud();
+        // Attacker knows only the serial number: request succeeds.
+        let r = cloud.handle(&HttpRequest::new("/logs/upload", "serialNo=SN42&log=fake"));
+        assert_eq!(r.status, ResponseStatus::RequestOk);
+    }
+
+    #[test]
+    fn token_endpoint_rejects_forged_token_but_accepts_real_one() {
+        let cloud = test_cloud();
+        let r = cloud.handle(&HttpRequest::new("/storage/auth", "deviceId=SN42&token=guess"));
+        assert_eq!(r.status, ResponseStatus::NoPermission);
+        let token = cloud.with_state(|s| s.token_for("SN42").unwrap());
+        let r = cloud.handle(&HttpRequest::new(
+            "/storage/auth",
+            format!("deviceId=SN42&token={token}"),
+        ));
+        assert_eq!(r.status, ResponseStatus::RequestOk);
+        let leaks = r.leaked_values();
+        assert_eq!(leaks.len(), 2, "access + secret storage keys: {leaks:?}");
+    }
+
+    #[test]
+    fn json_bodies_are_parsed() {
+        let cloud = test_cloud();
+        let r = cloud.handle(&HttpRequest::new(
+            "/logs/upload",
+            "{\"serialNo\":\"SN42\",\"log\":\"boom\"}",
+        ));
+        assert_eq!(r.status, ResponseStatus::RequestOk);
+    }
+
+    #[test]
+    fn malformed_json_is_bad_request() {
+        let cloud = test_cloud();
+        let r = cloud.handle(&HttpRequest::new("/logs/upload", "{\"serialNo\":"));
+        assert_eq!(r.status, ResponseStatus::BadRequest);
+    }
+
+    #[test]
+    fn query_string_in_path_counts() {
+        let cloud = test_cloud();
+        let r = cloud.handle(&HttpRequest::new("/logs/upload?serialNo=SN42&log=x", ""));
+        assert_eq!(r.status, ResponseStatus::RequestOk);
+    }
+
+    #[test]
+    fn resource_list_leaks_video_paths() {
+        let cloud = test_cloud();
+        let r = cloud.handle(&HttpRequest::new("/videos/list", "deviceId=SN42"));
+        assert_eq!(r.status, ResponseStatus::RequestOk);
+        let leaked = r.leaked_values();
+        assert!(leaked.iter().any(|(k, v)| k == "videos" && v == "/video/1.mp4"));
+    }
+
+    #[test]
+    fn params_merge_path_and_body() {
+        let req = HttpRequest::new("/x?a=1&b=2", "b=3&c=4");
+        let p = req.params();
+        assert_eq!(p["a"], "1");
+        assert_eq!(p["b"], "3", "body wins");
+        assert_eq!(p["c"], "4");
+        assert_eq!(req.route(), "/x");
+    }
+}

@@ -1,0 +1,203 @@
+//! Cloud-side state: registered devices, user accounts, bindings and
+//! stored resources.
+
+use crate::mac::{derive_bind_token, derive_signature};
+use std::collections::BTreeMap;
+
+/// A device registered with the cloud.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceRecord {
+    /// Identifier fields (`mac`, `serial`, `uid`, `deviceId`, …) and
+    /// their values. Any of them identifies the device.
+    pub identifiers: BTreeMap<String, String>,
+    /// The manufacturer-provisioned device secret.
+    pub secret: String,
+    /// User the device is bound to, if any.
+    pub bound_user: Option<String>,
+}
+
+impl DeviceRecord {
+    /// Whether any identifier field equals `value`.
+    pub fn has_identifier(&self, value: &str) -> bool {
+        self.identifiers.values().any(|v| v == value)
+    }
+
+    /// The canonical identifier (first in key order).
+    pub fn canonical_id(&self) -> &str {
+        self.identifiers
+            .values()
+            .next()
+            .map(String::as_str)
+            .unwrap_or("")
+    }
+}
+
+/// Mutable cloud state shared by all endpoints of one vendor cloud.
+#[derive(Debug, Clone, Default)]
+pub struct CloudState {
+    /// Secret key the cloud derives bind tokens with.
+    cloud_key: String,
+    devices: Vec<DeviceRecord>,
+    accounts: BTreeMap<String, String>,
+    /// Per-device stored resources (video paths, share lists, …) keyed by
+    /// canonical identifier.
+    resources: BTreeMap<String, Vec<String>>,
+}
+
+impl CloudState {
+    /// New state with the given token-derivation key.
+    pub fn new(cloud_key: impl Into<String>) -> Self {
+        CloudState { cloud_key: cloud_key.into(), ..Default::default() }
+    }
+
+    /// Register a device.
+    pub fn register_device(&mut self, record: DeviceRecord) {
+        self.devices.push(record);
+    }
+
+    /// Create a user account.
+    pub fn create_user(&mut self, user: impl Into<String>, password: impl Into<String>) {
+        self.accounts.insert(user.into(), password.into());
+    }
+
+    /// Attach a stored resource (e.g. a cloud recording path) to a device.
+    pub fn add_resource(&mut self, identifier: &str, resource: impl Into<String>) {
+        if let Some(dev) = self.device_by_identifier(identifier) {
+            let key = dev.canonical_id().to_string();
+            self.resources.entry(key).or_default().push(resource.into());
+        }
+    }
+
+    /// The device matching any identifier field equal to `value`.
+    pub fn device_by_identifier(&self, value: &str) -> Option<&DeviceRecord> {
+        self.devices.iter().find(|d| d.has_identifier(value))
+    }
+
+    /// All registered devices.
+    pub fn devices(&self) -> &[DeviceRecord] {
+        &self.devices
+    }
+
+    /// Whether `user`/`password` is a valid account.
+    pub fn valid_user(&self, user: &str, password: &str) -> bool {
+        self.accounts.get(user).is_some_and(|p| p == password)
+    }
+
+    /// Bind the device identified by `identifier` to `user`, returning the
+    /// bind token. `None` when the device or user is unknown.
+    pub fn bind(&mut self, identifier: &str, user: &str) -> Option<String> {
+        if !self.accounts.contains_key(user) {
+            return None;
+        }
+        let key = self.cloud_key.clone();
+        let dev = self.devices.iter_mut().find(|d| d.has_identifier(identifier))?;
+        dev.bound_user = Some(user.to_string());
+        let canonical = dev.canonical_id().to_string();
+        Some(derive_bind_token(&key, &canonical, user))
+    }
+
+    /// The valid bind token for a bound device, if bound.
+    pub fn token_for(&self, identifier: &str) -> Option<String> {
+        let dev = self.device_by_identifier(identifier)?;
+        let user = dev.bound_user.as_deref()?;
+        Some(derive_bind_token(&self.cloud_key, dev.canonical_id(), user))
+    }
+
+    /// Verify a bind token presented for a device.
+    pub fn valid_token(&self, identifier: &str, token: &str) -> bool {
+        self.token_for(identifier).is_some_and(|t| t == token)
+    }
+
+    /// Verify a device secret.
+    pub fn valid_secret(&self, identifier: &str, secret: &str) -> bool {
+        self.device_by_identifier(identifier)
+            .is_some_and(|d| d.secret == secret)
+    }
+
+    /// Verify a signature derived from the device secret.
+    pub fn valid_signature(&self, identifier: &str, signature: &str) -> bool {
+        self.device_by_identifier(identifier).is_some_and(|d| {
+            derive_signature(&d.secret, d.canonical_id()) == signature
+        })
+    }
+
+    /// The expected signature for a device (what the *real* device would
+    /// send) — used by tests and the probe harness.
+    pub fn signature_for(&self, identifier: &str) -> Option<String> {
+        let d = self.device_by_identifier(identifier)?;
+        Some(derive_signature(&d.secret, d.canonical_id()))
+    }
+
+    /// Stored resources of a device.
+    pub fn resources_for(&self, identifier: &str) -> &[String] {
+        self.device_by_identifier(identifier)
+            .and_then(|d| self.resources.get(d.canonical_id()))
+            .map_or(&[], Vec::as_slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> DeviceRecord {
+        DeviceRecord {
+            identifiers: [
+                ("mac".to_string(), "00:11:22:33:44:55".to_string()),
+                ("serial".to_string(), "SN42".to_string()),
+            ]
+            .into_iter()
+            .collect(),
+            secret: "s3cr3t".into(),
+            bound_user: None,
+        }
+    }
+
+    #[test]
+    fn identifier_lookup_by_any_field() {
+        let mut st = CloudState::new("ck");
+        st.register_device(device());
+        assert!(st.device_by_identifier("SN42").is_some());
+        assert!(st.device_by_identifier("00:11:22:33:44:55").is_some());
+        assert!(st.device_by_identifier("nope").is_none());
+    }
+
+    #[test]
+    fn binding_and_tokens() {
+        let mut st = CloudState::new("ck");
+        st.register_device(device());
+        st.create_user("alice", "pw");
+        assert_eq!(st.bind("SN42", "mallory"), None, "unknown user");
+        let token = st.bind("SN42", "alice").unwrap();
+        assert!(st.valid_token("SN42", &token));
+        assert!(st.valid_token("00:11:22:33:44:55", &token), "any identifier maps to device");
+        assert!(!st.valid_token("SN42", "forged"));
+        assert_eq!(st.token_for("SN42"), Some(token));
+    }
+
+    #[test]
+    fn secrets_and_signatures() {
+        let mut st = CloudState::new("ck");
+        st.register_device(device());
+        assert!(st.valid_secret("SN42", "s3cr3t"));
+        assert!(!st.valid_secret("SN42", "wrong"));
+        let sig = st.signature_for("SN42").unwrap();
+        assert!(st.valid_signature("SN42", &sig));
+        assert!(!st.valid_signature("SN42", "bad"));
+        assert_eq!(st.signature_for("missing"), None);
+    }
+
+    #[test]
+    fn users_and_resources() {
+        let mut st = CloudState::new("ck");
+        st.register_device(device());
+        st.create_user("alice", "pw");
+        assert!(st.valid_user("alice", "pw"));
+        assert!(!st.valid_user("alice", "nope"));
+        assert!(!st.valid_user("bob", "pw"));
+        st.add_resource("SN42", "/videos/2026-07-01.mp4");
+        st.add_resource("00:11:22:33:44:55", "/videos/2026-07-02.mp4");
+        assert_eq!(st.resources_for("SN42").len(), 2, "same device via either id");
+        assert!(st.resources_for("missing").is_empty());
+    }
+}

@@ -1,0 +1,159 @@
+//! Policy matrix: every check kind against correct, forged and missing
+//! parameters, plus endpoint-kind routing.
+
+use firmres_cloud::{
+    mac, Check, Cloud, CloudState, DeviceRecord, Endpoint, EndpointKind, HttpRequest,
+    ResponseSpec, ResponseStatus,
+};
+
+fn state() -> CloudState {
+    let mut s = CloudState::new("matrix-key");
+    s.register_device(DeviceRecord {
+        identifiers: [("deviceId".to_string(), "D-5".to_string())].into_iter().collect(),
+        secret: "s3cret".into(),
+        bound_user: None,
+    });
+    s.create_user("owner", "hunter2");
+    s.bind("D-5", "owner").unwrap();
+    s
+}
+
+fn single(check: Check, kind: EndpointKind) -> Cloud {
+    Cloud::new(
+        "matrix",
+        vec![Endpoint {
+            path: "/only".into(),
+            kind,
+            functionality: "Matrix endpoint.".into(),
+            checks: vec![check],
+            response: ResponseSpec::Ok,
+            consequence: None,
+        }],
+        state(),
+    )
+}
+
+fn status(cloud: &Cloud, body: &str) -> ResponseStatus {
+    cloud.handle(&HttpRequest::new("/only", body)).status
+}
+
+#[test]
+fn known_device_check_matrix() {
+    let cloud = single(Check::KnownDevice("deviceId".into()), EndpointKind::Http);
+    assert_eq!(status(&cloud, "deviceId=D-5"), ResponseStatus::RequestOk);
+    assert_eq!(status(&cloud, "deviceId=D-404"), ResponseStatus::AccessDenied);
+    assert_eq!(status(&cloud, "other=1"), ResponseStatus::BadRequest);
+}
+
+#[test]
+fn secret_check_matrix() {
+    let cloud = single(
+        Check::SecretValid("deviceId".into(), "secret".into()),
+        EndpointKind::Http,
+    );
+    assert_eq!(status(&cloud, "deviceId=D-5&secret=s3cret"), ResponseStatus::RequestOk);
+    assert_eq!(status(&cloud, "deviceId=D-5&secret=nope"), ResponseStatus::AccessDenied);
+    assert_eq!(status(&cloud, "deviceId=D-5"), ResponseStatus::BadRequest);
+}
+
+#[test]
+fn user_cred_check_matrix() {
+    let cloud = single(
+        Check::UserCredValid("user".into(), "pass".into()),
+        EndpointKind::Http,
+    );
+    assert_eq!(status(&cloud, "user=owner&pass=hunter2"), ResponseStatus::RequestOk);
+    assert_eq!(status(&cloud, "user=owner&pass=guess"), ResponseStatus::NoPermission);
+    assert_eq!(status(&cloud, "user=owner"), ResponseStatus::BadRequest);
+}
+
+#[test]
+fn token_check_matrix() {
+    let cloud = single(
+        Check::TokenValid("deviceId".into(), "token".into()),
+        EndpointKind::Http,
+    );
+    let token = cloud.with_state(|s| s.token_for("D-5").unwrap());
+    assert_eq!(
+        status(&cloud, &format!("deviceId=D-5&token={token}")),
+        ResponseStatus::RequestOk
+    );
+    assert_eq!(status(&cloud, "deviceId=D-5&token=guess"), ResponseStatus::NoPermission);
+}
+
+#[test]
+fn signature_check_matrix() {
+    let cloud = single(
+        Check::SignatureValid("deviceId".into(), "sign".into()),
+        EndpointKind::Http,
+    );
+    let sig = mac::derive_signature("s3cret", "D-5");
+    assert_eq!(
+        status(&cloud, &format!("deviceId=D-5&sign={sig}")),
+        ResponseStatus::RequestOk
+    );
+    assert_eq!(status(&cloud, "deviceId=D-5&sign=bad"), ResponseStatus::NoPermission);
+}
+
+#[test]
+fn field_present_check_matrix() {
+    let cloud = single(Check::FieldPresent("payload".into()), EndpointKind::Http);
+    assert_eq!(status(&cloud, "payload=anything"), ResponseStatus::RequestOk);
+    assert_eq!(status(&cloud, ""), ResponseStatus::BadRequest);
+}
+
+#[test]
+fn mqtt_topic_endpoints_route_by_full_topic() {
+    let cloud = Cloud::new(
+        "mq",
+        vec![Endpoint {
+            path: "/dev/D-5/telemetry".into(),
+            kind: EndpointKind::MqttTopic,
+            functionality: "Telemetry topic.".into(),
+            checks: vec![Check::KnownDevice("deviceId".into())],
+            response: ResponseSpec::Ok,
+            consequence: None,
+        }],
+        state(),
+    );
+    let ok = cloud.handle(&HttpRequest::new("/dev/D-5/telemetry", "deviceId=D-5"));
+    assert_eq!(ok.status, ResponseStatus::RequestOk);
+    let miss = cloud.handle(&HttpRequest::new("/dev/D-5/other", "deviceId=D-5"));
+    assert_eq!(miss.status, ResponseStatus::PathNotExists);
+}
+
+#[test]
+fn checks_evaluate_in_order_first_failure_wins() {
+    let cloud = Cloud::new(
+        "ord",
+        vec![Endpoint {
+            path: "/only".into(),
+            kind: EndpointKind::Http,
+            functionality: "Ordered checks.".into(),
+            checks: vec![
+                Check::KnownDevice("deviceId".into()),
+                Check::TokenValid("deviceId".into(), "token".into()),
+            ],
+            response: ResponseSpec::Ok,
+            consequence: None,
+        }],
+        state(),
+    );
+    // Unknown device fails the first check even though the token is absent
+    // too: AccessDenied (identity), not BadRequest (missing token param
+    // would only be checked later).
+    assert_eq!(
+        status(&cloud, "deviceId=D-404&token=x"),
+        ResponseStatus::AccessDenied
+    );
+}
+
+#[test]
+fn response_bodies_carry_status_phrase() {
+    let cloud = single(Check::FieldPresent("x".into()), EndpointKind::Http);
+    let resp = cloud.handle(&HttpRequest::new("/only", "x=1"));
+    let body = resp.body.to_string();
+    assert!(body.contains("Request OK"), "{body}");
+    let denied = cloud.handle(&HttpRequest::new("/only", ""));
+    assert!(denied.body.to_string().contains("Bad Request"));
+}

@@ -1,0 +1,298 @@
+//! Pinpointing device-cloud executables (paper §IV-A, Fig. 4).
+//!
+//! Two-step identification: (1) find request handlers by pairing
+//! incoming/outgoing anchor callsites and scoring the functions between
+//! them with the string-parsing factor `P_f = O_r / O` (Eq. 1); (2) keep
+//! only *asynchronous* handlers — those whose recv-containing function is
+//! never directly invoked (event-callback registration). An executable
+//! containing at least one asynchronous handler is a device-cloud
+//! executable.
+
+use firmres_dataflow::{incoming_buffer_arg, is_outgoing, resolve_region, DefUse, OpRef, Region};
+use firmres_ir::{Address, Function, Opcode, PcodeOp, Program, Varnode};
+use std::collections::BTreeMap;
+
+/// Identification tuning.
+#[derive(Debug, Clone)]
+pub struct ExeIdConfig {
+    /// Minimum string-parsing score for a sequence to count as a request
+    /// handler.
+    pub score_threshold: f64,
+}
+
+impl Default for ExeIdConfig {
+    fn default() -> Self {
+        ExeIdConfig { score_threshold: 0.3 }
+    }
+}
+
+/// One scored anchor pair / candidate handler.
+#[derive(Debug, Clone)]
+pub struct HandlerInfo {
+    /// Function containing the incoming (`recv`) anchor.
+    pub handler_func: Address,
+    /// Name of that function.
+    pub handler_name: String,
+    /// The incoming anchor callsite.
+    pub recv_callsite: Address,
+    /// The paired outgoing anchor callsite.
+    pub send_callsite: Address,
+    /// Call-graph distance between the anchors' functions.
+    pub distance: usize,
+    /// The string-parsing factor score (max `P_f` over the sequence).
+    pub score: f64,
+    /// Whether the handler is asynchronously invoked.
+    pub is_async: bool,
+}
+
+/// Compute all scored anchor pairs in `program` (step 1 of §IV-A).
+pub fn score_handlers(program: &Program) -> Vec<HandlerInfo> {
+    let cg = program.call_graph();
+    // Collect anchors: (function entry, callsite op).
+    let mut incoming: Vec<(Address, PcodeOp)> = Vec::new();
+    let mut outgoing: Vec<(Address, PcodeOp)> = Vec::new();
+    for f in program.functions() {
+        for op in f.callsites() {
+            let Some(name) = op.call_target().and_then(|t| program.callee_name(t)) else {
+                continue;
+            };
+            if incoming_buffer_arg(name).is_some() {
+                incoming.push((f.entry(), op.clone()));
+            }
+            if is_outgoing(name) {
+                outgoing.push((f.entry(), op.clone()));
+            }
+        }
+    }
+    let mut out = Vec::new();
+    let mut defuse: BTreeMap<Address, DefUse> = BTreeMap::new();
+    for (in_func, in_op) in &incoming {
+        // Pair with the closest outgoing anchor on the call graph.
+        let mut best: Option<(usize, &(Address, PcodeOp))> = None;
+        for o in &outgoing {
+            let d = if o.0 == *in_func {
+                0
+            } else {
+                match cg.distance(*in_func, o.0) {
+                    Some(d) => d,
+                    None => continue,
+                }
+            };
+            if best.as_ref().is_none_or(|(bd, _)| d < *bd) {
+                best = Some((d, o));
+            }
+        }
+        let Some((distance, (out_func, out_op))) = best else { continue };
+        // The candidate sequence: functions on the path between anchors.
+        let mut sequence = cg.path(*in_func, *out_func);
+        if sequence.is_empty() {
+            sequence = cg.path(*out_func, *in_func);
+        }
+        if sequence.is_empty() {
+            sequence = vec![*in_func];
+        }
+        let mut score: f64 = 0.0;
+        for func in &sequence {
+            let Some(f) = program.function(*func) else { continue };
+            let du = defuse.entry(*func).or_insert_with(|| DefUse::compute(f));
+            let pf = string_parsing_factor(program, f, du, if *func == *in_func { Some(in_op) } else { None });
+            score = score.max(pf);
+        }
+        let handler_f = program.function(*in_func).expect("anchor function exists");
+        let is_async = !cg.has_callers(*in_func);
+        out.push(HandlerInfo {
+            handler_func: *in_func,
+            handler_name: handler_f.name().to_string(),
+            recv_callsite: in_op.addr,
+            send_callsite: out_op.addr,
+            distance,
+            score,
+            is_async,
+        });
+    }
+    out
+}
+
+/// `P_f = O_r / O` for one function: the fraction of predicate operands
+/// originating from the incoming request (the `recv` buffer).
+///
+/// When `in_op` is `None` (the function does not contain the recv anchor
+/// itself), operands cannot originate from the request and `P_f` is 0 —
+/// a sound under-approximation for sequences whose parsing happens in the
+/// anchor function, which is where generated and real-world handlers
+/// parse.
+pub fn string_parsing_factor(
+    program: &Program,
+    f: &Function,
+    du: &DefUse,
+    in_op: Option<&PcodeOp>,
+) -> f64 {
+    let mut total = 0usize;
+    let mut from_request = 0usize;
+    // Resolve the recv buffer region once.
+    let buf_region = in_op.and_then(|op| {
+        let name = op.call_target().and_then(|t| program.callee_name(t))?;
+        let arg_idx = incoming_buffer_arg(name)?;
+        let arg = op.call_args().get(arg_idx)?;
+        let at = du.position_of(op.addr)?;
+        match resolve_region(program, f, du, at, arg) {
+            r @ (Region::Stack(_) | Region::Alloc(_)) => Some(r),
+            _ => None,
+        }
+    });
+    for (block, op) in f.ops_with_blocks() {
+        if !op.opcode.is_predicate() {
+            continue;
+        }
+        let index = f.block(block).ops.iter().position(|o| o.addr == op.addr).unwrap_or(0);
+        let at = OpRef { block, index };
+        for operand in &op.inputs {
+            total += 1;
+            if let Some(region) = &buf_region {
+                if operand_from_region(f, du, at, operand, region, 4) {
+                    from_request += 1;
+                }
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        from_request as f64 / total as f64
+    }
+}
+
+/// Does `operand` (used at `at`) derive from storage inside `region`?
+fn operand_from_region(
+    f: &Function,
+    du: &DefUse,
+    at: OpRef,
+    operand: &Varnode,
+    region: &Region,
+    budget: usize,
+) -> bool {
+    if budget == 0 || operand.is_const() {
+        return false;
+    }
+    for d in du.reaching_defs(at, operand) {
+        let op = &f.block(d.block).ops[d.index];
+        match op.opcode {
+            Opcode::Copy => {
+                // Direct read of a stack slot inside the request buffer
+                // (extent bounded by the next named local).
+                if let (Region::Stack(base), Some(off)) =
+                    (region, op.inputs[0].stack_offset())
+                {
+                    if off >= *base && off < *base + local_extent(f, *base) {
+                        return true;
+                    }
+                }
+                if operand_from_region(f, du, d, &op.inputs[0], region, budget - 1) {
+                    return true;
+                }
+            }
+            Opcode::Load => {
+                if operand_from_region(f, du, d, &op.inputs[0], region, budget - 1) {
+                    return true;
+                }
+            }
+            op2 if op2.is_dataflow() => {
+                for input in &op.inputs {
+                    if operand_from_region(f, du, d, input, region, budget - 1) {
+                        return true;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Size of the named local starting at `base`, bounded by the next named
+/// local (256 bytes when it is the last one).
+fn local_extent(f: &Function, base: i64) -> i64 {
+    let mut next = i64::MAX;
+    for (v, _) in f.symbols().iter() {
+        if let Some(o) = v.stack_offset() {
+            if o > base && o < next {
+                next = o;
+            }
+        }
+    }
+    if next == i64::MAX {
+        256
+    } else {
+        next - base
+    }
+}
+
+/// Identify the asynchronous request handlers of `program` (both steps of
+/// §IV-A). The program is a device-cloud executable when the result is
+/// non-empty.
+pub fn identify_device_cloud(program: &Program, config: &ExeIdConfig) -> Vec<HandlerInfo> {
+    score_handlers(program)
+        .into_iter()
+        .filter(|h| h.score >= config.score_threshold && h.is_async)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firmres_corpus::{generate_device, ipc_daemon_source, local_httpd_source, watchdog_source};
+    use firmres_isa::{lift, Assembler};
+
+    #[test]
+    fn cloud_agent_is_identified() {
+        let dev = generate_device(10, 7);
+        let path = dev.cloud_executable.as_deref().unwrap();
+        let exe = dev.firmware.load_executable(path).unwrap().unwrap();
+        let prog = lift(&exe, "agent").unwrap();
+        let handlers = identify_device_cloud(&prog, &ExeIdConfig::default());
+        assert!(!handlers.is_empty(), "async handler found");
+        assert_eq!(handlers[0].handler_name, "on_cloud_request");
+        assert!(handlers[0].score >= 0.3, "score {}", handlers[0].score);
+    }
+
+    #[test]
+    fn ipc_daemon_rejected_for_synchrony() {
+        let exe = Assembler::new().assemble(&ipc_daemon_source()).unwrap();
+        let prog = lift(&exe, "ipc").unwrap();
+        let all = score_handlers(&prog);
+        assert!(!all.is_empty(), "it *is* a request handler");
+        assert!(all.iter().all(|h| !h.is_async), "but a synchronous one");
+        assert!(identify_device_cloud(&prog, &ExeIdConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn local_httpd_rejected() {
+        let exe = Assembler::new().assemble(&local_httpd_source()).unwrap();
+        let prog = lift(&exe, "httpd").unwrap();
+        assert!(identify_device_cloud(&prog, &ExeIdConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn watchdog_has_no_anchors_at_all() {
+        let exe = Assembler::new().assemble(&watchdog_source()).unwrap();
+        let prog = lift(&exe, "wd").unwrap();
+        assert!(score_handlers(&prog).is_empty());
+    }
+
+    #[test]
+    fn handler_score_reflects_request_parsing() {
+        let dev = generate_device(14, 7);
+        let path = dev.cloud_executable.as_deref().unwrap();
+        let exe = dev.firmware.load_executable(path).unwrap().unwrap();
+        let prog = lift(&exe, "agent").unwrap();
+        let handlers = score_handlers(&prog);
+        let main_handler = handlers
+            .iter()
+            .find(|h| h.handler_name == "on_cloud_request")
+            .unwrap();
+        // The dispatch chain compares request bytes against constants:
+        // roughly half the predicate operands are request-derived.
+        assert!(main_handler.score > 0.35, "score {}", main_handler.score);
+        assert!(main_handler.score <= 0.75, "score {}", main_handler.score);
+    }
+}

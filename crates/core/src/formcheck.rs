@@ -1,0 +1,311 @@
+//! Message-form checking (paper §IV-E).
+//!
+//! Two automatic checks run on every reconstructed message:
+//!
+//! * **Primitive composition** — binding-phase messages must carry
+//!   Dev-Identifier + Dev-Secret + User-Cred; business-phase messages
+//!   must match one of the three compositions of §II-B
+//!   (① Identifier+Bind-Token, ② Identifier+Signature,
+//!   ③ Identifier+Dev-Secret+User-Cred).
+//! * **Dev-Secret source tracking** — `<Var = Const>` means a hard-coded
+//!   secret; `<Var = Function(Const)>` (a config-file read) means the
+//!   secret sits in a readable file.
+
+use firmres_dataflow::{FieldSource, SourceKind};
+use firmres_mft::ReconstructedMessage;
+use firmres_semantics::Primitive;
+use std::fmt;
+
+/// Which access-control phase a message belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessagePhase {
+    /// Device registration / binding.
+    Binding,
+    /// Post-binding resource access.
+    Business,
+}
+
+impl MessagePhase {
+    /// Heuristic phase classification from endpoint/functionality text —
+    /// registration and binding endpoints name themselves in practice.
+    pub fn classify(endpoint: &str) -> MessagePhase {
+        let e = endpoint.to_ascii_lowercase();
+        if e.contains("regist") || e.contains("bind") || e.contains("auth") || e.contains("login")
+        {
+            MessagePhase::Binding
+        } else {
+            MessagePhase::Business
+        }
+    }
+}
+
+/// A message-form finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormFlaw {
+    /// The message lacks the primitives its phase requires.
+    MissingPrimitives {
+        /// Classified phase.
+        phase: MessagePhase,
+        /// Primitives present in the message.
+        present: Vec<Primitive>,
+        /// The primitives whose absence breaks every valid composition.
+        missing: Vec<Primitive>,
+    },
+    /// A Dev-Secret field is hard-coded in the program (`<Var = Const>`).
+    HardcodedDevSecret {
+        /// Field key.
+        key: String,
+        /// The hard-coded value.
+        value: String,
+    },
+    /// A Dev-Secret field is read from a readable config file
+    /// (`<Var = Function(Const)>`).
+    SecretFromReadableFile {
+        /// Field key.
+        key: String,
+        /// The file/config key it is read from.
+        config_key: String,
+    },
+}
+
+impl fmt::Display for FormFlaw {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormFlaw::MissingPrimitives { phase, present, missing } => {
+                let p: Vec<&str> = present.iter().map(|x| x.label()).collect();
+                let m: Vec<&str> = missing.iter().map(|x| x.label()).collect();
+                write!(
+                    f,
+                    "{:?}-phase message lacks primitives: has [{}], needs [{}]",
+                    phase,
+                    p.join(", "),
+                    m.join(", ")
+                )
+            }
+            FormFlaw::HardcodedDevSecret { key, value } => {
+                write!(f, "Dev-Secret `{key}` is hard-coded (\"{value}\")")
+            }
+            FormFlaw::SecretFromReadableFile { key, config_key } => {
+                write!(f, "Dev-Secret `{key}` is read from readable config `{config_key}`")
+            }
+        }
+    }
+}
+
+fn parse_semantic(s: &str) -> Option<Primitive> {
+    Primitive::ALL.into_iter().find(|p| p.label() == s)
+}
+
+/// Run both form checks on a reconstructed message whose fields carry
+/// recovered semantics. `endpoint` is used for phase classification.
+pub fn check_message(msg: &ReconstructedMessage, endpoint: &str) -> Vec<FormFlaw> {
+    let mut flaws = Vec::new();
+    let present: Vec<Primitive> = msg
+        .fields
+        .iter()
+        .filter_map(|f| f.semantic.as_deref().and_then(parse_semantic))
+        .filter(|p| p.is_access_control())
+        .collect();
+    let has = |p: Primitive| present.contains(&p);
+    let phase = MessagePhase::classify(endpoint);
+
+    let form_ok = match phase {
+        MessagePhase::Binding => {
+            // Identifier plus some authenticity proof; the strict form is
+            // Identifier + Dev-Secret (+ User-Cred for user binding).
+            has(Primitive::DevIdentifier)
+                && (has(Primitive::DevSecret)
+                    || has(Primitive::Signature)
+                    || (has(Primitive::UserCred) && has(Primitive::BindToken)))
+        }
+        MessagePhase::Business => {
+            has(Primitive::DevIdentifier)
+                && (has(Primitive::BindToken)
+                    || has(Primitive::Signature)
+                    || (has(Primitive::DevSecret) && has(Primitive::UserCred)))
+        }
+    };
+    if !form_ok {
+        let mut missing = Vec::new();
+        if !has(Primitive::DevIdentifier) {
+            missing.push(Primitive::DevIdentifier);
+        }
+        match phase {
+            MessagePhase::Binding => {
+                if !has(Primitive::DevSecret) && !has(Primitive::Signature) {
+                    missing.push(Primitive::DevSecret);
+                }
+            }
+            MessagePhase::Business => {
+                if !has(Primitive::BindToken)
+                    && !has(Primitive::Signature)
+                    && !has(Primitive::DevSecret)
+                {
+                    missing.push(Primitive::BindToken);
+                }
+            }
+        }
+        flaws.push(FormFlaw::MissingPrimitives { phase, present: present.clone(), missing });
+    }
+
+    // Dev-Secret source tracking.
+    for field in &msg.fields {
+        if field.semantic.as_deref() != Some(Primitive::DevSecret.label()) {
+            continue;
+        }
+        let key = field.key.clone().unwrap_or_else(|| "<secret>".to_string());
+        match &field.origin {
+            FieldSource::StringConstant { value, .. } => {
+                flaws.push(FormFlaw::HardcodedDevSecret { key, value: value.clone() });
+            }
+            FieldSource::LibCall { kind: SourceKind::ConfigFile, key: ck, .. } => {
+                flaws.push(FormFlaw::SecretFromReadableFile {
+                    key,
+                    config_key: ck.clone().unwrap_or_default(),
+                });
+            }
+            _ => {}
+        }
+    }
+    flaws
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firmres_mft::{MessageField, MessageFormat, Transport};
+
+    fn msg(fields: Vec<(&str, Primitive, FieldSource)>) -> ReconstructedMessage {
+        ReconstructedMessage {
+            delivery: "SSL_write".into(),
+            transport: Transport::Ssl,
+            endpoint: None,
+            format: MessageFormat::Query,
+            fields: fields
+                .into_iter()
+                .map(|(k, p, origin)| MessageField {
+                    key: Some(k.to_string()),
+                    origin,
+                    semantic: Some(p.label().to_string()),
+                })
+                .collect(),
+            template: None,
+        }
+    }
+
+    fn nv(key: &str) -> FieldSource {
+        FieldSource::LibCall {
+            kind: SourceKind::Nvram,
+            callee: "nvram_get".into(),
+            key: Some(key.into()),
+        }
+    }
+
+    #[test]
+    fn business_with_token_is_fine() {
+        let m = msg(vec![
+            ("deviceId", Primitive::DevIdentifier, nv("device_id")),
+            ("token", Primitive::BindToken, nv("access_token")),
+        ]);
+        assert!(check_message(&m, "/api/upload").is_empty());
+    }
+
+    #[test]
+    fn identifier_only_business_is_flagged() {
+        let m = msg(vec![("uid", Primitive::DevIdentifier, nv("uid"))]);
+        let flaws = check_message(&m, "/api/upload");
+        assert_eq!(flaws.len(), 1);
+        match &flaws[0] {
+            FormFlaw::MissingPrimitives { phase, missing, .. } => {
+                assert_eq!(*phase, MessagePhase::Business);
+                assert!(missing.contains(&Primitive::BindToken));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binding_without_secret_is_flagged() {
+        let m = msg(vec![
+            ("serialNumber", Primitive::DevIdentifier, nv("serial_no")),
+            ("mac", Primitive::DevIdentifier, nv("mac")),
+        ]);
+        let flaws = check_message(&m, "/cloud/registrations");
+        assert!(matches!(
+            flaws[0],
+            FormFlaw::MissingPrimitives { phase: MessagePhase::Binding, .. }
+        ));
+    }
+
+    #[test]
+    fn binding_with_secret_passes() {
+        let m = msg(vec![
+            ("serialNumber", Primitive::DevIdentifier, nv("serial_no")),
+            ("deviceSecret", Primitive::DevSecret, nv("device_secret")),
+        ]);
+        assert!(check_message(&m, "/cloud/registrations").is_empty());
+    }
+
+    #[test]
+    fn signature_composition_passes_both_phases() {
+        let m = msg(vec![
+            ("mac", Primitive::DevIdentifier, nv("mac")),
+            ("sign", Primitive::Signature, nv("_")),
+        ]);
+        assert!(check_message(&m, "/api/report").is_empty());
+        assert!(check_message(&m, "/auth/bind").is_empty());
+    }
+
+    #[test]
+    fn hardcoded_secret_detected() {
+        let m = msg(vec![
+            ("mac", Primitive::DevIdentifier, nv("mac")),
+            (
+                "secretKey",
+                Primitive::DevSecret,
+                FieldSource::StringConstant { addr: 0x400000, value: "sec-abc".into() },
+            ),
+        ]);
+        let flaws = check_message(&m, "/auth/register");
+        assert!(flaws
+            .iter()
+            .any(|f| matches!(f, FormFlaw::HardcodedDevSecret { value, .. } if value == "sec-abc")));
+    }
+
+    #[test]
+    fn config_file_secret_detected() {
+        let m = msg(vec![
+            ("mac", Primitive::DevIdentifier, nv("mac")),
+            (
+                "cert",
+                Primitive::DevSecret,
+                FieldSource::LibCall {
+                    kind: SourceKind::ConfigFile,
+                    callee: "cfg_get".into(),
+                    key: Some("device_cert".into()),
+                },
+            ),
+        ]);
+        let flaws = check_message(&m, "/auth/register");
+        assert!(flaws.iter().any(
+            |f| matches!(f, FormFlaw::SecretFromReadableFile { config_key, .. } if config_key == "device_cert")
+        ));
+    }
+
+    #[test]
+    fn phase_classification() {
+        assert_eq!(MessagePhase::classify("/cloud/registrations"), MessagePhase::Binding);
+        assert_eq!(MessagePhase::classify("bindDevice"), MessagePhase::Binding);
+        assert_eq!(MessagePhase::classify("/storages/auth"), MessagePhase::Binding);
+        assert_eq!(MessagePhase::classify("/api/upload"), MessagePhase::Business);
+    }
+
+    #[test]
+    fn flaws_display() {
+        let m = msg(vec![("uid", Primitive::DevIdentifier, nv("uid"))]);
+        let flaws = check_message(&m, "/x");
+        let text = flaws[0].to_string();
+        assert!(text.contains("lacks primitives"), "{text}");
+        assert!(text.contains("Dev-Identifier"), "{text}");
+    }
+}

@@ -1,0 +1,363 @@
+//! The end-to-end FIRMRES pipeline (paper Fig. 3) with per-stage timing.
+
+use crate::exeid::{identify_device_cloud, ExeIdConfig, HandlerInfo};
+use crate::formcheck::{check_message, FormFlaw};
+use firmres_dataflow::{
+    delivery_endpoint_arg, delivery_payload_arg, FieldSource, SourceKind, TaintConfig,
+    TaintEngine,
+};
+use firmres_firmware::FirmwareImage;
+use firmres_ir::{Address, Program};
+use firmres_mft::{mentions_lan, reconstruct, CodeSlice, Mft, ReconstructedMessage};
+use firmres_semantics::{weak_label, Classifier, Primitive};
+use std::time::{Duration, Instant};
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisConfig {
+    /// Executable-identification tuning.
+    pub exeid: ExeIdConfig,
+    /// Taint-engine tuning (over-taint toggle lives here).
+    pub taint: TaintConfig,
+}
+
+/// Wall-clock cost of each pipeline stage (paper §V-E reports the same
+/// five buckets).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimings {
+    /// Pinpointing device-cloud executables.
+    pub exeid: Duration,
+    /// Identifying message fields (taint analysis).
+    pub field_identification: Duration,
+    /// Recovering field semantics.
+    pub semantics: Duration,
+    /// Concatenating message fields.
+    pub concatenation: Duration,
+    /// Message-form checking.
+    pub form_check: Duration,
+}
+
+impl StageTimings {
+    /// Total pipeline time.
+    pub fn total(&self) -> Duration {
+        self.exeid
+            + self.field_identification
+            + self.semantics
+            + self.concatenation
+            + self.form_check
+    }
+
+    /// Per-stage share of the total, in the paper's reporting order.
+    pub fn shares(&self) -> [f64; 5] {
+        let total = self.total().as_secs_f64().max(1e-12);
+        [
+            self.exeid.as_secs_f64() / total,
+            self.field_identification.as_secs_f64() / total,
+            self.semantics.as_secs_f64() / total,
+            self.concatenation.as_secs_f64() / total,
+            self.form_check.as_secs_f64() / total,
+        ]
+    }
+}
+
+/// One reconstructed device-cloud message with its analysis artifacts.
+#[derive(Debug, Clone)]
+pub struct MessageRecord {
+    /// Function containing the delivery callsite.
+    pub function: String,
+    /// The delivery callsite address.
+    pub callsite: Address,
+    /// The message field tree (original, pre-simplification).
+    pub mft: Mft,
+    /// Enriched code slices (one per field leaf).
+    pub slices: Vec<CodeSlice>,
+    /// Recovered primitive per slice (parallel to `slices`).
+    pub slice_semantics: Vec<Primitive>,
+    /// The reconstructed message, fields annotated with semantics.
+    pub message: ReconstructedMessage,
+    /// Whether the grouping step discarded it as LAN-addressed.
+    pub lan_discarded: bool,
+    /// Whether it was classified as a handler response (echo of received
+    /// data) rather than a constructed device-cloud message.
+    pub is_response_echo: bool,
+    /// Message-form findings.
+    pub flaws: Vec<FormFlaw>,
+}
+
+impl MessageRecord {
+    /// Whether this record counts as an identified device-cloud message
+    /// (not LAN-discarded, not a response echo).
+    pub fn counts(&self) -> bool {
+        !self.lan_discarded && !self.is_response_echo
+    }
+}
+
+/// Full analysis result for one firmware image.
+#[derive(Debug)]
+pub struct FirmwareAnalysis {
+    /// Path of the identified device-cloud executable, if any.
+    pub executable: Option<String>,
+    /// Scored handler information for the identified executable.
+    pub handlers: Vec<HandlerInfo>,
+    /// All reconstructed messages.
+    pub messages: Vec<MessageRecord>,
+    /// Per-stage timings.
+    pub timings: StageTimings,
+}
+
+impl FirmwareAnalysis {
+    /// Messages that count as identified (excludes LAN/echo records).
+    pub fn identified(&self) -> impl Iterator<Item = &MessageRecord> {
+        self.messages.iter().filter(|m| m.counts())
+    }
+
+    /// Total identified fields across counted messages.
+    pub fn identified_fields(&self) -> usize {
+        self.identified().map(|m| m.message.fields.len()).sum()
+    }
+
+    /// Messages flagged by the form check.
+    pub fn flagged(&self) -> impl Iterator<Item = &MessageRecord> {
+        self.identified().filter(|m| !m.flaws.is_empty())
+    }
+}
+
+/// Classify one slice's semantics: with a trained classifier when given,
+/// otherwise the keyword weak-labeler.
+fn classify(classifier: Option<&Classifier>, text: &str) -> Primitive {
+    match classifier {
+        Some(c) => c.predict(text).0,
+        None => weak_label(text),
+    }
+}
+
+/// Analyze a firmware image end to end.
+///
+/// `classifier` is the trained semantics model; pass `None` to fall back
+/// to keyword labeling (useful for quick runs — the benchmark harness
+/// trains and passes a real model).
+pub fn analyze_firmware(
+    fw: &FirmwareImage,
+    classifier: Option<&Classifier>,
+    config: &AnalysisConfig,
+) -> FirmwareAnalysis {
+    let mut timings = StageTimings::default();
+
+    // Stage 1: pinpoint the device-cloud executable.
+    let t0 = Instant::now();
+    let mut chosen: Option<(String, Program, Vec<HandlerInfo>)> = None;
+    for (path, bytes) in fw.executables() {
+        let Ok(exe) = firmres_isa::Executable::from_bytes(bytes) else { continue };
+        let Ok(program) = firmres_isa::lift(&exe, path) else { continue };
+        let handlers = identify_device_cloud(&program, &config.exeid);
+        if !handlers.is_empty() {
+            chosen = Some((path.to_string(), program, handlers));
+            break;
+        }
+    }
+    timings.exeid = t0.elapsed();
+    let Some((path, program, handlers)) = chosen else {
+        return FirmwareAnalysis { executable: None, handlers: Vec::new(), messages: Vec::new(), timings };
+    };
+
+    // Stage 2: identify message fields via backward taint per delivery
+    // callsite.
+    let t1 = Instant::now();
+    let handler_funcs: Vec<Address> = handlers.iter().map(|h| h.handler_func).collect();
+    let mut engine = TaintEngine::with_config(&program, config.taint.clone());
+    struct Raw {
+        function: String,
+        callsite: Address,
+        in_handler: bool,
+        mft: Mft,
+        endpoint: Option<String>,
+        host_lan: bool,
+    }
+    let mut raws: Vec<Raw> = Vec::new();
+    for f in program.functions() {
+        for op in f.callsites() {
+            let Some(name) = op.call_target().and_then(|t| program.callee_name(t)) else {
+                continue;
+            };
+            let Some(payload_arg) = delivery_payload_arg(name) else { continue };
+            let tree = engine.trace(f.entry(), op.addr, payload_arg);
+            let mft = Mft::from_taint(&tree);
+            // Endpoint argument (MQTT topic / HTTP path), when distinct.
+            let mut endpoint = None;
+            if let Some(ep_arg) = delivery_endpoint_arg(name) {
+                if ep_arg != payload_arg {
+                    let ep_tree = engine.trace(f.entry(), op.addr, ep_arg);
+                    endpoint = ep_tree.sources().find_map(|n| match n.source() {
+                        Some(FieldSource::StringConstant { value, .. }) => Some(value.clone()),
+                        _ => None,
+                    });
+                }
+            }
+            // Address argument (HTTP host) for the LAN filter.
+            let mut host_lan = false;
+            if matches!(name, "http_post" | "http_get") {
+                let host_tree = engine.trace(f.entry(), op.addr, 0);
+                host_lan = host_tree.sources().any(|n| {
+                    matches!(n.source(), Some(FieldSource::StringConstant { value, .. })
+                        if firmres_mft::is_lan_address(value))
+                });
+            }
+            raws.push(Raw {
+                function: f.name().to_string(),
+                callsite: op.addr,
+                in_handler: handler_funcs.contains(&f.entry()),
+                mft,
+                endpoint,
+                host_lan,
+            });
+        }
+    }
+    timings.field_identification = t1.elapsed();
+
+    // Stage 3: semantics recovery on slices.
+    let t2 = Instant::now();
+    let mut renderer = firmres_mft::SliceRenderer::new(&program);
+    let mut slices_per_msg: Vec<Vec<CodeSlice>> = Vec::with_capacity(raws.len());
+    for raw in &raws {
+        slices_per_msg.push(renderer.slices_for_tree(&raw.mft));
+    }
+    let mut semantics_per_msg: Vec<Vec<(FieldSource, Primitive)>> = Vec::new();
+    let mut slice_semantics_per_msg: Vec<Vec<Primitive>> = Vec::new();
+    for slices in &slices_per_msg {
+        let mut sems = Vec::new();
+        let mut raw_sems = Vec::new();
+        for s in slices {
+            let primitive = classify(classifier, &s.text);
+            sems.push((s.source.clone(), primitive));
+            raw_sems.push(primitive);
+        }
+        semantics_per_msg.push(sems);
+        slice_semantics_per_msg.push(raw_sems);
+    }
+    timings.semantics = t2.elapsed();
+
+    // Stage 4: concatenate fields into messages; group & LAN-filter.
+    let t3 = Instant::now();
+    let mut records: Vec<MessageRecord> = Vec::new();
+    for (((raw, slices), sems), slice_semantics) in raws
+        .into_iter()
+        .zip(slices_per_msg.into_iter())
+        .zip(semantics_per_msg.into_iter())
+        .zip(slice_semantics_per_msg.into_iter())
+    {
+        let mut message = reconstruct(&raw.mft);
+        message.endpoint = raw.endpoint.clone();
+        // Attach recovered semantics to fields by matching origins.
+        let mut pool = sems;
+        for field in &mut message.fields {
+            if let Some(pos) = pool.iter().position(|(src, _)| *src == field.origin) {
+                let (_, primitive) = pool.remove(pos);
+                field.semantic = Some(primitive.label().to_string());
+            }
+        }
+        let lan_discarded = raw.host_lan || mentions_lan(&raw.mft);
+        // A delivery whose payload is entirely network input inside the
+        // request handler is the handler's response echo, not a
+        // constructed device-cloud message.
+        let is_response_echo = raw.in_handler
+            && !message.fields.is_empty()
+            && message.fields.iter().all(|f| {
+                matches!(
+                    &f.origin,
+                    FieldSource::LibCall { kind: SourceKind::NetworkIn, .. }
+                        | FieldSource::Unresolved { .. }
+                )
+            });
+        records.push(MessageRecord {
+            function: raw.function,
+            callsite: raw.callsite,
+            mft: raw.mft,
+            slices,
+            slice_semantics,
+            message,
+            lan_discarded,
+            is_response_echo,
+            flaws: Vec::new(),
+        });
+    }
+    timings.concatenation = t3.elapsed();
+
+    // Stage 5: message-form check.
+    let t4 = Instant::now();
+    for r in &mut records {
+        if !r.counts() {
+            continue;
+        }
+        let endpoint = crate::probe::extract_endpoint(&r.message).unwrap_or_default();
+        r.flaws = check_message(&r.message, &endpoint);
+    }
+    timings.form_check = t4.elapsed();
+
+    FirmwareAnalysis { executable: Some(path), handlers, messages: records, timings }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firmres_corpus::generate_device;
+
+    #[test]
+    fn analyzes_binary_device_end_to_end() {
+        let dev = generate_device(10, 7);
+        let analysis = analyze_firmware(&dev.firmware, None, &AnalysisConfig::default());
+        assert_eq!(analysis.executable.as_deref(), dev.cloud_executable.as_deref());
+        let identified = analysis.identified().count();
+        let expected = dev.plans.iter().filter(|p| !p.lan).count();
+        assert_eq!(identified, expected, "one message per non-LAN plan");
+        assert!(analysis.identified_fields() > 0);
+        assert!(analysis.timings.total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn script_device_yields_no_executable() {
+        let dev = generate_device(21, 7);
+        let analysis = analyze_firmware(&dev.firmware, None, &AnalysisConfig::default());
+        assert!(analysis.executable.is_none());
+        assert!(analysis.messages.is_empty());
+    }
+
+    #[test]
+    fn lan_messages_are_discarded() {
+        // Devices with id % 4 == 2 carry one LAN-addressed message.
+        let dev = generate_device(6, 7);
+        let analysis = analyze_firmware(&dev.firmware, None, &AnalysisConfig::default());
+        let lan = analysis.messages.iter().filter(|m| m.lan_discarded).count();
+        assert_eq!(lan, 1, "the LAN sync message is filtered");
+    }
+
+    #[test]
+    fn handler_echo_is_not_a_message() {
+        let dev = generate_device(10, 7);
+        let analysis = analyze_firmware(&dev.firmware, None, &AnalysisConfig::default());
+        let echoes = analysis.messages.iter().filter(|m| m.is_response_echo).count();
+        assert_eq!(echoes, 1, "the handler ack send");
+    }
+
+    #[test]
+    fn vulnerable_messages_are_flagged_by_form_check() {
+        let dev = generate_device(20, 7);
+        let analysis = analyze_firmware(&dev.firmware, None, &AnalysisConfig::default());
+        // Device 20's storage endpoints are identifier-only: their
+        // messages lack authenticity primitives and must be flagged.
+        let flagged: Vec<&MessageRecord> = analysis.flagged().collect();
+        assert!(
+            flagged.len() >= 3,
+            "storage trio flagged, got {} flagged messages",
+            flagged.len()
+        );
+    }
+
+    #[test]
+    fn timings_shares_sum_to_one() {
+        let dev = generate_device(15, 7);
+        let analysis = analyze_firmware(&dev.firmware, None, &AnalysisConfig::default());
+        let shares = analysis.timings.shares();
+        let sum: f64 = shares.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "shares sum to 1: {shares:?}");
+    }
+}

@@ -1,0 +1,283 @@
+//! Forging device-cloud messages from reconstructions and probing the
+//! (simulated) vendor cloud — the §IV-E/§V-C validation step.
+//!
+//! The attacker model matches the paper: the analyst holds the firmware
+//! image, so dynamic values are filled from what the firmware itself
+//! discloses (NVRAM defaults, config files), with placeholders for
+//! genuinely session-bound values.
+
+use firmres_cloud::{Cloud, HttpRequest, ProbeOutcome};
+use firmres_dataflow::{FieldSource, SourceKind};
+use firmres_firmware::FirmwareImage;
+use firmres_mft::{MessageFormat, ReconstructedMessage};
+use std::collections::BTreeMap;
+
+/// A reconstructed message with concrete values filled in, ready to send.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilledMessage {
+    /// Resolved endpoint (path/topic/method), when recoverable.
+    pub endpoint: Option<String>,
+    /// Parameter map (field key → concrete value).
+    pub params: BTreeMap<String, String>,
+    /// Rendered body in the message's inferred format.
+    pub body: String,
+}
+
+/// Recover the endpoint of a message: an explicitly traced endpoint
+/// argument, a `path`/`method` field, or the prefix of a formatted
+/// template (`"/store/status?deviceId=%s"` → `/store/status`).
+pub fn extract_endpoint(msg: &ReconstructedMessage) -> Option<String> {
+    if let Some(e) = &msg.endpoint {
+        return Some(e.clone());
+    }
+    for key in ["method", "path"] {
+        if let Some(f) = msg.field(key) {
+            if let FieldSource::StringConstant { value, .. } = &f.origin {
+                return Some(value.clone());
+            }
+        }
+    }
+    if let Some(t) = &msg.template {
+        if t.starts_with('/') {
+            return Some(t.split('?').next().unwrap_or(t).to_string());
+        }
+        // JSON templates embed the path as a literal pair:
+        // {"path":"/api/x","k":"%s"}.
+        if let Some(rest) = t.split("\"path\":\"").nth(1) {
+            if let Some(end) = rest.find('"') {
+                return Some(rest[..end].to_string());
+            }
+        }
+    }
+    // strcat-style messages start with a standalone "<path>?" literal.
+    for f in &msg.fields {
+        if f.key.is_none() {
+            if let FieldSource::StringConstant { value, .. } = &f.origin {
+                if value.starts_with('/') {
+                    return Some(value.trim_end_matches('?').split('?').next().unwrap_or(value).to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Concrete value for one field origin, given the firmware image the
+/// attacker holds.
+pub fn value_for(origin: &FieldSource, fw: &FirmwareImage) -> String {
+    match origin {
+        FieldSource::StringConstant { value, .. } => value.clone(),
+        FieldSource::NumericConstant { value } => value.to_string(),
+        FieldSource::LibCall { kind, key, .. } => {
+            let key = key.as_deref().unwrap_or("");
+            match kind {
+                SourceKind::Nvram => fw
+                    .nvram()
+                    .get(key)
+                    .map(str::to_string)
+                    .unwrap_or_else(|| format!("<nvram:{key}>")),
+                SourceKind::ConfigFile => fw
+                    .config_value(key)
+                    .unwrap_or_else(|| format!("<cfg:{key}>")),
+                SourceKind::HardwareId => {
+                    // Getter keys map onto NVRAM identity fields.
+                    let nv_key = match key {
+                        "serial" => "serial_no",
+                        "model" => "device_id",
+                        other => other,
+                    };
+                    fw.nvram()
+                        .get(nv_key)
+                        .map(str::to_string)
+                        .unwrap_or_else(|| format!("<hw:{key}>"))
+                }
+                SourceKind::Environment => "env-value".to_string(),
+                SourceKind::Time => "1751700000".to_string(),
+                SourceKind::Random => "424242".to_string(),
+                SourceKind::NetworkIn | SourceKind::UserInput => "probe-test".to_string(),
+            }
+        }
+        FieldSource::EntryParam { .. } => "probe-test".to_string(),
+        FieldSource::Unresolved { .. } => "probe-unresolved".to_string(),
+    }
+}
+
+/// Fill a reconstructed message with concrete values from the firmware.
+///
+/// Fields recovered as `Signature` are *derived* rather than copied: the
+/// analyst re-implements the signing scheme from the firmware's
+/// `hmac_sign(secret, id)` call (exactly what the paper's manual
+/// verification step does by hand).
+pub fn fill_message(msg: &ReconstructedMessage, fw: &FirmwareImage) -> FilledMessage {
+    let endpoint = extract_endpoint(msg);
+    let mut params = BTreeMap::new();
+    for f in &msg.fields {
+        let Some(key) = &f.key else { continue };
+        if key == "path" || key == "method" {
+            continue; // routing, not a parameter
+        }
+        let value = if f.semantic.as_deref() == Some("Signature") {
+            let nv = fw.nvram();
+            match (nv.get("device_secret"), nv.get("device_id")) {
+                (Some(secret), Some(id)) => firmres_cloud::mac::derive_signature(secret, id),
+                _ => value_for(&f.origin, fw),
+            }
+        } else {
+            value_for(&f.origin, fw)
+        };
+        params.insert(key.clone(), value);
+    }
+    let body = render_body(msg.format, &params);
+    FilledMessage { endpoint, params, body }
+}
+
+/// Render a parameter map in the given wire format.
+pub fn render_body(format: MessageFormat, params: &BTreeMap<String, String>) -> String {
+    match format {
+        MessageFormat::Json => {
+            let obj: std::collections::BTreeMap<String, firmres_cloud::json::Json> = params
+                .iter()
+                .map(|(k, v)| (k.clone(), firmres_cloud::json::Json::Str(v.clone())))
+                .collect();
+            firmres_cloud::json::Json::Obj(obj).to_string()
+        }
+        MessageFormat::Query | MessageFormat::KeyValue => params
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join("&"),
+        MessageFormat::Raw => params.values().cloned().collect::<Vec<_>>().join(""),
+    }
+}
+
+/// Send a filled message to the cloud and classify the outcome.
+///
+/// Messages without a recoverable endpoint are reported against the empty
+/// path (which yields `Path Not Exists` — an invalid reconstruction, as
+/// the paper counts it).
+pub fn probe_cloud(cloud: &Cloud, filled: &FilledMessage) -> ProbeOutcome {
+    let path = filled.endpoint.clone().unwrap_or_default();
+    let req = HttpRequest::new(path.clone(), filled.body.clone());
+    let resp = cloud.handle(&req);
+    ProbeOutcome { path, status: resp.status, leaked: resp.leaked_values() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firmres_mft::{MessageField, Transport};
+
+    fn sample_msg() -> ReconstructedMessage {
+        ReconstructedMessage {
+            delivery: "http_post".into(),
+            transport: Transport::Http,
+            endpoint: Some("/api/upload".into()),
+            format: MessageFormat::Query,
+            fields: vec![
+                MessageField {
+                    key: Some("mac".into()),
+                    origin: FieldSource::LibCall {
+                        kind: SourceKind::HardwareId,
+                        callee: "get_mac_addr".into(),
+                        key: Some("mac".into()),
+                    },
+                    semantic: None,
+                },
+                MessageField {
+                    key: Some("ts".into()),
+                    origin: FieldSource::LibCall {
+                        kind: SourceKind::Time,
+                        callee: "time".into(),
+                        key: None,
+                    },
+                    semantic: None,
+                },
+            ],
+            template: None,
+        }
+    }
+
+    fn fw_with_nvram() -> FirmwareImage {
+        let mut fw = FirmwareImage::new(firmres_firmware::DeviceInfo {
+            vendor: "v".into(),
+            model: "m".into(),
+            device_type: firmres_firmware::DeviceType::WifiRouter,
+            firmware_version: "1".into(),
+        });
+        let mut nv = firmres_firmware::Nvram::new();
+        nv.set("mac", "AA:BB:CC:DD:EE:FF");
+        nv.set("serial_no", "SN777");
+        fw.add_file("/etc/nvram.default", firmres_firmware::FileEntry::NvramDefaults(nv));
+        fw.add_file(
+            "/etc/config/cloud.conf",
+            firmres_firmware::FileEntry::Config("fw_version=9.9\n".into()),
+        );
+        fw
+    }
+
+    #[test]
+    fn fills_values_from_firmware() {
+        let filled = fill_message(&sample_msg(), &fw_with_nvram());
+        assert_eq!(filled.endpoint.as_deref(), Some("/api/upload"));
+        assert_eq!(filled.params["mac"], "AA:BB:CC:DD:EE:FF");
+        assert_eq!(filled.params["ts"], "1751700000");
+        assert!(filled.body.contains("mac=AA:BB:CC:DD:EE:FF"));
+    }
+
+    #[test]
+    fn endpoint_from_method_field() {
+        let mut msg = sample_msg();
+        msg.endpoint = None;
+        msg.fields.insert(
+            0,
+            MessageField {
+                key: Some("method".into()),
+                origin: FieldSource::StringConstant { addr: 0, value: "bindDevice".into() },
+                semantic: None,
+            },
+        );
+        assert_eq!(extract_endpoint(&msg).as_deref(), Some("bindDevice"));
+        let filled = fill_message(&msg, &fw_with_nvram());
+        assert!(!filled.params.contains_key("method"), "routing key not a param");
+    }
+
+    #[test]
+    fn endpoint_from_template_prefix() {
+        let mut msg = sample_msg();
+        msg.endpoint = None;
+        msg.template = Some("/store/status?deviceId=%s".into());
+        assert_eq!(extract_endpoint(&msg).as_deref(), Some("/store/status"));
+    }
+
+    #[test]
+    fn endpoint_from_leading_literal() {
+        let mut msg = sample_msg();
+        msg.endpoint = None;
+        msg.fields.insert(
+            0,
+            MessageField {
+                key: None,
+                origin: FieldSource::StringConstant { addr: 0, value: "/alarm/push?".into() },
+                semantic: None,
+            },
+        );
+        assert_eq!(extract_endpoint(&msg).as_deref(), Some("/alarm/push"));
+    }
+
+    #[test]
+    fn json_body_rendering() {
+        let params: BTreeMap<String, String> =
+            [("a".to_string(), "1".to_string())].into_iter().collect();
+        assert_eq!(render_body(MessageFormat::Json, &params), "{\"a\":\"1\"}");
+        assert_eq!(render_body(MessageFormat::Query, &params), "a=1");
+    }
+
+    #[test]
+    fn missing_values_get_placeholders() {
+        let mut fw = fw_with_nvram();
+        // Remove nvram to force placeholders.
+        fw.add_file("/etc/nvram.default", firmres_firmware::FileEntry::NvramDefaults(Default::default()));
+        let filled = fill_message(&sample_msg(), &fw);
+        assert!(filled.params["mac"].starts_with("<hw:"), "{}", filled.params["mac"]);
+    }
+}

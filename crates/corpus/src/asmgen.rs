@@ -1,0 +1,602 @@
+//! MR32 assembly generation from message plans.
+//!
+//! One generated device-cloud executable contains: a `main` that connects
+//! to the cloud and registers an *asynchronous* request handler (so the
+//! executable-identification stage finds it), the handler itself (which
+//! `recv`s a request, dispatches on request bytes — producing the
+//! request-derived predicates of paper Eq. 1 — and acks), and one message
+//! function per [`MessagePlan`] exercising the vendor's construction
+//! style (sprintf templates, cJSON assembly, or strcpy/strcat chains).
+
+use crate::plan::{BodyStyle, Delivery, DeviceIdentity, MessagePlan, PlanField, ValueSource};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Collects interned data-segment strings.
+#[derive(Debug, Default)]
+struct DataPool {
+    entries: Vec<(String, String)>, // (label, contents)
+    by_content: BTreeMap<String, String>,
+}
+
+impl DataPool {
+    fn label(&mut self, contents: &str) -> String {
+        if let Some(l) = self.by_content.get(contents) {
+            return l.clone();
+        }
+        let label = format!("d{}", self.entries.len());
+        self.entries.push((label.clone(), contents.to_string()));
+        self.by_content.insert(contents.to_string(), label.clone());
+        label
+    }
+
+    fn render(&self) -> String {
+        let mut out = String::from(".data\n");
+        for (label, contents) in &self.entries {
+            let escaped = contents
+                .replace('\\', "\\\\")
+                .replace('"', "\\\"")
+                .replace('\n', "\\n");
+            let _ = writeln!(out, "{label}: .asciz \"{escaped}\"");
+        }
+        out
+    }
+}
+
+/// Whether a message's endpoint must be embedded in the payload itself
+/// (raw SSL/TCP streams and GET paths carry it; MQTT topics and HTTP
+/// POST paths are separate arguments).
+fn endpoint_in_payload(delivery: Delivery) -> bool {
+    matches!(delivery, Delivery::SslWrite | Delivery::Send | Delivery::HttpGet)
+}
+
+/// Generate the complete device-cloud executable source for `plans`.
+pub fn device_cloud_source(identity: &DeviceIdentity, plans: &[MessagePlan]) -> String {
+    let mut data = DataPool::default();
+    let mut out = String::new();
+    let host_lbl = data.label(&identity.cloud_host);
+    let lan_lbl = data.label("192.168.1.1");
+
+    for plan in plans {
+        emit_message_fn(&mut out, plan, &mut data, &lan_lbl, &host_lbl);
+    }
+    emit_handler(&mut out, plans);
+    emit_main(&mut out, &host_lbl);
+    out.push_str(&data.render());
+    out
+}
+
+/// Local slot names for a field.
+fn val_local(i: usize) -> String {
+    format!("v{i}")
+}
+fn getter_local(i: usize) -> String {
+    format!("g{i}")
+}
+
+fn emit_message_fn(
+    out: &mut String,
+    plan: &MessagePlan,
+    data: &mut DataPool,
+    lan_lbl: &str,
+    host_lbl: &str,
+) {
+    // FromRequest fields become named parameters.
+    let params: Vec<(usize, String)> = plan
+        .fields
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.source == ValueSource::FromRequest)
+        .map(|(i, f)| (i, f.key.clone()))
+        .collect();
+    let param_list: Vec<String> = params.iter().map(|(_, k)| format!("req_{k}")).collect();
+    let _ = writeln!(out, ".func {} {}", plan.func_name, param_list.join(" "));
+
+    // Locals: message buffer, cJSON handles, per-field slots.
+    let needs_buf = !matches!(plan.style, BodyStyle::CJson);
+    if needs_buf {
+        let _ = writeln!(out, ".local buf 256");
+    } else {
+        let _ = writeln!(out, ".local obj 4");
+        let _ = writeln!(out, ".local body 4");
+    }
+    for (i, f) in plan.fields.iter().enumerate() {
+        // Numeric values need a text conversion buffer in strcat bodies.
+        if plan.style == BodyStyle::StrcatKV && f.source.is_numeric() {
+            let _ = writeln!(out, ".local n{i} 16");
+        }
+        match &f.source {
+            ValueSource::Getter(_) => {
+                let _ = writeln!(out, ".local {} 48", getter_local(i));
+            }
+            ValueSource::NvramGet(_)
+            | ValueSource::CfgGet(_)
+            | ValueSource::GetEnv(_)
+            | ValueSource::Time
+            | ValueSource::Signed
+            | ValueSource::FromRequest => {
+                let _ = writeln!(out, ".local {} 4", val_local(i));
+            }
+            ValueSource::Hardcoded(_) => {}
+        }
+    }
+
+    // Save request parameters before the body clobbers argument registers.
+    for (pi, (i, _)) in params.iter().enumerate() {
+        let reg = format!("a{pi}");
+        let _ = writeln!(out, "    sw  {reg}, {}(sp)", val_local(*i));
+    }
+
+    // Source every field value.
+    for (i, f) in plan.fields.iter().enumerate() {
+        match &f.source {
+            ValueSource::Getter(import) => {
+                let _ = writeln!(out, "    lea a0, {}", getter_local(i));
+                let _ = writeln!(out, "    callx {import}");
+            }
+            ValueSource::NvramGet(key) => {
+                let l = data.label(key);
+                let _ = writeln!(out, "    la  a0, {l}");
+                let _ = writeln!(out, "    callx nvram_get");
+                let _ = writeln!(out, "    sw  rv, {}(sp)", val_local(i));
+            }
+            ValueSource::CfgGet(key) => {
+                let l = data.label(key);
+                let _ = writeln!(out, "    la  a0, {l}");
+                let _ = writeln!(out, "    callx cfg_get");
+                let _ = writeln!(out, "    sw  rv, {}(sp)", val_local(i));
+            }
+            ValueSource::GetEnv(key) => {
+                let l = data.label(key);
+                let _ = writeln!(out, "    la  a0, {l}");
+                let _ = writeln!(out, "    callx getenv");
+                let _ = writeln!(out, "    sw  rv, {}(sp)", val_local(i));
+            }
+            ValueSource::Time => {
+                let _ = writeln!(out, "    callx time");
+                let _ = writeln!(out, "    sw  rv, {}(sp)", val_local(i));
+            }
+            ValueSource::Signed => {
+                let sk = data.label("device_secret");
+                let sd = data.label("sign-data");
+                let _ = writeln!(out, "    la  a0, {sk}");
+                let _ = writeln!(out, "    callx nvram_get");
+                let _ = writeln!(out, "    mov a0, rv");
+                let _ = writeln!(out, "    la  a1, {sd}");
+                let _ = writeln!(out, "    callx hmac_sign");
+                let _ = writeln!(out, "    sw  rv, {}(sp)", val_local(i));
+            }
+            ValueSource::Hardcoded(_) | ValueSource::FromRequest => {}
+        }
+    }
+
+    // Build the body.
+    match plan.style {
+        BodyStyle::SprintfQuery | BodyStyle::SprintfJson => {
+            emit_sprintf_body(out, plan, data);
+        }
+        BodyStyle::CJson => emit_cjson_body(out, plan, data),
+        BodyStyle::StrcatKV => emit_strcat_body(out, plan, data),
+    }
+
+    // Deliver.
+    let body_to = |out: &mut String, reg: &str| {
+        if needs_buf {
+            let _ = writeln!(out, "    lea {reg}, buf");
+        } else {
+            let _ = writeln!(out, "    lw  {reg}, body(sp)");
+        }
+    };
+    let host = if plan.lan { lan_lbl } else { host_lbl };
+    match plan.delivery {
+        Delivery::SslWrite => {
+            body_to(out, "a1");
+            let _ = writeln!(out, "    li  a0, 1");
+            let _ = writeln!(out, "    li  a2, 0");
+            let _ = writeln!(out, "    callx SSL_write");
+        }
+        Delivery::Send => {
+            body_to(out, "a1");
+            let _ = writeln!(out, "    li  a0, 4");
+            let _ = writeln!(out, "    li  a2, 0");
+            let _ = writeln!(out, "    li  a3, 0");
+            let _ = writeln!(out, "    callx send");
+        }
+        Delivery::MqttPublish => {
+            let t = data.label(&plan.endpoint);
+            body_to(out, "a2");
+            let _ = writeln!(out, "    li  a0, 0");
+            let _ = writeln!(out, "    la  a1, {t}");
+            let _ = writeln!(out, "    li  a3, 0");
+            let _ = writeln!(out, "    callx mosquitto_publish");
+        }
+        Delivery::HttpPost => {
+            let p = data.label(&plan.endpoint);
+            body_to(out, "a2");
+            let _ = writeln!(out, "    la  a0, {host}");
+            let _ = writeln!(out, "    la  a1, {p}");
+            let _ = writeln!(out, "    li  a3, 0");
+            let _ = writeln!(out, "    callx http_post");
+        }
+        Delivery::HttpGet => {
+            body_to(out, "a1");
+            let _ = writeln!(out, "    la  a0, {host}");
+            let _ = writeln!(out, "    li  a2, 0");
+            let _ = writeln!(out, "    callx http_get");
+        }
+    }
+    let _ = writeln!(out, "    ret");
+    let _ = writeln!(out, ".endfunc");
+    out.push('\n');
+}
+
+/// Load the value of field `i` into `reg`.
+fn load_value(out: &mut String, plan: &MessagePlan, i: usize, reg: &str, data: &mut DataPool) {
+    match &plan.fields[i].source {
+        ValueSource::Getter(_) => {
+            let _ = writeln!(out, "    lea {reg}, {}", getter_local(i));
+        }
+        ValueSource::Hardcoded(v) => {
+            let l = data.label(v);
+            let _ = writeln!(out, "    la  {reg}, {l}");
+        }
+        _ => {
+            let _ = writeln!(out, "    lw  {reg}, {}(sp)", val_local(i));
+        }
+    }
+}
+
+fn sprintf_template(plan: &MessagePlan) -> String {
+    let spec = |f: &PlanField| if f.source.is_numeric() { "%d" } else { "%s" };
+    match plan.style {
+        BodyStyle::SprintfJson => {
+            let mut t = String::from("{");
+            if endpoint_in_payload(plan.delivery) {
+                let _ = write!(t, "\"path\":\"{}\",", plan.endpoint);
+            }
+            let parts: Vec<String> = plan
+                .fields
+                .iter()
+                .map(|f| {
+                    if f.source.is_numeric() {
+                        format!("\"{}\":%d", f.key)
+                    } else {
+                        format!("\"{}\":\"%s\"", f.key)
+                    }
+                })
+                .collect();
+            t.push_str(&parts.join(","));
+            t.push('}');
+            t
+        }
+        _ => {
+            let parts: Vec<String> = plan
+                .fields
+                .iter()
+                .map(|f| format!("{}={}", f.key, spec(f)))
+                .collect();
+            let q = parts.join("&");
+            if endpoint_in_payload(plan.delivery) {
+                format!("{}?{}", plan.endpoint, q)
+            } else {
+                q
+            }
+        }
+    }
+}
+
+fn emit_sprintf_body(out: &mut String, plan: &MessagePlan, data: &mut DataPool) {
+    let fmt = sprintf_template(plan);
+    let fl = data.label(&fmt);
+    // Values go to a2..a5 (checked by the planner: ≤ 4 fields).
+    for (slot, i) in (0..plan.fields.len()).enumerate() {
+        let reg = format!("a{}", 2 + slot);
+        load_value(out, plan, i, &reg, data);
+    }
+    let _ = writeln!(out, "    lea a0, buf");
+    let _ = writeln!(out, "    la  a1, {fl}");
+    let _ = writeln!(out, "    callx sprintf");
+}
+
+fn emit_cjson_body(out: &mut String, plan: &MessagePlan, data: &mut DataPool) {
+    let _ = writeln!(out, "    callx cJSON_CreateObject");
+    let _ = writeln!(out, "    sw  rv, obj(sp)");
+    // Raw-stream deliveries embed their endpoint as a leading field
+    // unless the plan already carries a method/path field.
+    if endpoint_in_payload(plan.delivery)
+        && !plan.fields.iter().any(|f| f.key == "method" || f.key == "path")
+    {
+        let k = data.label("path");
+        let v = data.label(&plan.endpoint);
+        let _ = writeln!(out, "    lw  a0, obj(sp)");
+        let _ = writeln!(out, "    la  a1, {k}");
+        let _ = writeln!(out, "    la  a2, {v}");
+        let _ = writeln!(out, "    callx cJSON_AddStringToObject");
+    }
+    for (i, f) in plan.fields.iter().enumerate() {
+        let k = data.label(&f.key);
+        let _ = writeln!(out, "    lw  a0, obj(sp)");
+        let _ = writeln!(out, "    la  a1, {k}");
+        load_value(out, plan, i, "a2", data);
+        let call = if f.source.is_numeric() {
+            "cJSON_AddNumberToObject"
+        } else {
+            "cJSON_AddStringToObject"
+        };
+        let _ = writeln!(out, "    callx {call}");
+    }
+    let _ = writeln!(out, "    lw  a0, obj(sp)");
+    let _ = writeln!(out, "    callx cJSON_Print");
+    let _ = writeln!(out, "    sw  rv, body(sp)");
+}
+
+fn emit_strcat_body(out: &mut String, plan: &MessagePlan, data: &mut DataPool) {
+    let mut first_copy = true;
+    if endpoint_in_payload(plan.delivery) {
+        let l = data.label(&format!("{}?", plan.endpoint));
+        let _ = writeln!(out, "    lea a0, buf");
+        let _ = writeln!(out, "    la  a1, {l}");
+        let _ = writeln!(out, "    callx strcpy");
+        first_copy = false;
+    }
+    for (i, f) in plan.fields.iter().enumerate() {
+        // Key literal: joined with `&` after the first field; the first
+        // write is a strcpy when no endpoint prefix was emitted.
+        let lit = if i == 0 { format!("{}=", f.key) } else { format!("&{}=", f.key) };
+        let l = data.label(&lit);
+        let op = if first_copy { "strcpy" } else { "strcat" };
+        first_copy = false;
+        let _ = writeln!(out, "    lea a0, buf");
+        let _ = writeln!(out, "    la  a1, {l}");
+        let _ = writeln!(out, "    callx {op}");
+        if f.source.is_numeric() {
+            // itoa(value, text) before concatenation.
+            load_value(out, plan, i, "a0", data);
+            let _ = writeln!(out, "    lea a1, n{i}");
+            let _ = writeln!(out, "    callx itoa");
+            let _ = writeln!(out, "    lea a0, buf");
+            let _ = writeln!(out, "    lea a1, n{i}");
+        } else {
+            let _ = writeln!(out, "    lea a0, buf");
+            load_value(out, plan, i, "a1", data);
+        }
+        let _ = writeln!(out, "    callx strcat");
+    }
+}
+
+fn emit_handler(out: &mut String, plans: &[MessagePlan]) {
+    let _ = writeln!(out, ".func on_cloud_request");
+    let _ = writeln!(out, ".local req 300");
+    let _ = writeln!(out, ".local saved_ra 4");
+    // Non-leaf function: the dispatch arms `call` message functions,
+    // which clobbers ra.
+    let _ = writeln!(out, "    sw  ra, saved_ra(sp)");
+    let _ = writeln!(out, "    li  a0, 4");
+    let _ = writeln!(out, "    lea a1, req");
+    let _ = writeln!(out, "    li  a2, 300");
+    let _ = writeln!(out, "    li  a3, 0");
+    let _ = writeln!(out, "    callx recv");
+    for (i, plan) in plans.iter().enumerate() {
+        let _ = writeln!(out, "    lb  t0, 0(sp)");
+        let _ = writeln!(out, "    li  t1, {i}");
+        let _ = writeln!(out, "    bne t0, t1, skip_{i}");
+        let _ = writeln!(out, "    call {}", plan.func_name);
+        let _ = writeln!(out, "skip_{i}:");
+    }
+    // Ack the request.
+    let _ = writeln!(out, "    li  a0, 4");
+    let _ = writeln!(out, "    lea a1, req");
+    let _ = writeln!(out, "    li  a2, 4");
+    let _ = writeln!(out, "    li  a3, 0");
+    let _ = writeln!(out, "    callx send");
+    let _ = writeln!(out, "    lw  ra, saved_ra(sp)");
+    let _ = writeln!(out, "    ret");
+    let _ = writeln!(out, ".endfunc\n");
+}
+
+fn emit_main(out: &mut String, host_lbl: &str) {
+    let _ = writeln!(out, ".func main");
+    let _ = writeln!(out, "    la  a0, {host_lbl}");
+    let _ = writeln!(out, "    li  a1, 443");
+    let _ = writeln!(out, "    li  a2, 0");
+    let _ = writeln!(out, "    li  a3, 0");
+    let _ = writeln!(out, "    callx ssl_connect");
+    let _ = writeln!(out, "    laf t0, on_cloud_request");
+    let _ = writeln!(out, "    mov a0, t0");
+    let _ = writeln!(out, "    callx register_callback");
+    let _ = writeln!(out, "    callx event_loop");
+    let _ = writeln!(out, "    halt");
+    let _ = writeln!(out, ".endfunc\n");
+}
+
+/// A synchronous IPC daemon — a request handler that is *directly*
+/// invoked, so the async filter must reject it (paper Fig. 4, pair 1).
+pub fn ipc_daemon_source() -> String {
+    r#"
+.func handle_ipc
+.local msg 64
+.local count 4
+    li  a0, 7
+    lea a1, msg
+    li  a2, 64
+    li  a3, 0
+    callx recv
+    lw  t0, count(sp)
+    li  t1, 10
+    blt t0, t1, small
+    sw  zero, count(sp)
+small:
+    lw  t0, count(sp)
+    addi t0, t0, 1
+    sw  t0, count(sp)
+    li  a0, 7
+    lea a1, msg
+    li  a2, 4
+    li  a3, 0
+    callx send
+    ret
+.endfunc
+
+.func main
+loop:
+    call handle_ipc
+    b loop
+    halt
+.endfunc
+"#
+    .trim_start()
+    .to_string()
+}
+
+/// A LAN-only web server: synchronous handler plus LAN address strings.
+pub fn local_httpd_source() -> String {
+    r#"
+.func serve_page
+.local req 128
+    li  a0, 9
+    lea a1, req
+    li  a2, 128
+    li  a3, 0
+    callx recv
+    lb  t0, 0(sp)
+    li  t1, 71
+    bne t0, t1, notget
+    la  a1, page
+    li  a0, 9
+    li  a2, 0
+    li  a3, 0
+    callx send
+notget:
+    ret
+.endfunc
+
+.func main
+    la  a0, bindaddr
+    callx puts
+again:
+    call serve_page
+    b again
+    halt
+.endfunc
+
+.data
+bindaddr: .asciz "192.168.1.1:80"
+page: .asciz "<html>admin</html>"
+"#
+    .trim_start()
+    .to_string()
+}
+
+/// A watchdog utility: no networking at all.
+pub fn watchdog_source() -> String {
+    r#"
+.func main
+.local status 4
+    la  a0, wd_key
+    callx nvram_get
+    sw  rv, status(sp)
+    lw  t0, status(sp)
+    li  t1, 0
+    beq t0, t1, ok
+    la  a0, warn
+    callx puts
+ok:
+    halt
+.endfunc
+
+.data
+wd_key: .asciz "watchdog_enabled"
+warn: .asciz "watchdog disabled"
+"#
+    .trim_start()
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::device_spec;
+    use crate::plan::plan_messages;
+    use firmres_isa::{lift, Assembler};
+
+    fn build(id: u8) -> (firmres_isa::Executable, Vec<MessagePlan>) {
+        let spec = device_spec(id).unwrap();
+        let identity = DeviceIdentity::generate(id, 7);
+        let plans = plan_messages(&spec, &identity, 7);
+        let src = device_cloud_source(&identity, &plans);
+        let exe = Assembler::new()
+            .assemble(&src)
+            .unwrap_or_else(|e| panic!("device {id} assembly failed: {e}\n"));
+        (exe, plans)
+    }
+
+    #[test]
+    fn all_binary_devices_assemble_and_lift() {
+        for id in 1..=20u8 {
+            let (exe, plans) = build(id);
+            let prog = lift(&exe, &format!("dev{id}")).unwrap();
+            // One function per message + handler + main.
+            assert_eq!(
+                prog.function_count(),
+                plans.len() + 2,
+                "device {id} function count"
+            );
+            assert!(prog.function_by_name("on_cloud_request").is_some());
+            assert!(prog.function_by_name("main").is_some());
+        }
+    }
+
+    #[test]
+    fn delivery_callsites_match_plans() {
+        let (exe, plans) = build(14);
+        let prog = lift(&exe, "dev14").unwrap();
+        let mut delivery_count = 0;
+        for f in prog.functions() {
+            for c in f.callsites() {
+                if let Some(name) = c.call_target().and_then(|t| prog.callee_name(t)) {
+                    if firmres_dataflow::delivery_payload_arg(name).is_some()
+                        && f.name() != "on_cloud_request"
+                        && f.name() != "main"
+                    {
+                        delivery_count += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(delivery_count, plans.len(), "one delivery per message");
+    }
+
+    #[test]
+    fn handler_is_async_and_helpers_are_sync() {
+        let (exe, _) = build(10);
+        let prog = lift(&exe, "dev10").unwrap();
+        let cg = prog.call_graph();
+        let handler = prog.function_by_name("on_cloud_request").unwrap();
+        assert!(!cg.has_callers(handler.entry()), "handler only reachable via callback");
+        // IPC daemon's handler *is* directly called.
+        let ipc = Assembler::new().assemble(&ipc_daemon_source()).unwrap();
+        let iprog = lift(&ipc, "ipc").unwrap();
+        let icg = iprog.call_graph();
+        let h = iprog.function_by_name("handle_ipc").unwrap();
+        assert!(icg.has_callers(h.entry()));
+    }
+
+    #[test]
+    fn fixture_executables_assemble() {
+        for src in [ipc_daemon_source(), local_httpd_source(), watchdog_source()] {
+            let exe = Assembler::new().assemble(&src).unwrap();
+            assert!(lift(&exe, "aux").is_ok());
+        }
+    }
+
+    #[test]
+    fn templates_embed_endpoints_for_raw_streams() {
+        let spec = device_spec(17).unwrap();
+        let identity = DeviceIdentity::generate(17, 7);
+        let plans = plan_messages(&spec, &identity, 7);
+        let src = device_cloud_source(&identity, &plans);
+        // Device 17's first vuln is an HttpGet whose query template embeds
+        // the path.
+        assert!(src.contains("/camera-cgi?m=%s"), "endpoint-in-template: {src}");
+    }
+}

@@ -1,0 +1,234 @@
+//! Vendor-cloud construction from message plans.
+
+use crate::plan::{Delivery, DeviceIdentity, MessagePlan, PlanPolicy, PlanResponse};
+use firmres_cloud::{Check, Cloud, CloudState, DeviceRecord, Endpoint, EndpointKind, ResponseSpec};
+use firmres_semantics::Primitive;
+
+/// Build the vendor cloud serving a device's *valid* endpoints, with the
+/// policies the plans prescribe (secure for regular messages, weakened
+/// for the Table III rows).
+pub fn build_cloud(vendor: &str, identity: &DeviceIdentity, plans: &[MessagePlan]) -> Cloud {
+    let mut state = CloudState::new(format!("key-{vendor}"));
+    state.register_device(DeviceRecord {
+        identifiers: [
+            ("mac".to_string(), identity.mac.clone()),
+            ("serial".to_string(), identity.serial.clone()),
+            ("uid".to_string(), identity.uid.clone()),
+            ("deviceId".to_string(), identity.device_id.clone()),
+        ]
+        .into_iter()
+        .collect(),
+        secret: identity.secret.clone(),
+        bound_user: None,
+    });
+    state.create_user(&identity.user, &identity.password);
+    state.bind(&identity.serial, &identity.user).expect("device and user exist");
+    state.add_resource(&identity.serial, "/cloud/recordings/2026-07-01.mp4");
+    state.add_resource(&identity.serial, "/cloud/recordings/2026-07-02.mp4");
+
+    let endpoints: Vec<Endpoint> = plans
+        .iter()
+        .filter(|p| p.on_cloud && !p.lan)
+        .map(|p| endpoint_for_plan(p))
+        .collect();
+    Cloud::new(vendor, endpoints, state)
+}
+
+fn endpoint_for_plan(plan: &MessagePlan) -> Endpoint {
+    let kind = if plan.delivery == Delivery::MqttPublish {
+        EndpointKind::MqttTopic
+    } else {
+        EndpointKind::Http
+    };
+    let id_key = plan.identifier_field().map(|f| f.key.clone());
+    let mut checks: Vec<Check> = Vec::new();
+    match plan.policy {
+        PlanPolicy::Secure => {
+            if let Some(id) = &id_key {
+                checks.push(Check::KnownDevice(id.clone()));
+                // Authenticity checks for every primitive the message carries.
+                for f in &plan.fields {
+                    match f.semantic {
+                        Primitive::DevSecret => {
+                            checks.push(Check::SecretValid(id.clone(), f.key.clone()));
+                        }
+                        Primitive::BindToken => {
+                            checks.push(Check::TokenValid(id.clone(), f.key.clone()));
+                        }
+                        Primitive::Signature => {
+                            checks.push(Check::SignatureValid(id.clone(), f.key.clone()));
+                        }
+                        _ => {}
+                    }
+                }
+                // User credentials come in pairs (user, pass).
+                let creds: Vec<&str> = plan
+                    .fields
+                    .iter()
+                    .filter(|f| f.semantic == Primitive::UserCred)
+                    .map(|f| f.key.as_str())
+                    .collect();
+                if creds.len() >= 2 {
+                    checks.push(Check::UserCredValid(creds[0].into(), creds[1].into()));
+                }
+            } else if let Some(first) = plan.fields.first() {
+                checks.push(Check::FieldPresent(first.key.clone()));
+            }
+        }
+        PlanPolicy::IdentifierOnly
+        | PlanPolicy::BindNoUserCred
+        | PlanPolicy::RegisterFixedToken
+        | PlanPolicy::RegisterLeakSecret => {
+            if let Some(id) = &id_key {
+                checks.push(Check::KnownDevice(id.clone()));
+            }
+        }
+        PlanPolicy::OpenTelemetry => {
+            if let Some(first) = plan.fields.first() {
+                checks.push(Check::FieldPresent(first.key.clone()));
+            }
+        }
+        PlanPolicy::CustomCred => {
+            if let Some(id) = &id_key {
+                checks.push(Check::KnownDevice(id.clone()));
+                // The vendor-specific verification code is validated like a
+                // token; the form check does not know this field.
+                checks.push(Check::TokenValid(id.clone(), "vcode".into()));
+            }
+        }
+    }
+    let response = match plan.response {
+        PlanResponse::Ok => ResponseSpec::Ok,
+        PlanResponse::FixedToken => ResponseSpec::FixedToken("deviceToken".into()),
+        PlanResponse::BindToken => ResponseSpec::BindToken("bindToken".into()),
+        PlanResponse::DeviceSecret => ResponseSpec::DeviceSecret("certificate".into()),
+        PlanResponse::StorageKeys => ResponseSpec::StorageKeys("key".into()),
+        PlanResponse::ResourceList => ResponseSpec::ResourceList("items".into()),
+    };
+    Endpoint {
+        path: plan.endpoint.clone(),
+        kind,
+        functionality: plan.functionality.clone(),
+        checks,
+        response,
+        consequence: plan.consequence.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::device_spec;
+    use crate::plan::plan_messages;
+    use firmres_cloud::{FlawClass, HttpRequest, ResponseStatus};
+
+    fn cloud_for(id: u8) -> (Cloud, DeviceIdentity, Vec<MessagePlan>) {
+        let spec = device_spec(id).unwrap();
+        let identity = DeviceIdentity::generate(id, 7);
+        let plans = plan_messages(&spec, &identity, 7);
+        let cloud = build_cloud(spec.vendor, &identity, &plans);
+        (cloud, identity, plans)
+    }
+
+    #[test]
+    fn valid_plans_have_endpoints() {
+        let (cloud, _, plans) = cloud_for(14);
+        let expected = plans.iter().filter(|p| p.on_cloud && !p.lan).count();
+        assert_eq!(cloud.endpoints().len(), expected);
+    }
+
+    #[test]
+    fn seeded_vulnerabilities_audit_as_flawed() {
+        let (cloud, _, plans) = cloud_for(20);
+        let vuln_paths: Vec<&str> = plans
+            .iter()
+            .filter(|p| p.is_vulnerable())
+            .map(|p| p.endpoint.as_str())
+            .collect();
+        for e in cloud.endpoints() {
+            let flawed = e.flaw().is_some();
+            assert_eq!(
+                flawed,
+                vuln_paths.contains(&e.path.as_str()),
+                "endpoint {} flaw mismatch",
+                e.path
+            );
+        }
+    }
+
+    #[test]
+    fn cve_endpoint_leaks_secret_on_identifiers_alone(){
+        let (cloud, identity, _) = cloud_for(11);
+        let body = format!("{{\"serial\":\"{}\",\"mac\":\"{}\"}}", identity.serial, identity.mac);
+        let r = cloud.handle(&HttpRequest::new("/rms/registrations", body));
+        assert_eq!(r.status, ResponseStatus::RequestOk);
+        let leaks = r.leaked_values();
+        assert!(
+            leaks.iter().any(|(k, v)| k == "certificate" && v == &identity.secret),
+            "device secret leaked: {leaks:?}"
+        );
+        let reg = cloud
+            .endpoints()
+            .iter()
+            .find(|e| e.path == "/rms/registrations")
+            .unwrap();
+        assert_eq!(reg.flaw(), Some(FlawClass::MissingDevSecret));
+    }
+
+    #[test]
+    fn secure_endpoints_reject_forged_primitives() {
+        let (cloud, identity, plans) = cloud_for(14);
+        // Find a secure plan with a token field.
+        let plan = plans
+            .iter()
+            .find(|p| {
+                p.policy == PlanPolicy::Secure
+                    && p.on_cloud
+                    && p.fields.iter().any(|f| f.semantic == Primitive::BindToken)
+            })
+            .expect("token-guarded plan exists");
+        let id_field = plan.identifier_field().unwrap();
+        let token_key = &plan
+            .fields
+            .iter()
+            .find(|f| f.semantic == Primitive::BindToken)
+            .unwrap()
+            .key;
+        let id_value = match id_field.key.as_str() {
+            "mac" => identity.mac.clone(),
+            "serialNumber" | "sn" => identity.serial.clone(),
+            "uid" => identity.uid.clone(),
+            _ => identity.device_id.clone(),
+        };
+        let forged = format!("{}={id_value}&{token_key}=guess", id_field.key);
+        let r = cloud.handle(&HttpRequest::new(plan.endpoint.clone(), forged));
+        assert_eq!(r.status, ResponseStatus::NoPermission, "forged token rejected");
+        let real = cloud.with_state(|s| s.token_for(&id_value).unwrap());
+        let good = format!("{}={id_value}&{token_key}={real}", id_field.key);
+        let r = cloud.handle(&HttpRequest::new(plan.endpoint.clone(), good));
+        assert_eq!(r.status, ResponseStatus::RequestOk);
+    }
+
+    #[test]
+    fn custom_cred_endpoint_denies_unknown_vcode() {
+        // Device id with `id % 7 == 3` carries the CustomCred FP plan.
+        let (cloud, identity, plans) = cloud_for(10);
+        let plan = plans.iter().find(|p| p.policy == PlanPolicy::CustomCred);
+        if let Some(plan) = plan {
+            let idf = plan.identifier_field().unwrap();
+            let idv = identity.value_of(match idf.key.as_str() {
+                "mac" => "mac",
+                "serialNumber" | "sn" => "serial",
+                "uid" => "uid",
+                _ => "device_id",
+            })
+            .unwrap();
+            let req = format!("{}={idv}&vcode=12345", idf.key);
+            let r = cloud.handle(&HttpRequest::new(plan.endpoint.clone(), req));
+            assert_eq!(r.status, ResponseStatus::NoPermission);
+            // And the endpoint audits as *secure* (the vcode acts as a token).
+            let e = cloud.endpoints().iter().find(|e| e.path == plan.endpoint).unwrap();
+            assert_eq!(e.flaw(), None);
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! The 22-device roster of paper Table I, with per-device generation
+//! targets drawn from Table II.
+
+use firmres_firmware::DeviceType;
+
+/// How a device's firmware assembles formatted messages (drives the
+/// Table II `thd` columns: `-` devices never call `sprintf`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SprintfUsage {
+    /// No formatted-output assembly at all (reported `-`).
+    None,
+    /// `sprintf` used but only single-field formats (device 11's 0/0/0).
+    SingleField,
+    /// Multi-field `sprintf` formats (cluster counts reported).
+    MultiField,
+}
+
+/// One row of Table I plus generation targets.
+#[derive(Debug, Clone)]
+pub struct DeviceSpec {
+    /// Device ID (1–22).
+    pub id: u8,
+    /// Vendor name (`***` redactions preserved from the paper).
+    pub vendor: &'static str,
+    /// Model identifier.
+    pub model: &'static str,
+    /// Device category.
+    pub device_type: DeviceType,
+    /// Firmware version string.
+    pub firmware_version: &'static str,
+    /// Whether device-cloud logic is in scripts (devices 21–22) rather
+    /// than binaries.
+    pub script_based: bool,
+    /// Target number of device-cloud messages (Table II "#Identified").
+    pub target_messages: usize,
+    /// Of those, how many are *invalid* (stale endpoints; Table II
+    /// #Identified − #Valid).
+    pub target_invalid: usize,
+    /// Target total field count across messages (Table II "#Identified"
+    /// fields) — used to size messages.
+    pub target_fields: usize,
+    /// Formatted-output style.
+    pub sprintf: SprintfUsage,
+}
+
+/// The full Table I roster.
+pub fn device_table() -> Vec<DeviceSpec> {
+    use DeviceType::*;
+    use SprintfUsage::*;
+    let rows: [(u8, &str, &str, DeviceType, &str, bool, usize, usize, usize, SprintfUsage); 22] = [
+        (1, "InRouter", "InRouter302", IndustrialRouter, "V1.0.52", false, 21, 4, 82, None),
+        (2, "TP-Link", "***", SmartCamera, "***", false, 16, 2, 74, None),
+        (3, "TP-Link", "***", IndustrialRouter, "***", false, 18, 2, 102, None),
+        (4, "TP-Link", "TL-TR960G", FourGRouter, "0.1.0.5_Build_211202_Rel.47739n", false, 17, 3, 97, None),
+        (5, "Linksys", "***", WifiRouter, "***", false, 8, 1, 52, None),
+        (6, "Netgear", "GC110", SmartSwitch, "V1.0.5.36", false, 14, 1, 82, None),
+        (7, "Netgear", "R8500", WifiRouter, "V1.0.2.160_1.0.107", false, 18, 2, 98, None),
+        (8, "Netgear", "WAC720", WirelessAccessPoint, "V3.1.1.0", false, 13, 0, 101, MultiField),
+        (9, "Araknis", "AN-100FCC", WirelessAccessPoint, "V1.3.02", false, 15, 1, 96, None),
+        (10, "TENDA", "AC6", WifiRouter, "V02.03.01.114", false, 7, 1, 62, MultiField),
+        (11, "Teltonika", "RUT241", FourGRouter, "RUT2M_R_00.07.01.3", false, 13, 2, 76, SingleField),
+        (12, "360", "C5S", WifiRouter, "V3.1.2.5552", false, 15, 4, 85, MultiField),
+        (13, "Tenvis", "319W", SmartCamera, "V3.7.25", false, 17, 0, 162, MultiField),
+        (14, "Western Digital", "My cloud", Nas, "V5.25.124", false, 30, 4, 323, MultiField),
+        (15, "Mindor", "ZCZ001", SmartPlug, "V1.0.7", false, 5, 1, 58, MultiField),
+        (16, "Mank", "WF-CT-10X", SmartPlug, "V1.1.2", false, 7, 2, 71, MultiField),
+        (17, "Cubetoou", "T9", SmartCamera, "a01.04.05.0020.5591a.190822", false, 9, 0, 101, MultiField),
+        (18, "DF-iCam", "QC061", SmartCamera, "2.3.04.25.1", false, 13, 2, 117, MultiField),
+        (19, "VStarcam", "BMW1", SmartCamera, "10.194.161.48", false, 13, 1, 93, MultiField),
+        (20, "RUISION", "S4D5620PHR", SmartCamera, "1.4.0-20230705Z1s", false, 12, 2, 87, MultiField),
+        (21, "MOFI", "MOFI4500", FourGRouter, "2_3_5std", true, 0, 0, 0, None),
+        (22, "D-LINK", "DAP1160L", WirelessAccessPoint, "FW101WWb04", true, 0, 0, 0, None),
+    ];
+    rows.into_iter()
+        .map(
+            |(id, vendor, model, device_type, firmware_version, script_based, target_messages, target_invalid, target_fields, sprintf)| {
+                DeviceSpec {
+                    id,
+                    vendor,
+                    model,
+                    device_type,
+                    firmware_version,
+                    script_based,
+                    target_messages,
+                    target_invalid,
+                    target_fields,
+                    sprintf,
+                }
+            },
+        )
+        .collect()
+}
+
+/// The spec for a device ID (1–22).
+pub fn device_spec(id: u8) -> Option<DeviceSpec> {
+    device_table().into_iter().find(|d| d.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_matches_table_one() {
+        let t = device_table();
+        assert_eq!(t.len(), 22);
+        assert_eq!(t.iter().filter(|d| d.script_based).count(), 2, "devices 21 and 22");
+        // 18 distinct vendors (TP-Link ×3, Netgear ×3 in the paper).
+        let vendors: std::collections::BTreeSet<_> = t.iter().map(|d| d.vendor).collect();
+        assert_eq!(vendors.len(), 18);
+        // 7 device types among evaluated devices (NAS included).
+        let types: std::collections::BTreeSet<_> = t.iter().map(|d| d.device_type).collect();
+        assert!(types.len() >= 7);
+    }
+
+    #[test]
+    fn totals_match_table_two() {
+        let t = device_table();
+        let binaries: Vec<_> = t.iter().filter(|d| !d.script_based).collect();
+        assert_eq!(binaries.len(), 20);
+        let messages: usize = binaries.iter().map(|d| d.target_messages).sum();
+        assert_eq!(messages, 281, "Table II total identified messages");
+        let invalid: usize = binaries.iter().map(|d| d.target_invalid).sum();
+        assert_eq!(messages - invalid, 246, "Table II total valid messages");
+        let fields: usize = binaries.iter().map(|d| d.target_fields).sum();
+        assert_eq!(fields, 2019, "Table II total identified fields");
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        assert_eq!(device_spec(11).unwrap().model, "RUT241");
+        assert!(device_spec(0).is_none());
+        assert!(device_spec(23).is_none());
+    }
+}

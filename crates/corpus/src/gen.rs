@@ -1,0 +1,199 @@
+//! Whole-device and whole-corpus generation.
+
+use crate::asmgen::{
+    device_cloud_source, ipc_daemon_source, local_httpd_source, watchdog_source,
+};
+use crate::cloudgen::build_cloud;
+use crate::devices::{device_table, DeviceSpec};
+use crate::plan::{plan_messages, DeviceIdentity, MessagePlan};
+use firmres_cloud::Cloud;
+use firmres_firmware::{DeviceInfo, FileEntry, FirmwareImage, Nvram, ScriptLang};
+use firmres_isa::Assembler;
+
+/// A fully generated synthetic device: firmware, ground truth, identity,
+/// and its (possibly flawed) vendor cloud.
+#[derive(Debug)]
+pub struct GeneratedDevice {
+    /// Table I row.
+    pub spec: DeviceSpec,
+    /// Identity material (also provisioned on the cloud).
+    pub identity: DeviceIdentity,
+    /// The message plans — the device's ground-truth manifest.
+    pub plans: Vec<MessagePlan>,
+    /// The packed-and-reopened firmware image.
+    pub firmware: FirmwareImage,
+    /// The vendor cloud.
+    pub cloud: Cloud,
+    /// Path of the device-cloud executable, `None` for script devices.
+    pub cloud_executable: Option<String>,
+}
+
+/// Generate device `id` (1–22) deterministically under `seed`.
+///
+/// # Panics
+///
+/// Panics when `id` is not in 1..=22 (the corpus is the fixed Table I
+/// roster) or if internally generated assembly fails to assemble — both
+/// are bugs, not runtime conditions.
+pub fn generate_device(id: u8, seed: u64) -> GeneratedDevice {
+    let spec = crate::devices::device_spec(id)
+        .unwrap_or_else(|| panic!("device id {id} outside the Table I roster"));
+    let identity = DeviceIdentity::generate(id, seed);
+    let plans = plan_messages(&spec, &identity, seed);
+
+    let mut fw = FirmwareImage::new(DeviceInfo {
+        vendor: spec.vendor.to_string(),
+        model: spec.model.to_string(),
+        device_type: spec.device_type,
+        firmware_version: spec.firmware_version.to_string(),
+    });
+
+    let cloud = build_cloud(spec.vendor, &identity, &plans);
+    // Provision NVRAM: identity, credentials and the *valid* bind token
+    // (so the real device's messages authenticate).
+    let token = cloud.with_state(|s| s.token_for(&identity.serial).expect("device bound"));
+    let mut nv = Nvram::new();
+    nv.set("mac", &identity.mac);
+    nv.set("serial_no", &identity.serial);
+    nv.set("device_id", &identity.device_id);
+    nv.set("uid", &identity.uid);
+    nv.set("device_secret", &identity.secret);
+    nv.set("access_token", &token);
+    nv.set("cloud_user", &identity.user);
+    nv.set("cloud_pass", &identity.password);
+    nv.set("cloud_host", &identity.cloud_host);
+    nv.set("ssid", format!("IoT-AP-{:02}", spec.id));
+    nv.set("watchdog_enabled", "1");
+    fw.add_file("/etc/nvram.default", FileEntry::NvramDefaults(nv));
+    fw.add_file(
+        "/etc/config/cloud.conf",
+        FileEntry::Config(format!(
+            "server={}\nport=443\nfw_version={}\nmodel={}\nproduct_id=P-{}\n\
+             device_cert={}\nhw_version=rev2\ncluster=c1\nregion=eu-west\ntimezone=UTC+1\n",
+            identity.cloud_host, spec.firmware_version, spec.model, spec.id, identity.secret,
+        )),
+    );
+    fw.add_file(
+        "/etc/ssl/device.pem",
+        FileEntry::Cert(format!("-----BEGIN DEVICE CERT-----\n{}\n-----END-----\n", identity.secret)),
+    );
+
+    let assembler = Assembler::new();
+    let mut cloud_executable = None;
+    if spec.script_based {
+        fw.add_file(
+            "/usr/bin/cloud_sync.sh",
+            FileEntry::Script {
+                lang: ScriptLang::Shell,
+                text: format!(
+                    "#!/bin/sh\n# device-cloud sync handled in shell (device {id})\n\
+                     MAC=$(nvram get mac)\nSN=$(nvram get serial_no)\n\
+                     curl -s \"https://{}/api/register?mac=$MAC&sn=$SN\"\n",
+                    identity.cloud_host
+                ),
+            },
+        );
+        fw.add_file(
+            "/www/cloud/upload.php",
+            FileEntry::Script {
+                lang: ScriptLang::Php,
+                text: "<?php $sn = nvram_get('serial_no'); \
+                       http_post($CLOUD, '/api/upload', ['sn' => $sn]); ?>"
+                    .to_string(),
+            },
+        );
+    } else {
+        let src = device_cloud_source(&identity, &plans);
+        let exe = assembler
+            .assemble(&src)
+            .unwrap_or_else(|e| panic!("device {id} cloud agent failed to assemble: {e}"));
+        let path = "/usr/bin/cloud_agent".to_string();
+        fw.add_file(&path, FileEntry::Executable(exe.to_bytes().to_vec()));
+        cloud_executable = Some(path);
+    }
+    // Auxiliary executables present on every device.
+    for (path, src) in [
+        ("/usr/bin/ipc_daemon", ipc_daemon_source()),
+        ("/usr/sbin/httpd_local", local_httpd_source()),
+        ("/sbin/watchdog", watchdog_source()),
+    ] {
+        let exe = assembler
+            .assemble(&src)
+            .unwrap_or_else(|e| panic!("aux executable {path} failed to assemble: {e}"));
+        fw.add_file(path, FileEntry::Executable(exe.to_bytes().to_vec()));
+    }
+
+    // Round-trip through the packed wire format so consumers exercise the
+    // real unpack path.
+    let packed = fw.pack();
+    let firmware = FirmwareImage::unpack(&packed).expect("self-generated image unpacks");
+
+    GeneratedDevice { spec, identity, plans, firmware, cloud, cloud_executable }
+}
+
+/// Generate the full 22-device corpus.
+pub fn generate_corpus(seed: u64) -> Vec<GeneratedDevice> {
+    device_table().iter().map(|d| generate_device(d.id, seed)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firmres_isa::lift;
+
+    #[test]
+    fn generates_binary_device_with_liftable_agent() {
+        let dev = generate_device(13, 7);
+        assert_eq!(dev.spec.model, "319W");
+        let path = dev.cloud_executable.as_deref().unwrap();
+        let exe = dev.firmware.load_executable(path).unwrap().unwrap();
+        let prog = lift(&exe, "agent").unwrap();
+        assert!(prog.function_by_name("on_cloud_request").is_some());
+        assert_eq!(dev.firmware.executables().count(), 4, "agent + 3 aux");
+        assert_eq!(dev.firmware.nvram().get("mac"), Some(dev.identity.mac.as_str()));
+    }
+
+    #[test]
+    fn script_devices_have_no_cloud_executable() {
+        for id in [21, 22] {
+            let dev = generate_device(id, 7);
+            assert!(dev.cloud_executable.is_none());
+            assert_eq!(dev.firmware.scripts().count(), 2);
+            assert_eq!(dev.firmware.executables().count(), 3, "aux only");
+            assert!(dev.plans.is_empty());
+        }
+    }
+
+    #[test]
+    fn nvram_token_is_valid_on_cloud() {
+        let dev = generate_device(5, 7);
+        let token = dev.firmware.nvram().get("access_token").unwrap().to_string();
+        assert!(dev.cloud.with_state(|s| s.valid_token(&dev.identity.serial, &token)));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_device(8, 123);
+        let b = generate_device(8, 123);
+        assert_eq!(a.identity, b.identity);
+        assert_eq!(a.plans, b.plans);
+        assert_eq!(a.firmware, b.firmware);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the Table I roster")]
+    fn out_of_roster_id_panics() {
+        let _ = generate_device(42, 7);
+    }
+
+    #[test]
+    fn full_corpus_generates() {
+        let corpus = generate_corpus(7);
+        assert_eq!(corpus.len(), 22);
+        assert_eq!(corpus.iter().filter(|d| d.cloud_executable.is_some()).count(), 20);
+        // All firmware images have unique identities.
+        let macs: std::collections::BTreeSet<_> =
+            corpus.iter().map(|d| d.identity.mac.clone()).collect();
+        assert_eq!(macs.len(), 22);
+    }
+}

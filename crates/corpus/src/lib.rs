@@ -1,0 +1,52 @@
+//! # firmres-corpus
+//!
+//! The synthetic 22-device evaluation corpus.
+//!
+//! The paper evaluates FIRMRES on firmware purchased from 18 vendors
+//! (Table I). Real firmware cannot ship with this reproduction, so this
+//! crate *generates* the corpus: for every Table I row it synthesizes a
+//! firmware image whose device-cloud executable is real MR32 machine
+//! code assembled from per-device [`MessagePlan`]s. The same plans drive
+//! three artifacts, keeping them consistent by construction:
+//!
+//! 1. the **firmware** (assembly → MRE executables → packed image),
+//! 2. the **ground truth** (what messages/fields/semantics exist — the
+//!    reference for the Table II accuracy columns), and
+//! 3. the **vendor cloud** (endpoints with secure or deliberately
+//!    weakened policies — the Table III vulnerability rows).
+//!
+//! Devices 21 and 22 implement device-cloud logic in shell/PHP scripts,
+//! reproducing the paper's 20-of-22 identification result. Generation is
+//! fully deterministic for a given seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use firmres_corpus::generate_device;
+//!
+//! let dev = generate_device(11, 7); // Teltonika RUT241
+//! assert_eq!(dev.spec.model, "RUT241");
+//! assert!(dev.cloud_executable.is_some());
+//! let vulnerable = dev.plans.iter().filter(|p| p.is_vulnerable()).count();
+//! assert_eq!(vulnerable, 1, "the known CVE-2023-2586 pattern");
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod asmgen;
+mod cloudgen;
+mod devices;
+pub mod emulation;
+mod gen;
+mod plan;
+mod vulns;
+
+pub use asmgen::{device_cloud_source, ipc_daemon_source, local_httpd_source, watchdog_source};
+pub use cloudgen::build_cloud;
+pub use devices::{device_spec, device_table, DeviceSpec, SprintfUsage};
+pub use gen::{generate_corpus, generate_device, GeneratedDevice};
+pub use plan::{
+    plan_messages, BodyStyle, Delivery, DeviceIdentity, MessagePlan, PlanField, PlanPolicy,
+    PlanResponse, ValueSource,
+};
+pub use vulns::{total_vulnerabilities, vulnerable_plans};

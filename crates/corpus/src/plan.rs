@@ -1,0 +1,721 @@
+//! Message plans: the single source of truth each synthetic device is
+//! generated from.
+//!
+//! A [`MessagePlan`] drives three artifacts at once: the MR32 assembly of
+//! the device-cloud executable, the device's ground-truth manifest (used
+//! to score reconstruction like Table II), and the vendor-cloud endpoint
+//! configuration (used to rediscover the Table III vulnerabilities).
+
+use crate::devices::{DeviceSpec, SprintfUsage};
+use firmres_semantics::Primitive;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Per-device identity material (what NVRAM/getters return, what the
+/// cloud has provisioned).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceIdentity {
+    /// MAC address.
+    pub mac: String,
+    /// Serial number.
+    pub serial: String,
+    /// Vendor cloud uid.
+    pub uid: String,
+    /// Device id.
+    pub device_id: String,
+    /// Device secret provisioned by the manufacturer.
+    pub secret: String,
+    /// Owning user account.
+    pub user: String,
+    /// Owner password.
+    pub password: String,
+    /// Vendor cloud hostname.
+    pub cloud_host: String,
+}
+
+impl DeviceIdentity {
+    /// Deterministic identity for a device id under a corpus seed.
+    pub fn generate(device_id: u8, seed: u64) -> DeviceIdentity {
+        let mut rng = StdRng::seed_from_u64(seed ^ (device_id as u64) << 32 | 0xD15C);
+        let mac = format!(
+            "00:1E:{:02X}:{:02X}:{:02X}:{:02X}",
+            rng.gen::<u8>(),
+            rng.gen::<u8>(),
+            rng.gen::<u8>(),
+            rng.gen::<u8>()
+        );
+        DeviceIdentity {
+            mac,
+            serial: format!("SN{:010}", rng.gen_range(0u64..10_000_000_000)),
+            uid: format!("UID-{:08x}", rng.gen::<u32>()),
+            device_id: format!("D{:06}", rng.gen_range(0u32..1_000_000)),
+            secret: format!("sec-{:016x}", rng.gen::<u64>()),
+            user: format!("user{device_id:02}"),
+            password: format!("pw-{:08x}", rng.gen::<u32>()),
+            cloud_host: format!("iot{device_id:02}.cloud.example"),
+        }
+    }
+
+    /// The value of an identity key (`mac`, `serial`, `uid`, …), used by
+    /// the probe harness to fill reconstructed messages.
+    pub fn value_of(&self, key: &str) -> Option<&str> {
+        Some(match key {
+            "mac" => &self.mac,
+            "serial" | "serial_no" => &self.serial,
+            "uid" => &self.uid,
+            "device_id" => &self.device_id,
+            "device_secret" => &self.secret,
+            "cloud_user" => &self.user,
+            "cloud_pass" => &self.password,
+            "cloud_host" => &self.cloud_host,
+            _ => return None,
+        })
+    }
+}
+
+/// Where a field's value comes from in the generated firmware.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValueSource {
+    /// Out-param device-info getter (`get_mac_addr`, `get_serial`, …).
+    Getter(&'static str),
+    /// `nvram_get(key)`.
+    NvramGet(String),
+    /// `cfg_get(key)`.
+    CfgGet(String),
+    /// `getenv(key)`.
+    GetEnv(String),
+    /// Hard-coded string constant in the data segment.
+    Hardcoded(String),
+    /// `time()` (numeric).
+    Time,
+    /// Passed in from the request handler (front-end/user supplied).
+    FromRequest,
+    /// `hmac_sign(secret, id)` — a derived signature.
+    Signed,
+}
+
+impl ValueSource {
+    /// Whether the value is numeric (formats as `%d`).
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, ValueSource::Time)
+    }
+}
+
+/// One planned message field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanField {
+    /// Wire key.
+    pub key: String,
+    /// Ground-truth primitive semantic.
+    pub semantic: Primitive,
+    /// Value source in the firmware.
+    pub source: ValueSource,
+}
+
+/// Delivery function used by the message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// `SSL_write(ctx, buf, len)`.
+    SslWrite,
+    /// `send(fd, buf, len, flags)`.
+    Send,
+    /// `mosquitto_publish(mosq, topic, payload, len)`.
+    MqttPublish,
+    /// `http_post(host, path, body, hdrs)`.
+    HttpPost,
+    /// `http_get(host, path, hdrs)` — query in the path.
+    HttpGet,
+}
+
+impl Delivery {
+    /// Import name of the delivery function.
+    pub fn import(self) -> &'static str {
+        match self {
+            Delivery::SslWrite => "SSL_write",
+            Delivery::Send => "send",
+            Delivery::MqttPublish => "mosquitto_publish",
+            Delivery::HttpPost => "http_post",
+            Delivery::HttpGet => "http_get",
+        }
+    }
+}
+
+/// Body construction style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BodyStyle {
+    /// One `sprintf` with a `path?k=%s&k2=%s` template.
+    SprintfQuery,
+    /// One `sprintf` with a JSON template.
+    SprintfJson,
+    /// cJSON object assembly.
+    CJson,
+    /// `strcpy`/`strcat` chain of `key=` literals and values.
+    StrcatKV,
+}
+
+/// Access-control policy class of the serving endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanPolicy {
+    /// Verifies authenticity (secret/token/signature/user-cred).
+    Secure,
+    /// Only checks the device identifier (Table III main class).
+    IdentifierOnly,
+    /// Binding without verifying the user credential.
+    BindNoUserCred,
+    /// Registration returning a fixed token without authenticity.
+    RegisterFixedToken,
+    /// Registration leaking the device secret on identifier-only proof
+    /// (the CVE-2023-2586 pattern).
+    RegisterLeakSecret,
+    /// Open telemetry endpoint: no primitives required by design (a
+    /// form-check false-positive generator).
+    OpenTelemetry,
+    /// Vendor-specific credential (verification code) the form check
+    /// does not recognize (the paper's other false-positive class).
+    CustomCred,
+}
+
+/// What the endpoint returns on success.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanResponse {
+    /// Acknowledgement only.
+    Ok,
+    /// Fixed token.
+    FixedToken,
+    /// The device's bind token.
+    BindToken,
+    /// The device secret / certificate.
+    DeviceSecret,
+    /// Storage access/secret keys.
+    StorageKeys,
+    /// Stored resource list.
+    ResourceList,
+}
+
+/// One planned device-cloud message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MessagePlan {
+    /// Message index within the device.
+    pub index: usize,
+    /// Function name in the generated executable.
+    pub func_name: String,
+    /// Delivery call.
+    pub delivery: Delivery,
+    /// Endpoint: HTTP path, MQTT topic, or embedded method/path.
+    pub endpoint: String,
+    /// Body style.
+    pub style: BodyStyle,
+    /// Fields in construction order.
+    pub fields: Vec<PlanField>,
+    /// Whether the endpoint exists on the vendor cloud (stale firmware
+    /// endpoints make reconstructed messages *invalid*, Table II).
+    pub on_cloud: bool,
+    /// Addressed to a LAN peer (discarded by the grouping step).
+    pub lan: bool,
+    /// Serving endpoint's policy class.
+    pub policy: PlanPolicy,
+    /// Response content.
+    pub response: PlanResponse,
+    /// Human description (Table III "Functionality").
+    pub functionality: String,
+    /// Impact statement for flawed endpoints (Table III "Consequence").
+    pub consequence: Option<String>,
+}
+
+impl MessagePlan {
+    /// The field whose semantic is Dev-Identifier, if any.
+    pub fn identifier_field(&self) -> Option<&PlanField> {
+        self.fields.iter().find(|f| f.semantic == Primitive::DevIdentifier)
+    }
+
+    /// Whether this plan is one of the seeded vulnerabilities.
+    pub fn is_vulnerable(&self) -> bool {
+        matches!(
+            self.policy,
+            PlanPolicy::IdentifierOnly
+                | PlanPolicy::BindNoUserCred
+                | PlanPolicy::RegisterFixedToken
+                | PlanPolicy::RegisterLeakSecret
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// Field pools
+// ---------------------------------------------------------------------
+
+fn identifier_pool(rng: &mut StdRng) -> PlanField {
+    let options: [(&str, ValueSource); 6] = [
+        ("mac", ValueSource::Getter("get_mac_addr")),
+        ("serialNumber", ValueSource::Getter("get_serial")),
+        ("uid", ValueSource::Getter("get_uid")),
+        ("deviceId", ValueSource::NvramGet("device_id".into())),
+        ("sn", ValueSource::NvramGet("serial_no".into())),
+        ("productId", ValueSource::CfgGet("product_id".into())),
+    ];
+    let (key, source) = options[rng.gen_range(0..options.len())].clone();
+    PlanField { key: key.into(), semantic: Primitive::DevIdentifier, source }
+}
+
+fn secret_pool(rng: &mut StdRng, identity: &DeviceIdentity) -> PlanField {
+    // NVRAM-provisioned secrets dominate; hard-coded and config-file
+    // secrets are the (rarer) flawed provisioning the form check hunts.
+    let pick = match rng.gen_range(0..6) {
+        0 => 1,
+        1 => 2,
+        _ => 0,
+    };
+    match pick {
+        0 => PlanField {
+            key: "deviceSecret".into(),
+            semantic: Primitive::DevSecret,
+            source: ValueSource::NvramGet("device_secret".into()),
+        },
+        1 => PlanField {
+            key: "secretKey".into(),
+            semantic: Primitive::DevSecret,
+            // The hard-coded Dev-Secret pattern the form check hunts for.
+            source: ValueSource::Hardcoded(identity.secret.clone()),
+        },
+        _ => PlanField {
+            key: "cert".into(),
+            semantic: Primitive::DevSecret,
+            source: ValueSource::CfgGet("device_cert".into()),
+        },
+    }
+}
+
+fn token_field(rng: &mut StdRng) -> PlanField {
+    let keys = ["accessToken", "token", "deviceToken", "sessionKey"];
+    PlanField {
+        key: keys[rng.gen_range(0..keys.len())].into(),
+        semantic: Primitive::BindToken,
+        source: ValueSource::NvramGet("access_token".into()),
+    }
+}
+
+fn signature_field() -> PlanField {
+    PlanField { key: "sign".into(), semantic: Primitive::Signature, source: ValueSource::Signed }
+}
+
+fn usercred_fields() -> Vec<PlanField> {
+    vec![
+        PlanField {
+            key: "username".into(),
+            semantic: Primitive::UserCred,
+            source: ValueSource::NvramGet("cloud_user".into()),
+        },
+        PlanField {
+            key: "password".into(),
+            semantic: Primitive::UserCred,
+            source: ValueSource::NvramGet("cloud_pass".into()),
+        },
+    ]
+}
+
+fn meta_pool(rng: &mut StdRng) -> PlanField {
+    let options: [(&str, ValueSource); 19] = [
+        ("ts", ValueSource::Time),
+        ("version", ValueSource::CfgGet("fw_version".into())),
+        ("uploadType", ValueSource::Hardcoded("diagnostic".into())),
+        ("eventType", ValueSource::Hardcoded("status".into())),
+        ("pluginId", ValueSource::Hardcoded("core".into())),
+        ("lang", ValueSource::Hardcoded("en".into())),
+        ("channel", ValueSource::Hardcoded("0".into())),
+        ("log", ValueSource::GetEnv("LOG_DATA".into())),
+        ("img", ValueSource::GetEnv("IMG_DATA".into())),
+        ("status", ValueSource::GetEnv("DEV_STATUS".into())),
+        ("date", ValueSource::Time),
+        ("begin", ValueSource::Time),
+        ("end", ValueSource::Time),
+        ("stream", ValueSource::Hardcoded("main".into())),
+        ("type", ValueSource::Hardcoded("video".into())),
+        ("region", ValueSource::CfgGet("region".into())),
+        ("ssid", ValueSource::NvramGet("ssid".into())),
+        ("tz", ValueSource::CfgGet("timezone".into())),
+        // Communication address — the model's seventh class (§IV-C).
+        ("host", ValueSource::CfgGet("server".into())),
+    ];
+    let (key, source) = options[rng.gen_range(0..options.len())].clone();
+    let semantic = if key == "host" { Primitive::Address } else { Primitive::None };
+    PlanField { key: key.into(), semantic, source }
+}
+
+// ---------------------------------------------------------------------
+// Plan generation
+// ---------------------------------------------------------------------
+
+const FUNCTIONALITIES: [&str; 8] = [
+    "Reporting device status.",
+    "Uploading telemetry.",
+    "Heartbeat keep-alive.",
+    "Syncing configuration.",
+    "Uploading diagnostics log.",
+    "Reporting firmware version.",
+    "Pushing event notification.",
+    "Querying cloud time.",
+];
+
+/// Generate the full message-plan list for a device. Deterministic for a
+/// given `(spec.id, seed)`.
+pub fn plan_messages(spec: &DeviceSpec, identity: &DeviceIdentity, seed: u64) -> Vec<MessagePlan> {
+    if spec.script_based {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ ((spec.id as u64) << 17) ^ 0x9E37);
+    let mut plans: Vec<MessagePlan> = crate::vulns::vulnerable_plans(spec.id);
+    let vuln_fields: usize = plans.iter().map(|p| p.fields.len()).sum();
+    let remaining_msgs = spec.target_messages.saturating_sub(plans.len());
+    let remaining_fields = spec.target_fields.saturating_sub(vuln_fields);
+
+    // Field-count distribution over the remaining messages.
+    let mut sizes = vec![0usize; remaining_msgs];
+    if remaining_msgs > 0 {
+        let cap = (remaining_fields / remaining_msgs + 4).clamp(12, 16);
+        let base = (remaining_fields / remaining_msgs).clamp(2, cap);
+        for s in &mut sizes {
+            *s = base;
+        }
+        let mut leftover = remaining_fields.saturating_sub(sizes.iter().sum());
+        // Bounded distribution: if every message is at the per-message cap
+        // the residue is dropped (totals are targets, not exact counts).
+        let mut attempts = sizes.len() * 16;
+        while leftover > 0 && attempts > 0 {
+            attempts -= 1;
+            let i = rng.gen_range(0..sizes.len());
+            if sizes[i] < cap {
+                sizes[i] += 1;
+                leftover -= 1;
+            }
+        }
+        // Jitter: real firmware mixes short registration pings with long
+        // telemetry reports; short messages also exercise the sprintf
+        // styles (<= 4 fields).
+        for _ in 0..remaining_msgs * 2 {
+            let i = rng.gen_range(0..sizes.len());
+            let j = rng.gen_range(0..sizes.len());
+            let shift = rng.gen_range(1..=3usize);
+            if sizes[i] >= 2 + shift && sizes[j] + shift <= cap {
+                sizes[i] -= shift;
+                sizes[j] += shift;
+            }
+        }
+        // Multi-field-sprintf devices get a guaranteed share (about a
+        // third) of short messages so formatted templates appear
+        // (Table II thd columns); the trimmed fields are pushed back onto
+        // longer messages to hold the device total.
+        if spec.sprintf == SprintfUsage::MultiField {
+            let before: usize = sizes.iter().sum();
+            let mut k = 0;
+            while k < sizes.len() {
+                sizes[k] = rng.gen_range(2..=4);
+                k += 3;
+            }
+            let mut deficit = before.saturating_sub(sizes.iter().sum());
+            let mut attempts = sizes.len() * 16;
+            while deficit > 0 && attempts > 0 {
+                attempts -= 1;
+                let i = rng.gen_range(0..sizes.len());
+                if sizes[i] >= 5 && sizes[i] < cap {
+                    sizes[i] += 1;
+                    deficit -= 1;
+                }
+            }
+        }
+    }
+
+    // Which of the generated messages are invalid (stale endpoints) and
+    // which are form-check FP generators.
+    let mut invalid_slots: Vec<usize> = (0..remaining_msgs).collect();
+    invalid_slots.shuffle(&mut rng);
+    let invalid: std::collections::BTreeSet<usize> =
+        invalid_slots.into_iter().take(spec.target_invalid).collect();
+    // Sprinkle FP generators on larger corpora.
+    let fp_open = spec.id % 4 == 1; // a handful of devices
+    let fp_custom = spec.id % 7 == 3;
+
+    let styles = style_palette(spec);
+    for i in 0..remaining_msgs {
+        let idx = plans.len();
+        let nfields = sizes[i];
+        // Short messages on sprintf-using devices prefer formatted
+        // templates (they fit the 4-value argument budget), reproducing
+        // the paper's mix of sprintf- and library-assembled messages.
+        let style = if spec.sprintf == SprintfUsage::MultiField && nfields <= 4 && rng.gen_bool(0.75)
+        {
+            if rng.gen_bool(0.6) {
+                BodyStyle::SprintfQuery
+            } else {
+                BodyStyle::SprintfJson
+            }
+        } else {
+            styles[rng.gen_range(0..styles.len())]
+        };
+        let delivery = delivery_for(spec, style, &mut rng);
+        let functionality = FUNCTIONALITIES[rng.gen_range(0..FUNCTIONALITIES.len())];
+        let endpoint = endpoint_for(spec.id, idx, delivery, functionality, &mut rng);
+
+        let mut fields: Vec<PlanField> = Vec::new();
+        let mut policy = PlanPolicy::Secure;
+        let mut is_fp_open = false;
+        if fp_open && i == 1 {
+            // Open telemetry: event fields only, no primitives.
+            is_fp_open = true;
+            policy = PlanPolicy::OpenTelemetry;
+            let mut attempts = 64;
+            while fields.len() < nfields.max(3) && attempts > 0 {
+                attempts -= 1;
+                let f = meta_pool(&mut rng);
+                if !fields.iter().any(|x| x.key == f.key) {
+                    fields.push(f);
+                }
+            }
+        } else if fp_custom && i == 2 {
+            // Custom credential: identifier + vendor verification code.
+            policy = PlanPolicy::CustomCred;
+            fields.push(identifier_pool(&mut rng));
+            // Front-end-supplied verification code: arrives via the
+            // device web UI, modeled as an environment read (the paper's
+            // front-end taint-sink category).
+            fields.push(PlanField {
+                key: "vcode".into(),
+                semantic: Primitive::UserCred,
+                source: ValueSource::GetEnv("VCODE".into()),
+            });
+            let mut attempts = 64;
+            while fields.len() < nfields && attempts > 0 {
+                attempts -= 1;
+                let f = meta_pool(&mut rng);
+                if !fields.iter().any(|x| x.key == f.key) {
+                    fields.push(f);
+                }
+            }
+        } else {
+            // Regular business message: identifier + authenticity + meta.
+            fields.push(identifier_pool(&mut rng));
+            match rng.gen_range(0..4) {
+                0 => fields.push(token_field(&mut rng)),
+                1 => fields.push(signature_field()),
+                2 => {
+                    // Composition ③ of §II-B: identifier + Dev-Secret +
+                    // User-Cred (a lone secret is not a valid business form).
+                    fields.push(secret_pool(&mut rng, identity));
+                    fields.extend(usercred_fields());
+                }
+                _ => fields.push(token_field(&mut rng)),
+            }
+            let mut attempts = 64;
+            while fields.len() < nfields && attempts > 0 {
+                attempts -= 1;
+                let f = meta_pool(&mut rng);
+                if !fields.iter().any(|x| x.key == f.key) {
+                    fields.push(f);
+                }
+            }
+        }
+        // sprintf styles carry at most 4 value fields (argument registers);
+        // overflow switches style.
+        let style = if matches!(style, BodyStyle::SprintfQuery | BodyStyle::SprintfJson)
+            && fields.len() > 4
+        {
+            if spec.sprintf == SprintfUsage::MultiField {
+                BodyStyle::StrcatKV
+            } else {
+                BodyStyle::CJson
+            }
+        } else {
+            style
+        };
+        let _ = is_fp_open;
+        plans.push(MessagePlan {
+            index: idx,
+            func_name: format!("snd_{idx:02}"),
+            delivery,
+            endpoint,
+            style,
+            fields,
+            on_cloud: !invalid.contains(&i),
+            lan: false,
+            policy,
+            response: PlanResponse::Ok,
+            functionality: functionality.to_string(),
+            consequence: None,
+        });
+    }
+
+    // Re-number the vulnerable plans' function names consistently.
+    for (i, p) in plans.iter_mut().enumerate() {
+        p.index = i;
+        p.func_name = format!("snd_{i:02}");
+    }
+
+    // One LAN-addressed message on every fourth device (filtered out by
+    // the grouping step, not counted in Table II).
+    if spec.id % 4 == 2 {
+        let idx = plans.len();
+        plans.push(MessagePlan {
+            index: idx,
+            func_name: format!("snd_{idx:02}"),
+            delivery: Delivery::HttpPost,
+            endpoint: "/local/sync".into(),
+            style: BodyStyle::SprintfQuery,
+            fields: vec![PlanField {
+                key: "state".into(),
+                semantic: Primitive::None,
+                source: ValueSource::GetEnv("DEV_STATUS".into()),
+            }],
+            on_cloud: false,
+            lan: true,
+            policy: PlanPolicy::OpenTelemetry,
+            response: PlanResponse::Ok,
+            functionality: "Announcing state to LAN peer.".into(),
+            consequence: None,
+        });
+    }
+    plans
+}
+
+fn style_palette(spec: &DeviceSpec) -> Vec<BodyStyle> {
+    match spec.sprintf {
+        SprintfUsage::None => vec![BodyStyle::CJson, BodyStyle::StrcatKV],
+        SprintfUsage::SingleField => vec![BodyStyle::CJson, BodyStyle::StrcatKV],
+        SprintfUsage::MultiField => vec![
+            BodyStyle::SprintfQuery,
+            BodyStyle::SprintfJson,
+            BodyStyle::CJson,
+            BodyStyle::StrcatKV,
+        ],
+    }
+}
+
+fn delivery_for(spec: &DeviceSpec, style: BodyStyle, rng: &mut StdRng) -> Delivery {
+    use firmres_firmware::DeviceType::*;
+    let choices: &[Delivery] = match spec.device_type {
+        SmartCamera => &[Delivery::HttpPost, Delivery::SslWrite, Delivery::HttpGet],
+        SmartPlug => &[Delivery::MqttPublish, Delivery::HttpPost],
+        Nas => &[Delivery::HttpPost, Delivery::SslWrite],
+        IndustrialRouter | FourGRouter => &[Delivery::SslWrite, Delivery::MqttPublish],
+        _ => &[Delivery::HttpPost, Delivery::Send, Delivery::MqttPublish],
+    };
+    let d = choices[rng.gen_range(0..choices.len())];
+    // HttpGet carries the query in the path; pair it with query style.
+    if d == Delivery::HttpGet && style != BodyStyle::SprintfQuery {
+        Delivery::HttpPost
+    } else {
+        d
+    }
+}
+
+fn endpoint_for(
+    device: u8,
+    index: usize,
+    delivery: Delivery,
+    functionality: &str,
+    _rng: &mut StdRng,
+) -> String {
+    let slug: String = functionality
+        .to_ascii_lowercase()
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect::<String>()
+        .split('-')
+        .filter(|s| !s.is_empty())
+        .take(2)
+        .collect::<Vec<_>>()
+        .join("/");
+    match delivery {
+        Delivery::MqttPublish => format!("/dev{device:02}/{slug}/m{index}"),
+        _ => format!("/api/v{}/{slug}/m{index}", device % 3 + 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::device_spec;
+
+    #[test]
+    fn identity_is_deterministic_and_unique() {
+        let a = DeviceIdentity::generate(5, 42);
+        let b = DeviceIdentity::generate(5, 42);
+        assert_eq!(a, b);
+        let c = DeviceIdentity::generate(6, 42);
+        assert_ne!(a.mac, c.mac);
+        assert_ne!(a.secret, c.secret);
+        assert!(a.mac.starts_with("00:1E:"));
+        assert_eq!(a.value_of("mac"), Some(a.mac.as_str()));
+        assert_eq!(a.value_of("nonsense"), None);
+    }
+
+    #[test]
+    fn plans_match_device_targets() {
+        let seed = 7;
+        for id in 1..=20u8 {
+            let spec = device_spec(id).unwrap();
+            let identity = DeviceIdentity::generate(id, seed);
+            let plans = plan_messages(&spec, &identity, seed);
+            let counted: Vec<_> = plans.iter().filter(|p| !p.lan).collect();
+            assert_eq!(counted.len(), spec.target_messages, "device {id} message count");
+            let invalid = counted.iter().filter(|p| !p.on_cloud).count();
+            assert_eq!(invalid, spec.target_invalid, "device {id} invalid count");
+            let fields: usize = counted.iter().map(|p| p.fields.len()).sum();
+            // Field totals are a target, not exact: sizes are clamped to
+            // [2, 10] per message.
+            let diff = (fields as i64 - spec.target_fields as i64).abs();
+            assert!(
+                diff <= spec.target_fields as i64 / 4 + 10,
+                "device {id}: planned {fields} vs target {}",
+                spec.target_fields
+            );
+        }
+    }
+
+    #[test]
+    fn script_devices_have_no_plans() {
+        let spec = device_spec(21).unwrap();
+        let identity = DeviceIdentity::generate(21, 7);
+        assert!(plan_messages(&spec, &identity, 7).is_empty());
+    }
+
+    #[test]
+    fn vulnerable_plans_are_first_and_marked() {
+        let spec = device_spec(20).unwrap();
+        let identity = DeviceIdentity::generate(20, 7);
+        let plans = plan_messages(&spec, &identity, 7);
+        let vulns: Vec<_> = plans.iter().filter(|p| p.is_vulnerable()).collect();
+        assert_eq!(vulns.len(), 3, "device 20 has three Table III rows");
+        assert!(vulns.iter().all(|p| p.consequence.is_some()));
+    }
+
+    #[test]
+    fn plan_function_names_are_unique() {
+        let spec = device_spec(14).unwrap();
+        let identity = DeviceIdentity::generate(14, 7);
+        let plans = plan_messages(&spec, &identity, 7);
+        let names: std::collections::BTreeSet<_> = plans.iter().map(|p| &p.func_name).collect();
+        assert_eq!(names.len(), plans.len());
+    }
+
+    #[test]
+    fn sprintf_styles_capped_at_four_fields() {
+        for id in 1..=20u8 {
+            let spec = device_spec(id).unwrap();
+            let identity = DeviceIdentity::generate(id, 3);
+            for p in plan_messages(&spec, &identity, 3) {
+                if matches!(p.style, BodyStyle::SprintfQuery | BodyStyle::SprintfJson) {
+                    assert!(p.fields.len() <= 4, "device {id} {}", p.func_name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let spec = device_spec(13).unwrap();
+        let identity = DeviceIdentity::generate(13, 9);
+        let a = plan_messages(&spec, &identity, 9);
+        let b = plan_messages(&spec, &identity, 9);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,373 @@
+//! The seeded vulnerabilities of paper Table III.
+//!
+//! Each entry reproduces one row: the device, the functionality, the
+//! endpoint and parameters, and the consequence. The corresponding cloud
+//! endpoints are generated with deliberately weakened policies so the
+//! probe step rediscovers them. Device 11's registration row is the
+//! *known* vulnerability (CVE-2023-2586); the rest model the paper's 13
+//! previously-unknown findings.
+
+use crate::plan::{
+    BodyStyle, Delivery, MessagePlan, PlanField, PlanPolicy, PlanResponse, ValueSource,
+};
+use firmres_semantics::Primitive;
+
+fn f(key: &str, semantic: Primitive, source: ValueSource) -> PlanField {
+    PlanField { key: key.into(), semantic, source }
+}
+
+fn ident(key: &str) -> PlanField {
+    let source = match key {
+        "mac" | "macAddress" => ValueSource::Getter("get_mac_addr"),
+        "serialNumber" | "serialNo" | "serial" => ValueSource::Getter("get_serial"),
+        "uid" | "vuid" => ValueSource::Getter("get_uid"),
+        _ => ValueSource::NvramGet("device_id".into()),
+    };
+    f(key, Primitive::DevIdentifier, source)
+}
+
+fn meta(key: &str) -> PlanField {
+    let source = match key {
+        "firmwareVersion" | "version" | "sdkver" => ValueSource::CfgGet("fw_version".into()),
+        "hardwareVersion" => ValueSource::CfgGet("hw_version".into()),
+        "start_time" | "alarm_time" | "date" | "begin" | "end" => ValueSource::Time,
+        "log" | "img" | "code" => ValueSource::GetEnv(format!("{}_DATA", key.to_ascii_uppercase())),
+        _ => ValueSource::Hardcoded(format!("{key}-v")),
+    };
+    f(key, Primitive::None, source)
+}
+
+#[allow(clippy::too_many_lines)]
+fn plan(
+    _device: u8,
+    n: usize,
+    delivery: Delivery,
+    endpoint: &str,
+    style: BodyStyle,
+    fields: Vec<PlanField>,
+    policy: PlanPolicy,
+    response: PlanResponse,
+    functionality: &str,
+    consequence: &str,
+) -> MessagePlan {
+    MessagePlan {
+        index: n,
+        func_name: format!("snd_{n:02}"),
+        delivery,
+        endpoint: endpoint.to_string(),
+        style,
+        fields,
+        on_cloud: true,
+        lan: false,
+        policy,
+        response,
+        functionality: functionality.to_string(),
+        consequence: Some(consequence.to_string()),
+    }
+}
+
+/// The vulnerable message plans for a device (empty for devices without
+/// Table III rows).
+pub fn vulnerable_plans(device: u8) -> Vec<MessagePlan> {
+    match device {
+        // Linksys (device 5): fixed registration token + log upload.
+        5 => vec![
+            plan(
+                5,
+                0,
+                Delivery::HttpPost,
+                "/cloud/registrations",
+                BodyStyle::CJson,
+                vec![
+                    ident("serialNumber"),
+                    ident("macAddress"),
+                    f("modelNumber", Primitive::None, ValueSource::CfgGet("model".into())),
+                    f("uuid", Primitive::DevIdentifier, ValueSource::NvramGet("device_id".into())),
+                    meta("hardwareVersion"),
+                    meta("firmwareVersion"),
+                    f(
+                        "manufacturingDate",
+                        Primitive::None,
+                        ValueSource::Hardcoded("2021-11-02".into()),
+                    ),
+                ],
+                PlanPolicy::RegisterFixedToken,
+                PlanResponse::FixedToken,
+                "Registering device to the cloud.",
+                "It returns a fixed device token, which can be used to upload tampered system information and crash logs to the cloud.",
+            ),
+            plan(
+                5,
+                1,
+                Delivery::HttpPost,
+                "/cloud/logs",
+                BodyStyle::CJson,
+                vec![
+                    f("uploadSubType", Primitive::None, ValueSource::Hardcoded("crash".into())),
+                    meta("firmwareVersion"),
+                    ident("serialNo"),
+                    ident("macAddress"),
+                    meta("hardwareVersion"),
+                    f("uploadType", Primitive::None, ValueSource::Hardcoded("systemlog".into())),
+                    f("deviceToken", Primitive::BindToken, ValueSource::NvramGet("access_token".into())),
+                ],
+                PlanPolicy::IdentifierOnly,
+                PlanResponse::Ok,
+                "Uploading crash logs.",
+                "Attackers upload fake crash logs to trick users.",
+            ),
+        ],
+        // TP-Link camera (device 2): fake binding + share list.
+        2 => vec![
+            plan(
+                2,
+                0,
+                Delivery::SslWrite,
+                "bindDevice",
+                BodyStyle::CJson,
+                vec![
+                    f("method", Primitive::None, ValueSource::Hardcoded("bindDevice".into())),
+                    f("deviceID", Primitive::DevIdentifier, ValueSource::NvramGet("device_id".into())),
+                    f("cloudusername", Primitive::UserCred, ValueSource::NvramGet("cloud_user".into())),
+                    f("cloudpassword", Primitive::UserCred, ValueSource::NvramGet("cloud_pass".into())),
+                ],
+                PlanPolicy::BindNoUserCred,
+                PlanResponse::BindToken,
+                "Binding the device to the cloud user.",
+                "Attackers can bind the device to the accounts by sending a fake binding request.",
+            ),
+            plan(
+                2,
+                1,
+                Delivery::SslWrite,
+                "getShareIDList",
+                BodyStyle::CJson,
+                vec![
+                    f("method", Primitive::None, ValueSource::Hardcoded("getShareIDList".into())),
+                    f("deviceID", Primitive::DevIdentifier, ValueSource::NvramGet("device_id".into())),
+                ],
+                PlanPolicy::IdentifierOnly,
+                PlanResponse::ResourceList,
+                "Acquiring the shareID list of the device.",
+                "ShareID list can be used to obtain the shared information about the device.",
+            ),
+        ],
+        // Cubetoou camera (device 17): three uid-only interfaces.
+        17 => vec![
+            plan(
+                17,
+                0,
+                Delivery::HttpGet,
+                "/camera-cgi",
+                BodyStyle::SprintfQuery,
+                vec![
+                    f("m", Primitive::None, ValueSource::Hardcoded("cloud".into())),
+                    f("a", Primitive::None, ValueSource::Hardcoded("queryServices".into())),
+                    ident("uid"),
+                ],
+                PlanPolicy::IdentifierOnly,
+                PlanResponse::ResourceList,
+                "Checking the availability of the cloud storage service.",
+                "Privacy information leakage.",
+            ),
+            plan(
+                17,
+                1,
+                Delivery::HttpPost,
+                "/camera-cgi-crash",
+                BodyStyle::SprintfQuery,
+                vec![
+                    f("m", Primitive::None, ValueSource::Hardcoded("camera".into())),
+                    f("a", Primitive::None, ValueSource::Hardcoded("crash_report".into())),
+                    ident("uid"),
+                    meta("version"),
+                ],
+                PlanPolicy::IdentifierOnly,
+                PlanResponse::Ok,
+                "Uploading crash logs.",
+                "After a successful upload, the device crashes and loses its connection.",
+            ),
+            plan(
+                17,
+                2,
+                Delivery::HttpPost,
+                "/camera-cgi-alarm",
+                BodyStyle::StrcatKV,
+                vec![
+                    f("m", Primitive::None, ValueSource::Hardcoded("camera_alarm".into())),
+                    f("a", Primitive::None, ValueSource::Hardcoded("camera_pic_alarm".into())),
+                    ident("uid"),
+                    meta("alarm_time"),
+                    meta("lang"),
+                    meta("img"),
+                ],
+                PlanPolicy::IdentifierOnly,
+                PlanResponse::Ok,
+                "Pushing monitor alert.",
+                "Attackers push false alerts to victim users.",
+            ),
+        ],
+        // DF-iCam camera (device 18).
+        18 => vec![
+            plan(
+                18,
+                0,
+                Delivery::HttpPost,
+                "/auth/get_bind_params",
+                BodyStyle::SprintfQuery,
+                vec![
+                    f("userid", Primitive::UserCred, ValueSource::NvramGet("cloud_user".into())),
+                    ident("mac"),
+                    meta("sdkver"),
+                ],
+                PlanPolicy::IdentifierOnly,
+                PlanResponse::BindToken,
+                "Obtaining binding information.",
+                "Privacy information leakage.",
+            ),
+            plan(
+                18,
+                1,
+                Delivery::HttpPost,
+                "/app/device/save_video/report",
+                BodyStyle::SprintfQuery,
+                vec![
+                    meta("start_time"),
+                    meta("code"),
+                    f("userid", Primitive::UserCred, ValueSource::NvramGet("cloud_user".into())),
+                    ident("mac"),
+                ],
+                PlanPolicy::IdentifierOnly,
+                PlanResponse::ResourceList,
+                "Retrieving stored video records.",
+                "Privacy information leakage.",
+            ),
+        ],
+        // VStarcam (device 19).
+        19 => vec![plan(
+            19,
+            0,
+            Delivery::HttpPost,
+            "/change",
+            BodyStyle::SprintfQuery,
+            vec![ident("vuid"), meta("code"), f("cluster", Primitive::None, ValueSource::CfgGet("cluster".into()))],
+            PlanPolicy::IdentifierOnly,
+            PlanResponse::Ok,
+            "Changing the device ID.",
+            "Information tampering.",
+        )],
+        // RUISION camera (device 20): storage trio.
+        20 => vec![
+            plan(
+                20,
+                0,
+                Delivery::HttpGet,
+                "/store-server/api/v1/storages/status",
+                BodyStyle::SprintfQuery,
+                vec![
+                    f("deviceId", Primitive::DevIdentifier, ValueSource::NvramGet("device_id".into())),
+                    meta("channel"),
+                ],
+                PlanPolicy::IdentifierOnly,
+                PlanResponse::ResourceList,
+                "Querying the cloud storage services of the device.",
+                "Privacy information leakage.",
+            ),
+            plan(
+                20,
+                1,
+                Delivery::HttpPost,
+                "/store-server/api/v1/storages/auth",
+                BodyStyle::SprintfQuery,
+                vec![f("deviceId", Primitive::DevIdentifier, ValueSource::NvramGet("device_id".into()))],
+                PlanPolicy::IdentifierOnly,
+                PlanResponse::StorageKeys,
+                "Authenticating the device to the cloud storage server.",
+                "The cloud returns access-key and secret-key used to upload videos to the cloud.",
+            ),
+            plan(
+                20,
+                2,
+                Delivery::HttpGet,
+                "/store-server/api/v1/storages/files",
+                BodyStyle::SprintfQuery,
+                vec![
+                    f("deviceId", Primitive::DevIdentifier, ValueSource::NvramGet("device_id".into())),
+                    meta("channel"),
+                    f("stream", Primitive::None, ValueSource::Hardcoded("main".into())),
+                    meta("date"),
+                ],
+                PlanPolicy::IdentifierOnly,
+                PlanResponse::ResourceList,
+                "Querying the videos stored on the cloud.",
+                "The cloud returns video information and download paths for the queried time period.",
+            ),
+        ],
+        // Teltonika RUT241 (device 11): the *known* CVE-2023-2586 pattern —
+        // registration with serial+MAC returns the device certificate.
+        11 => vec![plan(
+            11,
+            0,
+            Delivery::SslWrite,
+            "/rms/registrations",
+            BodyStyle::CJson,
+            vec![ident("serial"), ident("mac")],
+            PlanPolicy::RegisterLeakSecret,
+            PlanResponse::DeviceSecret,
+            "Registering device to the RMS cloud.",
+            "Registration with leaked serial and MAC returns the device certificate, enabling full impersonation (known vulnerability, CVE-2023-2586).",
+        )],
+        _ => Vec::new(),
+    }
+}
+
+/// Total number of seeded vulnerable interfaces (paper: 14 = 13 unknown +
+/// 1 known).
+pub fn total_vulnerabilities() -> usize {
+    (1..=22u8).map(|d| vulnerable_plans(d).len()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fourteen_vulnerabilities_across_eight_devices() {
+        assert_eq!(total_vulnerabilities(), 14);
+        let devices: Vec<u8> = (1..=22).filter(|d| !vulnerable_plans(*d).is_empty()).collect();
+        assert_eq!(devices, vec![2, 5, 11, 17, 18, 19, 20], "7 devices with seeded rows");
+        // Paper: 14 vulns in 8 devices; our device 5 carries two rows on
+        // one cloud, so the count lands on 7 synthetic clouds. Documented
+        // in EXPERIMENTS.md.
+    }
+
+    #[test]
+    fn all_vulnerable_plans_have_consequences_and_flawed_policies() {
+        for d in 1..=22u8 {
+            for p in vulnerable_plans(d) {
+                assert!(p.is_vulnerable(), "{d}/{}", p.func_name);
+                assert!(p.consequence.is_some());
+                assert!(p.on_cloud);
+            }
+        }
+    }
+
+    #[test]
+    fn device11_is_the_known_cve() {
+        let plans = vulnerable_plans(11);
+        assert_eq!(plans.len(), 1);
+        assert!(plans[0].consequence.as_ref().unwrap().contains("CVE-2023-2586"));
+        assert_eq!(plans[0].policy, PlanPolicy::RegisterLeakSecret);
+    }
+
+    #[test]
+    fn sprintf_vuln_plans_stay_within_arg_budget() {
+        for d in 1..=22u8 {
+            for p in vulnerable_plans(d) {
+                if matches!(p.style, BodyStyle::SprintfQuery | BodyStyle::SprintfJson) {
+                    assert!(p.fields.len() <= 4, "device {d} {} has too many sprintf fields", p.func_name);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Intra-procedural reaching definitions over the IR.
+
+use firmres_ir::{BlockId, Function, PcodeOp, Varnode};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Position of an operation within a function: `(block, index in block)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpRef {
+    /// Containing basic block.
+    pub block: BlockId,
+    /// Index of the operation within the block.
+    pub index: usize,
+}
+
+/// Reaching-definitions analysis for one function.
+///
+/// Definitions are operations whose `output` is a given varnode. The
+/// analysis is a standard forward may-analysis with gen/kill per block,
+/// solved with a worklist; queries then combine block-entry states with a
+/// backward scan inside the block.
+///
+/// # Examples
+///
+/// ```
+/// use firmres_dataflow::DefUse;
+/// use firmres_ir::{FunctionBuilder, Varnode};
+///
+/// let mut fb = FunctionBuilder::new("f", 0);
+/// let x = fb.local("x", 4);
+/// fb.copy(x.clone(), Varnode::constant(1, 4));
+/// fb.copy(x.clone(), Varnode::constant(2, 4));
+/// fb.ret();
+/// let f = fb.finish();
+/// let du = DefUse::compute(&f);
+/// // At the ret (index 2), only the second copy reaches.
+/// let defs = du.reaching_defs(
+///     firmres_dataflow::OpRef { block: firmres_ir::BlockId(0), index: 2 },
+///     &x,
+/// );
+/// assert_eq!(defs.len(), 1);
+/// assert_eq!(defs[0].index, 1);
+/// ```
+#[derive(Debug)]
+pub struct DefUse {
+    /// All definition sites, in block order.
+    defs: Vec<(OpRef, Varnode)>,
+    /// Per-block set of reaching definition indices at block entry.
+    block_in: Vec<BTreeSet<usize>>,
+    /// Map from op address to position (first occurrence).
+    addr_index: BTreeMap<u64, OpRef>,
+    /// Block op lists are borrowed through the function; we keep block
+    /// lengths for validation.
+    block_lens: Vec<usize>,
+}
+
+impl DefUse {
+    /// Run the analysis on `f`.
+    pub fn compute(f: &Function) -> Self {
+        let nblocks = f.blocks().len();
+        let mut defs: Vec<(OpRef, Varnode)> = Vec::new();
+        let mut addr_index = BTreeMap::new();
+        let mut block_lens = Vec::with_capacity(nblocks);
+        for (bi, block) in f.blocks().iter().enumerate() {
+            block_lens.push(block.ops.len());
+            for (oi, op) in block.ops.iter().enumerate() {
+                let r = OpRef { block: BlockId(bi as u32), index: oi };
+                addr_index.entry(op.addr).or_insert(r);
+                if let Some(out) = &op.output {
+                    defs.push((r, out.clone()));
+                }
+            }
+        }
+        // gen[b]: last def index per varnode in block b.
+        // kill handled implicitly: a def of v kills all other defs of v.
+        let mut gen_last: Vec<BTreeMap<&Varnode, usize>> = vec![BTreeMap::new(); nblocks];
+        let mut killed_vars: Vec<BTreeSet<&Varnode>> = vec![BTreeSet::new(); nblocks];
+        for (i, (r, v)) in defs.iter().enumerate() {
+            let b = r.block.0 as usize;
+            gen_last[b].insert(v, i);
+            killed_vars[b].insert(v);
+        }
+        let preds = f.predecessors();
+        let mut block_in: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); nblocks];
+        let mut block_out: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); nblocks];
+        let mut work: Vec<usize> = (0..nblocks).collect();
+        while let Some(b) = work.pop() {
+            let mut input = BTreeSet::new();
+            for p in &preds[b] {
+                input.extend(block_out[p.0 as usize].iter().copied());
+            }
+            let mut out: BTreeSet<usize> = input
+                .iter()
+                .copied()
+                .filter(|&d| !killed_vars[b].contains(&defs[d].1))
+                .collect();
+            out.extend(gen_last[b].values().copied());
+            let changed = out != block_out[b] || input != block_in[b];
+            block_in[b] = input;
+            if changed {
+                block_out[b] = out;
+                for (sb, blk) in f.blocks().iter().enumerate() {
+                    let _ = blk;
+                    // successors of b get re-queued
+                    if f.blocks()[b].successors.iter().any(|s| s.0 as usize == sb)
+                        && !work.contains(&sb)
+                    {
+                        work.push(sb);
+                    }
+                }
+            }
+        }
+        DefUse { defs, block_in, addr_index, block_lens }
+    }
+
+    /// Position of the operation at machine address `addr`, if present.
+    pub fn position_of(&self, addr: u64) -> Option<OpRef> {
+        self.addr_index.get(&addr).copied()
+    }
+
+    /// All definition sites of `varnode` anywhere in the function.
+    pub fn all_defs(&self, varnode: &Varnode) -> Vec<OpRef> {
+        self.defs
+            .iter()
+            .filter(|(_, v)| v == varnode)
+            .map(|(r, _)| *r)
+            .collect()
+    }
+
+    /// Definitions of `varnode` that reach the program point just *before*
+    /// `at` executes.
+    pub fn reaching_defs(&self, at: OpRef, varnode: &Varnode) -> Vec<OpRef> {
+        let b = at.block.0 as usize;
+        if b >= self.block_lens.len() {
+            return Vec::new();
+        }
+        // Backward scan within the block.
+        let mut best: Option<OpRef> = None;
+        for (r, v) in self.defs.iter().rev() {
+            if r.block == at.block && r.index < at.index && v == varnode {
+                best = Some(*r);
+                break;
+            }
+        }
+        if let Some(r) = best {
+            return vec![r];
+        }
+        // Fall back to block-entry state.
+        self.block_in[b]
+            .iter()
+            .filter(|&&d| &self.defs[d].1 == varnode)
+            .map(|&d| self.defs[d].0)
+            .collect()
+    }
+
+    /// Total number of definition sites.
+    pub fn def_count(&self) -> usize {
+        self.defs.len()
+    }
+}
+
+/// Fetch the operation at `r` in `f`.
+///
+/// # Panics
+///
+/// Panics when `r` does not index a valid operation of `f`; positions must
+/// come from the same function the query targets.
+pub fn op_at<'f>(f: &'f Function, r: OpRef) -> &'f PcodeOp {
+    &f.block(r.block).ops[r.index]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firmres_ir::{FunctionBuilder, Opcode, Varnode};
+
+    /// x = 1; if (p) { x = 2 } ; use x
+    fn diamond() -> Function {
+        let mut fb = FunctionBuilder::new("f", 0);
+        let p = fb.param("p", 4);
+        let x = fb.local("x", 4);
+        fb.copy(x.clone(), Varnode::constant(1, 4));
+        let c = fb.cmp_ne(p, Varnode::constant(0, 4));
+        let then_b = fb.new_block();
+        let join = fb.new_block();
+        fb.cbranch(c, then_b, join);
+        fb.switch_to(then_b);
+        fb.copy(x.clone(), Varnode::constant(2, 4));
+        fb.jump(join);
+        fb.switch_to(join);
+        let t = fb.temp(4);
+        fb.emit(Opcode::Copy, Some(t), vec![x]);
+        fb.ret();
+        fb.finish()
+    }
+
+    fn local_x(f: &Function) -> Varnode {
+        f.symbols()
+            .iter()
+            .find(|(_, s)| s.name == "x")
+            .map(|(v, _)| v.clone())
+            .unwrap()
+    }
+
+    #[test]
+    fn both_branch_defs_reach_join() {
+        let f = diamond();
+        let du = DefUse::compute(&f);
+        let x = local_x(&f);
+        // join block is block 2; the use of x is its first op.
+        let defs = du.reaching_defs(OpRef { block: BlockId(2), index: 0 }, &x);
+        assert_eq!(defs.len(), 2, "defs from both paths reach the join");
+    }
+
+    #[test]
+    fn in_block_def_shadows_earlier_ones() {
+        let f = diamond();
+        let du = DefUse::compute(&f);
+        let x = local_x(&f);
+        // Inside the then-block, after `x = 2`, only that def reaches.
+        let defs = du.reaching_defs(OpRef { block: BlockId(1), index: 1 }, &x);
+        assert_eq!(defs.len(), 1);
+        assert_eq!(defs[0], OpRef { block: BlockId(1), index: 0 });
+    }
+
+    #[test]
+    fn no_defs_for_params() {
+        let f = diamond();
+        let du = DefUse::compute(&f);
+        let p = f.params()[0].clone();
+        let defs = du.reaching_defs(OpRef { block: BlockId(0), index: 1 }, &p);
+        assert!(defs.is_empty(), "parameters have no defining op");
+    }
+
+    #[test]
+    fn loop_defs_flow_around_back_edge() {
+        // x = 0; loop: x = x + 1; if (c) goto loop; use x
+        let mut fb = FunctionBuilder::new("g", 0);
+        let c = fb.param("c", 4);
+        let x = fb.local("x", 4);
+        fb.copy(x.clone(), Varnode::constant(0, 4));
+        let loop_b = fb.new_block();
+        let exit = fb.new_block();
+        fb.jump(loop_b);
+        fb.switch_to(loop_b);
+        let t = fb.add(x.clone(), Varnode::constant(1, 4));
+        fb.copy(x.clone(), t);
+        let cond = fb.cmp_ne(c, Varnode::constant(0, 4));
+        fb.cbranch(cond, loop_b, exit);
+        fb.switch_to(exit);
+        fb.ret();
+        let f = fb.finish();
+        let du = DefUse::compute(&f);
+        // At the top of the loop body, both the init and the loop def reach.
+        let defs = du.reaching_defs(OpRef { block: BlockId(1), index: 0 }, &x);
+        assert_eq!(defs.len(), 2);
+    }
+
+    #[test]
+    fn position_and_counts() {
+        let f = diamond();
+        let du = DefUse::compute(&f);
+        assert!(du.def_count() >= 4);
+        let first = f.ops().next().unwrap();
+        assert_eq!(du.position_of(first.addr), Some(OpRef { block: BlockId(0), index: 0 }));
+        assert_eq!(du.position_of(0xdead), None);
+        let x = local_x(&f);
+        assert_eq!(du.all_defs(&x).len(), 2);
+    }
+}

@@ -1,0 +1,271 @@
+//! Pointer/region resolution.
+//!
+//! Message buffers are referenced through pointers (a `lea` of a stack
+//! local, a data-segment address, or the result of an allocator such as
+//! `cJSON_CreateObject`). To find the *writes* that filled a buffer, the
+//! taint engine first resolves a pointer-valued varnode to an abstract
+//! [`Region`], then looks for operations whose destination resolves to the
+//! same region.
+
+use crate::defuse::{op_at, DefUse, OpRef};
+use firmres_ir::{AddressSpace, Function, Opcode, Program, Varnode};
+
+/// An abstract memory region a pointer may refer to.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Region {
+    /// A stack buffer rooted at the given frame offset.
+    Stack(i64),
+    /// A data-segment object at the given absolute address.
+    Data(u64),
+    /// Memory allocated by a call (e.g. `cJSON_CreateObject`), identified
+    /// by the allocating callsite address.
+    Alloc(u64),
+    /// Unknown — resolution failed.
+    Unknown,
+}
+
+impl Region {
+    /// Whether the region was resolved.
+    pub fn is_known(&self) -> bool {
+        !matches!(self, Region::Unknown)
+    }
+}
+
+/// Maximum definition-chain length walked during resolution.
+const MAX_STEPS: usize = 32;
+
+/// Resolve the pointer value held in `varnode` just before `at` executes.
+///
+/// Resolution walks back through `COPY`, constant folding of
+/// `INT_ADD`/`PTRADD` with constant displacement, stack-slot copies, and
+/// call results (which become [`Region::Alloc`] identified by the call
+/// address). Over-approximation is deliberate: an unresolvable pointer
+/// yields [`Region::Unknown`], which the engine treats conservatively.
+pub fn resolve_region(
+    program: &Program,
+    f: &Function,
+    du: &DefUse,
+    at: OpRef,
+    varnode: &Varnode,
+) -> Region {
+    resolve_inner(program, f, du, at, varnode, 0, MAX_STEPS)
+}
+
+fn resolve_inner(
+    program: &Program,
+    f: &Function,
+    du: &DefUse,
+    at: OpRef,
+    varnode: &Varnode,
+    disp: i64,
+    budget: usize,
+) -> Region {
+    if budget == 0 {
+        return Region::Unknown;
+    }
+    // Constants: either data pointers or plain numbers (numbers yield a
+    // data region only when they land inside the data segment).
+    if let Some(value) = varnode.const_value() {
+        let addr = (value as i64 + disp) as u64;
+        let data_end = program.data_base() + program.data_bytes().len() as u64;
+        if addr >= program.data_base() && addr < data_end {
+            return Region::Data(addr);
+        }
+        return Region::Unknown;
+    }
+    // A stack varnode used *as a value* holds whatever was stored there;
+    // chase the store. (Its own address is Region::Stack(offset), but that
+    // is only relevant when it appears as an address expression — the
+    // lifter never takes addresses of slots except via sp arithmetic.)
+    let defs = du.reaching_defs(at, varnode);
+    if defs.is_empty() {
+        // Parameters and sp: sp + disp is a stack region.
+        if varnode.space == AddressSpace::Register && varnode.offset == 2 {
+            return Region::Stack(disp);
+        }
+        return Region::Unknown;
+    }
+    let mut result: Option<Region> = None;
+    for d in defs {
+        let op = op_at(f, d);
+        let r = match op.opcode {
+            Opcode::Copy => resolve_inner(program, f, du, d, &op.inputs[0], disp, budget - 1),
+            Opcode::IntAdd | Opcode::PtrAdd => {
+                let (a, b) = (&op.inputs[0], &op.inputs[1]);
+                match (a.const_value(), b.const_value()) {
+                    (_, Some(k)) => {
+                        resolve_inner(program, f, du, d, a, disp + k as i32 as i64, budget - 1)
+                    }
+                    (Some(k), _) => {
+                        resolve_inner(program, f, du, d, b, disp + k as i32 as i64, budget - 1)
+                    }
+                    _ => Region::Unknown,
+                }
+            }
+            // Only genuine allocator calls (RetAlloc summaries, e.g.
+            // cJSON_CreateObject) produce a fresh region. Other call
+            // results stay Unknown so value-level tainting handles them
+            // through summaries or by descending into the callee.
+            Opcode::Call => {
+                let is_alloc = op
+                    .call_target()
+                    .and_then(|t| program.callee_name(t))
+                    .and_then(crate::summary::summary_for)
+                    .is_some_and(|s| {
+                        s.effects
+                            .iter()
+                            .any(|e| matches!(e, crate::summary::SummaryEffect::RetAlloc))
+                    });
+                if is_alloc {
+                    Region::Alloc(op.addr)
+                } else {
+                    Region::Unknown
+                }
+            }
+            _ => Region::Unknown,
+        };
+        match (&result, &r) {
+            (None, _) => result = Some(r),
+            (Some(prev), next) if prev == next => {}
+            // Conflicting resolutions across paths: give up.
+            _ => return Region::Unknown,
+        }
+    }
+    result.unwrap_or(Region::Unknown)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firmres_isa::{lift, Assembler};
+
+    fn setup(src: &str) -> (Program, String) {
+        let exe = Assembler::new().assemble(src).unwrap();
+        let p = lift(&exe, "t").unwrap();
+        (p, "main".to_string())
+    }
+
+    fn region_of_call_arg(program: &Program, func: &str, callee: &str, arg: usize) -> Region {
+        let f = program.function_by_name(func).unwrap();
+        let du = DefUse::compute(f);
+        let call = f
+            .callsites()
+            .find(|c| {
+                c.call_target()
+                    .and_then(|t| program.callee_name(t))
+                    .is_some_and(|n| n == callee)
+            })
+            .unwrap()
+            .clone();
+        let at = du.position_of(call.addr).unwrap();
+        resolve_region(program, f, &du, at, &call.call_args()[arg])
+    }
+
+    #[test]
+    fn lea_of_local_resolves_to_stack() {
+        let (p, f) = setup(
+            r#"
+.func main
+.local buf 64
+    lea a0, buf
+    callx SSL_write
+    ret
+.endfunc
+"#,
+        );
+        assert_eq!(region_of_call_arg(&p, &f, "SSL_write", 0), Region::Stack(0));
+    }
+
+    #[test]
+    fn second_local_resolves_with_offset() {
+        let (p, f) = setup(
+            r#"
+.func main
+.local a 16
+.local b 16
+    lea a0, b
+    callx SSL_write
+    ret
+.endfunc
+"#,
+        );
+        assert_eq!(region_of_call_arg(&p, &f, "SSL_write", 0), Region::Stack(16));
+    }
+
+    #[test]
+    fn data_label_resolves_to_data() {
+        let (p, f) = setup(
+            ".func main\n la a0, msg\n callx SSL_write\n ret\n.endfunc\n.data\nmsg: .asciz \"hi\"\n",
+        );
+        match region_of_call_arg(&p, &f, "SSL_write", 0) {
+            Region::Data(addr) => assert_eq!(p.string_at(addr), Some("hi")),
+            other => panic!("expected data region, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn call_results_become_alloc_regions() {
+        let (p, f) = setup(
+            r#"
+.func main
+    callx cJSON_CreateObject
+    mov a0, rv
+    callx cJSON_Print
+    ret
+.endfunc
+"#,
+        );
+        match region_of_call_arg(&p, &f, "cJSON_Print", 0) {
+            Region::Alloc(_) => {}
+            other => panic!("expected alloc region, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn copies_through_registers_are_followed() {
+        let (p, f) = setup(
+            r#"
+.func main
+.local buf 32
+    lea t0, buf
+    mov t1, t0
+    mov a0, t1
+    callx SSL_write
+    ret
+.endfunc
+"#,
+        );
+        assert_eq!(region_of_call_arg(&p, &f, "SSL_write", 0), Region::Stack(0));
+    }
+
+    #[test]
+    fn pointer_arithmetic_accumulates_displacement() {
+        let (p, f) = setup(
+            r#"
+.func main
+.local buf 64
+    lea t0, buf
+    addi a0, t0, 8
+    callx SSL_write
+    ret
+.endfunc
+"#,
+        );
+        assert_eq!(region_of_call_arg(&p, &f, "SSL_write", 0), Region::Stack(8));
+    }
+
+    #[test]
+    fn unresolvable_pointer_is_unknown() {
+        let (p, f) = setup(
+            r#"
+.func main p
+    lw a0, 0(a0)
+    callx SSL_write
+    ret
+.endfunc
+"#,
+        );
+        assert_eq!(region_of_call_arg(&p, &f, "SSL_write", 0), Region::Unknown);
+        assert!(!Region::Unknown.is_known());
+    }
+}

@@ -1,0 +1,353 @@
+//! Function summaries for library calls.
+//!
+//! The paper (§IV-B, propagation rules): *"we write function summaries for
+//! commonly invoked system calls and library calls, to avoid time and
+//! memory costs during dataflow analysis."* A [`Summary`] describes how
+//! data moves through an import without analyzing its body, and which
+//! arguments/returns are terminal **field sources**.
+
+/// Where a message-field value ultimately originates.
+///
+/// These map to the paper's taint-sink categories: constants from the data
+/// segment, values from NVRAM or configuration files, and front-end
+/// (environment/user) input, plus hardware identity reads and network
+/// input that real firmware exhibits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SourceKind {
+    /// NVRAM variable.
+    Nvram,
+    /// Configuration file value.
+    ConfigFile,
+    /// Environment variable (front-end provided).
+    Environment,
+    /// Hardware identity (MAC address, serial number, uid, …).
+    HardwareId,
+    /// Value received from the network (e.g. an earlier cloud response).
+    NetworkIn,
+    /// Front-end user input.
+    UserInput,
+    /// Current time.
+    Time,
+    /// Random value.
+    Random,
+}
+
+impl SourceKind {
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SourceKind::Nvram => "nvram",
+            SourceKind::ConfigFile => "config",
+            SourceKind::Environment => "env",
+            SourceKind::HardwareId => "hw-id",
+            SourceKind::NetworkIn => "net-in",
+            SourceKind::UserInput => "user",
+            SourceKind::Time => "time",
+            SourceKind::Random => "random",
+        }
+    }
+}
+
+/// One dataflow effect of a summarized call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SummaryEffect {
+    /// Argument `dst` (a destination buffer) receives data from the listed
+    /// source arguments.
+    ArgFrom {
+        /// Destination argument index.
+        dst: usize,
+        /// Contributing argument indices.
+        srcs: Vec<usize>,
+    },
+    /// The return value is derived from the listed arguments.
+    RetFrom {
+        /// Contributing argument indices.
+        srcs: Vec<usize>,
+    },
+    /// The return value is a terminal field source; `key_arg` names the
+    /// argument whose string constant identifies the key (e.g.
+    /// `nvram_get("mac")`).
+    RetSource {
+        /// Kind of source.
+        kind: SourceKind,
+        /// Argument index holding the lookup key, if any.
+        key_arg: Option<usize>,
+    },
+    /// Argument `dst` is filled with a terminal field source (out-param
+    /// style getters such as `get_mac_addr(buf)`).
+    ArgSource {
+        /// Destination argument index.
+        dst: usize,
+        /// Kind of source.
+        kind: SourceKind,
+        /// Fixed key name for the value (e.g. `"mac"`).
+        key: &'static str,
+    },
+    /// The call allocates and returns a fresh buffer (e.g.
+    /// `cJSON_CreateObject`): writes into the result are tracked by
+    /// allocation-site region.
+    RetAlloc,
+}
+
+/// A library-call summary: name plus its dataflow effects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Summary {
+    /// Import name.
+    pub name: &'static str,
+    /// Effects, applied independently.
+    pub effects: Vec<SummaryEffect>,
+}
+
+impl Summary {
+    /// Effects that write through the destination-buffer argument `dst`.
+    pub fn writes_to_arg(&self, dst: usize) -> impl Iterator<Item = &SummaryEffect> {
+        self.effects.iter().filter(move |e| match e {
+            SummaryEffect::ArgFrom { dst: d, .. } | SummaryEffect::ArgSource { dst: d, .. } => {
+                *d == dst
+            }
+            _ => false,
+        })
+    }
+
+    /// Whether the summary has any effect on its return value.
+    pub fn affects_return(&self) -> bool {
+        self.effects.iter().any(|e| {
+            matches!(
+                e,
+                SummaryEffect::RetFrom { .. }
+                    | SummaryEffect::RetSource { .. }
+                    | SummaryEffect::RetAlloc
+            )
+        })
+    }
+}
+
+/// The summary for import `name`, if one is defined.
+///
+/// Unknown imports have no summary; the taint engine then over-taints
+/// (treats every argument as contributing), matching the paper's
+/// deliberate over-approximation.
+pub fn summary_for(name: &str) -> Option<Summary> {
+    use SummaryEffect::*;
+    let effects: Vec<SummaryEffect> = match name {
+        // ---- formatted output ----
+        "sprintf" => vec![ArgFrom { dst: 0, srcs: vec![1, 2, 3, 4, 5] }],
+        "snprintf" => vec![ArgFrom { dst: 0, srcs: vec![2, 3, 4, 5] }],
+        // ---- string/memory movement ----
+        "strcpy" => vec![ArgFrom { dst: 0, srcs: vec![1] }, RetFrom { srcs: vec![0] }],
+        "strncpy" => vec![ArgFrom { dst: 0, srcs: vec![1] }],
+        "strcat" => vec![ArgFrom { dst: 0, srcs: vec![0, 1] }, RetFrom { srcs: vec![0] }],
+        "memcpy" => vec![ArgFrom { dst: 0, srcs: vec![1] }, RetFrom { srcs: vec![0] }],
+        "itoa" => vec![ArgFrom { dst: 1, srcs: vec![0] }, RetFrom { srcs: vec![1] }],
+        // ---- JSON assembly (cJSON style) ----
+        "cJSON_CreateObject" => vec![RetAlloc],
+        "cJSON_AddStringToObject" | "cJSON_AddNumberToObject" => {
+            vec![ArgFrom { dst: 0, srcs: vec![1, 2] }]
+        }
+        "cJSON_Print" => vec![RetFrom { srcs: vec![0] }],
+        "cJSON_GetObjectItem" => vec![RetFrom { srcs: vec![0, 1] }],
+        // ---- configuration / identity sources ----
+        "nvram_get" => vec![RetSource { kind: SourceKind::Nvram, key_arg: Some(0) }],
+        "cfg_get" => vec![RetSource { kind: SourceKind::ConfigFile, key_arg: Some(0) }],
+        "config_read" => vec![RetSource { kind: SourceKind::ConfigFile, key_arg: Some(1) }],
+        "getenv" => vec![RetSource { kind: SourceKind::Environment, key_arg: Some(0) }],
+        "get_mac_addr" => vec![ArgSource { dst: 0, kind: SourceKind::HardwareId, key: "mac" }],
+        "get_serial" => vec![ArgSource { dst: 0, kind: SourceKind::HardwareId, key: "serial" }],
+        "get_uid" => vec![ArgSource { dst: 0, kind: SourceKind::HardwareId, key: "uid" }],
+        "get_dev_model" => vec![ArgSource { dst: 0, kind: SourceKind::HardwareId, key: "model" }],
+        "get_fw_version" => {
+            vec![ArgSource { dst: 0, kind: SourceKind::HardwareId, key: "fw_version" }]
+        }
+        // ---- derivation (signatures, digests) ----
+        "hmac_sign" => vec![RetFrom { srcs: vec![0, 1] }],
+        "md5_hex" | "sha256_hex" => {
+            vec![ArgFrom { dst: 2, srcs: vec![0] }, RetFrom { srcs: vec![2] }]
+        }
+        // ---- network input ----
+        "recv" => vec![ArgSource { dst: 1, kind: SourceKind::NetworkIn, key: "recv" }],
+        "recvfrom" => vec![ArgSource { dst: 1, kind: SourceKind::NetworkIn, key: "recvfrom" }],
+        "read" => vec![ArgSource { dst: 1, kind: SourceKind::NetworkIn, key: "read" }],
+        // ---- misc sources ----
+        "time" => vec![RetSource { kind: SourceKind::Time, key_arg: None }],
+        "rand" => vec![RetSource { kind: SourceKind::Random, key_arg: None }],
+        _ => return None,
+    };
+    Some(Summary { name: summary_name(name), effects })
+}
+
+/// Map a dynamic name to the static str stored in the table.
+fn summary_name(name: &str) -> &'static str {
+    const NAMES: &[&str] = &[
+        "sprintf",
+        "snprintf",
+        "strcpy",
+        "strncpy",
+        "itoa",
+        "strcat",
+        "memcpy",
+        "cJSON_CreateObject",
+        "cJSON_AddStringToObject",
+        "cJSON_AddNumberToObject",
+        "cJSON_Print",
+        "cJSON_GetObjectItem",
+        "nvram_get",
+        "cfg_get",
+        "config_read",
+        "getenv",
+        "get_mac_addr",
+        "get_serial",
+        "get_uid",
+        "get_dev_model",
+        "get_fw_version",
+        "hmac_sign",
+        "md5_hex",
+        "sha256_hex",
+        "recv",
+        "recvfrom",
+        "read",
+        "time",
+        "rand",
+    ];
+    NAMES.iter().find(|n| **n == name).copied().unwrap_or("unknown")
+}
+
+/// Message-delivery functions: the callsites whose arguments are the
+/// paper's *taint sources* (the variables holding device-cloud messages).
+/// Returns the index of the argument that carries the message payload.
+pub fn delivery_payload_arg(name: &str) -> Option<usize> {
+    match name {
+        // SSL_write(ctx, buf, len) / CyaSSL_write(ctx, buf, len)
+        "SSL_write" | "CyaSSL_write" => Some(1),
+        // send(fd, buf, len, flags) / write(fd, buf, len)
+        "send" | "write" => Some(1),
+        // sendto(fd, buf, len, flags, addr, alen)
+        "sendto" => Some(1),
+        // mosquitto_publish(mosq, topic, payload, len) — payload
+        "mosquitto_publish" => Some(2),
+        // mqtt_publish(client, topic, payload, len)
+        "mqtt_publish" => Some(2),
+        // http_post(host, path, body, hdrs)
+        "http_post" => Some(2),
+        // http_get(host, path, hdrs) — the path carries the query string
+        "http_get" => Some(1),
+        // curl_easy_perform(handle) — handle configured elsewhere; treat
+        // the handle itself as the payload carrier.
+        "curl_easy_perform" => Some(0),
+        _ => None,
+    }
+}
+
+/// For delivery functions with a separate topic/path argument (MQTT topic,
+/// HTTP path), its index — used to recover the endpoint.
+pub fn delivery_endpoint_arg(name: &str) -> Option<usize> {
+    match name {
+        "mosquitto_publish" | "mqtt_publish" => Some(1),
+        "http_post" | "http_get" => Some(1),
+        _ => None,
+    }
+}
+
+/// Request-incoming functions (`fun_in` anchors in paper Fig. 4) and the
+/// index of the buffer argument that receives the request.
+pub fn incoming_buffer_arg(name: &str) -> Option<usize> {
+    match name {
+        "recv" | "recvfrom" | "read" => Some(1),
+        "SSL_read" | "CyaSSL_read" => Some(1),
+        "mqtt_message_get" => Some(1),
+        _ => None,
+    }
+}
+
+/// Response-outgoing functions (`fun_out` anchors in paper Fig. 4).
+pub fn is_outgoing(name: &str) -> bool {
+    matches!(
+        name,
+        "send"
+            | "sendto"
+            | "write"
+            | "SSL_write"
+            | "CyaSSL_write"
+            | "mosquitto_publish"
+            | "mqtt_publish"
+            | "http_post"
+            | "http_get"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_summaries_exist() {
+        for name in ["sprintf", "strcpy", "strcat", "nvram_get", "cJSON_Print"] {
+            assert!(summary_for(name).is_some(), "{name}");
+        }
+        assert!(summary_for("totally_unknown_fn").is_none());
+    }
+
+    #[test]
+    fn sprintf_writes_through_arg0() {
+        let s = summary_for("sprintf").unwrap();
+        let writes: Vec<_> = s.writes_to_arg(0).collect();
+        assert_eq!(writes.len(), 1);
+        match writes[0] {
+            SummaryEffect::ArgFrom { srcs, .. } => assert_eq!(srcs, &vec![1, 2, 3, 4, 5]),
+            other => panic!("unexpected effect {other:?}"),
+        }
+        assert!(s.writes_to_arg(1).next().is_none());
+        assert!(!s.affects_return());
+    }
+
+    #[test]
+    fn getters_fill_out_params() {
+        let s = summary_for("get_mac_addr").unwrap();
+        let effects: Vec<_> = s.writes_to_arg(0).cloned().collect();
+        match &effects[0] {
+            SummaryEffect::ArgSource { kind, key, .. } => {
+                assert_eq!(*kind, SourceKind::HardwareId);
+                assert_eq!(*key, "mac");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nvram_get_is_ret_source_with_key() {
+        let s = summary_for("nvram_get").unwrap();
+        assert!(s.affects_return());
+        assert!(matches!(
+            s.effects[0],
+            SummaryEffect::RetSource { kind: SourceKind::Nvram, key_arg: Some(0) }
+        ));
+    }
+
+    #[test]
+    fn delivery_and_anchor_tables() {
+        assert_eq!(delivery_payload_arg("SSL_write"), Some(1));
+        assert_eq!(delivery_payload_arg("mosquitto_publish"), Some(2));
+        assert_eq!(delivery_payload_arg("strcpy"), None);
+        assert_eq!(delivery_endpoint_arg("mosquitto_publish"), Some(1));
+        assert_eq!(delivery_endpoint_arg("SSL_write"), None);
+        assert_eq!(incoming_buffer_arg("recv"), Some(1));
+        assert!(is_outgoing("send"));
+        assert!(!is_outgoing("recv"));
+    }
+
+    #[test]
+    fn source_kind_labels_unique() {
+        use std::collections::BTreeSet;
+        let kinds = [
+            SourceKind::Nvram,
+            SourceKind::ConfigFile,
+            SourceKind::Environment,
+            SourceKind::HardwareId,
+            SourceKind::NetworkIn,
+            SourceKind::UserInput,
+            SourceKind::Time,
+            SourceKind::Random,
+        ];
+        let labels: BTreeSet<_> = kinds.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), kinds.len());
+    }
+}

@@ -1,0 +1,1358 @@
+//! Backward inter-procedural taint analysis (paper §IV-B).
+//!
+//! The engine starts at a message-delivery callsite argument (the paper's
+//! *taint source*) and walks data flows backwards — through copies,
+//! arithmetic, summarized library calls, buffer writes, callee returns and
+//! caller arguments — until it reaches terminal *taint sinks*: the origins
+//! of individual message fields. The result is a [`TaintTree`] whose paths
+//! the `firmres-mft` crate renders into code slices and the Message Field
+//! Tree.
+
+use crate::defuse::{op_at, DefUse, OpRef};
+use crate::region::{resolve_region, Region};
+use crate::summary::{summary_for, SourceKind, SummaryEffect};
+use firmres_ir::{
+    is_import_address, Address, CallGraph, Function, Opcode, PcodeOp, Program, Varnode,
+};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Identifier of a node in a [`TaintTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaintNodeId(pub usize);
+
+/// Terminal origin of a message-field value (the paper's taint sink).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldSource {
+    /// A string constant in the data segment (request paths, format
+    /// strings, JSON keys, hard-coded values).
+    StringConstant {
+        /// Address in the data segment.
+        addr: u64,
+        /// The string contents.
+        value: String,
+    },
+    /// A plain numeric constant.
+    NumericConstant {
+        /// The value.
+        value: u64,
+    },
+    /// A value produced by a summarized source call (`nvram_get`,
+    /// `get_mac_addr`, `getenv`, …).
+    LibCall {
+        /// Source category.
+        kind: SourceKind,
+        /// The callee name.
+        callee: String,
+        /// The resolved lookup key (e.g. the NVRAM variable name).
+        key: Option<String>,
+    },
+    /// Flowed to a parameter of an entry-point function with no callers:
+    /// front-end/user input.
+    EntryParam {
+        /// Function name.
+        func: String,
+        /// Parameter index.
+        index: usize,
+    },
+    /// Resolution gave up (analysis budget, unmodeled operation, …).
+    Unresolved {
+        /// Why resolution stopped.
+        reason: &'static str,
+    },
+}
+
+impl FieldSource {
+    /// Whether the source is a concrete, decomposable-no-further origin
+    /// ("single-information-source" in the paper's terms).
+    pub fn is_concrete(&self) -> bool {
+        !matches!(self, FieldSource::Unresolved { .. })
+    }
+}
+
+impl fmt::Display for FieldSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldSource::StringConstant { value, .. } => write!(f, "\"{value}\""),
+            FieldSource::NumericConstant { value } => write!(f, "{value:#x}"),
+            FieldSource::LibCall { callee, key, .. } => match key {
+                Some(k) => write!(f, "{callee}(\"{k}\")"),
+                None => write!(f, "{callee}()"),
+            },
+            FieldSource::EntryParam { func, index } => write!(f, "{func}#param{index}"),
+            FieldSource::Unresolved { reason } => write!(f, "<unresolved: {reason}>"),
+        }
+    }
+}
+
+/// What a taint-tree node represents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaintNodeKind {
+    /// The root: a message argument at a delivery callsite.
+    Root {
+        /// Delivery function name (`SSL_write`, …).
+        delivery: String,
+    },
+    /// A write into the message buffer (one concatenation step).
+    Write {
+        /// The function performing the write (`sprintf`, `strcat`, a
+        /// `STORE`, …).
+        via: String,
+    },
+    /// A value-producing operation on the path.
+    Transform {
+        /// The operation.
+        opcode: Opcode,
+    },
+    /// Flow through a call (into a callee's return or a summary).
+    ThroughCall {
+        /// Callee name.
+        callee: String,
+    },
+    /// Flow crossed from a parameter out to a caller's argument.
+    ParamCross {
+        /// Parameter index in the callee.
+        param: usize,
+    },
+    /// A terminal field source.
+    Source(FieldSource),
+}
+
+/// One node of a [`TaintTree`].
+#[derive(Debug, Clone)]
+pub struct TaintNode {
+    /// This node's id.
+    pub id: TaintNodeId,
+    /// Parent node (None only for the root).
+    pub parent: Option<TaintNodeId>,
+    /// Children in discovery order.
+    pub children: Vec<TaintNodeId>,
+    /// Entry address of the function this node was discovered in.
+    pub func: Address,
+    /// The IR operation associated with the node, when there is one.
+    pub op: Option<PcodeOp>,
+    /// The varnode being traced at this node, when meaningful.
+    pub varnode: Option<Varnode>,
+    /// Node kind.
+    pub kind: TaintNodeKind,
+    /// Discovery sequence number (backward order; the MFT inversion step
+    /// restores construction order).
+    pub seq: u64,
+}
+
+impl TaintNode {
+    /// The terminal source, when this is a leaf source node.
+    pub fn source(&self) -> Option<&FieldSource> {
+        match &self.kind {
+            TaintNodeKind::Source(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// The backward-taint result: a tree rooted at the delivery argument with
+/// field sources at the leaves.
+#[derive(Debug, Clone, Default)]
+pub struct TaintTree {
+    nodes: Vec<TaintNode>,
+}
+
+impl TaintTree {
+    fn add(
+        &mut self,
+        parent: Option<TaintNodeId>,
+        func: Address,
+        op: Option<PcodeOp>,
+        varnode: Option<Varnode>,
+        kind: TaintNodeKind,
+    ) -> TaintNodeId {
+        let id = TaintNodeId(self.nodes.len());
+        let seq = self.nodes.len() as u64;
+        self.nodes.push(TaintNode { id, parent, children: Vec::new(), func, op, varnode, kind, seq });
+        if let Some(p) = parent {
+            self.nodes[p.0].children.push(id);
+        }
+        id
+    }
+
+    /// The root node.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty tree (never produced by [`TaintEngine::trace`]).
+    pub fn root(&self) -> &TaintNode {
+        &self.nodes[0]
+    }
+
+    /// The node with the given id.
+    pub fn node(&self, id: TaintNodeId) -> &TaintNode {
+        &self.nodes[id.0]
+    }
+
+    /// All nodes in discovery order.
+    pub fn nodes(&self) -> &[TaintNode] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree is empty (no trace performed).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Leaf nodes that carry a terminal [`FieldSource`].
+    pub fn sources(&self) -> impl Iterator<Item = &TaintNode> {
+        self.nodes.iter().filter(|n| n.source().is_some())
+    }
+
+    /// The path from `leaf` up to the root, leaf first.
+    pub fn path_to_root(&self, leaf: TaintNodeId) -> Vec<TaintNodeId> {
+        let mut path = vec![leaf];
+        let mut cur = leaf;
+        while let Some(p) = self.nodes[cur.0].parent {
+            path.push(p);
+            cur = p;
+        }
+        path
+    }
+}
+
+/// Tuning knobs for the taint engine.
+#[derive(Debug, Clone)]
+pub struct TaintConfig {
+    /// Maximum recursion depth.
+    pub max_depth: usize,
+    /// Maximum nodes per trace.
+    pub max_nodes: usize,
+    /// Whether unknown library calls propagate taint through every
+    /// argument (the paper's over-taint strategy). Disabling this is the
+    /// ablation measured in the benchmarks.
+    pub overtaint: bool,
+    /// Whether buffer pointers are decomposed into the writes that filled
+    /// them (the paper's "single-information-source" sink criterion).
+    /// Disabling this is the naive-sink ablation: the message argument
+    /// itself becomes an opaque sink and per-field recovery collapses.
+    pub decompose_buffers: bool,
+}
+
+impl Default for TaintConfig {
+    fn default() -> Self {
+        TaintConfig { max_depth: 48, max_nodes: 4096, overtaint: true, decompose_buffers: true }
+    }
+}
+
+/// The backward inter-procedural taint engine over one [`Program`].
+pub struct TaintEngine<'p> {
+    program: &'p Program,
+    callgraph: CallGraph,
+    defuse: BTreeMap<Address, DefUse>,
+    reach: BTreeMap<Address, Vec<BTreeSet<u32>>>,
+    config: TaintConfig,
+}
+
+/// Extended region used inside the engine: [`Region`] plus buffers that
+/// arrive through a pointer parameter.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum XRegion {
+    Plain(Region),
+    PtrParam(usize),
+}
+
+struct Cx {
+    tree: TaintTree,
+    visited_vals: BTreeSet<(Address, OpRef, Varnode)>,
+    visited_regions: BTreeSet<(Address, String, Option<OpRef>)>,
+    call_stack: Vec<(Address, Address)>, // (caller entry, callsite addr)
+}
+
+impl<'p> TaintEngine<'p> {
+    /// Create an engine with default configuration.
+    pub fn new(program: &'p Program) -> Self {
+        Self::with_config(program, TaintConfig::default())
+    }
+
+    /// Create an engine with an explicit configuration.
+    pub fn with_config(program: &'p Program, config: TaintConfig) -> Self {
+        TaintEngine {
+            program,
+            callgraph: program.call_graph(),
+            defuse: BTreeMap::new(),
+            reach: BTreeMap::new(),
+            config,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &TaintConfig {
+        &self.config
+    }
+
+    fn du(&mut self, func: Address) -> &DefUse {
+        if !self.defuse.contains_key(&func) {
+            let f = self.program.function(func).expect("function exists");
+            self.defuse.insert(func, DefUse::compute(f));
+        }
+        self.defuse.get(&func).expect("just inserted")
+    }
+
+    /// block-level "can a reach b" closure, cached per function.
+    fn reachable(&mut self, func: Address, from: u32, to: u32) -> bool {
+        if from == to {
+            return true;
+        }
+        if !self.reach.contains_key(&func) {
+            let f = self.program.function(func).expect("function exists");
+            let n = f.blocks().len();
+            let mut sets: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); n];
+            for start in 0..n {
+                let mut seen = BTreeSet::new();
+                let mut q = vec![start as u32];
+                while let Some(b) = q.pop() {
+                    for s in &f.blocks()[b as usize].successors {
+                        if seen.insert(s.0) {
+                            q.push(s.0);
+                        }
+                    }
+                }
+                sets[start] = seen;
+            }
+            self.reach.insert(func, sets);
+        }
+        self.reach[&func][from as usize].contains(&to)
+    }
+
+    /// Trace the message held in argument `arg` of the call at
+    /// `callsite_addr` inside the function entered at `func`.
+    ///
+    /// Returns a single-node tree with an `Unresolved` root child when the
+    /// callsite cannot be found.
+    pub fn trace(&mut self, func: Address, callsite_addr: Address, arg: usize) -> TaintTree {
+        let mut cx = Cx {
+            tree: TaintTree::default(),
+            visited_vals: BTreeSet::new(),
+            visited_regions: BTreeSet::new(),
+            call_stack: Vec::new(),
+        };
+        let Some(f) = self.program.function(func) else {
+            let root = cx.tree.add(None, func, None, None, TaintNodeKind::Root {
+                delivery: "<unknown>".into(),
+            });
+            cx.tree.add(Some(root), func, None, None,
+                TaintNodeKind::Source(FieldSource::Unresolved { reason: "function not found" }));
+            return cx.tree;
+        };
+        let Some(call) = f.op_at(callsite_addr).cloned() else {
+            let root = cx.tree.add(None, func, None, None, TaintNodeKind::Root {
+                delivery: "<unknown>".into(),
+            });
+            cx.tree.add(Some(root), func, None, None,
+                TaintNodeKind::Source(FieldSource::Unresolved { reason: "callsite not found" }));
+            return cx.tree;
+        };
+        let delivery = call
+            .call_target()
+            .and_then(|t| self.program.callee_name(t))
+            .unwrap_or("<indirect>")
+            .to_string();
+        let root = cx.tree.add(
+            None,
+            func,
+            Some(call.clone()),
+            call.call_args().get(arg).cloned(),
+            TaintNodeKind::Root { delivery },
+        );
+        let Some(v) = call.call_args().get(arg).cloned() else {
+            cx.tree.add(Some(root), func, None, None,
+                TaintNodeKind::Source(FieldSource::Unresolved { reason: "argument missing" }));
+            return cx.tree;
+        };
+        let at = self.du(func).position_of(callsite_addr).expect("op exists");
+        self.taint_value(&mut cx, func, at, &v, root, 0);
+        cx.tree
+    }
+
+    fn budget_ok(&self, cx: &Cx, depth: usize) -> bool {
+        depth < self.config.max_depth && cx.tree.len() < self.config.max_nodes
+    }
+
+    fn leaf(&self, cx: &mut Cx, func: Address, parent: TaintNodeId, src: FieldSource) {
+        cx.tree.add(Some(parent), func, None, None, TaintNodeKind::Source(src));
+    }
+
+    /// Resolve a varnode that may be a pointer; returns the region.
+    fn region_of(&mut self, func: Address, at: OpRef, v: &Varnode) -> Region {
+        let f = self.program.function(func).expect("function exists");
+        // Borrow dance: DefUse is computed before taking the reference.
+        self.du(func);
+        let du = self.defuse.get(&func).expect("cached");
+        resolve_region(self.program, f, du, at, v)
+    }
+
+    fn taint_value(
+        &mut self,
+        cx: &mut Cx,
+        func: Address,
+        at: OpRef,
+        v: &Varnode,
+        parent: TaintNodeId,
+        depth: usize,
+    ) {
+        if !self.budget_ok(cx, depth) {
+            self.leaf(cx, func, parent, FieldSource::Unresolved { reason: "budget exceeded" });
+            return;
+        }
+        if !cx.visited_vals.insert((func, at, v.clone())) {
+            return; // already explored this exact fact
+        }
+        // Constants terminate immediately.
+        if let Some(value) = v.const_value() {
+            if let Some(s) = self.program.string_at(value) {
+                self.leaf(cx, func, parent, FieldSource::StringConstant {
+                    addr: value,
+                    value: s.to_string(),
+                });
+            } else {
+                self.leaf(cx, func, parent, FieldSource::NumericConstant { value });
+            }
+            return;
+        }
+        // Pointer? If the value resolves to a buffer region, the message
+        // content is whatever was written into that buffer.
+        match self.region_of(func, at, v) {
+            Region::Data(addr) => {
+                if let Some(s) = self.program.string_at(addr) {
+                    self.leaf(cx, func, parent, FieldSource::StringConstant {
+                        addr,
+                        value: s.to_string(),
+                    });
+                    return;
+                }
+            }
+            r @ (Region::Stack(_) | Region::Alloc(_)) => {
+                if self.config.decompose_buffers {
+                    self.taint_region(cx, func, &XRegion::Plain(r), Some(at), parent, depth + 1);
+                } else {
+                    // Naive-sink ablation: stop at the buffer itself.
+                    self.leaf(cx, func, parent,
+                        FieldSource::Unresolved { reason: "buffer not decomposed" });
+                }
+                return;
+            }
+            Region::Unknown => {}
+        }
+        let f = self.program.function(func).expect("function exists");
+        self.du(func);
+        let defs = self.defuse[&func].reaching_defs(at, v);
+        if defs.is_empty() {
+            self.value_without_defs(cx, func, v, parent, depth);
+            return;
+        }
+        for d in defs {
+            let op = op_at(f, d).clone();
+            self.taint_def(cx, func, d, &op, v, parent, depth);
+        }
+    }
+
+    /// A used value with no defining op: a parameter (cross to callers) or
+    /// an uninitialized location.
+    fn value_without_defs(
+        &mut self,
+        cx: &mut Cx,
+        func: Address,
+        v: &Varnode,
+        parent: TaintNodeId,
+        depth: usize,
+    ) {
+        let f = self.program.function(func).expect("function exists");
+        let Some(index) = f.params().iter().position(|p| p == v) else {
+            self.leaf(cx, func, parent, FieldSource::Unresolved { reason: "no definition" });
+            return;
+        };
+        let node = cx.tree.add(
+            Some(parent),
+            func,
+            None,
+            Some(v.clone()),
+            TaintNodeKind::ParamCross { param: index },
+        );
+        // Prefer the concrete callsite we descended through.
+        if let Some((caller, callsite)) = cx.call_stack.pop() {
+            let caller_f = self.program.function(caller).expect("caller exists");
+            if let Some(call) = caller_f.op_at(callsite).cloned() {
+                if let Some(arg) = call.call_args().get(index).cloned() {
+                    self.du(caller);
+                    if let Some(at) = self.defuse[&caller].position_of(callsite) {
+                        self.taint_value(cx, caller, at, &arg, node, depth + 1);
+                    }
+                }
+            }
+            cx.call_stack.push((caller, callsite));
+            return;
+        }
+        // No context: enumerate callers via the call graph.
+        let callers: Vec<_> = self
+            .callgraph
+            .callers_of(func)
+            .map(|e| (e.caller, e.callsite))
+            .collect();
+        if callers.is_empty() {
+            let name = f.name().to_string();
+            self.leaf(cx, func, node, FieldSource::EntryParam { func: name, index });
+            return;
+        }
+        for (caller, callsite) in callers {
+            let caller_f = self.program.function(caller).expect("caller exists");
+            let Some(call) = caller_f.op_at(callsite).cloned() else { continue };
+            let Some(arg) = call.call_args().get(index).cloned() else { continue };
+            self.du(caller);
+            let Some(at) = self.defuse[&caller].position_of(callsite) else { continue };
+            self.taint_value(cx, caller, at, &arg, node, depth + 1);
+        }
+    }
+
+    /// Walk backward through one defining operation.
+    #[allow(clippy::too_many_arguments)]
+    fn taint_def(
+        &mut self,
+        cx: &mut Cx,
+        func: Address,
+        d: OpRef,
+        op: &PcodeOp,
+        _v: &Varnode,
+        parent: TaintNodeId,
+        depth: usize,
+    ) {
+        match op.opcode {
+            Opcode::Copy => {
+                let node = cx.tree.add(
+                    Some(parent),
+                    func,
+                    Some(op.clone()),
+                    op.output.clone(),
+                    TaintNodeKind::Transform { opcode: Opcode::Copy },
+                );
+                let input = op.inputs[0].clone();
+                self.taint_value(cx, func, d, &input, node, depth + 1);
+            }
+            Opcode::Call => self.taint_call_result(cx, func, d, op, parent, depth),
+            Opcode::Load => {
+                let addr_v = op.inputs[0].clone();
+                match self.region_of(func, d, &addr_v) {
+                    Region::Data(a) => {
+                        if let Some(s) = self.program.string_at(a) {
+                            self.leaf(cx, func, parent, FieldSource::StringConstant {
+                                addr: a,
+                                value: s.to_string(),
+                            });
+                        } else {
+                            self.leaf(cx, func, parent,
+                                FieldSource::Unresolved { reason: "non-string data load" });
+                        }
+                    }
+                    r @ (Region::Stack(_) | Region::Alloc(_)) => {
+                        let node = cx.tree.add(
+                            Some(parent),
+                            func,
+                            Some(op.clone()),
+                            op.output.clone(),
+                            TaintNodeKind::Transform { opcode: Opcode::Load },
+                        );
+                        self.taint_region(cx, func, &XRegion::Plain(r), Some(d), node, depth + 1);
+                    }
+                    Region::Unknown => {
+                        self.leaf(cx, func, parent,
+                            FieldSource::Unresolved { reason: "unresolved load" });
+                    }
+                }
+            }
+            opcode if opcode.is_dataflow() => {
+                let node = cx.tree.add(
+                    Some(parent),
+                    func,
+                    Some(op.clone()),
+                    op.output.clone(),
+                    TaintNodeKind::Transform { opcode },
+                );
+                let non_const: Vec<Varnode> =
+                    op.inputs.iter().filter(|i| !i.is_const()).cloned().collect();
+                if non_const.is_empty() {
+                    // Fully constant expression; report each constant.
+                    for input in op.inputs.clone() {
+                        self.taint_value(cx, func, d, &input, node, depth + 1);
+                    }
+                } else {
+                    for input in non_const {
+                        self.taint_value(cx, func, d, &input, node, depth + 1);
+                    }
+                }
+            }
+            _ => {
+                self.leaf(cx, func, parent, FieldSource::Unresolved { reason: "unmodeled op" });
+            }
+        }
+    }
+
+    /// The traced value is the result of a call: apply a summary, or
+    /// descend into the callee's returns.
+    fn taint_call_result(
+        &mut self,
+        cx: &mut Cx,
+        func: Address,
+        d: OpRef,
+        op: &PcodeOp,
+        parent: TaintNodeId,
+        depth: usize,
+    ) {
+        let Some(target) = op.call_target() else {
+            self.leaf(cx, func, parent, FieldSource::Unresolved { reason: "indirect call" });
+            return;
+        };
+        let callee_name = self
+            .program
+            .callee_name(target)
+            .unwrap_or("<unknown>")
+            .to_string();
+        if is_import_address(target) {
+            if let Some(summary) = summary_for(&callee_name) {
+                let mut produced = false;
+                for eff in &summary.effects {
+                    match eff {
+                        SummaryEffect::RetSource { kind, key_arg } => {
+                            let key = key_arg
+                                .and_then(|i| op.call_args().get(i))
+                                .and_then(|a| self.string_of(func, d, a));
+                            self.leaf(cx, func, parent, FieldSource::LibCall {
+                                kind: *kind,
+                                callee: callee_name.clone(),
+                                key,
+                            });
+                            produced = true;
+                        }
+                        SummaryEffect::RetFrom { srcs } => {
+                            let node = cx.tree.add(
+                                Some(parent),
+                                func,
+                                Some(op.clone()),
+                                op.output.clone(),
+                                TaintNodeKind::ThroughCall { callee: callee_name.clone() },
+                            );
+                            for &s in srcs {
+                                if let Some(arg) = op.call_args().get(s).cloned() {
+                                    self.taint_value(cx, func, d, &arg, node, depth + 1);
+                                }
+                            }
+                            produced = true;
+                        }
+                        SummaryEffect::RetAlloc => {
+                            // Fresh buffer: its content is whatever was
+                            // written into the allocation before the use.
+                            let node = cx.tree.add(
+                                Some(parent),
+                                func,
+                                Some(op.clone()),
+                                op.output.clone(),
+                                TaintNodeKind::ThroughCall { callee: callee_name.clone() },
+                            );
+                            self.taint_region(
+                                cx,
+                                func,
+                                &XRegion::Plain(Region::Alloc(op.addr)),
+                                None,
+                                node,
+                                depth + 1,
+                            );
+                            produced = true;
+                        }
+                        SummaryEffect::ArgFrom { .. } | SummaryEffect::ArgSource { .. } => {}
+                    }
+                }
+                if !produced {
+                    self.leaf(cx, func, parent,
+                        FieldSource::Unresolved { reason: "summary without return effect" });
+                }
+            } else if self.config.overtaint {
+                let node = cx.tree.add(
+                    Some(parent),
+                    func,
+                    Some(op.clone()),
+                    op.output.clone(),
+                    TaintNodeKind::ThroughCall { callee: callee_name.clone() },
+                );
+                for arg in op.call_args().to_vec() {
+                    self.taint_value(cx, func, d, &arg, node, depth + 1);
+                }
+            } else {
+                self.leaf(cx, func, parent,
+                    FieldSource::Unresolved { reason: "unknown import" });
+            }
+            return;
+        }
+        // Internal call: descend to the callee's return values.
+        let Some(callee) = self.program.function(target) else {
+            self.leaf(cx, func, parent, FieldSource::Unresolved { reason: "missing callee" });
+            return;
+        };
+        let node = cx.tree.add(
+            Some(parent),
+            func,
+            Some(op.clone()),
+            op.output.clone(),
+            TaintNodeKind::ThroughCall { callee: callee.name().to_string() },
+        );
+        let returns: Vec<(OpRef, Varnode)> = {
+            self.du(target);
+            let du = &self.defuse[&target];
+            callee
+                .ops()
+                .filter(|o| o.opcode == Opcode::Return && !o.inputs.is_empty())
+                .filter_map(|o| {
+                    du.position_of(o.addr).map(|r| (r, o.inputs[0].clone()))
+                })
+                .collect()
+        };
+        cx.call_stack.push((func, op.addr));
+        for (at, rv) in returns {
+            self.taint_value(cx, target, at, &rv, node, depth + 1);
+        }
+        cx.call_stack.pop();
+    }
+
+    /// Find the writes that filled `region` before `before` (None = the
+    /// whole function) and taint each written value.
+    fn taint_region(
+        &mut self,
+        cx: &mut Cx,
+        func: Address,
+        region: &XRegion,
+        before: Option<OpRef>,
+        parent: TaintNodeId,
+        depth: usize,
+    ) {
+        if !self.budget_ok(cx, depth) {
+            self.leaf(cx, func, parent, FieldSource::Unresolved { reason: "budget exceeded" });
+            return;
+        }
+        let key = (func, format!("{region:?}"), before);
+        if !cx.visited_regions.insert(key) {
+            return;
+        }
+        let f = self.program.function(func).expect("function exists");
+        self.du(func);
+
+        // Collect candidate writes: (position, op, contributing values,
+        // writer label).
+        struct WriteHit {
+            at: OpRef,
+            op: PcodeOp,
+            values: Vec<Varnode>,
+            via: String,
+            /// Internal callee to descend into with a PtrParam region.
+            descend: Option<(Address, usize)>,
+        }
+        let mut hits: Vec<WriteHit> = Vec::new();
+        let positions: Vec<(OpRef, PcodeOp)> = f
+            .ops_with_blocks()
+            .enumerate()
+            .map(|(_, (b, op))| {
+                let index = f.block(b).ops.iter().position(|o| std::ptr::eq(o, op)).unwrap_or(0);
+                (OpRef { block: b, index }, op.clone())
+            })
+            .collect();
+        for (at, op) in positions {
+            if let Some(limit) = before {
+                let ok = if at.block == limit.block {
+                    at.index < limit.index
+                } else {
+                    self.reachable(func, at.block.0, limit.block.0)
+                };
+                if !ok {
+                    continue;
+                }
+            }
+            match op.opcode {
+                Opcode::Copy => {
+                    // Direct store into a stack slot inside the region.
+                    if let (Some(out), XRegion::Plain(Region::Stack(base))) =
+                        (&op.output, region)
+                    {
+                        if let Some(off) = out.stack_offset() {
+                            if self.offset_in_local(f, *base, off) {
+                                hits.push(WriteHit {
+                                    at,
+                                    op: op.clone(),
+                                    values: vec![op.inputs[0].clone()],
+                                    via: "store".into(),
+                                    descend: None,
+                                });
+                            }
+                        }
+                    }
+                }
+                Opcode::Store => {
+                    let addr_v = &op.inputs[0];
+                    if self.xregion_matches(func, at, addr_v, region, f) {
+                        hits.push(WriteHit {
+                            at,
+                            op: op.clone(),
+                            values: vec![op.inputs[1].clone()],
+                            via: "store".into(),
+                            descend: None,
+                        });
+                    }
+                }
+                Opcode::Call => {
+                    let Some(target) = op.call_target() else { continue };
+                    let callee_name =
+                        self.program.callee_name(target).unwrap_or("<unknown>").to_string();
+                    if is_import_address(target) {
+                        if let Some(summary) = summary_for(&callee_name) {
+                            for eff in &summary.effects {
+                                match eff {
+                                    SummaryEffect::ArgFrom { dst, srcs } => {
+                                        let Some(dst_v) = op.call_args().get(*dst) else {
+                                            continue;
+                                        };
+                                        if self.xregion_matches(func, at, dst_v, region, f) {
+                                            let values: Vec<Varnode> = srcs
+                                                .iter()
+                                                .filter_map(|&s| op.call_args().get(s).cloned())
+                                                // strcat's dst also appears as a src;
+                                                // skip self-reference to avoid a
+                                                // degenerate cycle (the earlier writes
+                                                // are found by this same scan).
+                                                .filter(|a| {
+                                                    !self.xregion_matches(func, at, a, region, f)
+                                                })
+                                                .collect();
+                                            hits.push(WriteHit {
+                                                at,
+                                                op: op.clone(),
+                                                values,
+                                                via: callee_name.clone(),
+                                                descend: None,
+                                            });
+                                        }
+                                    }
+                                    SummaryEffect::ArgSource { dst, kind, key } => {
+                                        let Some(dst_v) = op.call_args().get(*dst) else {
+                                            continue;
+                                        };
+                                        if self.xregion_matches(func, at, dst_v, region, f) {
+                                            hits.push(WriteHit {
+                                                at,
+                                                op: op.clone(),
+                                                values: Vec::new(),
+                                                via: format!("{callee_name}:{}:{}", kind.label(), key),
+                                                descend: None,
+                                            });
+                                        }
+                                    }
+                                    _ => {}
+                                }
+                            }
+                        }
+                    } else {
+                        // Internal call taking the buffer: writes may occur
+                        // inside the callee through the pointer parameter.
+                        for (j, arg) in op.call_args().iter().enumerate() {
+                            if self.xregion_matches(func, at, arg, region, f) {
+                                hits.push(WriteHit {
+                                    at,
+                                    op: op.clone(),
+                                    values: Vec::new(),
+                                    via: callee_name.clone(),
+                                    descend: Some((target, j)),
+                                });
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        if hits.is_empty() {
+            self.leaf(cx, func, parent, FieldSource::Unresolved { reason: "no writes to buffer" });
+            return;
+        }
+        // Backward discovery order: latest write first (the MFT inversion
+        // step restores construction order).
+        hits.sort_by_key(|h| std::cmp::Reverse(h.op.addr));
+        for hit in hits {
+            let node = cx.tree.add(
+                Some(parent),
+                func,
+                Some(hit.op.clone()),
+                None,
+                TaintNodeKind::Write { via: hit.via.clone() },
+            );
+            if let Some((callee, param_idx)) = hit.descend {
+                cx.call_stack.push((func, hit.op.addr));
+                self.taint_region(
+                    cx,
+                    callee,
+                    &XRegion::PtrParam(param_idx),
+                    None,
+                    node,
+                    depth + 1,
+                );
+                cx.call_stack.pop();
+                continue;
+            }
+            if hit.values.is_empty() {
+                // ArgSource writes: synthesize the lib-call source leaf.
+                if let Some(target) = hit.op.call_target() {
+                    let callee = self.program.callee_name(target).unwrap_or("?").to_string();
+                    if let Some(summary) = summary_for(&callee) {
+                        for eff in &summary.effects {
+                            if let SummaryEffect::ArgSource { kind, key, .. } = eff {
+                                self.leaf(cx, func, node, FieldSource::LibCall {
+                                    kind: *kind,
+                                    callee: callee.clone(),
+                                    key: Some((*key).to_string()),
+                                });
+                            }
+                        }
+                    }
+                }
+                continue;
+            }
+            for v in hit.values {
+                self.taint_value(cx, func, hit.at, &v, node, depth + 1);
+            }
+        }
+    }
+
+    /// Does pointer `v` (at `at` in `func`) point into `region`?
+    fn xregion_matches(
+        &mut self,
+        func: Address,
+        at: OpRef,
+        v: &Varnode,
+        region: &XRegion,
+        f: &Function,
+    ) -> bool {
+        // Pointer parameters match PtrParam regions positionally.
+        if let XRegion::PtrParam(idx) = region {
+            if let Some(p) = f.params().get(*idx) {
+                if p == v {
+                    return true;
+                }
+                // Also chase copies of the parameter.
+                self.du(func);
+                let defs = self.defuse[&func].reaching_defs(at, v);
+                if defs.len() == 1 {
+                    let op = op_at(f, defs[0]).clone();
+                    if op.opcode == Opcode::Copy {
+                        return self.xregion_matches(func, defs[0], &op.inputs[0], region, f);
+                    }
+                }
+            }
+            return false;
+        }
+        let XRegion::Plain(target) = region else { return false };
+        let r = self.region_of(func, at, v);
+        match (&r, target) {
+            (Region::Stack(a), Region::Stack(base)) => self.offset_in_local(f, *base, *a),
+            _ => r == *target,
+        }
+    }
+
+    /// Whether stack offset `off` falls inside the named local starting at
+    /// `base` (extent bounded by the next named local, or 256 bytes).
+    fn offset_in_local(&self, f: &Function, base: i64, off: i64) -> bool {
+        if off == base {
+            return true;
+        }
+        if off < base {
+            return false;
+        }
+        let mut next = i64::MAX;
+        for (v, _) in f.symbols().iter() {
+            if let Some(o) = v.stack_offset() {
+                if o > base && o < next {
+                    next = o;
+                }
+            }
+        }
+        let extent = if next == i64::MAX { 256 } else { next - base };
+        off < base + extent
+    }
+
+    /// Resolve a string constant argument (e.g. an NVRAM key).
+    fn string_of(&mut self, func: Address, at: OpRef, v: &Varnode) -> Option<String> {
+        if let Some(value) = v.const_value() {
+            return self.program.string_at(value).map(str::to_string);
+        }
+        match self.region_of(func, at, v) {
+            Region::Data(a) => self.program.string_at(a).map(str::to_string),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firmres_isa::{lift, Assembler};
+
+    fn trace_last_delivery(src: &str, delivery: &str, arg: usize) -> (TaintTree, Program) {
+        let exe = Assembler::new().assemble(src).unwrap();
+        let p = lift(&exe, "t").unwrap();
+        let (func, callsite) = {
+            let mut found = None;
+            for f in p.functions() {
+                for c in f.callsites() {
+                    let name = c.call_target().and_then(|t| p.callee_name(t));
+                    if name == Some(delivery) {
+                        found = Some((f.entry(), c.addr));
+                    }
+                }
+            }
+            found.expect("delivery callsite present")
+        };
+        let mut engine = TaintEngine::new(&p);
+        let tree = engine.trace(func, callsite, arg);
+        (tree, p)
+    }
+
+    fn source_strings(tree: &TaintTree) -> Vec<String> {
+        tree.sources().map(|n| n.source().unwrap().to_string()).collect()
+    }
+
+    #[test]
+    fn sprintf_message_decomposes_into_fields() {
+        let (tree, _) = trace_last_delivery(
+            r#"
+.func main
+.local buf 128
+.local mac 32
+    lea a0, mac
+    callx get_mac_addr
+    lea a0, buf
+    la  a1, fmt
+    lea a2, mac
+    callx sprintf
+    mov a1, a0
+    li  a0, 1
+    callx SSL_write
+    ret
+.endfunc
+.data
+fmt: .asciz "{\"mac\":\"%s\"}"
+"#,
+            "SSL_write",
+            1,
+        );
+        let srcs = source_strings(&tree);
+        assert!(
+            srcs.iter().any(|s| s.contains("{\"mac\":\"%s\"}")),
+            "format string is a field source: {srcs:?}"
+        );
+        assert!(
+            srcs.iter().any(|s| s.contains("get_mac_addr")),
+            "mac buffer traces to the hardware-id getter: {srcs:?}"
+        );
+    }
+
+    #[test]
+    fn nvram_values_surface_with_keys() {
+        let (tree, _) = trace_last_delivery(
+            r#"
+.func main
+.local buf 128
+    la  a0, key
+    callx nvram_get
+    mov a2, rv
+    lea a0, buf
+    la  a1, fmt
+    callx sprintf
+    lea a1, buf
+    li  a0, 3
+    callx send
+    ret
+.endfunc
+.data
+key: .asciz "serial_no"
+fmt: .asciz "sn=%s"
+"#,
+            "send",
+            1,
+        );
+        let srcs = source_strings(&tree);
+        assert!(
+            srcs.iter().any(|s| s.contains("nvram_get(\"serial_no\")")),
+            "nvram source resolved with key: {srcs:?}"
+        );
+    }
+
+    #[test]
+    fn strcat_concatenation_order_is_reversed_in_tree() {
+        let (tree, _) = trace_last_delivery(
+            r#"
+.func main
+.local buf 128
+    lea a0, buf
+    la  a1, first
+    callx strcpy
+    lea a0, buf
+    la  a1, second
+    callx strcat
+    lea a1, buf
+    li  a0, 1
+    callx SSL_write
+    ret
+.endfunc
+.data
+first: .asciz "id="
+second: .asciz "1234"
+"#,
+            "SSL_write",
+            1,
+        );
+        // Root children are the writes in backward (latest-first) order.
+        let root = tree.root();
+        let write_vias: Vec<String> = root
+            .children
+            .iter()
+            .filter_map(|c| match &tree.node(*c).kind {
+                TaintNodeKind::Write { via } => Some(via.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(write_vias, vec!["strcat".to_string(), "strcpy".to_string()]);
+        let srcs = source_strings(&tree);
+        assert!(srcs.iter().any(|s| s.contains("id=")), "{srcs:?}");
+        assert!(srcs.iter().any(|s| s.contains("1234")), "{srcs:?}");
+    }
+
+    #[test]
+    fn cjson_allocation_writes_are_found() {
+        let (tree, _) = trace_last_delivery(
+            r#"
+.func main
+    callx cJSON_CreateObject
+    mov t0, rv
+    mov a0, t0
+    la  a1, kmac
+    la  a2, vmac
+    callx cJSON_AddStringToObject
+    mov a0, t0
+    callx cJSON_Print
+    mov a1, rv
+    li  a0, 1
+    callx SSL_write
+    ret
+.endfunc
+.data
+kmac: .asciz "mac"
+vmac: .asciz "00:11:22:33:44:55"
+"#,
+            "SSL_write",
+            1,
+        );
+        let srcs = source_strings(&tree);
+        assert!(srcs.iter().any(|s| s.contains("\"mac\"")), "json key found: {srcs:?}");
+        assert!(
+            srcs.iter().any(|s| s.contains("00:11:22:33:44:55")),
+            "json value found: {srcs:?}"
+        );
+    }
+
+    #[test]
+    fn interprocedural_flow_through_helper_return() {
+        let (tree, _) = trace_last_delivery(
+            r#"
+.func get_id
+    la  a0, key
+    callx nvram_get
+    mov rv, rv
+    ret
+.endfunc
+.func main
+    call get_id
+    mov a1, rv
+    li  a0, 1
+    callx SSL_write
+    ret
+.endfunc
+.data
+key: .asciz "device_id"
+"#,
+            "SSL_write",
+            1,
+        );
+        let srcs = source_strings(&tree);
+        assert!(
+            srcs.iter().any(|s| s.contains("nvram_get(\"device_id\")")),
+            "flow through callee return: {srcs:?}"
+        );
+    }
+
+    #[test]
+    fn interprocedural_flow_through_buffer_param() {
+        let (tree, _) = trace_last_delivery(
+            r#"
+.func fill out
+    mov a0, a0
+    la  a1, content
+    callx strcpy
+    ret
+.endfunc
+.func main
+.local buf 64
+    lea a0, buf
+    call fill
+    lea a1, buf
+    li  a0, 1
+    callx SSL_write
+    ret
+.endfunc
+.data
+content: .asciz "hello-from-helper"
+"#,
+            "SSL_write",
+            1,
+        );
+        let srcs = source_strings(&tree);
+        assert!(
+            srcs.iter().any(|s| s.contains("hello-from-helper")),
+            "writes inside callee found via pointer param: {srcs:?}"
+        );
+    }
+
+    #[test]
+    fn param_with_no_callers_is_front_end_input() {
+        let (tree, _) = trace_last_delivery(
+            r#"
+.func main user_pass
+    mov a1, a0
+    li  a0, 1
+    callx SSL_write
+    ret
+.endfunc
+"#,
+            "SSL_write",
+            1,
+        );
+        let srcs = source_strings(&tree);
+        assert!(
+            srcs.iter().any(|s| s.contains("main#param0")),
+            "entry parameter = front-end input: {srcs:?}"
+        );
+    }
+
+    #[test]
+    fn constant_message_is_a_string_leaf() {
+        let (tree, _) = trace_last_delivery(
+            ".func main\n la a1, msg\n li a0, 1\n callx SSL_write\n ret\n.endfunc\n.data\nmsg: .asciz \"PING\"\n",
+            "SSL_write",
+            1,
+        );
+        let srcs = source_strings(&tree);
+        assert_eq!(srcs, vec!["\"PING\"".to_string()]);
+    }
+
+    #[test]
+    fn overtaint_toggle_changes_unknown_call_handling() {
+        let src = r#"
+.func main
+    la a0, arg
+    callx mystery_transform
+    mov a1, rv
+    li  a0, 1
+    callx SSL_write
+    ret
+.endfunc
+.data
+arg: .asciz "seed"
+"#;
+        let exe = Assembler::new().assemble(src).unwrap();
+        let p = lift(&exe, "t").unwrap();
+        let f = p.function_by_name("main").unwrap();
+        let callsite = f
+            .callsites()
+            .find(|c| {
+                c.call_target().and_then(|t| p.callee_name(t)) == Some("SSL_write")
+            })
+            .unwrap()
+            .addr;
+        let entry = f.entry();
+
+        let mut over = TaintEngine::new(&p);
+        let t1 = over.trace(entry, callsite, 1);
+        assert!(
+            source_strings(&t1).iter().any(|s| s.contains("seed")),
+            "overtaint traces through unknown imports"
+        );
+
+        let mut strict = TaintEngine::with_config(
+            &p,
+            TaintConfig { overtaint: false, ..TaintConfig::default() },
+        );
+        let t2 = strict.trace(entry, callsite, 1);
+        assert!(
+            !source_strings(&t2).iter().any(|s| s.contains("seed")),
+            "without overtaint the unknown import is opaque"
+        );
+    }
+
+    #[test]
+    fn budget_limits_are_respected() {
+        let src = r#"
+.func main
+.local buf 64
+    lea a0, buf
+    la  a1, s
+    callx strcpy
+    lea a1, buf
+    li  a0, 1
+    callx SSL_write
+    ret
+.endfunc
+.data
+s: .asciz "x"
+"#;
+        let exe = Assembler::new().assemble(src).unwrap();
+        let p = lift(&exe, "t").unwrap();
+        let f = p.function_by_name("main").unwrap();
+        let callsite = f.callsites().nth(1).unwrap().addr;
+        let mut engine = TaintEngine::with_config(
+            &p,
+            TaintConfig { max_depth: 1, max_nodes: 4, ..TaintConfig::default() },
+        );
+        let tree = engine.trace(f.entry(), callsite, 1);
+        assert!(tree.len() <= 5, "node budget honored (root + few)");
+    }
+
+    #[test]
+    fn missing_callsite_yields_unresolved_root() {
+        let src = ".func main\n ret\n.endfunc\n";
+        let exe = Assembler::new().assemble(src).unwrap();
+        let p = lift(&exe, "t").unwrap();
+        let mut engine = TaintEngine::new(&p);
+        let f = p.function_by_name("main").unwrap();
+        let tree = engine.trace(f.entry(), 0xdead, 0);
+        assert_eq!(tree.len(), 2);
+        assert!(matches!(
+            tree.nodes()[1].kind,
+            TaintNodeKind::Source(FieldSource::Unresolved { .. })
+        ));
+    }
+
+    #[test]
+    fn path_to_root_walks_parents() {
+        let (tree, _) = trace_last_delivery(
+            ".func main\n la a1, msg\n li a0, 1\n callx SSL_write\n ret\n.endfunc\n.data\nmsg: .asciz \"x\"\n",
+            "SSL_write",
+            1,
+        );
+        let leaf = tree.sources().next().unwrap().id;
+        let path = tree.path_to_root(leaf);
+        assert_eq!(*path.last().unwrap(), tree.root().id);
+        assert_eq!(path[0], leaf);
+    }
+}

@@ -1,0 +1,229 @@
+//! Additional backward-taint scenarios over lifted MR32 programs:
+//! message-construction idioms beyond the unit-test basics.
+
+use firmres_dataflow::{FieldSource, SourceKind, TaintEngine};
+use firmres_isa::{lift, Assembler};
+use firmres_ir::Program;
+
+fn trace(src: &str, delivery: &str, arg: usize) -> (Vec<String>, Program) {
+    let exe = Assembler::new().assemble(src).unwrap();
+    let p = lift(&exe, "t").unwrap();
+    let mut found = None;
+    for f in p.functions() {
+        for c in f.callsites() {
+            if c.call_target().and_then(|t| p.callee_name(t)) == Some(delivery) {
+                found = Some((f.entry(), c.addr));
+            }
+        }
+    }
+    let (func, call) = found.expect("delivery present");
+    let tree = TaintEngine::new(&p).trace(func, call, arg);
+    let sources = tree.sources().map(|n| n.source().unwrap().to_string()).collect();
+    (sources, p)
+}
+
+#[test]
+fn config_and_env_sources_resolve_with_keys() {
+    let (srcs, _) = trace(
+        r#"
+.func main
+.local buf 128
+    la  a0, k1
+    callx cfg_get
+    mov a2, rv
+    la  a0, k2
+    callx getenv
+    mov a3, rv
+    lea a0, buf
+    la  a1, fmt
+    callx sprintf
+    lea a1, buf
+    li  a0, 1
+    callx SSL_write
+    ret
+.endfunc
+.data
+k1: .asciz "product_id"
+k2: .asciz "HTTP_PROXY"
+fmt: .asciz "pid=%s&proxy=%s"
+"#,
+        "SSL_write",
+        1,
+    );
+    assert!(srcs.iter().any(|s| s.contains("cfg_get(\"product_id\")")), "{srcs:?}");
+    assert!(srcs.iter().any(|s| s.contains("getenv(\"HTTP_PROXY\")")), "{srcs:?}");
+}
+
+#[test]
+fn derived_signature_flows_through_hmac() {
+    let (srcs, _) = trace(
+        r#"
+.func main
+.local buf 64
+.local sig 4
+    la  a0, sk
+    callx nvram_get
+    mov a0, rv
+    la  a1, data
+    callx hmac_sign
+    sw  rv, sig(sp)
+    lea a0, buf
+    la  a1, ksig
+    callx strcpy
+    lea a0, buf
+    lw  a1, sig(sp)
+    callx strcat
+    lea a1, buf
+    li  a0, 1
+    callx SSL_write
+    ret
+.endfunc
+.data
+sk: .asciz "device_secret"
+data: .asciz "payload"
+ksig: .asciz "sign="
+"#,
+        "SSL_write",
+        1,
+    );
+    assert!(
+        srcs.iter().any(|s| s.contains("nvram_get(\"device_secret\")")),
+        "the secret feeding the HMAC is reached: {srcs:?}"
+    );
+    assert!(srcs.iter().any(|s| s.contains("payload")), "{srcs:?}");
+}
+
+#[test]
+fn time_and_rand_are_terminal_sources() {
+    let (srcs, _) = trace(
+        r#"
+.func main
+.local buf 64
+.local ts 4
+    callx time
+    sw  rv, ts(sp)
+    lw  a2, ts(sp)
+    callx rand
+    mov a3, rv
+    lea a0, buf
+    la  a1, fmt
+    callx sprintf
+    lea a1, buf
+    li  a0, 3
+    callx send
+    ret
+.endfunc
+.data
+fmt: .asciz "ts=%d&nonce=%d"
+"#,
+        "send",
+        1,
+    );
+    assert!(srcs.iter().any(|s| s.contains("time()")), "{srcs:?}");
+    assert!(srcs.iter().any(|s| s.contains("rand()")), "{srcs:?}");
+}
+
+#[test]
+fn two_level_helper_chain_with_buffer_params() {
+    // main -> fill_outer(buf) -> fill_inner(buf): writes two levels deep.
+    let (srcs, _) = trace(
+        r#"
+.func fill_inner out
+    mov a0, a0
+    la  a1, deep
+    callx strcat
+    ret
+.endfunc
+.func fill_outer out
+.local saved 4
+    sw  ra, saved(sp)
+    mov a0, a0
+    la  a1, shallow
+    callx strcpy
+    call fill_inner
+    lw  ra, saved(sp)
+    ret
+.endfunc
+.func main
+.local buf 64
+.local saved 4
+    sw  ra, saved(sp)
+    lea a0, buf
+    call fill_outer
+    lea a1, buf
+    li  a0, 1
+    callx SSL_write
+    lw  ra, saved(sp)
+    ret
+.endfunc
+.data
+shallow: .asciz "level1="
+deep: .asciz "level2"
+"#,
+        "SSL_write",
+        1,
+    );
+    assert!(srcs.iter().any(|s| s.contains("level1=")), "outer write found: {srcs:?}");
+    assert!(srcs.iter().any(|s| s.contains("level2")), "inner write found: {srcs:?}");
+}
+
+#[test]
+fn numeric_constants_surface_as_noise() {
+    let (srcs, _) = trace(
+        r#"
+.func main
+.local buf 32
+    lea a0, buf
+    la  a1, fmt
+    li  a2, 404
+    callx sprintf
+    lea a1, buf
+    li  a0, 1
+    callx SSL_write
+    ret
+.endfunc
+.data
+fmt: .asciz "code=%d"
+"#,
+        "SSL_write",
+        1,
+    );
+    assert!(
+        srcs.iter().any(|s| s.contains("0x194")),
+        "inline numeric constant reported: {srcs:?}"
+    );
+}
+
+#[test]
+fn network_input_classified_as_net_in() {
+    let src = r#"
+.func main
+.local req 64
+    li  a0, 4
+    lea a1, req
+    li  a2, 64
+    li  a3, 0
+    callx recv
+    lea a1, req
+    li  a0, 4
+    li  a2, 0
+    li  a3, 0
+    callx send
+    ret
+.endfunc
+"#;
+    let exe = Assembler::new().assemble(src).unwrap();
+    let p = lift(&exe, "t").unwrap();
+    let f = p.function_by_name("main").unwrap();
+    let call = f
+        .callsites()
+        .find(|c| c.call_target().and_then(|t| p.callee_name(t)) == Some("send"))
+        .unwrap()
+        .addr;
+    let tree = TaintEngine::new(&p).trace(f.entry(), call, 1);
+    let net_in = tree
+        .sources()
+        .filter_map(|n| n.source())
+        .any(|s| matches!(s, FieldSource::LibCall { kind: SourceKind::NetworkIn, .. }));
+    assert!(net_in, "echoed buffer traces to the recv source");
+}

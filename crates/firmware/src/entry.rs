@@ -1,0 +1,133 @@
+//! Typed filesystem entries inside a firmware image.
+
+use crate::Nvram;
+use std::fmt;
+
+/// Interpreter language of a script file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScriptLang {
+    /// POSIX shell.
+    Shell,
+    /// PHP.
+    Php,
+    /// Lua.
+    Lua,
+}
+
+impl ScriptLang {
+    /// Wire tag for serialization.
+    pub(crate) fn tag(self) -> u8 {
+        match self {
+            ScriptLang::Shell => 0,
+            ScriptLang::Php => 1,
+            ScriptLang::Lua => 2,
+        }
+    }
+
+    pub(crate) fn from_tag(t: u8) -> Option<Self> {
+        match t {
+            0 => Some(ScriptLang::Shell),
+            1 => Some(ScriptLang::Php),
+            2 => Some(ScriptLang::Lua),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ScriptLang {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ScriptLang::Shell => "shell",
+            ScriptLang::Php => "php",
+            ScriptLang::Lua => "lua",
+        })
+    }
+}
+
+/// One file in a firmware image's root filesystem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FileEntry {
+    /// An MR32 executable in the MRE container format (raw bytes; parse
+    /// with [`firmres_isa::Executable::from_bytes`]).
+    Executable(Vec<u8>),
+    /// An interpreted script. FIRMRES only analyzes binaries, so
+    /// script-handled device-cloud logic is reported as out of scope —
+    /// reproducing the paper's result for devices 21 and 22.
+    Script {
+        /// Script language.
+        lang: ScriptLang,
+        /// Script source text.
+        text: String,
+    },
+    /// A `key=value` configuration file.
+    Config(String),
+    /// NVRAM default values.
+    NvramDefaults(Nvram),
+    /// A certificate or key in PEM-ish text form.
+    Cert(String),
+    /// Uninterpreted data.
+    Data(Vec<u8>),
+}
+
+impl FileEntry {
+    /// Short human-readable kind name.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FileEntry::Executable(_) => "executable",
+            FileEntry::Script { .. } => "script",
+            FileEntry::Config(_) => "config",
+            FileEntry::NvramDefaults(_) => "nvram",
+            FileEntry::Cert(_) => "cert",
+            FileEntry::Data(_) => "data",
+        }
+    }
+
+    /// Payload size in bytes as stored.
+    pub fn size(&self) -> usize {
+        match self {
+            FileEntry::Executable(b) | FileEntry::Data(b) => b.len(),
+            FileEntry::Script { text, .. } | FileEntry::Config(text) | FileEntry::Cert(text) => {
+                text.len()
+            }
+            FileEntry::NvramDefaults(nv) => nv.to_text().len(),
+        }
+    }
+
+    /// Whether this entry is an executable.
+    pub fn is_executable(&self) -> bool {
+        matches!(self, FileEntry::Executable(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_sizes() {
+        assert_eq!(FileEntry::Executable(vec![1, 2, 3]).kind(), "executable");
+        assert_eq!(FileEntry::Executable(vec![1, 2, 3]).size(), 3);
+        let s = FileEntry::Script { lang: ScriptLang::Php, text: "<?php".into() };
+        assert_eq!(s.kind(), "script");
+        assert_eq!(s.size(), 5);
+        assert!(!s.is_executable());
+        assert!(FileEntry::Executable(vec![]).is_executable());
+        let mut nv = Nvram::new();
+        nv.set("a", "b");
+        assert_eq!(FileEntry::NvramDefaults(nv).size(), 4);
+    }
+
+    #[test]
+    fn script_lang_tags_round_trip() {
+        for lang in [ScriptLang::Shell, ScriptLang::Php, ScriptLang::Lua] {
+            assert_eq!(ScriptLang::from_tag(lang.tag()), Some(lang));
+        }
+        assert_eq!(ScriptLang::from_tag(99), None);
+    }
+
+    #[test]
+    fn lang_display() {
+        assert_eq!(ScriptLang::Shell.to_string(), "shell");
+        assert_eq!(ScriptLang::Php.to_string(), "php");
+    }
+}

@@ -1,0 +1,473 @@
+//! The firmware image container and its packed wire format.
+
+use crate::{FileEntry, Nvram, ScriptLang};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use firmres_isa::Executable;
+use std::collections::BTreeMap;
+use std::fmt;
+
+const MAGIC: &[u8; 4] = b"FWI1";
+const VERSION: u16 = 1;
+
+/// Coarse device category (paper Table I lists 7 types).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DeviceType {
+    /// Industrial router.
+    IndustrialRouter,
+    /// Home Wi-Fi router.
+    WifiRouter,
+    /// 4G/LTE router.
+    FourGRouter,
+    /// Smart camera.
+    SmartCamera,
+    /// Smart plug.
+    SmartPlug,
+    /// Wireless access point.
+    WirelessAccessPoint,
+    /// Managed smart switch.
+    SmartSwitch,
+    /// Network-attached storage.
+    Nas,
+}
+
+impl DeviceType {
+    /// All device types, in a stable order.
+    pub const ALL: [DeviceType; 8] = [
+        DeviceType::IndustrialRouter,
+        DeviceType::WifiRouter,
+        DeviceType::FourGRouter,
+        DeviceType::SmartCamera,
+        DeviceType::SmartPlug,
+        DeviceType::WirelessAccessPoint,
+        DeviceType::SmartSwitch,
+        DeviceType::Nas,
+    ];
+
+    fn tag(self) -> u8 {
+        Self::ALL.iter().position(|t| *t == self).expect("in ALL") as u8
+    }
+
+    fn from_tag(t: u8) -> Option<Self> {
+        Self::ALL.get(t as usize).copied()
+    }
+
+    /// Human-readable name as used in Table I.
+    pub fn name(self) -> &'static str {
+        match self {
+            DeviceType::IndustrialRouter => "Industrial Router",
+            DeviceType::WifiRouter => "Wi-Fi Router",
+            DeviceType::FourGRouter => "4G Router",
+            DeviceType::SmartCamera => "Smart Camera",
+            DeviceType::SmartPlug => "Smart Plug",
+            DeviceType::WirelessAccessPoint => "Wireless Access Point",
+            DeviceType::SmartSwitch => "Smart Switch",
+            DeviceType::Nas => "NAS",
+        }
+    }
+}
+
+impl fmt::Display for DeviceType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Device metadata attached to a firmware image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceInfo {
+    /// Vendor name.
+    pub vendor: String,
+    /// Model identifier.
+    pub model: String,
+    /// Device category.
+    pub device_type: DeviceType,
+    /// Firmware version string.
+    pub firmware_version: String,
+}
+
+/// Errors from unpacking a firmware image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FirmwareError {
+    /// Wrong magic bytes.
+    BadMagic,
+    /// Unsupported container version.
+    UnsupportedVersion(u16),
+    /// Image ended early.
+    Truncated,
+    /// Checksum mismatch (corrupted image).
+    BadChecksum,
+    /// Unknown file-entry kind tag.
+    UnknownKind(u8),
+    /// Text payload is not UTF-8.
+    BadUtf8,
+}
+
+impl fmt::Display for FirmwareError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FirmwareError::BadMagic => write!(f, "not a firmware image (bad magic)"),
+            FirmwareError::UnsupportedVersion(v) => write!(f, "unsupported image version {v}"),
+            FirmwareError::Truncated => write!(f, "truncated firmware image"),
+            FirmwareError::BadChecksum => write!(f, "firmware image checksum mismatch"),
+            FirmwareError::UnknownKind(k) => write!(f, "unknown file entry kind {k}"),
+            FirmwareError::BadUtf8 => write!(f, "text payload is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for FirmwareError {}
+
+/// A firmware image: device metadata plus a typed root filesystem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FirmwareImage {
+    device: DeviceInfo,
+    files: BTreeMap<String, FileEntry>,
+}
+
+impl FirmwareImage {
+    /// An empty image for `device`.
+    pub fn new(device: DeviceInfo) -> Self {
+        FirmwareImage { device, files: BTreeMap::new() }
+    }
+
+    /// Device metadata.
+    pub fn device(&self) -> &DeviceInfo {
+        &self.device
+    }
+
+    /// Add (or replace) a file at `path`.
+    pub fn add_file(&mut self, path: impl Into<String>, entry: FileEntry) -> Option<FileEntry> {
+        self.files.insert(path.into(), entry)
+    }
+
+    /// The entry at `path`, if present.
+    pub fn file(&self, path: &str) -> Option<&FileEntry> {
+        self.files.get(path)
+    }
+
+    /// Iterate over `(path, entry)` in path order.
+    pub fn files(&self) -> impl Iterator<Item = (&str, &FileEntry)> {
+        self.files.iter().map(|(p, e)| (p.as_str(), e))
+    }
+
+    /// Number of files.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Iterate over executable entries as `(path, raw MRE bytes)`.
+    pub fn executables(&self) -> impl Iterator<Item = (&str, &[u8])> {
+        self.files().filter_map(|(p, e)| match e {
+            FileEntry::Executable(bytes) => Some((p, bytes.as_slice())),
+            _ => None,
+        })
+    }
+
+    /// Iterate over script entries as `(path, lang, text)`.
+    pub fn scripts(&self) -> impl Iterator<Item = (&str, ScriptLang, &str)> {
+        self.files().filter_map(|(p, e)| match e {
+            FileEntry::Script { lang, text } => Some((p, *lang, text.as_str())),
+            _ => None,
+        })
+    }
+
+    /// Parse the executable at `path`.
+    ///
+    /// Returns `None` when `path` is missing or not an executable;
+    /// `Some(Err(_))` when the MRE payload is malformed.
+    pub fn load_executable(&self, path: &str) -> Option<Result<Executable, firmres_isa::ExeError>> {
+        match self.files.get(path)? {
+            FileEntry::Executable(bytes) => Some(Executable::from_bytes(bytes)),
+            _ => None,
+        }
+    }
+
+    /// The merged NVRAM view over all `NvramDefaults` entries.
+    pub fn nvram(&self) -> Nvram {
+        let mut nv = Nvram::new();
+        for (_, e) in self.files() {
+            if let FileEntry::NvramDefaults(part) = e {
+                nv.extend(part.iter().map(|(k, v)| (k.to_string(), v.to_string())));
+            }
+        }
+        nv
+    }
+
+    /// Look up `key` across every config file (`key=value` lines), first
+    /// match in path order.
+    pub fn config_value(&self, key: &str) -> Option<String> {
+        for (_, e) in self.files() {
+            if let FileEntry::Config(text) = e {
+                let nv = Nvram::parse(text);
+                if let Some(v) = nv.get(key) {
+                    return Some(v.to_string());
+                }
+            }
+        }
+        None
+    }
+
+    /// Serialize to the packed wire format.
+    pub fn pack(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u16_le(VERSION);
+        put_str(&mut buf, &self.device.vendor);
+        put_str(&mut buf, &self.device.model);
+        buf.put_u8(self.device.device_type.tag());
+        put_str(&mut buf, &self.device.firmware_version);
+        buf.put_u32_le(self.files.len() as u32);
+        for (path, entry) in &self.files {
+            put_str(&mut buf, path);
+            match entry {
+                FileEntry::Executable(b) => {
+                    buf.put_u8(0);
+                    buf.put_u32_le(b.len() as u32);
+                    buf.put_slice(b);
+                }
+                FileEntry::Script { lang, text } => {
+                    buf.put_u8(1);
+                    buf.put_u8(lang.tag());
+                    buf.put_u32_le(text.len() as u32);
+                    buf.put_slice(text.as_bytes());
+                }
+                FileEntry::Config(text) => {
+                    buf.put_u8(2);
+                    buf.put_u32_le(text.len() as u32);
+                    buf.put_slice(text.as_bytes());
+                }
+                FileEntry::NvramDefaults(nv) => {
+                    let text = nv.to_text();
+                    buf.put_u8(3);
+                    buf.put_u32_le(text.len() as u32);
+                    buf.put_slice(text.as_bytes());
+                }
+                FileEntry::Cert(text) => {
+                    buf.put_u8(4);
+                    buf.put_u32_le(text.len() as u32);
+                    buf.put_slice(text.as_bytes());
+                }
+                FileEntry::Data(b) => {
+                    buf.put_u8(5);
+                    buf.put_u32_le(b.len() as u32);
+                    buf.put_slice(b);
+                }
+            }
+        }
+        let csum = fnv32(&buf);
+        buf.put_u32_le(csum);
+        buf.freeze()
+    }
+
+    /// Parse a packed image.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FirmwareError`] on bad magic/version, truncation,
+    /// checksum mismatch, unknown entry kinds, or non-UTF-8 text payloads.
+    pub fn unpack(image: &[u8]) -> Result<FirmwareImage, FirmwareError> {
+        if image.len() < 10 {
+            return Err(FirmwareError::Truncated);
+        }
+        if &image[..4] != MAGIC {
+            return Err(FirmwareError::BadMagic);
+        }
+        let (payload, csum_bytes) = image.split_at(image.len() - 4);
+        let stored = u32::from_le_bytes(csum_bytes.try_into().expect("4 bytes"));
+        if stored != fnv32(payload) {
+            return Err(FirmwareError::BadChecksum);
+        }
+        let mut buf = Bytes::copy_from_slice(&payload[4..]);
+        let version = buf.get_u16_le();
+        if version != VERSION {
+            return Err(FirmwareError::UnsupportedVersion(version));
+        }
+        let vendor = get_str(&mut buf)?;
+        let model = get_str(&mut buf)?;
+        if buf.remaining() < 1 {
+            return Err(FirmwareError::Truncated);
+        }
+        let device_type =
+            DeviceType::from_tag(buf.get_u8()).ok_or(FirmwareError::UnknownKind(255))?;
+        let firmware_version = get_str(&mut buf)?;
+        if buf.remaining() < 4 {
+            return Err(FirmwareError::Truncated);
+        }
+        let nfiles = buf.get_u32_le() as usize;
+        let mut files = BTreeMap::new();
+        for _ in 0..nfiles {
+            let path = get_str(&mut buf)?;
+            if buf.remaining() < 1 {
+                return Err(FirmwareError::Truncated);
+            }
+            let kind = buf.get_u8();
+            let entry = match kind {
+                0 => FileEntry::Executable(get_blob(&mut buf)?),
+                1 => {
+                    if buf.remaining() < 1 {
+                        return Err(FirmwareError::Truncated);
+                    }
+                    let lang = ScriptLang::from_tag(buf.get_u8())
+                        .ok_or(FirmwareError::UnknownKind(254))?;
+                    FileEntry::Script { lang, text: get_text(&mut buf)? }
+                }
+                2 => FileEntry::Config(get_text(&mut buf)?),
+                3 => FileEntry::NvramDefaults(Nvram::parse(&get_text(&mut buf)?)),
+                4 => FileEntry::Cert(get_text(&mut buf)?),
+                5 => FileEntry::Data(get_blob(&mut buf)?),
+                k => return Err(FirmwareError::UnknownKind(k)),
+            };
+            files.insert(path, entry);
+        }
+        Ok(FirmwareImage {
+            device: DeviceInfo { vendor, model, device_type, firmware_version },
+            files,
+        })
+    }
+}
+
+fn fnv32(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u16_le(s.len() as u16);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String, FirmwareError> {
+    if buf.remaining() < 2 {
+        return Err(FirmwareError::Truncated);
+    }
+    let len = buf.get_u16_le() as usize;
+    if buf.remaining() < len {
+        return Err(FirmwareError::Truncated);
+    }
+    String::from_utf8(buf.copy_to_bytes(len).to_vec()).map_err(|_| FirmwareError::BadUtf8)
+}
+
+fn get_blob(buf: &mut Bytes) -> Result<Vec<u8>, FirmwareError> {
+    if buf.remaining() < 4 {
+        return Err(FirmwareError::Truncated);
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(FirmwareError::Truncated);
+    }
+    Ok(buf.copy_to_bytes(len).to_vec())
+}
+
+fn get_text(buf: &mut Bytes) -> Result<String, FirmwareError> {
+    String::from_utf8(get_blob(buf)?).map_err(|_| FirmwareError::BadUtf8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firmres_isa::Assembler;
+
+    fn sample() -> FirmwareImage {
+        let mut fw = FirmwareImage::new(DeviceInfo {
+            vendor: "Teltonika".into(),
+            model: "RUT241".into(),
+            device_type: DeviceType::FourGRouter,
+            firmware_version: "RUT2M_R_00.07.01.3".into(),
+        });
+        let exe = Assembler::new()
+            .assemble(".func main\n callx SSL_write\n ret\n.endfunc\n")
+            .unwrap();
+        fw.add_file("/usr/bin/rms_connect", FileEntry::Executable(exe.to_bytes().to_vec()));
+        fw.add_file(
+            "/etc/config/cloud",
+            FileEntry::Config("server=rms.example.com\nport=443\n".into()),
+        );
+        let mut nv = Nvram::new();
+        nv.set("mac", "00:1E:42:13:37:00");
+        nv.set("serial", "1108882866");
+        fw.add_file("/etc/nvram.default", FileEntry::NvramDefaults(nv));
+        fw.add_file(
+            "/www/cgi/upload.php",
+            FileEntry::Script { lang: ScriptLang::Php, text: "<?php upload(); ?>".into() },
+        );
+        fw.add_file("/etc/ssl/device.pem", FileEntry::Cert("-----BEGIN-----".into()));
+        fw
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let fw = sample();
+        let packed = fw.pack();
+        let back = FirmwareImage::unpack(&packed).unwrap();
+        assert_eq!(back, fw);
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let fw = sample();
+        assert_eq!(fw.file_count(), 5);
+        assert_eq!(fw.executables().count(), 1);
+        assert_eq!(fw.scripts().count(), 1);
+        let (path, lang, _) = fw.scripts().next().unwrap();
+        assert_eq!(path, "/www/cgi/upload.php");
+        assert_eq!(lang, ScriptLang::Php);
+        assert_eq!(fw.nvram().get("mac"), Some("00:1E:42:13:37:00"));
+        assert_eq!(fw.config_value("server"), Some("rms.example.com".to_string()));
+        assert_eq!(fw.config_value("missing"), None);
+    }
+
+    #[test]
+    fn load_executable_parses_mre() {
+        let fw = sample();
+        let exe = fw.load_executable("/usr/bin/rms_connect").unwrap().unwrap();
+        assert_eq!(exe.imports, vec!["SSL_write".to_string()]);
+        assert!(fw.load_executable("/etc/config/cloud").is_none(), "not an executable");
+        assert!(fw.load_executable("/nope").is_none());
+    }
+
+    #[test]
+    fn corrupted_mre_payload_surfaces_error() {
+        let mut fw = sample();
+        if let Some(FileEntry::Executable(bytes)) =
+            fw.files.get_mut("/usr/bin/rms_connect")
+        {
+            bytes[10] ^= 0xFF;
+        }
+        let res = fw.load_executable("/usr/bin/rms_connect").unwrap();
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn unpack_rejects_corruption() {
+        let fw = sample();
+        let packed = fw.pack();
+        let mut bad = packed.to_vec();
+        bad[20] ^= 1;
+        assert_eq!(FirmwareImage::unpack(&bad), Err(FirmwareError::BadChecksum));
+        let mut nomagic = packed.to_vec();
+        nomagic[0] = b'Z';
+        assert_eq!(FirmwareImage::unpack(&nomagic), Err(FirmwareError::BadMagic));
+        assert_eq!(FirmwareImage::unpack(&packed[..5]), Err(FirmwareError::Truncated));
+    }
+
+    #[test]
+    fn device_type_tags_round_trip() {
+        for t in DeviceType::ALL {
+            assert_eq!(DeviceType::from_tag(t.tag()), Some(t));
+            assert!(!t.name().is_empty());
+        }
+        assert_eq!(DeviceType::from_tag(99), None);
+    }
+
+    #[test]
+    fn add_file_replaces() {
+        let mut fw = sample();
+        let old = fw.add_file("/etc/ssl/device.pem", FileEntry::Cert("new".into()));
+        assert_eq!(old, Some(FileEntry::Cert("-----BEGIN-----".into())));
+        assert_eq!(fw.file("/etc/ssl/device.pem"), Some(&FileEntry::Cert("new".into())));
+    }
+}

@@ -1,0 +1,40 @@
+//! # firmres-firmware
+//!
+//! Firmware image model: the unit of input to FIRMRES.
+//!
+//! A [`FirmwareImage`] is a packed root filesystem plus device metadata —
+//! what you get after unpacking a vendor firmware blob. Files are typed
+//! ([`FileEntry`]): MR32 executables in the MRE format, shell/PHP scripts
+//! (present so the paper's negative result for devices 21–22 reproduces),
+//! key/value configuration files, NVRAM default sets, and certificates.
+//!
+//! The container serializes to a checksummed binary format so the pipeline
+//! exercises real unpacking paths, including corruption handling.
+//!
+//! # Examples
+//!
+//! ```
+//! use firmres_firmware::{DeviceInfo, DeviceType, FileEntry, FirmwareImage};
+//!
+//! let mut fw = FirmwareImage::new(DeviceInfo {
+//!     vendor: "TENDA".into(),
+//!     model: "AC6".into(),
+//!     device_type: DeviceType::WifiRouter,
+//!     firmware_version: "V02.03.01.114".into(),
+//! });
+//! fw.add_file("/etc/config/cloud.conf", FileEntry::Config("server=cloud.example\n".into()));
+//! let packed = fw.pack();
+//! let back = FirmwareImage::unpack(&packed)?;
+//! assert_eq!(back.device().vendor, "TENDA");
+//! # Ok::<(), firmres_firmware::FirmwareError>(())
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod entry;
+mod image;
+mod nvram;
+
+pub use entry::{FileEntry, ScriptLang};
+pub use image::{DeviceInfo, DeviceType, FirmwareError, FirmwareImage};
+pub use nvram::Nvram;

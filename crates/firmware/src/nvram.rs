@@ -1,0 +1,159 @@
+//! NVRAM default-value store.
+//!
+//! Real devices keep networking and identity parameters (MAC address,
+//! serial number, cloud host, …) in NVRAM; FIRMRES treats NVRAM reads as
+//! message-field sources. This module models the default NVRAM contents
+//! shipped in a firmware image.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A key/value NVRAM store with `key=value` text (de)serialization.
+///
+/// # Examples
+///
+/// ```
+/// use firmres_firmware::Nvram;
+///
+/// let mut nv = Nvram::new();
+/// nv.set("wan_hostname", "router");
+/// nv.set("cloud_server", "iot.example.com");
+/// let text = nv.to_text();
+/// let back = Nvram::parse(&text);
+/// assert_eq!(back.get("cloud_server"), Some("iot.example.com"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Nvram {
+    values: BTreeMap<String, String>,
+}
+
+impl Nvram {
+    /// An empty store.
+    pub fn new() -> Self {
+        Nvram::default()
+    }
+
+    /// Set `key` to `value`, returning the previous value if present.
+    pub fn set(&mut self, key: impl Into<String>, value: impl Into<String>) -> Option<String> {
+        self.values.insert(key.into(), value.into())
+    }
+
+    /// The value of `key`, if set.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// Remove `key`, returning its value.
+    pub fn remove(&mut self, key: &str) -> Option<String> {
+        self.values.remove(key)
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterate over `(key, value)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Parse `key=value` lines; blank lines and `#` comments are skipped,
+    /// malformed lines (no `=`) are ignored, later duplicates win.
+    pub fn parse(text: &str) -> Nvram {
+        let mut nv = Nvram::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some((k, v)) = line.split_once('=') {
+                nv.set(k.trim(), v.trim());
+            }
+        }
+        nv
+    }
+
+    /// Serialize to `key=value` lines in key order.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.values {
+            out.push_str(k);
+            out.push('=');
+            out.push_str(v);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Nvram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+impl FromIterator<(String, String)> for Nvram {
+    fn from_iter<I: IntoIterator<Item = (String, String)>>(iter: I) -> Self {
+        Nvram { values: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<(String, String)> for Nvram {
+    fn extend<I: IntoIterator<Item = (String, String)>>(&mut self, iter: I) {
+        self.values.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_remove() {
+        let mut nv = Nvram::new();
+        assert!(nv.is_empty());
+        assert_eq!(nv.set("mac", "AA:BB"), None);
+        assert_eq!(nv.set("mac", "CC:DD"), Some("AA:BB".to_string()));
+        assert_eq!(nv.get("mac"), Some("CC:DD"));
+        assert_eq!(nv.remove("mac"), Some("CC:DD".to_string()));
+        assert_eq!(nv.get("mac"), None);
+    }
+
+    #[test]
+    fn parse_skips_comments_and_junk() {
+        let nv = Nvram::parse("# comment\n\nmac=AA\nbroken line\nhost = h.example \n");
+        assert_eq!(nv.len(), 2);
+        assert_eq!(nv.get("mac"), Some("AA"));
+        assert_eq!(nv.get("host"), Some("h.example"));
+    }
+
+    #[test]
+    fn parse_last_duplicate_wins() {
+        let nv = Nvram::parse("k=1\nk=2\n");
+        assert_eq!(nv.get("k"), Some("2"));
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let mut nv = Nvram::new();
+        nv.set("b", "2");
+        nv.set("a", "1");
+        assert_eq!(nv.to_text(), "a=1\nb=2\n");
+        assert_eq!(Nvram::parse(&nv.to_text()), nv);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let nv: Nvram = vec![("a".to_string(), "1".to_string())].into_iter().collect();
+        assert_eq!(nv.get("a"), Some("1"));
+        let mut nv2 = nv.clone();
+        nv2.extend(vec![("b".to_string(), "2".to_string())]);
+        assert_eq!(nv2.len(), 2);
+    }
+}

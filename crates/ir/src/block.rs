@@ -1,0 +1,71 @@
+//! Basic blocks of the control-flow graph.
+
+use crate::program::PcodeOp;
+use std::fmt;
+
+/// Index of a basic block within its [`crate::Function`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// A straight-line run of P-Code operations with a single entry and exits
+/// only at the end.
+///
+/// Blocks are stored inside a [`crate::Function`]; `successors` index into
+/// the owning function's block list.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Operations in execution order.
+    pub ops: Vec<PcodeOp>,
+    /// Control-flow successor blocks (0, 1 or 2 entries; indirect branches
+    /// may have more once resolved).
+    pub successors: Vec<BlockId>,
+}
+
+impl BasicBlock {
+    /// An empty block with no successors.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Address of the first operation, if the block is non-empty.
+    pub fn start_address(&self) -> Option<u64> {
+        self.ops.first().map(|op| op.addr)
+    }
+
+    /// Whether the block ends in a `Return`.
+    pub fn is_exit(&self) -> bool {
+        self.ops
+            .last()
+            .is_some_and(|op| op.opcode == crate::Opcode::Return)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Opcode, Varnode};
+
+    #[test]
+    fn start_address_and_exit() {
+        let mut bb = BasicBlock::new();
+        assert_eq!(bb.start_address(), None);
+        assert!(!bb.is_exit());
+        bb.ops.push(PcodeOp::new(0x10, Opcode::Copy, Some(Varnode::register(1, 4)), vec![
+            Varnode::constant(0, 4),
+        ]));
+        bb.ops.push(PcodeOp::new(0x14, Opcode::Return, None, vec![]));
+        assert_eq!(bb.start_address(), Some(0x10));
+        assert!(bb.is_exit());
+    }
+
+    #[test]
+    fn block_id_display() {
+        assert_eq!(BlockId(3).to_string(), "bb3");
+    }
+}

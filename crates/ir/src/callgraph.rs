@@ -1,0 +1,238 @@
+//! Call graph construction and queries.
+//!
+//! The FIRMRES executable-identification stage (paper §IV-A) pairs anchor
+//! callsites "by their closest distances on the call graph" and walks
+//! callers during backward taint analysis (§IV-B); both are served by this
+//! module.
+
+use crate::program::is_import_address;
+use crate::{Address, Program};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// One direct call edge `caller → callee` at a specific callsite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CallEdge {
+    /// Entry address of the calling function.
+    pub caller: Address,
+    /// Target address (function entry or import pseudo-address).
+    pub callee: Address,
+    /// Address of the call instruction.
+    pub callsite: Address,
+}
+
+/// The program call graph over direct calls.
+///
+/// Nodes are function entry addresses plus import pseudo-addresses; edges
+/// carry their callsite so analyses can map back to the calling
+/// instruction.
+#[derive(Debug, Clone, Default)]
+pub struct CallGraph {
+    edges: Vec<CallEdge>,
+    out: BTreeMap<Address, Vec<usize>>,
+    into: BTreeMap<Address, Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Build the call graph of `program`.
+    pub fn build(program: &Program) -> Self {
+        let mut g = CallGraph::default();
+        for f in program.functions() {
+            for op in f.callsites() {
+                if let Some(target) = op.call_target() {
+                    g.add_edge(CallEdge { caller: f.entry(), callee: target, callsite: op.addr });
+                }
+            }
+        }
+        g
+    }
+
+    fn add_edge(&mut self, e: CallEdge) {
+        let idx = self.edges.len();
+        self.edges.push(e);
+        self.out.entry(e.caller).or_default().push(idx);
+        self.into.entry(e.callee).or_default().push(idx);
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[CallEdge] {
+        &self.edges
+    }
+
+    /// Edges leaving `caller`.
+    pub fn callees_of(&self, caller: Address) -> impl Iterator<Item = &CallEdge> {
+        self.out.get(&caller).into_iter().flatten().map(|&i| &self.edges[i])
+    }
+
+    /// Edges entering `callee`.
+    pub fn callers_of(&self, callee: Address) -> impl Iterator<Item = &CallEdge> {
+        self.into.get(&callee).into_iter().flatten().map(|&i| &self.edges[i])
+    }
+
+    /// Whether any function directly calls `callee`.
+    pub fn has_callers(&self, callee: Address) -> bool {
+        self.into.get(&callee).is_some_and(|v| !v.is_empty())
+    }
+
+    /// Undirected breadth-first distance between two functions, in call
+    /// edges, ignoring imports as intermediate hops. `None` when
+    /// disconnected.
+    ///
+    /// Used to pair `recv`-anchor and `send`-anchor callsites by their
+    /// closest call-graph distance (paper Fig. 4).
+    pub fn distance(&self, a: Address, b: Address) -> Option<usize> {
+        if a == b {
+            return Some(0);
+        }
+        let mut seen = BTreeSet::new();
+        let mut q = VecDeque::new();
+        seen.insert(a);
+        q.push_back((a, 0usize));
+        while let Some((n, d)) = q.pop_front() {
+            let neighbors = self
+                .callees_of(n)
+                .map(|e| e.callee)
+                .chain(self.callers_of(n).map(|e| e.caller));
+            for m in neighbors {
+                if m == b {
+                    return Some(d + 1);
+                }
+                if is_import_address(m) {
+                    continue; // do not route paths through library stubs
+                }
+                if seen.insert(m) {
+                    q.push_back((m, d + 1));
+                }
+            }
+        }
+        None
+    }
+
+    /// All functions on some directed call path from `from` to `to`
+    /// (inclusive), or an empty vector when no path exists.
+    ///
+    /// The returned sequence is the shortest such path; FIRMRES treats the
+    /// "function call sequences between anchor nodes" as candidate request
+    /// handlers.
+    pub fn path(&self, from: Address, to: Address) -> Vec<Address> {
+        if from == to {
+            return vec![from];
+        }
+        let mut prev: BTreeMap<Address, Address> = BTreeMap::new();
+        let mut q = VecDeque::new();
+        q.push_back(from);
+        prev.insert(from, from);
+        while let Some(n) = q.pop_front() {
+            for e in self.callees_of(n) {
+                let m = e.callee;
+                if prev.contains_key(&m) || is_import_address(m) && m != to {
+                    continue;
+                }
+                prev.insert(m, n);
+                if m == to {
+                    let mut path = vec![to];
+                    let mut cur = to;
+                    while cur != from {
+                        cur = prev[&cur];
+                        path.push(cur);
+                    }
+                    path.reverse();
+                    return path;
+                }
+                q.push_back(m);
+            }
+        }
+        Vec::new()
+    }
+
+    /// Functions reachable from `root` via directed call edges, including
+    /// `root` itself, excluding imports.
+    pub fn reachable_from(&self, root: Address) -> BTreeSet<Address> {
+        let mut seen = BTreeSet::new();
+        let mut q = VecDeque::new();
+        seen.insert(root);
+        q.push_back(root);
+        while let Some(n) = q.pop_front() {
+            for e in self.callees_of(n) {
+                if is_import_address(e.callee) {
+                    continue;
+                }
+                if seen.insert(e.callee) {
+                    q.push_back(e.callee);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FunctionBuilder, Program, Varnode};
+
+    /// main -> parse -> handle, main -> log; handle calls import send.
+    fn sample_program() -> Program {
+        let mut p = Program::new("t");
+        let mut handle = FunctionBuilder::new("handle", 0x3000);
+        let buf = handle.local("buf", 4);
+        handle.call_import("send", &[buf]);
+        handle.ret();
+        p.add_function(handle.finish());
+
+        let mut parse = FunctionBuilder::new("parse", 0x2000);
+        parse.call_fn(0x3000, &[]);
+        parse.ret();
+        p.add_function(parse.finish());
+
+        let mut log = FunctionBuilder::new("log", 0x4000);
+        log.ret();
+        p.add_function(log.finish());
+
+        let mut main = FunctionBuilder::new("main", 0x1000);
+        main.call_fn(0x2000, &[]);
+        main.call_fn(0x4000, &[Varnode::constant(1, 4)]);
+        main.ret();
+        p.add_function(main.finish());
+        p
+    }
+
+    #[test]
+    fn edges_and_adjacency() {
+        let p = sample_program();
+        let g = p.call_graph();
+        assert_eq!(g.edges().len(), 4);
+        assert_eq!(g.callees_of(0x1000).count(), 2);
+        assert_eq!(g.callers_of(0x3000).count(), 1);
+        assert!(g.has_callers(0x2000));
+        assert!(!g.has_callers(0x1000));
+    }
+
+    #[test]
+    fn distances_are_undirected() {
+        let p = sample_program();
+        let g = p.call_graph();
+        assert_eq!(g.distance(0x1000, 0x3000), Some(2));
+        assert_eq!(g.distance(0x3000, 0x1000), Some(2));
+        assert_eq!(g.distance(0x2000, 0x4000), Some(2)); // via main
+        assert_eq!(g.distance(0x1000, 0x1000), Some(0));
+        assert_eq!(g.distance(0x1000, 0x9999), None);
+    }
+
+    #[test]
+    fn directed_paths() {
+        let p = sample_program();
+        let g = p.call_graph();
+        assert_eq!(g.path(0x1000, 0x3000), vec![0x1000, 0x2000, 0x3000]);
+        assert!(g.path(0x3000, 0x1000).is_empty(), "no reverse path");
+        assert_eq!(g.path(0x2000, 0x2000), vec![0x2000]);
+    }
+
+    #[test]
+    fn reachability_excludes_imports() {
+        let p = sample_program();
+        let g = p.call_graph();
+        let r = g.reachable_from(0x1000);
+        assert_eq!(r.len(), 4, "main, parse, handle, log");
+        assert!(r.iter().all(|a| !is_import_address(*a)));
+    }
+}

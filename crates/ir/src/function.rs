@@ -1,0 +1,462 @@
+//! Functions, their control-flow graphs, and the [`FunctionBuilder`].
+
+use crate::program::{import_address, PcodeOp};
+use crate::{Address, BasicBlock, BlockId, DataType, Opcode, Symbol, SymbolTable, Varnode};
+use std::collections::BTreeMap;
+
+/// A recovered function: a CFG of P-Code operations plus symbol data.
+#[derive(Debug, Clone)]
+pub struct Function {
+    name: String,
+    entry: Address,
+    params: Vec<Varnode>,
+    blocks: Vec<BasicBlock>,
+    symbols: SymbolTable,
+    import_refs: BTreeMap<Address, String>,
+}
+
+impl Function {
+    /// The function's recovered name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Entry address.
+    pub fn entry(&self) -> Address {
+        self.entry
+    }
+
+    /// Formal parameters in declaration order.
+    pub fn params(&self) -> &[Varnode] {
+        &self.params
+    }
+
+    /// All basic blocks, entry first.
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// The block with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this function.
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.0 as usize]
+    }
+
+    /// The per-function symbol table.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Import pseudo-addresses referenced by this function's calls,
+    /// with their names.
+    pub fn import_refs(&self) -> &BTreeMap<Address, String> {
+        &self.import_refs
+    }
+
+    /// Iterate over every operation in block order.
+    pub fn ops(&self) -> impl Iterator<Item = &PcodeOp> {
+        self.blocks.iter().flat_map(|b| b.ops.iter())
+    }
+
+    /// Iterate over `(block id, operation)` pairs in block order.
+    pub fn ops_with_blocks(&self) -> impl Iterator<Item = (BlockId, &PcodeOp)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .flat_map(|(i, b)| b.ops.iter().map(move |op| (BlockId(i as u32), op)))
+    }
+
+    /// Iterate over the call operations (direct and indirect).
+    pub fn callsites(&self) -> impl Iterator<Item = &PcodeOp> {
+        self.ops().filter(|op| op.opcode.is_call())
+    }
+
+    /// The operation at machine address `addr`, if any.
+    pub fn op_at(&self, addr: Address) -> Option<&PcodeOp> {
+        self.ops().find(|op| op.addr == addr)
+    }
+
+    /// Predecessor block ids, computed from successor edges.
+    pub fn predecessors(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (i, b) in self.blocks.iter().enumerate() {
+            for s in &b.successors {
+                preds[s.0 as usize].push(BlockId(i as u32));
+            }
+        }
+        preds
+    }
+
+    /// Number of predicate operations (comparisons) in the function.
+    pub fn predicate_count(&self) -> usize {
+        self.ops().filter(|op| op.opcode.is_predicate()).count()
+    }
+}
+
+/// Incremental builder for a [`Function`].
+///
+/// The builder hands out varnodes for locals, parameters and temporaries,
+/// assigns monotonically increasing instruction addresses, and maintains
+/// the CFG as blocks are created and linked.
+///
+/// # Examples
+///
+/// ```
+/// use firmres_ir::{FunctionBuilder, Varnode};
+///
+/// let mut fb = FunctionBuilder::new("check", 0x1000);
+/// let x = fb.param("x", 4);
+/// let ok = fb.cmp_eq(x, Varnode::constant(1, 4));
+/// let then_b = fb.new_block();
+/// let else_b = fb.new_block();
+/// fb.cbranch(ok, then_b, else_b);
+/// fb.switch_to(then_b);
+/// fb.ret();
+/// fb.switch_to(else_b);
+/// fb.ret();
+/// let f = fb.finish();
+/// assert_eq!(f.blocks().len(), 3);
+/// assert_eq!(f.predicate_count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    name: String,
+    entry: Address,
+    params: Vec<Varnode>,
+    blocks: Vec<BasicBlock>,
+    current: BlockId,
+    symbols: SymbolTable,
+    import_refs: BTreeMap<Address, String>,
+    next_addr: Address,
+    next_stack: i64,
+    next_unique: u64,
+    next_param_reg: u64,
+}
+
+/// First register used for parameter passing (mirrors the MR32 ABI's `a0`).
+const PARAM_REG_BASE: u64 = 4;
+
+impl FunctionBuilder {
+    /// Start building a function named `name` at `entry`.
+    pub fn new(name: impl Into<String>, entry: Address) -> Self {
+        FunctionBuilder {
+            name: name.into(),
+            entry,
+            params: Vec::new(),
+            blocks: vec![BasicBlock::new()],
+            current: BlockId(0),
+            symbols: SymbolTable::new(entry),
+            import_refs: BTreeMap::new(),
+            next_addr: entry,
+            next_stack: 0,
+            next_unique: 0,
+            next_param_reg: PARAM_REG_BASE,
+        }
+    }
+
+    /// Declare the next formal parameter, returning its varnode.
+    pub fn param(&mut self, name: impl Into<String>, size: u8) -> Varnode {
+        let v = Varnode::register(self.next_param_reg, size);
+        self.next_param_reg += 1;
+        self.symbols.insert(v.clone(), Symbol::new(name, DataType::Param));
+        self.params.push(v.clone());
+        v
+    }
+
+    /// Allocate a named stack local, returning its varnode.
+    pub fn local(&mut self, name: impl Into<String>, size: u8) -> Varnode {
+        self.next_stack -= size.max(4) as i64;
+        let v = Varnode::stack(self.next_stack, size);
+        self.symbols.insert(v.clone(), Symbol::new(name, DataType::Local));
+        v
+    }
+
+    /// Allocate an anonymous temporary.
+    pub fn temp(&mut self, size: u8) -> Varnode {
+        let v = Varnode::unique(self.next_unique, size);
+        self.next_unique += 1;
+        v
+    }
+
+    /// Name a varnode as a data pointer in the symbol table (e.g. a pointer
+    /// to a format string in the data segment).
+    pub fn name_data_ptr(&mut self, varnode: &Varnode, name: impl Into<String>) {
+        self.symbols.insert(varnode.clone(), Symbol::new(name, DataType::DataPtr));
+    }
+
+    /// Name an externally-allocated varnode as a local variable. Used by
+    /// lifters that recover stack slots themselves rather than allocating
+    /// them through [`FunctionBuilder::local`].
+    pub fn name_local(&mut self, varnode: &Varnode, name: impl Into<String>) {
+        self.symbols.insert(varnode.clone(), Symbol::new(name, DataType::Local));
+    }
+
+    /// Declare a parameter varnode directly (for lifters that map the ABI
+    /// themselves). The varnode is appended to the parameter list and named.
+    pub fn param_varnode(&mut self, varnode: Varnode, name: impl Into<String>) {
+        self.symbols.insert(varnode.clone(), Symbol::new(name, DataType::Param));
+        self.params.push(varnode);
+    }
+
+    fn bump_addr(&mut self) -> Address {
+        let a = self.next_addr;
+        self.next_addr += 4;
+        a
+    }
+
+    /// Append a raw operation to the current block.
+    pub fn emit(&mut self, opcode: Opcode, output: Option<Varnode>, inputs: Vec<Varnode>) -> &PcodeOp {
+        let addr = self.bump_addr();
+        let op = PcodeOp::new(addr, opcode, output, inputs);
+        let blk = &mut self.blocks[self.current.0 as usize];
+        blk.ops.push(op);
+        blk.ops.last().expect("just pushed")
+    }
+
+    /// `dst = src`.
+    pub fn copy(&mut self, dst: Varnode, src: Varnode) {
+        self.emit(Opcode::Copy, Some(dst), vec![src]);
+    }
+
+    /// `dst = *addr`.
+    pub fn load(&mut self, dst: Varnode, addr: Varnode) {
+        self.emit(Opcode::Load, Some(dst), vec![addr]);
+    }
+
+    /// `*addr = value`.
+    pub fn store(&mut self, addr: Varnode, value: Varnode) {
+        self.emit(Opcode::Store, None, vec![addr, value]);
+    }
+
+    /// Emit a binary operation into a fresh temporary and return it.
+    pub fn binop(&mut self, opcode: Opcode, a: Varnode, b: Varnode) -> Varnode {
+        let size = a.size.max(b.size);
+        let out = self.temp(size);
+        self.emit(opcode, Some(out.clone()), vec![a, b]);
+        out
+    }
+
+    /// `a + b` into a fresh temporary.
+    pub fn add(&mut self, a: Varnode, b: Varnode) -> Varnode {
+        self.binop(Opcode::IntAdd, a, b)
+    }
+
+    /// `a == b` (predicate) into a fresh 1-byte temporary.
+    pub fn cmp_eq(&mut self, a: Varnode, b: Varnode) -> Varnode {
+        let out = self.temp(1);
+        self.emit(Opcode::IntEqual, Some(out.clone()), vec![a, b]);
+        out
+    }
+
+    /// `a != b` (predicate).
+    pub fn cmp_ne(&mut self, a: Varnode, b: Varnode) -> Varnode {
+        let out = self.temp(1);
+        self.emit(Opcode::IntNotEqual, Some(out.clone()), vec![a, b]);
+        out
+    }
+
+    /// `a < b` unsigned (predicate).
+    pub fn cmp_lt(&mut self, a: Varnode, b: Varnode) -> Varnode {
+        let out = self.temp(1);
+        self.emit(Opcode::IntLess, Some(out.clone()), vec![a, b]);
+        out
+    }
+
+    /// Call an imported library function, discarding the return value.
+    pub fn call_import(&mut self, name: &str, args: &[Varnode]) {
+        let target = import_address(name);
+        self.import_refs.insert(target, name.to_string());
+        let mut inputs = vec![Varnode::constant(target, 8)];
+        inputs.extend_from_slice(args);
+        self.emit(Opcode::Call, None, inputs);
+    }
+
+    /// Call an imported library function and capture the return value in a
+    /// fresh temporary.
+    pub fn call_import_ret(&mut self, name: &str, args: &[Varnode]) -> Varnode {
+        let target = import_address(name);
+        self.import_refs.insert(target, name.to_string());
+        let out = self.temp(4);
+        let mut inputs = vec![Varnode::constant(target, 8)];
+        inputs.extend_from_slice(args);
+        self.emit(Opcode::Call, Some(out.clone()), inputs);
+        out
+    }
+
+    /// Call another function in the same program by entry address.
+    pub fn call_fn(&mut self, entry: Address, args: &[Varnode]) {
+        let mut inputs = vec![Varnode::constant(entry, 8)];
+        inputs.extend_from_slice(args);
+        self.emit(Opcode::Call, None, inputs);
+    }
+
+    /// Call another function by entry address, capturing the return value.
+    pub fn call_fn_ret(&mut self, entry: Address, args: &[Varnode]) -> Varnode {
+        let out = self.temp(4);
+        let mut inputs = vec![Varnode::constant(entry, 8)];
+        inputs.extend_from_slice(args);
+        self.emit(Opcode::Call, Some(out.clone()), inputs);
+        out
+    }
+
+    /// Call indirectly through a varnode holding the target.
+    pub fn call_ind(&mut self, target: Varnode, args: &[Varnode]) {
+        let mut inputs = vec![target];
+        inputs.extend_from_slice(args);
+        self.emit(Opcode::CallInd, None, inputs);
+    }
+
+    /// Create a new, initially unreachable block and return its id.
+    pub fn new_block(&mut self) -> BlockId {
+        self.blocks.push(BasicBlock::new());
+        BlockId((self.blocks.len() - 1) as u32)
+    }
+
+    /// Redirect subsequent emission into `block`.
+    pub fn switch_to(&mut self, block: BlockId) {
+        assert!((block.0 as usize) < self.blocks.len(), "unknown block {block}");
+        self.current = block;
+    }
+
+    /// The block currently being emitted into.
+    pub fn current_block(&self) -> BlockId {
+        self.current
+    }
+
+    /// End the current block with a conditional branch.
+    pub fn cbranch(&mut self, cond: Varnode, then_block: BlockId, else_block: BlockId) {
+        self.emit(
+            Opcode::CBranch,
+            None,
+            vec![Varnode::constant(then_block.0 as u64, 8), cond],
+        );
+        let blk = &mut self.blocks[self.current.0 as usize];
+        blk.successors = vec![then_block, else_block];
+    }
+
+    /// End the current block with an unconditional jump.
+    pub fn jump(&mut self, target: BlockId) {
+        self.emit(Opcode::Branch, None, vec![Varnode::constant(target.0 as u64, 8)]);
+        let blk = &mut self.blocks[self.current.0 as usize];
+        blk.successors = vec![target];
+    }
+
+    /// Return without a value.
+    pub fn ret(&mut self) {
+        self.emit(Opcode::Return, None, vec![]);
+    }
+
+    /// Return `value`.
+    pub fn ret_val(&mut self, value: Varnode) {
+        self.emit(Opcode::Return, None, vec![value]);
+    }
+
+    /// Finalize into a [`Function`].
+    pub fn finish(self) -> Function {
+        Function {
+            name: self.name,
+            entry: self.entry,
+            params: self.params,
+            blocks: self.blocks,
+            symbols: self.symbols,
+            import_refs: self.import_refs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_linear_function() {
+        let mut fb = FunctionBuilder::new("f", 0x100);
+        let a = fb.param("a", 4);
+        let buf = fb.local("buf", 4);
+        fb.copy(buf.clone(), a.clone());
+        let t = fb.add(buf.clone(), Varnode::constant(1, 4));
+        fb.ret_val(t);
+        let f = fb.finish();
+        assert_eq!(f.name(), "f");
+        assert_eq!(f.entry(), 0x100);
+        assert_eq!(f.params().len(), 1);
+        assert_eq!(f.blocks().len(), 1);
+        assert_eq!(f.ops().count(), 3);
+        // addresses are monotone, 4 apart
+        let addrs: Vec<_> = f.ops().map(|o| o.addr).collect();
+        assert_eq!(addrs, vec![0x100, 0x104, 0x108]);
+        assert_eq!(f.symbols().lookup(&a).unwrap().data_type, DataType::Param);
+        assert_eq!(f.symbols().lookup(&buf).unwrap().name, "buf");
+    }
+
+    #[test]
+    fn cfg_edges_and_predecessors() {
+        let mut fb = FunctionBuilder::new("g", 0);
+        let x = fb.param("x", 4);
+        let c = fb.cmp_ne(x, Varnode::constant(0, 4));
+        let t = fb.new_block();
+        let e = fb.new_block();
+        let join = fb.new_block();
+        fb.cbranch(c, t, e);
+        fb.switch_to(t);
+        fb.jump(join);
+        fb.switch_to(e);
+        fb.jump(join);
+        fb.switch_to(join);
+        fb.ret();
+        let f = fb.finish();
+        assert_eq!(f.blocks()[0].successors, vec![t, e]);
+        let preds = f.predecessors();
+        assert_eq!(preds[join.0 as usize].len(), 2);
+        assert_eq!(preds[0].len(), 0);
+        assert!(f.block(join).is_exit());
+    }
+
+    #[test]
+    fn callsites_and_import_refs() {
+        let mut fb = FunctionBuilder::new("h", 0x40);
+        let buf = fb.local("buf", 4);
+        let n = fb.call_import_ret("recv", &[Varnode::constant(0, 4), buf.clone()]);
+        fb.call_import("send", &[Varnode::constant(0, 4), buf, n]);
+        fb.ret();
+        let f = fb.finish();
+        assert_eq!(f.callsites().count(), 2);
+        assert_eq!(f.import_refs().len(), 2);
+        let names: Vec<_> = f.import_refs().values().cloned().collect();
+        assert!(names.contains(&"recv".to_string()));
+        assert!(names.contains(&"send".to_string()));
+    }
+
+    #[test]
+    fn op_at_finds_by_address() {
+        let mut fb = FunctionBuilder::new("k", 0x200);
+        fb.copy(Varnode::register(1, 4), Varnode::constant(7, 4));
+        fb.ret();
+        let f = fb.finish();
+        assert!(f.op_at(0x200).is_some());
+        assert!(f.op_at(0x204).is_some());
+        assert!(f.op_at(0x208).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown block")]
+    fn switch_to_unknown_block_panics() {
+        let mut fb = FunctionBuilder::new("p", 0);
+        fb.switch_to(BlockId(9));
+    }
+
+    #[test]
+    fn locals_do_not_collide() {
+        let mut fb = FunctionBuilder::new("l", 0);
+        let a = fb.local("a", 4);
+        let b = fb.local("b", 8);
+        let c = fb.local("c", 4);
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_ne!(a, c);
+        assert!(a.stack_offset().unwrap() < 0);
+    }
+}

@@ -1,0 +1,218 @@
+//! The P-Code operation vocabulary.
+
+use std::fmt;
+
+/// Operation codes of the IR, a pragmatic subset of Ghidra P-Code.
+///
+/// Every opcode documents its operand convention in terms of the
+/// `inputs` / `output` fields of [`crate::PcodeOp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Opcode {
+    /// `output = input0` — move/copy a value.
+    Copy,
+    /// `output = *input0` — load from the address held in `input0`.
+    Load,
+    /// `*input0 = input1` — store `input1` to the address held in `input0`.
+    Store,
+    /// Unconditional branch to the address constant `input0`.
+    Branch,
+    /// Conditional branch: to `input0` if `input1` is non-zero.
+    CBranch,
+    /// Indirect branch to the address held in `input0`.
+    BranchInd,
+    /// Direct call: `input0` is the target address constant, `input1..`
+    /// are arguments; `output` receives the return value when present.
+    Call,
+    /// Indirect call through the value in `input0`; `input1..` are arguments.
+    CallInd,
+    /// Return from the current function; `input0` (optional) is the value.
+    Return,
+    /// `output = input0 == input1` (1-byte boolean result).
+    IntEqual,
+    /// `output = input0 != input1`.
+    IntNotEqual,
+    /// `output = input0 < input1` (unsigned).
+    IntLess,
+    /// `output = input0 < input1` (signed).
+    IntSLess,
+    /// `output = input0 <= input1` (unsigned).
+    IntLessEqual,
+    /// `output = input0 + input1`.
+    IntAdd,
+    /// `output = input0 - input1`.
+    IntSub,
+    /// `output = input0 * input1`.
+    IntMult,
+    /// `output = input0 / input1` (unsigned; division by zero yields 0 in
+    /// analyses, the lifter never emits a trapping form).
+    IntDiv,
+    /// `output = input0 % input1` (unsigned remainder).
+    IntRem,
+    /// `output = input0 & input1`.
+    IntAnd,
+    /// `output = input0 | input1`.
+    IntOr,
+    /// `output = input0 ^ input1`.
+    IntXor,
+    /// `output = input0 << input1`.
+    IntLeft,
+    /// `output = input0 >> input1` (logical).
+    IntRight,
+    /// `output = input0 >> input1` (arithmetic).
+    IntSRight,
+    /// `output = -input0` (two's complement negate).
+    Int2Comp,
+    /// `output = ~input0` (bitwise negate).
+    IntNegate,
+    /// `output = zext(input0)` to the output size.
+    IntZExt,
+    /// `output = sext(input0)` to the output size.
+    IntSExt,
+    /// `output = !input0` (boolean negate).
+    BoolNegate,
+    /// `output = input0 && input1`.
+    BoolAnd,
+    /// `output = input0 || input1`.
+    BoolOr,
+    /// `output = concat(input0, input1)` — piece two values together.
+    Piece,
+    /// `output = truncate(input0, input1)` — take a sub-piece.
+    SubPiece,
+    /// `output = input0 + input1 * input2` — pointer arithmetic as emitted
+    /// by decompilers for array indexing.
+    PtrAdd,
+    /// SSA-style merge of `inputs` at a control-flow join. Only produced by
+    /// analyses that need it, never by the lifter.
+    MultiEqual,
+    /// A no-op marker preserving an address (alignment, hints).
+    Nop,
+}
+
+impl Opcode {
+    /// Textual mnemonic matching Ghidra's dump style.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Opcode::Copy => "COPY",
+            Opcode::Load => "LOAD",
+            Opcode::Store => "STORE",
+            Opcode::Branch => "BRANCH",
+            Opcode::CBranch => "CBRANCH",
+            Opcode::BranchInd => "BRANCHIND",
+            Opcode::Call => "CALL",
+            Opcode::CallInd => "CALLIND",
+            Opcode::Return => "RETURN",
+            Opcode::IntEqual => "INT_EQUAL",
+            Opcode::IntNotEqual => "INT_NOTEQUAL",
+            Opcode::IntLess => "INT_LESS",
+            Opcode::IntSLess => "INT_SLESS",
+            Opcode::IntLessEqual => "INT_LESSEQUAL",
+            Opcode::IntAdd => "INT_ADD",
+            Opcode::IntSub => "INT_SUB",
+            Opcode::IntMult => "INT_MULT",
+            Opcode::IntDiv => "INT_DIV",
+            Opcode::IntRem => "INT_REM",
+            Opcode::IntAnd => "INT_AND",
+            Opcode::IntOr => "INT_OR",
+            Opcode::IntXor => "INT_XOR",
+            Opcode::IntLeft => "INT_LEFT",
+            Opcode::IntRight => "INT_RIGHT",
+            Opcode::IntSRight => "INT_SRIGHT",
+            Opcode::Int2Comp => "INT_2COMP",
+            Opcode::IntNegate => "INT_NEGATE",
+            Opcode::IntZExt => "INT_ZEXT",
+            Opcode::IntSExt => "INT_SEXT",
+            Opcode::BoolNegate => "BOOL_NEGATE",
+            Opcode::BoolAnd => "BOOL_AND",
+            Opcode::BoolOr => "BOOL_OR",
+            Opcode::Piece => "PIECE",
+            Opcode::SubPiece => "SUBPIECE",
+            Opcode::PtrAdd => "PTRADD",
+            Opcode::MultiEqual => "MULTIEQUAL",
+            Opcode::Nop => "NOP",
+        }
+    }
+
+    /// Whether the opcode is a comparison producing a boolean — the
+    /// "predicate" operations counted by the request-handler identification
+    /// statistic (paper Eq. 1).
+    pub fn is_predicate(self) -> bool {
+        matches!(
+            self,
+            Opcode::IntEqual
+                | Opcode::IntNotEqual
+                | Opcode::IntLess
+                | Opcode::IntSLess
+                | Opcode::IntLessEqual
+                | Opcode::BoolNegate
+                | Opcode::BoolAnd
+                | Opcode::BoolOr
+        )
+    }
+
+    /// Whether the opcode transfers control flow.
+    pub fn is_control_flow(self) -> bool {
+        matches!(
+            self,
+            Opcode::Branch
+                | Opcode::CBranch
+                | Opcode::BranchInd
+                | Opcode::Call
+                | Opcode::CallInd
+                | Opcode::Return
+        )
+    }
+
+    /// Whether the opcode is a direct or indirect call.
+    pub fn is_call(self) -> bool {
+        matches!(self, Opcode::Call | Opcode::CallInd)
+    }
+
+    /// Whether data flows from every input to the output (pure dataflow
+    /// ops). Calls, branches and stores are excluded.
+    pub fn is_dataflow(self) -> bool {
+        !self.is_control_flow() && !matches!(self, Opcode::Store | Opcode::Nop)
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates_are_comparisons() {
+        assert!(Opcode::IntEqual.is_predicate());
+        assert!(Opcode::IntSLess.is_predicate());
+        assert!(!Opcode::IntAdd.is_predicate());
+        assert!(!Opcode::Call.is_predicate());
+    }
+
+    #[test]
+    fn control_flow_classification() {
+        for op in [Opcode::Branch, Opcode::CBranch, Opcode::Call, Opcode::Return] {
+            assert!(op.is_control_flow(), "{op}");
+            assert!(!op.is_dataflow(), "{op}");
+        }
+        assert!(Opcode::Copy.is_dataflow());
+        assert!(!Opcode::Store.is_dataflow());
+    }
+
+    #[test]
+    fn call_classification() {
+        assert!(Opcode::Call.is_call());
+        assert!(Opcode::CallInd.is_call());
+        assert!(!Opcode::Branch.is_call());
+    }
+
+    #[test]
+    fn mnemonics_match_ghidra_style() {
+        assert_eq!(Opcode::IntAdd.mnemonic(), "INT_ADD");
+        assert_eq!(Opcode::Call.to_string(), "CALL");
+        assert_eq!(Opcode::MultiEqual.mnemonic(), "MULTIEQUAL");
+    }
+}

@@ -1,0 +1,331 @@
+//! Whole-program container: functions, data segment, imports.
+
+use crate::{Address, CallGraph, Function, Opcode, Varnode};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A single P-Code operation `<addr: output OP input0, input1, …>`.
+///
+/// # Examples
+///
+/// ```
+/// use firmres_ir::{Opcode, PcodeOp, Varnode};
+///
+/// let op = PcodeOp::new(
+///     0x12bd4,
+///     Opcode::IntAdd,
+///     Some(Varnode::register(1, 4)),
+///     vec![Varnode::register(2, 4), Varnode::constant(8, 4)],
+/// );
+/// assert!(op.to_string().contains("INT_ADD"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PcodeOp {
+    /// Address of the machine instruction this operation was lifted from.
+    pub addr: Address,
+    /// The operation.
+    pub opcode: Opcode,
+    /// Destination varnode, when the operation produces a value.
+    pub output: Option<Varnode>,
+    /// Operand varnodes; see [`Opcode`] for per-opcode conventions.
+    pub inputs: Vec<Varnode>,
+}
+
+impl PcodeOp {
+    /// Create an operation.
+    pub fn new(addr: Address, opcode: Opcode, output: Option<Varnode>, inputs: Vec<Varnode>) -> Self {
+        PcodeOp { addr, opcode, output, inputs }
+    }
+
+    /// For a direct [`Opcode::Call`], the constant target address.
+    pub fn call_target(&self) -> Option<Address> {
+        (self.opcode == Opcode::Call)
+            .then(|| self.inputs.first().and_then(Varnode::const_value))
+            .flatten()
+    }
+
+    /// The argument varnodes of a call (everything after the target).
+    pub fn call_args(&self) -> &[Varnode] {
+        if self.opcode.is_call() && !self.inputs.is_empty() {
+            &self.inputs[1..]
+        } else {
+            &[]
+        }
+    }
+}
+
+impl fmt::Display for PcodeOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{:#x}: ", self.addr)?;
+        if let Some(out) = &self.output {
+            write!(f, "{out} = ")?;
+        }
+        write!(f, "{}", self.opcode)?;
+        for (i, input) in self.inputs.iter().enumerate() {
+            if i == 0 {
+                write!(f, " {input}")?;
+            } else {
+                write!(f, ", {input}")?;
+            }
+        }
+        write!(f, ">")
+    }
+}
+
+/// An imported library function (e.g. `sprintf`, `SSL_write`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Import {
+    /// The library function name.
+    pub name: String,
+}
+
+/// Deterministic pseudo-address for an import stub, derived from its name.
+///
+/// Import addresses live in a reserved high range so they can never collide
+/// with lifted code or data. Both the [`crate::FunctionBuilder`] and the
+/// MR32 lifter use this function, so a call to `sprintf` resolves to the
+/// same address everywhere.
+pub fn import_address(name: &str) -> Address {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    0xFFFF_0000_0000_0000 | (h & 0x0000_FFFF_FFFF_FFFF)
+}
+
+/// Whether an address is in the reserved import range.
+pub fn is_import_address(addr: Address) -> bool {
+    addr >= 0xFFFF_0000_0000_0000
+}
+
+/// A whole binary program: functions, the data segment, and imports.
+///
+/// The program is the unit FIRMRES analyzes — one executable extracted from
+/// a firmware image.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    name: String,
+    functions: BTreeMap<Address, Function>,
+    data_base: Address,
+    data: Vec<u8>,
+    imports: BTreeMap<Address, Import>,
+}
+
+impl Program {
+    /// Default base address of the data segment.
+    pub const DATA_BASE: Address = 0x0040_0000;
+
+    /// Create an empty program named `name` (the executable's path stem).
+    pub fn new(name: impl Into<String>) -> Self {
+        Program {
+            name: name.into(),
+            functions: BTreeMap::new(),
+            data_base: Self::DATA_BASE,
+            data: Vec::new(),
+            imports: BTreeMap::new(),
+        }
+    }
+
+    /// The executable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Add a function; its import references are merged into the program
+    /// import table. Replaces any function previously at the same entry.
+    pub fn add_function(&mut self, function: Function) {
+        for (addr, name) in function.import_refs() {
+            self.imports.entry(*addr).or_insert_with(|| Import { name: name.clone() });
+        }
+        self.functions.insert(function.entry(), function);
+    }
+
+    /// Register an import by explicit address (used by the loader when the
+    /// executable carries its own import table).
+    pub fn add_import(&mut self, addr: Address, name: impl Into<String>) {
+        self.imports.insert(addr, Import { name: name.into() });
+    }
+
+    /// Look up a function by entry address.
+    pub fn function(&self, entry: Address) -> Option<&Function> {
+        self.functions.get(&entry)
+    }
+
+    /// Look up a function by name (names are unique in lifted programs).
+    pub fn function_by_name(&self, name: &str) -> Option<&Function> {
+        self.functions.values().find(|f| f.name() == name)
+    }
+
+    /// Iterate over all functions in address order.
+    pub fn functions(&self) -> impl Iterator<Item = &Function> {
+        self.functions.values()
+    }
+
+    /// Number of functions.
+    pub fn function_count(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// The import registered at `addr`, if any.
+    pub fn import(&self, addr: Address) -> Option<&Import> {
+        self.imports.get(&addr)
+    }
+
+    /// Iterate over `(address, import)` pairs.
+    pub fn imports(&self) -> impl Iterator<Item = (Address, &Import)> {
+        self.imports.iter().map(|(a, i)| (*a, i))
+    }
+
+    /// Resolve the human-readable name of a call target: an import name,
+    /// a defined function name, or `None` for unknown/indirect targets.
+    pub fn callee_name(&self, target: Address) -> Option<&str> {
+        if let Some(imp) = self.imports.get(&target) {
+            return Some(&imp.name);
+        }
+        self.functions.get(&target).map(|f| f.name())
+    }
+
+    /// Append raw bytes to the data segment, returning their address.
+    pub fn add_data(&mut self, bytes: &[u8]) -> Address {
+        let addr = self.data_base + self.data.len() as u64;
+        self.data.extend_from_slice(bytes);
+        addr
+    }
+
+    /// Append a NUL-terminated string constant, returning its address.
+    pub fn add_string_constant(&mut self, s: &str) -> Address {
+        let addr = self.add_data(s.as_bytes());
+        self.data.push(0);
+        addr
+    }
+
+    /// Replace the data segment wholesale (used by the loader).
+    pub fn set_data_segment(&mut self, base: Address, bytes: Vec<u8>) {
+        self.data_base = base;
+        self.data = bytes;
+    }
+
+    /// Base address of the data segment.
+    pub fn data_base(&self) -> Address {
+        self.data_base
+    }
+
+    /// Raw data segment bytes.
+    pub fn data_bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Read the NUL-terminated string at `addr` in the data segment.
+    ///
+    /// Returns `None` when `addr` is outside the segment or the bytes are
+    /// not valid UTF-8.
+    pub fn string_at(&self, addr: Address) -> Option<&str> {
+        let start = addr.checked_sub(self.data_base)? as usize;
+        if start >= self.data.len() {
+            return None;
+        }
+        let rest = &self.data[start..];
+        let end = rest.iter().position(|&b| b == 0).unwrap_or(rest.len());
+        std::str::from_utf8(&rest[..end]).ok()
+    }
+
+    /// If `varnode` is a constant or ram pointer into the data segment,
+    /// the string it refers to.
+    pub fn string_for(&self, varnode: &Varnode) -> Option<&str> {
+        match varnode.space {
+            crate::AddressSpace::Const | crate::AddressSpace::Ram => self.string_at(varnode.offset),
+            _ => None,
+        }
+    }
+
+    /// Build the call graph over the program's direct calls.
+    pub fn call_graph(&self) -> CallGraph {
+        CallGraph::build(self)
+    }
+
+    /// Total number of P-Code operations across all functions.
+    pub fn op_count(&self) -> usize {
+        self.functions.values().map(|f| f.ops().count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FunctionBuilder;
+
+    #[test]
+    fn string_constants_round_trip() {
+        let mut p = Program::new("t");
+        let a = p.add_string_constant("?m=camera&a=login");
+        let b = p.add_string_constant("mac");
+        assert_eq!(p.string_at(a), Some("?m=camera&a=login"));
+        assert_eq!(p.string_at(b), Some("mac"));
+        assert_eq!(p.string_at(b + 100), None);
+        assert_eq!(p.string_for(&Varnode::constant(a, 4)), Some("?m=camera&a=login"));
+    }
+
+    #[test]
+    fn import_addresses_are_stable_and_high() {
+        let a = import_address("sprintf");
+        assert_eq!(a, import_address("sprintf"));
+        assert_ne!(a, import_address("snprintf"));
+        assert!(is_import_address(a));
+        assert!(!is_import_address(Program::DATA_BASE));
+    }
+
+    #[test]
+    fn add_function_merges_imports() {
+        let mut p = Program::new("t");
+        let mut fb = FunctionBuilder::new("f", 0x1000);
+        let buf = fb.local("buf", 4);
+        fb.call_import("SSL_write", &[buf]);
+        fb.ret();
+        p.add_function(fb.finish());
+        let target = import_address("SSL_write");
+        assert_eq!(p.callee_name(target), Some("SSL_write"));
+        assert_eq!(p.imports().count(), 1);
+    }
+
+    #[test]
+    fn callee_name_resolves_functions_too() {
+        let mut p = Program::new("t");
+        let mut fb = FunctionBuilder::new("helper", 0x2000);
+        fb.ret();
+        p.add_function(fb.finish());
+        assert_eq!(p.callee_name(0x2000), Some("helper"));
+        assert_eq!(p.callee_name(0x9999), None);
+        assert!(p.function_by_name("helper").is_some());
+        assert!(p.function_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn pcode_op_display() {
+        let op = PcodeOp::new(
+            0x12bd4,
+            Opcode::Call,
+            None,
+            vec![Varnode::constant(import_address("printf"), 8), Varnode::register(4, 4)],
+        );
+        let s = op.to_string();
+        assert!(s.starts_with("<0x12bd4: CALL"), "{s}");
+        assert!(s.contains("(register, 0x4, 4)"), "{s}");
+    }
+
+    #[test]
+    fn call_helpers() {
+        let t = import_address("send");
+        let op = PcodeOp::new(
+            0,
+            Opcode::Call,
+            None,
+            vec![Varnode::constant(t, 8), Varnode::register(4, 4), Varnode::register(5, 4)],
+        );
+        assert_eq!(op.call_target(), Some(t));
+        assert_eq!(op.call_args().len(), 2);
+        let non_call = PcodeOp::new(0, Opcode::Copy, None, vec![]);
+        assert_eq!(non_call.call_target(), None);
+        assert!(non_call.call_args().is_empty());
+    }
+}

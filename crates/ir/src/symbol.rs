@@ -1,0 +1,183 @@
+//! Symbol and type information recovered for varnodes.
+//!
+//! The FIRMRES semantics-recovery step (paper §IV-C) enriches raw P-Code
+//! operands with `(Datatype, Name/Constant, NodeID)` triples drawn from the
+//! decompiler's symbol tables. This module holds that symbol information.
+
+use crate::Varnode;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The high-level kind of a named storage location.
+///
+/// These are the data types the paper embeds into slices: function, local
+/// variable, parameter, constant, and data pointer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DataType {
+    /// A function entry point.
+    Function,
+    /// A function-local variable.
+    Local,
+    /// A formal parameter.
+    Param,
+    /// An inline constant (numeric or string).
+    Constant,
+    /// A pointer into the data segment.
+    DataPtr,
+}
+
+impl DataType {
+    /// Short tag used in the enriched slice representation, e.g. `Local`.
+    pub fn tag(self) -> &'static str {
+        match self {
+            DataType::Function => "Fun",
+            DataType::Local => "Local",
+            DataType::Param => "Param",
+            DataType::Constant => "Cons",
+            DataType::DataPtr => "DataPtr",
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// A named storage location with its recovered [`DataType`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Symbol {
+    /// Recovered name (`finalBuf`, `mac`, …).
+    pub name: String,
+    /// The kind of storage the symbol names.
+    pub data_type: DataType,
+}
+
+impl Symbol {
+    /// Create a symbol.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Symbol { name: name.into(), data_type }
+    }
+}
+
+/// A per-function mapping from varnodes to recovered symbols.
+///
+/// Node IDs (paper: "randomly generated to differentiate same-named
+/// variables across functions") are derived deterministically from the
+/// function address and the varnode so that runs are reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use firmres_ir::{DataType, Symbol, SymbolTable, Varnode};
+///
+/// let mut table = SymbolTable::new(0x1000);
+/// let buf = Varnode::stack(-16, 4);
+/// table.insert(buf.clone(), Symbol::new("buf", DataType::Local));
+/// assert_eq!(table.lookup(&buf).unwrap().name, "buf");
+/// let id = table.node_id(&buf);
+/// assert_eq!(id, table.node_id(&buf)); // deterministic
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SymbolTable {
+    function_addr: u64,
+    entries: BTreeMap<Varnode, Symbol>,
+}
+
+impl SymbolTable {
+    /// Create an empty table for the function at `function_addr`.
+    pub fn new(function_addr: u64) -> Self {
+        SymbolTable { function_addr, entries: BTreeMap::new() }
+    }
+
+    /// Record `symbol` as the name of `varnode`, replacing any previous
+    /// symbol for the same storage. Returns the replaced symbol if any.
+    pub fn insert(&mut self, varnode: Varnode, symbol: Symbol) -> Option<Symbol> {
+        self.entries.insert(varnode, symbol)
+    }
+
+    /// The symbol recorded for `varnode`, if any.
+    pub fn lookup(&self, varnode: &Varnode) -> Option<&Symbol> {
+        self.entries.get(varnode)
+    }
+
+    /// Number of named varnodes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over `(varnode, symbol)` pairs in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Varnode, &Symbol)> {
+        self.entries.iter()
+    }
+
+    /// A deterministic node id for `varnode`, unique per function.
+    ///
+    /// The paper uses random ids to disambiguate same-named variables in
+    /// different functions; we instead hash `(function, varnode)` with FNV-1a
+    /// so identical inputs always produce identical slice text.
+    pub fn node_id(&self, varnode: &Varnode) -> u32 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self
+            .function_addr
+            .to_le_bytes()
+            .into_iter()
+            .chain(varnode.offset.to_le_bytes())
+            .chain([varnode.space as u8, varnode.size])
+        {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // Fold to a short, human-readable id like the paper's `v_1357`.
+        (h % 9000 + 1000) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut t = SymbolTable::new(0x400);
+        let v = Varnode::register(3, 4);
+        assert!(t.is_empty());
+        assert!(t.insert(v.clone(), Symbol::new("mac", DataType::Param)).is_none());
+        assert_eq!(t.lookup(&v).unwrap().data_type, DataType::Param);
+        let old = t.insert(v.clone(), Symbol::new("mac2", DataType::Local)).unwrap();
+        assert_eq!(old.name, "mac");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn node_ids_deterministic_and_function_scoped() {
+        let v = Varnode::stack(-8, 4);
+        let a = SymbolTable::new(0x1000);
+        let b = SymbolTable::new(0x2000);
+        assert_eq!(a.node_id(&v), a.node_id(&v));
+        assert_ne!(a.node_id(&v), b.node_id(&v), "ids differ across functions");
+        assert!((1000..10000).contains(&a.node_id(&v)));
+    }
+
+    #[test]
+    fn datatype_tags() {
+        assert_eq!(DataType::Function.tag(), "Fun");
+        assert_eq!(DataType::Constant.tag(), "Cons");
+        assert_eq!(DataType::Local.to_string(), "Local");
+    }
+
+    #[test]
+    fn iteration_is_deterministic() {
+        let mut t = SymbolTable::new(0);
+        t.insert(Varnode::register(2, 4), Symbol::new("b", DataType::Local));
+        t.insert(Varnode::register(1, 4), Symbol::new("a", DataType::Local));
+        let names: Vec<_> = t.iter().map(|(_, s)| s.name.as_str()).collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+}

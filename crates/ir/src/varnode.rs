@@ -1,0 +1,188 @@
+//! Varnodes: the storage-location operands of P-Code operations.
+
+use std::fmt;
+
+/// The address space a [`Varnode`] lives in.
+///
+/// Mirrors Ghidra's space model: `ram` for memory, `register` for processor
+/// registers, `unique` for compiler/lifter temporaries, `const` for inline
+/// constants, and `stack` for frame-relative locals recovered by the
+/// decompiler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AddressSpace {
+    /// Main memory (code, data segment, heap).
+    Ram,
+    /// Processor registers.
+    Register,
+    /// Temporaries introduced during lifting; never aliased.
+    Unique,
+    /// Inline constants; the varnode offset *is* the value.
+    Const,
+    /// Stack-frame relative storage (negative offsets are encoded as the
+    /// two's-complement `u64`).
+    Stack,
+}
+
+impl AddressSpace {
+    /// Short lowercase name used in textual P-Code dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            AddressSpace::Ram => "ram",
+            AddressSpace::Register => "register",
+            AddressSpace::Unique => "unique",
+            AddressSpace::Const => "const",
+            AddressSpace::Stack => "stack",
+        }
+    }
+}
+
+impl fmt::Display for AddressSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A storage location `(space, offset, size)` — the operand unit of the IR.
+///
+/// Two varnodes refer to the same storage exactly when they compare equal.
+/// This representation deliberately ignores partial overlap (e.g. the low
+/// byte of a register): the MR32 lifter in `firmres-isa` only emits
+/// whole-location accesses, matching how the FIRMRES analyses treat
+/// Ghidra varnodes.
+///
+/// # Examples
+///
+/// ```
+/// use firmres_ir::{AddressSpace, Varnode};
+///
+/// let k = Varnode::constant(0x2a, 4);
+/// assert!(k.is_const());
+/// assert_eq!(k.const_value(), Some(0x2a));
+/// let r = Varnode::register(3, 4);
+/// assert_eq!(r.space, AddressSpace::Register);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Varnode {
+    /// The address space this varnode names storage in.
+    pub space: AddressSpace,
+    /// Offset within the space; for [`AddressSpace::Const`] this is the value.
+    pub offset: u64,
+    /// Size in bytes of the storage location.
+    pub size: u8,
+}
+
+impl Varnode {
+    /// Create a varnode in an arbitrary space.
+    pub fn new(space: AddressSpace, offset: u64, size: u8) -> Self {
+        Varnode { space, offset, size }
+    }
+
+    /// A memory location at `offset`.
+    pub fn ram(offset: u64, size: u8) -> Self {
+        Self::new(AddressSpace::Ram, offset, size)
+    }
+
+    /// Register number `n`.
+    pub fn register(n: u64, size: u8) -> Self {
+        Self::new(AddressSpace::Register, n, size)
+    }
+
+    /// A lifter temporary with the given id.
+    pub fn unique(id: u64, size: u8) -> Self {
+        Self::new(AddressSpace::Unique, id, size)
+    }
+
+    /// An inline constant holding `value`.
+    pub fn constant(value: u64, size: u8) -> Self {
+        Self::new(AddressSpace::Const, value, size)
+    }
+
+    /// A stack slot at the (possibly negative, two's-complement) offset.
+    pub fn stack(offset: i64, size: u8) -> Self {
+        Self::new(AddressSpace::Stack, offset as u64, size)
+    }
+
+    /// Whether this varnode is an inline constant.
+    pub fn is_const(&self) -> bool {
+        self.space == AddressSpace::Const
+    }
+
+    /// The value of an inline constant, or `None` for non-constants.
+    pub fn const_value(&self) -> Option<u64> {
+        self.is_const().then_some(self.offset)
+    }
+
+    /// Whether this varnode refers to memory (the `ram` space).
+    pub fn is_ram(&self) -> bool {
+        self.space == AddressSpace::Ram
+    }
+
+    /// Whether this varnode is a lifter temporary.
+    pub fn is_unique(&self) -> bool {
+        self.space == AddressSpace::Unique
+    }
+
+    /// Stack offset as a signed quantity, if this is a stack varnode.
+    pub fn stack_offset(&self) -> Option<i64> {
+        (self.space == AddressSpace::Stack).then_some(self.offset as i64)
+    }
+}
+
+impl fmt::Display for Varnode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_const() {
+            write!(f, "(const, {:#x}, {})", self.offset, self.size)
+        } else {
+            write!(f, "({}, {:#x}, {})", self.space, self.offset, self.size)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_round_trip() {
+        let v = Varnode::constant(123, 4);
+        assert!(v.is_const());
+        assert_eq!(v.const_value(), Some(123));
+        assert!(!v.is_ram());
+    }
+
+    #[test]
+    fn stack_offsets_are_signed() {
+        let v = Varnode::stack(-8, 4);
+        assert_eq!(v.stack_offset(), Some(-8));
+        assert_eq!(Varnode::stack(16, 4).stack_offset(), Some(16));
+        assert_eq!(Varnode::ram(0, 4).stack_offset(), None);
+    }
+
+    #[test]
+    fn display_matches_pcode_syntax() {
+        assert_eq!(Varnode::ram(0x12bd4, 8).to_string(), "(ram, 0x12bd4, 8)");
+        assert_eq!(Varnode::constant(7, 4).to_string(), "(const, 0x7, 4)");
+        assert_eq!(Varnode::register(0x2c, 4).to_string(), "(register, 0x2c, 4)");
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        assert_eq!(Varnode::unique(5, 4), Varnode::unique(5, 4));
+        assert_ne!(Varnode::unique(5, 4), Varnode::unique(5, 8));
+        assert_ne!(Varnode::unique(5, 4), Varnode::register(5, 4));
+    }
+
+    #[test]
+    fn space_names() {
+        for (s, n) in [
+            (AddressSpace::Ram, "ram"),
+            (AddressSpace::Register, "register"),
+            (AddressSpace::Unique, "unique"),
+            (AddressSpace::Const, "const"),
+            (AddressSpace::Stack, "stack"),
+        ] {
+            assert_eq!(s.name(), n);
+            assert_eq!(s.to_string(), n);
+        }
+    }
+}

@@ -1,0 +1,924 @@
+//! A two-pass assembler from textual MR32 assembly to an [`Executable`].
+//!
+//! # Source format
+//!
+//! ```text
+//! ; comments start with ';' or '#'
+//! .func send_ident mac sn      ; function with two named parameters
+//! .local buf 64                ; named frame local, 64 bytes
+//!     lea  a0, buf
+//!     la   a1, fmt             ; absolute data address
+//!     mov  a2, mac             ; no: registers only — 'mac' is a0 already
+//!     callx sprintf
+//!     lea  a0, buf
+//!     callx SSL_write
+//!     ret
+//! .endfunc
+//!
+//! .data
+//! fmt: .asciz "{\"mac\":\"%s\"}"
+//! tbl: .word 1, 2, 3
+//! pad: .space 16
+//! ```
+//!
+//! The assembler auto-inserts a stack prologue (`addi sp, sp, -frame`) when
+//! a function has locals, and the matching epilogue before each `ret`.
+//!
+//! # Pseudo-instructions
+//!
+//! | pseudo | expansion |
+//! |---|---|
+//! | `li rd, imm` | `addi` or `lui`+`ori` |
+//! | `la rd, label` | `lui`+`ori` (absolute data address) |
+//! | `lea rd, local` | `addi rd, sp, offset` |
+//! | `mov rd, rs` | `add rd, rs, zero` |
+//! | `b label` | `beq zero, zero, off` |
+//! | `call fname` | `jal off` |
+//! | `callx import` | `callx #index` (auto-registers the import) |
+//! | `ret` | epilogue + `jalr zero, ra` |
+//! | `nop` | `addi zero, zero, 0` |
+
+use crate::exe::{Executable, FuncSymbol, LocalSymbol, CODE_BASE, DATA_BASE};
+use crate::{encode, Inst, Reg};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An assembly error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// The MR32 assembler.
+///
+/// Stateless between [`Assembler::assemble`] calls; constructing one is
+/// free.
+#[derive(Debug, Clone, Default)]
+pub struct Assembler {
+    _private: (),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Arg {
+    R(Reg),
+    Imm(i64),
+    /// `disp(base)` memory operand; disp may be a named local.
+    Mem(MemOff, Reg),
+    /// A bare symbol: code label, function, data label or local name.
+    Sym(String),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum MemOff {
+    Imm(i64),
+    Local(String),
+}
+
+#[derive(Debug)]
+struct PendingInst {
+    line: usize,
+    mnemonic: String,
+    args: Vec<Arg>,
+    /// Number of words this instruction expands to.
+    size: usize,
+}
+
+#[derive(Debug)]
+struct PendingFunc {
+    name: String,
+    params: Vec<String>,
+    addr_index: usize,
+    frame: i64,
+    locals: BTreeMap<String, (i16, i64)>, // name -> (offset, size)
+    code_labels: BTreeMap<String, usize>, // label -> word index
+    insts: Vec<PendingInst>,
+    saw_inst: bool,
+    has_prologue: bool,
+}
+
+#[derive(Debug, Default)]
+struct DataBuilder {
+    bytes: Vec<u8>,
+    labels: BTreeMap<String, u32>,
+}
+
+impl Assembler {
+    /// Create an assembler.
+    pub fn new() -> Self {
+        Assembler::default()
+    }
+
+    /// Assemble `source` into a linked [`Executable`].
+    ///
+    /// The entry point is the function named `main` when present, otherwise
+    /// the first function.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AsmError`] naming the offending source line for syntax
+    /// errors, unknown mnemonics/registers, out-of-range immediates,
+    /// undefined labels, or structural problems (e.g. `.local` after code).
+    pub fn assemble(&self, source: &str) -> Result<Executable, AsmError> {
+        let mut funcs: Vec<PendingFunc> = Vec::new();
+        let mut data = DataBuilder::default();
+        let mut imports: Vec<String> = Vec::new();
+        let mut in_data = false;
+        let mut word_index = 0usize;
+
+        let err = |line: usize, msg: String| AsmError { line, msg };
+
+        for (lineno, raw) in source.lines().enumerate() {
+            let line = lineno + 1;
+            let text = strip_comment(raw).trim().to_string();
+            if text.is_empty() {
+                continue;
+            }
+            if let Some(rest) = text.strip_prefix(".func") {
+                if in_data {
+                    return Err(err(line, ".func inside .data section".into()));
+                }
+                let mut parts = rest.split_whitespace();
+                let name = parts
+                    .next()
+                    .ok_or_else(|| err(line, ".func requires a name".into()))?
+                    .to_string();
+                if funcs.iter().any(|f| f.name == name) {
+                    return Err(err(line, format!("duplicate function `{name}`")));
+                }
+                let params: Vec<String> = parts.map(|s| s.to_string()).collect();
+                if params.len() > 6 {
+                    return Err(err(line, "at most 6 parameters (a0-a5)".into()));
+                }
+                funcs.push(PendingFunc {
+                    name,
+                    params,
+                    addr_index: word_index,
+                    frame: 0,
+                    locals: BTreeMap::new(),
+                    code_labels: BTreeMap::new(),
+                    insts: Vec::new(),
+                    saw_inst: false,
+                    has_prologue: false,
+                });
+                continue;
+            }
+            if text == ".endfunc" {
+                if funcs.is_empty() {
+                    return Err(err(line, ".endfunc without .func".into()));
+                }
+                continue;
+            }
+            if text == ".data" {
+                in_data = true;
+                continue;
+            }
+            if in_data {
+                parse_data_line(&text, line, &mut data)?;
+                continue;
+            }
+            if let Some(rest) = text.strip_prefix(".local") {
+                let f = funcs
+                    .last_mut()
+                    .ok_or_else(|| err(line, ".local outside a function".into()))?;
+                if f.saw_inst {
+                    return Err(err(line, ".local must precede the function body".into()));
+                }
+                let mut parts = rest.split_whitespace();
+                let name = parts
+                    .next()
+                    .ok_or_else(|| err(line, ".local requires a name".into()))?
+                    .to_string();
+                let size: i64 = parts
+                    .next()
+                    .ok_or_else(|| err(line, ".local requires a size".into()))?
+                    .parse()
+                    .map_err(|_| err(line, "bad .local size".into()))?;
+                if size <= 0 || size > 4096 {
+                    return Err(err(line, "local size must be 1..=4096".into()));
+                }
+                let aligned = (size + 3) & !3;
+                // Locals are laid out upward from the post-prologue sp, so
+                // `offset(sp)` operands and `lea` resolve to non-negative
+                // displacements once the frame has been set up.
+                let offset = f.frame as i16;
+                f.frame += aligned;
+                if f.locals.insert(name.clone(), (offset, size)).is_some() {
+                    return Err(err(line, format!("duplicate local `{name}`")));
+                }
+                continue;
+            }
+            if text.starts_with('.') {
+                return Err(err(line, format!("unknown directive `{text}`")));
+            }
+            // Label or instruction in the code section.
+            let mut body = text.as_str();
+            if let Some(colon) = label_prefix(body) {
+                let f = funcs
+                    .last_mut()
+                    .ok_or_else(|| err(line, "label outside a function".into()))?;
+                let label = body[..colon].to_string();
+                if f.code_labels.contains_key(&label) {
+                    return Err(err(line, format!("duplicate label `{label}`")));
+                }
+                // Label binds to the next emitted word.
+                let at = word_index + pending_prologue_words(f);
+                f.code_labels.insert(label, at);
+                body = body[colon + 1..].trim();
+                if body.is_empty() {
+                    continue;
+                }
+            }
+            let f = funcs
+                .last_mut()
+                .ok_or_else(|| err(line, "instruction outside a function".into()))?;
+            // Insert the prologue lazily before the first instruction.
+            if !f.saw_inst {
+                f.saw_inst = true;
+                if f.frame > 0 {
+                    f.has_prologue = true;
+                    word_index += 1;
+                }
+            }
+            let (mnemonic, args) = parse_inst(body, line)?;
+            // Register imports for callx in first pass so indices are stable.
+            if mnemonic == "callx" {
+                if let Some(Arg::Sym(name)) = args.first() {
+                    if !imports.contains(name) {
+                        imports.push(name.clone());
+                    }
+                }
+            }
+            let size = expansion_size(&mnemonic, &args, f.frame).map_err(|m| err(line, m))?;
+            f.insts.push(PendingInst { line, mnemonic, args, size });
+            word_index += size;
+        }
+
+        if funcs.is_empty() {
+            return Err(err(0, "no functions defined".into()));
+        }
+        for f in &funcs {
+            if f.insts.is_empty() {
+                return Err(err(0, format!("function `{}` has no body", f.name)));
+            }
+        }
+
+        // Pass 2: emit.
+        let func_addrs: BTreeMap<String, usize> =
+            funcs.iter().map(|f| (f.name.clone(), f.addr_index)).collect();
+        let mut code: Vec<u32> = Vec::with_capacity(word_index);
+        let mut out_funcs = Vec::new();
+        let mut out_locals = Vec::new();
+        for (fi, f) in funcs.iter().enumerate() {
+            debug_assert_eq!(code.len(), f.addr_index, "layout drift in `{}`", f.name);
+            out_funcs.push(FuncSymbol {
+                name: f.name.clone(),
+                addr: CODE_BASE + (f.addr_index as u32) * 4,
+                params: f.params.clone(),
+            });
+            for (name, (offset, _)) in &f.locals {
+                out_locals.push(LocalSymbol {
+                    func_index: fi as u32,
+                    name: name.clone(),
+                    offset: *offset,
+                });
+            }
+            if f.has_prologue {
+                code.push(encode(Inst::Addi(Reg::SP, Reg::SP, (-f.frame) as i16)));
+            }
+            for p in &f.insts {
+                let before = code.len();
+                emit_inst(p, f, &func_addrs, &imports, &data, &mut code)?;
+                debug_assert_eq!(code.len() - before, p.size, "size drift at line {}", p.line);
+            }
+        }
+
+        let entry_index = func_addrs.get("main").copied().unwrap_or(funcs[0].addr_index);
+        Ok(Executable {
+            entry: CODE_BASE + (entry_index as u32) * 4,
+            code,
+            data: data.bytes,
+            imports,
+            funcs: out_funcs,
+            locals: out_locals,
+            data_syms: data.labels.into_iter().map(|(n, a)| (n, a)).collect(),
+        })
+    }
+}
+
+fn pending_prologue_words(f: &PendingFunc) -> usize {
+    usize::from(!f.saw_inst && f.frame > 0)
+}
+
+/// Strip `;`/`#` comments, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            ';' | '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// If the line starts with `label:`, the byte index of the colon.
+fn label_prefix(s: &str) -> Option<usize> {
+    let colon = s.find(':')?;
+    let name = &s[..colon];
+    (!name.is_empty()
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && !name.chars().next().unwrap().is_ascii_digit())
+    .then_some(colon)
+}
+
+fn parse_int(s: &str) -> Option<i64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        return i64::from_str_radix(hex, 16).ok();
+    }
+    if let Some(hex) = s.strip_prefix("-0x") {
+        return i64::from_str_radix(hex, 16).ok().map(|v| -v);
+    }
+    s.parse().ok()
+}
+
+fn parse_arg(s: &str, line: usize) -> Result<Arg, AsmError> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Err(AsmError { line, msg: "empty operand".into() });
+    }
+    // Memory operand disp(base)
+    if let Some(open) = s.find('(') {
+        if let Some(close) = s.rfind(')') {
+            let disp_s = &s[..open];
+            let base_s = &s[open + 1..close];
+            let base = Reg::parse(base_s.trim())
+                .ok_or_else(|| AsmError { line, msg: format!("bad base register `{base_s}`") })?;
+            let disp = if disp_s.trim().is_empty() {
+                MemOff::Imm(0)
+            } else if let Some(v) = parse_int(disp_s) {
+                MemOff::Imm(v)
+            } else {
+                MemOff::Local(disp_s.trim().to_string())
+            };
+            return Ok(Arg::Mem(disp, base));
+        }
+    }
+    if let Some(r) = Reg::parse(s) {
+        return Ok(Arg::R(r));
+    }
+    if let Some(v) = parse_int(s) {
+        return Ok(Arg::Imm(v));
+    }
+    if s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        return Ok(Arg::Sym(s.to_string()));
+    }
+    Err(AsmError { line, msg: format!("cannot parse operand `{s}`") })
+}
+
+fn parse_inst(body: &str, line: usize) -> Result<(String, Vec<Arg>), AsmError> {
+    let (mnemonic, rest) = match body.find(char::is_whitespace) {
+        Some(i) => (&body[..i], body[i..].trim()),
+        None => (body, ""),
+    };
+    let mut args = Vec::new();
+    if !rest.is_empty() {
+        for part in rest.split(',') {
+            args.push(parse_arg(part, line)?);
+        }
+    }
+    Ok((mnemonic.to_ascii_lowercase(), args))
+}
+
+fn fits14(v: i64) -> bool {
+    (-(1 << 13)..(1 << 13)).contains(&v)
+}
+
+/// Number of code words an instruction expands to. Must not depend on
+/// label addresses (sizes are fixed in pass 1).
+fn expansion_size(mnemonic: &str, args: &[Arg], frame: i64) -> Result<usize, String> {
+    Ok(match mnemonic {
+        "li" => match args.get(1) {
+            Some(Arg::Imm(v)) if fits14(*v) => 1,
+            Some(Arg::Imm(_)) => 2,
+            _ => return Err("li requires `li rd, imm`".into()),
+        },
+        "la" | "laf" => 2,
+        "ret" => {
+            if frame > 0 {
+                2
+            } else {
+                1
+            }
+        }
+        _ => 1,
+    })
+}
+
+fn reg_arg(args: &[Arg], i: usize, line: usize, mn: &str) -> Result<Reg, AsmError> {
+    match args.get(i) {
+        Some(Arg::R(r)) => Ok(*r),
+        _ => Err(AsmError { line, msg: format!("`{mn}` operand {i} must be a register") }),
+    }
+}
+
+fn imm_arg(args: &[Arg], i: usize, line: usize, mn: &str) -> Result<i64, AsmError> {
+    match args.get(i) {
+        Some(Arg::Imm(v)) => Ok(*v),
+        _ => Err(AsmError { line, msg: format!("`{mn}` operand {i} must be an immediate") }),
+    }
+}
+
+fn imm14_checked(v: i64, line: usize, what: &str) -> Result<i16, AsmError> {
+    if fits14(v) {
+        Ok(v as i16)
+    } else {
+        Err(AsmError { line, msg: format!("{what} {v} does not fit in 14 bits") })
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn emit_inst(
+    p: &PendingInst,
+    f: &PendingFunc,
+    func_addrs: &BTreeMap<String, usize>,
+    imports: &[String],
+    data: &DataBuilder,
+    code: &mut Vec<u32>,
+) -> Result<(), AsmError> {
+    let line = p.line;
+    let mn = p.mnemonic.as_str();
+    let args = &p.args;
+    let e = |msg: String| AsmError { line, msg };
+
+    let resolve_mem = |off: &MemOff| -> Result<i16, AsmError> {
+        match off {
+            MemOff::Imm(v) => imm14_checked(*v, line, "displacement"),
+            MemOff::Local(name) => f
+                .locals
+                .get(name)
+                .map(|(o, _)| *o)
+                .ok_or_else(|| e(format!("unknown local `{name}`"))),
+        }
+    };
+    let branch_off = |target: &str, at: usize| -> Result<i16, AsmError> {
+        let t = f
+            .code_labels
+            .get(target)
+            .ok_or_else(|| e(format!("unknown label `{target}`")))?;
+        let delta = *t as i64 - at as i64;
+        imm14_checked(delta, line, "branch offset")
+    };
+
+    let rrr = |ctor: fn(Reg, Reg, Reg) -> Inst, args: &[Arg]| -> Result<Inst, AsmError> {
+        Ok(ctor(reg_arg(args, 0, line, mn)?, reg_arg(args, 1, line, mn)?, reg_arg(args, 2, line, mn)?))
+    };
+    let rri = |ctor: fn(Reg, Reg, i16) -> Inst, args: &[Arg]| -> Result<Inst, AsmError> {
+        let v = imm_arg(args, 2, line, mn)?;
+        Ok(ctor(
+            reg_arg(args, 0, line, mn)?,
+            reg_arg(args, 1, line, mn)?,
+            imm14_checked(v, line, "immediate")?,
+        ))
+    };
+    let mem = |ctor: fn(Reg, Reg, i16) -> Inst, args: &[Arg]| -> Result<Inst, AsmError> {
+        let r = reg_arg(args, 0, line, mn)?;
+        match args.get(1) {
+            Some(Arg::Mem(off, base)) => Ok(ctor(r, *base, resolve_mem(off)?)),
+            _ => Err(e(format!("`{mn}` operand 1 must be disp(base)"))),
+        }
+    };
+    let cond = |ctor: fn(Reg, Reg, i16) -> Inst, args: &[Arg]| -> Result<Inst, AsmError> {
+        let a = reg_arg(args, 0, line, mn)?;
+        let b = reg_arg(args, 1, line, mn)?;
+        match args.get(2) {
+            Some(Arg::Sym(target)) => Ok(ctor(a, b, branch_off(target, code.len())?)),
+            Some(Arg::Imm(v)) => Ok(ctor(a, b, imm14_checked(*v, line, "branch offset")?)),
+            _ => Err(e(format!("`{mn}` needs a target label"))),
+        }
+    };
+
+    match mn {
+        "add" => code.push(encode(rrr(Inst::Add, args)?)),
+        "sub" => code.push(encode(rrr(Inst::Sub, args)?)),
+        "mul" => code.push(encode(rrr(Inst::Mul, args)?)),
+        "div" => code.push(encode(rrr(Inst::Div, args)?)),
+        "rem" => code.push(encode(rrr(Inst::Rem, args)?)),
+        "and" => code.push(encode(rrr(Inst::And, args)?)),
+        "or" => code.push(encode(rrr(Inst::Or, args)?)),
+        "xor" => code.push(encode(rrr(Inst::Xor, args)?)),
+        "sll" => code.push(encode(rrr(Inst::Sll, args)?)),
+        "srl" => code.push(encode(rrr(Inst::Srl, args)?)),
+        "sra" => code.push(encode(rrr(Inst::Sra, args)?)),
+        "slt" => code.push(encode(rrr(Inst::Slt, args)?)),
+        "seq" => code.push(encode(rrr(Inst::Seq, args)?)),
+        "addi" => code.push(encode(rri(Inst::Addi, args)?)),
+        "andi" => code.push(encode(rri(Inst::Andi, args)?)),
+        "ori" => code.push(encode(rri(Inst::Ori, args)?)),
+        "xori" => code.push(encode(rri(Inst::Xori, args)?)),
+        "slli" => code.push(encode(rri(Inst::Slli, args)?)),
+        "srli" => code.push(encode(rri(Inst::Srli, args)?)),
+        "lw" => code.push(encode(mem(Inst::Lw, args)?)),
+        "lb" => code.push(encode(mem(Inst::Lb, args)?)),
+        "sw" => code.push(encode(mem(Inst::Sw, args)?)),
+        "sb" => code.push(encode(mem(Inst::Sb, args)?)),
+        "beq" => code.push(encode(cond(Inst::Beq, args)?)),
+        "bne" => code.push(encode(cond(Inst::Bne, args)?)),
+        "blt" => code.push(encode(cond(Inst::Blt, args)?)),
+        "bge" => code.push(encode(cond(Inst::Bge, args)?)),
+        "b" => match args.first() {
+            Some(Arg::Sym(target)) => {
+                let off = branch_off(target, code.len())?;
+                code.push(encode(Inst::Beq(Reg::ZERO, Reg::ZERO, off)));
+            }
+            _ => return Err(e("`b` needs a target label".into())),
+        },
+        "mov" => {
+            let d = reg_arg(args, 0, line, mn)?;
+            let s = reg_arg(args, 1, line, mn)?;
+            code.push(encode(Inst::Add(d, s, Reg::ZERO)));
+        }
+        "li" => {
+            let d = reg_arg(args, 0, line, mn)?;
+            let v = imm_arg(args, 1, line, mn)?;
+            if !(0..=u32::MAX as i64).contains(&v) && !fits14(v) {
+                return Err(e(format!("li immediate {v} out of 32-bit range")));
+            }
+            emit_li(code, d, v);
+        }
+        "la" => {
+            let d = reg_arg(args, 0, line, mn)?;
+            match args.get(1) {
+                Some(Arg::Sym(label)) => {
+                    let addr = data
+                        .labels
+                        .get(label)
+                        .copied()
+                        .ok_or_else(|| e(format!("unknown data label `{label}`")))?;
+                    emit_abs32(code, d, addr);
+                }
+                _ => return Err(e("`la` needs a data label".into())),
+            }
+        }
+        "lea" => {
+            let d = reg_arg(args, 0, line, mn)?;
+            match args.get(1) {
+                Some(Arg::Sym(local)) => {
+                    let (off, _) = f
+                        .locals
+                        .get(local)
+                        .ok_or_else(|| e(format!("unknown local `{local}`")))?;
+                    code.push(encode(Inst::Addi(d, Reg::SP, *off)));
+                }
+                _ => return Err(e("`lea` needs a local name".into())),
+            }
+        }
+        "laf" => {
+            let d = reg_arg(args, 0, line, mn)?;
+            match args.get(1) {
+                Some(Arg::Sym(name)) => {
+                    let target = func_addrs
+                        .get(name)
+                        .copied()
+                        .ok_or_else(|| e(format!("unknown function `{name}`")))?;
+                    emit_abs32(code, d, CODE_BASE + (target as u32) * 4);
+                }
+                _ => return Err(e("`laf` needs a function name".into())),
+            }
+        }
+        "call" => match args.first() {
+            Some(Arg::Sym(name)) => {
+                let target = func_addrs
+                    .get(name)
+                    .copied()
+                    .ok_or_else(|| e(format!("unknown function `{name}`")))?;
+                let off = target as i64 - code.len() as i64;
+                code.push(encode(Inst::Jal(off as i32)));
+            }
+            _ => return Err(e("`call` needs a function name".into())),
+        },
+        "callx" => match args.first() {
+            Some(Arg::Sym(name)) => {
+                let idx = imports
+                    .iter()
+                    .position(|i| i == name)
+                    .expect("import registered in pass 1");
+                code.push(encode(Inst::Callx(idx as u16)));
+            }
+            _ => return Err(e("`callx` needs an import name".into())),
+        },
+        "ret" => {
+            if f.frame > 0 {
+                code.push(encode(Inst::Addi(Reg::SP, Reg::SP, f.frame as i16)));
+            }
+            code.push(encode(Inst::Jalr(Reg::ZERO, Reg::RA)));
+        }
+        "jalr" => {
+            let d = reg_arg(args, 0, line, mn)?;
+            let s = reg_arg(args, 1, line, mn)?;
+            code.push(encode(Inst::Jalr(d, s)));
+        }
+        "nop" => code.push(encode(Inst::Addi(Reg::ZERO, Reg::ZERO, 0))),
+        "halt" => code.push(encode(Inst::Halt)),
+        other => return Err(e(format!("unknown mnemonic `{other}`"))),
+    }
+    Ok(())
+}
+
+fn emit_li(code: &mut Vec<u32>, d: Reg, v: i64) {
+    if fits14(v) {
+        code.push(encode(Inst::Addi(d, Reg::ZERO, v as i16)));
+    } else {
+        emit_abs32(code, d, v as u32);
+    }
+}
+
+fn emit_abs32(code: &mut Vec<u32>, d: Reg, value: u32) {
+    let hi = value >> 14;
+    let lo = value & 0x3FFF;
+    code.push(encode(Inst::Lui(d, hi)));
+    code.push(encode(Inst::Ori(d, d, lo as i16)));
+}
+
+fn parse_data_line(text: &str, line: usize, data: &mut DataBuilder) -> Result<(), AsmError> {
+    let e = |msg: String| AsmError { line, msg };
+    let mut body = text;
+    if let Some(colon) = label_prefix(body) {
+        let label = body[..colon].to_string();
+        let addr = DATA_BASE + data.bytes.len() as u32;
+        if data.labels.insert(label.clone(), addr).is_some() {
+            return Err(e(format!("duplicate data label `{label}`")));
+        }
+        body = body[colon + 1..].trim();
+        if body.is_empty() {
+            return Ok(());
+        }
+    }
+    if let Some(rest) = body.strip_prefix(".asciz") {
+        let s = parse_string_literal(rest.trim(), line)?;
+        data.bytes.extend_from_slice(s.as_bytes());
+        data.bytes.push(0);
+        return Ok(());
+    }
+    if let Some(rest) = body.strip_prefix(".word") {
+        for part in rest.split(',') {
+            let v = parse_int(part).ok_or_else(|| e(format!("bad .word value `{part}`")))?;
+            data.bytes.extend_from_slice(&(v as u32).to_le_bytes());
+        }
+        return Ok(());
+    }
+    if let Some(rest) = body.strip_prefix(".byte") {
+        for part in rest.split(',') {
+            let v = parse_int(part).ok_or_else(|| e(format!("bad .byte value `{part}`")))?;
+            data.bytes.push(v as u8);
+        }
+        return Ok(());
+    }
+    if let Some(rest) = body.strip_prefix(".space") {
+        let n: usize = rest
+            .trim()
+            .parse()
+            .map_err(|_| e(format!("bad .space size `{}`", rest.trim())))?;
+        data.bytes.resize(data.bytes.len() + n, 0);
+        return Ok(());
+    }
+    Err(e(format!("unknown data directive `{body}`")))
+}
+
+fn parse_string_literal(s: &str, line: usize) -> Result<String, AsmError> {
+    let e = |msg: &str| AsmError { line, msg: msg.to_string() };
+    let inner = s
+        .strip_prefix('"')
+        .and_then(|t| t.strip_suffix('"'))
+        .ok_or_else(|| e("string literal must be double-quoted"))?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            Some('0') => out.push('\0'),
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            other => return Err(e(&format!("bad escape `\\{}`", other.unwrap_or(' ')))),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode;
+
+    const HELLO: &str = r#"
+.func main
+    la   a0, msg
+    callx puts
+    ret
+.endfunc
+.data
+msg: .asciz "hello"
+"#;
+
+    #[test]
+    fn assembles_hello() {
+        let exe = Assembler::new().assemble(HELLO).unwrap();
+        assert_eq!(exe.entry, CODE_BASE);
+        assert_eq!(exe.imports, vec!["puts".to_string()]);
+        assert_eq!(exe.funcs.len(), 1);
+        assert_eq!(exe.data, b"hello\0");
+        assert_eq!(exe.data_syms, vec![("msg".to_string(), DATA_BASE)]);
+        // la expands to lui+ori, then callx, then ret (no frame -> 1 word).
+        assert_eq!(exe.code.len(), 4);
+        assert_eq!(decode(exe.code[2]).unwrap(), Inst::Callx(0));
+        assert!(decode(exe.code[3]).unwrap().is_ret());
+    }
+
+    #[test]
+    fn locals_get_frame_and_prologue() {
+        let src = r#"
+.func f x
+.local buf 64
+.local n 4
+    lea a0, buf
+    sw  a0, n(sp)
+    ret
+.endfunc
+"#;
+        let exe = Assembler::new().assemble(src).unwrap();
+        // prologue + lea + sw + (epilogue+jalr)
+        assert_eq!(exe.code.len(), 5);
+        assert_eq!(decode(exe.code[0]).unwrap(), Inst::Addi(Reg::SP, Reg::SP, -68));
+        assert_eq!(decode(exe.code[1]).unwrap(), Inst::Addi(Reg::A0, Reg::SP, 0));
+        assert_eq!(decode(exe.code[2]).unwrap(), Inst::Sw(Reg::A0, Reg::SP, 64));
+        assert_eq!(decode(exe.code[3]).unwrap(), Inst::Addi(Reg::SP, Reg::SP, 68));
+        assert_eq!(exe.locals.len(), 2);
+        let names: Vec<_> = exe.locals.iter().map(|l| l.name.as_str()).collect();
+        assert!(names.contains(&"buf"));
+        assert!(names.contains(&"n"));
+        assert_eq!(exe.funcs[0].params, vec!["x".to_string()]);
+    }
+
+    #[test]
+    fn branches_resolve_labels() {
+        let src = r#"
+.func main
+    li  t0, 3
+loop:
+    addi t0, t0, -1
+    bne  t0, zero, loop
+    ret
+.endfunc
+"#;
+        let exe = Assembler::new().assemble(src).unwrap();
+        // li(1) addi(1) bne(1) ret(1)
+        assert_eq!(exe.code.len(), 4);
+        assert_eq!(decode(exe.code[2]).unwrap(), Inst::Bne(Reg::T0, Reg::ZERO, -1));
+    }
+
+    #[test]
+    fn call_between_functions() {
+        let src = r#"
+.func helper
+    ret
+.endfunc
+.func main
+    call helper
+    halt
+.endfunc
+"#;
+        let exe = Assembler::new().assemble(src).unwrap();
+        assert_eq!(exe.entry, CODE_BASE + 4, "entry is main");
+        assert_eq!(decode(exe.code[1]).unwrap(), Inst::Jal(-1));
+    }
+
+    #[test]
+    fn li_wide_expands_to_lui_ori() {
+        let src = ".func main\n li a0, 0x401234\n ret\n.endfunc\n";
+        let exe = Assembler::new().assemble(src).unwrap();
+        assert_eq!(exe.code.len(), 3);
+        assert_eq!(decode(exe.code[0]).unwrap(), Inst::Lui(Reg::A0, 0x401234 >> 14));
+        assert_eq!(decode(exe.code[1]).unwrap(), Inst::Ori(Reg::A0, Reg::A0, (0x401234 & 0x3FFF) as i16));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let src = ".func main\n frob a0\n ret\n.endfunc\n";
+        let err = Assembler::new().assemble(src).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.msg.contains("frob"));
+    }
+
+    #[test]
+    fn rejects_local_after_code() {
+        let src = ".func main\n nop\n.local x 4\n ret\n.endfunc\n";
+        let err = Assembler::new().assemble(src).unwrap_err();
+        assert!(err.msg.contains(".local"));
+    }
+
+    #[test]
+    fn rejects_duplicate_function() {
+        let src = ".func f\n ret\n.endfunc\n.func f\n ret\n.endfunc\n";
+        let err = Assembler::new().assemble(src).unwrap_err();
+        assert!(err.msg.contains("duplicate function"));
+    }
+
+    #[test]
+    fn rejects_unknown_label() {
+        let src = ".func main\n b nowhere\n ret\n.endfunc\n";
+        let err = Assembler::new().assemble(src).unwrap_err();
+        assert!(err.msg.contains("nowhere"));
+    }
+
+    #[test]
+    fn rejects_empty_source() {
+        assert!(Assembler::new().assemble("").is_err());
+        assert!(Assembler::new().assemble("; just a comment\n").is_err());
+    }
+
+    #[test]
+    fn comments_respect_strings() {
+        let src = ".func main\n ret\n.endfunc\n.data\ns: .asciz \"a;b#c\"\n";
+        let exe = Assembler::new().assemble(src).unwrap();
+        assert_eq!(exe.data, b"a;b#c\0");
+    }
+
+    #[test]
+    fn string_escapes() {
+        let src = ".func main\n ret\n.endfunc\n.data\ns: .asciz \"a\\n\\\"b\\\\\"\n";
+        let exe = Assembler::new().assemble(src).unwrap();
+        assert_eq!(exe.data, b"a\n\"b\\\0");
+    }
+
+    #[test]
+    fn word_byte_space_directives() {
+        let src = ".func main\n ret\n.endfunc\n.data\nw: .word 1, 0x10\nb: .byte 7, 8\np: .space 3\n";
+        let exe = Assembler::new().assemble(src).unwrap();
+        assert_eq!(exe.data.len(), 8 + 2 + 3);
+        assert_eq!(&exe.data[..4], &1u32.to_le_bytes());
+        assert_eq!(exe.data[8], 7);
+        let labels: BTreeMap<_, _> = exe.data_syms.iter().cloned().collect();
+        assert_eq!(labels["w"], DATA_BASE);
+        assert_eq!(labels["b"], DATA_BASE + 8);
+        assert_eq!(labels["p"], DATA_BASE + 10);
+    }
+
+    #[test]
+    fn laf_loads_function_address() {
+        let src = r#"
+.func handler
+    ret
+.endfunc
+.func main
+    laf t0, handler
+    mov a0, t0
+    callx register_callback
+    halt
+.endfunc
+"#;
+        let exe = Assembler::new().assemble(src).unwrap();
+        assert_eq!(decode(exe.code[1]).unwrap(), Inst::Lui(Reg::T0, CODE_BASE >> 14));
+        assert_eq!(
+            decode(exe.code[2]).unwrap(),
+            Inst::Ori(Reg::T0, Reg::T0, (CODE_BASE & 0x3FFF) as i16)
+        );
+        let err = Assembler::new()
+            .assemble(".func main\n laf t0, nowhere\n ret\n.endfunc\n")
+            .unwrap_err();
+        assert!(err.msg.contains("nowhere"));
+    }
+
+    #[test]
+    fn import_indices_are_first_use_order() {
+        let src = ".func main\n callx b_fn\n callx a_fn\n callx b_fn\n ret\n.endfunc\n";
+        let exe = Assembler::new().assemble(src).unwrap();
+        assert_eq!(exe.imports, vec!["b_fn".to_string(), "a_fn".to_string()]);
+        assert_eq!(decode(exe.code[0]).unwrap(), Inst::Callx(0));
+        assert_eq!(decode(exe.code[1]).unwrap(), Inst::Callx(1));
+        assert_eq!(decode(exe.code[2]).unwrap(), Inst::Callx(0));
+    }
+}

@@ -1,0 +1,672 @@
+//! A concrete MR32 interpreter.
+//!
+//! FIRMRES itself is purely static, but the reproduction uses this emulator
+//! for *differential testing*: run a device-cloud executable with stubbed
+//! host functions, capture the buffers it actually hands to `SSL_write` /
+//! `mosquitto_publish` / `http_post`, and compare them against the messages
+//! the static pipeline reconstructed.
+//!
+//! String/memory library calls (`sprintf`, `strcpy`, …) are implemented as
+//! builtins; every other import is routed to a caller-supplied [`HostCall`]
+//! and recorded as a [`HostEvent`].
+
+use crate::exe::{Executable, DATA_BASE};
+use crate::{decode, Inst, Reg};
+use std::fmt;
+
+/// Base of the emulated stack region (grows down).
+const STACK_TOP: u32 = 0x0200_0000;
+/// Size of the emulated stack region.
+const STACK_SIZE: u32 = 1 << 20;
+/// Base of the host scratch heap (for host-returned strings).
+const HEAP_BASE: u32 = 0x0300_0000;
+/// Size of the host scratch heap.
+const HEAP_SIZE: u32 = 1 << 20;
+/// `ra` sentinel: returning here ends execution.
+const RETURN_SENTINEL: u32 = 0xDEAD_BEE0;
+
+/// Errors raised during emulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmuError {
+    /// A memory access outside the mapped regions.
+    MemFault {
+        /// The faulting address.
+        addr: u32,
+    },
+    /// The step budget was exhausted (runaway loop).
+    StepLimit,
+    /// The program counter left the code image.
+    PcFault {
+        /// The faulting program counter.
+        pc: u32,
+    },
+    /// A code word failed to decode.
+    Decode {
+        /// Address of the bad word.
+        addr: u32,
+    },
+    /// A `callx` index beyond the import table.
+    BadImport {
+        /// The bad index.
+        index: u16,
+    },
+    /// The named function was not found.
+    NoSuchFunction(String),
+    /// Host heap exhausted.
+    HeapExhausted,
+}
+
+impl fmt::Display for EmuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmuError::MemFault { addr } => write!(f, "memory fault at {addr:#x}"),
+            EmuError::StepLimit => write!(f, "step limit exhausted"),
+            EmuError::PcFault { pc } => write!(f, "pc left code image: {pc:#x}"),
+            EmuError::Decode { addr } => write!(f, "undecodable instruction at {addr:#x}"),
+            EmuError::BadImport { index } => write!(f, "bad import index {index}"),
+            EmuError::NoSuchFunction(name) => write!(f, "no such function `{name}`"),
+            EmuError::HeapExhausted => write!(f, "host heap exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for EmuError {}
+
+/// Emulated memory: data, stack and host-heap regions.
+#[derive(Debug, Clone)]
+pub struct Mem {
+    data: Vec<u8>,
+    stack: Vec<u8>,
+    heap: Vec<u8>,
+    heap_used: u32,
+}
+
+impl Mem {
+    fn new(data_image: &[u8]) -> Self {
+        let mut data = data_image.to_vec();
+        data.resize(data.len() + 4096, 0); // slack for in-place growth
+        Mem {
+            data,
+            stack: vec![0; STACK_SIZE as usize],
+            heap: vec![0; HEAP_SIZE as usize],
+            heap_used: 0,
+        }
+    }
+
+    fn slot(&mut self, addr: u32) -> Result<&mut u8, EmuError> {
+        let fault = EmuError::MemFault { addr };
+        if addr >= DATA_BASE && (addr - DATA_BASE) < self.data.len() as u32 {
+            Ok(&mut self.data[(addr - DATA_BASE) as usize])
+        } else if addr >= STACK_TOP - STACK_SIZE && addr < STACK_TOP {
+            Ok(&mut self.stack[(addr - (STACK_TOP - STACK_SIZE)) as usize])
+        } else if addr >= HEAP_BASE && addr < HEAP_BASE + HEAP_SIZE {
+            Ok(&mut self.heap[(addr - HEAP_BASE) as usize])
+        } else {
+            Err(fault)
+        }
+    }
+
+    /// Read one byte.
+    pub fn read8(&mut self, addr: u32) -> Result<u8, EmuError> {
+        self.slot(addr).map(|b| *b)
+    }
+
+    /// Write one byte.
+    pub fn write8(&mut self, addr: u32, value: u8) -> Result<(), EmuError> {
+        *self.slot(addr)? = value;
+        Ok(())
+    }
+
+    /// Read a little-endian 32-bit word.
+    pub fn read32(&mut self, addr: u32) -> Result<u32, EmuError> {
+        let mut v = [0u8; 4];
+        for (i, b) in v.iter_mut().enumerate() {
+            *b = self.read8(addr + i as u32)?;
+        }
+        Ok(u32::from_le_bytes(v))
+    }
+
+    /// Write a little-endian 32-bit word.
+    pub fn write32(&mut self, addr: u32, value: u32) -> Result<(), EmuError> {
+        for (i, b) in value.to_le_bytes().iter().enumerate() {
+            self.write8(addr + i as u32, *b)?;
+        }
+        Ok(())
+    }
+
+    /// Read the NUL-terminated string at `addr` (lossy UTF-8).
+    pub fn read_cstr(&mut self, addr: u32) -> Result<String, EmuError> {
+        let mut out = Vec::new();
+        let mut a = addr;
+        loop {
+            let b = self.read8(a)?;
+            if b == 0 {
+                break;
+            }
+            out.push(b);
+            a += 1;
+            if out.len() > 1 << 16 {
+                return Err(EmuError::MemFault { addr: a });
+            }
+        }
+        Ok(String::from_utf8_lossy(&out).into_owned())
+    }
+
+    /// Write `s` plus a NUL terminator at `addr`.
+    pub fn write_cstr(&mut self, addr: u32, s: &str) -> Result<(), EmuError> {
+        for (i, b) in s.as_bytes().iter().enumerate() {
+            self.write8(addr + i as u32, *b)?;
+        }
+        self.write8(addr + s.len() as u32, 0)
+    }
+
+    /// Allocate `n` bytes in the host scratch heap, returning the address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmuError::HeapExhausted`] when the 1 MiB scratch region is
+    /// full.
+    pub fn alloc(&mut self, n: u32) -> Result<u32, EmuError> {
+        let aligned = (n + 7) & !7;
+        if self.heap_used + aligned > HEAP_SIZE {
+            return Err(EmuError::HeapExhausted);
+        }
+        let addr = HEAP_BASE + self.heap_used;
+        self.heap_used += aligned;
+        Ok(addr)
+    }
+
+    /// Allocate and fill a NUL-terminated string, returning its address.
+    pub fn alloc_cstr(&mut self, s: &str) -> Result<u32, EmuError> {
+        let addr = self.alloc(s.len() as u32 + 1)?;
+        self.write_cstr(addr, s)?;
+        Ok(addr)
+    }
+}
+
+/// Handler for imports the emulator has no builtin for.
+pub trait HostCall {
+    /// Handle the import `name` with the six argument registers; returns
+    /// the value placed in `rv`.
+    fn call(&mut self, name: &str, args: [u32; 6], mem: &mut Mem) -> u32;
+}
+
+impl<F: FnMut(&str, [u32; 6], &mut Mem) -> u32> HostCall for F {
+    fn call(&mut self, name: &str, args: [u32; 6], mem: &mut Mem) -> u32 {
+        self(name, args, mem)
+    }
+}
+
+/// A recorded call to a host (non-builtin) import.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostEvent {
+    /// Import name.
+    pub name: String,
+    /// The six argument registers at the time of the call.
+    pub args: [u32; 6],
+}
+
+/// The MR32 interpreter.
+pub struct Emulator<'a, H> {
+    exe: &'a Executable,
+    host: H,
+    regs: [u32; 16],
+    pc: u32,
+    /// Emulated memory, public so tests can inspect buffers after a run.
+    pub mem: Mem,
+    events: Vec<HostEvent>,
+    step_limit: u64,
+}
+
+impl<'a, H: HostCall> Emulator<'a, H> {
+    /// Create an emulator over `exe` with the given host-call handler.
+    pub fn new(exe: &'a Executable, host: H) -> Self {
+        let mut regs = [0u32; 16];
+        regs[Reg::SP.num() as usize] = STACK_TOP - 64;
+        regs[Reg::RA.num() as usize] = RETURN_SENTINEL;
+        Emulator {
+            exe,
+            host,
+            regs,
+            pc: exe.entry,
+            mem: Mem::new(&exe.data),
+            events: Vec::new(),
+            step_limit: 1_000_000,
+        }
+    }
+
+    /// Replace the default 1M step budget.
+    pub fn set_step_limit(&mut self, limit: u64) {
+        self.step_limit = limit;
+    }
+
+    /// Host events recorded so far, in call order.
+    pub fn events(&self) -> &[HostEvent] {
+        &self.events
+    }
+
+    /// Current value of a register.
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.num() as usize]
+    }
+
+    fn set_reg(&mut self, r: Reg, v: u32) {
+        if r != Reg::ZERO {
+            self.regs[r.num() as usize] = v;
+        }
+    }
+
+    /// Run from the executable entry point until return/halt.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`EmuError`] (memory fault, step limit, …).
+    pub fn run(&mut self) -> Result<(), EmuError> {
+        self.pc = self.exe.entry;
+        self.run_from_pc()
+    }
+
+    /// Run the named function with up to six arguments.
+    ///
+    /// # Errors
+    ///
+    /// [`EmuError::NoSuchFunction`] when `name` is not a symbol, plus any
+    /// runtime error.
+    pub fn run_function(&mut self, name: &str, args: &[u32]) -> Result<u32, EmuError> {
+        let f = self
+            .exe
+            .func_by_name(name)
+            .ok_or_else(|| EmuError::NoSuchFunction(name.to_string()))?;
+        for (i, a) in args.iter().take(6).enumerate() {
+            self.set_reg(Reg::arg(i as u8).expect("<=6"), *a);
+        }
+        self.set_reg(Reg::RA, RETURN_SENTINEL);
+        self.pc = f.addr;
+        self.run_from_pc()?;
+        Ok(self.reg(Reg::RV))
+    }
+
+    fn run_from_pc(&mut self) -> Result<(), EmuError> {
+        let mut steps = 0u64;
+        loop {
+            if self.pc == RETURN_SENTINEL {
+                return Ok(());
+            }
+            steps += 1;
+            if steps > self.step_limit {
+                return Err(EmuError::StepLimit);
+            }
+            let word = self
+                .exe
+                .word_at(self.pc)
+                .ok_or(EmuError::PcFault { pc: self.pc })?;
+            let inst = decode(word).map_err(|_| EmuError::Decode { addr: self.pc })?;
+            if self.step(inst)? {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Execute one instruction; returns `true` on halt.
+    fn step(&mut self, inst: Inst) -> Result<bool, EmuError> {
+        use Inst::*;
+        let mut next = self.pc.wrapping_add(4);
+        match inst {
+            Add(d, a, b) => self.set_reg(d, self.reg(a).wrapping_add(self.reg(b))),
+            Sub(d, a, b) => self.set_reg(d, self.reg(a).wrapping_sub(self.reg(b))),
+            Mul(d, a, b) => self.set_reg(d, self.reg(a).wrapping_mul(self.reg(b))),
+            Div(d, a, b) => {
+                let rb = self.reg(b);
+                self.set_reg(d, if rb == 0 { 0 } else { self.reg(a) / rb });
+            }
+            Rem(d, a, b) => {
+                let rb = self.reg(b);
+                self.set_reg(d, if rb == 0 { 0 } else { self.reg(a) % rb });
+            }
+            And(d, a, b) => self.set_reg(d, self.reg(a) & self.reg(b)),
+            Or(d, a, b) => self.set_reg(d, self.reg(a) | self.reg(b)),
+            Xor(d, a, b) => self.set_reg(d, self.reg(a) ^ self.reg(b)),
+            Sll(d, a, b) => self.set_reg(d, self.reg(a) << (self.reg(b) & 31)),
+            Srl(d, a, b) => self.set_reg(d, self.reg(a) >> (self.reg(b) & 31)),
+            Sra(d, a, b) => self.set_reg(d, ((self.reg(a) as i32) >> (self.reg(b) & 31)) as u32),
+            Slt(d, a, b) => self.set_reg(d, ((self.reg(a) as i32) < (self.reg(b) as i32)) as u32),
+            Seq(d, a, b) => self.set_reg(d, (self.reg(a) == self.reg(b)) as u32),
+            Addi(d, a, i) => self.set_reg(d, self.reg(a).wrapping_add(i as i32 as u32)),
+            Andi(d, a, i) => self.set_reg(d, self.reg(a) & (i as i32 as u32)),
+            Ori(d, a, i) => self.set_reg(d, self.reg(a) | (i as u32 & 0x3FFF)),
+            Xori(d, a, i) => self.set_reg(d, self.reg(a) ^ (i as i32 as u32)),
+            Slli(d, a, i) => self.set_reg(d, self.reg(a) << (i as u32 & 31)),
+            Srli(d, a, i) => self.set_reg(d, self.reg(a) >> (i as u32 & 31)),
+            Lui(d, imm) => self.set_reg(d, imm << 14),
+            Lw(d, b, i) => {
+                let addr = self.reg(b).wrapping_add(i as i32 as u32);
+                let v = self.mem.read32(addr)?;
+                self.set_reg(d, v);
+            }
+            Lb(d, b, i) => {
+                let addr = self.reg(b).wrapping_add(i as i32 as u32);
+                let v = self.mem.read8(addr)?;
+                self.set_reg(d, v as u32);
+            }
+            Sw(s, b, i) => {
+                let addr = self.reg(b).wrapping_add(i as i32 as u32);
+                self.mem.write32(addr, self.reg(s))?;
+            }
+            Sb(s, b, i) => {
+                let addr = self.reg(b).wrapping_add(i as i32 as u32);
+                self.mem.write8(addr, self.reg(s) as u8)?;
+            }
+            Beq(a, b, o) => {
+                if self.reg(a) == self.reg(b) {
+                    next = self.pc.wrapping_add((o as i32 * 4) as u32);
+                }
+            }
+            Bne(a, b, o) => {
+                if self.reg(a) != self.reg(b) {
+                    next = self.pc.wrapping_add((o as i32 * 4) as u32);
+                }
+            }
+            Blt(a, b, o) => {
+                if (self.reg(a) as i32) < (self.reg(b) as i32) {
+                    next = self.pc.wrapping_add((o as i32 * 4) as u32);
+                }
+            }
+            Bge(a, b, o) => {
+                if (self.reg(a) as i32) >= (self.reg(b) as i32) {
+                    next = self.pc.wrapping_add((o as i32 * 4) as u32);
+                }
+            }
+            Jal(o) => {
+                self.set_reg(Reg::RA, next);
+                next = self.pc.wrapping_add((o * 4) as u32);
+            }
+            Jalr(d, s) => {
+                let target = self.reg(s);
+                self.set_reg(d, next);
+                next = target;
+            }
+            Callx(index) => {
+                let name = self
+                    .exe
+                    .imports
+                    .get(index as usize)
+                    .ok_or(EmuError::BadImport { index })?
+                    .clone();
+                let args = [
+                    self.reg(Reg::A0),
+                    self.reg(Reg::A1),
+                    self.reg(Reg::A2),
+                    self.reg(Reg::A3),
+                    self.reg(Reg::A4),
+                    self.reg(Reg::A5),
+                ];
+                let rv = match self.builtin(&name, args)? {
+                    Some(v) => v,
+                    None => {
+                        self.events.push(HostEvent { name: name.clone(), args });
+                        self.host.call(&name, args, &mut self.mem)
+                    }
+                };
+                self.set_reg(Reg::RV, rv);
+            }
+            Halt => return Ok(true),
+        }
+        self.pc = next;
+        Ok(false)
+    }
+
+    /// Builtin library calls; `Ok(None)` defers to the host.
+    fn builtin(&mut self, name: &str, args: [u32; 6]) -> Result<Option<u32>, EmuError> {
+        let m = &mut self.mem;
+        let v = match name {
+            "strlen" => Some(m.read_cstr(args[0])?.len() as u32),
+            "strcpy" => {
+                let s = m.read_cstr(args[1])?;
+                m.write_cstr(args[0], &s)?;
+                Some(args[0])
+            }
+            "strcat" => {
+                let dst = m.read_cstr(args[0])?;
+                let src = m.read_cstr(args[1])?;
+                m.write_cstr(args[0] + dst.len() as u32, &src)?;
+                Some(args[0])
+            }
+            "memcpy" => {
+                for i in 0..args[2] {
+                    let b = m.read8(args[1] + i)?;
+                    m.write8(args[0] + i, b)?;
+                }
+                Some(args[0])
+            }
+            "memset" => {
+                for i in 0..args[2] {
+                    m.write8(args[0] + i, args[1] as u8)?;
+                }
+                Some(args[0])
+            }
+            "atoi" => {
+                let s = m.read_cstr(args[0])?;
+                Some(s.trim().parse::<i32>().unwrap_or(0) as u32)
+            }
+            "puts" => Some(0),
+            "itoa" => {
+                let s = args[0].to_string();
+                m.write_cstr(args[1], &s)?;
+                Some(args[1])
+            }
+            "sprintf" => Some(self.sprintf(args[0], args[1], &args[2..])? as u32),
+            "snprintf" => {
+                // dst, size, fmt, ... — size is ignored (buffers are sized
+                // generously in the corpus).
+                Some(self.sprintf(args[0], args[2], &args[3..])? as u32)
+            }
+            _ => None,
+        };
+        Ok(v)
+    }
+
+    /// Minimal printf-style formatting: `%s %d %u %x %c %%`.
+    fn sprintf(&mut self, dst: u32, fmt_addr: u32, varargs: &[u32]) -> Result<usize, EmuError> {
+        let fmt = self.mem.read_cstr(fmt_addr)?;
+        let mut out = String::new();
+        let mut args = varargs.iter();
+        let mut chars = fmt.chars().peekable();
+        while let Some(c) = chars.next() {
+            if c != '%' {
+                out.push(c);
+                continue;
+            }
+            match chars.next() {
+                Some('s') => {
+                    let a = *args.next().unwrap_or(&0);
+                    out.push_str(&self.mem.read_cstr(a)?);
+                }
+                Some('d') => {
+                    let a = *args.next().unwrap_or(&0);
+                    out.push_str(&(a as i32).to_string());
+                }
+                Some('u') => {
+                    let a = *args.next().unwrap_or(&0);
+                    out.push_str(&a.to_string());
+                }
+                Some('x') => {
+                    let a = *args.next().unwrap_or(&0);
+                    out.push_str(&format!("{a:x}"));
+                }
+                Some('c') => {
+                    let a = *args.next().unwrap_or(&0);
+                    out.push((a as u8) as char);
+                }
+                Some('%') => out.push('%'),
+                other => {
+                    out.push('%');
+                    if let Some(o) = other {
+                        out.push(o);
+                    }
+                }
+            }
+        }
+        self.mem.write_cstr(dst, &out)?;
+        Ok(out.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Assembler;
+
+    fn null_host() -> impl FnMut(&str, [u32; 6], &mut Mem) -> u32 {
+        |_, _, _| 0
+    }
+
+    #[test]
+    fn arithmetic_and_loops() {
+        let src = r#"
+.func main
+    li  t0, 0
+    li  t1, 5
+loop:
+    add t0, t0, t1
+    addi t1, t1, -1
+    bne t1, zero, loop
+    mov rv, t0
+    halt
+.endfunc
+"#;
+        let exe = Assembler::new().assemble(src).unwrap();
+        let mut emu = Emulator::new(&exe, null_host());
+        emu.run().unwrap();
+        assert_eq!(emu.reg(Reg::RV), 5 + 4 + 3 + 2 + 1);
+    }
+
+    #[test]
+    fn sprintf_builtin_formats_message() {
+        let src = r#"
+.func main
+.local buf 64
+    lea a0, buf
+    la  a1, fmt
+    la  a2, mac
+    li  a3, 7
+    callx sprintf
+    lea a0, buf
+    callx SSL_write
+    halt
+.endfunc
+.data
+fmt: .asciz "{\"mac\":\"%s\",\"n\":%d}"
+mac: .asciz "AA:BB:CC"
+"#;
+        let exe = Assembler::new().assemble(src).unwrap();
+        let mut sent = Vec::new();
+        {
+            let mut emu = Emulator::new(&exe, |name: &str, args: [u32; 6], mem: &mut Mem| {
+                if name == "SSL_write" {
+                    sent.push(mem.read_cstr(args[0]).unwrap());
+                }
+                0
+            });
+            emu.run().unwrap();
+            assert_eq!(emu.events().len(), 1);
+            assert_eq!(emu.events()[0].name, "SSL_write");
+        }
+        assert_eq!(sent, vec!["{\"mac\":\"AA:BB:CC\",\"n\":7}".to_string()]);
+    }
+
+    #[test]
+    fn function_calls_and_stack() {
+        let src = r#"
+.func double x
+    add rv, a0, a0
+    ret
+.endfunc
+.func main
+.local saved 4
+    li  a0, 21
+    call double
+    sw  rv, saved(sp)
+    lw  rv, saved(sp)
+    halt
+.endfunc
+"#;
+        let exe = Assembler::new().assemble(src).unwrap();
+        let mut emu = Emulator::new(&exe, null_host());
+        emu.run().unwrap();
+        assert_eq!(emu.reg(Reg::RV), 42);
+    }
+
+    #[test]
+    fn run_named_function_with_args() {
+        let src = ".func add3 a b c\n add rv, a0, a1\n add rv, rv, a2\n ret\n.endfunc\n";
+        let exe = Assembler::new().assemble(src).unwrap();
+        let mut emu = Emulator::new(&exe, null_host());
+        assert_eq!(emu.run_function("add3", &[1, 2, 3]).unwrap(), 6);
+        assert!(matches!(
+            emu.run_function("nope", &[]),
+            Err(EmuError::NoSuchFunction(_))
+        ));
+    }
+
+    #[test]
+    fn strcpy_strcat_strlen() {
+        let src = r#"
+.func main
+.local buf 64
+    lea a0, buf
+    la  a1, hello
+    callx strcpy
+    lea a0, buf
+    la  a1, world
+    callx strcat
+    lea a0, buf
+    callx strlen
+    halt
+.endfunc
+.data
+hello: .asciz "hello "
+world: .asciz "world"
+"#;
+        let exe = Assembler::new().assemble(src).unwrap();
+        let mut emu = Emulator::new(&exe, null_host());
+        emu.run().unwrap();
+        assert_eq!(emu.reg(Reg::RV), 11);
+        assert!(emu.events().is_empty(), "string builtins are not host calls");
+    }
+
+    #[test]
+    fn host_alloc_cstr_round_trip() {
+        let src = r#"
+.func main
+    callx nvram_get
+    mov a0, rv
+    callx strlen
+    halt
+.endfunc
+"#;
+        let exe = Assembler::new().assemble(src).unwrap();
+        let mut emu = Emulator::new(&exe, |name: &str, _args: [u32; 6], mem: &mut Mem| {
+            assert_eq!(name, "nvram_get");
+            mem.alloc_cstr("192.168.1.1").unwrap()
+        });
+        emu.run().unwrap();
+        assert_eq!(emu.reg(Reg::RV), 11);
+    }
+
+    #[test]
+    fn step_limit_stops_runaway_loops() {
+        let src = ".func main\nspin: b spin\n ret\n.endfunc\n";
+        let exe = Assembler::new().assemble(src).unwrap();
+        let mut emu = Emulator::new(&exe, null_host());
+        emu.set_step_limit(1000);
+        assert_eq!(emu.run(), Err(EmuError::StepLimit));
+    }
+
+    #[test]
+    fn memory_faults_reported() {
+        let src = ".func main\n li t0, 0x10\n lw rv, 0(t0)\n halt\n.endfunc\n";
+        let exe = Assembler::new().assemble(src).unwrap();
+        let mut emu = Emulator::new(&exe, null_host());
+        assert!(matches!(emu.run(), Err(EmuError::MemFault { .. })));
+    }
+}

@@ -1,0 +1,268 @@
+//! Binary encoding and decoding of MR32 instructions.
+//!
+//! Layout (bit 31 is the MSB):
+//!
+//! ```text
+//! R-type:   [31:26] op  [25:22] rd  [21:18] rs1  [17:14] rs2
+//! I-type:   [31:26] op  [25:22] rd  [21:18] rs1  [13:0]  imm14 (signed)
+//! Lui:      [31:26] op  [25:22] rd  [17:0]  imm18
+//! Branch:   [31:26] op  [25:22] rs1 [21:18] rs2  [13:0]  off14 (signed)
+//! Jal:      [31:26] op  [25:0]  off26 (signed)
+//! Jalr:     [31:26] op  [25:22] rd  [21:18] rs1
+//! Callx:    [31:26] op  [15:0]  import index
+//! Halt:     [31:26] op
+//! ```
+
+use crate::{Inst, Reg};
+use std::fmt;
+
+/// Error produced when a 32-bit word is not a valid MR32 instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The undecodable word.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid MR32 instruction word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// Opcode numbers. Keep in sync with `decode`.
+const OP_ADD: u32 = 0;
+const OP_SUB: u32 = 1;
+const OP_MUL: u32 = 2;
+const OP_DIV: u32 = 3;
+const OP_REM: u32 = 4;
+const OP_AND: u32 = 5;
+const OP_OR: u32 = 6;
+const OP_XOR: u32 = 7;
+const OP_SLL: u32 = 8;
+const OP_SRL: u32 = 9;
+const OP_SRA: u32 = 10;
+const OP_SLT: u32 = 11;
+const OP_SEQ: u32 = 12;
+const OP_ADDI: u32 = 13;
+const OP_ANDI: u32 = 14;
+const OP_ORI: u32 = 15;
+const OP_XORI: u32 = 16;
+const OP_SLLI: u32 = 17;
+const OP_SRLI: u32 = 18;
+const OP_LUI: u32 = 19;
+const OP_LW: u32 = 20;
+const OP_LB: u32 = 21;
+const OP_SW: u32 = 22;
+const OP_SB: u32 = 23;
+const OP_BEQ: u32 = 24;
+const OP_BNE: u32 = 25;
+const OP_BLT: u32 = 26;
+const OP_BGE: u32 = 27;
+const OP_JAL: u32 = 28;
+const OP_JALR: u32 = 29;
+const OP_CALLX: u32 = 30;
+const OP_HALT: u32 = 31;
+
+fn imm14(i: i16) -> u32 {
+    debug_assert!((-(1 << 13)..(1 << 13)).contains(&(i as i32)), "imm14 overflow: {i}");
+    (i as u32) & 0x3FFF
+}
+
+fn r(op: u32, d: Reg, a: Reg, b: Reg) -> u32 {
+    (op << 26) | ((d.num() as u32) << 22) | ((a.num() as u32) << 18) | ((b.num() as u32) << 14)
+}
+
+fn i_type(op: u32, d: Reg, a: Reg, imm: i16) -> u32 {
+    (op << 26) | ((d.num() as u32) << 22) | ((a.num() as u32) << 18) | imm14(imm)
+}
+
+/// Encode an instruction into its 32-bit word.
+///
+/// # Panics
+///
+/// Debug builds panic if an immediate is out of range for its field; the
+/// assembler validates ranges before calling this.
+pub fn encode(inst: Inst) -> u32 {
+    use Inst::*;
+    match inst {
+        Add(d, a, b) => r(OP_ADD, d, a, b),
+        Sub(d, a, b) => r(OP_SUB, d, a, b),
+        Mul(d, a, b) => r(OP_MUL, d, a, b),
+        Div(d, a, b) => r(OP_DIV, d, a, b),
+        Rem(d, a, b) => r(OP_REM, d, a, b),
+        And(d, a, b) => r(OP_AND, d, a, b),
+        Or(d, a, b) => r(OP_OR, d, a, b),
+        Xor(d, a, b) => r(OP_XOR, d, a, b),
+        Sll(d, a, b) => r(OP_SLL, d, a, b),
+        Srl(d, a, b) => r(OP_SRL, d, a, b),
+        Sra(d, a, b) => r(OP_SRA, d, a, b),
+        Slt(d, a, b) => r(OP_SLT, d, a, b),
+        Seq(d, a, b) => r(OP_SEQ, d, a, b),
+        Addi(d, a, i) => i_type(OP_ADDI, d, a, i),
+        Andi(d, a, i) => i_type(OP_ANDI, d, a, i),
+        // `ori` zero-extends its immediate (it pairs with `lui` to
+        // materialize 32-bit constants, so the full 14-bit range must be
+        // expressible).
+        Ori(d, a, i) => {
+            debug_assert!((0..(1 << 14)).contains(&(i as i32)), "ori imm14 overflow: {i}");
+            (OP_ORI << 26)
+                | ((d.num() as u32) << 22)
+                | ((a.num() as u32) << 18)
+                | ((i as u32) & 0x3FFF)
+        }
+        Xori(d, a, i) => i_type(OP_XORI, d, a, i),
+        Slli(d, a, i) => i_type(OP_SLLI, d, a, i),
+        Srli(d, a, i) => i_type(OP_SRLI, d, a, i),
+        Lui(d, imm) => {
+            debug_assert!(imm < (1 << 18), "imm18 overflow: {imm}");
+            (OP_LUI << 26) | ((d.num() as u32) << 22) | (imm & 0x3FFFF)
+        }
+        Lw(d, b, i) => i_type(OP_LW, d, b, i),
+        Lb(d, b, i) => i_type(OP_LB, d, b, i),
+        Sw(s, b, i) => i_type(OP_SW, s, b, i),
+        Sb(s, b, i) => i_type(OP_SB, s, b, i),
+        Beq(a, b, o) => i_type(OP_BEQ, a, b, o),
+        Bne(a, b, o) => i_type(OP_BNE, a, b, o),
+        Blt(a, b, o) => i_type(OP_BLT, a, b, o),
+        Bge(a, b, o) => i_type(OP_BGE, a, b, o),
+        Jal(o) => {
+            debug_assert!((-(1 << 25)..(1 << 25)).contains(&o), "off26 overflow: {o}");
+            (OP_JAL << 26) | ((o as u32) & 0x03FF_FFFF)
+        }
+        Jalr(d, s) => (OP_JALR << 26) | ((d.num() as u32) << 22) | ((s.num() as u32) << 18),
+        Callx(idx) => (OP_CALLX << 26) | idx as u32,
+        Halt => OP_HALT << 26,
+    }
+}
+
+fn sext14(w: u32) -> i16 {
+    let v = (w & 0x3FFF) as i32;
+    (if v >= 1 << 13 { v - (1 << 14) } else { v }) as i16
+}
+
+fn sext26(w: u32) -> i32 {
+    let v = (w & 0x03FF_FFFF) as i32;
+    if v >= 1 << 25 {
+        v - (1 << 26)
+    } else {
+        v
+    }
+}
+
+fn reg_at(w: u32, lsb: u32) -> Reg {
+    Reg::new(((w >> lsb) & 0xF) as u8).expect("4-bit field is always a valid register")
+}
+
+/// Decode a 32-bit word into an instruction.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] when the opcode field does not name an MR32
+/// instruction (only possible for corrupted images: all 6-bit opcodes 0–31
+/// are assigned, so words with opcode ≥ 32 are unreachable — the field is
+/// 6 bits wide but opcodes 32–63 are reserved).
+pub fn decode(word: u32) -> Result<Inst, DecodeError> {
+    use Inst::*;
+    let op = word >> 26;
+    let d = reg_at(word, 22);
+    let a = reg_at(word, 18);
+    let b = reg_at(word, 14);
+    let inst = match op {
+        OP_ADD => Add(d, a, b),
+        OP_SUB => Sub(d, a, b),
+        OP_MUL => Mul(d, a, b),
+        OP_DIV => Div(d, a, b),
+        OP_REM => Rem(d, a, b),
+        OP_AND => And(d, a, b),
+        OP_OR => Or(d, a, b),
+        OP_XOR => Xor(d, a, b),
+        OP_SLL => Sll(d, a, b),
+        OP_SRL => Srl(d, a, b),
+        OP_SRA => Sra(d, a, b),
+        OP_SLT => Slt(d, a, b),
+        OP_SEQ => Seq(d, a, b),
+        OP_ADDI => Addi(d, a, sext14(word)),
+        OP_ANDI => Andi(d, a, sext14(word)),
+        OP_ORI => Ori(d, a, (word & 0x3FFF) as i16), // zero-extended
+        OP_XORI => Xori(d, a, sext14(word)),
+        OP_SLLI => Slli(d, a, sext14(word)),
+        OP_SRLI => Srli(d, a, sext14(word)),
+        OP_LUI => Lui(d, word & 0x3FFFF),
+        OP_LW => Lw(d, a, sext14(word)),
+        OP_LB => Lb(d, a, sext14(word)),
+        OP_SW => Sw(d, a, sext14(word)),
+        OP_SB => Sb(d, a, sext14(word)),
+        OP_BEQ => Beq(d, a, sext14(word)),
+        OP_BNE => Bne(d, a, sext14(word)),
+        OP_BLT => Blt(d, a, sext14(word)),
+        OP_BGE => Bge(d, a, sext14(word)),
+        OP_JAL => Jal(sext26(word)),
+        OP_JALR => Jalr(d, a),
+        OP_CALLX => Callx((word & 0xFFFF) as u16),
+        OP_HALT => Halt,
+        _ => return Err(DecodeError { word }),
+    };
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_representative_instructions() {
+        let cases = [
+            Inst::Add(Reg::RV, Reg::A0, Reg::A1),
+            Inst::Sub(Reg::T0, Reg::T1, Reg::T2),
+            Inst::Addi(Reg::SP, Reg::SP, -32),
+            Inst::Ori(Reg::A0, Reg::A0, 0x3FF),
+            Inst::Lui(Reg::A0, 0x3FFFF),
+            Inst::Lw(Reg::T0, Reg::SP, -4),
+            Inst::Sw(Reg::A0, Reg::SP, 8),
+            Inst::Sb(Reg::A1, Reg::T0, 0),
+            Inst::Beq(Reg::A0, Reg::ZERO, -100),
+            Inst::Bge(Reg::T3, Reg::A2, 8191),
+            Inst::Jal(-12345),
+            Inst::Jalr(Reg::ZERO, Reg::RA),
+            Inst::Callx(65535),
+            Inst::Halt,
+            Inst::Seq(Reg::T0, Reg::A0, Reg::A1),
+        ];
+        for inst in cases {
+            let w = encode(inst);
+            assert_eq!(decode(w), Ok(inst), "round trip of {inst}");
+        }
+    }
+
+    #[test]
+    fn imm14_extremes_round_trip() {
+        for i in [-8192i16, -1, 0, 1, 8191] {
+            let inst = Inst::Addi(Reg::A0, Reg::ZERO, i);
+            assert_eq!(decode(encode(inst)), Ok(inst), "imm {i}");
+        }
+    }
+
+    #[test]
+    fn off26_extremes_round_trip() {
+        for o in [-(1 << 25), -1, 0, 1, (1 << 25) - 1] {
+            let inst = Inst::Jal(o);
+            assert_eq!(decode(encode(inst)), Ok(inst), "off {o}");
+        }
+    }
+
+    #[test]
+    fn reserved_opcodes_fail() {
+        for op in 32u32..64 {
+            let w = op << 26;
+            assert_eq!(decode(w), Err(DecodeError { word: w }));
+        }
+    }
+
+    #[test]
+    fn decode_error_displays_word() {
+        let e = DecodeError { word: 0xFFFF_FFFF };
+        assert!(e.to_string().contains("0xffffffff"));
+    }
+}

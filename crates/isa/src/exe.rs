@@ -1,0 +1,379 @@
+//! The MRE executable container format.
+//!
+//! MRE is the object format firmware executables in the synthetic corpus
+//! are stored in: code and data images, an import table for library
+//! functions, and a symbol table carrying the function/parameter/local
+//! names that a real-world decompiler would recover (and which FIRMRES's
+//! semantic enrichment relies on).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Load address of the first code word.
+pub const CODE_BASE: u32 = 0x0001_0000;
+/// Load address of the first data byte.
+pub const DATA_BASE: u32 = 0x0040_0000;
+
+const MAGIC: &[u8; 4] = b"MRE1";
+const VERSION: u16 = 1;
+
+/// A function symbol: entry address, name, and named parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncSymbol {
+    /// Function name.
+    pub name: String,
+    /// Absolute entry address (within the code image).
+    pub addr: u32,
+    /// Parameter names, in ABI order (`a0`, `a1`, …).
+    pub params: Vec<String>,
+}
+
+/// A named stack local of a function, identified by frame offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalSymbol {
+    /// Index into the executable's function table.
+    pub func_index: u32,
+    /// Local variable name.
+    pub name: String,
+    /// Frame offset (negative, sp-relative after prologue).
+    pub offset: i16,
+}
+
+/// A fully linked MR32 executable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Executable {
+    /// Entry point address.
+    pub entry: u32,
+    /// Code image as instruction words, loaded at [`CODE_BASE`].
+    pub code: Vec<u32>,
+    /// Data image, loaded at [`DATA_BASE`].
+    pub data: Vec<u8>,
+    /// Import table; `Callx(i)` calls `imports[i]`.
+    pub imports: Vec<String>,
+    /// Function symbols, sorted by address.
+    pub funcs: Vec<FuncSymbol>,
+    /// Named stack locals.
+    pub locals: Vec<LocalSymbol>,
+    /// Named data objects `(name, absolute address)`.
+    pub data_syms: Vec<(String, u32)>,
+}
+
+/// Errors from parsing an MRE image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExeError {
+    /// The image does not start with the MRE magic.
+    BadMagic,
+    /// The format version is not supported.
+    UnsupportedVersion(u16),
+    /// The image ended before the declared contents.
+    Truncated,
+    /// The trailing checksum does not match the contents.
+    BadChecksum {
+        /// Checksum stored in the image.
+        stored: u32,
+        /// Checksum computed over the image contents.
+        computed: u32,
+    },
+    /// A name field is not valid UTF-8.
+    BadUtf8,
+    /// A declared count or offset is impossibly large for the image.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for ExeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExeError::BadMagic => write!(f, "not an MRE executable (bad magic)"),
+            ExeError::UnsupportedVersion(v) => write!(f, "unsupported MRE version {v}"),
+            ExeError::Truncated => write!(f, "truncated MRE image"),
+            ExeError::BadChecksum { stored, computed } => {
+                write!(f, "MRE checksum mismatch: stored {stored:#x}, computed {computed:#x}")
+            }
+            ExeError::BadUtf8 => write!(f, "MRE symbol name is not valid UTF-8"),
+            ExeError::Corrupt(what) => write!(f, "corrupt MRE image: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ExeError {}
+
+fn fnv32(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u16_le(s.len() as u16);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String, ExeError> {
+    if buf.remaining() < 2 {
+        return Err(ExeError::Truncated);
+    }
+    let len = buf.get_u16_le() as usize;
+    if buf.remaining() < len {
+        return Err(ExeError::Truncated);
+    }
+    let raw = buf.copy_to_bytes(len);
+    String::from_utf8(raw.to_vec()).map_err(|_| ExeError::BadUtf8)
+}
+
+impl Executable {
+    /// Address one past the last code word.
+    pub fn code_end(&self) -> u32 {
+        CODE_BASE + (self.code.len() as u32) * 4
+    }
+
+    /// The instruction word at absolute address `addr`, if in range and
+    /// word-aligned.
+    pub fn word_at(&self, addr: u32) -> Option<u32> {
+        if addr < CODE_BASE || addr % 4 != 0 {
+            return None;
+        }
+        self.code.get(((addr - CODE_BASE) / 4) as usize).copied()
+    }
+
+    /// The function symbol covering `addr`, if any.
+    pub fn func_at(&self, addr: u32) -> Option<&FuncSymbol> {
+        self.funcs
+            .iter()
+            .filter(|f| f.addr <= addr)
+            .max_by_key(|f| f.addr)
+            .filter(|_| addr < self.code_end())
+    }
+
+    /// Find a function symbol by name.
+    pub fn func_by_name(&self, name: &str) -> Option<&FuncSymbol> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+
+    /// Serialize to the MRE wire format.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u16_le(VERSION);
+        buf.put_u16_le(0); // flags
+        buf.put_u32_le(self.entry);
+        buf.put_u32_le(self.code.len() as u32);
+        buf.put_u32_le(self.data.len() as u32);
+        buf.put_u32_le(self.imports.len() as u32);
+        buf.put_u32_le(self.funcs.len() as u32);
+        buf.put_u32_le(self.locals.len() as u32);
+        buf.put_u32_le(self.data_syms.len() as u32);
+        for w in &self.code {
+            buf.put_u32_le(*w);
+        }
+        buf.put_slice(&self.data);
+        for imp in &self.imports {
+            put_str(&mut buf, imp);
+        }
+        for f in &self.funcs {
+            buf.put_u32_le(f.addr);
+            put_str(&mut buf, &f.name);
+            buf.put_u8(f.params.len() as u8);
+            for p in &f.params {
+                put_str(&mut buf, p);
+            }
+        }
+        for l in &self.locals {
+            buf.put_u32_le(l.func_index);
+            buf.put_i16_le(l.offset);
+            put_str(&mut buf, &l.name);
+        }
+        for (name, addr) in &self.data_syms {
+            buf.put_u32_le(*addr);
+            put_str(&mut buf, name);
+        }
+        let csum = fnv32(&buf);
+        buf.put_u32_le(csum);
+        buf.freeze()
+    }
+
+    /// Parse an MRE image.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExeError`] for bad magic, version, truncation,
+    /// checksum mismatch, or malformed symbol data.
+    pub fn from_bytes(image: &[u8]) -> Result<Executable, ExeError> {
+        if image.len() < MAGIC.len() + 4 {
+            return Err(ExeError::Truncated);
+        }
+        if &image[..4] != MAGIC {
+            return Err(ExeError::BadMagic);
+        }
+        let (payload, csum_bytes) = image.split_at(image.len() - 4);
+        let stored = u32::from_le_bytes(csum_bytes.try_into().expect("4 bytes"));
+        let computed = fnv32(payload);
+        if stored != computed {
+            return Err(ExeError::BadChecksum { stored, computed });
+        }
+        let mut buf = Bytes::copy_from_slice(&payload[4..]);
+        if buf.remaining() < 2 + 2 + 4 + 6 * 4 {
+            return Err(ExeError::Truncated);
+        }
+        let version = buf.get_u16_le();
+        if version != VERSION {
+            return Err(ExeError::UnsupportedVersion(version));
+        }
+        let _flags = buf.get_u16_le();
+        let entry = buf.get_u32_le();
+        let ncode = buf.get_u32_le() as usize;
+        let ndata = buf.get_u32_le() as usize;
+        let nimports = buf.get_u32_le() as usize;
+        let nfuncs = buf.get_u32_le() as usize;
+        let nlocals = buf.get_u32_le() as usize;
+        let ndatasyms = buf.get_u32_le() as usize;
+        if ncode.checked_mul(4).map_or(true, |b| b > buf.remaining()) {
+            return Err(ExeError::Corrupt("code length exceeds image"));
+        }
+        let mut code = Vec::with_capacity(ncode);
+        for _ in 0..ncode {
+            code.push(buf.get_u32_le());
+        }
+        if ndata > buf.remaining() {
+            return Err(ExeError::Corrupt("data length exceeds image"));
+        }
+        let data = buf.copy_to_bytes(ndata).to_vec();
+        let mut imports = Vec::with_capacity(nimports.min(1024));
+        for _ in 0..nimports {
+            imports.push(get_str(&mut buf)?);
+        }
+        let mut funcs = Vec::with_capacity(nfuncs.min(1024));
+        for _ in 0..nfuncs {
+            if buf.remaining() < 4 {
+                return Err(ExeError::Truncated);
+            }
+            let addr = buf.get_u32_le();
+            let name = get_str(&mut buf)?;
+            if buf.remaining() < 1 {
+                return Err(ExeError::Truncated);
+            }
+            let nparams = buf.get_u8() as usize;
+            let mut params = Vec::with_capacity(nparams);
+            for _ in 0..nparams {
+                params.push(get_str(&mut buf)?);
+            }
+            funcs.push(FuncSymbol { name, addr, params });
+        }
+        let mut locals = Vec::with_capacity(nlocals.min(4096));
+        for _ in 0..nlocals {
+            if buf.remaining() < 6 {
+                return Err(ExeError::Truncated);
+            }
+            let func_index = buf.get_u32_le();
+            let offset = buf.get_i16_le();
+            let name = get_str(&mut buf)?;
+            if func_index as usize >= funcs.len() {
+                return Err(ExeError::Corrupt("local symbol references unknown function"));
+            }
+            locals.push(LocalSymbol { func_index, name, offset });
+        }
+        let mut data_syms = Vec::with_capacity(ndatasyms.min(4096));
+        for _ in 0..ndatasyms {
+            if buf.remaining() < 4 {
+                return Err(ExeError::Truncated);
+            }
+            let addr = buf.get_u32_le();
+            let name = get_str(&mut buf)?;
+            data_syms.push((name, addr));
+        }
+        Ok(Executable { entry, code, data, imports, funcs, locals, data_syms })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Executable {
+        Executable {
+            entry: CODE_BASE,
+            code: vec![0xdead_beef, 0x1234_5678, 0],
+            data: b"hello\0world\0".to_vec(),
+            imports: vec!["sprintf".into(), "SSL_write".into()],
+            funcs: vec![
+                FuncSymbol { name: "main".into(), addr: CODE_BASE, params: vec![] },
+                FuncSymbol {
+                    name: "send_ident".into(),
+                    addr: CODE_BASE + 8,
+                    params: vec!["mac".into(), "sn".into()],
+                },
+            ],
+            locals: vec![LocalSymbol { func_index: 1, name: "buf".into(), offset: -32 }],
+            data_syms: vec![("fmt".into(), DATA_BASE)],
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let exe = sample();
+        let bytes = exe.to_bytes();
+        let back = Executable::from_bytes(&bytes).unwrap();
+        assert_eq!(back, exe);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample().to_bytes().to_vec();
+        bytes[0] = b'X';
+        assert_eq!(Executable::from_bytes(&bytes), Err(ExeError::BadMagic));
+    }
+
+    #[test]
+    fn corruption_detected_by_checksum() {
+        let mut bytes = sample().to_bytes().to_vec();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        match Executable::from_bytes(&bytes) {
+            Err(ExeError::BadChecksum { .. }) => {}
+            other => panic!("expected checksum error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = sample().to_bytes();
+        // Cut in the middle: checksum mismatch or truncated, never a panic.
+        for cut in [0, 3, 10, bytes.len() - 5] {
+            assert!(Executable::from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn word_and_func_lookup() {
+        let exe = sample();
+        assert_eq!(exe.word_at(CODE_BASE), Some(0xdead_beef));
+        assert_eq!(exe.word_at(CODE_BASE + 4), Some(0x1234_5678));
+        assert_eq!(exe.word_at(CODE_BASE + 2), None, "unaligned");
+        assert_eq!(exe.word_at(CODE_BASE - 4), None);
+        assert_eq!(exe.word_at(exe.code_end()), None);
+        assert_eq!(exe.func_at(CODE_BASE).unwrap().name, "main");
+        assert_eq!(exe.func_at(CODE_BASE + 8).unwrap().name, "send_ident");
+        assert_eq!(exe.func_at(CODE_BASE + 11).unwrap().name, "send_ident");
+        assert!(exe.func_by_name("send_ident").is_some());
+        assert!(exe.func_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn local_referencing_unknown_function_rejected() {
+        let mut exe = sample();
+        exe.locals[0].func_index = 99;
+        let bytes = exe.to_bytes();
+        assert_eq!(
+            Executable::from_bytes(&bytes),
+            Err(ExeError::Corrupt("local symbol references unknown function"))
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ExeError::BadMagic.to_string().contains("magic"));
+        assert!(ExeError::UnsupportedVersion(9).to_string().contains('9'));
+    }
+}

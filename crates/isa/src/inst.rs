@@ -1,0 +1,190 @@
+//! The MR32 instruction set.
+
+use crate::Reg;
+use std::fmt;
+
+/// One MR32 machine instruction.
+///
+/// MR32 is a 32-bit fixed-width load/store RISC. Immediates are 14-bit
+/// signed except `Lui` (18-bit upper immediate) and `Jal` (26-bit signed
+/// word offset). Branch and jump offsets are in *instructions*, relative to
+/// the branch's own address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Inst {
+    /// `rd = rs1 + rs2`
+    Add(Reg, Reg, Reg),
+    /// `rd = rs1 - rs2`
+    Sub(Reg, Reg, Reg),
+    /// `rd = rs1 * rs2`
+    Mul(Reg, Reg, Reg),
+    /// `rd = rs1 / rs2` (unsigned; division by zero yields 0)
+    Div(Reg, Reg, Reg),
+    /// `rd = rs1 % rs2` (unsigned; modulo zero yields 0)
+    Rem(Reg, Reg, Reg),
+    /// `rd = rs1 & rs2`
+    And(Reg, Reg, Reg),
+    /// `rd = rs1 | rs2`
+    Or(Reg, Reg, Reg),
+    /// `rd = rs1 ^ rs2`
+    Xor(Reg, Reg, Reg),
+    /// `rd = rs1 << (rs2 & 31)`
+    Sll(Reg, Reg, Reg),
+    /// `rd = rs1 >> (rs2 & 31)` (logical)
+    Srl(Reg, Reg, Reg),
+    /// `rd = (rs1 as i32) >> (rs2 & 31)` (arithmetic)
+    Sra(Reg, Reg, Reg),
+    /// `rd = (rs1 as i32) < (rs2 as i32)`
+    Slt(Reg, Reg, Reg),
+    /// `rd = rs1 == rs2`
+    Seq(Reg, Reg, Reg),
+    /// `rd = rs1 + imm`
+    Addi(Reg, Reg, i16),
+    /// `rd = rs1 & imm`
+    Andi(Reg, Reg, i16),
+    /// `rd = rs1 | imm`
+    Ori(Reg, Reg, i16),
+    /// `rd = rs1 ^ imm`
+    Xori(Reg, Reg, i16),
+    /// `rd = rs1 << imm`
+    Slli(Reg, Reg, i16),
+    /// `rd = rs1 >> imm` (logical)
+    Srli(Reg, Reg, i16),
+    /// `rd = imm18 << 14` (load upper immediate)
+    Lui(Reg, u32),
+    /// `rd = *(u32*)(rs1 + imm)`
+    Lw(Reg, Reg, i16),
+    /// `rd = *(u8*)(rs1 + imm)` (zero-extended)
+    Lb(Reg, Reg, i16),
+    /// `*(u32*)(rs1 + imm) = rd`
+    Sw(Reg, Reg, i16),
+    /// `*(u8*)(rs1 + imm) = rd as u8`
+    Sb(Reg, Reg, i16),
+    /// branch if `rs1 == rs2` to `pc + off` (instruction units)
+    Beq(Reg, Reg, i16),
+    /// branch if `rs1 != rs2`
+    Bne(Reg, Reg, i16),
+    /// branch if `(rs1 as i32) < (rs2 as i32)`
+    Blt(Reg, Reg, i16),
+    /// branch if `(rs1 as i32) >= (rs2 as i32)`
+    Bge(Reg, Reg, i16),
+    /// call: `ra = pc + 4; pc += off26 * 4`
+    Jal(i32),
+    /// indirect jump: `rd = pc + 4; pc = rs1`. `jalr zero, ra` is `ret`.
+    Jalr(Reg, Reg),
+    /// call an imported library function by import-table index
+    Callx(u16),
+    /// stop execution (only meaningful to the emulator)
+    Halt,
+}
+
+impl Inst {
+    /// Whether the instruction ends a basic block.
+    pub fn is_terminator(self) -> bool {
+        matches!(
+            self,
+            Inst::Beq(..) | Inst::Bne(..) | Inst::Blt(..) | Inst::Bge(..) | Inst::Jalr(..) | Inst::Halt
+        )
+    }
+
+    /// The branch offset in instructions, for conditional branches.
+    pub fn branch_offset(self) -> Option<i32> {
+        match self {
+            Inst::Beq(_, _, o) | Inst::Bne(_, _, o) | Inst::Blt(_, _, o) | Inst::Bge(_, _, o) => {
+                Some(o as i32)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether this is an unconditional branch (`beq zero, zero, off`).
+    pub fn is_unconditional_branch(self) -> bool {
+        matches!(self, Inst::Beq(a, b, _) if a == Reg::ZERO && b == Reg::ZERO)
+    }
+
+    /// Whether this is the `ret` idiom (`jalr zero, ra`).
+    pub fn is_ret(self) -> bool {
+        matches!(self, Inst::Jalr(rd, rs) if rd == Reg::ZERO && rs == Reg::RA)
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Inst::*;
+        match *self {
+            Add(d, a, b) => write!(f, "add {d}, {a}, {b}"),
+            Sub(d, a, b) => write!(f, "sub {d}, {a}, {b}"),
+            Mul(d, a, b) => write!(f, "mul {d}, {a}, {b}"),
+            Div(d, a, b) => write!(f, "div {d}, {a}, {b}"),
+            Rem(d, a, b) => write!(f, "rem {d}, {a}, {b}"),
+            And(d, a, b) => write!(f, "and {d}, {a}, {b}"),
+            Or(d, a, b) => write!(f, "or {d}, {a}, {b}"),
+            Xor(d, a, b) => write!(f, "xor {d}, {a}, {b}"),
+            Sll(d, a, b) => write!(f, "sll {d}, {a}, {b}"),
+            Srl(d, a, b) => write!(f, "srl {d}, {a}, {b}"),
+            Sra(d, a, b) => write!(f, "sra {d}, {a}, {b}"),
+            Slt(d, a, b) => write!(f, "slt {d}, {a}, {b}"),
+            Seq(d, a, b) => write!(f, "seq {d}, {a}, {b}"),
+            Addi(d, a, i) => write!(f, "addi {d}, {a}, {i}"),
+            Andi(d, a, i) => write!(f, "andi {d}, {a}, {i}"),
+            Ori(d, a, i) => write!(f, "ori {d}, {a}, {i}"),
+            Xori(d, a, i) => write!(f, "xori {d}, {a}, {i}"),
+            Slli(d, a, i) => write!(f, "slli {d}, {a}, {i}"),
+            Srli(d, a, i) => write!(f, "srli {d}, {a}, {i}"),
+            Lui(d, i) => write!(f, "lui {d}, {i:#x}"),
+            Lw(d, b, i) => write!(f, "lw {d}, {i}({b})"),
+            Lb(d, b, i) => write!(f, "lb {d}, {i}({b})"),
+            Sw(s, b, i) => write!(f, "sw {s}, {i}({b})"),
+            Sb(s, b, i) => write!(f, "sb {s}, {i}({b})"),
+            Beq(a, b, o) => write!(f, "beq {a}, {b}, {o}"),
+            Bne(a, b, o) => write!(f, "bne {a}, {b}, {o}"),
+            Blt(a, b, o) => write!(f, "blt {a}, {b}, {o}"),
+            Bge(a, b, o) => write!(f, "bge {a}, {b}, {o}"),
+            Jal(o) => write!(f, "jal {o}"),
+            Jalr(d, s) => {
+                if self.is_ret() {
+                    write!(f, "ret")
+                } else {
+                    write!(f, "jalr {d}, {s}")
+                }
+            }
+            Callx(i) => write!(f, "callx #{i}"),
+            Halt => write!(f, "halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminators() {
+        assert!(Inst::Beq(Reg::A0, Reg::ZERO, 2).is_terminator());
+        assert!(Inst::Jalr(Reg::ZERO, Reg::RA).is_terminator());
+        assert!(Inst::Halt.is_terminator());
+        assert!(!Inst::Jal(4).is_terminator(), "calls do not end blocks");
+        assert!(!Inst::Add(Reg::A0, Reg::A1, Reg::A2).is_terminator());
+    }
+
+    #[test]
+    fn branch_offset_extraction() {
+        assert_eq!(Inst::Bne(Reg::A0, Reg::ZERO, -3).branch_offset(), Some(-3));
+        assert_eq!(Inst::Add(Reg::A0, Reg::A0, Reg::A0).branch_offset(), None);
+    }
+
+    #[test]
+    fn ret_and_unconditional_idioms() {
+        assert!(Inst::Jalr(Reg::ZERO, Reg::RA).is_ret());
+        assert!(!Inst::Jalr(Reg::RA, Reg::A0).is_ret());
+        assert!(Inst::Beq(Reg::ZERO, Reg::ZERO, 5).is_unconditional_branch());
+        assert!(!Inst::Beq(Reg::A0, Reg::ZERO, 5).is_unconditional_branch());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Inst::Add(Reg::RV, Reg::A0, Reg::A1).to_string(), "add rv, a0, a1");
+        assert_eq!(Inst::Lw(Reg::T0, Reg::SP, -8).to_string(), "lw t0, -8(sp)");
+        assert_eq!(Inst::Jalr(Reg::ZERO, Reg::RA).to_string(), "ret");
+        assert_eq!(Inst::Callx(3).to_string(), "callx #3");
+    }
+}

@@ -1,0 +1,58 @@
+//! # firmres-isa
+//!
+//! The MR32 instruction set architecture: a 32-bit fixed-width RISC ISA
+//! that plays the role real device CPUs (MIPS/ARM) play in the FIRMRES
+//! paper. Firmware executables in the synthetic corpus are MR32 machine
+//! code packed in the MRE container format; this crate provides everything
+//! needed to produce and consume them:
+//!
+//! * [`Inst`] / [`Reg`] — the instruction set and register file.
+//! * [`encode`]/[`decode`] — binary encoding (round-trip tested).
+//! * [`Assembler`] — a two-pass assembler from textual MR32 assembly to an
+//!   [`Executable`], with functions, named locals/params, data directives
+//!   and an import table.
+//! * [`Executable`] — the MRE object format with (de)serialization.
+//! * [`lift`] — disassemble + lift an [`Executable`] into a
+//!   [`firmres_ir::Program`], the representation all FIRMRES analyses
+//!   consume (the stand-in for Ghidra's decompiler output).
+//! * [`Emulator`] — a concrete interpreter used for differential testing:
+//!   messages reconstructed statically can be checked against what the
+//!   executable actually sends when run.
+//!
+//! # Examples
+//!
+//! ```
+//! use firmres_isa::{Assembler, lift};
+//!
+//! let src = r#"
+//! .func main 0
+//!     la   a0, msg
+//!     callx puts
+//!     ret
+//! .endfunc
+//! .data
+//! msg: .asciz "hello"
+//! "#;
+//! let exe = Assembler::new().assemble(src)?;
+//! let prog = lift(&exe, "demo")?;
+//! assert_eq!(prog.function_count(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod asm;
+mod emu;
+mod encode;
+mod exe;
+mod inst;
+mod lift;
+mod reg;
+
+pub use asm::{AsmError, Assembler};
+pub use emu::{EmuError, Emulator, HostCall, HostEvent, Mem};
+pub use encode::{decode, encode, DecodeError};
+pub use exe::{Executable, ExeError, FuncSymbol, LocalSymbol, CODE_BASE, DATA_BASE};
+pub use inst::Inst;
+pub use lift::{lift, LiftError};
+pub use reg::Reg;

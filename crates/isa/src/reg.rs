@@ -1,0 +1,150 @@
+//! The MR32 register file.
+
+use std::fmt;
+
+/// One of the 16 MR32 general-purpose registers.
+///
+/// ABI conventions (used by the assembler, the lifter and the emulator):
+///
+/// | register | alias | role |
+/// |---|---|---|
+/// | `r0` | `zero` | hard-wired zero |
+/// | `r1` | `ra` | return address |
+/// | `r2` | `sp` | stack pointer |
+/// | `r3` | `rv` | return value |
+/// | `r4`–`r9` | `a0`–`a5` | arguments |
+/// | `r10`–`r15` | `t0`–`t5` | caller-saved temporaries |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Hard-wired zero register.
+    pub const ZERO: Reg = Reg(0);
+    /// Return address.
+    pub const RA: Reg = Reg(1);
+    /// Stack pointer.
+    pub const SP: Reg = Reg(2);
+    /// Return value.
+    pub const RV: Reg = Reg(3);
+    /// First argument register.
+    pub const A0: Reg = Reg(4);
+    /// Second argument register.
+    pub const A1: Reg = Reg(5);
+    /// Third argument register.
+    pub const A2: Reg = Reg(6);
+    /// Fourth argument register.
+    pub const A3: Reg = Reg(7);
+    /// Fifth argument register.
+    pub const A4: Reg = Reg(8);
+    /// Sixth argument register.
+    pub const A5: Reg = Reg(9);
+    /// First temporary.
+    pub const T0: Reg = Reg(10);
+    /// Second temporary.
+    pub const T1: Reg = Reg(11);
+    /// Third temporary.
+    pub const T2: Reg = Reg(12);
+    /// Fourth temporary.
+    pub const T3: Reg = Reg(13);
+    /// Fifth temporary.
+    pub const T4: Reg = Reg(14);
+    /// Sixth temporary.
+    pub const T5: Reg = Reg(15);
+
+    /// The `n`-th register. Returns `None` for `n >= 16`.
+    pub fn new(n: u8) -> Option<Reg> {
+        (n < 16).then_some(Reg(n))
+    }
+
+    /// The `n`-th argument register (`a0` is 0). Returns `None` past `a5`.
+    pub fn arg(n: u8) -> Option<Reg> {
+        (n < 6).then(|| Reg(4 + n))
+    }
+
+    /// Register number, 0–15.
+    pub fn num(self) -> u8 {
+        self.0
+    }
+
+    /// Parse a register name: `r0`–`r15` or an ABI alias.
+    pub fn parse(s: &str) -> Option<Reg> {
+        let alias = match s {
+            "zero" => Some(0),
+            "ra" => Some(1),
+            "sp" => Some(2),
+            "rv" => Some(3),
+            _ => None,
+        };
+        if let Some(n) = alias {
+            return Some(Reg(n));
+        }
+        if let Some(rest) = s.strip_prefix('a') {
+            let n: u8 = rest.parse().ok()?;
+            return Reg::arg(n);
+        }
+        if let Some(rest) = s.strip_prefix('t') {
+            let n: u8 = rest.parse().ok()?;
+            return (n < 6).then(|| Reg(10 + n));
+        }
+        if let Some(rest) = s.strip_prefix('r') {
+            let n: u8 = rest.parse().ok()?;
+            return Reg::new(n);
+        }
+        None
+    }
+
+    /// ABI alias name.
+    pub fn name(self) -> &'static str {
+        const NAMES: [&str; 16] = [
+            "zero", "ra", "sp", "rv", "a0", "a1", "a2", "a3", "a4", "a5", "t0", "t1", "t2", "t3",
+            "t4", "t5",
+        ];
+        NAMES[self.0 as usize]
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_aliases_and_numbers() {
+        assert_eq!(Reg::parse("zero"), Some(Reg::ZERO));
+        assert_eq!(Reg::parse("sp"), Some(Reg::SP));
+        assert_eq!(Reg::parse("a0"), Some(Reg::A0));
+        assert_eq!(Reg::parse("a5"), Some(Reg::A5));
+        assert_eq!(Reg::parse("t3"), Some(Reg::T3));
+        assert_eq!(Reg::parse("r15"), Some(Reg::T5));
+        assert_eq!(Reg::parse("a6"), None);
+        assert_eq!(Reg::parse("t6"), None);
+        assert_eq!(Reg::parse("r16"), None);
+        assert_eq!(Reg::parse("x1"), None);
+    }
+
+    #[test]
+    fn name_round_trip() {
+        for n in 0..16u8 {
+            let r = Reg::new(n).unwrap();
+            assert_eq!(Reg::parse(r.name()), Some(r), "{}", r.name());
+        }
+    }
+
+    #[test]
+    fn arg_registers() {
+        assert_eq!(Reg::arg(0), Some(Reg::A0));
+        assert_eq!(Reg::arg(5), Some(Reg::A5));
+        assert_eq!(Reg::arg(6), None);
+    }
+
+    #[test]
+    fn display_uses_alias() {
+        assert_eq!(Reg::SP.to_string(), "sp");
+        assert_eq!(Reg::new(12).unwrap().to_string(), "t2");
+    }
+}

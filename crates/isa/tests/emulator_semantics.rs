@@ -1,0 +1,169 @@
+//! Instruction-level semantics of the MR32 emulator: every ALU op,
+//! memory widths, shifts, and the remaining builtins.
+
+use firmres_isa::{Assembler, EmuError, Emulator, Mem};
+
+fn null_host() -> impl FnMut(&str, [u32; 6], &mut Mem) -> u32 {
+    |_, _, _| 0
+}
+
+/// Assemble a `main` body and return `rv` after running it.
+fn run(body: &str) -> u32 {
+    let src = format!(".func main\n{body}\n halt\n.endfunc\n");
+    let exe = Assembler::new().assemble(&src).unwrap();
+    let mut emu = Emulator::new(&exe, null_host());
+    emu.run().unwrap();
+    emu.reg(firmres_isa::Reg::RV)
+}
+
+#[test]
+fn alu_three_register_ops() {
+    assert_eq!(run(" li t0, 21\n li t1, 2\n mul rv, t0, t1"), 42);
+    assert_eq!(run(" li t0, 45\n li t1, 3\n sub rv, t0, t1"), 42);
+    assert_eq!(run(" li t0, 84\n li t1, 2\n div rv, t0, t1"), 42);
+    assert_eq!(run(" li t0, 85\n li t1, 43\n rem rv, t0, t1"), 42);
+    assert_eq!(run(" li t0, 0xff\n li t1, 0x2a\n and rv, t0, t1"), 0x2a);
+    assert_eq!(run(" li t0, 0x28\n li t1, 0x02\n or rv, t0, t1"), 0x2a);
+    assert_eq!(run(" li t0, 0x6b\n li t1, 0x41\n xor rv, t0, t1"), 0x2a);
+}
+
+#[test]
+fn division_by_zero_yields_zero() {
+    assert_eq!(run(" li t0, 7\n li t1, 0\n div rv, t0, t1"), 0);
+    assert_eq!(run(" li t0, 7\n li t1, 0\n rem rv, t0, t1"), 0);
+}
+
+#[test]
+fn shifts_logical_and_arithmetic() {
+    assert_eq!(run(" li t0, 0x15\n li t1, 1\n sll rv, t0, t1"), 0x2a);
+    assert_eq!(run(" li t0, 0x54\n li t1, 1\n srl rv, t0, t1"), 0x2a);
+    // Arithmetic shift of a negative value keeps the sign.
+    assert_eq!(run(" li t0, -8\n li t1, 1\n sra rv, t0, t1") as i32, -4);
+    assert_eq!(run(" li t0, -8\n li t1, 1\n srl rv, t0, t1"), 0x7FFF_FFFC);
+    assert_eq!(run(" li t0, 0x15\n slli rv, t0, 1"), 0x2a);
+    assert_eq!(run(" li t0, 0x54\n srli rv, t0, 1"), 0x2a);
+}
+
+#[test]
+fn comparisons_signed() {
+    assert_eq!(run(" li t0, -1\n li t1, 1\n slt rv, t0, t1"), 1);
+    assert_eq!(run(" li t0, 1\n li t1, -1\n slt rv, t0, t1"), 0);
+    assert_eq!(run(" li t0, 5\n li t1, 5\n seq rv, t0, t1"), 1);
+    assert_eq!(run(" li t0, 5\n li t1, 6\n seq rv, t0, t1"), 0);
+}
+
+#[test]
+fn byte_memory_round_trip() {
+    let body = r#"
+.local buf 8
+    li  t0, 0xAB
+    sb  t0, buf(sp)
+    lb  rv, buf(sp)
+"#;
+    let src = format!(".func main\n{body}\n halt\n.endfunc\n");
+    let exe = Assembler::new().assemble(&src).unwrap();
+    let mut emu = Emulator::new(&exe, null_host());
+    emu.run().unwrap();
+    assert_eq!(emu.reg(firmres_isa::Reg::RV), 0xAB);
+}
+
+#[test]
+fn branch_taken_and_not_taken() {
+    assert_eq!(
+        run(" li t0, 1\n li t1, 2\n blt t0, t1, yes\n li rv, 0\n b out\nyes:\n li rv, 1\nout:"),
+        1
+    );
+    assert_eq!(
+        run(" li t0, 3\n li t1, 2\n bge t0, t1, yes\n li rv, 0\n b out\nyes:\n li rv, 1\nout:"),
+        1
+    );
+}
+
+#[test]
+fn memset_memcpy_atoi_builtins() {
+    let src = r#"
+.func main
+.local a 16
+.local b 16
+    lea a0, a
+    li  a1, 65
+    li  a2, 3
+    callx memset
+    lea a0, b
+    lea a1, a
+    li  a2, 4
+    callx memcpy
+    lea a0, b
+    callx strlen
+    halt
+.endfunc
+"#;
+    let exe = Assembler::new().assemble(src).unwrap();
+    let mut emu = Emulator::new(&exe, null_host());
+    emu.run().unwrap();
+    assert_eq!(emu.reg(firmres_isa::Reg::RV), 3, "AAA\\0 copied");
+
+    let src = ".func main\n la a0, n\n callx atoi\n halt\n.endfunc\n.data\nn: .asciz \"  1234 \"\n";
+    let exe = Assembler::new().assemble(src).unwrap();
+    let mut emu = Emulator::new(&exe, null_host());
+    emu.run().unwrap();
+    assert_eq!(emu.reg(firmres_isa::Reg::RV), 1234);
+}
+
+#[test]
+fn snprintf_and_itoa_builtins() {
+    let src = r#"
+.func main
+.local buf 64
+    lea a0, buf
+    li  a1, 64
+    la  a2, fmt
+    li  a3, 7
+    callx snprintf
+    halt
+.endfunc
+.data
+fmt: .asciz "v=%d"
+"#;
+    let exe = Assembler::new().assemble(src).unwrap();
+    let mut emu = Emulator::new(&exe, null_host());
+    emu.run().unwrap();
+    assert_eq!(emu.reg(firmres_isa::Reg::RV), 3, "length of v=7");
+
+    let src = r#"
+.func main
+.local txt 16
+    li  a0, 90210
+    lea a1, txt
+    callx itoa
+    lea a0, txt
+    callx strlen
+    halt
+.endfunc
+"#;
+    let exe = Assembler::new().assemble(src).unwrap();
+    let mut emu = Emulator::new(&exe, null_host());
+    emu.run().unwrap();
+    assert_eq!(emu.reg(firmres_isa::Reg::RV), 5);
+}
+
+#[test]
+fn pc_fault_on_wild_jump() {
+    let src = ".func main\n li t0, 0x40\n jalr rv, t0\n halt\n.endfunc\n";
+    let exe = Assembler::new().assemble(src).unwrap();
+    let mut emu = Emulator::new(&exe, null_host());
+    assert!(matches!(emu.run(), Err(EmuError::PcFault { .. })));
+}
+
+#[test]
+fn host_events_record_arguments() {
+    let src = ".func main\n li a0, 11\n li a1, 22\n callx custom_fn\n halt\n.endfunc\n";
+    let exe = Assembler::new().assemble(src).unwrap();
+    let mut emu = Emulator::new(&exe, |_: &str, _: [u32; 6], _: &mut Mem| 99);
+    emu.run().unwrap();
+    assert_eq!(emu.reg(firmres_isa::Reg::RV), 99, "host return lands in rv");
+    assert_eq!(emu.events().len(), 1);
+    assert_eq!(emu.events()[0].name, "custom_fn");
+    assert_eq!(emu.events()[0].args[0], 11);
+    assert_eq!(emu.events()[0].args[1], 22);
+}

@@ -1,0 +1,135 @@
+//! Longest-common-subsequence similarity and clustering.
+//!
+//! Used to discover the delimiters of `sprintf`-assembled partial messages
+//! (paper §IV-C): substrings of formatted output are clustered by
+//! `Similarity(a, b) = 2·L_common / (L_a + L_b)` where `L_common` is the
+//! length of the longest common subsequence.
+
+/// Length of the longest common subsequence of `a` and `b`.
+///
+/// Classic O(|a|·|b|) dynamic program over bytes.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(firmres_mft::lcs_len("abcde", "ace"), 3);
+/// assert_eq!(firmres_mft::lcs_len("", "xyz"), 0);
+/// ```
+pub fn lcs_len(a: &str, b: &str) -> usize {
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    let mut prev = vec![0usize; b.len() + 1];
+    let mut cur = vec![0usize; b.len() + 1];
+    for &ca in a {
+        for (j, &cb) in b.iter().enumerate() {
+            cur[j + 1] = if ca == cb {
+                prev[j] + 1
+            } else {
+                prev[j + 1].max(cur[j])
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// The paper's clustering similarity: `2·LCS(a,b) / (|a| + |b|)`.
+///
+/// Symmetric and bounded to `[0, 1]`; `1.0` exactly when `a == b` (and
+/// both non-empty). Two empty strings are defined to be identical (1.0).
+pub fn similarity(a: &str, b: &str) -> f64 {
+    let la = a.len();
+    let lb = b.len();
+    if la + lb == 0 {
+        return 1.0;
+    }
+    2.0 * lcs_len(a, b) as f64 / (la + lb) as f64
+}
+
+/// Greedy agglomerative clustering: each string joins the first cluster
+/// whose representative (first member) is at least `threshold` similar,
+/// otherwise it founds a new cluster.
+///
+/// The paper evaluates thresholds 0.5, 0.6 and 0.7 (Table II's
+/// `thd` columns); the same sweep is reproduced in the benchmarks.
+pub fn cluster(items: &[String], threshold: f64) -> Vec<Vec<String>> {
+    let mut clusters: Vec<Vec<String>> = Vec::new();
+    for item in items {
+        match clusters
+            .iter_mut()
+            .find(|c| similarity(&c[0], item) >= threshold)
+        {
+            Some(c) => c.push(item.clone()),
+            None => clusters.push(vec![item.clone()]),
+        }
+    }
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcs_basics() {
+        assert_eq!(lcs_len("abc", "abc"), 3);
+        assert_eq!(lcs_len("abc", "xyz"), 0);
+        assert_eq!(lcs_len("deviceId=", "userId="), 4); // "eId="
+    }
+
+    #[test]
+    fn lcs_known_values() {
+        assert_eq!(lcs_len("AGGTAB", "GXTXAYB"), 4); // GTAB
+        assert_eq!(lcs_len("a", ""), 0);
+    }
+
+    #[test]
+    fn similarity_properties() {
+        // symmetric
+        assert_eq!(similarity("mac=%s", "sn=%s"), similarity("sn=%s", "mac=%s"));
+        // identity
+        assert!((similarity("abc", "abc") - 1.0).abs() < 1e-12);
+        // bounded
+        let s = similarity("mac=%s&", "uploadType=%s&");
+        assert!((0.0..=1.0).contains(&s));
+        // empty-empty defined as 1
+        assert_eq!(similarity("", ""), 1.0);
+        assert_eq!(similarity("", "x"), 0.0);
+    }
+
+    #[test]
+    fn clustering_groups_similar_key_value_pieces() {
+        let items: Vec<String> = ["mac=%s", "sn=%s", "model=%s", "POST /register", "GET /ping"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let clusters = cluster(&items, 0.5);
+        // The three key=value pieces cluster together; the two HTTP lines
+        // form separate or shared clusters, but never join the k=v group.
+        let kv = clusters
+            .iter()
+            .find(|c| c.contains(&"mac=%s".to_string()))
+            .unwrap();
+        assert!(kv.contains(&"sn=%s".to_string()));
+        assert!(!kv.contains(&"POST /register".to_string()));
+    }
+
+    #[test]
+    fn threshold_sweep_is_monotone_in_cluster_count() {
+        let items: Vec<String> = ["a=%s", "bb=%s", "ccc=%s", "dddd=%d", "x", "yy"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let c5 = cluster(&items, 0.5).len();
+        let c6 = cluster(&items, 0.6).len();
+        let c7 = cluster(&items, 0.7).len();
+        assert!(c5 <= c6 && c6 <= c7, "higher threshold, never fewer clusters: {c5} {c6} {c7}");
+    }
+
+    #[test]
+    fn empty_input_yields_no_clusters() {
+        assert!(cluster(&[], 0.5).is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+//! # firmres-mft
+//!
+//! The Message Field Tree (MFT) and message reconstruction (paper §IV-C,
+//! §IV-D).
+//!
+//! The MFT is built from the backward-taint trace of a delivery callsite:
+//! the taint *source* (the message argument) is the root, the taint
+//! *sinks* (field origins) are the leaves, and the paths in between encode
+//! the message-construction logic. This crate provides:
+//!
+//! * [`Mft`] — the tree, with the paper's two transformations:
+//!   [`Mft::simplified`] (keep only branching nodes and leaves, Fig. 5)
+//!   and [`Mft::inverted`] (reverse child order so fields appear in
+//!   construction order rather than backward-discovery order).
+//! * [`CodeSlice`] — per-path code slices in the semantically enriched
+//!   P-Code representation `(Datatype, Name/Constant, NodeID)` that the
+//!   `firmres-semantics` classifier consumes.
+//! * [`split_format`] / [`cluster`] — separation of `sprintf`-assembled
+//!   partial messages into per-field pieces, with delimiters discovered by
+//!   longest-common-subsequence similarity clustering.
+//! * [`reconstruct`] — assembly of a [`ReconstructedMessage`] (format,
+//!   ordered fields with keys and origins) from the tree.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod lcs;
+mod message;
+mod slice;
+mod split;
+mod tree;
+
+pub use lcs::{cluster, lcs_len, similarity};
+pub use message::{
+    is_lan_address, mentions_lan, reconstruct, MessageField, MessageFormat, ReconstructedMessage,
+    Transport,
+};
+pub use slice::{enrich_op, slices_for_tree, CodeSlice, SliceRenderer};
+pub use split::{cluster_count, split_format, FormatPiece};
+pub use tree::{Mft, MftNode, MftNodeId, MftNodeKind};

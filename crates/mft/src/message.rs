@@ -1,0 +1,575 @@
+//! Message reconstruction from the MFT (paper §IV-D).
+
+use crate::split::{extract_key, split_format};
+use crate::tree::{Mft, MftNodeId, MftNodeKind};
+use firmres_dataflow::FieldSource;
+use std::fmt;
+
+/// Transport implied by the delivery function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Transport {
+    /// TLS stream (`SSL_write`, `CyaSSL_write`).
+    Ssl,
+    /// Plain socket (`send`, `sendto`, `write`).
+    Tcp,
+    /// MQTT publish.
+    Mqtt,
+    /// HTTP request helpers.
+    Http,
+    /// Unknown delivery function.
+    Unknown,
+}
+
+impl Transport {
+    /// Classify a delivery function name.
+    pub fn from_delivery(name: &str) -> Transport {
+        match name {
+            "SSL_write" | "CyaSSL_write" => Transport::Ssl,
+            "send" | "sendto" | "write" => Transport::Tcp,
+            "mosquitto_publish" | "mqtt_publish" => Transport::Mqtt,
+            "http_post" | "http_get" | "curl_easy_perform" => Transport::Http,
+            _ => Transport::Unknown,
+        }
+    }
+}
+
+impl fmt::Display for Transport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Transport::Ssl => "ssl",
+            Transport::Tcp => "tcp",
+            Transport::Mqtt => "mqtt",
+            Transport::Http => "http",
+            Transport::Unknown => "unknown",
+        })
+    }
+}
+
+/// Inferred wire format of the message body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MessageFormat {
+    /// Nested JSON.
+    Json,
+    /// URL-encoded query string (`a=1&b=2`).
+    Query,
+    /// Loose `key=value` text.
+    KeyValue,
+    /// Opaque/unstructured.
+    Raw,
+}
+
+impl fmt::Display for MessageFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MessageFormat::Json => "json",
+            MessageFormat::Query => "query",
+            MessageFormat::KeyValue => "keyvalue",
+            MessageFormat::Raw => "raw",
+        })
+    }
+}
+
+/// One reconstructed message field: key, value origin, and (after
+/// classification) its primitive semantic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MessageField {
+    /// Field key, when recoverable (`mac`, `serialNumber`, …).
+    pub key: Option<String>,
+    /// Where the value comes from.
+    pub origin: FieldSource,
+    /// Primitive label assigned by the semantics model (`Dev-Identifier`,
+    /// …); `None` before classification.
+    pub semantic: Option<String>,
+}
+
+/// A device-cloud message reconstructed from one delivery callsite.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReconstructedMessage {
+    /// Delivery function name.
+    pub delivery: String,
+    /// Transport classification.
+    pub transport: Transport,
+    /// Endpoint (MQTT topic / HTTP path), when recovered.
+    pub endpoint: Option<String>,
+    /// Inferred body format.
+    pub format: MessageFormat,
+    /// Fields in construction order.
+    pub fields: Vec<MessageField>,
+    /// Full format template when the message was built by one formatted
+    /// write.
+    pub template: Option<String>,
+}
+
+impl ReconstructedMessage {
+    /// Keys of all fields that have one, in order.
+    pub fn keys(&self) -> Vec<&str> {
+        self.fields.iter().filter_map(|f| f.key.as_deref()).collect()
+    }
+
+    /// The field with the given key.
+    pub fn field(&self, key: &str) -> Option<&MessageField> {
+        self.fields.iter().find(|f| f.key.as_deref() == Some(key))
+    }
+}
+
+impl fmt::Display for ReconstructedMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}/{}] ", self.transport, self.format)?;
+        if let Some(e) = &self.endpoint {
+            write!(f, "{e} ")?;
+        }
+        let fields: Vec<String> = self
+            .fields
+            .iter()
+            .map(|fld| {
+                let key = fld.key.as_deref().unwrap_or("_");
+                format!("{key}={}", fld.origin)
+            })
+            .collect();
+        write!(f, "{{{}}}", fields.join(", "))
+    }
+}
+
+/// Whether `text` is (or contains) a LAN/link-local/multicast/broadcast
+/// address — messages addressed to these are device-to-device traffic and
+/// are discarded (paper §IV-D).
+pub fn is_lan_address(text: &str) -> bool {
+    let t = text.trim();
+    // IPv6 link-local.
+    let upper = t.to_ascii_uppercase();
+    if upper.starts_with("FE80") {
+        return true;
+    }
+    // Extract a leading IPv4 dotted quad.
+    let octets: Vec<u8> = t
+        .split(['.', ':', '/'])
+        .take(4)
+        .map_while(|p| p.parse::<u8>().ok())
+        .collect();
+    if octets.len() < 4 {
+        return false;
+    }
+    match octets[0] {
+        10 => true,
+        172 => (16..=31).contains(&octets[1]),
+        192 => octets[1] == 168,
+        169 => octets[1] == 254,
+        224..=239 => true, // multicast
+        255 => octets == [255, 255, 255, 255],
+        _ => false,
+    }
+}
+
+/// Whether any string constant in the tree mentions a LAN address — the
+/// grouping step's discard condition.
+pub fn mentions_lan(mft: &Mft) -> bool {
+    mft.nodes().iter().any(|n| {
+        matches!(
+            &n.kind,
+            MftNodeKind::Field(FieldSource::StringConstant { value, .. }) if is_lan_address(value)
+        )
+    })
+}
+
+/// Reconstruct the message from a (non-simplified, non-inverted) MFT.
+///
+/// Concatenation order: the taint engine records buffer writes in
+/// backward-discovery order, so writes are *reversed* here — the
+/// equivalent of simplifying and inverting the tree (Fig. 5) — and fields
+/// inside one formatted write follow the format-string order.
+pub fn reconstruct(mft: &Mft) -> ReconstructedMessage {
+    let delivery = match &mft.root().kind {
+        MftNodeKind::Root { delivery } => delivery.clone(),
+        _ => "<unknown>".to_string(),
+    };
+    let transport = Transport::from_delivery(&delivery);
+    let mut fields: Vec<MessageField> = Vec::new();
+    let mut template: Option<String> = None;
+    let mut saw_json_writer = false;
+    let mut pending_key: Option<String> = None;
+
+    // Writes attached (transitively through pass-through ops) below the
+    // root, in backward order; re-reverse for construction order.
+    let mut writes = collect_writes(mft, mft.root().id);
+    writes.reverse();
+
+    for wid in &writes {
+        let node = mft.node(*wid);
+        let MftNodeKind::Concat { via } = &node.kind else { continue };
+        match via.as_str() {
+            "sprintf" | "snprintf" => {
+                let Some(fmt) = first_string_leaf(mft, node.children.first().copied()) else {
+                    // Format unavailable: emit raw fields.
+                    for c in node.children.iter().skip(1) {
+                        fields.push(MessageField {
+                            key: pending_key.take(),
+                            origin: primary_source(mft, *c),
+                            semantic: None,
+                        });
+                    }
+                    continue;
+                };
+                let pieces = split_format(&fmt);
+                if template.is_none() {
+                    template = Some(fmt.clone());
+                }
+                let values = &node.children[1..];
+                for (i, piece) in pieces.iter().enumerate() {
+                    if piece.spec.is_some() {
+                        let origin = values
+                            .get(i)
+                            .map(|c| primary_source(mft, *c))
+                            .unwrap_or(FieldSource::Unresolved { reason: "missing argument" });
+                        fields.push(MessageField {
+                            key: piece.key.clone().or_else(|| pending_key.take()),
+                            origin,
+                            semantic: None,
+                        });
+                    } else if !piece.literal.trim().is_empty() {
+                        // A pure literal chunk (path prefix, trailing brace).
+                        fields.push(MessageField {
+                            key: piece.key.clone(),
+                            origin: FieldSource::StringConstant {
+                                addr: 0,
+                                value: piece.literal.clone(),
+                            },
+                            semantic: None,
+                        });
+                    }
+                }
+            }
+            v if v.starts_with("cJSON_Add") => {
+                saw_json_writer = true;
+                let key = first_string_leaf(mft, node.children.first().copied());
+                let origin = node
+                    .children
+                    .get(1)
+                    .map(|c| primary_source(mft, *c))
+                    .unwrap_or(FieldSource::Unresolved { reason: "missing value" });
+                fields.push(MessageField { key, origin, semantic: None });
+            }
+            _ => {
+                // strcpy/strcat/store/getter writes: one contribution each.
+                let origin = if node.children.is_empty() {
+                    FieldSource::Unresolved { reason: "opaque write" }
+                } else {
+                    primary_source(mft, node.children[0])
+                };
+                // A literal ending in '=' or ':' is a key for the next
+                // value write (the strcpy("id=") / strcat(value) idiom).
+                if let FieldSource::StringConstant { value, .. } = &origin {
+                    let trimmed = value.trim_end();
+                    if trimmed.ends_with('=') || trimmed.ends_with(':') {
+                        if let Some(k) = extract_key(value) {
+                            pending_key = Some(k);
+                            continue;
+                        }
+                    }
+                }
+                fields.push(MessageField { key: pending_key.take(), origin, semantic: None });
+            }
+        }
+    }
+
+    // No buffer writes at all: the message is the root's direct sources.
+    if writes.is_empty() {
+        for src in mft.field_sources() {
+            fields.push(MessageField { key: None, origin: src.clone(), semantic: None });
+        }
+        fields.reverse(); // backward discovery → construction order
+    }
+
+    let format = infer_format(saw_json_writer, template.as_deref(), &fields);
+    ReconstructedMessage {
+        delivery,
+        transport,
+        endpoint: None,
+        format,
+        fields,
+        template,
+    }
+}
+
+/// Collect Concat nodes in discovery order, descending through
+/// pass-through ops (but not into other Concat nodes' subtrees, whose
+/// writes belong to nested buffers).
+fn collect_writes(mft: &Mft, id: MftNodeId) -> Vec<MftNodeId> {
+    let mut out = Vec::new();
+    walk_writes(mft, id, &mut out);
+    out
+}
+
+fn walk_writes(mft: &Mft, id: MftNodeId, out: &mut Vec<MftNodeId>) {
+    for c in &mft.node(id).children {
+        match &mft.node(*c).kind {
+            MftNodeKind::Concat { .. } => out.push(*c),
+            MftNodeKind::Op { .. } => walk_writes(mft, *c, out),
+            _ => {}
+        }
+    }
+}
+
+fn first_string_leaf(mft: &Mft, id: Option<MftNodeId>) -> Option<String> {
+    let id = id?;
+    let n = mft.node(id);
+    if let MftNodeKind::Field(FieldSource::StringConstant { value, .. }) = &n.kind {
+        return Some(value.clone());
+    }
+    for c in &n.children {
+        if let Some(s) = first_string_leaf(mft, Some(*c)) {
+            return Some(s);
+        }
+    }
+    None
+}
+
+/// The most informative source in a subtree: first concrete leaf, else
+/// first leaf, else unresolved.
+fn primary_source(mft: &Mft, id: MftNodeId) -> FieldSource {
+    let mut leaves = Vec::new();
+    collect_field_sources(mft, id, &mut leaves);
+    leaves
+        .iter()
+        .find(|s| s.is_concrete())
+        .or_else(|| leaves.first())
+        .cloned()
+        .unwrap_or(FieldSource::Unresolved { reason: "empty subtree" })
+}
+
+fn collect_field_sources(mft: &Mft, id: MftNodeId, out: &mut Vec<FieldSource>) {
+    let n = mft.node(id);
+    if let MftNodeKind::Field(s) = &n.kind {
+        out.push(s.clone());
+    }
+    for c in &n.children {
+        collect_field_sources(mft, *c, out);
+    }
+}
+
+fn infer_format(
+    saw_json_writer: bool,
+    template: Option<&str>,
+    fields: &[MessageField],
+) -> MessageFormat {
+    if saw_json_writer {
+        return MessageFormat::Json;
+    }
+    if let Some(t) = template {
+        let t = t.trim_start();
+        if t.starts_with('{') || t.starts_with("[{") {
+            return MessageFormat::Json;
+        }
+        if t.contains('&') && t.contains('=') {
+            return MessageFormat::Query;
+        }
+        if t.contains('=') || t.contains(':') {
+            return MessageFormat::KeyValue;
+        }
+        return MessageFormat::Raw;
+    }
+    let keyed = fields.iter().filter(|f| f.key.is_some()).count();
+    if keyed >= 2 {
+        MessageFormat::Query
+    } else if keyed == 1 {
+        MessageFormat::KeyValue
+    } else {
+        MessageFormat::Raw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firmres_dataflow::TaintEngine;
+    use firmres_isa::{lift, Assembler};
+
+    fn reconstruct_src(src: &str, delivery: &str, arg: usize) -> ReconstructedMessage {
+        let exe = Assembler::new().assemble(src).unwrap();
+        let p = lift(&exe, "t").unwrap();
+        let mut found = None;
+        for f in p.functions() {
+            for c in f.callsites() {
+                if c.call_target().and_then(|t| p.callee_name(t)) == Some(delivery) {
+                    found = Some((f.entry(), c.addr));
+                }
+            }
+        }
+        let (func, call) = found.unwrap();
+        let tree = TaintEngine::new(&p).trace(func, call, arg);
+        reconstruct(&Mft::from_taint(&tree))
+    }
+
+    #[test]
+    fn sprintf_query_message() {
+        let msg = reconstruct_src(
+            r#"
+.func main
+.local buf 128
+.local mac 32
+    lea a0, mac
+    callx get_mac_addr
+    lea a0, buf
+    la  a1, fmt
+    lea a2, mac
+    la  a3, sn
+    callx sprintf
+    lea a1, buf
+    li  a0, 1
+    callx SSL_write
+    ret
+.endfunc
+.data
+fmt: .asciz "mac=%s&sn=%s"
+sn: .asciz "SN42"
+"#,
+            "SSL_write",
+            1,
+        );
+        assert_eq!(msg.transport, Transport::Ssl);
+        assert_eq!(msg.format, MessageFormat::Query);
+        assert_eq!(msg.template.as_deref(), Some("mac=%s&sn=%s"));
+        assert_eq!(msg.keys(), vec!["mac", "sn"]);
+        assert!(msg.field("mac").unwrap().origin.to_string().contains("get_mac_addr"));
+        assert!(msg.field("sn").unwrap().origin.to_string().contains("SN42"));
+    }
+
+    #[test]
+    fn strcpy_strcat_key_value_pairing() {
+        let msg = reconstruct_src(
+            r#"
+.func main
+.local buf 128
+.local id 32
+    lea a0, id
+    callx get_serial
+    lea a0, buf
+    la  a1, kid
+    callx strcpy
+    lea a0, buf
+    lea a1, id
+    callx strcat
+    lea a1, buf
+    li  a0, 3
+    callx send
+    ret
+.endfunc
+.data
+kid: .asciz "serial="
+"#,
+            "send",
+            1,
+        );
+        assert_eq!(msg.transport, Transport::Tcp);
+        assert_eq!(msg.fields.len(), 1, "literal key merged with value: {msg}");
+        let f = &msg.fields[0];
+        assert_eq!(f.key.as_deref(), Some("serial"));
+        assert!(f.origin.to_string().contains("get_serial"));
+    }
+
+    #[test]
+    fn cjson_message_is_json_with_paired_keys() {
+        let msg = reconstruct_src(
+            r#"
+.func main
+    callx cJSON_CreateObject
+    mov t0, rv
+    mov a0, t0
+    la  a1, k1
+    la  a2, v1
+    callx cJSON_AddStringToObject
+    mov a0, t0
+    la  a1, k2
+    la  a2, v2
+    callx cJSON_AddStringToObject
+    mov a0, t0
+    callx cJSON_Print
+    mov a1, rv
+    li  a0, 1
+    callx SSL_write
+    ret
+.endfunc
+.data
+k1: .asciz "deviceId"
+v1: .asciz "D-1"
+k2: .asciz "token"
+v2: .asciz "T-9"
+"#,
+            "SSL_write",
+            1,
+        );
+        assert_eq!(msg.format, MessageFormat::Json);
+        assert_eq!(msg.keys(), vec!["deviceId", "token"], "construction order restored");
+        assert!(msg.field("token").unwrap().origin.to_string().contains("T-9"));
+    }
+
+    #[test]
+    fn constant_message_raw() {
+        let msg = reconstruct_src(
+            ".func main\n la a1, s\n li a0, 1\n callx SSL_write\n ret\n.endfunc\n.data\ns: .asciz \"HEARTBEAT\"\n",
+            "SSL_write",
+            1,
+        );
+        assert_eq!(msg.format, MessageFormat::Raw);
+        assert_eq!(msg.fields.len(), 1);
+        assert!(msg.fields[0].origin.to_string().contains("HEARTBEAT"));
+    }
+
+    #[test]
+    fn lan_address_detection() {
+        for lan in [
+            "10.0.0.1",
+            "172.16.1.1",
+            "172.31.255.254",
+            "192.168.1.100",
+            "169.254.0.1",
+            "224.0.0.1",
+            "239.255.255.250",
+            "255.255.255.255",
+            "FE80::1",
+            "fe80::abcd",
+        ] {
+            assert!(is_lan_address(lan), "{lan} is LAN");
+        }
+        for wan in ["8.8.8.8", "172.15.0.1", "172.32.0.1", "193.168.1.1", "cloud.example.com", "1.1"] {
+            assert!(!is_lan_address(wan), "{wan} is not LAN");
+        }
+    }
+
+    #[test]
+    fn lan_filter_applies_to_trees() {
+        let src = |ip: &str| {
+            format!(
+                ".func main\n la a1, host\n li a0, 1\n callx SSL_write\n ret\n.endfunc\n.data\nhost: .asciz \"{ip}\"\n"
+            )
+        };
+        let build = |s: &str| {
+            let exe = Assembler::new().assemble(s).unwrap();
+            let p = lift(&exe, "t").unwrap();
+            let f = p.function_by_name("main").unwrap();
+            let call = f.callsites().next().unwrap().addr;
+            let tree = TaintEngine::new(&p).trace(f.entry(), call, 1);
+            Mft::from_taint(&tree)
+        };
+        assert!(mentions_lan(&build(&src("192.168.0.1"))));
+        assert!(!mentions_lan(&build(&src("54.212.7.9"))));
+    }
+
+    #[test]
+    fn display_formats_message() {
+        let msg = ReconstructedMessage {
+            delivery: "SSL_write".into(),
+            transport: Transport::Ssl,
+            endpoint: Some("/api/register".into()),
+            format: MessageFormat::Query,
+            fields: vec![MessageField {
+                key: Some("mac".into()),
+                origin: FieldSource::NumericConstant { value: 7 },
+                semantic: None,
+            }],
+            template: None,
+        };
+        let s = msg.to_string();
+        assert!(s.contains("/api/register"));
+        assert!(s.contains("mac="));
+    }
+}

@@ -1,0 +1,182 @@
+//! Separation of `sprintf`-style partial messages into per-field pieces.
+//!
+//! A format string like `"mac=%s&sn=%s&ver=%d"` assembles several fields
+//! in one call; feeding the whole string to the classifier "adds noise to
+//! neural networks" (paper §IV-C, Listing 3). This module splits the
+//! format at conversion specifications, derives each piece's key text, and
+//! exposes the literal chunks so delimiters can be confirmed by LCS
+//! clustering.
+
+use crate::lcs::cluster;
+
+/// One piece of a split format string: the literal text leading up to a
+/// conversion (which usually carries the field key) plus the conversion
+/// itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FormatPiece {
+    /// Literal text before the conversion (e.g. `"mac="`, `"\"sn\":\""`).
+    pub literal: String,
+    /// The conversion character (`s`, `d`, `u`, `x`, `c`), or `None` for a
+    /// trailing literal with no conversion.
+    pub spec: Option<char>,
+    /// Field key extracted from the literal (`mac`, `sn`), when one is
+    /// recognizable.
+    pub key: Option<String>,
+}
+
+/// Split a printf-style format string into [`FormatPiece`]s.
+///
+/// # Examples
+///
+/// ```
+/// use firmres_mft::split_format;
+///
+/// let pieces = split_format("mac=%s&sn=%s");
+/// assert_eq!(pieces.len(), 2);
+/// assert_eq!(pieces[0].key.as_deref(), Some("mac"));
+/// assert_eq!(pieces[1].key.as_deref(), Some("sn"));
+/// ```
+pub fn split_format(fmt: &str) -> Vec<FormatPiece> {
+    let mut pieces = Vec::new();
+    let mut literal = String::new();
+    let mut chars = fmt.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c != '%' {
+            literal.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('%') => literal.push('%'),
+            Some(spec) if "sduxc".contains(spec) => {
+                // Strip the joining delimiter off non-leading pieces so each
+                // piece stands alone ("&sn=" → "sn="), per Listing 3.
+                let lit = std::mem::take(&mut literal);
+                let lit = if pieces.is_empty() {
+                    lit
+                } else {
+                    lit.trim_start_matches(['&', ',', ';', '|', ' ']).to_string()
+                };
+                pieces.push(FormatPiece { key: extract_key(&lit), literal: lit, spec: Some(spec) });
+            }
+            Some(other) => {
+                literal.push('%');
+                literal.push(other);
+            }
+            None => literal.push('%'),
+        }
+    }
+    if !literal.is_empty() {
+        pieces.push(FormatPiece { key: extract_key(&literal), literal, spec: None });
+    }
+    pieces
+}
+
+/// Extract the field key from a literal chunk: the identifier immediately
+/// before a trailing `=` / `":"` / `=:`-style separator.
+pub(crate) fn extract_key(literal: &str) -> Option<String> {
+    // Strip trailing quote/colon/equals decoration, then take the trailing
+    // identifier.
+    let trimmed = literal.trim_end_matches(['"', '\'', ' ']);
+    let trimmed = trimmed.strip_suffix(':').or_else(|| trimmed.strip_suffix('=')).unwrap_or(
+        // JSON style: `"key":"` → after stripping quotes we see `key":`
+        trimmed,
+    );
+    let trimmed = trimmed.trim_end_matches(['"', '\'', ':', '=']);
+    let key: String = trimmed
+        .chars()
+        .rev()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_' || *c == '-')
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    if key.is_empty() || key.chars().all(|c| c.is_ascii_digit()) {
+        None
+    } else {
+        Some(key)
+    }
+}
+
+/// Cluster the literal chunks of several format strings at `threshold`,
+/// returning the cluster count — the statistic reported per threshold in
+/// Table II (the substrings of deconstructed messages grouped into 5–7
+/// clusters at thresholds 0.5/0.6/0.7).
+pub fn cluster_count(formats: &[&str], threshold: f64) -> usize {
+    let mut chunks: Vec<String> = Vec::new();
+    for f in formats {
+        for p in split_format(f) {
+            if !p.literal.is_empty() {
+                chunks.push(p.literal);
+            }
+        }
+    }
+    cluster(&chunks, threshold).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_query_style() {
+        let pieces = split_format("uploadType=%s&firmwareVersion=%s&serialNo=%s");
+        assert_eq!(pieces.len(), 3);
+        assert_eq!(pieces[0].key.as_deref(), Some("uploadType"));
+        assert_eq!(pieces[1].key.as_deref(), Some("firmwareVersion"));
+        assert_eq!(pieces[2].key.as_deref(), Some("serialNo"));
+        assert!(pieces.iter().all(|p| p.spec == Some('s')));
+    }
+
+    #[test]
+    fn splits_json_style() {
+        let pieces = split_format("{\"mac\":\"%s\",\"sn\":\"%s\",\"ver\":%d}");
+        assert_eq!(pieces.len(), 4, "three conversions plus trailing brace");
+        assert_eq!(pieces[0].key.as_deref(), Some("mac"));
+        assert_eq!(pieces[1].key.as_deref(), Some("sn"));
+        assert_eq!(pieces[2].key.as_deref(), Some("ver"));
+        assert_eq!(pieces[2].spec, Some('d'));
+        assert_eq!(pieces[3].spec, None, "trailing literal");
+    }
+
+    #[test]
+    fn percent_escape_is_literal() {
+        let pieces = split_format("progress=100%%&id=%s");
+        assert_eq!(pieces.len(), 1);
+        assert!(pieces[0].literal.contains("100%"));
+        assert_eq!(pieces[0].key.as_deref(), Some("id"));
+    }
+
+    #[test]
+    fn no_conversions_yields_single_literal() {
+        let pieces = split_format("/api/v1/register");
+        assert_eq!(pieces.len(), 1);
+        assert_eq!(pieces[0].spec, None);
+    }
+
+    #[test]
+    fn unknown_spec_kept_literal() {
+        let pieces = split_format("a=%q&b=%s");
+        assert_eq!(pieces.len(), 1);
+        assert!(pieces[0].literal.contains("%q"));
+        assert_eq!(pieces[0].key.as_deref(), Some("b"));
+    }
+
+    #[test]
+    fn key_extraction_variants() {
+        assert_eq!(extract_key("mac="), Some("mac".to_string()));
+        assert_eq!(extract_key("\"serialNumber\":\""), Some("serialNumber".to_string()));
+        assert_eq!(extract_key("&device_id="), Some("device_id".to_string()));
+        assert_eq!(extract_key("?m=camera&a="), Some("a".to_string()));
+        assert_eq!(extract_key("   "), None);
+        assert_eq!(extract_key("123="), None, "pure digits are not a key");
+    }
+
+    #[test]
+    fn cluster_count_threshold_behaviour() {
+        let formats = ["mac=%s&sn=%s", "uid=%s&token=%s", "{\"a\":\"%s\"}"];
+        let c_lo = cluster_count(&formats, 0.3);
+        let c_hi = cluster_count(&formats, 0.9);
+        assert!(c_lo <= c_hi);
+        assert!(c_hi >= 3);
+    }
+}

@@ -1,0 +1,91 @@
+//! Dataset splitting (the paper's 7:2:1 train/validation/test protocol).
+
+use crate::Primitive;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A train/validation/test split.
+#[derive(Debug, Clone)]
+pub struct DatasetSplit {
+    /// Training examples (~70%).
+    pub train: Vec<(String, Primitive)>,
+    /// Validation examples (~20%).
+    pub validation: Vec<(String, Primitive)>,
+    /// Test examples (~10%).
+    pub test: Vec<(String, Primitive)>,
+}
+
+/// Shuffle and split `data` 7:2:1, deterministically for a given `seed`.
+///
+/// Rounding puts remainders in the training set; every input example
+/// appears in exactly one split.
+pub fn split_dataset(data: &[(String, Primitive)], seed: u64) -> DatasetSplit {
+    let mut shuffled: Vec<(String, Primitive)> = data.to_vec();
+    let mut rng = StdRng::seed_from_u64(seed);
+    shuffled.shuffle(&mut rng);
+    let n = shuffled.len();
+    let n_val = n * 2 / 10;
+    let n_test = n / 10;
+    let n_train = n - n_val - n_test;
+    let mut iter = shuffled.into_iter();
+    let train: Vec<_> = iter.by_ref().take(n_train).collect();
+    let validation: Vec<_> = iter.by_ref().take(n_val).collect();
+    let test: Vec<_> = iter.collect();
+    DatasetSplit { train, validation, test }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(n: usize) -> Vec<(String, Primitive)> {
+        (0..n).map(|i| (format!("slice {i}"), Primitive::None)).collect()
+    }
+
+    #[test]
+    fn ratios_are_7_2_1() {
+        let split = split_dataset(&data(100), 1);
+        assert_eq!(split.train.len(), 70);
+        assert_eq!(split.validation.len(), 20);
+        assert_eq!(split.test.len(), 10);
+    }
+
+    #[test]
+    fn partition_is_complete_and_disjoint() {
+        let split = split_dataset(&data(57), 2);
+        let total = split.train.len() + split.validation.len() + split.test.len();
+        assert_eq!(total, 57);
+        let mut all: Vec<&str> = split
+            .train
+            .iter()
+            .chain(&split.validation)
+            .chain(&split.test)
+            .map(|(s, _)| s.as_str())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 57, "no duplicates across splits");
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_different_across_seeds() {
+        let d = data(50);
+        let a = split_dataset(&d, 7);
+        let b = split_dataset(&d, 7);
+        assert_eq!(a.train, b.train);
+        let c = split_dataset(&d, 8);
+        assert_ne!(a.train, c.train, "different seed shuffles differently");
+    }
+
+    #[test]
+    fn small_inputs() {
+        let split = split_dataset(&data(3), 0);
+        assert_eq!(
+            split.train.len() + split.validation.len() + split.test.len(),
+            3
+        );
+        let empty = split_dataset(&[], 0);
+        assert!(empty.train.is_empty() && empty.validation.is_empty() && empty.test.is_empty());
+    }
+}

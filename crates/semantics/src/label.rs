@@ -1,0 +1,194 @@
+//! Weak labeling of slices via per-primitive keyword dictionaries.
+//!
+//! The paper bootstraps its training set by "searching for
+//! manually-defined keywords about field semantics in each line through
+//! regular matching", with a dictionary per primitive (e.g.
+//! Dev-Identifier's keywords include "MAC", "deviceId", "modelId"), then
+//! corrects labels by hand in Doccano. This module is that keyword stage;
+//! in the reproduction pipeline the corpus ground truth plays the role of
+//! the manual correction.
+
+use crate::{tokenize, Primitive};
+
+/// A keyword match explaining a weak label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeywordHit {
+    /// The primitive whose dictionary matched.
+    pub primitive: Primitive,
+    /// The matching keyword.
+    pub keyword: &'static str,
+}
+
+/// Per-primitive keyword dictionaries, checked in priority order.
+///
+/// Order matters: more specific credentials win over generic identifiers
+/// (e.g. `device_secret` must not fall into `Dev-Identifier` via
+/// `device`).
+const DICTIONARIES: &[(Primitive, &[&str])] = &[
+    (
+        Primitive::Signature,
+        &["signature", "sign", "hmac", "digest", "md5", "sha256", "tmpkey", "tempkey", "sig"],
+    ),
+    (
+        Primitive::DevSecret,
+        &[
+            "secret",
+            "devicekey",
+            "device_key",
+            "devkey",
+            "certificate",
+            "cert",
+            "privatekey",
+            "private_key",
+            "psk",
+            "secretkey",
+        ],
+    ),
+    (
+        Primitive::UserCred,
+        &[
+            "password",
+            "passwd",
+            "username",
+            "usercred",
+            "user_cred",
+            "login",
+            "account",
+            "cloudusername",
+            "cloudpassword",
+            "userid",
+            "user_id",
+            "verifycode",
+            "verify_code",
+        ],
+    ),
+    (
+        Primitive::BindToken,
+        &[
+            "token",
+            "accesstoken",
+            "access_token",
+            "bindtoken",
+            "bind_token",
+            "session",
+            "sessionkey",
+            "accesskey",
+            "access_key",
+        ],
+    ),
+    (
+        Primitive::DevIdentifier,
+        &[
+            "mac",
+            "macaddress",
+            "mac_addr",
+            "deviceid",
+            "device_id",
+            "devid",
+            "serial",
+            "serialno",
+            "serialnumber",
+            "serial_no",
+            "sn",
+            "uid",
+            "uuid",
+            "imei",
+            "modelid",
+            "model",
+            "productid",
+            "product_id",
+            "hardwareversion",
+            "firmwareversion",
+            "fw_version",
+        ],
+    ),
+    (
+        Primitive::Address,
+        &[
+            "host",
+            "hostname",
+            "server",
+            "addr",
+            "address",
+            "url",
+            "domain",
+            "endpoint",
+            "ip",
+            "port",
+            "broker",
+        ],
+    ),
+];
+
+/// Weak-label a slice by keyword dictionaries; [`Primitive::None`] when no
+/// dictionary matches.
+pub fn weak_label(slice_text: &str) -> Primitive {
+    weak_label_with_report(slice_text).map_or(Primitive::None, |h| h.primitive)
+}
+
+/// Weak-label with the matching keyword, for label auditing.
+pub fn weak_label_with_report(slice_text: &str) -> Option<KeywordHit> {
+    let tokens = tokenize(slice_text);
+    for (primitive, keywords) in DICTIONARIES {
+        for kw in *keywords {
+            if tokens.iter().any(|t| t == kw) {
+                return Some(KeywordHit { primitive: *primitive, keyword: kw });
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identifier_keywords() {
+        assert_eq!(weak_label("CALL (Fun, get_mac_addr) mac=%s"), Primitive::DevIdentifier);
+        assert_eq!(weak_label("(Cons, \"serialNumber\")"), Primitive::DevIdentifier);
+        assert_eq!(weak_label("(Cons, \"uid=%s\")"), Primitive::DevIdentifier);
+    }
+
+    #[test]
+    fn secret_beats_identifier() {
+        // "device_key" contains "device"-ish identifier tokens, but the
+        // secret dictionary is checked first.
+        assert_eq!(weak_label("(Cons, \"device_key\")"), Primitive::DevSecret);
+        assert_eq!(weak_label("nvram_get (Cons, \"cert\")"), Primitive::DevSecret);
+    }
+
+    #[test]
+    fn credential_and_token_keywords() {
+        assert_eq!(weak_label("(Cons, \"cloudpassword\")"), Primitive::UserCred);
+        assert_eq!(weak_label("(Cons, \"access_token=%s\")"), Primitive::BindToken);
+        assert_eq!(weak_label("accessToken"), Primitive::BindToken);
+    }
+
+    #[test]
+    fn signature_keywords() {
+        assert_eq!(weak_label("CALL (Fun, hmac_sign)"), Primitive::Signature);
+        assert_eq!(weak_label("(Cons, \"sig=%s\")"), Primitive::Signature);
+    }
+
+    #[test]
+    fn address_and_none() {
+        assert_eq!(weak_label("(Cons, \"Host: www.linksyssmartwifi.com\")"), Primitive::Address);
+        assert_eq!(weak_label("(Cons, \"uploadType=%s\")"), Primitive::None);
+        assert_eq!(weak_label(""), Primitive::None);
+    }
+
+    #[test]
+    fn report_names_keyword() {
+        let hit = weak_label_with_report("token=%s").unwrap();
+        assert_eq!(hit.primitive, Primitive::BindToken);
+        assert_eq!(hit.keyword, "token");
+        assert!(weak_label_with_report("plain text with nothing").is_none());
+    }
+
+    #[test]
+    fn matching_is_token_exact_not_substring() {
+        // "snapshot" must not match the identifier keyword "sn".
+        assert_eq!(weak_label("(Cons, \"snapshot\")"), Primitive::None);
+    }
+}

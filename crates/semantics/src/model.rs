@@ -1,0 +1,245 @@
+//! The multi-class linear classifier and its SGD trainer.
+
+use crate::token::{featurize, tokenize, FEATURE_DIM};
+use crate::Primitive;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Training hyperparameters.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Epochs over the training set (paper: 100).
+    pub epochs: usize,
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// L2 regularization strength.
+    pub l2: f32,
+    /// RNG seed for shuffling (runs are deterministic given a seed).
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig { epochs: 100, learning_rate: 0.5, l2: 1e-6, seed: 0xF1A9 }
+    }
+}
+
+/// Summary statistics of a training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainReport {
+    /// Epochs actually run.
+    pub epochs: usize,
+    /// Accuracy on the training data after the final epoch.
+    pub train_accuracy: f64,
+    /// Cross-entropy loss after the final epoch (mean per example).
+    pub final_loss: f64,
+}
+
+/// A softmax linear classifier over hashed slice features.
+#[derive(Debug, Clone)]
+pub struct Classifier {
+    /// `weights[class][feature]`, plus one bias at index `FEATURE_DIM`.
+    weights: Vec<Vec<f32>>,
+    report: TrainReport,
+}
+
+impl Classifier {
+    /// Train on `(slice text, label)` pairs. See [`Classifier::train_with_report`].
+    pub fn train(data: &[(String, Primitive)], config: &TrainConfig) -> Classifier {
+        Self::train_with_report(data, config)
+    }
+
+    /// Train and keep the [`TrainReport`] (accessible via
+    /// [`Classifier::report`]).
+    pub fn train_with_report(data: &[(String, Primitive)], config: &TrainConfig) -> Classifier {
+        let n_classes = Primitive::ALL.len();
+        let mut weights = vec![vec![0.0f32; FEATURE_DIM + 1]; n_classes];
+        let features: Vec<(Vec<(usize, f32)>, usize)> = data
+            .iter()
+            .map(|(text, label)| (featurize(&tokenize(text)), label.index()))
+            .collect();
+        let mut order: Vec<usize> = (0..features.len()).collect();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut final_loss = 0.0f64;
+        for epoch in 0..config.epochs {
+            order.shuffle(&mut rng);
+            let lr = config.learning_rate / (1.0 + 0.02 * epoch as f32);
+            let mut loss_sum = 0.0f64;
+            for &i in &order {
+                let (fv, label) = &features[i];
+                let probs = Self::softmax_scores(&weights, fv);
+                loss_sum += -f64::from(probs[*label].max(1e-9).ln());
+                for (c, w) in weights.iter_mut().enumerate() {
+                    let err = probs[c] - if c == *label { 1.0 } else { 0.0 };
+                    for (j, x) in fv {
+                        w[*j] -= lr * (err * x + config.l2 * w[*j]);
+                    }
+                    w[FEATURE_DIM] -= lr * err;
+                }
+            }
+            final_loss = if features.is_empty() { 0.0 } else { loss_sum / features.len() as f64 };
+        }
+        let mut model = Classifier {
+            weights,
+            report: TrainReport { epochs: config.epochs, train_accuracy: 0.0, final_loss },
+        };
+        let correct = features
+            .iter()
+            .filter(|(fv, label)| {
+                let probs = Self::softmax_scores(&model.weights, fv);
+                argmax(&probs) == *label
+            })
+            .count();
+        model.report.train_accuracy =
+            if features.is_empty() { 0.0 } else { correct as f64 / features.len() as f64 };
+        model
+    }
+
+    fn softmax_scores(weights: &[Vec<f32>], fv: &[(usize, f32)]) -> Vec<f32> {
+        let mut scores: Vec<f32> = weights
+            .iter()
+            .map(|w| {
+                let mut s = w[FEATURE_DIM];
+                for (j, x) in fv {
+                    s += w[*j] * x;
+                }
+                s
+            })
+            .collect();
+        let max = scores.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for s in &mut scores {
+            *s = (*s - max).exp();
+            sum += *s;
+        }
+        for s in &mut scores {
+            *s /= sum;
+        }
+        scores
+    }
+
+    /// Class probabilities for a slice.
+    pub fn probabilities(&self, text: &str) -> Vec<f32> {
+        let fv = featurize(&tokenize(text));
+        Self::softmax_scores(&self.weights, &fv)
+    }
+
+    /// The most probable primitive and the full probability vector.
+    pub fn predict(&self, text: &str) -> (Primitive, Vec<f32>) {
+        let probs = self.probabilities(text);
+        let label = Primitive::from_index(argmax(&probs)).expect("valid index");
+        (label, probs)
+    }
+
+    /// Accuracy on labeled data.
+    pub fn accuracy(&self, data: &[(String, Primitive)]) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let correct = data
+            .iter()
+            .filter(|(text, label)| self.predict(text).0 == *label)
+            .count();
+        correct as f64 / data.len() as f64
+    }
+
+    /// The training report.
+    pub fn report(&self) -> &TrainReport {
+        &self.report
+    }
+
+    /// Raw weight matrix (`[class][feature+bias]`), for persistence.
+    pub(crate) fn weights(&self) -> &[Vec<f32>] {
+        &self.weights
+    }
+
+    /// Rebuild a classifier from persisted parts.
+    pub(crate) fn from_parts(weights: Vec<Vec<f32>>, report: TrainReport) -> Classifier {
+        Classifier { weights, report }
+    }
+}
+
+fn argmax(xs: &[f32]) -> usize {
+    xs.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map_or(0, |(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_dataset() -> Vec<(String, Primitive)> {
+        let mut data = Vec::new();
+        let make = |s: &str| s.to_string();
+        for i in 0..20 {
+            data.push((make(&format!("CALL (Fun, get_mac_addr) mac addr {i}")), Primitive::DevIdentifier));
+            data.push((make(&format!("CALL (Fun, nvram_get) (Cons, \"serial_{i}\") serial number")), Primitive::DevIdentifier));
+            data.push((make(&format!("(Cons, \"device_secret\") secret key {i}")), Primitive::DevSecret));
+            data.push((make(&format!("(Cons, \"username\") (Cons, \"password\") login {i}")), Primitive::UserCred));
+            data.push((make(&format!("(Cons, \"access_token={i}\") token session")), Primitive::BindToken));
+            data.push((make(&format!("CALL (Fun, hmac_sign) signature sig {i}")), Primitive::Signature));
+            data.push((make(&format!("(Cons, \"cloud.example.com\") host server {i}")), Primitive::Address));
+            data.push((make(&format!("(Cons, \"uptime={i}\") counter misc")), Primitive::None));
+        }
+        data
+    }
+
+    #[test]
+    fn learns_separable_toy_data() {
+        let data = toy_dataset();
+        let model = Classifier::train(&data, &TrainConfig { epochs: 30, ..Default::default() });
+        assert!(
+            model.report().train_accuracy > 0.95,
+            "training accuracy {} too low",
+            model.report().train_accuracy
+        );
+        let (label, _) = model.predict("CALL (Fun, get_mac_addr) mac addr 99");
+        assert_eq!(label, Primitive::DevIdentifier);
+        let (label, _) = model.predict("(Cons, \"password\") login credential");
+        assert_eq!(label, Primitive::UserCred);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let data = toy_dataset();
+        let model = Classifier::train(&data, &TrainConfig { epochs: 5, ..Default::default() });
+        let probs = model.probabilities("anything at all");
+        let sum: f32 = probs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4, "sum {sum}");
+        assert_eq!(probs.len(), 7);
+        assert!(probs.iter().all(|p| *p >= 0.0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = toy_dataset();
+        let cfg = TrainConfig { epochs: 5, ..Default::default() };
+        let m1 = Classifier::train(&data, &cfg);
+        let m2 = Classifier::train(&data, &cfg);
+        assert_eq!(m1.probabilities("mac"), m2.probabilities("mac"));
+    }
+
+    #[test]
+    fn accuracy_on_held_out() {
+        let data = toy_dataset();
+        let model = Classifier::train(&data, &TrainConfig { epochs: 30, ..Default::default() });
+        let held_out = vec![
+            ("mac addr get_mac_addr".to_string(), Primitive::DevIdentifier),
+            ("secret certificate".to_string(), Primitive::DevSecret),
+        ];
+        assert!(model.accuracy(&held_out) >= 0.5);
+        assert_eq!(model.accuracy(&[]), 0.0);
+    }
+
+    #[test]
+    fn empty_training_is_safe() {
+        let model = Classifier::train(&[], &TrainConfig { epochs: 1, ..Default::default() });
+        let (label, probs) = model.predict("whatever");
+        assert_eq!(probs.len(), 7);
+        // Untrained model predicts *something* deterministic.
+        let _ = label;
+    }
+}

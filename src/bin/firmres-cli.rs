@@ -1,0 +1,13 @@
+//! The `firmres` command-line entry point: generate, inspect, disassemble
+//! and analyze firmware images from a shell. See `firmres_suite::cli`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match firmres_suite::cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! The `firmres` command-line tool.
+//!
+//! Subcommands (see [`run`]):
+//!
+//! * `gen <device-id> <out.fwi>` — generate a corpus firmware image to disk
+//! * `inspect <image.fwi>` — device info, file listing, NVRAM keys
+//! * `disasm <image.fwi> <exe-path>` — disassemble an MR32 executable
+//! * `lift <image.fwi> <exe-path>` — dump the lifted P-Code IR
+//! * `analyze <image.fwi>` — run the full FIRMRES pipeline and report
+
+use firmres::{analyze_firmware, AnalysisConfig};
+use firmres_firmware::FirmwareImage;
+use firmres_isa::{decode, CODE_BASE};
+use std::fmt::Write as _;
+
+/// Execute a CLI invocation; `args` excludes the program name. Returns
+/// the rendered output, or a usage/processing error message.
+///
+/// # Errors
+///
+/// Returns `Err` with a human-readable message for unknown commands,
+/// missing arguments, I/O failures, or malformed inputs.
+pub fn run(args: &[String]) -> Result<String, String> {
+    match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(args.get(1), args.get(2)),
+        Some("inspect") => cmd_inspect(&load_image(args.get(1))?),
+        Some("disasm") => {
+            let fw = load_image(args.get(1))?;
+            cmd_disasm(&fw, args.get(2).ok_or(USAGE)?)
+        }
+        Some("lift") => {
+            let fw = load_image(args.get(1))?;
+            cmd_lift(&fw, args.get(2).ok_or(USAGE)?)
+        }
+        Some("analyze") => cmd_analyze(&load_image(args.get(1))?, args.get(2)),
+        Some("train") => cmd_train(args.get(1), args.get(2)),
+        Some("cfg") => {
+            let fw = load_image(args.get(1))?;
+            cmd_cfg(&fw, args.get(2).ok_or(USAGE)?, args.get(3).ok_or(USAGE)?)
+        }
+        Some("callgraph") => {
+            let fw = load_image(args.get(1))?;
+            cmd_callgraph(&fw, args.get(2).ok_or(USAGE)?)
+        }
+        _ => Err(USAGE.to_string()),
+    }
+}
+
+const USAGE: &str = "usage: firmres-cli <command>\n\
+  gen <device-id> <out.fwi>     generate a corpus firmware image\n\
+  inspect <image.fwi>           device info, files, NVRAM\n\
+  disasm <image.fwi> <exe>      disassemble an MR32 executable\n\
+  lift <image.fwi> <exe>        dump the lifted P-Code IR\n\
+  analyze <image.fwi> [model]   run the FIRMRES pipeline (optional model)\n\
+  train <out.fsm> [n-devices]   train + save the semantics model\n\
+  cfg <image.fwi> <exe> <fn>    DOT control-flow graph of one function\n\
+  callgraph <image.fwi> <exe>   DOT call graph of an executable";
+
+fn load_image(path: Option<&String>) -> Result<FirmwareImage, String> {
+    let path = path.ok_or(USAGE)?;
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    FirmwareImage::unpack(&bytes).map_err(|e| format!("cannot unpack {path}: {e}"))
+}
+
+fn cmd_gen(id: Option<&String>, out: Option<&String>) -> Result<String, String> {
+    let id: u8 = id
+        .ok_or(USAGE)?
+        .parse()
+        .map_err(|_| "device id must be 1-22".to_string())?;
+    if !(1..=22).contains(&id) {
+        return Err("device id must be 1-22".into());
+    }
+    let out = out.ok_or(USAGE)?;
+    let dev = firmres_corpus::generate_device(id, 7);
+    let packed = dev.firmware.pack();
+    std::fs::write(out, &packed).map_err(|e| format!("cannot write {out}: {e}"))?;
+    Ok(format!(
+        "wrote {} ({} bytes): {} {} with {} files\n",
+        out,
+        packed.len(),
+        dev.spec.vendor,
+        dev.spec.model,
+        dev.firmware.file_count()
+    ))
+}
+
+fn cmd_inspect(fw: &FirmwareImage) -> Result<String, String> {
+    let mut out = String::new();
+    let d = fw.device();
+    let _ = writeln!(
+        out,
+        "{} {} — {} (firmware {})",
+        d.vendor, d.model, d.device_type, d.firmware_version
+    );
+    let _ = writeln!(out, "\nfiles:");
+    for (path, entry) in fw.files() {
+        let _ = writeln!(out, "  {:<28} {:<10} {:>7} bytes", path, entry.kind(), entry.size());
+    }
+    let nv = fw.nvram();
+    if !nv.is_empty() {
+        let _ = writeln!(out, "\nnvram defaults:");
+        for (k, v) in nv.iter() {
+            let _ = writeln!(out, "  {k} = {v}");
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_disasm(fw: &FirmwareImage, exe_path: &str) -> Result<String, String> {
+    let exe = fw
+        .load_executable(exe_path)
+        .ok_or_else(|| format!("{exe_path} is not an executable in this image"))?
+        .map_err(|e| format!("malformed executable: {e}"))?;
+    let mut out = String::new();
+    let mut funcs: Vec<_> = exe.funcs.iter().collect();
+    funcs.sort_by_key(|f| f.addr);
+    for (i, w) in exe.code.iter().enumerate() {
+        let addr = CODE_BASE + (i as u32) * 4;
+        if let Some(f) = funcs.iter().find(|f| f.addr == addr) {
+            let _ = writeln!(out, "\n{}({}):", f.name, f.params.join(", "));
+        }
+        match decode(*w) {
+            Ok(inst) => {
+                let _ = writeln!(out, "  {addr:#08x}:  {inst}");
+            }
+            Err(_) => {
+                let _ = writeln!(out, "  {addr:#08x}:  .word {w:#010x}");
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_lift(fw: &FirmwareImage, exe_path: &str) -> Result<String, String> {
+    let exe = fw
+        .load_executable(exe_path)
+        .ok_or_else(|| format!("{exe_path} is not an executable in this image"))?
+        .map_err(|e| format!("malformed executable: {e}"))?;
+    let program = firmres_isa::lift(&exe, exe_path).map_err(|e| format!("lift failed: {e}"))?;
+    let mut out = String::new();
+    for f in program.functions() {
+        let _ = writeln!(out, "\nfunction {} @ {:#x} ({} blocks):", f.name(), f.entry(), f.blocks().len());
+        for (bid, op) in f.ops_with_blocks() {
+            let _ = writeln!(out, "  [{bid}] {op}");
+        }
+    }
+    Ok(out)
+}
+
+fn load_program(fw: &FirmwareImage, exe_path: &str) -> Result<firmres_ir::Program, String> {
+    let exe = fw
+        .load_executable(exe_path)
+        .ok_or_else(|| format!("{exe_path} is not an executable in this image"))?
+        .map_err(|e| format!("malformed executable: {e}"))?;
+    firmres_isa::lift(&exe, exe_path).map_err(|e| format!("lift failed: {e}"))
+}
+
+fn cmd_cfg(fw: &FirmwareImage, exe_path: &str, func: &str) -> Result<String, String> {
+    let program = load_program(fw, exe_path)?;
+    let f = program
+        .function_by_name(func)
+        .ok_or_else(|| format!("no function `{func}` in {exe_path}"))?;
+    Ok(firmres_ir::dot::function_cfg(f))
+}
+
+fn cmd_callgraph(fw: &FirmwareImage, exe_path: &str) -> Result<String, String> {
+    let program = load_program(fw, exe_path)?;
+    let graph = program.call_graph();
+    Ok(firmres_ir::dot::call_graph(&program, &graph))
+}
+
+fn cmd_train(out: Option<&String>, limit: Option<&String>) -> Result<String, String> {
+    let out = out.ok_or(USAGE)?;
+    let limit: usize = match limit {
+        Some(n) => n.parse().map_err(|_| "device limit must be a number".to_string())?,
+        None => 20,
+    };
+    let corpus = firmres_corpus::generate_corpus(7);
+    let analyses: Vec<_> = corpus
+        .iter()
+        .filter(|d| d.cloud_executable.is_some())
+        .take(limit.max(1))
+        .map(|d| (d, analyze_firmware(&d.firmware, None, &AnalysisConfig::default())))
+        .collect();
+    let dataset = firmres_bench::build_slice_dataset(&analyses);
+    let (model, val, test) = firmres_bench::train_semantics_model(&dataset, 7);
+    let bytes = model.to_bytes();
+    std::fs::write(out, &bytes).map_err(|e| format!("cannot write {out}: {e}"))?;
+    Ok(format!(
+        "trained on {} slices from {} devices; validation {:.1}%, test {:.1}%; wrote {} ({} bytes)\n",
+        dataset.len(),
+        analyses.len(),
+        val * 100.0,
+        test * 100.0,
+        out,
+        bytes.len()
+    ))
+}
+
+fn cmd_analyze(fw: &FirmwareImage, model_path: Option<&String>) -> Result<String, String> {
+    let model = match model_path {
+        Some(path) => {
+            let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            Some(
+                firmres_semantics::Classifier::from_bytes(&bytes)
+                    .map_err(|e| format!("cannot load model {path}: {e}"))?,
+            )
+        }
+        None => None,
+    };
+    let analysis = analyze_firmware(fw, model.as_ref(), &AnalysisConfig::default());
+    let mut out = String::new();
+    match &analysis.executable {
+        Some(path) => {
+            let _ = writeln!(out, "device-cloud executable: {path}");
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "no device-cloud executable found (script-based device-cloud logic is out of scope)"
+            );
+            return Ok(out);
+        }
+    }
+    for h in &analysis.handlers {
+        let _ = writeln!(
+            out,
+            "async handler: {} (P_f = {:.2}, recv @ {:#x})",
+            h.handler_name, h.score, h.recv_callsite
+        );
+    }
+    let _ = writeln!(out, "\nreconstructed messages:");
+    for record in analysis.identified() {
+        let _ = writeln!(out, "  {} → {}", record.function, record.message);
+        for flaw in &record.flaws {
+            let _ = writeln!(out, "    ALARM: {flaw}");
+        }
+    }
+    let lan = analysis.messages.iter().filter(|m| m.lan_discarded).count();
+    if lan > 0 {
+        let _ = writeln!(out, "\n({lan} LAN-addressed message(s) discarded)");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    fn temp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("firmres-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn usage_on_unknown_command() {
+        assert!(run(&s(&["frobnicate"])).is_err());
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn gen_inspect_analyze_round_trip() {
+        let path = temp("dev11.fwi");
+        let msg = run(&s(&["gen", "11", &path])).unwrap();
+        assert!(msg.contains("Teltonika"), "{msg}");
+
+        let listing = run(&s(&["inspect", &path])).unwrap();
+        assert!(listing.contains("/usr/bin/cloud_agent"), "{listing}");
+        assert!(listing.contains("nvram defaults"), "{listing}");
+
+        let report = run(&s(&["analyze", &path])).unwrap();
+        assert!(report.contains("device-cloud executable: /usr/bin/cloud_agent"), "{report}");
+        assert!(report.contains("/rms/registrations"), "{report}");
+        assert!(report.contains("ALARM"), "{report}");
+    }
+
+    #[test]
+    fn disasm_and_lift() {
+        let path = temp("dev15.fwi");
+        run(&s(&["gen", "15", &path])).unwrap();
+        let asm = run(&s(&["disasm", &path, "/usr/bin/cloud_agent"])).unwrap();
+        assert!(asm.contains("on_cloud_request"), "{asm}");
+        assert!(asm.contains("callx"), "{asm}");
+        let ir = run(&s(&["lift", &path, "/usr/bin/cloud_agent"])).unwrap();
+        assert!(ir.contains("CALL"), "{ir}");
+        assert!(ir.contains("function main"), "{ir}");
+        // Non-executable path errors cleanly.
+        assert!(run(&s(&["disasm", &path, "/etc/nvram.default"])).is_err());
+    }
+
+    #[test]
+    fn train_and_analyze_with_model() {
+        let model_path = temp("model.fsm");
+        let msg = run(&s(&["train", &model_path, "2"])).unwrap();
+        assert!(msg.contains("trained on"), "{msg}");
+        let fwi = temp("dev11m.fwi");
+        run(&s(&["gen", "11", &fwi])).unwrap();
+        let report = run(&s(&["analyze", &fwi, &model_path])).unwrap();
+        assert!(report.contains("reconstructed messages"), "{report}");
+        // A corrupt model file errors cleanly.
+        std::fs::write(temp("junk.fsm"), b"not a model").unwrap();
+        let junk = temp("junk.fsm");
+        assert!(run(&s(&["analyze", &fwi, &junk])).is_err());
+    }
+
+    #[test]
+    fn dot_exports() {
+        let path = temp("dev16.fwi");
+        run(&s(&["gen", "16", &path])).unwrap();
+        let cfg = run(&s(&["cfg", &path, "/usr/bin/cloud_agent", "on_cloud_request"])).unwrap();
+        assert!(cfg.starts_with("digraph"), "{cfg}");
+        assert!(cfg.contains("CBRANCH"), "dispatch branches present");
+        let cg = run(&s(&["callgraph", &path, "/usr/bin/cloud_agent"])).unwrap();
+        assert!(cg.contains("on_cloud_request"));
+        assert!(cg.contains("style=dashed"), "imports rendered");
+        assert!(run(&s(&["cfg", &path, "/usr/bin/cloud_agent", "nope"])).is_err());
+    }
+
+    #[test]
+    fn gen_validates_device_id() {
+        assert!(run(&s(&["gen", "0", "/tmp/x.fwi"])).is_err());
+        assert!(run(&s(&["gen", "99", "/tmp/x.fwi"])).is_err());
+        assert!(run(&s(&["gen", "abc", "/tmp/x.fwi"])).is_err());
+    }
+
+    #[test]
+    fn missing_file_is_reported() {
+        let err = run(&s(&["inspect", "/nonexistent/image.fwi"])).unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
+    }
+}

@@ -1,0 +1,54 @@
+//! # firmres-suite
+//!
+//! Umbrella crate for the FIRMRES reproduction (DSN 2024): re-exports
+//! every workspace crate under one roof and hosts the runnable examples
+//! (`examples/`) and the cross-crate integration test suite (`tests/`).
+//!
+//! Start with the [`firmres`] pipeline crate, or run:
+//!
+//! ```text
+//! cargo run --example quickstart
+//! cargo run --release --example audit_device -- 11
+//! cargo run --release -p firmres-bench --bin table2
+//! ```
+//!
+//! See `README.md` for the architecture overview, `DESIGN.md` for the
+//! system inventory and per-experiment index, and `EXPERIMENTS.md` for
+//! paper-vs-measured results.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+
+pub use firmres as pipeline;
+pub use firmres_bench as bench;
+pub use firmres_cloud as cloud;
+pub use firmres_corpus as corpus;
+pub use firmres_dataflow as dataflow;
+pub use firmres_firmware as firmware;
+pub use firmres_ir as ir;
+pub use firmres_isa as isa;
+pub use firmres_mft as mft;
+pub use firmres_semantics as semantics;
+
+/// Convenience prelude: the types most programs need.
+pub mod prelude {
+    pub use firmres::{
+        analyze_firmware, fill_message, probe_cloud, AnalysisConfig, FirmwareAnalysis,
+        MessageRecord,
+    };
+    pub use firmres_corpus::{generate_corpus, generate_device, GeneratedDevice};
+    pub use firmres_firmware::FirmwareImage;
+    pub use firmres_semantics::Primitive;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_is_usable() {
+        use crate::prelude::*;
+        let dev = generate_device(15, 1);
+        let _cfg = AnalysisConfig::default();
+        assert_eq!(dev.spec.id, 15);
+    }
+}

@@ -1,0 +1,141 @@
+//! API-surface sweep: exercises public helpers that the scenario tests
+//! touch only incidentally, pinning their contracts.
+
+use firmres_mft::{MessageFormat, Transport};
+use firmres_semantics::{featurize, tokenize, weak_label_with_report, Primitive};
+
+#[test]
+fn transport_classification_table() {
+    for (name, t) in [
+        ("SSL_write", Transport::Ssl),
+        ("CyaSSL_write", Transport::Ssl),
+        ("send", Transport::Tcp),
+        ("sendto", Transport::Tcp),
+        ("write", Transport::Tcp),
+        ("mosquitto_publish", Transport::Mqtt),
+        ("mqtt_publish", Transport::Mqtt),
+        ("http_post", Transport::Http),
+        ("http_get", Transport::Http),
+        ("curl_easy_perform", Transport::Http),
+        ("made_up", Transport::Unknown),
+    ] {
+        assert_eq!(Transport::from_delivery(name), t, "{name}");
+    }
+    assert_eq!(Transport::Mqtt.to_string(), "mqtt");
+    assert_eq!(MessageFormat::Json.to_string(), "json");
+    assert_eq!(MessageFormat::Raw.to_string(), "raw");
+}
+
+#[test]
+fn program_statistics() {
+    use firmres_ir::{FunctionBuilder, Program, Varnode};
+    let mut p = Program::new("stats");
+    let mut fb = FunctionBuilder::new("f", 0x100);
+    fb.copy(Varnode::register(1, 4), Varnode::constant(1, 4));
+    fb.ret();
+    p.add_function(fb.finish());
+    let mut fb = FunctionBuilder::new("g", 0x200);
+    fb.ret();
+    p.add_function(fb.finish());
+    assert_eq!(p.function_count(), 2);
+    assert_eq!(p.op_count(), 3);
+    assert_eq!(p.name(), "stats");
+}
+
+#[test]
+fn tokenizer_and_featurizer_agree_on_case() {
+    let a = featurize(&tokenize("DeviceToken"));
+    let b = featurize(&tokenize("devicetoken"));
+    // The full lowercased identifier hashes identically; the camelCase
+    // variant additionally contributes its word parts.
+    let a_keys: std::collections::BTreeSet<usize> = a.iter().map(|(i, _)| *i).collect();
+    let b_keys: std::collections::BTreeSet<usize> = b.iter().map(|(i, _)| *i).collect();
+    assert!(b_keys.is_subset(&a_keys));
+    assert!(a_keys.len() > b_keys.len());
+}
+
+#[test]
+fn weak_label_reports_are_ordered_by_specificity() {
+    // A slice mentioning both a signature keyword and an identifier
+    // keyword is labeled Signature (the more specific dictionary first).
+    let hit = weak_label_with_report("hmac_sign over mac address").unwrap();
+    assert_eq!(hit.primitive, Primitive::Signature);
+    // Identifier beats Address when both are present? No — Address is
+    // checked after identifiers by design.
+    let hit = weak_label_with_report("mac host").unwrap();
+    assert_eq!(hit.primitive, Primitive::DevIdentifier);
+}
+
+#[test]
+fn stage_timings_arithmetic() {
+    use firmres::StageTimings;
+    use std::time::Duration;
+    let t = StageTimings {
+        exeid: Duration::from_millis(10),
+        field_identification: Duration::from_millis(20),
+        semantics: Duration::from_millis(30),
+        concatenation: Duration::from_millis(25),
+        form_check: Duration::from_millis(15),
+    };
+    assert_eq!(t.total(), Duration::from_millis(100));
+    let shares = t.shares();
+    assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    assert!((shares[2] - 0.30).abs() < 1e-12);
+}
+
+#[test]
+fn probe_outcome_and_status_interplay() {
+    use firmres_cloud::{classify_response, ResponseStatus};
+    // Round-trip every phrase and pin the validity partition sizes.
+    let valid: Vec<ResponseStatus> = [
+        "Request OK",
+        "No Permission",
+        "Access Denied",
+        "Bad Request",
+        "Request Not Supported",
+        "Path Not Exists",
+    ]
+    .iter()
+    .map(|p| classify_response(p).unwrap())
+    .filter(|s| s.validates_message())
+    .collect();
+    assert_eq!(valid.len(), 3, "exactly the paper's three validating phrases");
+}
+
+#[test]
+fn mft_annotations_survive_transformations() {
+    use firmres_dataflow::TaintEngine;
+    use firmres_isa::{lift, Assembler};
+    use firmres_mft::{Mft, MftNodeKind};
+    let exe = Assembler::new()
+        .assemble(
+            ".func main\n la a1, m\n li a0, 1\n callx SSL_write\n ret\n.endfunc\n.data\nm: .asciz \"x\"\n",
+        )
+        .unwrap();
+    let p = lift(&exe, "t").unwrap();
+    let f = p.function_by_name("main").unwrap();
+    let call = f.callsites().next().unwrap().addr;
+    let tree = TaintEngine::new(&p).trace(f.entry(), call, 1);
+    let mut mft = Mft::from_taint(&tree);
+    let leaf = mft.leaves()[0];
+    mft.annotate(leaf, "Dev-Identifier");
+    let simplified = mft.simplified();
+    assert!(
+        simplified
+            .nodes()
+            .iter()
+            .any(|n| matches!(&n.kind, MftNodeKind::Annotation(a) if a == "Dev-Identifier")),
+        "annotations survive simplification"
+    );
+    let inverted = simplified.inverted();
+    assert_eq!(inverted.leaves().len(), simplified.leaves().len());
+}
+
+#[test]
+fn device_identity_value_map_is_total_over_nvram_keys() {
+    use firmres_corpus::DeviceIdentity;
+    let id = DeviceIdentity::generate(3, 99);
+    for key in ["mac", "serial", "uid", "device_id", "device_secret", "cloud_user", "cloud_pass", "cloud_host"] {
+        assert!(id.value_of(key).is_some(), "{key}");
+    }
+}

@@ -1,0 +1,211 @@
+//! Differential testing: statically reconstructed messages vs. what the
+//! firmware *actually sends* when executed.
+//!
+//! The paper validates reconstructions against live clouds; this suite
+//! goes further — it runs each generated device-cloud message function in
+//! the MR32 emulator with a host shim (NVRAM, config, cJSON, clock),
+//! captures the payload handed to the delivery function, and checks that
+//! the static pipeline's filled message carries exactly the same
+//! parameters.
+
+use firmres::{analyze_firmware, fill_message, AnalysisConfig};
+use firmres_cloud::mac::derive_signature;
+use firmres_cloud::HttpRequest;
+use firmres_corpus::{generate_device, Delivery};
+use firmres_firmware::FirmwareImage;
+use firmres_isa::{Emulator, Mem};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Captured delivery: (function name, endpoint if separate, payload).
+type Sent = Rc<RefCell<Vec<(String, Option<String>, String)>>>;
+
+/// Host shim backing the emulated firmware: NVRAM/config reads come from
+/// the firmware image, cJSON is a tiny object store, deliveries are
+/// captured.
+struct Host {
+    nvram: BTreeMap<String, String>,
+    config: BTreeMap<String, String>,
+    objects: Vec<BTreeMap<String, firmres_cloud::json::Json>>,
+    sent: Sent,
+}
+
+impl Host {
+    fn new(fw: &FirmwareImage, sent: Sent) -> Host {
+        let nvram = fw.nvram().iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        let mut config = BTreeMap::new();
+        for key in [
+            "server", "port", "fw_version", "model", "product_id", "device_cert", "hw_version",
+            "cluster", "region", "timezone",
+        ] {
+            if let Some(v) = fw.config_value(key) {
+                config.insert(key.to_string(), v);
+            }
+        }
+        Host { nvram, config, objects: Vec::new(), sent }
+    }
+
+    fn call(&mut self, name: &str, args: [u32; 6], mem: &mut Mem) -> u32 {
+        match name {
+            "nvram_get" => {
+                let key = mem.read_cstr(args[0]).unwrap();
+                let v = self.nvram.get(&key).cloned().unwrap_or_default();
+                mem.alloc_cstr(&v).unwrap()
+            }
+            "cfg_get" => {
+                let key = mem.read_cstr(args[0]).unwrap();
+                let v = self.config.get(&key).cloned().unwrap_or_default();
+                mem.alloc_cstr(&v).unwrap()
+            }
+            "getenv" => mem.alloc_cstr("env-value").unwrap(),
+            "time" => 1_751_700_000,
+            "get_mac_addr" | "get_serial" | "get_uid" => {
+                let key = match name {
+                    "get_mac_addr" => "mac",
+                    "get_serial" => "serial_no",
+                    _ => "uid",
+                };
+                let v = self.nvram.get(key).cloned().unwrap_or_default();
+                mem.write_cstr(args[0], &v).unwrap();
+                args[0]
+            }
+            "hmac_sign" => {
+                let secret = mem.read_cstr(args[0]).unwrap();
+                let id = self.nvram.get("device_id").cloned().unwrap_or_default();
+                mem.alloc_cstr(&derive_signature(&secret, &id)).unwrap()
+            }
+            "cJSON_CreateObject" => {
+                self.objects.push(BTreeMap::new());
+                self.objects.len() as u32 // 1-based handle
+            }
+            "cJSON_AddStringToObject" => {
+                let k = mem.read_cstr(args[1]).unwrap();
+                let v = mem.read_cstr(args[2]).unwrap();
+                let obj = &mut self.objects[args[0] as usize - 1];
+                obj.insert(k, firmres_cloud::json::Json::Str(v));
+                0
+            }
+            "cJSON_AddNumberToObject" => {
+                let k = mem.read_cstr(args[1]).unwrap();
+                let obj = &mut self.objects[args[0] as usize - 1];
+                obj.insert(k, firmres_cloud::json::Json::Num(args[2] as i64));
+                0
+            }
+            "cJSON_Print" => {
+                let obj = self.objects[args[0] as usize - 1].clone();
+                let text = firmres_cloud::json::Json::Obj(obj).to_string();
+                mem.alloc_cstr(&text).unwrap()
+            }
+            "SSL_write" | "send" => {
+                let payload = mem.read_cstr(args[1]).unwrap();
+                self.sent.borrow_mut().push((name.to_string(), None, payload));
+                0
+            }
+            "mosquitto_publish" => {
+                let topic = mem.read_cstr(args[1]).unwrap();
+                let payload = mem.read_cstr(args[2]).unwrap();
+                self.sent.borrow_mut().push((name.to_string(), Some(topic), payload));
+                0
+            }
+            "http_post" => {
+                let path = mem.read_cstr(args[1]).unwrap();
+                let payload = mem.read_cstr(args[2]).unwrap();
+                self.sent.borrow_mut().push((name.to_string(), Some(path), payload));
+                0
+            }
+            "http_get" => {
+                let path = mem.read_cstr(args[1]).unwrap();
+                self.sent.borrow_mut().push((name.to_string(), None, path));
+                0
+            }
+            "ssl_connect" | "register_callback" | "event_loop" => 0,
+            other => panic!("unexpected host call {other}"),
+        }
+    }
+}
+
+/// Parse an emulated payload into parameters (JSON body, query string, or
+/// a GET path with query).
+fn emulated_params(payload: &str) -> BTreeMap<String, String> {
+    let req = if payload.starts_with('/') || payload.contains('?') {
+        HttpRequest::new(payload, "")
+    } else {
+        HttpRequest::new("/", payload)
+    };
+    let mut params = req.params();
+    params.remove("path");
+    params.remove("method");
+    params
+}
+
+fn differential_check(device_id: u8) {
+    let dev = generate_device(device_id, 7);
+    let analysis = analyze_firmware(&dev.firmware, None, &AnalysisConfig::default());
+    let exe = dev
+        .firmware
+        .load_executable(dev.cloud_executable.as_deref().unwrap())
+        .unwrap()
+        .unwrap();
+
+    let mut compared = 0;
+    for plan in dev.plans.iter().filter(|p| !p.lan) {
+        // Dynamic: run the message function under the emulator.
+        let sent: Sent = Rc::new(RefCell::new(Vec::new()));
+        let mut host = Host::new(&dev.firmware, Rc::clone(&sent));
+        let mut emu = Emulator::new(&exe, |name: &str, args: [u32; 6], mem: &mut Mem| {
+            host.call(name, args, mem)
+        });
+        emu.run_function(&plan.func_name, &[])
+            .unwrap_or_else(|e| panic!("device {device_id} {} crashed: {e}", plan.func_name));
+        let sent = sent.borrow();
+        assert_eq!(sent.len(), 1, "{} delivers exactly once", plan.func_name);
+        let (delivery_fn, endpoint, payload) = &sent[0];
+        assert_eq!(*delivery_fn, plan.delivery.import(), "{}", plan.func_name);
+        let dynamic = emulated_params(payload);
+
+        // Static: the reconstructed message filled from the firmware.
+        let record = analysis
+            .identified()
+            .find(|r| r.function == plan.func_name)
+            .unwrap_or_else(|| panic!("no reconstruction for {}", plan.func_name));
+        let filled = fill_message(&record.message, &dev.firmware);
+
+        assert_eq!(
+            dynamic, filled.params,
+            "device {device_id} {}: static reconstruction ({:?}) diverges from execution ({payload})",
+            plan.func_name, record.message
+        );
+        // Endpoints agree too (topic/path argument or embedded).
+        if matches!(plan.delivery, Delivery::MqttPublish | Delivery::HttpPost) {
+            assert_eq!(endpoint.as_deref(), filled.endpoint.as_deref(), "{}", plan.func_name);
+        }
+        compared += 1;
+    }
+    assert!(compared >= 5, "device {device_id}: {compared} messages compared");
+}
+
+#[test]
+fn device_10_static_equals_dynamic() {
+    differential_check(10);
+}
+
+#[test]
+fn device_11_static_equals_dynamic() {
+    differential_check(11);
+}
+
+#[test]
+fn device_13_static_equals_dynamic() {
+    differential_check(13);
+}
+
+#[test]
+fn device_20_static_equals_dynamic() {
+    differential_check(20);
+}
+
+#[test]
+fn device_5_static_equals_dynamic() {
+    differential_check(5);
+}

@@ -1,0 +1,135 @@
+//! Failure injection: corrupted inputs at every layer degrade into typed
+//! errors or clean rejections — never panics, never silent garbage.
+
+use firmres::{analyze_firmware, AnalysisConfig};
+use firmres_cloud::{HttpRequest, ResponseStatus};
+use firmres_corpus::generate_device;
+use firmres_firmware::{FileEntry, FirmwareImage};
+use firmres_isa::Executable;
+
+/// Bit-flip every byte of a packed firmware image, one at a time (sampled
+/// for speed), and confirm unpacking reports corruption.
+#[test]
+fn corrupted_firmware_images_are_rejected() {
+    let dev = generate_device(15, 7);
+    let packed = dev.firmware.pack();
+    let mut rejected = 0;
+    for i in (0..packed.len()).step_by(97) {
+        let mut bad = packed.to_vec();
+        bad[i] ^= 0xA5;
+        if FirmwareImage::unpack(&bad).is_err() {
+            rejected += 1;
+        }
+    }
+    // Checksums catch essentially every flip.
+    assert!(rejected >= packed.len() / 97, "all sampled corruptions rejected");
+}
+
+#[test]
+fn truncated_firmware_images_are_rejected() {
+    let dev = generate_device(15, 7);
+    let packed = dev.firmware.pack();
+    for cut in [0, 1, 7, packed.len() / 2, packed.len() - 1] {
+        assert!(
+            FirmwareImage::unpack(&packed[..cut]).is_err(),
+            "truncation at {cut} rejected"
+        );
+    }
+}
+
+#[test]
+fn corrupted_executable_inside_valid_image_is_skipped() {
+    let dev = generate_device(15, 7);
+    let mut fw = dev.firmware.clone();
+    // Replace the cloud agent with garbage that still parses as a file
+    // entry but not as an MRE executable.
+    fw.add_file("/usr/bin/cloud_agent", FileEntry::Executable(vec![0xFF; 64]));
+    let analysis = analyze_firmware(&fw, None, &AnalysisConfig::default());
+    assert!(
+        analysis.executable.is_none(),
+        "pipeline degrades to 'no device-cloud executable', no panic"
+    );
+}
+
+#[test]
+fn executable_with_reserved_opcodes_fails_to_lift_cleanly() {
+    let dev = generate_device(15, 7);
+    let path = dev.cloud_executable.as_deref().unwrap();
+    let mut exe = dev.firmware.load_executable(path).unwrap().unwrap();
+    // Inject a reserved opcode (>= 32) into the middle of the image.
+    let mid = exe.code.len() / 2;
+    exe.code[mid] = 0xFFFF_FFFF;
+    match firmres_isa::lift(&exe, "bad") {
+        Err(firmres_isa::LiftError::Decode { .. }) => {}
+        Err(other) => panic!("expected a decode error, got {other:?}"),
+        Ok(_) => {
+            // The word may fall between functions or in dead space of a
+            // function whose extent ends earlier — also acceptable, as
+            // long as nothing panicked.
+        }
+    }
+}
+
+#[test]
+fn mre_truncation_and_checksum_errors() {
+    let dev = generate_device(15, 7);
+    let path = dev.cloud_executable.as_deref().unwrap();
+    let FileEntry::Executable(bytes) = dev.firmware.file(path).unwrap() else {
+        panic!("agent is an executable");
+    };
+    for cut in [0usize, 3, 16, bytes.len() / 2] {
+        assert!(Executable::from_bytes(&bytes[..cut]).is_err());
+    }
+    let mut flipped = bytes.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 1;
+    assert!(Executable::from_bytes(&flipped).is_err(), "checksum catches the flip");
+}
+
+#[test]
+fn cloud_handles_malformed_probes_gracefully() {
+    let dev = generate_device(17, 7);
+    // Garbage JSON.
+    let r = dev.cloud.handle(&HttpRequest::new("/camera-cgi", "{\"uid\":"));
+    assert_eq!(r.status, ResponseStatus::BadRequest);
+    // Unknown path.
+    let r = dev.cloud.handle(&HttpRequest::new("/../../etc/passwd", ""));
+    assert_eq!(r.status, ResponseStatus::PathNotExists);
+    // Huge body of junk.
+    let junk = "x".repeat(1 << 16);
+    let r = dev.cloud.handle(&HttpRequest::new("/camera-cgi", junk));
+    assert!(matches!(
+        r.status,
+        ResponseStatus::BadRequest | ResponseStatus::AccessDenied
+    ));
+    // Empty everything.
+    let r = dev.cloud.handle(&HttpRequest::new("", ""));
+    assert_eq!(r.status, ResponseStatus::PathNotExists);
+}
+
+#[test]
+fn emulator_faults_do_not_poison_subsequent_runs() {
+    use firmres_isa::{Assembler, EmuError, Emulator, Mem};
+    let exe = Assembler::new()
+        .assemble(
+            ".func crash\n li t0, 0x10\n lw rv, 0(t0)\n ret\n.endfunc\n\
+             .func fine\n li rv, 7\n ret\n.endfunc\n.func main\n halt\n.endfunc\n",
+        )
+        .unwrap();
+    let mut emu = Emulator::new(&exe, |_: &str, _: [u32; 6], _: &mut Mem| 0);
+    assert!(matches!(emu.run_function("crash", &[]), Err(EmuError::MemFault { .. })));
+    assert_eq!(emu.run_function("fine", &[]).unwrap(), 7, "emulator recovers");
+}
+
+#[test]
+fn analysis_of_empty_firmware_is_empty() {
+    let fw = FirmwareImage::new(firmres_firmware::DeviceInfo {
+        vendor: "none".into(),
+        model: "none".into(),
+        device_type: firmres_firmware::DeviceType::Nas,
+        firmware_version: "0".into(),
+    });
+    let analysis = analyze_firmware(&fw, None, &AnalysisConfig::default());
+    assert!(analysis.executable.is_none());
+    assert!(analysis.messages.is_empty());
+}

@@ -1,0 +1,137 @@
+//! Cross-crate integration: the full FIRMRES pipeline against the
+//! generated corpus ground truth — the claims behind Table II.
+
+use firmres::{analyze_firmware, AnalysisConfig};
+use firmres_bench::score_analysis;
+use firmres_corpus::{generate_corpus, generate_device};
+
+#[test]
+fn corpus_totals_match_paper_table_two() {
+    let corpus = generate_corpus(7);
+    let config = AnalysisConfig::default();
+    let mut identified = 0usize;
+    let mut valid = 0usize;
+    let mut fields = 0usize;
+    let mut confirmed = 0usize;
+    let mut accurate = 0usize;
+    let mut executables_found = 0usize;
+    for dev in &corpus {
+        let analysis = analyze_firmware(&dev.firmware, None, &config);
+        if analysis.executable.is_some() {
+            executables_found += 1;
+        }
+        if dev.cloud_executable.is_none() {
+            assert!(analysis.executable.is_none(), "device {} is script-based", dev.spec.id);
+            continue;
+        }
+        let s = score_analysis(dev, &analysis);
+        identified += s.identified_messages;
+        valid += s.valid_messages;
+        fields += s.fields_identified;
+        confirmed += s.fields_confirmed;
+        accurate += s.semantics_accurate;
+    }
+    // §V-B: 20 of 22 devices have binary device-cloud executables.
+    assert_eq!(executables_found, 20);
+    // Table II totals: exact message counts by construction, field counts
+    // within the paper's ballpark.
+    assert_eq!(identified, 281, "paper: 281 identified messages");
+    assert_eq!(valid, 246, "paper: 246 valid messages");
+    assert!((1800..=2400).contains(&fields), "paper: 2019 fields, measured {fields}");
+    let confirm_rate = confirmed as f64 / fields as f64;
+    assert!(
+        (0.80..=1.00).contains(&confirm_rate),
+        "paper: 88.41% field confirmation, measured {:.1}%",
+        confirm_rate * 100.0
+    );
+    let accuracy = accurate as f64 / confirmed as f64;
+    assert!(
+        (0.80..=0.99).contains(&accuracy),
+        "paper: 91.93% semantics accuracy, measured {:.1}%",
+        accuracy * 100.0
+    );
+}
+
+#[test]
+fn per_device_counts_are_exact() {
+    // Spot-check one device of each style family.
+    for id in [5u8, 11, 14, 17] {
+        let dev = generate_device(id, 7);
+        let analysis = analyze_firmware(&dev.firmware, None, &AnalysisConfig::default());
+        let s = score_analysis(&dev, &analysis);
+        assert_eq!(
+            s.identified_messages, dev.spec.target_messages,
+            "device {id} identified"
+        );
+        assert_eq!(
+            s.identified_messages - s.valid_messages,
+            dev.spec.target_invalid,
+            "device {id} invalid (stale endpoints)"
+        );
+    }
+}
+
+#[test]
+fn sprintf_cluster_columns_follow_usage() {
+    use firmres_corpus::SprintfUsage;
+    for id in [1u8, 8, 11] {
+        let dev = generate_device(id, 7);
+        let analysis = analyze_firmware(&dev.firmware, None, &AnalysisConfig::default());
+        let s = score_analysis(&dev, &analysis);
+        match dev.spec.sprintf {
+            SprintfUsage::None => assert!(s.clusters.is_none(), "device {id} reports '-'"),
+            SprintfUsage::SingleField => {
+                assert_eq!(s.clusters, Some((0, 0, 0)), "device {id}: sprintf but no splits")
+            }
+            SprintfUsage::MultiField => {
+                let (a, b, c) = s.clusters.expect("cluster counts");
+                assert!(a >= 1, "device {id} has clusters");
+                assert!(a <= b && b <= c, "device {id}: monotone in threshold");
+            }
+        }
+    }
+}
+
+#[test]
+fn naive_sink_ablation_collapses_field_recovery() {
+    // DESIGN.md §5: without the single-information-source sink criterion
+    // (buffer decomposition), the message argument itself is the sink and
+    // per-field recovery collapses.
+    let dev = generate_device(13, 7);
+    let full = analyze_firmware(&dev.firmware, None, &AnalysisConfig::default());
+    let mut naive_cfg = AnalysisConfig::default();
+    naive_cfg.taint.decompose_buffers = false;
+    let naive = analyze_firmware(&dev.firmware, None, &naive_cfg);
+    let full_fields: usize = full.identified().map(|m| m.slices.len()).sum();
+    let naive_concrete: usize = naive
+        .identified()
+        .flat_map(|m| m.slices.iter())
+        .filter(|s| s.source.is_concrete())
+        .count();
+    let full_concrete: usize = full
+        .identified()
+        .flat_map(|m| m.slices.iter())
+        .filter(|s| s.source.is_concrete())
+        .count();
+    assert!(
+        naive_concrete * 4 < full_concrete,
+        "naive sinks recover a fraction of the fields: {naive_concrete} vs {full_concrete} (of {full_fields})"
+    );
+}
+
+#[test]
+fn overtaint_ablation_loses_fields() {
+    let dev = generate_device(13, 7);
+    let mut with = AnalysisConfig::default();
+    with.taint.overtaint = true;
+    let mut without = AnalysisConfig::default();
+    without.taint.overtaint = false;
+    let a = analyze_firmware(&dev.firmware, None, &with);
+    let b = analyze_firmware(&dev.firmware, None, &without);
+    let fields_with: usize = a.identified().map(|m| m.slices.len()).sum();
+    let fields_without: usize = b.identified().map(|m| m.slices.len()).sum();
+    assert!(
+        fields_with >= fields_without,
+        "over-tainting never recovers fewer fields ({fields_with} vs {fields_without})"
+    );
+}

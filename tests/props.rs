@@ -1,0 +1,179 @@
+//! Cross-crate property-based tests (proptest) on the core data
+//! structures and invariants.
+
+use firmres_cloud::json::Json;
+use firmres_firmware::{DeviceInfo, DeviceType, FileEntry, FirmwareImage, Nvram, ScriptLang};
+use firmres_isa::{decode, encode, Inst, Reg};
+use firmres_mft::{cluster, lcs_len, similarity, split_format};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(|n| Reg::new(n).expect("in range"))
+}
+
+fn arb_imm14() -> impl Strategy<Value = i16> {
+    -(1i16 << 13)..(1i16 << 13)
+}
+
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(d, a, b)| Inst::Add(d, a, b)),
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(d, a, b)| Inst::Mul(d, a, b)),
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(d, a, b)| Inst::Xor(d, a, b)),
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(d, a, b)| Inst::Seq(d, a, b)),
+        (arb_reg(), arb_reg(), arb_imm14()).prop_map(|(d, a, i)| Inst::Addi(d, a, i)),
+        (arb_reg(), arb_reg(), 0i16..(1 << 14)).prop_map(|(d, a, i)| Inst::Ori(d, a, i)),
+        (arb_reg(), 0u32..(1 << 18)).prop_map(|(d, i)| Inst::Lui(d, i)),
+        (arb_reg(), arb_reg(), arb_imm14()).prop_map(|(d, b, i)| Inst::Lw(d, b, i)),
+        (arb_reg(), arb_reg(), arb_imm14()).prop_map(|(s, b, i)| Inst::Sw(s, b, i)),
+        (arb_reg(), arb_reg(), arb_imm14()).prop_map(|(a, b, o)| Inst::Beq(a, b, o)),
+        (arb_reg(), arb_reg(), arb_imm14()).prop_map(|(a, b, o)| Inst::Bne(a, b, o)),
+        (-(1i32 << 25)..(1 << 25)).prop_map(Inst::Jal),
+        (arb_reg(), arb_reg()).prop_map(|(d, s)| Inst::Jalr(d, s)),
+        any::<u16>().prop_map(Inst::Callx),
+        Just(Inst::Halt),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn mr32_encode_decode_round_trip(inst in arb_inst()) {
+        let word = encode(inst);
+        prop_assert_eq!(decode(word), Ok(inst));
+    }
+
+    #[test]
+    fn lcs_is_bounded_and_symmetric(a in "[a-z=&%{}\":]{0,24}", b in "[a-z=&%{}\":]{0,24}") {
+        let l = lcs_len(&a, &b);
+        prop_assert!(l <= a.len().min(b.len()));
+        prop_assert_eq!(l, lcs_len(&b, &a));
+        let s = similarity(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert_eq!(s, similarity(&b, &a));
+    }
+
+    #[test]
+    fn clustering_partitions_input(items in proptest::collection::vec("[a-z=&%]{1,12}", 0..24),
+                                    thd in 0.0f64..1.0) {
+        let clusters = cluster(&items, thd);
+        let total: usize = clusters.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, items.len(), "every item lands in exactly one cluster");
+        prop_assert!(clusters.iter().all(|c| !c.is_empty()));
+    }
+
+    #[test]
+    fn split_format_preserves_conversions(fmt in "[a-zA-Z0-9=&{}\",:]{0,24}") {
+        // Conversion count in == pieces with spec out (no %-escapes in
+        // this alphabet, so every piece maps to original text).
+        let pieces = split_format(&fmt);
+        prop_assert!(pieces.len() <= fmt.len() + 1);
+    }
+
+    #[test]
+    fn json_print_parse_round_trip(v in arb_json(3)) {
+        let printed = v.to_string();
+        let back = Json::parse(&printed);
+        prop_assert_eq!(back, Ok(v));
+    }
+
+    #[test]
+    fn nvram_text_round_trip(pairs in proptest::collection::btree_map("[a-z_]{1,10}", "[a-zA-Z0-9:._-]{0,16}", 0..12)) {
+        let mut nv = Nvram::new();
+        for (k, v) in &pairs {
+            nv.set(k.clone(), v.clone());
+        }
+        let back = Nvram::parse(&nv.to_text());
+        prop_assert_eq!(back, nv);
+    }
+
+    #[test]
+    fn firmware_pack_unpack_round_trip(
+        files in proptest::collection::vec(
+            ("[a-z/]{1,20}", prop_oneof![
+                proptest::collection::vec(any::<u8>(), 0..64).prop_map(FileEntry::Data),
+                "[ -~]{0,64}".prop_map(FileEntry::Config),
+                "[ -~]{0,64}".prop_map(|t| FileEntry::Script { lang: ScriptLang::Shell, text: t }),
+            ]),
+            0..8,
+        )
+    ) {
+        let mut fw = FirmwareImage::new(DeviceInfo {
+            vendor: "V".into(),
+            model: "M".into(),
+            device_type: DeviceType::SmartPlug,
+            firmware_version: "1.0".into(),
+        });
+        for (path, entry) in files {
+            fw.add_file(path, entry);
+        }
+        let packed = fw.pack();
+        prop_assert_eq!(FirmwareImage::unpack(&packed), Ok(fw));
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_unpackers(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Typed errors, never panics, on fully arbitrary input.
+        let _ = firmres_isa::Executable::from_bytes(&bytes);
+        let _ = FirmwareImage::unpack(&bytes);
+        if let Ok(text) = std::str::from_utf8(&bytes) {
+            let _ = Json::parse(text);
+        }
+    }
+
+    #[test]
+    fn arbitrary_words_never_panic_decode(words in proptest::collection::vec(any::<u32>(), 0..32)) {
+        for w in &words {
+            let _ = decode(*w);
+        }
+    }
+
+    #[test]
+    fn lift_handles_arbitrary_code_words(words in proptest::collection::vec(any::<u32>(), 1..32)) {
+        // A syntactically valid MRE wrapping arbitrary code must lift or
+        // fail with a typed error — never panic.
+        let exe = firmres_isa::Executable {
+            entry: firmres_isa::CODE_BASE,
+            code: words,
+            data: vec![],
+            imports: vec!["x".into()],
+            funcs: vec![firmres_isa::FuncSymbol {
+                name: "main".into(),
+                addr: firmres_isa::CODE_BASE,
+                params: vec![],
+            }],
+            locals: vec![],
+            data_syms: vec![],
+        };
+        let _ = firmres_isa::lift(&exe, "fuzz");
+    }
+
+    #[test]
+    fn classifier_probabilities_are_a_distribution(text in "[ -~]{0,80}") {
+        use firmres_semantics::{Classifier, Primitive, TrainConfig};
+        // A tiny fixed model is enough: the property is about inference.
+        let data = vec![
+            ("mac address".to_string(), Primitive::DevIdentifier),
+            ("password login".to_string(), Primitive::UserCred),
+        ];
+        let model = Classifier::train(&data, &TrainConfig { epochs: 2, ..Default::default() });
+        let probs = model.probabilities(&text);
+        let sum: f32 = probs.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-3);
+        prop_assert!(probs.iter().all(|p| (0.0..=1.0).contains(p)));
+    }
+}
+
+fn arb_json(depth: u32) -> impl Strategy<Value = Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        any::<i32>().prop_map(|n| Json::Num(n as i64)),
+        "[a-zA-Z0-9 _\\-\"\\\\/\n\t]{0,16}".prop_map(Json::Str),
+    ];
+    leaf.prop_recursive(depth, 32, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Json::Arr),
+            proptest::collection::btree_map("[a-z]{1,6}", inner, 0..4).prop_map(Json::Obj),
+        ]
+    })
+}
