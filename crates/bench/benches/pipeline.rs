@@ -10,12 +10,15 @@ use std::hint::black_box;
 fn bench_full_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("pipeline/full");
     group.sample_size(20);
-    for (label, id) in [("small_dev15", 15u8), ("medium_dev10", 10), ("large_dev14", 14)] {
+    for (label, id) in [
+        ("small_dev15", 15u8),
+        ("medium_dev10", 10),
+        ("large_dev14", 14),
+    ] {
         let dev: GeneratedDevice = generate_device(id, 7);
         group.bench_function(label, |b| {
             b.iter(|| {
-                let analysis =
-                    analyze_firmware(&dev.firmware, None, &AnalysisConfig::default());
+                let analysis = analyze_firmware(&dev.firmware, None, &AnalysisConfig::default());
                 black_box(analysis.identified().count())
             })
         });
@@ -55,5 +58,10 @@ fn bench_corpus_generation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_full_pipeline, bench_overtaint_ablation, bench_corpus_generation);
+criterion_group!(
+    benches,
+    bench_full_pipeline,
+    bench_overtaint_ablation,
+    bench_corpus_generation
+);
 criterion_main!(benches);

@@ -19,7 +19,6 @@ fn agent_program(id: u8) -> (Program, Vec<(u64, u64, usize)>) {
     let exe = dev
         .firmware
         .load_executable(dev.cloud_executable.as_deref().unwrap())
-        .unwrap()
         .unwrap();
     let program = lift(&exe, "agent").unwrap();
     let mut callsites = Vec::new();
@@ -103,9 +102,18 @@ fn bench_classifier(c: &mut Criterion) {
     let data: Vec<(String, Primitive)> = (0..200)
         .map(|i| {
             let (text, label) = match i % 4 {
-                0 => (format!("CALL (Fun, get_mac_addr) mac {i}"), Primitive::DevIdentifier),
-                1 => (format!("(Cons, \"password\") login {i}"), Primitive::UserCred),
-                2 => (format!("(Cons, \"token={i}\") session"), Primitive::BindToken),
+                0 => (
+                    format!("CALL (Fun, get_mac_addr) mac {i}"),
+                    Primitive::DevIdentifier,
+                ),
+                1 => (
+                    format!("(Cons, \"password\") login {i}"),
+                    Primitive::UserCred,
+                ),
+                2 => (
+                    format!("(Cons, \"token={i}\") session"),
+                    Primitive::BindToken,
+                ),
                 _ => (format!("(Cons, \"ts={i}\")"), Primitive::None),
             };
             (text, label)
@@ -115,11 +123,20 @@ fn bench_classifier(c: &mut Criterion) {
         b.iter(|| {
             black_box(Classifier::train(
                 &data,
-                &TrainConfig { epochs: 30, ..Default::default() },
+                &TrainConfig {
+                    epochs: 30,
+                    ..Default::default()
+                },
             ))
         })
     });
-    let model = Classifier::train(&data, &TrainConfig { epochs: 30, ..Default::default() });
+    let model = Classifier::train(
+        &data,
+        &TrainConfig {
+            epochs: 30,
+            ..Default::default()
+        },
+    );
     c.bench_function("semantics/predict_one_slice", |b| {
         b.iter(|| black_box(model.predict("CALL (Fun, nvram_get), (Cons, \"serial_no\")")))
     });
@@ -157,10 +174,8 @@ fn bench_cloud(c: &mut Criterion) {
     let body = format!("deviceId={}", dev.identity.device_id);
     c.bench_function("cloud/probe_storage_auth", |b| {
         b.iter(|| {
-            let req = firmres_cloud::HttpRequest::new(
-                "/store-server/api/v1/storages/auth",
-                body.clone(),
-            );
+            let req =
+                firmres_cloud::HttpRequest::new("/store-server/api/v1/storages/auth", body.clone());
             black_box(dev.cloud.handle(&req).status)
         })
     });

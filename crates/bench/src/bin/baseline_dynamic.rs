@@ -13,7 +13,7 @@
 //!
 //! Usage: `cargo run --release -p firmres-bench --bin baseline_dynamic`
 
-use firmres::{analyze_firmware, AnalysisConfig};
+use firmres::{analyze_corpus, AnalysisConfig};
 use firmres_bench::render_table;
 use firmres_corpus::emulation::{capture_boot_path, capture_with_trigger};
 use firmres_corpus::generate_corpus;
@@ -22,9 +22,18 @@ fn main() {
     eprintln!("comparing dynamic capture against static reconstruction…\n");
     let corpus = generate_corpus(7);
     let config = AnalysisConfig::default();
+    let devs: Vec<_> = corpus
+        .iter()
+        .filter(|d| d.cloud_executable.is_some())
+        .collect();
+    let images: Vec<_> = devs.iter().map(|d| &d.firmware).collect();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let analyses = analyze_corpus(&images, None, &config, threads);
     let mut rows = Vec::new();
     let mut totals = (0usize, 0usize, 0usize);
-    for dev in corpus.iter().filter(|d| d.cloud_executable.is_some()) {
+    for (dev, analysis) in devs.iter().zip(&analyses) {
         let boot = capture_boot_path(dev).map(|m| m.len()).unwrap_or(0);
         let mut fuzzed = 0usize;
         let mut runs = 0usize;
@@ -32,7 +41,6 @@ fn main() {
             runs += 1;
             fuzzed += capture_with_trigger(dev, t).map(|m| m.len()).unwrap_or(0);
         }
-        let analysis = analyze_firmware(&dev.firmware, None, &config);
         let statically = analysis.identified().count();
         rows.push(vec![
             dev.spec.id.to_string(),
@@ -54,7 +62,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Dev", "Naive emulation", "Instrumented fuzzing", "FIRMRES (static)"],
+            &[
+                "Dev",
+                "Naive emulation",
+                "Instrumented fuzzing",
+                "FIRMRES (static)"
+            ],
             &rows
         )
     );

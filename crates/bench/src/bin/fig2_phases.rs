@@ -6,15 +6,17 @@
 //! Usage: `cargo run -p firmres-bench --bin fig2_phases`
 
 use firmres_cloud::{
-    mac, Check, Cloud, CloudState, DeviceRecord, Endpoint, EndpointKind, HttpRequest,
-    ResponseSpec, ResponseStatus,
+    mac, Check, Cloud, CloudState, DeviceRecord, Endpoint, EndpointKind, HttpRequest, ResponseSpec,
+    ResponseStatus,
 };
 
 fn main() {
     // A well-configured vendor cloud.
     let mut state = CloudState::new("vendor-key");
     state.register_device(DeviceRecord {
-        identifiers: [("deviceId".to_string(), "D-100".to_string())].into_iter().collect(),
+        identifiers: [("deviceId".to_string(), "D-100".to_string())]
+            .into_iter()
+            .collect(),
         secret: "factory-secret".into(),
         bound_user: None,
     });
@@ -78,12 +80,18 @@ fn main() {
         "/bind",
         "deviceId=D-100&devSecret=factory-secret&user=alice&pass=pw1",
     ));
-    println!("  correct primitives         → {} (Bind-Token issued)", r.status);
+    println!(
+        "  correct primitives         → {} (Bind-Token issued)",
+        r.status
+    );
     assert_eq!(r.status, ResponseStatus::RequestOk);
 
     // --- Business phase ---
     println!("\nbusiness phase:");
-    let r = cloud.handle(&HttpRequest::new("/business/report", "deviceId=D-100&token=guess"));
+    let r = cloud.handle(&HttpRequest::new(
+        "/business/report",
+        "deviceId=D-100&token=guess",
+    ));
     println!("  ① forged Bind-Token        → {}", r.status);
     let r = cloud.handle(&HttpRequest::new(
         "/business/report",

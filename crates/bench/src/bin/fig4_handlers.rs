@@ -16,13 +16,16 @@ fn main() {
     let agent = dev
         .firmware
         .load_executable(dev.cloud_executable.as_deref().unwrap())
-        .unwrap()
         .unwrap();
     let ipc = Assembler::new().assemble(&ipc_daemon_source()).unwrap();
     let httpd = Assembler::new().assemble(&local_httpd_source()).unwrap();
 
     let mut rows = Vec::new();
-    for (name, exe) in [("cloud_agent", agent), ("ipc_daemon", ipc), ("httpd_local", httpd)] {
+    for (name, exe) in [
+        ("cloud_agent", agent),
+        ("ipc_daemon", ipc),
+        ("httpd_local", httpd),
+    ] {
         let prog = lift(&exe, name).unwrap();
         let handlers = score_handlers(&prog);
         let accepted = !identify_device_cloud(&prog, &ExeIdConfig::default()).is_empty();
@@ -41,9 +44,16 @@ fn main() {
             rows.push(vec![
                 name.into(),
                 h.handler_name.clone(),
-                format!("{:#x} ↔ {:#x} (d={})", h.recv_callsite, h.send_callsite, h.distance),
+                format!(
+                    "{:#x} ↔ {:#x} (d={})",
+                    h.recv_callsite, h.send_callsite, h.distance
+                ),
                 format!("{:.2}", h.score),
-                if h.is_async { "async".into() } else { "direct call".into() },
+                if h.is_async {
+                    "async".into()
+                } else {
+                    "direct call".into()
+                },
                 if accepted && h.is_async && h.score >= 0.3 {
                     "DEVICE-CLOUD".into()
                 } else {
@@ -56,7 +66,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Executable", "Handler", "Anchor pair (recv ↔ send)", "P_f", "Invocation", "Verdict"],
+            &[
+                "Executable",
+                "Handler",
+                "Anchor pair (recv ↔ send)",
+                "P_f",
+                "Invocation",
+                "Verdict"
+            ],
             &rows
         )
     );

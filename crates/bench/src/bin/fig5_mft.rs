@@ -46,19 +46,23 @@ fn main() {
     let f = prog.function_by_name("send_register").unwrap();
     let callsite = f
         .callsites()
-        .find(|c| {
-            c.call_target().and_then(|t| prog.callee_name(t)) == Some("SSL_write")
-        })
+        .find(|c| c.call_target().and_then(|t| prog.callee_name(t)) == Some("SSL_write"))
         .unwrap()
         .addr;
     let tree = TaintEngine::new(&prog).trace(f.entry(), callsite, 1);
     let mft = Mft::from_taint(&tree);
 
     println!("Fig. 5 — MFT transformation\n");
-    println!("(a) original MFT ({} nodes, backward-discovery order):", mft.len());
+    println!(
+        "(a) original MFT ({} nodes, backward-discovery order):",
+        mft.len()
+    );
     println!("{}", mft.render());
     let simplified = mft.simplified();
-    println!("(b) simplified MFT ({} nodes — branching + leaves):", simplified.len());
+    println!(
+        "(b) simplified MFT ({} nodes — branching + leaves):",
+        simplified.len()
+    );
     println!("{}", simplified.render());
     let inverted = simplified.inverted();
     println!("(c) inverted MFT (construction order restored):");

@@ -10,18 +10,33 @@
 //!
 //! Usage: `cargo run --release -p firmres-bench --bin perf_breakdown`
 
-use firmres::{analyze_firmware, AnalysisConfig, StageTimings};
+use firmres::{analyze_corpus, AnalysisConfig, StageTimings};
 use firmres_corpus::generate_corpus;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn main() {
     eprintln!("analyzing all 20 binary-handled devices…\n");
     let corpus = generate_corpus(7);
     let config = AnalysisConfig::default();
+    let devs: Vec<_> = corpus
+        .iter()
+        .filter(|d| d.cloud_executable.is_some())
+        .collect();
+    let images: Vec<_> = devs.iter().map(|d| &d.firmware).collect();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let t_seq = Instant::now();
+    let sequential = analyze_corpus(&images, None, &config, 1);
+    let wall_seq = t_seq.elapsed();
+    let t_par = Instant::now();
+    let parallel = analyze_corpus(&images, None, &config, threads);
+    let wall_par = t_par.elapsed();
+
     let mut totals = StageTimings::default();
     let mut per_device: Vec<(u8, Duration)> = Vec::new();
-    for dev in corpus.iter().filter(|d| d.cloud_executable.is_some()) {
-        let analysis = analyze_firmware(&dev.firmware, None, &config);
+    for (dev, analysis) in devs.iter().zip(&sequential) {
         let t = analysis.timings;
         totals.exeid += t.exeid;
         totals.field_identification += t.field_identification;
@@ -30,6 +45,7 @@ fn main() {
         totals.form_check += t.form_check;
         per_device.push((dev.spec.id, t.total()));
     }
+    drop(parallel);
     let shares = totals.shares();
     println!("§V-E — per-stage share of total analysis time, measured (paper):");
     let labels = [
@@ -54,5 +70,15 @@ fn main() {
         max.1.as_secs_f64() / min.1.as_secs_f64().max(1e-9),
         1472.0 / 154.0
     );
-    println!("  total: {:?} over {} devices", totals.total(), per_device.len());
+    println!(
+        "  total: {:?} over {} devices",
+        totals.total(),
+        per_device.len()
+    );
+    println!("\ncorpus sweep wall-clock (analyze_corpus):");
+    println!("  1 thread : {wall_seq:?}");
+    println!(
+        "  {threads} thread(s): {wall_par:?} ({:.2}× speedup)",
+        wall_seq.as_secs_f64() / wall_par.as_secs_f64().max(1e-9)
+    );
 }

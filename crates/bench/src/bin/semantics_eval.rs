@@ -23,7 +23,10 @@ fn main() {
         .map(|d| (d, analyze_firmware(&d.firmware, None, &config)))
         .collect();
     let dataset = build_slice_dataset(&analyses);
-    eprintln!("dataset: {} slices (paper: 30,941 from 147k images)", dataset.len());
+    eprintln!(
+        "dataset: {} slices (paper: 30,941 from 147k images)",
+        dataset.len()
+    );
 
     let split = split_dataset(&dataset, 7);
     eprintln!(
@@ -38,7 +41,10 @@ fn main() {
     let val = model.accuracy(&split.validation);
     let test = model.accuracy(&split.test);
     println!("\nsemantics model accuracy:");
-    println!("  training:   {:6.2}%", model.report().train_accuracy * 100.0);
+    println!(
+        "  training:   {:6.2}%",
+        model.report().train_accuracy * 100.0
+    );
     println!("  validation: {:6.2}%  (paper 92.23%)", val * 100.0);
     println!("  test:       {:6.2}%  (paper 91.74%)", test * 100.0);
 
@@ -57,15 +63,34 @@ fn main() {
                 _ => {}
             }
         }
-        let prec = if tp + fp == 0 { f64::NAN } else { tp as f64 / (tp + fp) as f64 };
-        let rec = if tp + fn_ == 0 { f64::NAN } else { tp as f64 / (tp + fn_) as f64 };
+        let prec = if tp + fp == 0 {
+            f64::NAN
+        } else {
+            tp as f64 / (tp + fp) as f64
+        };
+        let rec = if tp + fn_ == 0 {
+            f64::NAN
+        } else {
+            tp as f64 / (tp + fn_) as f64
+        };
         rows.push(vec![
             class.label().to_string(),
             (tp + fn_).to_string(),
-            if prec.is_nan() { "-".into() } else { format!("{:.1}%", prec * 100.0) },
-            if rec.is_nan() { "-".into() } else { format!("{:.1}%", rec * 100.0) },
+            if prec.is_nan() {
+                "-".into()
+            } else {
+                format!("{:.1}%", prec * 100.0)
+            },
+            if rec.is_nan() {
+                "-".into()
+            } else {
+                format!("{:.1}%", rec * 100.0)
+            },
         ]);
     }
     println!("\nper-primitive results on the test split:");
-    println!("{}", render_table(&["Primitive", "Support", "Precision", "Recall"], &rows));
+    println!(
+        "{}",
+        render_table(&["Primitive", "Support", "Precision", "Recall"], &rows)
+    );
 }

@@ -14,7 +14,11 @@ fn main() {
                 format!("{}: {}", d.vendor, d.model),
                 d.device_type.to_string(),
                 d.firmware_version.to_string(),
-                if d.script_based { "scripts (out of scope)".into() } else { "binary".into() },
+                if d.script_based {
+                    "scripts (out of scope)".into()
+                } else {
+                    "binary".into()
+                },
             ]
         })
         .collect();
@@ -22,7 +26,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["ID", "Device Model", "Device Type", "Firmware Version", "Device-cloud logic"],
+            &[
+                "ID",
+                "Device Model",
+                "Device Type",
+                "Firmware Version",
+                "Device-cloud logic"
+            ],
             &rows
         )
     );

@@ -6,7 +6,7 @@
 //!
 //! Usage: `cargo run -p firmres-bench --bin table2 [--no-overtaint]`
 
-use firmres::{analyze_firmware, AnalysisConfig};
+use firmres::{analyze_corpus, AnalysisConfig};
 use firmres_bench::{build_slice_dataset, render_table, score_analysis, train_semantics_model};
 use firmres_corpus::generate_corpus;
 
@@ -42,13 +42,21 @@ fn main() {
 
     eprintln!("generating corpus…");
     let corpus = generate_corpus(7);
-
-    eprintln!("pass 1: analyzing all devices (keyword labels) to harvest slices…");
-    let analyses: Vec<_> = corpus
+    let devs: Vec<_> = corpus
         .iter()
         .filter(|d| d.cloud_executable.is_some())
-        .map(|d| (d, analyze_firmware(&d.firmware, None, &config)))
         .collect();
+    let images: Vec<_> = devs.iter().map(|d| &d.firmware).collect();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    eprintln!(
+        "pass 1: analyzing {} devices on {threads} threads (keyword labels)…",
+        devs.len()
+    );
+    let pass1 = analyze_corpus(&images, None, &config, threads);
+    let analyses: Vec<_> = devs.iter().copied().zip(pass1).collect();
 
     eprintln!("training the semantics model on harvested slices…");
     let dataset = build_slice_dataset(&analyses);
@@ -61,12 +69,12 @@ fn main() {
     );
 
     eprintln!("pass 2: re-analyzing with the trained model and scoring…\n");
+    let pass2 = analyze_corpus(&images, Some(&model), &config, threads);
     let mut rows = Vec::new();
     let mut tot = [0usize; 5];
     let mut paper_tot = [0usize; 5];
-    for dev in corpus.iter().filter(|d| d.cloud_executable.is_some()) {
-        let analysis = analyze_firmware(&dev.firmware, Some(&model), &config);
-        let s = score_analysis(dev, &analysis);
+    for (dev, analysis) in devs.iter().zip(&pass2) {
+        let s = score_analysis(dev, analysis);
         let p = PAPER.iter().find(|p| p.0 == s.id).expect("paper row");
         let clusters = s
             .clusters
@@ -111,7 +119,15 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Dev", "#Ident", "#Valid", "#Fields", "#Confirmed", "thd .5/.6/.7", "#Accurate"],
+            &[
+                "Dev",
+                "#Ident",
+                "#Valid",
+                "#Fields",
+                "#Confirmed",
+                "thd .5/.6/.7",
+                "#Accurate"
+            ],
             &rows
         )
     );

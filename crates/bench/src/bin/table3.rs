@@ -31,7 +31,14 @@ fn main() {
             let leak = if v.leaked.is_empty() {
                 String::new()
             } else {
-                format!(" [leaks: {}]", v.leaked.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>().join(", "))
+                format!(
+                    " [leaks: {}]",
+                    v.leaked
+                        .iter()
+                        .map(|(k, _)| k.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
             };
             rows.push(vec![
                 v.device.to_string(),
@@ -47,7 +54,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Dev", "Functionality", "Path / Method", "Params", "Flaw class", "Consequence"],
+            &[
+                "Dev",
+                "Functionality",
+                "Path / Method",
+                "Params",
+                "Flaw class",
+                "Consequence"
+            ],
             &rows
         )
     );

@@ -52,7 +52,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Tool", "Inputs", "Target cloud platforms", "#Cloud interfaces", "Recovery accuracy"],
+            &[
+                "Tool",
+                "Inputs",
+                "Target cloud platforms",
+                "#Cloud interfaces",
+                "Recovery accuracy"
+            ],
             &rows
         )
     );

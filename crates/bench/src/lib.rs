@@ -12,9 +12,7 @@ use firmres::{analyze_firmware, fill_message, probe_cloud, AnalysisConfig, Firmw
 use firmres_cloud::FlawClass;
 use firmres_corpus::{GeneratedDevice, SprintfUsage};
 use firmres_mft::cluster_count;
-use firmres_semantics::{
-    split_dataset, weak_label, Classifier, Primitive, TrainConfig,
-};
+use firmres_semantics::{split_dataset, weak_label, Classifier, Primitive, TrainConfig};
 
 /// Per-device evaluation results — one row of the reproduced Table II.
 #[derive(Debug, Clone)]
@@ -213,16 +211,16 @@ pub fn leaf_truth(
                 return Some(f.semantic);
             }
             // The signature derivation's data constant.
-            if value == "sign-data"
-                && plan.fields.iter().any(|f| f.source == ValueSource::Signed)
-            {
+            if value == "sign-data" && plan.fields.iter().any(|f| f.source == ValueSource::Signed) {
                 return Some(Primitive::Signature);
             }
             // Key literals and short key pieces: semantics of the named
             // field.
-            if let Some(f) = plan.fields.iter().find(|f| {
-                value.contains(f.key.as_str()) && value.len() <= f.key.len() + 6
-            }) {
+            if let Some(f) = plan
+                .fields
+                .iter()
+                .find(|f| value.contains(f.key.as_str()) && value.len() <= f.key.len() + 6)
+            {
                 return Some(f.semantic);
             }
             // Templates / endpoint prefixes / JSON scaffolding: required
@@ -267,8 +265,12 @@ pub fn discover_vulnerabilities(
         else {
             continue;
         };
-        let Some(flaw) = endpoint.flaw() else { continue };
-        let Some(consequence) = &endpoint.consequence else { continue };
+        let Some(flaw) = endpoint.flaw() else {
+            continue;
+        };
+        let Some(consequence) = &endpoint.consequence else {
+            continue;
+        };
         findings.push(VulnFinding {
             device: dev.spec.id,
             functionality: endpoint.functionality.clone(),
@@ -288,7 +290,9 @@ pub fn discover_vulnerabilities(
 /// Training corpus for the semantics model: slices harvested from every
 /// analyzed device, weak-labeled with the keyword dictionaries (the
 /// paper's bootstrap labeling).
-pub fn build_slice_dataset(analyses: &[(&GeneratedDevice, FirmwareAnalysis)]) -> Vec<(String, Primitive)> {
+pub fn build_slice_dataset(
+    analyses: &[(&GeneratedDevice, FirmwareAnalysis)],
+) -> Vec<(String, Primitive)> {
     let mut data = Vec::new();
     for (_, analysis) in analyses {
         for record in analysis.identified() {
@@ -302,12 +306,12 @@ pub fn build_slice_dataset(analyses: &[(&GeneratedDevice, FirmwareAnalysis)]) ->
 
 /// Train the semantics classifier on a slice dataset with the paper's
 /// 7:2:1 protocol; returns `(model, validation accuracy, test accuracy)`.
-pub fn train_semantics_model(
-    data: &[(String, Primitive)],
-    seed: u64,
-) -> (Classifier, f64, f64) {
+pub fn train_semantics_model(data: &[(String, Primitive)], seed: u64) -> (Classifier, f64, f64) {
     let split = split_dataset(data, seed);
-    let config = TrainConfig { epochs: 30, ..TrainConfig::default() };
+    let config = TrainConfig {
+        epochs: 30,
+        ..TrainConfig::default()
+    };
     let model = Classifier::train(&split.train, &config);
     let val = model.accuracy(&split.validation);
     let test = model.accuracy(&split.test);
@@ -325,16 +329,28 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
         }
     }
     let mut out = String::new();
-    let sep: String = widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
+    let sep: String = widths
+        .iter()
+        .map(|w| "-".repeat(w + 2))
+        .collect::<Vec<_>>()
+        .join("+");
     let fmt_row = |cells: &[String]| -> String {
         cells
             .iter()
             .enumerate()
-            .map(|(i, c)| format!(" {:<width$} ", c, width = widths.get(i).copied().unwrap_or(4)))
+            .map(|(i, c)| {
+                format!(
+                    " {:<width$} ",
+                    c,
+                    width = widths.get(i).copied().unwrap_or(4)
+                )
+            })
             .collect::<Vec<_>>()
             .join("|")
     };
-    out.push_str(&fmt_row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>()));
+    out.push_str(&fmt_row(
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+    ));
     out.push('\n');
     out.push_str(&sep);
     out.push('\n');
@@ -381,7 +397,10 @@ mod tests {
         assert_eq!(vulns.len(), 1);
         assert!(vulns[0].known);
         assert!(
-            vulns[0].leaked.iter().any(|(k, v)| k == "certificate" && v == &dev.identity.secret),
+            vulns[0]
+                .leaked
+                .iter()
+                .any(|(k, v)| k == "certificate" && v == &dev.identity.secret),
             "the device certificate leaks: {:?}",
             vulns[0].leaked
         );
@@ -389,7 +408,9 @@ mod tests {
 
     #[test]
     fn leaf_truth_maps_sources_to_plan_semantics() {
-        use firmres_corpus::{BodyStyle, Delivery, MessagePlan, PlanField, PlanPolicy, PlanResponse, ValueSource};
+        use firmres_corpus::{
+            BodyStyle, Delivery, MessagePlan, PlanField, PlanPolicy, PlanResponse, ValueSource,
+        };
         use firmres_dataflow::{FieldSource, SourceKind};
         let plan = MessagePlan {
             index: 0,
@@ -436,21 +457,36 @@ mod tests {
         };
         assert_eq!(leaf_truth(&src, &plan), Some(Primitive::Signature));
         // Hard-coded values map to their field's semantic.
-        let src = FieldSource::StringConstant { addr: 0, value: "fixed-note".into() };
+        let src = FieldSource::StringConstant {
+            addr: 0,
+            value: "fixed-note".into(),
+        };
         assert_eq!(leaf_truth(&src, &plan), Some(Primitive::None));
         // Key literals map to the named field's semantic.
-        let src = FieldSource::StringConstant { addr: 0, value: "&mac=".into() };
+        let src = FieldSource::StringConstant {
+            addr: 0,
+            value: "&mac=".into(),
+        };
         assert_eq!(leaf_truth(&src, &plan), Some(Primitive::DevIdentifier));
         // Templates covering several keys are construction constants.
-        let src = FieldSource::StringConstant { addr: 0, value: "/api/x?mac=%s&sign=%s".into() };
+        let src = FieldSource::StringConstant {
+            addr: 0,
+            value: "/api/x?mac=%s&sign=%s".into(),
+        };
         assert_eq!(leaf_truth(&src, &plan), Some(Primitive::None));
         // Noise stays unconfirmed.
-        assert_eq!(leaf_truth(&FieldSource::NumericConstant { value: 9 }, &plan), None);
+        assert_eq!(
+            leaf_truth(&FieldSource::NumericConstant { value: 9 }, &plan),
+            None
+        );
         assert_eq!(
             leaf_truth(&FieldSource::Unresolved { reason: "x" }, &plan),
             None
         );
-        let src = FieldSource::StringConstant { addr: 0, value: "unrelated garbage".into() };
+        let src = FieldSource::StringConstant {
+            addr: 0,
+            value: "unrelated garbage".into(),
+        };
         assert_eq!(leaf_truth(&src, &plan), None);
     }
 

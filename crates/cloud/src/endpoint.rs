@@ -198,7 +198,10 @@ mod tests {
     #[test]
     fn identifier_only_is_flagged() {
         let e = endpoint(
-            vec![Check::KnownDevice("uid".into()), Check::FieldPresent("version".into())],
+            vec![
+                Check::KnownDevice("uid".into()),
+                Check::FieldPresent("version".into()),
+            ],
             ResponseSpec::Ok,
             "Uploading crash logs.",
         );

@@ -56,7 +56,10 @@ impl Json {
         let v = p.value()?;
         p.skip_ws();
         if p.pos != bytes.len() {
-            return Err(JsonError { at: p.pos, msg: "trailing input" });
+            return Err(JsonError {
+                at: p.pos,
+                msg: "trailing input",
+            });
         }
         Ok(v)
     }
@@ -188,11 +191,18 @@ impl Parser<'_> {
             Some(b'{') => self.object(),
             Some(b'[') => self.array(),
             Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b't') => self.literal("true", "expected `true`").map(|()| Json::Bool(true)),
-            Some(b'f') => self.literal("false", "expected `false`").map(|()| Json::Bool(false)),
+            Some(b't') => self
+                .literal("true", "expected `true`")
+                .map(|()| Json::Bool(true)),
+            Some(b'f') => self
+                .literal("false", "expected `false`")
+                .map(|()| Json::Bool(false)),
             Some(b'n') => self.literal("null", "expected `null`").map(|()| Json::Null),
             Some(b'-' | b'0'..=b'9') => self.number(),
-            _ => Err(JsonError { at: self.pos, msg: "expected a value" }),
+            _ => Err(JsonError {
+                at: self.pos,
+                msg: "expected a value",
+            }),
         }
     }
 
@@ -219,7 +229,12 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(Json::Obj(members));
                 }
-                _ => return Err(JsonError { at: self.pos, msg: "expected `,` or `}`" }),
+                _ => {
+                    return Err(JsonError {
+                        at: self.pos,
+                        msg: "expected `,` or `}`",
+                    })
+                }
             }
         }
     }
@@ -242,7 +257,12 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(Json::Arr(items));
                 }
-                _ => return Err(JsonError { at: self.pos, msg: "expected `,` or `]`" }),
+                _ => {
+                    return Err(JsonError {
+                        at: self.pos,
+                        msg: "expected `,` or `]`",
+                    })
+                }
             }
         }
     }
@@ -252,7 +272,12 @@ impl Parser<'_> {
         let mut out = String::new();
         loop {
             match self.peek() {
-                None => return Err(JsonError { at: self.pos, msg: "unterminated string" }),
+                None => {
+                    return Err(JsonError {
+                        at: self.pos,
+                        msg: "unterminated string",
+                    })
+                }
                 Some(b'"') => {
                     self.pos += 1;
                     return Ok(out);
@@ -273,19 +298,29 @@ impl Parser<'_> {
                                 .get(start..start + 4)
                                 .and_then(|h| std::str::from_utf8(h).ok())
                                 .and_then(|h| u32::from_str_radix(h, 16).ok())
-                                .ok_or(JsonError { at: self.pos, msg: "bad \\u escape" })?;
+                                .ok_or(JsonError {
+                                    at: self.pos,
+                                    msg: "bad \\u escape",
+                                })?;
                             out.push(char::from_u32(hex).unwrap_or('\u{FFFD}'));
                             self.pos += 4;
                         }
-                        _ => return Err(JsonError { at: self.pos, msg: "bad escape" }),
+                        _ => {
+                            return Err(JsonError {
+                                at: self.pos,
+                                msg: "bad escape",
+                            })
+                        }
                     }
                     self.pos += 1;
                 }
                 Some(_) => {
                     // Consume one UTF-8 scalar.
                     let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest)
-                        .map_err(|_| JsonError { at: self.pos, msg: "invalid utf-8" })?;
+                    let s = std::str::from_utf8(rest).map_err(|_| JsonError {
+                        at: self.pos,
+                        msg: "invalid utf-8",
+                    })?;
                     let c = s.chars().next().expect("non-empty");
                     out.push(c);
                     self.pos += c.len_utf8();
@@ -303,9 +338,10 @@ impl Parser<'_> {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits");
-        text.parse::<i64>()
-            .map(Json::Num)
-            .map_err(|_| JsonError { at: start, msg: "bad number" })
+        text.parse::<i64>().map(Json::Num).map_err(|_| JsonError {
+            at: start,
+            msg: "bad number",
+        })
     }
 }
 
@@ -319,7 +355,10 @@ mod tests {
             "{\"mac\":\"00:11:22:33:44:55\",\"sn\":\"SN42\",\"ver\":7,\"ok\":true,\"x\":null}",
         )
         .unwrap();
-        assert_eq!(v.get("mac").and_then(Json::as_str), Some("00:11:22:33:44:55"));
+        assert_eq!(
+            v.get("mac").and_then(Json::as_str),
+            Some("00:11:22:33:44:55")
+        );
         assert_eq!(v.get("ver"), Some(&Json::Num(7)));
         let params = v.flat_params();
         assert_eq!(params["sn"], "SN42");

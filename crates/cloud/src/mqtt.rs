@@ -173,21 +173,21 @@ impl Broker {
         };
         let id = SessionId(self.next_id);
         self.next_id += 1;
-        self.sessions.insert(id, Session {
-            client_id: client_id.into(),
-            device_identity,
-            subscriptions: Vec::new(),
-            inbox: Vec::new(),
-        });
+        self.sessions.insert(
+            id,
+            Session {
+                client_id: client_id.into(),
+                device_identity,
+                subscriptions: Vec::new(),
+                inbox: Vec::new(),
+            },
+        );
         Ok(id)
     }
 
     /// The device identity a session authenticated as, if any.
     pub fn session_device(&self, session: SessionId) -> Option<&str> {
-        self.sessions
-            .get(&session)?
-            .device_identity
-            .as_deref()
+        self.sessions.get(&session)?.device_identity.as_deref()
     }
 
     /// Subscribe with an MQTT filter (`+` single-level, `#` multi-level
@@ -201,7 +201,10 @@ impl Broker {
             .filter(|m| topic_matches(filter, &m.topic))
             .cloned()
             .collect();
-        let s = self.sessions.get_mut(&session).ok_or(MqttError::NoSuchSession)?;
+        let s = self
+            .sessions
+            .get_mut(&session)
+            .ok_or(MqttError::NoSuchSession)?;
         s.subscriptions.push(filter.to_string());
         s.inbox.extend(retained);
         Ok(())
@@ -260,7 +263,10 @@ impl Broker {
 
     /// Drain a session's inbox.
     pub fn poll(&mut self, session: SessionId) -> Result<Vec<MqttMessage>, MqttError> {
-        let s = self.sessions.get_mut(&session).ok_or(MqttError::NoSuchSession)?;
+        let s = self
+            .sessions
+            .get_mut(&session)
+            .ok_or(MqttError::NoSuchSession)?;
         Ok(std::mem::take(&mut s.inbox))
     }
 
@@ -328,7 +334,10 @@ mod tests {
 
     #[test]
     fn topic_matching_rules() {
-        assert!(topic_matches("/sys/properties/report", "/sys/properties/report"));
+        assert!(topic_matches(
+            "/sys/properties/report",
+            "/sys/properties/report"
+        ));
         assert!(topic_matches("/sys/+/report", "/sys/properties/report"));
         assert!(topic_matches("/sys/#", "/sys/properties/report"));
         assert!(topic_matches("#", "/anything/at/all"));
@@ -340,18 +349,47 @@ mod tests {
     #[test]
     fn connect_auth_paths() {
         let mut b = broker();
-        assert!(b.connect("u", MqttAuth::UserPass { user: "alice".into(), password: "pw" .into()}).is_ok());
+        assert!(b
+            .connect(
+                "u",
+                MqttAuth::UserPass {
+                    user: "alice".into(),
+                    password: "pw".into()
+                }
+            )
+            .is_ok());
         assert_eq!(
-            b.connect("u", MqttAuth::UserPass { user: "alice".into(), password: "no".into() }),
+            b.connect(
+                "u",
+                MqttAuth::UserPass {
+                    user: "alice".into(),
+                    password: "no".into()
+                }
+            ),
             Err(MqttError::NotAuthorized)
         );
-        let s = b.connect("d", MqttAuth::DeviceCert { cert: "cert-abc".into() }).unwrap();
+        let s = b
+            .connect(
+                "d",
+                MqttAuth::DeviceCert {
+                    cert: "cert-abc".into(),
+                },
+            )
+            .unwrap();
         assert_eq!(b.session_device(s), Some("D-77"));
         assert_eq!(
-            b.connect("d", MqttAuth::DeviceCert { cert: "wrong".into() }),
+            b.connect(
+                "d",
+                MqttAuth::DeviceCert {
+                    cert: "wrong".into()
+                }
+            ),
             Err(MqttError::NotAuthorized)
         );
-        assert_eq!(b.connect("a", MqttAuth::Anonymous), Err(MqttError::NotAuthorized));
+        assert_eq!(
+            b.connect("a", MqttAuth::Anonymous),
+            Err(MqttError::NotAuthorized)
+        );
     }
 
     #[test]
@@ -359,7 +397,13 @@ mod tests {
         let mut b = broker();
         let token = b.state.token_for("D-77").unwrap();
         let s = b
-            .connect("d", MqttAuth::DeviceToken { identifier: "00:11:22:33:44:77".into(), token })
+            .connect(
+                "d",
+                MqttAuth::DeviceToken {
+                    identifier: "00:11:22:33:44:77".into(),
+                    token,
+                },
+            )
             .unwrap();
         assert_eq!(b.session_device(s), Some("D-77"));
     }
@@ -368,10 +412,23 @@ mod tests {
     fn pub_sub_round_trip() {
         let mut b = broker();
         let user = b
-            .connect("app", MqttAuth::UserPass { user: "alice".into(), password: "pw".into() })
+            .connect(
+                "app",
+                MqttAuth::UserPass {
+                    user: "alice".into(),
+                    password: "pw".into(),
+                },
+            )
             .unwrap();
         b.subscribe(user, "/dev/D-77/#").unwrap();
-        let dev = b.connect("dev", MqttAuth::DeviceCert { cert: "cert-abc".into() }).unwrap();
+        let dev = b
+            .connect(
+                "dev",
+                MqttAuth::DeviceCert {
+                    cert: "cert-abc".into(),
+                },
+            )
+            .unwrap();
         let delivered = b.publish(dev, "/dev/D-77/telemetry", "{\"t\":20}").unwrap();
         assert_eq!(delivered, 1);
         let msgs = b.poll(user).unwrap();
@@ -384,10 +441,24 @@ mod tests {
     #[test]
     fn retained_messages_replay_on_subscribe() {
         let mut b = broker();
-        let dev = b.connect("dev", MqttAuth::DeviceCert { cert: "cert-abc".into() }).unwrap();
-        b.publish_retained(dev, "/dev/D-77/status", "online", true).unwrap();
+        let dev = b
+            .connect(
+                "dev",
+                MqttAuth::DeviceCert {
+                    cert: "cert-abc".into(),
+                },
+            )
+            .unwrap();
+        b.publish_retained(dev, "/dev/D-77/status", "online", true)
+            .unwrap();
         let user = b
-            .connect("app", MqttAuth::UserPass { user: "alice".into(), password: "pw".into() })
+            .connect(
+                "app",
+                MqttAuth::UserPass {
+                    user: "alice".into(),
+                    password: "pw".into(),
+                },
+            )
             .unwrap();
         b.subscribe(user, "/dev/+/status").unwrap();
         let msgs = b.poll(user).unwrap();
@@ -401,33 +472,78 @@ mod tests {
         // from the registration endpoint and now *is* the device.
         let mut b = broker();
         let user = b
-            .connect("victim-app", MqttAuth::UserPass { user: "alice".into(), password: "pw".into() })
+            .connect(
+                "victim-app",
+                MqttAuth::UserPass {
+                    user: "alice".into(),
+                    password: "pw".into(),
+                },
+            )
             .unwrap();
         b.subscribe(user, "/dev/D-77/alarm").unwrap();
         let attacker = b
-            .connect("attacker", MqttAuth::DeviceCert { cert: "cert-abc".into() })
+            .connect(
+                "attacker",
+                MqttAuth::DeviceCert {
+                    cert: "cert-abc".into(),
+                },
+            )
             .unwrap();
-        assert_eq!(b.session_device(attacker), Some("D-77"), "full device identity");
-        b.publish(attacker, "/dev/D-77/alarm", "{\"alarm\":\"intrusion\"}").unwrap();
+        assert_eq!(
+            b.session_device(attacker),
+            Some("D-77"),
+            "full device identity"
+        );
+        b.publish(attacker, "/dev/D-77/alarm", "{\"alarm\":\"intrusion\"}")
+            .unwrap();
         let msgs = b.poll(user).unwrap();
         assert_eq!(msgs.len(), 1, "victim receives the forged alarm");
         // And the attacker can watch the device's command channel.
         b.subscribe(attacker, "/dev/D-77/cmd/#").unwrap();
         let cloud = b
-            .connect("cloud-svc", MqttAuth::UserPass { user: "alice".into(), password: "pw".into() })
+            .connect(
+                "cloud-svc",
+                MqttAuth::UserPass {
+                    user: "alice".into(),
+                    password: "pw".into(),
+                },
+            )
             .unwrap();
         b.publish(cloud, "/dev/D-77/cmd/reboot", "{}").unwrap();
-        assert_eq!(b.poll(attacker).unwrap().len(), 1, "attacker sees device commands");
+        assert_eq!(
+            b.poll(attacker).unwrap().len(),
+            1,
+            "attacker sees device commands"
+        );
     }
 
     #[test]
     fn bad_topics_and_filters_rejected() {
         let mut b = broker();
-        let dev = b.connect("d", MqttAuth::DeviceCert { cert: "cert-abc".into() }).unwrap();
-        assert!(matches!(b.publish(dev, "/x/+", "p"), Err(MqttError::BadTopic(_))));
-        assert!(matches!(b.publish(dev, "", "p"), Err(MqttError::BadTopic(_))));
-        assert!(matches!(b.subscribe(dev, "/a/#/b"), Err(MqttError::BadTopic(_))));
-        assert!(matches!(b.subscribe(dev, "/a/b+"), Err(MqttError::BadTopic(_))));
+        let dev = b
+            .connect(
+                "d",
+                MqttAuth::DeviceCert {
+                    cert: "cert-abc".into(),
+                },
+            )
+            .unwrap();
+        assert!(matches!(
+            b.publish(dev, "/x/+", "p"),
+            Err(MqttError::BadTopic(_))
+        ));
+        assert!(matches!(
+            b.publish(dev, "", "p"),
+            Err(MqttError::BadTopic(_))
+        ));
+        assert!(matches!(
+            b.subscribe(dev, "/a/#/b"),
+            Err(MqttError::BadTopic(_))
+        ));
+        assert!(matches!(
+            b.subscribe(dev, "/a/b+"),
+            Err(MqttError::BadTopic(_))
+        ));
         assert!(b.subscribe(dev, "/a/+/b").is_ok());
     }
 
@@ -436,13 +552,23 @@ mod tests {
         let mut b = broker();
         let ghost = SessionId(999);
         assert_eq!(b.poll(ghost), Err(MqttError::NoSuchSession));
-        assert!(matches!(b.publish(ghost, "/t", "p"), Err(MqttError::NoSuchSession)));
+        assert!(matches!(
+            b.publish(ghost, "/t", "p"),
+            Err(MqttError::NoSuchSession)
+        ));
     }
 
     #[test]
     fn audit_log_records_everything() {
         let mut b = broker();
-        let dev = b.connect("d", MqttAuth::DeviceCert { cert: "cert-abc".into() }).unwrap();
+        let dev = b
+            .connect(
+                "d",
+                MqttAuth::DeviceCert {
+                    cert: "cert-abc".into(),
+                },
+            )
+            .unwrap();
         b.publish(dev, "/a", "1").unwrap();
         b.publish(dev, "/b", "2").unwrap();
         assert_eq!(b.audit_log().len(), 2);

@@ -129,10 +129,18 @@ mod tests {
         };
         assert!(ok.message_valid());
         assert!(ok.forged_accepted());
-        let denied = ProbeOutcome { path: "/x".into(), status: ResponseStatus::AccessDenied, leaked: vec![] };
+        let denied = ProbeOutcome {
+            path: "/x".into(),
+            status: ResponseStatus::AccessDenied,
+            leaked: vec![],
+        };
         assert!(denied.message_valid());
         assert!(!denied.forged_accepted());
-        let bad = ProbeOutcome { path: "/x".into(), status: ResponseStatus::BadRequest, leaked: vec![] };
+        let bad = ProbeOutcome {
+            path: "/x".into(),
+            status: ResponseStatus::BadRequest,
+            leaked: vec![],
+        };
         assert!(!bad.message_valid());
     }
 }

@@ -19,7 +19,10 @@ pub struct HttpRequest {
 impl HttpRequest {
     /// Build a request.
     pub fn new(path: impl Into<String>, body: impl Into<String>) -> Self {
-        HttpRequest { path: path.into(), body: body.into() }
+        HttpRequest {
+            path: path.into(),
+            body: body.into(),
+        }
     }
 
     /// Parse the parameters from the path query string and the body
@@ -75,7 +78,10 @@ impl HttpResponse {
     fn simple(status: ResponseStatus) -> Self {
         let mut obj = BTreeMap::new();
         obj.insert("status".to_string(), Json::Str(status.phrase().to_string()));
-        HttpResponse { status, body: Json::Obj(obj) }
+        HttpResponse {
+            status,
+            body: Json::Obj(obj),
+        }
     }
 
     /// String values leaked in the body under credential-ish keys.
@@ -117,7 +123,11 @@ pub struct Cloud {
 impl Cloud {
     /// Create a cloud with the given endpoints and initial state.
     pub fn new(name: impl Into<String>, endpoints: Vec<Endpoint>, state: CloudState) -> Self {
-        Cloud { name: name.into(), endpoints, state: Mutex::new(state) }
+        Cloud {
+            name: name.into(),
+            endpoints,
+            state: Mutex::new(state),
+        }
     }
 
     /// Vendor/cloud name.
@@ -162,7 +172,9 @@ impl Cloud {
                     }
                 }
                 Check::SecretValid(idf, sf) => {
-                    let (Some(id), Some(secret)) = (params.get(idf.as_str()), params.get(sf.as_str())) else {
+                    let (Some(id), Some(secret)) =
+                        (params.get(idf.as_str()), params.get(sf.as_str()))
+                    else {
                         return HttpResponse::simple(ResponseStatus::BadRequest);
                     };
                     if !state.valid_secret(id, secret) {
@@ -170,7 +182,8 @@ impl Cloud {
                     }
                 }
                 Check::UserCredValid(uf, pf) => {
-                    let (Some(u), Some(p)) = (params.get(uf.as_str()), params.get(pf.as_str())) else {
+                    let (Some(u), Some(p)) = (params.get(uf.as_str()), params.get(pf.as_str()))
+                    else {
                         return HttpResponse::simple(ResponseStatus::BadRequest);
                     };
                     if !state.valid_user(u, p) {
@@ -178,7 +191,8 @@ impl Cloud {
                     }
                 }
                 Check::TokenValid(idf, tf) => {
-                    let (Some(id), Some(t)) = (params.get(idf.as_str()), params.get(tf.as_str())) else {
+                    let (Some(id), Some(t)) = (params.get(idf.as_str()), params.get(tf.as_str()))
+                    else {
                         return HttpResponse::simple(ResponseStatus::BadRequest);
                     };
                     if !state.valid_token(id, t) {
@@ -186,7 +200,8 @@ impl Cloud {
                     }
                 }
                 Check::SignatureValid(idf, sf) => {
-                    let (Some(id), Some(s)) = (params.get(idf.as_str()), params.get(sf.as_str())) else {
+                    let (Some(id), Some(s)) = (params.get(idf.as_str()), params.get(sf.as_str()))
+                    else {
                         return HttpResponse::simple(ResponseStatus::BadRequest);
                     };
                     if !state.valid_signature(id, s) {
@@ -240,7 +255,10 @@ impl Cloud {
                 }
             }
         }
-        HttpResponse { status: ResponseStatus::RequestOk, body: Json::Obj(obj) }
+        HttpResponse {
+            status: ResponseStatus::RequestOk,
+            body: Json::Obj(obj),
+        }
     }
 
     /// The first identifier-ish parameter value named by the checks.
@@ -285,7 +303,9 @@ mod tests {
     fn test_cloud() -> Cloud {
         let mut state = CloudState::new("cloud-key");
         state.register_device(DeviceRecord {
-            identifiers: [("serial".to_string(), "SN42".to_string())].into_iter().collect(),
+            identifiers: [("serial".to_string(), "SN42".to_string())]
+                .into_iter()
+                .collect(),
             secret: "devsecret".into(),
             bound_user: None,
         });
@@ -359,7 +379,10 @@ mod tests {
     #[test]
     fn token_endpoint_rejects_forged_token_but_accepts_real_one() {
         let cloud = test_cloud();
-        let r = cloud.handle(&HttpRequest::new("/storage/auth", "deviceId=SN42&token=guess"));
+        let r = cloud.handle(&HttpRequest::new(
+            "/storage/auth",
+            "deviceId=SN42&token=guess",
+        ));
         assert_eq!(r.status, ResponseStatus::NoPermission);
         let token = cloud.with_state(|s| s.token_for("SN42").unwrap());
         let r = cloud.handle(&HttpRequest::new(
@@ -401,7 +424,9 @@ mod tests {
         let r = cloud.handle(&HttpRequest::new("/videos/list", "deviceId=SN42"));
         assert_eq!(r.status, ResponseStatus::RequestOk);
         let leaked = r.leaked_values();
-        assert!(leaked.iter().any(|(k, v)| k == "videos" && v == "/video/1.mp4"));
+        assert!(leaked
+            .iter()
+            .any(|(k, v)| k == "videos" && v == "/video/1.mp4"));
     }
 
     #[test]

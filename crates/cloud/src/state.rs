@@ -47,7 +47,10 @@ pub struct CloudState {
 impl CloudState {
     /// New state with the given token-derivation key.
     pub fn new(cloud_key: impl Into<String>) -> Self {
-        CloudState { cloud_key: cloud_key.into(), ..Default::default() }
+        CloudState {
+            cloud_key: cloud_key.into(),
+            ..Default::default()
+        }
     }
 
     /// Register a device.
@@ -90,7 +93,10 @@ impl CloudState {
             return None;
         }
         let key = self.cloud_key.clone();
-        let dev = self.devices.iter_mut().find(|d| d.has_identifier(identifier))?;
+        let dev = self
+            .devices
+            .iter_mut()
+            .find(|d| d.has_identifier(identifier))?;
         dev.bound_user = Some(user.to_string());
         let canonical = dev.canonical_id().to_string();
         Some(derive_bind_token(&key, &canonical, user))
@@ -116,9 +122,8 @@ impl CloudState {
 
     /// Verify a signature derived from the device secret.
     pub fn valid_signature(&self, identifier: &str, signature: &str) -> bool {
-        self.device_by_identifier(identifier).is_some_and(|d| {
-            derive_signature(&d.secret, d.canonical_id()) == signature
-        })
+        self.device_by_identifier(identifier)
+            .is_some_and(|d| derive_signature(&d.secret, d.canonical_id()) == signature)
     }
 
     /// The expected signature for a device (what the *real* device would
@@ -170,7 +175,10 @@ mod tests {
         assert_eq!(st.bind("SN42", "mallory"), None, "unknown user");
         let token = st.bind("SN42", "alice").unwrap();
         assert!(st.valid_token("SN42", &token));
-        assert!(st.valid_token("00:11:22:33:44:55", &token), "any identifier maps to device");
+        assert!(
+            st.valid_token("00:11:22:33:44:55", &token),
+            "any identifier maps to device"
+        );
         assert!(!st.valid_token("SN42", "forged"));
         assert_eq!(st.token_for("SN42"), Some(token));
     }
@@ -197,7 +205,11 @@ mod tests {
         assert!(!st.valid_user("bob", "pw"));
         st.add_resource("SN42", "/videos/2026-07-01.mp4");
         st.add_resource("00:11:22:33:44:55", "/videos/2026-07-02.mp4");
-        assert_eq!(st.resources_for("SN42").len(), 2, "same device via either id");
+        assert_eq!(
+            st.resources_for("SN42").len(),
+            2,
+            "same device via either id"
+        );
         assert!(st.resources_for("missing").is_empty());
     }
 }

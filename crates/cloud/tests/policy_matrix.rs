@@ -2,14 +2,16 @@
 //! parameters, plus endpoint-kind routing.
 
 use firmres_cloud::{
-    mac, Check, Cloud, CloudState, DeviceRecord, Endpoint, EndpointKind, HttpRequest,
-    ResponseSpec, ResponseStatus,
+    mac, Check, Cloud, CloudState, DeviceRecord, Endpoint, EndpointKind, HttpRequest, ResponseSpec,
+    ResponseStatus,
 };
 
 fn state() -> CloudState {
     let mut s = CloudState::new("matrix-key");
     s.register_device(DeviceRecord {
-        identifiers: [("deviceId".to_string(), "D-5".to_string())].into_iter().collect(),
+        identifiers: [("deviceId".to_string(), "D-5".to_string())]
+            .into_iter()
+            .collect(),
         secret: "s3cret".into(),
         bound_user: None,
     });
@@ -41,7 +43,10 @@ fn status(cloud: &Cloud, body: &str) -> ResponseStatus {
 fn known_device_check_matrix() {
     let cloud = single(Check::KnownDevice("deviceId".into()), EndpointKind::Http);
     assert_eq!(status(&cloud, "deviceId=D-5"), ResponseStatus::RequestOk);
-    assert_eq!(status(&cloud, "deviceId=D-404"), ResponseStatus::AccessDenied);
+    assert_eq!(
+        status(&cloud, "deviceId=D-404"),
+        ResponseStatus::AccessDenied
+    );
     assert_eq!(status(&cloud, "other=1"), ResponseStatus::BadRequest);
 }
 
@@ -51,8 +56,14 @@ fn secret_check_matrix() {
         Check::SecretValid("deviceId".into(), "secret".into()),
         EndpointKind::Http,
     );
-    assert_eq!(status(&cloud, "deviceId=D-5&secret=s3cret"), ResponseStatus::RequestOk);
-    assert_eq!(status(&cloud, "deviceId=D-5&secret=nope"), ResponseStatus::AccessDenied);
+    assert_eq!(
+        status(&cloud, "deviceId=D-5&secret=s3cret"),
+        ResponseStatus::RequestOk
+    );
+    assert_eq!(
+        status(&cloud, "deviceId=D-5&secret=nope"),
+        ResponseStatus::AccessDenied
+    );
     assert_eq!(status(&cloud, "deviceId=D-5"), ResponseStatus::BadRequest);
 }
 
@@ -62,8 +73,14 @@ fn user_cred_check_matrix() {
         Check::UserCredValid("user".into(), "pass".into()),
         EndpointKind::Http,
     );
-    assert_eq!(status(&cloud, "user=owner&pass=hunter2"), ResponseStatus::RequestOk);
-    assert_eq!(status(&cloud, "user=owner&pass=guess"), ResponseStatus::NoPermission);
+    assert_eq!(
+        status(&cloud, "user=owner&pass=hunter2"),
+        ResponseStatus::RequestOk
+    );
+    assert_eq!(
+        status(&cloud, "user=owner&pass=guess"),
+        ResponseStatus::NoPermission
+    );
     assert_eq!(status(&cloud, "user=owner"), ResponseStatus::BadRequest);
 }
 
@@ -78,7 +95,10 @@ fn token_check_matrix() {
         status(&cloud, &format!("deviceId=D-5&token={token}")),
         ResponseStatus::RequestOk
     );
-    assert_eq!(status(&cloud, "deviceId=D-5&token=guess"), ResponseStatus::NoPermission);
+    assert_eq!(
+        status(&cloud, "deviceId=D-5&token=guess"),
+        ResponseStatus::NoPermission
+    );
 }
 
 #[test]
@@ -92,13 +112,19 @@ fn signature_check_matrix() {
         status(&cloud, &format!("deviceId=D-5&sign={sig}")),
         ResponseStatus::RequestOk
     );
-    assert_eq!(status(&cloud, "deviceId=D-5&sign=bad"), ResponseStatus::NoPermission);
+    assert_eq!(
+        status(&cloud, "deviceId=D-5&sign=bad"),
+        ResponseStatus::NoPermission
+    );
 }
 
 #[test]
 fn field_present_check_matrix() {
     let cloud = single(Check::FieldPresent("payload".into()), EndpointKind::Http);
-    assert_eq!(status(&cloud, "payload=anything"), ResponseStatus::RequestOk);
+    assert_eq!(
+        status(&cloud, "payload=anything"),
+        ResponseStatus::RequestOk
+    );
     assert_eq!(status(&cloud, ""), ResponseStatus::BadRequest);
 }
 

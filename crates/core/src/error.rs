@@ -1,0 +1,257 @@
+//! Unified error and diagnostic model for the pipeline.
+//!
+//! Historically every recoverable failure inside [`analyze_firmware`]
+//! (an unparseable executable, a lift error, an unresolved taint source,
+//! the keyword-labeling fallback) was silently dropped: the pipeline
+//! degraded and the caller could not tell why. This module gives each of
+//! those events a structured, severity-tagged [`Diagnostic`] attached to
+//! the analysis result, and a fatal [`Error`] type for the fallible entry
+//! points ([`try_analyze_firmware`], [`try_analyze_packed`]).
+//!
+//! [`analyze_firmware`]: crate::analyze_firmware
+//! [`try_analyze_firmware`]: crate::try_analyze_firmware
+//! [`try_analyze_packed`]: crate::try_analyze_packed
+
+use firmres_firmware::FirmwareError;
+use firmres_isa::{ExeError, LiftError};
+use firmres_semantics::ModelError;
+use std::fmt;
+
+/// How serious a [`Diagnostic`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Expected degradation: the pipeline took a documented fallback
+    /// (keyword weak-labeling, an unresolved taint leaf).
+    Info,
+    /// A unit of work was dropped (an executable skipped, a lift
+    /// failure) but the analysis as a whole continued.
+    Warning,
+    /// The analysis could not proceed past this point.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used in rendered diagnostics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The pipeline stage (paper Fig. 3) a diagnostic or timing belongs to,
+/// plus [`StageKind::Input`] for failures before the pipeline proper
+/// (firmware unpacking).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StageKind {
+    /// Firmware container unpacking, before stage 1.
+    Input,
+    /// Stage 1: pinpointing device-cloud executables.
+    ExeId,
+    /// Stage 2: identifying message fields (backward taint).
+    FieldId,
+    /// Stage 3: recovering field semantics.
+    Semantics,
+    /// Stage 4: concatenating message fields.
+    Concat,
+    /// Stage 5: message-form checking.
+    FormCheck,
+}
+
+impl StageKind {
+    /// Short stable label (used in rendered diagnostics and reports).
+    pub fn label(&self) -> &'static str {
+        match self {
+            StageKind::Input => "input",
+            StageKind::ExeId => "exeid",
+            StageKind::FieldId => "field-id",
+            StageKind::Semantics => "semantics",
+            StageKind::Concat => "concat",
+            StageKind::FormCheck => "form-check",
+        }
+    }
+}
+
+impl fmt::Display for StageKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One structured, severity-tagged event recorded during analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The stage that produced the event.
+    pub stage: StageKind,
+    /// Seriousness.
+    pub severity: Severity,
+    /// What the event is about, when there is a natural subject (an
+    /// executable path, a `function@callsite` locus).
+    pub subject: Option<String>,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+impl Diagnostic {
+    /// Build a diagnostic with a subject.
+    pub fn new(
+        stage: StageKind,
+        severity: Severity,
+        subject: impl Into<String>,
+        detail: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            stage,
+            severity,
+            subject: Some(subject.into()),
+            detail: detail.into(),
+        }
+    }
+
+    /// Build a diagnostic with no subject.
+    pub fn bare(stage: StageKind, severity: Severity, detail: impl Into<String>) -> Self {
+        Diagnostic {
+            stage,
+            severity,
+            subject: None,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.subject {
+            Some(s) => write!(
+                f,
+                "[{}] {}: {}: {}",
+                self.severity, self.stage, s, self.detail
+            ),
+            None => write!(f, "[{}] {}: {}", self.severity, self.stage, self.detail),
+        }
+    }
+}
+
+/// Fatal analysis error returned by the fallible entry points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The firmware container could not be unpacked.
+    Firmware(FirmwareError),
+    /// An executable image could not be parsed.
+    Exe(ExeError),
+    /// An executable could not be lifted to IR.
+    Lift(LiftError),
+    /// A persisted semantics model could not be loaded.
+    Model(ModelError),
+    /// The image contained executables but every one of them failed to
+    /// parse or lift — there is nothing left to analyze. (An image with
+    /// no executables at all, e.g. a script-based device, is *not* an
+    /// error: the analysis succeeds with no identified executable.)
+    NoUsableExecutable {
+        /// How many executable entries were attempted.
+        tried: usize,
+        /// The per-executable diagnostics explaining each failure.
+        diagnostics: Vec<Diagnostic>,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Firmware(e) => write!(f, "firmware unpack failed: {e}"),
+            Error::Exe(e) => write!(f, "executable parse failed: {e}"),
+            Error::Lift(e) => write!(f, "lift failed: {e}"),
+            Error::Model(e) => write!(f, "model load failed: {e}"),
+            Error::NoUsableExecutable { tried, .. } => {
+                write!(
+                    f,
+                    "no usable executable: all {tried} executable(s) failed to parse or lift"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Firmware(e) => Some(e),
+            Error::Exe(e) => Some(e),
+            Error::Lift(e) => Some(e),
+            Error::Model(e) => Some(e),
+            Error::NoUsableExecutable { .. } => None,
+        }
+    }
+}
+
+impl From<FirmwareError> for Error {
+    fn from(e: FirmwareError) -> Self {
+        Error::Firmware(e)
+    }
+}
+
+impl From<ExeError> for Error {
+    fn from(e: ExeError) -> Self {
+        Error::Exe(e)
+    }
+}
+
+impl From<LiftError> for Error {
+    fn from(e: LiftError) -> Self {
+        Error::Lift(e)
+    }
+}
+
+impl From<ModelError> for Error {
+    fn from(e: ModelError) -> Self {
+        Error::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_by_seriousness() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn diagnostics_render_with_and_without_subject() {
+        let d = Diagnostic::new(
+            StageKind::ExeId,
+            Severity::Warning,
+            "/usr/bin/agent",
+            "unparseable executable",
+        );
+        assert_eq!(
+            d.to_string(),
+            "[warning] exeid: /usr/bin/agent: unparseable executable"
+        );
+        let b = Diagnostic::bare(StageKind::Semantics, Severity::Info, "keyword fallback");
+        assert_eq!(b.to_string(), "[info] semantics: keyword fallback");
+    }
+
+    #[test]
+    fn error_sources_chain() {
+        use std::error::Error as _;
+        let e = Error::from(FirmwareError::Truncated);
+        assert!(e.source().is_some());
+        let n = Error::NoUsableExecutable {
+            tried: 2,
+            diagnostics: Vec::new(),
+        };
+        assert!(n.source().is_none());
+        assert!(n.to_string().contains("all 2 executable(s)"));
+    }
+}

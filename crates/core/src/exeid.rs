@@ -22,7 +22,9 @@ pub struct ExeIdConfig {
 
 impl Default for ExeIdConfig {
     fn default() -> Self {
-        ExeIdConfig { score_threshold: 0.3 }
+        ExeIdConfig {
+            score_threshold: 0.3,
+        }
     }
 }
 
@@ -82,7 +84,9 @@ pub fn score_handlers(program: &Program) -> Vec<HandlerInfo> {
                 best = Some((d, o));
             }
         }
-        let Some((distance, (out_func, out_op))) = best else { continue };
+        let Some((distance, (out_func, out_op))) = best else {
+            continue;
+        };
         // The candidate sequence: functions on the path between anchors.
         let mut sequence = cg.path(*in_func, *out_func);
         if sequence.is_empty() {
@@ -93,9 +97,16 @@ pub fn score_handlers(program: &Program) -> Vec<HandlerInfo> {
         }
         let mut score: f64 = 0.0;
         for func in &sequence {
-            let Some(f) = program.function(*func) else { continue };
+            let Some(f) = program.function(*func) else {
+                continue;
+            };
             let du = defuse.entry(*func).or_insert_with(|| DefUse::compute(f));
-            let pf = string_parsing_factor(program, f, du, if *func == *in_func { Some(in_op) } else { None });
+            let pf = string_parsing_factor(
+                program,
+                f,
+                du,
+                if *func == *in_func { Some(in_op) } else { None },
+            );
             score = score.max(pf);
         }
         let handler_f = program.function(*in_func).expect("anchor function exists");
@@ -144,7 +155,12 @@ pub fn string_parsing_factor(
         if !op.opcode.is_predicate() {
             continue;
         }
-        let index = f.block(block).ops.iter().position(|o| o.addr == op.addr).unwrap_or(0);
+        let index = f
+            .block(block)
+            .ops
+            .iter()
+            .position(|o| o.addr == op.addr)
+            .unwrap_or(0);
         let at = OpRef { block, index };
         for operand in &op.inputs {
             total += 1;
@@ -163,6 +179,9 @@ pub fn string_parsing_factor(
 }
 
 /// Does `operand` (used at `at`) derive from storage inside `region`?
+// Collapsing the `Load` arm into a match guard would fall through to the
+// generic dataflow arm on guard failure, which inspects every input.
+#[allow(clippy::collapsible_match)]
 fn operand_from_region(
     f: &Function,
     du: &DefUse,
@@ -180,9 +199,7 @@ fn operand_from_region(
             Opcode::Copy => {
                 // Direct read of a stack slot inside the request buffer
                 // (extent bounded by the next named local).
-                if let (Region::Stack(base), Some(off)) =
-                    (region, op.inputs[0].stack_offset())
-                {
+                if let (Region::Stack(base), Some(off)) = (region, op.inputs[0].stack_offset()) {
                     if off >= *base && off < *base + local_extent(f, *base) {
                         return true;
                     }
@@ -247,7 +264,7 @@ mod tests {
     fn cloud_agent_is_identified() {
         let dev = generate_device(10, 7);
         let path = dev.cloud_executable.as_deref().unwrap();
-        let exe = dev.firmware.load_executable(path).unwrap().unwrap();
+        let exe = dev.firmware.load_executable(path).unwrap();
         let prog = lift(&exe, "agent").unwrap();
         let handlers = identify_device_cloud(&prog, &ExeIdConfig::default());
         assert!(!handlers.is_empty(), "async handler found");
@@ -283,7 +300,7 @@ mod tests {
     fn handler_score_reflects_request_parsing() {
         let dev = generate_device(14, 7);
         let path = dev.cloud_executable.as_deref().unwrap();
-        let exe = dev.firmware.load_executable(path).unwrap().unwrap();
+        let exe = dev.firmware.load_executable(path).unwrap();
         let prog = lift(&exe, "agent").unwrap();
         let handlers = score_handlers(&prog);
         let main_handler = handlers

@@ -30,8 +30,7 @@ impl MessagePhase {
     /// registration and binding endpoints name themselves in practice.
     pub fn classify(endpoint: &str) -> MessagePhase {
         let e = endpoint.to_ascii_lowercase();
-        if e.contains("regist") || e.contains("bind") || e.contains("auth") || e.contains("login")
-        {
+        if e.contains("regist") || e.contains("bind") || e.contains("auth") || e.contains("login") {
             MessagePhase::Binding
         } else {
             MessagePhase::Business
@@ -71,7 +70,11 @@ pub enum FormFlaw {
 impl fmt::Display for FormFlaw {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FormFlaw::MissingPrimitives { phase, present, missing } => {
+            FormFlaw::MissingPrimitives {
+                phase,
+                present,
+                missing,
+            } => {
                 let p: Vec<&str> = present.iter().map(|x| x.label()).collect();
                 let m: Vec<&str> = missing.iter().map(|x| x.label()).collect();
                 write!(
@@ -86,7 +89,10 @@ impl fmt::Display for FormFlaw {
                 write!(f, "Dev-Secret `{key}` is hard-coded (\"{value}\")")
             }
             FormFlaw::SecretFromReadableFile { key, config_key } => {
-                write!(f, "Dev-Secret `{key}` is read from readable config `{config_key}`")
+                write!(
+                    f,
+                    "Dev-Secret `{key}` is read from readable config `{config_key}`"
+                )
             }
         }
     }
@@ -145,7 +151,11 @@ pub fn check_message(msg: &ReconstructedMessage, endpoint: &str) -> Vec<FormFlaw
                 }
             }
         }
-        flaws.push(FormFlaw::MissingPrimitives { phase, present: present.clone(), missing });
+        flaws.push(FormFlaw::MissingPrimitives {
+            phase,
+            present: present.clone(),
+            missing,
+        });
     }
 
     // Dev-Secret source tracking.
@@ -156,9 +166,16 @@ pub fn check_message(msg: &ReconstructedMessage, endpoint: &str) -> Vec<FormFlaw
         let key = field.key.clone().unwrap_or_else(|| "<secret>".to_string());
         match &field.origin {
             FieldSource::StringConstant { value, .. } => {
-                flaws.push(FormFlaw::HardcodedDevSecret { key, value: value.clone() });
+                flaws.push(FormFlaw::HardcodedDevSecret {
+                    key,
+                    value: value.clone(),
+                });
             }
-            FieldSource::LibCall { kind: SourceKind::ConfigFile, key: ck, .. } => {
+            FieldSource::LibCall {
+                kind: SourceKind::ConfigFile,
+                key: ck,
+                ..
+            } => {
                 flaws.push(FormFlaw::SecretFromReadableFile {
                     key,
                     config_key: ck.clone().unwrap_or_default(),
@@ -233,7 +250,10 @@ mod tests {
         let flaws = check_message(&m, "/cloud/registrations");
         assert!(matches!(
             flaws[0],
-            FormFlaw::MissingPrimitives { phase: MessagePhase::Binding, .. }
+            FormFlaw::MissingPrimitives {
+                phase: MessagePhase::Binding,
+                ..
+            }
         ));
     }
 
@@ -263,13 +283,16 @@ mod tests {
             (
                 "secretKey",
                 Primitive::DevSecret,
-                FieldSource::StringConstant { addr: 0x400000, value: "sec-abc".into() },
+                FieldSource::StringConstant {
+                    addr: 0x400000,
+                    value: "sec-abc".into(),
+                },
             ),
         ]);
         let flaws = check_message(&m, "/auth/register");
-        assert!(flaws
-            .iter()
-            .any(|f| matches!(f, FormFlaw::HardcodedDevSecret { value, .. } if value == "sec-abc")));
+        assert!(flaws.iter().any(
+            |f| matches!(f, FormFlaw::HardcodedDevSecret { value, .. } if value == "sec-abc")
+        ));
     }
 
     #[test]
@@ -294,10 +317,19 @@ mod tests {
 
     #[test]
     fn phase_classification() {
-        assert_eq!(MessagePhase::classify("/cloud/registrations"), MessagePhase::Binding);
+        assert_eq!(
+            MessagePhase::classify("/cloud/registrations"),
+            MessagePhase::Binding
+        );
         assert_eq!(MessagePhase::classify("bindDevice"), MessagePhase::Binding);
-        assert_eq!(MessagePhase::classify("/storages/auth"), MessagePhase::Binding);
-        assert_eq!(MessagePhase::classify("/api/upload"), MessagePhase::Business);
+        assert_eq!(
+            MessagePhase::classify("/storages/auth"),
+            MessagePhase::Binding
+        );
+        assert_eq!(
+            MessagePhase::classify("/api/upload"),
+            MessagePhase::Business
+        );
     }
 
     #[test]

@@ -18,7 +18,13 @@
 //!    checks against the primitive compositions, hard-coded Dev-Secret
 //!    tracking, and probing of the (simulated) vendor cloud.
 //!
-//! The one-call entry point is [`analyze_firmware`].
+//! The pipeline is *staged* ([`stages`]): each step above is a typed
+//! stage over a shared [`stages::AnalysisContext`] that accumulates
+//! per-stage timings, work counters ([`StageCounters`]) and structured,
+//! severity-tagged [`Diagnostic`]s, all streamed to a caller-supplied
+//! [`Observer`]. The one-call entry point is [`analyze_firmware`]; see
+//! also [`try_analyze_firmware`] for a fallible variant, [`analyze_packed`]
+//! for packed containers, and [`analyze_corpus`] for parallel sweeps.
 //!
 //! # Examples
 //!
@@ -34,14 +40,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod driver;
+pub mod error;
 pub mod exeid;
 pub mod formcheck;
+pub mod observe;
 pub mod pipeline;
 pub mod probe;
+pub mod stages;
 
+pub use driver::analyze_corpus;
+pub use error::{Diagnostic, Error, Severity, StageKind};
 pub use exeid::{identify_device_cloud, score_handlers, ExeIdConfig, HandlerInfo};
 pub use formcheck::{check_message, FormFlaw, MessagePhase};
+pub use observe::{CollectingObserver, Counter, NullObserver, Observer, StageCounters};
 pub use pipeline::{
-    analyze_firmware, AnalysisConfig, FirmwareAnalysis, MessageRecord, StageTimings,
+    analyze_firmware, analyze_firmware_with, analyze_packed, try_analyze_firmware,
+    try_analyze_packed, AnalysisConfig, FirmwareAnalysis, MessageRecord, StageTimings,
 };
 pub use probe::{extract_endpoint, fill_message, probe_cloud, render_body, FilledMessage};

@@ -1,0 +1,178 @@
+//! Pipeline observability: the [`Observer`] trait and per-stage counters.
+//!
+//! The staged pipeline ([`crate::stages`]) reports *everything it does* —
+//! stage boundaries with wall-clock cost, per-stage work counters, and
+//! structured [`Diagnostic`]s — through a caller-supplied [`Observer`]
+//! instead of ad-hoc inline timing. [`analyze_firmware`] uses
+//! [`NullObserver`]; callers that want live progress or telemetry pass
+//! their own implementation to [`analyze_firmware_with`]. The analysis
+//! result always carries the accumulated [`StageTimings`],
+//! [`StageCounters`] and diagnostics regardless of the observer.
+//!
+//! [`analyze_firmware`]: crate::analyze_firmware
+//! [`analyze_firmware_with`]: crate::analyze_firmware_with
+//! [`StageTimings`]: crate::StageTimings
+
+use crate::error::{Diagnostic, StageKind};
+use std::time::Duration;
+
+/// Which [`StageCounters`] field an event increments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Counter {
+    /// Executable entries attempted during pinpointing.
+    ExecutablesTried,
+    /// Executables that failed MRE parsing.
+    ParseFailures,
+    /// Executables that parsed but failed to lift to IR.
+    LiftFailures,
+    /// Backward-taint queries issued (payload, endpoint and host traces).
+    TaintQueries,
+    /// Taint queries answered from the engine's memo cache.
+    TaintCacheHits,
+    /// Enriched code slices rendered for classification.
+    SlicesRendered,
+    /// Message fields matched to a recovered semantic primitive.
+    FieldsMatched,
+}
+
+/// Per-stage work counters accumulated over one analysis.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageCounters {
+    /// Executable entries attempted during pinpointing (stage 1).
+    pub executables_tried: u64,
+    /// Executables that failed MRE parsing (stage 1).
+    pub parse_failures: u64,
+    /// Executables that parsed but failed to lift (stage 1).
+    pub lift_failures: u64,
+    /// Backward-taint queries issued (stage 2).
+    pub taint_queries: u64,
+    /// Taint queries answered from the memo cache (stage 2).
+    pub taint_cache_hits: u64,
+    /// Enriched code slices rendered (stage 3).
+    pub slices_rendered: u64,
+    /// Fields matched to a semantic primitive (stage 4).
+    pub fields_matched: u64,
+}
+
+impl StageCounters {
+    /// Add `n` to the counter identified by `counter`.
+    pub fn record(&mut self, counter: Counter, n: u64) {
+        match counter {
+            Counter::ExecutablesTried => self.executables_tried += n,
+            Counter::ParseFailures => self.parse_failures += n,
+            Counter::LiftFailures => self.lift_failures += n,
+            Counter::TaintQueries => self.taint_queries += n,
+            Counter::TaintCacheHits => self.taint_cache_hits += n,
+            Counter::SlicesRendered => self.slices_rendered += n,
+            Counter::FieldsMatched => self.fields_matched += n,
+        }
+    }
+
+    /// Read the counter identified by `counter`.
+    pub fn get(&self, counter: Counter) -> u64 {
+        match counter {
+            Counter::ExecutablesTried => self.executables_tried,
+            Counter::ParseFailures => self.parse_failures,
+            Counter::LiftFailures => self.lift_failures,
+            Counter::TaintQueries => self.taint_queries,
+            Counter::TaintCacheHits => self.taint_cache_hits,
+            Counter::SlicesRendered => self.slices_rendered,
+            Counter::FieldsMatched => self.fields_matched,
+        }
+    }
+}
+
+/// Receives pipeline events as they happen.
+///
+/// All methods have empty default bodies, so an implementation only
+/// overrides what it cares about. Events arrive strictly in pipeline
+/// order within one analysis.
+pub trait Observer {
+    /// A stage is about to run.
+    fn stage_started(&mut self, stage: StageKind) {
+        let _ = stage;
+    }
+
+    /// A stage finished after `elapsed` wall-clock time.
+    fn stage_finished(&mut self, stage: StageKind, elapsed: Duration) {
+        let _ = (stage, elapsed);
+    }
+
+    /// A work counter advanced by `n`.
+    fn count(&mut self, counter: Counter, n: u64) {
+        let _ = (counter, n);
+    }
+
+    /// A diagnostic was recorded.
+    fn diagnostic(&mut self, diagnostic: &Diagnostic) {
+        let _ = diagnostic;
+    }
+}
+
+/// The do-nothing observer used by the infallible convenience entry
+/// points.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {}
+
+/// An observer that records everything it sees — stage timings in
+/// pipeline order, accumulated counters, and cloned diagnostics.
+///
+/// Useful in tests and tools that want the event stream without
+/// implementing [`Observer`] themselves.
+#[derive(Debug, Clone, Default)]
+pub struct CollectingObserver {
+    /// `(stage, elapsed)` pairs in the order stages finished.
+    pub stages: Vec<(StageKind, Duration)>,
+    /// Accumulated counters.
+    pub counters: StageCounters,
+    /// All diagnostics, in the order they were recorded.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Observer for CollectingObserver {
+    fn stage_finished(&mut self, stage: StageKind, elapsed: Duration) {
+        self.stages.push((stage, elapsed));
+    }
+
+    fn count(&mut self, counter: Counter, n: u64) {
+        self.counters.record(counter, n);
+    }
+
+    fn diagnostic(&mut self, diagnostic: &Diagnostic) {
+        self.diagnostics.push(diagnostic.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::Severity;
+
+    #[test]
+    fn counters_round_trip() {
+        let mut c = StageCounters::default();
+        c.record(Counter::TaintQueries, 3);
+        c.record(Counter::TaintQueries, 2);
+        c.record(Counter::FieldsMatched, 1);
+        assert_eq!(c.get(Counter::TaintQueries), 5);
+        assert_eq!(c.get(Counter::FieldsMatched), 1);
+        assert_eq!(c.get(Counter::LiftFailures), 0);
+    }
+
+    #[test]
+    fn collecting_observer_records_events() {
+        let mut obs = CollectingObserver::default();
+        obs.stage_started(StageKind::ExeId);
+        obs.stage_finished(StageKind::ExeId, Duration::from_millis(2));
+        obs.count(Counter::ExecutablesTried, 4);
+        obs.diagnostic(&Diagnostic::bare(StageKind::ExeId, Severity::Warning, "x"));
+        assert_eq!(
+            obs.stages,
+            vec![(StageKind::ExeId, Duration::from_millis(2))]
+        );
+        assert_eq!(obs.counters.executables_tried, 4);
+        assert_eq!(obs.diagnostics.len(), 1);
+    }
+}

@@ -1,16 +1,36 @@
-//! The end-to-end FIRMRES pipeline (paper Fig. 3) with per-stage timing.
+//! The end-to-end FIRMRES pipeline (paper Fig. 3): entry points and
+//! result types.
+//!
+//! The pipeline itself is staged — see [`crate::stages`] for the five
+//! typed stages and the shared [`AnalysisContext`]. This module hosts the
+//! drivers over those stages:
+//!
+//! * [`analyze_firmware`] — infallible convenience entry point; failures
+//!   degrade into [`Diagnostic`]s on the result.
+//! * [`analyze_firmware_with`] — same, streaming events to an
+//!   [`Observer`].
+//! * [`try_analyze_firmware`] — fallible variant returning
+//!   [`Error::NoUsableExecutable`] when executables existed but none
+//!   could be parsed and lifted.
+//! * [`analyze_packed`] / [`try_analyze_packed`] — accept a packed
+//!   firmware container and surface unpack failures as diagnostics or a
+//!   typed [`Error`].
+//!
+//! [`AnalysisContext`]: crate::stages::AnalysisContext
 
-use crate::exeid::{identify_device_cloud, ExeIdConfig, HandlerInfo};
-use crate::formcheck::{check_message, FormFlaw};
-use firmres_dataflow::{
-    delivery_endpoint_arg, delivery_payload_arg, FieldSource, SourceKind, TaintConfig,
-    TaintEngine,
+use crate::error::{Diagnostic, Error, Severity, StageKind};
+use crate::exeid::{ExeIdConfig, HandlerInfo};
+use crate::formcheck::FormFlaw;
+use crate::observe::{NullObserver, Observer, StageCounters};
+use crate::stages::{
+    AnalysisContext, ConcatStage, ExeIdStage, FieldIdStage, FormCheckStage, SemanticsStage,
 };
+use firmres_dataflow::TaintConfig;
 use firmres_firmware::FirmwareImage;
-use firmres_ir::{Address, Program};
-use firmres_mft::{mentions_lan, reconstruct, CodeSlice, Mft, ReconstructedMessage};
-use firmres_semantics::{weak_label, Classifier, Primitive};
-use std::time::{Duration, Instant};
+use firmres_ir::Address;
+use firmres_mft::{CodeSlice, Mft, ReconstructedMessage};
+use firmres_semantics::{Classifier, Primitive};
+use std::time::Duration;
 
 /// Pipeline configuration.
 #[derive(Debug, Clone, Default)]
@@ -103,6 +123,12 @@ pub struct FirmwareAnalysis {
     pub messages: Vec<MessageRecord>,
     /// Per-stage timings.
     pub timings: StageTimings,
+    /// Per-stage work counters.
+    pub counters: StageCounters,
+    /// Structured diagnostics: every degradation the pipeline took
+    /// (skipped executables, lift failures, unresolved taint sources,
+    /// classifier fallback), severity-tagged.
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 impl FirmwareAnalysis {
@@ -120,14 +146,17 @@ impl FirmwareAnalysis {
     pub fn flagged(&self) -> impl Iterator<Item = &MessageRecord> {
         self.identified().filter(|m| !m.flaws.is_empty())
     }
-}
 
-/// Classify one slice's semantics: with a trained classifier when given,
-/// otherwise the keyword weak-labeler.
-fn classify(classifier: Option<&Classifier>, text: &str) -> Primitive {
-    match classifier {
-        Some(c) => c.predict(text).0,
-        None => weak_label(text),
+    /// The most serious diagnostic severity recorded, if any.
+    pub fn worst_severity(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity).max()
+    }
+
+    /// Diagnostics at or above `severity`.
+    pub fn diagnostics_at_least(&self, severity: Severity) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(move |d| d.severity >= severity)
     }
 }
 
@@ -136,176 +165,115 @@ fn classify(classifier: Option<&Classifier>, text: &str) -> Primitive {
 /// `classifier` is the trained semantics model; pass `None` to fall back
 /// to keyword labeling (useful for quick runs — the benchmark harness
 /// trains and passes a real model).
+///
+/// This entry point never fails: degradations (unparseable executables,
+/// lift errors, unresolved taint sources, the keyword fallback) are
+/// recorded as [`Diagnostic`]s on the result. Use [`try_analyze_firmware`]
+/// for a typed error when nothing could be analyzed at all.
 pub fn analyze_firmware(
     fw: &FirmwareImage,
     classifier: Option<&Classifier>,
     config: &AnalysisConfig,
 ) -> FirmwareAnalysis {
-    let mut timings = StageTimings::default();
+    analyze_firmware_with(fw, classifier, config, &mut NullObserver)
+}
 
-    // Stage 1: pinpoint the device-cloud executable.
-    let t0 = Instant::now();
-    let mut chosen: Option<(String, Program, Vec<HandlerInfo>)> = None;
-    for (path, bytes) in fw.executables() {
-        let Ok(exe) = firmres_isa::Executable::from_bytes(bytes) else { continue };
-        let Ok(program) = firmres_isa::lift(&exe, path) else { continue };
-        let handlers = identify_device_cloud(&program, &config.exeid);
-        if !handlers.is_empty() {
-            chosen = Some((path.to_string(), program, handlers));
-            break;
-        }
-    }
-    timings.exeid = t0.elapsed();
-    let Some((path, program, handlers)) = chosen else {
-        return FirmwareAnalysis { executable: None, handlers: Vec::new(), messages: Vec::new(), timings };
+/// [`analyze_firmware`] streaming stage boundaries, counters and
+/// diagnostics to `observer` as they happen.
+pub fn analyze_firmware_with(
+    fw: &FirmwareImage,
+    classifier: Option<&Classifier>,
+    config: &AnalysisConfig,
+    observer: &mut dyn Observer,
+) -> FirmwareAnalysis {
+    let mut cx = AnalysisContext::new(fw, classifier, config, observer);
+    let Some(chosen) = ExeIdStage::run(&mut cx) else {
+        return cx.finish(None, Vec::new(), Vec::new());
     };
+    let raws = FieldIdStage::run(&mut cx, &chosen);
+    let sem = SemanticsStage::run(&mut cx, &chosen, &raws);
+    let mut records = ConcatStage::run(&mut cx, raws, sem);
+    FormCheckStage::run(&mut cx, &mut records);
+    cx.finish(Some(chosen.path), chosen.handlers, records)
+}
 
-    // Stage 2: identify message fields via backward taint per delivery
-    // callsite.
-    let t1 = Instant::now();
-    let handler_funcs: Vec<Address> = handlers.iter().map(|h| h.handler_func).collect();
-    let mut engine = TaintEngine::with_config(&program, config.taint.clone());
-    struct Raw {
-        function: String,
-        callsite: Address,
-        in_handler: bool,
-        mft: Mft,
-        endpoint: Option<String>,
-        host_lan: bool,
-    }
-    let mut raws: Vec<Raw> = Vec::new();
-    for f in program.functions() {
-        for op in f.callsites() {
-            let Some(name) = op.call_target().and_then(|t| program.callee_name(t)) else {
-                continue;
-            };
-            let Some(payload_arg) = delivery_payload_arg(name) else { continue };
-            let tree = engine.trace(f.entry(), op.addr, payload_arg);
-            let mft = Mft::from_taint(&tree);
-            // Endpoint argument (MQTT topic / HTTP path), when distinct.
-            let mut endpoint = None;
-            if let Some(ep_arg) = delivery_endpoint_arg(name) {
-                if ep_arg != payload_arg {
-                    let ep_tree = engine.trace(f.entry(), op.addr, ep_arg);
-                    endpoint = ep_tree.sources().find_map(|n| match n.source() {
-                        Some(FieldSource::StringConstant { value, .. }) => Some(value.clone()),
-                        _ => None,
-                    });
-                }
-            }
-            // Address argument (HTTP host) for the LAN filter.
-            let mut host_lan = false;
-            if matches!(name, "http_post" | "http_get") {
-                let host_tree = engine.trace(f.entry(), op.addr, 0);
-                host_lan = host_tree.sources().any(|n| {
-                    matches!(n.source(), Some(FieldSource::StringConstant { value, .. })
-                        if firmres_mft::is_lan_address(value))
-                });
-            }
-            raws.push(Raw {
-                function: f.name().to_string(),
-                callsite: op.addr,
-                in_handler: handler_funcs.contains(&f.entry()),
-                mft,
-                endpoint,
-                host_lan,
+/// Fallible [`analyze_firmware`].
+///
+/// Returns [`Error::NoUsableExecutable`] when the image contained at
+/// least one executable entry but every one of them failed to parse or
+/// lift. An image with no executables at all (e.g. the corpus's
+/// script-based devices) is *not* an error: the analysis succeeds with
+/// `executable: None`.
+pub fn try_analyze_firmware(
+    fw: &FirmwareImage,
+    classifier: Option<&Classifier>,
+    config: &AnalysisConfig,
+) -> Result<FirmwareAnalysis, Error> {
+    let analysis = analyze_firmware(fw, classifier, config);
+    if analysis.executable.is_none() {
+        let c = &analysis.counters;
+        if c.executables_tried > 0 && c.parse_failures + c.lift_failures == c.executables_tried {
+            return Err(Error::NoUsableExecutable {
+                tried: c.executables_tried as usize,
+                diagnostics: analysis.diagnostics,
             });
         }
     }
-    timings.field_identification = t1.elapsed();
+    Ok(analysis)
+}
 
-    // Stage 3: semantics recovery on slices.
-    let t2 = Instant::now();
-    let mut renderer = firmres_mft::SliceRenderer::new(&program);
-    let mut slices_per_msg: Vec<Vec<CodeSlice>> = Vec::with_capacity(raws.len());
-    for raw in &raws {
-        slices_per_msg.push(renderer.slices_for_tree(&raw.mft));
+/// Analyze a *packed* firmware container (the raw bytes of
+/// [`FirmwareImage::pack`]).
+///
+/// An unpack failure degrades into an empty analysis carrying one
+/// error-severity [`StageKind::Input`] diagnostic.
+pub fn analyze_packed(
+    packed: &[u8],
+    classifier: Option<&Classifier>,
+    config: &AnalysisConfig,
+) -> FirmwareAnalysis {
+    match FirmwareImage::unpack(packed) {
+        Ok(fw) => analyze_firmware(&fw, classifier, config),
+        Err(e) => FirmwareAnalysis {
+            executable: None,
+            handlers: Vec::new(),
+            messages: Vec::new(),
+            timings: StageTimings::default(),
+            counters: StageCounters::default(),
+            diagnostics: vec![Diagnostic::bare(
+                StageKind::Input,
+                Severity::Error,
+                format!("firmware unpack failed: {e}"),
+            )],
+        },
     }
-    let mut semantics_per_msg: Vec<Vec<(FieldSource, Primitive)>> = Vec::new();
-    let mut slice_semantics_per_msg: Vec<Vec<Primitive>> = Vec::new();
-    for slices in &slices_per_msg {
-        let mut sems = Vec::new();
-        let mut raw_sems = Vec::new();
-        for s in slices {
-            let primitive = classify(classifier, &s.text);
-            sems.push((s.source.clone(), primitive));
-            raw_sems.push(primitive);
-        }
-        semantics_per_msg.push(sems);
-        slice_semantics_per_msg.push(raw_sems);
-    }
-    timings.semantics = t2.elapsed();
+}
 
-    // Stage 4: concatenate fields into messages; group & LAN-filter.
-    let t3 = Instant::now();
-    let mut records: Vec<MessageRecord> = Vec::new();
-    for (((raw, slices), sems), slice_semantics) in raws
-        .into_iter()
-        .zip(slices_per_msg.into_iter())
-        .zip(semantics_per_msg.into_iter())
-        .zip(slice_semantics_per_msg.into_iter())
-    {
-        let mut message = reconstruct(&raw.mft);
-        message.endpoint = raw.endpoint.clone();
-        // Attach recovered semantics to fields by matching origins.
-        let mut pool = sems;
-        for field in &mut message.fields {
-            if let Some(pos) = pool.iter().position(|(src, _)| *src == field.origin) {
-                let (_, primitive) = pool.remove(pos);
-                field.semantic = Some(primitive.label().to_string());
-            }
-        }
-        let lan_discarded = raw.host_lan || mentions_lan(&raw.mft);
-        // A delivery whose payload is entirely network input inside the
-        // request handler is the handler's response echo, not a
-        // constructed device-cloud message.
-        let is_response_echo = raw.in_handler
-            && !message.fields.is_empty()
-            && message.fields.iter().all(|f| {
-                matches!(
-                    &f.origin,
-                    FieldSource::LibCall { kind: SourceKind::NetworkIn, .. }
-                        | FieldSource::Unresolved { .. }
-                )
-            });
-        records.push(MessageRecord {
-            function: raw.function,
-            callsite: raw.callsite,
-            mft: raw.mft,
-            slices,
-            slice_semantics,
-            message,
-            lan_discarded,
-            is_response_echo,
-            flaws: Vec::new(),
-        });
-    }
-    timings.concatenation = t3.elapsed();
-
-    // Stage 5: message-form check.
-    let t4 = Instant::now();
-    for r in &mut records {
-        if !r.counts() {
-            continue;
-        }
-        let endpoint = crate::probe::extract_endpoint(&r.message).unwrap_or_default();
-        r.flaws = check_message(&r.message, &endpoint);
-    }
-    timings.form_check = t4.elapsed();
-
-    FirmwareAnalysis { executable: Some(path), handlers, messages: records, timings }
+/// Fallible [`analyze_packed`]: an unpack failure is returned as
+/// [`Error::Firmware`].
+pub fn try_analyze_packed(
+    packed: &[u8],
+    classifier: Option<&Classifier>,
+    config: &AnalysisConfig,
+) -> Result<FirmwareAnalysis, Error> {
+    let fw = FirmwareImage::unpack(packed)?;
+    try_analyze_firmware(&fw, classifier, config)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::observe::CollectingObserver;
     use firmres_corpus::generate_device;
 
     #[test]
     fn analyzes_binary_device_end_to_end() {
         let dev = generate_device(10, 7);
         let analysis = analyze_firmware(&dev.firmware, None, &AnalysisConfig::default());
-        assert_eq!(analysis.executable.as_deref(), dev.cloud_executable.as_deref());
+        assert_eq!(
+            analysis.executable.as_deref(),
+            dev.cloud_executable.as_deref()
+        );
         let identified = analysis.identified().count();
         let expected = dev.plans.iter().filter(|p| !p.lan).count();
         assert_eq!(identified, expected, "one message per non-LAN plan");
@@ -319,6 +287,8 @@ mod tests {
         let analysis = analyze_firmware(&dev.firmware, None, &AnalysisConfig::default());
         assert!(analysis.executable.is_none());
         assert!(analysis.messages.is_empty());
+        // Not an error either: there was nothing to parse.
+        assert!(try_analyze_firmware(&dev.firmware, None, &AnalysisConfig::default()).is_ok());
     }
 
     #[test]
@@ -334,7 +304,11 @@ mod tests {
     fn handler_echo_is_not_a_message() {
         let dev = generate_device(10, 7);
         let analysis = analyze_firmware(&dev.firmware, None, &AnalysisConfig::default());
-        let echoes = analysis.messages.iter().filter(|m| m.is_response_echo).count();
+        let echoes = analysis
+            .messages
+            .iter()
+            .filter(|m| m.is_response_echo)
+            .count();
         assert_eq!(echoes, 1, "the handler ack send");
     }
 
@@ -359,5 +333,94 @@ mod tests {
         let shares = analysis.timings.shares();
         let sum: f64 = shares.iter().sum();
         assert!((sum - 1.0).abs() < 1e-9, "shares sum to 1: {shares:?}");
+    }
+
+    #[test]
+    fn counters_reflect_pipeline_work() {
+        let dev = generate_device(10, 7);
+        let analysis = analyze_firmware(&dev.firmware, None, &AnalysisConfig::default());
+        let c = &analysis.counters;
+        assert!(
+            c.executables_tried >= 1,
+            "at least the cloud agent was tried"
+        );
+        assert_eq!(c.parse_failures, 0);
+        assert_eq!(c.lift_failures, 0);
+        assert!(
+            c.taint_queries >= analysis.messages.len() as u64,
+            "one payload trace per delivery callsite at minimum"
+        );
+        assert!(c.slices_rendered > 0);
+        assert!(c.fields_matched > 0);
+    }
+
+    #[test]
+    fn keyword_fallback_is_diagnosed() {
+        let dev = generate_device(10, 7);
+        let analysis = analyze_firmware(&dev.firmware, None, &AnalysisConfig::default());
+        assert!(
+            analysis
+                .diagnostics
+                .iter()
+                .any(|d| d.stage == StageKind::Semantics && d.severity == Severity::Info),
+            "running without a classifier is recorded: {:?}",
+            analysis.diagnostics
+        );
+    }
+
+    #[test]
+    fn observer_sees_all_five_stages_in_order() {
+        let dev = generate_device(10, 7);
+        let mut obs = CollectingObserver::default();
+        let analysis =
+            analyze_firmware_with(&dev.firmware, None, &AnalysisConfig::default(), &mut obs);
+        let kinds: Vec<StageKind> = obs.stages.iter().map(|(k, _)| *k).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                StageKind::ExeId,
+                StageKind::FieldId,
+                StageKind::Semantics,
+                StageKind::Concat,
+                StageKind::FormCheck,
+            ]
+        );
+        // The observer's view agrees with the result's own accounting.
+        assert_eq!(obs.counters, analysis.counters);
+        assert_eq!(obs.diagnostics, analysis.diagnostics);
+        let observed_total: Duration = obs.stages.iter().map(|(_, d)| *d).sum();
+        assert_eq!(observed_total, analysis.timings.total());
+    }
+
+    #[test]
+    fn packed_round_trip_matches_unpacked_analysis() {
+        let dev = generate_device(15, 7);
+        let packed = dev.firmware.pack();
+        let a = analyze_packed(&packed, None, &AnalysisConfig::default());
+        let b = analyze_firmware(&dev.firmware, None, &AnalysisConfig::default());
+        assert_eq!(a.executable, b.executable);
+        assert_eq!(a.identified().count(), b.identified().count());
+        assert_eq!(a.identified_fields(), b.identified_fields());
+    }
+
+    #[test]
+    fn truncated_packed_image_is_an_input_diagnostic() {
+        let dev = generate_device(15, 7);
+        let packed = dev.firmware.pack();
+        let analysis = analyze_packed(
+            &packed[..packed.len() / 2],
+            None,
+            &AnalysisConfig::default(),
+        );
+        assert!(analysis.executable.is_none());
+        assert!(analysis.messages.is_empty());
+        assert_eq!(analysis.worst_severity(), Some(Severity::Error));
+        assert!(analysis
+            .diagnostics
+            .iter()
+            .any(|d| d.stage == StageKind::Input));
+        // The fallible variant surfaces the typed unpack error instead.
+        let err = try_analyze_packed(&packed[..7], None, &AnalysisConfig::default());
+        assert!(matches!(err, Err(Error::Firmware(_))));
     }
 }

@@ -54,7 +54,14 @@ pub fn extract_endpoint(msg: &ReconstructedMessage) -> Option<String> {
         if f.key.is_none() {
             if let FieldSource::StringConstant { value, .. } = &f.origin {
                 if value.starts_with('/') {
-                    return Some(value.trim_end_matches('?').split('?').next().unwrap_or(value).to_string());
+                    return Some(
+                        value
+                            .trim_end_matches('?')
+                            .split('?')
+                            .next()
+                            .unwrap_or(value)
+                            .to_string(),
+                    );
                 }
             }
         }
@@ -128,7 +135,11 @@ pub fn fill_message(msg: &ReconstructedMessage, fw: &FirmwareImage) -> FilledMes
         params.insert(key.clone(), value);
     }
     let body = render_body(msg.format, &params);
-    FilledMessage { endpoint, params, body }
+    FilledMessage {
+        endpoint,
+        params,
+        body,
+    }
 }
 
 /// Render a parameter map in the given wire format.
@@ -159,7 +170,11 @@ pub fn probe_cloud(cloud: &Cloud, filled: &FilledMessage) -> ProbeOutcome {
     let path = filled.endpoint.clone().unwrap_or_default();
     let req = HttpRequest::new(path.clone(), filled.body.clone());
     let resp = cloud.handle(&req);
-    ProbeOutcome { path, status: resp.status, leaked: resp.leaked_values() }
+    ProbeOutcome {
+        path,
+        status: resp.status,
+        leaked: resp.leaked_values(),
+    }
 }
 
 #[cfg(test)]
@@ -207,7 +222,10 @@ mod tests {
         let mut nv = firmres_firmware::Nvram::new();
         nv.set("mac", "AA:BB:CC:DD:EE:FF");
         nv.set("serial_no", "SN777");
-        fw.add_file("/etc/nvram.default", firmres_firmware::FileEntry::NvramDefaults(nv));
+        fw.add_file(
+            "/etc/nvram.default",
+            firmres_firmware::FileEntry::NvramDefaults(nv),
+        );
         fw.add_file(
             "/etc/config/cloud.conf",
             firmres_firmware::FileEntry::Config("fw_version=9.9\n".into()),
@@ -232,13 +250,19 @@ mod tests {
             0,
             MessageField {
                 key: Some("method".into()),
-                origin: FieldSource::StringConstant { addr: 0, value: "bindDevice".into() },
+                origin: FieldSource::StringConstant {
+                    addr: 0,
+                    value: "bindDevice".into(),
+                },
                 semantic: None,
             },
         );
         assert_eq!(extract_endpoint(&msg).as_deref(), Some("bindDevice"));
         let filled = fill_message(&msg, &fw_with_nvram());
-        assert!(!filled.params.contains_key("method"), "routing key not a param");
+        assert!(
+            !filled.params.contains_key("method"),
+            "routing key not a param"
+        );
     }
 
     #[test]
@@ -257,7 +281,10 @@ mod tests {
             0,
             MessageField {
                 key: None,
-                origin: FieldSource::StringConstant { addr: 0, value: "/alarm/push?".into() },
+                origin: FieldSource::StringConstant {
+                    addr: 0,
+                    value: "/alarm/push?".into(),
+                },
                 semantic: None,
             },
         );
@@ -276,8 +303,15 @@ mod tests {
     fn missing_values_get_placeholders() {
         let mut fw = fw_with_nvram();
         // Remove nvram to force placeholders.
-        fw.add_file("/etc/nvram.default", firmres_firmware::FileEntry::NvramDefaults(Default::default()));
+        fw.add_file(
+            "/etc/nvram.default",
+            firmres_firmware::FileEntry::NvramDefaults(Default::default()),
+        );
         let filled = fill_message(&sample_msg(), &fw);
-        assert!(filled.params["mac"].starts_with("<hw:"), "{}", filled.params["mac"]);
+        assert!(
+            filled.params["mac"].starts_with("<hw:"),
+            "{}",
+            filled.params["mac"]
+        );
     }
 }

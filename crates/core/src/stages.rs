@@ -1,0 +1,500 @@
+//! The staged pipeline: five typed stages over a shared
+//! [`AnalysisContext`].
+//!
+//! Each stage of the paper's Fig. 3 workflow is a function over the
+//! context producing a typed artifact:
+//!
+//! 1. [`ExeIdStage`] → [`ChosenExecutable`] — pinpoint the device-cloud
+//!    executable;
+//! 2. [`FieldIdStage`] → [`RawMessage`]s — backward taint per delivery
+//!    callsite;
+//! 3. [`SemanticsStage`] → [`SliceSemantics`] — render and classify
+//!    enriched code slices;
+//! 4. [`ConcatStage`] → [`MessageRecord`]s — reconstruct and annotate
+//!    messages, LAN/echo filtering;
+//! 5. [`FormCheckStage`] — message-form findings in place.
+//!
+//! The context owns the cross-cutting concerns: wall-clock timing per
+//! stage, work counters, structured diagnostics, and fan-out to the
+//! caller's [`Observer`]. Stages never call `Instant::now` themselves —
+//! [`AnalysisContext::run_stage`] brackets each run.
+//!
+//! [`analyze_firmware`](crate::analyze_firmware) drives all five stages;
+//! use the stages directly when you need intermediate artifacts (e.g.
+//! raw taint results before reconstruction).
+
+use crate::error::{Diagnostic, Severity, StageKind};
+use crate::exeid::{identify_device_cloud, HandlerInfo};
+use crate::formcheck::check_message;
+use crate::observe::{Counter, Observer, StageCounters};
+use crate::pipeline::{AnalysisConfig, FirmwareAnalysis, MessageRecord, StageTimings};
+use firmres_dataflow::{
+    delivery_endpoint_arg, delivery_payload_arg, FieldSource, SourceKind, TaintEngine,
+};
+use firmres_firmware::FirmwareImage;
+use firmres_ir::{Address, Program};
+use firmres_mft::{mentions_lan, reconstruct, CodeSlice, Mft};
+use firmres_semantics::{weak_label, Classifier, Primitive};
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// Shared state threaded through the pipeline stages: the inputs plus
+/// the accumulating timings, counters and diagnostics.
+pub struct AnalysisContext<'a> {
+    /// The firmware image under analysis.
+    pub fw: &'a FirmwareImage,
+    /// The trained semantics model, if any (`None` falls back to keyword
+    /// weak-labeling).
+    pub classifier: Option<&'a Classifier>,
+    /// Pipeline configuration.
+    pub config: &'a AnalysisConfig,
+    observer: &'a mut dyn Observer,
+    timings: StageTimings,
+    counters: StageCounters,
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl<'a> AnalysisContext<'a> {
+    /// Build a context over one firmware image.
+    pub fn new(
+        fw: &'a FirmwareImage,
+        classifier: Option<&'a Classifier>,
+        config: &'a AnalysisConfig,
+        observer: &'a mut dyn Observer,
+    ) -> Self {
+        AnalysisContext {
+            fw,
+            classifier,
+            config,
+            observer,
+            timings: StageTimings::default(),
+            counters: StageCounters::default(),
+            diagnostics: Vec::new(),
+        }
+    }
+
+    /// Run `body` as stage `kind`: notifies the observer, times the run,
+    /// and files the elapsed time under the matching [`StageTimings`]
+    /// bucket.
+    pub fn run_stage<T>(&mut self, kind: StageKind, body: impl FnOnce(&mut Self) -> T) -> T {
+        self.observer.stage_started(kind);
+        let start = Instant::now();
+        let out = body(self);
+        let elapsed = start.elapsed();
+        match kind {
+            StageKind::ExeId => self.timings.exeid += elapsed,
+            StageKind::FieldId => self.timings.field_identification += elapsed,
+            StageKind::Semantics => self.timings.semantics += elapsed,
+            StageKind::Concat => self.timings.concatenation += elapsed,
+            StageKind::FormCheck => self.timings.form_check += elapsed,
+            StageKind::Input => {}
+        }
+        self.observer.stage_finished(kind, elapsed);
+        out
+    }
+
+    /// Advance a work counter and forward the event to the observer.
+    pub fn count(&mut self, counter: Counter, n: u64) {
+        self.counters.record(counter, n);
+        self.observer.count(counter, n);
+    }
+
+    /// Record a diagnostic and forward it to the observer.
+    pub fn diagnose(&mut self, diagnostic: Diagnostic) {
+        self.observer.diagnostic(&diagnostic);
+        self.diagnostics.push(diagnostic);
+    }
+
+    /// Counters accumulated so far.
+    pub fn counters(&self) -> &StageCounters {
+        &self.counters
+    }
+
+    /// Diagnostics recorded so far.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Consume the context into the final analysis result.
+    pub fn finish(
+        self,
+        executable: Option<String>,
+        handlers: Vec<HandlerInfo>,
+        messages: Vec<MessageRecord>,
+    ) -> FirmwareAnalysis {
+        FirmwareAnalysis {
+            executable,
+            handlers,
+            messages,
+            timings: self.timings,
+            counters: self.counters,
+            diagnostics: self.diagnostics,
+        }
+    }
+}
+
+/// Stage-1 artifact: the pinpointed device-cloud executable.
+pub struct ChosenExecutable {
+    /// Path of the executable inside the firmware image.
+    pub path: String,
+    /// The lifted program.
+    pub program: Program,
+    /// Scored handler information (non-empty by construction).
+    pub handlers: Vec<HandlerInfo>,
+}
+
+/// Stage-2 artifact: one delivery callsite with its backward-taint
+/// results, before reconstruction.
+#[derive(Debug, Clone)]
+pub struct RawMessage {
+    /// Function containing the delivery callsite.
+    pub function: String,
+    /// The delivery callsite address.
+    pub callsite: Address,
+    /// Whether the callsite sits inside an identified request handler.
+    pub in_handler: bool,
+    /// The message field tree built from the payload taint.
+    pub mft: Mft,
+    /// Endpoint string (MQTT topic / HTTP path), when resolvable and
+    /// distinct from the payload argument.
+    pub endpoint: Option<String>,
+    /// Whether the delivery host resolved to a LAN address.
+    pub host_lan: bool,
+}
+
+/// Stage-3 artifact: rendered slices and their classified semantics,
+/// parallel to the stage-2 [`RawMessage`] list.
+pub struct SliceSemantics {
+    /// Enriched code slices per message (one inner vec per raw message).
+    pub slices: Vec<Vec<CodeSlice>>,
+    /// `(field origin, primitive)` pairs per message, consumed by the
+    /// concatenation stage's origin matching.
+    pub labeled: Vec<Vec<(FieldSource, Primitive)>>,
+    /// Raw primitive per slice, parallel to `slices`.
+    pub primitives: Vec<Vec<Primitive>>,
+}
+
+/// Classify one slice's semantics: with a trained classifier when given,
+/// otherwise the keyword weak-labeler.
+fn classify(classifier: Option<&Classifier>, text: &str) -> Primitive {
+    match classifier {
+        Some(c) => c.predict(text).0,
+        None => weak_label(text),
+    }
+}
+
+/// Stage 1: pinpoint the device-cloud executable (paper §IV-A).
+///
+/// Tries every executable entry in the image; the first one that parses,
+/// lifts and exhibits device-cloud handler sequences wins. Parse and
+/// lift failures become warnings; executables with no handler sequences
+/// are noted at info severity.
+pub struct ExeIdStage;
+
+impl ExeIdStage {
+    /// Run the stage. `None` means no usable device-cloud executable was
+    /// found (the diagnostics say why).
+    pub fn run(cx: &mut AnalysisContext<'_>) -> Option<ChosenExecutable> {
+        cx.run_stage(StageKind::ExeId, |cx| {
+            let mut chosen = None;
+            for (path, bytes) in cx.fw.executables() {
+                cx.count(Counter::ExecutablesTried, 1);
+                let exe = match firmres_isa::Executable::from_bytes(bytes) {
+                    Ok(exe) => exe,
+                    Err(e) => {
+                        cx.count(Counter::ParseFailures, 1);
+                        cx.diagnose(Diagnostic::new(
+                            StageKind::ExeId,
+                            Severity::Warning,
+                            path,
+                            format!("unparseable executable: {e}"),
+                        ));
+                        continue;
+                    }
+                };
+                let program = match firmres_isa::lift(&exe, path) {
+                    Ok(program) => program,
+                    Err(e) => {
+                        cx.count(Counter::LiftFailures, 1);
+                        cx.diagnose(Diagnostic::new(
+                            StageKind::ExeId,
+                            Severity::Warning,
+                            path,
+                            format!("lift failed: {e}"),
+                        ));
+                        continue;
+                    }
+                };
+                let handlers = identify_device_cloud(&program, &cx.config.exeid);
+                if handlers.is_empty() {
+                    cx.diagnose(Diagnostic::new(
+                        StageKind::ExeId,
+                        Severity::Info,
+                        path,
+                        "no device-cloud handler sequences",
+                    ));
+                    continue;
+                }
+                chosen = Some(ChosenExecutable {
+                    path: path.to_string(),
+                    program,
+                    handlers,
+                });
+                break;
+            }
+            chosen
+        })
+    }
+}
+
+/// Stage 2: identify message fields via backward taint per delivery
+/// callsite (paper §IV-B).
+pub struct FieldIdStage;
+
+impl FieldIdStage {
+    /// Run the stage over the chosen executable.
+    pub fn run(cx: &mut AnalysisContext<'_>, chosen: &ChosenExecutable) -> Vec<RawMessage> {
+        cx.run_stage(StageKind::FieldId, |cx| {
+            let program = &chosen.program;
+            let handler_funcs: HashSet<Address> =
+                chosen.handlers.iter().map(|h| h.handler_func).collect();
+            let mut engine = TaintEngine::with_config(program, cx.config.taint.clone());
+            let mut raws: Vec<RawMessage> = Vec::new();
+            for f in program.functions() {
+                for op in f.callsites() {
+                    let Some(name) = op.call_target().and_then(|t| program.callee_name(t)) else {
+                        continue;
+                    };
+                    let Some(payload_arg) = delivery_payload_arg(name) else {
+                        continue;
+                    };
+                    cx.count(Counter::TaintQueries, 1);
+                    let tree = engine.trace(f.entry(), op.addr, payload_arg);
+                    let unresolved = tree
+                        .sources()
+                        .filter(|n| matches!(n.source(), Some(FieldSource::Unresolved { .. })))
+                        .count();
+                    if unresolved > 0 {
+                        cx.diagnose(Diagnostic::new(
+                            StageKind::FieldId,
+                            Severity::Info,
+                            format!("{}@{:#x}", f.name(), op.addr),
+                            format!("{unresolved} unresolved taint source(s) in {name} payload"),
+                        ));
+                    }
+                    let mft = Mft::from_taint(&tree);
+                    // Endpoint argument (MQTT topic / HTTP path), when
+                    // distinct.
+                    let mut endpoint = None;
+                    if let Some(ep_arg) = delivery_endpoint_arg(name) {
+                        if ep_arg != payload_arg {
+                            cx.count(Counter::TaintQueries, 1);
+                            let ep_tree = engine.trace(f.entry(), op.addr, ep_arg);
+                            endpoint = ep_tree.sources().find_map(|n| match n.source() {
+                                Some(FieldSource::StringConstant { value, .. }) => {
+                                    Some(value.clone())
+                                }
+                                _ => None,
+                            });
+                        }
+                    }
+                    // Address argument (HTTP host) for the LAN filter.
+                    let mut host_lan = false;
+                    if matches!(name, "http_post" | "http_get") {
+                        cx.count(Counter::TaintQueries, 1);
+                        let host_tree = engine.trace(f.entry(), op.addr, 0);
+                        host_lan = host_tree.sources().any(|n| {
+                            matches!(n.source(), Some(FieldSource::StringConstant { value, .. })
+                                if firmres_mft::is_lan_address(value))
+                        });
+                    }
+                    raws.push(RawMessage {
+                        function: f.name().to_string(),
+                        callsite: op.addr,
+                        in_handler: handler_funcs.contains(&f.entry()),
+                        mft,
+                        endpoint,
+                        host_lan,
+                    });
+                }
+            }
+            let (hits, _misses) = engine.cache_stats();
+            if hits > 0 {
+                cx.count(Counter::TaintCacheHits, hits);
+            }
+            raws
+        })
+    }
+}
+
+/// Stage 3: recover field semantics from enriched code slices (paper
+/// §IV-C).
+pub struct SemanticsStage;
+
+impl SemanticsStage {
+    /// Run the stage: render one slice per field leaf and classify each.
+    pub fn run(
+        cx: &mut AnalysisContext<'_>,
+        chosen: &ChosenExecutable,
+        raws: &[RawMessage],
+    ) -> SliceSemantics {
+        cx.run_stage(StageKind::Semantics, |cx| {
+            let mut renderer = firmres_mft::SliceRenderer::new(&chosen.program);
+            let mut slices: Vec<Vec<CodeSlice>> = Vec::with_capacity(raws.len());
+            for raw in raws {
+                let rendered = renderer.slices_for_tree(&raw.mft);
+                cx.count(Counter::SlicesRendered, rendered.len() as u64);
+                slices.push(rendered);
+            }
+            if cx.classifier.is_none() && slices.iter().any(|s| !s.is_empty()) {
+                cx.diagnose(Diagnostic::bare(
+                    StageKind::Semantics,
+                    Severity::Info,
+                    "no trained classifier; falling back to keyword weak-labeling",
+                ));
+            }
+            let mut labeled: Vec<Vec<(FieldSource, Primitive)>> = Vec::with_capacity(slices.len());
+            let mut primitives: Vec<Vec<Primitive>> = Vec::with_capacity(slices.len());
+            for per_msg in &slices {
+                let mut sems = Vec::new();
+                let mut raw_sems = Vec::new();
+                for s in per_msg {
+                    let primitive = classify(cx.classifier, &s.text);
+                    sems.push((s.source.clone(), primitive));
+                    raw_sems.push(primitive);
+                }
+                labeled.push(sems);
+                primitives.push(raw_sems);
+            }
+            SliceSemantics {
+                slices,
+                labeled,
+                primitives,
+            }
+        })
+    }
+}
+
+/// Stage 4: concatenate fields into messages; group and LAN-filter
+/// (paper §IV-D).
+pub struct ConcatStage;
+
+impl ConcatStage {
+    /// Run the stage, consuming the stage-2 and stage-3 artifacts.
+    pub fn run(
+        cx: &mut AnalysisContext<'_>,
+        raws: Vec<RawMessage>,
+        sem: SliceSemantics,
+    ) -> Vec<MessageRecord> {
+        cx.run_stage(StageKind::Concat, |cx| {
+            let mut records: Vec<MessageRecord> = Vec::with_capacity(raws.len());
+            for (((raw, slices), sems), slice_semantics) in raws
+                .into_iter()
+                .zip(sem.slices)
+                .zip(sem.labeled)
+                .zip(sem.primitives)
+            {
+                let mut message = reconstruct(&raw.mft);
+                message.endpoint = raw.endpoint.clone();
+                // Attach recovered semantics to fields by matching
+                // origins.
+                let mut pool = sems;
+                for field in &mut message.fields {
+                    if let Some(pos) = pool.iter().position(|(src, _)| *src == field.origin) {
+                        let (_, primitive) = pool.remove(pos);
+                        field.semantic = Some(primitive.label().to_string());
+                        cx.count(Counter::FieldsMatched, 1);
+                    }
+                }
+                let lan_discarded = raw.host_lan || mentions_lan(&raw.mft);
+                // A delivery whose payload is entirely network input
+                // inside the request handler is the handler's response
+                // echo, not a constructed device-cloud message.
+                let is_response_echo = raw.in_handler
+                    && !message.fields.is_empty()
+                    && message.fields.iter().all(|f| {
+                        matches!(
+                            &f.origin,
+                            FieldSource::LibCall {
+                                kind: SourceKind::NetworkIn,
+                                ..
+                            } | FieldSource::Unresolved { .. }
+                        )
+                    });
+                records.push(MessageRecord {
+                    function: raw.function,
+                    callsite: raw.callsite,
+                    mft: raw.mft,
+                    slices,
+                    slice_semantics,
+                    message,
+                    lan_discarded,
+                    is_response_echo,
+                    flaws: Vec::new(),
+                });
+            }
+            records
+        })
+    }
+}
+
+/// Stage 5: message-form checking of the counted records (paper §IV-E).
+pub struct FormCheckStage;
+
+impl FormCheckStage {
+    /// Run the stage, filling `flaws` in place.
+    pub fn run(cx: &mut AnalysisContext<'_>, records: &mut [MessageRecord]) {
+        cx.run_stage(StageKind::FormCheck, |_cx| {
+            for r in records.iter_mut() {
+                if !r.counts() {
+                    continue;
+                }
+                let endpoint = crate::probe::extract_endpoint(&r.message).unwrap_or_default();
+                r.flaws = check_message(&r.message, &endpoint);
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observe::NullObserver;
+    use firmres_corpus::generate_device;
+
+    #[test]
+    fn stages_compose_to_the_full_pipeline() {
+        let dev = generate_device(10, 7);
+        let config = AnalysisConfig::default();
+        let mut obs = NullObserver;
+        let mut cx = AnalysisContext::new(&dev.firmware, None, &config, &mut obs);
+        let chosen = ExeIdStage::run(&mut cx).expect("device 10 has a cloud executable");
+        assert_eq!(Some(chosen.path.as_str()), dev.cloud_executable.as_deref());
+        let raws = FieldIdStage::run(&mut cx, &chosen);
+        assert!(!raws.is_empty());
+        let sem = SemanticsStage::run(&mut cx, &chosen, &raws);
+        assert_eq!(sem.slices.len(), raws.len());
+        let mut records = ConcatStage::run(&mut cx, raws, sem);
+        FormCheckStage::run(&mut cx, &mut records);
+        let analysis = cx.finish(Some(chosen.path), chosen.handlers, records);
+        let reference = crate::analyze_firmware(&dev.firmware, None, &AnalysisConfig::default());
+        assert_eq!(
+            analysis.identified().count(),
+            reference.identified().count(),
+            "manual stage composition matches the driver"
+        );
+        assert_eq!(analysis.identified_fields(), reference.identified_fields());
+    }
+
+    #[test]
+    fn context_counters_track_work() {
+        let dev = generate_device(10, 7);
+        let config = AnalysisConfig::default();
+        let mut obs = NullObserver;
+        let mut cx = AnalysisContext::new(&dev.firmware, None, &config, &mut obs);
+        let chosen = ExeIdStage::run(&mut cx).unwrap();
+        let raws = FieldIdStage::run(&mut cx, &chosen);
+        assert!(cx.counters().executables_tried >= 1);
+        assert!(cx.counters().taint_queries >= raws.len() as u64);
+    }
+}

@@ -47,7 +47,10 @@ impl DataPool {
 /// (raw SSL/TCP streams and GET paths carry it; MQTT topics and HTTP
 /// POST paths are separate arguments).
 fn endpoint_in_payload(delivery: Delivery) -> bool {
-    matches!(delivery, Delivery::SslWrite | Delivery::Send | Delivery::HttpGet)
+    matches!(
+        delivery,
+        Delivery::SslWrite | Delivery::Send | Delivery::HttpGet
+    )
 }
 
 /// Generate the complete device-cloud executable source for `plans`.
@@ -304,7 +307,10 @@ fn emit_cjson_body(out: &mut String, plan: &MessagePlan, data: &mut DataPool) {
     // Raw-stream deliveries embed their endpoint as a leading field
     // unless the plan already carries a method/path field.
     if endpoint_in_payload(plan.delivery)
-        && !plan.fields.iter().any(|f| f.key == "method" || f.key == "path")
+        && !plan
+            .fields
+            .iter()
+            .any(|f| f.key == "method" || f.key == "path")
     {
         let k = data.label("path");
         let v = data.label(&plan.endpoint);
@@ -342,7 +348,11 @@ fn emit_strcat_body(out: &mut String, plan: &MessagePlan, data: &mut DataPool) {
     for (i, f) in plan.fields.iter().enumerate() {
         // Key literal: joined with `&` after the first field; the first
         // write is a strcpy when no endpoint prefix was emitted.
-        let lit = if i == 0 { format!("{}=", f.key) } else { format!("&{}=", f.key) };
+        let lit = if i == 0 {
+            format!("{}=", f.key)
+        } else {
+            format!("&{}=", f.key)
+        };
         let l = data.label(&lit);
         let op = if first_copy { "strcpy" } else { "strcat" };
         first_copy = false;
@@ -572,7 +582,10 @@ mod tests {
         let prog = lift(&exe, "dev10").unwrap();
         let cg = prog.call_graph();
         let handler = prog.function_by_name("on_cloud_request").unwrap();
-        assert!(!cg.has_callers(handler.entry()), "handler only reachable via callback");
+        assert!(
+            !cg.has_callers(handler.entry()),
+            "handler only reachable via callback"
+        );
         // IPC daemon's handler *is* directly called.
         let ipc = Assembler::new().assemble(&ipc_daemon_source()).unwrap();
         let iprog = lift(&ipc, "ipc").unwrap();
@@ -597,6 +610,9 @@ mod tests {
         let src = device_cloud_source(&identity, &plans);
         // Device 17's first vuln is an HttpGet whose query template embeds
         // the path.
-        assert!(src.contains("/camera-cgi?m=%s"), "endpoint-in-template: {src}");
+        assert!(
+            src.contains("/camera-cgi?m=%s"),
+            "endpoint-in-template: {src}"
+        );
     }
 }

@@ -22,14 +22,16 @@ pub fn build_cloud(vendor: &str, identity: &DeviceIdentity, plans: &[MessagePlan
         bound_user: None,
     });
     state.create_user(&identity.user, &identity.password);
-    state.bind(&identity.serial, &identity.user).expect("device and user exist");
+    state
+        .bind(&identity.serial, &identity.user)
+        .expect("device and user exist");
     state.add_resource(&identity.serial, "/cloud/recordings/2026-07-01.mp4");
     state.add_resource(&identity.serial, "/cloud/recordings/2026-07-02.mp4");
 
     let endpoints: Vec<Endpoint> = plans
         .iter()
         .filter(|p| p.on_cloud && !p.lan)
-        .map(|p| endpoint_for_plan(p))
+        .map(endpoint_for_plan)
         .collect();
     Cloud::new(vendor, endpoints, state)
 }
@@ -157,14 +159,19 @@ mod tests {
     }
 
     #[test]
-    fn cve_endpoint_leaks_secret_on_identifiers_alone(){
+    fn cve_endpoint_leaks_secret_on_identifiers_alone() {
         let (cloud, identity, _) = cloud_for(11);
-        let body = format!("{{\"serial\":\"{}\",\"mac\":\"{}\"}}", identity.serial, identity.mac);
+        let body = format!(
+            "{{\"serial\":\"{}\",\"mac\":\"{}\"}}",
+            identity.serial, identity.mac
+        );
         let r = cloud.handle(&HttpRequest::new("/rms/registrations", body));
         assert_eq!(r.status, ResponseStatus::RequestOk);
         let leaks = r.leaked_values();
         assert!(
-            leaks.iter().any(|(k, v)| k == "certificate" && v == &identity.secret),
+            leaks
+                .iter()
+                .any(|(k, v)| k == "certificate" && v == &identity.secret),
             "device secret leaked: {leaks:?}"
         );
         let reg = cloud
@@ -202,7 +209,11 @@ mod tests {
         };
         let forged = format!("{}={id_value}&{token_key}=guess", id_field.key);
         let r = cloud.handle(&HttpRequest::new(plan.endpoint.clone(), forged));
-        assert_eq!(r.status, ResponseStatus::NoPermission, "forged token rejected");
+        assert_eq!(
+            r.status,
+            ResponseStatus::NoPermission,
+            "forged token rejected"
+        );
         let real = cloud.with_state(|s| s.token_for(&id_value).unwrap());
         let good = format!("{}={id_value}&{token_key}={real}", id_field.key);
         let r = cloud.handle(&HttpRequest::new(plan.endpoint.clone(), good));
@@ -216,18 +227,23 @@ mod tests {
         let plan = plans.iter().find(|p| p.policy == PlanPolicy::CustomCred);
         if let Some(plan) = plan {
             let idf = plan.identifier_field().unwrap();
-            let idv = identity.value_of(match idf.key.as_str() {
-                "mac" => "mac",
-                "serialNumber" | "sn" => "serial",
-                "uid" => "uid",
-                _ => "device_id",
-            })
-            .unwrap();
+            let idv = identity
+                .value_of(match idf.key.as_str() {
+                    "mac" => "mac",
+                    "serialNumber" | "sn" => "serial",
+                    "uid" => "uid",
+                    _ => "device_id",
+                })
+                .unwrap();
             let req = format!("{}={idv}&vcode=12345", idf.key);
             let r = cloud.handle(&HttpRequest::new(plan.endpoint.clone(), req));
             assert_eq!(r.status, ResponseStatus::NoPermission);
             // And the endpoint audits as *secure* (the vcode acts as a token).
-            let e = cloud.endpoints().iter().find(|e| e.path == plan.endpoint).unwrap();
+            let e = cloud
+                .endpoints()
+                .iter()
+                .find(|e| e.path == plan.endpoint)
+                .unwrap();
             assert_eq!(e.flaw(), None);
         }
     }

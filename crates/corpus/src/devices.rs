@@ -43,37 +43,287 @@ pub struct DeviceSpec {
     pub sprintf: SprintfUsage,
 }
 
+/// One raw roster row: `(id, vendor, model, type, fw version, script-based,
+/// target messages, target invalid, target fields, sprintf usage)`.
+type RosterRow = (
+    u8,
+    &'static str,
+    &'static str,
+    DeviceType,
+    &'static str,
+    bool,
+    usize,
+    usize,
+    usize,
+    SprintfUsage,
+);
+
 /// The full Table I roster.
 pub fn device_table() -> Vec<DeviceSpec> {
     use DeviceType::*;
     use SprintfUsage::*;
-    let rows: [(u8, &str, &str, DeviceType, &str, bool, usize, usize, usize, SprintfUsage); 22] = [
-        (1, "InRouter", "InRouter302", IndustrialRouter, "V1.0.52", false, 21, 4, 82, None),
-        (2, "TP-Link", "***", SmartCamera, "***", false, 16, 2, 74, None),
-        (3, "TP-Link", "***", IndustrialRouter, "***", false, 18, 2, 102, None),
-        (4, "TP-Link", "TL-TR960G", FourGRouter, "0.1.0.5_Build_211202_Rel.47739n", false, 17, 3, 97, None),
-        (5, "Linksys", "***", WifiRouter, "***", false, 8, 1, 52, None),
-        (6, "Netgear", "GC110", SmartSwitch, "V1.0.5.36", false, 14, 1, 82, None),
-        (7, "Netgear", "R8500", WifiRouter, "V1.0.2.160_1.0.107", false, 18, 2, 98, None),
-        (8, "Netgear", "WAC720", WirelessAccessPoint, "V3.1.1.0", false, 13, 0, 101, MultiField),
-        (9, "Araknis", "AN-100FCC", WirelessAccessPoint, "V1.3.02", false, 15, 1, 96, None),
-        (10, "TENDA", "AC6", WifiRouter, "V02.03.01.114", false, 7, 1, 62, MultiField),
-        (11, "Teltonika", "RUT241", FourGRouter, "RUT2M_R_00.07.01.3", false, 13, 2, 76, SingleField),
-        (12, "360", "C5S", WifiRouter, "V3.1.2.5552", false, 15, 4, 85, MultiField),
-        (13, "Tenvis", "319W", SmartCamera, "V3.7.25", false, 17, 0, 162, MultiField),
-        (14, "Western Digital", "My cloud", Nas, "V5.25.124", false, 30, 4, 323, MultiField),
-        (15, "Mindor", "ZCZ001", SmartPlug, "V1.0.7", false, 5, 1, 58, MultiField),
-        (16, "Mank", "WF-CT-10X", SmartPlug, "V1.1.2", false, 7, 2, 71, MultiField),
-        (17, "Cubetoou", "T9", SmartCamera, "a01.04.05.0020.5591a.190822", false, 9, 0, 101, MultiField),
-        (18, "DF-iCam", "QC061", SmartCamera, "2.3.04.25.1", false, 13, 2, 117, MultiField),
-        (19, "VStarcam", "BMW1", SmartCamera, "10.194.161.48", false, 13, 1, 93, MultiField),
-        (20, "RUISION", "S4D5620PHR", SmartCamera, "1.4.0-20230705Z1s", false, 12, 2, 87, MultiField),
-        (21, "MOFI", "MOFI4500", FourGRouter, "2_3_5std", true, 0, 0, 0, None),
-        (22, "D-LINK", "DAP1160L", WirelessAccessPoint, "FW101WWb04", true, 0, 0, 0, None),
+    let rows: [RosterRow; 22] = [
+        (
+            1,
+            "InRouter",
+            "InRouter302",
+            IndustrialRouter,
+            "V1.0.52",
+            false,
+            21,
+            4,
+            82,
+            None,
+        ),
+        (
+            2,
+            "TP-Link",
+            "***",
+            SmartCamera,
+            "***",
+            false,
+            16,
+            2,
+            74,
+            None,
+        ),
+        (
+            3,
+            "TP-Link",
+            "***",
+            IndustrialRouter,
+            "***",
+            false,
+            18,
+            2,
+            102,
+            None,
+        ),
+        (
+            4,
+            "TP-Link",
+            "TL-TR960G",
+            FourGRouter,
+            "0.1.0.5_Build_211202_Rel.47739n",
+            false,
+            17,
+            3,
+            97,
+            None,
+        ),
+        (
+            5, "Linksys", "***", WifiRouter, "***", false, 8, 1, 52, None,
+        ),
+        (
+            6,
+            "Netgear",
+            "GC110",
+            SmartSwitch,
+            "V1.0.5.36",
+            false,
+            14,
+            1,
+            82,
+            None,
+        ),
+        (
+            7,
+            "Netgear",
+            "R8500",
+            WifiRouter,
+            "V1.0.2.160_1.0.107",
+            false,
+            18,
+            2,
+            98,
+            None,
+        ),
+        (
+            8,
+            "Netgear",
+            "WAC720",
+            WirelessAccessPoint,
+            "V3.1.1.0",
+            false,
+            13,
+            0,
+            101,
+            MultiField,
+        ),
+        (
+            9,
+            "Araknis",
+            "AN-100FCC",
+            WirelessAccessPoint,
+            "V1.3.02",
+            false,
+            15,
+            1,
+            96,
+            None,
+        ),
+        (
+            10,
+            "TENDA",
+            "AC6",
+            WifiRouter,
+            "V02.03.01.114",
+            false,
+            7,
+            1,
+            62,
+            MultiField,
+        ),
+        (
+            11,
+            "Teltonika",
+            "RUT241",
+            FourGRouter,
+            "RUT2M_R_00.07.01.3",
+            false,
+            13,
+            2,
+            76,
+            SingleField,
+        ),
+        (
+            12,
+            "360",
+            "C5S",
+            WifiRouter,
+            "V3.1.2.5552",
+            false,
+            15,
+            4,
+            85,
+            MultiField,
+        ),
+        (
+            13,
+            "Tenvis",
+            "319W",
+            SmartCamera,
+            "V3.7.25",
+            false,
+            17,
+            0,
+            162,
+            MultiField,
+        ),
+        (
+            14,
+            "Western Digital",
+            "My cloud",
+            Nas,
+            "V5.25.124",
+            false,
+            30,
+            4,
+            323,
+            MultiField,
+        ),
+        (
+            15, "Mindor", "ZCZ001", SmartPlug, "V1.0.7", false, 5, 1, 58, MultiField,
+        ),
+        (
+            16,
+            "Mank",
+            "WF-CT-10X",
+            SmartPlug,
+            "V1.1.2",
+            false,
+            7,
+            2,
+            71,
+            MultiField,
+        ),
+        (
+            17,
+            "Cubetoou",
+            "T9",
+            SmartCamera,
+            "a01.04.05.0020.5591a.190822",
+            false,
+            9,
+            0,
+            101,
+            MultiField,
+        ),
+        (
+            18,
+            "DF-iCam",
+            "QC061",
+            SmartCamera,
+            "2.3.04.25.1",
+            false,
+            13,
+            2,
+            117,
+            MultiField,
+        ),
+        (
+            19,
+            "VStarcam",
+            "BMW1",
+            SmartCamera,
+            "10.194.161.48",
+            false,
+            13,
+            1,
+            93,
+            MultiField,
+        ),
+        (
+            20,
+            "RUISION",
+            "S4D5620PHR",
+            SmartCamera,
+            "1.4.0-20230705Z1s",
+            false,
+            12,
+            2,
+            87,
+            MultiField,
+        ),
+        (
+            21,
+            "MOFI",
+            "MOFI4500",
+            FourGRouter,
+            "2_3_5std",
+            true,
+            0,
+            0,
+            0,
+            None,
+        ),
+        (
+            22,
+            "D-LINK",
+            "DAP1160L",
+            WirelessAccessPoint,
+            "FW101WWb04",
+            true,
+            0,
+            0,
+            0,
+            None,
+        ),
     ];
     rows.into_iter()
         .map(
-            |(id, vendor, model, device_type, firmware_version, script_based, target_messages, target_invalid, target_fields, sprintf)| {
+            |(
+                id,
+                vendor,
+                model,
+                device_type,
+                firmware_version,
+                script_based,
+                target_messages,
+                target_invalid,
+                target_fields,
+                sprintf,
+            )| {
                 DeviceSpec {
                     id,
                     vendor,
@@ -104,7 +354,11 @@ mod tests {
     fn roster_matches_table_one() {
         let t = device_table();
         assert_eq!(t.len(), 22);
-        assert_eq!(t.iter().filter(|d| d.script_based).count(), 2, "devices 21 and 22");
+        assert_eq!(
+            t.iter().filter(|d| d.script_based).count(),
+            2,
+            "devices 21 and 22"
+        );
         // 18 distinct vendors (TP-Link ×3, Netgear ×3 in the paper).
         let vendors: std::collections::BTreeSet<_> = t.iter().map(|d| d.vendor).collect();
         assert_eq!(vendors.len(), 18);

@@ -53,14 +53,28 @@ impl Host {
             .collect();
         let mut config = BTreeMap::new();
         for key in [
-            "server", "port", "fw_version", "model", "product_id", "device_cert", "hw_version",
-            "cluster", "region", "timezone",
+            "server",
+            "port",
+            "fw_version",
+            "model",
+            "product_id",
+            "device_cert",
+            "hw_version",
+            "cluster",
+            "region",
+            "timezone",
         ] {
             if let Some(v) = dev.firmware.config_value(key) {
                 config.insert(key.to_string(), v);
             }
         }
-        Host { nvram, config, objects: Vec::new(), sink, trigger }
+        Host {
+            nvram,
+            config,
+            objects: Vec::new(),
+            sink,
+            trigger,
+        }
     }
 
     #[allow(clippy::too_many_lines)]
@@ -176,7 +190,7 @@ impl Host {
 
 fn load_agent(dev: &GeneratedDevice) -> Option<Executable> {
     let path = dev.cloud_executable.as_deref()?;
-    dev.firmware.load_executable(path)?.ok()
+    dev.firmware.load_executable(path).ok()
 }
 
 /// Run one named function of the device-cloud executable and capture the
@@ -190,7 +204,9 @@ pub fn run_message_function(
     dev: &GeneratedDevice,
     func: &str,
 ) -> Result<Vec<CapturedMessage>, EmuError> {
-    let Some(exe) = load_agent(dev) else { return Ok(Vec::new()) };
+    let Some(exe) = load_agent(dev) else {
+        return Ok(Vec::new());
+    };
     let sink: Sink = Rc::new(RefCell::new(Vec::new()));
     let mut host = Host::new(dev, Rc::clone(&sink), 0);
     let mut emu = Emulator::new(&exe, |name: &str, args: [u32; 6], mem: &mut Mem| {
@@ -205,7 +221,9 @@ pub fn run_message_function(
 /// sends. The event loop never fires the cloud handler, so this models
 /// what plain emulation observes.
 pub fn capture_boot_path(dev: &GeneratedDevice) -> Result<Vec<CapturedMessage>, EmuError> {
-    let Some(exe) = load_agent(dev) else { return Ok(Vec::new()) };
+    let Some(exe) = load_agent(dev) else {
+        return Ok(Vec::new());
+    };
     let sink: Sink = Rc::new(RefCell::new(Vec::new()));
     let mut host = Host::new(dev, Rc::clone(&sink), 0);
     let mut emu = Emulator::new(&exe, |name: &str, args: [u32; 6], mem: &mut Mem| {
@@ -224,7 +242,9 @@ pub fn capture_with_trigger(
     dev: &GeneratedDevice,
     trigger: u8,
 ) -> Result<Vec<CapturedMessage>, EmuError> {
-    let Some(exe) = load_agent(dev) else { return Ok(Vec::new()) };
+    let Some(exe) = load_agent(dev) else {
+        return Ok(Vec::new());
+    };
     let sink: Sink = Rc::new(RefCell::new(Vec::new()));
     let mut host = Host::new(dev, Rc::clone(&sink), trigger);
     let mut emu = Emulator::new(&exe, |name: &str, args: [u32; 6], mem: &mut Mem| {
@@ -268,7 +288,11 @@ mod tests {
         for t in 0..=255u8 {
             captured += capture_with_trigger(&dev, t).unwrap().len();
         }
-        assert_eq!(captured, dev.plans.len(), "every plan reachable by exhaustive fuzzing");
+        assert_eq!(
+            captured,
+            dev.plans.len(),
+            "every plan reachable by exhaustive fuzzing"
+        );
     }
 
     #[test]
@@ -276,7 +300,11 @@ mod tests {
         let dev = generate_device(11, 7);
         let msgs = run_message_function(&dev, "snd_00").unwrap();
         assert_eq!(msgs.len(), 1);
-        assert!(msgs[0].payload.contains("/rms/registrations"), "{}", msgs[0].payload);
+        assert!(
+            msgs[0].payload.contains("/rms/registrations"),
+            "{}",
+            msgs[0].payload
+        );
     }
 
     #[test]

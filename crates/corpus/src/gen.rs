@@ -1,8 +1,6 @@
 //! Whole-device and whole-corpus generation.
 
-use crate::asmgen::{
-    device_cloud_source, ipc_daemon_source, local_httpd_source, watchdog_source,
-};
+use crate::asmgen::{device_cloud_source, ipc_daemon_source, local_httpd_source, watchdog_source};
 use crate::cloudgen::build_cloud;
 use crate::devices::{device_table, DeviceSpec};
 use crate::plan::{plan_messages, DeviceIdentity, MessagePlan};
@@ -75,7 +73,10 @@ pub fn generate_device(id: u8, seed: u64) -> GeneratedDevice {
     );
     fw.add_file(
         "/etc/ssl/device.pem",
-        FileEntry::Cert(format!("-----BEGIN DEVICE CERT-----\n{}\n-----END-----\n", identity.secret)),
+        FileEntry::Cert(format!(
+            "-----BEGIN DEVICE CERT-----\n{}\n-----END-----\n",
+            identity.secret
+        )),
     );
 
     let assembler = Assembler::new();
@@ -128,12 +129,22 @@ pub fn generate_device(id: u8, seed: u64) -> GeneratedDevice {
     let packed = fw.pack();
     let firmware = FirmwareImage::unpack(&packed).expect("self-generated image unpacks");
 
-    GeneratedDevice { spec, identity, plans, firmware, cloud, cloud_executable }
+    GeneratedDevice {
+        spec,
+        identity,
+        plans,
+        firmware,
+        cloud,
+        cloud_executable,
+    }
 }
 
 /// Generate the full 22-device corpus.
 pub fn generate_corpus(seed: u64) -> Vec<GeneratedDevice> {
-    device_table().iter().map(|d| generate_device(d.id, seed)).collect()
+    device_table()
+        .iter()
+        .map(|d| generate_device(d.id, seed))
+        .collect()
 }
 
 #[cfg(test)]
@@ -146,11 +157,14 @@ mod tests {
         let dev = generate_device(13, 7);
         assert_eq!(dev.spec.model, "319W");
         let path = dev.cloud_executable.as_deref().unwrap();
-        let exe = dev.firmware.load_executable(path).unwrap().unwrap();
+        let exe = dev.firmware.load_executable(path).unwrap();
         let prog = lift(&exe, "agent").unwrap();
         assert!(prog.function_by_name("on_cloud_request").is_some());
         assert_eq!(dev.firmware.executables().count(), 4, "agent + 3 aux");
-        assert_eq!(dev.firmware.nvram().get("mac"), Some(dev.identity.mac.as_str()));
+        assert_eq!(
+            dev.firmware.nvram().get("mac"),
+            Some(dev.identity.mac.as_str())
+        );
     }
 
     #[test]
@@ -167,8 +181,15 @@ mod tests {
     #[test]
     fn nvram_token_is_valid_on_cloud() {
         let dev = generate_device(5, 7);
-        let token = dev.firmware.nvram().get("access_token").unwrap().to_string();
-        assert!(dev.cloud.with_state(|s| s.valid_token(&dev.identity.serial, &token)));
+        let token = dev
+            .firmware
+            .nvram()
+            .get("access_token")
+            .unwrap()
+            .to_string();
+        assert!(dev
+            .cloud
+            .with_state(|s| s.valid_token(&dev.identity.serial, &token)));
     }
 
     #[test]
@@ -190,7 +211,13 @@ mod tests {
     fn full_corpus_generates() {
         let corpus = generate_corpus(7);
         assert_eq!(corpus.len(), 22);
-        assert_eq!(corpus.iter().filter(|d| d.cloud_executable.is_some()).count(), 20);
+        assert_eq!(
+            corpus
+                .iter()
+                .filter(|d| d.cloud_executable.is_some())
+                .count(),
+            20
+        );
         // All firmware images have unique identities.
         let macs: std::collections::BTreeSet<_> =
             corpus.iter().map(|d| d.identity.mac.clone()).collect();

@@ -226,7 +226,9 @@ pub struct MessagePlan {
 impl MessagePlan {
     /// The field whose semantic is Dev-Identifier, if any.
     pub fn identifier_field(&self) -> Option<&PlanField> {
-        self.fields.iter().find(|f| f.semantic == Primitive::DevIdentifier)
+        self.fields
+            .iter()
+            .find(|f| f.semantic == Primitive::DevIdentifier)
     }
 
     /// Whether this plan is one of the seeded vulnerabilities.
@@ -255,7 +257,11 @@ fn identifier_pool(rng: &mut StdRng) -> PlanField {
         ("productId", ValueSource::CfgGet("product_id".into())),
     ];
     let (key, source) = options[rng.gen_range(0..options.len())].clone();
-    PlanField { key: key.into(), semantic: Primitive::DevIdentifier, source }
+    PlanField {
+        key: key.into(),
+        semantic: Primitive::DevIdentifier,
+        source,
+    }
 }
 
 fn secret_pool(rng: &mut StdRng, identity: &DeviceIdentity) -> PlanField {
@@ -296,7 +302,11 @@ fn token_field(rng: &mut StdRng) -> PlanField {
 }
 
 fn signature_field() -> PlanField {
-    PlanField { key: "sign".into(), semantic: Primitive::Signature, source: ValueSource::Signed }
+    PlanField {
+        key: "sign".into(),
+        semantic: Primitive::Signature,
+        source: ValueSource::Signed,
+    }
 }
 
 fn usercred_fields() -> Vec<PlanField> {
@@ -338,8 +348,16 @@ fn meta_pool(rng: &mut StdRng) -> PlanField {
         ("host", ValueSource::CfgGet("server".into())),
     ];
     let (key, source) = options[rng.gen_range(0..options.len())].clone();
-    let semantic = if key == "host" { Primitive::Address } else { Primitive::None };
-    PlanField { key: key.into(), semantic, source }
+    let semantic = if key == "host" {
+        Primitive::Address
+    } else {
+        Primitive::None
+    };
+    PlanField {
+        key: key.into(),
+        semantic,
+        source,
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -371,12 +389,10 @@ pub fn plan_messages(spec: &DeviceSpec, identity: &DeviceIdentity, seed: u64) ->
 
     // Field-count distribution over the remaining messages.
     let mut sizes = vec![0usize; remaining_msgs];
-    if remaining_msgs > 0 {
-        let cap = (remaining_fields / remaining_msgs + 4).clamp(12, 16);
-        let base = (remaining_fields / remaining_msgs).clamp(2, cap);
-        for s in &mut sizes {
-            *s = base;
-        }
+    if let Some(per_msg) = remaining_fields.checked_div(remaining_msgs) {
+        let cap = (per_msg + 4).clamp(12, 16);
+        let base = per_msg.clamp(2, cap);
+        sizes.fill(base);
         let mut leftover = remaining_fields.saturating_sub(sizes.iter().sum());
         // Bounded distribution: if every message is at the per-message cap
         // the residue is dropped (totals are targets, not exact counts).
@@ -429,29 +445,30 @@ pub fn plan_messages(spec: &DeviceSpec, identity: &DeviceIdentity, seed: u64) ->
     // which are form-check FP generators.
     let mut invalid_slots: Vec<usize> = (0..remaining_msgs).collect();
     invalid_slots.shuffle(&mut rng);
-    let invalid: std::collections::BTreeSet<usize> =
-        invalid_slots.into_iter().take(spec.target_invalid).collect();
+    let invalid: std::collections::BTreeSet<usize> = invalid_slots
+        .into_iter()
+        .take(spec.target_invalid)
+        .collect();
     // Sprinkle FP generators on larger corpora.
     let fp_open = spec.id % 4 == 1; // a handful of devices
     let fp_custom = spec.id % 7 == 3;
 
     let styles = style_palette(spec);
-    for i in 0..remaining_msgs {
+    for (i, &nfields) in sizes.iter().enumerate() {
         let idx = plans.len();
-        let nfields = sizes[i];
         // Short messages on sprintf-using devices prefer formatted
         // templates (they fit the 4-value argument budget), reproducing
         // the paper's mix of sprintf- and library-assembled messages.
-        let style = if spec.sprintf == SprintfUsage::MultiField && nfields <= 4 && rng.gen_bool(0.75)
-        {
-            if rng.gen_bool(0.6) {
-                BodyStyle::SprintfQuery
+        let style =
+            if spec.sprintf == SprintfUsage::MultiField && nfields <= 4 && rng.gen_bool(0.75) {
+                if rng.gen_bool(0.6) {
+                    BodyStyle::SprintfQuery
+                } else {
+                    BodyStyle::SprintfJson
+                }
             } else {
-                BodyStyle::SprintfJson
-            }
-        } else {
-            styles[rng.gen_range(0..styles.len())]
-        };
+                styles[rng.gen_range(0..styles.len())]
+            };
         let delivery = delivery_for(spec, style, &mut rng);
         let functionality = FUNCTIONALITIES[rng.gen_range(0..FUNCTIONALITIES.len())];
         let endpoint = endpoint_for(spec.id, idx, delivery, functionality, &mut rng);
@@ -656,7 +673,11 @@ mod tests {
             let identity = DeviceIdentity::generate(id, seed);
             let plans = plan_messages(&spec, &identity, seed);
             let counted: Vec<_> = plans.iter().filter(|p| !p.lan).collect();
-            assert_eq!(counted.len(), spec.target_messages, "device {id} message count");
+            assert_eq!(
+                counted.len(),
+                spec.target_messages,
+                "device {id} message count"
+            );
             let invalid = counted.iter().filter(|p| !p.on_cloud).count();
             assert_eq!(invalid, spec.target_invalid, "device {id} invalid count");
             let fields: usize = counted.iter().map(|p| p.fields.len()).sum();

@@ -13,7 +13,11 @@ use crate::plan::{
 use firmres_semantics::Primitive;
 
 fn f(key: &str, semantic: Primitive, source: ValueSource) -> PlanField {
-    PlanField { key: key.into(), semantic, source }
+    PlanField {
+        key: key.into(),
+        semantic,
+        source,
+    }
 }
 
 fn ident(key: &str) -> PlanField {
@@ -37,7 +41,7 @@ fn meta(key: &str) -> PlanField {
     f(key, Primitive::None, source)
 }
 
-#[allow(clippy::too_many_lines)]
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 fn plan(
     _device: u8,
     n: usize,
@@ -334,8 +338,14 @@ mod tests {
     #[test]
     fn fourteen_vulnerabilities_across_eight_devices() {
         assert_eq!(total_vulnerabilities(), 14);
-        let devices: Vec<u8> = (1..=22).filter(|d| !vulnerable_plans(*d).is_empty()).collect();
-        assert_eq!(devices, vec![2, 5, 11, 17, 18, 19, 20], "7 devices with seeded rows");
+        let devices: Vec<u8> = (1..=22)
+            .filter(|d| !vulnerable_plans(*d).is_empty())
+            .collect();
+        assert_eq!(
+            devices,
+            vec![2, 5, 11, 17, 18, 19, 20],
+            "7 devices with seeded rows"
+        );
         // Paper: 14 vulns in 8 devices; our device 5 carries two rows on
         // one cloud, so the count lands on 7 synthetic clouds. Documented
         // in EXPERIMENTS.md.
@@ -356,7 +366,11 @@ mod tests {
     fn device11_is_the_known_cve() {
         let plans = vulnerable_plans(11);
         assert_eq!(plans.len(), 1);
-        assert!(plans[0].consequence.as_ref().unwrap().contains("CVE-2023-2586"));
+        assert!(plans[0]
+            .consequence
+            .as_ref()
+            .unwrap()
+            .contains("CVE-2023-2586"));
         assert_eq!(plans[0].policy, PlanPolicy::RegisterLeakSecret);
     }
 
@@ -365,7 +379,11 @@ mod tests {
         for d in 1..=22u8 {
             for p in vulnerable_plans(d) {
                 if matches!(p.style, BodyStyle::SprintfQuery | BodyStyle::SprintfJson) {
-                    assert!(p.fields.len() <= 4, "device {d} {} has too many sprintf fields", p.func_name);
+                    assert!(
+                        p.fields.len() <= 4,
+                        "device {d} {} has too many sprintf fields",
+                        p.func_name
+                    );
                 }
             }
         }

@@ -63,7 +63,10 @@ impl DefUse {
         for (bi, block) in f.blocks().iter().enumerate() {
             block_lens.push(block.ops.len());
             for (oi, op) in block.ops.iter().enumerate() {
-                let r = OpRef { block: BlockId(bi as u32), index: oi };
+                let r = OpRef {
+                    block: BlockId(bi as u32),
+                    index: oi,
+                };
                 addr_index.entry(op.addr).or_insert(r);
                 if let Some(out) = &op.output {
                     defs.push((r, out.clone()));
@@ -109,7 +112,12 @@ impl DefUse {
                 }
             }
         }
-        DefUse { defs, block_in, addr_index, block_lens }
+        DefUse {
+            defs,
+            block_in,
+            addr_index,
+            block_lens,
+        }
     }
 
     /// Position of the operation at machine address `addr`, if present.
@@ -164,7 +172,7 @@ impl DefUse {
 ///
 /// Panics when `r` does not index a valid operation of `f`; positions must
 /// come from the same function the query targets.
-pub fn op_at<'f>(f: &'f Function, r: OpRef) -> &'f PcodeOp {
+pub fn op_at(f: &Function, r: OpRef) -> &PcodeOp {
     &f.block(r.block).ops[r.index]
 }
 
@@ -207,7 +215,13 @@ mod tests {
         let du = DefUse::compute(&f);
         let x = local_x(&f);
         // join block is block 2; the use of x is its first op.
-        let defs = du.reaching_defs(OpRef { block: BlockId(2), index: 0 }, &x);
+        let defs = du.reaching_defs(
+            OpRef {
+                block: BlockId(2),
+                index: 0,
+            },
+            &x,
+        );
         assert_eq!(defs.len(), 2, "defs from both paths reach the join");
     }
 
@@ -217,9 +231,21 @@ mod tests {
         let du = DefUse::compute(&f);
         let x = local_x(&f);
         // Inside the then-block, after `x = 2`, only that def reaches.
-        let defs = du.reaching_defs(OpRef { block: BlockId(1), index: 1 }, &x);
+        let defs = du.reaching_defs(
+            OpRef {
+                block: BlockId(1),
+                index: 1,
+            },
+            &x,
+        );
         assert_eq!(defs.len(), 1);
-        assert_eq!(defs[0], OpRef { block: BlockId(1), index: 0 });
+        assert_eq!(
+            defs[0],
+            OpRef {
+                block: BlockId(1),
+                index: 0
+            }
+        );
     }
 
     #[test]
@@ -227,7 +253,13 @@ mod tests {
         let f = diamond();
         let du = DefUse::compute(&f);
         let p = f.params()[0].clone();
-        let defs = du.reaching_defs(OpRef { block: BlockId(0), index: 1 }, &p);
+        let defs = du.reaching_defs(
+            OpRef {
+                block: BlockId(0),
+                index: 1,
+            },
+            &p,
+        );
         assert!(defs.is_empty(), "parameters have no defining op");
     }
 
@@ -251,7 +283,13 @@ mod tests {
         let f = fb.finish();
         let du = DefUse::compute(&f);
         // At the top of the loop body, both the init and the loop def reach.
-        let defs = du.reaching_defs(OpRef { block: BlockId(1), index: 0 }, &x);
+        let defs = du.reaching_defs(
+            OpRef {
+                block: BlockId(1),
+                index: 0,
+            },
+            &x,
+        );
         assert_eq!(defs.len(), 2);
     }
 
@@ -261,7 +299,13 @@ mod tests {
         let du = DefUse::compute(&f);
         assert!(du.def_count() >= 4);
         let first = f.ops().next().unwrap();
-        assert_eq!(du.position_of(first.addr), Some(OpRef { block: BlockId(0), index: 0 }));
+        assert_eq!(
+            du.position_of(first.addr),
+            Some(OpRef {
+                block: BlockId(0),
+                index: 0
+            })
+        );
         assert_eq!(du.position_of(0xdead), None);
         let x = local_x(&f);
         assert_eq!(du.all_defs(&x).len(), 2);

@@ -189,7 +189,10 @@ mod tests {
 .endfunc
 "#,
         );
-        assert_eq!(region_of_call_arg(&p, &f, "SSL_write", 0), Region::Stack(16));
+        assert_eq!(
+            region_of_call_arg(&p, &f, "SSL_write", 0),
+            Region::Stack(16)
+        );
     }
 
     #[test]

@@ -131,48 +131,143 @@ pub fn summary_for(name: &str) -> Option<Summary> {
     use SummaryEffect::*;
     let effects: Vec<SummaryEffect> = match name {
         // ---- formatted output ----
-        "sprintf" => vec![ArgFrom { dst: 0, srcs: vec![1, 2, 3, 4, 5] }],
-        "snprintf" => vec![ArgFrom { dst: 0, srcs: vec![2, 3, 4, 5] }],
+        "sprintf" => vec![ArgFrom {
+            dst: 0,
+            srcs: vec![1, 2, 3, 4, 5],
+        }],
+        "snprintf" => vec![ArgFrom {
+            dst: 0,
+            srcs: vec![2, 3, 4, 5],
+        }],
         // ---- string/memory movement ----
-        "strcpy" => vec![ArgFrom { dst: 0, srcs: vec![1] }, RetFrom { srcs: vec![0] }],
-        "strncpy" => vec![ArgFrom { dst: 0, srcs: vec![1] }],
-        "strcat" => vec![ArgFrom { dst: 0, srcs: vec![0, 1] }, RetFrom { srcs: vec![0] }],
-        "memcpy" => vec![ArgFrom { dst: 0, srcs: vec![1] }, RetFrom { srcs: vec![0] }],
-        "itoa" => vec![ArgFrom { dst: 1, srcs: vec![0] }, RetFrom { srcs: vec![1] }],
+        "strcpy" => vec![
+            ArgFrom {
+                dst: 0,
+                srcs: vec![1],
+            },
+            RetFrom { srcs: vec![0] },
+        ],
+        "strncpy" => vec![ArgFrom {
+            dst: 0,
+            srcs: vec![1],
+        }],
+        "strcat" => vec![
+            ArgFrom {
+                dst: 0,
+                srcs: vec![0, 1],
+            },
+            RetFrom { srcs: vec![0] },
+        ],
+        "memcpy" => vec![
+            ArgFrom {
+                dst: 0,
+                srcs: vec![1],
+            },
+            RetFrom { srcs: vec![0] },
+        ],
+        "itoa" => vec![
+            ArgFrom {
+                dst: 1,
+                srcs: vec![0],
+            },
+            RetFrom { srcs: vec![1] },
+        ],
         // ---- JSON assembly (cJSON style) ----
         "cJSON_CreateObject" => vec![RetAlloc],
         "cJSON_AddStringToObject" | "cJSON_AddNumberToObject" => {
-            vec![ArgFrom { dst: 0, srcs: vec![1, 2] }]
+            vec![ArgFrom {
+                dst: 0,
+                srcs: vec![1, 2],
+            }]
         }
         "cJSON_Print" => vec![RetFrom { srcs: vec![0] }],
         "cJSON_GetObjectItem" => vec![RetFrom { srcs: vec![0, 1] }],
         // ---- configuration / identity sources ----
-        "nvram_get" => vec![RetSource { kind: SourceKind::Nvram, key_arg: Some(0) }],
-        "cfg_get" => vec![RetSource { kind: SourceKind::ConfigFile, key_arg: Some(0) }],
-        "config_read" => vec![RetSource { kind: SourceKind::ConfigFile, key_arg: Some(1) }],
-        "getenv" => vec![RetSource { kind: SourceKind::Environment, key_arg: Some(0) }],
-        "get_mac_addr" => vec![ArgSource { dst: 0, kind: SourceKind::HardwareId, key: "mac" }],
-        "get_serial" => vec![ArgSource { dst: 0, kind: SourceKind::HardwareId, key: "serial" }],
-        "get_uid" => vec![ArgSource { dst: 0, kind: SourceKind::HardwareId, key: "uid" }],
-        "get_dev_model" => vec![ArgSource { dst: 0, kind: SourceKind::HardwareId, key: "model" }],
+        "nvram_get" => vec![RetSource {
+            kind: SourceKind::Nvram,
+            key_arg: Some(0),
+        }],
+        "cfg_get" => vec![RetSource {
+            kind: SourceKind::ConfigFile,
+            key_arg: Some(0),
+        }],
+        "config_read" => vec![RetSource {
+            kind: SourceKind::ConfigFile,
+            key_arg: Some(1),
+        }],
+        "getenv" => vec![RetSource {
+            kind: SourceKind::Environment,
+            key_arg: Some(0),
+        }],
+        "get_mac_addr" => vec![ArgSource {
+            dst: 0,
+            kind: SourceKind::HardwareId,
+            key: "mac",
+        }],
+        "get_serial" => vec![ArgSource {
+            dst: 0,
+            kind: SourceKind::HardwareId,
+            key: "serial",
+        }],
+        "get_uid" => vec![ArgSource {
+            dst: 0,
+            kind: SourceKind::HardwareId,
+            key: "uid",
+        }],
+        "get_dev_model" => vec![ArgSource {
+            dst: 0,
+            kind: SourceKind::HardwareId,
+            key: "model",
+        }],
         "get_fw_version" => {
-            vec![ArgSource { dst: 0, kind: SourceKind::HardwareId, key: "fw_version" }]
+            vec![ArgSource {
+                dst: 0,
+                kind: SourceKind::HardwareId,
+                key: "fw_version",
+            }]
         }
         // ---- derivation (signatures, digests) ----
         "hmac_sign" => vec![RetFrom { srcs: vec![0, 1] }],
         "md5_hex" | "sha256_hex" => {
-            vec![ArgFrom { dst: 2, srcs: vec![0] }, RetFrom { srcs: vec![2] }]
+            vec![
+                ArgFrom {
+                    dst: 2,
+                    srcs: vec![0],
+                },
+                RetFrom { srcs: vec![2] },
+            ]
         }
         // ---- network input ----
-        "recv" => vec![ArgSource { dst: 1, kind: SourceKind::NetworkIn, key: "recv" }],
-        "recvfrom" => vec![ArgSource { dst: 1, kind: SourceKind::NetworkIn, key: "recvfrom" }],
-        "read" => vec![ArgSource { dst: 1, kind: SourceKind::NetworkIn, key: "read" }],
+        "recv" => vec![ArgSource {
+            dst: 1,
+            kind: SourceKind::NetworkIn,
+            key: "recv",
+        }],
+        "recvfrom" => vec![ArgSource {
+            dst: 1,
+            kind: SourceKind::NetworkIn,
+            key: "recvfrom",
+        }],
+        "read" => vec![ArgSource {
+            dst: 1,
+            kind: SourceKind::NetworkIn,
+            key: "read",
+        }],
         // ---- misc sources ----
-        "time" => vec![RetSource { kind: SourceKind::Time, key_arg: None }],
-        "rand" => vec![RetSource { kind: SourceKind::Random, key_arg: None }],
+        "time" => vec![RetSource {
+            kind: SourceKind::Time,
+            key_arg: None,
+        }],
+        "rand" => vec![RetSource {
+            kind: SourceKind::Random,
+            key_arg: None,
+        }],
         _ => return None,
     };
-    Some(Summary { name: summary_name(name), effects })
+    Some(Summary {
+        name: summary_name(name),
+        effects,
+    })
 }
 
 /// Map a dynamic name to the static str stored in the table.
@@ -208,7 +303,11 @@ fn summary_name(name: &str) -> &'static str {
         "time",
         "rand",
     ];
-    NAMES.iter().find(|n| **n == name).copied().unwrap_or("unknown")
+    NAMES
+        .iter()
+        .find(|n| **n == name)
+        .copied()
+        .unwrap_or("unknown")
 }
 
 /// Message-delivery functions: the callsites whose arguments are the
@@ -318,7 +417,10 @@ mod tests {
         assert!(s.affects_return());
         assert!(matches!(
             s.effects[0],
-            SummaryEffect::RetSource { kind: SourceKind::Nvram, key_arg: Some(0) }
+            SummaryEffect::RetSource {
+                kind: SourceKind::Nvram,
+                key_arg: Some(0)
+            }
         ));
     }
 

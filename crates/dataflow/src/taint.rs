@@ -168,7 +168,16 @@ impl TaintTree {
     ) -> TaintNodeId {
         let id = TaintNodeId(self.nodes.len());
         let seq = self.nodes.len() as u64;
-        self.nodes.push(TaintNode { id, parent, children: Vec::new(), func, op, varnode, kind, seq });
+        self.nodes.push(TaintNode {
+            id,
+            parent,
+            children: Vec::new(),
+            func,
+            op,
+            varnode,
+            kind,
+            seq,
+        });
         if let Some(p) = parent {
             self.nodes[p.0].children.push(id);
         }
@@ -241,7 +250,12 @@ pub struct TaintConfig {
 
 impl Default for TaintConfig {
     fn default() -> Self {
-        TaintConfig { max_depth: 48, max_nodes: 4096, overtaint: true, decompose_buffers: true }
+        TaintConfig {
+            max_depth: 48,
+            max_nodes: 4096,
+            overtaint: true,
+            decompose_buffers: true,
+        }
     }
 }
 
@@ -252,6 +266,13 @@ pub struct TaintEngine<'p> {
     defuse: BTreeMap<Address, DefUse>,
     reach: BTreeMap<Address, Vec<BTreeSet<u32>>>,
     config: TaintConfig,
+    /// Memoized [`TaintEngine::trace`] results per
+    /// `(function entry, callsite, argument)` query. Traces are
+    /// deterministic over an immutable program, so replaying one is
+    /// always safe.
+    trace_cache: BTreeMap<(Address, Address, usize), TaintTree>,
+    cache_hits: u64,
+    cache_misses: u64,
 }
 
 /// Extended region used inside the engine: [`Region`] plus buffers that
@@ -283,6 +304,9 @@ impl<'p> TaintEngine<'p> {
             defuse: BTreeMap::new(),
             reach: BTreeMap::new(),
             config,
+            trace_cache: BTreeMap::new(),
+            cache_hits: 0,
+            cache_misses: 0,
         }
     }
 
@@ -308,7 +332,7 @@ impl<'p> TaintEngine<'p> {
             let f = self.program.function(func).expect("function exists");
             let n = f.blocks().len();
             let mut sets: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); n];
-            for start in 0..n {
+            for (start, set) in sets.iter_mut().enumerate() {
                 let mut seen = BTreeSet::new();
                 let mut q = vec![start as u32];
                 while let Some(b) = q.pop() {
@@ -318,7 +342,7 @@ impl<'p> TaintEngine<'p> {
                         }
                     }
                 }
-                sets[start] = seen;
+                *set = seen;
             }
             self.reach.insert(func, sets);
         }
@@ -330,7 +354,28 @@ impl<'p> TaintEngine<'p> {
     ///
     /// Returns a single-node tree with an `Unresolved` root child when the
     /// callsite cannot be found.
+    ///
+    /// Results are memoized per `(func, callsite_addr, arg)`: repeating a
+    /// query returns a clone of the first result without re-walking the
+    /// data flows (see [`TaintEngine::cache_stats`]).
     pub fn trace(&mut self, func: Address, callsite_addr: Address, arg: usize) -> TaintTree {
+        let key = (func, callsite_addr, arg);
+        if let Some(cached) = self.trace_cache.get(&key) {
+            self.cache_hits += 1;
+            return cached.clone();
+        }
+        self.cache_misses += 1;
+        let tree = self.trace_uncached(func, callsite_addr, arg);
+        self.trace_cache.insert(key, tree.clone());
+        tree
+    }
+
+    /// `(hits, misses)` of the trace memo cache so far.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.cache_hits, self.cache_misses)
+    }
+
+    fn trace_uncached(&mut self, func: Address, callsite_addr: Address, arg: usize) -> TaintTree {
         let mut cx = Cx {
             tree: TaintTree::default(),
             visited_vals: BTreeSet::new(),
@@ -338,19 +383,45 @@ impl<'p> TaintEngine<'p> {
             call_stack: Vec::new(),
         };
         let Some(f) = self.program.function(func) else {
-            let root = cx.tree.add(None, func, None, None, TaintNodeKind::Root {
-                delivery: "<unknown>".into(),
-            });
-            cx.tree.add(Some(root), func, None, None,
-                TaintNodeKind::Source(FieldSource::Unresolved { reason: "function not found" }));
+            let root = cx.tree.add(
+                None,
+                func,
+                None,
+                None,
+                TaintNodeKind::Root {
+                    delivery: "<unknown>".into(),
+                },
+            );
+            cx.tree.add(
+                Some(root),
+                func,
+                None,
+                None,
+                TaintNodeKind::Source(FieldSource::Unresolved {
+                    reason: "function not found",
+                }),
+            );
             return cx.tree;
         };
         let Some(call) = f.op_at(callsite_addr).cloned() else {
-            let root = cx.tree.add(None, func, None, None, TaintNodeKind::Root {
-                delivery: "<unknown>".into(),
-            });
-            cx.tree.add(Some(root), func, None, None,
-                TaintNodeKind::Source(FieldSource::Unresolved { reason: "callsite not found" }));
+            let root = cx.tree.add(
+                None,
+                func,
+                None,
+                None,
+                TaintNodeKind::Root {
+                    delivery: "<unknown>".into(),
+                },
+            );
+            cx.tree.add(
+                Some(root),
+                func,
+                None,
+                None,
+                TaintNodeKind::Source(FieldSource::Unresolved {
+                    reason: "callsite not found",
+                }),
+            );
             return cx.tree;
         };
         let delivery = call
@@ -366,8 +437,15 @@ impl<'p> TaintEngine<'p> {
             TaintNodeKind::Root { delivery },
         );
         let Some(v) = call.call_args().get(arg).cloned() else {
-            cx.tree.add(Some(root), func, None, None,
-                TaintNodeKind::Source(FieldSource::Unresolved { reason: "argument missing" }));
+            cx.tree.add(
+                Some(root),
+                func,
+                None,
+                None,
+                TaintNodeKind::Source(FieldSource::Unresolved {
+                    reason: "argument missing",
+                }),
+            );
             return cx.tree;
         };
         let at = self.du(func).position_of(callsite_addr).expect("op exists");
@@ -380,7 +458,8 @@ impl<'p> TaintEngine<'p> {
     }
 
     fn leaf(&self, cx: &mut Cx, func: Address, parent: TaintNodeId, src: FieldSource) {
-        cx.tree.add(Some(parent), func, None, None, TaintNodeKind::Source(src));
+        cx.tree
+            .add(Some(parent), func, None, None, TaintNodeKind::Source(src));
     }
 
     /// Resolve a varnode that may be a pointer; returns the region.
@@ -402,7 +481,14 @@ impl<'p> TaintEngine<'p> {
         depth: usize,
     ) {
         if !self.budget_ok(cx, depth) {
-            self.leaf(cx, func, parent, FieldSource::Unresolved { reason: "budget exceeded" });
+            self.leaf(
+                cx,
+                func,
+                parent,
+                FieldSource::Unresolved {
+                    reason: "budget exceeded",
+                },
+            );
             return;
         }
         if !cx.visited_vals.insert((func, at, v.clone())) {
@@ -411,10 +497,15 @@ impl<'p> TaintEngine<'p> {
         // Constants terminate immediately.
         if let Some(value) = v.const_value() {
             if let Some(s) = self.program.string_at(value) {
-                self.leaf(cx, func, parent, FieldSource::StringConstant {
-                    addr: value,
-                    value: s.to_string(),
-                });
+                self.leaf(
+                    cx,
+                    func,
+                    parent,
+                    FieldSource::StringConstant {
+                        addr: value,
+                        value: s.to_string(),
+                    },
+                );
             } else {
                 self.leaf(cx, func, parent, FieldSource::NumericConstant { value });
             }
@@ -425,10 +516,15 @@ impl<'p> TaintEngine<'p> {
         match self.region_of(func, at, v) {
             Region::Data(addr) => {
                 if let Some(s) = self.program.string_at(addr) {
-                    self.leaf(cx, func, parent, FieldSource::StringConstant {
-                        addr,
-                        value: s.to_string(),
-                    });
+                    self.leaf(
+                        cx,
+                        func,
+                        parent,
+                        FieldSource::StringConstant {
+                            addr,
+                            value: s.to_string(),
+                        },
+                    );
                     return;
                 }
             }
@@ -437,8 +533,14 @@ impl<'p> TaintEngine<'p> {
                     self.taint_region(cx, func, &XRegion::Plain(r), Some(at), parent, depth + 1);
                 } else {
                     // Naive-sink ablation: stop at the buffer itself.
-                    self.leaf(cx, func, parent,
-                        FieldSource::Unresolved { reason: "buffer not decomposed" });
+                    self.leaf(
+                        cx,
+                        func,
+                        parent,
+                        FieldSource::Unresolved {
+                            reason: "buffer not decomposed",
+                        },
+                    );
                 }
                 return;
             }
@@ -469,7 +571,14 @@ impl<'p> TaintEngine<'p> {
     ) {
         let f = self.program.function(func).expect("function exists");
         let Some(index) = f.params().iter().position(|p| p == v) else {
-            self.leaf(cx, func, parent, FieldSource::Unresolved { reason: "no definition" });
+            self.leaf(
+                cx,
+                func,
+                parent,
+                FieldSource::Unresolved {
+                    reason: "no definition",
+                },
+            );
             return;
         };
         let node = cx.tree.add(
@@ -501,15 +610,26 @@ impl<'p> TaintEngine<'p> {
             .collect();
         if callers.is_empty() {
             let name = f.name().to_string();
-            self.leaf(cx, func, node, FieldSource::EntryParam { func: name, index });
+            self.leaf(
+                cx,
+                func,
+                node,
+                FieldSource::EntryParam { func: name, index },
+            );
             return;
         }
         for (caller, callsite) in callers {
             let caller_f = self.program.function(caller).expect("caller exists");
-            let Some(call) = caller_f.op_at(callsite).cloned() else { continue };
-            let Some(arg) = call.call_args().get(index).cloned() else { continue };
+            let Some(call) = caller_f.op_at(callsite).cloned() else {
+                continue;
+            };
+            let Some(arg) = call.call_args().get(index).cloned() else {
+                continue;
+            };
             self.du(caller);
-            let Some(at) = self.defuse[&caller].position_of(callsite) else { continue };
+            let Some(at) = self.defuse[&caller].position_of(callsite) else {
+                continue;
+            };
             self.taint_value(cx, caller, at, &arg, node, depth + 1);
         }
     }
@@ -533,7 +653,9 @@ impl<'p> TaintEngine<'p> {
                     func,
                     Some(op.clone()),
                     op.output.clone(),
-                    TaintNodeKind::Transform { opcode: Opcode::Copy },
+                    TaintNodeKind::Transform {
+                        opcode: Opcode::Copy,
+                    },
                 );
                 let input = op.inputs[0].clone();
                 self.taint_value(cx, func, d, &input, node, depth + 1);
@@ -544,13 +666,24 @@ impl<'p> TaintEngine<'p> {
                 match self.region_of(func, d, &addr_v) {
                     Region::Data(a) => {
                         if let Some(s) = self.program.string_at(a) {
-                            self.leaf(cx, func, parent, FieldSource::StringConstant {
-                                addr: a,
-                                value: s.to_string(),
-                            });
+                            self.leaf(
+                                cx,
+                                func,
+                                parent,
+                                FieldSource::StringConstant {
+                                    addr: a,
+                                    value: s.to_string(),
+                                },
+                            );
                         } else {
-                            self.leaf(cx, func, parent,
-                                FieldSource::Unresolved { reason: "non-string data load" });
+                            self.leaf(
+                                cx,
+                                func,
+                                parent,
+                                FieldSource::Unresolved {
+                                    reason: "non-string data load",
+                                },
+                            );
                         }
                     }
                     r @ (Region::Stack(_) | Region::Alloc(_)) => {
@@ -559,13 +692,21 @@ impl<'p> TaintEngine<'p> {
                             func,
                             Some(op.clone()),
                             op.output.clone(),
-                            TaintNodeKind::Transform { opcode: Opcode::Load },
+                            TaintNodeKind::Transform {
+                                opcode: Opcode::Load,
+                            },
                         );
                         self.taint_region(cx, func, &XRegion::Plain(r), Some(d), node, depth + 1);
                     }
                     Region::Unknown => {
-                        self.leaf(cx, func, parent,
-                            FieldSource::Unresolved { reason: "unresolved load" });
+                        self.leaf(
+                            cx,
+                            func,
+                            parent,
+                            FieldSource::Unresolved {
+                                reason: "unresolved load",
+                            },
+                        );
                     }
                 }
             }
@@ -577,8 +718,12 @@ impl<'p> TaintEngine<'p> {
                     op.output.clone(),
                     TaintNodeKind::Transform { opcode },
                 );
-                let non_const: Vec<Varnode> =
-                    op.inputs.iter().filter(|i| !i.is_const()).cloned().collect();
+                let non_const: Vec<Varnode> = op
+                    .inputs
+                    .iter()
+                    .filter(|i| !i.is_const())
+                    .cloned()
+                    .collect();
                 if non_const.is_empty() {
                     // Fully constant expression; report each constant.
                     for input in op.inputs.clone() {
@@ -591,7 +736,14 @@ impl<'p> TaintEngine<'p> {
                 }
             }
             _ => {
-                self.leaf(cx, func, parent, FieldSource::Unresolved { reason: "unmodeled op" });
+                self.leaf(
+                    cx,
+                    func,
+                    parent,
+                    FieldSource::Unresolved {
+                        reason: "unmodeled op",
+                    },
+                );
             }
         }
     }
@@ -608,7 +760,14 @@ impl<'p> TaintEngine<'p> {
         depth: usize,
     ) {
         let Some(target) = op.call_target() else {
-            self.leaf(cx, func, parent, FieldSource::Unresolved { reason: "indirect call" });
+            self.leaf(
+                cx,
+                func,
+                parent,
+                FieldSource::Unresolved {
+                    reason: "indirect call",
+                },
+            );
             return;
         };
         let callee_name = self
@@ -625,11 +784,16 @@ impl<'p> TaintEngine<'p> {
                             let key = key_arg
                                 .and_then(|i| op.call_args().get(i))
                                 .and_then(|a| self.string_of(func, d, a));
-                            self.leaf(cx, func, parent, FieldSource::LibCall {
-                                kind: *kind,
-                                callee: callee_name.clone(),
-                                key,
-                            });
+                            self.leaf(
+                                cx,
+                                func,
+                                parent,
+                                FieldSource::LibCall {
+                                    kind: *kind,
+                                    callee: callee_name.clone(),
+                                    key,
+                                },
+                            );
                             produced = true;
                         }
                         SummaryEffect::RetFrom { srcs } => {
@@ -638,7 +802,9 @@ impl<'p> TaintEngine<'p> {
                                 func,
                                 Some(op.clone()),
                                 op.output.clone(),
-                                TaintNodeKind::ThroughCall { callee: callee_name.clone() },
+                                TaintNodeKind::ThroughCall {
+                                    callee: callee_name.clone(),
+                                },
                             );
                             for &s in srcs {
                                 if let Some(arg) = op.call_args().get(s).cloned() {
@@ -655,7 +821,9 @@ impl<'p> TaintEngine<'p> {
                                 func,
                                 Some(op.clone()),
                                 op.output.clone(),
-                                TaintNodeKind::ThroughCall { callee: callee_name.clone() },
+                                TaintNodeKind::ThroughCall {
+                                    callee: callee_name.clone(),
+                                },
                             );
                             self.taint_region(
                                 cx,
@@ -671,8 +839,14 @@ impl<'p> TaintEngine<'p> {
                     }
                 }
                 if !produced {
-                    self.leaf(cx, func, parent,
-                        FieldSource::Unresolved { reason: "summary without return effect" });
+                    self.leaf(
+                        cx,
+                        func,
+                        parent,
+                        FieldSource::Unresolved {
+                            reason: "summary without return effect",
+                        },
+                    );
                 }
             } else if self.config.overtaint {
                 let node = cx.tree.add(
@@ -680,20 +854,35 @@ impl<'p> TaintEngine<'p> {
                     func,
                     Some(op.clone()),
                     op.output.clone(),
-                    TaintNodeKind::ThroughCall { callee: callee_name.clone() },
+                    TaintNodeKind::ThroughCall {
+                        callee: callee_name.clone(),
+                    },
                 );
                 for arg in op.call_args().to_vec() {
                     self.taint_value(cx, func, d, &arg, node, depth + 1);
                 }
             } else {
-                self.leaf(cx, func, parent,
-                    FieldSource::Unresolved { reason: "unknown import" });
+                self.leaf(
+                    cx,
+                    func,
+                    parent,
+                    FieldSource::Unresolved {
+                        reason: "unknown import",
+                    },
+                );
             }
             return;
         }
         // Internal call: descend to the callee's return values.
         let Some(callee) = self.program.function(target) else {
-            self.leaf(cx, func, parent, FieldSource::Unresolved { reason: "missing callee" });
+            self.leaf(
+                cx,
+                func,
+                parent,
+                FieldSource::Unresolved {
+                    reason: "missing callee",
+                },
+            );
             return;
         };
         let node = cx.tree.add(
@@ -701,7 +890,9 @@ impl<'p> TaintEngine<'p> {
             func,
             Some(op.clone()),
             op.output.clone(),
-            TaintNodeKind::ThroughCall { callee: callee.name().to_string() },
+            TaintNodeKind::ThroughCall {
+                callee: callee.name().to_string(),
+            },
         );
         let returns: Vec<(OpRef, Varnode)> = {
             self.du(target);
@@ -709,9 +900,7 @@ impl<'p> TaintEngine<'p> {
             callee
                 .ops()
                 .filter(|o| o.opcode == Opcode::Return && !o.inputs.is_empty())
-                .filter_map(|o| {
-                    du.position_of(o.addr).map(|r| (r, o.inputs[0].clone()))
-                })
+                .filter_map(|o| du.position_of(o.addr).map(|r| (r, o.inputs[0].clone())))
                 .collect()
         };
         cx.call_stack.push((func, op.addr));
@@ -733,7 +922,14 @@ impl<'p> TaintEngine<'p> {
         depth: usize,
     ) {
         if !self.budget_ok(cx, depth) {
-            self.leaf(cx, func, parent, FieldSource::Unresolved { reason: "budget exceeded" });
+            self.leaf(
+                cx,
+                func,
+                parent,
+                FieldSource::Unresolved {
+                    reason: "budget exceeded",
+                },
+            );
             return;
         }
         let key = (func, format!("{region:?}"), before);
@@ -756,9 +952,13 @@ impl<'p> TaintEngine<'p> {
         let mut hits: Vec<WriteHit> = Vec::new();
         let positions: Vec<(OpRef, PcodeOp)> = f
             .ops_with_blocks()
-            .enumerate()
-            .map(|(_, (b, op))| {
-                let index = f.block(b).ops.iter().position(|o| std::ptr::eq(o, op)).unwrap_or(0);
+            .map(|(b, op)| {
+                let index = f
+                    .block(b)
+                    .ops
+                    .iter()
+                    .position(|o| std::ptr::eq(o, op))
+                    .unwrap_or(0);
                 (OpRef { block: b, index }, op.clone())
             })
             .collect();
@@ -776,9 +976,7 @@ impl<'p> TaintEngine<'p> {
             match op.opcode {
                 Opcode::Copy => {
                     // Direct store into a stack slot inside the region.
-                    if let (Some(out), XRegion::Plain(Region::Stack(base))) =
-                        (&op.output, region)
-                    {
+                    if let (Some(out), XRegion::Plain(Region::Stack(base))) = (&op.output, region) {
                         if let Some(off) = out.stack_offset() {
                             if self.offset_in_local(f, *base, off) {
                                 hits.push(WriteHit {
@@ -805,9 +1003,14 @@ impl<'p> TaintEngine<'p> {
                     }
                 }
                 Opcode::Call => {
-                    let Some(target) = op.call_target() else { continue };
-                    let callee_name =
-                        self.program.callee_name(target).unwrap_or("<unknown>").to_string();
+                    let Some(target) = op.call_target() else {
+                        continue;
+                    };
+                    let callee_name = self
+                        .program
+                        .callee_name(target)
+                        .unwrap_or("<unknown>")
+                        .to_string();
                     if is_import_address(target) {
                         if let Some(summary) = summary_for(&callee_name) {
                             for eff in &summary.effects {
@@ -846,7 +1049,11 @@ impl<'p> TaintEngine<'p> {
                                                 at,
                                                 op: op.clone(),
                                                 values: Vec::new(),
-                                                via: format!("{callee_name}:{}:{}", kind.label(), key),
+                                                via: format!(
+                                                    "{callee_name}:{}:{}",
+                                                    kind.label(),
+                                                    key
+                                                ),
                                                 descend: None,
                                             });
                                         }
@@ -875,7 +1082,14 @@ impl<'p> TaintEngine<'p> {
             }
         }
         if hits.is_empty() {
-            self.leaf(cx, func, parent, FieldSource::Unresolved { reason: "no writes to buffer" });
+            self.leaf(
+                cx,
+                func,
+                parent,
+                FieldSource::Unresolved {
+                    reason: "no writes to buffer",
+                },
+            );
             return;
         }
         // Backward discovery order: latest write first (the MFT inversion
@@ -887,7 +1101,9 @@ impl<'p> TaintEngine<'p> {
                 func,
                 Some(hit.op.clone()),
                 None,
-                TaintNodeKind::Write { via: hit.via.clone() },
+                TaintNodeKind::Write {
+                    via: hit.via.clone(),
+                },
             );
             if let Some((callee, param_idx)) = hit.descend {
                 cx.call_stack.push((func, hit.op.addr));
@@ -909,11 +1125,16 @@ impl<'p> TaintEngine<'p> {
                     if let Some(summary) = summary_for(&callee) {
                         for eff in &summary.effects {
                             if let SummaryEffect::ArgSource { kind, key, .. } = eff {
-                                self.leaf(cx, func, node, FieldSource::LibCall {
-                                    kind: *kind,
-                                    callee: callee.clone(),
-                                    key: Some((*key).to_string()),
-                                });
+                                self.leaf(
+                                    cx,
+                                    func,
+                                    node,
+                                    FieldSource::LibCall {
+                                        kind: *kind,
+                                        callee: callee.clone(),
+                                        key: Some((*key).to_string()),
+                                    },
+                                );
                             }
                         }
                     }
@@ -953,7 +1174,9 @@ impl<'p> TaintEngine<'p> {
             }
             return false;
         }
-        let XRegion::Plain(target) = region else { return false };
+        let XRegion::Plain(target) = region else {
+            return false;
+        };
         let r = self.region_of(func, at, v);
         match (&r, target) {
             (Region::Stack(a), Region::Stack(base)) => self.offset_in_local(f, *base, *a),
@@ -1020,7 +1243,9 @@ mod tests {
     }
 
     fn source_strings(tree: &TaintTree) -> Vec<String> {
-        tree.sources().map(|n| n.source().unwrap().to_string()).collect()
+        tree.sources()
+            .map(|n| n.source().unwrap().to_string())
+            .collect()
     }
 
     #[test]
@@ -1155,7 +1380,10 @@ vmac: .asciz "00:11:22:33:44:55"
             1,
         );
         let srcs = source_strings(&tree);
-        assert!(srcs.iter().any(|s| s.contains("\"mac\"")), "json key found: {srcs:?}");
+        assert!(
+            srcs.iter().any(|s| s.contains("\"mac\"")),
+            "json key found: {srcs:?}"
+        );
         assert!(
             srcs.iter().any(|s| s.contains("00:11:22:33:44:55")),
             "json value found: {srcs:?}"
@@ -1275,9 +1503,7 @@ arg: .asciz "seed"
         let f = p.function_by_name("main").unwrap();
         let callsite = f
             .callsites()
-            .find(|c| {
-                c.call_target().and_then(|t| p.callee_name(t)) == Some("SSL_write")
-            })
+            .find(|c| c.call_target().and_then(|t| p.callee_name(t)) == Some("SSL_write"))
             .unwrap()
             .addr;
         let entry = f.entry();
@@ -1291,7 +1517,10 @@ arg: .asciz "seed"
 
         let mut strict = TaintEngine::with_config(
             &p,
-            TaintConfig { overtaint: false, ..TaintConfig::default() },
+            TaintConfig {
+                overtaint: false,
+                ..TaintConfig::default()
+            },
         );
         let t2 = strict.trace(entry, callsite, 1);
         assert!(
@@ -1322,7 +1551,11 @@ s: .asciz "x"
         let callsite = f.callsites().nth(1).unwrap().addr;
         let mut engine = TaintEngine::with_config(
             &p,
-            TaintConfig { max_depth: 1, max_nodes: 4, ..TaintConfig::default() },
+            TaintConfig {
+                max_depth: 1,
+                max_nodes: 4,
+                ..TaintConfig::default()
+            },
         );
         let tree = engine.trace(f.entry(), callsite, 1);
         assert!(tree.len() <= 5, "node budget honored (root + few)");
@@ -1341,6 +1574,25 @@ s: .asciz "x"
             tree.nodes()[1].kind,
             TaintNodeKind::Source(FieldSource::Unresolved { .. })
         ));
+    }
+
+    #[test]
+    fn repeated_traces_are_memoized() {
+        let src = ".func main\n la a1, msg\n li a0, 1\n callx SSL_write\n ret\n.endfunc\n.data\nmsg: .asciz \"PING\"\n";
+        let exe = Assembler::new().assemble(src).unwrap();
+        let p = lift(&exe, "t").unwrap();
+        let f = p.function_by_name("main").unwrap();
+        let callsite = f.callsites().next().unwrap().addr;
+        let mut engine = TaintEngine::new(&p);
+        let first = engine.trace(f.entry(), callsite, 1);
+        assert_eq!(engine.cache_stats(), (0, 1));
+        let second = engine.trace(f.entry(), callsite, 1);
+        assert_eq!(engine.cache_stats(), (1, 1));
+        assert_eq!(source_strings(&first), source_strings(&second));
+        assert_eq!(first.len(), second.len());
+        // A different argument is a different query.
+        engine.trace(f.entry(), callsite, 0);
+        assert_eq!(engine.cache_stats(), (1, 2));
     }
 
     #[test]

@@ -2,8 +2,8 @@
 //! message-construction idioms beyond the unit-test basics.
 
 use firmres_dataflow::{FieldSource, SourceKind, TaintEngine};
-use firmres_isa::{lift, Assembler};
 use firmres_ir::Program;
+use firmres_isa::{lift, Assembler};
 
 fn trace(src: &str, delivery: &str, arg: usize) -> (Vec<String>, Program) {
     let exe = Assembler::new().assemble(src).unwrap();
@@ -18,7 +18,10 @@ fn trace(src: &str, delivery: &str, arg: usize) -> (Vec<String>, Program) {
     }
     let (func, call) = found.expect("delivery present");
     let tree = TaintEngine::new(&p).trace(func, call, arg);
-    let sources = tree.sources().map(|n| n.source().unwrap().to_string()).collect();
+    let sources = tree
+        .sources()
+        .map(|n| n.source().unwrap().to_string())
+        .collect();
     (sources, p)
 }
 
@@ -50,8 +53,14 @@ fmt: .asciz "pid=%s&proxy=%s"
         "SSL_write",
         1,
     );
-    assert!(srcs.iter().any(|s| s.contains("cfg_get(\"product_id\")")), "{srcs:?}");
-    assert!(srcs.iter().any(|s| s.contains("getenv(\"HTTP_PROXY\")")), "{srcs:?}");
+    assert!(
+        srcs.iter().any(|s| s.contains("cfg_get(\"product_id\")")),
+        "{srcs:?}"
+    );
+    assert!(
+        srcs.iter().any(|s| s.contains("getenv(\"HTTP_PROXY\")")),
+        "{srcs:?}"
+    );
 }
 
 #[test]
@@ -87,7 +96,8 @@ ksig: .asciz "sign="
         1,
     );
     assert!(
-        srcs.iter().any(|s| s.contains("nvram_get(\"device_secret\")")),
+        srcs.iter()
+            .any(|s| s.contains("nvram_get(\"device_secret\")")),
         "the secret feeding the HMAC is reached: {srcs:?}"
     );
     assert!(srcs.iter().any(|s| s.contains("payload")), "{srcs:?}");
@@ -163,8 +173,14 @@ deep: .asciz "level2"
         "SSL_write",
         1,
     );
-    assert!(srcs.iter().any(|s| s.contains("level1=")), "outer write found: {srcs:?}");
-    assert!(srcs.iter().any(|s| s.contains("level2")), "inner write found: {srcs:?}");
+    assert!(
+        srcs.iter().any(|s| s.contains("level1=")),
+        "outer write found: {srcs:?}"
+    );
+    assert!(
+        srcs.iter().any(|s| s.contains("level2")),
+        "inner write found: {srcs:?}"
+    );
 }
 
 #[test]
@@ -221,9 +237,14 @@ fn network_input_classified_as_net_in() {
         .unwrap()
         .addr;
     let tree = TaintEngine::new(&p).trace(f.entry(), call, 1);
-    let net_in = tree
-        .sources()
-        .filter_map(|n| n.source())
-        .any(|s| matches!(s, FieldSource::LibCall { kind: SourceKind::NetworkIn, .. }));
+    let net_in = tree.sources().filter_map(|n| n.source()).any(|s| {
+        matches!(
+            s,
+            FieldSource::LibCall {
+                kind: SourceKind::NetworkIn,
+                ..
+            }
+        )
+    });
     assert!(net_in, "echoed buffer traces to the recv source");
 }

@@ -107,7 +107,10 @@ mod tests {
     fn kinds_and_sizes() {
         assert_eq!(FileEntry::Executable(vec![1, 2, 3]).kind(), "executable");
         assert_eq!(FileEntry::Executable(vec![1, 2, 3]).size(), 3);
-        let s = FileEntry::Script { lang: ScriptLang::Php, text: "<?php".into() };
+        let s = FileEntry::Script {
+            lang: ScriptLang::Php,
+            text: "<?php".into(),
+        };
         assert_eq!(s.kind(), "script");
         assert_eq!(s.size(), 5);
         assert!(!s.is_executable());

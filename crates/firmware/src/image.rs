@@ -117,6 +117,36 @@ impl fmt::Display for FirmwareError {
 
 impl std::error::Error for FirmwareError {}
 
+/// Errors from [`FirmwareImage::load_executable`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExeLoadError {
+    /// No file exists at the requested path.
+    NoSuchFile,
+    /// A file exists at the path but is not an executable entry.
+    NotAnExecutable,
+    /// The entry is an executable but its MRE payload is malformed.
+    Malformed(firmres_isa::ExeError),
+}
+
+impl fmt::Display for ExeLoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExeLoadError::NoSuchFile => write!(f, "no such file in image"),
+            ExeLoadError::NotAnExecutable => write!(f, "not an executable"),
+            ExeLoadError::Malformed(e) => write!(f, "malformed executable: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExeLoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExeLoadError::Malformed(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
 /// A firmware image: device metadata plus a typed root filesystem.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FirmwareImage {
@@ -127,7 +157,10 @@ pub struct FirmwareImage {
 impl FirmwareImage {
     /// An empty image for `device`.
     pub fn new(device: DeviceInfo) -> Self {
-        FirmwareImage { device, files: BTreeMap::new() }
+        FirmwareImage {
+            device,
+            files: BTreeMap::new(),
+        }
     }
 
     /// Device metadata.
@@ -173,12 +206,19 @@ impl FirmwareImage {
 
     /// Parse the executable at `path`.
     ///
-    /// Returns `None` when `path` is missing or not an executable;
-    /// `Some(Err(_))` when the MRE payload is malformed.
-    pub fn load_executable(&self, path: &str) -> Option<Result<Executable, firmres_isa::ExeError>> {
-        match self.files.get(path)? {
-            FileEntry::Executable(bytes) => Some(Executable::from_bytes(bytes)),
-            _ => None,
+    /// # Errors
+    ///
+    /// [`ExeLoadError::NoSuchFile`] when `path` is absent,
+    /// [`ExeLoadError::NotAnExecutable`] when it names a non-executable
+    /// entry, and [`ExeLoadError::Malformed`] when the MRE payload
+    /// fails to parse.
+    pub fn load_executable(&self, path: &str) -> Result<Executable, ExeLoadError> {
+        match self.files.get(path) {
+            None => Err(ExeLoadError::NoSuchFile),
+            Some(FileEntry::Executable(bytes)) => {
+                Executable::from_bytes(bytes).map_err(ExeLoadError::Malformed)
+            }
+            Some(_) => Err(ExeLoadError::NotAnExecutable),
         }
     }
 
@@ -309,7 +349,10 @@ impl FirmwareImage {
                     }
                     let lang = ScriptLang::from_tag(buf.get_u8())
                         .ok_or(FirmwareError::UnknownKind(254))?;
-                    FileEntry::Script { lang, text: get_text(&mut buf)? }
+                    FileEntry::Script {
+                        lang,
+                        text: get_text(&mut buf)?,
+                    }
                 }
                 2 => FileEntry::Config(get_text(&mut buf)?),
                 3 => FileEntry::NvramDefaults(Nvram::parse(&get_text(&mut buf)?)),
@@ -320,7 +363,12 @@ impl FirmwareImage {
             files.insert(path, entry);
         }
         Ok(FirmwareImage {
-            device: DeviceInfo { vendor, model, device_type, firmware_version },
+            device: DeviceInfo {
+                vendor,
+                model,
+                device_type,
+                firmware_version,
+            },
             files,
         })
     }
@@ -381,7 +429,10 @@ mod tests {
         let exe = Assembler::new()
             .assemble(".func main\n callx SSL_write\n ret\n.endfunc\n")
             .unwrap();
-        fw.add_file("/usr/bin/rms_connect", FileEntry::Executable(exe.to_bytes().to_vec()));
+        fw.add_file(
+            "/usr/bin/rms_connect",
+            FileEntry::Executable(exe.to_bytes().to_vec()),
+        );
         fw.add_file(
             "/etc/config/cloud",
             FileEntry::Config("server=rms.example.com\nport=443\n".into()),
@@ -392,9 +443,15 @@ mod tests {
         fw.add_file("/etc/nvram.default", FileEntry::NvramDefaults(nv));
         fw.add_file(
             "/www/cgi/upload.php",
-            FileEntry::Script { lang: ScriptLang::Php, text: "<?php upload(); ?>".into() },
+            FileEntry::Script {
+                lang: ScriptLang::Php,
+                text: "<?php upload(); ?>".into(),
+            },
         );
-        fw.add_file("/etc/ssl/device.pem", FileEntry::Cert("-----BEGIN-----".into()));
+        fw.add_file(
+            "/etc/ssl/device.pem",
+            FileEntry::Cert("-----BEGIN-----".into()),
+        );
         fw
     }
 
@@ -416,29 +473,36 @@ mod tests {
         assert_eq!(path, "/www/cgi/upload.php");
         assert_eq!(lang, ScriptLang::Php);
         assert_eq!(fw.nvram().get("mac"), Some("00:1E:42:13:37:00"));
-        assert_eq!(fw.config_value("server"), Some("rms.example.com".to_string()));
+        assert_eq!(
+            fw.config_value("server"),
+            Some("rms.example.com".to_string())
+        );
         assert_eq!(fw.config_value("missing"), None);
     }
 
     #[test]
     fn load_executable_parses_mre() {
         let fw = sample();
-        let exe = fw.load_executable("/usr/bin/rms_connect").unwrap().unwrap();
+        let exe = fw.load_executable("/usr/bin/rms_connect").unwrap();
         assert_eq!(exe.imports, vec!["SSL_write".to_string()]);
-        assert!(fw.load_executable("/etc/config/cloud").is_none(), "not an executable");
-        assert!(fw.load_executable("/nope").is_none());
+        assert_eq!(
+            fw.load_executable("/etc/config/cloud").unwrap_err(),
+            ExeLoadError::NotAnExecutable
+        );
+        assert_eq!(
+            fw.load_executable("/nope").unwrap_err(),
+            ExeLoadError::NoSuchFile
+        );
     }
 
     #[test]
     fn corrupted_mre_payload_surfaces_error() {
         let mut fw = sample();
-        if let Some(FileEntry::Executable(bytes)) =
-            fw.files.get_mut("/usr/bin/rms_connect")
-        {
+        if let Some(FileEntry::Executable(bytes)) = fw.files.get_mut("/usr/bin/rms_connect") {
             bytes[10] ^= 0xFF;
         }
-        let res = fw.load_executable("/usr/bin/rms_connect").unwrap();
-        assert!(res.is_err());
+        let res = fw.load_executable("/usr/bin/rms_connect");
+        assert!(matches!(res, Err(ExeLoadError::Malformed(_))), "{res:?}");
     }
 
     #[test]
@@ -450,8 +514,14 @@ mod tests {
         assert_eq!(FirmwareImage::unpack(&bad), Err(FirmwareError::BadChecksum));
         let mut nomagic = packed.to_vec();
         nomagic[0] = b'Z';
-        assert_eq!(FirmwareImage::unpack(&nomagic), Err(FirmwareError::BadMagic));
-        assert_eq!(FirmwareImage::unpack(&packed[..5]), Err(FirmwareError::Truncated));
+        assert_eq!(
+            FirmwareImage::unpack(&nomagic),
+            Err(FirmwareError::BadMagic)
+        );
+        assert_eq!(
+            FirmwareImage::unpack(&packed[..5]),
+            Err(FirmwareError::Truncated)
+        );
     }
 
     #[test]
@@ -468,6 +538,9 @@ mod tests {
         let mut fw = sample();
         let old = fw.add_file("/etc/ssl/device.pem", FileEntry::Cert("new".into()));
         assert_eq!(old, Some(FileEntry::Cert("-----BEGIN-----".into())));
-        assert_eq!(fw.file("/etc/ssl/device.pem"), Some(&FileEntry::Cert("new".into())));
+        assert_eq!(
+            fw.file("/etc/ssl/device.pem"),
+            Some(&FileEntry::Cert("new".into()))
+        );
     }
 }

@@ -36,5 +36,5 @@ mod image;
 mod nvram;
 
 pub use entry::{FileEntry, ScriptLang};
-pub use image::{DeviceInfo, DeviceType, FirmwareError, FirmwareImage};
+pub use image::{DeviceInfo, DeviceType, ExeLoadError, FirmwareError, FirmwareImage};
 pub use nvram::Nvram;

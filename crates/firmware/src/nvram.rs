@@ -100,7 +100,9 @@ impl fmt::Display for Nvram {
 
 impl FromIterator<(String, String)> for Nvram {
     fn from_iter<I: IntoIterator<Item = (String, String)>>(iter: I) -> Self {
-        Nvram { values: iter.into_iter().collect() }
+        Nvram {
+            values: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -150,7 +152,9 @@ mod tests {
 
     #[test]
     fn collect_and_extend() {
-        let nv: Nvram = vec![("a".to_string(), "1".to_string())].into_iter().collect();
+        let nv: Nvram = vec![("a".to_string(), "1".to_string())]
+            .into_iter()
+            .collect();
         assert_eq!(nv.get("a"), Some("1"));
         let mut nv2 = nv.clone();
         nv2.extend(vec![("b".to_string(), "2".to_string())]);

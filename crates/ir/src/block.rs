@@ -56,10 +56,14 @@ mod tests {
         let mut bb = BasicBlock::new();
         assert_eq!(bb.start_address(), None);
         assert!(!bb.is_exit());
-        bb.ops.push(PcodeOp::new(0x10, Opcode::Copy, Some(Varnode::register(1, 4)), vec![
-            Varnode::constant(0, 4),
-        ]));
-        bb.ops.push(PcodeOp::new(0x14, Opcode::Return, None, vec![]));
+        bb.ops.push(PcodeOp::new(
+            0x10,
+            Opcode::Copy,
+            Some(Varnode::register(1, 4)),
+            vec![Varnode::constant(0, 4)],
+        ));
+        bb.ops
+            .push(PcodeOp::new(0x14, Opcode::Return, None, vec![]));
         assert_eq!(bb.start_address(), Some(0x10));
         assert!(bb.is_exit());
     }

@@ -39,7 +39,11 @@ impl CallGraph {
         for f in program.functions() {
             for op in f.callsites() {
                 if let Some(target) = op.call_target() {
-                    g.add_edge(CallEdge { caller: f.entry(), callee: target, callsite: op.addr });
+                    g.add_edge(CallEdge {
+                        caller: f.entry(),
+                        callee: target,
+                        callsite: op.addr,
+                    });
                 }
             }
         }
@@ -60,12 +64,20 @@ impl CallGraph {
 
     /// Edges leaving `caller`.
     pub fn callees_of(&self, caller: Address) -> impl Iterator<Item = &CallEdge> {
-        self.out.get(&caller).into_iter().flatten().map(|&i| &self.edges[i])
+        self.out
+            .get(&caller)
+            .into_iter()
+            .flatten()
+            .map(|&i| &self.edges[i])
     }
 
     /// Edges entering `callee`.
     pub fn callers_of(&self, callee: Address) -> impl Iterator<Item = &CallEdge> {
-        self.into.get(&callee).into_iter().flatten().map(|&i| &self.edges[i])
+        self.into
+            .get(&callee)
+            .into_iter()
+            .flatten()
+            .map(|&i| &self.edges[i])
     }
 
     /// Whether any function directly calls `callee`.

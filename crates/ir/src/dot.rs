@@ -132,6 +132,9 @@ mod tests {
         fb.ret();
         p.add_function(fb.finish());
         let dot = function_cfg(p.function_by_name("f").unwrap());
-        assert!(!dot.contains("label=\"say \"hi\"\""), "inner quotes escaped");
+        assert!(
+            !dot.contains("label=\"say \"hi\"\""),
+            "inner quotes escaped"
+        );
     }
 }

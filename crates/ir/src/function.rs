@@ -161,7 +161,8 @@ impl FunctionBuilder {
     pub fn param(&mut self, name: impl Into<String>, size: u8) -> Varnode {
         let v = Varnode::register(self.next_param_reg, size);
         self.next_param_reg += 1;
-        self.symbols.insert(v.clone(), Symbol::new(name, DataType::Param));
+        self.symbols
+            .insert(v.clone(), Symbol::new(name, DataType::Param));
         self.params.push(v.clone());
         v
     }
@@ -170,7 +171,8 @@ impl FunctionBuilder {
     pub fn local(&mut self, name: impl Into<String>, size: u8) -> Varnode {
         self.next_stack -= size.max(4) as i64;
         let v = Varnode::stack(self.next_stack, size);
-        self.symbols.insert(v.clone(), Symbol::new(name, DataType::Local));
+        self.symbols
+            .insert(v.clone(), Symbol::new(name, DataType::Local));
         v
     }
 
@@ -184,20 +186,23 @@ impl FunctionBuilder {
     /// Name a varnode as a data pointer in the symbol table (e.g. a pointer
     /// to a format string in the data segment).
     pub fn name_data_ptr(&mut self, varnode: &Varnode, name: impl Into<String>) {
-        self.symbols.insert(varnode.clone(), Symbol::new(name, DataType::DataPtr));
+        self.symbols
+            .insert(varnode.clone(), Symbol::new(name, DataType::DataPtr));
     }
 
     /// Name an externally-allocated varnode as a local variable. Used by
     /// lifters that recover stack slots themselves rather than allocating
     /// them through [`FunctionBuilder::local`].
     pub fn name_local(&mut self, varnode: &Varnode, name: impl Into<String>) {
-        self.symbols.insert(varnode.clone(), Symbol::new(name, DataType::Local));
+        self.symbols
+            .insert(varnode.clone(), Symbol::new(name, DataType::Local));
     }
 
     /// Declare a parameter varnode directly (for lifters that map the ABI
     /// themselves). The varnode is appended to the parameter list and named.
     pub fn param_varnode(&mut self, varnode: Varnode, name: impl Into<String>) {
-        self.symbols.insert(varnode.clone(), Symbol::new(name, DataType::Param));
+        self.symbols
+            .insert(varnode.clone(), Symbol::new(name, DataType::Param));
         self.params.push(varnode);
     }
 
@@ -208,7 +213,12 @@ impl FunctionBuilder {
     }
 
     /// Append a raw operation to the current block.
-    pub fn emit(&mut self, opcode: Opcode, output: Option<Varnode>, inputs: Vec<Varnode>) -> &PcodeOp {
+    pub fn emit(
+        &mut self,
+        opcode: Opcode,
+        output: Option<Varnode>,
+        inputs: Vec<Varnode>,
+    ) -> &PcodeOp {
         let addr = self.bump_addr();
         let op = PcodeOp::new(addr, opcode, output, inputs);
         let blk = &mut self.blocks[self.current.0 as usize];
@@ -317,7 +327,10 @@ impl FunctionBuilder {
 
     /// Redirect subsequent emission into `block`.
     pub fn switch_to(&mut self, block: BlockId) {
-        assert!((block.0 as usize) < self.blocks.len(), "unknown block {block}");
+        assert!(
+            (block.0 as usize) < self.blocks.len(),
+            "unknown block {block}"
+        );
         self.current = block;
     }
 
@@ -339,7 +352,11 @@ impl FunctionBuilder {
 
     /// End the current block with an unconditional jump.
     pub fn jump(&mut self, target: BlockId) {
-        self.emit(Opcode::Branch, None, vec![Varnode::constant(target.0 as u64, 8)]);
+        self.emit(
+            Opcode::Branch,
+            None,
+            vec![Varnode::constant(target.0 as u64, 8)],
+        );
         let blk = &mut self.blocks[self.current.0 as usize];
         blk.successors = vec![target];
     }

@@ -194,7 +194,12 @@ mod tests {
 
     #[test]
     fn control_flow_classification() {
-        for op in [Opcode::Branch, Opcode::CBranch, Opcode::Call, Opcode::Return] {
+        for op in [
+            Opcode::Branch,
+            Opcode::CBranch,
+            Opcode::Call,
+            Opcode::Return,
+        ] {
             assert!(op.is_control_flow(), "{op}");
             assert!(!op.is_dataflow(), "{op}");
         }

@@ -33,8 +33,18 @@ pub struct PcodeOp {
 
 impl PcodeOp {
     /// Create an operation.
-    pub fn new(addr: Address, opcode: Opcode, output: Option<Varnode>, inputs: Vec<Varnode>) -> Self {
-        PcodeOp { addr, opcode, output, inputs }
+    pub fn new(
+        addr: Address,
+        opcode: Opcode,
+        output: Option<Varnode>,
+        inputs: Vec<Varnode>,
+    ) -> Self {
+        PcodeOp {
+            addr,
+            opcode,
+            output,
+            inputs,
+        }
     }
 
     /// For a direct [`Opcode::Call`], the constant target address.
@@ -136,7 +146,9 @@ impl Program {
     /// import table. Replaces any function previously at the same entry.
     pub fn add_function(&mut self, function: Function) {
         for (addr, name) in function.import_refs() {
-            self.imports.entry(*addr).or_insert_with(|| Import { name: name.clone() });
+            self.imports
+                .entry(*addr)
+                .or_insert_with(|| Import { name: name.clone() });
         }
         self.functions.insert(function.entry(), function);
     }
@@ -263,7 +275,10 @@ mod tests {
         assert_eq!(p.string_at(a), Some("?m=camera&a=login"));
         assert_eq!(p.string_at(b), Some("mac"));
         assert_eq!(p.string_at(b + 100), None);
-        assert_eq!(p.string_for(&Varnode::constant(a, 4)), Some("?m=camera&a=login"));
+        assert_eq!(
+            p.string_for(&Varnode::constant(a, 4)),
+            Some("?m=camera&a=login")
+        );
     }
 
     #[test]
@@ -306,7 +321,10 @@ mod tests {
             0x12bd4,
             Opcode::Call,
             None,
-            vec![Varnode::constant(import_address("printf"), 8), Varnode::register(4, 4)],
+            vec![
+                Varnode::constant(import_address("printf"), 8),
+                Varnode::register(4, 4),
+            ],
         );
         let s = op.to_string();
         assert!(s.starts_with("<0x12bd4: CALL"), "{s}");
@@ -320,7 +338,11 @@ mod tests {
             0,
             Opcode::Call,
             None,
-            vec![Varnode::constant(t, 8), Varnode::register(4, 4), Varnode::register(5, 4)],
+            vec![
+                Varnode::constant(t, 8),
+                Varnode::register(4, 4),
+                Varnode::register(5, 4),
+            ],
         );
         assert_eq!(op.call_target(), Some(t));
         assert_eq!(op.call_args().len(), 2);

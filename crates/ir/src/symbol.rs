@@ -57,7 +57,10 @@ pub struct Symbol {
 impl Symbol {
     /// Create a symbol.
     pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
-        Symbol { name: name.into(), data_type }
+        Symbol {
+            name: name.into(),
+            data_type,
+        }
     }
 }
 
@@ -88,7 +91,10 @@ pub struct SymbolTable {
 impl SymbolTable {
     /// Create an empty table for the function at `function_addr`.
     pub fn new(function_addr: u64) -> Self {
-        SymbolTable { function_addr, entries: BTreeMap::new() }
+        SymbolTable {
+            function_addr,
+            entries: BTreeMap::new(),
+        }
     }
 
     /// Record `symbol` as the name of `varnode`, replacing any previous
@@ -148,9 +154,13 @@ mod tests {
         let mut t = SymbolTable::new(0x400);
         let v = Varnode::register(3, 4);
         assert!(t.is_empty());
-        assert!(t.insert(v.clone(), Symbol::new("mac", DataType::Param)).is_none());
+        assert!(t
+            .insert(v.clone(), Symbol::new("mac", DataType::Param))
+            .is_none());
         assert_eq!(t.lookup(&v).unwrap().data_type, DataType::Param);
-        let old = t.insert(v.clone(), Symbol::new("mac2", DataType::Local)).unwrap();
+        let old = t
+            .insert(v.clone(), Symbol::new("mac2", DataType::Local))
+            .unwrap();
         assert_eq!(old.name, "mac");
         assert_eq!(t.len(), 1);
     }

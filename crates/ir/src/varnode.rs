@@ -74,7 +74,11 @@ pub struct Varnode {
 impl Varnode {
     /// Create a varnode in an arbitrary space.
     pub fn new(space: AddressSpace, offset: u64, size: u8) -> Self {
-        Varnode { space, offset, size }
+        Varnode {
+            space,
+            offset,
+            size,
+        }
     }
 
     /// A memory location at `offset`.
@@ -162,7 +166,10 @@ mod tests {
     fn display_matches_pcode_syntax() {
         assert_eq!(Varnode::ram(0x12bd4, 8).to_string(), "(ram, 0x12bd4, 8)");
         assert_eq!(Varnode::constant(7, 4).to_string(), "(const, 0x7, 4)");
-        assert_eq!(Varnode::register(0x2c, 4).to_string(), "(register, 0x2c, 4)");
+        assert_eq!(
+            Varnode::register(0x2c, 4).to_string(),
+            "(register, 0x2c, 4)"
+        );
     }
 
     #[test]

@@ -260,7 +260,12 @@ impl Assembler {
                 }
             }
             let size = expansion_size(&mnemonic, &args, f.frame).map_err(|m| err(line, m))?;
-            f.insts.push(PendingInst { line, mnemonic, args, size });
+            f.insts.push(PendingInst {
+                line,
+                mnemonic,
+                args,
+                size,
+            });
             word_index += size;
         }
 
@@ -274,8 +279,10 @@ impl Assembler {
         }
 
         // Pass 2: emit.
-        let func_addrs: BTreeMap<String, usize> =
-            funcs.iter().map(|f| (f.name.clone(), f.addr_index)).collect();
+        let func_addrs: BTreeMap<String, usize> = funcs
+            .iter()
+            .map(|f| (f.name.clone(), f.addr_index))
+            .collect();
         let mut code: Vec<u32> = Vec::with_capacity(word_index);
         let mut out_funcs = Vec::new();
         let mut out_locals = Vec::new();
@@ -303,7 +310,10 @@ impl Assembler {
             }
         }
 
-        let entry_index = func_addrs.get("main").copied().unwrap_or(funcs[0].addr_index);
+        let entry_index = func_addrs
+            .get("main")
+            .copied()
+            .unwrap_or(funcs[0].addr_index);
         Ok(Executable {
             entry: CODE_BASE + (entry_index as u32) * 4,
             code,
@@ -311,7 +321,7 @@ impl Assembler {
             imports,
             funcs: out_funcs,
             locals: out_locals,
-            data_syms: data.labels.into_iter().map(|(n, a)| (n, a)).collect(),
+            data_syms: data.labels.into_iter().collect(),
         })
     }
 }
@@ -363,15 +373,20 @@ fn parse_int(s: &str) -> Option<i64> {
 fn parse_arg(s: &str, line: usize) -> Result<Arg, AsmError> {
     let s = s.trim();
     if s.is_empty() {
-        return Err(AsmError { line, msg: "empty operand".into() });
+        return Err(AsmError {
+            line,
+            msg: "empty operand".into(),
+        });
     }
     // Memory operand disp(base)
     if let Some(open) = s.find('(') {
         if let Some(close) = s.rfind(')') {
             let disp_s = &s[..open];
             let base_s = &s[open + 1..close];
-            let base = Reg::parse(base_s.trim())
-                .ok_or_else(|| AsmError { line, msg: format!("bad base register `{base_s}`") })?;
+            let base = Reg::parse(base_s.trim()).ok_or_else(|| AsmError {
+                line,
+                msg: format!("bad base register `{base_s}`"),
+            })?;
             let disp = if disp_s.trim().is_empty() {
                 MemOff::Imm(0)
             } else if let Some(v) = parse_int(disp_s) {
@@ -391,7 +406,10 @@ fn parse_arg(s: &str, line: usize) -> Result<Arg, AsmError> {
     if s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
         return Ok(Arg::Sym(s.to_string()));
     }
-    Err(AsmError { line, msg: format!("cannot parse operand `{s}`") })
+    Err(AsmError {
+        line,
+        msg: format!("cannot parse operand `{s}`"),
+    })
 }
 
 fn parse_inst(body: &str, line: usize) -> Result<(String, Vec<Arg>), AsmError> {
@@ -422,13 +440,8 @@ fn expansion_size(mnemonic: &str, args: &[Arg], frame: i64) -> Result<usize, Str
             _ => return Err("li requires `li rd, imm`".into()),
         },
         "la" | "laf" => 2,
-        "ret" => {
-            if frame > 0 {
-                2
-            } else {
-                1
-            }
-        }
+        "ret" if frame > 0 => 2,
+        "ret" => 1,
         _ => 1,
     })
 }
@@ -436,14 +449,20 @@ fn expansion_size(mnemonic: &str, args: &[Arg], frame: i64) -> Result<usize, Str
 fn reg_arg(args: &[Arg], i: usize, line: usize, mn: &str) -> Result<Reg, AsmError> {
     match args.get(i) {
         Some(Arg::R(r)) => Ok(*r),
-        _ => Err(AsmError { line, msg: format!("`{mn}` operand {i} must be a register") }),
+        _ => Err(AsmError {
+            line,
+            msg: format!("`{mn}` operand {i} must be a register"),
+        }),
     }
 }
 
 fn imm_arg(args: &[Arg], i: usize, line: usize, mn: &str) -> Result<i64, AsmError> {
     match args.get(i) {
         Some(Arg::Imm(v)) => Ok(*v),
-        _ => Err(AsmError { line, msg: format!("`{mn}` operand {i} must be an immediate") }),
+        _ => Err(AsmError {
+            line,
+            msg: format!("`{mn}` operand {i} must be an immediate"),
+        }),
     }
 }
 
@@ -451,7 +470,10 @@ fn imm14_checked(v: i64, line: usize, what: &str) -> Result<i16, AsmError> {
     if fits14(v) {
         Ok(v as i16)
     } else {
-        Err(AsmError { line, msg: format!("{what} {v} does not fit in 14 bits") })
+        Err(AsmError {
+            line,
+            msg: format!("{what} {v} does not fit in 14 bits"),
+        })
     }
 }
 
@@ -489,7 +511,11 @@ fn emit_inst(
     };
 
     let rrr = |ctor: fn(Reg, Reg, Reg) -> Inst, args: &[Arg]| -> Result<Inst, AsmError> {
-        Ok(ctor(reg_arg(args, 0, line, mn)?, reg_arg(args, 1, line, mn)?, reg_arg(args, 2, line, mn)?))
+        Ok(ctor(
+            reg_arg(args, 0, line, mn)?,
+            reg_arg(args, 1, line, mn)?,
+            reg_arg(args, 2, line, mn)?,
+        ))
     };
     let rri = |ctor: fn(Reg, Reg, i16) -> Inst, args: &[Arg]| -> Result<Inst, AsmError> {
         let v = imm_arg(args, 2, line, mn)?;
@@ -704,7 +730,10 @@ fn parse_data_line(text: &str, line: usize, data: &mut DataBuilder) -> Result<()
 }
 
 fn parse_string_literal(s: &str, line: usize) -> Result<String, AsmError> {
-    let e = |msg: &str| AsmError { line, msg: msg.to_string() };
+    let e = |msg: &str| AsmError {
+        line,
+        msg: msg.to_string(),
+    };
     let inner = s
         .strip_prefix('"')
         .and_then(|t| t.strip_suffix('"'))
@@ -772,10 +801,19 @@ msg: .asciz "hello"
         let exe = Assembler::new().assemble(src).unwrap();
         // prologue + lea + sw + (epilogue+jalr)
         assert_eq!(exe.code.len(), 5);
-        assert_eq!(decode(exe.code[0]).unwrap(), Inst::Addi(Reg::SP, Reg::SP, -68));
-        assert_eq!(decode(exe.code[1]).unwrap(), Inst::Addi(Reg::A0, Reg::SP, 0));
+        assert_eq!(
+            decode(exe.code[0]).unwrap(),
+            Inst::Addi(Reg::SP, Reg::SP, -68)
+        );
+        assert_eq!(
+            decode(exe.code[1]).unwrap(),
+            Inst::Addi(Reg::A0, Reg::SP, 0)
+        );
         assert_eq!(decode(exe.code[2]).unwrap(), Inst::Sw(Reg::A0, Reg::SP, 64));
-        assert_eq!(decode(exe.code[3]).unwrap(), Inst::Addi(Reg::SP, Reg::SP, 68));
+        assert_eq!(
+            decode(exe.code[3]).unwrap(),
+            Inst::Addi(Reg::SP, Reg::SP, 68)
+        );
         assert_eq!(exe.locals.len(), 2);
         let names: Vec<_> = exe.locals.iter().map(|l| l.name.as_str()).collect();
         assert!(names.contains(&"buf"));
@@ -797,7 +835,10 @@ loop:
         let exe = Assembler::new().assemble(src).unwrap();
         // li(1) addi(1) bne(1) ret(1)
         assert_eq!(exe.code.len(), 4);
-        assert_eq!(decode(exe.code[2]).unwrap(), Inst::Bne(Reg::T0, Reg::ZERO, -1));
+        assert_eq!(
+            decode(exe.code[2]).unwrap(),
+            Inst::Bne(Reg::T0, Reg::ZERO, -1)
+        );
     }
 
     #[test]
@@ -821,8 +862,14 @@ loop:
         let src = ".func main\n li a0, 0x401234\n ret\n.endfunc\n";
         let exe = Assembler::new().assemble(src).unwrap();
         assert_eq!(exe.code.len(), 3);
-        assert_eq!(decode(exe.code[0]).unwrap(), Inst::Lui(Reg::A0, 0x401234 >> 14));
-        assert_eq!(decode(exe.code[1]).unwrap(), Inst::Ori(Reg::A0, Reg::A0, (0x401234 & 0x3FFF) as i16));
+        assert_eq!(
+            decode(exe.code[0]).unwrap(),
+            Inst::Lui(Reg::A0, 0x401234 >> 14)
+        );
+        assert_eq!(
+            decode(exe.code[1]).unwrap(),
+            Inst::Ori(Reg::A0, Reg::A0, (0x401234 & 0x3FFF) as i16)
+        );
     }
 
     #[test]
@@ -876,7 +923,8 @@ loop:
 
     #[test]
     fn word_byte_space_directives() {
-        let src = ".func main\n ret\n.endfunc\n.data\nw: .word 1, 0x10\nb: .byte 7, 8\np: .space 3\n";
+        let src =
+            ".func main\n ret\n.endfunc\n.data\nw: .word 1, 0x10\nb: .byte 7, 8\np: .space 3\n";
         let exe = Assembler::new().assemble(src).unwrap();
         assert_eq!(exe.data.len(), 8 + 2 + 3);
         assert_eq!(&exe.data[..4], &1u32.to_le_bytes());
@@ -901,7 +949,10 @@ loop:
 .endfunc
 "#;
         let exe = Assembler::new().assemble(src).unwrap();
-        assert_eq!(decode(exe.code[1]).unwrap(), Inst::Lui(Reg::T0, CODE_BASE >> 14));
+        assert_eq!(
+            decode(exe.code[1]).unwrap(),
+            Inst::Lui(Reg::T0, CODE_BASE >> 14)
+        );
         assert_eq!(
             decode(exe.code[2]).unwrap(),
             Inst::Ori(Reg::T0, Reg::T0, (CODE_BASE & 0x3FFF) as i16)

@@ -97,9 +97,9 @@ impl Mem {
         let fault = EmuError::MemFault { addr };
         if addr >= DATA_BASE && (addr - DATA_BASE) < self.data.len() as u32 {
             Ok(&mut self.data[(addr - DATA_BASE) as usize])
-        } else if addr >= STACK_TOP - STACK_SIZE && addr < STACK_TOP {
+        } else if (STACK_TOP - STACK_SIZE..STACK_TOP).contains(&addr) {
             Ok(&mut self.stack[(addr - (STACK_TOP - STACK_SIZE)) as usize])
-        } else if addr >= HEAP_BASE && addr < HEAP_BASE + HEAP_SIZE {
+        } else if (HEAP_BASE..HEAP_BASE + HEAP_SIZE).contains(&addr) {
             Ok(&mut self.heap[(addr - HEAP_BASE) as usize])
         } else {
             Err(fault)
@@ -317,7 +317,7 @@ impl<'a, H: HostCall> Emulator<'a, H> {
             Mul(d, a, b) => self.set_reg(d, self.reg(a).wrapping_mul(self.reg(b))),
             Div(d, a, b) => {
                 let rb = self.reg(b);
-                self.set_reg(d, if rb == 0 { 0 } else { self.reg(a) / rb });
+                self.set_reg(d, self.reg(a).checked_div(rb).unwrap_or(0));
             }
             Rem(d, a, b) => {
                 let rb = self.reg(b);
@@ -403,7 +403,10 @@ impl<'a, H: HostCall> Emulator<'a, H> {
                 let rv = match self.builtin(&name, args)? {
                     Some(v) => v,
                     None => {
-                        self.events.push(HostEvent { name: name.clone(), args });
+                        self.events.push(HostEvent {
+                            name: name.clone(),
+                            args,
+                        });
                         self.host.call(&name, args, &mut self.mem)
                     }
                 };
@@ -631,7 +634,10 @@ world: .asciz "world"
         let mut emu = Emulator::new(&exe, null_host());
         emu.run().unwrap();
         assert_eq!(emu.reg(Reg::RV), 11);
-        assert!(emu.events().is_empty(), "string builtins are not host calls");
+        assert!(
+            emu.events().is_empty(),
+            "string builtins are not host calls"
+        );
     }
 
     #[test]

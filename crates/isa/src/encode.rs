@@ -66,7 +66,10 @@ const OP_CALLX: u32 = 30;
 const OP_HALT: u32 = 31;
 
 fn imm14(i: i16) -> u32 {
-    debug_assert!((-(1 << 13)..(1 << 13)).contains(&(i as i32)), "imm14 overflow: {i}");
+    debug_assert!(
+        (-(1 << 13)..(1 << 13)).contains(&(i as i32)),
+        "imm14 overflow: {i}"
+    );
     (i as u32) & 0x3FFF
 }
 
@@ -106,7 +109,10 @@ pub fn encode(inst: Inst) -> u32 {
         // materialize 32-bit constants, so the full 14-bit range must be
         // expressible).
         Ori(d, a, i) => {
-            debug_assert!((0..(1 << 14)).contains(&(i as i32)), "ori imm14 overflow: {i}");
+            debug_assert!(
+                (0..(1 << 14)).contains(&(i as i32)),
+                "ori imm14 overflow: {i}"
+            );
             (OP_ORI << 26)
                 | ((d.num() as u32) << 22)
                 | ((a.num() as u32) << 18)

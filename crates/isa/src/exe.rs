@@ -87,7 +87,10 @@ impl fmt::Display for ExeError {
             ExeError::UnsupportedVersion(v) => write!(f, "unsupported MRE version {v}"),
             ExeError::Truncated => write!(f, "truncated MRE image"),
             ExeError::BadChecksum { stored, computed } => {
-                write!(f, "MRE checksum mismatch: stored {stored:#x}, computed {computed:#x}")
+                write!(
+                    f,
+                    "MRE checksum mismatch: stored {stored:#x}, computed {computed:#x}"
+                )
             }
             ExeError::BadUtf8 => write!(f, "MRE symbol name is not valid UTF-8"),
             ExeError::Corrupt(what) => write!(f, "corrupt MRE image: {what}"),
@@ -132,7 +135,7 @@ impl Executable {
     /// The instruction word at absolute address `addr`, if in range and
     /// word-aligned.
     pub fn word_at(&self, addr: u32) -> Option<u32> {
-        if addr < CODE_BASE || addr % 4 != 0 {
+        if addr < CODE_BASE || !addr.is_multiple_of(4) {
             return None;
         }
         self.code.get(((addr - CODE_BASE) / 4) as usize).copied()
@@ -229,7 +232,7 @@ impl Executable {
         let nfuncs = buf.get_u32_le() as usize;
         let nlocals = buf.get_u32_le() as usize;
         let ndatasyms = buf.get_u32_le() as usize;
-        if ncode.checked_mul(4).map_or(true, |b| b > buf.remaining()) {
+        if ncode.checked_mul(4).is_none_or(|b| b > buf.remaining()) {
             return Err(ExeError::Corrupt("code length exceeds image"));
         }
         let mut code = Vec::with_capacity(ncode);
@@ -270,9 +273,15 @@ impl Executable {
             let offset = buf.get_i16_le();
             let name = get_str(&mut buf)?;
             if func_index as usize >= funcs.len() {
-                return Err(ExeError::Corrupt("local symbol references unknown function"));
+                return Err(ExeError::Corrupt(
+                    "local symbol references unknown function",
+                ));
             }
-            locals.push(LocalSymbol { func_index, name, offset });
+            locals.push(LocalSymbol {
+                func_index,
+                name,
+                offset,
+            });
         }
         let mut data_syms = Vec::with_capacity(ndatasyms.min(4096));
         for _ in 0..ndatasyms {
@@ -283,7 +292,15 @@ impl Executable {
             let name = get_str(&mut buf)?;
             data_syms.push((name, addr));
         }
-        Ok(Executable { entry, code, data, imports, funcs, locals, data_syms })
+        Ok(Executable {
+            entry,
+            code,
+            data,
+            imports,
+            funcs,
+            locals,
+            data_syms,
+        })
     }
 }
 
@@ -298,14 +315,22 @@ mod tests {
             data: b"hello\0world\0".to_vec(),
             imports: vec!["sprintf".into(), "SSL_write".into()],
             funcs: vec![
-                FuncSymbol { name: "main".into(), addr: CODE_BASE, params: vec![] },
+                FuncSymbol {
+                    name: "main".into(),
+                    addr: CODE_BASE,
+                    params: vec![],
+                },
                 FuncSymbol {
                     name: "send_ident".into(),
                     addr: CODE_BASE + 8,
                     params: vec!["mac".into(), "sn".into()],
                 },
             ],
-            locals: vec![LocalSymbol { func_index: 1, name: "buf".into(), offset: -32 }],
+            locals: vec![LocalSymbol {
+                func_index: 1,
+                name: "buf".into(),
+                offset: -32,
+            }],
             data_syms: vec![("fmt".into(), DATA_BASE)],
         }
     }
@@ -341,7 +366,10 @@ mod tests {
         let bytes = sample().to_bytes();
         // Cut in the middle: checksum mismatch or truncated, never a panic.
         for cut in [0, 3, 10, bytes.len() - 5] {
-            assert!(Executable::from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+            assert!(
+                Executable::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut}"
+            );
         }
     }
 
@@ -367,7 +395,9 @@ mod tests {
         let bytes = exe.to_bytes();
         assert_eq!(
             Executable::from_bytes(&bytes),
-            Err(ExeError::Corrupt("local symbol references unknown function"))
+            Err(ExeError::Corrupt(
+                "local symbol references unknown function"
+            ))
         );
     }
 

@@ -82,7 +82,12 @@ impl Inst {
     pub fn is_terminator(self) -> bool {
         matches!(
             self,
-            Inst::Beq(..) | Inst::Bne(..) | Inst::Blt(..) | Inst::Bge(..) | Inst::Jalr(..) | Inst::Halt
+            Inst::Beq(..)
+                | Inst::Bne(..)
+                | Inst::Blt(..)
+                | Inst::Bge(..)
+                | Inst::Jalr(..)
+                | Inst::Halt
         )
     }
 
@@ -182,7 +187,10 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        assert_eq!(Inst::Add(Reg::RV, Reg::A0, Reg::A1).to_string(), "add rv, a0, a1");
+        assert_eq!(
+            Inst::Add(Reg::RV, Reg::A0, Reg::A1).to_string(),
+            "add rv, a0, a1"
+        );
         assert_eq!(Inst::Lw(Reg::T0, Reg::SP, -8).to_string(), "lw t0, -8(sp)");
         assert_eq!(Inst::Jalr(Reg::ZERO, Reg::RA).to_string(), "ret");
         assert_eq!(Inst::Callx(3).to_string(), "callx #3");

@@ -52,7 +52,7 @@ mod reg;
 pub use asm::{AsmError, Assembler};
 pub use emu::{EmuError, Emulator, HostCall, HostEvent, Mem};
 pub use encode::{decode, encode, DecodeError};
-pub use exe::{Executable, ExeError, FuncSymbol, LocalSymbol, CODE_BASE, DATA_BASE};
+pub use exe::{ExeError, Executable, FuncSymbol, LocalSymbol, CODE_BASE, DATA_BASE};
 pub use inst::Inst;
 pub use lift::{lift, LiftError};
 pub use reg::Reg;

@@ -17,9 +17,7 @@
 
 use crate::exe::{Executable, FuncSymbol};
 use crate::{decode, DecodeError, Inst, Reg};
-use firmres_ir::{
-    import_address, BlockId, FunctionBuilder, Opcode, Program, Varnode,
-};
+use firmres_ir::{import_address, BlockId, FunctionBuilder, Opcode, Program, Varnode};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -64,13 +62,22 @@ impl fmt::Display for LiftError {
             LiftError::Decode { addr, err } => write!(f, "at {addr:#x}: {err}"),
             LiftError::NoFunctions => write!(f, "executable has no function symbols"),
             LiftError::BranchOutOfRange { addr, target } => {
-                write!(f, "branch at {addr:#x} targets {target:#x} outside its function")
+                write!(
+                    f,
+                    "branch at {addr:#x} targets {target:#x} outside its function"
+                )
             }
             LiftError::CallTargetUnknown { addr, target } => {
-                write!(f, "call at {addr:#x} targets {target:#x} which is not a function")
+                write!(
+                    f,
+                    "call at {addr:#x} targets {target:#x} which is not a function"
+                )
             }
             LiftError::BadImportIndex { addr, index } => {
-                write!(f, "callx at {addr:#x} references import #{index} beyond the table")
+                write!(
+                    f,
+                    "callx at {addr:#x} references import #{index} beyond the table"
+                )
             }
         }
     }
@@ -87,10 +94,26 @@ pub(crate) fn import_arity(name: &str) -> usize {
         "puts" | "strlen" | "atoi" | "curl_easy_perform" | "free" | "getenv" | "nvram_get"
         | "cfg_get" | "cJSON_Print" | "cJSON_Delete" | "malloc" | "time" | "get_mac_addr"
         | "get_serial" | "get_dev_model" | "get_fw_version" | "get_uid" | "rand" => 1,
-        "strcpy" | "strcat" | "strchr" | "strstr" | "fopen" | "cJSON_GetObjectItem"
-        | "config_read" | "hmac_sign" | "itoa" => 2,
-        "SSL_write" | "CyaSSL_write" | "write" | "read" | "memcpy" | "strncpy" | "memset"
-        | "http_get" | "cJSON_AddStringToObject" | "cJSON_AddNumberToObject" | "md5_hex"
+        "strcpy"
+        | "strcat"
+        | "strchr"
+        | "strstr"
+        | "fopen"
+        | "cJSON_GetObjectItem"
+        | "config_read"
+        | "hmac_sign"
+        | "itoa" => 2,
+        "SSL_write"
+        | "CyaSSL_write"
+        | "write"
+        | "read"
+        | "memcpy"
+        | "strncpy"
+        | "memset"
+        | "http_get"
+        | "cJSON_AddStringToObject"
+        | "cJSON_AddNumberToObject"
+        | "md5_hex"
         | "sha256_hex" => 3,
         "send" | "recv" | "mosquitto_publish" | "mqtt_publish" | "http_post" | "fread"
         | "fwrite" | "ssl_connect" => 4,
@@ -116,8 +139,11 @@ pub fn lift(exe: &Executable, name: &str) -> Result<Program, LiftError> {
     for imp in &exe.imports {
         program.add_import(import_address(imp), imp.clone());
     }
-    let data_names: BTreeMap<u32, &str> =
-        exe.data_syms.iter().map(|(n, a)| (*a, n.as_str())).collect();
+    let data_names: BTreeMap<u32, &str> = exe
+        .data_syms
+        .iter()
+        .map(|(n, a)| (*a, n.as_str()))
+        .collect();
 
     let mut funcs: Vec<&FuncSymbol> = exe.funcs.iter().collect();
     funcs.sort_by_key(|f| f.addr);
@@ -185,7 +211,11 @@ fn lift_function(
         block_of.insert(leader, bid);
     }
 
-    let mut ctx = LiftCtx { fb, exe, data_names };
+    let mut ctx = LiftCtx {
+        fb,
+        exe,
+        data_names,
+    };
     let mut idx = 0usize;
     while idx < insts.len() {
         let (addr, inst) = insts[idx];
@@ -352,7 +382,12 @@ impl LiftCtx<'_> {
             Ori(d, a, i) => {
                 // Zero-extended immediate (see the encoder).
                 let va = self.read(a);
-                self.binary(Opcode::IntOr, d, va, Varnode::constant(i as u64 & 0x3FFF, 4));
+                self.binary(
+                    Opcode::IntOr,
+                    d,
+                    va,
+                    Varnode::constant(i as u64 & 0x3FFF, 4),
+                );
             }
             Xori(d, a, i) => {
                 let va = self.read(a);
@@ -408,7 +443,8 @@ impl LiftCtx<'_> {
                     Bge(..) => {
                         let lt = self.fb.binop(Opcode::IntSLess, va, vb);
                         let out = self.fb.temp(1);
-                        self.fb.emit(Opcode::BoolNegate, Some(out.clone()), vec![lt]);
+                        self.fb
+                            .emit(Opcode::BoolNegate, Some(out.clone()), vec![lt]);
                         out
                     }
                     _ => unreachable!("matched conditional branch"),
@@ -563,7 +599,9 @@ loop:
         );
         let f = p.function_by_name("f").unwrap();
         // sw/lw on sp lift to COPYs of the stack varnode, not LOAD/STORE.
-        assert!(f.ops().all(|o| o.opcode != Opcode::Load && o.opcode != Opcode::Store));
+        assert!(f
+            .ops()
+            .all(|o| o.opcode != Opcode::Load && o.opcode != Opcode::Store));
         let slot = Varnode::stack(0, 4);
         assert_eq!(f.symbols().lookup(&slot).unwrap().name, "count");
         assert_eq!(f.params().len(), 1);
@@ -615,9 +653,8 @@ loop:
 
     #[test]
     fn data_pointer_constants_get_symbol_names() {
-        let p = lift_src(
-            ".func main\n la a0, path\n ret\n.endfunc\n.data\npath: .asciz \"/api/v1\"\n",
-        );
+        let p =
+            lift_src(".func main\n la a0, path\n ret\n.endfunc\n.data\npath: .asciz \"/api/v1\"\n");
         let f = p.function_by_name("main").unwrap();
         let copy = f.ops().find(|o| o.opcode == Opcode::Copy).unwrap();
         let sym = f.symbols().lookup(&copy.inputs[0]).unwrap();

@@ -125,7 +125,10 @@ mod tests {
         let c5 = cluster(&items, 0.5).len();
         let c6 = cluster(&items, 0.6).len();
         let c7 = cluster(&items, 0.7).len();
-        assert!(c5 <= c6 && c6 <= c7, "higher threshold, never fewer clusters: {c5} {c6} {c7}");
+        assert!(
+            c5 <= c6 && c6 <= c7,
+            "higher threshold, never fewer clusters: {c5} {c6} {c7}"
+        );
     }
 
     #[test]

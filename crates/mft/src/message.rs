@@ -103,7 +103,10 @@ pub struct ReconstructedMessage {
 impl ReconstructedMessage {
     /// Keys of all fields that have one, in order.
     pub fn keys(&self) -> Vec<&str> {
-        self.fields.iter().filter_map(|f| f.key.as_deref()).collect()
+        self.fields
+            .iter()
+            .filter_map(|f| f.key.as_deref())
+            .collect()
     }
 
     /// The field with the given key.
@@ -195,7 +198,9 @@ pub fn reconstruct(mft: &Mft) -> ReconstructedMessage {
 
     for wid in &writes {
         let node = mft.node(*wid);
-        let MftNodeKind::Concat { via } = &node.kind else { continue };
+        let MftNodeKind::Concat { via } = &node.kind else {
+            continue;
+        };
         match via.as_str() {
             "sprintf" | "snprintf" => {
                 let Some(fmt) = first_string_leaf(mft, node.children.first().copied()) else {
@@ -216,10 +221,11 @@ pub fn reconstruct(mft: &Mft) -> ReconstructedMessage {
                 let values = &node.children[1..];
                 for (i, piece) in pieces.iter().enumerate() {
                     if piece.spec.is_some() {
-                        let origin = values
-                            .get(i)
-                            .map(|c| primary_source(mft, *c))
-                            .unwrap_or(FieldSource::Unresolved { reason: "missing argument" });
+                        let origin = values.get(i).map(|c| primary_source(mft, *c)).unwrap_or(
+                            FieldSource::Unresolved {
+                                reason: "missing argument",
+                            },
+                        );
                         fields.push(MessageField {
                             key: piece.key.clone().or_else(|| pending_key.take()),
                             origin,
@@ -245,13 +251,21 @@ pub fn reconstruct(mft: &Mft) -> ReconstructedMessage {
                     .children
                     .get(1)
                     .map(|c| primary_source(mft, *c))
-                    .unwrap_or(FieldSource::Unresolved { reason: "missing value" });
-                fields.push(MessageField { key, origin, semantic: None });
+                    .unwrap_or(FieldSource::Unresolved {
+                        reason: "missing value",
+                    });
+                fields.push(MessageField {
+                    key,
+                    origin,
+                    semantic: None,
+                });
             }
             _ => {
                 // strcpy/strcat/store/getter writes: one contribution each.
                 let origin = if node.children.is_empty() {
-                    FieldSource::Unresolved { reason: "opaque write" }
+                    FieldSource::Unresolved {
+                        reason: "opaque write",
+                    }
                 } else {
                     primary_source(mft, node.children[0])
                 };
@@ -266,7 +280,11 @@ pub fn reconstruct(mft: &Mft) -> ReconstructedMessage {
                         }
                     }
                 }
-                fields.push(MessageField { key: pending_key.take(), origin, semantic: None });
+                fields.push(MessageField {
+                    key: pending_key.take(),
+                    origin,
+                    semantic: None,
+                });
             }
         }
     }
@@ -274,7 +292,11 @@ pub fn reconstruct(mft: &Mft) -> ReconstructedMessage {
     // No buffer writes at all: the message is the root's direct sources.
     if writes.is_empty() {
         for src in mft.field_sources() {
-            fields.push(MessageField { key: None, origin: src.clone(), semantic: None });
+            fields.push(MessageField {
+                key: None,
+                origin: src.clone(),
+                semantic: None,
+            });
         }
         fields.reverse(); // backward discovery → construction order
     }
@@ -333,7 +355,9 @@ fn primary_source(mft: &Mft, id: MftNodeId) -> FieldSource {
         .find(|s| s.is_concrete())
         .or_else(|| leaves.first())
         .cloned()
-        .unwrap_or(FieldSource::Unresolved { reason: "empty subtree" })
+        .unwrap_or(FieldSource::Unresolved {
+            reason: "empty subtree",
+        })
 }
 
 fn collect_field_sources(mft: &Mft, id: MftNodeId, out: &mut Vec<FieldSource>) {
@@ -429,7 +453,12 @@ sn: .asciz "SN42"
         assert_eq!(msg.format, MessageFormat::Query);
         assert_eq!(msg.template.as_deref(), Some("mac=%s&sn=%s"));
         assert_eq!(msg.keys(), vec!["mac", "sn"]);
-        assert!(msg.field("mac").unwrap().origin.to_string().contains("get_mac_addr"));
+        assert!(msg
+            .field("mac")
+            .unwrap()
+            .origin
+            .to_string()
+            .contains("get_mac_addr"));
         assert!(msg.field("sn").unwrap().origin.to_string().contains("SN42"));
     }
 
@@ -498,8 +527,17 @@ v2: .asciz "T-9"
             1,
         );
         assert_eq!(msg.format, MessageFormat::Json);
-        assert_eq!(msg.keys(), vec!["deviceId", "token"], "construction order restored");
-        assert!(msg.field("token").unwrap().origin.to_string().contains("T-9"));
+        assert_eq!(
+            msg.keys(),
+            vec!["deviceId", "token"],
+            "construction order restored"
+        );
+        assert!(msg
+            .field("token")
+            .unwrap()
+            .origin
+            .to_string()
+            .contains("T-9"));
     }
 
     #[test]
@@ -530,7 +568,14 @@ v2: .asciz "T-9"
         ] {
             assert!(is_lan_address(lan), "{lan} is LAN");
         }
-        for wan in ["8.8.8.8", "172.15.0.1", "172.32.0.1", "193.168.1.1", "cloud.example.com", "1.1"] {
+        for wan in [
+            "8.8.8.8",
+            "172.15.0.1",
+            "172.32.0.1",
+            "193.168.1.1",
+            "cloud.example.com",
+            "1.1",
+        ] {
             assert!(!is_lan_address(wan), "{wan} is not LAN");
         }
     }

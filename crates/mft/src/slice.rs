@@ -178,11 +178,15 @@ fn piece_map(mft: &Mft) -> BTreeMap<MftNodeId, PieceInfo> {
         let children = &n.children;
         for j in 0..children.len() {
             let key_node = mft.node(children[j]);
-            let MftNodeKind::Concat { via } = &key_node.kind else { continue };
+            let MftNodeKind::Concat { via } = &key_node.kind else {
+                continue;
+            };
             if via != "strcat" && via != "strcpy" && via != "store" {
                 continue;
             }
-            let Some(lit) = first_string_leaf(mft, children[j]) else { continue };
+            let Some(lit) = first_string_leaf(mft, children[j]) else {
+                continue;
+            };
             let trimmed = lit.trim_end();
             if !(trimmed.ends_with('=') || trimmed.ends_with(':')) {
                 continue;
@@ -205,12 +209,16 @@ fn piece_map(mft: &Mft) -> BTreeMap<MftNodeId, PieceInfo> {
         }
     }
     for n in mft.nodes() {
-        let MftNodeKind::Concat { via } = &n.kind else { continue };
+        let MftNodeKind::Concat { via } = &n.kind else {
+            continue;
+        };
         if n.children.len() < 2 {
             continue;
         }
         // First child subtree should resolve to the key/format constant.
-        let Some(key_text) = first_string_leaf(mft, n.children[0]) else { continue };
+        let Some(key_text) = first_string_leaf(mft, n.children[0]) else {
+            continue;
+        };
         if via == "sprintf" || via == "snprintf" {
             let pieces = split_format(&key_text);
             for (i, child) in n.children.iter().enumerate().skip(1) {
@@ -220,20 +228,26 @@ fn piece_map(mft: &Mft) -> BTreeMap<MftNodeId, PieceInfo> {
                         None => piece.literal.clone(),
                     };
                     for leaf in subtree_leaves(mft, *child) {
-                        map.insert(leaf, PieceInfo {
-                            piece: rendered.clone(),
-                            full_template: Some(key_text.clone()),
-                        });
+                        map.insert(
+                            leaf,
+                            PieceInfo {
+                                piece: rendered.clone(),
+                                full_template: Some(key_text.clone()),
+                            },
+                        );
                     }
                 }
             }
         } else if via.starts_with("cJSON_Add") {
             // children = [key, value]; the value's piece is the JSON key.
             for leaf in subtree_leaves(mft, n.children[1]) {
-                map.insert(leaf, PieceInfo {
-                    piece: format!("\"{key_text}\":"),
-                    full_template: None,
-                });
+                map.insert(
+                    leaf,
+                    PieceInfo {
+                        piece: format!("\"{key_text}\":"),
+                        full_template: None,
+                    },
+                );
             }
         }
     }
@@ -290,64 +304,69 @@ pub struct SliceRenderer<'p> {
 impl<'p> SliceRenderer<'p> {
     /// Create a renderer over `program`.
     pub fn new(program: &'p Program) -> Self {
-        SliceRenderer { program, defuse: BTreeMap::new() }
+        SliceRenderer {
+            program,
+            defuse: BTreeMap::new(),
+        }
     }
 
     /// Produce a [`CodeSlice`] for every field leaf of `mft` (see
     /// [`slices_for_tree`]).
     pub fn slices_for_tree(&mut self, mft: &Mft) -> Vec<CodeSlice> {
-    let program = self.program;
-    let defuse = &mut self.defuse;
-    let pieces = piece_map(mft);
-    let mut out = Vec::new();
-    for leaf in mft.leaves() {
-        let source = match &mft.node(leaf).kind {
-            MftNodeKind::Field(s) => s.clone(),
-            _ => continue,
-        };
-        // Collect path root→leaf.
-        let mut path = Vec::new();
-        let mut cur = Some(leaf);
-        while let Some(id) = cur {
-            path.push(id);
-            cur = mft.node(id).parent;
-        }
-        path.reverse();
-        let info = pieces.get(&leaf);
-        let mut rendered: Vec<String> = Vec::new();
-        for id in &path {
-            let n = mft.node(*id);
-            if let Some(op) = &n.op {
-                if let Some(f) = program.function(n.func) {
-                    let du = defuse
-                        .entry(n.func)
-                        .or_insert_with(|| DefUse::compute(f));
-                    let mut line = enrich_op_with(program, f, op, Some(du));
-                    // Partial-message separation: this field's slice shows
-                    // only its own piece of a multi-field template, not the
-                    // whole format string (which would leak sibling keys
-                    // into the classifier's context).
-                    if let Some(PieceInfo { piece, full_template: Some(full) }) = info {
-                        line = line.replace(full.as_str(), piece.as_str());
+        let program = self.program;
+        let defuse = &mut self.defuse;
+        let pieces = piece_map(mft);
+        let mut out = Vec::new();
+        for leaf in mft.leaves() {
+            let source = match &mft.node(leaf).kind {
+                MftNodeKind::Field(s) => s.clone(),
+                _ => continue,
+            };
+            // Collect path root→leaf.
+            let mut path = Vec::new();
+            let mut cur = Some(leaf);
+            while let Some(id) = cur {
+                path.push(id);
+                cur = mft.node(id).parent;
+            }
+            path.reverse();
+            let info = pieces.get(&leaf);
+            let mut rendered: Vec<String> = Vec::new();
+            for id in &path {
+                let n = mft.node(*id);
+                if let Some(op) = &n.op {
+                    if let Some(f) = program.function(n.func) {
+                        let du = defuse.entry(n.func).or_insert_with(|| DefUse::compute(f));
+                        let mut line = enrich_op_with(program, f, op, Some(du));
+                        // Partial-message separation: this field's slice shows
+                        // only its own piece of a multi-field template, not the
+                        // whole format string (which would leak sibling keys
+                        // into the classifier's context).
+                        if let Some(PieceInfo {
+                            piece,
+                            full_template: Some(full),
+                        }) = info
+                        {
+                            line = line.replace(full.as_str(), piece.as_str());
+                        }
+                        rendered.push(line);
                     }
-                    rendered.push(line);
                 }
             }
+            // The leaf itself (source description) closes the slice.
+            rendered.push(format!("SRC {source}"));
+            if let Some(info) = info {
+                rendered.push(format!("FIELD (Cons, \"{}\")", info.piece));
+            }
+            out.push(CodeSlice {
+                text: rendered.join(" ; "),
+                source,
+                leaf,
+                path_hash: mft.path_hash(leaf),
+                piece: info.map(|i| i.piece.clone()),
+            });
         }
-        // The leaf itself (source description) closes the slice.
-        rendered.push(format!("SRC {source}"));
-        if let Some(info) = info {
-            rendered.push(format!("FIELD (Cons, \"{}\")", info.piece));
-        }
-        out.push(CodeSlice {
-            text: rendered.join(" ; "),
-            source,
-            leaf,
-            path_hash: mft.path_hash(leaf),
-            piece: info.map(|i| i.piece.clone()),
-        });
-    }
-    out
+        out
     }
 }
 
@@ -494,8 +513,14 @@ v: .asciz "D-1000"
         assert!(hashes.iter().all(|h| *h != 0));
         // Structurally distinct paths hash differently (identical paths —
         // e.g. two unresolved garbage arguments — may legitimately collide).
-        let mac = slices.iter().find(|s| s.source.to_string().contains("get_mac_addr")).unwrap();
-        let sn = slices.iter().find(|s| s.source.to_string().contains("SN123456")).unwrap();
+        let mac = slices
+            .iter()
+            .find(|s| s.source.to_string().contains("get_mac_addr"))
+            .unwrap();
+        let sn = slices
+            .iter()
+            .find(|s| s.source.to_string().contains("SN123456"))
+            .unwrap();
         assert_ne!(mac.path_hash, sn.path_hash);
     }
 }

@@ -54,9 +54,14 @@ pub fn split_format(fmt: &str) -> Vec<FormatPiece> {
                 let lit = if pieces.is_empty() {
                     lit
                 } else {
-                    lit.trim_start_matches(['&', ',', ';', '|', ' ']).to_string()
+                    lit.trim_start_matches(['&', ',', ';', '|', ' '])
+                        .to_string()
                 };
-                pieces.push(FormatPiece { key: extract_key(&lit), literal: lit, spec: Some(spec) });
+                pieces.push(FormatPiece {
+                    key: extract_key(&lit),
+                    literal: lit,
+                    spec: Some(spec),
+                });
             }
             Some(other) => {
                 literal.push('%');
@@ -66,7 +71,11 @@ pub fn split_format(fmt: &str) -> Vec<FormatPiece> {
         }
     }
     if !literal.is_empty() {
-        pieces.push(FormatPiece { key: extract_key(&literal), literal, spec: None });
+        pieces.push(FormatPiece {
+            key: extract_key(&literal),
+            literal,
+            spec: None,
+        });
     }
     pieces
 }
@@ -77,10 +86,13 @@ pub(crate) fn extract_key(literal: &str) -> Option<String> {
     // Strip trailing quote/colon/equals decoration, then take the trailing
     // identifier.
     let trimmed = literal.trim_end_matches(['"', '\'', ' ']);
-    let trimmed = trimmed.strip_suffix(':').or_else(|| trimmed.strip_suffix('=')).unwrap_or(
-        // JSON style: `"key":"` → after stripping quotes we see `key":`
-        trimmed,
-    );
+    let trimmed = trimmed
+        .strip_suffix(':')
+        .or_else(|| trimmed.strip_suffix('='))
+        .unwrap_or(
+            // JSON style: `"key":"` → after stripping quotes we see `key":`
+            trimmed,
+        );
     let trimmed = trimmed.trim_end_matches(['"', '\'', ':', '=']);
     let key: String = trimmed
         .chars()
@@ -164,7 +176,10 @@ mod tests {
     #[test]
     fn key_extraction_variants() {
         assert_eq!(extract_key("mac="), Some("mac".to_string()));
-        assert_eq!(extract_key("\"serialNumber\":\""), Some("serialNumber".to_string()));
+        assert_eq!(
+            extract_key("\"serialNumber\":\""),
+            Some("serialNumber".to_string())
+        );
         assert_eq!(extract_key("&device_id="), Some("device_id".to_string()));
         assert_eq!(extract_key("?m=camera&a="), Some("a".to_string()));
         assert_eq!(extract_key("   "), None);

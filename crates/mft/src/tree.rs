@@ -91,17 +91,19 @@ impl Mft {
         let mut mft = Mft::default();
         for n in tree.nodes() {
             let kind = match &n.kind {
-                TaintNodeKind::Root { delivery } => MftNodeKind::Root { delivery: delivery.clone() },
+                TaintNodeKind::Root { delivery } => MftNodeKind::Root {
+                    delivery: delivery.clone(),
+                },
                 TaintNodeKind::Write { via } => MftNodeKind::Concat { via: via.clone() },
-                TaintNodeKind::Transform { opcode } => {
-                    MftNodeKind::Op { label: opcode.mnemonic().to_string() }
-                }
-                TaintNodeKind::ThroughCall { callee } => {
-                    MftNodeKind::Op { label: format!("call {callee}") }
-                }
-                TaintNodeKind::ParamCross { param } => {
-                    MftNodeKind::Op { label: format!("param #{param}") }
-                }
+                TaintNodeKind::Transform { opcode } => MftNodeKind::Op {
+                    label: opcode.mnemonic().to_string(),
+                },
+                TaintNodeKind::ThroughCall { callee } => MftNodeKind::Op {
+                    label: format!("call {callee}"),
+                },
+                TaintNodeKind::ParamCross { param } => MftNodeKind::Op {
+                    label: format!("param #{param}"),
+                },
                 TaintNodeKind::Source(s) => MftNodeKind::Field(s.clone()),
             };
             mft.nodes.push(MftNode {
@@ -365,13 +367,11 @@ third: .asciz "C"
     fn inversion_restores_construction_order() {
         let mft = build_mft(CONCAT_SRC, "SSL_write", 1);
         // Backward discovery: C, B, A.
-        let before: Vec<String> =
-            mft.field_sources().iter().map(|s| s.to_string()).collect();
+        let before: Vec<String> = mft.field_sources().iter().map(|s| s.to_string()).collect();
         assert_eq!(before, vec!["\"C\"", "\"B\"", "\"A\""]);
         // Inverted: A, B, C — the order the message was built in.
         let inv = mft.simplified().inverted();
-        let after: Vec<String> =
-            inv.field_sources().iter().map(|s| s.to_string()).collect();
+        let after: Vec<String> = inv.field_sources().iter().map(|s| s.to_string()).collect();
         assert_eq!(after, vec!["\"A\"", "\"B\"", "\"C\""]);
     }
 

@@ -32,7 +32,11 @@ pub fn split_dataset(data: &[(String, Primitive)], seed: u64) -> DatasetSplit {
     let train: Vec<_> = iter.by_ref().take(n_train).collect();
     let validation: Vec<_> = iter.by_ref().take(n_val).collect();
     let test: Vec<_> = iter.collect();
-    DatasetSplit { train, validation, test }
+    DatasetSplit {
+        train,
+        validation,
+        test,
+    }
 }
 
 #[cfg(test)]
@@ -40,7 +44,9 @@ mod tests {
     use super::*;
 
     fn data(n: usize) -> Vec<(String, Primitive)> {
-        (0..n).map(|i| (format!("slice {i}"), Primitive::None)).collect()
+        (0..n)
+            .map(|i| (format!("slice {i}"), Primitive::None))
+            .collect()
     }
 
     #[test]

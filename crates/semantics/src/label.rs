@@ -27,7 +27,17 @@ pub struct KeywordHit {
 const DICTIONARIES: &[(Primitive, &[&str])] = &[
     (
         Primitive::Signature,
-        &["signature", "sign", "hmac", "digest", "md5", "sha256", "tmpkey", "tempkey", "sig"],
+        &[
+            "signature",
+            "sign",
+            "hmac",
+            "digest",
+            "md5",
+            "sha256",
+            "tmpkey",
+            "tempkey",
+            "sig",
+        ],
     ),
     (
         Primitive::DevSecret,
@@ -105,17 +115,8 @@ const DICTIONARIES: &[(Primitive, &[&str])] = &[
     (
         Primitive::Address,
         &[
-            "host",
-            "hostname",
-            "server",
-            "addr",
-            "address",
-            "url",
-            "domain",
-            "endpoint",
-            "ip",
-            "port",
-            "broker",
+            "host", "hostname", "server", "addr", "address", "url", "domain", "endpoint", "ip",
+            "port", "broker",
         ],
     ),
 ];
@@ -132,7 +133,10 @@ pub fn weak_label_with_report(slice_text: &str) -> Option<KeywordHit> {
     for (primitive, keywords) in DICTIONARIES {
         for kw in *keywords {
             if tokens.iter().any(|t| t == kw) {
-                return Some(KeywordHit { primitive: *primitive, keyword: kw });
+                return Some(KeywordHit {
+                    primitive: *primitive,
+                    keyword: kw,
+                });
             }
         }
     }
@@ -145,8 +149,14 @@ mod tests {
 
     #[test]
     fn identifier_keywords() {
-        assert_eq!(weak_label("CALL (Fun, get_mac_addr) mac=%s"), Primitive::DevIdentifier);
-        assert_eq!(weak_label("(Cons, \"serialNumber\")"), Primitive::DevIdentifier);
+        assert_eq!(
+            weak_label("CALL (Fun, get_mac_addr) mac=%s"),
+            Primitive::DevIdentifier
+        );
+        assert_eq!(
+            weak_label("(Cons, \"serialNumber\")"),
+            Primitive::DevIdentifier
+        );
         assert_eq!(weak_label("(Cons, \"uid=%s\")"), Primitive::DevIdentifier);
     }
 
@@ -155,13 +165,19 @@ mod tests {
         // "device_key" contains "device"-ish identifier tokens, but the
         // secret dictionary is checked first.
         assert_eq!(weak_label("(Cons, \"device_key\")"), Primitive::DevSecret);
-        assert_eq!(weak_label("nvram_get (Cons, \"cert\")"), Primitive::DevSecret);
+        assert_eq!(
+            weak_label("nvram_get (Cons, \"cert\")"),
+            Primitive::DevSecret
+        );
     }
 
     #[test]
     fn credential_and_token_keywords() {
         assert_eq!(weak_label("(Cons, \"cloudpassword\")"), Primitive::UserCred);
-        assert_eq!(weak_label("(Cons, \"access_token=%s\")"), Primitive::BindToken);
+        assert_eq!(
+            weak_label("(Cons, \"access_token=%s\")"),
+            Primitive::BindToken
+        );
         assert_eq!(weak_label("accessToken"), Primitive::BindToken);
     }
 
@@ -173,7 +189,10 @@ mod tests {
 
     #[test]
     fn address_and_none() {
-        assert_eq!(weak_label("(Cons, \"Host: www.linksyssmartwifi.com\")"), Primitive::Address);
+        assert_eq!(
+            weak_label("(Cons, \"Host: www.linksyssmartwifi.com\")"),
+            Primitive::Address
+        );
         assert_eq!(weak_label("(Cons, \"uploadType=%s\")"), Primitive::None);
         assert_eq!(weak_label(""), Primitive::None);
     }

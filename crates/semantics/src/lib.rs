@@ -34,9 +34,9 @@
 #![warn(missing_docs)]
 
 mod dataset;
-mod persist;
 mod label;
 mod model;
+mod persist;
 mod token;
 
 pub use dataset::{split_dataset, DatasetSplit};

@@ -21,7 +21,12 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { epochs: 100, learning_rate: 0.5, l2: 1e-6, seed: 0xF1A9 }
+        TrainConfig {
+            epochs: 100,
+            learning_rate: 0.5,
+            l2: 1e-6,
+            seed: 0xF1A9,
+        }
     }
 }
 
@@ -78,11 +83,19 @@ impl Classifier {
                     w[FEATURE_DIM] -= lr * err;
                 }
             }
-            final_loss = if features.is_empty() { 0.0 } else { loss_sum / features.len() as f64 };
+            final_loss = if features.is_empty() {
+                0.0
+            } else {
+                loss_sum / features.len() as f64
+            };
         }
         let mut model = Classifier {
             weights,
-            report: TrainReport { epochs: config.epochs, train_accuracy: 0.0, final_loss },
+            report: TrainReport {
+                epochs: config.epochs,
+                train_accuracy: 0.0,
+                final_loss,
+            },
         };
         let correct = features
             .iter()
@@ -91,8 +104,11 @@ impl Classifier {
                 argmax(&probs) == *label
             })
             .count();
-        model.report.train_accuracy =
-            if features.is_empty() { 0.0 } else { correct as f64 / features.len() as f64 };
+        model.report.train_accuracy = if features.is_empty() {
+            0.0
+        } else {
+            correct as f64 / features.len() as f64
+        };
         model
     }
 
@@ -175,14 +191,42 @@ mod tests {
         let mut data = Vec::new();
         let make = |s: &str| s.to_string();
         for i in 0..20 {
-            data.push((make(&format!("CALL (Fun, get_mac_addr) mac addr {i}")), Primitive::DevIdentifier));
-            data.push((make(&format!("CALL (Fun, nvram_get) (Cons, \"serial_{i}\") serial number")), Primitive::DevIdentifier));
-            data.push((make(&format!("(Cons, \"device_secret\") secret key {i}")), Primitive::DevSecret));
-            data.push((make(&format!("(Cons, \"username\") (Cons, \"password\") login {i}")), Primitive::UserCred));
-            data.push((make(&format!("(Cons, \"access_token={i}\") token session")), Primitive::BindToken));
-            data.push((make(&format!("CALL (Fun, hmac_sign) signature sig {i}")), Primitive::Signature));
-            data.push((make(&format!("(Cons, \"cloud.example.com\") host server {i}")), Primitive::Address));
-            data.push((make(&format!("(Cons, \"uptime={i}\") counter misc")), Primitive::None));
+            data.push((
+                make(&format!("CALL (Fun, get_mac_addr) mac addr {i}")),
+                Primitive::DevIdentifier,
+            ));
+            data.push((
+                make(&format!(
+                    "CALL (Fun, nvram_get) (Cons, \"serial_{i}\") serial number"
+                )),
+                Primitive::DevIdentifier,
+            ));
+            data.push((
+                make(&format!("(Cons, \"device_secret\") secret key {i}")),
+                Primitive::DevSecret,
+            ));
+            data.push((
+                make(&format!(
+                    "(Cons, \"username\") (Cons, \"password\") login {i}"
+                )),
+                Primitive::UserCred,
+            ));
+            data.push((
+                make(&format!("(Cons, \"access_token={i}\") token session")),
+                Primitive::BindToken,
+            ));
+            data.push((
+                make(&format!("CALL (Fun, hmac_sign) signature sig {i}")),
+                Primitive::Signature,
+            ));
+            data.push((
+                make(&format!("(Cons, \"cloud.example.com\") host server {i}")),
+                Primitive::Address,
+            ));
+            data.push((
+                make(&format!("(Cons, \"uptime={i}\") counter misc")),
+                Primitive::None,
+            ));
         }
         data
     }
@@ -190,7 +234,13 @@ mod tests {
     #[test]
     fn learns_separable_toy_data() {
         let data = toy_dataset();
-        let model = Classifier::train(&data, &TrainConfig { epochs: 30, ..Default::default() });
+        let model = Classifier::train(
+            &data,
+            &TrainConfig {
+                epochs: 30,
+                ..Default::default()
+            },
+        );
         assert!(
             model.report().train_accuracy > 0.95,
             "training accuracy {} too low",
@@ -205,7 +255,13 @@ mod tests {
     #[test]
     fn probabilities_sum_to_one() {
         let data = toy_dataset();
-        let model = Classifier::train(&data, &TrainConfig { epochs: 5, ..Default::default() });
+        let model = Classifier::train(
+            &data,
+            &TrainConfig {
+                epochs: 5,
+                ..Default::default()
+            },
+        );
         let probs = model.probabilities("anything at all");
         let sum: f32 = probs.iter().sum();
         assert!((sum - 1.0).abs() < 1e-4, "sum {sum}");
@@ -216,7 +272,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let data = toy_dataset();
-        let cfg = TrainConfig { epochs: 5, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 5,
+            ..Default::default()
+        };
         let m1 = Classifier::train(&data, &cfg);
         let m2 = Classifier::train(&data, &cfg);
         assert_eq!(m1.probabilities("mac"), m2.probabilities("mac"));
@@ -225,9 +284,18 @@ mod tests {
     #[test]
     fn accuracy_on_held_out() {
         let data = toy_dataset();
-        let model = Classifier::train(&data, &TrainConfig { epochs: 30, ..Default::default() });
+        let model = Classifier::train(
+            &data,
+            &TrainConfig {
+                epochs: 30,
+                ..Default::default()
+            },
+        );
         let held_out = vec![
-            ("mac addr get_mac_addr".to_string(), Primitive::DevIdentifier),
+            (
+                "mac addr get_mac_addr".to_string(),
+                Primitive::DevIdentifier,
+            ),
             ("secret certificate".to_string(), Primitive::DevSecret),
         ];
         assert!(model.accuracy(&held_out) >= 0.5);
@@ -236,7 +304,13 @@ mod tests {
 
     #[test]
     fn empty_training_is_safe() {
-        let model = Classifier::train(&[], &TrainConfig { epochs: 1, ..Default::default() });
+        let model = Classifier::train(
+            &[],
+            &TrainConfig {
+                epochs: 1,
+                ..Default::default()
+            },
+        );
         let (label, probs) = model.predict("whatever");
         assert_eq!(probs.len(), 7);
         // Untrained model predicts *something* deterministic.

@@ -97,7 +97,10 @@ impl Classifier {
         let row_len = buf.get_u32_le() as usize;
         let n_classes = buf.get_u32_le() as usize;
         if row_len != FEATURE_DIM + 1 || n_classes != Primitive::ALL.len() {
-            return Err(ModelError::DimensionMismatch { features: row_len.saturating_sub(1), classes: n_classes });
+            return Err(ModelError::DimensionMismatch {
+                features: row_len.saturating_sub(1),
+                classes: n_classes,
+            });
         }
         if buf.remaining() < row_len * n_classes * 4 + 4 + 16 {
             return Err(ModelError::Corrupt);
@@ -126,12 +129,21 @@ mod tests {
 
     fn trained() -> Classifier {
         let data = vec![
-            ("mac address get_mac_addr".to_string(), Primitive::DevIdentifier),
+            (
+                "mac address get_mac_addr".to_string(),
+                Primitive::DevIdentifier,
+            ),
             ("password cloud login".to_string(), Primitive::UserCred),
             ("access token session".to_string(), Primitive::BindToken),
             ("ts uptime counter".to_string(), Primitive::None),
         ];
-        Classifier::train(&data, &TrainConfig { epochs: 20, ..Default::default() })
+        Classifier::train(
+            &data,
+            &TrainConfig {
+                epochs: 20,
+                ..Default::default()
+            },
+        )
     }
 
     #[test]
@@ -139,7 +151,13 @@ mod tests {
         let model = trained();
         let bytes = model.to_bytes();
         let back = Classifier::from_bytes(&bytes).unwrap();
-        for text in ["mac address", "password", "token", "uptime", "unrelated words"] {
+        for text in [
+            "mac address",
+            "password",
+            "token",
+            "uptime",
+            "unrelated words",
+        ] {
             assert_eq!(model.predict(text).0, back.predict(text).0, "{text}");
             let (a, b) = (model.probabilities(text), back.probabilities(text));
             for (x, y) in a.iter().zip(&b) {
@@ -155,7 +173,10 @@ mod tests {
         let mut bad = bytes.to_vec();
         let mid = bad.len() / 2;
         bad[mid] ^= 0x55;
-        assert!(matches!(Classifier::from_bytes(&bad), Err(ModelError::Corrupt)));
+        assert!(matches!(
+            Classifier::from_bytes(&bad),
+            Err(ModelError::Corrupt)
+        ));
     }
 
     #[test]
@@ -163,14 +184,20 @@ mod tests {
         let bytes = trained().to_bytes();
         let mut nomagic = bytes.to_vec();
         nomagic[0] = b'X';
-        assert!(matches!(Classifier::from_bytes(&nomagic), Err(ModelError::BadMagic)));
+        assert!(matches!(
+            Classifier::from_bytes(&nomagic),
+            Err(ModelError::BadMagic)
+        ));
         assert!(Classifier::from_bytes(&bytes[..8]).is_err());
         assert!(Classifier::from_bytes(&[]).is_err());
     }
 
     #[test]
     fn error_display() {
-        let e = ModelError::DimensionMismatch { features: 10, classes: 3 };
+        let e = ModelError::DimensionMismatch {
+            features: 10,
+            classes: 3,
+        };
         assert!(e.to_string().contains("10"));
         assert!(ModelError::BadMagic.to_string().contains("model"));
     }

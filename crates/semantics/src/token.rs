@@ -95,7 +95,10 @@ mod tests {
         let toks = tokenize("CALL (Fun, get_mac_addr), (Local, buf, v_1357)");
         assert!(toks.contains(&"call".to_string()));
         assert!(toks.contains(&"get_mac_addr".to_string()));
-        assert!(toks.contains(&"mac".to_string()), "compound split: {toks:?}");
+        assert!(
+            toks.contains(&"mac".to_string()),
+            "compound split: {toks:?}"
+        );
         assert!(toks.contains(&"buf".to_string()));
     }
 

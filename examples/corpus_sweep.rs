@@ -1,47 +1,50 @@
 //! Sweep the whole 22-device corpus in parallel and print a per-device
 //! summary — the shape of the paper's full evaluation run.
 //!
+//! The sweep rides on [`firmres::analyze_corpus`], the pipeline's
+//! worker-pool driver: results come back in input order and are
+//! identical to a sequential run, only faster.
+//!
 //! ```text
 //! cargo run --release --example corpus_sweep
 //! ```
 
 use firmres_bench::{discover_vulnerabilities, score_analysis};
 use firmres_suite::prelude::*;
-use std::sync::mpsc;
-use std::thread;
+use std::time::Instant;
 
 fn main() {
-    println!("sweeping the 22-device corpus…\n");
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("sweeping the 22-device corpus on {threads} thread(s)…\n");
     let corpus = generate_corpus(7);
-    let (tx, rx) = mpsc::channel();
-    thread::scope(|scope| {
-        for dev in &corpus {
-            let tx = tx.clone();
-            scope.spawn(move || {
-                let analysis =
-                    analyze_firmware(&dev.firmware, None, &AnalysisConfig::default());
-                let summary = if analysis.executable.is_some() {
-                    let score = score_analysis(dev, &analysis);
-                    let vulns = discover_vulnerabilities(dev, &analysis);
-                    format!(
-                        "{:>3} msgs ({} valid), {:>3} fields, {} vulns, {:?}",
-                        score.identified_messages,
-                        score.valid_messages,
-                        score.fields_identified,
-                        vulns.len(),
-                        analysis.timings.total(),
-                    )
-                } else {
-                    "script-based device-cloud logic (out of scope)".to_string()
-                };
-                tx.send((dev.spec.id, dev.spec.vendor, summary)).expect("channel open");
-            });
-        }
-        drop(tx);
-        let mut results: Vec<_> = rx.iter().collect();
-        results.sort_by_key(|(id, _, _)| *id);
-        for (id, vendor, summary) in results {
-            println!("device {id:>2} ({vendor:<16}): {summary}");
-        }
-    });
+    let images: Vec<_> = corpus.iter().map(|d| &d.firmware).collect();
+    let started = Instant::now();
+    let analyses = analyze_corpus(&images, None, &AnalysisConfig::default(), threads);
+    let wall = started.elapsed();
+    for (dev, analysis) in corpus.iter().zip(&analyses) {
+        let summary = if analysis.executable.is_some() {
+            let score = score_analysis(dev, analysis);
+            let vulns = discover_vulnerabilities(dev, analysis);
+            format!(
+                "{:>3} msgs ({} valid), {:>3} fields, {} vulns, {:?}",
+                score.identified_messages,
+                score.valid_messages,
+                score.fields_identified,
+                vulns.len(),
+                analysis.timings.total(),
+            )
+        } else {
+            "script-based device-cloud logic (out of scope)".to_string()
+        };
+        println!(
+            "device {:>2} ({:<16}): {summary}",
+            dev.spec.id, dev.spec.vendor
+        );
+    }
+    println!(
+        "\nswept {} devices in {wall:?} on {threads} thread(s)",
+        corpus.len()
+    );
 }

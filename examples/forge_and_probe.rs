@@ -16,16 +16,16 @@ use firmres_suite::prelude::*;
 
 fn main() {
     let device = generate_device(20, 7);
-    println!("target: {} {} cloud storage\n", device.spec.vendor, device.spec.model);
+    println!(
+        "target: {} {} cloud storage\n",
+        device.spec.vendor, device.spec.model
+    );
 
     let analysis = analyze_firmware(&device.firmware, None, &AnalysisConfig::default());
     // The three storage interfaces of Table III.
     let storage: Vec<&MessageRecord> = analysis
         .identified()
-        .filter(|r| {
-            extract_endpoint(&r.message)
-                .is_some_and(|e| e.starts_with("/store-server/"))
-        })
+        .filter(|r| extract_endpoint(&r.message).is_some_and(|e| e.starts_with("/store-server/")))
         .collect();
     assert_eq!(storage.len(), 3, "status, auth, files");
 
@@ -36,7 +36,11 @@ fn main() {
         let filled = fill_message(&record.message, &device.firmware);
         println!(
             "   forged params: {:?}",
-            filled.params.iter().map(|(k, v)| format!("{k}={v}")).collect::<Vec<_>>()
+            filled
+                .params
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
         );
         let outcome = probe_cloud(&device.cloud, &filled);
         println!("   cloud: {}", outcome.status);

@@ -71,7 +71,10 @@ fn main() {
         .publish(attacker, &device_topic, "{\"rssi\":-30,\"tamper\":false}")
         .unwrap();
     let seen = broker.poll(victim).unwrap();
-    println!("    victim's app received forged telemetry: {}", seen[0].payload);
+    println!(
+        "    victim's app received forged telemetry: {}",
+        seen[0].payload
+    );
 
     broker.subscribe(attacker, &cmd_filter).unwrap();
     let cloud_svc = broker
@@ -84,7 +87,11 @@ fn main() {
         )
         .unwrap();
     broker
-        .publish(cloud_svc, &format!("/dev/{}/cmd/reboot", device.identity.device_id), "{}")
+        .publish(
+            cloud_svc,
+            &format!("/dev/{}/cmd/reboot", device.identity.device_id),
+            "{}",
+        )
         .unwrap();
     let intercepted = broker.poll(attacker).unwrap();
     println!(

@@ -94,7 +94,13 @@ fn cmd_inspect(fw: &FirmwareImage) -> Result<String, String> {
     );
     let _ = writeln!(out, "\nfiles:");
     for (path, entry) in fw.files() {
-        let _ = writeln!(out, "  {:<28} {:<10} {:>7} bytes", path, entry.kind(), entry.size());
+        let _ = writeln!(
+            out,
+            "  {:<28} {:<10} {:>7} bytes",
+            path,
+            entry.kind(),
+            entry.size()
+        );
     }
     let nv = fw.nvram();
     if !nv.is_empty() {
@@ -109,8 +115,7 @@ fn cmd_inspect(fw: &FirmwareImage) -> Result<String, String> {
 fn cmd_disasm(fw: &FirmwareImage, exe_path: &str) -> Result<String, String> {
     let exe = fw
         .load_executable(exe_path)
-        .ok_or_else(|| format!("{exe_path} is not an executable in this image"))?
-        .map_err(|e| format!("malformed executable: {e}"))?;
+        .map_err(|e| format!("cannot load {exe_path}: {e}"))?;
     let mut out = String::new();
     let mut funcs: Vec<_> = exe.funcs.iter().collect();
     funcs.sort_by_key(|f| f.addr);
@@ -134,12 +139,17 @@ fn cmd_disasm(fw: &FirmwareImage, exe_path: &str) -> Result<String, String> {
 fn cmd_lift(fw: &FirmwareImage, exe_path: &str) -> Result<String, String> {
     let exe = fw
         .load_executable(exe_path)
-        .ok_or_else(|| format!("{exe_path} is not an executable in this image"))?
-        .map_err(|e| format!("malformed executable: {e}"))?;
+        .map_err(|e| format!("cannot load {exe_path}: {e}"))?;
     let program = firmres_isa::lift(&exe, exe_path).map_err(|e| format!("lift failed: {e}"))?;
     let mut out = String::new();
     for f in program.functions() {
-        let _ = writeln!(out, "\nfunction {} @ {:#x} ({} blocks):", f.name(), f.entry(), f.blocks().len());
+        let _ = writeln!(
+            out,
+            "\nfunction {} @ {:#x} ({} blocks):",
+            f.name(),
+            f.entry(),
+            f.blocks().len()
+        );
         for (bid, op) in f.ops_with_blocks() {
             let _ = writeln!(out, "  [{bid}] {op}");
         }
@@ -150,8 +160,7 @@ fn cmd_lift(fw: &FirmwareImage, exe_path: &str) -> Result<String, String> {
 fn load_program(fw: &FirmwareImage, exe_path: &str) -> Result<firmres_ir::Program, String> {
     let exe = fw
         .load_executable(exe_path)
-        .ok_or_else(|| format!("{exe_path} is not an executable in this image"))?
-        .map_err(|e| format!("malformed executable: {e}"))?;
+        .map_err(|e| format!("cannot load {exe_path}: {e}"))?;
     firmres_isa::lift(&exe, exe_path).map_err(|e| format!("lift failed: {e}"))
 }
 
@@ -172,7 +181,9 @@ fn cmd_callgraph(fw: &FirmwareImage, exe_path: &str) -> Result<String, String> {
 fn cmd_train(out: Option<&String>, limit: Option<&String>) -> Result<String, String> {
     let out = out.ok_or(USAGE)?;
     let limit: usize = match limit {
-        Some(n) => n.parse().map_err(|_| "device limit must be a number".to_string())?,
+        Some(n) => n
+            .parse()
+            .map_err(|_| "device limit must be a number".to_string())?,
         None => 20,
     };
     let corpus = firmres_corpus::generate_corpus(7);
@@ -180,7 +191,12 @@ fn cmd_train(out: Option<&String>, limit: Option<&String>) -> Result<String, Str
         .iter()
         .filter(|d| d.cloud_executable.is_some())
         .take(limit.max(1))
-        .map(|d| (d, analyze_firmware(&d.firmware, None, &AnalysisConfig::default())))
+        .map(|d| {
+            (
+                d,
+                analyze_firmware(&d.firmware, None, &AnalysisConfig::default()),
+            )
+        })
         .collect();
     let dataset = firmres_bench::build_slice_dataset(&analyses);
     let (model, val, test) = firmres_bench::train_semantics_model(&dataset, 7);
@@ -219,6 +235,7 @@ fn cmd_analyze(fw: &FirmwareImage, model_path: Option<&String>) -> Result<String
                 out,
                 "no device-cloud executable found (script-based device-cloud logic is out of scope)"
             );
+            append_diagnostics(&mut out, &analysis);
             return Ok(out);
         }
     }
@@ -240,7 +257,20 @@ fn cmd_analyze(fw: &FirmwareImage, model_path: Option<&String>) -> Result<String
     if lan > 0 {
         let _ = writeln!(out, "\n({lan} LAN-addressed message(s) discarded)");
     }
+    append_diagnostics(&mut out, &analysis);
     Ok(out)
+}
+
+/// Render the analysis diagnostics (skipped executables, lift failures,
+/// classifier fallbacks, …) as a trailing section, if there are any.
+fn append_diagnostics(out: &mut String, analysis: &firmres::FirmwareAnalysis) {
+    if analysis.diagnostics.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "\ndiagnostics:");
+    for d in &analysis.diagnostics {
+        let _ = writeln!(out, "  {d}");
+    }
 }
 
 #[cfg(test)]
@@ -274,7 +304,10 @@ mod tests {
         assert!(listing.contains("nvram defaults"), "{listing}");
 
         let report = run(&s(&["analyze", &path])).unwrap();
-        assert!(report.contains("device-cloud executable: /usr/bin/cloud_agent"), "{report}");
+        assert!(
+            report.contains("device-cloud executable: /usr/bin/cloud_agent"),
+            "{report}"
+        );
         assert!(report.contains("/rms/registrations"), "{report}");
         assert!(report.contains("ALARM"), "{report}");
     }
@@ -312,7 +345,13 @@ mod tests {
     fn dot_exports() {
         let path = temp("dev16.fwi");
         run(&s(&["gen", "16", &path])).unwrap();
-        let cfg = run(&s(&["cfg", &path, "/usr/bin/cloud_agent", "on_cloud_request"])).unwrap();
+        let cfg = run(&s(&[
+            "cfg",
+            &path,
+            "/usr/bin/cloud_agent",
+            "on_cloud_request",
+        ]))
+        .unwrap();
         assert!(cfg.starts_with("digraph"), "{cfg}");
         assert!(cfg.contains("CBRANCH"), "dispatch branches present");
         let cg = run(&s(&["callgraph", &path, "/usr/bin/cloud_agent"])).unwrap();

@@ -34,8 +34,8 @@ pub use firmres_semantics as semantics;
 /// Convenience prelude: the types most programs need.
 pub mod prelude {
     pub use firmres::{
-        analyze_firmware, fill_message, probe_cloud, AnalysisConfig, FirmwareAnalysis,
-        MessageRecord,
+        analyze_corpus, analyze_firmware, fill_message, probe_cloud, AnalysisConfig, Diagnostic,
+        FirmwareAnalysis, MessageRecord, Severity,
     };
     pub use firmres_corpus::{generate_corpus, generate_device, GeneratedDevice};
     pub use firmres_firmware::FirmwareImage;

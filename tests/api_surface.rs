@@ -99,7 +99,11 @@ fn probe_outcome_and_status_interplay() {
     .map(|p| classify_response(p).unwrap())
     .filter(|s| s.validates_message())
     .collect();
-    assert_eq!(valid.len(), 3, "exactly the paper's three validating phrases");
+    assert_eq!(
+        valid.len(),
+        3,
+        "exactly the paper's three validating phrases"
+    );
 }
 
 #[test]
@@ -135,7 +139,16 @@ fn mft_annotations_survive_transformations() {
 fn device_identity_value_map_is_total_over_nvram_keys() {
     use firmres_corpus::DeviceIdentity;
     let id = DeviceIdentity::generate(3, 99);
-    for key in ["mac", "serial", "uid", "device_id", "device_secret", "cloud_user", "cloud_pass", "cloud_host"] {
+    for key in [
+        "mac",
+        "serial",
+        "uid",
+        "device_id",
+        "device_secret",
+        "cloud_user",
+        "cloud_pass",
+        "cloud_host",
+    ] {
         assert!(id.value_of(key).is_some(), "{key}");
     }
 }

@@ -1,0 +1,59 @@
+//! The parallel corpus driver is a pure speedup: per-device results are
+//! identical whatever the thread count, in input order.
+
+use firmres::{analyze_corpus, AnalysisConfig, FirmwareAnalysis};
+use firmres_corpus::generate_corpus;
+
+/// Everything observable about one analysis except wall-clock timings,
+/// rendered to a comparable string.
+fn fingerprint(analysis: &FirmwareAnalysis) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    writeln!(out, "executable: {:?}", analysis.executable).unwrap();
+    writeln!(out, "handlers: {}", analysis.handlers.len()).unwrap();
+    writeln!(out, "counters: {:?}", analysis.counters).unwrap();
+    for d in &analysis.diagnostics {
+        writeln!(out, "diag: {d}").unwrap();
+    }
+    for m in &analysis.messages {
+        writeln!(
+            out,
+            "msg {}@{:#x} lan={} echo={} slices={} sems={:?} fields={:?} flaws={:?}",
+            m.function,
+            m.callsite,
+            m.lan_discarded,
+            m.is_response_echo,
+            m.slices.len(),
+            m.slice_semantics,
+            m.message,
+            m.flaws,
+        )
+        .unwrap();
+    }
+    out
+}
+
+#[test]
+fn parallel_sweep_is_deterministic_across_thread_counts() {
+    let corpus = generate_corpus(7);
+    let images: Vec<_> = corpus.iter().map(|d| &d.firmware).collect();
+    let config = AnalysisConfig::default();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .max(2);
+
+    let sequential = analyze_corpus(&images, None, &config, 1);
+    let parallel = analyze_corpus(&images, None, &config, threads);
+
+    assert_eq!(sequential.len(), corpus.len());
+    assert_eq!(parallel.len(), corpus.len());
+    for ((dev, seq), par) in corpus.iter().zip(&sequential).zip(&parallel) {
+        assert_eq!(
+            fingerprint(seq),
+            fingerprint(par),
+            "device {} differs between 1 and {threads} threads",
+            dev.spec.id
+        );
+    }
+}

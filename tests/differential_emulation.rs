@@ -33,17 +33,34 @@ struct Host {
 
 impl Host {
     fn new(fw: &FirmwareImage, sent: Sent) -> Host {
-        let nvram = fw.nvram().iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        let nvram = fw
+            .nvram()
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
         let mut config = BTreeMap::new();
         for key in [
-            "server", "port", "fw_version", "model", "product_id", "device_cert", "hw_version",
-            "cluster", "region", "timezone",
+            "server",
+            "port",
+            "fw_version",
+            "model",
+            "product_id",
+            "device_cert",
+            "hw_version",
+            "cluster",
+            "region",
+            "timezone",
         ] {
             if let Some(v) = fw.config_value(key) {
                 config.insert(key.to_string(), v);
             }
         }
-        Host { nvram, config, objects: Vec::new(), sent }
+        Host {
+            nvram,
+            config,
+            objects: Vec::new(),
+            sent,
+        }
     }
 
     fn call(&mut self, name: &str, args: [u32; 6], mem: &mut Mem) -> u32 {
@@ -99,19 +116,25 @@ impl Host {
             }
             "SSL_write" | "send" => {
                 let payload = mem.read_cstr(args[1]).unwrap();
-                self.sent.borrow_mut().push((name.to_string(), None, payload));
+                self.sent
+                    .borrow_mut()
+                    .push((name.to_string(), None, payload));
                 0
             }
             "mosquitto_publish" => {
                 let topic = mem.read_cstr(args[1]).unwrap();
                 let payload = mem.read_cstr(args[2]).unwrap();
-                self.sent.borrow_mut().push((name.to_string(), Some(topic), payload));
+                self.sent
+                    .borrow_mut()
+                    .push((name.to_string(), Some(topic), payload));
                 0
             }
             "http_post" => {
                 let path = mem.read_cstr(args[1]).unwrap();
                 let payload = mem.read_cstr(args[2]).unwrap();
-                self.sent.borrow_mut().push((name.to_string(), Some(path), payload));
+                self.sent
+                    .borrow_mut()
+                    .push((name.to_string(), Some(path), payload));
                 0
             }
             "http_get" => {
@@ -145,7 +168,6 @@ fn differential_check(device_id: u8) {
     let exe = dev
         .firmware
         .load_executable(dev.cloud_executable.as_deref().unwrap())
-        .unwrap()
         .unwrap();
 
     let mut compared = 0;
@@ -178,11 +200,19 @@ fn differential_check(device_id: u8) {
         );
         // Endpoints agree too (topic/path argument or embedded).
         if matches!(plan.delivery, Delivery::MqttPublish | Delivery::HttpPost) {
-            assert_eq!(endpoint.as_deref(), filled.endpoint.as_deref(), "{}", plan.func_name);
+            assert_eq!(
+                endpoint.as_deref(),
+                filled.endpoint.as_deref(),
+                "{}",
+                plan.func_name
+            );
         }
         compared += 1;
     }
-    assert!(compared >= 5, "device {device_id}: {compared} messages compared");
+    assert!(
+        compared >= 5,
+        "device {device_id}: {compared} messages compared"
+    );
 }
 
 #[test]

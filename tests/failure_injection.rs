@@ -1,7 +1,10 @@
 //! Failure injection: corrupted inputs at every layer degrade into typed
 //! errors or clean rejections — never panics, never silent garbage.
 
-use firmres::{analyze_firmware, AnalysisConfig};
+use firmres::{
+    analyze_firmware, analyze_packed, try_analyze_firmware, try_analyze_packed, AnalysisConfig,
+    Error, Severity, StageKind,
+};
 use firmres_cloud::{HttpRequest, ResponseStatus};
 use firmres_corpus::generate_device;
 use firmres_firmware::{FileEntry, FirmwareImage};
@@ -22,7 +25,10 @@ fn corrupted_firmware_images_are_rejected() {
         }
     }
     // Checksums catch essentially every flip.
-    assert!(rejected >= packed.len() / 97, "all sampled corruptions rejected");
+    assert!(
+        rejected >= packed.len() / 97,
+        "all sampled corruptions rejected"
+    );
 }
 
 #[test]
@@ -43,19 +49,80 @@ fn corrupted_executable_inside_valid_image_is_skipped() {
     let mut fw = dev.firmware.clone();
     // Replace the cloud agent with garbage that still parses as a file
     // entry but not as an MRE executable.
-    fw.add_file("/usr/bin/cloud_agent", FileEntry::Executable(vec![0xFF; 64]));
+    fw.add_file(
+        "/usr/bin/cloud_agent",
+        FileEntry::Executable(vec![0xFF; 64]),
+    );
     let analysis = analyze_firmware(&fw, None, &AnalysisConfig::default());
     assert!(
         analysis.executable.is_none(),
         "pipeline degrades to 'no device-cloud executable', no panic"
     );
+    // The degradation is no longer silent: the skipped executable shows
+    // up as a warning-severity stage-1 diagnostic naming the path.
+    let exeid_warnings: Vec<_> = analysis
+        .diagnostics
+        .iter()
+        .filter(|d| d.stage == StageKind::ExeId && d.severity == Severity::Warning)
+        .collect();
+    assert!(
+        exeid_warnings
+            .iter()
+            .any(|d| d.subject.as_deref() == Some("/usr/bin/cloud_agent")),
+        "skipped executable diagnosed: {:?}",
+        analysis.diagnostics
+    );
+    assert!(
+        analysis.counters.parse_failures >= 1,
+        "parse failure counted"
+    );
+}
+
+#[test]
+fn image_whose_every_executable_is_corrupt_is_a_typed_error() {
+    let dev = generate_device(15, 7);
+    let mut fw = dev.firmware.clone();
+    let paths: Vec<String> = fw.executables().map(|(p, _)| p.to_string()).collect();
+    assert!(!paths.is_empty());
+    for p in &paths {
+        fw.add_file(p, FileEntry::Executable(vec![0xFF; 64]));
+    }
+    match try_analyze_firmware(&fw, None, &AnalysisConfig::default()) {
+        Err(Error::NoUsableExecutable { tried, diagnostics }) => {
+            assert_eq!(tried, paths.len());
+            assert!(!diagnostics.is_empty(), "each failure carries a diagnostic");
+        }
+        other => panic!("expected NoUsableExecutable, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_packed_image_degrades_into_input_diagnostic() {
+    let dev = generate_device(15, 7);
+    let packed = dev.firmware.pack();
+    for cut in [0, 7, packed.len() / 2] {
+        let analysis = analyze_packed(&packed[..cut], None, &AnalysisConfig::default());
+        assert!(analysis.executable.is_none());
+        assert!(analysis.messages.is_empty());
+        let input_errors: Vec<_> = analysis
+            .diagnostics
+            .iter()
+            .filter(|d| d.stage == StageKind::Input && d.severity == Severity::Error)
+            .collect();
+        assert_eq!(input_errors.len(), 1, "truncation at {cut} diagnosed");
+        // The fallible entry point returns the typed unpack error.
+        assert!(matches!(
+            try_analyze_packed(&packed[..cut], None, &AnalysisConfig::default()),
+            Err(Error::Firmware(_))
+        ));
+    }
 }
 
 #[test]
 fn executable_with_reserved_opcodes_fails_to_lift_cleanly() {
     let dev = generate_device(15, 7);
     let path = dev.cloud_executable.as_deref().unwrap();
-    let mut exe = dev.firmware.load_executable(path).unwrap().unwrap();
+    let mut exe = dev.firmware.load_executable(path).unwrap();
     // Inject a reserved opcode (>= 32) into the middle of the image.
     let mid = exe.code.len() / 2;
     exe.code[mid] = 0xFFFF_FFFF;
@@ -83,14 +150,19 @@ fn mre_truncation_and_checksum_errors() {
     let mut flipped = bytes.clone();
     let mid = flipped.len() / 2;
     flipped[mid] ^= 1;
-    assert!(Executable::from_bytes(&flipped).is_err(), "checksum catches the flip");
+    assert!(
+        Executable::from_bytes(&flipped).is_err(),
+        "checksum catches the flip"
+    );
 }
 
 #[test]
 fn cloud_handles_malformed_probes_gracefully() {
     let dev = generate_device(17, 7);
     // Garbage JSON.
-    let r = dev.cloud.handle(&HttpRequest::new("/camera-cgi", "{\"uid\":"));
+    let r = dev
+        .cloud
+        .handle(&HttpRequest::new("/camera-cgi", "{\"uid\":"));
     assert_eq!(r.status, ResponseStatus::BadRequest);
     // Unknown path.
     let r = dev.cloud.handle(&HttpRequest::new("/../../etc/passwd", ""));
@@ -117,8 +189,15 @@ fn emulator_faults_do_not_poison_subsequent_runs() {
         )
         .unwrap();
     let mut emu = Emulator::new(&exe, |_: &str, _: [u32; 6], _: &mut Mem| 0);
-    assert!(matches!(emu.run_function("crash", &[]), Err(EmuError::MemFault { .. })));
-    assert_eq!(emu.run_function("fine", &[]).unwrap(), 7, "emulator recovers");
+    assert!(matches!(
+        emu.run_function("crash", &[]),
+        Err(EmuError::MemFault { .. })
+    ));
+    assert_eq!(
+        emu.run_function("fine", &[]).unwrap(),
+        7,
+        "emulator recovers"
+    );
 }
 
 #[test]

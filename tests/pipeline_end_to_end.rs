@@ -21,7 +21,11 @@ fn corpus_totals_match_paper_table_two() {
             executables_found += 1;
         }
         if dev.cloud_executable.is_none() {
-            assert!(analysis.executable.is_none(), "device {} is script-based", dev.spec.id);
+            assert!(
+                analysis.executable.is_none(),
+                "device {} is script-based",
+                dev.spec.id
+            );
             continue;
         }
         let s = score_analysis(dev, &analysis);
@@ -37,7 +41,10 @@ fn corpus_totals_match_paper_table_two() {
     // within the paper's ballpark.
     assert_eq!(identified, 281, "paper: 281 identified messages");
     assert_eq!(valid, 246, "paper: 246 valid messages");
-    assert!((1800..=2400).contains(&fields), "paper: 2019 fields, measured {fields}");
+    assert!(
+        (1800..=2400).contains(&fields),
+        "paper: 2019 fields, measured {fields}"
+    );
     let confirm_rate = confirmed as f64 / fields as f64;
     assert!(
         (0.80..=1.00).contains(&confirm_rate),
@@ -81,7 +88,11 @@ fn sprintf_cluster_columns_follow_usage() {
         match dev.spec.sprintf {
             SprintfUsage::None => assert!(s.clusters.is_none(), "device {id} reports '-'"),
             SprintfUsage::SingleField => {
-                assert_eq!(s.clusters, Some((0, 0, 0)), "device {id}: sprintf but no splits")
+                assert_eq!(
+                    s.clusters,
+                    Some((0, 0, 0)),
+                    "device {id}: sprintf but no splits"
+                )
             }
             SprintfUsage::MultiField => {
                 let (a, b, c) = s.clusters.expect("cluster counts");

@@ -1,0 +1,195 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the harness surface the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, `Criterion`,
+//! `benchmark_group`, `Bencher::iter`/`iter_batched`, `BatchSize`)
+//! with a simple timer: each benchmark runs a short warmup plus a
+//! fixed sample and prints the mean wall-clock per iteration. No
+//! statistical analysis, HTML reports, or CLI filtering.
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped; accepted for API compatibility.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Re-export so `criterion::black_box` callers work too.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: self.sample_size as u64,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        b.report(id);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size(n);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Timer handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        black_box(routine()); // warmup, untimed
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+
+    fn report(&self, id: &str) {
+        let per_iter = self.elapsed.as_secs_f64() / self.iters.max(1) as f64;
+        println!(
+            "{id:<48} {:>12.3} µs/iter ({} iters)",
+            per_iter * 1e6,
+            self.iters
+        );
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::Criterion::default().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default();
+        c.sample_size(3);
+        let mut runs = 0u32;
+        c.bench_function("smoke/add", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(2u64 + 2)
+            })
+        });
+        assert_eq!(runs, 4, "warmup + 3 samples");
+    }
+
+    #[test]
+    fn groups_apply_sample_size_and_batching() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2);
+        let mut setups = 0u32;
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8, 2, 3]
+                },
+                |v| v.len(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+        assert_eq!(setups, 3, "warmup + 2 samples");
+    }
+}

@@ -1,0 +1,433 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The reproduction container has no package registry, so the corpus
+//! generator's randomness comes from this vendored implementation. It
+//! mirrors the algorithms `rand` 0.8 uses for the subset we call so
+//! seeded streams stay faithful to upstream:
+//!
+//! - `StdRng` is ChaCha12 with a 64-bit block counter and 64-bit
+//!   stream id (both zero), buffering four blocks at a time exactly
+//!   like `rand_chacha`'s `BlockRng` (including the `next_u64`
+//!   straddle behaviour at the end of the 64-word buffer).
+//! - `SeedableRng::seed_from_u64` expands the seed with the same
+//!   PCG32-style generator as `rand_core`.
+//! - `gen_range` uses widening-multiply (Lemire) rejection sampling
+//!   with upstream's zone computation per integer width.
+//! - `gen_bool` compares a `u64` draw against `(p * 2^64) as u64`.
+//! - `shuffle` is the same reverse Fisher–Yates over `gen_range(0..=i)`.
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// The core of a random number generator.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+/// A generator seedable from fixed-size keys or a `u64`.
+pub trait SeedableRng: Sized {
+    type Seed: AsMut<[u8]> + Default;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expand a `u64` into a full seed with `rand_core`'s PCG32-based
+    /// expansion (so streams match upstream `seed_from_u64`).
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// User-facing generation methods, blanket-implemented for any core.
+pub trait Rng: RngCore {
+    fn gen<T: StandardDist>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw: true with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of [0, 1]");
+        if p == 1.0 {
+            return true;
+        }
+        // Upstream scales by 2^64 and compares against a u64 draw.
+        let p_int = (p * (2.0f64.powi(64))) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types drawable from the "standard" (full-width uniform) distribution.
+pub trait StandardDist: Sized {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_from_u32 {
+    ($($ty:ty),*) => {$(
+        impl StandardDist for $ty {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u32() as $ty
+            }
+        }
+    )*};
+}
+
+macro_rules! standard_from_u64 {
+    ($($ty:ty),*) => {$(
+        impl StandardDist for $ty {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+standard_from_u32!(u8, u16, u32, i8, i16, i32);
+standard_from_u64!(u64, i64, usize, isize);
+
+impl StandardDist for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+/// Types `gen_range` can sample uniformly.
+pub trait SampleUniform: Sized {
+    fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+/// Range forms accepted by `gen_range`.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_single(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        T::sample_single_inclusive(start, end, rng)
+    }
+}
+
+macro_rules! uniform_int_impl {
+    ($ty:ty, $unsigned:ty, $u_large:ty, $wide:ty, $next:ident) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low < high, "gen_range: low >= high");
+                Self::sample_single_inclusive(low, high - 1, rng)
+            }
+
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                rng: &mut R,
+            ) -> Self {
+                assert!(low <= high, "gen_range: low > high");
+                // Upstream computes the span in the native type (so a
+                // full-range request wraps to zero), then widens.
+                let range = high.wrapping_sub(low).wrapping_add(1) as $unsigned as $u_large;
+                if range == 0 {
+                    return rng.$next() as $ty;
+                }
+                let zone = if (<$unsigned>::MAX as $u_large) <= u16::MAX as $u_large {
+                    // Small widths: modulus-derived zone.
+                    let ints_to_reject = (<$u_large>::MAX - range + 1) % range;
+                    <$u_large>::MAX - ints_to_reject
+                } else {
+                    // Lemire-style bitmask zone.
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v = rng.$next() as $u_large;
+                    let t = (v as $wide) * (range as $wide);
+                    let hi = (t >> <$u_large>::BITS) as $u_large;
+                    let lo = t as $u_large;
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+uniform_int_impl!(u8, u8, u32, u64, next_u32);
+uniform_int_impl!(i8, u8, u32, u64, next_u32);
+uniform_int_impl!(u16, u16, u32, u64, next_u32);
+uniform_int_impl!(i16, u16, u32, u64, next_u32);
+uniform_int_impl!(u32, u32, u32, u64, next_u32);
+uniform_int_impl!(i32, u32, u32, u64, next_u32);
+uniform_int_impl!(u64, u64, u64, u128, next_u64);
+uniform_int_impl!(i64, u64, u64, u128, next_u64);
+uniform_int_impl!(usize, usize, usize, u128, next_u64);
+uniform_int_impl!(isize, usize, usize, u128, next_u64);
+
+impl SampleUniform for f64 {
+    fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        // 53-bit mantissa scaling, as upstream's UniformFloat single draw.
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        low + unit * (high - low)
+    }
+
+    fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        Self::sample_single(low, high, rng)
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    const BUF_WORDS: usize = 64; // four ChaCha blocks, as rand_chacha buffers
+
+    /// The `rand` 0.8 standard generator: ChaCha with 12 rounds.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        key: [u32; 8],
+        counter: u64,
+        buf: [u32; BUF_WORDS],
+        index: usize,
+    }
+
+    impl StdRng {
+        fn refill(&mut self) {
+            for block in 0..4 {
+                let out = chacha12_block(&self.key, self.counter.wrapping_add(block as u64));
+                self.buf[block * 16..(block + 1) * 16].copy_from_slice(&out);
+            }
+            self.counter = self.counter.wrapping_add(4);
+            self.index = 0;
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut key = [0u32; 8];
+            for (i, k) in key.iter_mut().enumerate() {
+                let mut w = [0u8; 4];
+                w.copy_from_slice(&seed[i * 4..i * 4 + 4]);
+                *k = u32::from_le_bytes(w);
+            }
+            StdRng {
+                key,
+                counter: 0,
+                buf: [0; BUF_WORDS],
+                index: BUF_WORDS,
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            if self.index >= BUF_WORDS {
+                self.refill();
+            }
+            let v = self.buf[self.index];
+            self.index += 1;
+            v
+        }
+
+        // Mirrors rand_core's BlockRng::next_u64, including the
+        // straddle at the end of the 64-word buffer.
+        fn next_u64(&mut self) -> u64 {
+            let index = self.index;
+            if index < BUF_WORDS - 1 {
+                self.index += 2;
+                (self.buf[index] as u64) | ((self.buf[index + 1] as u64) << 32)
+            } else if index >= BUF_WORDS {
+                self.refill();
+                self.index = 2;
+                (self.buf[0] as u64) | ((self.buf[1] as u64) << 32)
+            } else {
+                let lo = self.buf[BUF_WORDS - 1] as u64;
+                self.refill();
+                self.index = 1;
+                ((self.buf[0] as u64) << 32) | lo
+            }
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(4) {
+                let w = self.next_u32().to_le_bytes();
+                chunk.copy_from_slice(&w[..chunk.len()]);
+            }
+        }
+    }
+
+    fn chacha12_block(key: &[u32; 8], counter: u64) -> [u32; 16] {
+        let mut state = [0u32; 16];
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        state[4..12].copy_from_slice(key);
+        state[12] = counter as u32;
+        state[13] = (counter >> 32) as u32;
+        // words 14..16: stream id, zero for seed_from_u64 streams
+
+        let mut w = state;
+        for _ in 0..6 {
+            quarter(&mut w, 0, 4, 8, 12);
+            quarter(&mut w, 1, 5, 9, 13);
+            quarter(&mut w, 2, 6, 10, 14);
+            quarter(&mut w, 3, 7, 11, 15);
+            quarter(&mut w, 0, 5, 10, 15);
+            quarter(&mut w, 1, 6, 11, 12);
+            quarter(&mut w, 2, 7, 8, 13);
+            quarter(&mut w, 3, 4, 9, 14);
+        }
+        for (wi, si) in w.iter_mut().zip(state.iter()) {
+            *wi = wi.wrapping_add(*si);
+        }
+        w
+    }
+
+    fn quarter(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(16);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(12);
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(8);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(7);
+    }
+}
+
+pub mod seq {
+    use super::{RngCore, SampleUniform};
+
+    /// Slice extensions: shuffling and random element choice.
+    pub trait SliceRandom {
+        type Item;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            // Reverse Fisher–Yates, identical to upstream's stream.
+            for i in (1..self.len()).rev() {
+                let j = gen_index(rng, i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[gen_index(rng, self.len())])
+            }
+        }
+    }
+
+    /// Uniform index below `ubound`, using upstream's u32 fast path for
+    /// small bounds (this choice is visible in the random stream).
+    fn gen_index<R: RngCore + ?Sized>(rng: &mut R, ubound: usize) -> usize {
+        if ubound <= u32::MAX as usize {
+            u32::sample_single(0, ubound as u32, rng) as usize
+        } else {
+            usize::sample_single(0, ubound, rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let v = rng.gen_range(0u64..10_000_000_000);
+            assert!(v < 10_000_000_000);
+            let w = rng.gen_range(2..=4usize);
+            assert!((2..=4).contains(&w));
+            let x = rng.gen_range(0..6);
+            assert!((0..6).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.75)).count();
+        assert!((7_000..8_000).contains(&hits), "got {hits}");
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+    }
+
+    #[test]
+    fn shuffle_permutes_in_place() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements almost surely move");
+    }
+
+    #[test]
+    fn next_u64_straddles_buffer_boundary() {
+        // Drain 63 words, then force the split low/high read.
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..63 {
+            rng.gen::<u32>();
+        }
+        let _ = rng.gen::<u64>();
+        let _ = rng.gen::<u64>();
+    }
+}
