@@ -1,0 +1,139 @@
+//! Cold-then-warm benchmark of the content-addressed analysis cache.
+//!
+//! Runs the full synthetic corpus through
+//! [`firmres_cache::analyze_corpus_incremental`] twice against a fresh
+//! store: the cold pass analyzes and populates, the warm pass must serve
+//! every device from disk. Verifies the warm results are byte-identical
+//! to the cold ones (via the cache codec itself) and writes the timings
+//! to `BENCH_cache.json`.
+//!
+//! Usage: `cargo run --release -p firmres-bench --bin cache_bench [out.json]`
+//!
+//! Exits non-zero when the warm pass misses, diverges from the cold
+//! results, or fails to beat it by at least 5× (the incremental-driver
+//! acceptance floor).
+
+use firmres::{AnalysisConfig, CollectingObserver, FirmwareAnalysis};
+use firmres_cache::{analyze_corpus_incremental, codec, AnalysisCache, CacheStats};
+use firmres_corpus::generate_corpus;
+use std::time::Instant;
+
+/// The exact bytes the cache would persist for `analysis` — the
+/// strictest observable-equality check available.
+fn encoded(analysis: &FirmwareAnalysis) -> Vec<u8> {
+    let mut out = Vec::new();
+    codec::put_analysis(&mut out, analysis);
+    out
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_cache.json".to_string());
+
+    eprintln!("generating corpus…");
+    let corpus = generate_corpus(7);
+    let images: Vec<_> = corpus.iter().map(|d| &d.firmware).collect();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let config = AnalysisConfig::default();
+
+    let dir = std::env::temp_dir().join(format!("firmres-cache-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = AnalysisCache::new(&dir);
+
+    eprintln!("cold pass: {} devices on {threads} threads…", images.len());
+    let t = Instant::now();
+    let mut obs = CollectingObserver::default();
+    let cold = analyze_corpus_incremental(&images, None, &config, threads, &cache, &mut obs);
+    let cold_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    eprintln!("warm pass…");
+    let t = Instant::now();
+    let mut obs = CollectingObserver::default();
+    let warm = analyze_corpus_incremental(&images, None, &config, threads, &cache, &mut obs);
+    let warm_ms = t.elapsed().as_secs_f64() * 1e3;
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut failures = 0;
+    if warm.stats.misses > 0 {
+        eprintln!("FAIL: warm pass missed {} device(s)", warm.stats.misses);
+        failures += 1;
+    }
+    for (i, (c, w)) in cold.analyses.iter().zip(&warm.analyses).enumerate() {
+        if encoded(c) != encoded(w) {
+            eprintln!(
+                "FAIL: device {} warm result differs from cold",
+                corpus[i].spec.id
+            );
+            failures += 1;
+        }
+    }
+    let speedup = cold_ms / warm_ms.max(1e-9);
+    if speedup < 5.0 {
+        eprintln!("FAIL: warm speedup {speedup:.1}x is below the 5x floor");
+        failures += 1;
+    }
+
+    let json = render_json(
+        images.len(),
+        threads,
+        cold_ms,
+        warm_ms,
+        speedup,
+        &cold.stats,
+        &warm.stats,
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark output");
+
+    println!(
+        "cache bench: {} devices | cold {:.1} ms | warm {:.1} ms | {:.1}x | warm hit rate {:.0}%",
+        images.len(),
+        cold_ms,
+        warm_ms,
+        speedup,
+        warm.stats.hit_rate() * 100.0
+    );
+    println!("wrote {out_path}");
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}
+
+fn render_json(
+    devices: usize,
+    threads: usize,
+    cold_ms: f64,
+    warm_ms: f64,
+    speedup: f64,
+    cold: &CacheStats,
+    warm: &CacheStats,
+) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"analysis_cache_cold_vs_warm\",\n",
+            "  \"devices\": {devices},\n",
+            "  \"threads\": {threads},\n",
+            "  \"cold_ms\": {cold_ms:.3},\n",
+            "  \"warm_ms\": {warm_ms:.3},\n",
+            "  \"speedup\": {speedup:.2},\n",
+            "  \"cold\": {{ \"hits\": {ch}, \"misses\": {cm}, \"bytes_written\": {cw} }},\n",
+            "  \"warm\": {{ \"hits\": {wh}, \"misses\": {wm}, \"bytes_read\": {wr}, \"hit_rate\": {wrate:.4} }}\n",
+            "}}\n"
+        ),
+        devices = devices,
+        threads = threads,
+        cold_ms = cold_ms,
+        warm_ms = warm_ms,
+        speedup = speedup,
+        ch = cold.hits,
+        cm = cold.misses,
+        cw = cold.bytes_written,
+        wh = warm.hits,
+        wm = warm.misses,
+        wr = warm.bytes_read,
+        wrate = warm.hit_rate(),
+    )
+}

@@ -7,6 +7,8 @@
 //! The binaries in `src/bin/` print the artifacts; this library holds the
 //! shared scoring logic so integration tests can assert on the same
 //! numbers the tables report.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use firmres::{analyze_firmware, fill_message, probe_cloud, AnalysisConfig, FirmwareAnalysis};
 use firmres_cloud::FlawClass;

@@ -1,0 +1,226 @@
+//! The incremental corpus driver: consult the store, analyze only the
+//! misses, persist what was computed.
+//!
+//! [`analyze_corpus_incremental`] is the cache-aware counterpart of
+//! [`firmres::analyze_corpus`]. Per image it computes the [`CacheKey`],
+//! loads a valid entry when one exists (the whole pipeline is skipped),
+//! and otherwise runs the pipeline on the shared worker pool
+//! ([`firmres::run_pool`]) and writes the result back. A damaged entry —
+//! truncation, checksum or schema mismatch, undecodable section — is
+//! never fatal: it is diagnosed ([`StageKind::Cache`], warning severity),
+//! counted as a miss, re-analyzed, and overwritten.
+//!
+//! Determinism contract: a warm run returns **byte-identical** analyses
+//! to the cold run that populated the store (timings included — they are
+//! persisted, not re-measured). Cache traffic is reported only through
+//! the corpus-level `observer` and [`CacheStats`], never folded into the
+//! per-analysis [`StageCounters`] — so hitting the cache cannot perturb
+//! the results themselves.
+//!
+//! [`StageCounters`]: firmres::StageCounters
+
+use crate::key::CacheKey;
+use crate::store::AnalysisCache;
+use firmres::{
+    analyze_firmware, run_pool, AnalysisConfig, Counter, Diagnostic, FirmwareAnalysis, Observer,
+    Severity, StageKind,
+};
+use firmres_firmware::FirmwareImage;
+use firmres_semantics::Classifier;
+
+/// Cache traffic accumulated over one incremental corpus run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Images served from the store.
+    pub hits: u64,
+    /// Images that ran the pipeline (no entry, or a damaged one).
+    pub misses: u64,
+    /// The subset of `misses` caused by a damaged entry rather than a
+    /// plain absent one.
+    pub corrupt: u64,
+    /// Entry bytes read on hits.
+    pub bytes_read: u64,
+    /// Entry bytes written after analyzing misses.
+    pub bytes_written: u64,
+}
+
+impl CacheStats {
+    /// Hits over total lookups, in `0.0..=1.0` (`0.0` for an empty run).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// What an incremental corpus run produced.
+#[derive(Debug)]
+pub struct CorpusOutcome {
+    /// One analysis per input image, in input order — hits and fresh
+    /// results interleaved, indistinguishable by content.
+    pub analyses: Vec<FirmwareAnalysis>,
+    /// Cache traffic for the whole run.
+    pub stats: CacheStats,
+}
+
+/// Analyze `images` through `cache`: load hits, pipeline the misses on
+/// up to `threads` workers, persist what was computed.
+///
+/// Results come back in input order, exactly as from
+/// [`firmres::analyze_corpus`]. `observer` receives the cache counters
+/// ([`Counter::CacheHits`] and friends) and any [`StageKind::Cache`]
+/// diagnostics; per-image pipeline events are not streamed (misses run
+/// on worker threads), but every analysis still carries its own timings,
+/// counters and diagnostics.
+pub fn analyze_corpus_incremental(
+    images: &[&FirmwareImage],
+    classifier: Option<&Classifier>,
+    config: &AnalysisConfig,
+    threads: usize,
+    cache: &AnalysisCache,
+    observer: &mut dyn Observer,
+) -> CorpusOutcome {
+    let mut stats = CacheStats::default();
+    let mut slots: Vec<Option<FirmwareAnalysis>> = Vec::new();
+    slots.resize_with(images.len(), || None);
+    let keys: Vec<CacheKey> = images
+        .iter()
+        .map(|fw| CacheKey::compute(fw, config))
+        .collect();
+
+    // Phase 1: consult the store. `misses` collects (input index,
+    // diagnostic for a damaged entry, if any).
+    let mut misses: Vec<(usize, Option<Diagnostic>)> = Vec::new();
+    for (i, key) in keys.iter().enumerate() {
+        match cache.load(key) {
+            Ok(entry) => {
+                stats.hits += 1;
+                stats.bytes_read += entry.bytes;
+                observer.count(Counter::CacheHits, 1);
+                observer.count(Counter::CacheBytesRead, entry.bytes);
+                slots[i] = Some(entry.analysis);
+            }
+            Err(e) => {
+                stats.misses += 1;
+                observer.count(Counter::CacheMisses, 1);
+                let diag = if e.is_miss() {
+                    None
+                } else {
+                    stats.corrupt += 1;
+                    let d = Diagnostic::new(
+                        StageKind::Cache,
+                        Severity::Warning,
+                        key.file_name(),
+                        format!("entry unusable, re-analyzing: {e}"),
+                    );
+                    observer.diagnostic(&d);
+                    Some(d)
+                };
+                misses.push((i, diag));
+            }
+        }
+    }
+
+    // Phase 2: pipeline the misses on the shared worker pool.
+    let fresh = run_pool(misses.len(), threads, |j| {
+        analyze_firmware(images[misses[j].0], classifier, config)
+    });
+
+    // Phase 3: persist, then attach any corruption diagnostics. Storing
+    // first keeps the entry free of them, so the next warm run is
+    // byte-identical to this one.
+    for ((i, diag), analysis) in misses.into_iter().zip(fresh) {
+        match cache.store(&keys[i], &analysis) {
+            Ok(written) => {
+                stats.bytes_written += written;
+                observer.count(Counter::CacheBytesWritten, written);
+            }
+            Err(e) => {
+                // A write failure costs only the next run's warm start.
+                let d = Diagnostic::new(
+                    StageKind::Cache,
+                    Severity::Warning,
+                    keys[i].file_name(),
+                    format!("store failed: {e}"),
+                );
+                observer.diagnostic(&d);
+            }
+        }
+        let mut analysis = analysis;
+        if let Some(d) = diag {
+            analysis.diagnostics.push(d);
+        }
+        slots[i] = Some(analysis);
+    }
+
+    CorpusOutcome {
+        analyses: slots
+            .into_iter()
+            .map(|s| s.expect("every image is analyzed or loaded"))
+            .collect(),
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firmres::CollectingObserver;
+    use firmres_corpus::generate_device;
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("firmres-cache-driver-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn cold_then_warm_hits_everything() {
+        let devices: Vec<_> = (5..9).map(|id| generate_device(id, 7)).collect();
+        let images: Vec<&FirmwareImage> = devices.iter().map(|d| &d.firmware).collect();
+        let config = AnalysisConfig::default();
+        let cache = AnalysisCache::new(temp_dir("coldwarm"));
+
+        let mut obs = CollectingObserver::default();
+        let cold = analyze_corpus_incremental(&images, None, &config, 2, &cache, &mut obs);
+        assert_eq!(cold.stats.hits, 0);
+        assert_eq!(cold.stats.misses, images.len() as u64);
+        assert!(cold.stats.bytes_written > 0);
+        assert_eq!(obs.counters.cache_misses, images.len() as u64);
+
+        let mut obs = CollectingObserver::default();
+        let warm = analyze_corpus_incremental(&images, None, &config, 2, &cache, &mut obs);
+        assert_eq!(warm.stats.misses, 0);
+        assert_eq!(warm.stats.hits, images.len() as u64);
+        assert_eq!(warm.stats.hit_rate(), 1.0);
+        assert!(warm.stats.bytes_read > 0);
+        assert_eq!(obs.counters.cache_hits, images.len() as u64);
+        for (a, b) in cold.analyses.iter().zip(&warm.analyses) {
+            assert_eq!(a.executable, b.executable);
+            assert_eq!(a.counters, b.counters);
+            assert_eq!(a.diagnostics, b.diagnostics);
+            assert_eq!(a.messages.len(), b.messages.len());
+        }
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn empty_corpus_has_zero_rate() {
+        let cache = AnalysisCache::new(temp_dir("empty"));
+        let out = analyze_corpus_incremental(
+            &[],
+            None,
+            &AnalysisConfig::default(),
+            4,
+            &cache,
+            &mut firmres::NullObserver,
+        );
+        assert!(out.analyses.is_empty());
+        assert_eq!(out.stats.hit_rate(), 0.0);
+    }
+}

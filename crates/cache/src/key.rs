@@ -1,0 +1,121 @@
+//! Cache keying: content hash of the firmware image plus pipeline and
+//! configuration fingerprints.
+//!
+//! A cached analysis is only valid for the exact bytes it was computed
+//! from, under the exact pipeline and configuration that computed it.
+//! [`CacheKey`] captures all three, and the on-disk file name is derived
+//! from the full key — so a pipeline-version bump or a configuration
+//! change simply makes the store look for a file that is not there
+//! (a miss), never for a file holding stale results.
+
+use firmres::AnalysisConfig;
+use firmres_firmware::{content_hash_packed, FirmwareImage};
+
+/// Version of the analysis pipeline whose results the cache stores.
+///
+/// Bump this whenever any pipeline stage, the on-disk entry schema, or a
+/// codec in this crate changes observable output: every existing cache
+/// entry then misses and is recomputed. The value is baked into both the
+/// cache key (and thus the file name) and the entry header.
+pub const PIPELINE_VERSION: u32 = 1;
+
+/// The full content-addressed identity of one analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// FNV-64 of the packed firmware image bytes.
+    pub image: u64,
+    /// [`PIPELINE_VERSION`] at key-computation time.
+    pub pipeline: u32,
+    /// Fingerprint of the [`AnalysisConfig`] knobs that affect output.
+    pub config: u64,
+}
+
+impl CacheKey {
+    /// Key for analyzing `fw` under `config` with the current pipeline.
+    pub fn compute(fw: &FirmwareImage, config: &AnalysisConfig) -> CacheKey {
+        CacheKey::of_packed(&fw.pack(), config)
+    }
+
+    /// Key for the packed container bytes directly.
+    ///
+    /// Useful when the caller already holds the packed form, and the only
+    /// way to key bytes that do not unpack (the byte-flip invalidation
+    /// tests rely on this).
+    pub fn of_packed(packed: &[u8], config: &AnalysisConfig) -> CacheKey {
+        CacheKey {
+            image: content_hash_packed(packed),
+            pipeline: PIPELINE_VERSION,
+            config: config_fingerprint(config),
+        }
+    }
+
+    /// The store file name this key maps to (hex of all three parts).
+    pub fn file_name(&self) -> String {
+        format!(
+            "{:016x}-{:08x}-{:016x}.frac",
+            self.image, self.pipeline, self.config
+        )
+    }
+}
+
+/// FNV-64 fingerprint of every configuration knob that can change
+/// analysis output.
+///
+/// Covers [`ExeIdConfig::score_threshold`] (via its bit pattern, so
+/// `0.3` and `0.30000001` fingerprint differently) and all four
+/// [`TaintConfig`] fields. A new knob must be folded in here — missing
+/// one would let two differently-configured runs share entries.
+///
+/// [`ExeIdConfig::score_threshold`]: firmres::ExeIdConfig
+/// [`TaintConfig`]: firmres_dataflow::TaintConfig
+pub fn config_fingerprint(config: &AnalysisConfig) -> u64 {
+    let mut bytes = Vec::with_capacity(34);
+    bytes.extend_from_slice(&config.exeid.score_threshold.to_bits().to_le_bytes());
+    bytes.extend_from_slice(&(config.taint.max_depth as u64).to_le_bytes());
+    bytes.extend_from_slice(&(config.taint.max_nodes as u64).to_le_bytes());
+    bytes.push(config.taint.overtaint as u8);
+    bytes.push(config.taint.decompose_buffers as u8);
+    content_hash_packed(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_fingerprint_sees_every_knob() {
+        let base = AnalysisConfig::default();
+        let f0 = config_fingerprint(&base);
+        assert_eq!(f0, config_fingerprint(&AnalysisConfig::default()));
+
+        let mut c = AnalysisConfig::default();
+        c.exeid.score_threshold = 0.5;
+        assert_ne!(f0, config_fingerprint(&c));
+
+        let mut c = AnalysisConfig::default();
+        c.taint.max_depth += 1;
+        assert_ne!(f0, config_fingerprint(&c));
+
+        let mut c = AnalysisConfig::default();
+        c.taint.max_nodes += 1;
+        assert_ne!(f0, config_fingerprint(&c));
+
+        let mut c = AnalysisConfig::default();
+        c.taint.overtaint = !c.taint.overtaint;
+        assert_ne!(f0, config_fingerprint(&c));
+
+        let mut c = AnalysisConfig::default();
+        c.taint.decompose_buffers = !c.taint.decompose_buffers;
+        assert_ne!(f0, config_fingerprint(&c));
+    }
+
+    #[test]
+    fn file_name_is_stable_and_key_dependent() {
+        let config = AnalysisConfig::default();
+        let a = CacheKey::of_packed(b"image-a", &config);
+        let b = CacheKey::of_packed(b"image-b", &config);
+        assert_eq!(a, CacheKey::of_packed(b"image-a", &config));
+        assert_ne!(a.file_name(), b.file_name());
+        assert!(a.file_name().ends_with(".frac"));
+    }
+}

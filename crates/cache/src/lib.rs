@@ -1,0 +1,63 @@
+//! # firmres-cache
+//!
+//! Content-addressed persistence for FIRMRES analyses, and the
+//! incremental corpus driver built on it.
+//!
+//! The FIRMRES pipeline is deterministic: the same firmware bytes under
+//! the same pipeline and configuration always produce the same
+//! [`FirmwareAnalysis`]. This crate exploits that to make corpus
+//! re-analysis (the paper's 22-device evaluation sweep, CI runs,
+//! iterative triage) incremental:
+//!
+//! * [`CacheKey`] — the content-addressed identity of one analysis:
+//!   an FNV-64 hash of the packed firmware image, the
+//!   [`PIPELINE_VERSION`], and a fingerprint of every configuration knob
+//!   that can change output. Any of the three changing changes the key,
+//!   so stale results are structurally unreachable.
+//! * [`AnalysisCache`] — a one-file-per-key on-disk store holding the
+//!   completed analysis plus per-stage intermediate artifacts (the
+//!   ExeId handler set, the FieldId taint summaries) in independently
+//!   decodable sections, sealed by a checksum.
+//! * [`analyze_corpus_incremental`] — the drop-in corpus driver: hits
+//!   skip the pipeline entirely, misses run on the shared worker pool
+//!   and populate the store. Damaged entries are diagnosed
+//!   ([`firmres::StageKind::Cache`]) and re-analyzed, never fatal.
+//!   Warm runs return byte-identical results to the cold run that
+//!   filled the store.
+//!
+//! # Examples
+//!
+//! ```
+//! use firmres::{AnalysisConfig, NullObserver};
+//! use firmres_cache::{analyze_corpus_incremental, AnalysisCache};
+//! use firmres_corpus::generate_device;
+//!
+//! let dev = generate_device(10, 7);
+//! let dir = std::env::temp_dir().join(format!("frc-doc-{}", std::process::id()));
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! let cache = AnalysisCache::new(&dir);
+//! let config = AnalysisConfig::default();
+//!
+//! let cold = analyze_corpus_incremental(
+//!     &[&dev.firmware], None, &config, 1, &cache, &mut NullObserver);
+//! assert_eq!(cold.stats.misses, 1);
+//!
+//! let warm = analyze_corpus_incremental(
+//!     &[&dev.firmware], None, &config, 1, &cache, &mut NullObserver);
+//! assert_eq!(warm.stats.hits, 1);
+//! assert_eq!(warm.analyses[0].executable, cold.analyses[0].executable);
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! ```
+//!
+//! [`FirmwareAnalysis`]: firmres::FirmwareAnalysis
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+mod driver;
+mod key;
+mod store;
+
+pub use driver::{analyze_corpus_incremental, CacheStats, CorpusOutcome};
+pub use key::{config_fingerprint, CacheKey, PIPELINE_VERSION};
+pub use store::{taint_summaries, AnalysisCache, CacheError, CachedEntry, SCHEMA_VERSION};

@@ -1,0 +1,449 @@
+//! The on-disk analysis store: one file per [`CacheKey`], with a
+//! versioned header, sectioned payload, and trailing checksum.
+//!
+//! # Entry layout
+//!
+//! ```text
+//! "FRAC"                      magic
+//! u16  schema version         (SCHEMA_VERSION)
+//! u64  image hash      ┐
+//! u32  pipeline version│      key echo — must match the lookup key
+//! u64  config hash     ┘
+//! u32+bytes  handlers section        (Vec<HandlerInfo>)
+//! u32+bytes  taint-summary section   (Vec<TaintSummary>)
+//! u32+bytes  analysis section        (FirmwareAnalysis)
+//! u64  FNV-64 of everything above
+//! ```
+//!
+//! Each section is byte-length-prefixed, so [`AnalysisCache::load_handlers`]
+//! and [`AnalysisCache::load_taint_summaries`] can return a stage's
+//! intermediate artifact without decoding the full analysis.
+//!
+//! Every failure mode — missing file, foreign magic, schema or key
+//! mismatch, truncation, checksum or decode failure — is a typed
+//! [`CacheError`]. Only [`CacheError::Miss`] is silent; callers treat
+//! everything else as *diagnosed* misses (the incremental driver logs a
+//! [`StageKind::Cache`] diagnostic and re-analyzes).
+//!
+//! [`StageKind::Cache`]: firmres::StageKind
+
+use crate::codec::{
+    get_analysis, get_handler, get_taint_summary, put_analysis, put_handler, put_taint_summary,
+    DecodeError, Reader,
+};
+use crate::key::CacheKey;
+use bytes::BufMut;
+use firmres::{FirmwareAnalysis, HandlerInfo};
+use firmres_dataflow::TaintSummary;
+use firmres_firmware::content_hash_packed;
+use firmres_mft::MftNodeKind;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Version of the entry layout itself (header + sectioning), as opposed
+/// to [`PIPELINE_VERSION`] which covers what the sections *contain*.
+///
+/// [`PIPELINE_VERSION`]: crate::PIPELINE_VERSION
+pub const SCHEMA_VERSION: u16 = 1;
+
+const MAGIC: &[u8; 4] = b"FRAC";
+
+/// Why a cache lookup did not produce a usable entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheError {
+    /// No entry for this key — the ordinary cold-cache case.
+    Miss,
+    /// The entry exists but could not be read.
+    Io(String),
+    /// The file does not start with the `FRAC` magic.
+    BadMagic,
+    /// The entry was written by a different store layout.
+    SchemaMismatch {
+        /// The schema version found in the entry header.
+        found: u16,
+    },
+    /// The entry's key echo disagrees with the lookup key (a hash
+    /// collision in the file name, or a renamed file).
+    KeyMismatch,
+    /// The entry ends before its declared contents.
+    Truncated,
+    /// The trailing checksum does not match the entry bytes.
+    BadChecksum,
+    /// A section's bytes do not decode.
+    Decode(String),
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheError::Miss => write!(f, "cache miss"),
+            CacheError::Io(e) => write!(f, "cache io error: {e}"),
+            CacheError::BadMagic => write!(f, "cache entry has wrong magic"),
+            CacheError::SchemaMismatch { found } => {
+                write!(
+                    f,
+                    "cache entry schema v{found} does not match v{SCHEMA_VERSION}"
+                )
+            }
+            CacheError::KeyMismatch => write!(f, "cache entry key echo mismatch"),
+            CacheError::Truncated => write!(f, "cache entry truncated"),
+            CacheError::BadChecksum => write!(f, "cache entry checksum mismatch"),
+            CacheError::Decode(e) => write!(f, "cache entry decode failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+impl From<DecodeError> for CacheError {
+    fn from(e: DecodeError) -> Self {
+        CacheError::Decode(e.0)
+    }
+}
+
+impl CacheError {
+    /// Whether this is the silent no-entry case rather than a damaged or
+    /// incompatible entry worth diagnosing.
+    pub fn is_miss(&self) -> bool {
+        matches!(self, CacheError::Miss)
+    }
+}
+
+/// A fully decoded cache entry.
+#[derive(Debug)]
+pub struct CachedEntry {
+    /// The persisted analysis result.
+    pub analysis: FirmwareAnalysis,
+    /// The ExeId stage's handler set, decodable on its own.
+    pub handlers: Vec<HandlerInfo>,
+    /// The FieldId stage's per-message taint digests, decodable on
+    /// their own.
+    pub taint_summaries: Vec<TaintSummary>,
+    /// Bytes read from disk for this entry.
+    pub bytes: u64,
+}
+
+/// Digest the FieldId stage's artifact out of a finished analysis: one
+/// [`TaintSummary`] per message, in message order (node count of the
+/// originating trace, terminal sources at the MFT leaves).
+pub fn taint_summaries(analysis: &FirmwareAnalysis) -> Vec<TaintSummary> {
+    analysis
+        .messages
+        .iter()
+        .map(|m| TaintSummary {
+            nodes: m.mft.len(),
+            sources: m
+                .mft
+                .leaves()
+                .into_iter()
+                .filter_map(|id| match &m.mft.node(id).kind {
+                    MftNodeKind::Field(s) => Some(s.clone()),
+                    _ => None,
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// A content-addressed store of completed firmware analyses.
+///
+/// One directory, one file per [`CacheKey`]; the directory is created on
+/// first write. Lookups for keys with no file are [`CacheError::Miss`];
+/// any other failure names what is wrong with the entry that *was*
+/// there.
+#[derive(Debug, Clone)]
+pub struct AnalysisCache {
+    dir: PathBuf,
+}
+
+impl AnalysisCache {
+    /// A store rooted at `dir` (not created until the first write).
+    pub fn new(dir: impl Into<PathBuf>) -> AnalysisCache {
+        AnalysisCache { dir: dir.into() }
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file path an entry for `key` lives at.
+    pub fn entry_path(&self, key: &CacheKey) -> PathBuf {
+        self.dir.join(key.file_name())
+    }
+
+    /// Persist a finished analysis (plus its stage artifacts) under
+    /// `key`. Returns the number of bytes written.
+    pub fn store(&self, key: &CacheKey, analysis: &FirmwareAnalysis) -> Result<u64, CacheError> {
+        let mut out = Vec::with_capacity(4096);
+        out.put_slice(MAGIC);
+        out.put_u16_le(SCHEMA_VERSION);
+        out.put_u64_le(key.image);
+        out.put_u32_le(key.pipeline);
+        out.put_u64_le(key.config);
+
+        let mut section = Vec::new();
+        section.put_u32_le(analysis.handlers.len() as u32);
+        for h in &analysis.handlers {
+            put_handler(&mut section, h);
+        }
+        put_section(&mut out, &section);
+
+        let summaries = taint_summaries(analysis);
+        let mut section = Vec::new();
+        section.put_u32_le(summaries.len() as u32);
+        for s in &summaries {
+            put_taint_summary(&mut section, s);
+        }
+        put_section(&mut out, &section);
+
+        let mut section = Vec::new();
+        put_analysis(&mut section, analysis);
+        put_section(&mut out, &section);
+
+        out.put_u64_le(content_hash_packed(&out));
+
+        std::fs::create_dir_all(&self.dir).map_err(|e| CacheError::Io(e.to_string()))?;
+        std::fs::write(self.entry_path(key), &out).map_err(|e| CacheError::Io(e.to_string()))?;
+        Ok(out.len() as u64)
+    }
+
+    /// Load and fully decode the entry for `key`.
+    pub fn load(&self, key: &CacheKey) -> Result<CachedEntry, CacheError> {
+        let raw = self.read_verified(key)?;
+        let bytes = raw.bytes;
+        let handlers = decode_handlers(&raw.sections[0])?;
+        let taint = decode_taint_summaries(&raw.sections[1])?;
+        let analysis = get_analysis(&mut Reader::new(&raw.sections[2]))?;
+        Ok(CachedEntry {
+            analysis,
+            handlers,
+            taint_summaries: taint,
+            bytes,
+        })
+    }
+
+    /// Load only the ExeId stage's handler set for `key`.
+    pub fn load_handlers(&self, key: &CacheKey) -> Result<Vec<HandlerInfo>, CacheError> {
+        let raw = self.read_verified(key)?;
+        decode_handlers(&raw.sections[0])
+    }
+
+    /// Load only the FieldId stage's taint summaries for `key`.
+    pub fn load_taint_summaries(&self, key: &CacheKey) -> Result<Vec<TaintSummary>, CacheError> {
+        let raw = self.read_verified(key)?;
+        decode_taint_summaries(&raw.sections[1])
+    }
+
+    /// Whether an entry file exists for `key` (no validation).
+    pub fn contains(&self, key: &CacheKey) -> bool {
+        self.entry_path(key).exists()
+    }
+
+    /// Read an entry file and verify magic, schema, key echo and
+    /// checksum, returning the three raw sections.
+    fn read_verified(&self, key: &CacheKey) -> Result<RawEntry, CacheError> {
+        let path = self.entry_path(key);
+        let data = match std::fs::read(&path) {
+            Ok(d) => d,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Err(CacheError::Miss),
+            Err(e) => return Err(CacheError::Io(e.to_string())),
+        };
+        // Checksum first: it covers every other field, so a truncated or
+        // bit-flipped entry is caught before any interpretation.
+        if data.len() < MAGIC.len() + 8 {
+            return Err(CacheError::Truncated);
+        }
+        let (body, tail) = data.split_at(data.len() - 8);
+        let stored = u64::from_le_bytes(tail.try_into().unwrap());
+        if stored != content_hash_packed(body) {
+            // A short read and a flipped byte are indistinguishable here;
+            // report the more precise condition when the magic is gone.
+            if &body[..MAGIC.len()] != MAGIC {
+                return Err(CacheError::BadMagic);
+            }
+            return Err(CacheError::BadChecksum);
+        }
+        let mut r = Reader::new(body);
+        let magic = [r.u8()?, r.u8()?, r.u8()?, r.u8()?];
+        if &magic != MAGIC {
+            return Err(CacheError::BadMagic);
+        }
+        let schema = r.u16()?;
+        if schema != SCHEMA_VERSION {
+            return Err(CacheError::SchemaMismatch { found: schema });
+        }
+        let echo = CacheKey {
+            image: r.u64()?,
+            pipeline: r.u32()?,
+            config: r.u64()?,
+        };
+        if echo != *key {
+            return Err(CacheError::KeyMismatch);
+        }
+        let mut sections = Vec::with_capacity(3);
+        for _ in 0..3 {
+            let len = r.u32()? as usize;
+            if len > r.remaining() {
+                return Err(CacheError::Truncated);
+            }
+            sections.push(r.bytes(len)?.to_vec());
+        }
+        Ok(RawEntry {
+            sections,
+            bytes: data.len() as u64,
+        })
+    }
+}
+
+struct RawEntry {
+    sections: Vec<Vec<u8>>,
+    bytes: u64,
+}
+
+fn put_section(out: &mut Vec<u8>, section: &[u8]) {
+    out.put_u32_le(section.len() as u32);
+    out.put_slice(section);
+}
+
+fn decode_handlers(bytes: &[u8]) -> Result<Vec<HandlerInfo>, CacheError> {
+    let mut r = Reader::new(bytes);
+    let n = r.seq_len()?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(get_handler(&mut r)?);
+    }
+    Ok(out)
+}
+
+fn decode_taint_summaries(bytes: &[u8]) -> Result<Vec<TaintSummary>, CacheError> {
+    let mut r = Reader::new(bytes);
+    let n = r.seq_len()?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(get_taint_summary(&mut r)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firmres::{analyze_firmware, AnalysisConfig};
+    use firmres_corpus::generate_device;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("firmres-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn store_load_round_trip() {
+        let dev = generate_device(10, 7);
+        let config = AnalysisConfig::default();
+        let analysis = analyze_firmware(&dev.firmware, None, &config);
+        let cache = AnalysisCache::new(temp_dir("roundtrip"));
+        let key = CacheKey::compute(&dev.firmware, &config);
+
+        assert!(matches!(cache.load(&key), Err(CacheError::Miss)));
+        let written = cache.store(&key, &analysis).unwrap();
+        assert!(written > 0);
+
+        let entry = cache.load(&key).unwrap();
+        assert_eq!(entry.bytes, written);
+        assert_eq!(entry.analysis.executable, analysis.executable);
+        assert_eq!(entry.analysis.messages.len(), analysis.messages.len());
+        assert_eq!(entry.analysis.counters, analysis.counters);
+        assert_eq!(entry.handlers.len(), analysis.handlers.len());
+        assert_eq!(entry.taint_summaries.len(), analysis.messages.len());
+        // The sectioned artifacts match their full-analysis counterparts.
+        assert_eq!(
+            cache.load_handlers(&key).unwrap().len(),
+            entry.handlers.len()
+        );
+        assert_eq!(
+            cache.load_taint_summaries(&key).unwrap(),
+            taint_summaries(&analysis)
+        );
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn corrupted_entries_are_typed_errors() {
+        let dev = generate_device(6, 7);
+        let config = AnalysisConfig::default();
+        let analysis = analyze_firmware(&dev.firmware, None, &config);
+        let cache = AnalysisCache::new(temp_dir("corrupt"));
+        let key = CacheKey::compute(&dev.firmware, &config);
+        cache.store(&key, &analysis).unwrap();
+        let path = cache.entry_path(&key);
+        let good = std::fs::read(&path).unwrap();
+
+        // Truncation: checksum can no longer match.
+        std::fs::write(&path, &good[..good.len() / 2]).unwrap();
+        assert!(matches!(
+            cache.load(&key),
+            Err(CacheError::BadChecksum | CacheError::Truncated)
+        ));
+
+        // Byte flip in the body.
+        let mut flipped = good.clone();
+        flipped[MAGIC.len() + 3] ^= 0xFF;
+        std::fs::write(&path, &flipped).unwrap();
+        assert_eq!(cache.load(&key).unwrap_err(), CacheError::BadChecksum);
+
+        // Foreign file.
+        std::fs::write(&path, b"not a cache entry at all").unwrap();
+        assert!(matches!(
+            cache.load(&key),
+            Err(CacheError::BadMagic | CacheError::BadChecksum | CacheError::Truncated)
+        ));
+
+        // Restored entry loads again.
+        std::fs::write(&path, &good).unwrap();
+        assert!(cache.load(&key).is_ok());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn schema_bump_is_a_schema_mismatch() {
+        let dev = generate_device(6, 7);
+        let config = AnalysisConfig::default();
+        let analysis = analyze_firmware(&dev.firmware, None, &config);
+        let cache = AnalysisCache::new(temp_dir("schema"));
+        let key = CacheKey::compute(&dev.firmware, &config);
+        cache.store(&key, &analysis).unwrap();
+        let path = cache.entry_path(&key);
+        let mut data = std::fs::read(&path).unwrap();
+        // Rewrite the schema version and re-seal the checksum, emulating
+        // an entry from a future store layout.
+        data[4] = 0xFE;
+        data[5] = 0xFF;
+        let body_len = data.len() - 8;
+        let sum = content_hash_packed(&data[..body_len]);
+        data[body_len..].copy_from_slice(&sum.to_le_bytes());
+        std::fs::write(&path, &data).unwrap();
+        assert_eq!(
+            cache.load(&key).unwrap_err(),
+            CacheError::SchemaMismatch { found: 0xFFFE }
+        );
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn key_echo_guards_renamed_entries() {
+        let dev_a = generate_device(6, 7);
+        let dev_b = generate_device(10, 7);
+        let config = AnalysisConfig::default();
+        let cache = AnalysisCache::new(temp_dir("echo"));
+        let key_a = CacheKey::compute(&dev_a.firmware, &config);
+        let key_b = CacheKey::compute(&dev_b.firmware, &config);
+        let analysis = analyze_firmware(&dev_a.firmware, None, &config);
+        cache.store(&key_a, &analysis).unwrap();
+        // Pretend a's entry is b's by renaming the file.
+        std::fs::rename(cache.entry_path(&key_a), cache.entry_path(&key_b)).unwrap();
+        assert_eq!(cache.load(&key_b).unwrap_err(), CacheError::KeyMismatch);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+}

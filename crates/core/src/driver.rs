@@ -7,12 +7,64 @@
 //! one (optionally trained) classifier and one configuration, and
 //! returns results in input order — bit-identical to a sequential run,
 //! whatever the thread count.
+//!
+//! The pool itself is exposed as [`run_pool`] so other drivers (the
+//! incremental cache-aware driver in `firmres-cache`) can reuse the
+//! work-stealing scheduling without duplicating it.
 
 use crate::pipeline::{analyze_firmware, AnalysisConfig, FirmwareAnalysis};
 use firmres_firmware::FirmwareImage;
 use firmres_semantics::Classifier;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+
+/// Run `job(0..count)` across up to `threads` scoped worker threads and
+/// return the results in index order.
+///
+/// `threads` is clamped to `1..=count`; `1` (or `count == 0`) runs
+/// inline on the calling thread. Work is handed out through a shared
+/// atomic cursor, so an expensive item does not serialize the rest of
+/// the batch behind it. The output is deterministic: slot `i` always
+/// holds `job(i)`, whatever the thread count or completion order.
+pub fn run_pool<T, F>(count: usize, threads: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.clamp(1, count.max(1));
+    if threads <= 1 {
+        return (0..count).map(job).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = Vec::new();
+    slots.resize_with(count, || None);
+    std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            let job = &job;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let out = job(i);
+                if tx.send((i, out)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, out) in rx {
+            slots[i] = Some(out);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index is processed exactly once"))
+        .collect()
+}
 
 /// Analyze every image in `images`, using up to `threads` worker
 /// threads, and return one [`FirmwareAnalysis`] per image in input
@@ -29,41 +81,9 @@ pub fn analyze_corpus(
     config: &AnalysisConfig,
     threads: usize,
 ) -> Vec<FirmwareAnalysis> {
-    let threads = threads.clamp(1, images.len().max(1));
-    if threads <= 1 {
-        return images
-            .iter()
-            .map(|fw| analyze_firmware(fw, classifier, config))
-            .collect();
-    }
-    let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<FirmwareAnalysis>> = Vec::new();
-    slots.resize_with(images.len(), || None);
-    std::thread::scope(|scope| {
-        let (tx, rx) = mpsc::channel::<(usize, FirmwareAnalysis)>();
-        for _ in 0..threads {
-            let tx = tx.clone();
-            let next = &next;
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= images.len() {
-                    break;
-                }
-                let analysis = analyze_firmware(images[i], classifier, config);
-                if tx.send((i, analysis)).is_err() {
-                    break;
-                }
-            });
-        }
-        drop(tx);
-        for (i, analysis) in rx {
-            slots[i] = Some(analysis);
-        }
-    });
-    slots
-        .into_iter()
-        .map(|s| s.expect("every image is analyzed exactly once"))
-        .collect()
+    run_pool(images.len(), threads, |i| {
+        analyze_firmware(images[i], classifier, config)
+    })
 }
 
 #[cfg(test)]
@@ -75,6 +95,14 @@ mod tests {
     fn empty_corpus_is_fine() {
         let out = analyze_corpus(&[], None, &AnalysisConfig::default(), 8);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn run_pool_keeps_index_order() {
+        let out = run_pool(17, 4, |i| i * i);
+        assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
+        // Inline path agrees with the threaded path.
+        assert_eq!(out, run_pool(17, 1, |i| i * i));
     }
 
     #[test]

@@ -64,6 +64,11 @@ pub enum StageKind {
     Concat,
     /// Stage 5: message-form checking.
     FormCheck,
+    /// The content-addressed analysis cache consulted around the
+    /// pipeline (not a pipeline stage itself): corrupted or
+    /// schema-mismatched store entries are diagnosed here before the
+    /// image falls back to a fresh analysis.
+    Cache,
 }
 
 impl StageKind {
@@ -76,6 +81,7 @@ impl StageKind {
             StageKind::Semantics => "semantics",
             StageKind::Concat => "concat",
             StageKind::FormCheck => "form-check",
+            StageKind::Cache => "cache",
         }
     }
 }

@@ -49,7 +49,7 @@ pub mod pipeline;
 pub mod probe;
 pub mod stages;
 
-pub use driver::analyze_corpus;
+pub use driver::{analyze_corpus, run_pool};
 pub use error::{Diagnostic, Error, Severity, StageKind};
 pub use exeid::{identify_device_cloud, score_handlers, ExeIdConfig, HandlerInfo};
 pub use formcheck::{check_message, FormFlaw, MessagePhase};

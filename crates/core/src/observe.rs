@@ -33,6 +33,16 @@ pub enum Counter {
     SlicesRendered,
     /// Message fields matched to a recovered semantic primitive.
     FieldsMatched,
+    /// Analysis-cache lookups answered from the store (the whole
+    /// pipeline was skipped).
+    CacheHits,
+    /// Analysis-cache lookups that missed (including corrupted entries
+    /// that fell back to re-analysis).
+    CacheMisses,
+    /// Bytes read from the analysis cache store.
+    CacheBytesRead,
+    /// Bytes written to the analysis cache store.
+    CacheBytesWritten,
 }
 
 /// Per-stage work counters accumulated over one analysis.
@@ -52,6 +62,15 @@ pub struct StageCounters {
     pub slices_rendered: u64,
     /// Fields matched to a semantic primitive (stage 4).
     pub fields_matched: u64,
+    /// Analysis-cache hits (corpus drivers; always 0 inside one
+    /// pipeline run — cached results skip the pipeline entirely).
+    pub cache_hits: u64,
+    /// Analysis-cache misses (corpus drivers).
+    pub cache_misses: u64,
+    /// Bytes read from the analysis cache store.
+    pub cache_bytes_read: u64,
+    /// Bytes written to the analysis cache store.
+    pub cache_bytes_written: u64,
 }
 
 impl StageCounters {
@@ -65,6 +84,10 @@ impl StageCounters {
             Counter::TaintCacheHits => self.taint_cache_hits += n,
             Counter::SlicesRendered => self.slices_rendered += n,
             Counter::FieldsMatched => self.fields_matched += n,
+            Counter::CacheHits => self.cache_hits += n,
+            Counter::CacheMisses => self.cache_misses += n,
+            Counter::CacheBytesRead => self.cache_bytes_read += n,
+            Counter::CacheBytesWritten => self.cache_bytes_written += n,
         }
     }
 
@@ -78,6 +101,10 @@ impl StageCounters {
             Counter::TaintCacheHits => self.taint_cache_hits,
             Counter::SlicesRendered => self.slices_rendered,
             Counter::FieldsMatched => self.fields_matched,
+            Counter::CacheHits => self.cache_hits,
+            Counter::CacheMisses => self.cache_misses,
+            Counter::CacheBytesRead => self.cache_bytes_read,
+            Counter::CacheBytesWritten => self.cache_bytes_written,
         }
     }
 }

@@ -87,7 +87,8 @@ impl<'a> AnalysisContext<'a> {
             StageKind::Semantics => self.timings.semantics += elapsed,
             StageKind::Concat => self.timings.concatenation += elapsed,
             StageKind::FormCheck => self.timings.form_check += elapsed,
-            StageKind::Input => {}
+            // Not pipeline stages: no timing bucket to file under.
+            StageKind::Input | StageKind::Cache => {}
         }
         self.observer.stage_finished(kind, elapsed);
         out

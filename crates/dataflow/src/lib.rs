@@ -57,5 +57,6 @@ pub use summary::{
     SourceKind, Summary, SummaryEffect,
 };
 pub use taint::{
-    FieldSource, TaintConfig, TaintEngine, TaintNode, TaintNodeId, TaintNodeKind, TaintTree,
+    intern_unresolved_reason, FieldSource, TaintConfig, TaintEngine, TaintNode, TaintNodeId,
+    TaintNodeKind, TaintSummary, TaintTree, UNRESOLVED_REASONS,
 };

@@ -62,6 +62,39 @@ pub enum FieldSource {
     },
 }
 
+/// Every `reason` string the engine puts into
+/// [`FieldSource::Unresolved`], in a stable order. Deserializers use
+/// [`intern_unresolved_reason`] to map a persisted reason back to the
+/// `&'static str` the enum requires.
+pub const UNRESOLVED_REASONS: [&str; 14] = [
+    "function not found",
+    "callsite not found",
+    "argument missing",
+    "budget exceeded",
+    "buffer not decomposed",
+    "no definition",
+    "non-string data load",
+    "unresolved load",
+    "unmodeled op",
+    "indirect call",
+    "summary without return effect",
+    "unknown import",
+    "missing callee",
+    "no writes to buffer",
+];
+
+/// Map an arbitrary reason string to the matching `&'static str` from
+/// [`UNRESOLVED_REASONS`], so a [`FieldSource::Unresolved`] read back
+/// from persistent storage round-trips exactly. Unknown strings (from a
+/// newer engine version, say) intern to `"unknown"`.
+pub fn intern_unresolved_reason(reason: &str) -> &'static str {
+    UNRESOLVED_REASONS
+        .iter()
+        .find(|r| **r == reason)
+        .copied()
+        .unwrap_or("unknown")
+}
+
 impl FieldSource {
     /// Whether the source is a concrete, decomposable-no-further origin
     /// ("single-information-source" in the paper's terms).
@@ -227,6 +260,43 @@ impl TaintTree {
             cur = p;
         }
         path
+    }
+
+    /// Condense the trace into its persistable [`TaintSummary`].
+    pub fn summary(&self) -> TaintSummary {
+        TaintSummary {
+            nodes: self.nodes.len(),
+            sources: self.sources().filter_map(|n| n.source().cloned()).collect(),
+        }
+    }
+}
+
+/// An owned, serialization-friendly digest of one backward-taint trace:
+/// what the field-identification stage learned, without the per-node
+/// structure of the full [`TaintTree`].
+///
+/// This is the per-stage intermediate artifact the analysis cache
+/// persists for the FieldId stage — every field it contains is plain
+/// owned data, so it survives an encode/decode round trip byte-for-byte
+/// (the one `&'static str` in [`FieldSource::Unresolved`] is restored
+/// via [`intern_unresolved_reason`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaintSummary {
+    /// Total nodes in the originating trace (a proxy for trace cost).
+    pub nodes: usize,
+    /// Terminal field sources at the leaves, in discovery order.
+    pub sources: Vec<FieldSource>,
+}
+
+impl TaintSummary {
+    /// Sources that resolved to a concrete origin.
+    pub fn concrete_sources(&self) -> impl Iterator<Item = &FieldSource> {
+        self.sources.iter().filter(|s| s.is_concrete())
+    }
+
+    /// How many sources did not resolve.
+    pub fn unresolved_count(&self) -> usize {
+        self.sources.len() - self.concrete_sources().count()
     }
 }
 
@@ -1606,5 +1676,37 @@ s: .asciz "x"
         let path = tree.path_to_root(leaf);
         assert_eq!(*path.last().unwrap(), tree.root().id);
         assert_eq!(path[0], leaf);
+    }
+
+    #[test]
+    fn unresolved_reasons_intern_exactly() {
+        for r in UNRESOLVED_REASONS {
+            let interned = intern_unresolved_reason(r);
+            assert_eq!(interned, r);
+            // Interning an owned copy yields the same static string.
+            let owned = String::from(r);
+            assert_eq!(intern_unresolved_reason(owned.as_str()), r);
+        }
+        assert_eq!(intern_unresolved_reason("not a real reason"), "unknown");
+    }
+
+    #[test]
+    fn summary_digests_the_trace() {
+        let (tree, _) = trace_last_delivery(
+            ".func main\n la a1, msg\n li a0, 1\n callx SSL_write\n ret\n.endfunc\n.data\nmsg: .asciz \"PING\"\n",
+            "SSL_write",
+            1,
+        );
+        let summary = tree.summary();
+        assert_eq!(summary.nodes, tree.len());
+        assert_eq!(
+            summary.sources.len(),
+            tree.sources().count(),
+            "one summary source per leaf"
+        );
+        assert_eq!(summary.unresolved_count(), 0);
+        assert!(summary
+            .concrete_sources()
+            .any(|s| matches!(s, FieldSource::StringConstant { value, .. } if value == "PING")));
     }
 }

@@ -299,6 +299,18 @@ impl FirmwareImage {
         buf.freeze()
     }
 
+    /// A stable 64-bit content hash of the image: the FNV-1a digest of
+    /// the packed wire format.
+    ///
+    /// Because [`pack`](FirmwareImage::pack) is deterministic (files are
+    /// stored in path order), two images hash equal exactly when their
+    /// device metadata and file contents are identical — the property the
+    /// content-addressed analysis cache keys on. Any one-byte change to
+    /// any file flips the hash.
+    pub fn content_hash(&self) -> u64 {
+        content_hash_packed(&self.pack())
+    }
+
     /// Parse a packed image.
     ///
     /// # Errors
@@ -372,6 +384,18 @@ impl FirmwareImage {
             files,
         })
     }
+}
+
+/// [`FirmwareImage::content_hash`] over already-packed container bytes,
+/// without unpacking them first — corpus drivers hash images straight
+/// off disk before deciding whether an analysis is cached.
+pub fn content_hash_packed(packed: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in packed {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 fn fnv32(bytes: &[u8]) -> u32 {
@@ -522,6 +546,21 @@ mod tests {
             FirmwareImage::unpack(&packed[..5]),
             Err(FirmwareError::Truncated)
         );
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_content_sensitive() {
+        let fw = sample();
+        let h = fw.content_hash();
+        assert_eq!(h, fw.content_hash(), "deterministic");
+        assert_eq!(h, content_hash_packed(&fw.pack()), "packed form agrees");
+        let mut changed = fw.clone();
+        changed.add_file("/etc/ssl/device.pem", FileEntry::Cert("x".into()));
+        assert_ne!(h, changed.content_hash(), "one file change flips the hash");
+        // A single flipped byte in the packed bytes also flips it.
+        let mut bad = fw.pack().to_vec();
+        bad[20] ^= 1;
+        assert_ne!(h, content_hash_packed(&bad));
     }
 
     #[test]

@@ -36,5 +36,7 @@ mod image;
 mod nvram;
 
 pub use entry::{FileEntry, ScriptLang};
-pub use image::{DeviceInfo, DeviceType, ExeLoadError, FirmwareError, FirmwareImage};
+pub use image::{
+    content_hash_packed, DeviceInfo, DeviceType, ExeLoadError, FirmwareError, FirmwareImage,
+};
 pub use nvram::Nvram;

@@ -89,6 +89,60 @@ pub enum Opcode {
 }
 
 impl Opcode {
+    /// Every opcode, in a stable order. The position of an opcode in this
+    /// array is its persistent [`tag`](Opcode::tag) — serializers (e.g.
+    /// the analysis cache) rely on the order never being reshuffled; new
+    /// opcodes are appended.
+    pub const ALL: [Opcode; 37] = [
+        Opcode::Copy,
+        Opcode::Load,
+        Opcode::Store,
+        Opcode::Branch,
+        Opcode::CBranch,
+        Opcode::BranchInd,
+        Opcode::Call,
+        Opcode::CallInd,
+        Opcode::Return,
+        Opcode::IntEqual,
+        Opcode::IntNotEqual,
+        Opcode::IntLess,
+        Opcode::IntSLess,
+        Opcode::IntLessEqual,
+        Opcode::IntAdd,
+        Opcode::IntSub,
+        Opcode::IntMult,
+        Opcode::IntDiv,
+        Opcode::IntRem,
+        Opcode::IntAnd,
+        Opcode::IntOr,
+        Opcode::IntXor,
+        Opcode::IntLeft,
+        Opcode::IntRight,
+        Opcode::IntSRight,
+        Opcode::Int2Comp,
+        Opcode::IntNegate,
+        Opcode::IntZExt,
+        Opcode::IntSExt,
+        Opcode::BoolNegate,
+        Opcode::BoolAnd,
+        Opcode::BoolOr,
+        Opcode::Piece,
+        Opcode::SubPiece,
+        Opcode::PtrAdd,
+        Opcode::MultiEqual,
+        Opcode::Nop,
+    ];
+
+    /// Stable serialization tag (index into [`Opcode::ALL`]).
+    pub fn tag(self) -> u8 {
+        Self::ALL.iter().position(|o| *o == self).expect("in ALL") as u8
+    }
+
+    /// Opcode from a serialization tag, `None` for unknown tags.
+    pub fn from_tag(t: u8) -> Option<Opcode> {
+        Self::ALL.get(t as usize).copied()
+    }
+
     /// Textual mnemonic matching Ghidra's dump style.
     pub fn mnemonic(self) -> &'static str {
         match self {
@@ -219,5 +273,16 @@ mod tests {
         assert_eq!(Opcode::IntAdd.mnemonic(), "INT_ADD");
         assert_eq!(Opcode::Call.to_string(), "CALL");
         assert_eq!(Opcode::MultiEqual.mnemonic(), "MULTIEQUAL");
+    }
+
+    #[test]
+    fn tags_round_trip() {
+        for op in Opcode::ALL {
+            assert_eq!(Opcode::from_tag(op.tag()), Some(op), "{op}");
+        }
+        assert_eq!(Opcode::from_tag(Opcode::ALL.len() as u8), None);
+        // The tag order is a persistence contract: spot-check anchors.
+        assert_eq!(Opcode::Copy.tag(), 0);
+        assert_eq!(Opcode::Nop.tag(), 36);
     }
 }

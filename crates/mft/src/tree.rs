@@ -118,6 +118,21 @@ impl Mft {
         mft
     }
 
+    /// Rebuild an MFT from an explicit node list, e.g. when decoding a
+    /// persisted analysis. Node ids must be dense (node `i` has id `i`,
+    /// the root at index 0) and parent/children links consistent — the
+    /// layout [`Mft::nodes`] hands out.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a node's id does not match its index.
+    pub fn from_nodes(nodes: Vec<MftNode>) -> Mft {
+        for (i, n) in nodes.iter().enumerate() {
+            assert_eq!(n.id.0, i, "node ids must be dense and in order");
+        }
+        Mft { nodes }
+    }
+
     /// The root node.
     ///
     /// # Panics
@@ -432,6 +447,14 @@ third: .asciz "C"
         let h1 = mft.path_hash(leaves[1]);
         assert_ne!(h0, h1);
         assert_eq!(h0, mft.path_hash(leaves[0]));
+    }
+
+    #[test]
+    fn from_nodes_round_trips_a_real_tree() {
+        let mft = build_mft(CONCAT_SRC, "SSL_write", 1);
+        let rebuilt = Mft::from_nodes(mft.nodes().to_vec());
+        assert_eq!(rebuilt.render(), mft.render());
+        assert_eq!(rebuilt.leaves(), mft.leaves());
     }
 
     #[test]

@@ -16,4 +16,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> cargo doc --no-deps --workspace (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
+echo "==> analysis-cache cold/warm smoke (writes BENCH_cache.json)"
+cargo run --release -q -p firmres-bench --bin cache_bench
+
 echo "==> all checks passed"

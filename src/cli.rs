@@ -7,8 +7,10 @@
 //! * `disasm <image.fwi> <exe-path>` — disassemble an MR32 executable
 //! * `lift <image.fwi> <exe-path>` — dump the lifted P-Code IR
 //! * `analyze <image.fwi>` — run the full FIRMRES pipeline and report
+//!   (`--cache <dir>` runs through the content-addressed analysis cache)
 
-use firmres::{analyze_firmware, AnalysisConfig};
+use firmres::{analyze_firmware, AnalysisConfig, CollectingObserver};
+use firmres_cache::{analyze_corpus_incremental, AnalysisCache};
 use firmres_firmware::FirmwareImage;
 use firmres_isa::{decode, CODE_BASE};
 use std::fmt::Write as _;
@@ -32,7 +34,23 @@ pub fn run(args: &[String]) -> Result<String, String> {
             let fw = load_image(args.get(1))?;
             cmd_lift(&fw, args.get(2).ok_or(USAGE)?)
         }
-        Some("analyze") => cmd_analyze(&load_image(args.get(1))?, args.get(2)),
+        Some("analyze") => {
+            let mut cache_dir: Option<String> = None;
+            let mut positional: Vec<&String> = Vec::new();
+            let mut rest = args[1..].iter();
+            while let Some(a) = rest.next() {
+                if a == "--cache" {
+                    cache_dir = Some(rest.next().ok_or(USAGE)?.clone());
+                } else {
+                    positional.push(a);
+                }
+            }
+            cmd_analyze(
+                &load_image(positional.first().copied())?,
+                positional.get(1).copied(),
+                cache_dir.as_deref(),
+            )
+        }
         Some("train") => cmd_train(args.get(1), args.get(2)),
         Some("cfg") => {
             let fw = load_image(args.get(1))?;
@@ -51,7 +69,9 @@ const USAGE: &str = "usage: firmres-cli <command>\n\
   inspect <image.fwi>           device info, files, NVRAM\n\
   disasm <image.fwi> <exe>      disassemble an MR32 executable\n\
   lift <image.fwi> <exe>        dump the lifted P-Code IR\n\
-  analyze <image.fwi> [model]   run the FIRMRES pipeline (optional model)\n\
+  analyze <image.fwi> [model] [--cache <dir>]\n\
+\x20                               run the FIRMRES pipeline (optional model;\n\
+\x20                               --cache reuses/populates an analysis cache)\n\
   train <out.fsm> [n-devices]   train + save the semantics model\n\
   cfg <image.fwi> <exe> <fn>    DOT control-flow graph of one function\n\
   callgraph <image.fwi> <exe>   DOT call graph of an executable";
@@ -213,7 +233,11 @@ fn cmd_train(out: Option<&String>, limit: Option<&String>) -> Result<String, Str
     ))
 }
 
-fn cmd_analyze(fw: &FirmwareImage, model_path: Option<&String>) -> Result<String, String> {
+fn cmd_analyze(
+    fw: &FirmwareImage,
+    model_path: Option<&String>,
+    cache_dir: Option<&str>,
+) -> Result<String, String> {
     let model = match model_path {
         Some(path) => {
             let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -224,8 +248,37 @@ fn cmd_analyze(fw: &FirmwareImage, model_path: Option<&String>) -> Result<String
         }
         None => None,
     };
-    let analysis = analyze_firmware(fw, model.as_ref(), &AnalysisConfig::default());
+    let config = AnalysisConfig::default();
+    let mut cache_summary = None;
+    let analysis = match cache_dir {
+        None => analyze_firmware(fw, model.as_ref(), &config),
+        Some(dir) => {
+            let cache = AnalysisCache::new(dir);
+            let mut obs = CollectingObserver::default();
+            let outcome =
+                analyze_corpus_incremental(&[fw], model.as_ref(), &config, 1, &cache, &mut obs);
+            let s = outcome.stats;
+            cache_summary = Some(format!(
+                "analysis cache ({dir}): {} | {} bytes read, {} bytes written",
+                if s.hits > 0 {
+                    "hit — pipeline skipped"
+                } else {
+                    "miss — entry stored"
+                },
+                s.bytes_read,
+                s.bytes_written
+            ));
+            outcome
+                .analyses
+                .into_iter()
+                .next()
+                .expect("one analysis per image")
+        }
+    };
     let mut out = String::new();
+    if let Some(line) = &cache_summary {
+        let _ = writeln!(out, "{line}");
+    }
     match &analysis.executable {
         Some(path) => {
             let _ = writeln!(out, "device-cloud executable: {path}");
@@ -257,8 +310,30 @@ fn cmd_analyze(fw: &FirmwareImage, model_path: Option<&String>) -> Result<String
     if lan > 0 {
         let _ = writeln!(out, "\n({lan} LAN-addressed message(s) discarded)");
     }
+    append_stats(&mut out, &analysis);
     append_diagnostics(&mut out, &analysis);
     Ok(out)
+}
+
+/// Render pipeline work counters — in particular the taint engine's
+/// memoization behaviour — as a trailing section.
+fn append_stats(out: &mut String, analysis: &firmres::FirmwareAnalysis) {
+    let c = &analysis.counters;
+    if c.taint_queries == 0 {
+        return;
+    }
+    let memo_pct = 100.0 * c.taint_cache_hits as f64 / c.taint_queries as f64;
+    let _ = writeln!(out, "\npipeline stats:");
+    let _ = writeln!(
+        out,
+        "  taint queries: {} ({} answered from memo cache, {memo_pct:.0}%)",
+        c.taint_queries, c.taint_cache_hits
+    );
+    let _ = writeln!(
+        out,
+        "  slices rendered: {} | fields matched: {}",
+        c.slices_rendered, c.fields_matched
+    );
 }
 
 /// Render the analysis diagnostics (skipped executables, lift failures,
@@ -310,6 +385,38 @@ mod tests {
         );
         assert!(report.contains("/rms/registrations"), "{report}");
         assert!(report.contains("ALARM"), "{report}");
+    }
+
+    #[test]
+    fn analyze_reports_taint_memo_stats() {
+        let path = temp("dev10s.fwi");
+        run(&s(&["gen", "10", &path])).unwrap();
+        let report = run(&s(&["analyze", &path])).unwrap();
+        assert!(report.contains("pipeline stats:"), "{report}");
+        assert!(report.contains("taint queries:"), "{report}");
+        assert!(report.contains("answered from memo cache"), "{report}");
+    }
+
+    #[test]
+    fn analyze_with_cache_hits_on_second_run() {
+        let path = temp("dev11c.fwi");
+        run(&s(&["gen", "11", &path])).unwrap();
+        let cache_dir = temp("analysis-cache");
+        let _ = std::fs::remove_dir_all(&cache_dir);
+
+        let cold = run(&s(&["analyze", &path, "--cache", &cache_dir])).unwrap();
+        assert!(cold.contains("miss — entry stored"), "{cold}");
+
+        let warm = run(&s(&["analyze", &path, "--cache", &cache_dir])).unwrap();
+        assert!(warm.contains("hit — pipeline skipped"), "{warm}");
+        // The report body is unchanged by serving from the cache.
+        let body = |r: &str| r.lines().skip(1).collect::<Vec<_>>().join("\n");
+        assert_eq!(body(&cold), body(&warm));
+        assert!(warm.contains("device-cloud executable: /usr/bin/cloud_agent"));
+
+        // A missing --cache argument is a usage error.
+        assert!(run(&s(&["analyze", &path, "--cache"])).is_err());
+        let _ = std::fs::remove_dir_all(&cache_dir);
     }
 
     #[test]

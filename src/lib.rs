@@ -22,6 +22,7 @@ pub mod cli;
 
 pub use firmres as pipeline;
 pub use firmres_bench as bench;
+pub use firmres_cache as cache;
 pub use firmres_cloud as cloud;
 pub use firmres_corpus as corpus;
 pub use firmres_dataflow as dataflow;

@@ -1,0 +1,135 @@
+//! The analysis cache's correctness contract: warm runs are
+//! byte-identical to the cold run that populated the store, and any
+//! change to the image bytes, the pipeline version, or the analysis
+//! configuration invalidates the entry (forces a miss).
+
+use firmres::{AnalysisConfig, NullObserver};
+use firmres_cache::{analyze_corpus_incremental, codec, AnalysisCache, CacheKey, PIPELINE_VERSION};
+use firmres_corpus::generate_corpus;
+use firmres_firmware::FirmwareImage;
+use std::path::PathBuf;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("firmres-invalidation-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The exact bytes the store persists for an analysis — timings, MFTs,
+/// IR operations and all. Byte equality here is the strongest
+/// observable-equality statement the system can make.
+fn encoded(analysis: &firmres::FirmwareAnalysis) -> Vec<u8> {
+    let mut out = Vec::new();
+    codec::put_analysis(&mut out, analysis);
+    out
+}
+
+#[test]
+fn warm_rerun_is_byte_identical_over_the_full_corpus() {
+    let corpus = generate_corpus(7);
+    let images: Vec<&FirmwareImage> = corpus.iter().map(|d| &d.firmware).collect();
+    let config = AnalysisConfig::default();
+    let cache = AnalysisCache::new(temp_dir("full-corpus"));
+
+    let cold = analyze_corpus_incremental(&images, None, &config, 4, &cache, &mut NullObserver);
+    assert_eq!(cold.stats.misses, images.len() as u64);
+    assert_eq!(cold.stats.hits, 0);
+
+    let warm = analyze_corpus_incremental(&images, None, &config, 4, &cache, &mut NullObserver);
+    assert_eq!(warm.stats.hits, images.len() as u64);
+    assert_eq!(warm.stats.misses, 0);
+    assert_eq!(warm.stats.hit_rate(), 1.0);
+
+    for ((dev, c), w) in corpus.iter().zip(&cold.analyses).zip(&warm.analyses) {
+        assert_eq!(
+            encoded(c),
+            encoded(w),
+            "device {} warm result is not byte-identical to cold",
+            dev.spec.id
+        );
+    }
+    let _ = std::fs::remove_dir_all(cache.dir());
+}
+
+#[test]
+fn image_byte_flip_forces_a_miss() {
+    let dev = firmres_corpus::generate_device(10, 7);
+    let config = AnalysisConfig::default();
+    let packed = dev.firmware.pack();
+
+    let key = CacheKey::of_packed(&packed, &config);
+    let mut flipped = packed.to_vec();
+    // Flip one payload byte: a genuinely different firmware image.
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0x01;
+    let flipped_key = CacheKey::of_packed(&flipped, &config);
+
+    assert_ne!(
+        key, flipped_key,
+        "one flipped byte must change the cache key"
+    );
+    assert_ne!(key.file_name(), flipped_key.file_name());
+
+    // And therefore a populated store has no entry for the flipped image.
+    let cache = AnalysisCache::new(temp_dir("byteflip"));
+    let analysis = firmres::analyze_firmware(&dev.firmware, None, &config);
+    cache.store(&key, &analysis).unwrap();
+    assert!(cache.load(&key).is_ok());
+    assert!(cache.load(&flipped_key).unwrap_err().is_miss());
+    let _ = std::fs::remove_dir_all(cache.dir());
+}
+
+#[test]
+fn pipeline_version_bump_forces_a_miss() {
+    let dev = firmres_corpus::generate_device(10, 7);
+    let config = AnalysisConfig::default();
+    let key = CacheKey::compute(&dev.firmware, &config);
+    assert_eq!(key.pipeline, PIPELINE_VERSION);
+
+    // A future pipeline's key: same image, same config, bumped version.
+    let future = CacheKey {
+        pipeline: PIPELINE_VERSION + 1,
+        ..key
+    };
+    assert_ne!(key.file_name(), future.file_name());
+
+    let cache = AnalysisCache::new(temp_dir("version"));
+    let analysis = firmres::analyze_firmware(&dev.firmware, None, &config);
+    cache.store(&key, &analysis).unwrap();
+    assert!(cache.load(&key).is_ok());
+    assert!(cache.load(&future).unwrap_err().is_miss());
+    let _ = std::fs::remove_dir_all(cache.dir());
+}
+
+#[test]
+fn config_change_forces_a_miss() {
+    let dev = firmres_corpus::generate_device(10, 7);
+    let base = AnalysisConfig::default();
+    let mut ablated = AnalysisConfig::default();
+    ablated.taint.overtaint = false;
+
+    let cache = AnalysisCache::new(temp_dir("config"));
+    let image: &FirmwareImage = &dev.firmware;
+
+    let first = analyze_corpus_incremental(&[image], None, &base, 1, &cache, &mut NullObserver);
+    assert_eq!(first.stats.misses, 1);
+
+    // Same image, different taint config: a fresh analysis, not the
+    // cached over-taint result.
+    let second = analyze_corpus_incremental(&[image], None, &ablated, 1, &cache, &mut NullObserver);
+    assert_eq!(second.stats.misses, 1, "config change must not hit");
+
+    // Both configurations are now cached independently.
+    let warm_base = analyze_corpus_incremental(&[image], None, &base, 1, &cache, &mut NullObserver);
+    let warm_ablated =
+        analyze_corpus_incremental(&[image], None, &ablated, 1, &cache, &mut NullObserver);
+    assert_eq!(warm_base.stats.hits, 1);
+    assert_eq!(warm_ablated.stats.hits, 1);
+    assert_eq!(encoded(&warm_base.analyses[0]), encoded(&first.analyses[0]));
+    assert_eq!(
+        encoded(&warm_ablated.analyses[0]),
+        encoded(&second.analyses[0])
+    );
+    let _ = std::fs::remove_dir_all(cache.dir());
+}

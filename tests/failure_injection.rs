@@ -201,6 +201,63 @@ fn emulator_faults_do_not_poison_subsequent_runs() {
 }
 
 #[test]
+fn corrupted_cache_entry_falls_back_to_reanalysis() {
+    use firmres::{CollectingObserver, Counter};
+    use firmres_cache::{analyze_corpus_incremental, AnalysisCache, CacheKey};
+
+    let dev = generate_device(10, 7);
+    let config = AnalysisConfig::default();
+    let dir = std::env::temp_dir().join(format!("firmres-failinj-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = AnalysisCache::new(&dir);
+    let image = &dev.firmware;
+
+    // Populate, then damage the entry on disk.
+    let cold = analyze_corpus_incremental(&[image], None, &config, 1, &cache, &mut obs());
+    let key = CacheKey::compute(image, &config);
+    let path = cache.entry_path(&key);
+    let good = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &good[..good.len() / 3]).unwrap();
+
+    // The damaged entry is not fatal: the image is re-analyzed and the
+    // result matches the cold run, carrying one extra cache diagnostic.
+    let mut observer = obs();
+    let fallback = analyze_corpus_incremental(&[image], None, &config, 1, &cache, &mut observer);
+    assert_eq!(fallback.stats.misses, 1);
+    assert_eq!(fallback.stats.corrupt, 1);
+    assert_eq!(observer.counters.get(Counter::CacheMisses), 1);
+    let a = &fallback.analyses[0];
+    assert_eq!(a.executable, cold.analyses[0].executable);
+    assert_eq!(a.messages.len(), cold.analyses[0].messages.len());
+    let cache_diags: Vec<_> = a
+        .diagnostics
+        .iter()
+        .filter(|d| d.stage == StageKind::Cache && d.severity == Severity::Warning)
+        .collect();
+    assert_eq!(
+        cache_diags.len(),
+        1,
+        "the damaged entry is diagnosed: {:?}",
+        a.diagnostics
+    );
+    assert!(cache_diags[0].detail.contains("re-analyzing"));
+
+    // The fallback overwrote the damaged entry; the next run hits again
+    // and the stored result carries no cache diagnostics.
+    let warm = analyze_corpus_incremental(&[image], None, &config, 1, &cache, &mut obs());
+    assert_eq!(warm.stats.hits, 1);
+    assert!(warm.analyses[0]
+        .diagnostics
+        .iter()
+        .all(|d| d.stage != StageKind::Cache));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    fn obs() -> CollectingObserver {
+        CollectingObserver::default()
+    }
+}
+
+#[test]
 fn analysis_of_empty_firmware_is_empty() {
     let fw = FirmwareImage::new(firmres_firmware::DeviceInfo {
         vendor: "none".into(),
