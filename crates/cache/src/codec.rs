@@ -100,6 +100,11 @@ impl<'a> Reader<'a> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
+    /// Consume a little-endian `u128`.
+    pub fn u128(&mut self) -> Result<u128, DecodeError> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+
     /// Consume a little-endian `f64` (bit pattern, so NaN round-trips).
     pub fn f64(&mut self) -> Result<f64, DecodeError> {
         Ok(f64::from_bits(self.u64()?))
@@ -525,7 +530,18 @@ pub fn put_mft(out: &mut Vec<u8>, mft: &Mft) {
 }
 
 /// Decode a whole [`Mft`], validating the dense-id layout
-/// [`Mft::from_nodes`] requires.
+/// [`Mft::from_nodes`] requires *and* the tree structure the traversal
+/// code assumes.
+///
+/// `Mft` indexes nodes unchecked and recurses through `children`, so a
+/// decoded entry must be proven well-formed here: every link in bounds,
+/// every parent/child pair mutually consistent, and — because a parent
+/// is always allocated before its children (the invariant of every MFT
+/// construction path) — every child id strictly greater than its
+/// parent's, which rules out cycles and unbounded recursion. The FNV
+/// entry checksum is not cryptographic, so crafted or pathologically
+/// corrupted bytes can reach this point; they must come back as a
+/// [`DecodeError`], never a panic or stack overflow.
 pub fn get_mft(r: &mut Reader) -> Result<Mft, DecodeError> {
     let n = r.seq_len()?;
     let mut nodes = Vec::with_capacity(n);
@@ -535,6 +551,31 @@ pub fn get_mft(r: &mut Reader) -> Result<Mft, DecodeError> {
             return err("MFT node ids are not dense");
         }
         nodes.push(node);
+    }
+    for (i, node) in nodes.iter().enumerate() {
+        match node.parent {
+            None if i != 0 => return err("non-root MFT node without a parent"),
+            Some(_) if i == 0 => return err("MFT root has a parent"),
+            Some(p) if p.0 >= i => return err("MFT parent id not below child id"),
+            Some(p) if !nodes[p.0].children.contains(&node.id) => {
+                return err("MFT parent does not list child")
+            }
+            _ => {}
+        }
+        for (pos, c) in node.children.iter().enumerate() {
+            if c.0 >= n {
+                return err("MFT child id out of bounds");
+            }
+            if c.0 <= i {
+                return err("MFT child id not above parent id");
+            }
+            if nodes[c.0].parent != Some(node.id) {
+                return err("MFT child does not back-reference parent");
+            }
+            if node.children[..pos].contains(c) {
+                return err("MFT child listed twice");
+            }
+        }
     }
     Ok(Mft::from_nodes(nodes))
 }
@@ -986,6 +1027,98 @@ mod tests {
         out.put_u64_le(1); // nodes
         out.put_u32_le(u32::MAX); // sources length
         assert!(get_taint_summary(&mut Reader::new(&out)).is_err());
+    }
+
+    fn field_node(id: usize, parent: usize) -> MftNode {
+        MftNode {
+            id: MftNodeId(id),
+            parent: Some(MftNodeId(parent)),
+            children: Vec::new(),
+            kind: MftNodeKind::Field(FieldSource::NumericConstant { value: id as u64 }),
+            op: None,
+            func: 0,
+        }
+    }
+
+    fn encode_mft_nodes(nodes: &[MftNode]) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.put_u32_le(nodes.len() as u32);
+        for n in nodes {
+            put_mft_node(&mut out, n);
+        }
+        out
+    }
+
+    fn root_with_children(children: &[usize]) -> MftNode {
+        MftNode {
+            id: MftNodeId(0),
+            parent: None,
+            children: children.iter().map(|&c| MftNodeId(c)).collect(),
+            kind: MftNodeKind::Root {
+                delivery: "SSL_write".to_string(),
+            },
+            op: None,
+            func: 0,
+        }
+    }
+
+    #[test]
+    fn well_formed_mft_decodes() {
+        let nodes = vec![
+            root_with_children(&[1, 2]),
+            field_node(1, 0),
+            field_node(2, 0),
+        ];
+        let mft = get_mft(&mut Reader::new(&encode_mft_nodes(&nodes))).unwrap();
+        assert_eq!(mft.len(), 3);
+        assert_eq!(mft.leaves().len(), 2);
+    }
+
+    #[test]
+    fn mft_with_out_of_bounds_child_is_rejected() {
+        // Root points at child 7 but only 2 nodes exist: Mft::node would
+        // panic on the unchecked index, so decoding must error instead.
+        let nodes = vec![root_with_children(&[1, 7]), field_node(1, 0)];
+        assert!(get_mft(&mut Reader::new(&encode_mft_nodes(&nodes))).is_err());
+    }
+
+    #[test]
+    fn mft_with_cycle_is_rejected() {
+        // Node 1 lists itself as a child: dfs_leaves would recurse forever.
+        let mut cyclic = field_node(1, 0);
+        cyclic.children.push(MftNodeId(1));
+        let nodes = vec![root_with_children(&[1]), cyclic];
+        assert!(get_mft(&mut Reader::new(&encode_mft_nodes(&nodes))).is_err());
+
+        // Node 2 lists its ancestor (the root) as a child.
+        let mut back = field_node(2, 1);
+        back.children.push(MftNodeId(0));
+        let mut mid = field_node(1, 0);
+        mid.children.push(MftNodeId(2));
+        let nodes = vec![root_with_children(&[1]), mid, back];
+        assert!(get_mft(&mut Reader::new(&encode_mft_nodes(&nodes))).is_err());
+    }
+
+    #[test]
+    fn mft_with_inconsistent_links_is_rejected() {
+        // Child 2's parent back-reference says node 1, but the root
+        // claims it as its own child.
+        let nodes = vec![
+            root_with_children(&[1, 2]),
+            field_node(1, 0),
+            field_node(2, 1),
+        ];
+        assert!(get_mft(&mut Reader::new(&encode_mft_nodes(&nodes))).is_err());
+
+        // A node listed as a child twice would be traversed twice.
+        let nodes = vec![root_with_children(&[1, 1]), field_node(1, 0)];
+        assert!(get_mft(&mut Reader::new(&encode_mft_nodes(&nodes))).is_err());
+
+        // A second root (no parent) unreachable from node 0.
+        let mut orphan = field_node(1, 0);
+        orphan.parent = None;
+        let nodes = vec![root_with_children(&[]), orphan];
+        assert!(get_mft(&mut Reader::new(&encode_mft_nodes(&nodes))).is_err());
     }
 
     #[test]

@@ -88,7 +88,7 @@ pub fn analyze_corpus_incremental(
     slots.resize_with(images.len(), || None);
     let keys: Vec<CacheKey> = images
         .iter()
-        .map(|fw| CacheKey::compute(fw, config))
+        .map(|fw| CacheKey::compute(fw, classifier, config))
         .collect();
 
     // Phase 1: consult the store. `misses` collects (input index,
@@ -206,6 +206,73 @@ mod tests {
             assert_eq!(a.diagnostics, b.diagnostics);
             assert_eq!(a.messages.len(), b.messages.len());
         }
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn classifier_change_forces_a_miss() {
+        use firmres_semantics::{Primitive, TrainConfig};
+        let dev = generate_device(6, 7);
+        let image: &FirmwareImage = &dev.firmware;
+        let config = AnalysisConfig::default();
+        let cache = AnalysisCache::new(temp_dir("classifier"));
+
+        let bare = analyze_corpus_incremental(
+            &[image],
+            None,
+            &config,
+            1,
+            &cache,
+            &mut firmres::NullObserver,
+        );
+        assert_eq!(bare.stats.misses, 1);
+
+        // Supplying a model must not serve the cached no-model analysis:
+        // classify() output and the "no trained classifier" diagnostic
+        // both depend on it.
+        let data = vec![
+            ("mac address".to_string(), Primitive::DevIdentifier),
+            ("password login".to_string(), Primitive::UserCred),
+        ];
+        let model = firmres_semantics::Classifier::train(
+            &data,
+            &TrainConfig {
+                epochs: 3,
+                ..Default::default()
+            },
+        );
+        let with_model = analyze_corpus_incremental(
+            &[image],
+            Some(&model),
+            &config,
+            1,
+            &cache,
+            &mut firmres::NullObserver,
+        );
+        assert_eq!(
+            with_model.stats.misses, 1,
+            "model run must not hit no-model entry"
+        );
+
+        // Both variants are now independently cached.
+        let warm_bare = analyze_corpus_incremental(
+            &[image],
+            None,
+            &config,
+            1,
+            &cache,
+            &mut firmres::NullObserver,
+        );
+        let warm_model = analyze_corpus_incremental(
+            &[image],
+            Some(&model),
+            &config,
+            1,
+            &cache,
+            &mut firmres::NullObserver,
+        );
+        assert_eq!(warm_bare.stats.hits, 1);
+        assert_eq!(warm_model.stats.hits, 1);
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 

@@ -1,15 +1,17 @@
-//! Cache keying: content hash of the firmware image plus pipeline and
-//! configuration fingerprints.
+//! Cache keying: content hash of the firmware image plus pipeline,
+//! configuration and classifier fingerprints.
 //!
 //! A cached analysis is only valid for the exact bytes it was computed
-//! from, under the exact pipeline and configuration that computed it.
-//! [`CacheKey`] captures all three, and the on-disk file name is derived
-//! from the full key — so a pipeline-version bump or a configuration
-//! change simply makes the store look for a file that is not there
+//! from, under the exact pipeline, configuration and (optional)
+//! semantics model that computed it. [`CacheKey`] captures all four,
+//! and the on-disk file name is derived from the full key — so a
+//! pipeline-version bump, a configuration change or swapping the
+//! classifier simply makes the store look for a file that is not there
 //! (a miss), never for a file holding stale results.
 
 use firmres::AnalysisConfig;
-use firmres_firmware::{content_hash_packed, FirmwareImage};
+use firmres_firmware::{content_hash_packed, content_hash_packed_wide, FirmwareImage};
+use firmres_semantics::Classifier;
 
 /// Version of the analysis pipeline whose results the cache stores.
 ///
@@ -19,21 +21,36 @@ use firmres_firmware::{content_hash_packed, FirmwareImage};
 /// cache key (and thus the file name) and the entry header.
 pub const PIPELINE_VERSION: u32 = 1;
 
+/// The [`CacheKey::classifier`] fingerprint of an analysis run with no
+/// trained semantics model.
+///
+/// [`classifier_fingerprint`] never returns this value for a real model,
+/// so a model-less run and a model-driven run can never share an entry.
+pub const NO_CLASSIFIER: u64 = 0;
+
 /// The full content-addressed identity of one analysis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheKey {
-    /// FNV-64 of the packed firmware image bytes.
-    pub image: u64,
+    /// FNV-128 of the packed firmware image bytes.
+    pub image: u128,
     /// [`PIPELINE_VERSION`] at key-computation time.
     pub pipeline: u32,
     /// Fingerprint of the [`AnalysisConfig`] knobs that affect output.
     pub config: u64,
+    /// Fingerprint of the semantics classifier ([`NO_CLASSIFIER`] when
+    /// the analysis ran without one).
+    pub classifier: u64,
 }
 
 impl CacheKey {
-    /// Key for analyzing `fw` under `config` with the current pipeline.
-    pub fn compute(fw: &FirmwareImage, config: &AnalysisConfig) -> CacheKey {
-        CacheKey::of_packed(&fw.pack(), config)
+    /// Key for analyzing `fw` with `classifier` under `config` with the
+    /// current pipeline.
+    pub fn compute(
+        fw: &FirmwareImage,
+        classifier: Option<&Classifier>,
+        config: &AnalysisConfig,
+    ) -> CacheKey {
+        CacheKey::of_packed(&fw.pack(), classifier, config)
     }
 
     /// Key for the packed container bytes directly.
@@ -41,19 +58,24 @@ impl CacheKey {
     /// Useful when the caller already holds the packed form, and the only
     /// way to key bytes that do not unpack (the byte-flip invalidation
     /// tests rely on this).
-    pub fn of_packed(packed: &[u8], config: &AnalysisConfig) -> CacheKey {
+    pub fn of_packed(
+        packed: &[u8],
+        classifier: Option<&Classifier>,
+        config: &AnalysisConfig,
+    ) -> CacheKey {
         CacheKey {
-            image: content_hash_packed(packed),
+            image: content_hash_packed_wide(packed),
             pipeline: PIPELINE_VERSION,
             config: config_fingerprint(config),
+            classifier: classifier_fingerprint(classifier),
         }
     }
 
-    /// The store file name this key maps to (hex of all three parts).
+    /// The store file name this key maps to (hex of all four parts).
     pub fn file_name(&self) -> String {
         format!(
-            "{:016x}-{:08x}-{:016x}.frac",
-            self.image, self.pipeline, self.config
+            "{:032x}-{:08x}-{:016x}-{:016x}.frac",
+            self.image, self.pipeline, self.config, self.classifier
         )
     }
 }
@@ -78,9 +100,33 @@ pub fn config_fingerprint(config: &AnalysisConfig) -> u64 {
     content_hash_packed(&bytes)
 }
 
+/// FNV-64 fingerprint of the semantics model the analysis ran with.
+///
+/// The Semantics stage's output (and the "no trained classifier"
+/// diagnostic) depends on which model — if any — was supplied, so the
+/// model is part of the analysis identity. `None` maps to the reserved
+/// [`NO_CLASSIFIER`] marker; a trained model is hashed over its
+/// serialized form ([`Classifier::to_bytes`], which covers every weight
+/// bit), nudged off the marker value in the astronomically unlikely case
+/// the hash lands on it.
+pub fn classifier_fingerprint(classifier: Option<&Classifier>) -> u64 {
+    match classifier {
+        None => NO_CLASSIFIER,
+        Some(model) => {
+            let h = content_hash_packed(&model.to_bytes());
+            if h == NO_CLASSIFIER {
+                1
+            } else {
+                h
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use firmres_semantics::{Primitive, TrainConfig};
 
     #[test]
     fn config_fingerprint_sees_every_knob() {
@@ -112,10 +158,51 @@ mod tests {
     #[test]
     fn file_name_is_stable_and_key_dependent() {
         let config = AnalysisConfig::default();
-        let a = CacheKey::of_packed(b"image-a", &config);
-        let b = CacheKey::of_packed(b"image-b", &config);
-        assert_eq!(a, CacheKey::of_packed(b"image-a", &config));
+        let a = CacheKey::of_packed(b"image-a", None, &config);
+        let b = CacheKey::of_packed(b"image-b", None, &config);
+        assert_eq!(a, CacheKey::of_packed(b"image-a", None, &config));
         assert_ne!(a.file_name(), b.file_name());
         assert!(a.file_name().ends_with(".frac"));
+    }
+
+    fn trained(seed: u64) -> Classifier {
+        let data = vec![
+            ("mac address".to_string(), Primitive::DevIdentifier),
+            ("password login".to_string(), Primitive::UserCred),
+        ];
+        Classifier::train(
+            &data,
+            &TrainConfig {
+                epochs: 3,
+                seed,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn classifier_presence_and_identity_change_the_key() {
+        let config = AnalysisConfig::default();
+        let bare = CacheKey::of_packed(b"image", None, &config);
+        assert_eq!(bare.classifier, NO_CLASSIFIER);
+
+        let m1 = trained(1);
+        let with_model = CacheKey::of_packed(b"image", Some(&m1), &config);
+        assert_ne!(
+            bare, with_model,
+            "a model-less run must not share the model run's entry"
+        );
+        assert_ne!(bare.file_name(), with_model.file_name());
+
+        // Same model → same key; a differently-trained model → different key.
+        assert_eq!(
+            with_model,
+            CacheKey::of_packed(b"image", Some(&m1), &config)
+        );
+        let m2 = trained(2);
+        assert_ne!(
+            with_model,
+            CacheKey::of_packed(b"image", Some(&m2), &config)
+        );
     }
 }

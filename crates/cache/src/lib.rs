@@ -4,16 +4,17 @@
 //! incremental corpus driver built on it.
 //!
 //! The FIRMRES pipeline is deterministic: the same firmware bytes under
-//! the same pipeline and configuration always produce the same
-//! [`FirmwareAnalysis`]. This crate exploits that to make corpus
-//! re-analysis (the paper's 22-device evaluation sweep, CI runs,
-//! iterative triage) incremental:
+//! the same pipeline, configuration and (optional) semantics model
+//! always produce the same [`FirmwareAnalysis`]. This crate exploits
+//! that to make corpus re-analysis (the paper's 22-device evaluation
+//! sweep, CI runs, iterative triage) incremental:
 //!
 //! * [`CacheKey`] — the content-addressed identity of one analysis:
-//!   an FNV-64 hash of the packed firmware image, the
-//!   [`PIPELINE_VERSION`], and a fingerprint of every configuration knob
-//!   that can change output. Any of the three changing changes the key,
-//!   so stale results are structurally unreachable.
+//!   an FNV-128 hash of the packed firmware image, the
+//!   [`PIPELINE_VERSION`], a fingerprint of every configuration knob
+//!   that can change output, and a fingerprint of the semantics
+//!   classifier (or the absence of one). Any of the four changing
+//!   changes the key, so stale results are structurally unreachable.
 //! * [`AnalysisCache`] — a one-file-per-key on-disk store holding the
 //!   completed analysis plus per-stage intermediate artifacts (the
 //!   ExeId handler set, the FieldId taint summaries) in independently
@@ -59,5 +60,7 @@ mod key;
 mod store;
 
 pub use driver::{analyze_corpus_incremental, CacheStats, CorpusOutcome};
-pub use key::{config_fingerprint, CacheKey, PIPELINE_VERSION};
+pub use key::{
+    classifier_fingerprint, config_fingerprint, CacheKey, NO_CLASSIFIER, PIPELINE_VERSION,
+};
 pub use store::{taint_summaries, AnalysisCache, CacheError, CachedEntry, SCHEMA_VERSION};

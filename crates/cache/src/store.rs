@@ -6,14 +6,19 @@
 //! ```text
 //! "FRAC"                      magic
 //! u16  schema version         (SCHEMA_VERSION)
-//! u64  image hash      ┐
-//! u32  pipeline version│      key echo — must match the lookup key
-//! u64  config hash     ┘
+//! u128 image hash       ┐
+//! u32  pipeline version │     key echo — must match the lookup key
+//! u64  config hash      │
+//! u64  classifier hash  ┘
 //! u32+bytes  handlers section        (Vec<HandlerInfo>)
 //! u32+bytes  taint-summary section   (Vec<TaintSummary>)
 //! u32+bytes  analysis section        (FirmwareAnalysis)
 //! u64  FNV-64 of everything above
 //! ```
+//!
+//! Entries are written to a temp file in the store directory and
+//! renamed into place, so a crash mid-write or a concurrent reader in a
+//! shared cache directory never observes a torn entry.
 //!
 //! Each section is byte-length-prefixed, so [`AnalysisCache::load_handlers`]
 //! and [`AnalysisCache::load_taint_summaries`] can return a stage's
@@ -44,7 +49,7 @@ use std::path::{Path, PathBuf};
 /// to [`PIPELINE_VERSION`] which covers what the sections *contain*.
 ///
 /// [`PIPELINE_VERSION`]: crate::PIPELINE_VERSION
-pub const SCHEMA_VERSION: u16 = 1;
+pub const SCHEMA_VERSION: u16 = 2;
 
 const MAGIC: &[u8; 4] = b"FRAC";
 
@@ -178,9 +183,10 @@ impl AnalysisCache {
         let mut out = Vec::with_capacity(4096);
         out.put_slice(MAGIC);
         out.put_u16_le(SCHEMA_VERSION);
-        out.put_u64_le(key.image);
+        out.put_u128_le(key.image);
         out.put_u32_le(key.pipeline);
         out.put_u64_le(key.config);
+        out.put_u64_le(key.classifier);
 
         let mut section = Vec::new();
         section.put_u32_le(analysis.handlers.len() as u32);
@@ -204,7 +210,23 @@ impl AnalysisCache {
         out.put_u64_le(content_hash_packed(&out));
 
         std::fs::create_dir_all(&self.dir).map_err(|e| CacheError::Io(e.to_string()))?;
-        std::fs::write(self.entry_path(key), &out).map_err(|e| CacheError::Io(e.to_string()))?;
+        // Write-then-rename so a crash mid-write or a concurrent reader
+        // never sees a torn entry: the final path either holds the old
+        // bytes or the complete new ones. The temp name is unique per
+        // process and write, so parallel writers cannot collide.
+        static WRITE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = WRITE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = self.dir.join(format!(
+            ".{}.{}-{seq}.tmp",
+            key.file_name(),
+            std::process::id()
+        ));
+        let final_path = self.entry_path(key);
+        std::fs::write(&tmp, &out).map_err(|e| CacheError::Io(e.to_string()))?;
+        if let Err(e) = std::fs::rename(&tmp, &final_path) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(CacheError::Io(e.to_string()));
+        }
         Ok(out.len() as u64)
     }
 
@@ -274,9 +296,10 @@ impl AnalysisCache {
             return Err(CacheError::SchemaMismatch { found: schema });
         }
         let echo = CacheKey {
-            image: r.u64()?,
+            image: r.u128()?,
             pipeline: r.u32()?,
             config: r.u64()?,
+            classifier: r.u64()?,
         };
         if echo != *key {
             return Err(CacheError::KeyMismatch);
@@ -344,7 +367,7 @@ mod tests {
         let config = AnalysisConfig::default();
         let analysis = analyze_firmware(&dev.firmware, None, &config);
         let cache = AnalysisCache::new(temp_dir("roundtrip"));
-        let key = CacheKey::compute(&dev.firmware, &config);
+        let key = CacheKey::compute(&dev.firmware, None, &config);
 
         assert!(matches!(cache.load(&key), Err(CacheError::Miss)));
         let written = cache.store(&key, &analysis).unwrap();
@@ -375,7 +398,7 @@ mod tests {
         let config = AnalysisConfig::default();
         let analysis = analyze_firmware(&dev.firmware, None, &config);
         let cache = AnalysisCache::new(temp_dir("corrupt"));
-        let key = CacheKey::compute(&dev.firmware, &config);
+        let key = CacheKey::compute(&dev.firmware, None, &config);
         cache.store(&key, &analysis).unwrap();
         let path = cache.entry_path(&key);
         let good = std::fs::read(&path).unwrap();
@@ -412,7 +435,7 @@ mod tests {
         let config = AnalysisConfig::default();
         let analysis = analyze_firmware(&dev.firmware, None, &config);
         let cache = AnalysisCache::new(temp_dir("schema"));
-        let key = CacheKey::compute(&dev.firmware, &config);
+        let key = CacheKey::compute(&dev.firmware, None, &config);
         cache.store(&key, &analysis).unwrap();
         let path = cache.entry_path(&key);
         let mut data = std::fs::read(&path).unwrap();
@@ -437,8 +460,8 @@ mod tests {
         let dev_b = generate_device(10, 7);
         let config = AnalysisConfig::default();
         let cache = AnalysisCache::new(temp_dir("echo"));
-        let key_a = CacheKey::compute(&dev_a.firmware, &config);
-        let key_b = CacheKey::compute(&dev_b.firmware, &config);
+        let key_a = CacheKey::compute(&dev_a.firmware, None, &config);
+        let key_b = CacheKey::compute(&dev_b.firmware, None, &config);
         let analysis = analyze_firmware(&dev_a.firmware, None, &config);
         cache.store(&key_a, &analysis).unwrap();
         // Pretend a's entry is b's by renaming the file.

@@ -398,6 +398,25 @@ pub fn content_hash_packed(packed: &[u8]) -> u64 {
     h
 }
 
+/// 128-bit FNV-1a digest of already-packed container bytes.
+///
+/// The analysis cache keys firmware *identity* on this wider digest: at
+/// 64 bits, a corpus of a few hundred million images has a
+/// non-negligible birthday-collision probability, and a colliding pair
+/// would silently share one cache entry. 128 bits pushes accidental
+/// collisions out of reach for any realistic corpus. FNV is still not
+/// cryptographic — an adversary who controls firmware bytes can craft
+/// collisions — so the cache must not be trusted across a privilege
+/// boundary (see DESIGN.md §7 for the threat-model tradeoff).
+pub fn content_hash_packed_wide(packed: &[u8]) -> u128 {
+    let mut h: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    for &b in packed {
+        h ^= b as u128;
+        h = h.wrapping_mul(0x0000_0000_0100_0000_0000_0000_0000_013b);
+    }
+    h
+}
+
 fn fnv32(bytes: &[u8]) -> u32 {
     let mut h: u32 = 0x811c_9dc5;
     for &b in bytes {
@@ -561,6 +580,18 @@ mod tests {
         let mut bad = fw.pack().to_vec();
         bad[20] ^= 1;
         assert_ne!(h, content_hash_packed(&bad));
+    }
+
+    #[test]
+    fn wide_content_hash_is_stable_and_content_sensitive() {
+        let fw = sample();
+        let packed = fw.pack();
+        let h = content_hash_packed_wide(&packed);
+        assert_eq!(h, content_hash_packed_wide(&packed), "deterministic");
+        assert!(h > u64::MAX as u128, "uses the upper 64 bits for real data");
+        let mut bad = packed.to_vec();
+        bad[20] ^= 1;
+        assert_ne!(h, content_hash_packed_wide(&bad));
     }
 
     #[test]

@@ -37,6 +37,7 @@ mod nvram;
 
 pub use entry::{FileEntry, ScriptLang};
 pub use image::{
-    content_hash_packed, DeviceInfo, DeviceType, ExeLoadError, FirmwareError, FirmwareImage,
+    content_hash_packed, content_hash_packed_wide, DeviceInfo, DeviceType, ExeLoadError,
+    FirmwareError, FirmwareImage,
 };
 pub use nvram::Nvram;

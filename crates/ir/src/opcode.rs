@@ -134,8 +134,51 @@ impl Opcode {
     ];
 
     /// Stable serialization tag (index into [`Opcode::ALL`]).
+    ///
+    /// Written as an exhaustive match so adding an `Opcode` variant is a
+    /// compile error here — the prompt to append it to [`Opcode::ALL`]
+    /// (the `tags_match_all_positions` test pins the two in sync) and to
+    /// bump the cache's pipeline version.
     pub fn tag(self) -> u8 {
-        Self::ALL.iter().position(|o| *o == self).expect("in ALL") as u8
+        match self {
+            Opcode::Copy => 0,
+            Opcode::Load => 1,
+            Opcode::Store => 2,
+            Opcode::Branch => 3,
+            Opcode::CBranch => 4,
+            Opcode::BranchInd => 5,
+            Opcode::Call => 6,
+            Opcode::CallInd => 7,
+            Opcode::Return => 8,
+            Opcode::IntEqual => 9,
+            Opcode::IntNotEqual => 10,
+            Opcode::IntLess => 11,
+            Opcode::IntSLess => 12,
+            Opcode::IntLessEqual => 13,
+            Opcode::IntAdd => 14,
+            Opcode::IntSub => 15,
+            Opcode::IntMult => 16,
+            Opcode::IntDiv => 17,
+            Opcode::IntRem => 18,
+            Opcode::IntAnd => 19,
+            Opcode::IntOr => 20,
+            Opcode::IntXor => 21,
+            Opcode::IntLeft => 22,
+            Opcode::IntRight => 23,
+            Opcode::IntSRight => 24,
+            Opcode::Int2Comp => 25,
+            Opcode::IntNegate => 26,
+            Opcode::IntZExt => 27,
+            Opcode::IntSExt => 28,
+            Opcode::BoolNegate => 29,
+            Opcode::BoolAnd => 30,
+            Opcode::BoolOr => 31,
+            Opcode::Piece => 32,
+            Opcode::SubPiece => 33,
+            Opcode::PtrAdd => 34,
+            Opcode::MultiEqual => 35,
+            Opcode::Nop => 36,
+        }
     }
 
     /// Opcode from a serialization tag, `None` for unknown tags.
@@ -284,5 +327,16 @@ mod tests {
         // The tag order is a persistence contract: spot-check anchors.
         assert_eq!(Opcode::Copy.tag(), 0);
         assert_eq!(Opcode::Nop.tag(), 36);
+    }
+
+    #[test]
+    fn tags_match_all_positions() {
+        // tag() is an exhaustive match; ALL drives from_tag. This pins
+        // the two enumerations to each other, so forgetting to append a
+        // new variant to ALL (after the compiler forces a tag) fails
+        // here instead of corrupting persisted entries.
+        for (i, op) in Opcode::ALL.iter().enumerate() {
+            assert_eq!(op.tag() as usize, i, "{op}");
+        }
     }
 }

@@ -1,7 +1,8 @@
 //! The analysis cache's correctness contract: warm runs are
 //! byte-identical to the cold run that populated the store, and any
-//! change to the image bytes, the pipeline version, or the analysis
-//! configuration invalidates the entry (forces a miss).
+//! change to the image bytes, the pipeline version, the analysis
+//! configuration, or the semantics classifier invalidates the entry
+//! (forces a miss).
 
 use firmres::{AnalysisConfig, NullObserver};
 use firmres_cache::{analyze_corpus_incremental, codec, AnalysisCache, CacheKey, PIPELINE_VERSION};
@@ -58,12 +59,12 @@ fn image_byte_flip_forces_a_miss() {
     let config = AnalysisConfig::default();
     let packed = dev.firmware.pack();
 
-    let key = CacheKey::of_packed(&packed, &config);
+    let key = CacheKey::of_packed(&packed, None, &config);
     let mut flipped = packed.to_vec();
     // Flip one payload byte: a genuinely different firmware image.
     let mid = flipped.len() / 2;
     flipped[mid] ^= 0x01;
-    let flipped_key = CacheKey::of_packed(&flipped, &config);
+    let flipped_key = CacheKey::of_packed(&flipped, None, &config);
 
     assert_ne!(
         key, flipped_key,
@@ -84,7 +85,7 @@ fn image_byte_flip_forces_a_miss() {
 fn pipeline_version_bump_forces_a_miss() {
     let dev = firmres_corpus::generate_device(10, 7);
     let config = AnalysisConfig::default();
-    let key = CacheKey::compute(&dev.firmware, &config);
+    let key = CacheKey::compute(&dev.firmware, None, &config);
     assert_eq!(key.pipeline, PIPELINE_VERSION);
 
     // A future pipeline's key: same image, same config, bumped version.
@@ -99,6 +100,73 @@ fn pipeline_version_bump_forces_a_miss() {
     cache.store(&key, &analysis).unwrap();
     assert!(cache.load(&key).is_ok());
     assert!(cache.load(&future).unwrap_err().is_miss());
+    let _ = std::fs::remove_dir_all(cache.dir());
+}
+
+#[test]
+fn classifier_change_forces_a_miss() {
+    use firmres_semantics::{Classifier, Primitive, TrainConfig};
+    let dev = firmres_corpus::generate_device(10, 7);
+    let config = AnalysisConfig::default();
+    let image: &FirmwareImage = &dev.firmware;
+    let cache = AnalysisCache::new(temp_dir("classifier"));
+
+    // Cold run without a model, as `analyze img --cache d` would do.
+    let bare = analyze_corpus_incremental(&[image], None, &config, 1, &cache, &mut NullObserver);
+    assert_eq!(bare.stats.misses, 1);
+
+    // `analyze img model.fsm --cache d` over the same store must re-run
+    // the pipeline, not silently serve the no-model analysis.
+    let data = vec![
+        ("mac address".to_string(), Primitive::DevIdentifier),
+        ("password login".to_string(), Primitive::UserCred),
+    ];
+    let model = Classifier::train(
+        &data,
+        &TrainConfig {
+            epochs: 3,
+            ..Default::default()
+        },
+    );
+    let with_model = analyze_corpus_incremental(
+        &[image],
+        Some(&model),
+        &config,
+        1,
+        &cache,
+        &mut NullObserver,
+    );
+    assert_eq!(with_model.stats.misses, 1);
+
+    // A differently-trained model is a different key again.
+    let other = Classifier::train(
+        &data,
+        &TrainConfig {
+            epochs: 4,
+            ..Default::default()
+        },
+    );
+    let with_other = analyze_corpus_incremental(
+        &[image],
+        Some(&other),
+        &config,
+        1,
+        &cache,
+        &mut NullObserver,
+    );
+    assert_eq!(with_other.stats.misses, 1);
+
+    // All three variants now coexist and hit independently.
+    let warm = analyze_corpus_incremental(
+        &[image],
+        Some(&model),
+        &config,
+        1,
+        &cache,
+        &mut NullObserver,
+    );
+    assert_eq!(warm.stats.hits, 1);
+    assert_eq!(encoded(&warm.analyses[0]), encoded(&with_model.analyses[0]));
     let _ = std::fs::remove_dir_all(cache.dir());
 }
 

@@ -214,7 +214,7 @@ fn corrupted_cache_entry_falls_back_to_reanalysis() {
 
     // Populate, then damage the entry on disk.
     let cold = analyze_corpus_incremental(&[image], None, &config, 1, &cache, &mut obs());
-    let key = CacheKey::compute(image, &config);
+    let key = CacheKey::compute(image, None, &config);
     let path = cache.entry_path(&key);
     let good = std::fs::read(&path).unwrap();
     std::fs::write(&path, &good[..good.len() / 3]).unwrap();

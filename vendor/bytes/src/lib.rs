@@ -246,6 +246,11 @@ pub trait BufMut {
         self.put_slice(&v.to_le_bytes());
     }
 
+    /// Append a little-endian `u128`.
+    fn put_u128_le(&mut self, v: u128) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
     /// Append a little-endian `f32`.
     fn put_f32_le(&mut self, v: f32) {
         self.put_u32_le(v.to_bits());
