@@ -38,7 +38,7 @@ fn bench_taint(c: &mut Criterion) {
     let (program, callsites) = agent_program(13);
     c.bench_function("taint/trace_all_messages_dev13", |b| {
         b.iter(|| {
-            let mut engine = TaintEngine::new(&program);
+            let engine = TaintEngine::new(&program);
             let mut nodes = 0usize;
             for (func, addr, arg) in &callsites {
                 nodes += engine.trace(*func, *addr, *arg).len();
@@ -62,7 +62,7 @@ fn bench_exeid(c: &mut Criterion) {
 
 fn bench_mft(c: &mut Criterion) {
     let (program, callsites) = agent_program(13);
-    let mut engine = TaintEngine::new(&program);
+    let engine = TaintEngine::new(&program);
     let trees: Vec<_> = callsites
         .iter()
         .map(|(f, a, arg)| engine.trace(*f, *a, *arg))

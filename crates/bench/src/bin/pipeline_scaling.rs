@@ -1,0 +1,137 @@
+//! Intra-image scaling benchmark of the message-unit execution model.
+//!
+//! Sweeps the synthetic corpus once at one unit job to find the most
+//! expensive device (the paper's 154–1472 s spread, §V-E), then
+//! re-analyzes that device at 1 and N unit jobs, verifies the N-thread
+//! output is byte-identical to the 1-thread run (via the cache codec,
+//! timings zeroed — they measure, they are not measured), and writes the
+//! numbers to `BENCH_pipeline.json`.
+//!
+//! Usage: `cargo run --release -p firmres-bench --bin pipeline_scaling [out.json]`
+//!
+//! Exits non-zero when the parallel output diverges, or when 4+ workers
+//! fail to reach a 2× speedup on the largest device (the message-unit
+//! acceptance floor).
+
+use firmres::{analyze_firmware_jobs, AnalysisConfig, FirmwareAnalysis};
+use firmres_cache::codec;
+use firmres_corpus::generate_corpus;
+use std::time::Instant;
+
+/// The cache codec's bytes for `analysis` with timings zeroed: the
+/// strictest observable-equality check available.
+fn canonical_bytes(mut analysis: FirmwareAnalysis) -> Vec<u8> {
+    analysis.timings = Default::default();
+    let mut out = Vec::new();
+    codec::put_analysis(&mut out, &analysis);
+    out
+}
+
+/// Best-of-`reps` wall-clock for one device at `jobs` unit workers.
+fn measure(
+    fw: &firmres_firmware::FirmwareImage,
+    config: &AnalysisConfig,
+    jobs: usize,
+    reps: usize,
+) -> (f64, FirmwareAnalysis) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let analysis = analyze_firmware_jobs(fw, None, config, jobs);
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+        last = Some(analysis);
+    }
+    (best, last.expect("reps >= 1"))
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let config = AnalysisConfig::default();
+
+    eprintln!("generating corpus…");
+    let corpus = generate_corpus(7);
+
+    // Cold sweep at one job: times every device once and picks the most
+    // expensive one as the scaling subject.
+    eprintln!("cold sweep: {} devices at 1 unit job…", corpus.len());
+    let t = Instant::now();
+    let mut subject = 0;
+    let mut subject_ms = 0.0;
+    for (i, dev) in corpus.iter().enumerate() {
+        let t = Instant::now();
+        let _ = analyze_firmware_jobs(&dev.firmware, None, &config, 1);
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        if ms > subject_ms {
+            subject = i;
+            subject_ms = ms;
+        }
+    }
+    let cold_ms = t.elapsed().as_secs_f64() * 1e3;
+    let dev = &corpus[subject];
+    eprintln!(
+        "largest device: {} ({} {}, {subject_ms:.1} ms cold)",
+        dev.spec.id, dev.spec.vendor, dev.spec.model
+    );
+
+    // The scaling pair: best-of-3 at 1 job and at N jobs, byte-compared.
+    let reps = 3;
+    let (seq_ms, seq) = measure(&dev.firmware, &config, 1, reps);
+    let (par_ms, par) = measure(&dev.firmware, &config, threads, reps);
+    let speedup = seq_ms / par_ms.max(1e-9);
+
+    let identical = canonical_bytes(seq) == canonical_bytes(par);
+    let mut failures = 0;
+    if !identical {
+        eprintln!(
+            "FAIL: device {} output at {threads} jobs differs from 1 job",
+            dev.spec.id
+        );
+        failures += 1;
+    }
+    if threads >= 4 && speedup < 2.0 {
+        eprintln!("FAIL: {speedup:.2}x at {threads} workers is below the 2x floor");
+        failures += 1;
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"pipeline_unit_scaling\",\n",
+            "  \"devices\": {devices},\n",
+            "  \"threads\": {threads},\n",
+            "  \"cold_sweep_ms\": {cold_ms:.3},\n",
+            "  \"largest_device\": {{ \"id\": {id}, \"vendor\": \"{vendor}\", \"model\": \"{model}\" }},\n",
+            "  \"sequential_ms\": {seq_ms:.3},\n",
+            "  \"parallel_ms\": {par_ms:.3},\n",
+            "  \"speedup\": {speedup:.2},\n",
+            "  \"byte_identical\": {identical}\n",
+            "}}\n"
+        ),
+        devices = corpus.len(),
+        threads = threads,
+        cold_ms = cold_ms,
+        id = dev.spec.id,
+        vendor = dev.spec.vendor,
+        model = dev.spec.model,
+        seq_ms = seq_ms,
+        par_ms = par_ms,
+        speedup = speedup,
+        identical = identical,
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark output");
+
+    println!(
+        "pipeline scaling: device {} | 1 job {seq_ms:.1} ms | {threads} jobs {par_ms:.1} ms | {speedup:.2}x",
+        dev.spec.id
+    );
+    println!("wrote {out_path}");
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -22,8 +22,8 @@
 use crate::key::CacheKey;
 use crate::store::AnalysisCache;
 use firmres::{
-    analyze_firmware, run_pool, AnalysisConfig, Counter, Diagnostic, FirmwareAnalysis, Observer,
-    Severity, StageKind,
+    analyze_firmware_jobs, run_pool, AnalysisConfig, Counter, Diagnostic, FirmwareAnalysis,
+    Observer, Parallelism, Severity, StageKind,
 };
 use firmres_firmware::FirmwareImage;
 use firmres_semantics::Classifier;
@@ -67,7 +67,13 @@ pub struct CorpusOutcome {
 }
 
 /// Analyze `images` through `cache`: load hits, pipeline the misses on
-/// up to `threads` workers, persist what was computed.
+/// the worker budget described by `par`, persist what was computed.
+///
+/// `par` accepts a plain thread count (image-level parallelism, the
+/// historical shape) or a full [`Parallelism`] to also fan each missed
+/// image's message units out over `par.units` workers. Neither axis
+/// changes any result byte, so cached entries stay valid whatever the
+/// caller picks.
 ///
 /// Results come back in input order, exactly as from
 /// [`firmres::analyze_corpus`]. `observer` receives the cache counters
@@ -79,10 +85,11 @@ pub fn analyze_corpus_incremental(
     images: &[&FirmwareImage],
     classifier: Option<&Classifier>,
     config: &AnalysisConfig,
-    threads: usize,
+    par: impl Into<Parallelism>,
     cache: &AnalysisCache,
     observer: &mut dyn Observer,
 ) -> CorpusOutcome {
+    let par = par.into();
     let mut stats = CacheStats::default();
     let mut slots: Vec<Option<FirmwareAnalysis>> = Vec::new();
     slots.resize_with(images.len(), || None);
@@ -125,8 +132,8 @@ pub fn analyze_corpus_incremental(
     }
 
     // Phase 2: pipeline the misses on the shared worker pool.
-    let fresh = run_pool(misses.len(), threads, |j| {
-        analyze_firmware(images[misses[j].0], classifier, config)
+    let fresh = run_pool(misses.len(), par.images, |j| {
+        analyze_firmware_jobs(images[misses[j].0], classifier, config, par.units)
     });
 
     // Phase 3: persist, then attach any corruption diagnostics. Storing
@@ -273,6 +280,53 @@ mod tests {
         );
         assert_eq!(warm_bare.stats.hits, 1);
         assert_eq!(warm_model.stats.hits, 1);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn parallel_produced_entry_serves_a_sequential_run() {
+        // An entry written by a unit-parallel miss must be byte-identical
+        // to what a sequential run computes — the warm sequential run may
+        // not even notice who populated the store.
+        let dev = generate_device(10, 7);
+        let image: &FirmwareImage = &dev.firmware;
+        let config = AnalysisConfig::default();
+        let cache = AnalysisCache::new(temp_dir("parunits"));
+
+        let cold = analyze_corpus_incremental(
+            &[image],
+            None,
+            &config,
+            Parallelism::units(8),
+            &cache,
+            &mut firmres::NullObserver,
+        );
+        assert_eq!(cold.stats.misses, 1);
+
+        let mut warm = analyze_corpus_incremental(
+            &[image],
+            None,
+            &config,
+            1,
+            &cache,
+            &mut firmres::NullObserver,
+        );
+        assert_eq!(warm.stats.hits, 1, "parallel-produced entry is served");
+
+        let mut sequential = firmres::analyze_firmware(image, None, &config);
+        let mut served = warm.analyses.remove(0);
+        assert_eq!(served.counters, sequential.counters);
+        assert_eq!(served.diagnostics, sequential.diagnostics);
+        // Byte-compare through the codec, timings zeroed (the entry holds
+        // the cold run's measured durations; everything else must match).
+        served.timings = Default::default();
+        sequential.timings = Default::default();
+        let enc = |a: &FirmwareAnalysis| {
+            let mut out = Vec::new();
+            crate::codec::put_analysis(&mut out, a);
+            out
+        };
+        assert_eq!(enc(&served), enc(&sequential));
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 

@@ -19,7 +19,13 @@ use firmres_semantics::Classifier;
 /// codec in this crate changes observable output: every existing cache
 /// entry then misses and is recomputed. The value is baked into both the
 /// cache key (and thus the file name) and the entry header.
-pub const PIPELINE_VERSION: u32 = 1;
+///
+/// History: 2 — executable pinpointing ranks all qualifying candidates
+/// by score instead of stopping at the first hit, changing counters and
+/// diagnostics on multi-candidate images. (The message-unit execution
+/// model shipped alongside did *not* require a bump: output is
+/// byte-identical at any job count.)
+pub const PIPELINE_VERSION: u32 = 2;
 
 /// The [`CacheKey::classifier`] fingerprint of an analysis run with no
 /// trained semantics model.

@@ -18,6 +18,55 @@ use firmres_semantics::Classifier;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
+/// How a corpus driver spends its worker threads: across images, within
+/// one image's message units, or both.
+///
+/// Pure throughput knobs — neither axis changes any analysis result, so
+/// neither enters the analysis-cache key. A plain `usize` converts to
+/// image-level parallelism (`n.into()`), keeping the historical
+/// `threads: usize` call shape working.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    /// Worker threads across images (the [`run_pool`] fan-out).
+    pub images: usize,
+    /// Worker threads across message units *within* each image
+    /// ([`crate::analyze_firmware_jobs`]).
+    pub units: usize,
+}
+
+impl Parallelism {
+    /// Image-level parallelism only (units run inline per image).
+    pub fn images(n: usize) -> Self {
+        Parallelism {
+            images: n,
+            units: 1,
+        }
+    }
+
+    /// Unit-level parallelism only (images processed one at a time).
+    pub fn units(n: usize) -> Self {
+        Parallelism {
+            images: 1,
+            units: n,
+        }
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism {
+            images: 1,
+            units: 1,
+        }
+    }
+}
+
+impl From<usize> for Parallelism {
+    fn from(threads: usize) -> Self {
+        Parallelism::images(threads)
+    }
+}
+
 /// Run `job(0..count)` across up to `threads` scoped worker threads and
 /// return the results in index order.
 ///

@@ -49,13 +49,16 @@ pub mod pipeline;
 pub mod probe;
 pub mod stages;
 
-pub use driver::{analyze_corpus, run_pool};
+pub use driver::{analyze_corpus, run_pool, Parallelism};
 pub use error::{Diagnostic, Error, Severity, StageKind};
 pub use exeid::{identify_device_cloud, score_handlers, ExeIdConfig, HandlerInfo};
 pub use formcheck::{check_message, FormFlaw, MessagePhase};
-pub use observe::{CollectingObserver, Counter, NullObserver, Observer, StageCounters};
+pub use observe::{
+    CollectingObserver, Counter, Event, NullObserver, Observer, StageCounters, StageEvents,
+};
 pub use pipeline::{
-    analyze_firmware, analyze_firmware_with, analyze_packed, try_analyze_firmware,
-    try_analyze_packed, AnalysisConfig, FirmwareAnalysis, MessageRecord, StageTimings,
+    analyze_firmware, analyze_firmware_jobs, analyze_firmware_with, analyze_firmware_with_jobs,
+    analyze_packed, try_analyze_firmware, try_analyze_packed, AnalysisConfig, FirmwareAnalysis,
+    MessageRecord, StageTimings,
 };
 pub use probe::{extract_endpoint, fill_message, probe_cloud, render_body, FilledMessage};

@@ -1,13 +1,22 @@
-//! Pipeline observability: the [`Observer`] trait and per-stage counters.
+//! Pipeline observability: the [`Observer`] trait, owned [`Event`]
+//! values, and per-stage counters.
 //!
 //! The staged pipeline ([`crate::stages`]) reports *everything it does* —
-//! stage boundaries with wall-clock cost, per-stage work counters, and
-//! structured [`Diagnostic`]s — through a caller-supplied [`Observer`]
-//! instead of ad-hoc inline timing. [`analyze_firmware`] uses
-//! [`NullObserver`]; callers that want live progress or telemetry pass
-//! their own implementation to [`analyze_firmware_with`]. The analysis
-//! result always carries the accumulated [`StageTimings`],
-//! [`StageCounters`] and diagnostics regardless of the observer.
+//! stage boundaries with timing, per-stage work counters, and structured
+//! [`Diagnostic`]s — through a caller-supplied [`Observer`] instead of
+//! ad-hoc inline timing. [`analyze_firmware`] uses [`NullObserver`];
+//! callers that want live progress or telemetry pass their own
+//! implementation to [`analyze_firmware_with`]. The analysis result
+//! always carries the accumulated [`StageTimings`], [`StageCounters`]
+//! and diagnostics regardless of the observer.
+//!
+//! The `Observer` trait itself is a single-threaded adapter (`&mut
+//! self`). The unit-parallel stages 2–5 therefore never call it from a
+//! worker: each message unit buffers its counter/diagnostic events as
+//! owned, `Send` [`Event`] values in a [`StageEvents`] buffer, the pool
+//! funnels the buffers back over its channel, and the merge step replays
+//! them into the observer in deterministic unit order (see
+//! [`crate::stages`]).
 //!
 //! [`analyze_firmware`]: crate::analyze_firmware
 //! [`analyze_firmware_with`]: crate::analyze_firmware_with
@@ -109,11 +118,69 @@ impl StageCounters {
     }
 }
 
+/// One pipeline event as a plain owned value.
+///
+/// Unlike the [`Observer`] callbacks, an `Event` borrows nothing: it is
+/// `Send + 'static`, so message units running on worker threads can
+/// buffer the events they produce and hand them back across the pool's
+/// channel for deterministic replay.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A work counter advanced by `n`.
+    Count(Counter, u64),
+    /// A diagnostic was recorded.
+    Diagnostic(Diagnostic),
+}
+
+/// The events one message unit produced in one pipeline stage, in
+/// emission order, plus the CPU time the unit spent there.
+///
+/// This is the thread-safe half of the observability story: workers fill
+/// `StageEvents` buffers (plain `Send` values — the pool's result channel
+/// is the fan-in), and the merge step replays them into the
+/// single-threaded [`Observer`] in unit order, so the observer sees the
+/// same deterministic stream whatever the job count.
+#[derive(Debug, Clone, Default)]
+pub struct StageEvents {
+    /// Counter and diagnostic events in emission order.
+    pub events: Vec<Event>,
+    /// CPU time the unit spent in the stage (summed into the stage's
+    /// [`StageTimings`] bucket at merge).
+    ///
+    /// [`StageTimings`]: crate::StageTimings
+    pub elapsed: Duration,
+}
+
+impl StageEvents {
+    /// Record a counter advance.
+    pub fn count(&mut self, counter: Counter, n: u64) {
+        self.events.push(Event::Count(counter, n));
+    }
+
+    /// Record a diagnostic.
+    pub fn diagnose(&mut self, diagnostic: Diagnostic) {
+        self.events.push(Event::Diagnostic(diagnostic));
+    }
+
+    /// Replay the buffered events into `observer`, preserving emission
+    /// order.
+    pub fn replay(&self, observer: &mut dyn Observer) {
+        for ev in &self.events {
+            match ev {
+                Event::Count(counter, n) => observer.count(*counter, *n),
+                Event::Diagnostic(d) => observer.diagnostic(d),
+            }
+        }
+    }
+}
+
 /// Receives pipeline events as they happen.
 ///
 /// All methods have empty default bodies, so an implementation only
 /// overrides what it cares about. Events arrive strictly in pipeline
-/// order within one analysis.
+/// order within one analysis; for the unit-parallel stages that order is
+/// reconstructed at merge time (per-unit buffers replayed in unit
+/// order), not the workers' completion order.
 pub trait Observer {
     /// A stage is about to run.
     fn stage_started(&mut self, stage: StageKind) {

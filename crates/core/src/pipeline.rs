@@ -9,6 +9,11 @@
 //!   degrade into [`Diagnostic`]s on the result.
 //! * [`analyze_firmware_with`] — same, streaming events to an
 //!   [`Observer`].
+//! * [`analyze_firmware_jobs`] / [`analyze_firmware_with_jobs`] — same
+//!   again, fanning the per-callsite message units out over up to `jobs`
+//!   worker threads ([`crate::stages`] describes the unit model). Every
+//!   entry point funnels through this driver; `jobs = 1` runs inline, and
+//!   the output is byte-identical at any job count.
 //! * [`try_analyze_firmware`] — fallible variant returning
 //!   [`Error::NoUsableExecutable`] when executables existed but none
 //!   could be parsed and lifted.
@@ -18,14 +23,15 @@
 //!
 //! [`AnalysisContext`]: crate::stages::AnalysisContext
 
+use crate::driver::run_pool;
 use crate::error::{Diagnostic, Error, Severity, StageKind};
 use crate::exeid::{ExeIdConfig, HandlerInfo};
 use crate::formcheck::FormFlaw;
 use crate::observe::{NullObserver, Observer, StageCounters};
 use crate::stages::{
-    AnalysisContext, ConcatStage, ExeIdStage, FieldIdStage, FormCheckStage, SemanticsStage,
+    enumerate_units, merge_unit_outputs, run_message_unit, AnalysisContext, ExeIdStage,
 };
-use firmres_dataflow::TaintConfig;
+use firmres_dataflow::{TaintConfig, TaintEngine};
 use firmres_firmware::FirmwareImage;
 use firmres_ir::Address;
 use firmres_mft::{CodeSlice, Mft, ReconstructedMessage};
@@ -41,8 +47,14 @@ pub struct AnalysisConfig {
     pub taint: TaintConfig,
 }
 
-/// Wall-clock cost of each pipeline stage (paper §V-E reports the same
-/// five buckets).
+/// Cost of each pipeline stage (paper §V-E reports the same five
+/// buckets).
+///
+/// `exeid` is wall-clock time. The unit-parallel stages 2–5 report the
+/// **sum of per-unit thread time** (CPU time): with `jobs > 1` the
+/// buckets exceed the stages' wall-clock span, but the values — and the
+/// [`shares`](Self::shares) breakdown built on them — stay comparable
+/// across job counts, which wall-clock would not.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StageTimings {
     /// Pinpointing device-cloud executables.
@@ -186,14 +198,52 @@ pub fn analyze_firmware_with(
     config: &AnalysisConfig,
     observer: &mut dyn Observer,
 ) -> FirmwareAnalysis {
+    analyze_firmware_with_jobs(fw, classifier, config, 1, observer)
+}
+
+/// [`analyze_firmware`] with intra-image parallelism: the per-callsite
+/// message units run on up to `jobs` worker threads.
+///
+/// `jobs` is a pure throughput knob — it is not part of
+/// [`AnalysisConfig`] and does not enter the analysis-cache key, because
+/// the result is byte-identical at any value (see [`crate::stages`] for
+/// the determinism argument). `jobs <= 1` runs inline on the calling
+/// thread.
+pub fn analyze_firmware_jobs(
+    fw: &FirmwareImage,
+    classifier: Option<&Classifier>,
+    config: &AnalysisConfig,
+    jobs: usize,
+) -> FirmwareAnalysis {
+    analyze_firmware_with_jobs(fw, classifier, config, jobs, &mut NullObserver)
+}
+
+/// [`analyze_firmware_jobs`] streaming events to `observer`.
+///
+/// This is the driver every other entry point funnels through. Stage 1
+/// (executable pinpointing) runs on the calling thread; stages 2–5 are
+/// enumerated into message units, executed on the shared pool
+/// ([`crate::run_pool`]), and merged back in canonical unit order, so the
+/// observer sees the sequential event stream whatever `jobs` is.
+pub fn analyze_firmware_with_jobs(
+    fw: &FirmwareImage,
+    classifier: Option<&Classifier>,
+    config: &AnalysisConfig,
+    jobs: usize,
+    observer: &mut dyn Observer,
+) -> FirmwareAnalysis {
     let mut cx = AnalysisContext::new(fw, classifier, config, observer);
     let Some(chosen) = ExeIdStage::run(&mut cx) else {
         return cx.finish(None, Vec::new(), Vec::new());
     };
-    let raws = FieldIdStage::run(&mut cx, &chosen);
-    let sem = SemanticsStage::run(&mut cx, &chosen, &raws);
-    let mut records = ConcatStage::run(&mut cx, raws, sem);
-    FormCheckStage::run(&mut cx, &mut records);
+    let units = enumerate_units(&chosen.program, &chosen.handlers);
+    let engine = TaintEngine::with_config(&chosen.program, config.taint.clone());
+    let renderer = firmres_mft::SliceRenderer::new(&chosen.program);
+    let inputs = cx.inputs;
+    let outputs = run_pool(units.len(), jobs, |i| {
+        run_message_unit(&inputs, &engine, &renderer, &units[i])
+    });
+    let records = merge_unit_outputs(&mut cx, outputs);
     cx.finish(Some(chosen.path), chosen.handlers, records)
 }
 

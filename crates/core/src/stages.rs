@@ -1,11 +1,11 @@
-//! The staged pipeline: five typed stages over a shared
-//! [`AnalysisContext`].
+//! The staged pipeline: five typed stages and the per-callsite
+//! **message-unit** execution model.
 //!
-//! Each stage of the paper's Fig. 3 workflow is a function over the
-//! context producing a typed artifact:
+//! Each stage of the paper's Fig. 3 workflow is a function over shared
+//! state producing a typed artifact:
 //!
 //! 1. [`ExeIdStage`] → [`ChosenExecutable`] — pinpoint the device-cloud
-//!    executable;
+//!    executable (best-scoring candidate, paper §IV-A);
 //! 2. [`FieldIdStage`] → [`RawMessage`]s — backward taint per delivery
 //!    callsite;
 //! 3. [`SemanticsStage`] → [`SliceSemantics`] — render and classify
@@ -14,33 +14,65 @@
 //!    messages, LAN/echo filtering;
 //! 5. [`FormCheckStage`] — message-form findings in place.
 //!
-//! The context owns the cross-cutting concerns: wall-clock timing per
-//! stage, work counters, structured diagnostics, and fan-out to the
-//! caller's [`Observer`]. Stages never call `Instant::now` themselves —
-//! [`AnalysisContext::run_stage`] brackets each run.
+//! # The message-unit model
 //!
-//! [`analyze_firmware`](crate::analyze_firmware) drives all five stages;
-//! use the stages directly when you need intermediate artifacts (e.g.
-//! raw taint results before reconstruction).
+//! Stages 2–5 share no state across delivery callsites: one callsite's
+//! taint → slices → semantics → reconstruction → form-check chain is an
+//! independent **message unit**. The unit path therefore splits the old
+//! whole-image stage loops into:
+//!
+//! * [`enumerate_units`] — deterministically list the delivery callsites
+//!   of the chosen executable as [`MessageUnit`] seeds;
+//! * [`run_message_unit`] — execute one unit's four-stage chain against
+//!   the shared read-only [`AnalysisInputs`] (plus the image-wide taint
+//!   engine and slice renderer, both `Sync`), buffering its counter and
+//!   diagnostic events in a private [`UnitContext`];
+//! * [`merge_unit_outputs`] — fold the per-unit [`UnitOutput`]s back into
+//!   the [`AnalysisContext`] *in callsite order*, replaying each unit's
+//!   buffered events into the observer stage by stage.
+//!
+//! [`analyze_firmware_with_jobs`](crate::pipeline::analyze_firmware_with_jobs)
+//! fans the units out over [`run_pool`](crate::driver::run_pool) workers;
+//! because the merge consumes results in unit order and every unit is a
+//! pure function of the immutable program, the analysis output is
+//! byte-identical at any job count (see `DESIGN.md` §8 for the full
+//! determinism argument).
+//!
+//! The classic per-stage API ([`FieldIdStage::run`] and friends) is kept
+//! for callers that need intermediate artifacts; it executes the same
+//! unit functions inline, so both paths produce identical event streams.
+//!
+//! The context owns the cross-cutting concerns: per-stage timing, work
+//! counters, structured diagnostics, and fan-out to the caller's
+//! [`Observer`]. Stage wall-clock brackets come from
+//! [`AnalysisContext::run_stage`]; unit stages instead accumulate
+//! *per-unit thread time* into the same buckets (CPU-time semantics —
+//! the buckets stay comparable across job counts, wall-clock does not).
 
 use crate::error::{Diagnostic, Severity, StageKind};
 use crate::exeid::{identify_device_cloud, HandlerInfo};
 use crate::formcheck::check_message;
-use crate::observe::{Counter, Observer, StageCounters};
+use crate::observe::{Counter, Event, Observer, StageCounters, StageEvents};
 use crate::pipeline::{AnalysisConfig, FirmwareAnalysis, MessageRecord, StageTimings};
 use firmres_dataflow::{
     delivery_endpoint_arg, delivery_payload_arg, FieldSource, SourceKind, TaintEngine,
 };
 use firmres_firmware::FirmwareImage;
 use firmres_ir::{Address, Program};
-use firmres_mft::{mentions_lan, reconstruct, CodeSlice, Mft};
+use firmres_mft::{mentions_lan, reconstruct, CodeSlice, Mft, SliceRenderer};
 use firmres_semantics::{weak_label, Classifier, Primitive};
-use std::collections::HashSet;
-use std::time::Instant;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::time::{Duration, Instant};
 
-/// Shared state threaded through the pipeline stages: the inputs plus
-/// the accumulating timings, counters and diagnostics.
-pub struct AnalysisContext<'a> {
+/// The read-only inputs of one analysis, shared by every message unit.
+///
+/// This is the immutable half of the old monolithic context: three
+/// shared references, `Copy` and `Sync`, so the unit-parallel driver
+/// hands one value to every worker. The mutable half (observer fan-out,
+/// timings, counters, diagnostics) stays in [`AnalysisContext`] on the
+/// coordinating thread.
+#[derive(Clone, Copy)]
+pub struct AnalysisInputs<'a> {
     /// The firmware image under analysis.
     pub fw: &'a FirmwareImage,
     /// The trained semantics model, if any (`None` falls back to keyword
@@ -48,6 +80,15 @@ pub struct AnalysisContext<'a> {
     pub classifier: Option<&'a Classifier>,
     /// Pipeline configuration.
     pub config: &'a AnalysisConfig,
+}
+
+/// Shared coordinator state threaded through the pipeline stages: the
+/// read-only [`AnalysisInputs`] plus the accumulating timings, counters
+/// and diagnostics. Lives on the coordinating thread only — worker
+/// threads see [`AnalysisInputs`] and their own [`UnitContext`].
+pub struct AnalysisContext<'a> {
+    /// The read-only inputs (image, classifier, configuration).
+    pub inputs: AnalysisInputs<'a>,
     observer: &'a mut dyn Observer,
     timings: StageTimings,
     counters: StageCounters,
@@ -63,9 +104,11 @@ impl<'a> AnalysisContext<'a> {
         observer: &'a mut dyn Observer,
     ) -> Self {
         AnalysisContext {
-            fw,
-            classifier,
-            config,
+            inputs: AnalysisInputs {
+                fw,
+                classifier,
+                config,
+            },
             observer,
             timings: StageTimings::default(),
             counters: StageCounters::default(),
@@ -73,14 +116,8 @@ impl<'a> AnalysisContext<'a> {
         }
     }
 
-    /// Run `body` as stage `kind`: notifies the observer, times the run,
-    /// and files the elapsed time under the matching [`StageTimings`]
-    /// bucket.
-    pub fn run_stage<T>(&mut self, kind: StageKind, body: impl FnOnce(&mut Self) -> T) -> T {
-        self.observer.stage_started(kind);
-        let start = Instant::now();
-        let out = body(self);
-        let elapsed = start.elapsed();
+    /// File `elapsed` under the matching [`StageTimings`] bucket.
+    fn file_time(&mut self, kind: StageKind, elapsed: Duration) {
         match kind {
             StageKind::ExeId => self.timings.exeid += elapsed,
             StageKind::FieldId => self.timings.field_identification += elapsed,
@@ -90,8 +127,51 @@ impl<'a> AnalysisContext<'a> {
             // Not pipeline stages: no timing bucket to file under.
             StageKind::Input | StageKind::Cache => {}
         }
+    }
+
+    /// Run `body` as stage `kind`: notifies the observer, times the run
+    /// (wall-clock), and files the elapsed time under the matching
+    /// [`StageTimings`] bucket.
+    pub fn run_stage<T>(&mut self, kind: StageKind, body: impl FnOnce(&mut Self) -> T) -> T {
+        self.observer.stage_started(kind);
+        let start = Instant::now();
+        let out = body(self);
+        let elapsed = start.elapsed();
+        self.file_time(kind, elapsed);
         self.observer.stage_finished(kind, elapsed);
         out
+    }
+
+    /// Replay one unit's buffered events for one stage into the counters,
+    /// diagnostics and observer, preserving emission order.
+    fn replay_events(&mut self, events: &StageEvents) {
+        for ev in &events.events {
+            match ev {
+                Event::Count(counter, n) => self.count(*counter, *n),
+                Event::Diagnostic(d) => self.diagnose(d.clone()),
+            }
+        }
+    }
+
+    /// Run stage `kind` as a *merge* of already-executed unit work:
+    /// replay each unit's buffered events in unit order, let `tail` emit
+    /// any stage-global events, and file the summed per-unit thread time
+    /// under the stage's timing bucket.
+    fn replay_stage<'b>(
+        &mut self,
+        kind: StageKind,
+        units: impl Iterator<Item = &'b StageEvents>,
+        tail: impl FnOnce(&mut Self),
+    ) {
+        self.observer.stage_started(kind);
+        let mut elapsed = Duration::ZERO;
+        for ev in units {
+            elapsed += ev.elapsed;
+            self.replay_events(ev);
+        }
+        tail(self);
+        self.file_time(kind, elapsed);
+        self.observer.stage_finished(kind, elapsed);
     }
 
     /// Advance a work counter and forward the event to the observer.
@@ -144,6 +224,15 @@ pub struct ChosenExecutable {
     pub handlers: Vec<HandlerInfo>,
 }
 
+impl ChosenExecutable {
+    /// The executable's identification score: the best handler `P_f`
+    /// among its asynchronous request handlers (paper §IV-A ranks
+    /// candidates by this factor).
+    pub fn best_score(&self) -> f64 {
+        self.handlers.iter().fold(0.0, |m, h| m.max(h.score))
+    }
+}
+
 /// Stage-2 artifact: one delivery callsite with its backward-taint
 /// results, before reconstruction.
 #[derive(Debug, Clone)]
@@ -184,12 +273,441 @@ fn classify(classifier: Option<&Classifier>, text: &str) -> Primitive {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Message units
+// ---------------------------------------------------------------------------
+
+/// One delivery callsite awaiting analysis: the seed of a message unit.
+///
+/// Seeds are enumerated deterministically ([`enumerate_units`]) before
+/// any unit work runs; the seed's position in that list is the unit's
+/// canonical order, used by [`merge_unit_outputs`] whatever the workers'
+/// completion order.
+#[derive(Debug, Clone)]
+pub struct MessageUnit {
+    /// Entry address of the function containing the callsite.
+    pub function: Address,
+    /// Name of that function.
+    pub function_name: String,
+    /// The delivery callsite address.
+    pub callsite: Address,
+    /// Name of the delivery callee (e.g. `mosquitto_publish`).
+    pub callee: String,
+    /// Index of the payload argument at the callsite.
+    pub payload_arg: usize,
+    /// Whether the callsite sits inside an identified request handler.
+    pub in_handler: bool,
+}
+
+/// The four pipeline stages a message unit executes (stages 2–5 of the
+/// paper workflow; stages 1 is image-wide and runs before units exist).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnitStage {
+    /// Backward taint from the delivery callsite (stage 2).
+    FieldId,
+    /// Slice rendering and semantics classification (stage 3).
+    Semantics,
+    /// Message reconstruction and origin matching (stage 4).
+    Concat,
+    /// Message-form checking (stage 5).
+    FormCheck,
+}
+
+impl UnitStage {
+    /// The pipeline-wide stage this unit stage belongs to.
+    pub fn kind(self) -> StageKind {
+        match self {
+            UnitStage::FieldId => StageKind::FieldId,
+            UnitStage::Semantics => StageKind::Semantics,
+            UnitStage::Concat => StageKind::Concat,
+            UnitStage::FormCheck => StageKind::FormCheck,
+        }
+    }
+}
+
+/// The buffered per-stage events of one message unit.
+#[derive(Debug, Clone, Default)]
+pub struct UnitEvents {
+    /// Field-identification events (stage 2).
+    pub field_id: StageEvents,
+    /// Semantics-recovery events (stage 3).
+    pub semantics: StageEvents,
+    /// Concatenation events (stage 4).
+    pub concat: StageEvents,
+    /// Form-check events (stage 5).
+    pub form_check: StageEvents,
+}
+
+impl UnitEvents {
+    fn buffer_mut(&mut self, stage: UnitStage) -> &mut StageEvents {
+        match stage {
+            UnitStage::FieldId => &mut self.field_id,
+            UnitStage::Semantics => &mut self.semantics,
+            UnitStage::Concat => &mut self.concat,
+            UnitStage::FormCheck => &mut self.form_check,
+        }
+    }
+}
+
+/// A memoized-taint query key: `(function entry, callsite, argument)`.
+type TraceKey = (Address, Address, usize);
+
+/// The per-unit mutable state: buffered events and the taint queries the
+/// unit issued, in order.
+///
+/// This is the worker-side counterpart of [`AnalysisContext`]: a unit
+/// never touches the observer (it is `&mut` and single-threaded) — it
+/// records what it did here, and [`merge_unit_outputs`] replays the
+/// buffers deterministically on the coordinating thread.
+#[derive(Debug, Default)]
+pub struct UnitContext {
+    events: UnitEvents,
+    taint_keys: Vec<TraceKey>,
+    current: Option<UnitStage>,
+}
+
+impl UnitContext {
+    /// A fresh, empty unit context.
+    pub fn new() -> Self {
+        UnitContext::default()
+    }
+
+    /// Run `body` as unit stage `stage`, accumulating the elapsed thread
+    /// time into that stage's event buffer.
+    pub fn run_stage<T>(&mut self, stage: UnitStage, body: impl FnOnce(&mut Self) -> T) -> T {
+        self.current = Some(stage);
+        let start = Instant::now();
+        let out = body(self);
+        self.events.buffer_mut(stage).elapsed += start.elapsed();
+        self.current = None;
+        out
+    }
+
+    /// Record a counter advance in the current stage's buffer.
+    pub fn count(&mut self, counter: Counter, n: u64) {
+        let stage = self.current.expect("count() outside run_stage");
+        self.events.buffer_mut(stage).count(counter, n);
+    }
+
+    /// Record a diagnostic in the current stage's buffer.
+    pub fn diagnose(&mut self, diagnostic: Diagnostic) {
+        let stage = self.current.expect("diagnose() outside run_stage");
+        self.events.buffer_mut(stage).diagnose(diagnostic);
+    }
+
+    /// Note a taint query so the merge can account memo hits in the
+    /// canonical unit order.
+    fn taint_query(&mut self, func: Address, callsite: Address, arg: usize) {
+        self.taint_keys.push((func, callsite, arg));
+    }
+}
+
+/// What one message unit produced: its finished record plus the buffered
+/// events the merge replays.
+#[derive(Debug)]
+pub struct UnitOutput {
+    /// The fully analyzed message record (flaws filled in).
+    pub record: MessageRecord,
+    /// Buffered counter/diagnostic events per stage.
+    pub events: UnitEvents,
+    taint_keys: Vec<TraceKey>,
+}
+
+/// Deterministically enumerate the delivery callsites of `program` as
+/// message-unit seeds, in function-then-callsite order.
+pub fn enumerate_units(program: &Program, handlers: &[HandlerInfo]) -> Vec<MessageUnit> {
+    let handler_funcs: HashSet<Address> = handlers.iter().map(|h| h.handler_func).collect();
+    let mut units = Vec::new();
+    for f in program.functions() {
+        for op in f.callsites() {
+            let Some(name) = op.call_target().and_then(|t| program.callee_name(t)) else {
+                continue;
+            };
+            let Some(payload_arg) = delivery_payload_arg(name) else {
+                continue;
+            };
+            units.push(MessageUnit {
+                function: f.entry(),
+                function_name: f.name().to_string(),
+                callsite: op.addr,
+                callee: name.to_string(),
+                payload_arg,
+                in_handler: handler_funcs.contains(&f.entry()),
+            });
+        }
+    }
+    units
+}
+
+/// Stage 2 for one unit: backward taint from the delivery callsite.
+fn field_id_unit(
+    engine: &TaintEngine<'_>,
+    unit: &MessageUnit,
+    ucx: &mut UnitContext,
+) -> RawMessage {
+    ucx.count(Counter::TaintQueries, 1);
+    ucx.taint_query(unit.function, unit.callsite, unit.payload_arg);
+    let tree = engine.trace(unit.function, unit.callsite, unit.payload_arg);
+    let unresolved = tree
+        .sources()
+        .filter(|n| matches!(n.source(), Some(FieldSource::Unresolved { .. })))
+        .count();
+    if unresolved > 0 {
+        ucx.diagnose(Diagnostic::new(
+            StageKind::FieldId,
+            Severity::Info,
+            format!("{}@{:#x}", unit.function_name, unit.callsite),
+            format!(
+                "{unresolved} unresolved taint source(s) in {} payload",
+                unit.callee
+            ),
+        ));
+    }
+    let mft = Mft::from_taint(&tree);
+    // Endpoint argument (MQTT topic / HTTP path), when distinct.
+    let mut endpoint = None;
+    if let Some(ep_arg) = delivery_endpoint_arg(&unit.callee) {
+        if ep_arg != unit.payload_arg {
+            ucx.count(Counter::TaintQueries, 1);
+            ucx.taint_query(unit.function, unit.callsite, ep_arg);
+            let ep_tree = engine.trace(unit.function, unit.callsite, ep_arg);
+            endpoint = ep_tree.sources().find_map(|n| match n.source() {
+                Some(FieldSource::StringConstant { value, .. }) => Some(value.clone()),
+                _ => None,
+            });
+        }
+    }
+    // Address argument (HTTP host) for the LAN filter.
+    let mut host_lan = false;
+    if matches!(unit.callee.as_str(), "http_post" | "http_get") {
+        ucx.count(Counter::TaintQueries, 1);
+        ucx.taint_query(unit.function, unit.callsite, 0);
+        let host_tree = engine.trace(unit.function, unit.callsite, 0);
+        host_lan = host_tree.sources().any(|n| {
+            matches!(n.source(), Some(FieldSource::StringConstant { value, .. })
+                if firmres_mft::is_lan_address(value))
+        });
+    }
+    RawMessage {
+        function: unit.function_name.clone(),
+        callsite: unit.callsite,
+        in_handler: unit.in_handler,
+        mft,
+        endpoint,
+        host_lan,
+    }
+}
+
+/// Stage 3 for one unit: render the field slices and classify each.
+///
+/// The image-wide "no trained classifier" diagnostic is *not* emitted
+/// here — it depends on every unit's output, so the merge (or the legacy
+/// stage driver) emits it once after all units.
+fn semantics_unit(
+    renderer: &SliceRenderer<'_>,
+    classifier: Option<&Classifier>,
+    raw: &RawMessage,
+    ucx: &mut UnitContext,
+) -> (
+    Vec<CodeSlice>,
+    Vec<(FieldSource, Primitive)>,
+    Vec<Primitive>,
+) {
+    let rendered = renderer.slices_for_tree(&raw.mft);
+    ucx.count(Counter::SlicesRendered, rendered.len() as u64);
+    let mut labeled = Vec::with_capacity(rendered.len());
+    let mut primitives = Vec::with_capacity(rendered.len());
+    for s in &rendered {
+        let primitive = classify(classifier, &s.text);
+        labeled.push((s.source.clone(), primitive));
+        primitives.push(primitive);
+    }
+    (rendered, labeled, primitives)
+}
+
+/// Stage 4 for one unit: reconstruct the message, attach recovered
+/// semantics by origin, and apply the LAN/echo filters.
+fn concat_unit(
+    raw: RawMessage,
+    slices: Vec<CodeSlice>,
+    labeled: Vec<(FieldSource, Primitive)>,
+    primitives: Vec<Primitive>,
+    ucx: &mut UnitContext,
+) -> MessageRecord {
+    let RawMessage {
+        function,
+        callsite,
+        in_handler,
+        mft,
+        endpoint,
+        host_lan,
+    } = raw;
+    let mut message = reconstruct(&mft);
+    message.endpoint = endpoint;
+    // Attach recovered semantics to fields by matching origins. Each
+    // origin keys a FIFO of its primitives: successive fields with the
+    // same origin consume successive labels, exactly as the old linear
+    // scan-and-remove did, but in O(fields) instead of O(fields²).
+    let mut by_origin: HashMap<FieldSource, VecDeque<Primitive>> = HashMap::new();
+    for (src, primitive) in labeled {
+        by_origin.entry(src).or_default().push_back(primitive);
+    }
+    for field in &mut message.fields {
+        if let Some(primitive) = by_origin
+            .get_mut(&field.origin)
+            .and_then(VecDeque::pop_front)
+        {
+            field.semantic = Some(primitive.label().to_string());
+            ucx.count(Counter::FieldsMatched, 1);
+        }
+    }
+    let lan_discarded = host_lan || mentions_lan(&mft);
+    // A delivery whose payload is entirely network input inside the
+    // request handler is the handler's response echo, not a constructed
+    // device-cloud message.
+    let is_response_echo = in_handler
+        && !message.fields.is_empty()
+        && message.fields.iter().all(|f| {
+            matches!(
+                &f.origin,
+                FieldSource::LibCall {
+                    kind: SourceKind::NetworkIn,
+                    ..
+                } | FieldSource::Unresolved { .. }
+            )
+        });
+    MessageRecord {
+        function,
+        callsite,
+        mft,
+        slices,
+        slice_semantics: primitives,
+        message,
+        lan_discarded,
+        is_response_echo,
+        flaws: Vec::new(),
+    }
+}
+
+/// Stage 5 for one unit: fill `flaws` in place for counting records.
+fn form_check_unit(record: &mut MessageRecord) {
+    if !record.counts() {
+        return;
+    }
+    let endpoint = crate::probe::extract_endpoint(&record.message).unwrap_or_default();
+    record.flaws = check_message(&record.message, &endpoint);
+}
+
+/// Execute one message unit end to end: taint → slices → semantics →
+/// reconstruction → form check, buffering all events in the returned
+/// [`UnitOutput`].
+///
+/// Safe to call from any thread: `engine` and `renderer` are `Sync`
+/// (their memo caches are lock-protected and only ever filled with
+/// deterministic values), and everything else is read-only.
+pub fn run_message_unit(
+    inputs: &AnalysisInputs<'_>,
+    engine: &TaintEngine<'_>,
+    renderer: &SliceRenderer<'_>,
+    unit: &MessageUnit,
+) -> UnitOutput {
+    let mut ucx = UnitContext::new();
+    let raw = ucx.run_stage(UnitStage::FieldId, |u| field_id_unit(engine, unit, u));
+    let (slices, labeled, primitives) = ucx.run_stage(UnitStage::Semantics, |u| {
+        semantics_unit(renderer, inputs.classifier, &raw, u)
+    });
+    let mut record = ucx.run_stage(UnitStage::Concat, |u| {
+        concat_unit(raw, slices, labeled, primitives, u)
+    });
+    ucx.run_stage(UnitStage::FormCheck, |_| form_check_unit(&mut record));
+    UnitOutput {
+        record,
+        events: ucx.events,
+        taint_keys: ucx.taint_keys,
+    }
+}
+
+/// Memo hits a single shared engine would report for `keys` issued in
+/// this exact order: a query hits iff its key was queried before.
+///
+/// Replaying the canonical key sequence makes the
+/// [`Counter::TaintCacheHits`] total a pure function of the unit list —
+/// the engine's own (scheduling-dependent) hit counter is never used by
+/// the pipeline, so the count is identical at any job count.
+fn memo_hits(keys: impl Iterator<Item = TraceKey>) -> u64 {
+    let mut seen = HashSet::new();
+    let mut hits = 0;
+    for key in keys {
+        if !seen.insert(key) {
+            hits += 1;
+        }
+    }
+    hits
+}
+
+/// Fold completed unit outputs back into the context **in unit order**,
+/// replaying each unit's buffered events stage by stage, and return the
+/// message records.
+///
+/// The observer sees exactly the event stream a sequential run produces:
+/// stages 2–5 in order, each containing its units' events in canonical
+/// unit order, with the stage-global events (taint memo hits, the
+/// classifier-fallback diagnostic) at the same positions. Timing buckets
+/// receive the *sum of per-unit thread time* — CPU-time semantics, so
+/// `perf_breakdown` shares stay meaningful at any job count.
+pub fn merge_unit_outputs(
+    cx: &mut AnalysisContext<'_>,
+    outputs: Vec<UnitOutput>,
+) -> Vec<MessageRecord> {
+    cx.replay_stage(
+        StageKind::FieldId,
+        outputs.iter().map(|o| &o.events.field_id),
+        |cx| {
+            let hits = memo_hits(outputs.iter().flat_map(|o| o.taint_keys.iter().copied()));
+            if hits > 0 {
+                cx.count(Counter::TaintCacheHits, hits);
+            }
+        },
+    );
+    cx.replay_stage(
+        StageKind::Semantics,
+        outputs.iter().map(|o| &o.events.semantics),
+        |cx| {
+            if cx.inputs.classifier.is_none() && outputs.iter().any(|o| !o.record.slices.is_empty())
+            {
+                cx.diagnose(Diagnostic::bare(
+                    StageKind::Semantics,
+                    Severity::Info,
+                    "no trained classifier; falling back to keyword weak-labeling",
+                ));
+            }
+        },
+    );
+    cx.replay_stage(
+        StageKind::Concat,
+        outputs.iter().map(|o| &o.events.concat),
+        |_| {},
+    );
+    cx.replay_stage(
+        StageKind::FormCheck,
+        outputs.iter().map(|o| &o.events.form_check),
+        |_| {},
+    );
+    outputs.into_iter().map(|o| o.record).collect()
+}
+
+// ---------------------------------------------------------------------------
+// The classic per-stage API
+// ---------------------------------------------------------------------------
+
 /// Stage 1: pinpoint the device-cloud executable (paper §IV-A).
 ///
-/// Tries every executable entry in the image; the first one that parses,
-/// lifts and exhibits device-cloud handler sequences wins. Parse and
-/// lift failures become warnings; executables with no handler sequences
-/// are noted at info severity.
+/// Every executable entry in the image is tried; among those that parse,
+/// lift and exhibit device-cloud handler sequences, the one with the
+/// highest handler score wins (earliest image order breaks ties), and the
+/// runners-up are noted at info severity. Parse and lift failures become
+/// warnings; executables with no handler sequences are noted at info
+/// severity.
 pub struct ExeIdStage;
 
 impl ExeIdStage {
@@ -197,8 +715,8 @@ impl ExeIdStage {
     /// found (the diagnostics say why).
     pub fn run(cx: &mut AnalysisContext<'_>) -> Option<ChosenExecutable> {
         cx.run_stage(StageKind::ExeId, |cx| {
-            let mut chosen = None;
-            for (path, bytes) in cx.fw.executables() {
+            let mut candidates: Vec<ChosenExecutable> = Vec::new();
+            for (path, bytes) in cx.inputs.fw.executables() {
                 cx.count(Counter::ExecutablesTried, 1);
                 let exe = match firmres_isa::Executable::from_bytes(bytes) {
                     Ok(exe) => exe,
@@ -226,7 +744,7 @@ impl ExeIdStage {
                         continue;
                     }
                 };
-                let handlers = identify_device_cloud(&program, &cx.config.exeid);
+                let handlers = identify_device_cloud(&program, &cx.inputs.config.exeid);
                 if handlers.is_empty() {
                     cx.diagnose(Diagnostic::new(
                         StageKind::ExeId,
@@ -236,14 +754,39 @@ impl ExeIdStage {
                     ));
                     continue;
                 }
-                chosen = Some(ChosenExecutable {
+                candidates.push(ChosenExecutable {
                     path: path.to_string(),
                     program,
                     handlers,
                 });
-                break;
             }
-            chosen
+            // Rank the qualifying executables by best handler score
+            // (§IV-A scores candidates rather than taking the first
+            // hit); earliest image order wins ties.
+            let mut best = 0usize;
+            for (i, c) in candidates.iter().enumerate().skip(1) {
+                if c.best_score() > candidates[best].best_score() {
+                    best = i;
+                }
+            }
+            if candidates.len() > 1 {
+                let winner = candidates[best].path.clone();
+                let winner_score = candidates[best].best_score();
+                for (i, c) in candidates.iter().enumerate() {
+                    if i != best {
+                        cx.diagnose(Diagnostic::new(
+                            StageKind::ExeId,
+                            Severity::Info,
+                            &c.path,
+                            format!(
+                                "device-cloud candidate (best P_f {:.2}) outscored by {winner} (best P_f {winner_score:.2})",
+                                c.best_score()
+                            ),
+                        ));
+                    }
+                }
+            }
+            candidates.into_iter().nth(best)
         })
     }
 }
@@ -253,73 +796,23 @@ impl ExeIdStage {
 pub struct FieldIdStage;
 
 impl FieldIdStage {
-    /// Run the stage over the chosen executable.
+    /// Run the stage over the chosen executable, inline on the calling
+    /// thread (the unit-parallel path is
+    /// [`analyze_firmware_with_jobs`](crate::pipeline::analyze_firmware_with_jobs)).
     pub fn run(cx: &mut AnalysisContext<'_>, chosen: &ChosenExecutable) -> Vec<RawMessage> {
         cx.run_stage(StageKind::FieldId, |cx| {
-            let program = &chosen.program;
-            let handler_funcs: HashSet<Address> =
-                chosen.handlers.iter().map(|h| h.handler_func).collect();
-            let mut engine = TaintEngine::with_config(program, cx.config.taint.clone());
-            let mut raws: Vec<RawMessage> = Vec::new();
-            for f in program.functions() {
-                for op in f.callsites() {
-                    let Some(name) = op.call_target().and_then(|t| program.callee_name(t)) else {
-                        continue;
-                    };
-                    let Some(payload_arg) = delivery_payload_arg(name) else {
-                        continue;
-                    };
-                    cx.count(Counter::TaintQueries, 1);
-                    let tree = engine.trace(f.entry(), op.addr, payload_arg);
-                    let unresolved = tree
-                        .sources()
-                        .filter(|n| matches!(n.source(), Some(FieldSource::Unresolved { .. })))
-                        .count();
-                    if unresolved > 0 {
-                        cx.diagnose(Diagnostic::new(
-                            StageKind::FieldId,
-                            Severity::Info,
-                            format!("{}@{:#x}", f.name(), op.addr),
-                            format!("{unresolved} unresolved taint source(s) in {name} payload"),
-                        ));
-                    }
-                    let mft = Mft::from_taint(&tree);
-                    // Endpoint argument (MQTT topic / HTTP path), when
-                    // distinct.
-                    let mut endpoint = None;
-                    if let Some(ep_arg) = delivery_endpoint_arg(name) {
-                        if ep_arg != payload_arg {
-                            cx.count(Counter::TaintQueries, 1);
-                            let ep_tree = engine.trace(f.entry(), op.addr, ep_arg);
-                            endpoint = ep_tree.sources().find_map(|n| match n.source() {
-                                Some(FieldSource::StringConstant { value, .. }) => {
-                                    Some(value.clone())
-                                }
-                                _ => None,
-                            });
-                        }
-                    }
-                    // Address argument (HTTP host) for the LAN filter.
-                    let mut host_lan = false;
-                    if matches!(name, "http_post" | "http_get") {
-                        cx.count(Counter::TaintQueries, 1);
-                        let host_tree = engine.trace(f.entry(), op.addr, 0);
-                        host_lan = host_tree.sources().any(|n| {
-                            matches!(n.source(), Some(FieldSource::StringConstant { value, .. })
-                                if firmres_mft::is_lan_address(value))
-                        });
-                    }
-                    raws.push(RawMessage {
-                        function: f.name().to_string(),
-                        callsite: op.addr,
-                        in_handler: handler_funcs.contains(&f.entry()),
-                        mft,
-                        endpoint,
-                        host_lan,
-                    });
-                }
+            let engine = TaintEngine::with_config(&chosen.program, cx.inputs.config.taint.clone());
+            let units = enumerate_units(&chosen.program, &chosen.handlers);
+            let mut raws = Vec::with_capacity(units.len());
+            let mut keys = Vec::new();
+            for unit in &units {
+                let mut ucx = UnitContext::new();
+                let raw = ucx.run_stage(UnitStage::FieldId, |u| field_id_unit(&engine, unit, u));
+                cx.replay_events(&ucx.events.field_id);
+                keys.extend(ucx.taint_keys);
+                raws.push(raw);
             }
-            let (hits, _misses) = engine.cache_stats();
+            let hits = memo_hits(keys.into_iter());
             if hits > 0 {
                 cx.count(Counter::TaintCacheHits, hits);
             }
@@ -340,32 +833,26 @@ impl SemanticsStage {
         raws: &[RawMessage],
     ) -> SliceSemantics {
         cx.run_stage(StageKind::Semantics, |cx| {
-            let mut renderer = firmres_mft::SliceRenderer::new(&chosen.program);
-            let mut slices: Vec<Vec<CodeSlice>> = Vec::with_capacity(raws.len());
+            let renderer = SliceRenderer::new(&chosen.program);
+            let mut slices = Vec::with_capacity(raws.len());
+            let mut labeled = Vec::with_capacity(raws.len());
+            let mut primitives = Vec::with_capacity(raws.len());
             for raw in raws {
-                let rendered = renderer.slices_for_tree(&raw.mft);
-                cx.count(Counter::SlicesRendered, rendered.len() as u64);
-                slices.push(rendered);
+                let mut ucx = UnitContext::new();
+                let (s, l, p) = ucx.run_stage(UnitStage::Semantics, |u| {
+                    semantics_unit(&renderer, cx.inputs.classifier, raw, u)
+                });
+                cx.replay_events(&ucx.events.semantics);
+                slices.push(s);
+                labeled.push(l);
+                primitives.push(p);
             }
-            if cx.classifier.is_none() && slices.iter().any(|s| !s.is_empty()) {
+            if cx.inputs.classifier.is_none() && slices.iter().any(|s| !s.is_empty()) {
                 cx.diagnose(Diagnostic::bare(
                     StageKind::Semantics,
                     Severity::Info,
                     "no trained classifier; falling back to keyword weak-labeling",
                 ));
-            }
-            let mut labeled: Vec<Vec<(FieldSource, Primitive)>> = Vec::with_capacity(slices.len());
-            let mut primitives: Vec<Vec<Primitive>> = Vec::with_capacity(slices.len());
-            for per_msg in &slices {
-                let mut sems = Vec::new();
-                let mut raw_sems = Vec::new();
-                for s in per_msg {
-                    let primitive = classify(cx.classifier, &s.text);
-                    sems.push((s.source.clone(), primitive));
-                    raw_sems.push(primitive);
-                }
-                labeled.push(sems);
-                primitives.push(raw_sems);
             }
             SliceSemantics {
                 slices,
@@ -388,51 +875,19 @@ impl ConcatStage {
         sem: SliceSemantics,
     ) -> Vec<MessageRecord> {
         cx.run_stage(StageKind::Concat, |cx| {
-            let mut records: Vec<MessageRecord> = Vec::with_capacity(raws.len());
-            for (((raw, slices), sems), slice_semantics) in raws
+            let mut records = Vec::with_capacity(raws.len());
+            for (((raw, slices), labeled), primitives) in raws
                 .into_iter()
                 .zip(sem.slices)
                 .zip(sem.labeled)
                 .zip(sem.primitives)
             {
-                let mut message = reconstruct(&raw.mft);
-                message.endpoint = raw.endpoint.clone();
-                // Attach recovered semantics to fields by matching
-                // origins.
-                let mut pool = sems;
-                for field in &mut message.fields {
-                    if let Some(pos) = pool.iter().position(|(src, _)| *src == field.origin) {
-                        let (_, primitive) = pool.remove(pos);
-                        field.semantic = Some(primitive.label().to_string());
-                        cx.count(Counter::FieldsMatched, 1);
-                    }
-                }
-                let lan_discarded = raw.host_lan || mentions_lan(&raw.mft);
-                // A delivery whose payload is entirely network input
-                // inside the request handler is the handler's response
-                // echo, not a constructed device-cloud message.
-                let is_response_echo = raw.in_handler
-                    && !message.fields.is_empty()
-                    && message.fields.iter().all(|f| {
-                        matches!(
-                            &f.origin,
-                            FieldSource::LibCall {
-                                kind: SourceKind::NetworkIn,
-                                ..
-                            } | FieldSource::Unresolved { .. }
-                        )
-                    });
-                records.push(MessageRecord {
-                    function: raw.function,
-                    callsite: raw.callsite,
-                    mft: raw.mft,
-                    slices,
-                    slice_semantics,
-                    message,
-                    lan_discarded,
-                    is_response_echo,
-                    flaws: Vec::new(),
+                let mut ucx = UnitContext::new();
+                let record = ucx.run_stage(UnitStage::Concat, |u| {
+                    concat_unit(raw, slices, labeled, primitives, u)
                 });
+                cx.replay_events(&ucx.events.concat);
+                records.push(record);
             }
             records
         })
@@ -447,11 +902,7 @@ impl FormCheckStage {
     pub fn run(cx: &mut AnalysisContext<'_>, records: &mut [MessageRecord]) {
         cx.run_stage(StageKind::FormCheck, |_cx| {
             for r in records.iter_mut() {
-                if !r.counts() {
-                    continue;
-                }
-                let endpoint = crate::probe::extract_endpoint(&r.message).unwrap_or_default();
-                r.flaws = check_message(&r.message, &endpoint);
+                form_check_unit(r);
             }
         })
     }
@@ -485,6 +936,10 @@ mod tests {
             "manual stage composition matches the driver"
         );
         assert_eq!(analysis.identified_fields(), reference.identified_fields());
+        // The per-stage path and the unit-merge path agree on every
+        // observable, not just the headline numbers.
+        assert_eq!(analysis.counters, reference.counters);
+        assert_eq!(analysis.diagnostics, reference.diagnostics);
     }
 
     #[test]
@@ -497,5 +952,33 @@ mod tests {
         let raws = FieldIdStage::run(&mut cx, &chosen);
         assert!(cx.counters().executables_tried >= 1);
         assert!(cx.counters().taint_queries >= raws.len() as u64);
+    }
+
+    #[test]
+    fn unit_enumeration_is_deterministic() {
+        let dev = generate_device(10, 7);
+        let config = AnalysisConfig::default();
+        let mut obs = NullObserver;
+        let mut cx = AnalysisContext::new(&dev.firmware, None, &config, &mut obs);
+        let chosen = ExeIdStage::run(&mut cx).unwrap();
+        let a = enumerate_units(&chosen.program, &chosen.handlers);
+        let b = enumerate_units(&chosen.program, &chosen.handlers);
+        assert!(!a.is_empty());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.callsite, y.callsite);
+            assert_eq!(x.callee, y.callee);
+        }
+    }
+
+    #[test]
+    fn memo_hits_replays_the_canonical_order() {
+        let k = |a: u64, b: u64, c: usize| (a, b, c);
+        assert_eq!(memo_hits([].into_iter()), 0);
+        assert_eq!(memo_hits([k(1, 2, 0), k(1, 2, 1)].into_iter()), 0);
+        assert_eq!(
+            memo_hits([k(1, 2, 0), k(1, 2, 0), k(1, 2, 0)].into_iter()),
+            2
+        );
     }
 }

@@ -35,7 +35,7 @@
 //! fmt: .asciz "mac"
 //! "#)?;
 //! let prog = lift(&exe, "demo")?;
-//! let mut engine = TaintEngine::new(&prog);
+//! let engine = TaintEngine::new(&prog);
 //! let f = prog.function_by_name("main").unwrap();
 //! let callsite = f.callsites().last().unwrap().addr;
 //! let tree = engine.trace(f.entry(), callsite, 0);

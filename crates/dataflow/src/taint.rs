@@ -14,15 +14,18 @@ use crate::summary::{summary_for, SourceKind, SummaryEffect};
 use firmres_ir::{
     is_import_address, Address, CallGraph, Function, Opcode, PcodeOp, Program, Varnode,
 };
+use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Identifier of a node in a [`TaintTree`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TaintNodeId(pub usize);
 
 /// Terminal origin of a message-field value (the paper's taint sink).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum FieldSource {
     /// A string constant in the data segment (request paths, format
     /// strings, JSON keys, hard-coded values).
@@ -330,19 +333,26 @@ impl Default for TaintConfig {
 }
 
 /// The backward inter-procedural taint engine over one [`Program`].
+///
+/// The engine is `Sync`: every query method takes `&self`, and the
+/// per-function def-use/reachability caches and the trace memo live
+/// behind locks, so one engine can be shared across worker threads
+/// (the pipeline's per-callsite message units do exactly that). All
+/// cached values are deterministic functions of the immutable program,
+/// so concurrent fills can only ever race to insert the same value.
 pub struct TaintEngine<'p> {
     program: &'p Program,
     callgraph: CallGraph,
-    defuse: BTreeMap<Address, DefUse>,
-    reach: BTreeMap<Address, Vec<BTreeSet<u32>>>,
+    defuse: RwLock<BTreeMap<Address, Arc<DefUse>>>,
+    reach: RwLock<BTreeMap<Address, Arc<Vec<BTreeSet<u32>>>>>,
     config: TaintConfig,
     /// Memoized [`TaintEngine::trace`] results per
     /// `(function entry, callsite, argument)` query. Traces are
     /// deterministic over an immutable program, so replaying one is
     /// always safe.
-    trace_cache: BTreeMap<(Address, Address, usize), TaintTree>,
-    cache_hits: u64,
-    cache_misses: u64,
+    trace_cache: Mutex<BTreeMap<(Address, Address, usize), TaintTree>>,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
 }
 
 /// Extended region used inside the engine: [`Region`] plus buffers that
@@ -371,12 +381,12 @@ impl<'p> TaintEngine<'p> {
         TaintEngine {
             program,
             callgraph: program.call_graph(),
-            defuse: BTreeMap::new(),
-            reach: BTreeMap::new(),
+            defuse: RwLock::new(BTreeMap::new()),
+            reach: RwLock::new(BTreeMap::new()),
             config,
-            trace_cache: BTreeMap::new(),
-            cache_hits: 0,
-            cache_misses: 0,
+            trace_cache: Mutex::new(BTreeMap::new()),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
         }
     }
 
@@ -385,38 +395,45 @@ impl<'p> TaintEngine<'p> {
         &self.config
     }
 
-    fn du(&mut self, func: Address) -> &DefUse {
-        if !self.defuse.contains_key(&func) {
-            let f = self.program.function(func).expect("function exists");
-            self.defuse.insert(func, DefUse::compute(f));
+    fn du(&self, func: Address) -> Arc<DefUse> {
+        if let Some(du) = self.defuse.read().get(&func) {
+            return Arc::clone(du);
         }
-        self.defuse.get(&func).expect("just inserted")
+        // Compute outside the lock (idempotent: racing fills produce the
+        // same value and the first insert wins for everyone).
+        let f = self.program.function(func).expect("function exists");
+        let du = Arc::new(DefUse::compute(f));
+        Arc::clone(self.defuse.write().entry(func).or_insert(du))
     }
 
     /// block-level "can a reach b" closure, cached per function.
-    fn reachable(&mut self, func: Address, from: u32, to: u32) -> bool {
+    fn reachable(&self, func: Address, from: u32, to: u32) -> bool {
         if from == to {
             return true;
         }
-        if !self.reach.contains_key(&func) {
-            let f = self.program.function(func).expect("function exists");
-            let n = f.blocks().len();
-            let mut sets: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); n];
-            for (start, set) in sets.iter_mut().enumerate() {
-                let mut seen = BTreeSet::new();
-                let mut q = vec![start as u32];
-                while let Some(b) = q.pop() {
-                    for s in &f.blocks()[b as usize].successors {
-                        if seen.insert(s.0) {
-                            q.push(s.0);
-                        }
+        self.reach_sets(func)[from as usize].contains(&to)
+    }
+
+    fn reach_sets(&self, func: Address) -> Arc<Vec<BTreeSet<u32>>> {
+        if let Some(sets) = self.reach.read().get(&func) {
+            return Arc::clone(sets);
+        }
+        let f = self.program.function(func).expect("function exists");
+        let n = f.blocks().len();
+        let mut sets: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); n];
+        for (start, set) in sets.iter_mut().enumerate() {
+            let mut seen = BTreeSet::new();
+            let mut q = vec![start as u32];
+            while let Some(b) = q.pop() {
+                for s in &f.blocks()[b as usize].successors {
+                    if seen.insert(s.0) {
+                        q.push(s.0);
                     }
                 }
-                *set = seen;
             }
-            self.reach.insert(func, sets);
+            *set = seen;
         }
-        self.reach[&func][from as usize].contains(&to)
+        Arc::clone(self.reach.write().entry(func).or_insert(Arc::new(sets)))
     }
 
     /// Trace the message held in argument `arg` of the call at
@@ -428,24 +445,38 @@ impl<'p> TaintEngine<'p> {
     /// Results are memoized per `(func, callsite_addr, arg)`: repeating a
     /// query returns a clone of the first result without re-walking the
     /// data flows (see [`TaintEngine::cache_stats`]).
-    pub fn trace(&mut self, func: Address, callsite_addr: Address, arg: usize) -> TaintTree {
+    pub fn trace(&self, func: Address, callsite_addr: Address, arg: usize) -> TaintTree {
         let key = (func, callsite_addr, arg);
-        if let Some(cached) = self.trace_cache.get(&key) {
-            self.cache_hits += 1;
+        if let Some(cached) = self.trace_cache.lock().get(&key) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
             return cached.clone();
         }
-        self.cache_misses += 1;
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        // Traced outside the lock: concurrent first queries for the same
+        // key each compute the (identical, deterministic) tree and the
+        // first insert wins.
         let tree = self.trace_uncached(func, callsite_addr, arg);
-        self.trace_cache.insert(key, tree.clone());
+        self.trace_cache
+            .lock()
+            .entry(key)
+            .or_insert_with(|| tree.clone());
         tree
     }
 
     /// `(hits, misses)` of the trace memo cache so far.
+    ///
+    /// The counts are scheduling-dependent under concurrent use (racing
+    /// first queries for one key each count a miss), so the pipeline does
+    /// not report them — it replays its own query log deterministically
+    /// (see `firmres::stages`). They remain useful for profiling.
     pub fn cache_stats(&self) -> (u64, u64) {
-        (self.cache_hits, self.cache_misses)
+        (
+            self.cache_hits.load(Ordering::Relaxed),
+            self.cache_misses.load(Ordering::Relaxed),
+        )
     }
 
-    fn trace_uncached(&mut self, func: Address, callsite_addr: Address, arg: usize) -> TaintTree {
+    fn trace_uncached(&self, func: Address, callsite_addr: Address, arg: usize) -> TaintTree {
         let mut cx = Cx {
             tree: TaintTree::default(),
             visited_vals: BTreeSet::new(),
@@ -533,16 +564,14 @@ impl<'p> TaintEngine<'p> {
     }
 
     /// Resolve a varnode that may be a pointer; returns the region.
-    fn region_of(&mut self, func: Address, at: OpRef, v: &Varnode) -> Region {
+    fn region_of(&self, func: Address, at: OpRef, v: &Varnode) -> Region {
         let f = self.program.function(func).expect("function exists");
-        // Borrow dance: DefUse is computed before taking the reference.
-        self.du(func);
-        let du = self.defuse.get(&func).expect("cached");
-        resolve_region(self.program, f, du, at, v)
+        let du = self.du(func);
+        resolve_region(self.program, f, &du, at, v)
     }
 
     fn taint_value(
-        &mut self,
+        &self,
         cx: &mut Cx,
         func: Address,
         at: OpRef,
@@ -617,8 +646,7 @@ impl<'p> TaintEngine<'p> {
             Region::Unknown => {}
         }
         let f = self.program.function(func).expect("function exists");
-        self.du(func);
-        let defs = self.defuse[&func].reaching_defs(at, v);
+        let defs = self.du(func).reaching_defs(at, v);
         if defs.is_empty() {
             self.value_without_defs(cx, func, v, parent, depth);
             return;
@@ -632,7 +660,7 @@ impl<'p> TaintEngine<'p> {
     /// A used value with no defining op: a parameter (cross to callers) or
     /// an uninitialized location.
     fn value_without_defs(
-        &mut self,
+        &self,
         cx: &mut Cx,
         func: Address,
         v: &Varnode,
@@ -663,8 +691,7 @@ impl<'p> TaintEngine<'p> {
             let caller_f = self.program.function(caller).expect("caller exists");
             if let Some(call) = caller_f.op_at(callsite).cloned() {
                 if let Some(arg) = call.call_args().get(index).cloned() {
-                    self.du(caller);
-                    if let Some(at) = self.defuse[&caller].position_of(callsite) {
+                    if let Some(at) = self.du(caller).position_of(callsite) {
                         self.taint_value(cx, caller, at, &arg, node, depth + 1);
                     }
                 }
@@ -696,8 +723,7 @@ impl<'p> TaintEngine<'p> {
             let Some(arg) = call.call_args().get(index).cloned() else {
                 continue;
             };
-            self.du(caller);
-            let Some(at) = self.defuse[&caller].position_of(callsite) else {
+            let Some(at) = self.du(caller).position_of(callsite) else {
                 continue;
             };
             self.taint_value(cx, caller, at, &arg, node, depth + 1);
@@ -707,7 +733,7 @@ impl<'p> TaintEngine<'p> {
     /// Walk backward through one defining operation.
     #[allow(clippy::too_many_arguments)]
     fn taint_def(
-        &mut self,
+        &self,
         cx: &mut Cx,
         func: Address,
         d: OpRef,
@@ -821,7 +847,7 @@ impl<'p> TaintEngine<'p> {
     /// The traced value is the result of a call: apply a summary, or
     /// descend into the callee's returns.
     fn taint_call_result(
-        &mut self,
+        &self,
         cx: &mut Cx,
         func: Address,
         d: OpRef,
@@ -965,8 +991,7 @@ impl<'p> TaintEngine<'p> {
             },
         );
         let returns: Vec<(OpRef, Varnode)> = {
-            self.du(target);
-            let du = &self.defuse[&target];
+            let du = self.du(target);
             callee
                 .ops()
                 .filter(|o| o.opcode == Opcode::Return && !o.inputs.is_empty())
@@ -983,7 +1008,7 @@ impl<'p> TaintEngine<'p> {
     /// Find the writes that filled `region` before `before` (None = the
     /// whole function) and taint each written value.
     fn taint_region(
-        &mut self,
+        &self,
         cx: &mut Cx,
         func: Address,
         region: &XRegion,
@@ -1007,7 +1032,6 @@ impl<'p> TaintEngine<'p> {
             return;
         }
         let f = self.program.function(func).expect("function exists");
-        self.du(func);
 
         // Collect candidate writes: (position, op, contributing values,
         // writer label).
@@ -1219,7 +1243,7 @@ impl<'p> TaintEngine<'p> {
 
     /// Does pointer `v` (at `at` in `func`) point into `region`?
     fn xregion_matches(
-        &mut self,
+        &self,
         func: Address,
         at: OpRef,
         v: &Varnode,
@@ -1233,8 +1257,7 @@ impl<'p> TaintEngine<'p> {
                     return true;
                 }
                 // Also chase copies of the parameter.
-                self.du(func);
-                let defs = self.defuse[&func].reaching_defs(at, v);
+                let defs = self.du(func).reaching_defs(at, v);
                 if defs.len() == 1 {
                     let op = op_at(f, defs[0]).clone();
                     if op.opcode == Opcode::Copy {
@@ -1276,7 +1299,7 @@ impl<'p> TaintEngine<'p> {
     }
 
     /// Resolve a string constant argument (e.g. an NVRAM key).
-    fn string_of(&mut self, func: Address, at: OpRef, v: &Varnode) -> Option<String> {
+    fn string_of(&self, func: Address, at: OpRef, v: &Varnode) -> Option<String> {
         if let Some(value) = v.const_value() {
             return self.program.string_at(value).map(str::to_string);
         }
@@ -1307,7 +1330,7 @@ mod tests {
             }
             found.expect("delivery callsite present")
         };
-        let mut engine = TaintEngine::new(&p);
+        let engine = TaintEngine::new(&p);
         let tree = engine.trace(func, callsite, arg);
         (tree, p)
     }
@@ -1578,14 +1601,14 @@ arg: .asciz "seed"
             .addr;
         let entry = f.entry();
 
-        let mut over = TaintEngine::new(&p);
+        let over = TaintEngine::new(&p);
         let t1 = over.trace(entry, callsite, 1);
         assert!(
             source_strings(&t1).iter().any(|s| s.contains("seed")),
             "overtaint traces through unknown imports"
         );
 
-        let mut strict = TaintEngine::with_config(
+        let strict = TaintEngine::with_config(
             &p,
             TaintConfig {
                 overtaint: false,
@@ -1619,7 +1642,7 @@ s: .asciz "x"
         let p = lift(&exe, "t").unwrap();
         let f = p.function_by_name("main").unwrap();
         let callsite = f.callsites().nth(1).unwrap().addr;
-        let mut engine = TaintEngine::with_config(
+        let engine = TaintEngine::with_config(
             &p,
             TaintConfig {
                 max_depth: 1,
@@ -1636,7 +1659,7 @@ s: .asciz "x"
         let src = ".func main\n ret\n.endfunc\n";
         let exe = Assembler::new().assemble(src).unwrap();
         let p = lift(&exe, "t").unwrap();
-        let mut engine = TaintEngine::new(&p);
+        let engine = TaintEngine::new(&p);
         let f = p.function_by_name("main").unwrap();
         let tree = engine.trace(f.entry(), 0xdead, 0);
         assert_eq!(tree.len(), 2);
@@ -1653,7 +1676,7 @@ s: .asciz "x"
         let p = lift(&exe, "t").unwrap();
         let f = p.function_by_name("main").unwrap();
         let callsite = f.callsites().next().unwrap().addr;
-        let mut engine = TaintEngine::new(&p);
+        let engine = TaintEngine::new(&p);
         let first = engine.trace(f.entry(), callsite, 1);
         assert_eq!(engine.cache_stats(), (0, 1));
         let second = engine.trace(f.entry(), callsite, 1);

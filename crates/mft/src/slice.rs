@@ -13,7 +13,9 @@ use firmres_dataflow::{DefUse, FieldSource};
 use firmres_ir::{
     is_import_address, AddressSpace, DataType, Function, Opcode, PcodeOp, Program, Varnode,
 };
+use parking_lot::RwLock;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A code slice for one message field.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -296,9 +298,14 @@ pub fn slices_for_tree(program: &Program, mft: &Mft) -> Vec<CodeSlice> {
 /// trees, which matters when rendering slices for every message of a
 /// firmware (the pipeline renders hundreds of slices over the same few
 /// functions).
+///
+/// The renderer is `Sync` — the def-use cache lives behind a lock, so one
+/// renderer can serve the pipeline's parallel message units. Cached
+/// analyses are deterministic functions of the immutable program, so a
+/// racing fill can only insert the value every other worker would have.
 pub struct SliceRenderer<'p> {
     program: &'p Program,
-    defuse: BTreeMap<u64, DefUse>,
+    defuse: RwLock<BTreeMap<u64, Arc<DefUse>>>,
 }
 
 impl<'p> SliceRenderer<'p> {
@@ -306,15 +313,22 @@ impl<'p> SliceRenderer<'p> {
     pub fn new(program: &'p Program) -> Self {
         SliceRenderer {
             program,
-            defuse: BTreeMap::new(),
+            defuse: RwLock::new(BTreeMap::new()),
         }
+    }
+
+    fn du(&self, func: u64, f: &Function) -> Arc<DefUse> {
+        if let Some(du) = self.defuse.read().get(&func) {
+            return Arc::clone(du);
+        }
+        let du = Arc::new(DefUse::compute(f));
+        Arc::clone(self.defuse.write().entry(func).or_insert(du))
     }
 
     /// Produce a [`CodeSlice`] for every field leaf of `mft` (see
     /// [`slices_for_tree`]).
-    pub fn slices_for_tree(&mut self, mft: &Mft) -> Vec<CodeSlice> {
+    pub fn slices_for_tree(&self, mft: &Mft) -> Vec<CodeSlice> {
         let program = self.program;
-        let defuse = &mut self.defuse;
         let pieces = piece_map(mft);
         let mut out = Vec::new();
         for leaf in mft.leaves() {
@@ -336,8 +350,8 @@ impl<'p> SliceRenderer<'p> {
                 let n = mft.node(*id);
                 if let Some(op) = &n.op {
                     if let Some(f) = program.function(n.func) {
-                        let du = defuse.entry(n.func).or_insert_with(|| DefUse::compute(f));
-                        let mut line = enrich_op_with(program, f, op, Some(du));
+                        let du = self.du(n.func, f);
+                        let mut line = enrich_op_with(program, f, op, Some(&du));
                         // Partial-message separation: this field's slice shows
                         // only its own piece of a multi-field template, not the
                         // whole format string (which would leak sibling keys

@@ -22,4 +22,23 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 echo "==> analysis-cache cold/warm smoke (writes BENCH_cache.json)"
 cargo run --release -q -p firmres-bench --bin cache_bench
 
+echo "==> unit-parallel determinism suite (release, 1 and N threads)"
+cargo test --release -q --test pipeline_units
+
+echo "==> pipeline scaling bench (writes BENCH_pipeline.json)"
+cargo run --release -q -p firmres-bench --bin pipeline_scaling
+
+echo "==> cache smoke against a parallel-produced entry"
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+cli() { cargo run --release -q -p firmres-suite --bin firmres-cli -- "$@"; }
+cli gen 14 "$smoke_dir/dev14.fwi" > /dev/null
+# Cold pass populates the store from a unit-parallel run; the warm pass
+# must serve it to a sequential run with an identical report body.
+cli analyze "$smoke_dir/dev14.fwi" --cache "$smoke_dir/cache" --jobs 8 > "$smoke_dir/cold.txt"
+grep -q 'miss — entry stored' "$smoke_dir/cold.txt"
+cli analyze "$smoke_dir/dev14.fwi" --cache "$smoke_dir/cache" > "$smoke_dir/warm.txt"
+grep -q 'hit — pipeline skipped' "$smoke_dir/warm.txt"
+cmp <(tail -n +2 "$smoke_dir/cold.txt") <(tail -n +2 "$smoke_dir/warm.txt")
+
 echo "==> all checks passed"

@@ -7,9 +7,12 @@
 //! * `disasm <image.fwi> <exe-path>` — disassemble an MR32 executable
 //! * `lift <image.fwi> <exe-path>` — dump the lifted P-Code IR
 //! * `analyze <image.fwi>` — run the full FIRMRES pipeline and report
-//!   (`--cache <dir>` runs through the content-addressed analysis cache)
+//!   (`--cache <dir>` runs through the content-addressed analysis cache,
+//!   `--jobs <n>` fans the message units out over `n` worker threads)
 
-use firmres::{analyze_firmware, AnalysisConfig, CollectingObserver};
+use firmres::{
+    analyze_firmware, analyze_firmware_jobs, AnalysisConfig, CollectingObserver, Parallelism,
+};
 use firmres_cache::{analyze_corpus_incremental, AnalysisCache};
 use firmres_firmware::FirmwareImage;
 use firmres_isa::{decode, CODE_BASE};
@@ -36,11 +39,18 @@ pub fn run(args: &[String]) -> Result<String, String> {
         }
         Some("analyze") => {
             let mut cache_dir: Option<String> = None;
+            let mut jobs: usize = 1;
             let mut positional: Vec<&String> = Vec::new();
             let mut rest = args[1..].iter();
             while let Some(a) = rest.next() {
                 if a == "--cache" {
                     cache_dir = Some(rest.next().ok_or(USAGE)?.clone());
+                } else if a == "--jobs" {
+                    jobs = rest
+                        .next()
+                        .ok_or(USAGE)?
+                        .parse()
+                        .map_err(|_| "--jobs takes a thread count".to_string())?;
                 } else {
                     positional.push(a);
                 }
@@ -49,6 +59,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 &load_image(positional.first().copied())?,
                 positional.get(1).copied(),
                 cache_dir.as_deref(),
+                jobs,
             )
         }
         Some("train") => cmd_train(args.get(1), args.get(2)),
@@ -69,9 +80,10 @@ const USAGE: &str = "usage: firmres-cli <command>\n\
   inspect <image.fwi>           device info, files, NVRAM\n\
   disasm <image.fwi> <exe>      disassemble an MR32 executable\n\
   lift <image.fwi> <exe>        dump the lifted P-Code IR\n\
-  analyze <image.fwi> [model] [--cache <dir>]\n\
+  analyze <image.fwi> [model] [--cache <dir>] [--jobs <n>]\n\
 \x20                               run the FIRMRES pipeline (optional model;\n\
-\x20                               --cache reuses/populates an analysis cache)\n\
+\x20                               --cache reuses/populates an analysis cache;\n\
+\x20                               --jobs parallelizes within the image)\n\
   train <out.fsm> [n-devices]   train + save the semantics model\n\
   cfg <image.fwi> <exe> <fn>    DOT control-flow graph of one function\n\
   callgraph <image.fwi> <exe>   DOT call graph of an executable";
@@ -237,6 +249,7 @@ fn cmd_analyze(
     fw: &FirmwareImage,
     model_path: Option<&String>,
     cache_dir: Option<&str>,
+    jobs: usize,
 ) -> Result<String, String> {
     let model = match model_path {
         Some(path) => {
@@ -251,12 +264,18 @@ fn cmd_analyze(
     let config = AnalysisConfig::default();
     let mut cache_summary = None;
     let analysis = match cache_dir {
-        None => analyze_firmware(fw, model.as_ref(), &config),
+        None => analyze_firmware_jobs(fw, model.as_ref(), &config, jobs),
         Some(dir) => {
             let cache = AnalysisCache::new(dir);
             let mut obs = CollectingObserver::default();
-            let outcome =
-                analyze_corpus_incremental(&[fw], model.as_ref(), &config, 1, &cache, &mut obs);
+            let outcome = analyze_corpus_incremental(
+                &[fw],
+                model.as_ref(),
+                &config,
+                Parallelism::units(jobs),
+                &cache,
+                &mut obs,
+            );
             let s = outcome.stats;
             cache_summary = Some(format!(
                 "analysis cache ({dir}): {} | {} bytes read, {} bytes written",
@@ -417,6 +436,18 @@ mod tests {
         // A missing --cache argument is a usage error.
         assert!(run(&s(&["analyze", &path, "--cache"])).is_err());
         let _ = std::fs::remove_dir_all(&cache_dir);
+    }
+
+    #[test]
+    fn analyze_jobs_flag_does_not_change_the_report() {
+        let path = temp("dev10j.fwi");
+        run(&s(&["gen", "10", &path])).unwrap();
+        let sequential = run(&s(&["analyze", &path])).unwrap();
+        let parallel = run(&s(&["analyze", &path, "--jobs", "8"])).unwrap();
+        assert_eq!(sequential, parallel);
+        // Bad values are usage errors, not panics.
+        assert!(run(&s(&["analyze", &path, "--jobs"])).is_err());
+        assert!(run(&s(&["analyze", &path, "--jobs", "lots"])).is_err());
     }
 
     #[test]

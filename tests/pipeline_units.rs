@@ -1,0 +1,96 @@
+//! The message-unit execution model is a pure speedup: per-image output
+//! is byte-identical whatever the unit job count, and the merge order is
+//! the canonical unit order, never the workers' completion order.
+
+use firmres::{analyze_firmware_jobs, run_pool, AnalysisConfig, FirmwareAnalysis};
+use firmres_cache::codec;
+use firmres_corpus::{generate_corpus, generate_device};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// The exact bytes the analysis cache would persist, with the (run- and
+/// schedule-dependent) timings zeroed out: the strictest observable
+/// equality available — messages, flaws, diagnostics, counters, handler
+/// scores, everything the codec round-trips.
+fn canonical_bytes(mut analysis: FirmwareAnalysis) -> Vec<u8> {
+    analysis.timings = Default::default();
+    let mut out = Vec::new();
+    codec::put_analysis(&mut out, &analysis);
+    out
+}
+
+#[test]
+fn unit_jobs_are_byte_identical_across_the_corpus() {
+    let corpus = generate_corpus(7);
+    let config = AnalysisConfig::default();
+    assert_eq!(corpus.len(), 22, "the full corpus");
+    for dev in &corpus {
+        let baseline = canonical_bytes(analyze_firmware_jobs(&dev.firmware, None, &config, 1));
+        for jobs in [2, 8] {
+            let parallel =
+                canonical_bytes(analyze_firmware_jobs(&dev.firmware, None, &config, jobs));
+            assert_eq!(
+                baseline, parallel,
+                "device {} differs between 1 and {jobs} unit jobs",
+                dev.spec.id
+            );
+        }
+    }
+}
+
+/// Sequential baseline per device id, computed once across proptest
+/// cases (the parallel side re-runs every case; the baseline never
+/// changes).
+fn baseline_bytes(id: u8) -> Vec<u8> {
+    static BASELINES: OnceLock<Mutex<HashMap<u8, Vec<u8>>>> = OnceLock::new();
+    let map = BASELINES.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = map.lock().unwrap();
+    map.entry(id)
+        .or_insert_with(|| {
+            let dev = generate_device(id, 7);
+            canonical_bytes(analyze_firmware_jobs(
+                &dev.firmware,
+                None,
+                &AnalysisConfig::default(),
+                1,
+            ))
+        })
+        .clone()
+}
+
+proptest! {
+    /// The pool's slot placement — the mechanism the unit merge builds
+    /// on — puts `job(i)` in slot `i` under any completion order. The
+    /// random per-item delays scramble completion aggressively; the
+    /// output order must not notice.
+    #[test]
+    fn run_pool_order_is_independent_of_completion_order(
+        delays in proptest::collection::vec(0u64..3, 1..12),
+        threads in 1usize..9,
+    ) {
+        let out = run_pool(delays.len(), threads, |i| {
+            std::thread::sleep(Duration::from_millis(delays[i]));
+            i * 10
+        });
+        let expected: Vec<usize> = (0..delays.len()).map(|i| i * 10).collect();
+        prop_assert_eq!(out, expected);
+    }
+
+    /// Full-pipeline restatement: any device, any job count, one output.
+    #[test]
+    fn unit_parallel_analysis_matches_sequential(
+        id in 1u8..23,
+        jobs in 2usize..9,
+    ) {
+        let dev = generate_device(id, 7);
+        let parallel = canonical_bytes(analyze_firmware_jobs(
+            &dev.firmware,
+            None,
+            &AnalysisConfig::default(),
+            jobs,
+        ));
+        prop_assert_eq!(parallel, baseline_bytes(id), "device {} at {} jobs", id, jobs);
+    }
+}
