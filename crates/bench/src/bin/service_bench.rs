@@ -1,0 +1,177 @@
+//! Cold-then-warm benchmark of the resident analysis daemon.
+//!
+//! Boots a [`firmres_service::Server`] on an ephemeral port with a fresh
+//! analysis cache, submits the full synthetic corpus over the wire
+//! (cold pass: every job runs the pipeline), then resubmits every image
+//! by content hash (warm pass: every job must be answered from the
+//! cache without shipping the bytes again). Verifies each served
+//! analysis is byte-identical — through the cache codec, timings
+//! zeroed — to a local `analyze_firmware` of the same image, and writes
+//! the timings to `BENCH_service.json`.
+//!
+//! Usage: `cargo run --release -p firmres-bench --bin service_bench [out.json]`
+//!
+//! Exits non-zero when a served result diverges from its local run,
+//! when the warm pass reaches the pipeline at all, or when the warm
+//! pass fails to beat the cold pass by at least 5×.
+
+use firmres::{analyze_firmware, AnalysisConfig, FirmwareAnalysis};
+use firmres_cache::codec;
+use firmres_corpus::generate_corpus;
+use firmres_firmware::content_hash_packed_wide;
+use firmres_service::{Client, Server, ServerConfig, SubmitImage};
+use std::time::Instant;
+
+/// The cache codec's encoding with the (run-dependent) stage timings
+/// zeroed — the canonical equality form used across the test suite.
+fn canonical(mut analysis: FirmwareAnalysis) -> Vec<u8> {
+    analysis.timings = Default::default();
+    let mut out = Vec::new();
+    codec::put_analysis(&mut out, &analysis);
+    out
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_service.json".to_string());
+
+    eprintln!("generating corpus…");
+    let corpus = generate_corpus(7);
+    let packed: Vec<Vec<u8>> = corpus.iter().map(|d| d.firmware.pack().to_vec()).collect();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let config = AnalysisConfig::default();
+
+    let dir = std::env::temp_dir().join(format!("firmres-service-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: threads,
+            unit_jobs: 1,
+            queue_cap: corpus.len() + 1,
+            conn_inflight_cap: corpus.len() as u32 + 1,
+            cache_dir: Some(dir.clone()),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    let daemon = std::thread::spawn(move || server.run());
+
+    let mut failures = 0;
+    let mut client = Client::connect(addr).expect("connect");
+
+    eprintln!(
+        "cold pass: {} devices over the wire ({threads} workers)…",
+        corpus.len()
+    );
+    let t = Instant::now();
+    let mut cold_payloads = Vec::new();
+    for (dev, bytes) in corpus.iter().zip(&packed) {
+        let served = client
+            .submit(SubmitImage::Bytes(bytes.clone()), &config, false, 0)
+            .expect("cold submit");
+        if served.from_cache {
+            eprintln!("FAIL: cold submit of device {} hit the cache", dev.spec.id);
+            failures += 1;
+        }
+        cold_payloads.push(served.payload);
+        let local = canonical(analyze_firmware(&dev.firmware, None, &config));
+        if canonical(served.analysis) != local {
+            eprintln!(
+                "FAIL: served analysis of device {} differs from local",
+                dev.spec.id
+            );
+            failures += 1;
+        }
+    }
+    let cold_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    eprintln!("warm pass: resubmitting every device by content hash…");
+    let t = Instant::now();
+    for ((dev, bytes), cold_payload) in corpus.iter().zip(&packed).zip(&cold_payloads) {
+        let served = client
+            .submit(
+                SubmitImage::Hash(content_hash_packed_wide(bytes)),
+                &config,
+                false,
+                0,
+            )
+            .expect("warm hash submit");
+        if !served.from_cache {
+            eprintln!(
+                "FAIL: warm hash submit of device {} missed the cache",
+                dev.spec.id
+            );
+            failures += 1;
+        }
+        if &served.payload != cold_payload {
+            eprintln!(
+                "FAIL: device {} warm payload differs from cold",
+                dev.spec.id
+            );
+            failures += 1;
+        }
+    }
+    let warm_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let status = client.status().expect("status");
+    client.drain().expect("drain");
+    let final_status = daemon.join().expect("daemon thread");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if status.cache_misses != corpus.len() as u64 {
+        eprintln!(
+            "FAIL: expected {} pipeline runs, saw {}",
+            corpus.len(),
+            status.cache_misses
+        );
+        failures += 1;
+    }
+    let speedup = cold_ms / warm_ms.max(1e-9);
+    if speedup < 5.0 {
+        eprintln!("FAIL: warm speedup {speedup:.1}x is below the 5x floor");
+        failures += 1;
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"service_cold_vs_warm_hash\",\n",
+            "  \"devices\": {devices},\n",
+            "  \"workers\": {threads},\n",
+            "  \"cold_ms\": {cold_ms:.3},\n",
+            "  \"warm_ms\": {warm_ms:.3},\n",
+            "  \"speedup\": {speedup:.2},\n",
+            "  \"jobs_served\": {served},\n",
+            "  \"cache_hits\": {hits},\n",
+            "  \"cache_misses\": {misses}\n",
+            "}}\n",
+        ),
+        devices = corpus.len(),
+        threads = threads,
+        cold_ms = cold_ms,
+        warm_ms = warm_ms,
+        speedup = speedup,
+        served = final_status.jobs_served,
+        hits = final_status.cache_hits,
+        misses = final_status.cache_misses,
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark output");
+
+    println!(
+        "service bench: {} devices | cold {:.1} ms | warm-by-hash {:.1} ms | {:.1}x | {} served",
+        corpus.len(),
+        cold_ms,
+        warm_ms,
+        speedup,
+        final_status.jobs_served
+    );
+    println!("wrote {out_path}");
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

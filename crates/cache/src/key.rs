@@ -77,6 +77,28 @@ impl CacheKey {
         }
     }
 
+    /// Key for an image known only by its content hash (the FNV-128 of
+    /// the packed bytes, [`content_hash_packed_wide`]).
+    ///
+    /// This is the hash-addressed lookup path: a client that already
+    /// knows an image's hash can ask a shared store (or the analysis
+    /// service) for the entry without shipping the image bytes at all.
+    /// The key is identical to what [`CacheKey::of_packed`] computes for
+    /// the bytes hashing to `image`, so hits are exactly the entries a
+    /// by-bytes submission of the same image would find.
+    pub fn of_hash(
+        image: u128,
+        classifier: Option<&Classifier>,
+        config: &AnalysisConfig,
+    ) -> CacheKey {
+        CacheKey {
+            image,
+            pipeline: PIPELINE_VERSION,
+            config: config_fingerprint(config),
+            classifier: classifier_fingerprint(classifier),
+        }
+    }
+
     /// The store file name this key maps to (hex of all four parts).
     pub fn file_name(&self) -> String {
         format!(
@@ -169,6 +191,18 @@ mod tests {
         assert_eq!(a, CacheKey::of_packed(b"image-a", None, &config));
         assert_ne!(a.file_name(), b.file_name());
         assert!(a.file_name().ends_with(".frac"));
+    }
+
+    #[test]
+    fn hash_addressed_key_equals_by_bytes_key() {
+        let config = AnalysisConfig::default();
+        let by_bytes = CacheKey::of_packed(b"image-a", None, &config);
+        let by_hash = CacheKey::of_hash(by_bytes.image, None, &config);
+        assert_eq!(by_bytes, by_hash, "same entry whichever way it is keyed");
+        assert_ne!(
+            by_hash,
+            CacheKey::of_hash(by_bytes.image ^ 1, None, &config)
+        );
     }
 
     fn trained(seed: u64) -> Classifier {

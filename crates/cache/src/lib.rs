@@ -63,4 +63,6 @@ pub use driver::{analyze_corpus_incremental, CacheStats, CorpusOutcome};
 pub use key::{
     classifier_fingerprint, config_fingerprint, CacheKey, NO_CLASSIFIER, PIPELINE_VERSION,
 };
-pub use store::{taint_summaries, AnalysisCache, CacheError, CachedEntry, SCHEMA_VERSION};
+pub use store::{
+    taint_summaries, AnalysisCache, CacheError, CachedEntry, StoreStats, SCHEMA_VERSION,
+};

@@ -319,6 +319,80 @@ impl AnalysisCache {
     }
 }
 
+/// Aggregate shape of one store directory, as reported by
+/// [`AnalysisCache::stats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Entry files bearing the `FRAC` magic.
+    pub entries: u64,
+    /// Total bytes across those entries.
+    pub total_bytes: u64,
+    /// Entry count per schema version found, ascending by version.
+    /// Anything not at [`SCHEMA_VERSION`] is dead weight a future
+    /// garbage-collection pass could reclaim.
+    pub by_schema: Vec<(u16, u64)>,
+    /// `.frac`-named files that do not start with the magic (foreign or
+    /// mangled files sharing the directory).
+    pub foreign: u64,
+}
+
+impl StoreStats {
+    /// Entries at the current [`SCHEMA_VERSION`].
+    pub fn current(&self) -> u64 {
+        self.by_schema
+            .iter()
+            .find(|(v, _)| *v == SCHEMA_VERSION)
+            .map_or(0, |(_, n)| *n)
+    }
+}
+
+impl AnalysisCache {
+    /// Survey the store directory: entry count, total bytes, and the
+    /// schema-version breakdown.
+    ///
+    /// Only each file's 6-byte header is inspected — no entry is decoded
+    /// or checksummed, so this stays cheap on large stores. A store whose
+    /// directory does not exist yet reports all-zero stats rather than an
+    /// error (it is simply empty). Temp files from in-flight writes (no
+    /// `.frac` suffix) are skipped.
+    pub fn stats(&self) -> Result<StoreStats, CacheError> {
+        let mut stats = StoreStats::default();
+        let entries = match std::fs::read_dir(&self.dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(stats),
+            Err(e) => return Err(CacheError::Io(e.to_string())),
+        };
+        let mut by_schema = std::collections::BTreeMap::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| CacheError::Io(e.to_string()))?;
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("frac") {
+                continue;
+            }
+            let meta = entry
+                .metadata()
+                .map_err(|e| CacheError::Io(e.to_string()))?;
+            if !meta.is_file() {
+                continue;
+            }
+            let mut header = [0u8; 6];
+            let ok = std::fs::File::open(&path)
+                .and_then(|mut f| std::io::Read::read_exact(&mut f, &mut header))
+                .is_ok();
+            if !ok || &header[..4] != MAGIC {
+                stats.foreign += 1;
+                continue;
+            }
+            stats.entries += 1;
+            stats.total_bytes += meta.len();
+            let schema = u16::from_le_bytes([header[4], header[5]]);
+            *by_schema.entry(schema).or_insert(0u64) += 1;
+        }
+        stats.by_schema = by_schema.into_iter().collect();
+        Ok(stats)
+    }
+}
+
 struct RawEntry {
     sections: Vec<Vec<u8>>,
     bytes: u64,
@@ -451,6 +525,33 @@ mod tests {
             cache.load(&key).unwrap_err(),
             CacheError::SchemaMismatch { found: 0xFFFE }
         );
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn stats_survey_entries_schemas_and_foreign_files() {
+        let cache = AnalysisCache::new(temp_dir("stats"));
+        // A store that was never written to is empty, not an error.
+        assert_eq!(cache.stats().unwrap(), StoreStats::default());
+
+        let config = AnalysisConfig::default();
+        let mut written = 0;
+        for id in [6u8, 10] {
+            let dev = generate_device(id, 7);
+            let analysis = analyze_firmware(&dev.firmware, None, &config);
+            let key = CacheKey::compute(&dev.firmware, None, &config);
+            written += cache.store(&key, &analysis).unwrap();
+        }
+        // One foreign .frac file and one non-entry file alongside.
+        std::fs::write(cache.dir().join("junk.frac"), b"not FRAC at all").unwrap();
+        std::fs::write(cache.dir().join("notes.txt"), b"ignored").unwrap();
+
+        let stats = cache.stats().unwrap();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.total_bytes, written);
+        assert_eq!(stats.by_schema, vec![(SCHEMA_VERSION, 2)]);
+        assert_eq!(stats.current(), 2);
+        assert_eq!(stats.foreign, 1);
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 

@@ -167,6 +167,16 @@ pub enum Error {
         /// The per-executable diagnostics explaining each failure.
         diagnostics: Vec<Diagnostic>,
     },
+    /// The analysis was abandoned at a unit boundary because its
+    /// [`CancelToken`] tripped — either an explicit cancellation or an
+    /// expired deadline (the flag distinguishes the two).
+    ///
+    /// [`CancelToken`]: crate::CancelToken
+    Cancelled {
+        /// `true` when the token expired on its deadline rather than
+        /// being cancelled explicitly.
+        deadline_exceeded: bool,
+    },
 }
 
 impl fmt::Display for Error {
@@ -182,6 +192,13 @@ impl fmt::Display for Error {
                     "no usable executable: all {tried} executable(s) failed to parse or lift"
                 )
             }
+            Error::Cancelled { deadline_exceeded } => {
+                if *deadline_exceeded {
+                    write!(f, "analysis deadline exceeded")
+                } else {
+                    write!(f, "analysis cancelled")
+                }
+            }
         }
     }
 }
@@ -193,7 +210,7 @@ impl std::error::Error for Error {
             Error::Exe(e) => Some(e),
             Error::Lift(e) => Some(e),
             Error::Model(e) => Some(e),
-            Error::NoUsableExecutable { .. } => None,
+            Error::NoUsableExecutable { .. } | Error::Cancelled { .. } => None,
         }
     }
 }

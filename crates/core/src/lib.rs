@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod driver;
 pub mod error;
 pub mod exeid;
@@ -49,16 +50,18 @@ pub mod pipeline;
 pub mod probe;
 pub mod stages;
 
+pub use cancel::CancelToken;
 pub use driver::{analyze_corpus, run_pool, Parallelism};
 pub use error::{Diagnostic, Error, Severity, StageKind};
 pub use exeid::{identify_device_cloud, score_handlers, ExeIdConfig, HandlerInfo};
 pub use formcheck::{check_message, FormFlaw, MessagePhase};
 pub use observe::{
-    CollectingObserver, Counter, Event, NullObserver, Observer, StageCounters, StageEvents,
+    CollectingObserver, Counter, Event, FnObserver, NullObserver, Observer, StageCounters,
+    StageEvents,
 };
 pub use pipeline::{
-    analyze_firmware, analyze_firmware_jobs, analyze_firmware_with, analyze_firmware_with_jobs,
-    analyze_packed, try_analyze_firmware, try_analyze_packed, AnalysisConfig, FirmwareAnalysis,
-    MessageRecord, StageTimings,
+    analyze_firmware, analyze_firmware_cancellable, analyze_firmware_jobs, analyze_firmware_with,
+    analyze_firmware_with_jobs, analyze_packed, try_analyze_firmware, try_analyze_packed,
+    AnalysisConfig, FirmwareAnalysis, MessageRecord, StageTimings,
 };
 pub use probe::{extract_endpoint, fill_message, probe_cloud, render_body, FilledMessage};

@@ -126,6 +126,10 @@ impl StageCounters {
 /// channel for deterministic replay.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Event {
+    /// A stage is about to run.
+    StageStarted(StageKind),
+    /// A stage finished after the given wall-clock time.
+    StageFinished(StageKind, Duration),
     /// A work counter advanced by `n`.
     Count(Counter, u64),
     /// A diagnostic was recorded.
@@ -167,6 +171,8 @@ impl StageEvents {
     pub fn replay(&self, observer: &mut dyn Observer) {
         for ev in &self.events {
             match ev {
+                Event::StageStarted(stage) => observer.stage_started(*stage),
+                Event::StageFinished(stage, elapsed) => observer.stage_finished(*stage, *elapsed),
                 Event::Count(counter, n) => observer.count(*counter, *n),
                 Event::Diagnostic(d) => observer.diagnostic(d),
             }
@@ -239,6 +245,44 @@ impl Observer for CollectingObserver {
     }
 }
 
+/// An observer that forwards every callback as an owned [`Event`] to a
+/// closure.
+///
+/// This is the bridge between the borrow-based [`Observer`] trait and
+/// consumers that need `Send + 'static` values — the `firmres-service`
+/// daemon wraps one around a frame encoder to stream live pipeline
+/// progress to a remote client, and tests use it to capture the raw
+/// event stream.
+#[derive(Debug)]
+pub struct FnObserver<F: FnMut(Event)> {
+    sink: F,
+}
+
+impl<F: FnMut(Event)> FnObserver<F> {
+    /// Forward every event to `sink`.
+    pub fn new(sink: F) -> Self {
+        FnObserver { sink }
+    }
+}
+
+impl<F: FnMut(Event)> Observer for FnObserver<F> {
+    fn stage_started(&mut self, stage: StageKind) {
+        (self.sink)(Event::StageStarted(stage));
+    }
+
+    fn stage_finished(&mut self, stage: StageKind, elapsed: Duration) {
+        (self.sink)(Event::StageFinished(stage, elapsed));
+    }
+
+    fn count(&mut self, counter: Counter, n: u64) {
+        (self.sink)(Event::Count(counter, n));
+    }
+
+    fn diagnostic(&mut self, diagnostic: &Diagnostic) {
+        (self.sink)(Event::Diagnostic(diagnostic.clone()));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,6 +297,34 @@ mod tests {
         assert_eq!(c.get(Counter::TaintQueries), 5);
         assert_eq!(c.get(Counter::FieldsMatched), 1);
         assert_eq!(c.get(Counter::LiftFailures), 0);
+    }
+
+    #[test]
+    fn fn_observer_bridges_callbacks_to_owned_events() {
+        let mut seen = Vec::new();
+        {
+            let mut obs = FnObserver::new(|ev| seen.push(ev));
+            obs.stage_started(StageKind::FieldId);
+            obs.count(Counter::TaintQueries, 2);
+            obs.diagnostic(&Diagnostic::bare(StageKind::FieldId, Severity::Info, "d"));
+            obs.stage_finished(StageKind::FieldId, Duration::from_millis(1));
+        }
+        assert_eq!(seen.len(), 4);
+        assert_eq!(seen[0], Event::StageStarted(StageKind::FieldId));
+        assert_eq!(
+            seen[3],
+            Event::StageFinished(StageKind::FieldId, Duration::from_millis(1))
+        );
+        // Replaying the captured stream into a collector reconstructs it.
+        let events = StageEvents {
+            events: seen,
+            ..StageEvents::default()
+        };
+        let mut collector = CollectingObserver::default();
+        events.replay(&mut collector);
+        assert_eq!(collector.counters.taint_queries, 2);
+        assert_eq!(collector.stages.len(), 1);
+        assert_eq!(collector.diagnostics.len(), 1);
     }
 
     #[test]

@@ -247,6 +247,59 @@ pub fn analyze_firmware_with_jobs(
     cx.finish(Some(chosen.path), chosen.handlers, records)
 }
 
+/// [`analyze_firmware_with_jobs`] with cooperative cancellation: the
+/// token is polled before stage 1 and at every message-unit boundary.
+///
+/// A run whose token never trips returns exactly what
+/// [`analyze_firmware_with_jobs`] would — the token adds checks, never
+/// different work — so served results stay byte-identical to local ones.
+/// A tripped token abandons the remaining units and returns
+/// [`Error::Cancelled`]; already-finished unit work is discarded, and
+/// cancellation latency is bounded by the cost of one unit. This is the
+/// serving layer's hook: the `firmres-service` daemon gives each
+/// submitted job its own token (with the request deadline folded in) and
+/// trips it on an explicit `Cancel`.
+pub fn analyze_firmware_cancellable(
+    fw: &FirmwareImage,
+    classifier: Option<&Classifier>,
+    config: &AnalysisConfig,
+    jobs: usize,
+    observer: &mut dyn Observer,
+    cancel: &crate::CancelToken,
+) -> Result<FirmwareAnalysis, Error> {
+    let cancelled = |cancel: &crate::CancelToken| Error::Cancelled {
+        deadline_exceeded: cancel.deadline_exceeded(),
+    };
+    if cancel.is_cancelled() {
+        return Err(cancelled(cancel));
+    }
+    let mut cx = AnalysisContext::new(fw, classifier, config, observer);
+    let Some(chosen) = ExeIdStage::run(&mut cx) else {
+        return Ok(cx.finish(None, Vec::new(), Vec::new()));
+    };
+    if cancel.is_cancelled() {
+        return Err(cancelled(cancel));
+    }
+    let units = enumerate_units(&chosen.program, &chosen.handlers);
+    let engine = TaintEngine::with_config(&chosen.program, config.taint.clone());
+    let renderer = firmres_mft::SliceRenderer::new(&chosen.program);
+    let inputs = cx.inputs;
+    // Each worker polls the token at the unit boundary; a unit skipped by
+    // a tripped token yields `None`, which poisons the whole run below.
+    let outputs = run_pool(units.len(), jobs, |i| {
+        if cancel.is_cancelled() {
+            return None;
+        }
+        Some(run_message_unit(&inputs, &engine, &renderer, &units[i]))
+    });
+    if cancel.is_cancelled() || outputs.iter().any(Option::is_none) {
+        return Err(cancelled(cancel));
+    }
+    let outputs = outputs.into_iter().flatten().collect();
+    let records = merge_unit_outputs(&mut cx, outputs);
+    Ok(cx.finish(Some(chosen.path), chosen.handlers, records))
+}
+
 /// Fallible [`analyze_firmware`].
 ///
 /// Returns [`Error::NoUsableExecutable`] when the image contained at
@@ -440,6 +493,70 @@ mod tests {
         assert_eq!(obs.diagnostics, analysis.diagnostics);
         let observed_total: Duration = obs.stages.iter().map(|(_, d)| *d).sum();
         assert_eq!(observed_total, analysis.timings.total());
+    }
+
+    #[test]
+    fn cancellable_run_with_untripped_token_matches_plain_analysis() {
+        let dev = generate_device(10, 7);
+        let config = AnalysisConfig::default();
+        let token = crate::CancelToken::new();
+        let cancellable = analyze_firmware_cancellable(
+            &dev.firmware,
+            None,
+            &config,
+            2,
+            &mut NullObserver,
+            &token,
+        )
+        .expect("untripped token never fails the run");
+        let plain = analyze_firmware(&dev.firmware, None, &config);
+        assert_eq!(cancellable.executable, plain.executable);
+        assert_eq!(cancellable.counters, plain.counters);
+        assert_eq!(cancellable.diagnostics, plain.diagnostics);
+        assert_eq!(cancellable.messages.len(), plain.messages.len());
+    }
+
+    #[test]
+    fn pre_tripped_token_cancels_before_any_work() {
+        let dev = generate_device(10, 7);
+        let token = crate::CancelToken::new();
+        token.cancel();
+        let err = analyze_firmware_cancellable(
+            &dev.firmware,
+            None,
+            &AnalysisConfig::default(),
+            1,
+            &mut NullObserver,
+            &token,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            Error::Cancelled {
+                deadline_exceeded: false
+            }
+        );
+    }
+
+    #[test]
+    fn expired_deadline_reports_deadline_exceeded() {
+        let dev = generate_device(10, 7);
+        let token = crate::CancelToken::with_deadline(Duration::ZERO);
+        let err = analyze_firmware_cancellable(
+            &dev.firmware,
+            None,
+            &AnalysisConfig::default(),
+            1,
+            &mut NullObserver,
+            &token,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            Error::Cancelled {
+                deadline_exceeded: true
+            }
+        );
     }
 
     #[test]

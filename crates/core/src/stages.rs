@@ -149,6 +149,10 @@ impl<'a> AnalysisContext<'a> {
             match ev {
                 Event::Count(counter, n) => self.count(*counter, *n),
                 Event::Diagnostic(d) => self.diagnose(d.clone()),
+                // Stage boundaries are emitted by the merge itself
+                // (replay_stage), never buffered inside a unit; replaying
+                // one here would double-fire the observer.
+                Event::StageStarted(_) | Event::StageFinished(..) => {}
             }
         }
     }

@@ -1,0 +1,235 @@
+//! Blocking client for the FIRMRES analysis daemon.
+//!
+//! [`Client::connect`] performs the version handshake; [`Client::submit`]
+//! drives one job to its terminal frame, buffering streamed events and
+//! decoding the served analysis through the same FRAC codec the cache
+//! uses — so [`Served::payload`] can be compared byte-for-byte against
+//! a local `put_analysis` of the same image.
+
+use crate::wire::{
+    read_response, send_request, JobState, RejectReason, Request, Response, ServiceStatus,
+    SubmitImage, WireError, PROTOCOL_VERSION,
+};
+use firmres::{AnalysisConfig, Event, FirmwareAnalysis};
+use firmres_cache::codec::{get_analysis, Reader};
+use std::fmt;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Why a client call failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientError {
+    /// The socket or codec failed.
+    Wire(WireError),
+    /// The server refused the request with a structured reason.
+    Rejected(RejectReason),
+    /// The job was accepted but cancelled before completing (explicitly
+    /// or by its deadline).
+    Cancelled {
+        /// The cancelled job.
+        job_id: u64,
+        /// The server's stated cause.
+        reason: String,
+    },
+    /// The server answered out of protocol (unexpected frame order).
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "{e}"),
+            ClientError::Rejected(reason) => write!(f, "rejected: {reason}"),
+            ClientError::Cancelled { job_id, reason } => {
+                write!(f, "job {job_id} cancelled: {reason}")
+            }
+            ClientError::Protocol(detail) => write!(f, "protocol violation: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// One successfully served analysis.
+#[derive(Debug)]
+pub struct Served {
+    /// The server-assigned job id.
+    pub job_id: u64,
+    /// Whether the server answered from its analysis cache without
+    /// running the pipeline.
+    pub from_cache: bool,
+    /// The raw FRAC-codec analysis bytes as shipped — compare these
+    /// against a local [`put_analysis`] for the byte-identity check.
+    ///
+    /// [`put_analysis`]: firmres_cache::codec::put_analysis
+    pub payload: Vec<u8>,
+    /// The decoded analysis.
+    pub analysis: FirmwareAnalysis,
+    /// Streamed pipeline events, in emission order (empty unless the
+    /// submit asked for them; always empty for cache hits).
+    pub events: Vec<Event>,
+}
+
+/// A blocking connection to a running daemon.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect and complete the version handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let mut stream = TcpStream::connect(addr)
+            .map_err(|e| ClientError::Wire(WireError::Io(e.to_string())))?;
+        // Request/response frames are small; Nagle would serialize the
+        // whole protocol onto delayed-ACK boundaries.
+        let _ = stream.set_nodelay(true);
+        send_request(
+            &mut stream,
+            &Request::Hello {
+                version: PROTOCOL_VERSION,
+            },
+        )?;
+        match read_response(&mut stream)? {
+            Response::HelloOk { .. } => Ok(Client { stream }),
+            Response::Rejected { reason } => Err(ClientError::Rejected(reason)),
+            other => Err(ClientError::Protocol(format!(
+                "expected HelloOk, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Submit one image and block until its terminal frame.
+    ///
+    /// `deadline_ms` of `0` means no deadline. With `want_events` the
+    /// server streams pipeline progress, collected into
+    /// [`Served::events`].
+    pub fn submit(
+        &mut self,
+        image: SubmitImage,
+        config: &AnalysisConfig,
+        want_events: bool,
+        deadline_ms: u64,
+    ) -> Result<Served, ClientError> {
+        send_request(
+            &mut self.stream,
+            &Request::Submit {
+                image,
+                config: config.clone(),
+                want_events,
+                deadline_ms,
+            },
+        )?;
+        let accepted_id = match read_response(&mut self.stream)? {
+            Response::Accepted { job_id } => job_id,
+            Response::Rejected { reason } => return Err(ClientError::Rejected(reason)),
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "expected Accepted or Rejected, got {other:?}"
+                )))
+            }
+        };
+        let mut events = Vec::new();
+        loop {
+            match read_response(&mut self.stream)? {
+                Response::Event { job_id, event } if job_id == accepted_id => {
+                    events.push(event);
+                }
+                Response::Analysis {
+                    job_id,
+                    from_cache,
+                    payload,
+                } if job_id == accepted_id => {
+                    let mut r = Reader::new(&payload);
+                    let analysis = get_analysis(&mut r).map_err(|e| ClientError::Wire(e.into()))?;
+                    if r.remaining() > 0 {
+                        return Err(ClientError::Wire(WireError::TrailingBytes {
+                            left: r.remaining(),
+                        }));
+                    }
+                    return Ok(Served {
+                        job_id,
+                        from_cache,
+                        payload,
+                        analysis,
+                        events,
+                    });
+                }
+                Response::Cancelled { job_id, reason } if job_id == accepted_id => {
+                    return Err(ClientError::Cancelled { job_id, reason });
+                }
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "unexpected frame for job {accepted_id}: {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Fetch the server's current status snapshot.
+    pub fn status(&mut self) -> Result<ServiceStatus, ClientError> {
+        send_request(&mut self.stream, &Request::Status)?;
+        match read_response(&mut self.stream)? {
+            Response::StatusInfo(status) => Ok(status),
+            Response::Rejected { reason } => Err(ClientError::Rejected(reason)),
+            other => Err(ClientError::Protocol(format!(
+                "expected StatusInfo, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Cancel a job by id; returns where the cancel found it.
+    ///
+    /// Note the terminal `Cancelled` frame of a cancelled job still
+    /// arrives on the connection that submitted it — this call only
+    /// reports the cancel's outcome.
+    pub fn cancel(&mut self, job_id: u64) -> Result<JobState, ClientError> {
+        send_request(&mut self.stream, &Request::Cancel { job_id })?;
+        loop {
+            match read_response(&mut self.stream)? {
+                Response::CancelOk { state, .. } => return Ok(state),
+                // A terminal frame of one of our own jobs may race the
+                // CancelOk; skip past it.
+                Response::Cancelled { .. } | Response::Event { .. } => {}
+                Response::Rejected { reason } => return Err(ClientError::Rejected(reason)),
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "expected CancelOk, got {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Read the terminal frame of a previously accepted job (used after
+    /// [`Client::cancel`] to consume the `Cancelled` frame when it has
+    /// not already been drained).
+    pub fn read_terminal(&mut self) -> Result<Response, ClientError> {
+        Ok(read_response(&mut self.stream)?)
+    }
+
+    /// Drain the server: it finishes in-flight jobs, refuses new ones,
+    /// answers with its lifetime jobs-served count and shuts down.
+    pub fn drain(&mut self) -> Result<u64, ClientError> {
+        send_request(&mut self.stream, &Request::Drain)?;
+        loop {
+            match read_response(&mut self.stream)? {
+                Response::DrainOk { jobs_served } => return Ok(jobs_served),
+                // In-flight terminal frames may land before DrainOk.
+                Response::Cancelled { .. } | Response::Event { .. } | Response::Analysis { .. } => {
+                }
+                Response::Rejected { reason } => return Err(ClientError::Rejected(reason)),
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "expected DrainOk, got {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+}

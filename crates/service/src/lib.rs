@@ -1,0 +1,64 @@
+//! # firmres-service
+//!
+//! A resident FIRMRES analysis daemon and its blocking client.
+//!
+//! Re-running a cold process per firmware image wastes exactly what the
+//! paper's evaluation sweep needs most: a warm semantics model, a warm
+//! analysis cache and a standing worker pool. This crate keeps all
+//! three resident behind a small TCP service:
+//!
+//! * [`wire`] — a length-prefixed, versioned binary protocol in the
+//!   FRAC-codec idiom: panic-free decoding, hard frame-size caps, and
+//!   analysis payloads that reuse the cache codec so a served result is
+//!   byte-identical to a local `analyze` of the same inputs.
+//! * [`server`] — the daemon: bounded FIFO job queue with explicit
+//!   admission control (structured rejects, never silent hangs),
+//!   per-connection in-flight caps, streamed pipeline progress bridged
+//!   off the [`Observer`] seam, per-job deadlines enforced by
+//!   cooperative [`CancelToken`]s at unit boundaries, first-class cache
+//!   integration (submit-by-hash answers without shipping bytes), and
+//!   graceful drain that finishes in-flight work before shutting down.
+//! * [`client`] — a blocking client library the `firmres-suite` CLI
+//!   builds its `serve`/`submit`/`status`/`drain` subcommands on.
+//!
+//! # Example
+//!
+//! ```
+//! use firmres::AnalysisConfig;
+//! use firmres_service::{Client, Server, ServerConfig, SubmitImage};
+//!
+//! let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+//! let addr = server.local_addr().unwrap();
+//! let handle = std::thread::spawn(move || server.run());
+//!
+//! let dev = firmres_corpus::generate_device(4, 1);
+//! let mut client = Client::connect(addr).unwrap();
+//! let served = client
+//!     .submit(
+//!         SubmitImage::Bytes(dev.firmware.pack().to_vec()),
+//!         &AnalysisConfig::default(),
+//!         false,
+//!         0,
+//!     )
+//!     .unwrap();
+//! assert_eq!(served.analysis.executable, dev.cloud_executable);
+//!
+//! client.drain().unwrap();
+//! handle.join().unwrap();
+//! ```
+//!
+//! [`Observer`]: firmres::Observer
+//! [`CancelToken`]: firmres::CancelToken
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientError, Served};
+pub use server::{Server, ServerConfig};
+pub use wire::{
+    JobState, RejectReason, Request, Response, ServiceStatus, SubmitImage, WireError, MAX_FRAME,
+    PROTOCOL_VERSION,
+};

@@ -1,0 +1,748 @@
+//! The resident analysis daemon: TCP accept loop, admission-controlled
+//! job queue, worker pool and per-connection response streams.
+//!
+//! # Architecture
+//!
+//! ```text
+//!            accept loop (non-blocking poll)
+//!                 │ one handler thread per connection
+//!                 ▼
+//!   reader ── admission control ──▶ bounded FIFO queue ──▶ workers
+//!     │            │ reject / cache hit                      │
+//!     ▼            ▼                                         ▼
+//!   writer ◀── encoded Response frames (mpsc) ◀──────────────┘
+//! ```
+//!
+//! Each connection gets a dedicated writer thread owning the socket's
+//! write half; the reader thread and every worker processing that
+//! connection's jobs send pre-encoded frames through an `mpsc` channel,
+//! so interleaved job completions never interleave bytes on the wire.
+//!
+//! Admission control is explicit and structured: a full queue, a hit on
+//! the per-connection in-flight cap, or a draining server each answer
+//! with a [`Response::Rejected`] carrying a machine-readable
+//! [`RejectReason`] — a client is never left hanging. Accepted jobs run
+//! [`analyze_firmware_cancellable`] under a per-job [`CancelToken`]
+//! (deadline-armed when the submit asked for one), and the served
+//! analysis is the FRAC [`put_analysis`] encoding — byte-identical to
+//! what a local `analyze` of the same image, config and model produces.
+//!
+//! [`put_analysis`]: firmres_cache::codec::put_analysis
+
+use crate::wire::{
+    self, JobState, RejectReason, Request, Response, ServiceStatus, SubmitImage, WireError,
+    MAX_FRAME, PROTOCOL_VERSION,
+};
+use firmres::{
+    analyze_firmware_cancellable, analyze_packed, AnalysisConfig, CancelToken, Error, FnObserver,
+    NullObserver, Observer,
+};
+use firmres_cache::codec::put_analysis;
+use firmres_cache::{AnalysisCache, CacheKey};
+use firmres_firmware::FirmwareImage;
+use firmres_semantics::Classifier;
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// How long the accept loop and connection readers sleep between polls
+/// of the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(10);
+
+/// Tuning for a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads draining the job queue. `0` is a degenerate but
+    /// well-defined configuration — jobs are admitted and queued but
+    /// never start — used by the admission-control tests.
+    pub workers: usize,
+    /// Message-unit parallelism inside one job (the `jobs` argument of
+    /// the pipeline; does not change output).
+    pub unit_jobs: usize,
+    /// Queue capacity. A submit that finds the queue at capacity is
+    /// rejected with [`RejectReason::QueueFull`], never blocked.
+    pub queue_cap: usize,
+    /// Maximum unfinished jobs one connection may have in flight.
+    pub conn_inflight_cap: u32,
+    /// The back-off hint carried by [`RejectReason::QueueFull`].
+    pub retry_after_ms: u64,
+    /// Analysis-cache directory. `None` disables caching (every submit
+    /// runs the pipeline; hash submits are always rejected).
+    pub cache_dir: Option<PathBuf>,
+    /// Semantics classifier applied to every job, or `None` for the
+    /// keyword fallback — part of the cache identity, so it must match
+    /// the local run a served result is compared against.
+    pub classifier: Option<Classifier>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 1,
+            unit_jobs: 1,
+            queue_cap: 32,
+            conn_inflight_cap: 8,
+            retry_after_ms: 250,
+            cache_dir: None,
+            classifier: None,
+        }
+    }
+}
+
+/// Monotonic server counters, updated with relaxed atomics (they are
+/// operator telemetry, not synchronization).
+#[derive(Debug, Default)]
+struct ServiceCounters {
+    jobs_served: AtomicU64,
+    jobs_rejected: AtomicU64,
+    jobs_cancelled: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+/// One admitted job waiting in (or pulled from) the queue.
+struct Job {
+    id: u64,
+    packed: Vec<u8>,
+    config: AnalysisConfig,
+    want_events: bool,
+    token: CancelToken,
+    reply: mpsc::Sender<Vec<u8>>,
+    conn_inflight: Arc<AtomicU32>,
+}
+
+/// The queue proper plus the worker-liveness accounting that must sit
+/// under the same lock for the drain wait to be race-free.
+#[derive(Default)]
+struct QueueState {
+    queue: VecDeque<Job>,
+    running: u32,
+    stop: bool,
+}
+
+struct Shared {
+    qs: Mutex<QueueState>,
+    /// Workers wait here for work (or the stop flag).
+    work_cv: Condvar,
+    /// Drain waits here for `queue empty && running == 0`.
+    idle_cv: Condvar,
+    draining: AtomicBool,
+    shutdown: AtomicBool,
+    next_job_id: AtomicU64,
+    counters: ServiceCounters,
+    /// Cancel tokens of currently running jobs, by job id.
+    running_tokens: parking_lot::Mutex<HashMap<u64, CancelToken>>,
+    cache: Option<AnalysisCache>,
+    classifier: Option<Classifier>,
+    cfg: ServerConfig,
+}
+
+impl Shared {
+    fn status(&self) -> ServiceStatus {
+        let qs = self.qs.lock().expect("queue lock");
+        ServiceStatus {
+            queue_depth: qs.queue.len() as u32,
+            queue_cap: self.cfg.queue_cap as u32,
+            inflight: qs.running,
+            jobs_served: self.counters.jobs_served.load(Ordering::Relaxed),
+            jobs_rejected: self.counters.jobs_rejected.load(Ordering::Relaxed),
+            jobs_cancelled: self.counters.jobs_cancelled.load(Ordering::Relaxed),
+            cache_hits: self.counters.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.counters.cache_misses.load(Ordering::Relaxed),
+            draining: self.draining.load(Ordering::Acquire),
+        }
+    }
+
+    fn reject(&self, reply: &mpsc::Sender<Vec<u8>>, reason: RejectReason) {
+        self.counters.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+        send(reply, &Response::Rejected { reason });
+    }
+}
+
+/// Encode and enqueue one response frame for a connection's writer.
+/// A send to a hung-up connection is dropped silently: the job outcome
+/// is still counted, there is just nobody left to tell.
+fn send(reply: &mpsc::Sender<Vec<u8>>, response: &Response) {
+    let _ = reply.send(response.encode());
+}
+
+/// A resident FIRMRES analysis daemon bound to a TCP address.
+///
+/// [`Server::run`] blocks serving connections until a client drains it;
+/// bind on port 0 and pass [`Server::local_addr`] to clients for
+/// ephemeral-port setups (the pattern the end-to-end tests use).
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Bind the daemon to `addr` (e.g. `"127.0.0.1:0"` for an ephemeral
+    /// port). The cache directory, if configured, is opened lazily by
+    /// the store itself — no I/O happens here beyond the bind.
+    pub fn bind(addr: impl ToSocketAddrs, cfg: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            qs: Mutex::new(QueueState::default()),
+            work_cv: Condvar::new(),
+            idle_cv: Condvar::new(),
+            draining: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            next_job_id: AtomicU64::new(1),
+            counters: ServiceCounters::default(),
+            running_tokens: parking_lot::Mutex::new(HashMap::new()),
+            cache: cfg.cache_dir.as_ref().map(AnalysisCache::new),
+            classifier: cfg.classifier.clone(),
+            cfg,
+        });
+        Ok(Server { listener, shared })
+    }
+
+    /// The address the daemon actually listens on.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serve connections until drained, then return the final counter
+    /// snapshot. Worker threads and every connection handler are joined
+    /// before this returns.
+    pub fn run(self) -> ServiceStatus {
+        let workers: Vec<_> = (0..self.shared.cfg.workers)
+            .map(|_| {
+                let shared = Arc::clone(&self.shared);
+                thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+
+        let mut conns = Vec::new();
+        loop {
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let shared = Arc::clone(&self.shared);
+                    conns.push(thread::spawn(move || handle_connection(stream, &shared)));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(POLL_INTERVAL);
+                }
+                Err(_) => thread::sleep(POLL_INTERVAL),
+            }
+        }
+
+        // Shutdown: release the workers, then the connection handlers
+        // (their readers poll the shutdown flag and exit on their own).
+        {
+            let mut qs = self.shared.qs.lock().expect("queue lock");
+            qs.stop = true;
+            self.shared.work_cv.notify_all();
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+        for c in conns {
+            let _ = c.join();
+        }
+        self.shared.status()
+    }
+}
+
+// ---- workers ------------------------------------------------------------
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut qs = shared.qs.lock().expect("queue lock");
+            loop {
+                if qs.stop {
+                    return;
+                }
+                if let Some(job) = qs.queue.pop_front() {
+                    qs.running += 1;
+                    break job;
+                }
+                qs = shared.work_cv.wait(qs).expect("queue lock");
+            }
+        };
+        run_job(shared, job);
+        let mut qs = shared.qs.lock().expect("queue lock");
+        qs.running -= 1;
+        if qs.queue.is_empty() && qs.running == 0 {
+            shared.idle_cv.notify_all();
+        }
+    }
+}
+
+fn run_job(shared: &Shared, job: Job) {
+    shared
+        .running_tokens
+        .lock()
+        .insert(job.id, job.token.clone());
+
+    let classifier = shared.classifier.as_ref();
+    let outcome = match FirmwareImage::unpack(&job.packed) {
+        Ok(fw) => {
+            let reply = job.reply.clone();
+            let job_id = job.id;
+            let mut streaming;
+            let mut silent = NullObserver;
+            let observer: &mut dyn Observer = if job.want_events {
+                streaming = FnObserver::new(move |event| {
+                    send(&reply, &Response::Event { job_id, event });
+                });
+                &mut streaming
+            } else {
+                &mut silent
+            };
+            analyze_firmware_cancellable(
+                &fw,
+                classifier,
+                &job.config,
+                shared.cfg.unit_jobs,
+                observer,
+                &job.token,
+            )
+        }
+        // An unpackable image degrades exactly as the local pipeline
+        // does: a stub analysis carrying an Input diagnostic.
+        Err(_) => Ok(analyze_packed(&job.packed, classifier, &job.config)),
+    };
+
+    shared.running_tokens.lock().remove(&job.id);
+
+    match outcome {
+        Ok(analysis) => {
+            if let Some(cache) = &shared.cache {
+                let key = CacheKey::of_packed(&job.packed, classifier, &job.config);
+                // A full store or unwritable directory degrades the
+                // cache, not the response.
+                let _ = cache.store(&key, &analysis);
+            }
+            let mut payload = Vec::new();
+            put_analysis(&mut payload, &analysis);
+            shared.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+            shared.counters.jobs_served.fetch_add(1, Ordering::Relaxed);
+            send(
+                &job.reply,
+                &Response::Analysis {
+                    job_id: job.id,
+                    from_cache: false,
+                    payload,
+                },
+            );
+        }
+        Err(Error::Cancelled { deadline_exceeded }) => {
+            shared
+                .counters
+                .jobs_cancelled
+                .fetch_add(1, Ordering::Relaxed);
+            send(
+                &job.reply,
+                &Response::Cancelled {
+                    job_id: job.id,
+                    reason: if deadline_exceeded {
+                        "deadline exceeded".to_string()
+                    } else {
+                        "cancelled".to_string()
+                    },
+                },
+            );
+        }
+        Err(e) => {
+            // The cancellable pipeline has no other error source today;
+            // report rather than crash the worker if that changes.
+            send(
+                &job.reply,
+                &Response::Cancelled {
+                    job_id: job.id,
+                    reason: format!("analysis failed: {e}"),
+                },
+            );
+        }
+    }
+    job.conn_inflight.fetch_sub(1, Ordering::AcqRel);
+}
+
+// ---- connections --------------------------------------------------------
+
+/// Read one frame, polling the shutdown flag between attempts. Returns
+/// `Ok(None)` on a clean close (EOF between frames) or server shutdown.
+fn poll_read_frame(stream: &mut TcpStream, shared: &Shared) -> Result<Option<Vec<u8>>, WireError> {
+    let mut len = [0u8; 4];
+    let mut filled = 0;
+    while filled < len.len() {
+        if filled == 0 && shared.shutdown.load(Ordering::Acquire) {
+            return Ok(None);
+        }
+        match stream.read(&mut len[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => return Err(WireError::Io("eof inside frame length".to_string())),
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e.to_string())),
+        }
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(WireError::FrameTooLarge { len: len as u64 });
+    }
+    let mut body = vec![0u8; len];
+    let mut filled = 0;
+    while filled < len {
+        match stream.read(&mut body[filled..]) {
+            Ok(0) => return Err(WireError::Io("eof inside frame body".to_string())),
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e.to_string())),
+        }
+    }
+    Ok(Some(body))
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    // Response frames are small; without NODELAY every round-trip rides
+    // a delayed-ACK timer.
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+
+    // The writer thread serializes all frames for this connection;
+    // everything else (reader, workers) sends encoded frames through tx.
+    let (tx, rx) = mpsc::channel::<Vec<u8>>();
+    let writer = thread::spawn(move || {
+        let mut write_half = write_half;
+        while let Ok(frame) = rx.recv() {
+            if wire::write_frame(&mut write_half, &frame).is_err() {
+                // Client gone: keep draining the channel so senders
+                // never block on a dead connection.
+                while rx.recv().is_ok() {}
+                return;
+            }
+        }
+    });
+
+    serve_requests(&mut stream, shared, &tx);
+
+    drop(tx);
+    let _ = writer.join();
+}
+
+fn serve_requests(stream: &mut TcpStream, shared: &Shared, tx: &mpsc::Sender<Vec<u8>>) {
+    // The handshake must come first; anything else is a protocol error.
+    match poll_read_frame(stream, shared) {
+        Ok(Some(body)) => match Request::decode(&body) {
+            Ok(Request::Hello { version }) if version == PROTOCOL_VERSION => {
+                send(
+                    tx,
+                    &Response::HelloOk {
+                        version: PROTOCOL_VERSION,
+                    },
+                );
+            }
+            Ok(Request::Hello { .. }) => {
+                shared.reject(
+                    tx,
+                    RejectReason::VersionMismatch {
+                        server: PROTOCOL_VERSION,
+                    },
+                );
+                return;
+            }
+            Ok(_) => {
+                shared.reject(
+                    tx,
+                    RejectReason::BadRequest {
+                        detail: "first frame must be Hello".to_string(),
+                    },
+                );
+                return;
+            }
+            Err(e) => {
+                shared.reject(
+                    tx,
+                    RejectReason::BadRequest {
+                        detail: e.to_string(),
+                    },
+                );
+                return;
+            }
+        },
+        Ok(None) | Err(_) => return,
+    }
+
+    let conn_inflight = Arc::new(AtomicU32::new(0));
+    loop {
+        let body = match poll_read_frame(stream, shared) {
+            Ok(Some(body)) => body,
+            Ok(None) => return,
+            Err(WireError::FrameTooLarge { len }) => {
+                shared.reject(
+                    tx,
+                    RejectReason::BadRequest {
+                        detail: format!("frame of {len} bytes exceeds the cap"),
+                    },
+                );
+                return;
+            }
+            Err(_) => return,
+        };
+        match Request::decode(&body) {
+            Ok(Request::Hello { .. }) => shared.reject(
+                tx,
+                RejectReason::BadRequest {
+                    detail: "duplicate Hello".to_string(),
+                },
+            ),
+            Ok(Request::Submit {
+                image,
+                config,
+                want_events,
+                deadline_ms,
+            }) => handle_submit(
+                shared,
+                tx,
+                &conn_inflight,
+                image,
+                config,
+                want_events,
+                deadline_ms,
+            ),
+            Ok(Request::Status) => send(tx, &Response::StatusInfo(shared.status())),
+            Ok(Request::Cancel { job_id }) => handle_cancel(shared, tx, job_id),
+            Ok(Request::Drain) => {
+                handle_drain(shared, tx);
+                return;
+            }
+            Err(e) => shared.reject(
+                tx,
+                RejectReason::BadRequest {
+                    detail: e.to_string(),
+                },
+            ),
+        }
+    }
+}
+
+fn handle_submit(
+    shared: &Shared,
+    tx: &mpsc::Sender<Vec<u8>>,
+    conn_inflight: &Arc<AtomicU32>,
+    image: SubmitImage,
+    config: AnalysisConfig,
+    want_events: bool,
+    deadline_ms: u64,
+) {
+    if shared.draining.load(Ordering::Acquire) {
+        return shared.reject(tx, RejectReason::Draining);
+    }
+
+    let classifier = shared.classifier.as_ref();
+    let packed = match image {
+        SubmitImage::Bytes(packed) => {
+            // Cache first: a warm hit never touches the queue.
+            if let Some(cache) = &shared.cache {
+                let key = CacheKey::of_packed(&packed, classifier, &config);
+                if let Ok(entry) = cache.load(&key) {
+                    return serve_hit(shared, tx, &entry.analysis);
+                }
+            }
+            packed
+        }
+        SubmitImage::Hash(hash) => {
+            // Hash-addressed submits are cache-only by construction:
+            // the daemon cannot analyze bytes it was never sent.
+            if let Some(cache) = &shared.cache {
+                let key = CacheKey::of_hash(hash, classifier, &config);
+                if let Ok(entry) = cache.load(&key) {
+                    return serve_hit(shared, tx, &entry.analysis);
+                }
+            }
+            return shared.reject(tx, RejectReason::UnknownImage);
+        }
+    };
+
+    let cap = shared.cfg.conn_inflight_cap;
+    if conn_inflight.load(Ordering::Acquire) >= cap {
+        return shared.reject(tx, RejectReason::InFlightCap { cap });
+    }
+
+    let mut qs = shared.qs.lock().expect("queue lock");
+    if qs.queue.len() >= shared.cfg.queue_cap {
+        let depth = qs.queue.len() as u32;
+        drop(qs);
+        return shared.reject(
+            tx,
+            RejectReason::QueueFull {
+                depth,
+                retry_after_ms: shared.cfg.retry_after_ms,
+            },
+        );
+    }
+    let job_id = shared.next_job_id.fetch_add(1, Ordering::Relaxed);
+    let token = if deadline_ms > 0 {
+        CancelToken::with_deadline(Duration::from_millis(deadline_ms))
+    } else {
+        CancelToken::new()
+    };
+    conn_inflight.fetch_add(1, Ordering::AcqRel);
+    // Accepted goes on the connection's channel before the job becomes
+    // visible to any worker, so no streamed Event frame can precede it.
+    send(tx, &Response::Accepted { job_id });
+    qs.queue.push_back(Job {
+        id: job_id,
+        packed,
+        config,
+        want_events,
+        token,
+        reply: tx.clone(),
+        conn_inflight: Arc::clone(conn_inflight),
+    });
+    shared.work_cv.notify_one();
+    drop(qs);
+}
+
+/// Answer a submit straight from the cache: `Accepted` then a terminal
+/// `Analysis` frame re-encoded through the same codec a pipeline run
+/// uses, so hit and miss payloads are byte-comparable.
+fn serve_hit(shared: &Shared, tx: &mpsc::Sender<Vec<u8>>, analysis: &firmres::FirmwareAnalysis) {
+    let job_id = shared.next_job_id.fetch_add(1, Ordering::Relaxed);
+    let mut payload = Vec::new();
+    put_analysis(&mut payload, analysis);
+    shared.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+    shared.counters.jobs_served.fetch_add(1, Ordering::Relaxed);
+    send(tx, &Response::Accepted { job_id });
+    send(
+        tx,
+        &Response::Analysis {
+            job_id,
+            from_cache: true,
+            payload,
+        },
+    );
+}
+
+fn handle_cancel(shared: &Shared, tx: &mpsc::Sender<Vec<u8>>, job_id: u64) {
+    // Queued first: remove the job before a worker can claim it. The
+    // terminal Cancelled frame goes out under the queue lock, before
+    // the idle condvar fires, so a drain blocked on this job cannot
+    // slip its DrainOk ahead of the job's terminal frame.
+    let queued = {
+        let mut qs = shared.qs.lock().expect("queue lock");
+        let mut removed = None;
+        qs.queue.retain(|job| {
+            if job.id == job_id {
+                removed = Some((job.reply.clone(), Arc::clone(&job.conn_inflight)));
+                false
+            } else {
+                true
+            }
+        });
+        if let Some((reply, conn_inflight)) = &removed {
+            shared
+                .counters
+                .jobs_cancelled
+                .fetch_add(1, Ordering::Relaxed);
+            send(
+                reply,
+                &Response::Cancelled {
+                    job_id,
+                    reason: "cancelled while queued".to_string(),
+                },
+            );
+            conn_inflight.fetch_sub(1, Ordering::AcqRel);
+        }
+        if qs.queue.is_empty() && qs.running == 0 {
+            shared.idle_cv.notify_all();
+        }
+        removed.is_some()
+    };
+    if queued {
+        return send(
+            tx,
+            &Response::CancelOk {
+                job_id,
+                state: JobState::Queued,
+            },
+        );
+    }
+    if let Some(token) = shared.running_tokens.lock().get(&job_id) {
+        token.cancel();
+        return send(
+            tx,
+            &Response::CancelOk {
+                job_id,
+                state: JobState::Running,
+            },
+        );
+    }
+    send(
+        tx,
+        &Response::CancelOk {
+            job_id,
+            state: JobState::Unknown,
+        },
+    );
+}
+
+fn handle_drain(shared: &Shared, tx: &mpsc::Sender<Vec<u8>>) {
+    shared.draining.store(true, Ordering::Release);
+    {
+        let mut qs = shared.qs.lock().expect("queue lock");
+        while !(qs.queue.is_empty() && qs.running == 0) {
+            qs = shared.idle_cv.wait(qs).expect("queue lock");
+        }
+        qs.stop = true;
+        shared.work_cv.notify_all();
+    }
+    send(
+        tx,
+        &Response::DrainOk {
+            jobs_served: shared.counters.jobs_served.load(Ordering::Relaxed),
+        },
+    );
+    shared.shutdown.store(true, Ordering::Release);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_usable() {
+        let cfg = ServerConfig::default();
+        assert!(cfg.workers >= 1);
+        assert!(cfg.queue_cap >= 1);
+        assert!(cfg.conn_inflight_cap >= 1);
+        assert!(cfg.cache_dir.is_none());
+    }
+
+    #[test]
+    fn status_snapshot_starts_clean() {
+        let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+        let status = server.shared.status();
+        assert_eq!(status.queue_depth, 0);
+        assert_eq!(status.queue_cap, ServerConfig::default().queue_cap as u32);
+        assert_eq!(status.inflight, 0);
+        assert_eq!(status.jobs_served, 0);
+        assert!(!status.draining);
+        assert!(server.local_addr().expect("addr").port() > 0);
+    }
+}

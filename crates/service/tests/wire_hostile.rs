@@ -1,0 +1,98 @@
+//! Hostile-input properties of the service wire codec, in the style of
+//! the cache's hostile-MFT suite: decoding arbitrary, truncated or
+//! bit-flipped frames must return an error or a valid message — never
+//! panic — and the frame-length cap must hold against any prefix.
+
+use firmres_service::wire::{read_frame, write_frame, Request, Response, WireError, MAX_FRAME};
+use firmres_service::{SubmitImage, PROTOCOL_VERSION};
+use proptest::prelude::*;
+
+proptest! {
+    /// Arbitrary bytes never panic the request decoder, and whatever
+    /// does decode re-encodes to the exact same bytes (the codec has
+    /// one canonical form).
+    #[test]
+    fn arbitrary_request_bodies_never_panic(body in proptest::collection::vec(any::<u8>(), 0..256)) {
+        if let Ok(req) = Request::decode(&body) {
+            prop_assert_eq!(req.encode(), body);
+        }
+    }
+
+    /// Same for the response decoder.
+    #[test]
+    fn arbitrary_response_bodies_never_panic(body in proptest::collection::vec(any::<u8>(), 0..256)) {
+        if let Ok(resp) = Response::decode(&body) {
+            prop_assert_eq!(resp.encode(), body);
+        }
+    }
+
+    /// Every truncation of a valid request fails to decode (the grammar
+    /// has no message that is a strict prefix of another), and never
+    /// panics.
+    #[test]
+    fn truncated_requests_error_cleanly(
+        image in proptest::collection::vec(any::<u8>(), 0..64),
+        want_events in any::<bool>(),
+        deadline_ms in any::<u64>(),
+    ) {
+        let full = Request::Submit {
+            image: SubmitImage::Bytes(image),
+            config: firmres::AnalysisConfig::default(),
+            want_events,
+            deadline_ms,
+        }
+        .encode();
+        for cut in 0..full.len() {
+            prop_assert!(Request::decode(&full[..cut]).is_err(),
+                "prefix of {cut}/{} bytes decoded", full.len());
+        }
+    }
+
+    /// A single flipped byte either fails to decode or decodes to a
+    /// message that re-encodes canonically — corruption cannot produce
+    /// a frame the codec itself would not emit.
+    #[test]
+    fn bit_flipped_responses_stay_canonical(
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        pos_seed in any::<u64>(),
+        flip in 1u8..255,
+    ) {
+        let mut body = Response::Analysis { job_id: 7, from_cache: true, payload }.encode();
+        let pos = (pos_seed % body.len() as u64) as usize;
+        body[pos] ^= flip;
+        if let Ok(resp) = Response::decode(&body) {
+            prop_assert_eq!(resp.encode(), body);
+        }
+    }
+
+    /// Appending garbage to a valid message is always rejected: a frame
+    /// body must be exactly one message.
+    #[test]
+    fn trailing_garbage_is_always_rejected(tail in proptest::collection::vec(any::<u8>(), 1..32)) {
+        let mut body = Request::Hello { version: PROTOCOL_VERSION }.encode();
+        body.extend_from_slice(&tail);
+        prop_assert!(Request::decode(&body).is_err());
+    }
+
+    /// Any length prefix above MAX_FRAME is refused before the body is
+    /// read or allocated.
+    #[test]
+    fn oversized_length_prefixes_are_refused(extra in 1u32..(u32::MAX - MAX_FRAME as u32)) {
+        let declared = MAX_FRAME as u32 + extra;
+        let mut stream: &[u8] = &declared.to_le_bytes();
+        prop_assert_eq!(
+            read_frame(&mut stream),
+            Err(WireError::FrameTooLarge { len: declared as u64 })
+        );
+    }
+
+    /// Frame IO round-trips any in-cap body through a byte stream.
+    #[test]
+    fn frame_io_round_trips(body in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &body).expect("in-cap frame writes");
+        let mut stream = &buf[..];
+        prop_assert_eq!(read_frame(&mut stream), Ok(body));
+        prop_assert_eq!(read_frame(&mut stream), Err(WireError::ConnectionClosed));
+    }
+}

@@ -40,5 +40,34 @@ grep -q 'miss — entry stored' "$smoke_dir/cold.txt"
 cli analyze "$smoke_dir/dev14.fwi" --cache "$smoke_dir/cache" > "$smoke_dir/warm.txt"
 grep -q 'hit — pipeline skipped' "$smoke_dir/warm.txt"
 cmp <(tail -n +2 "$smoke_dir/cold.txt") <(tail -n +2 "$smoke_dir/warm.txt")
+cli cache-stats "$smoke_dir/cache" | grep -q '1 entry'
+
+echo "==> service smoke (serve → submit → byte-compare → drain)"
+# A local analyze is the ground truth the daemon must reproduce exactly.
+cli analyze "$smoke_dir/dev14.fwi" > "$smoke_dir/local.txt"
+cli serve 127.0.0.1:0 --cache "$smoke_dir/serve-cache" \
+    --port-file "$smoke_dir/port" > "$smoke_dir/serve.txt" &
+serve_pid=$!
+for _ in $(seq 1 200); do
+  [ -s "$smoke_dir/port" ] && break
+  sleep 0.1
+done
+addr="$(cat "$smoke_dir/port")"
+# The served report must be byte-identical to the local run.
+cli submit "$addr" "$smoke_dir/dev14.fwi" > "$smoke_dir/served.txt"
+cmp "$smoke_dir/local.txt" "$smoke_dir/served.txt"
+# A hash resubmit answers from the daemon's cache without the bytes.
+cli submit "$addr" "$smoke_dir/dev14.fwi" --hash --events | grep -q 'served from cache'
+cli status "$addr" | grep -q 'served 2 (1 cache hit'
+cli drain "$addr" | grep -q 'drained after serving 2 job(s)'
+wait "$serve_pid"
+grep -q 'served 2 job(s)' "$smoke_dir/serve.txt"
+
+echo "==> service wire + end-to-end suites (release)"
+cargo test --release -q -p firmres-service
+cargo test --release -q --test service_end_to_end
+
+echo "==> service cold/warm bench (writes BENCH_service.json)"
+cargo run --release -q -p firmres-bench --bin service_bench
 
 echo "==> all checks passed"

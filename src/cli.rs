@@ -9,13 +9,19 @@
 //! * `analyze <image.fwi>` — run the full FIRMRES pipeline and report
 //!   (`--cache <dir>` runs through the content-addressed analysis cache,
 //!   `--jobs <n>` fans the message units out over `n` worker threads)
+//! * `serve <addr>` — run the resident analysis daemon
+//! * `submit <addr> <image.fwi>` — submit an image to a running daemon;
+//!   the rendered report is identical to a local `analyze`
+//! * `status <addr>` / `drain <addr>` — inspect or gracefully stop a daemon
+//! * `cache-stats <dir>` — survey an analysis-cache store directory
 
 use firmres::{
     analyze_firmware, analyze_firmware_jobs, AnalysisConfig, CollectingObserver, Parallelism,
 };
 use firmres_cache::{analyze_corpus_incremental, AnalysisCache};
-use firmres_firmware::FirmwareImage;
+use firmres_firmware::{content_hash_packed_wide, FirmwareImage};
 use firmres_isa::{decode, CODE_BASE};
+use firmres_service::{Client, Server, ServerConfig, SubmitImage};
 use std::fmt::Write as _;
 
 /// Execute a CLI invocation; `args` excludes the program name. Returns
@@ -46,11 +52,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 if a == "--cache" {
                     cache_dir = Some(rest.next().ok_or(USAGE)?.clone());
                 } else if a == "--jobs" {
-                    jobs = rest
-                        .next()
-                        .ok_or(USAGE)?
-                        .parse()
-                        .map_err(|_| "--jobs takes a thread count".to_string())?;
+                    jobs = parse_count(rest.next(), "--jobs")?;
                 } else {
                     positional.push(a);
                 }
@@ -62,6 +64,11 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 jobs,
             )
         }
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
+        Some("status") => cmd_status(args.get(1)),
+        Some("drain") => cmd_drain(args.get(1)),
+        Some("cache-stats") => cmd_cache_stats(args.get(1)),
         Some("train") => cmd_train(args.get(1), args.get(2)),
         Some("cfg") => {
             let fw = load_image(args.get(1))?;
@@ -84,6 +91,18 @@ const USAGE: &str = "usage: firmres-cli <command>\n\
 \x20                               run the FIRMRES pipeline (optional model;\n\
 \x20                               --cache reuses/populates an analysis cache;\n\
 \x20                               --jobs parallelizes within the image)\n\
+  serve <addr> [model] [--cache <dir>] [--workers <n>] [--jobs <n>]\n\
+\x20      [--queue <n>] [--port-file <path>]\n\
+\x20                               run the resident analysis daemon (blocks\n\
+\x20                               until drained; --port-file records the\n\
+\x20                               bound address for ephemeral ports)\n\
+  submit <addr> <image.fwi> [--hash] [--events] [--deadline <ms>]\n\
+\x20                               submit to a running daemon (--hash asks\n\
+\x20                               the server cache by content hash without\n\
+\x20                               shipping the image bytes)\n\
+  status <addr>                 one-line daemon status snapshot\n\
+  drain <addr>                  finish in-flight jobs, then stop the daemon\n\
+  cache-stats <dir>             survey an analysis-cache store directory\n\
   train <out.fsm> [n-devices]   train + save the semantics model\n\
   cfg <image.fwi> <exe> <fn>    DOT control-flow graph of one function\n\
   callgraph <image.fwi> <exe>   DOT call graph of an executable";
@@ -251,16 +270,7 @@ fn cmd_analyze(
     cache_dir: Option<&str>,
     jobs: usize,
 ) -> Result<String, String> {
-    let model = match model_path {
-        Some(path) => {
-            let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            Some(
-                firmres_semantics::Classifier::from_bytes(&bytes)
-                    .map_err(|e| format!("cannot load model {path}: {e}"))?,
-            )
-        }
-        None => None,
-    };
+    let model = load_model(model_path)?;
     let config = AnalysisConfig::default();
     let mut cache_summary = None;
     let analysis = match cache_dir {
@@ -298,6 +308,14 @@ fn cmd_analyze(
     if let Some(line) = &cache_summary {
         let _ = writeln!(out, "{line}");
     }
+    render_report(&mut out, &analysis);
+    Ok(out)
+}
+
+/// Render the analysis report body. Shared verbatim by `analyze` and
+/// `submit`, so a served result prints identically to a local run — the
+/// service smoke test in `scripts/check.sh` byte-compares the two.
+fn render_report(out: &mut String, analysis: &firmres::FirmwareAnalysis) {
     match &analysis.executable {
         Some(path) => {
             let _ = writeln!(out, "device-cloud executable: {path}");
@@ -307,8 +325,8 @@ fn cmd_analyze(
                 out,
                 "no device-cloud executable found (script-based device-cloud logic is out of scope)"
             );
-            append_diagnostics(&mut out, &analysis);
-            return Ok(out);
+            append_diagnostics(out, analysis);
+            return;
         }
     }
     for h in &analysis.handlers {
@@ -329,9 +347,197 @@ fn cmd_analyze(
     if lan > 0 {
         let _ = writeln!(out, "\n({lan} LAN-addressed message(s) discarded)");
     }
-    append_stats(&mut out, &analysis);
-    append_diagnostics(&mut out, &analysis);
+    append_stats(out, analysis);
+    append_diagnostics(out, analysis);
+}
+
+fn cmd_serve(args: &[String]) -> Result<String, String> {
+    let mut cache_dir: Option<String> = None;
+    let mut workers: usize = 2;
+    let mut unit_jobs: usize = 1;
+    let mut queue_cap: usize = 32;
+    let mut port_file: Option<String> = None;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut rest = args.iter();
+    while let Some(a) = rest.next() {
+        match a.as_str() {
+            "--cache" => cache_dir = Some(rest.next().ok_or(USAGE)?.clone()),
+            "--port-file" => port_file = Some(rest.next().ok_or(USAGE)?.clone()),
+            "--workers" => workers = parse_count(rest.next(), "--workers")?,
+            "--jobs" => unit_jobs = parse_count(rest.next(), "--jobs")?,
+            "--queue" => {
+                queue_cap = rest
+                    .next()
+                    .ok_or(USAGE)?
+                    .parse()
+                    .map_err(|_| "--queue takes a capacity".to_string())?;
+            }
+            _ => positional.push(a),
+        }
+    }
+    let addr = positional.first().ok_or(USAGE)?;
+    let classifier = load_model(positional.get(1).copied())?;
+    let server = Server::bind(
+        addr.as_str(),
+        ServerConfig {
+            workers,
+            unit_jobs,
+            queue_cap,
+            cache_dir: cache_dir.map(Into::into),
+            classifier,
+            ..ServerConfig::default()
+        },
+    )
+    .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let local = server
+        .local_addr()
+        .map_err(|e| format!("cannot resolve bound address: {e}"))?;
+    if let Some(path) = &port_file {
+        std::fs::write(path, format!("{local}\n"))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    let s = server.run();
+    Ok(format!(
+        "served {} job(s) on {local} ({} cache hit(s), {} pipeline run(s)); \
+         {} rejected, {} cancelled\n",
+        s.jobs_served, s.cache_hits, s.cache_misses, s.jobs_rejected, s.jobs_cancelled
+    ))
+}
+
+fn cmd_submit(args: &[String]) -> Result<String, String> {
+    let mut by_hash = false;
+    let mut events = false;
+    let mut deadline_ms: u64 = 0;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut rest = args.iter();
+    while let Some(a) = rest.next() {
+        match a.as_str() {
+            "--hash" => by_hash = true,
+            "--events" => events = true,
+            "--deadline" => {
+                deadline_ms = rest
+                    .next()
+                    .ok_or(USAGE)?
+                    .parse()
+                    .map_err(|_| "--deadline takes milliseconds".to_string())?;
+            }
+            _ => positional.push(a),
+        }
+    }
+    let addr = positional.first().ok_or(USAGE)?;
+    let path = positional.get(1).ok_or(USAGE)?;
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let image = if by_hash {
+        SubmitImage::Hash(content_hash_packed_wide(&bytes))
+    } else {
+        SubmitImage::Bytes(bytes)
+    };
+    let mut client =
+        Client::connect(addr.as_str()).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let served = client
+        .submit(image, &AnalysisConfig::default(), events, deadline_ms)
+        .map_err(|e| format!("submit failed: {e}"))?;
+    let mut out = String::new();
+    if events {
+        let _ = writeln!(
+            out,
+            "job {} streamed {} progress event(s){}",
+            served.job_id,
+            served.events.len(),
+            if served.from_cache {
+                " (served from cache)"
+            } else {
+                ""
+            }
+        );
+    }
+    render_report(&mut out, &served.analysis);
     Ok(out)
+}
+
+fn cmd_status(addr: Option<&String>) -> Result<String, String> {
+    let addr = addr.ok_or(USAGE)?;
+    let mut client =
+        Client::connect(addr.as_str()).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let s = client.status().map_err(|e| format!("status failed: {e}"))?;
+    Ok(format!(
+        "queue {}/{} ({} running) | served {} ({} cache hit(s), {} pipeline run(s)) | \
+         {} rejected | {} cancelled | draining: {}\n",
+        s.queue_depth,
+        s.queue_cap,
+        s.inflight,
+        s.jobs_served,
+        s.cache_hits,
+        s.cache_misses,
+        s.jobs_rejected,
+        s.jobs_cancelled,
+        if s.draining { "yes" } else { "no" }
+    ))
+}
+
+fn cmd_drain(addr: Option<&String>) -> Result<String, String> {
+    let addr = addr.ok_or(USAGE)?;
+    let mut client =
+        Client::connect(addr.as_str()).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let served = client.drain().map_err(|e| format!("drain failed: {e}"))?;
+    Ok(format!("daemon drained after serving {served} job(s)\n"))
+}
+
+fn cmd_cache_stats(dir: Option<&String>) -> Result<String, String> {
+    let dir = dir.ok_or(USAGE)?;
+    let stats = AnalysisCache::new(dir)
+        .stats()
+        .map_err(|e| format!("cannot survey {dir}: {e}"))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "analysis cache {dir}: {} entr{} ({} bytes)",
+        stats.entries,
+        if stats.entries == 1 { "y" } else { "ies" },
+        stats.total_bytes
+    );
+    for (schema, count) in &stats.by_schema {
+        let _ = writeln!(
+            out,
+            "  schema v{schema}: {count} entr{}{}",
+            if *count == 1 { "y" } else { "ies" },
+            if *schema == firmres_cache::SCHEMA_VERSION {
+                " (current)"
+            } else {
+                " (stale)"
+            }
+        );
+    }
+    if stats.foreign > 0 {
+        let _ = writeln!(out, "  {} foreign file(s) ignored", stats.foreign);
+    }
+    Ok(out)
+}
+
+fn parse_count(value: Option<&String>, flag: &str) -> Result<usize, String> {
+    let n: usize = value
+        .ok_or(USAGE)?
+        .parse()
+        .map_err(|_| format!("{flag} takes a thread count"))?;
+    if n == 0 {
+        return Err(format!(
+            "{flag} must be at least 1 (0 worker threads cannot run anything)"
+        ));
+    }
+    Ok(n)
+}
+
+fn load_model(path: Option<&String>) -> Result<Option<firmres_semantics::Classifier>, String> {
+    match path {
+        Some(path) => {
+            let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            Ok(Some(
+                firmres_semantics::Classifier::from_bytes(&bytes)
+                    .map_err(|e| format!("cannot load model {path}: {e}"))?,
+            ))
+        }
+        None => Ok(None),
+    }
 }
 
 /// Render pipeline work counters — in particular the taint engine's
@@ -448,6 +654,82 @@ mod tests {
         // Bad values are usage errors, not panics.
         assert!(run(&s(&["analyze", &path, "--jobs"])).is_err());
         assert!(run(&s(&["analyze", &path, "--jobs", "lots"])).is_err());
+    }
+
+    #[test]
+    fn analyze_rejects_zero_jobs() {
+        let path = temp("dev10z.fwi");
+        run(&s(&["gen", "10", &path])).unwrap();
+        let err = run(&s(&["analyze", &path, "--jobs", "0"])).unwrap_err();
+        assert!(err.contains("--jobs must be at least 1"), "{err}");
+        // The serve subcommand holds the same line.
+        let err = run(&s(&["serve", "127.0.0.1:0", "--workers", "0"])).unwrap_err();
+        assert!(err.contains("--workers must be at least 1"), "{err}");
+    }
+
+    #[test]
+    fn cache_stats_surveys_a_store() {
+        let path = temp("dev12cs.fwi");
+        run(&s(&["gen", "12", &path])).unwrap();
+        let cache_dir = temp("stats-cache");
+        let _ = std::fs::remove_dir_all(&cache_dir);
+
+        // An absent store is an empty survey, not an error.
+        let empty = run(&s(&["cache-stats", &cache_dir])).unwrap();
+        assert!(empty.contains("0 entries (0 bytes)"), "{empty}");
+
+        run(&s(&["analyze", &path, "--cache", &cache_dir])).unwrap();
+        let survey = run(&s(&["cache-stats", &cache_dir])).unwrap();
+        assert!(survey.contains("1 entry"), "{survey}");
+        assert!(survey.contains("(current)"), "{survey}");
+        assert!(!survey.contains("foreign"), "{survey}");
+
+        // A foreign file is counted, not misread.
+        std::fs::write(std::path::Path::new(&cache_dir).join("junk.frac"), b"oops").unwrap();
+        let survey = run(&s(&["cache-stats", &cache_dir])).unwrap();
+        assert!(survey.contains("1 foreign file(s) ignored"), "{survey}");
+        let _ = std::fs::remove_dir_all(&cache_dir);
+    }
+
+    #[test]
+    fn serve_submit_status_drain_round_trip() {
+        let path = temp("dev11srv.fwi");
+        run(&s(&["gen", "11", &path])).unwrap();
+        let local_report = run(&s(&["analyze", &path])).unwrap();
+
+        let port_file = temp("serve-port");
+        let _ = std::fs::remove_file(&port_file);
+        let serve_args = s(&["serve", "127.0.0.1:0", "--port-file", &port_file]);
+        let server = std::thread::spawn(move || run(&serve_args));
+
+        let addr = loop {
+            match std::fs::read_to_string(&port_file) {
+                Ok(a) if a.ends_with('\n') => break a.trim().to_string(),
+                _ => std::thread::sleep(std::time::Duration::from_millis(10)),
+            }
+        };
+
+        // A served report is byte-identical to the local analyze run.
+        let served = run(&s(&["submit", &addr, &path])).unwrap();
+        assert_eq!(served, local_report);
+
+        // With --events the report gains a progress header only.
+        let streamed = run(&s(&["submit", &addr, &path, "--events"])).unwrap();
+        assert!(streamed.contains("progress event(s)"), "{streamed}");
+
+        let status = run(&s(&["status", &addr])).unwrap();
+        assert!(status.contains("served 2"), "{status}");
+        assert!(status.contains("draining: no"), "{status}");
+
+        let drained = run(&s(&["drain", &addr])).unwrap();
+        assert!(
+            drained.contains("drained after serving 2 job(s)"),
+            "{drained}"
+        );
+
+        let summary = server.join().unwrap().unwrap();
+        assert!(summary.contains("served 2 job(s)"), "{summary}");
+        let _ = std::fs::remove_file(&port_file);
     }
 
     #[test]

@@ -1,0 +1,245 @@
+//! End-to-end contract of the resident analysis daemon: a served
+//! analysis is byte-identical (through the FRAC codec) to a local
+//! `analyze_firmware` of the same image, config and model; a warm
+//! submit-by-hash answers from the cache without re-running the
+//! pipeline; a full queue rejects with a structured reason instead of
+//! hanging; and drain finishes accounting for in-flight work before
+//! refusing the world.
+
+use firmres::{analyze_firmware, AnalysisConfig};
+use firmres_cache::codec::put_analysis;
+use firmres_firmware::content_hash_packed_wide;
+use firmres_service::wire::{read_response, send_request, Request, Response};
+use firmres_service::{
+    Client, ClientError, JobState, RejectReason, Server, ServerConfig, SubmitImage,
+    PROTOCOL_VERSION,
+};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("firmres-service-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The exact bytes the cache codec persists, with the (run-dependent,
+/// wall-clock) stage timings zeroed: the same canonical-equality form
+/// the unit-parallelism suite uses.
+fn canonical(mut analysis: firmres::FirmwareAnalysis) -> Vec<u8> {
+    analysis.timings = Default::default();
+    let mut out = Vec::new();
+    put_analysis(&mut out, &analysis);
+    out
+}
+
+fn spawn(
+    cfg: ServerConfig,
+) -> (
+    SocketAddr,
+    std::thread::JoinHandle<firmres_service::ServiceStatus>,
+) {
+    let server = Server::bind("127.0.0.1:0", cfg).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    (addr, std::thread::spawn(move || server.run()))
+}
+
+#[test]
+fn served_analysis_is_byte_identical_and_hash_submits_reuse_the_cache() {
+    let dev = firmres_corpus::generate_device(12, 3);
+    let packed = dev.firmware.pack().to_vec();
+    let mut config = AnalysisConfig::default();
+    config.taint.max_depth = 32;
+
+    let dir = temp_dir("byte-identity");
+    let (addr, handle) = spawn(ServerConfig {
+        workers: 2,
+        unit_jobs: 2,
+        cache_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    });
+
+    // The ground truth: a plain local run of the same inputs.
+    let local = canonical(analyze_firmware(&dev.firmware, None, &config));
+
+    let mut client = Client::connect(addr).expect("connect");
+
+    // Cold submit runs the pipeline; through the cache codec the served
+    // analysis is byte-identical to the local run (timings are the one
+    // run-dependent field, zeroed on both sides as everywhere else).
+    let cold = client
+        .submit(SubmitImage::Bytes(packed.clone()), &config, true, 0)
+        .expect("cold submit");
+    assert!(!cold.from_cache);
+    assert_eq!(
+        canonical(cold.analysis),
+        local,
+        "served analysis differs from local"
+    );
+    assert!(
+        !cold.events.is_empty(),
+        "a streamed cold run reports progress events"
+    );
+
+    // Warm submit of the same bytes: answered from the cache, and the
+    // shipped payload is the cold run's encoding exactly — raw bytes,
+    // timings included, because it is the same stored entry.
+    let warm = client
+        .submit(SubmitImage::Bytes(packed.clone()), &config, false, 0)
+        .expect("warm submit");
+    assert!(warm.from_cache);
+    assert_eq!(warm.payload, cold.payload);
+
+    // Warm submit-by-hash: no image bytes shipped at all, still the
+    // same payload, and the pipeline did not run again.
+    let by_hash = client
+        .submit(
+            SubmitImage::Hash(content_hash_packed_wide(&packed)),
+            &config,
+            false,
+            0,
+        )
+        .expect("hash submit");
+    assert!(by_hash.from_cache);
+    assert_eq!(by_hash.payload, cold.payload);
+    assert_eq!(by_hash.analysis.executable, dev.cloud_executable);
+
+    let status = client.status().expect("status");
+    assert_eq!(status.cache_misses, 1, "pipeline ran exactly once");
+    assert_eq!(status.cache_hits, 2);
+    assert_eq!(status.jobs_served, 3);
+
+    // A hash the server has never seen cannot be analyzed.
+    match client.submit(SubmitImage::Hash(0xDEAD), &config, false, 0) {
+        Err(ClientError::Rejected(RejectReason::UnknownImage)) => {}
+        other => panic!("expected UnknownImage rejection, got {other:?}"),
+    }
+
+    let served = client.drain().expect("drain");
+    assert_eq!(served, 3);
+    let final_status = handle.join().expect("server thread");
+    assert_eq!(final_status.jobs_served, 3);
+    assert_eq!(final_status.jobs_rejected, 1);
+    assert!(final_status.draining);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn full_queue_rejects_with_retry_hint_instead_of_hanging() {
+    // queue_cap 0 and no workers: every by-bytes submit finds the queue
+    // at capacity and must be answered, not parked.
+    let (addr, handle) = spawn(ServerConfig {
+        workers: 0,
+        queue_cap: 0,
+        retry_after_ms: 125,
+        ..ServerConfig::default()
+    });
+
+    let dev = firmres_corpus::generate_device(6, 5);
+    let packed = dev.firmware.pack().to_vec();
+    let mut client = Client::connect(addr).expect("connect");
+    match client.submit(
+        SubmitImage::Bytes(packed),
+        &AnalysisConfig::default(),
+        false,
+        0,
+    ) {
+        Err(ClientError::Rejected(RejectReason::QueueFull {
+            depth,
+            retry_after_ms,
+        })) => {
+            assert_eq!(depth, 0);
+            assert_eq!(retry_after_ms, 125);
+        }
+        other => panic!("expected QueueFull rejection, got {other:?}"),
+    }
+
+    let status = client.status().expect("status");
+    assert_eq!(status.jobs_rejected, 1);
+    assert_eq!(status.jobs_served, 0);
+
+    client.drain().expect("drain");
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn drain_waits_for_the_queue_and_refuses_new_submissions() {
+    // No workers: an admitted job sits in the queue forever, so a drain
+    // issued after it deterministically blocks until the job is
+    // cancelled — which lets us observe the draining state from a
+    // second connection with no timing dependence.
+    let (addr, handle) = spawn(ServerConfig {
+        workers: 0,
+        queue_cap: 4,
+        ..ServerConfig::default()
+    });
+
+    let dev = firmres_corpus::generate_device(6, 5);
+    let packed = dev.firmware.pack().to_vec();
+    let config = AnalysisConfig::default();
+
+    // Connection A, on raw frames so we can send Drain while our job is
+    // still in flight.
+    let mut a = TcpStream::connect(addr).expect("connect a");
+    send_request(
+        &mut a,
+        &Request::Hello {
+            version: PROTOCOL_VERSION,
+        },
+    )
+    .expect("hello");
+    assert!(matches!(
+        read_response(&mut a).expect("hello ok"),
+        Response::HelloOk { .. }
+    ));
+    send_request(
+        &mut a,
+        &Request::Submit {
+            image: SubmitImage::Bytes(packed.clone()),
+            config: config.clone(),
+            want_events: false,
+            deadline_ms: 0,
+        },
+    )
+    .expect("submit");
+    let job_id = match read_response(&mut a).expect("accepted") {
+        Response::Accepted { job_id } => job_id,
+        other => panic!("expected Accepted, got {other:?}"),
+    };
+    send_request(&mut a, &Request::Drain).expect("drain request");
+
+    // Connection B: wait until A's Drain has set the draining flag
+    // (status reads it directly), then submit — the drain is still
+    // blocked on the queued job, so the refusal is deterministic.
+    let mut b = Client::connect(addr).expect("connect b");
+    while !b.status().expect("status").draining {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    match b.submit(SubmitImage::Bytes(packed.clone()), &config, false, 0) {
+        Err(ClientError::Rejected(RejectReason::Draining)) => {}
+        other => panic!("expected Draining rejection, got {other:?}"),
+    }
+
+    // Unblock the drain by cancelling the queued job.
+    assert_eq!(b.cancel(job_id).expect("cancel"), JobState::Queued);
+
+    // A's stream: the cancelled job's terminal frame, then DrainOk —
+    // proving drain waited for the queue to empty before completing.
+    match read_response(&mut a).expect("terminal") {
+        Response::Cancelled { job_id: id, reason } => {
+            assert_eq!(id, job_id);
+            assert_eq!(reason, "cancelled while queued");
+        }
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+    match read_response(&mut a).expect("drain ok") {
+        Response::DrainOk { jobs_served } => assert_eq!(jobs_served, 0),
+        other => panic!("expected DrainOk, got {other:?}"),
+    }
+
+    let final_status = handle.join().expect("server thread");
+    assert_eq!(final_status.jobs_cancelled, 1);
+    assert!(final_status.jobs_rejected >= 1);
+    assert!(final_status.draining);
+    assert_eq!(final_status.queue_depth, 0);
+}
