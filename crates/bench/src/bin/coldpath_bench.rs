@@ -1,0 +1,171 @@
+//! Cold-path optimization gate: before/after sweep of the interned-IR /
+//! bitset-dataflow / bit-parallel-LCS / memoized-classification rework.
+//!
+//! Analyzes the full synthetic corpus cold (no cache, one thread, one
+//! unit job) twice — once with [`ColdPath::Reference`] (the
+//! pre-optimization data structures, kept in-tree) and once with
+//! [`ColdPath::Optimized`] — and verifies the two sweeps produce
+//! **byte-identical** reports under the cache codec (timings zeroed —
+//! they measure, they are not measured). Writes wall-clock numbers and
+//! per-stage shares for both modes to `BENCH_coldpath.json`.
+//!
+//! Usage:
+//! `cargo run --release -p firmres-bench --bin coldpath_bench [out.json] [min-speedup]`
+//!
+//! Exits non-zero when any device's optimized report differs from its
+//! reference report, or when the single-thread cold-sweep speedup falls
+//! below `min-speedup` (no floor is enforced when the argument is
+//! omitted; `scripts/check.sh` passes the 1.5× acceptance floor).
+
+use firmres::{analyze_firmware, AnalysisConfig, FirmwareAnalysis, StageTimings};
+use firmres_cache::codec;
+use firmres_corpus::GeneratedDevice;
+use firmres_ir::ColdPath;
+use std::time::Instant;
+
+/// The cache codec's bytes for `analysis` with timings zeroed: the
+/// strictest observable-equality check available.
+fn canonical_bytes(mut analysis: FirmwareAnalysis) -> Vec<u8> {
+    analysis.timings = Default::default();
+    let mut out = Vec::new();
+    codec::put_analysis(&mut out, &analysis);
+    out
+}
+
+struct Sweep {
+    /// Wall-clock of the whole corpus sweep, milliseconds.
+    wall_ms: f64,
+    /// Per-stage timing totals across all devices.
+    totals: StageTimings,
+    /// Canonical report bytes per device.
+    reports: Vec<Vec<u8>>,
+}
+
+/// One cold sweep over the corpus in `mode`: every device analyzed from
+/// scratch on the calling thread.
+fn sweep(corpus: &[GeneratedDevice], mode: ColdPath) -> Sweep {
+    let mut config = AnalysisConfig::default();
+    config.taint.cold_path = mode;
+    let mut totals = StageTimings::default();
+    let mut reports = Vec::with_capacity(corpus.len());
+    let t = Instant::now();
+    for dev in corpus {
+        let analysis = analyze_firmware(&dev.firmware, None, &config);
+        let timings = analysis.timings;
+        totals.exeid += timings.exeid;
+        totals.field_identification += timings.field_identification;
+        totals.semantics += timings.semantics;
+        totals.concatenation += timings.concatenation;
+        totals.form_check += timings.form_check;
+        reports.push(canonical_bytes(analysis));
+    }
+    Sweep {
+        wall_ms: t.elapsed().as_secs_f64() * 1e3,
+        totals,
+        reports,
+    }
+}
+
+/// Best-of-`reps` sweep (first result kept for the byte comparison; the
+/// reports are deterministic, so every rep encodes identically).
+fn best_sweep(corpus: &[GeneratedDevice], mode: ColdPath, reps: usize) -> Sweep {
+    let mut best: Option<Sweep> = None;
+    for _ in 0..reps {
+        let s = sweep(corpus, mode);
+        best = match best {
+            Some(b) if b.wall_ms <= s.wall_ms => Some(b),
+            _ => Some(s),
+        };
+    }
+    best.expect("reps >= 1")
+}
+
+fn shares_json(totals: &StageTimings) -> String {
+    let s = totals.shares();
+    format!(
+        concat!(
+            "{{ \"exeid\": {:.4}, \"field_id\": {:.4}, \"semantics\": {:.4}, ",
+            "\"concat\": {:.4}, \"form_check\": {:.4} }}"
+        ),
+        s[0], s[1], s[2], s[3], s[4]
+    )
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_coldpath.json".to_string());
+    let min_speedup: Option<f64> = std::env::args().nth(2).map(|s| {
+        s.parse()
+            .unwrap_or_else(|_| panic!("min-speedup must be a number, got {s:?}"))
+    });
+
+    eprintln!("generating corpus…");
+    let corpus = firmres_corpus::generate_corpus(7);
+
+    // Warm the allocator / page cache so the first timed sweep is not
+    // penalized for going first.
+    eprintln!("warmup sweep…");
+    let _ = sweep(&corpus, ColdPath::Optimized);
+
+    let reps = 3;
+    eprintln!("reference sweep: {} devices × {reps} reps…", corpus.len());
+    let reference = best_sweep(&corpus, ColdPath::Reference, reps);
+    eprintln!("optimized sweep: {} devices × {reps} reps…", corpus.len());
+    let optimized = best_sweep(&corpus, ColdPath::Optimized, reps);
+
+    let speedup = reference.wall_ms / optimized.wall_ms.max(1e-9);
+    let mut failures = 0;
+    let mut identical = true;
+    for (i, (r, o)) in reference.reports.iter().zip(&optimized.reports).enumerate() {
+        if r != o {
+            eprintln!(
+                "FAIL: device {} optimized report differs from reference",
+                corpus[i].spec.id
+            );
+            identical = false;
+            failures += 1;
+        }
+    }
+    if let Some(floor) = min_speedup {
+        if speedup < floor {
+            eprintln!("FAIL: {speedup:.2}x cold-sweep speedup is below the {floor}x floor");
+            failures += 1;
+        }
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"coldpath_optimization\",\n",
+            "  \"devices\": {devices},\n",
+            "  \"threads\": 1,\n",
+            "  \"reps\": {reps},\n",
+            "  \"reference\": {{ \"wall_ms\": {ref_ms:.3}, \"stage_total_ms\": {ref_total:.3}, \"shares\": {ref_shares} }},\n",
+            "  \"optimized\": {{ \"wall_ms\": {opt_ms:.3}, \"stage_total_ms\": {opt_total:.3}, \"shares\": {opt_shares} }},\n",
+            "  \"speedup\": {speedup:.2},\n",
+            "  \"byte_identical\": {identical}\n",
+            "}}\n"
+        ),
+        devices = corpus.len(),
+        reps = reps,
+        ref_ms = reference.wall_ms,
+        ref_total = reference.totals.total().as_secs_f64() * 1e3,
+        ref_shares = shares_json(&reference.totals),
+        opt_ms = optimized.wall_ms,
+        opt_total = optimized.totals.total().as_secs_f64() * 1e3,
+        opt_shares = shares_json(&optimized.totals),
+        speedup = speedup,
+        identical = identical,
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark output");
+
+    println!(
+        "cold path: reference {:.1} ms | optimized {:.1} ms | {speedup:.2}x | byte-identical: {identical}",
+        reference.wall_ms, optimized.wall_ms
+    );
+    println!("wrote {out_path}");
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

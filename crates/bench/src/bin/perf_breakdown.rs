@@ -8,13 +8,20 @@
 //! *ordering* of stage costs is the reproduced claim — executable
 //! pinpointing and taint-based field identification dominate.
 //!
-//! Usage: `cargo run --release -p firmres-bench --bin perf_breakdown`
+//! Besides the console table, the per-stage shares and per-device
+//! extremes are written to `BENCH_breakdown.json` (or the path given as
+//! the first argument), alongside the other `BENCH_*.json` artifacts.
+//!
+//! Usage: `cargo run --release -p firmres-bench --bin perf_breakdown [out.json]`
 
 use firmres::{analyze_corpus, AnalysisConfig, StageTimings};
 use firmres_corpus::generate_corpus;
 use std::time::{Duration, Instant};
 
 fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_breakdown.json".to_string());
     eprintln!("analyzing all 20 binary-handled devices…\n");
     let corpus = generate_corpus(7);
     let config = AnalysisConfig::default();
@@ -81,4 +88,35 @@ fn main() {
         "  {threads} thread(s): {wall_par:?} ({:.2}× speedup)",
         wall_seq.as_secs_f64() / wall_par.as_secs_f64().max(1e-9)
     );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"perf_breakdown\",\n",
+            "  \"devices\": {devices},\n",
+            "  \"shares\": {{ \"exeid\": {s0:.4}, \"field_id\": {s1:.4}, \"semantics\": {s2:.4}, \"concat\": {s3:.4}, \"form_check\": {s4:.4} }},\n",
+            "  \"stage_total_ms\": {total:.3},\n",
+            "  \"fastest_device\": {{ \"id\": {min_id}, \"ms\": {min_ms:.3} }},\n",
+            "  \"slowest_device\": {{ \"id\": {max_id}, \"ms\": {max_ms:.3} }},\n",
+            "  \"sweep_threads\": {threads},\n",
+            "  \"sweep_wall_ms\": {{ \"sequential\": {seq_ms:.3}, \"parallel\": {par_ms:.3} }}\n",
+            "}}\n"
+        ),
+        devices = per_device.len(),
+        s0 = shares[0],
+        s1 = shares[1],
+        s2 = shares[2],
+        s3 = shares[3],
+        s4 = shares[4],
+        total = totals.total().as_secs_f64() * 1e3,
+        min_id = min.0,
+        min_ms = min.1.as_secs_f64() * 1e3,
+        max_id = max.0,
+        max_ms = max.1.as_secs_f64() * 1e3,
+        threads = threads,
+        seq_ms = wall_seq.as_secs_f64() * 1e3,
+        par_ms = wall_par.as_secs_f64() * 1e3,
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark output");
+    println!("\nwrote {out_path}");
 }

@@ -112,12 +112,20 @@ impl CacheKey {
 /// analysis output.
 ///
 /// Covers [`ExeIdConfig::score_threshold`] (via its bit pattern, so
-/// `0.3` and `0.30000001` fingerprint differently) and all four
-/// [`TaintConfig`] fields. A new knob must be folded in here — missing
-/// one would let two differently-configured runs share entries.
+/// `0.3` and `0.30000001` fingerprint differently) and the four
+/// output-bearing [`TaintConfig`] fields. A new knob must be folded in
+/// here — missing one would let two differently-configured runs share
+/// entries.
+///
+/// [`TaintConfig::cold_path`] is deliberately **excluded**: it selects
+/// between the reference and the optimized cold-path data structures,
+/// which produce byte-identical output by construction (the
+/// `coldpath_bench` gate asserts exactly that), so entries computed
+/// under either mode are interchangeable and must share cache keys.
 ///
 /// [`ExeIdConfig::score_threshold`]: firmres::ExeIdConfig
 /// [`TaintConfig`]: firmres_dataflow::TaintConfig
+/// [`TaintConfig::cold_path`]: firmres_dataflow::TaintConfig
 pub fn config_fingerprint(config: &AnalysisConfig) -> u64 {
     let mut bytes = Vec::with_capacity(34);
     bytes.extend_from_slice(&config.exeid.score_threshold.to_bits().to_le_bytes());
@@ -181,6 +189,19 @@ mod tests {
         let mut c = AnalysisConfig::default();
         c.taint.decompose_buffers = !c.taint.decompose_buffers;
         assert_ne!(f0, config_fingerprint(&c));
+    }
+
+    #[test]
+    fn cold_path_mode_shares_cache_keys() {
+        // The cold-path toggle is output-invariant (both modes produce
+        // byte-identical reports), so it must NOT enter the fingerprint:
+        // entries written under either mode are interchangeable.
+        let mut c = AnalysisConfig::default();
+        c.taint.cold_path = firmres_ir::ColdPath::Reference;
+        assert_eq!(
+            config_fingerprint(&AnalysisConfig::default()),
+            config_fingerprint(&c)
+        );
     }
 
     #[test]

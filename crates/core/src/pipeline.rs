@@ -30,6 +30,7 @@ use crate::formcheck::FormFlaw;
 use crate::observe::{NullObserver, Observer, StageCounters};
 use crate::stages::{
     enumerate_units, merge_unit_outputs, run_message_unit, AnalysisContext, ExeIdStage,
+    UnitClassifier,
 };
 use firmres_dataflow::{TaintConfig, TaintEngine};
 use firmres_firmware::FirmwareImage;
@@ -238,10 +239,10 @@ pub fn analyze_firmware_with_jobs(
     };
     let units = enumerate_units(&chosen.program, &chosen.handlers);
     let engine = TaintEngine::with_config(&chosen.program, config.taint.clone());
-    let renderer = firmres_mft::SliceRenderer::new(&chosen.program);
-    let inputs = cx.inputs;
+    let renderer = firmres_mft::SliceRenderer::with_mode(&chosen.program, config.taint.cold_path);
+    let classes = UnitClassifier::new(classifier, config.taint.cold_path);
     let outputs = run_pool(units.len(), jobs, |i| {
-        run_message_unit(&inputs, &engine, &renderer, &units[i])
+        run_message_unit(&engine, &renderer, &classes, &units[i])
     });
     let records = merge_unit_outputs(&mut cx, outputs);
     cx.finish(Some(chosen.path), chosen.handlers, records)
@@ -282,15 +283,15 @@ pub fn analyze_firmware_cancellable(
     }
     let units = enumerate_units(&chosen.program, &chosen.handlers);
     let engine = TaintEngine::with_config(&chosen.program, config.taint.clone());
-    let renderer = firmres_mft::SliceRenderer::new(&chosen.program);
-    let inputs = cx.inputs;
+    let renderer = firmres_mft::SliceRenderer::with_mode(&chosen.program, config.taint.cold_path);
+    let classes = UnitClassifier::new(classifier, config.taint.cold_path);
     // Each worker polls the token at the unit boundary; a unit skipped by
     // a tripped token yields `None`, which poisons the whole run below.
     let outputs = run_pool(units.len(), jobs, |i| {
         if cancel.is_cancelled() {
             return None;
         }
-        Some(run_message_unit(&inputs, &engine, &renderer, &units[i]))
+        Some(run_message_unit(&engine, &renderer, &classes, &units[i]))
     });
     if cancel.is_cancelled() || outputs.iter().any(Option::is_none) {
         return Err(cancelled(cancel));

@@ -58,9 +58,9 @@ use firmres_dataflow::{
     delivery_endpoint_arg, delivery_payload_arg, FieldSource, SourceKind, TaintEngine,
 };
 use firmres_firmware::FirmwareImage;
-use firmres_ir::{Address, Program};
+use firmres_ir::{Address, ColdPath, Program};
 use firmres_mft::{mentions_lan, reconstruct, CodeSlice, Mft, SliceRenderer};
-use firmres_semantics::{weak_label, Classifier, Primitive};
+use firmres_semantics::{weak_label, Classifier, Primitive, SliceClassifier};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::time::{Duration, Instant};
 
@@ -268,12 +268,39 @@ pub struct SliceSemantics {
     pub primitives: Vec<Vec<Primitive>>,
 }
 
-/// Classify one slice's semantics: with a trained classifier when given,
-/// otherwise the keyword weak-labeler.
-fn classify(classifier: Option<&Classifier>, text: &str) -> Primitive {
-    match classifier {
-        Some(c) => c.predict(text).0,
-        None => weak_label(text),
+/// Per-image classification front end, shared by every message unit.
+///
+/// Dispatches on [`ColdPath`]: the reference mode classifies each slice
+/// from scratch (`Classifier::predict` with a model, [`weak_label`]
+/// without), the optimized mode routes through the memoizing
+/// [`SliceClassifier`]. Both return the same primitive for every text;
+/// only the cost differs.
+pub struct UnitClassifier<'a> {
+    mode: ColdPath,
+    classifier: Option<&'a Classifier>,
+    memoized: SliceClassifier<'a>,
+}
+
+impl<'a> UnitClassifier<'a> {
+    /// Build a front end over an optional trained model.
+    pub fn new(classifier: Option<&'a Classifier>, mode: ColdPath) -> Self {
+        UnitClassifier {
+            mode,
+            classifier,
+            memoized: SliceClassifier::new(classifier),
+        }
+    }
+
+    /// Classify one slice's semantics: with the trained classifier when
+    /// given, otherwise the keyword weak-labeler.
+    pub fn classify(&self, text: &str) -> Primitive {
+        match self.mode {
+            ColdPath::Reference => match self.classifier {
+                Some(c) => c.predict(text).0,
+                None => weak_label(text),
+            },
+            ColdPath::Optimized => self.memoized.classify(text),
+        }
     }
 }
 
@@ -509,7 +536,7 @@ fn field_id_unit(
 /// stage driver) emits it once after all units.
 fn semantics_unit(
     renderer: &SliceRenderer<'_>,
-    classifier: Option<&Classifier>,
+    classes: &UnitClassifier<'_>,
     raw: &RawMessage,
     ucx: &mut UnitContext,
 ) -> (
@@ -522,7 +549,7 @@ fn semantics_unit(
     let mut labeled = Vec::with_capacity(rendered.len());
     let mut primitives = Vec::with_capacity(rendered.len());
     for s in &rendered {
-        let primitive = classify(classifier, &s.text);
+        let primitive = classes.classify(&s.text);
         labeled.push((s.source.clone(), primitive));
         primitives.push(primitive);
     }
@@ -606,19 +633,19 @@ fn form_check_unit(record: &mut MessageRecord) {
 /// reconstruction → form check, buffering all events in the returned
 /// [`UnitOutput`].
 ///
-/// Safe to call from any thread: `engine` and `renderer` are `Sync`
-/// (their memo caches are lock-protected and only ever filled with
-/// deterministic values), and everything else is read-only.
+/// Safe to call from any thread: `engine`, `renderer` and `classes` are
+/// `Sync` (their memo caches are lock-protected and only ever filled
+/// with deterministic values), and everything else is read-only.
 pub fn run_message_unit(
-    inputs: &AnalysisInputs<'_>,
     engine: &TaintEngine<'_>,
     renderer: &SliceRenderer<'_>,
+    classes: &UnitClassifier<'_>,
     unit: &MessageUnit,
 ) -> UnitOutput {
     let mut ucx = UnitContext::new();
     let raw = ucx.run_stage(UnitStage::FieldId, |u| field_id_unit(engine, unit, u));
     let (slices, labeled, primitives) = ucx.run_stage(UnitStage::Semantics, |u| {
-        semantics_unit(renderer, inputs.classifier, &raw, u)
+        semantics_unit(renderer, classes, &raw, u)
     });
     let mut record = ucx.run_stage(UnitStage::Concat, |u| {
         concat_unit(raw, slices, labeled, primitives, u)
@@ -837,14 +864,16 @@ impl SemanticsStage {
         raws: &[RawMessage],
     ) -> SliceSemantics {
         cx.run_stage(StageKind::Semantics, |cx| {
-            let renderer = SliceRenderer::new(&chosen.program);
+            let mode = cx.inputs.config.taint.cold_path;
+            let renderer = SliceRenderer::with_mode(&chosen.program, mode);
+            let classes = UnitClassifier::new(cx.inputs.classifier, mode);
             let mut slices = Vec::with_capacity(raws.len());
             let mut labeled = Vec::with_capacity(raws.len());
             let mut primitives = Vec::with_capacity(raws.len());
             for raw in raws {
                 let mut ucx = UnitContext::new();
                 let (s, l, p) = ucx.run_stage(UnitStage::Semantics, |u| {
-                    semantics_unit(&renderer, cx.inputs.classifier, raw, u)
+                    semantics_unit(&renderer, &classes, raw, u)
                 });
                 cx.replay_events(&ucx.events.semantics);
                 slices.push(s);

@@ -1,7 +1,7 @@
 //! Intra-procedural reaching definitions over the IR.
 
-use firmres_ir::{BlockId, Function, PcodeOp, Varnode};
-use std::collections::{BTreeMap, BTreeSet};
+use firmres_ir::{BlockId, ColdPath, FnvBuildHasher, Function, PcodeOp, Varnode};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 /// Position of an operation within a function: `(block, index in block)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -12,12 +12,33 @@ pub struct OpRef {
     pub index: usize,
 }
 
+/// Per-block entry states of the fixpoint, in one of the two cold-path
+/// layouts (see `DESIGN.md` §10). Both hold the same least-fixpoint
+/// solution — the unique solution of the dataflow equations — so queries
+/// answer identically from either.
+#[derive(Debug)]
+enum EntryStates {
+    /// One ordered set of reaching definition indices per block — the
+    /// pre-optimization layout, kept as the benchmark baseline.
+    Reference(Vec<BTreeSet<usize>>),
+    /// One dense bitset per block: `stride` words per block, bit `d` of
+    /// block `b`'s row set iff definition `d` reaches `b`'s entry.
+    Bitset { words: Vec<u64>, stride: usize },
+}
+
 /// Reaching-definitions analysis for one function.
 ///
 /// Definitions are operations whose `output` is a given varnode. The
 /// analysis is a standard forward may-analysis with gen/kill per block,
 /// solved with a worklist; queries then combine block-entry states with a
 /// backward scan inside the block.
+///
+/// [`DefUse::compute`] solves with dense u64-word bitsets and a
+/// dirty-block worklist; [`DefUse::compute_reference`] runs the original
+/// `BTreeSet` formulation. Both reach the same (unique) least fixpoint,
+/// so [`DefUse::reaching_defs`] returns identical results either way —
+/// `compute_reference` exists as the measured baseline of the cold-path
+/// benchmark.
 ///
 /// # Examples
 ///
@@ -44,8 +65,11 @@ pub struct OpRef {
 pub struct DefUse {
     /// All definition sites, in block order.
     defs: Vec<(OpRef, Varnode)>,
-    /// Per-block set of reaching definition indices at block entry.
-    block_in: Vec<BTreeSet<usize>>,
+    /// Contiguous range of `defs` indices per block (defs are collected
+    /// in block order, so each block's definitions form one run).
+    block_def_ranges: Vec<(u32, u32)>,
+    /// Per-block reaching-definition state at block entry.
+    entry: EntryStates,
     /// Map from op address to position (first occurrence).
     addr_index: BTreeMap<u64, OpRef>,
     /// Block op lists are borrowed through the function; we keep block
@@ -53,26 +77,151 @@ pub struct DefUse {
     block_lens: Vec<usize>,
 }
 
+/// The common front half of both solvers: definition sites, address
+/// index, block lengths and per-block def ranges.
+struct DefSites {
+    defs: Vec<(OpRef, Varnode)>,
+    block_def_ranges: Vec<(u32, u32)>,
+    addr_index: BTreeMap<u64, OpRef>,
+    block_lens: Vec<usize>,
+}
+
+fn collect_defs(f: &Function) -> DefSites {
+    let nblocks = f.blocks().len();
+    let mut defs: Vec<(OpRef, Varnode)> = Vec::new();
+    let mut block_def_ranges = Vec::with_capacity(nblocks);
+    let mut addr_index = BTreeMap::new();
+    let mut block_lens = Vec::with_capacity(nblocks);
+    for (bi, block) in f.blocks().iter().enumerate() {
+        block_lens.push(block.ops.len());
+        let start = defs.len() as u32;
+        for (oi, op) in block.ops.iter().enumerate() {
+            let r = OpRef {
+                block: BlockId(bi as u32),
+                index: oi,
+            };
+            addr_index.entry(op.addr).or_insert(r);
+            if let Some(out) = &op.output {
+                defs.push((r, out.clone()));
+            }
+        }
+        block_def_ranges.push((start, defs.len() as u32));
+    }
+    DefSites {
+        defs,
+        block_def_ranges,
+        addr_index,
+        block_lens,
+    }
+}
+
 impl DefUse {
-    /// Run the analysis on `f`.
+    /// Run the analysis on `f` with the optimized (bitset) state layout.
     pub fn compute(f: &Function) -> Self {
+        Self::compute_with(f, ColdPath::Optimized)
+    }
+
+    /// Run the analysis with the layout `mode` selects.
+    pub fn compute_with(f: &Function, mode: ColdPath) -> Self {
+        match mode {
+            ColdPath::Reference => Self::compute_reference(f),
+            ColdPath::Optimized => Self::compute_bitset(f),
+        }
+    }
+
+    /// Bitset solver: per-block gen/kill masks over the definition
+    /// index space, a dirty-block worklist, and word-wise transfer.
+    fn compute_bitset(f: &Function) -> Self {
+        let sites = collect_defs(f);
         let nblocks = f.blocks().len();
-        let mut defs: Vec<(OpRef, Varnode)> = Vec::new();
-        let mut addr_index = BTreeMap::new();
-        let mut block_lens = Vec::with_capacity(nblocks);
-        for (bi, block) in f.blocks().iter().enumerate() {
-            block_lens.push(block.ops.len());
-            for (oi, op) in block.ops.iter().enumerate() {
-                let r = OpRef {
-                    block: BlockId(bi as u32),
-                    index: oi,
-                };
-                addr_index.entry(op.addr).or_insert(r);
-                if let Some(out) = &op.output {
-                    defs.push((r, out.clone()));
+        let ndefs = sites.defs.len();
+        let stride = ndefs.div_ceil(64).max(1);
+
+        // Defs of the same varnode kill each other: group definition
+        // indices by varnode once, then OR each group into the kill mask
+        // of every block defining that varnode.
+        let mut by_var: HashMap<&Varnode, Vec<u32>, FnvBuildHasher> = HashMap::default();
+        for (i, (_, v)) in sites.defs.iter().enumerate() {
+            by_var.entry(v).or_default().push(i as u32);
+        }
+        let mut gen_mask = vec![0u64; nblocks * stride];
+        let mut kill_mask = vec![0u64; nblocks * stride];
+        for (bi, &(start, end)) in sites.block_def_ranges.iter().enumerate() {
+            let base = bi * stride;
+            // Last def per varnode within the block generates; walking the
+            // block's defs backward and skipping already-killed varnodes
+            // finds exactly those.
+            for i in (start..end).rev() {
+                let v = &sites.defs[i as usize].1;
+                let group = &by_var[v];
+                let killed = group
+                    .iter()
+                    .any(|&g| kill_mask[base + (g as usize >> 6)] >> (g & 63) & 1 == 1);
+                if !killed {
+                    gen_mask[base + (i as usize >> 6)] |= 1u64 << (i & 63);
+                    for &g in group {
+                        kill_mask[base + (g as usize >> 6)] |= 1u64 << (g & 63);
+                    }
                 }
             }
         }
+
+        let preds = f.predecessors();
+        let successors: Vec<&[BlockId]> =
+            f.blocks().iter().map(|b| b.successors.as_slice()).collect();
+        let mut block_in = vec![0u64; nblocks * stride];
+        let mut block_out = vec![0u64; nblocks * stride];
+        let mut queued = vec![true; nblocks];
+        let mut work: VecDeque<u32> = (0..nblocks as u32).collect();
+        while let Some(b) = work.pop_front() {
+            let b = b as usize;
+            queued[b] = false;
+            let base = b * stride;
+            for w in 0..stride {
+                block_in[base + w] = 0;
+            }
+            for p in &preds[b] {
+                let pbase = p.0 as usize * stride;
+                for w in 0..stride {
+                    block_in[base + w] |= block_out[pbase + w];
+                }
+            }
+            let mut changed = false;
+            for w in 0..stride {
+                let out = (block_in[base + w] & !kill_mask[base + w]) | gen_mask[base + w];
+                if out != block_out[base + w] {
+                    block_out[base + w] = out;
+                    changed = true;
+                }
+            }
+            if changed {
+                for s in successors[b] {
+                    let sb = s.0 as usize;
+                    if !queued[sb] {
+                        queued[sb] = true;
+                        work.push_back(s.0);
+                    }
+                }
+            }
+        }
+        DefUse {
+            defs: sites.defs,
+            block_def_ranges: sites.block_def_ranges,
+            entry: EntryStates::Bitset {
+                words: block_in,
+                stride,
+            },
+            addr_index: sites.addr_index,
+            block_lens: sites.block_lens,
+        }
+    }
+
+    /// The pre-optimization solver, verbatim: `BTreeSet` states and a
+    /// `Vec` worklist with linear membership scans.
+    pub fn compute_reference(f: &Function) -> Self {
+        let sites = collect_defs(f);
+        let nblocks = f.blocks().len();
+        let defs = &sites.defs;
         // gen[b]: last def index per varnode in block b.
         // kill handled implicitly: a def of v kills all other defs of v.
         let mut gen_last: Vec<BTreeMap<&Varnode, usize>> = vec![BTreeMap::new(); nblocks];
@@ -113,10 +262,11 @@ impl DefUse {
             }
         }
         DefUse {
-            defs,
-            block_in,
-            addr_index,
-            block_lens,
+            defs: sites.defs,
+            block_def_ranges: sites.block_def_ranges,
+            entry: EntryStates::Reference(block_in),
+            addr_index: sites.addr_index,
+            block_lens: sites.block_lens,
         }
     }
 
@@ -141,23 +291,56 @@ impl DefUse {
         if b >= self.block_lens.len() {
             return Vec::new();
         }
-        // Backward scan within the block.
-        let mut best: Option<OpRef> = None;
-        for (r, v) in self.defs.iter().rev() {
-            if r.block == at.block && r.index < at.index && v == varnode {
-                best = Some(*r);
-                break;
+        match &self.entry {
+            EntryStates::Reference(block_in) => {
+                // Backward scan within the block (the original full-`defs`
+                // walk, preserved as the benchmark baseline).
+                let mut best: Option<OpRef> = None;
+                for (r, v) in self.defs.iter().rev() {
+                    if r.block == at.block && r.index < at.index && v == varnode {
+                        best = Some(*r);
+                        break;
+                    }
+                }
+                if let Some(r) = best {
+                    return vec![r];
+                }
+                // Fall back to block-entry state.
+                block_in[b]
+                    .iter()
+                    .filter(|&&d| &self.defs[d].1 == varnode)
+                    .map(|&d| self.defs[d].0)
+                    .collect()
+            }
+            EntryStates::Bitset { words, stride } => {
+                // Backward scan within the block, restricted to the
+                // block's own contiguous run of definitions.
+                let (start, end) = self.block_def_ranges[b];
+                for i in (start..end).rev() {
+                    let (r, v) = &self.defs[i as usize];
+                    if r.index < at.index && v == varnode {
+                        return vec![*r];
+                    }
+                }
+                // Fall back to block-entry state: walk the set bits in
+                // ascending definition order (matching the ordered-set
+                // iteration of the reference layout).
+                let row = &words[b * stride..(b + 1) * stride];
+                let mut out = Vec::new();
+                for (w, &word) in row.iter().enumerate() {
+                    let mut bits = word;
+                    while bits != 0 {
+                        let d = (w << 6) + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let (r, v) = &self.defs[d];
+                        if v == varnode {
+                            out.push(*r);
+                        }
+                    }
+                }
+                out
             }
         }
-        if let Some(r) = best {
-            return vec![r];
-        }
-        // Fall back to block-entry state.
-        self.block_in[b]
-            .iter()
-            .filter(|&&d| &self.defs[d].1 == varnode)
-            .map(|&d| self.defs[d].0)
-            .collect()
     }
 
     /// Total number of definition sites.
@@ -309,5 +492,91 @@ mod tests {
         assert_eq!(du.position_of(0xdead), None);
         let x = local_x(&f);
         assert_eq!(du.all_defs(&x).len(), 2);
+    }
+
+    /// Every query point of every varnode answers identically from the
+    /// bitset and reference solvers.
+    fn assert_same_analysis(f: &Function) {
+        let fast = DefUse::compute(f);
+        let slow = DefUse::compute_reference(f);
+        assert_eq!(fast.def_count(), slow.def_count());
+        let vars: Vec<Varnode> = {
+            let mut vs: Vec<Varnode> = f
+                .ops()
+                .flat_map(|op| op.inputs.iter().cloned().chain(op.output.clone()))
+                .collect();
+            vs.sort();
+            vs.dedup();
+            vs
+        };
+        for (bi, block) in f.blocks().iter().enumerate() {
+            for oi in 0..=block.ops.len() {
+                let at = OpRef {
+                    block: BlockId(bi as u32),
+                    index: oi,
+                };
+                for v in &vars {
+                    assert_eq!(
+                        fast.reaching_defs(at, v),
+                        slow.reaching_defs(at, v),
+                        "divergence at {at:?} for {v:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bitset_matches_reference_on_branchy_functions() {
+        assert_same_analysis(&diamond());
+        // Loop shape.
+        let mut fb = FunctionBuilder::new("g", 0);
+        let c = fb.param("c", 4);
+        let x = fb.local("x", 4);
+        fb.copy(x.clone(), Varnode::constant(0, 4));
+        let loop_b = fb.new_block();
+        let exit = fb.new_block();
+        fb.jump(loop_b);
+        fb.switch_to(loop_b);
+        let t = fb.add(x.clone(), Varnode::constant(1, 4));
+        fb.copy(x.clone(), t);
+        let cond = fb.cmp_ne(c, Varnode::constant(0, 4));
+        fb.cbranch(cond, loop_b, exit);
+        fb.switch_to(exit);
+        fb.ret();
+        assert_same_analysis(&fb.finish());
+    }
+
+    #[test]
+    fn bitset_matches_reference_past_64_defs() {
+        // More than 64 definitions forces the multi-word bitset path.
+        let mut fb = FunctionBuilder::new("wide", 0);
+        let p = fb.param("p", 4);
+        let mut locals = Vec::new();
+        for i in 0..40 {
+            locals.push(fb.local(format!("l{i}"), 4));
+        }
+        for (i, l) in locals.iter().enumerate() {
+            fb.copy(l.clone(), Varnode::constant(i as u64, 4));
+        }
+        let c = fb.cmp_ne(p, Varnode::constant(0, 4));
+        let then_b = fb.new_block();
+        let join = fb.new_block();
+        fb.cbranch(c, then_b, join);
+        fb.switch_to(then_b);
+        for (i, l) in locals.iter().enumerate().take(20) {
+            fb.copy(l.clone(), Varnode::constant(100 + i as u64, 4));
+        }
+        fb.jump(join);
+        fb.switch_to(join);
+        for l in &locals {
+            let t = fb.temp(4);
+            fb.emit(Opcode::Copy, Some(t), vec![l.clone()]);
+        }
+        fb.ret();
+        let f = fb.finish();
+        let du = DefUse::compute(&f);
+        assert!(du.def_count() > 64, "need multi-word rows");
+        assert_same_analysis(&f);
     }
 }

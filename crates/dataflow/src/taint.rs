@@ -10,12 +10,13 @@
 
 use crate::defuse::{op_at, DefUse, OpRef};
 use crate::region::{resolve_region, Region};
-use crate::summary::{summary_for, SourceKind, SummaryEffect};
+use crate::summary::{summary_for, SourceKind, Summary, SummaryEffect};
 use firmres_ir::{
-    is_import_address, Address, CallGraph, Function, Opcode, PcodeOp, Program, Varnode,
+    is_import_address, Address, BlockId, CallGraph, ColdPath, FnvBuildHasher, Function, Interner,
+    Opcode, PcodeOp, Program, Sym, Varnode,
 };
 use parking_lot::{Mutex, RwLock};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -319,6 +320,10 @@ pub struct TaintConfig {
     /// Disabling this is the naive-sink ablation: the message argument
     /// itself becomes an opaque sink and per-field recovery collapses.
     pub decompose_buffers: bool,
+    /// Which cold-path data-structure implementation to run (see
+    /// [`ColdPath`]). Output is byte-identical either way, so this knob
+    /// is deliberately **not** part of the cache's config fingerprint.
+    pub cold_path: ColdPath,
 }
 
 impl Default for TaintConfig {
@@ -328,6 +333,7 @@ impl Default for TaintConfig {
             max_nodes: 4096,
             overtaint: true,
             decompose_buffers: true,
+            cold_path: ColdPath::default(),
         }
     }
 }
@@ -344,7 +350,13 @@ pub struct TaintEngine<'p> {
     program: &'p Program,
     callgraph: CallGraph,
     defuse: RwLock<BTreeMap<Address, Arc<DefUse>>>,
-    reach: RwLock<BTreeMap<Address, Arc<Vec<BTreeSet<u32>>>>>,
+    reach: RwLock<BTreeMap<Address, Arc<Reach>>>,
+    /// Interned names of every known call target (imports and defined
+    /// functions), with the callee's library summary resolved once. The
+    /// hot region scan compares [`Sym`]/address keys and only
+    /// materializes a `String` when a write hit is actually recorded.
+    callees: HashMap<Address, CalleeInfo, FnvBuildHasher>,
+    names: Interner,
     config: TaintConfig,
     /// Memoized [`TaintEngine::trace`] results per
     /// `(function entry, callsite, argument)` query. Traces are
@@ -357,16 +369,96 @@ pub struct TaintEngine<'p> {
 
 /// Extended region used inside the engine: [`Region`] plus buffers that
 /// arrive through a pointer parameter.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 enum XRegion {
     Plain(Region),
     PtrParam(usize),
 }
 
+/// One known call target: its interned name and (for imports) the
+/// library summary, resolved once at engine construction.
+#[derive(Debug, Clone)]
+struct CalleeInfo {
+    sym: Sym,
+    summary: Option<Summary>,
+}
+
+/// A candidate write into a scanned region: `(position, op, contributing
+/// values, writer label)`.
+struct WriteHit {
+    at: OpRef,
+    op: PcodeOp,
+    values: Vec<Varnode>,
+    via: String,
+    /// Internal callee to descend into with a PtrParam region.
+    descend: Option<(Address, usize)>,
+}
+
+/// Block-level reachability closure per function, in the layout the
+/// engine's [`ColdPath`] mode selects.
+enum Reach {
+    /// Ordered successor sets — the pre-optimization layout.
+    Reference(Vec<BTreeSet<u32>>),
+    /// One dense bitset row per block: bit `t` of row `f` set iff block
+    /// `f` can reach block `t`.
+    Bits { words: Vec<u64>, stride: usize },
+}
+
+/// The already-explored set of `(function, op, varnode)` taint facts, in
+/// the layout the engine's [`ColdPath`] mode selects. Both are exact
+/// sets — only lookup cost differs.
+enum VisitedVals {
+    Reference(BTreeSet<(Address, OpRef, Varnode)>),
+    Optimized(HashSet<(Address, OpRef, Varnode), FnvBuildHasher>),
+}
+
+impl VisitedVals {
+    fn new(mode: ColdPath) -> Self {
+        match mode {
+            ColdPath::Reference => VisitedVals::Reference(BTreeSet::new()),
+            ColdPath::Optimized => VisitedVals::Optimized(HashSet::default()),
+        }
+    }
+
+    fn insert(&mut self, key: (Address, OpRef, Varnode)) -> bool {
+        match self {
+            VisitedVals::Reference(set) => set.insert(key),
+            VisitedVals::Optimized(set) => set.insert(key),
+        }
+    }
+}
+
+/// The already-explored set of `(function, region, before)` region scans.
+///
+/// The reference layout keys by the region's `Debug` rendering — a
+/// `String` formatted per lookup, the cost the ISSUE's interned-key hash
+/// set removes. Derived `Debug` is injective over [`XRegion`]'s numeric
+/// payloads, so both layouts recognize exactly the same revisits.
+enum VisitedRegions {
+    Reference(BTreeSet<(Address, String, Option<OpRef>)>),
+    Optimized(HashSet<(Address, XRegion, Option<OpRef>), FnvBuildHasher>),
+}
+
+impl VisitedRegions {
+    fn new(mode: ColdPath) -> Self {
+        match mode {
+            ColdPath::Reference => VisitedRegions::Reference(BTreeSet::new()),
+            ColdPath::Optimized => VisitedRegions::Optimized(HashSet::default()),
+        }
+    }
+
+    fn insert(&mut self, func: Address, region: &XRegion, before: Option<OpRef>) -> bool {
+        match self {
+            VisitedRegions::Reference(set) => set.insert((func, format!("{region:?}"), before)),
+            VisitedRegions::Optimized(set) => set.insert((func, region.clone(), before)),
+        }
+    }
+}
+
 struct Cx {
     tree: TaintTree,
-    visited_vals: BTreeSet<(Address, OpRef, Varnode)>,
-    visited_regions: BTreeSet<(Address, String, Option<OpRef>)>,
+    visited_vals: VisitedVals,
+    visited_regions: VisitedRegions,
     call_stack: Vec<(Address, Address)>, // (caller entry, callsite addr)
 }
 
@@ -378,11 +470,30 @@ impl<'p> TaintEngine<'p> {
 
     /// Create an engine with an explicit configuration.
     pub fn with_config(program: &'p Program, config: TaintConfig) -> Self {
+        let mut names = Interner::new();
+        let mut callees: HashMap<Address, CalleeInfo, FnvBuildHasher> = HashMap::default();
+        for (addr, import) in program.imports() {
+            callees.insert(
+                addr,
+                CalleeInfo {
+                    sym: names.intern(&import.name),
+                    summary: summary_for(&import.name),
+                },
+            );
+        }
+        for f in program.functions() {
+            callees.entry(f.entry()).or_insert_with(|| CalleeInfo {
+                sym: names.intern(f.name()),
+                summary: None,
+            });
+        }
         TaintEngine {
             program,
             callgraph: program.call_graph(),
             defuse: RwLock::new(BTreeMap::new()),
             reach: RwLock::new(BTreeMap::new()),
+            callees,
+            names,
             config,
             trace_cache: Mutex::new(BTreeMap::new()),
             cache_hits: AtomicU64::new(0),
@@ -402,8 +513,15 @@ impl<'p> TaintEngine<'p> {
         // Compute outside the lock (idempotent: racing fills produce the
         // same value and the first insert wins for everyone).
         let f = self.program.function(func).expect("function exists");
-        let du = Arc::new(DefUse::compute(f));
+        let du = Arc::new(DefUse::compute_with(f, self.config.cold_path));
         Arc::clone(self.defuse.write().entry(func).or_insert(du))
+    }
+
+    /// The human-readable name of a call target, from the interned table.
+    fn callee_label(&self, target: Address) -> &str {
+        self.callees
+            .get(&target)
+            .map_or("<unknown>", |info| self.names.resolve(info.sym))
     }
 
     /// block-level "can a reach b" closure, cached per function.
@@ -411,29 +529,58 @@ impl<'p> TaintEngine<'p> {
         if from == to {
             return true;
         }
-        self.reach_sets(func)[from as usize].contains(&to)
+        match &*self.reach_sets(func) {
+            Reach::Reference(sets) => sets[from as usize].contains(&to),
+            Reach::Bits { words, stride } => {
+                words[from as usize * stride + (to as usize >> 6)] >> (to & 63) & 1 == 1
+            }
+        }
     }
 
-    fn reach_sets(&self, func: Address) -> Arc<Vec<BTreeSet<u32>>> {
+    fn reach_sets(&self, func: Address) -> Arc<Reach> {
         if let Some(sets) = self.reach.read().get(&func) {
             return Arc::clone(sets);
         }
         let f = self.program.function(func).expect("function exists");
         let n = f.blocks().len();
-        let mut sets: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); n];
-        for (start, set) in sets.iter_mut().enumerate() {
-            let mut seen = BTreeSet::new();
-            let mut q = vec![start as u32];
-            while let Some(b) = q.pop() {
-                for s in &f.blocks()[b as usize].successors {
-                    if seen.insert(s.0) {
-                        q.push(s.0);
+        let reach = match self.config.cold_path {
+            ColdPath::Reference => {
+                let mut sets: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); n];
+                for (start, set) in sets.iter_mut().enumerate() {
+                    let mut seen = BTreeSet::new();
+                    let mut q = vec![start as u32];
+                    while let Some(b) = q.pop() {
+                        for s in &f.blocks()[b as usize].successors {
+                            if seen.insert(s.0) {
+                                q.push(s.0);
+                            }
+                        }
+                    }
+                    *set = seen;
+                }
+                Reach::Reference(sets)
+            }
+            ColdPath::Optimized => {
+                let stride = n.div_ceil(64).max(1);
+                let mut words = vec![0u64; n * stride];
+                let mut q: Vec<u32> = Vec::new();
+                for start in 0..n {
+                    let base = start * stride;
+                    q.push(start as u32);
+                    while let Some(b) = q.pop() {
+                        for s in &f.blocks()[b as usize].successors {
+                            let bit = &mut words[base + (s.0 as usize >> 6)];
+                            if *bit >> (s.0 & 63) & 1 == 0 {
+                                *bit |= 1u64 << (s.0 & 63);
+                                q.push(s.0);
+                            }
+                        }
                     }
                 }
+                Reach::Bits { words, stride }
             }
-            *set = seen;
-        }
-        Arc::clone(self.reach.write().entry(func).or_insert(Arc::new(sets)))
+        };
+        Arc::clone(self.reach.write().entry(func).or_insert(Arc::new(reach)))
     }
 
     /// Trace the message held in argument `arg` of the call at
@@ -479,8 +626,8 @@ impl<'p> TaintEngine<'p> {
     fn trace_uncached(&self, func: Address, callsite_addr: Address, arg: usize) -> TaintTree {
         let mut cx = Cx {
             tree: TaintTree::default(),
-            visited_vals: BTreeSet::new(),
-            visited_regions: BTreeSet::new(),
+            visited_vals: VisitedVals::new(self.config.cold_path),
+            visited_regions: VisitedRegions::new(self.config.cold_path),
             call_stack: Vec::new(),
         };
         let Some(f) = self.program.function(func) else {
@@ -1027,22 +1174,39 @@ impl<'p> TaintEngine<'p> {
             );
             return;
         }
-        let key = (func, format!("{region:?}"), before);
-        if !cx.visited_regions.insert(key) {
+        if !cx.visited_regions.insert(func, region, before) {
             return;
         }
         let f = self.program.function(func).expect("function exists");
-
-        // Collect candidate writes: (position, op, contributing values,
-        // writer label).
-        struct WriteHit {
-            at: OpRef,
-            op: PcodeOp,
-            values: Vec<Varnode>,
-            via: String,
-            /// Internal callee to descend into with a PtrParam region.
-            descend: Option<(Address, usize)>,
+        let hits = match self.config.cold_path {
+            ColdPath::Reference => self.region_write_hits_reference(func, region, before, f),
+            ColdPath::Optimized => self.region_write_hits_optimized(func, region, before, f),
+        };
+        if hits.is_empty() {
+            self.leaf(
+                cx,
+                func,
+                parent,
+                FieldSource::Unresolved {
+                    reason: "no writes to buffer",
+                },
+            );
+            return;
         }
+        self.taint_write_hits(cx, func, hits, parent, depth);
+    }
+
+    /// The pre-optimization write scan, verbatim: materializes every op
+    /// of the function (with a linear position search per op), resolves
+    /// and clones the callee name of every call, and rebuilds library
+    /// summaries per callsite. Kept as the cold-path benchmark baseline.
+    fn region_write_hits_reference(
+        &self,
+        func: Address,
+        region: &XRegion,
+        before: Option<OpRef>,
+        f: &Function,
+    ) -> Vec<WriteHit> {
         let mut hits: Vec<WriteHit> = Vec::new();
         let positions: Vec<(OpRef, PcodeOp)> = f
             .ops_with_blocks()
@@ -1175,17 +1339,163 @@ impl<'p> TaintEngine<'p> {
                 _ => {}
             }
         }
-        if hits.is_empty() {
-            self.leaf(
-                cx,
-                func,
-                parent,
-                FieldSource::Unresolved {
-                    reason: "no writes to buffer",
-                },
-            );
-            return;
+        hits
+    }
+
+    /// The optimized write scan: ops are enumerated directly by
+    /// `(block, index)` (no position search, no up-front clone of the
+    /// whole function body), call targets resolve through the interned
+    /// [`CalleeInfo`] table (address → pre-resolved summary, no string
+    /// hashing or cloning), and names are materialized only for actual
+    /// hits. Hit discovery order and contents match the reference scan
+    /// exactly.
+    fn region_write_hits_optimized(
+        &self,
+        func: Address,
+        region: &XRegion,
+        before: Option<OpRef>,
+        f: &Function,
+    ) -> Vec<WriteHit> {
+        let mut hits: Vec<WriteHit> = Vec::new();
+        for (bi, block) in f.blocks().iter().enumerate() {
+            for (index, op) in block.ops.iter().enumerate() {
+                let at = OpRef {
+                    block: BlockId(bi as u32),
+                    index,
+                };
+                if let Some(limit) = before {
+                    let ok = if at.block == limit.block {
+                        at.index < limit.index
+                    } else {
+                        self.reachable(func, at.block.0, limit.block.0)
+                    };
+                    if !ok {
+                        continue;
+                    }
+                }
+                match op.opcode {
+                    Opcode::Copy => {
+                        // Direct store into a stack slot inside the region.
+                        if let (Some(out), XRegion::Plain(Region::Stack(base))) =
+                            (&op.output, region)
+                        {
+                            if let Some(off) = out.stack_offset() {
+                                if self.offset_in_local(f, *base, off) {
+                                    hits.push(WriteHit {
+                                        at,
+                                        op: op.clone(),
+                                        values: vec![op.inputs[0].clone()],
+                                        via: "store".into(),
+                                        descend: None,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                    Opcode::Store => {
+                        let addr_v = &op.inputs[0];
+                        if self.xregion_matches(func, at, addr_v, region, f) {
+                            hits.push(WriteHit {
+                                at,
+                                op: op.clone(),
+                                values: vec![op.inputs[1].clone()],
+                                via: "store".into(),
+                                descend: None,
+                            });
+                        }
+                    }
+                    Opcode::Call => {
+                        let Some(target) = op.call_target() else {
+                            continue;
+                        };
+                        let info = self.callees.get(&target);
+                        if is_import_address(target) {
+                            // An unknown import has no summary, so the
+                            // reference scan records nothing for it either.
+                            let Some(summary) = info.and_then(|i| i.summary.as_ref()) else {
+                                continue;
+                            };
+                            for eff in &summary.effects {
+                                match eff {
+                                    SummaryEffect::ArgFrom { dst, srcs } => {
+                                        let Some(dst_v) = op.call_args().get(*dst) else {
+                                            continue;
+                                        };
+                                        if self.xregion_matches(func, at, dst_v, region, f) {
+                                            let values: Vec<Varnode> = srcs
+                                                .iter()
+                                                .filter_map(|&s| op.call_args().get(s).cloned())
+                                                // strcat's dst also appears as a src;
+                                                // skip self-reference to avoid a
+                                                // degenerate cycle (the earlier writes
+                                                // are found by this same scan).
+                                                .filter(|a| {
+                                                    !self.xregion_matches(func, at, a, region, f)
+                                                })
+                                                .collect();
+                                            hits.push(WriteHit {
+                                                at,
+                                                op: op.clone(),
+                                                values,
+                                                via: self.callee_label(target).to_string(),
+                                                descend: None,
+                                            });
+                                        }
+                                    }
+                                    SummaryEffect::ArgSource { dst, kind, key } => {
+                                        let Some(dst_v) = op.call_args().get(*dst) else {
+                                            continue;
+                                        };
+                                        if self.xregion_matches(func, at, dst_v, region, f) {
+                                            hits.push(WriteHit {
+                                                at,
+                                                op: op.clone(),
+                                                values: Vec::new(),
+                                                via: format!(
+                                                    "{}:{}:{}",
+                                                    self.callee_label(target),
+                                                    kind.label(),
+                                                    key
+                                                ),
+                                                descend: None,
+                                            });
+                                        }
+                                    }
+                                    _ => {}
+                                }
+                            }
+                        } else {
+                            // Internal call taking the buffer: writes may occur
+                            // inside the callee through the pointer parameter.
+                            for (j, arg) in op.call_args().iter().enumerate() {
+                                if self.xregion_matches(func, at, arg, region, f) {
+                                    hits.push(WriteHit {
+                                        at,
+                                        op: op.clone(),
+                                        values: Vec::new(),
+                                        via: self.callee_label(target).to_string(),
+                                        descend: Some((target, j)),
+                                    });
+                                }
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
         }
+        hits
+    }
+
+    /// Taint each collected write, latest first.
+    fn taint_write_hits(
+        &self,
+        cx: &mut Cx,
+        func: Address,
+        mut hits: Vec<WriteHit>,
+        parent: TaintNodeId,
+        depth: usize,
+    ) {
         // Backward discovery order: latest write first (the MFT inversion
         // step restores construction order).
         hits.sort_by_key(|h| std::cmp::Reverse(h.op.addr));

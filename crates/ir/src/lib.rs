@@ -43,6 +43,7 @@ pub mod dot;
 mod block;
 mod callgraph;
 mod function;
+mod intern;
 mod opcode;
 mod program;
 mod symbol;
@@ -51,6 +52,7 @@ mod varnode;
 pub use block::{BasicBlock, BlockId};
 pub use callgraph::{CallEdge, CallGraph};
 pub use function::{Function, FunctionBuilder};
+pub use intern::{ColdPath, FnvBuildHasher, FnvHasher, Interner, Sym};
 pub use opcode::Opcode;
 pub use program::{import_address, is_import_address, Import, PcodeOp, Program};
 pub use symbol::{DataType, Symbol, SymbolTable};

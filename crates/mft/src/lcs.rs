@@ -4,10 +4,24 @@
 //! (paper §IV-C): substrings of formatted output are clustered by
 //! `Similarity(a, b) = 2·L_common / (L_a + L_b)` where `L_common` is the
 //! length of the longest common subsequence.
+//!
+//! `lcs_len` is the bit-parallel formulation (Crochemore et al., "A fast
+//! and practical bit-vector algorithm for the LCS problem"): the DP row
+//! lives in ⌈|b|/64⌉ machine words and each character of `a` updates the
+//! whole row with a handful of word operations, so the cost is
+//! O(⌈|b|/64⌉·|a|) instead of the classic O(|a|·|b|). The classic DP is
+//! kept under `#[cfg(test)]` as the oracle the property tests compare
+//! against.
 
 /// Length of the longest common subsequence of `a` and `b`.
 ///
-/// Classic O(|a|·|b|) dynamic program over bytes.
+/// Bit-parallel over bytes: the row state `V` starts all-ones; for each
+/// byte of `a` with match mask `M` over `b`,
+/// `V' = (V + (V & M)) | (V & !M)` (the addition carries across words,
+/// low to high). The LCS length is the number of zero bits among the low
+/// `|b|` bits of the final `V`. Carries past bit `|b|` can scramble the
+/// unused high bits of the top word, but carries only travel upward, so
+/// the counted bits are never affected.
 ///
 /// # Examples
 ///
@@ -20,19 +34,55 @@ pub fn lcs_len(a: &str, b: &str) -> usize {
     if a.is_empty() || b.is_empty() {
         return 0;
     }
-    let mut prev = vec![0usize; b.len() + 1];
-    let mut cur = vec![0usize; b.len() + 1];
-    for &ca in a {
-        for (j, &cb) in b.iter().enumerate() {
-            cur[j + 1] = if ca == cb {
-                prev[j] + 1
-            } else {
-                prev[j + 1].max(cur[j])
-            };
+    let n = b.len();
+    let words = n.div_ceil(64);
+
+    // Match masks, one row of `words` words per distinct byte of `b`.
+    // `slot[c]` indexes the row for byte value `c` (MAX = not in `b`,
+    // so the update below is the identity and is skipped entirely).
+    let mut slot = [u16::MAX; 256];
+    let mut distinct = 0u16;
+    for &cb in b {
+        if slot[cb as usize] == u16::MAX {
+            slot[cb as usize] = distinct;
+            distinct += 1;
         }
-        std::mem::swap(&mut prev, &mut cur);
     }
-    prev[b.len()]
+    let mut masks = vec![0u64; distinct as usize * words];
+    for (j, &cb) in b.iter().enumerate() {
+        let base = slot[cb as usize] as usize * words;
+        masks[base + (j >> 6)] |= 1u64 << (j & 63);
+    }
+
+    let mut v = vec![u64::MAX; words];
+    for &ca in a {
+        let s = slot[ca as usize];
+        if s == u16::MAX {
+            continue; // M = 0 leaves V unchanged
+        }
+        let row = &masks[s as usize * words..s as usize * words + words];
+        let mut carry = 0u64;
+        for (vw, &m) in v.iter_mut().zip(row) {
+            let old = *vw;
+            let u = old & m;
+            let (sum, c1) = old.overflowing_add(u);
+            let (sum, c2) = sum.overflowing_add(carry);
+            carry = u64::from(c1 | c2);
+            *vw = sum | (old & !m);
+        }
+    }
+
+    // Zero bits among the low n bits of V are matched positions.
+    let mut len = 0usize;
+    for (w, &vw) in v.iter().enumerate() {
+        let low = if w == words - 1 && n % 64 != 0 {
+            (1u64 << (n % 64)) - 1
+        } else {
+            u64::MAX
+        };
+        len += (!vw & low).count_ones() as usize;
+    }
+    len
 }
 
 /// The paper's clustering similarity: `2·LCS(a,b) / (|a| + |b|)`.
@@ -48,29 +98,78 @@ pub fn similarity(a: &str, b: &str) -> f64 {
     2.0 * lcs_len(a, b) as f64 / (la + lb) as f64
 }
 
+/// `similarity(a, b) >= threshold`, with the LCS skipped whenever the
+/// length-only upper bound already rules the pair out.
+///
+/// `LCS(a,b) <= min(|a|,|b|)`, so `similarity <= 2·min/(|a|+|b|)`; when
+/// that bound is below the threshold the expensive comparison cannot
+/// pass and is not run. The bound is exact arithmetic on the same
+/// operands, so the answer is identical to computing the similarity —
+/// only the cost differs.
+fn meets_threshold(a: &str, b: &str, threshold: f64) -> bool {
+    let la = a.len();
+    let lb = b.len();
+    if la + lb == 0 {
+        return 1.0 >= threshold;
+    }
+    let bound = 2.0 * la.min(lb) as f64 / (la + lb) as f64;
+    if bound < threshold {
+        return false;
+    }
+    similarity(a, b) >= threshold
+}
+
 /// Greedy agglomerative clustering: each string joins the first cluster
 /// whose representative (first member) is at least `threshold` similar,
 /// otherwise it founds a new cluster.
 ///
 /// The paper evaluates thresholds 0.5, 0.6 and 0.7 (Table II's
 /// `thd` columns); the same sweep is reproduced in the benchmarks.
+/// Membership is tracked by index and the owned strings are materialized
+/// once at the end, so growing a cluster shuffles `usize`s, not `String`s.
 pub fn cluster(items: &[String], threshold: f64) -> Vec<Vec<String>> {
-    let mut clusters: Vec<Vec<String>> = Vec::new();
-    for item in items {
-        match clusters
+    let mut members: Vec<Vec<usize>> = Vec::new();
+    for (i, item) in items.iter().enumerate() {
+        match members
             .iter_mut()
-            .find(|c| similarity(&c[0], item) >= threshold)
+            .find(|c| meets_threshold(&items[c[0]], item, threshold))
         {
-            Some(c) => c.push(item.clone()),
-            None => clusters.push(vec![item.clone()]),
+            Some(c) => c.push(i),
+            None => members.push(vec![i]),
         }
     }
-    clusters
+    members
+        .into_iter()
+        .map(|c| c.into_iter().map(|i| items[i].clone()).collect())
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+
+    /// The classic O(|a|·|b|) dynamic program — the oracle `lcs_len`'s
+    /// bit-parallel row update is verified against.
+    fn lcs_len_dp(a: &str, b: &str) -> usize {
+        let (a, b) = (a.as_bytes(), b.as_bytes());
+        if a.is_empty() || b.is_empty() {
+            return 0;
+        }
+        let mut prev = vec![0usize; b.len() + 1];
+        let mut cur = vec![0usize; b.len() + 1];
+        for &ca in a {
+            for (j, &cb) in b.iter().enumerate() {
+                cur[j + 1] = if ca == cb {
+                    prev[j] + 1
+                } else {
+                    prev[j + 1].max(cur[j])
+                };
+            }
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        prev[b.len()]
+    }
 
     #[test]
     fn lcs_basics() {
@@ -83,6 +182,54 @@ mod tests {
     fn lcs_known_values() {
         assert_eq!(lcs_len("AGGTAB", "GXTXAYB"), 4); // GTAB
         assert_eq!(lcs_len("a", ""), 0);
+    }
+
+    #[test]
+    fn lcs_crosses_word_boundaries() {
+        // |b| > 64 exercises the multi-word carry chain.
+        let a = "x".repeat(70) + "key=value";
+        let b = "key=".to_string() + &"y".repeat(100) + "value";
+        assert_eq!(lcs_len(&a, &b), lcs_len_dp(&a, &b));
+        let long = "ab".repeat(200);
+        assert_eq!(lcs_len(&long, &long), long.len());
+    }
+
+    proptest! {
+        #[test]
+        fn bit_parallel_matches_dp(
+            a in "[a-e=%&{}\"]{0,150}",
+            b in "[a-e=%&{}\"]{0,150}",
+        ) {
+            prop_assert_eq!(lcs_len(&a, &b), lcs_len_dp(&a, &b));
+        }
+
+        #[test]
+        fn bit_parallel_matches_dp_on_bytes(
+            a in proptest::collection::vec(any::<u8>(), 0..200),
+            b in proptest::collection::vec(any::<u8>(), 0..200),
+        ) {
+            // Arbitrary bytes via a lossless latin-1-ish mapping keeps the
+            // byte-level DP comparable (multi-byte UTF-8 is fine: both
+            // implementations operate on bytes).
+            let a: String = a.iter().map(|&x| x as char).collect();
+            let b: String = b.iter().map(|&x| x as char).collect();
+            prop_assert_eq!(lcs_len(&a, &b), lcs_len_dp(&a, &b));
+        }
+
+        #[test]
+        fn early_exit_never_changes_membership(
+            items in proptest::collection::vec("[a-d=%]{0,20}", 0..12),
+            thr in 0.0f64..1.0,
+        ) {
+            for a in &items {
+                for b in &items {
+                    prop_assert_eq!(
+                        meets_threshold(a, b, thr),
+                        similarity(a, b) >= thr
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -11,7 +11,8 @@ use crate::split::split_format;
 use crate::tree::{Mft, MftNodeId, MftNodeKind};
 use firmres_dataflow::{DefUse, FieldSource};
 use firmres_ir::{
-    is_import_address, AddressSpace, DataType, Function, Opcode, PcodeOp, Program, Varnode,
+    is_import_address, AddressSpace, ColdPath, DataType, Function, Opcode, PcodeOp, Program,
+    Varnode,
 };
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
@@ -305,14 +306,24 @@ pub fn slices_for_tree(program: &Program, mft: &Mft) -> Vec<CodeSlice> {
 /// racing fill can only insert the value every other worker would have.
 pub struct SliceRenderer<'p> {
     program: &'p Program,
+    mode: ColdPath,
     defuse: RwLock<BTreeMap<u64, Arc<DefUse>>>,
 }
 
 impl<'p> SliceRenderer<'p> {
-    /// Create a renderer over `program`.
+    /// Create a renderer over `program` with the default (optimized)
+    /// cold-path data structures.
     pub fn new(program: &'p Program) -> Self {
+        SliceRenderer::with_mode(program, ColdPath::default())
+    }
+
+    /// Create a renderer whose cached def-use analyses use the given
+    /// [`ColdPath`] implementation. Query results are identical either
+    /// way; only the solver's data layout differs.
+    pub fn with_mode(program: &'p Program, mode: ColdPath) -> Self {
         SliceRenderer {
             program,
+            mode,
             defuse: RwLock::new(BTreeMap::new()),
         }
     }
@@ -321,7 +332,7 @@ impl<'p> SliceRenderer<'p> {
         if let Some(du) = self.defuse.read().get(&func) {
             return Arc::clone(du);
         }
-        let du = Arc::new(DefUse::compute(f));
+        let du = Arc::new(DefUse::compute_with(f, self.mode));
         Arc::clone(self.defuse.write().entry(func).or_insert(du))
     }
 

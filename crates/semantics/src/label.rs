@@ -8,7 +8,11 @@
 //! in the reproduction pipeline the corpus ground truth plays the role of
 //! the manual correction.
 
+use crate::fnv::FnvBuildHasher;
+use crate::token::for_each_token;
 use crate::{tokenize, Primitive};
+use std::collections::HashMap;
+use std::sync::OnceLock;
 
 /// A keyword match explaining a weak label.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -128,6 +132,10 @@ pub fn weak_label(slice_text: &str) -> Primitive {
 }
 
 /// Weak-label with the matching keyword, for label auditing.
+///
+/// This is the reference implementation — materialize the token list,
+/// then scan the dictionaries in priority order. The optimized cold path
+/// uses [`weak_label_streamed`], which returns the same hit in one pass.
 pub fn weak_label_with_report(slice_text: &str) -> Option<KeywordHit> {
     let tokens = tokenize(slice_text);
     for (primitive, keywords) in DICTIONARIES {
@@ -141,6 +149,55 @@ pub fn weak_label_with_report(slice_text: &str) -> Option<KeywordHit> {
         }
     }
     None
+}
+
+/// The dictionaries flattened into priority ranks: `ranks[kw]` is the
+/// position of `kw`'s first occurrence in the `(dictionary, keyword)`
+/// scan order of [`weak_label_with_report`], and `flat[rank]` maps back
+/// to the primitive and keyword. Built once, on first use.
+struct KeywordIndex {
+    ranks: HashMap<&'static str, u32, FnvBuildHasher>,
+    flat: Vec<(Primitive, &'static str)>,
+}
+
+fn keyword_index() -> &'static KeywordIndex {
+    static INDEX: OnceLock<KeywordIndex> = OnceLock::new();
+    INDEX.get_or_init(|| {
+        let mut ranks = HashMap::default();
+        let mut flat = Vec::new();
+        for (primitive, keywords) in DICTIONARIES {
+            for kw in *keywords {
+                // First occurrence wins, like the priority scan.
+                ranks.entry(*kw).or_insert(flat.len() as u32);
+                flat.push((*primitive, *kw));
+            }
+        }
+        KeywordIndex { ranks, flat }
+    })
+}
+
+/// Single-pass [`weak_label_with_report`]: stream the tokens, look each
+/// up in the prebuilt keyword index, and keep the best (lowest) priority
+/// rank seen.
+///
+/// The reference scan returns the first `(dictionary, keyword)` pair —
+/// in priority order — matched by *any* token; that is exactly the
+/// minimum rank over the matching tokens, so the two implementations
+/// agree on every input (the property test below checks it). The cost
+/// drops from `O(tokens × keywords)` string comparisons plus a
+/// `Vec<String>` per slice to one hash lookup per token.
+pub fn weak_label_streamed(slice_text: &str) -> Option<KeywordHit> {
+    let index = keyword_index();
+    let mut best = u32::MAX;
+    for_each_token(slice_text, |t| {
+        if let Some(&rank) = index.ranks.get(t) {
+            best = best.min(rank);
+        }
+    });
+    index
+        .flat
+        .get(best as usize)
+        .map(|&(primitive, keyword)| KeywordHit { primitive, keyword })
 }
 
 #[cfg(test)]
@@ -209,5 +266,47 @@ mod tests {
     fn matching_is_token_exact_not_substring() {
         // "snapshot" must not match the identifier keyword "sn".
         assert_eq!(weak_label("(Cons, \"snapshot\")"), Primitive::None);
+    }
+
+    #[test]
+    fn streamed_matches_reference_on_priority_conflicts() {
+        // Texts where several dictionaries match and only the priority
+        // order decides — the streamed minimum-rank lookup must pick the
+        // same winner as the reference scan.
+        for text in [
+            "mac token password sig secret",
+            "host mac",
+            "device_key deviceid",
+            "accessToken serialNumber hmac",
+            "uploadType=%s",
+            "",
+        ] {
+            assert_eq!(
+                weak_label_streamed(text),
+                weak_label_with_report(text),
+                "on {text:?}"
+            );
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn streamed_always_matches_reference(
+            // Indices into a pool of dictionary words, near-miss words
+            // and glue tokens.
+            picks in proptest::collection::vec(0usize..15, 0..8),
+        ) {
+            const POOL: [&str; 15] = [
+                "mac", "token", "password", "sig", "secret", "host",
+                "device_key", "deviceId", "serialNumber", "snapshot",
+                "uploadType", "buf", "v_12", "%s", "CALL",
+            ];
+            let words: Vec<&str> = picks.iter().map(|&i| POOL[i]).collect();
+            let text = words.join(" ");
+            proptest::prop_assert_eq!(
+                weak_label_streamed(&text),
+                weak_label_with_report(&text)
+            );
+        }
     }
 }

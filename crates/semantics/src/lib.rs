@@ -34,16 +34,19 @@
 #![warn(missing_docs)]
 
 mod dataset;
+mod fnv;
 mod label;
+mod memo;
 mod model;
 mod persist;
 mod token;
 
 pub use dataset::{split_dataset, DatasetSplit};
-pub use label::{weak_label, weak_label_with_report, KeywordHit};
+pub use label::{weak_label, weak_label_streamed, weak_label_with_report, KeywordHit};
+pub use memo::SliceClassifier;
 pub use model::{Classifier, TrainConfig, TrainReport};
 pub use persist::ModelError;
-pub use token::{featurize, tokenize, FEATURE_DIM};
+pub use token::{featurize, for_each_token, tokenize, FEATURE_DIM};
 
 use std::fmt;
 

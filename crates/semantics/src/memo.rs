@@ -1,0 +1,116 @@
+//! Memoized slice classification for the optimized cold path.
+//!
+//! Duplicate slice texts are common enough across an image's messages
+//! (shared delivery wrappers render identical paths) that classifying
+//! each distinct text once and replaying the answer is free accuracy-
+//! preserving work. Beyond the memo, the miss path avoids the per-slice
+//! allocations of the reference path: the weak labeler streams tokens
+//! through a prebuilt keyword index and the model path featurizes into
+//! a reusable buffer.
+
+use crate::fnv::FnvBuildHasher;
+use crate::label::{weak_label_streamed, KeywordHit};
+use crate::token::Featurizer;
+use crate::{Classifier, Primitive};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// A memoizing classification front end over one image's slices.
+///
+/// Predictions are memoized by slice text (hashed with FNV-1a, resolved
+/// by full-text equality, so distinct texts can never conflate). The
+/// result for any text is exactly what the reference path produces —
+/// `classifier.predict(text).0` with a model, `weak_label(text)` without
+/// — the memo and the buffer reuse change only the cost.
+///
+/// The type is `Sync`: the memo and the featurizer scratch live behind
+/// mutexes, taken briefly around lookup/insert and featurization. Racing
+/// workers may classify the same text twice; both compute the identical
+/// deterministic value, so either insert is correct.
+pub struct SliceClassifier<'a> {
+    classifier: Option<&'a Classifier>,
+    memo: Mutex<HashMap<String, Primitive, FnvBuildHasher>>,
+    scratch: Mutex<Featurizer>,
+}
+
+impl<'a> SliceClassifier<'a> {
+    /// A fresh (empty-memo) front end; `classifier` as in
+    /// [`crate::weak_label`] fallback semantics — `None` weak-labels.
+    pub fn new(classifier: Option<&'a Classifier>) -> Self {
+        SliceClassifier {
+            classifier,
+            memo: Mutex::new(HashMap::default()),
+            scratch: Mutex::new(Featurizer::default()),
+        }
+    }
+
+    /// Classify `text`, consulting and filling the memo.
+    pub fn classify(&self, text: &str) -> Primitive {
+        if let Some(&label) = self.memo.lock().expect("memo lock").get(text) {
+            return label;
+        }
+        let label = match self.classifier {
+            Some(model) => {
+                let fv = self.scratch.lock().expect("scratch lock").features(text);
+                model.predict_features(&fv)
+            }
+            None => weak_label_streamed(text).map_or(Primitive::None, |h: KeywordHit| h.primitive),
+        };
+        self.memo
+            .lock()
+            .expect("memo lock")
+            .insert(text.to_string(), label);
+        label
+    }
+
+    /// Number of distinct slice texts classified so far.
+    pub fn distinct(&self) -> usize {
+        self.memo.lock().expect("memo lock").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{weak_label, TrainConfig};
+
+    #[test]
+    fn memoized_weak_labeling_matches_reference() {
+        let sc = SliceClassifier::new(None);
+        for text in [
+            "CALL (Fun, get_mac_addr) mac=%s",
+            "(Cons, \"device_key\")",
+            "(Cons, \"uploadType=%s\")",
+            "CALL (Fun, get_mac_addr) mac=%s", // repeat: memo hit
+            "",
+        ] {
+            assert_eq!(sc.classify(text), weak_label(text), "on {text:?}");
+        }
+        assert_eq!(sc.distinct(), 4);
+    }
+
+    #[test]
+    fn memoized_model_path_matches_predict() {
+        let data: Vec<(String, Primitive)> = (0..10)
+            .flat_map(|i| {
+                vec![
+                    (format!("mac addr device {i}"), Primitive::DevIdentifier),
+                    (format!("password login {i}"), Primitive::UserCred),
+                ]
+            })
+            .collect();
+        let model = Classifier::train(
+            &data,
+            &TrainConfig {
+                epochs: 10,
+                ..TrainConfig::default()
+            },
+        );
+        let sc = SliceClassifier::new(Some(&model));
+        for text in ["mac addr device 42", "password login 9", "nothing at all"] {
+            assert_eq!(sc.classify(text), model.predict(text).0, "on {text:?}");
+            // Second query exercises the memo-hit path.
+            assert_eq!(sc.classify(text), model.predict(text).0, "on {text:?}");
+        }
+    }
+}

@@ -148,6 +148,14 @@ impl Classifier {
         (label, probs)
     }
 
+    /// [`Classifier::predict`] label from an already-built feature
+    /// vector, for the memoizing cold path (which featurizes into a
+    /// reusable buffer instead of per-call allocations).
+    pub(crate) fn predict_features(&self, fv: &[(usize, f32)]) -> Primitive {
+        let probs = Self::softmax_scores(&self.weights, fv);
+        Primitive::from_index(argmax(&probs)).expect("valid index")
+    }
+
     /// Accuracy on labeled data.
     pub fn accuracy(&self, data: &[(String, Primitive)]) -> f64 {
         if data.is_empty() {

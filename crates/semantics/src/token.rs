@@ -11,36 +11,58 @@ pub const FEATURE_DIM: usize = 1 << 13; // 8192
 /// key names compound freely (`cloudusername`, `deviceToken`).
 pub fn tokenize(text: &str) -> Vec<String> {
     let mut tokens = Vec::new();
+    for_each_token(text, |t| tokens.push(t.to_string()));
+    tokens
+}
+
+/// Visit every token of `text` in [`tokenize`] order without
+/// materializing a `Vec<String>`.
+///
+/// `tokenize` is implemented on top of this, so the token streams are
+/// equivalent by construction; callers that only need to *look at* each
+/// token (the keyword labeler, the featurizer) skip the per-token
+/// allocations entirely. The `&str` passed to `f` borrows a scratch
+/// buffer and is only valid for the duration of the call.
+pub fn for_each_token(text: &str, mut f: impl FnMut(&str)) {
+    // Runs are pure ASCII (the split keeps only `[A-Za-z0-9_]`), so
+    // byte-indexed slicing and per-char lowercasing are safe below.
+    let mut lower = String::new();
+    // Compound parts of one run, concatenated; `bounds` delimits them.
+    let mut parts = String::new();
+    let mut bounds: Vec<(usize, usize)> = Vec::new();
     for run in text.split(|c: char| !c.is_ascii_alphanumeric() && c != '_') {
         if run.is_empty() {
             continue;
         }
-        let lower = run.to_ascii_lowercase();
-        tokens.push(lower.clone());
-        // Split compound identifiers.
-        let mut parts: Vec<String> = Vec::new();
+        lower.clear();
+        lower.extend(run.chars().map(|c| c.to_ascii_lowercase()));
+        f(&lower);
+        // Split compound identifiers on `_` and camelCase boundaries.
+        parts.clear();
+        bounds.clear();
         for chunk in run.split('_') {
-            let mut word = String::new();
+            let mut start = parts.len();
             let mut prev_lower = false;
             for ch in chunk.chars() {
                 if ch.is_ascii_uppercase() && prev_lower {
-                    if !word.is_empty() {
-                        parts.push(word.to_ascii_lowercase());
+                    if parts.len() > start {
+                        bounds.push((start, parts.len()));
                     }
-                    word = String::new();
+                    start = parts.len();
                 }
                 prev_lower = ch.is_ascii_lowercase() || ch.is_ascii_digit();
-                word.push(ch);
+                parts.push(ch.to_ascii_lowercase());
             }
-            if !word.is_empty() {
-                parts.push(word.to_ascii_lowercase());
+            if parts.len() > start {
+                bounds.push((start, parts.len()));
             }
         }
-        if parts.len() > 1 || (parts.len() == 1 && parts[0] != lower) {
-            tokens.extend(parts);
+        if bounds.len() > 1 || (bounds.len() == 1 && parts[bounds[0].0..bounds[0].1] != *lower) {
+            for &(s, e) in &bounds {
+                f(&parts[s..e]);
+            }
         }
     }
-    tokens
 }
 
 fn hash_feature(parts: &[&str]) -> usize {
@@ -84,6 +106,65 @@ pub fn featurize(tokens: &[String]) -> Vec<(usize, f32)> {
         }
     }
     counts.into_iter().collect()
+}
+
+/// Reusable-buffer featurizer: the same output as
+/// [`featurize`]`(&`[`tokenize`]`(text))` without allocating a
+/// `Vec<String>` per slice.
+///
+/// Tokens are streamed into a flat character arena delimited by byte
+/// ranges; the arena, the ranges and the count map are all reused across
+/// calls. The accumulation order (unigrams in token order, then n-gram
+/// windows by ascending width) and the normalization order (ascending
+/// feature index) match [`featurize`] exactly, so every count is built
+/// from the identical sequence of float operations and the output is
+/// bit-equal, not merely close.
+#[derive(Debug, Default)]
+pub(crate) struct Featurizer {
+    arena: String,
+    bounds: Vec<(usize, usize)>,
+    counts: std::collections::BTreeMap<usize, f32>,
+}
+
+impl Featurizer {
+    /// Featurize `text`. Equal to `featurize(&tokenize(text))`.
+    pub(crate) fn features(&mut self, text: &str) -> Vec<(usize, f32)> {
+        self.arena.clear();
+        self.bounds.clear();
+        let (arena, bounds) = (&mut self.arena, &mut self.bounds);
+        for_each_token(text, |t| {
+            let start = arena.len();
+            arena.push_str(t);
+            bounds.push((start, arena.len()));
+        });
+        self.counts.clear();
+        let token = |i: usize| &self.arena[self.bounds[i].0..self.bounds[i].1];
+        for i in 0..self.bounds.len() {
+            *self.counts.entry(hash_feature(&[token(i)])).or_default() += 1.0;
+        }
+        for width in 2..=5usize {
+            if self.bounds.len() < width {
+                break;
+            }
+            let mut window = [""; 5];
+            for start in 0..=self.bounds.len() - width {
+                for (k, slot) in window[..width].iter_mut().enumerate() {
+                    *slot = token(start + k);
+                }
+                *self
+                    .counts
+                    .entry(hash_feature(&window[..width]))
+                    .or_default() += 0.5;
+            }
+        }
+        let norm: f32 = self.counts.values().map(|v| v * v).sum::<f32>().sqrt();
+        if norm > 0.0 {
+            for v in self.counts.values_mut() {
+                *v /= norm;
+            }
+        }
+        self.counts.iter().map(|(&i, &v)| (i, v)).collect()
+    }
 }
 
 #[cfg(test)]
@@ -140,5 +221,83 @@ mod tests {
         let short = featurize(&tokenize("a"));
         let long = featurize(&tokenize("a b c d e f"));
         assert!(long.len() > short.len());
+    }
+
+    /// The pre-optimization tokenizer, kept verbatim as the oracle the
+    /// streaming implementation is compared against.
+    fn tokenize_reference(text: &str) -> Vec<String> {
+        let mut tokens = Vec::new();
+        for run in text.split(|c: char| !c.is_ascii_alphanumeric() && c != '_') {
+            if run.is_empty() {
+                continue;
+            }
+            let lower = run.to_ascii_lowercase();
+            tokens.push(lower.clone());
+            let mut parts: Vec<String> = Vec::new();
+            for chunk in run.split('_') {
+                let mut word = String::new();
+                let mut prev_lower = false;
+                for ch in chunk.chars() {
+                    if ch.is_ascii_uppercase() && prev_lower {
+                        if !word.is_empty() {
+                            parts.push(word.to_ascii_lowercase());
+                        }
+                        word = String::new();
+                    }
+                    prev_lower = ch.is_ascii_lowercase() || ch.is_ascii_digit();
+                    word.push(ch);
+                }
+                if !word.is_empty() {
+                    parts.push(word.to_ascii_lowercase());
+                }
+            }
+            if parts.len() > 1 || (parts.len() == 1 && parts[0] != lower) {
+                tokens.extend(parts);
+            }
+        }
+        tokens
+    }
+
+    #[test]
+    fn streaming_matches_reference_on_tricky_shapes() {
+        for text in [
+            "",
+            "CALL (Fun, get_mac_addr), (Local, buf, v_1357)",
+            "serialNumber deviceToken XMLHttpRequest __init__ _a_ A",
+            "snake_case_name camelCase MixedUP mac=%s {\"mac\":\"%s\"}",
+            "___ ABC abc123DEF x9Y 日本語 ü a_B_c",
+        ] {
+            assert_eq!(tokenize(text), tokenize_reference(text), "on {text:?}");
+        }
+    }
+
+    #[test]
+    fn featurizer_buffer_reuse_is_bit_identical() {
+        let mut f = Featurizer::default();
+        for text in [
+            "CALL (Fun, nvram_get), (Cons, \"password\")",
+            "a b c d e f",
+            "",
+            "serialNumber=%s&deviceToken=%s",
+        ] {
+            assert_eq!(f.features(text), featurize(&tokenize(text)), "on {text:?}");
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn streaming_tokenizer_matches_reference(
+            text in "[a-dA-D0-2_=%\", ]{0,60}",
+        ) {
+            proptest::prop_assert_eq!(tokenize(&text), tokenize_reference(&text));
+        }
+
+        #[test]
+        fn featurizer_matches_allocating_path(
+            text in "[a-dA-D0-2_=%\", ]{0,60}",
+        ) {
+            let mut f = Featurizer::default();
+            proptest::prop_assert_eq!(f.features(&text), featurize(&tokenize(&text)));
+        }
     }
 }

@@ -28,6 +28,12 @@ cargo test --release -q --test pipeline_units
 echo "==> pipeline scaling bench (writes BENCH_pipeline.json)"
 cargo run --release -q -p firmres-bench --bin pipeline_scaling
 
+echo "==> cold-path optimization gate (writes BENCH_coldpath.json)"
+# Reference vs optimized cold sweep: asserts every report is
+# byte-identical under the cache codec and enforces the 1.5x
+# single-thread speedup floor.
+cargo run --release -q -p firmres-bench --bin coldpath_bench BENCH_coldpath.json 1.5
+
 echo "==> cache smoke against a parallel-produced entry"
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
