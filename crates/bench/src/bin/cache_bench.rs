@@ -11,7 +11,9 @@
 //!
 //! Exits non-zero when the warm pass misses, diverges from the cold
 //! results, or fails to beat it by at least 5× (the incremental-driver
-//! acceptance floor).
+//! acceptance floor). Both passes are timed as the best of
+//! [`REPS`] runs — single-shot wall clock on a shared container is
+//! noisy enough to trip the floor spuriously.
 
 use firmres::{AnalysisConfig, CollectingObserver, FirmwareAnalysis};
 use firmres_cache::{analyze_corpus_incremental, codec, AnalysisCache, CacheStats};
@@ -26,6 +28,9 @@ fn encoded(analysis: &FirmwareAnalysis) -> Vec<u8> {
     out
 }
 
+/// Timing repetitions per pass; the minimum wall clock is reported.
+const REPS: usize = 3;
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -39,22 +44,41 @@ fn main() {
         .unwrap_or(1);
     let config = AnalysisConfig::default();
 
-    let dir = std::env::temp_dir().join(format!("firmres-cache-bench-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
+    let base = std::env::temp_dir().join(format!("firmres-cache-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    // Each cold rep populates a fresh store; the last one is kept for the
+    // warm reps (every rep writes identical bytes, so which one survives
+    // is immaterial).
+    eprintln!("cold pass: {} devices on {threads} threads…", images.len());
+    let mut cold_ms = f64::INFINITY;
+    let mut cold = None;
+    let mut dir = base.join("rep0");
+    for rep in 0..REPS {
+        dir = base.join(format!("rep{rep}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = AnalysisCache::new(&dir);
+        let t = Instant::now();
+        let mut obs = CollectingObserver::default();
+        let run = analyze_corpus_incremental(&images, None, &config, threads, &cache, &mut obs);
+        cold_ms = cold_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        cold = Some(run);
+    }
+    let cold = cold.expect("at least one cold rep");
     let cache = AnalysisCache::new(&dir);
 
-    eprintln!("cold pass: {} devices on {threads} threads…", images.len());
-    let t = Instant::now();
-    let mut obs = CollectingObserver::default();
-    let cold = analyze_corpus_incremental(&images, None, &config, threads, &cache, &mut obs);
-    let cold_ms = t.elapsed().as_secs_f64() * 1e3;
-
     eprintln!("warm pass…");
-    let t = Instant::now();
-    let mut obs = CollectingObserver::default();
-    let warm = analyze_corpus_incremental(&images, None, &config, threads, &cache, &mut obs);
-    let warm_ms = t.elapsed().as_secs_f64() * 1e3;
-    let _ = std::fs::remove_dir_all(&dir);
+    let mut warm_ms = f64::INFINITY;
+    let mut warm = None;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        let mut obs = CollectingObserver::default();
+        let run = analyze_corpus_incremental(&images, None, &config, threads, &cache, &mut obs);
+        warm_ms = warm_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        warm = Some(run);
+    }
+    let warm = warm.expect("at least one warm rep");
+    let _ = std::fs::remove_dir_all(&base);
 
     let mut failures = 0;
     if warm.stats.misses > 0 {

@@ -16,9 +16,10 @@
 //! [`PIPELINE_VERSION`]: crate::PIPELINE_VERSION
 
 use bytes::BufMut;
+use firmres::stages::UnitEvents;
 use firmres::{
-    Diagnostic, FirmwareAnalysis, FormFlaw, HandlerInfo, MessagePhase, MessageRecord, Severity,
-    StageCounters, StageKind, StageTimings,
+    Counter, Diagnostic, Event, FirmwareAnalysis, FormFlaw, HandlerInfo, MessagePhase,
+    MessageRecord, Severity, StageCounters, StageEvents, StageKind, StageTimings,
 };
 use firmres_dataflow::{intern_unresolved_reason, FieldSource, SourceKind, TaintSummary};
 use firmres_ir::{AddressSpace, Opcode, PcodeOp, Varnode};
@@ -702,7 +703,12 @@ fn get_flaw(r: &mut Reader) -> Result<FormFlaw, DecodeError> {
     })
 }
 
-fn put_record(out: &mut Vec<u8>, m: &MessageRecord) {
+/// Encode one [`MessageRecord`].
+///
+/// Public so unit-granular artifacts can persist a record as an opaque
+/// blob and later splice the stored bytes verbatim into a
+/// [`put_analysis`] stream without decoding.
+pub fn put_record(out: &mut Vec<u8>, m: &MessageRecord) {
     put_string(out, &m.function);
     out.put_u64_le(m.callsite);
     put_mft(out, &m.mft);
@@ -723,7 +729,8 @@ fn put_record(out: &mut Vec<u8>, m: &MessageRecord) {
     }
 }
 
-fn get_record(r: &mut Reader) -> Result<MessageRecord, DecodeError> {
+/// Decode one [`MessageRecord`].
+pub fn get_record(r: &mut Reader) -> Result<MessageRecord, DecodeError> {
     let function = r.string()?;
     let callsite = r.u64()?;
     let mft = get_mft(r)?;
@@ -860,14 +867,16 @@ fn get_counters(r: &mut Reader) -> Result<StageCounters, DecodeError> {
     })
 }
 
-fn put_diagnostic(out: &mut Vec<u8>, d: &Diagnostic) {
+/// Encode one [`Diagnostic`].
+pub fn put_diagnostic(out: &mut Vec<u8>, d: &Diagnostic) {
     put_stage_kind(out, d.stage);
     put_severity(out, d.severity);
     put_opt_string(out, d.subject.as_deref());
     put_string(out, &d.detail);
 }
 
-fn get_diagnostic(r: &mut Reader) -> Result<Diagnostic, DecodeError> {
+/// Decode one [`Diagnostic`].
+pub fn get_diagnostic(r: &mut Reader) -> Result<Diagnostic, DecodeError> {
     let stage = get_stage_kind(r)?;
     let severity = get_severity(r)?;
     let subject = get_opt_string(r)?;
@@ -875,6 +884,148 @@ fn get_diagnostic(r: &mut Reader) -> Result<Diagnostic, DecodeError> {
     Ok(match subject {
         Some(s) => Diagnostic::new(stage, severity, s, detail),
         None => Diagnostic::bare(stage, severity, detail),
+    })
+}
+
+/// Encode a full analysis stream from already-encoded message records.
+///
+/// Byte-for-byte equivalent to [`put_analysis`] on an analysis holding
+/// the decoded forms of `records` — the unit-granular incremental driver
+/// splices each clean unit's *stored* record bytes straight into the
+/// output without ever decoding them, which is what makes a warm
+/// re-analysis cheap.
+pub fn put_analysis_spliced(
+    out: &mut Vec<u8>,
+    executable: Option<&str>,
+    handlers: &[HandlerInfo],
+    records: &[&[u8]],
+    timings: &StageTimings,
+    counters: &StageCounters,
+    diagnostics: &[Diagnostic],
+) {
+    put_opt_string(out, executable);
+    out.put_u32_le(handlers.len() as u32);
+    for h in handlers {
+        put_handler(out, h);
+    }
+    out.put_u32_le(records.len() as u32);
+    for r in records {
+        out.put_slice(r);
+    }
+    put_timings(out, timings);
+    put_counters(out, counters);
+    out.put_u32_le(diagnostics.len() as u32);
+    for d in diagnostics {
+        put_diagnostic(out, d);
+    }
+}
+
+// ---- buffered events ----------------------------------------------------
+
+fn put_counter_tag(out: &mut Vec<u8>, c: Counter) {
+    // Local exhaustive tags: a new Counter variant fails this match.
+    out.put_u8(match c {
+        Counter::ExecutablesTried => 0,
+        Counter::ParseFailures => 1,
+        Counter::LiftFailures => 2,
+        Counter::TaintQueries => 3,
+        Counter::TaintCacheHits => 4,
+        Counter::SlicesRendered => 5,
+        Counter::FieldsMatched => 6,
+        Counter::CacheHits => 7,
+        Counter::CacheMisses => 8,
+        Counter::CacheBytesRead => 9,
+        Counter::CacheBytesWritten => 10,
+    });
+}
+
+fn get_counter_tag(r: &mut Reader) -> Result<Counter, DecodeError> {
+    Ok(match r.u8()? {
+        0 => Counter::ExecutablesTried,
+        1 => Counter::ParseFailures,
+        2 => Counter::LiftFailures,
+        3 => Counter::TaintQueries,
+        4 => Counter::TaintCacheHits,
+        5 => Counter::SlicesRendered,
+        6 => Counter::FieldsMatched,
+        7 => Counter::CacheHits,
+        8 => Counter::CacheMisses,
+        9 => Counter::CacheBytesRead,
+        10 => Counter::CacheBytesWritten,
+        _ => return err("invalid Counter tag"),
+    })
+}
+
+/// Encode one buffered pipeline [`Event`].
+pub fn put_event(out: &mut Vec<u8>, e: &Event) {
+    match e {
+        Event::StageStarted(stage) => {
+            out.put_u8(0);
+            put_stage_kind(out, *stage);
+        }
+        Event::StageFinished(stage, elapsed) => {
+            out.put_u8(1);
+            put_stage_kind(out, *stage);
+            out.put_u64_le(elapsed.as_nanos() as u64);
+        }
+        Event::Count(counter, n) => {
+            out.put_u8(2);
+            put_counter_tag(out, *counter);
+            out.put_u64_le(*n);
+        }
+        Event::Diagnostic(d) => {
+            out.put_u8(3);
+            put_diagnostic(out, d);
+        }
+    }
+}
+
+/// Decode one buffered pipeline [`Event`].
+pub fn get_event(r: &mut Reader) -> Result<Event, DecodeError> {
+    Ok(match r.u8()? {
+        0 => Event::StageStarted(get_stage_kind(r)?),
+        1 => Event::StageFinished(get_stage_kind(r)?, Duration::from_nanos(r.u64()?)),
+        2 => Event::Count(get_counter_tag(r)?, r.u64()?),
+        3 => Event::Diagnostic(get_diagnostic(r)?),
+        _ => return err("invalid Event tag"),
+    })
+}
+
+/// Encode a [`StageEvents`] buffer (events in order plus elapsed time).
+pub fn put_stage_events(out: &mut Vec<u8>, ev: &StageEvents) {
+    out.put_u32_le(ev.events.len() as u32);
+    for e in &ev.events {
+        put_event(out, e);
+    }
+    out.put_u64_le(ev.elapsed.as_nanos() as u64);
+}
+
+/// Decode a [`StageEvents`] buffer.
+pub fn get_stage_events(r: &mut Reader) -> Result<StageEvents, DecodeError> {
+    let n = r.seq_len()?;
+    let mut events = Vec::with_capacity(n);
+    for _ in 0..n {
+        events.push(get_event(r)?);
+    }
+    let elapsed = Duration::from_nanos(r.u64()?);
+    Ok(StageEvents { events, elapsed })
+}
+
+/// Encode the four per-stage buffers of one message unit.
+pub fn put_unit_events(out: &mut Vec<u8>, ev: &UnitEvents) {
+    put_stage_events(out, &ev.field_id);
+    put_stage_events(out, &ev.semantics);
+    put_stage_events(out, &ev.concat);
+    put_stage_events(out, &ev.form_check);
+}
+
+/// Decode the four per-stage buffers of one message unit.
+pub fn get_unit_events(r: &mut Reader) -> Result<UnitEvents, DecodeError> {
+    Ok(UnitEvents {
+        field_id: get_stage_events(r)?,
+        semantics: get_stage_events(r)?,
+        concat: get_stage_events(r)?,
+        form_check: get_stage_events(r)?,
     })
 }
 
@@ -1018,6 +1169,92 @@ mod tests {
                 "prefix of {cut} bytes neither errored nor consumed cleanly"
             );
         }
+    }
+
+    #[test]
+    fn unit_events_round_trip() {
+        let mut ev = UnitEvents::default();
+        ev.field_id
+            .events
+            .push(Event::StageStarted(StageKind::FieldId));
+        ev.field_id.count(Counter::TaintQueries, 3);
+        ev.field_id.count(Counter::SlicesRendered, 1);
+        ev.field_id.events.push(Event::StageFinished(
+            StageKind::FieldId,
+            Duration::from_nanos(1234),
+        ));
+        ev.field_id.elapsed = Duration::from_nanos(1234);
+        ev.semantics.diagnose(Diagnostic {
+            stage: StageKind::Semantics,
+            severity: Severity::Warning,
+            subject: Some("d1".into()),
+            detail: "unresolved".into(),
+        });
+        ev.form_check.count(Counter::FieldsMatched, 2);
+        let mut out = Vec::new();
+        put_unit_events(&mut out, &ev);
+        let got = get_unit_events(&mut Reader::new(&out)).unwrap();
+        assert_eq!(got.field_id.events, ev.field_id.events);
+        assert_eq!(got.field_id.elapsed, ev.field_id.elapsed);
+        assert_eq!(got.semantics.events, ev.semantics.events);
+        assert_eq!(got.concat.events, ev.concat.events);
+        assert_eq!(got.form_check.events, ev.form_check.events);
+    }
+
+    #[test]
+    fn every_counter_tag_round_trips() {
+        for c in [
+            Counter::ExecutablesTried,
+            Counter::ParseFailures,
+            Counter::LiftFailures,
+            Counter::TaintQueries,
+            Counter::TaintCacheHits,
+            Counter::SlicesRendered,
+            Counter::FieldsMatched,
+            Counter::CacheHits,
+            Counter::CacheMisses,
+            Counter::CacheBytesRead,
+            Counter::CacheBytesWritten,
+        ] {
+            let mut out = Vec::new();
+            put_event(&mut out, &Event::Count(c, 42));
+            assert_eq!(
+                get_event(&mut Reader::new(&out)).unwrap(),
+                Event::Count(c, 42)
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_unit_events_error_instead_of_panicking() {
+        let mut ev = UnitEvents::default();
+        ev.field_id.count(Counter::TaintQueries, 1);
+        ev.semantics.diagnose(Diagnostic {
+            stage: StageKind::Semantics,
+            severity: Severity::Info,
+            subject: None,
+            detail: "m".into(),
+        });
+        let mut out = Vec::new();
+        put_unit_events(&mut out, &ev);
+        for cut in 0..out.len() {
+            assert!(
+                get_unit_events(&mut Reader::new(&out[..cut])).is_err(),
+                "prefix of {cut} bytes decoded without error"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_event_and_counter_tags_are_rejected() {
+        let mut out = Vec::new();
+        out.put_u8(9); // no such Event tag
+        assert!(get_event(&mut Reader::new(&out)).is_err());
+        let mut out = Vec::new();
+        out.put_u8(2); // Count
+        out.put_u8(200); // no such Counter tag
+        out.put_u64_le(1);
+        assert!(get_event(&mut Reader::new(&out)).is_err());
     }
 
     #[test]

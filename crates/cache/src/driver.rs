@@ -4,11 +4,16 @@
 //! [`analyze_corpus_incremental`] is the cache-aware counterpart of
 //! [`firmres::analyze_corpus`]. Per image it computes the [`CacheKey`],
 //! loads a valid entry when one exists (the whole pipeline is skipped),
-//! and otherwise runs the pipeline on the shared worker pool
-//! ([`firmres::run_pool`]) and writes the result back. A damaged entry —
-//! truncation, checksum or schema mismatch, undecodable section — is
-//! never fatal: it is diagnosed ([`StageKind::Cache`], warning severity),
-//! counted as a miss, re-analyzed, and overwritten.
+//! and otherwise re-analyzes the image on the shared worker pool
+//! ([`firmres::run_pool`]) and writes the result back. Misses do not run
+//! the pipeline blindly: each goes through the unit-granular funnel
+//! ([`crate::unit::analyze_image_units_incremental`]), so an image whose
+//! entry was invalidated by a small change still splices every clean
+//! message unit from the bank files and re-executes only the dirty
+//! closure. A damaged entry — truncation, checksum or schema mismatch,
+//! undecodable section — is never fatal: it is diagnosed
+//! ([`StageKind::Cache`], warning severity), counted as a miss,
+//! re-analyzed, and overwritten.
 //!
 //! Determinism contract: a warm run returns **byte-identical** analyses
 //! to the cold run that populated the store (timings included — they are
@@ -19,11 +24,13 @@
 //!
 //! [`StageCounters`]: firmres::StageCounters
 
+use crate::codec::{self, Reader};
 use crate::key::CacheKey;
 use crate::store::AnalysisCache;
+use crate::unit::analyze_image_units_incremental;
 use firmres::{
-    analyze_firmware_jobs, run_pool, AnalysisConfig, Counter, Diagnostic, FirmwareAnalysis,
-    Observer, Parallelism, Severity, StageKind,
+    analyze_firmware_jobs, run_pool, AnalysisConfig, CollectingObserver, Counter, Diagnostic,
+    FirmwareAnalysis, Observer, Parallelism, Severity, StageKind,
 };
 use firmres_firmware::FirmwareImage;
 use firmres_semantics::Classifier;
@@ -42,6 +49,15 @@ pub struct CacheStats {
     pub bytes_read: u64,
     /// Entry bytes written after analyzing misses.
     pub bytes_written: u64,
+    /// Message units spliced from bank artifacts while re-analyzing
+    /// missed images (locator found, footprint clean).
+    pub unit_hits: u64,
+    /// Message units re-executed while re-analyzing missed images.
+    pub unit_misses: u64,
+    /// Executable probes replayed from verdict artifacts on misses.
+    pub verdict_hits: u64,
+    /// Executable probes run live on misses.
+    pub verdict_misses: u64,
 }
 
 impl CacheStats {
@@ -52,6 +68,17 @@ impl CacheStats {
             0.0
         } else {
             self.hits as f64 / total as f64
+        }
+    }
+
+    /// Unit hits over units considered while re-analyzing misses, in
+    /// `0.0..=1.0` (`0.0` when no image missed or none had units).
+    pub fn unit_reuse_rate(&self) -> f64 {
+        let total = self.unit_hits + self.unit_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.unit_hits as f64 / total as f64
         }
     }
 }
@@ -131,29 +158,70 @@ pub fn analyze_corpus_incremental(
         }
     }
 
-    // Phase 2: pipeline the misses on the shared worker pool.
+    // Phase 2: re-analyze the misses on the shared worker pool, each
+    // through the unit-granular funnel so clean units splice from the
+    // bank files. Cache diagnostics are collected per worker and
+    // replayed on the caller's observer afterwards (pipeline events are
+    // not streamed for misses, as documented).
     let fresh = run_pool(misses.len(), par.images, |j| {
-        analyze_firmware_jobs(images[misses[j].0], classifier, config, par.units)
+        let mut local = CollectingObserver::default();
+        let out = analyze_image_units_incremental(
+            images[misses[j].0],
+            classifier,
+            config,
+            par.units,
+            cache,
+            &mut local,
+            None,
+        );
+        (out, local.diagnostics)
     });
 
     // Phase 3: persist, then attach any corruption diagnostics. Storing
     // first keeps the entry free of them, so the next warm run is
-    // byte-identical to this one.
-    for ((i, diag), analysis) in misses.into_iter().zip(fresh) {
-        match cache.store(&keys[i], &analysis) {
-            Ok(written) => {
-                stats.bytes_written += written;
-                observer.count(Counter::CacheBytesWritten, written);
+    // byte-identical to this one. A *spliced* analysis (the funnel served
+    // at least one unit from a bank) earns no image entry: it is already
+    // cheap to reproduce from the unit artifacts, and skipping the write
+    // keeps update re-analysis off the store's write path entirely. The
+    // exception is a miss caused by a *damaged* entry — that file stays
+    // on disk and would be re-diagnosed on every future run, so it is
+    // repaired (overwritten) even when the analysis was spliced.
+    for ((i, diag), (result, cache_diags)) in misses.into_iter().zip(fresh) {
+        let mut spliced = false;
+        let analysis = match result {
+            Ok(out) => {
+                stats.unit_hits += out.stats.unit_hits;
+                stats.unit_misses += out.stats.unit_misses;
+                stats.verdict_hits += out.stats.verdict_hits;
+                stats.verdict_misses += out.stats.verdict_misses;
+                spliced = out.stats.unit_hits > 0;
+                observer.count(Counter::CacheBytesRead, out.stats.bytes_read);
+                observer.count(Counter::CacheBytesWritten, out.stats.bytes_written);
+                for d in cache_diags.iter().filter(|d| d.stage == StageKind::Cache) {
+                    observer.diagnostic(d);
+                }
+                codec::get_analysis(&mut Reader::new(&out.bytes)).ok()
             }
-            Err(e) => {
-                // A write failure costs only the next run's warm start.
-                let d = Diagnostic::new(
-                    StageKind::Cache,
-                    Severity::Warning,
-                    keys[i].file_name(),
-                    format!("store failed: {e}"),
-                );
-                observer.diagnostic(&d);
+            // Uncancellable funnel runs don't error; fall back anyway.
+            Err(_) => None,
+        }
+        .unwrap_or_else(|| analyze_firmware_jobs(images[i], classifier, config, par.units));
+        if !spliced || diag.is_some() {
+            match cache.store(&keys[i], &analysis) {
+                Ok(written) => {
+                    stats.bytes_written += written;
+                    observer.count(Counter::CacheBytesWritten, written);
+                }
+                Err(e) => {
+                    // A write failure costs only the next run's warm start.
+                    let d = Diagnostic::new(
+                        StageKind::Cache,
+                        Severity::Warning,
+                        keys[i].file_name(),
+                        format!("store failed: {e}"),
+                    );
+                    observer.diagnostic(&d);
+                }
             }
         }
         let mut analysis = analysis;
@@ -327,6 +395,60 @@ mod tests {
             out
         };
         assert_eq!(enc(&served), enc(&sequential));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn mutating_one_function_reruns_only_its_closure() {
+        let dev = generate_device(10, 7);
+        let image: &FirmwareImage = &dev.firmware;
+        let config = AnalysisConfig::default();
+        let cache = AnalysisCache::new(temp_dir("mutate"));
+
+        let cold = analyze_corpus_incremental(
+            &[image],
+            None,
+            &config,
+            1,
+            &cache,
+            &mut firmres::NullObserver,
+        );
+        let total = cold.stats.unit_hits + cold.stats.unit_misses;
+        assert!(total > 0, "device 10 has message units");
+        assert_eq!(cold.stats.unit_hits, 0, "cold store has nothing to splice");
+        assert_eq!(cold.stats.unit_reuse_rate(), 0.0);
+
+        let update = firmres_corpus::mutate_firmware(image, 1.0, 42);
+        assert!(!update.mutated.is_empty());
+        let warm = analyze_corpus_incremental(
+            &[&update.image],
+            None,
+            &config,
+            1,
+            &cache,
+            &mut firmres::NullObserver,
+        );
+        assert_eq!(warm.stats.hits, 0, "image-level entry no longer matches");
+        assert!(warm.stats.unit_hits > 0, "clean units are spliced");
+        assert!(
+            warm.stats.unit_misses < total,
+            "only the dirty closure re-runs ({} of {total})",
+            warm.stats.unit_misses
+        );
+
+        // Byte-identity: the incremental result matches a from-scratch
+        // run of the mutated image (timings zeroed — re-executed stages
+        // measure fresh time).
+        let mut incremental = warm.analyses.into_iter().next().unwrap();
+        let mut scratch = firmres::analyze_firmware(&update.image, None, &config);
+        incremental.timings = Default::default();
+        scratch.timings = Default::default();
+        let enc = |a: &FirmwareAnalysis| {
+            let mut out = Vec::new();
+            crate::codec::put_analysis(&mut out, a);
+            out
+        };
+        assert_eq!(enc(&incremental), enc(&scratch));
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 

@@ -58,6 +58,7 @@ pub mod codec;
 mod driver;
 mod key;
 mod store;
+pub mod unit;
 
 pub use driver::{analyze_corpus_incremental, CacheStats, CorpusOutcome};
 pub use key::{
@@ -66,3 +67,4 @@ pub use key::{
 pub use store::{
     taint_summaries, AnalysisCache, CacheError, CachedEntry, StoreStats, SCHEMA_VERSION,
 };
+pub use unit::{analyze_image_units_incremental, UnitFunnelOutcome, UnitStats};

@@ -48,8 +48,22 @@ use std::path::{Path, PathBuf};
 /// Version of the entry layout itself (header + sectioning), as opposed
 /// to [`PIPELINE_VERSION`] which covers what the sections *contain*.
 ///
+/// # History
+///
+/// * v3 — the store gained unit-granular sibling artifacts (`.fru` bank
+///   and `.frv` verdict files, see [`crate::unit`]). The `.frac` image
+///   entry layout itself is unchanged, so v2 entries remain fully
+///   servable: [`read_verified`] accepts both versions. New writes are
+///   stamped v3.
+/// * v2 — sectioned payload with per-stage artifacts.
+///
 /// [`PIPELINE_VERSION`]: crate::PIPELINE_VERSION
-pub const SCHEMA_VERSION: u16 = 2;
+/// [`read_verified`]: AnalysisCache::load
+pub const SCHEMA_VERSION: u16 = 3;
+
+/// The oldest schema version whose `.frac` entries this build can still
+/// decode. v2 and v3 share the entry layout byte for byte.
+pub const MIN_READ_SCHEMA_VERSION: u16 = 2;
 
 const MAGIC: &[u8; 4] = b"FRAC";
 
@@ -159,12 +173,26 @@ pub fn taint_summaries(analysis: &FirmwareAnalysis) -> Vec<TaintSummary> {
 #[derive(Debug, Clone)]
 pub struct AnalysisCache {
     dir: PathBuf,
+    orphans_removed: u64,
 }
 
 impl AnalysisCache {
     /// A store rooted at `dir` (not created until the first write).
+    ///
+    /// Opening also sweeps the directory for orphaned temp files — the
+    /// `.{name}.{pid}-{seq}.tmp` intermediates of the atomic
+    /// write-then-rename protocol whose writer process died mid-write.
+    /// A temp file whose embedded pid is no longer alive can never be
+    /// renamed into place, so it is deleted; the count is surfaced in
+    /// [`StoreStats::orphans_removed`]. Temps of live processes
+    /// (including this one) are left untouched.
     pub fn new(dir: impl Into<PathBuf>) -> AnalysisCache {
-        AnalysisCache { dir: dir.into() }
+        let dir = dir.into();
+        let orphans_removed = sweep_orphan_temps(&dir);
+        AnalysisCache {
+            dir,
+            orphans_removed,
+        }
     }
 
     /// The store's root directory.
@@ -292,7 +320,7 @@ impl AnalysisCache {
             return Err(CacheError::BadMagic);
         }
         let schema = r.u16()?;
-        if schema != SCHEMA_VERSION {
+        if !(MIN_READ_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&schema) {
             return Err(CacheError::SchemaMismatch { found: schema });
         }
         let echo = CacheKey {
@@ -334,6 +362,14 @@ pub struct StoreStats {
     /// `.frac`-named files that do not start with the magic (foreign or
     /// mangled files sharing the directory).
     pub foreign: u64,
+    /// Unit-granular bank artifacts (`.fru` files, see [`crate::unit`]).
+    pub unit_banks: u64,
+    /// Executable-identification verdict artifacts (`.frv` files).
+    pub verdicts: u64,
+    /// Total bytes across the unit-granular artifact files.
+    pub unit_bytes: u64,
+    /// Orphaned write temps deleted when this store was opened.
+    pub orphans_removed: u64,
 }
 
 impl StoreStats {
@@ -354,9 +390,13 @@ impl AnalysisCache {
     /// or checksummed, so this stays cheap on large stores. A store whose
     /// directory does not exist yet reports all-zero stats rather than an
     /// error (it is simply empty). Temp files from in-flight writes (no
-    /// `.frac` suffix) are skipped.
+    /// `.frac` suffix) are skipped; unit-granular sibling artifacts
+    /// (`.fru` banks, `.frv` verdicts) are counted separately.
     pub fn stats(&self) -> Result<StoreStats, CacheError> {
-        let mut stats = StoreStats::default();
+        let mut stats = StoreStats {
+            orphans_removed: self.orphans_removed,
+            ..StoreStats::default()
+        };
         let entries = match std::fs::read_dir(&self.dir) {
             Ok(e) => e,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(stats),
@@ -366,7 +406,22 @@ impl AnalysisCache {
         for entry in entries {
             let entry = entry.map_err(|e| CacheError::Io(e.to_string()))?;
             let path = entry.path();
-            if path.extension().and_then(|e| e.to_str()) != Some("frac") {
+            let ext = path.extension().and_then(|e| e.to_str());
+            if let Some("fru" | "frv") = ext {
+                let meta = entry
+                    .metadata()
+                    .map_err(|e| CacheError::Io(e.to_string()))?;
+                if meta.is_file() {
+                    if ext == Some("fru") {
+                        stats.unit_banks += 1;
+                    } else {
+                        stats.verdicts += 1;
+                    }
+                    stats.unit_bytes += meta.len();
+                }
+                continue;
+            }
+            if ext != Some("frac") {
                 continue;
             }
             let meta = entry
@@ -396,6 +451,49 @@ impl AnalysisCache {
 struct RawEntry {
     sections: Vec<Vec<u8>>,
     bytes: u64,
+}
+
+/// Delete orphaned write temps in `dir`, returning how many were removed.
+///
+/// A temp is an orphan when its embedded writer pid is provably not this
+/// process and not alive (checked via `/proc` where available). Files
+/// that do not parse as our temp naming convention are never touched.
+fn sweep_orphan_temps(dir: &Path) -> u64 {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut removed = 0;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(pid) = temp_writer_pid(name) else {
+            continue;
+        };
+        if pid == std::process::id() {
+            continue;
+        }
+        // Without /proc there is no portable liveness probe; err on the
+        // side of keeping the file rather than racing a live writer.
+        if !Path::new("/proc").is_dir() || Path::new(&format!("/proc/{pid}")).exists() {
+            continue;
+        }
+        if std::fs::remove_file(entry.path()).is_ok() {
+            removed += 1;
+        }
+    }
+    removed
+}
+
+/// Parse the writer pid out of a `.{name}.{pid}-{seq}.tmp` file name, or
+/// `None` when the name is not one of our write temps.
+fn temp_writer_pid(name: &str) -> Option<u32> {
+    let rest = name.strip_prefix('.')?.strip_suffix(".tmp")?;
+    let (_, pid_seq) = rest.rsplit_once('.')?;
+    let (pid, seq) = pid_seq.split_once('-')?;
+    if seq.is_empty() || !seq.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    pid.parse().ok()
 }
 
 fn put_section(out: &mut Vec<u8>, section: &[u8]) {
@@ -553,6 +651,70 @@ mod tests {
         assert_eq!(stats.current(), 2);
         assert_eq!(stats.foreign, 1);
         let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn version_2_entries_remain_servable() {
+        let dev = generate_device(6, 7);
+        let config = AnalysisConfig::default();
+        let analysis = analyze_firmware(&dev.firmware, None, &config);
+        let cache = AnalysisCache::new(temp_dir("v2read"));
+        let key = CacheKey::compute(&dev.firmware, None, &config);
+        cache.store(&key, &analysis).unwrap();
+        let path = cache.entry_path(&key);
+        let mut data = std::fs::read(&path).unwrap();
+        // Re-stamp the entry as schema v2 (identical layout) and re-seal.
+        data[4..6].copy_from_slice(&2u16.to_le_bytes());
+        let body_len = data.len() - 8;
+        let sum = content_hash_packed(&data[..body_len]);
+        data[body_len..].copy_from_slice(&sum.to_le_bytes());
+        std::fs::write(&path, &data).unwrap();
+        let entry = cache.load(&key).unwrap();
+        assert_eq!(entry.analysis.messages.len(), analysis.messages.len());
+        // v1 (pre-sectioning) stays rejected.
+        let mut old = std::fs::read(&path).unwrap();
+        old[4..6].copy_from_slice(&1u16.to_le_bytes());
+        let sum = content_hash_packed(&old[..body_len]);
+        old[body_len..].copy_from_slice(&sum.to_le_bytes());
+        std::fs::write(&path, &old).unwrap();
+        assert_eq!(
+            cache.load(&key).unwrap_err(),
+            CacheError::SchemaMismatch { found: 1 }
+        );
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn opening_a_store_reaps_orphaned_write_temps() {
+        let dir = temp_dir("orphans");
+        std::fs::create_dir_all(&dir).unwrap();
+        // A crashed writer's temp: valid naming, provably dead pid.
+        let orphan = dir.join(".00aa.frac.999999999-3.tmp");
+        std::fs::write(&orphan, b"half-written").unwrap();
+        // A live writer's temp (our own pid): must survive.
+        let live = dir.join(format!(".00bb.frac.{}-0.tmp", std::process::id()));
+        std::fs::write(&live, b"in flight").unwrap();
+        // Not our naming convention: must survive.
+        let foreign = dir.join(".gitignore");
+        std::fs::write(&foreign, b"*").unwrap();
+
+        let cache = AnalysisCache::new(&dir);
+        assert!(!orphan.exists(), "dead writer's temp should be reaped");
+        assert!(live.exists(), "live writer's temp must survive");
+        assert!(foreign.exists(), "unrelated dotfiles must survive");
+        assert_eq!(cache.stats().unwrap().orphans_removed, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn temp_writer_pid_parses_only_our_convention() {
+        assert_eq!(temp_writer_pid(".abc.frac.1234-7.tmp"), Some(1234));
+        assert_eq!(temp_writer_pid(".a.fru.99-0.tmp"), Some(99));
+        assert_eq!(temp_writer_pid("abc.frac.1234-7.tmp"), None);
+        assert_eq!(temp_writer_pid(".abc.frac.1234-7.txt"), None);
+        assert_eq!(temp_writer_pid(".gitignore"), None);
+        assert_eq!(temp_writer_pid(".abc.frac.x-7.tmp"), None);
+        assert_eq!(temp_writer_pid(".abc.frac.12-x.tmp"), None);
     }
 
     #[test]

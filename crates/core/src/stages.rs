@@ -200,6 +200,11 @@ impl<'a> AnalysisContext<'a> {
         &self.diagnostics
     }
 
+    /// Per-stage timings accumulated so far.
+    pub fn timings(&self) -> &StageTimings {
+        &self.timings
+    }
+
     /// Consume the context into the final analysis result.
     pub fn finish(
         self,
@@ -381,7 +386,7 @@ impl UnitEvents {
 }
 
 /// A memoized-taint query key: `(function entry, callsite, argument)`.
-type TraceKey = (Address, Address, usize);
+pub type TraceKey = (Address, Address, usize);
 
 /// The per-unit mutable state: buffered events and the taint queries the
 /// unit issued, in order.
@@ -442,6 +447,13 @@ pub struct UnitOutput {
     /// Buffered counter/diagnostic events per stage.
     pub events: UnitEvents,
     taint_keys: Vec<TraceKey>,
+}
+
+impl UnitOutput {
+    /// The taint queries this unit issued, in issue order.
+    pub fn taint_keys(&self) -> &[TraceKey] {
+        &self.taint_keys
+    }
 }
 
 /// Deterministically enumerate the delivery callsites of `program` as
@@ -690,11 +702,53 @@ pub fn merge_unit_outputs(
     cx: &mut AnalysisContext<'_>,
     outputs: Vec<UnitOutput>,
 ) -> Vec<MessageRecord> {
+    let (records, views): (Vec<_>, Vec<_>) = outputs
+        .into_iter()
+        .map(|o| {
+            let view = UnitView {
+                slices_nonempty: !o.record.slices.is_empty(),
+                events: o.events,
+                taint_keys: o.taint_keys,
+            };
+            (o.record, view)
+        })
+        .unzip();
+    merge_unit_event_streams(cx, &views);
+    records
+}
+
+/// The merge-relevant view of one executed message unit: its buffered
+/// events, the taint queries it issued, and whether it rendered slices.
+///
+/// [`UnitOutput`] carries this implicitly; incremental drivers that
+/// replay *persisted* unit artifacts (where the record travels as opaque
+/// encoded bytes and is never decoded) construct it directly.
+#[derive(Debug, Clone, Default)]
+pub struct UnitView {
+    /// Buffered counter/diagnostic events per stage.
+    pub events: UnitEvents,
+    /// Taint queries issued, in issue order.
+    pub taint_keys: Vec<TraceKey>,
+    /// Whether the unit rendered any code slices (drives the image-wide
+    /// classifier-fallback diagnostic).
+    pub slices_nonempty: bool,
+}
+
+/// Replay unit event streams into the context **in unit order** — the
+/// event-folding half of [`merge_unit_outputs`], over [`UnitView`]s.
+///
+/// The stage-global tail events are recomputed from the views: the
+/// [`Counter::TaintCacheHits`] total from the canonical concatenated
+/// taint-key order, the classifier-fallback diagnostic from the
+/// classifier's absence plus any unit having rendered slices. Both are
+/// pure functions of the view list, so replaying stored views produces
+/// the exact stream a fresh run of the same units emits.
+pub fn merge_unit_event_streams(cx: &mut AnalysisContext<'_>, units: &[UnitView]) {
     cx.replay_stage(
         StageKind::FieldId,
-        outputs.iter().map(|o| &o.events.field_id),
+        units.iter().map(|u| &u.events.field_id),
         |cx| {
-            let hits = memo_hits(outputs.iter().flat_map(|o| o.taint_keys.iter().copied()));
+            let hits = memo_hits(units.iter().flat_map(|u| u.taint_keys.iter().copied()));
             if hits > 0 {
                 cx.count(Counter::TaintCacheHits, hits);
             }
@@ -702,10 +756,9 @@ pub fn merge_unit_outputs(
     );
     cx.replay_stage(
         StageKind::Semantics,
-        outputs.iter().map(|o| &o.events.semantics),
+        units.iter().map(|u| &u.events.semantics),
         |cx| {
-            if cx.inputs.classifier.is_none() && outputs.iter().any(|o| !o.record.slices.is_empty())
-            {
+            if cx.inputs.classifier.is_none() && units.iter().any(|u| u.slices_nonempty) {
                 cx.diagnose(Diagnostic::bare(
                     StageKind::Semantics,
                     Severity::Info,
@@ -716,15 +769,14 @@ pub fn merge_unit_outputs(
     );
     cx.replay_stage(
         StageKind::Concat,
-        outputs.iter().map(|o| &o.events.concat),
+        units.iter().map(|u| &u.events.concat),
         |_| {},
     );
     cx.replay_stage(
         StageKind::FormCheck,
-        outputs.iter().map(|o| &o.events.form_check),
+        units.iter().map(|u| &u.events.form_check),
         |_| {},
     );
-    outputs.into_iter().map(|o| o.record).collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -741,6 +793,66 @@ pub fn merge_unit_outputs(
 /// severity.
 pub struct ExeIdStage;
 
+/// Probe one executable entry as a device-cloud candidate, buffering the
+/// stage-1 counter advances and diagnostics into `events` instead of a
+/// live context.
+///
+/// This is the per-executable body of [`ExeIdStage::run`], factored out so
+/// incremental drivers can (re-)probe individual executables and persist
+/// or replay their exact event streams: replaying `events` into the
+/// ExeId stage reproduces what a live probe of the same bytes emits,
+/// event for event. Returns the candidate when the entry parses, lifts
+/// and exhibits device-cloud handler sequences.
+pub fn probe_executable(
+    path: &str,
+    bytes: &[u8],
+    config: &crate::exeid::ExeIdConfig,
+    events: &mut StageEvents,
+) -> Option<ChosenExecutable> {
+    events.count(Counter::ExecutablesTried, 1);
+    let exe = match firmres_isa::Executable::from_bytes(bytes) {
+        Ok(exe) => exe,
+        Err(e) => {
+            events.count(Counter::ParseFailures, 1);
+            events.diagnose(Diagnostic::new(
+                StageKind::ExeId,
+                Severity::Warning,
+                path,
+                format!("unparseable executable: {e}"),
+            ));
+            return None;
+        }
+    };
+    let program = match firmres_isa::lift(&exe, path) {
+        Ok(program) => program,
+        Err(e) => {
+            events.count(Counter::LiftFailures, 1);
+            events.diagnose(Diagnostic::new(
+                StageKind::ExeId,
+                Severity::Warning,
+                path,
+                format!("lift failed: {e}"),
+            ));
+            return None;
+        }
+    };
+    let handlers = identify_device_cloud(&program, config);
+    if handlers.is_empty() {
+        events.diagnose(Diagnostic::new(
+            StageKind::ExeId,
+            Severity::Info,
+            path,
+            "no device-cloud handler sequences",
+        ));
+        return None;
+    }
+    Some(ChosenExecutable {
+        path: path.to_string(),
+        program,
+        handlers,
+    })
+}
+
 impl ExeIdStage {
     /// Run the stage. `None` means no usable device-cloud executable was
     /// found (the diagnostics say why).
@@ -748,48 +860,13 @@ impl ExeIdStage {
         cx.run_stage(StageKind::ExeId, |cx| {
             let mut candidates: Vec<ChosenExecutable> = Vec::new();
             for (path, bytes) in cx.inputs.fw.executables() {
-                cx.count(Counter::ExecutablesTried, 1);
-                let exe = match firmres_isa::Executable::from_bytes(bytes) {
-                    Ok(exe) => exe,
-                    Err(e) => {
-                        cx.count(Counter::ParseFailures, 1);
-                        cx.diagnose(Diagnostic::new(
-                            StageKind::ExeId,
-                            Severity::Warning,
-                            path,
-                            format!("unparseable executable: {e}"),
-                        ));
-                        continue;
-                    }
-                };
-                let program = match firmres_isa::lift(&exe, path) {
-                    Ok(program) => program,
-                    Err(e) => {
-                        cx.count(Counter::LiftFailures, 1);
-                        cx.diagnose(Diagnostic::new(
-                            StageKind::ExeId,
-                            Severity::Warning,
-                            path,
-                            format!("lift failed: {e}"),
-                        ));
-                        continue;
-                    }
-                };
-                let handlers = identify_device_cloud(&program, &cx.inputs.config.exeid);
-                if handlers.is_empty() {
-                    cx.diagnose(Diagnostic::new(
-                        StageKind::ExeId,
-                        Severity::Info,
-                        path,
-                        "no device-cloud handler sequences",
-                    ));
-                    continue;
+                let mut events = StageEvents::default();
+                let candidate =
+                    probe_executable(path, bytes, &cx.inputs.config.exeid, &mut events);
+                cx.replay_events(&events);
+                if let Some(candidate) = candidate {
+                    candidates.push(candidate);
                 }
-                candidates.push(ChosenExecutable {
-                    path: path.to_string(),
-                    program,
-                    handlers,
-                });
             }
             // Rank the qualifying executables by best handler score
             // (§IV-A scores candidates rather than taking the first

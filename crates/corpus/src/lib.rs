@@ -39,6 +39,7 @@ mod devices;
 pub mod emulation;
 mod gen;
 mod plan;
+mod update;
 mod vulns;
 
 pub use asmgen::{device_cloud_source, ipc_daemon_source, local_httpd_source, watchdog_source};
@@ -49,4 +50,5 @@ pub use plan::{
     plan_messages, BodyStyle, Delivery, DeviceIdentity, MessagePlan, PlanField, PlanPolicy,
     PlanResponse, ValueSource,
 };
+pub use update::{mutate_firmware, FirmwareUpdate};
 pub use vulns::{total_vulnerabilities, vulnerable_plans};

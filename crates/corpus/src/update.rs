@@ -1,0 +1,180 @@
+//! Synthetic firmware *updates*: mutate a controllable fraction of a
+//! generated image's functions in place.
+//!
+//! The unit-granular incremental driver's value proposition is "an
+//! update touches few functions, so few message units re-run". To
+//! measure that with a controllable knob, [`mutate_firmware`] takes a
+//! generated image and flips one immediate bit in `percent`% of its
+//! functions (seeded, deterministic): every mutated function's lifted
+//! body — and therefore its content hash — changes, while the image's
+//! symbol tables, data segments and function directories stay intact, so
+//! unit locators remain stable and only the mutated functions' dependent
+//! units go dirty.
+//!
+//! Only executables containing a selected function are re-sealed;
+//! untouched executables keep byte-identical entries (their stage-1
+//! verdict artifacts stay warm), mirroring a real incremental update
+//! that patches one binary. Devices whose cloud logic is script-based
+//! (corpus devices 21/22) still carry mutable helper executables; an
+//! image with no executables at all comes back unchanged.
+
+use firmres_firmware::{FileEntry, FirmwareImage};
+use firmres_isa::{Executable, CODE_BASE};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A mutated image plus the manifest of what changed.
+#[derive(Debug)]
+pub struct FirmwareUpdate {
+    /// The updated image (mutated executables re-sealed and replaced).
+    pub image: FirmwareImage,
+    /// `(executable path, function name)` per mutated function.
+    pub mutated: Vec<(String, String)>,
+}
+
+/// Opcodes whose immediate low bit can be flipped without changing the
+/// instruction's shape: the lifted IR differs in exactly one constant.
+fn flippable(word: u32) -> bool {
+    matches!(word >> 26, 13 | 15 | 16) // addi | ori | xori
+}
+
+/// Mutate `percent`% of the functions across `fw`'s executables,
+/// deterministically under `seed`.
+///
+/// The fraction is of *all* functions in the image; the count is rounded
+/// up, so any `percent > 0` mutates at least one function when one is
+/// eligible (a function with no immediate-carrying instruction cannot be
+/// mutated and is skipped by selection). Returns the new image and the
+/// list of mutated functions; an image with no executables (script
+/// devices) is returned unchanged.
+pub fn mutate_firmware(fw: &FirmwareImage, percent: f64, seed: u64) -> FirmwareUpdate {
+    let mut exes: Vec<(String, Executable)> = fw
+        .executables()
+        .filter_map(|(path, bytes)| {
+            Executable::from_bytes(bytes)
+                .ok()
+                .map(|exe| (path.to_string(), exe))
+        })
+        .collect();
+
+    // Enumerate eligible targets: (exe index, func index, word index of
+    // the first flippable instruction in the function's range).
+    let total_functions: usize = exes.iter().map(|(_, e)| e.funcs.len()).sum();
+    let mut targets: Vec<(usize, usize, usize)> = Vec::new();
+    for (ei, (_, exe)) in exes.iter().enumerate() {
+        for (fi, func) in exe.funcs.iter().enumerate() {
+            let start = ((func.addr - CODE_BASE) / 4) as usize;
+            let end = exe
+                .funcs
+                .get(fi + 1)
+                .map(|next| ((next.addr - CODE_BASE) / 4) as usize)
+                .unwrap_or(exe.code.len());
+            if let Some(wi) = (start..end.min(exe.code.len())).find(|&i| flippable(exe.code[i])) {
+                targets.push((ei, fi, wi));
+            }
+        }
+    }
+
+    let want = ((percent / 100.0) * total_functions as f64).ceil().max(0.0) as usize;
+    let want = if percent > 0.0 { want.max(1) } else { 0 };
+    let mut rng = StdRng::seed_from_u64(seed);
+    targets.shuffle(&mut rng);
+    targets.truncate(want.min(targets.len()));
+    // Deterministic manifest order regardless of the shuffle.
+    targets.sort_unstable();
+
+    let mut mutated = Vec::with_capacity(targets.len());
+    let mut touched_exes: Vec<bool> = vec![false; exes.len()];
+    for (ei, fi, wi) in targets {
+        let (path, exe) = &mut exes[ei];
+        exe.code[wi] ^= 1; // flip the immediate's low bit
+        touched_exes[ei] = true;
+        mutated.push((path.clone(), exe.funcs[fi].name.clone()));
+    }
+
+    let mut image = fw.clone();
+    for (touched, (path, exe)) in touched_exes.into_iter().zip(&exes) {
+        if touched {
+            image.add_file(path.clone(), FileEntry::Executable(exe.to_bytes().to_vec()));
+        }
+    }
+    FirmwareUpdate { image, mutated }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate_device;
+
+    #[test]
+    fn mutation_is_deterministic_and_proportional() {
+        let dev = generate_device(10, 7);
+        let a = mutate_firmware(&dev.firmware, 1.0, 42);
+        let b = mutate_firmware(&dev.firmware, 1.0, 42);
+        assert_eq!(a.mutated, b.mutated, "same seed, same mutations");
+        assert_eq!(a.image, b.image);
+        assert!(!a.mutated.is_empty(), "1% of a real image rounds up to ≥1");
+
+        let heavy = mutate_firmware(&dev.firmware, 50.0, 42);
+        assert!(
+            heavy.mutated.len() > a.mutated.len(),
+            "higher percentage mutates more functions"
+        );
+        let other_seed = mutate_firmware(&dev.firmware, 50.0, 43);
+        assert_ne!(
+            heavy.mutated, other_seed.mutated,
+            "selection varies with the seed"
+        );
+    }
+
+    #[test]
+    fn mutated_image_differs_but_still_parses() {
+        let dev = generate_device(10, 7);
+        let update = mutate_firmware(&dev.firmware, 1.0, 42);
+        assert_ne!(update.image, dev.firmware);
+        // Every executable still parses; mutated ones differ in exactly
+        // the code image.
+        for (path, bytes) in update.image.executables() {
+            let exe = Executable::from_bytes(bytes).expect("re-sealed executable parses");
+            let orig = dev
+                .firmware
+                .executables()
+                .find(|(p, _)| *p == path)
+                .map(|(_, b)| Executable::from_bytes(b).unwrap())
+                .unwrap();
+            assert_eq!(exe.funcs, orig.funcs, "symbols are untouched");
+            assert_eq!(exe.data, orig.data, "data segment is untouched");
+        }
+        // Zero percent is the identity.
+        let noop = mutate_firmware(&dev.firmware, 0.0, 42);
+        assert_eq!(noop.image, dev.firmware);
+        assert!(noop.mutated.is_empty());
+    }
+
+    #[test]
+    fn script_devices_mutate_helpers_only_and_no_exes_is_a_noop() {
+        // Device 21's cloud logic is script-based, but its helper
+        // executables (watchdog, httpd) are still mutable.
+        let dev = generate_device(21, 7);
+        assert!(dev.cloud_executable.is_none());
+        let update = mutate_firmware(&dev.firmware, 10.0, 42);
+        assert!(!update.mutated.is_empty());
+
+        // An image with no executables at all comes back unchanged.
+        let bare = {
+            let mut fw = FirmwareImage::new(dev.firmware.device().clone());
+            fw.add_file(
+                "/usr/bin/sync.sh",
+                firmres_firmware::FileEntry::Script {
+                    lang: firmres_firmware::ScriptLang::Shell,
+                    text: "#!/bin/sh\n".into(),
+                },
+            );
+            fw
+        };
+        let noop = mutate_firmware(&bare, 10.0, 42);
+        assert_eq!(noop.image, bare);
+        assert!(noop.mutated.is_empty());
+    }
+}

@@ -58,5 +58,5 @@ pub use summary::{
 };
 pub use taint::{
     intern_unresolved_reason, FieldSource, TaintConfig, TaintEngine, TaintNode, TaintNodeId,
-    TaintNodeKind, TaintSummary, TaintTree, UNRESOLVED_REASONS,
+    TaintNodeKind, TaintSummary, TaintTree, TraceDeps, UNRESOLVED_REASONS,
 };

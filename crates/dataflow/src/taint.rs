@@ -304,6 +304,36 @@ impl TaintSummary {
     }
 }
 
+/// The cross-function inputs one memoized trace read: every function
+/// whose body the walk visited (or looked for and found missing), and
+/// every function whose *caller set* it enumerated via the call graph.
+///
+/// This is the raw material of incremental re-analysis: a cached result
+/// for a `(function, callsite, argument)` query stays valid exactly while
+/// every function in [`TraceDeps::funcs`] is unchanged and every function
+/// in [`TraceDeps::caller_enums`] has an unchanged incoming-edge set
+/// (`firmres_ir::caller_edges_hash`). Program-wide inputs the walk also
+/// reads — string constants, callee names, import summaries — are covered
+/// separately by `firmres_ir::program_context_hash`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceDeps {
+    /// Functions whose lifted body the trace visited. Includes entries
+    /// for call targets that had *no* function (the "missing callee"
+    /// leaf): their continued absence is part of the result's validity.
+    pub funcs: BTreeSet<Address>,
+    /// Functions whose callers the trace enumerated through the call
+    /// graph (the no-context parameter crossing).
+    pub caller_enums: BTreeSet<Address>,
+}
+
+impl TraceDeps {
+    /// Fold another dependency set into this one.
+    pub fn merge(&mut self, other: &TraceDeps) {
+        self.funcs.extend(other.funcs.iter().copied());
+        self.caller_enums.extend(other.caller_enums.iter().copied());
+    }
+}
+
 /// Tuning knobs for the taint engine.
 #[derive(Debug, Clone)]
 pub struct TaintConfig {
@@ -359,13 +389,16 @@ pub struct TaintEngine<'p> {
     names: Interner,
     config: TaintConfig,
     /// Memoized [`TaintEngine::trace`] results per
-    /// `(function entry, callsite, argument)` query. Traces are
-    /// deterministic over an immutable program, so replaying one is
-    /// always safe.
-    trace_cache: Mutex<BTreeMap<(Address, Address, usize), TaintTree>>,
+    /// `(function entry, callsite, argument)` query, each paired with the
+    /// [`TraceDeps`] the walk accumulated. Traces are deterministic over
+    /// an immutable program, so replaying one is always safe.
+    trace_cache: Mutex<TraceCache>,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
 }
+
+/// Memoized trace results keyed by `(function entry, callsite, argument)`.
+type TraceCache = BTreeMap<(Address, Address, usize), (TaintTree, TraceDeps)>;
 
 /// Extended region used inside the engine: [`Region`] plus buffers that
 /// arrive through a pointer parameter.
@@ -460,6 +493,7 @@ struct Cx {
     visited_vals: VisitedVals,
     visited_regions: VisitedRegions,
     call_stack: Vec<(Address, Address)>, // (caller entry, callsite addr)
+    deps: TraceDeps,
 }
 
 impl<'p> TaintEngine<'p> {
@@ -593,6 +627,20 @@ impl<'p> TaintEngine<'p> {
     /// query returns a clone of the first result without re-walking the
     /// data flows (see [`TaintEngine::cache_stats`]).
     pub fn trace(&self, func: Address, callsite_addr: Address, arg: usize) -> TaintTree {
+        self.trace_with_deps(func, callsite_addr, arg).0
+    }
+
+    /// [`TaintEngine::trace`] plus the [`TraceDeps`] the walk accumulated.
+    ///
+    /// Shares the same memo (and hit/miss accounting) as `trace`: a
+    /// repeated query returns a clone of the first result's tree and
+    /// dependency set.
+    pub fn trace_with_deps(
+        &self,
+        func: Address,
+        callsite_addr: Address,
+        arg: usize,
+    ) -> (TaintTree, TraceDeps) {
         let key = (func, callsite_addr, arg);
         if let Some(cached) = self.trace_cache.lock().get(&key) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -600,14 +648,29 @@ impl<'p> TaintEngine<'p> {
         }
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
         // Traced outside the lock: concurrent first queries for the same
-        // key each compute the (identical, deterministic) tree and the
+        // key each compute the (identical, deterministic) result and the
         // first insert wins.
-        let tree = self.trace_uncached(func, callsite_addr, arg);
+        let result = self.trace_uncached(func, callsite_addr, arg);
         self.trace_cache
             .lock()
             .entry(key)
-            .or_insert_with(|| tree.clone());
-        tree
+            .or_insert_with(|| result.clone());
+        result
+    }
+
+    /// The memoized [`TraceDeps`] of a query already run through
+    /// [`TaintEngine::trace`], without re-walking or touching the hit/miss
+    /// counters. `None` when the query has not been traced yet.
+    pub fn trace_deps(
+        &self,
+        func: Address,
+        callsite_addr: Address,
+        arg: usize,
+    ) -> Option<TraceDeps> {
+        self.trace_cache
+            .lock()
+            .get(&(func, callsite_addr, arg))
+            .map(|(_, deps)| deps.clone())
     }
 
     /// `(hits, misses)` of the trace memo cache so far.
@@ -623,13 +686,22 @@ impl<'p> TaintEngine<'p> {
         )
     }
 
-    fn trace_uncached(&self, func: Address, callsite_addr: Address, arg: usize) -> TaintTree {
+    fn trace_uncached(
+        &self,
+        func: Address,
+        callsite_addr: Address,
+        arg: usize,
+    ) -> (TaintTree, TraceDeps) {
         let mut cx = Cx {
             tree: TaintTree::default(),
             visited_vals: VisitedVals::new(self.config.cold_path),
             visited_regions: VisitedRegions::new(self.config.cold_path),
             call_stack: Vec::new(),
+            deps: TraceDeps::default(),
         };
+        // The root function is an input even when the lookup fails: the
+        // result depends on it staying found/unfound.
+        cx.deps.funcs.insert(func);
         let Some(f) = self.program.function(func) else {
             let root = cx.tree.add(
                 None,
@@ -649,7 +721,7 @@ impl<'p> TaintEngine<'p> {
                     reason: "function not found",
                 }),
             );
-            return cx.tree;
+            return (cx.tree, cx.deps);
         };
         let Some(call) = f.op_at(callsite_addr).cloned() else {
             let root = cx.tree.add(
@@ -670,7 +742,7 @@ impl<'p> TaintEngine<'p> {
                     reason: "callsite not found",
                 }),
             );
-            return cx.tree;
+            return (cx.tree, cx.deps);
         };
         let delivery = call
             .call_target()
@@ -694,11 +766,11 @@ impl<'p> TaintEngine<'p> {
                     reason: "argument missing",
                 }),
             );
-            return cx.tree;
+            return (cx.tree, cx.deps);
         };
         let at = self.du(func).position_of(callsite_addr).expect("op exists");
         self.taint_value(&mut cx, func, at, &v, root, 0);
-        cx.tree
+        (cx.tree, cx.deps)
     }
 
     fn budget_ok(&self, cx: &Cx, depth: usize) -> bool {
@@ -726,6 +798,7 @@ impl<'p> TaintEngine<'p> {
         parent: TaintNodeId,
         depth: usize,
     ) {
+        cx.deps.funcs.insert(func);
         if !self.budget_ok(cx, depth) {
             self.leaf(
                 cx,
@@ -846,12 +919,20 @@ impl<'p> TaintEngine<'p> {
             cx.call_stack.push((caller, callsite));
             return;
         }
-        // No context: enumerate callers via the call graph.
+        // No context: enumerate callers via the call graph. The *set* of
+        // callers is an input here — a new caller changes the walk even
+        // when no visited body changed — so record the enumeration (and
+        // every enumerated caller, including ones skipped by the guards
+        // below, whose callsite shape the skip depended on).
+        cx.deps.caller_enums.insert(func);
         let callers: Vec<_> = self
             .callgraph
             .callers_of(func)
             .map(|e| (e.caller, e.callsite))
             .collect();
+        cx.deps
+            .funcs
+            .extend(callers.iter().map(|&(caller, _)| caller));
         if callers.is_empty() {
             let name = f.name().to_string();
             self.leaf(
@@ -1116,7 +1197,10 @@ impl<'p> TaintEngine<'p> {
             }
             return;
         }
-        // Internal call: descend to the callee's return values.
+        // Internal call: descend to the callee's return values. Recorded
+        // whether or not the callee exists (and even when it has no
+        // returning ops): the result depends on exactly that state.
+        cx.deps.funcs.insert(target);
         let Some(callee) = self.program.function(target) else {
             self.leaf(
                 cx,
@@ -1163,6 +1247,7 @@ impl<'p> TaintEngine<'p> {
         parent: TaintNodeId,
         depth: usize,
     ) {
+        cx.deps.funcs.insert(func);
         if !self.budget_ok(cx, depth) {
             self.leaf(
                 cx,
@@ -1996,6 +2081,48 @@ s: .asciz "x"
         // A different argument is a different query.
         engine.trace(f.entry(), callsite, 0);
         assert_eq!(engine.cache_stats(), (1, 2));
+    }
+
+    #[test]
+    fn trace_deps_record_visited_and_enumerated_functions() {
+        // main passes a parameter-derived value down: helper's trace
+        // enumerates its callers, so deps must name both functions and
+        // flag the enumeration.
+        let src = r#"
+.func helper msg
+ mov a1, a0
+ li a0, 1
+ callx SSL_write
+ ret
+.endfunc
+.func main
+ la a0, msg
+ call helper
+ ret
+.endfunc
+.data
+msg: .asciz "PING"
+"#;
+        let exe = Assembler::new().assemble(src).unwrap();
+        let p = lift(&exe, "t").unwrap();
+        let helper = p.function_by_name("helper").unwrap();
+        let main = p.function_by_name("main").unwrap();
+        let callsite = helper.callsites().next().unwrap().addr;
+        let engine = TaintEngine::new(&p);
+        let (tree, deps) = engine.trace_with_deps(helper.entry(), callsite, 1);
+        assert!(tree.len() > 1);
+        assert!(deps.funcs.contains(&helper.entry()), "{deps:?}");
+        assert!(deps.funcs.contains(&main.entry()), "{deps:?}");
+        assert!(deps.caller_enums.contains(&helper.entry()), "{deps:?}");
+        // The memoized deps are retrievable without recounting.
+        let stats = engine.cache_stats();
+        assert_eq!(
+            engine.trace_deps(helper.entry(), callsite, 1),
+            Some(deps),
+            "stored deps match"
+        );
+        assert_eq!(engine.cache_stats(), stats);
+        assert_eq!(engine.trace_deps(helper.entry(), 0xdead, 1), None);
     }
 
     #[test]

@@ -386,19 +386,45 @@ impl FirmwareImage {
     }
 }
 
+/// Split `packed` into full little-endian words plus a zero-padded tail
+/// word (`None` when the length is a multiple of eight).
+fn fold_words(packed: &[u8]) -> (std::slice::ChunksExact<'_, u8>, Option<u64>) {
+    let chunks = packed.chunks_exact(8);
+    let rem = chunks.remainder();
+    let tail = (!rem.is_empty()).then(|| {
+        let mut w = [0u8; 8];
+        w[..rem.len()].copy_from_slice(rem);
+        u64::from_le_bytes(w)
+    });
+    (chunks, tail)
+}
+
 /// [`FirmwareImage::content_hash`] over already-packed container bytes,
 /// without unpacking them first — corpus drivers hash images straight
 /// off disk before deciding whether an analysis is cached.
+///
+/// FNV-1a folded over 64-bit words rather than bytes: this digest seals
+/// and verifies every cache artifact, so the serial multiply chain is
+/// hot. The tail is zero-padded into a final word and the total length
+/// is folded last, keeping inputs that differ only in trailing zero
+/// bytes apart.
 pub fn content_hash_packed(packed: &[u8]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in packed {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    let (chunks, tail) = fold_words(packed);
+    for c in chunks {
+        h ^= u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+        h = h.wrapping_mul(PRIME);
     }
-    h
+    if let Some(w) = tail {
+        h ^= w;
+        h = h.wrapping_mul(PRIME);
+    }
+    (h ^ packed.len() as u64).wrapping_mul(PRIME)
 }
 
-/// 128-bit FNV-1a digest of already-packed container bytes.
+/// 128-bit digest of already-packed container bytes (word-folded FNV-1a,
+/// same construction as [`content_hash_packed`]).
 ///
 /// The analysis cache keys firmware *identity* on this wider digest: at
 /// 64 bits, a corpus of a few hundred million images has a
@@ -409,12 +435,18 @@ pub fn content_hash_packed(packed: &[u8]) -> u64 {
 /// collisions — so the cache must not be trusted across a privilege
 /// boundary (see DESIGN.md §7 for the threat-model tradeoff).
 pub fn content_hash_packed_wide(packed: &[u8]) -> u128 {
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
     let mut h: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
-    for &b in packed {
-        h ^= b as u128;
-        h = h.wrapping_mul(0x0000_0000_0100_0000_0000_0000_0000_013b);
+    let (chunks, tail) = fold_words(packed);
+    for c in chunks {
+        h ^= u64::from_le_bytes(c.try_into().expect("8-byte chunk")) as u128;
+        h = h.wrapping_mul(PRIME);
     }
-    h
+    if let Some(w) = tail {
+        h ^= w as u128;
+        h = h.wrapping_mul(PRIME);
+    }
+    (h ^ packed.len() as u128).wrapping_mul(PRIME)
 }
 
 fn fnv32(bytes: &[u8]) -> u32 {

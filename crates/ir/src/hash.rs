@@ -1,0 +1,418 @@
+//! Content hashing of lifted IR, the identity substrate of unit-granular
+//! incremental re-analysis.
+//!
+//! A firmware *update* typically leaves most functions byte-identical to
+//! the previous version. To reuse per-unit analysis artifacts across
+//! versions, the cache needs a stable identity for "this function's lifted
+//! body" and for "everything about the program a unit's analysis can read
+//! besides function bodies". This module provides both:
+//!
+//! * [`function_content_hash`] — FNV-128 over one function's complete
+//!   lifted content: name, entry, parameters, every operation of every
+//!   block (addresses, opcodes, varnodes), CFG successor edges, the
+//!   per-function symbol table and import references. Two functions hash
+//!   equal exactly when every analysis in this workspace treats them
+//!   identically.
+//! * [`program_context_hash`] — FNV-128 over the program-wide inputs that
+//!   are *not* function bodies: program name, the data segment (string
+//!   constants), the function directory (entries, names, parameter
+//!   shapes) and the import table. Analyses resolve strings, callee names
+//!   and symbols through exactly these, so a unit whose footprint
+//!   functions are unchanged *and* whose context hash is unchanged has
+//!   byte-identical inputs.
+//! * [`caller_edges_hash`] — FNV-64 over the `(caller, callsite)` edge
+//!   set entering a function. The backward taint engine enumerates
+//!   callers when it runs out of local definitions; this hash detects a
+//!   *new* caller appearing even when no previously-footprinted function
+//!   body changed.
+//!
+//! # Examples
+//!
+//! ```
+//! use firmres_ir::{function_content_hash, FunctionBuilder, Varnode};
+//!
+//! let build = |k: u64| {
+//!     let mut fb = FunctionBuilder::new("f", 0x1000);
+//!     let x = fb.param("x", 4);
+//!     let t = fb.add(x, Varnode::constant(k, 4));
+//!     fb.ret_val(t);
+//!     fb.finish()
+//! };
+//! assert_eq!(function_content_hash(&build(1)), function_content_hash(&build(1)));
+//! assert_ne!(function_content_hash(&build(1)), function_content_hash(&build(2)));
+//! ```
+
+use crate::{Address, CallGraph, Function, Program, Varnode};
+use std::collections::BTreeMap;
+
+/// Streaming 128-bit hasher: FNV-1a folded over 64-bit words.
+///
+/// Uses the FNV-128 offset basis and prime (the constants of
+/// `firmres_firmware::content_hash_packed_wide`), but absorbs eight
+/// input bytes per multiply instead of one — this hasher digests every
+/// lifted function body and executable image on the incremental
+/// re-analysis hot path, where the byte-at-a-time variant's serial
+/// 128-bit multiply per byte dominated the planning cost. Tail bytes are
+/// zero-padded into a final word and the total input length is folded
+/// last, so inputs differing only in trailing zero bytes still hash
+/// apart.
+#[derive(Debug, Clone)]
+pub struct Fnv128 {
+    state: u128,
+    buf: [u8; 8],
+    buffered: usize,
+    total: u64,
+}
+
+const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+impl Default for Fnv128 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv128 {
+    /// A fresh hasher at the FNV-128 offset basis.
+    pub fn new() -> Self {
+        Fnv128 {
+            state: FNV128_OFFSET,
+            buf: [0; 8],
+            buffered: 0,
+            total: 0,
+        }
+    }
+
+    #[inline]
+    fn absorb(&mut self, word: u64) {
+        self.state ^= word as u128;
+        self.state = self.state.wrapping_mul(FNV128_PRIME);
+    }
+
+    /// Fold raw bytes into the state.
+    pub fn write(&mut self, bytes: &[u8]) {
+        self.total = self.total.wrapping_add(bytes.len() as u64);
+        let mut rest = bytes;
+        if self.buffered > 0 {
+            let take = rest.len().min(8 - self.buffered);
+            self.buf[self.buffered..self.buffered + take].copy_from_slice(&rest[..take]);
+            self.buffered += take;
+            rest = &rest[take..];
+            if self.buffered < 8 {
+                return;
+            }
+            let word = u64::from_le_bytes(self.buf);
+            self.absorb(word);
+            self.buffered = 0;
+        }
+        let mut chunks = rest.chunks_exact(8);
+        for c in &mut chunks {
+            self.absorb(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let tail = chunks.remainder();
+        self.buf[..tail.len()].copy_from_slice(tail);
+        self.buffered = tail.len();
+    }
+
+    /// Fold a single byte. IR traversals issue thousands of these per
+    /// function, so the byte goes straight into the word buffer instead
+    /// of through the slice path.
+    #[inline]
+    pub fn write_u8(&mut self, v: u8) {
+        self.total = self.total.wrapping_add(1);
+        self.buf[self.buffered] = v;
+        self.buffered += 1;
+        if self.buffered == 8 {
+            let word = u64::from_le_bytes(self.buf);
+            self.absorb(word);
+            self.buffered = 0;
+        }
+    }
+
+    /// Fold a `u32` (little-endian).
+    pub fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Fold a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        if self.buffered == 0 {
+            self.total = self.total.wrapping_add(8);
+            self.absorb(v);
+        } else {
+            self.write(&v.to_le_bytes());
+        }
+    }
+
+    /// Fold a `u128` (little-endian).
+    pub fn write_u128(&mut self, v: u128) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Fold a length-prefixed string (so `("ab","c")` ≠ `("a","bc")`).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write(s.as_bytes());
+    }
+
+    /// The current 128-bit digest: any buffered tail is zero-padded into
+    /// a final word, then the total input length is folded.
+    pub fn finish(&self) -> u128 {
+        let mut s = self.clone();
+        if s.buffered > 0 {
+            s.buf[s.buffered..].fill(0);
+            let word = u64::from_le_bytes(s.buf);
+            s.absorb(word);
+            s.buffered = 0;
+        }
+        let total = s.total;
+        s.absorb(total);
+        s.state
+    }
+
+    fn write_varnode(&mut self, v: &Varnode) {
+        self.write_u8(v.space as u8);
+        self.write_u64(v.offset);
+        self.write_u8(v.size);
+    }
+}
+
+/// FNV-128 over one function's complete lifted content.
+///
+/// Covers everything any analysis stage reads out of a [`Function`]:
+/// name, entry address, parameter list, each block's operations
+/// (instruction address, opcode tag, output and input varnodes), the CFG
+/// successor edges, the symbol table (in its deterministic iteration
+/// order) and the import references. Any observable change to the lifted
+/// body changes the hash.
+pub fn function_content_hash(f: &Function) -> u128 {
+    let mut h = Fnv128::new();
+    h.write_str(f.name());
+    h.write_u64(f.entry());
+    h.write_u64(f.params().len() as u64);
+    for p in f.params() {
+        h.write_varnode(p);
+    }
+    h.write_u64(f.blocks().len() as u64);
+    for b in f.blocks() {
+        h.write_u64(b.ops.len() as u64);
+        for op in &b.ops {
+            h.write_u64(op.addr);
+            h.write_u8(op.opcode.tag());
+            match &op.output {
+                Some(v) => {
+                    h.write_u8(1);
+                    h.write_varnode(v);
+                }
+                None => h.write_u8(0),
+            }
+            h.write_u64(op.inputs.len() as u64);
+            for v in &op.inputs {
+                h.write_varnode(v);
+            }
+        }
+        h.write_u64(b.successors.len() as u64);
+        for s in &b.successors {
+            h.write_u32(s.0);
+        }
+    }
+    h.write_u64(f.symbols().len() as u64);
+    for (v, sym) in f.symbols().iter() {
+        h.write_varnode(v);
+        h.write_str(&sym.name);
+        h.write_str(sym.data_type.tag());
+    }
+    h.write_u64(f.import_refs().len() as u64);
+    for (addr, name) in f.import_refs() {
+        h.write_u64(*addr);
+        h.write_str(name);
+    }
+    h.finish()
+}
+
+/// Content hashes of every function in `program`, keyed by entry address.
+pub fn program_function_hashes(program: &Program) -> BTreeMap<Address, u128> {
+    program
+        .functions()
+        .map(|f| (f.entry(), function_content_hash(f)))
+        .collect()
+}
+
+/// FNV-128 over the program-wide analysis inputs that are *not* function
+/// bodies.
+///
+/// Covers the program name, the data segment base and bytes (string
+/// constants), the function directory — entry addresses, names and
+/// parameter shapes, which is what callee-name resolution and unit
+/// enumeration read — and the import table. Function *bodies* are
+/// deliberately excluded: body changes are detected per-function via
+/// [`function_content_hash`] footprints, so a code-only update keeps the
+/// context hash (and with it every unit's identity) stable.
+pub fn program_context_hash(program: &Program) -> u128 {
+    let mut h = Fnv128::new();
+    h.write_str(program.name());
+    h.write_u64(program.data_base());
+    h.write_u64(program.data_bytes().len() as u64);
+    h.write(program.data_bytes());
+    h.write_u64(program.function_count() as u64);
+    for f in program.functions() {
+        h.write_u64(f.entry());
+        h.write_str(f.name());
+        h.write_u64(f.params().len() as u64);
+        for p in f.params() {
+            h.write_varnode(p);
+        }
+    }
+    let imports: Vec<_> = program.imports().collect();
+    h.write_u64(imports.len() as u64);
+    for (addr, imp) in imports {
+        h.write_u64(addr);
+        h.write_str(&imp.name);
+    }
+    h.finish()
+}
+
+/// FNV-64 over the sorted `(caller, callsite)` edge set entering `callee`.
+///
+/// The backward taint engine enumerates the callers of a function when a
+/// traced value has no local definition; a firmware update that *adds* a
+/// caller changes that enumeration without changing any function the
+/// trace previously visited. Footprinting this hash for each
+/// caller-enumerated function closes that gap.
+pub fn caller_edges_hash(graph: &CallGraph, callee: Address) -> u64 {
+    let mut edges: Vec<(Address, Address)> = graph
+        .callers_of(callee)
+        .map(|e| (e.caller, e.callsite))
+        .collect();
+    edges.sort_unstable();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut fold = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    fold(edges.len() as u64);
+    for (caller, callsite) in edges {
+        fold(caller);
+        fold(callsite);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FunctionBuilder;
+
+    fn two_fn_program(log_body: bool) -> Program {
+        let mut p = Program::new("t");
+        p.add_string_constant("mac");
+        let mut fb = FunctionBuilder::new("handle", 0x1000);
+        let buf = fb.local("buf", 4);
+        fb.call_import("SSL_write", &[buf]);
+        fb.ret();
+        p.add_function(fb.finish());
+        let mut lg = FunctionBuilder::new("log", 0x2000);
+        if log_body {
+            lg.copy(
+                crate::Varnode::register(1, 4),
+                crate::Varnode::constant(7, 4),
+            );
+        }
+        lg.ret();
+        p.add_function(lg.finish());
+        p
+    }
+
+    #[test]
+    fn function_hash_is_stable_and_body_sensitive() {
+        let a = two_fn_program(false);
+        let b = two_fn_program(false);
+        let c = two_fn_program(true);
+        let fa = a.function_by_name("log").unwrap();
+        let fb = b.function_by_name("log").unwrap();
+        let fc = c.function_by_name("log").unwrap();
+        assert_eq!(function_content_hash(fa), function_content_hash(fb));
+        assert_ne!(function_content_hash(fa), function_content_hash(fc));
+        // The untouched function is unaffected by the neighbor's change.
+        assert_eq!(
+            function_content_hash(a.function_by_name("handle").unwrap()),
+            function_content_hash(c.function_by_name("handle").unwrap()),
+        );
+    }
+
+    #[test]
+    fn context_hash_ignores_bodies_but_sees_directory_changes() {
+        // Body-only change: context identical.
+        assert_eq!(
+            program_context_hash(&two_fn_program(false)),
+            program_context_hash(&two_fn_program(true)),
+        );
+        // Data segment change: context differs.
+        let mut p = two_fn_program(false);
+        p.add_string_constant("serial");
+        assert_ne!(
+            program_context_hash(&p),
+            program_context_hash(&two_fn_program(false))
+        );
+        // New function in the directory: context differs.
+        let mut q = two_fn_program(false);
+        let mut fb = FunctionBuilder::new("extra", 0x3000);
+        fb.ret();
+        q.add_function(fb.finish());
+        assert_ne!(
+            program_context_hash(&q),
+            program_context_hash(&two_fn_program(false))
+        );
+    }
+
+    #[test]
+    fn program_function_hashes_cover_all_functions() {
+        let p = two_fn_program(false);
+        let m = program_function_hashes(&p);
+        assert_eq!(m.len(), 2);
+        assert!(m.contains_key(&0x1000) && m.contains_key(&0x2000));
+    }
+
+    #[test]
+    fn fnv128_streaming_matches_one_shot_and_sees_zero_tails() {
+        let data: Vec<u8> = (0u32..1000).map(|i| (i * 7) as u8).collect();
+        let mut one = Fnv128::new();
+        one.write(&data);
+        let mut parts = Fnv128::new();
+        for chunk in data.chunks(7) {
+            parts.write(chunk);
+        }
+        assert_eq!(one.finish(), parts.finish(), "chunking must not matter");
+        // A trailing zero byte lands in the padded tail word; the folded
+        // length still separates the digests.
+        let mut a = Fnv128::new();
+        a.write(b"ab");
+        let mut b = Fnv128::new();
+        b.write(b"ab\0");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn caller_edges_hash_sees_new_callers() {
+        let mut p = Program::new("t");
+        let mut callee = FunctionBuilder::new("callee", 0x1000);
+        callee.ret();
+        p.add_function(callee.finish());
+        let mut a = FunctionBuilder::new("a", 0x2000);
+        a.call_fn(0x1000, &[]);
+        a.ret();
+        p.add_function(a.finish());
+        let h1 = caller_edges_hash(&p.call_graph(), 0x1000);
+
+        let mut b = FunctionBuilder::new("b", 0x3000);
+        b.call_fn(0x1000, &[]);
+        b.ret();
+        p.add_function(b.finish());
+        let h2 = caller_edges_hash(&p.call_graph(), 0x1000);
+        assert_ne!(h1, h2, "a new caller must change the edge hash");
+        assert_eq!(h2, caller_edges_hash(&p.call_graph(), 0x1000));
+    }
+}

@@ -43,6 +43,7 @@ pub mod dot;
 mod block;
 mod callgraph;
 mod function;
+mod hash;
 mod intern;
 mod opcode;
 mod program;
@@ -52,6 +53,9 @@ mod varnode;
 pub use block::{BasicBlock, BlockId};
 pub use callgraph::{CallEdge, CallGraph};
 pub use function::{Function, FunctionBuilder};
+pub use hash::{
+    caller_edges_hash, function_content_hash, program_context_hash, program_function_hashes, Fnv128,
+};
 pub use intern::{ColdPath, FnvBuildHasher, FnvHasher, Interner, Sym};
 pub use opcode::Opcode;
 pub use program::{import_address, is_import_address, Import, PcodeOp, Program};

@@ -104,6 +104,8 @@ struct ServiceCounters {
     jobs_cancelled: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    unit_hits: AtomicU64,
+    unit_misses: AtomicU64,
 }
 
 /// One admitted job waiting in (or pulled from) the queue.
@@ -155,6 +157,8 @@ impl Shared {
             jobs_cancelled: self.counters.jobs_cancelled.load(Ordering::Relaxed),
             cache_hits: self.counters.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.counters.cache_misses.load(Ordering::Relaxed),
+            unit_hits: self.counters.unit_hits.load(Ordering::Relaxed),
+            unit_misses: self.counters.unit_misses.load(Ordering::Relaxed),
             draining: self.draining.load(Ordering::Acquire),
         }
     }
@@ -302,14 +306,52 @@ fn run_job(shared: &Shared, job: Job) {
             } else {
                 &mut silent
             };
-            analyze_firmware_cancellable(
-                &fw,
-                classifier,
-                &job.config,
-                shared.cfg.unit_jobs,
-                observer,
-                &job.token,
-            )
+            // With a cache configured, a miss goes through the
+            // unit-granular funnel: the daemon diffs the submitted image
+            // against its stored artifacts automatically and re-runs
+            // only the dirty units. Without one, the plain pipeline.
+            match &shared.cache {
+                Some(cache) => firmres_cache::analyze_image_units_incremental(
+                    &fw,
+                    classifier,
+                    &job.config,
+                    shared.cfg.unit_jobs,
+                    cache,
+                    observer,
+                    Some(&job.token),
+                )
+                .map(|out| {
+                    let c = &shared.counters;
+                    c.unit_hits
+                        .fetch_add(out.stats.unit_hits, Ordering::Relaxed);
+                    c.unit_misses
+                        .fetch_add(out.stats.unit_misses, Ordering::Relaxed);
+                    firmres_cache::codec::get_analysis(&mut firmres_cache::codec::Reader::new(
+                        &out.bytes,
+                    ))
+                    .ok()
+                })
+                .and_then(|decoded| match decoded {
+                    Some(analysis) => Ok(analysis),
+                    // Funnel bytes always decode; re-run defensively.
+                    None => analyze_firmware_cancellable(
+                        &fw,
+                        classifier,
+                        &job.config,
+                        shared.cfg.unit_jobs,
+                        &mut NullObserver,
+                        &job.token,
+                    ),
+                }),
+                None => analyze_firmware_cancellable(
+                    &fw,
+                    classifier,
+                    &job.config,
+                    shared.cfg.unit_jobs,
+                    observer,
+                    &job.token,
+                ),
+            }
         }
         // An unpackable image degrades exactly as the local pipeline
         // does: a stub analysis carrying an Input diagnostic.

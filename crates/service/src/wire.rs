@@ -43,7 +43,7 @@ use std::time::Duration;
 
 /// Version of this wire protocol. Bump on any frame-layout change; the
 /// handshake refuses mismatched peers instead of misparsing them.
-pub const PROTOCOL_VERSION: u16 = 1;
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Hard cap on one frame's body length. Larger length prefixes are
 /// refused before any allocation: a hostile or corrupt 4-byte prefix
@@ -229,6 +229,11 @@ pub struct ServiceStatus {
     pub cache_hits: u64,
     /// Submissions that had to run the pipeline.
     pub cache_misses: u64,
+    /// Message units spliced from unit-granular artifacts while
+    /// re-analyzing cache misses.
+    pub unit_hits: u64,
+    /// Message units re-executed while re-analyzing cache misses.
+    pub unit_misses: u64,
     /// Whether the server is draining.
     pub draining: bool,
 }
@@ -571,6 +576,8 @@ fn put_status(out: &mut Vec<u8>, s: &ServiceStatus) {
     out.put_u64_le(s.jobs_cancelled);
     out.put_u64_le(s.cache_hits);
     out.put_u64_le(s.cache_misses);
+    out.put_u64_le(s.unit_hits);
+    out.put_u64_le(s.unit_misses);
     out.put_u8(s.draining as u8);
 }
 
@@ -584,6 +591,8 @@ fn get_status(r: &mut Reader) -> Result<ServiceStatus, WireError> {
         jobs_cancelled: r.u64()?,
         cache_hits: r.u64()?,
         cache_misses: r.u64()?,
+        unit_hits: r.u64()?,
+        unit_misses: r.u64()?,
         draining: r.boolean()?,
     })
 }
@@ -893,6 +902,8 @@ mod tests {
                 jobs_cancelled: 1,
                 cache_hits: 60,
                 cache_misses: 40,
+                unit_hits: 512,
+                unit_misses: 9,
                 draining: true,
             }),
             Response::DrainOk { jobs_served: 100 },

@@ -34,6 +34,14 @@ echo "==> cold-path optimization gate (writes BENCH_coldpath.json)"
 # single-thread speedup floor.
 cargo run --release -q -p firmres-bench --bin coldpath_bench BENCH_coldpath.json 1.5
 
+echo "==> incremental re-analysis gate (writes BENCH_incremental.json)"
+# Cold vs 1%-mutated re-analysis through the unit-granular store:
+# asserts every result is byte-identical to the plain pipeline and
+# enforces a 2x speedup floor (the corpus measures ~3.5-4x; a broken
+# splice path measures ~1x — see the bench's module docs for what
+# bounds the ratio on synthetic images).
+cargo run --release -q -p firmres-bench --bin incremental_bench BENCH_incremental.json 2
+
 echo "==> cache smoke against a parallel-produced entry"
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
@@ -68,6 +76,30 @@ cli status "$addr" | grep -q 'served 2 (1 cache hit'
 cli drain "$addr" | grep -q 'drained after serving 2 job(s)'
 wait "$serve_pid"
 grep -q 'served 2 job(s)' "$smoke_dir/serve.txt"
+
+echo "==> incremental service smoke (update submit splices stored units)"
+# Submit a firmware version, then a 1%-mutated update of it: the update
+# misses the image cache but splices clean units from the previous
+# version's bank, and the served report still matches a local
+# from-scratch analysis byte-for-byte.
+cli gen 10 "$smoke_dir/dev10-v1.fwi" > /dev/null
+cli mutate "$smoke_dir/dev10-v1.fwi" "$smoke_dir/dev10-v2.fwi" 1 > /dev/null
+cli serve 127.0.0.1:0 --cache "$smoke_dir/incr-cache" \
+    --port-file "$smoke_dir/incr-port" > "$smoke_dir/incr-serve.txt" &
+incr_pid=$!
+for _ in $(seq 1 200); do
+  [ -s "$smoke_dir/incr-port" ] && break
+  sleep 0.1
+done
+iaddr="$(cat "$smoke_dir/incr-port")"
+cli submit "$iaddr" "$smoke_dir/dev10-v1.fwi" > /dev/null
+cli submit "$iaddr" "$smoke_dir/dev10-v2.fwi" > "$smoke_dir/incr-v2.txt"
+cli status "$iaddr" | grep -Eq 'units [1-9][0-9]* spliced'
+cli drain "$iaddr" > /dev/null
+wait "$incr_pid"
+cli analyze "$smoke_dir/dev10-v2.fwi" > "$smoke_dir/incr-local.txt"
+cmp "$smoke_dir/incr-local.txt" "$smoke_dir/incr-v2.txt"
+cli cache-stats "$smoke_dir/incr-cache" | grep -q 'unit artifacts'
 
 echo "==> service wire + end-to-end suites (release)"
 cargo test --release -q -p firmres-service

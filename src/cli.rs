@@ -8,7 +8,11 @@
 //! * `lift <image.fwi> <exe-path>` — dump the lifted P-Code IR
 //! * `analyze <image.fwi>` — run the full FIRMRES pipeline and report
 //!   (`--cache <dir>` runs through the content-addressed analysis cache,
-//!   `--jobs <n>` fans the message units out over `n` worker threads)
+//!   `--jobs <n>` fans the message units out over `n` worker threads,
+//!   `--update-of <prev.fwi>` primes the cache from a previous firmware
+//!   version so only changed functions' units re-run)
+//! * `mutate <in.fwi> <out.fwi> <percent> [seed]` — write a synthetic
+//!   firmware update mutating `percent`% of the image's functions
 //! * `serve <addr>` — run the resident analysis daemon
 //! * `submit <addr> <image.fwi>` — submit an image to a running daemon;
 //!   the rendered report is identical to a local `analyze`
@@ -45,12 +49,15 @@ pub fn run(args: &[String]) -> Result<String, String> {
         }
         Some("analyze") => {
             let mut cache_dir: Option<String> = None;
+            let mut update_of: Option<String> = None;
             let mut jobs: usize = 1;
             let mut positional: Vec<&String> = Vec::new();
             let mut rest = args[1..].iter();
             while let Some(a) = rest.next() {
                 if a == "--cache" {
                     cache_dir = Some(rest.next().ok_or(USAGE)?.clone());
+                } else if a == "--update-of" {
+                    update_of = Some(rest.next().ok_or(USAGE)?.clone());
                 } else if a == "--jobs" {
                     jobs = parse_count(rest.next(), "--jobs")?;
                 } else {
@@ -61,9 +68,11 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 &load_image(positional.first().copied())?,
                 positional.get(1).copied(),
                 cache_dir.as_deref(),
+                update_of.as_ref(),
                 jobs,
             )
         }
+        Some("mutate") => cmd_mutate(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("submit") => cmd_submit(&args[1..]),
         Some("status") => cmd_status(args.get(1)),
@@ -88,9 +97,15 @@ const USAGE: &str = "usage: firmres-cli <command>\n\
   disasm <image.fwi> <exe>      disassemble an MR32 executable\n\
   lift <image.fwi> <exe>        dump the lifted P-Code IR\n\
   analyze <image.fwi> [model] [--cache <dir>] [--jobs <n>]\n\
+\x20      [--update-of <prev.fwi>]\n\
 \x20                               run the FIRMRES pipeline (optional model;\n\
 \x20                               --cache reuses/populates an analysis cache;\n\
-\x20                               --jobs parallelizes within the image)\n\
+\x20                               --jobs parallelizes within the image;\n\
+\x20                               --update-of primes the cache from the\n\
+\x20                               previous firmware version first)\n\
+  mutate <in.fwi> <out.fwi> <percent> [seed]\n\
+\x20                               write a synthetic update flipping one\n\
+\x20                               immediate in <percent>% of the functions\n\
   serve <addr> [model] [--cache <dir>] [--workers <n>] [--jobs <n>]\n\
 \x20      [--queue <n>] [--port-file <path>]\n\
 \x20                               run the resident analysis daemon (blocks\n\
@@ -268,15 +283,33 @@ fn cmd_analyze(
     fw: &FirmwareImage,
     model_path: Option<&String>,
     cache_dir: Option<&str>,
+    update_of: Option<&String>,
     jobs: usize,
 ) -> Result<String, String> {
     let model = load_model(model_path)?;
     let config = AnalysisConfig::default();
+    if update_of.is_some() && cache_dir.is_none() {
+        return Err("analyze --update-of requires --cache <dir>".into());
+    }
     let mut cache_summary = None;
     let analysis = match cache_dir {
         None => analyze_firmware_jobs(fw, model.as_ref(), &config, jobs),
         Some(dir) => {
             let cache = AnalysisCache::new(dir);
+            // Prime the store from the previous firmware version: its
+            // unit artifacts let the current image splice every function
+            // the update did not touch.
+            if let Some(prev_path) = update_of {
+                let prev = load_image(Some(prev_path))?;
+                analyze_corpus_incremental(
+                    &[&prev],
+                    model.as_ref(),
+                    &config,
+                    Parallelism::units(jobs),
+                    &cache,
+                    &mut firmres::NullObserver,
+                );
+            }
             let mut obs = CollectingObserver::default();
             let outcome = analyze_corpus_incremental(
                 &[fw],
@@ -287,8 +320,19 @@ fn cmd_analyze(
                 &mut obs,
             );
             let s = outcome.stats;
+            let unit_part = if s.unit_hits > 0 {
+                format!(
+                    "; {} unit(s) spliced, {} re-run ({:.0}% reuse), {} verdict(s) replayed",
+                    s.unit_hits,
+                    s.unit_misses,
+                    100.0 * s.unit_reuse_rate(),
+                    s.verdict_hits
+                )
+            } else {
+                String::new()
+            };
             cache_summary = Some(format!(
-                "analysis cache ({dir}): {} | {} bytes read, {} bytes written",
+                "analysis cache ({dir}): {} | {} bytes read, {} bytes written{unit_part}",
                 if s.hits > 0 {
                     "hit — pipeline skipped"
                 } else {
@@ -349,6 +393,36 @@ fn render_report(out: &mut String, analysis: &firmres::FirmwareAnalysis) {
     }
     append_stats(out, analysis);
     append_diagnostics(out, analysis);
+}
+
+fn cmd_mutate(args: &[String]) -> Result<String, String> {
+    let fw = load_image(args.first())?;
+    let out_path = args.get(1).ok_or(USAGE)?;
+    let percent: f64 = args
+        .get(2)
+        .ok_or(USAGE)?
+        .parse()
+        .map_err(|_| "percent must be a number".to_string())?;
+    if !(0.0..=100.0).contains(&percent) {
+        return Err("percent must be in 0..=100".into());
+    }
+    let seed: u64 = match args.get(3) {
+        Some(v) => v.parse().map_err(|_| "seed must be a number".to_string())?,
+        None => 42,
+    };
+    let update = firmres_corpus::mutate_firmware(&fw, percent, seed);
+    let packed = update.image.pack();
+    std::fs::write(out_path, &packed).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    let mut out = format!(
+        "mutated {} function(s) ({percent}% @ seed {seed}); wrote {} ({} bytes)\n",
+        update.mutated.len(),
+        out_path,
+        packed.len()
+    );
+    for (path, func) in &update.mutated {
+        let _ = writeln!(out, "  {path}: {func}");
+    }
+    Ok(out)
 }
 
 fn cmd_serve(args: &[String]) -> Result<String, String> {
@@ -462,13 +536,15 @@ fn cmd_status(addr: Option<&String>) -> Result<String, String> {
     let s = client.status().map_err(|e| format!("status failed: {e}"))?;
     Ok(format!(
         "queue {}/{} ({} running) | served {} ({} cache hit(s), {} pipeline run(s)) | \
-         {} rejected | {} cancelled | draining: {}\n",
+         units {} spliced / {} re-run | {} rejected | {} cancelled | draining: {}\n",
         s.queue_depth,
         s.queue_cap,
         s.inflight,
         s.jobs_served,
         s.cache_hits,
         s.cache_misses,
+        s.unit_hits,
+        s.unit_misses,
         s.jobs_rejected,
         s.jobs_cancelled,
         if s.draining { "yes" } else { "no" }
@@ -506,6 +582,20 @@ fn cmd_cache_stats(dir: Option<&String>) -> Result<String, String> {
             } else {
                 " (stale)"
             }
+        );
+    }
+    if stats.unit_banks > 0 || stats.verdicts > 0 {
+        let _ = writeln!(
+            out,
+            "  unit artifacts: {} bank(s), {} verdict(s) ({} bytes)",
+            stats.unit_banks, stats.verdicts, stats.unit_bytes
+        );
+    }
+    if stats.orphans_removed > 0 {
+        let _ = writeln!(
+            out,
+            "  {} orphaned temp file(s) reaped on open",
+            stats.orphans_removed
         );
     }
     if stats.foreign > 0 {
@@ -688,6 +778,61 @@ mod tests {
         std::fs::write(std::path::Path::new(&cache_dir).join("junk.frac"), b"oops").unwrap();
         let survey = run(&s(&["cache-stats", &cache_dir])).unwrap();
         assert!(survey.contains("1 foreign file(s) ignored"), "{survey}");
+        let _ = std::fs::remove_dir_all(&cache_dir);
+    }
+
+    #[test]
+    fn mutate_writes_a_parsable_update() {
+        let v1 = temp("dev10mu.fwi");
+        run(&s(&["gen", "10", &v1])).unwrap();
+        let v2 = temp("dev10mu2.fwi");
+        let msg = run(&s(&["mutate", &v1, &v2, "1"])).unwrap();
+        assert!(msg.contains("mutated 1 function(s)"), "{msg}");
+        // The update is a loadable image and differs from the original.
+        assert_ne!(std::fs::read(&v1).unwrap(), std::fs::read(&v2).unwrap());
+        let report = run(&s(&["analyze", &v2])).unwrap();
+        assert!(report.contains("reconstructed messages"), "{report}");
+        // Bad arguments are usage errors.
+        assert!(run(&s(&["mutate", &v1, &v2, "101"])).is_err());
+        assert!(run(&s(&["mutate", &v1, &v2, "lots"])).is_err());
+        assert!(run(&s(&["mutate", &v1])).is_err());
+    }
+
+    #[test]
+    fn analyze_update_of_splices_clean_units() {
+        let v1 = temp("dev10uo.fwi");
+        run(&s(&["gen", "10", &v1])).unwrap();
+        let v2 = temp("dev10uo2.fwi");
+        run(&s(&["mutate", &v1, &v2, "1", "7"])).unwrap();
+
+        let cache_dir = temp("update-cache");
+        let _ = std::fs::remove_dir_all(&cache_dir);
+        let report = run(&s(&[
+            "analyze",
+            &v2,
+            "--cache",
+            &cache_dir,
+            "--update-of",
+            &v1,
+        ]))
+        .unwrap();
+        assert!(report.contains("unit(s) spliced"), "{report}");
+        assert!(report.contains("% reuse"), "{report}");
+        assert!(report.contains("verdict(s) replayed"), "{report}");
+
+        // The spliced report body is identical to a from-scratch run.
+        let plain = run(&s(&["analyze", &v2])).unwrap();
+        let body: String = report.lines().skip(1).collect::<Vec<_>>().join("\n");
+        assert_eq!(body, plain.trim_end_matches('\n'));
+
+        // The survey now shows the unit-granular artifacts.
+        let survey = run(&s(&["cache-stats", &cache_dir])).unwrap();
+        assert!(survey.contains("unit artifacts:"), "{survey}");
+        assert!(survey.contains("verdict(s)"), "{survey}");
+
+        // --update-of without --cache is an error.
+        let err = run(&s(&["analyze", &v2, "--update-of", &v1])).unwrap_err();
+        assert!(err.contains("requires --cache"), "{err}");
         let _ = std::fs::remove_dir_all(&cache_dir);
     }
 

@@ -125,6 +125,63 @@ fn served_analysis_is_byte_identical_and_hash_submits_reuse_the_cache() {
 }
 
 #[test]
+fn mutated_resubmit_reuses_unit_artifacts() {
+    // Submit a firmware image, then a 1%-mutated update of it: the
+    // second submit misses the image-level entry but the daemon diffs
+    // it against its unit-granular store automatically, splicing every
+    // unit the update did not dirty — and still serves bytes identical
+    // to a from-scratch local run of the mutated image.
+    let dev = firmres_corpus::generate_device(10, 7);
+    let config = AnalysisConfig::default();
+    let dir = temp_dir("unit-reuse");
+    let (addr, handle) = spawn(ServerConfig {
+        workers: 1,
+        cache_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    });
+
+    let mut client = Client::connect(addr).expect("connect");
+    client
+        .submit(
+            SubmitImage::Bytes(dev.firmware.pack().to_vec()),
+            &config,
+            false,
+            0,
+        )
+        .expect("v1 submit");
+
+    let update = firmres_corpus::mutate_firmware(&dev.firmware, 1.0, 42);
+    let served = client
+        .submit(
+            SubmitImage::Bytes(update.image.pack().to_vec()),
+            &config,
+            false,
+            0,
+        )
+        .expect("v2 submit");
+    assert!(!served.from_cache, "a mutated image is not an image hit");
+
+    let status = client.status().expect("status");
+    assert_eq!(status.cache_misses, 2, "both versions ran the funnel");
+    assert!(
+        status.unit_hits > 0,
+        "clean units spliced from the store: {status:?}"
+    );
+    assert!(status.unit_misses > 0, "the dirty closure re-ran");
+
+    let local = canonical(analyze_firmware(&update.image, None, &config));
+    assert_eq!(
+        canonical(served.analysis),
+        local,
+        "spliced result differs from a from-scratch run"
+    );
+
+    client.drain().expect("drain");
+    handle.join().expect("server thread");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn full_queue_rejects_with_retry_hint_instead_of_hanging() {
     // queue_cap 0 and no workers: every by-bytes submit finds the queue
     // at capacity and must be answered, not parked.
