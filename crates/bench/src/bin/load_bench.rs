@@ -1,0 +1,344 @@
+//! Service load benchmark: synthesized fleet, open-loop percentiles,
+//! and an admission-control saturation sweep.
+//!
+//! Three phases against resident daemons:
+//!
+//! 1. **cold** — closed-loop submit-by-bytes of every synthesized image
+//!    into a cache-backed server (capacity measurement; every request
+//!    runs the pipeline once).
+//! 2. **warm** — open-loop traffic at a target arrival rate mixing
+//!    submit-by-bytes and submit-by-hash over the now-warm cache, with
+//!    coordinated-omission-corrected latency percentiles (p50…p99.9).
+//! 3. **saturation** — a second daemon with one worker, no cache and a
+//!    tiny queue, hammered closed-loop at escalating connection counts
+//!    until [`QueueFull`] rejections engage; the sweep reports the first
+//!    saturating connection count and the `retry_after_ms` hint.
+//!
+//! Writes `BENCH_load.json` (or the `--out` path) and exits non-zero on
+//! any wire/protocol error, on a cache miss in the warm phase, or when
+//! the sweep never saturates.
+//!
+//! Usage:
+//! `cargo run --release -p firmres-bench --bin load_bench -- [--devices N]
+//!  [--seed S] [--workers W] [--rate R] [--connections C] [--out PATH]`
+//!
+//! [`QueueFull`]: firmres_service::RejectReason::QueueFull
+
+use firmres::run_pool;
+use firmres_corpus::synth_device;
+use firmres_firmware::content_hash_packed_wide;
+use firmres_service::{
+    run_load, Client, LoadConfig, LoadReport, Server, ServerConfig, SubmitImage,
+};
+
+struct Args {
+    devices: u32,
+    seed: u64,
+    workers: usize,
+    rate: f64,
+    connections: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        devices: 1000,
+        seed: 7,
+        workers: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        rate: 500.0,
+        connections: 8,
+        out: "BENCH_load.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--devices" => args.devices = val("--devices").parse().expect("--devices"),
+            "--seed" => args.seed = val("--seed").parse().expect("--seed"),
+            "--workers" => args.workers = val("--workers").parse().expect("--workers"),
+            "--rate" => args.rate = val("--rate").parse().expect("--rate"),
+            "--connections" => {
+                args.connections = val("--connections").parse().expect("--connections")
+            }
+            "--out" => args.out = val("--out"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    assert!(args.devices > 0, "--devices must be positive");
+    assert!(args.connections > 0, "--connections must be positive");
+    args
+}
+
+/// Latency percentiles of a phase as a JSON fragment (microseconds).
+fn latency_json(report: &LoadReport) -> String {
+    let us = |q: f64| report.latency.value_at(q) as f64 / 1e3;
+    format!(
+        concat!(
+            "\"latency_us\": {{ \"mean\": {mean:.1}, \"min\": {min:.1}, ",
+            "\"p50\": {p50:.1}, \"p90\": {p90:.1}, \"p95\": {p95:.1}, ",
+            "\"p99\": {p99:.1}, \"p99_9\": {p999:.1}, \"max\": {max:.1} }}"
+        ),
+        mean = report.latency.mean() as f64 / 1e3,
+        min = report.latency.min() as f64 / 1e3,
+        p50 = us(0.50),
+        p90 = us(0.90),
+        p95 = us(0.95),
+        p99 = us(0.99),
+        p999 = us(0.999),
+        max = report.latency.max() as f64 / 1e3,
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    let mut failures = 0;
+
+    eprintln!(
+        "synthesizing {} devices (seed {}, {} threads)…",
+        args.devices, args.seed, args.workers
+    );
+    let images: Vec<Vec<u8>> = run_pool(args.devices as usize, args.workers, |i| {
+        synth_device(i as u32, args.seed).packed
+    });
+
+    let dir = std::env::temp_dir().join(format!("firmres-load-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: args.workers,
+            queue_cap: 64,
+            conn_inflight_cap: 256,
+            cache_dir: Some(dir.clone()),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    let daemon = std::thread::spawn(move || server.run());
+
+    // Phase 1 — cold capacity: every image submitted by bytes exactly
+    // once, closed loop.
+    eprintln!(
+        "cold phase: {} submit-by-bytes over {} connections…",
+        images.len(),
+        args.connections
+    );
+    let cold_items: Vec<SubmitImage> = images
+        .iter()
+        .map(|b| SubmitImage::Bytes(b.clone()))
+        .collect();
+    let cold = run_load(
+        addr,
+        &cold_items,
+        &LoadConfig {
+            connections: args.connections,
+            requests: cold_items.len(),
+            ..LoadConfig::default()
+        },
+    )
+    .expect("cold load run");
+    if cold.completed != cold.submitted || cold.wire_errors + cold.protocol_errors != 0 {
+        eprintln!("FAIL: cold phase did not complete cleanly: {cold:?}");
+        failures += 1;
+    }
+    eprintln!(
+        "  {:.0} analyses/s, p99 {:.1} ms",
+        cold.throughput(),
+        cold.latency.value_at(0.99) as f64 / 1e6
+    );
+
+    // Phase 2 — warm open loop: bytes and hash submits alternate over
+    // the primed cache at the target arrival rate.
+    let warm_requests = (images.len() * 2).min(8192);
+    eprintln!(
+        "warm phase: {} mixed bytes/hash requests, open loop at {:.0}/s…",
+        warm_requests, args.rate
+    );
+    let mut warm_items = Vec::with_capacity(images.len() * 2);
+    for b in &images {
+        warm_items.push(SubmitImage::Bytes(b.clone()));
+        warm_items.push(SubmitImage::Hash(content_hash_packed_wide(b)));
+    }
+    let warm = run_load(
+        addr,
+        &warm_items,
+        &LoadConfig {
+            connections: args.connections,
+            rate: args.rate,
+            requests: warm_requests,
+            ..LoadConfig::default()
+        },
+    )
+    .expect("warm load run");
+    if warm.completed != warm.submitted || warm.wire_errors + warm.protocol_errors != 0 {
+        eprintln!("FAIL: warm phase did not complete cleanly: {warm:?}");
+        failures += 1;
+    }
+    if warm.from_cache != warm.completed {
+        eprintln!(
+            "FAIL: {} warm submits missed the primed cache",
+            warm.completed - warm.from_cache
+        );
+        failures += 1;
+    }
+    eprintln!(
+        "  {:.0} served/s, p50 {:.0} us, p99 {:.0} us, {} behind schedule",
+        warm.throughput(),
+        warm.latency.value_at(0.5) as f64 / 1e3,
+        warm.latency.value_at(0.99) as f64 / 1e3,
+        warm.behind_schedule
+    );
+
+    let mut client = Client::connect(addr).expect("connect for drain");
+    client.drain().expect("drain");
+    daemon.join().expect("daemon thread");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Phase 3 — saturation sweep: cache-less single-worker daemon with
+    // a 4-deep queue (cache hits bypass admission, so the sweep must run
+    // cold traffic). Escalate connections until QueueFull engages.
+    const SWEEP_QUEUE_CAP: usize = 4;
+    eprintln!("saturation sweep: 1 worker, queue_cap {SWEEP_QUEUE_CAP}, no cache…");
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            queue_cap: SWEEP_QUEUE_CAP,
+            conn_inflight_cap: 256,
+            cache_dir: None,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind sweep port");
+    let sweep_addr = server.local_addr().expect("sweep addr");
+    let sweep_daemon = std::thread::spawn(move || server.run());
+    let sweep_items: Vec<SubmitImage> = images
+        .iter()
+        .take(4)
+        .map(|b| SubmitImage::Bytes(b.clone()))
+        .collect();
+
+    let mut steps = Vec::new();
+    let mut saturation_connections = 0usize;
+    for conns in [1usize, 2, 4, 8, 16] {
+        let report = run_load(
+            sweep_addr,
+            &sweep_items,
+            &LoadConfig {
+                connections: conns,
+                requests: conns * 6,
+                ..LoadConfig::default()
+            },
+        )
+        .expect("sweep load run");
+        if report.wire_errors + report.protocol_errors != 0 {
+            eprintln!("FAIL: sweep at {conns} connections hit errors: {report:?}");
+            failures += 1;
+        }
+        eprintln!(
+            "  {conns:>2} conns: {} completed, {} QueueFull (retry_after {} ms)",
+            report.completed, report.rejected_queue_full, report.retry_after_ms_max
+        );
+        if report.rejected_queue_full > 0 && saturation_connections == 0 {
+            saturation_connections = conns;
+        }
+        steps.push((conns, report));
+    }
+    if saturation_connections == 0 {
+        eprintln!("FAIL: sweep never saturated the admission queue");
+        failures += 1;
+    }
+    let mut client = Client::connect(sweep_addr).expect("connect sweep drain");
+    client.drain().expect("sweep drain");
+    sweep_daemon.join().expect("sweep daemon thread");
+
+    let step_json: Vec<String> = steps
+        .iter()
+        .map(|(conns, r)| {
+            format!(
+                concat!(
+                    "    {{ \"connections\": {conns}, \"submitted\": {sub}, ",
+                    "\"completed\": {done}, \"rejected_queue_full\": {rej}, ",
+                    "\"retry_after_ms_max\": {hint}, \"throughput_rps\": {tput:.1} }}"
+                ),
+                conns = conns,
+                sub = r.submitted,
+                done = r.completed,
+                rej = r.rejected_queue_full,
+                hint = r.retry_after_ms_max,
+                tput = r.throughput(),
+            )
+        })
+        .collect();
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"service_load\",\n",
+            "  \"devices\": {devices},\n",
+            "  \"seed\": {seed},\n",
+            "  \"workers\": {workers},\n",
+            "  \"connections\": {connections},\n",
+            "  \"cold\": {{\n",
+            "    \"requests\": {cold_req},\n",
+            "    \"elapsed_ms\": {cold_ms:.1},\n",
+            "    \"throughput_rps\": {cold_tput:.1},\n",
+            "    {cold_lat}\n",
+            "  }},\n",
+            "  \"warm\": {{\n",
+            "    \"requests\": {warm_req},\n",
+            "    \"rate_target_rps\": {rate:.1},\n",
+            "    \"elapsed_ms\": {warm_ms:.1},\n",
+            "    \"throughput_rps\": {warm_tput:.1},\n",
+            "    \"from_cache\": {warm_cached},\n",
+            "    \"behind_schedule\": {behind},\n",
+            "    {warm_lat}\n",
+            "  }},\n",
+            "  \"saturation\": {{\n",
+            "    \"sweep_workers\": 1,\n",
+            "    \"sweep_queue_cap\": {qcap},\n",
+            "    \"saturation_connections\": {sat_conns},\n",
+            "    \"steps\": [\n{steps}\n    ]\n",
+            "  }}\n",
+            "}}\n",
+        ),
+        devices = args.devices,
+        seed = args.seed,
+        workers = args.workers,
+        connections = args.connections,
+        cold_req = cold.submitted,
+        cold_ms = cold.elapsed.as_secs_f64() * 1e3,
+        cold_tput = cold.throughput(),
+        cold_lat = latency_json(&cold),
+        warm_req = warm.submitted,
+        rate = args.rate,
+        warm_ms = warm.elapsed.as_secs_f64() * 1e3,
+        warm_tput = warm.throughput(),
+        warm_cached = warm.from_cache,
+        behind = warm.behind_schedule,
+        warm_lat = latency_json(&warm),
+        qcap = SWEEP_QUEUE_CAP,
+        sat_conns = saturation_connections,
+        steps = step_json.join(",\n"),
+    );
+    std::fs::write(&args.out, &json).expect("write benchmark output");
+
+    println!(
+        "load bench: {} devices | cold {:.0} rps | warm {:.0} rps p99 {:.0} us | saturates at {} conns",
+        args.devices,
+        cold.throughput(),
+        warm.throughput(),
+        warm.latency.value_at(0.99) as f64 / 1e3,
+        saturation_connections,
+    );
+    println!("wrote {}", args.out);
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -654,6 +654,80 @@ mod tests {
     }
 
     #[test]
+    fn stats_survey_is_exact_at_a_thousand_plus_entries() {
+        // ISSUE 7 scale audit: with synthesized fleets the store routinely
+        // holds 1k+ image entries plus unit artifacts. Fabricate a large
+        // mixed population from raw headers (the survey reads only the
+        // 6-byte prefix) and check every counter is exact — no narrow
+        // types, no skipped banks, no drift between count and byte total.
+        let cache = AnalysisCache::new(temp_dir("stats1k"));
+        std::fs::create_dir_all(cache.dir()).unwrap();
+        let entry_bytes = |schema: u16, pad: usize| {
+            let mut b = Vec::new();
+            b.extend_from_slice(MAGIC);
+            b.extend_from_slice(&schema.to_le_bytes());
+            b.resize(6 + pad, 0xAB);
+            b
+        };
+        let mut expect_total = 0u64;
+        let mut expect_current = 0u64;
+        let mut expect_stale = 0u64;
+        for i in 0..1200u32 {
+            // 1 in 6 entries carries the previous (still servable) schema.
+            let schema = if i % 6 == 5 {
+                MIN_READ_SCHEMA_VERSION
+            } else {
+                SCHEMA_VERSION
+            };
+            let body = entry_bytes(schema, (i % 97) as usize);
+            expect_total += body.len() as u64;
+            if schema == SCHEMA_VERSION {
+                expect_current += 1;
+            } else {
+                expect_stale += 1;
+            }
+            std::fs::write(cache.dir().join(format!("e{i:04}.frac")), &body).unwrap();
+        }
+        let mut expect_unit_bytes = 0u64;
+        for i in 0..40u32 {
+            let body = vec![0x55u8; 32 + (i as usize % 11)];
+            expect_unit_bytes += body.len() as u64;
+            std::fs::write(cache.dir().join(format!("u{i:03}.fru")), &body).unwrap();
+        }
+        for i in 0..25u32 {
+            let body = vec![0x66u8; 16 + (i as usize % 7)];
+            expect_unit_bytes += body.len() as u64;
+            std::fs::write(cache.dir().join(format!("v{i:03}.frv")), &body).unwrap();
+        }
+        for i in 0..7u32 {
+            std::fs::write(
+                cache.dir().join(format!("alien{i}.frac")),
+                format!("no magic here {i}"),
+            )
+            .unwrap();
+        }
+        std::fs::write(cache.dir().join("README"), b"ignored entirely").unwrap();
+
+        let stats = cache.stats().unwrap();
+        assert_eq!(stats.entries, 1200);
+        assert_eq!(stats.total_bytes, expect_total);
+        assert_eq!(
+            stats.by_schema,
+            vec![
+                (MIN_READ_SCHEMA_VERSION, expect_stale),
+                (SCHEMA_VERSION, expect_current),
+            ]
+        );
+        assert_eq!(stats.current(), expect_current);
+        assert_eq!(stats.foreign, 7);
+        assert_eq!(stats.unit_banks, 40);
+        assert_eq!(stats.verdicts, 25);
+        assert_eq!(stats.unit_bytes, expect_unit_bytes);
+        assert_eq!(stats.orphans_removed, 0);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
     fn version_2_entries_remain_servable() {
         let dev = generate_device(6, 7);
         let config = AnalysisConfig::default();

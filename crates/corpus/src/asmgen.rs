@@ -53,8 +53,45 @@ fn endpoint_in_payload(delivery: Delivery) -> bool {
     )
 }
 
-/// Generate the complete device-cloud executable source for `plans`.
+/// One asynchronous request handler of a generated agent: the callback
+/// function name and the (global) indices of the plans it dispatches.
+///
+/// The roster devices use a single `on_cloud_request` handler over every
+/// plan; the synthetic generator also emits split topologies where two
+/// handlers each dispatch a disjoint subset — both are registered via
+/// `register_callback`, so the executable-identification stage must find
+/// each of them asynchronous.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HandlerSpec {
+    /// Function name registered via `register_callback`.
+    pub name: String,
+    /// Indices into the device's plan list this handler dispatches.
+    pub plans: Vec<usize>,
+}
+
+/// Generate the complete device-cloud executable source for `plans`
+/// with the canonical single-handler topology.
 pub fn device_cloud_source(identity: &DeviceIdentity, plans: &[MessagePlan]) -> String {
+    device_cloud_source_with_topology(
+        identity,
+        plans,
+        &[HandlerSpec {
+            name: "on_cloud_request".to_string(),
+            plans: (0..plans.len()).collect(),
+        }],
+    )
+}
+
+/// Generate a device-cloud executable with an explicit handler topology.
+///
+/// Every handler dispatches its own plan subset on the request's leading
+/// byte (the *global* plan index, so request bytes select uniquely across
+/// handlers) and `main` registers each handler as an event callback.
+pub fn device_cloud_source_with_topology(
+    identity: &DeviceIdentity,
+    plans: &[MessagePlan],
+    handlers: &[HandlerSpec],
+) -> String {
     let mut data = DataPool::default();
     let mut out = String::new();
     let host_lbl = data.label(&identity.cloud_host);
@@ -63,8 +100,18 @@ pub fn device_cloud_source(identity: &DeviceIdentity, plans: &[MessagePlan]) -> 
     for plan in plans {
         emit_message_fn(&mut out, plan, &mut data, &lan_lbl, &host_lbl);
     }
-    emit_handler(&mut out, plans);
-    emit_main(&mut out, &host_lbl);
+    for (hi, h) in handlers.iter().enumerate() {
+        // Branch labels are image-global: prefix them per handler so
+        // split topologies do not collide (the single-handler prefix is
+        // empty, keeping the roster corpus byte-identical).
+        let prefix = if handlers.len() == 1 {
+            String::new()
+        } else {
+            format!("h{hi}_")
+        };
+        emit_handler(&mut out, &h.name, &prefix, plans, &h.plans);
+    }
+    emit_main(&mut out, &host_lbl, handlers);
     out.push_str(&data.render());
     out
 }
@@ -374,8 +421,14 @@ fn emit_strcat_body(out: &mut String, plan: &MessagePlan, data: &mut DataPool) {
     }
 }
 
-fn emit_handler(out: &mut String, plans: &[MessagePlan]) {
-    let _ = writeln!(out, ".func on_cloud_request");
+fn emit_handler(
+    out: &mut String,
+    name: &str,
+    label_prefix: &str,
+    plans: &[MessagePlan],
+    indices: &[usize],
+) {
+    let _ = writeln!(out, ".func {name}");
     let _ = writeln!(out, ".local req 300");
     let _ = writeln!(out, ".local saved_ra 4");
     // Non-leaf function: the dispatch arms `call` message functions,
@@ -386,12 +439,13 @@ fn emit_handler(out: &mut String, plans: &[MessagePlan]) {
     let _ = writeln!(out, "    li  a2, 300");
     let _ = writeln!(out, "    li  a3, 0");
     let _ = writeln!(out, "    callx recv");
-    for (i, plan) in plans.iter().enumerate() {
+    for (pos, &idx) in indices.iter().enumerate() {
+        let plan = &plans[idx];
         let _ = writeln!(out, "    lb  t0, 0(sp)");
-        let _ = writeln!(out, "    li  t1, {i}");
-        let _ = writeln!(out, "    bne t0, t1, skip_{i}");
+        let _ = writeln!(out, "    li  t1, {idx}");
+        let _ = writeln!(out, "    bne t0, t1, {label_prefix}skip_{pos}");
         let _ = writeln!(out, "    call {}", plan.func_name);
-        let _ = writeln!(out, "skip_{i}:");
+        let _ = writeln!(out, "{label_prefix}skip_{pos}:");
     }
     // Ack the request.
     let _ = writeln!(out, "    li  a0, 4");
@@ -404,16 +458,18 @@ fn emit_handler(out: &mut String, plans: &[MessagePlan]) {
     let _ = writeln!(out, ".endfunc\n");
 }
 
-fn emit_main(out: &mut String, host_lbl: &str) {
+fn emit_main(out: &mut String, host_lbl: &str, handlers: &[HandlerSpec]) {
     let _ = writeln!(out, ".func main");
     let _ = writeln!(out, "    la  a0, {host_lbl}");
     let _ = writeln!(out, "    li  a1, 443");
     let _ = writeln!(out, "    li  a2, 0");
     let _ = writeln!(out, "    li  a3, 0");
     let _ = writeln!(out, "    callx ssl_connect");
-    let _ = writeln!(out, "    laf t0, on_cloud_request");
-    let _ = writeln!(out, "    mov a0, t0");
-    let _ = writeln!(out, "    callx register_callback");
+    for h in handlers {
+        let _ = writeln!(out, "    laf t0, {}", h.name);
+        let _ = writeln!(out, "    mov a0, t0");
+        let _ = writeln!(out, "    callx register_callback");
+    }
     let _ = writeln!(out, "    callx event_loop");
     let _ = writeln!(out, "    halt");
     let _ = writeln!(out, ".endfunc\n");

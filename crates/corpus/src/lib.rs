@@ -39,10 +39,14 @@ mod devices;
 pub mod emulation;
 mod gen;
 mod plan;
+mod synth;
 mod update;
 mod vulns;
 
-pub use asmgen::{device_cloud_source, ipc_daemon_source, local_httpd_source, watchdog_source};
+pub use asmgen::{
+    device_cloud_source, device_cloud_source_with_topology, ipc_daemon_source, local_httpd_source,
+    watchdog_source, HandlerSpec,
+};
 pub use cloudgen::build_cloud;
 pub use devices::{device_spec, device_table, DeviceSpec, SprintfUsage};
 pub use gen::{generate_corpus, generate_device, GeneratedDevice};
@@ -50,5 +54,6 @@ pub use plan::{
     plan_messages, BodyStyle, Delivery, DeviceIdentity, MessagePlan, PlanField, PlanPolicy,
     PlanResponse, ValueSource,
 };
+pub use synth::{synth_corpus, synth_device, SynthConfig, SynthDevice, SynthSpec};
 pub use update::{mutate_firmware, FirmwareUpdate};
 pub use vulns::{total_vulnerabilities, vulnerable_plans};

@@ -7,6 +7,7 @@
 //! configuration (used to rediscover the Table III vulnerabilities).
 
 use crate::devices::{DeviceSpec, SprintfUsage};
+use firmres_firmware::DeviceType;
 use firmres_semantics::Primitive;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -375,17 +376,83 @@ const FUNCTIONALITIES: [&str; 8] = [
     "Querying cloud time.",
 ];
 
+/// Device-neutral planning parameters: everything [`plan_messages`]
+/// reads off a roster [`DeviceSpec`], decoupled from the fixed Table I
+/// rows so the synthetic generator (`synth` module) can drive the same
+/// planner from sampled distributions.
+#[derive(Debug, Clone)]
+pub(crate) struct PlanShape {
+    /// Namespacing byte woven into endpoint paths/topics.
+    pub device_code: u8,
+    /// Device category (drives the delivery-function mix).
+    pub device_type: DeviceType,
+    /// Formatted-output style of the firmware.
+    pub sprintf: SprintfUsage,
+    /// Target number of device-cloud messages.
+    pub target_messages: usize,
+    /// Of those, how many land on stale (invalid) endpoints.
+    pub target_invalid: usize,
+    /// Target total field count across messages.
+    pub target_fields: usize,
+    /// Pre-seeded (vulnerable) plans placed before the generated ones.
+    pub seeded: Vec<MessagePlan>,
+    /// Emit an open-telemetry false-positive generator message.
+    pub fp_open: bool,
+    /// Emit a custom-credential false-positive generator message.
+    pub fp_custom: bool,
+    /// Append a LAN-addressed message (filtered by the grouping step).
+    pub lan_extra: bool,
+}
+
 /// Generate the full message-plan list for a device. Deterministic for a
 /// given `(spec.id, seed)`.
 pub fn plan_messages(spec: &DeviceSpec, identity: &DeviceIdentity, seed: u64) -> Vec<MessagePlan> {
     if spec.script_based {
         return Vec::new();
     }
-    let mut rng = StdRng::seed_from_u64(seed ^ ((spec.id as u64) << 17) ^ 0x9E37);
-    let mut plans: Vec<MessagePlan> = crate::vulns::vulnerable_plans(spec.id);
+    let shape = PlanShape {
+        device_code: spec.id,
+        device_type: spec.device_type,
+        sprintf: spec.sprintf,
+        target_messages: spec.target_messages,
+        target_invalid: spec.target_invalid,
+        target_fields: spec.target_fields,
+        seeded: crate::vulns::vulnerable_plans(spec.id),
+        // Sprinkle FP generators on larger corpora.
+        fp_open: spec.id % 4 == 1, // a handful of devices
+        fp_custom: spec.id % 7 == 3,
+        // One LAN-addressed message on every fourth device.
+        lan_extra: spec.id % 4 == 2,
+    };
+    plan_for_shape(shape, identity, seed ^ ((spec.id as u64) << 17) ^ 0x9E37)
+}
+
+/// The shared planner core behind [`plan_messages`] and the synthetic
+/// generator. `rng_seed` is consumed as-is (callers fold in their own
+/// device salt). The RNG call sequence is part of the corpus's
+/// byte-determinism contract: reordering draws regenerates every device.
+pub(crate) fn plan_for_shape(
+    shape: PlanShape,
+    identity: &DeviceIdentity,
+    rng_seed: u64,
+) -> Vec<MessagePlan> {
+    let PlanShape {
+        device_code,
+        device_type,
+        sprintf,
+        target_messages,
+        target_invalid,
+        target_fields,
+        seeded,
+        fp_open,
+        fp_custom,
+        lan_extra,
+    } = shape;
+    let mut rng = StdRng::seed_from_u64(rng_seed);
+    let mut plans: Vec<MessagePlan> = seeded;
     let vuln_fields: usize = plans.iter().map(|p| p.fields.len()).sum();
-    let remaining_msgs = spec.target_messages.saturating_sub(plans.len());
-    let remaining_fields = spec.target_fields.saturating_sub(vuln_fields);
+    let remaining_msgs = target_messages.saturating_sub(plans.len());
+    let remaining_fields = target_fields.saturating_sub(vuln_fields);
 
     // Field-count distribution over the remaining messages.
     let mut sizes = vec![0usize; remaining_msgs];
@@ -421,7 +488,7 @@ pub fn plan_messages(spec: &DeviceSpec, identity: &DeviceIdentity, seed: u64) ->
         // third) of short messages so formatted templates appear
         // (Table II thd columns); the trimmed fields are pushed back onto
         // longer messages to hold the device total.
-        if spec.sprintf == SprintfUsage::MultiField {
+        if sprintf == SprintfUsage::MultiField {
             let before: usize = sizes.iter().sum();
             let mut k = 0;
             while k < sizes.len() {
@@ -445,33 +512,27 @@ pub fn plan_messages(spec: &DeviceSpec, identity: &DeviceIdentity, seed: u64) ->
     // which are form-check FP generators.
     let mut invalid_slots: Vec<usize> = (0..remaining_msgs).collect();
     invalid_slots.shuffle(&mut rng);
-    let invalid: std::collections::BTreeSet<usize> = invalid_slots
-        .into_iter()
-        .take(spec.target_invalid)
-        .collect();
-    // Sprinkle FP generators on larger corpora.
-    let fp_open = spec.id % 4 == 1; // a handful of devices
-    let fp_custom = spec.id % 7 == 3;
+    let invalid: std::collections::BTreeSet<usize> =
+        invalid_slots.into_iter().take(target_invalid).collect();
 
-    let styles = style_palette(spec);
+    let styles = style_palette(sprintf);
     for (i, &nfields) in sizes.iter().enumerate() {
         let idx = plans.len();
         // Short messages on sprintf-using devices prefer formatted
         // templates (they fit the 4-value argument budget), reproducing
         // the paper's mix of sprintf- and library-assembled messages.
-        let style =
-            if spec.sprintf == SprintfUsage::MultiField && nfields <= 4 && rng.gen_bool(0.75) {
-                if rng.gen_bool(0.6) {
-                    BodyStyle::SprintfQuery
-                } else {
-                    BodyStyle::SprintfJson
-                }
+        let style = if sprintf == SprintfUsage::MultiField && nfields <= 4 && rng.gen_bool(0.75) {
+            if rng.gen_bool(0.6) {
+                BodyStyle::SprintfQuery
             } else {
-                styles[rng.gen_range(0..styles.len())]
-            };
-        let delivery = delivery_for(spec, style, &mut rng);
+                BodyStyle::SprintfJson
+            }
+        } else {
+            styles[rng.gen_range(0..styles.len())]
+        };
+        let delivery = delivery_for(device_type, style, &mut rng);
         let functionality = FUNCTIONALITIES[rng.gen_range(0..FUNCTIONALITIES.len())];
-        let endpoint = endpoint_for(spec.id, idx, delivery, functionality, &mut rng);
+        let endpoint = endpoint_for(device_code, idx, delivery, functionality, &mut rng);
 
         let mut fields: Vec<PlanField> = Vec::new();
         let mut policy = PlanPolicy::Secure;
@@ -536,7 +597,7 @@ pub fn plan_messages(spec: &DeviceSpec, identity: &DeviceIdentity, seed: u64) ->
         let style = if matches!(style, BodyStyle::SprintfQuery | BodyStyle::SprintfJson)
             && fields.len() > 4
         {
-            if spec.sprintf == SprintfUsage::MultiField {
+            if sprintf == SprintfUsage::MultiField {
                 BodyStyle::StrcatKV
             } else {
                 BodyStyle::CJson
@@ -567,9 +628,9 @@ pub fn plan_messages(spec: &DeviceSpec, identity: &DeviceIdentity, seed: u64) ->
         p.func_name = format!("snd_{i:02}");
     }
 
-    // One LAN-addressed message on every fourth device (filtered out by
-    // the grouping step, not counted in Table II).
-    if spec.id % 4 == 2 {
+    // LAN-addressed message (filtered out by the grouping step, not
+    // counted in Table II).
+    if lan_extra {
         let idx = plans.len();
         plans.push(MessagePlan {
             index: idx,
@@ -593,8 +654,8 @@ pub fn plan_messages(spec: &DeviceSpec, identity: &DeviceIdentity, seed: u64) ->
     plans
 }
 
-fn style_palette(spec: &DeviceSpec) -> Vec<BodyStyle> {
-    match spec.sprintf {
+fn style_palette(sprintf: SprintfUsage) -> Vec<BodyStyle> {
+    match sprintf {
         SprintfUsage::None => vec![BodyStyle::CJson, BodyStyle::StrcatKV],
         SprintfUsage::SingleField => vec![BodyStyle::CJson, BodyStyle::StrcatKV],
         SprintfUsage::MultiField => vec![
@@ -606,9 +667,9 @@ fn style_palette(spec: &DeviceSpec) -> Vec<BodyStyle> {
     }
 }
 
-fn delivery_for(spec: &DeviceSpec, style: BodyStyle, rng: &mut StdRng) -> Delivery {
+fn delivery_for(device_type: DeviceType, style: BodyStyle, rng: &mut StdRng) -> Delivery {
     use firmres_firmware::DeviceType::*;
-    let choices: &[Delivery] = match spec.device_type {
+    let choices: &[Delivery] = match device_type {
         SmartCamera => &[Delivery::HttpPost, Delivery::SslWrite, Delivery::HttpGet],
         SmartPlug => &[Delivery::MqttPublish, Delivery::HttpPost],
         Nas => &[Delivery::HttpPost, Delivery::SslWrite],

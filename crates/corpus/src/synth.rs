@@ -1,0 +1,680 @@
+//! Seeded synthesis of arbitrarily large corpora.
+//!
+//! The roster module reproduces the paper's 22 fixed Table I devices;
+//! this module scales the same generation machinery to fleets of 1k–10k
+//! *sampled* devices for load and capacity testing. Vendor, model,
+//! device type, message/field counts, body-style mix, packer layout
+//! (agent path, auxiliary-executable subset, filler files), handler
+//! topology (single vs split async handlers) and vulnerability mix are
+//! all drawn from seeded distributions, so no two indices look alike but
+//! every `(index, seed)` pair is fully deterministic — byte-identical
+//! across runs, machines, and generation thread counts (each device is a
+//! pure function of its own index).
+//!
+//! Synthetic devices deliberately skip the vendor-cloud emulation: they
+//! target the *analysis* path (service load, cache scale), not the probe
+//! step. Their ground-truth [`MessagePlan`]s are still attached for
+//! scoring.
+//!
+//! # Examples
+//!
+//! ```
+//! use firmres_corpus::{synth_device, SynthConfig, synth_corpus};
+//!
+//! let dev = synth_device(42, 7);
+//! assert_eq!(dev.packed, synth_device(42, 7).packed, "deterministic");
+//! let fleet = synth_corpus(&SynthConfig { count: 4, seed: 7 });
+//! assert_eq!(fleet.len(), 4);
+//! ```
+
+use crate::asmgen::{
+    device_cloud_source_with_topology, ipc_daemon_source, local_httpd_source, watchdog_source,
+    HandlerSpec,
+};
+use crate::devices::SprintfUsage;
+use crate::plan::{
+    plan_for_shape, BodyStyle, Delivery, DeviceIdentity, MessagePlan, PlanField, PlanPolicy,
+    PlanResponse, PlanShape, ValueSource,
+};
+use firmres_firmware::{DeviceInfo, DeviceType, FileEntry, FirmwareImage, Nvram};
+use firmres_isa::Assembler;
+use firmres_semantics::Primitive;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a synthetic corpus sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SynthConfig {
+    /// Number of devices (indices `0..count`).
+    pub count: u32,
+    /// Corpus seed. The same seed regenerates the same fleet.
+    pub seed: u64,
+}
+
+/// The sampled "spec sheet" of one synthetic device — the distribution
+/// draw that shaped its firmware.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SynthSpec {
+    /// Device index within the synthetic fleet.
+    pub index: u32,
+    /// Sampled vendor name.
+    pub vendor: String,
+    /// Sampled model identifier (unique per index).
+    pub model: String,
+    /// Sampled device category.
+    pub device_type: DeviceType,
+    /// Sampled firmware version string.
+    pub firmware_version: String,
+    /// Sampled message-count target.
+    pub target_messages: usize,
+    /// Of those, how many land on stale endpoints.
+    pub target_invalid: usize,
+    /// Sampled total-field target.
+    pub target_fields: usize,
+    /// Sampled formatted-output style.
+    pub sprintf: SprintfUsage,
+    /// Path of the device-cloud agent inside the image.
+    pub agent_path: String,
+    /// Names of the registered async request handlers (1 or 2).
+    pub handler_names: Vec<String>,
+    /// Number of auxiliary decoy executables packed alongside the agent.
+    pub aux_executables: usize,
+    /// Number of uninterpreted filler files in the image.
+    pub filler_files: usize,
+}
+
+/// One fully generated synthetic device.
+#[derive(Debug, Clone)]
+pub struct SynthDevice {
+    /// The sampled spec sheet.
+    pub spec: SynthSpec,
+    /// Identity material provisioned into NVRAM.
+    pub identity: DeviceIdentity,
+    /// Ground-truth message plans (for scoring; no cloud is emulated).
+    pub plans: Vec<MessagePlan>,
+    /// The packed firmware container ([`FirmwareImage::pack`] bytes) —
+    /// what gets submitted to the analysis service.
+    pub packed: Vec<u8>,
+}
+
+impl SynthDevice {
+    /// Unpack the firmware container.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the self-generated image fails to unpack (a generator
+    /// bug, not a runtime condition).
+    pub fn unpack(&self) -> FirmwareImage {
+        FirmwareImage::unpack(&self.packed).expect("self-generated image unpacks")
+    }
+}
+
+/// Derive an independent per-device RNG seed. The multiplier spreads
+/// consecutive indices across the seed space; `salt` separates the
+/// independent streams (identity, shape, plans) of one device.
+fn device_seed(seed: u64, index: u32, salt: u64) -> u64 {
+    (seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)).rotate_left(17) ^ salt
+}
+
+const VENDORS: [&str; 24] = [
+    "Altair",
+    "BlueRidge",
+    "CamVista",
+    "Deltanet",
+    "EdgePoint",
+    "Fenwick",
+    "GridLink",
+    "Holtek",
+    "Ionix",
+    "JunoNet",
+    "KiteCam",
+    "Lumora",
+    "Mirafield",
+    "NetHaven",
+    "Orbiton",
+    "PineGate",
+    "Quantiq",
+    "RoverIoT",
+    "SableLink",
+    "TideWare",
+    "UplinkOne",
+    "Vantora",
+    "WestCam",
+    "Yardley",
+];
+
+const MODEL_PREFIXES: [&str; 8] = ["AX", "CR", "DV", "GW", "IR", "NX", "SP", "VT"];
+
+const AGENT_PATHS: [&str; 4] = [
+    "/usr/bin/cloud_agent",
+    "/usr/sbin/cloudd",
+    "/bin/iot_agentd",
+    "/usr/bin/devcomm",
+];
+
+const HANDLER_NAMES: [&str; 4] = [
+    "on_cloud_request",
+    "cloud_msg_handler",
+    "on_mqtt_message",
+    "cloud_dispatch",
+];
+
+/// Sample a synthetic identity. Uniqueness is by construction: the MAC,
+/// serial, uid and device-id all embed the device index.
+fn synth_identity(index: u32, seed: u64) -> DeviceIdentity {
+    let mut rng = StdRng::seed_from_u64(device_seed(seed, index, 0x1DE5_711E));
+    DeviceIdentity {
+        mac: format!(
+            "02:5E:{:02X}:{:02X}:{:02X}:{:02X}",
+            (index >> 16) as u8,
+            (index >> 8) as u8,
+            index as u8,
+            rng.gen::<u8>()
+        ),
+        serial: format!("SYN{index:07}{:03}", rng.gen_range(0u32..1000)),
+        uid: format!("UID-{index:06}-{:08x}", rng.gen::<u32>()),
+        device_id: format!("S{index:07}"),
+        secret: format!("sec-{:016x}", rng.gen::<u64>()),
+        user: format!("fleetuser{:05}", index),
+        password: format!("pw-{:08x}", rng.gen::<u32>()),
+        cloud_host: format!("fleet{:02}.cloud.example", index % 20),
+    }
+}
+
+fn field(key: &str, semantic: Primitive, source: ValueSource) -> PlanField {
+    PlanField {
+        key: key.into(),
+        semantic,
+        source,
+    }
+}
+
+/// Sample `count` vulnerable message plans from parametric templates
+/// generalizing the four Table III flaw classes. Indices/function names
+/// are placeholders — the planner renumbers them.
+fn synth_vuln_plans(rng: &mut StdRng, count: usize, device_code: u8) -> Vec<MessagePlan> {
+    let mut out = Vec::with_capacity(count);
+    for n in 0..count {
+        let kind = rng.gen_range(0..4);
+        let p = match kind {
+            // Identifier-only business interface (the dominant class).
+            0 => {
+                let (delivery, style) = match rng.gen_range(0..3) {
+                    0 => (Delivery::HttpGet, BodyStyle::SprintfQuery),
+                    1 => (Delivery::HttpPost, BodyStyle::SprintfQuery),
+                    _ => (Delivery::HttpPost, BodyStyle::StrcatKV),
+                };
+                let ident = match rng.gen_range(0..3) {
+                    0 => field(
+                        "deviceId",
+                        Primitive::DevIdentifier,
+                        ValueSource::NvramGet("device_id".into()),
+                    ),
+                    1 => field(
+                        "uid",
+                        Primitive::DevIdentifier,
+                        ValueSource::Getter("get_uid"),
+                    ),
+                    _ => field(
+                        "sn",
+                        Primitive::DevIdentifier,
+                        ValueSource::NvramGet("serial_no".into()),
+                    ),
+                };
+                let mut fields = vec![ident];
+                if rng.gen_bool(0.6) {
+                    fields.push(field("ts", Primitive::None, ValueSource::Time));
+                }
+                if rng.gen_bool(0.5) {
+                    fields.push(field(
+                        "channel",
+                        Primitive::None,
+                        ValueSource::Hardcoded("0".into()),
+                    ));
+                }
+                let response = match rng.gen_range(0..3) {
+                    0 => PlanResponse::ResourceList,
+                    1 => PlanResponse::StorageKeys,
+                    _ => PlanResponse::Ok,
+                };
+                MessagePlan {
+                    index: n,
+                    func_name: format!("snd_{n:02}"),
+                    delivery,
+                    endpoint: format!("/store/v{}/records/q{n}", device_code % 3 + 1),
+                    style,
+                    fields,
+                    on_cloud: true,
+                    lan: false,
+                    policy: PlanPolicy::IdentifierOnly,
+                    response,
+                    functionality: "Querying device resources on the cloud.".into(),
+                    consequence: Some(
+                        "The endpoint serves any caller that knows the device identifier; \
+                         stored resources and metadata leak."
+                            .into(),
+                    ),
+                }
+            }
+            // Binding without verifying the user credential.
+            1 => MessagePlan {
+                index: n,
+                func_name: format!("snd_{n:02}"),
+                delivery: Delivery::SslWrite,
+                endpoint: format!("bindDevice{n}"),
+                style: BodyStyle::CJson,
+                fields: vec![
+                    field(
+                        "method",
+                        Primitive::None,
+                        ValueSource::Hardcoded("bindDevice".into()),
+                    ),
+                    field(
+                        "deviceID",
+                        Primitive::DevIdentifier,
+                        ValueSource::NvramGet("device_id".into()),
+                    ),
+                    field(
+                        "cloudusername",
+                        Primitive::UserCred,
+                        ValueSource::NvramGet("cloud_user".into()),
+                    ),
+                    field(
+                        "cloudpassword",
+                        Primitive::UserCred,
+                        ValueSource::NvramGet("cloud_pass".into()),
+                    ),
+                ],
+                on_cloud: true,
+                lan: false,
+                policy: PlanPolicy::BindNoUserCred,
+                response: PlanResponse::BindToken,
+                functionality: "Binding the device to the cloud user.".into(),
+                consequence: Some(
+                    "The binding endpoint never verifies the user credential; attackers bind \
+                     victim devices to their own accounts."
+                        .into(),
+                ),
+            },
+            // Registration returning a fixed token.
+            2 => MessagePlan {
+                index: n,
+                func_name: format!("snd_{n:02}"),
+                delivery: Delivery::HttpPost,
+                endpoint: format!("/cloud/registrations/r{n}"),
+                style: BodyStyle::CJson,
+                fields: vec![
+                    field(
+                        "serialNumber",
+                        Primitive::DevIdentifier,
+                        ValueSource::Getter("get_serial"),
+                    ),
+                    field(
+                        "macAddress",
+                        Primitive::DevIdentifier,
+                        ValueSource::Getter("get_mac_addr"),
+                    ),
+                    field(
+                        "firmwareVersion",
+                        Primitive::None,
+                        ValueSource::CfgGet("fw_version".into()),
+                    ),
+                    field(
+                        "hardwareVersion",
+                        Primitive::None,
+                        ValueSource::CfgGet("hw_version".into()),
+                    ),
+                ],
+                on_cloud: true,
+                lan: false,
+                policy: PlanPolicy::RegisterFixedToken,
+                response: PlanResponse::FixedToken,
+                functionality: "Registering device to the cloud.".into(),
+                consequence: Some(
+                    "Registration returns a fixed device token usable to upload tampered \
+                     telemetry on the device's behalf."
+                        .into(),
+                ),
+            },
+            // Registration leaking the device secret (CVE-2023-2586 shape).
+            _ => MessagePlan {
+                index: n,
+                func_name: format!("snd_{n:02}"),
+                delivery: Delivery::SslWrite,
+                endpoint: format!("/rms/registrations/r{n}"),
+                style: BodyStyle::CJson,
+                fields: vec![
+                    field(
+                        "serial",
+                        Primitive::DevIdentifier,
+                        ValueSource::Getter("get_serial"),
+                    ),
+                    field(
+                        "mac",
+                        Primitive::DevIdentifier,
+                        ValueSource::Getter("get_mac_addr"),
+                    ),
+                ],
+                on_cloud: true,
+                lan: false,
+                policy: PlanPolicy::RegisterLeakSecret,
+                response: PlanResponse::DeviceSecret,
+                functionality: "Registering device to the management cloud.".into(),
+                consequence: Some(
+                    "Registration with a leaked serial and MAC returns the device secret, \
+                     enabling full impersonation."
+                        .into(),
+                ),
+            },
+        };
+        out.push(p);
+    }
+    out
+}
+
+/// Generate synthetic device `index` deterministically under `seed`.
+///
+/// Each device is a pure function of `(index, seed)`: generating a fleet
+/// in parallel, in any order, or one index at a time yields the same
+/// bytes.
+///
+/// # Panics
+///
+/// Panics if internally generated assembly fails to assemble or the
+/// packed image fails to re-open — generator bugs, not runtime
+/// conditions.
+pub fn synth_device(index: u32, seed: u64) -> SynthDevice {
+    let mut rng = StdRng::seed_from_u64(device_seed(seed, index, 0x0005_CA1E));
+
+    // --- spec-sheet draw ---------------------------------------------
+    let vendor = VENDORS[rng.gen_range(0..VENDORS.len())].to_string();
+    let model = format!(
+        "{}{}-{index:05}",
+        MODEL_PREFIXES[rng.gen_range(0..MODEL_PREFIXES.len())],
+        rng.gen_range(100..1000),
+    );
+    let device_type = DeviceType::ALL[rng.gen_range(0..DeviceType::ALL.len())];
+    let firmware_version = format!(
+        "V{}.{}.{}",
+        rng.gen_range(1..8),
+        rng.gen_range(0..10),
+        rng.gen_range(0..100)
+    );
+    let sprintf = match rng.gen_range(0..10) {
+        0..=2 => SprintfUsage::None,
+        3..=4 => SprintfUsage::SingleField,
+        _ => SprintfUsage::MultiField,
+    };
+    let target_messages = rng.gen_range(4..=28usize);
+    let target_invalid = rng.gen_range(0..=target_messages / 5);
+    let target_fields = target_messages * rng.gen_range(4..=10usize) + rng.gen_range(0..8usize);
+    // Vulnerability mix: most of the fleet is clean; flawed devices carry
+    // one to three weakened endpoints (the Table III shape).
+    let vuln_count = match rng.gen_range(0..10) {
+        0..=5 => 0,
+        6..=7 => 1,
+        8 => 2,
+        _ => 3,
+    };
+    let device_code = (index % 90) as u8;
+    let seeded = synth_vuln_plans(&mut rng, vuln_count, device_code);
+    let fp_open = rng.gen_bool(0.25);
+    let fp_custom = rng.gen_bool(0.15);
+    let lan_extra = rng.gen_bool(0.25);
+    let split_handlers = rng.gen_bool(0.3);
+    let agent_path = AGENT_PATHS[rng.gen_range(0..AGENT_PATHS.len())].to_string();
+    // Packer layout: which decoy executables ship, and how much inert
+    // filler pads the image.
+    let with_ipc = rng.gen_bool(0.85);
+    let with_httpd = rng.gen_bool(0.7);
+    let with_watchdog = rng.gen_bool(0.8);
+    let filler_files = rng.gen_range(0..=4usize);
+
+    // --- plans --------------------------------------------------------
+    let identity = synth_identity(index, seed);
+    let shape = PlanShape {
+        device_code,
+        device_type,
+        sprintf,
+        target_messages,
+        target_invalid,
+        target_fields,
+        seeded,
+        fp_open,
+        fp_custom,
+        lan_extra,
+    };
+    let plans = plan_for_shape(shape, &identity, device_seed(seed, index, 0x9E37));
+
+    // --- handler topology --------------------------------------------
+    let first_name = HANDLER_NAMES[rng.gen_range(0..HANDLER_NAMES.len())];
+    let handlers: Vec<HandlerSpec> = if split_handlers && plans.len() >= 2 {
+        let second_name = loop {
+            let n = HANDLER_NAMES[rng.gen_range(0..HANDLER_NAMES.len())];
+            if n != first_name {
+                break n;
+            }
+        };
+        let split = rng.gen_range(1..plans.len());
+        vec![
+            HandlerSpec {
+                name: first_name.to_string(),
+                plans: (0..split).collect(),
+            },
+            HandlerSpec {
+                name: second_name.to_string(),
+                plans: (split..plans.len()).collect(),
+            },
+        ]
+    } else {
+        vec![HandlerSpec {
+            name: first_name.to_string(),
+            plans: (0..plans.len()).collect(),
+        }]
+    };
+    let handler_names: Vec<String> = handlers.iter().map(|h| h.name.clone()).collect();
+
+    // --- firmware -----------------------------------------------------
+    let mut fw = FirmwareImage::new(DeviceInfo {
+        vendor: vendor.clone(),
+        model: model.clone(),
+        device_type,
+        firmware_version: firmware_version.clone(),
+    });
+    let token = format!("tok-{:016x}", rng.gen::<u64>());
+    let mut nv = Nvram::new();
+    nv.set("mac", &identity.mac);
+    nv.set("serial_no", &identity.serial);
+    nv.set("device_id", &identity.device_id);
+    nv.set("uid", &identity.uid);
+    nv.set("device_secret", &identity.secret);
+    nv.set("access_token", &token);
+    nv.set("cloud_user", &identity.user);
+    nv.set("cloud_pass", &identity.password);
+    nv.set("cloud_host", &identity.cloud_host);
+    nv.set("ssid", format!("Fleet-AP-{index:05}"));
+    nv.set("watchdog_enabled", "1");
+    fw.add_file("/etc/nvram.default", FileEntry::NvramDefaults(nv));
+    fw.add_file(
+        "/etc/config/cloud.conf",
+        FileEntry::Config(format!(
+            "server={}\nport=443\nfw_version={}\nmodel={}\nproduct_id=P-S{index}\n\
+             device_cert={}\nhw_version=rev{}\ncluster=c{}\nregion=eu-west\ntimezone=UTC+1\n",
+            identity.cloud_host,
+            firmware_version,
+            model,
+            identity.secret,
+            rng.gen_range(1..4),
+            index % 8,
+        )),
+    );
+    fw.add_file(
+        "/etc/ssl/device.pem",
+        FileEntry::Cert(format!(
+            "-----BEGIN DEVICE CERT-----\n{}\n-----END-----\n",
+            identity.secret
+        )),
+    );
+
+    let assembler = Assembler::new();
+    let src = device_cloud_source_with_topology(&identity, &plans, &handlers);
+    let exe = assembler
+        .assemble(&src)
+        .unwrap_or_else(|e| panic!("synthetic device {index} agent failed to assemble: {e}"));
+    fw.add_file(&agent_path, FileEntry::Executable(exe.to_bytes().to_vec()));
+
+    type AuxSource = fn() -> String;
+    let mut aux_executables = 0;
+    let aux: [(&str, AuxSource, bool); 3] = [
+        ("/usr/bin/ipc_daemon", ipc_daemon_source, with_ipc),
+        ("/usr/sbin/httpd_local", local_httpd_source, with_httpd),
+        ("/sbin/watchdog", watchdog_source, with_watchdog),
+    ];
+    for (path, source, present) in aux {
+        if !present {
+            continue;
+        }
+        let exe = assembler
+            .assemble(&source())
+            .unwrap_or_else(|e| panic!("aux executable {path} failed to assemble: {e}"));
+        fw.add_file(path, FileEntry::Executable(exe.to_bytes().to_vec()));
+        aux_executables += 1;
+    }
+    for k in 0..filler_files {
+        let mut blob = vec![0u8; rng.gen_range(64..512usize)];
+        for b in blob.iter_mut() {
+            *b = rng.gen::<u8>();
+        }
+        fw.add_file(format!("/usr/share/res/blob{k}.bin"), FileEntry::Data(blob));
+    }
+
+    let packed = fw.pack().to_vec();
+    // Round-trip through the wire format so a generator regression that
+    // breaks unpacking fails here, not at submit time.
+    let _ = FirmwareImage::unpack(&packed).expect("self-generated image unpacks");
+
+    SynthDevice {
+        spec: SynthSpec {
+            index,
+            vendor,
+            model,
+            device_type,
+            firmware_version,
+            target_messages,
+            target_invalid,
+            target_fields,
+            sprintf,
+            agent_path,
+            handler_names,
+            aux_executables,
+            filler_files,
+        },
+        identity,
+        plans,
+        packed,
+    }
+}
+
+/// Generate the full synthetic fleet `0..config.count` sequentially.
+///
+/// Devices are independent: for parallel generation, map
+/// [`synth_device`] over indices with any thread pool (e.g.
+/// `firmres::run_pool`) — the output bytes do not depend on scheduling.
+pub fn synth_corpus(config: &SynthConfig) -> Vec<SynthDevice> {
+    (0..config.count)
+        .map(|i| synth_device(i, config.seed))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firmres_isa::lift;
+
+    #[test]
+    fn synthesis_is_byte_deterministic() {
+        for index in [0u32, 1, 7, 991] {
+            let a = synth_device(index, 13);
+            let b = synth_device(index, 13);
+            assert_eq!(a.packed, b.packed, "index {index}");
+            assert_eq!(a.plans, b.plans);
+            assert_eq!(a.spec, b.spec);
+        }
+    }
+
+    #[test]
+    fn different_seeds_and_indices_differ() {
+        let a = synth_device(3, 1);
+        let b = synth_device(3, 2);
+        let c = synth_device(4, 1);
+        assert_ne!(a.packed, b.packed, "seed changes the device");
+        assert_ne!(a.packed, c.packed, "index changes the device");
+        assert_ne!(a.identity.mac, c.identity.mac);
+    }
+
+    #[test]
+    fn fleet_devices_assemble_and_lift() {
+        for index in 0..24u32 {
+            let dev = synth_device(index, 7);
+            let fw = dev.unpack();
+            let exe = fw.load_executable(&dev.spec.agent_path).unwrap();
+            let prog = lift(&exe, "agent").unwrap();
+            for name in &dev.spec.handler_names {
+                assert!(
+                    prog.function_by_name(name).is_some(),
+                    "index {index} handler {name}"
+                );
+            }
+            assert!(!dev.plans.is_empty(), "every synthetic device has messages");
+        }
+    }
+
+    #[test]
+    fn split_topology_appears_and_covers_all_plans() {
+        let mut saw_split = false;
+        for index in 0..32u32 {
+            let dev = synth_device(index, 7);
+            if dev.spec.handler_names.len() == 2 {
+                saw_split = true;
+                assert_ne!(dev.spec.handler_names[0], dev.spec.handler_names[1]);
+            }
+        }
+        assert!(saw_split, "~30% of devices should split handlers");
+    }
+
+    #[test]
+    fn vulnerability_mix_is_present_but_minority() {
+        let fleet = synth_corpus(&SynthConfig { count: 64, seed: 7 });
+        let flawed = fleet
+            .iter()
+            .filter(|d| d.plans.iter().any(|p| p.is_vulnerable()))
+            .count();
+        assert!(flawed > 0, "some devices carry weakened endpoints");
+        assert!(flawed < 40, "most of the fleet is clean");
+        for d in &fleet {
+            for p in &d.plans {
+                if matches!(p.style, BodyStyle::SprintfQuery | BodyStyle::SprintfJson) {
+                    assert!(
+                        p.fields.len() <= 4,
+                        "sprintf budget, index {}",
+                        d.spec.index
+                    );
+                }
+                if p.is_vulnerable() {
+                    assert!(p.consequence.is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packer_layout_varies() {
+        let fleet = synth_corpus(&SynthConfig { count: 32, seed: 7 });
+        let paths: std::collections::BTreeSet<_> =
+            fleet.iter().map(|d| d.spec.agent_path.clone()).collect();
+        assert!(paths.len() > 1, "agent path varies");
+        let aux: std::collections::BTreeSet<_> =
+            fleet.iter().map(|d| d.spec.aux_executables).collect();
+        assert!(aux.len() > 1, "aux subset varies");
+    }
+}

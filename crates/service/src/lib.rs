@@ -20,6 +20,11 @@
 //!   graceful drain that finishes in-flight work before shutting down.
 //! * [`client`] — a blocking client library the `firmres-suite` CLI
 //!   builds its `serve`/`submit`/`status`/`drain` subcommands on.
+//! * [`load`] — an open-/closed-loop load generator over the same wire
+//!   protocol: concurrent submit-by-bytes and submit-by-hash traffic,
+//!   coordinated-omission-corrected latency percentiles, and admission
+//!   rejections tallied as outcomes so saturation sweeps can watch the
+//!   QueueFull/`retry_after_ms` path engage.
 //!
 //! # Example
 //!
@@ -53,10 +58,12 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod load;
 pub mod server;
 pub mod wire;
 
 pub use client::{Client, ClientError, Served};
+pub use load::{run_load, LatencyHistogram, LoadConfig, LoadReport};
 pub use server::{Server, ServerConfig};
 pub use wire::{
     JobState, RejectReason, Request, Response, ServiceStatus, SubmitImage, WireError, MAX_FRAME,

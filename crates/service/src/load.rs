@@ -1,0 +1,556 @@
+//! Open- and closed-loop load generation against a running daemon.
+//!
+//! [`run_load`] drives concurrent submit-by-bytes / submit-by-hash
+//! traffic over plain blocking connections and records per-request
+//! latency into an HDR-style log-linear [`LatencyHistogram`]. Two
+//! arrival models:
+//!
+//! * **Open loop** (`rate > 0`): request *i* of the run is scheduled at
+//!   `start + i/rate`, interleaved round-robin across connections.
+//!   Latency is measured from the request's *scheduled* arrival, not
+//!   from when the connection got around to sending it — the standard
+//!   coordinated-omission correction, so queue build-up behind a slow
+//!   response is charged to the requests it delays. A send that starts
+//!   more than a millisecond past its schedule is also counted in
+//!   [`LoadReport::behind_schedule`]; a persistently growing value means
+//!   the configured rate exceeds what the connections can carry.
+//! * **Closed loop** (`rate == 0`): every connection submits
+//!   back-to-back; latency is measured from just before the send. This
+//!   measures capacity, not user-perceived latency.
+//!
+//! Admission rejections ([`RejectReason::QueueFull`] with its
+//! `retry_after_ms` hint) are *counted outcomes*, never errors: the
+//! whole point of a saturation sweep is to observe them engaging.
+
+use crate::wire::{
+    read_response, send_request, RejectReason, Request, Response, SubmitImage, PROTOCOL_VERSION,
+};
+use firmres::AnalysisConfig;
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Number of linear sub-buckets per power of two (64 → ≤1.6% relative
+/// error per recorded value).
+const SUB_BUCKETS: usize = 64;
+/// Bucket count covering the full `u64` nanosecond range.
+const BUCKETS: usize = (64 - 5) * SUB_BUCKETS;
+
+/// HDR-style log-linear latency histogram over `u64` nanosecond values.
+///
+/// Values below 64 are exact; above that, each power of two is split
+/// into 64 linear sub-buckets, bounding relative quantile error at
+/// 1/64 while keeping the whole histogram a flat 30 KiB array — cheap
+/// enough for one per load-generator thread, merged at the end.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn index_of(v: u64) -> usize {
+        if v < SUB_BUCKETS as u64 {
+            v as usize
+        } else {
+            let e = 63 - v.leading_zeros() as usize;
+            (e - 5) * SUB_BUCKETS + ((v >> (e - 6)) as usize & (SUB_BUCKETS - 1))
+        }
+    }
+
+    fn value_of(idx: usize) -> u64 {
+        if idx < SUB_BUCKETS {
+            idx as u64
+        } else {
+            let g = idx / SUB_BUCKETS;
+            let sub = (idx % SUB_BUCKETS) as u64;
+            (SUB_BUCKETS as u64 + sub) << (g - 1)
+        }
+    }
+
+    /// Record one value (nanoseconds).
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::index_of(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of recorded values (0 when empty).
+    pub fn mean(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            (self.sum / self.count as u128) as u64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]` — the lower bound of the
+    /// bucket holding the `ceil(q·count)`-th recorded value (within
+    /// 1/64 of the true quantile). Returns 0 when empty.
+    pub fn value_at(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= target {
+                return Self::value_of(i);
+            }
+        }
+        self.max
+    }
+}
+
+/// Load-run parameters.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Number of concurrent connections (each one blocking client).
+    pub connections: usize,
+    /// Total target arrival rate in requests/second across all
+    /// connections; `0.0` selects the closed loop.
+    pub rate: f64,
+    /// Total request budget for the run.
+    pub requests: usize,
+    /// Per-request deadline forwarded to the server (0 = none).
+    pub deadline_ms: u64,
+    /// Sleep for the server's `retry_after_ms` hint after a QueueFull
+    /// rejection before proceeding to the next scheduled request.
+    pub honor_retry_after: bool,
+    /// Analysis configuration submitted with every request.
+    pub config: AnalysisConfig,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            connections: 4,
+            rate: 0.0,
+            requests: 256,
+            deadline_ms: 0,
+            honor_retry_after: false,
+            config: AnalysisConfig::default(),
+        }
+    }
+}
+
+/// Tallied outcome of one load run. Every submitted request lands in
+/// exactly one of `completed`, `rejected_*`, `cancelled`, `wire_errors`
+/// or `protocol_errors`.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Wall-clock duration of the run (connections established → last
+    /// thread done).
+    pub elapsed: Duration,
+    /// Requests attempted.
+    pub submitted: u64,
+    /// Requests answered with a terminal Analysis frame.
+    pub completed: u64,
+    /// Of the completed, how many the server answered from its cache.
+    pub from_cache: u64,
+    /// Admission rejections with [`RejectReason::QueueFull`].
+    pub rejected_queue_full: u64,
+    /// Any other structured rejection (in-flight cap, draining, unknown
+    /// image, …).
+    pub rejected_other: u64,
+    /// Jobs accepted but cancelled (deadline or explicit).
+    pub cancelled: u64,
+    /// Socket/codec failures.
+    pub wire_errors: u64,
+    /// Out-of-protocol frames.
+    pub protocol_errors: u64,
+    /// Largest `retry_after_ms` back-off hint observed.
+    pub retry_after_ms_max: u64,
+    /// Open loop only: sends that started >1 ms past their schedule.
+    pub behind_schedule: u64,
+    /// Total terminal-payload bytes received.
+    pub payload_bytes: u64,
+    /// Per-request latency in nanoseconds (completed requests only).
+    pub latency: LatencyHistogram,
+}
+
+impl LoadReport {
+    /// Completed requests per second over the run.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / secs
+        }
+    }
+
+    fn absorb(&mut self, other: &LoadReport) {
+        self.submitted += other.submitted;
+        self.completed += other.completed;
+        self.from_cache += other.from_cache;
+        self.rejected_queue_full += other.rejected_queue_full;
+        self.rejected_other += other.rejected_other;
+        self.cancelled += other.cancelled;
+        self.wire_errors += other.wire_errors;
+        self.protocol_errors += other.protocol_errors;
+        self.retry_after_ms_max = self.retry_after_ms_max.max(other.retry_after_ms_max);
+        self.behind_schedule += other.behind_schedule;
+        self.payload_bytes += other.payload_bytes;
+        self.latency.merge(&other.latency);
+    }
+}
+
+/// Connect and complete the version handshake, returning the raw stream
+/// (the driver skips the client library's payload decode — the server's
+/// work is what is being measured, not the client's codec).
+fn connect_raw(addr: SocketAddr) -> Result<TcpStream, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    send_request(
+        &mut stream,
+        &Request::Hello {
+            version: PROTOCOL_VERSION,
+        },
+    )
+    .map_err(|e| format!("handshake send: {e}"))?;
+    match read_response(&mut stream).map_err(|e| format!("handshake read: {e}"))? {
+        Response::HelloOk { .. } => Ok(stream),
+        other => Err(format!("expected HelloOk, got {other:?}")),
+    }
+}
+
+/// What one submit attempt amounted to.
+enum Outcome {
+    Done { from_cache: bool, payload: u64 },
+    Rejected(RejectReason),
+    Cancelled,
+    Wire,
+    Protocol,
+}
+
+fn submit_once(
+    stream: &mut TcpStream,
+    item: &SubmitImage,
+    config: &AnalysisConfig,
+    deadline_ms: u64,
+) -> Outcome {
+    let sent = send_request(
+        stream,
+        &Request::Submit {
+            image: item.clone(),
+            config: config.clone(),
+            want_events: false,
+            deadline_ms,
+        },
+    );
+    if sent.is_err() {
+        return Outcome::Wire;
+    }
+    let job_id = match read_response(stream) {
+        Ok(Response::Accepted { job_id }) => job_id,
+        Ok(Response::Rejected { reason }) => return Outcome::Rejected(reason),
+        Ok(_) => return Outcome::Protocol,
+        Err(_) => return Outcome::Wire,
+    };
+    loop {
+        match read_response(stream) {
+            Ok(Response::Event { .. }) => {}
+            Ok(Response::Analysis {
+                job_id: id,
+                from_cache,
+                payload,
+            }) if id == job_id => {
+                return Outcome::Done {
+                    from_cache,
+                    payload: payload.len() as u64,
+                }
+            }
+            Ok(Response::Cancelled { job_id: id, .. }) if id == job_id => {
+                return Outcome::Cancelled
+            }
+            Ok(_) => return Outcome::Protocol,
+            Err(_) => return Outcome::Wire,
+        }
+    }
+}
+
+/// Drive `cfg.requests` submits of `items` (round-robin) against the
+/// daemon at `addr` and tally the outcome.
+///
+/// Request *i* of the run submits `items[i % items.len()]` on connection
+/// `i % cfg.connections`, so byte- and hash-mode entries interleave
+/// however the caller mixed them in `items`. Connections that hit a wire
+/// error reconnect once per request; an unreachable server is reported
+/// in [`LoadReport::wire_errors`] rather than aborting the run.
+///
+/// Fails only when `items` is empty, `cfg.connections == 0`, or no
+/// initial connection can be established.
+pub fn run_load(
+    addr: SocketAddr,
+    items: &[SubmitImage],
+    cfg: &LoadConfig,
+) -> Result<LoadReport, String> {
+    if items.is_empty() {
+        return Err("run_load: no work items".to_string());
+    }
+    if cfg.connections == 0 {
+        return Err("run_load: connections must be >= 1".to_string());
+    }
+    let conns = cfg.connections.min(cfg.requests.max(1));
+    let mut streams = Vec::with_capacity(conns);
+    for _ in 0..conns {
+        streams.push(Some(connect_raw(addr)?));
+    }
+
+    let start = Instant::now();
+    let reports: Vec<LoadReport> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(conns);
+        for (k, slot) in streams.into_iter().enumerate() {
+            let cfg = cfg.clone();
+            let handle = scope.spawn(move || {
+                let mut stream = slot;
+                let mut report = LoadReport::default();
+                let mut slot_idx = k;
+                while slot_idx < cfg.requests {
+                    let item = &items[slot_idx % items.len()];
+                    // Open loop: wait for this request's scheduled
+                    // arrival; measure latency from the schedule.
+                    let measure_from = if cfg.rate > 0.0 {
+                        let sched = start + Duration::from_secs_f64(slot_idx as f64 / cfg.rate);
+                        let now = Instant::now();
+                        if sched > now {
+                            std::thread::sleep(sched - now);
+                        } else if now - sched > Duration::from_millis(1) {
+                            report.behind_schedule += 1;
+                        }
+                        sched
+                    } else {
+                        Instant::now()
+                    };
+                    let s = match stream.as_mut() {
+                        Some(s) => s,
+                        None => match connect_raw(addr) {
+                            Ok(s) => {
+                                stream = Some(s);
+                                stream.as_mut().expect("just set")
+                            }
+                            Err(_) => {
+                                report.submitted += 1;
+                                report.wire_errors += 1;
+                                slot_idx += conns;
+                                continue;
+                            }
+                        },
+                    };
+                    report.submitted += 1;
+                    match submit_once(s, item, &cfg.config, cfg.deadline_ms) {
+                        Outcome::Done {
+                            from_cache,
+                            payload,
+                        } => {
+                            report.completed += 1;
+                            report.payload_bytes += payload;
+                            if from_cache {
+                                report.from_cache += 1;
+                            }
+                            report
+                                .latency
+                                .record(measure_from.elapsed().as_nanos() as u64);
+                        }
+                        Outcome::Rejected(RejectReason::QueueFull { retry_after_ms, .. }) => {
+                            report.rejected_queue_full += 1;
+                            report.retry_after_ms_max =
+                                report.retry_after_ms_max.max(retry_after_ms);
+                            if cfg.honor_retry_after {
+                                std::thread::sleep(Duration::from_millis(retry_after_ms));
+                            }
+                        }
+                        Outcome::Rejected(_) => report.rejected_other += 1,
+                        Outcome::Cancelled => report.cancelled += 1,
+                        Outcome::Wire => {
+                            report.wire_errors += 1;
+                            // Socket state is unknown; reconnect next slot.
+                            stream = None;
+                        }
+                        Outcome::Protocol => {
+                            report.protocol_errors += 1;
+                            stream = None;
+                        }
+                    }
+                    slot_idx += conns;
+                }
+                report
+            });
+            handles.push(handle);
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load thread panicked"))
+            .collect()
+    });
+
+    let mut total = LoadReport {
+        elapsed: start.elapsed(),
+        ..LoadReport::default()
+    };
+    for r in &reports {
+        total.absorb(r);
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_is_exact_below_64() {
+        let mut h = LatencyHistogram::new();
+        for v in [0u64, 1, 7, 63] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 63);
+        assert_eq!(h.value_at(1.0), 63);
+        assert_eq!(h.value_at(0.25), 0);
+    }
+
+    #[test]
+    fn histogram_relative_error_is_bounded() {
+        let mut h = LatencyHistogram::new();
+        let mut vals: Vec<u64> = (0..4000u64).map(|i| i * i * 37 + 100).collect();
+        for &v in &vals {
+            h.record(v);
+        }
+        vals.sort_unstable();
+        for q in [0.5, 0.9, 0.95, 0.99, 0.999] {
+            let exact =
+                vals[(((q * vals.len() as f64).ceil() as usize).max(1) - 1).min(vals.len() - 1)];
+            let approx = h.value_at(q);
+            let err = (approx as f64 - exact as f64).abs() / exact as f64;
+            assert!(
+                err <= 1.0 / 64.0 + 1e-9,
+                "q={q}: approx {approx} exact {exact} err {err}"
+            );
+        }
+        assert!(h.value_at(1.0) <= h.max());
+    }
+
+    #[test]
+    fn histogram_merge_matches_combined_recording() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut c = LatencyHistogram::new();
+        for v in 0..1000u64 {
+            let x = v * 917 + 3;
+            if v % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+            c.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), c.count());
+        assert_eq!(a.min(), c.min());
+        assert_eq!(a.max(), c.max());
+        assert_eq!(a.mean(), c.mean());
+        for q in [0.1, 0.5, 0.99] {
+            assert_eq!(a.value_at(q), c.value_at(q));
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.value_at(0.99), 0);
+    }
+
+    #[test]
+    fn bucket_round_trip_lower_bound() {
+        for v in [
+            0u64,
+            1,
+            63,
+            64,
+            65,
+            127,
+            128,
+            1000,
+            65_535,
+            1 << 32,
+            u64::MAX / 2,
+        ] {
+            let idx = LatencyHistogram::index_of(v);
+            let low = LatencyHistogram::value_of(idx);
+            assert!(low <= v, "lower bound {low} > value {v}");
+            // Bucket width is bounded by low/64 (log-linear property).
+            assert!(v - low <= (low / 64).max(1), "value {v} low {low}");
+        }
+    }
+
+    #[test]
+    fn run_load_rejects_empty_inputs() {
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        assert!(run_load(addr, &[], &LoadConfig::default()).is_err());
+        let items = [SubmitImage::Hash(1)];
+        let cfg = LoadConfig {
+            connections: 0,
+            ..LoadConfig::default()
+        };
+        assert!(run_load(addr, &items, &cfg).is_err());
+    }
+}

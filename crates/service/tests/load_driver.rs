@@ -1,0 +1,136 @@
+//! End-to-end exercise of the [`firmres_service::load`] driver against
+//! an in-process daemon: mixed bytes/hash traffic completes cleanly,
+//! and an under-provisioned server produces QueueFull rejections that
+//! are *tallied*, never surfaced as errors.
+
+use firmres_firmware::content_hash_packed_wide;
+use firmres_service::{run_load, LoadConfig, Server, ServerConfig, SubmitImage};
+use std::path::PathBuf;
+
+fn temp_cache(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("firmres-load-driver-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn mixed_bytes_and_hash_traffic_completes() {
+    let cache_dir = temp_cache("mixed");
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            cache_dir: Some(cache_dir.clone()),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run());
+
+    // Two small devices; prime by bytes so hash submits can hit.
+    let images: Vec<Vec<u8>> = (0..2u32)
+        .map(|i| firmres_corpus::synth_device(i, 3).packed)
+        .collect();
+    let prime: Vec<SubmitImage> = images
+        .iter()
+        .map(|b| SubmitImage::Bytes(b.clone()))
+        .collect();
+    let cfg = LoadConfig {
+        connections: 2,
+        requests: 2,
+        ..LoadConfig::default()
+    };
+    let report = run_load(addr, &prime, &cfg).unwrap();
+    assert_eq!(report.completed, 2, "prime failed: {report:?}");
+
+    // Warm phase: alternate bytes and hash, open loop at a high rate so
+    // the scheduler path is exercised without slowing the test.
+    let mut items = Vec::new();
+    for b in &images {
+        items.push(SubmitImage::Bytes(b.clone()));
+        items.push(SubmitImage::Hash(content_hash_packed_wide(b)));
+    }
+    let cfg = LoadConfig {
+        connections: 4,
+        rate: 2000.0,
+        requests: 32,
+        ..LoadConfig::default()
+    };
+    let report = run_load(addr, &items, &cfg).unwrap();
+    assert_eq!(report.submitted, 32);
+    assert_eq!(report.completed, 32, "warm run had failures: {report:?}");
+    assert_eq!(report.wire_errors + report.protocol_errors, 0);
+    assert_eq!(report.from_cache, 32, "all warm submits should hit cache");
+    assert_eq!(report.latency.count(), 32);
+    assert!(report.latency.value_at(0.5) <= report.latency.value_at(0.99));
+    assert!(report.throughput() > 0.0);
+
+    let mut client = firmres_service::Client::connect(addr).unwrap();
+    client.drain().unwrap();
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+#[test]
+fn saturation_is_counted_not_errored() {
+    // No cache (every submit queues) and one worker behind a 2-deep
+    // queue, hammered closed-loop by 8 connections: at any instant up
+    // to 8 submits race for 3 seats (1 running + 2 queued), so QueueFull
+    // rejections are guaranteed while every accepted job still finishes.
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            queue_cap: 2,
+            conn_inflight_cap: 64,
+            retry_after_ms: 17,
+            cache_dir: None,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run());
+
+    let image = firmres_corpus::synth_device(0, 5).packed;
+    let items = [SubmitImage::Bytes(image)];
+    let cfg = LoadConfig {
+        connections: 8,
+        requests: 48,
+        ..LoadConfig::default()
+    };
+    let report = run_load(addr, &items, &cfg).unwrap();
+    assert_eq!(report.submitted, 48);
+    assert_eq!(
+        report.wire_errors + report.protocol_errors,
+        0,
+        "rejections must not surface as errors: {report:?}"
+    );
+    assert!(
+        report.rejected_queue_full > 0,
+        "expected QueueFull under 8-way hammering: {report:?}"
+    );
+    assert!(
+        report.completed > 0,
+        "accepted jobs must finish: {report:?}"
+    );
+    assert_eq!(report.retry_after_ms_max, 17, "hint not propagated");
+    assert_eq!(report.from_cache, 0, "server has no cache");
+
+    // Outcome accounting is total: every submit landed somewhere.
+    assert_eq!(
+        report.completed
+            + report.rejected_queue_full
+            + report.rejected_other
+            + report.cancelled
+            + report.wire_errors
+            + report.protocol_errors,
+        48
+    );
+
+    let mut client = firmres_service::Client::connect(addr).unwrap();
+    client.drain().unwrap();
+    handle.join().unwrap();
+}

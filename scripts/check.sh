@@ -101,6 +101,38 @@ cli analyze "$smoke_dir/dev10-v2.fwi" > "$smoke_dir/incr-local.txt"
 cmp "$smoke_dir/incr-local.txt" "$smoke_dir/incr-v2.txt"
 cli cache-stats "$smoke_dir/incr-cache" | grep -q 'unit artifacts'
 
+echo "==> synthetic fleet + load smoke (synth → serve → load → saturate)"
+# A small synthesized fleet must be byte-deterministic at any --jobs
+# count, and a bounded load run against a live daemon must finish with
+# zero wire/protocol errors while the saturation sweep engages the
+# QueueFull admission path. The smoke writes its JSON to the temp dir —
+# the committed BENCH_load.json is the full 1000-device run
+# (`cargo run --release -p firmres-bench --bin load_bench`).
+cli synth 64 "$smoke_dir/fleet-a" --seed 11 --jobs 1 > /dev/null
+cli synth 64 "$smoke_dir/fleet-b" --seed 11 --jobs 8 > /dev/null
+diff -r "$smoke_dir/fleet-a" "$smoke_dir/fleet-b"
+cli serve 127.0.0.1:0 --cache "$smoke_dir/load-cache" \
+    --port-file "$smoke_dir/load-port" > "$smoke_dir/load-serve.txt" &
+load_pid=$!
+for _ in $(seq 1 200); do
+  [ -s "$smoke_dir/load-port" ] && break
+  sleep 0.1
+done
+laddr="$(cat "$smoke_dir/load-port")"
+cli load "$laddr" "$smoke_dir/fleet-a" --mix bytes --connections 4 \
+    > "$smoke_dir/load-cold.txt"
+grep -q 'errors 0 wire, 0 protocol' "$smoke_dir/load-cold.txt"
+cli load "$laddr" "$smoke_dir/fleet-a" --requests 128 --rate 200 \
+    > "$smoke_dir/load-warm.txt"
+grep -q 'completed 128 (128 from cache)' "$smoke_dir/load-warm.txt"
+grep -q 'latency p50' "$smoke_dir/load-warm.txt"
+cli drain "$laddr" > /dev/null
+wait "$load_pid"
+cargo run --release -q -p firmres-bench --bin load_bench -- \
+    --devices 64 --rate 200 --out "$smoke_dir/BENCH_load_smoke.json"
+test -s "$smoke_dir/BENCH_load_smoke.json"
+grep -q '"saturation_connections"' "$smoke_dir/BENCH_load_smoke.json"
+
 echo "==> service wire + end-to-end suites (release)"
 cargo test --release -q -p firmres-service
 cargo test --release -q --test service_end_to_end

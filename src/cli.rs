@@ -3,6 +3,10 @@
 //! Subcommands (see [`run`]):
 //!
 //! * `gen <device-id> <out.fwi>` — generate a corpus firmware image to disk
+//! * `synth <count> <out-dir>` — synthesize a parameterized device fleet
+//!   (vendor/model/topology/vulnerability mix drawn from seeded
+//!   distributions; byte-deterministic for a given `--seed` at any
+//!   `--jobs` count)
 //! * `inspect <image.fwi>` — device info, file listing, NVRAM keys
 //! * `disasm <image.fwi> <exe-path>` — disassemble an MR32 executable
 //! * `lift <image.fwi> <exe-path>` — dump the lifted P-Code IR
@@ -17,6 +21,9 @@
 //! * `submit <addr> <image.fwi>` — submit an image to a running daemon;
 //!   the rendered report is identical to a local `analyze`
 //! * `status <addr>` / `drain <addr>` — inspect or gracefully stop a daemon
+//! * `load <addr> <dir>` — drive open- or closed-loop submit traffic at a
+//!   running daemon and report throughput, latency percentiles and
+//!   admission rejections
 //! * `cache-stats <dir>` — survey an analysis-cache store directory
 
 use firmres::{
@@ -38,6 +45,8 @@ use std::fmt::Write as _;
 pub fn run(args: &[String]) -> Result<String, String> {
     match args.first().map(String::as_str) {
         Some("gen") => cmd_gen(args.get(1), args.get(2)),
+        Some("synth") => cmd_synth(&args[1..]),
+        Some("load") => cmd_load(&args[1..]),
         Some("inspect") => cmd_inspect(&load_image(args.get(1))?),
         Some("disasm") => {
             let fw = load_image(args.get(1))?;
@@ -93,6 +102,10 @@ pub fn run(args: &[String]) -> Result<String, String> {
 
 const USAGE: &str = "usage: firmres-cli <command>\n\
   gen <device-id> <out.fwi>     generate a corpus firmware image\n\
+  synth <count> <out-dir> [--seed <n>] [--jobs <n>]\n\
+\x20                               synthesize a parameterized device fleet\n\
+\x20                               (byte-deterministic per seed at any job\n\
+\x20                               count; writes synth-00000.fwi …)\n\
   inspect <image.fwi>           device info, files, NVRAM\n\
   disasm <image.fwi> <exe>      disassemble an MR32 executable\n\
   lift <image.fwi> <exe>        dump the lifted P-Code IR\n\
@@ -117,6 +130,13 @@ const USAGE: &str = "usage: firmres-cli <command>\n\
 \x20                               shipping the image bytes)\n\
   status <addr>                 one-line daemon status snapshot\n\
   drain <addr>                  finish in-flight jobs, then stop the daemon\n\
+  load <addr> <dir> [--connections <n>] [--rate <rps>] [--requests <n>]\n\
+\x20      [--mix bytes|hash|both] [--deadline <ms>]\n\
+\x20                               drive load at a running daemon from a\n\
+\x20                               directory of .fwi images; reports\n\
+\x20                               throughput, latency percentiles and\n\
+\x20                               admission rejections (--rate 0 = closed\n\
+\x20                               loop)\n\
   cache-stats <dir>             survey an analysis-cache store directory\n\
   train <out.fsm> [n-devices]   train + save the semantics model\n\
   cfg <image.fwi> <exe> <fn>    DOT control-flow graph of one function\n\
@@ -148,6 +168,186 @@ fn cmd_gen(id: Option<&String>, out: Option<&String>) -> Result<String, String> 
         dev.spec.model,
         dev.firmware.file_count()
     ))
+}
+
+fn cmd_synth(args: &[String]) -> Result<String, String> {
+    let mut seed: u64 = 7;
+    let mut jobs: usize = 1;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut rest = args.iter();
+    while let Some(a) = rest.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = rest
+                    .next()
+                    .ok_or(USAGE)?
+                    .parse()
+                    .map_err(|_| "--seed takes a number".to_string())?;
+            }
+            "--jobs" => jobs = parse_count(rest.next(), "--jobs")?,
+            _ => positional.push(a),
+        }
+    }
+    let count: u32 = positional
+        .first()
+        .ok_or(USAGE)?
+        .parse()
+        .map_err(|_| "count must be a number".to_string())?;
+    if count == 0 {
+        return Err("count must be at least 1".into());
+    }
+    let dir = positional.get(1).ok_or(USAGE)?;
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+    // Generation is a pure function of (index, seed), so fanning it out
+    // over a pool cannot change any image's bytes — only the wall clock.
+    let images = firmres::run_pool(count as usize, jobs, move |i| {
+        firmres_corpus::synth_device(i as u32, seed).packed
+    });
+    let mut total_bytes = 0usize;
+    for (i, packed) in images.iter().enumerate() {
+        let path = std::path::Path::new(dir).join(format!("synth-{i:05}.fwi"));
+        std::fs::write(&path, packed)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        total_bytes += packed.len();
+    }
+    Ok(format!(
+        "synthesized {count} device(s) into {dir} (seed {seed}, {total_bytes} bytes)\n"
+    ))
+}
+
+fn cmd_load(args: &[String]) -> Result<String, String> {
+    let mut cfg = firmres_service::LoadConfig {
+        connections: 4,
+        rate: 0.0,
+        requests: 0, // default: one request per work item
+        ..firmres_service::LoadConfig::default()
+    };
+    let mut mix = "both";
+    let mut positional: Vec<&String> = Vec::new();
+    let mut rest = args.iter();
+    while let Some(a) = rest.next() {
+        match a.as_str() {
+            "--connections" => cfg.connections = parse_count(rest.next(), "--connections")?,
+            "--rate" => {
+                cfg.rate = rest
+                    .next()
+                    .ok_or(USAGE)?
+                    .parse()
+                    .map_err(|_| "--rate takes requests/second".to_string())?;
+            }
+            "--requests" => {
+                cfg.requests = rest
+                    .next()
+                    .ok_or(USAGE)?
+                    .parse()
+                    .map_err(|_| "--requests takes a count".to_string())?;
+            }
+            "--deadline" => {
+                cfg.deadline_ms = rest
+                    .next()
+                    .ok_or(USAGE)?
+                    .parse()
+                    .map_err(|_| "--deadline takes milliseconds".to_string())?;
+            }
+            "--mix" => {
+                mix = match rest.next().ok_or(USAGE)?.as_str() {
+                    "bytes" => "bytes",
+                    "hash" => "hash",
+                    "both" => "both",
+                    other => return Err(format!("--mix must be bytes|hash|both, not {other}")),
+                };
+            }
+            _ => positional.push(a),
+        }
+    }
+    let addr = positional.first().ok_or(USAGE)?;
+    let dir = positional.get(1).ok_or(USAGE)?;
+
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {dir}: {e}"))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "fwi"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("no .fwi images in {dir}"));
+    }
+    let mut items = Vec::new();
+    for p in &paths {
+        let bytes = std::fs::read(p).map_err(|e| format!("cannot read {}: {e}", p.display()))?;
+        if mix != "bytes" {
+            items.push(SubmitImage::Hash(content_hash_packed_wide(&bytes)));
+        }
+        if mix != "hash" {
+            items.push(SubmitImage::Bytes(bytes));
+        }
+    }
+    if cfg.requests == 0 {
+        cfg.requests = items.len();
+    }
+
+    use std::net::ToSocketAddrs;
+    let sock = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("cannot resolve {addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("cannot resolve {addr}"))?;
+    let report = firmres_service::run_load(sock, &items, &cfg)?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "load: {} request(s) over {} connection(s), {} ({} image(s), mix {mix})",
+        report.submitted,
+        cfg.connections,
+        if cfg.rate > 0.0 {
+            format!("open loop @ {:.0}/s", cfg.rate)
+        } else {
+            "closed loop".to_string()
+        },
+        paths.len()
+    );
+    let _ = writeln!(
+        out,
+        "  completed {} ({} from cache) | rejected {} queue-full, {} other | \
+         cancelled {} | errors {} wire, {} protocol",
+        report.completed,
+        report.from_cache,
+        report.rejected_queue_full,
+        report.rejected_other,
+        report.cancelled,
+        report.wire_errors,
+        report.protocol_errors
+    );
+    let ms = |q: f64| report.latency.value_at(q) as f64 / 1e6;
+    let _ = writeln!(
+        out,
+        "  throughput {:.1} req/s | latency p50 {:.2} ms, p90 {:.2} ms, p95 {:.2} ms, \
+         p99 {:.2} ms, p99.9 {:.2} ms, max {:.2} ms",
+        report.throughput(),
+        ms(0.50),
+        ms(0.90),
+        ms(0.95),
+        ms(0.99),
+        ms(0.999),
+        report.latency.max() as f64 / 1e6
+    );
+    if report.rejected_queue_full > 0 {
+        let _ = writeln!(
+            out,
+            "  admission control engaged: server advised retry_after {} ms",
+            report.retry_after_ms_max
+        );
+    }
+    if report.behind_schedule > 0 {
+        let _ = writeln!(
+            out,
+            "  {} send(s) fell behind the open-loop schedule — the target \
+             rate exceeds capacity at this connection count",
+            report.behind_schedule
+        );
+    }
+    Ok(out)
 }
 
 fn cmd_inspect(fw: &FirmwareImage) -> Result<String, String> {
@@ -923,6 +1123,92 @@ mod tests {
         assert!(cg.contains("on_cloud_request"));
         assert!(cg.contains("style=dashed"), "imports rendered");
         assert!(run(&s(&["cfg", &path, "/usr/bin/cloud_agent", "nope"])).is_err());
+    }
+
+    #[test]
+    fn synth_is_byte_deterministic_across_jobs() {
+        let dir1 = temp("synth-j1");
+        let dir4 = temp("synth-j4");
+        let _ = std::fs::remove_dir_all(&dir1);
+        let _ = std::fs::remove_dir_all(&dir4);
+        let msg = run(&s(&["synth", "6", &dir1, "--seed", "11", "--jobs", "1"])).unwrap();
+        assert!(msg.contains("synthesized 6 device(s)"), "{msg}");
+        run(&s(&["synth", "6", &dir4, "--seed", "11", "--jobs", "4"])).unwrap();
+        for i in 0..6 {
+            let name = format!("synth-{i:05}.fwi");
+            let a = std::fs::read(std::path::Path::new(&dir1).join(&name)).unwrap();
+            let b = std::fs::read(std::path::Path::new(&dir4).join(&name)).unwrap();
+            assert_eq!(a, b, "{name} differs between --jobs 1 and --jobs 4");
+        }
+        // Every synthesized image loads and analyzes like any other.
+        let one = std::path::Path::new(&dir1).join("synth-00003.fwi");
+        let report = run(&s(&["analyze", &one.to_string_lossy()])).unwrap();
+        assert!(report.contains("device-cloud executable:"), "{report}");
+        // Bad arguments are usage errors.
+        assert!(run(&s(&["synth", "0", &dir1])).is_err());
+        assert!(run(&s(&["synth", "lots", &dir1])).is_err());
+        assert!(run(&s(&["synth", "2"])).is_err());
+        let _ = std::fs::remove_dir_all(&dir1);
+        let _ = std::fs::remove_dir_all(&dir4);
+    }
+
+    #[test]
+    fn load_reports_throughput_and_percentiles() {
+        let dir = temp("load-fleet");
+        let _ = std::fs::remove_dir_all(&dir);
+        run(&s(&["synth", "3", &dir, "--seed", "5"])).unwrap();
+
+        let cache_dir = temp("load-cache");
+        let _ = std::fs::remove_dir_all(&cache_dir);
+        let port_file = temp("load-port");
+        let _ = std::fs::remove_file(&port_file);
+        let serve_args = s(&[
+            "serve",
+            "127.0.0.1:0",
+            "--cache",
+            &cache_dir,
+            "--port-file",
+            &port_file,
+        ]);
+        let server = std::thread::spawn(move || run(&serve_args));
+        let addr = loop {
+            match std::fs::read_to_string(&port_file) {
+                Ok(a) if a.ends_with('\n') => break a.trim().to_string(),
+                _ => std::thread::sleep(std::time::Duration::from_millis(10)),
+            }
+        };
+
+        // Cold bytes-only pass primes the cache…
+        let cold = run(&s(&["load", &addr, &dir, "--mix", "bytes"])).unwrap();
+        assert!(cold.contains("completed 3 (0 from cache)"), "{cold}");
+        assert!(cold.contains("errors 0 wire, 0 protocol"), "{cold}");
+        // …then a mixed open-loop pass is served entirely from it.
+        let warm = run(&s(&[
+            "load",
+            &addr,
+            &dir,
+            "--requests",
+            "12",
+            "--rate",
+            "300",
+            "--connections",
+            "2",
+        ]))
+        .unwrap();
+        assert!(warm.contains("completed 12 (12 from cache)"), "{warm}");
+        assert!(warm.contains("open loop @ 300/s"), "{warm}");
+        assert!(warm.contains("latency p50"), "{warm}");
+        assert!(warm.contains("p99.9"), "{warm}");
+
+        run(&s(&["drain", &addr])).unwrap();
+        server.join().unwrap().unwrap();
+        // Bad arguments are usage errors.
+        assert!(run(&s(&["load", &addr])).is_err());
+        assert!(run(&s(&["load", &addr, &dir, "--mix", "nope"])).is_err());
+        assert!(run(&s(&["load", &addr, "/nonexistent-dir"])).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&cache_dir);
+        let _ = std::fs::remove_file(&port_file);
     }
 
     #[test]

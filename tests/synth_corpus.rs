@@ -1,0 +1,68 @@
+//! Synthetic-fleet generator guarantees (ISSUE 7): any seed yields
+//! devices that analyze without Error-severity diagnostics, and
+//! synthesis is byte-deterministic — across runs and across generation
+//! thread counts.
+
+use firmres::{analyze_packed, run_pool, AnalysisConfig, Severity};
+use firmres_corpus::{synth_corpus, synth_device, SynthConfig};
+use proptest::prelude::*;
+
+/// One device, full pipeline: no Error diagnostics, the sampled agent
+/// path is the identified device-cloud executable, and every registered
+/// handler is found asynchronous.
+fn assert_analyzes_cleanly(dev: &firmres_corpus::SynthDevice) {
+    let analysis = analyze_packed(&dev.packed, None, &AnalysisConfig::default());
+    let errors: Vec<_> = analysis.diagnostics_at_least(Severity::Error).collect();
+    assert!(
+        errors.is_empty(),
+        "index {} seed-device produced Error diagnostics: {errors:?}",
+        dev.spec.index
+    );
+    assert_eq!(
+        analysis.executable.as_deref(),
+        Some(dev.spec.agent_path.as_str()),
+        "index {}: agent not identified",
+        dev.spec.index
+    );
+    let found: std::collections::BTreeSet<&str> = analysis
+        .handlers
+        .iter()
+        .map(|h| h.handler_name.as_str())
+        .collect();
+    for name in &dev.spec.handler_names {
+        assert!(
+            found.contains(name.as_str()),
+            "index {}: handler {name} not identified (found {found:?})",
+            dev.spec.index
+        );
+    }
+}
+
+proptest! {
+    #[test]
+    fn any_seed_analyzes_cleanly_and_is_deterministic(
+        seed in any::<u64>(),
+        index in 0u32..10_000,
+    ) {
+        let dev = synth_device(index, seed);
+        let again = synth_device(index, seed);
+        prop_assert_eq!(&dev.packed, &again.packed, "same-seed synthesis drifted");
+        prop_assert_eq!(&dev.plans, &again.plans);
+        assert_analyzes_cleanly(&dev);
+    }
+}
+
+#[test]
+fn small_fleet_analyzes_cleanly() {
+    let fleet = synth_corpus(&SynthConfig { count: 12, seed: 7 });
+    for dev in &fleet {
+        assert_analyzes_cleanly(dev);
+    }
+}
+
+#[test]
+fn fleet_bytes_independent_of_generation_parallelism() {
+    let sequential: Vec<Vec<u8>> = (0..16u32).map(|i| synth_device(i, 9).packed).collect();
+    let parallel = run_pool(16, 4, |i| synth_device(i as u32, 9).packed);
+    assert_eq!(sequential, parallel, "jobs must not change fleet bytes");
+}
