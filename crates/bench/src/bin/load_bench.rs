@@ -1,7 +1,7 @@
 //! Service load benchmark: synthesized fleet, open-loop percentiles,
-//! and an admission-control saturation sweep.
+//! an admission-control saturation sweep, and an eviction-pressure run.
 //!
-//! Three phases against resident daemons:
+//! Four phases against resident daemons:
 //!
 //! 1. **cold** — closed-loop submit-by-bytes of every synthesized image
 //!    into a cache-backed server (capacity measurement; every request
@@ -13,10 +13,17 @@
 //!    tiny queue, hammered closed-loop at escalating connection counts
 //!    until [`QueueFull`] rejections engage; the sweep reports the first
 //!    saturating connection count and the `retry_after_ms` hint.
+//! 4. **eviction** — a sharded store primed unbounded with a sub-fleet,
+//!    then reopened under a byte budget of half its footprint and hit
+//!    with the same fleet again: survivors answer from cache, evicted
+//!    images re-derive, and the GC holds occupancy at the budget while
+//!    serving. Reports the hit rate, evicted-entry and reclaimed-byte
+//!    counters, and the final store size.
 //!
 //! Writes `BENCH_load.json` (or the `--out` path) and exits non-zero on
-//! any wire/protocol error, on a cache miss in the warm phase, or when
-//! the sweep never saturates.
+//! any wire/protocol error, on a cache miss in the warm phase, when the
+//! sweep never saturates, or when eviction pressure fails to engage or
+//! to keep the store at the budget.
 //!
 //! Usage:
 //! `cargo run --release -p firmres-bench --bin load_bench -- [--devices N]
@@ -25,6 +32,7 @@
 //! [`QueueFull`]: firmres_service::RejectReason::QueueFull
 
 use firmres::run_pool;
+use firmres_cache::{AnalysisCache, StorePolicy};
 use firmres_corpus::synth_device;
 use firmres_firmware::content_hash_packed_wide;
 use firmres_service::{
@@ -258,6 +266,146 @@ fn main() {
     client.drain().expect("sweep drain");
     sweep_daemon.join().expect("sweep daemon thread");
 
+    // Phase 4 — eviction pressure: prime a sharded store unbounded with
+    // a sub-fleet, measure its footprint, then reopen it under a byte
+    // budget of half that and replay the same fleet. The open-time GC
+    // trims the least-recent half-and-change; survivors hit, evicted
+    // images re-derive as misses, and write-time GC keeps occupancy at
+    // the budget while serving.
+    const EVICT_SHARDS: usize = 4;
+    let evict_fleet = (args.devices as usize).min(256);
+    let evict_dir =
+        std::env::temp_dir().join(format!("firmres-load-bench-evict-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&evict_dir);
+    let unbounded = StorePolicy {
+        shards: EVICT_SHARDS,
+        ..StorePolicy::default()
+    };
+    eprintln!(
+        "eviction phase: priming {} images into a {}-shard unbounded store…",
+        evict_fleet, EVICT_SHARDS
+    );
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: args.workers,
+            queue_cap: 64,
+            conn_inflight_cap: 256,
+            cache_dir: Some(evict_dir.clone()),
+            store: unbounded.clone(),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind eviction prime port");
+    let prime_addr = server.local_addr().expect("eviction prime addr");
+    let prime_daemon = std::thread::spawn(move || server.run());
+    let evict_items: Vec<SubmitImage> = images
+        .iter()
+        .take(evict_fleet)
+        .map(|b| SubmitImage::Bytes(b.clone()))
+        .collect();
+    let prime = run_load(
+        prime_addr,
+        &evict_items,
+        &LoadConfig {
+            connections: args.connections,
+            requests: evict_items.len(),
+            ..LoadConfig::default()
+        },
+    )
+    .expect("eviction prime run");
+    if prime.completed != prime.submitted || prime.wire_errors + prime.protocol_errors != 0 {
+        eprintln!("FAIL: eviction prime did not complete cleanly: {prime:?}");
+        failures += 1;
+    }
+    let mut client = Client::connect(prime_addr).expect("connect eviction prime drain");
+    client.drain().expect("eviction prime drain");
+    prime_daemon.join().expect("eviction prime daemon");
+
+    let full_bytes = {
+        let stats = AnalysisCache::with_policy(&evict_dir, unbounded)
+            .stats()
+            .expect("survey primed store");
+        stats.total_bytes + stats.unit_bytes
+    };
+    let budget = full_bytes / 2;
+    eprintln!(
+        "  primed store {full_bytes} bytes; replaying {} images under a {budget}-byte budget…",
+        evict_items.len()
+    );
+    let pressured = StorePolicy {
+        shards: EVICT_SHARDS,
+        byte_budget: Some(budget),
+        ..StorePolicy::default()
+    };
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: args.workers,
+            queue_cap: 64,
+            conn_inflight_cap: 256,
+            cache_dir: Some(evict_dir.clone()),
+            store: pressured.clone(),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind eviction pressure port");
+    let evict_addr = server.local_addr().expect("eviction pressure addr");
+    let evict_daemon = std::thread::spawn(move || server.run());
+    // Replay freshest-first: the open-time GC kept the most recently
+    // primed images, so visiting them before the evicted tail touches
+    // the survivors ahead of the misses' re-stores — otherwise every
+    // re-store would push the still-unvisited survivors out LRU-first
+    // and the replay would degenerate to all misses.
+    let replay_items: Vec<SubmitImage> = evict_items.iter().rev().cloned().collect();
+    let evict = run_load(
+        evict_addr,
+        &replay_items,
+        &LoadConfig {
+            connections: args.connections,
+            requests: evict_items.len(),
+            ..LoadConfig::default()
+        },
+    )
+    .expect("eviction pressure run");
+    if evict.completed != evict.submitted || evict.wire_errors + evict.protocol_errors != 0 {
+        eprintln!("FAIL: eviction phase did not complete cleanly: {evict:?}");
+        failures += 1;
+    }
+    let mut client = Client::connect(evict_addr).expect("connect eviction drain");
+    client.drain().expect("eviction drain");
+    evict_daemon.join().expect("eviction daemon");
+
+    let evict_stats = AnalysisCache::with_policy(&evict_dir, pressured)
+        .stats()
+        .expect("survey pressured store");
+    let final_bytes = evict_stats.total_bytes + evict_stats.unit_bytes;
+    let hit_rate = evict.from_cache as f64 / evict.completed.max(1) as f64;
+    if evict_stats.evicted_entries == 0 {
+        eprintln!("FAIL: eviction pressure never evicted anything");
+        failures += 1;
+    }
+    if evict.from_cache == 0 || evict.from_cache == evict.completed {
+        eprintln!(
+            "FAIL: eviction replay should mix hits and misses, got {}/{} hits",
+            evict.from_cache, evict.completed
+        );
+        failures += 1;
+    }
+    if final_bytes > budget {
+        eprintln!("FAIL: store ended at {final_bytes} bytes, over the {budget}-byte budget");
+        failures += 1;
+    }
+    eprintln!(
+        "  {:.0}% hit rate, {} evicted, {} bytes reclaimed, final {} / budget {} bytes",
+        hit_rate * 100.0,
+        evict_stats.evicted_entries,
+        evict_stats.reclaimed_bytes,
+        final_bytes,
+        budget
+    );
+    let _ = std::fs::remove_dir_all(&evict_dir);
+
     let step_json: Vec<String> = steps
         .iter()
         .map(|(conns, r)| {
@@ -305,6 +453,17 @@ fn main() {
             "    \"sweep_queue_cap\": {qcap},\n",
             "    \"saturation_connections\": {sat_conns},\n",
             "    \"steps\": [\n{steps}\n    ]\n",
+            "  }},\n",
+            "  \"eviction\": {{\n",
+            "    \"requests\": {ev_req},\n",
+            "    \"store_shards\": {ev_shards},\n",
+            "    \"primed_store_bytes\": {ev_full},\n",
+            "    \"budget_bytes\": {ev_budget},\n",
+            "    \"from_cache\": {ev_hits},\n",
+            "    \"hit_rate\": {ev_hit_rate:.3},\n",
+            "    \"evicted_entries\": {ev_evicted},\n",
+            "    \"reclaimed_bytes\": {ev_reclaimed},\n",
+            "    \"final_store_bytes\": {ev_final}\n",
             "  }}\n",
             "}}\n",
         ),
@@ -326,16 +485,26 @@ fn main() {
         qcap = SWEEP_QUEUE_CAP,
         sat_conns = saturation_connections,
         steps = step_json.join(",\n"),
+        ev_req = evict.submitted,
+        ev_shards = EVICT_SHARDS,
+        ev_full = full_bytes,
+        ev_budget = budget,
+        ev_hits = evict.from_cache,
+        ev_hit_rate = hit_rate,
+        ev_evicted = evict_stats.evicted_entries,
+        ev_reclaimed = evict_stats.reclaimed_bytes,
+        ev_final = final_bytes,
     );
     std::fs::write(&args.out, &json).expect("write benchmark output");
 
     println!(
-        "load bench: {} devices | cold {:.0} rps | warm {:.0} rps p99 {:.0} us | saturates at {} conns",
+        "load bench: {} devices | cold {:.0} rps | warm {:.0} rps p99 {:.0} us | saturates at {} conns | eviction hit rate {:.0}%",
         args.devices,
         cold.throughput(),
         warm.throughput(),
         warm.latency.value_at(0.99) as f64 / 1e3,
         saturation_connections,
+        hit_rate * 100.0,
     );
     println!("wrote {}", args.out);
     if failures > 0 {

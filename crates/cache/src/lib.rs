@@ -57,6 +57,7 @@
 pub mod codec;
 mod driver;
 mod key;
+mod policy;
 mod store;
 pub mod unit;
 
@@ -64,6 +65,7 @@ pub use driver::{analyze_corpus_incremental, CacheStats, CorpusOutcome};
 pub use key::{
     classifier_fingerprint, config_fingerprint, CacheKey, NO_CLASSIFIER, PIPELINE_VERSION,
 };
+pub use policy::{parse_byte_size, GcOutcome, ShardOccupancy, StorePolicy, MAX_SHARDS};
 pub use store::{
     taint_summaries, AnalysisCache, CacheError, CachedEntry, StoreStats, SCHEMA_VERSION,
 };

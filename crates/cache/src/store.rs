@@ -37,6 +37,7 @@ use crate::codec::{
     DecodeError, Reader,
 };
 use crate::key::CacheKey;
+use crate::policy::{self, Evictor, GcOutcome, ShardOccupancy, StorePolicy};
 use bytes::BufMut;
 use firmres::{FirmwareAnalysis, HandlerInfo};
 use firmres_dataflow::TaintSummary;
@@ -44,6 +45,7 @@ use firmres_firmware::content_hash_packed;
 use firmres_mft::MftNodeKind;
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Version of the entry layout itself (header + sectioning), as opposed
 /// to [`PIPELINE_VERSION`] which covers what the sections *contain*.
@@ -166,20 +168,25 @@ pub fn taint_summaries(analysis: &FirmwareAnalysis) -> Vec<TaintSummary> {
 
 /// A content-addressed store of completed firmware analyses.
 ///
-/// One directory, one file per [`CacheKey`]; the directory is created on
-/// first write. Lookups for keys with no file are [`CacheError::Miss`];
-/// any other failure names what is wrong with the entry that *was*
-/// there.
+/// One directory (or N shard subdirectories, see [`StorePolicy`]), one
+/// file per [`CacheKey`]; directories are created on first write.
+/// Lookups for keys with no file are [`CacheError::Miss`]; any other
+/// failure names what is wrong with the entry that *was* there.
 #[derive(Debug, Clone)]
 pub struct AnalysisCache {
     dir: PathBuf,
+    policy: StorePolicy,
     orphans_removed: u64,
+    /// Present iff the policy sets a byte budget. Clones share the
+    /// accounting, so a daemon's workers see one LRU ordering.
+    evictor: Option<Arc<Evictor>>,
 }
 
 impl AnalysisCache {
-    /// A store rooted at `dir` (not created until the first write).
+    /// A store rooted at `dir` with the default (flat, unbounded)
+    /// [`StorePolicy`] — the historical behavior.
     ///
-    /// Opening also sweeps the directory for orphaned temp files — the
+    /// Opening also sweeps the store for orphaned temp files — the
     /// `.{name}.{pid}-{seq}.tmp` intermediates of the atomic
     /// write-then-rename protocol whose writer process died mid-write.
     /// A temp file whose embedded pid is no longer alive can never be
@@ -187,12 +194,37 @@ impl AnalysisCache {
     /// [`StoreStats::orphans_removed`]. Temps of live processes
     /// (including this one) are left untouched.
     pub fn new(dir: impl Into<PathBuf>) -> AnalysisCache {
+        AnalysisCache::with_policy(dir, StorePolicy::default())
+    }
+
+    /// A store rooted at `dir` under an explicit [`StorePolicy`]. The
+    /// orphan sweep covers the root and every shard subdirectory. When
+    /// the policy sets a byte budget, the accounting scan runs here and
+    /// an initial eviction pass brings a store inherited over budget
+    /// (e.g. after the budget was lowered) back under it.
+    pub fn with_policy(dir: impl Into<PathBuf>, policy: StorePolicy) -> AnalysisCache {
         let dir = dir.into();
-        let orphans_removed = sweep_orphan_temps(&dir);
-        AnalysisCache {
-            dir,
-            orphans_removed,
+        let mut orphans_removed = 0;
+        for (_, d) in policy::store_dirs(&dir, &policy) {
+            orphans_removed += sweep_orphan_temps(&d);
         }
+        let evictor = policy
+            .byte_budget
+            .map(|_| Arc::new(Evictor::open(&dir, &policy)));
+        let cache = AnalysisCache {
+            dir,
+            policy,
+            orphans_removed,
+            evictor,
+        };
+        // Only an inherited store already over the trigger watermark is
+        // collected at open; inside the hysteresis band writes accumulate.
+        if let (Some(e), Some(budget)) = (&cache.evictor, cache.policy.byte_budget) {
+            if e.total_bytes() as f64 > cache.policy.high_watermark * budget as f64 {
+                let _ = e.collect(&cache.dir);
+            }
+        }
+        cache
     }
 
     /// The store's root directory.
@@ -200,9 +232,74 @@ impl AnalysisCache {
         &self.dir
     }
 
+    /// The storage policy this store was opened under.
+    pub fn store_policy(&self) -> &StorePolicy {
+        &self.policy
+    }
+
+    /// The directory an artifact named `name` belongs in (the root for a
+    /// flat store, the name's shard subdirectory otherwise).
+    pub(crate) fn artifact_dir(&self, name: &str) -> PathBuf {
+        policy::artifact_dir_in(&self.dir, &self.policy, name)
+    }
+
+    /// The full path of an artifact named `name`.
+    pub(crate) fn artifact_path(&self, name: &str) -> PathBuf {
+        self.artifact_dir(name).join(name)
+    }
+
+    /// Record a successful artifact read with the eviction accounting.
+    pub(crate) fn note_read_artifact(&self, name: &str) {
+        if let Some(e) = &self.evictor {
+            e.note_read(name);
+        }
+    }
+
+    /// Record an artifact write; runs an eviction pass if the write
+    /// pushed the store over its trigger watermark.
+    pub(crate) fn note_write_artifact(&self, name: &str, bytes: u64) {
+        if let Some(e) = &self.evictor {
+            if e.note_write(name, bytes) {
+                let _ = e.collect(&self.dir);
+            }
+        }
+    }
+
+    /// Record an artifact deleted outside the GC.
+    pub(crate) fn note_removed_artifact(&self, name: &str) {
+        if let Some(e) = &self.evictor {
+            e.note_removed(name);
+        }
+    }
+
+    /// Force an eviction pass now: if the store is over
+    /// `low_watermark × budget`, least-recently-used artifacts are
+    /// deleted until it is not. A no-op without a byte budget.
+    pub fn gc_now(&self) -> GcOutcome {
+        match &self.evictor {
+            Some(e) => e.collect(&self.dir),
+            None => GcOutcome::default(),
+        }
+    }
+
+    /// Bytes currently tracked by the eviction accounting (`None`
+    /// without a byte budget).
+    pub fn tracked_bytes(&self) -> Option<u64> {
+        self.evictor.as_ref().map(|e| e.total_bytes())
+    }
+
+    /// Pin (or unpin) the image entry for `key`: with
+    /// [`StorePolicy::exempt_pinned`] set, pinned entries are never
+    /// evicted. A no-op without a byte budget.
+    pub fn pin_entry(&self, key: &CacheKey, pinned: bool) {
+        if let Some(e) = &self.evictor {
+            e.set_pinned(&key.file_name(), pinned);
+        }
+    }
+
     /// The file path an entry for `key` lives at.
     pub fn entry_path(&self, key: &CacheKey) -> PathBuf {
-        self.dir.join(key.file_name())
+        self.artifact_path(&key.file_name())
     }
 
     /// Persist a finished analysis (plus its stage artifacts) under
@@ -237,24 +334,9 @@ impl AnalysisCache {
 
         out.put_u64_le(content_hash_packed(&out));
 
-        std::fs::create_dir_all(&self.dir).map_err(|e| CacheError::Io(e.to_string()))?;
-        // Write-then-rename so a crash mid-write or a concurrent reader
-        // never sees a torn entry: the final path either holds the old
-        // bytes or the complete new ones. The temp name is unique per
-        // process and write, so parallel writers cannot collide.
-        static WRITE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-        let seq = WRITE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let tmp = self.dir.join(format!(
-            ".{}.{}-{seq}.tmp",
-            key.file_name(),
-            std::process::id()
-        ));
-        let final_path = self.entry_path(key);
-        std::fs::write(&tmp, &out).map_err(|e| CacheError::Io(e.to_string()))?;
-        if let Err(e) = std::fs::rename(&tmp, &final_path) {
-            let _ = std::fs::remove_file(&tmp);
-            return Err(CacheError::Io(e.to_string()));
-        }
+        let name = key.file_name();
+        write_file_atomic(&self.artifact_dir(&name), &name, &out).map_err(CacheError::Io)?;
+        self.note_write_artifact(&name, out.len() as u64);
         Ok(out.len() as u64)
     }
 
@@ -340,11 +422,31 @@ impl AnalysisCache {
             }
             sections.push(r.bytes(len)?.to_vec());
         }
+        self.note_read_artifact(&key.file_name());
         Ok(RawEntry {
             sections,
             bytes: data.len() as u64,
         })
     }
+}
+
+/// Atomic write-then-rename with the store's temp naming convention, so
+/// a crash mid-write or a concurrent reader never sees a torn artifact:
+/// the final path either holds the old bytes or the complete new ones.
+/// The temp name is unique per process and write, so parallel writers
+/// cannot collide, and the orphan sweep covers crashed writes.
+pub(crate) fn write_file_atomic(dir: &Path, file_name: &str, data: &[u8]) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    static WRITE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = WRITE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let tmp = dir.join(format!(".{file_name}.{}-{seq}.tmp", std::process::id()));
+    let final_path = dir.join(file_name);
+    std::fs::write(&tmp, data).map_err(|e| e.to_string())?;
+    std::fs::rename(&tmp, &final_path).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        e.to_string()
+    })?;
+    Ok(())
 }
 
 /// Aggregate shape of one store directory, as reported by
@@ -370,6 +472,18 @@ pub struct StoreStats {
     pub unit_bytes: u64,
     /// Orphaned write temps deleted when this store was opened.
     pub orphans_removed: u64,
+    /// Lifetime artifacts evicted by the byte-budget GC, summed over the
+    /// persisted shard indexes.
+    pub evicted_entries: u64,
+    /// Lifetime bytes reclaimed by the byte-budget GC.
+    pub reclaimed_bytes: u64,
+    /// The byte budget recorded by the most recent GC pass (`0` when no
+    /// eviction has ever run).
+    pub budget_bytes: u64,
+    /// Per-directory occupancy: one row for the root of a flat store,
+    /// one per shard subdirectory otherwise. Directories with no
+    /// artifacts and no eviction history are omitted.
+    pub shards: Vec<ShardOccupancy>,
 }
 
 impl StoreStats {
@@ -383,66 +497,99 @@ impl StoreStats {
 }
 
 impl AnalysisCache {
-    /// Survey the store directory: entry count, total bytes, and the
-    /// schema-version breakdown.
+    /// Survey the store: entry count, total bytes, the schema-version
+    /// breakdown, per-shard occupancy and the persisted eviction
+    /// counters.
     ///
     /// Only each file's 6-byte header is inspected — no entry is decoded
     /// or checksummed, so this stays cheap on large stores. A store whose
     /// directory does not exist yet reports all-zero stats rather than an
     /// error (it is simply empty). Temp files from in-flight writes (no
     /// `.frac` suffix) are skipped; unit-granular sibling artifacts
-    /// (`.fru` banks, `.frv` verdicts) are counted separately.
+    /// (`.fru` banks, `.frv` verdicts) are counted separately. The root
+    /// and every shard subdirectory are surveyed, so the aggregate is
+    /// layout-independent.
     pub fn stats(&self) -> Result<StoreStats, CacheError> {
         let mut stats = StoreStats {
             orphans_removed: self.orphans_removed,
             ..StoreStats::default()
         };
-        let entries = match std::fs::read_dir(&self.dir) {
-            Ok(e) => e,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(stats),
-            Err(e) => return Err(CacheError::Io(e.to_string())),
-        };
         let mut by_schema = std::collections::BTreeMap::new();
-        for entry in entries {
-            let entry = entry.map_err(|e| CacheError::Io(e.to_string()))?;
-            let path = entry.path();
-            let ext = path.extension().and_then(|e| e.to_str());
-            if let Some("fru" | "frv") = ext {
+        for (_, dir) in policy::store_dirs(&self.dir, &self.policy) {
+            let entries = match std::fs::read_dir(&dir) {
+                Ok(e) => e,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(CacheError::Io(e.to_string())),
+            };
+            let mut row = ShardOccupancy {
+                name: if dir == self.dir {
+                    "root".to_string()
+                } else {
+                    dir.file_name()
+                        .and_then(|n| n.to_str())
+                        .unwrap_or("?")
+                        .to_string()
+                },
+                ..ShardOccupancy::default()
+            };
+            if let Some(index) = policy::read_index(&dir.join(policy::INDEX_NAME)) {
+                row.evicted = index.evicted;
+                row.reclaimed_bytes = index.reclaimed_bytes;
+                stats.evicted_entries += index.evicted;
+                stats.reclaimed_bytes += index.reclaimed_bytes;
+                stats.budget_bytes = stats.budget_bytes.max(index.budget_bytes);
+            }
+            for entry in entries {
+                let entry = entry.map_err(|e| CacheError::Io(e.to_string()))?;
+                let path = entry.path();
+                let ext = path.extension().and_then(|e| e.to_str());
+                if let Some("fru" | "frv") = ext {
+                    let meta = entry
+                        .metadata()
+                        .map_err(|e| CacheError::Io(e.to_string()))?;
+                    if meta.is_file() {
+                        if ext == Some("fru") {
+                            stats.unit_banks += 1;
+                        } else {
+                            stats.verdicts += 1;
+                        }
+                        stats.unit_bytes += meta.len();
+                        row.files += 1;
+                        row.bytes += meta.len();
+                    }
+                    continue;
+                }
+                if ext != Some("frac") {
+                    continue;
+                }
                 let meta = entry
                     .metadata()
                     .map_err(|e| CacheError::Io(e.to_string()))?;
-                if meta.is_file() {
-                    if ext == Some("fru") {
-                        stats.unit_banks += 1;
-                    } else {
-                        stats.verdicts += 1;
-                    }
-                    stats.unit_bytes += meta.len();
+                if !meta.is_file() {
+                    continue;
                 }
-                continue;
+                let mut header = [0u8; 6];
+                let ok = std::fs::File::open(&path)
+                    .and_then(|mut f| std::io::Read::read_exact(&mut f, &mut header))
+                    .is_ok();
+                if !ok || &header[..4] != MAGIC {
+                    stats.foreign += 1;
+                    continue;
+                }
+                stats.entries += 1;
+                stats.total_bytes += meta.len();
+                row.files += 1;
+                row.bytes += meta.len();
+                let schema = u16::from_le_bytes([header[4], header[5]]);
+                *by_schema.entry(schema).or_insert(0u64) += 1;
             }
-            if ext != Some("frac") {
-                continue;
+            if row.files > 0 || row.bytes > 0 || row.evicted > 0 || row.reclaimed_bytes > 0 {
+                stats.shards.push(row);
             }
-            let meta = entry
-                .metadata()
-                .map_err(|e| CacheError::Io(e.to_string()))?;
-            if !meta.is_file() {
-                continue;
-            }
-            let mut header = [0u8; 6];
-            let ok = std::fs::File::open(&path)
-                .and_then(|mut f| std::io::Read::read_exact(&mut f, &mut header))
-                .is_ok();
-            if !ok || &header[..4] != MAGIC {
-                stats.foreign += 1;
-                continue;
-            }
-            stats.entries += 1;
-            stats.total_bytes += meta.len();
-            let schema = u16::from_le_bytes([header[4], header[5]]);
-            *by_schema.entry(schema).or_insert(0u64) += 1;
         }
+        stats
+            .shards
+            .sort_by(|a, b| (a.name != "root", &a.name).cmp(&(b.name != "root", &b.name)));
         stats.by_schema = by_schema.into_iter().collect();
         Ok(stats)
     }
@@ -789,6 +936,149 @@ mod tests {
         assert_eq!(temp_writer_pid(".gitignore"), None);
         assert_eq!(temp_writer_pid(".abc.frac.x-7.tmp"), None);
         assert_eq!(temp_writer_pid(".abc.frac.12-x.tmp"), None);
+    }
+
+    #[test]
+    fn sharded_store_round_trips_and_surveys_per_shard() {
+        let dir = temp_dir("sharded");
+        let policy = StorePolicy {
+            shards: 4,
+            ..StorePolicy::default()
+        };
+        let cache = AnalysisCache::with_policy(&dir, policy);
+        let config = AnalysisConfig::default();
+        let mut keys = Vec::new();
+        for id in [4u8, 6, 10, 14, 21] {
+            let dev = generate_device(id, 7);
+            let analysis = analyze_firmware(&dev.firmware, None, &config);
+            let key = CacheKey::compute(&dev.firmware, None, &config);
+            cache.store(&key, &analysis).unwrap();
+            keys.push((key, analysis));
+        }
+        // Entries land in shard subdirectories, never the root.
+        for (key, _) in &keys {
+            let path = cache.entry_path(key);
+            assert_ne!(path.parent().unwrap(), dir.as_path());
+            assert!(path.exists());
+        }
+        // Every entry loads back through the sharded paths.
+        for (key, analysis) in &keys {
+            let entry = cache.load(key).unwrap();
+            assert_eq!(entry.analysis.executable, analysis.executable);
+        }
+        let stats = cache.stats().unwrap();
+        assert_eq!(stats.entries, 5);
+        assert!(!stats.shards.is_empty());
+        assert_eq!(stats.shards.iter().map(|s| s.files).sum::<u64>(), 5);
+        assert_eq!(
+            stats.shards.iter().map(|s| s.bytes).sum::<u64>(),
+            stats.total_bytes
+        );
+        // A flat-opened view of the same directory still surveys the
+        // aggregate (shard subdirectories are always swept).
+        let flat = AnalysisCache::new(&dir);
+        assert_eq!(flat.stats().unwrap().entries, 5);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eviction_keeps_the_store_under_budget_and_persists_counters() {
+        let dir = temp_dir("evict");
+        let config = AnalysisConfig::default();
+        // First, learn how big one entry is.
+        let probe = AnalysisCache::new(&dir);
+        let dev = generate_device(4, 7);
+        let analysis = analyze_firmware(&dev.firmware, None, &config);
+        let key = CacheKey::compute(&dev.firmware, None, &config);
+        let entry_bytes = probe.store(&key, &analysis).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Budget fits roughly three entries; write five.
+        let budget = entry_bytes * 3 + entry_bytes / 2;
+        let policy = StorePolicy {
+            shards: 2,
+            byte_budget: Some(budget),
+            low_watermark: 0.9,
+            ..StorePolicy::default()
+        };
+        let cache = AnalysisCache::with_policy(&dir, policy.clone());
+        for id in [4u8, 6, 10, 14, 21] {
+            let dev = generate_device(id, 7);
+            let analysis = analyze_firmware(&dev.firmware, None, &config);
+            let key = CacheKey::compute(&dev.firmware, None, &config);
+            cache.store(&key, &analysis).unwrap();
+        }
+        let stats = cache.stats().unwrap();
+        assert!(
+            stats.total_bytes + stats.unit_bytes <= budget,
+            "store must end at or under its budget ({} > {budget})",
+            stats.total_bytes + stats.unit_bytes
+        );
+        assert!(stats.evicted_entries > 0, "evictions must have happened");
+        assert!(stats.reclaimed_bytes > 0);
+        assert_eq!(stats.budget_bytes, budget, "budget persists via the index");
+        assert_eq!(cache.tracked_bytes(), Some(stats.total_bytes));
+
+        // A fresh open (fresh process would be the same) still sees the
+        // lifetime counters from the persisted shard indexes.
+        let reopened = AnalysisCache::with_policy(&dir, policy);
+        let restat = reopened.stats().unwrap();
+        assert_eq!(restat.evicted_entries, stats.evicted_entries);
+        assert_eq!(restat.reclaimed_bytes, stats.reclaimed_bytes);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eviction_is_lru_and_respects_pins() {
+        let dir = temp_dir("evict-lru");
+        let config = AnalysisConfig::default();
+        // Probe the actual size of each entry so the budget is exactly
+        // one byte short of holding all three.
+        let probe = AnalysisCache::new(&dir);
+        let mut total = 0u64;
+        for id in [4u8, 6, 10] {
+            let dev = generate_device(id, 7);
+            let analysis = analyze_firmware(&dev.firmware, None, &config);
+            let key = CacheKey::compute(&dev.firmware, None, &config);
+            total += probe.store(&key, &analysis).unwrap();
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let cache = AnalysisCache::with_policy(
+            &dir,
+            StorePolicy {
+                byte_budget: Some(total - 1),
+                low_watermark: 1.0,
+                ..StorePolicy::default()
+            },
+        );
+        let mut keys = Vec::new();
+        for id in [4u8, 6, 10] {
+            let dev = generate_device(id, 7);
+            let analysis = analyze_firmware(&dev.firmware, None, &config);
+            let key = CacheKey::compute(&dev.firmware, None, &config);
+            keys.push(key);
+            if id == 10 {
+                // Touch the oldest entry before the overflow write: LRU
+                // must now pick the middle entry instead.
+                cache.load(&keys[0]).unwrap();
+            }
+            cache.store(&key, &analysis).unwrap();
+        }
+        assert!(cache.contains(&keys[0]), "recently read entry survives");
+        assert!(!cache.contains(&keys[1]), "least-recently-used is evicted");
+        assert!(cache.contains(&keys[2]), "freshest write survives");
+
+        // Pin the survivor and overflow again: the pin holds.
+        cache.pin_entry(&keys[0], true);
+        for id in [14u8, 21] {
+            let dev = generate_device(id, 7);
+            let analysis = analyze_firmware(&dev.firmware, None, &config);
+            let key = CacheKey::compute(&dev.firmware, None, &config);
+            cache.store(&key, &analysis).unwrap();
+        }
+        assert!(cache.contains(&keys[0]), "pinned entry is exempt");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

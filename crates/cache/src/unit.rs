@@ -89,7 +89,7 @@ use firmres_ir::{
 use firmres_mft::SliceRenderer;
 use firmres_semantics::Classifier;
 use std::collections::BTreeMap;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
 /// Unit-granular cache traffic of one funnel run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -199,12 +199,12 @@ fn unit_locator(
 const BANK_MAGIC: &[u8; 4] = b"FRUB";
 const VERDICT_MAGIC: &[u8; 4] = b"FRVD";
 
-fn bank_path(dir: &Path, key: u128) -> PathBuf {
-    dir.join(format!("{key:032x}.fru"))
+fn bank_name(key: u128) -> String {
+    format!("{key:032x}.fru")
 }
 
-fn verdict_path(dir: &Path, key: u128) -> PathBuf {
-    dir.join(format!("{key:032x}.frv"))
+fn verdict_name(key: u128) -> String {
+    format!("{key:032x}.frv")
 }
 
 /// One persisted message unit: input footprint, merge view, record bytes.
@@ -333,29 +333,15 @@ fn seal_artifact(magic: &[u8; 4], key: u128, payload: &[u8]) -> Vec<u8> {
     out
 }
 
-/// Atomic write-then-rename with the store's temp naming convention, so
-/// the orphan sweep covers crashed unit-artifact writes too.
-fn write_atomic(dir: &Path, file_name: &str, data: &[u8]) -> Result<(), String> {
-    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
-    static WRITE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-    let seq = WRITE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-    let tmp = dir.join(format!(".{file_name}.{}-{seq}.tmp", std::process::id()));
-    let final_path = dir.join(file_name);
-    std::fs::write(&tmp, data).map_err(|e| e.to_string())?;
-    std::fs::rename(&tmp, &final_path).map_err(|e| {
-        let _ = std::fs::remove_file(&tmp);
-        e.to_string()
-    })?;
-    Ok(())
-}
-
 /// A decoded bank: entries by locator, plus the payload byte count read.
 type BankContents = (BTreeMap<u128, BankEntry>, u64);
 
-fn read_bank(dir: &Path, key: u128) -> Result<Option<BankContents>, DecodeError> {
-    let Some(payload) = read_artifact(&bank_path(dir, key), BANK_MAGIC, key)? else {
+fn read_bank(cache: &AnalysisCache, key: u128) -> Result<Option<BankContents>, DecodeError> {
+    let name = bank_name(key);
+    let Some(payload) = read_artifact(&cache.artifact_path(&name), BANK_MAGIC, key)? else {
         return Ok(None);
     };
+    cache.note_read_artifact(&name);
     let bytes = payload.len() as u64;
     let mut r = Reader::new(&payload);
     let n = r.seq_len()?;
@@ -367,7 +353,11 @@ fn read_bank(dir: &Path, key: u128) -> Result<Option<BankContents>, DecodeError>
     Ok(Some((entries, bytes)))
 }
 
-fn write_bank(dir: &Path, key: u128, entries: &[(u128, BankEntry)]) -> Result<u64, String> {
+fn write_bank(
+    cache: &AnalysisCache,
+    key: u128,
+    entries: &[(u128, BankEntry)],
+) -> Result<u64, String> {
     let mut payload = Vec::new();
     payload.put_u32_le(entries.len() as u32);
     for (locator, e) in entries {
@@ -375,14 +365,18 @@ fn write_bank(dir: &Path, key: u128, entries: &[(u128, BankEntry)]) -> Result<u6
     }
     let sealed = seal_artifact(BANK_MAGIC, key, &payload);
     let len = sealed.len() as u64;
-    write_atomic(dir, &format!("{key:032x}.fru"), &sealed)?;
+    let name = bank_name(key);
+    crate::store::write_file_atomic(&cache.artifact_dir(&name), &name, &sealed)?;
+    cache.note_write_artifact(&name, len);
     Ok(len)
 }
 
-fn read_verdict(dir: &Path, key: u128) -> Result<Option<(Verdict, u64)>, DecodeError> {
-    let Some(payload) = read_artifact(&verdict_path(dir, key), VERDICT_MAGIC, key)? else {
+fn read_verdict(cache: &AnalysisCache, key: u128) -> Result<Option<(Verdict, u64)>, DecodeError> {
+    let name = verdict_name(key);
+    let Some(payload) = read_artifact(&cache.artifact_path(&name), VERDICT_MAGIC, key)? else {
         return Ok(None);
     };
+    cache.note_read_artifact(&name);
     let bytes = payload.len() as u64;
     let mut r = Reader::new(&payload);
     let events = get_stage_events(&mut r)?;
@@ -402,7 +396,7 @@ fn read_verdict(dir: &Path, key: u128) -> Result<Option<(Verdict, u64)>, DecodeE
     )))
 }
 
-fn write_verdict(dir: &Path, key: u128, v: &Verdict) -> Result<u64, String> {
+fn write_verdict(cache: &AnalysisCache, key: u128, v: &Verdict) -> Result<u64, String> {
     let mut payload = Vec::new();
     put_stage_events(&mut payload, &v.events);
     payload.put_u8(v.qualified as u8);
@@ -412,7 +406,9 @@ fn write_verdict(dir: &Path, key: u128, v: &Verdict) -> Result<u64, String> {
     }
     let sealed = seal_artifact(VERDICT_MAGIC, key, &payload);
     let len = sealed.len() as u64;
-    write_atomic(dir, &format!("{key:032x}.frv"), &sealed)?;
+    let name = verdict_name(key);
+    crate::store::write_file_atomic(&cache.artifact_dir(&name), &name, &sealed)?;
+    cache.note_write_artifact(&name, len);
     Ok(len)
 }
 
@@ -513,7 +509,6 @@ pub fn analyze_image_units_incremental(
     let mut cache_diags: Vec<Diagnostic> = Vec::new();
     let config_fp = config_fingerprint(config);
     let classifier_fp = classifier_fingerprint(classifier);
-    let dir = cache.dir();
 
     // Pre-read the per-executable verdicts (the context below holds the
     // observer borrow, so all artifact IO diagnostics are staged here).
@@ -522,7 +517,7 @@ pub fn analyze_image_units_incremental(
         .iter()
         .map(|(path, bytes)| {
             let key = verdict_key(fw, path, bytes, config_fp);
-            let found = match read_verdict(dir, key) {
+            let found = match read_verdict(cache, key) {
                 Ok(Some((v, bytes_read))) => {
                     stats.verdict_hits += 1;
                     stats.bytes_read += bytes_read;
@@ -574,7 +569,7 @@ pub fn analyze_image_units_incremental(
                             .map(|c| c.handlers.clone())
                             .unwrap_or_default(),
                     };
-                    match write_verdict(dir, key, &verdict) {
+                    match write_verdict(cache, key, &verdict) {
                         Ok(written) => stats.bytes_written += written,
                         Err(e) => cache_diags.push(cache_diag(
                             format!("{key:032x}.frv"),
@@ -670,10 +665,9 @@ pub fn analyze_image_units_incremental(
                         winner.path.clone(),
                         "verdict-qualified executable failed to lift; verdict discarded".into(),
                     ));
-                    let _ = std::fs::remove_file(verdict_path(
-                        dir,
-                        verdict_key(fw, &winner.path, bytes, config_fp),
-                    ));
+                    let name = verdict_name(verdict_key(fw, &winner.path, bytes, config_fp));
+                    let _ = std::fs::remove_file(cache.artifact_path(&name));
+                    cache.note_removed_artifact(&name);
                     let analysis = cx.finish(None, Vec::new(), Vec::new());
                     let mut out = Vec::new();
                     codec::put_analysis(&mut out, &analysis);
@@ -693,7 +687,7 @@ pub fn analyze_image_units_incremental(
         .collect();
     let graph = program.call_graph();
     let bank = bank_key(fw, &winner.path, config_fp, classifier_fp);
-    let mut stored = match read_bank(dir, bank) {
+    let mut stored = match read_bank(cache, bank) {
         Ok(Some((entries, bytes_read))) => {
             stats.bytes_read += bytes_read;
             entries
@@ -796,7 +790,7 @@ pub fn analyze_image_units_incremental(
     if drift > 0 && 4 * drift >= units.len() {
         // The rewrite keeps exactly the current units: entries whose
         // seeds vanished in the update are dropped here.
-        match write_bank(dir, bank, &entries) {
+        match write_bank(cache, bank, &entries) {
             Ok(written) => stats.bytes_written += written,
             Err(e) => cache_diags.push(cache_diag(
                 format!("{bank:032x}.fru"),
@@ -843,6 +837,7 @@ mod tests {
     use crate::codec::get_analysis;
     use firmres::{analyze_firmware, FirmwareAnalysis, NullObserver};
     use firmres_corpus::generate_device;
+    use std::path::PathBuf;
 
     fn temp_dir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("firmres-unit-{tag}-{}", std::process::id()));

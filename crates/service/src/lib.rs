@@ -18,6 +18,10 @@
 //!   cooperative [`CancelToken`]s at unit boundaries, first-class cache
 //!   integration (submit-by-hash answers without shipping bytes), and
 //!   graceful drain that finishes in-flight work before shutting down.
+//! * [`config`] — policies as declarative data: worker/io-thread
+//!   sizing, admission limits, and the store's shard/eviction policy
+//!   in one INI-style file with CLI overrides, defaults reproducing
+//!   the built-in behavior.
 //! * [`client`] — a blocking client library the `firmres-suite` CLI
 //!   builds its `serve`/`submit`/`status`/`drain` subcommands on.
 //! * [`load`] — an open-/closed-loop load generator over the same wire
@@ -58,11 +62,13 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod config;
 pub mod load;
 pub mod server;
 pub mod wire;
 
 pub use client::{Client, ClientError, Served};
+pub use config::ServiceConfig;
 pub use load::{run_load, LatencyHistogram, LoadConfig, LoadReport};
 pub use server::{Server, ServerConfig};
 pub use wire::{

@@ -166,8 +166,11 @@ pub struct LoadConfig {
     pub requests: usize,
     /// Per-request deadline forwarded to the server (0 = none).
     pub deadline_ms: u64,
-    /// Sleep for the server's `retry_after_ms` hint after a QueueFull
-    /// rejection before proceeding to the next scheduled request.
+    /// Open loop: sleep for the server's `retry_after_ms` hint after a
+    /// QueueFull rejection before proceeding to the next scheduled
+    /// request. The closed loop always honors the hint (with jitter) —
+    /// a closed loop that re-submits instantly would hammer a server
+    /// that just asked it to back off.
     pub honor_retry_after: bool,
     /// Analysis configuration submitted with every request.
     pub config: AnalysisConfig,
@@ -215,6 +218,12 @@ pub struct LoadReport {
     pub retry_after_ms_max: u64,
     /// Open loop only: sends that started >1 ms past their schedule.
     pub behind_schedule: u64,
+    /// QueueFull rejections that were answered with a back-off sleep
+    /// (always in the closed loop, opt-in via
+    /// [`LoadConfig::honor_retry_after`] in the open loop).
+    pub backoff_waits: u64,
+    /// Total milliseconds spent in back-off sleeps.
+    pub backoff_ms_total: u64,
     /// Total terminal-payload bytes received.
     pub payload_bytes: u64,
     /// Per-request latency in nanoseconds (completed requests only).
@@ -243,6 +252,8 @@ impl LoadReport {
         self.protocol_errors += other.protocol_errors;
         self.retry_after_ms_max = self.retry_after_ms_max.max(other.retry_after_ms_max);
         self.behind_schedule += other.behind_schedule;
+        self.backoff_waits += other.backoff_waits;
+        self.backoff_ms_total += other.backoff_ms_total;
         self.payload_bytes += other.payload_bytes;
         self.latency.merge(&other.latency);
     }
@@ -264,6 +275,22 @@ fn connect_raw(addr: SocketAddr) -> Result<TcpStream, String> {
     match read_response(&mut stream).map_err(|e| format!("handshake read: {e}"))? {
         Response::HelloOk { .. } => Ok(stream),
         other => Err(format!("expected HelloOk, got {other:?}")),
+    }
+}
+
+/// Deterministic per-thread jitter source (xorshift64): back-off sleeps
+/// must de-synchronize the connections without pulling in a randomness
+/// dependency or making runs irreproducible.
+struct Jitter(u64);
+
+impl Jitter {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
     }
 }
 
@@ -358,6 +385,7 @@ pub fn run_load(
             let handle = scope.spawn(move || {
                 let mut stream = slot;
                 let mut report = LoadReport::default();
+                let mut jitter = Jitter(0x9E37_79B9_7F4A_7C15 ^ (k as u64 + 1));
                 let mut slot_idx = k;
                 while slot_idx < cfg.requests {
                     let item = &items[slot_idx % items.len()];
@@ -409,8 +437,25 @@ pub fn run_load(
                             report.rejected_queue_full += 1;
                             report.retry_after_ms_max =
                                 report.retry_after_ms_max.max(retry_after_ms);
-                            if cfg.honor_retry_after {
-                                std::thread::sleep(Duration::from_millis(retry_after_ms));
+                            // Closed loop: re-submitting instantly would
+                            // hammer a server that just asked for a
+                            // back-off, so the hint is always honored,
+                            // jittered into [retry/2, retry] so the
+                            // connections do not retry in lockstep. The
+                            // open loop keeps its schedule unless the
+                            // caller opted in.
+                            let backoff_ms = if cfg.rate == 0.0 && retry_after_ms > 0 {
+                                let half = retry_after_ms.div_ceil(2);
+                                half + jitter.next() % (retry_after_ms - half + 1)
+                            } else if cfg.honor_retry_after {
+                                retry_after_ms
+                            } else {
+                                0
+                            };
+                            if backoff_ms > 0 {
+                                report.backoff_waits += 1;
+                                report.backoff_ms_total += backoff_ms;
+                                std::thread::sleep(Duration::from_millis(backoff_ms));
                             }
                         }
                         Outcome::Rejected(_) => report.rejected_other += 1,

@@ -1,22 +1,28 @@
 //! The resident analysis daemon: TCP accept loop, admission-controlled
-//! job queue, worker pool and per-connection response streams.
+//! job queue, worker pool and a fixed-size connection multiplexer.
 //!
 //! # Architecture
 //!
 //! ```text
 //!            accept loop (non-blocking poll)
-//!                 │ one handler thread per connection
+//!                 │ round-robin handoff to a fixed io-shard pool
 //!                 ▼
-//!   reader ── admission control ──▶ bounded FIFO queue ──▶ workers
-//!     │            │ reject / cache hit                      │
-//!     ▼            ▼                                         ▼
-//!   writer ◀── encoded Response frames (mpsc) ◀──────────────┘
+//!   io shards ── admission control ──▶ bounded FIFO queue ──▶ workers
+//!     │  sweep every connection:│ reject / cache hit            │
+//!     │  flush + read + parse   ▼                               ▼
+//!     └──◀─── per-connection outbound frame queues ◀────────────┘
 //! ```
 //!
-//! Each connection gets a dedicated writer thread owning the socket's
-//! write half; the reader thread and every worker processing that
-//! connection's jobs send pre-encoded frames through an `mpsc` channel,
-//! so interleaved job completions never interleave bytes on the wire.
+//! Connections are *multiplexed*: a fixed pool of io-shard threads
+//! ([`ServerConfig::io_threads`], default 2) owns every socket. Each
+//! shard sweeps its connections — flushing queued response frames with
+//! non-blocking writes, reading whatever bytes are available,
+//! reassembling length-prefixed frames and dispatching them inline —
+//! then parks on a condvar with a short timeout. Workers never touch a
+//! socket; they append pre-encoded frames to a connection's outbound
+//! queue and wake its shard, so the server holds hundreds of mostly
+//! idle connections with a handful of threads, and interleaved job
+//! completions never interleave bytes on the wire.
 //!
 //! Admission control is explicit and structured: a full queue, a hit on
 //! the per-connection in-flight cap, or a draining server each answer
@@ -27,33 +33,49 @@
 //! analysis is the FRAC [`put_analysis`] encoding — byte-identical to
 //! what a local `analyze` of the same image, config and model produces.
 //!
+//! A `Drain` request must block until the queue empties without
+//! stalling the other connections on its shard, so it is parked on a
+//! dedicated waiter thread — the one place the multiplexer still
+//! spawns per-request.
+//!
 //! [`put_analysis`]: firmres_cache::codec::put_analysis
 
 use crate::wire::{
-    self, JobState, RejectReason, Request, Response, ServiceStatus, SubmitImage, WireError,
-    MAX_FRAME, PROTOCOL_VERSION,
+    JobState, RejectReason, Request, Response, ServiceStatus, SubmitImage, MAX_FRAME,
+    PROTOCOL_VERSION,
 };
 use firmres::{
     analyze_firmware_cancellable, analyze_packed, AnalysisConfig, CancelToken, Error, FnObserver,
     NullObserver, Observer,
 };
 use firmres_cache::codec::put_analysis;
-use firmres_cache::{AnalysisCache, CacheKey};
+use firmres_cache::{AnalysisCache, CacheKey, StorePolicy};
 use firmres_firmware::FirmwareImage;
 use firmres_semantics::Classifier;
 use std::collections::{HashMap, VecDeque};
-use std::io::{self, Read};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
-use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// How long the accept loop and connection readers sleep between polls
-/// of the shutdown flag.
+/// How long the accept loop sleeps between polls of the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(10);
+
+/// How long an io shard parks when a sweep made no progress. Worker
+/// completions and new connections wake the shard immediately; this
+/// bounds only the latency of *request* arrival on an idle socket.
+const SHARD_PARK: Duration = Duration::from_millis(1);
+
+/// How long a shard keeps flushing queued frames after shutdown before
+/// abandoning unresponsive clients.
+const FINAL_FLUSH: Duration = Duration::from_secs(3);
+
+/// Most bytes one connection may pull off its socket in a single sweep
+/// — keeps a fire-hosing client from starving its shard siblings.
+const READ_QUANTUM: usize = 256 * 1024;
 
 /// Tuning for a [`Server`].
 #[derive(Debug, Clone)]
@@ -65,6 +87,8 @@ pub struct ServerConfig {
     /// Message-unit parallelism inside one job (the `jobs` argument of
     /// the pipeline; does not change output).
     pub unit_jobs: usize,
+    /// Io-shard threads multiplexing the sockets. `0` is clamped to 1.
+    pub io_threads: usize,
     /// Queue capacity. A submit that finds the queue at capacity is
     /// rejected with [`RejectReason::QueueFull`], never blocked.
     pub queue_cap: usize,
@@ -75,6 +99,10 @@ pub struct ServerConfig {
     /// Analysis-cache directory. `None` disables caching (every submit
     /// runs the pipeline; hash submits are always rejected).
     pub cache_dir: Option<PathBuf>,
+    /// Store policy (shards, eviction budget, watermarks) applied to
+    /// the cache directory. The default is the historical unbounded
+    /// flat store.
+    pub store: StorePolicy,
     /// Semantics classifier applied to every job, or `None` for the
     /// keyword fallback — part of the cache identity, so it must match
     /// the local run a served result is compared against.
@@ -86,10 +114,12 @@ impl Default for ServerConfig {
         ServerConfig {
             workers: 1,
             unit_jobs: 1,
+            io_threads: 2,
             queue_cap: 32,
             conn_inflight_cap: 8,
             retry_after_ms: 250,
             cache_dir: None,
+            store: StorePolicy::default(),
             classifier: None,
         }
     }
@@ -108,6 +138,79 @@ struct ServiceCounters {
     unit_misses: AtomicU64,
 }
 
+// ---- connection handles --------------------------------------------------
+
+/// Wake-up latch for one io shard: senders set the flag and notify, the
+/// shard consumes it (or times out) between sweeps.
+#[derive(Default)]
+struct ShardWake {
+    flag: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl ShardWake {
+    fn wake(&self) {
+        let mut flag = self.flag.lock().expect("wake lock");
+        *flag = true;
+        self.cv.notify_one();
+    }
+
+    fn park(&self, timeout: Duration) {
+        let mut flag = self.flag.lock().expect("wake lock");
+        if !*flag {
+            flag = self.cv.wait_timeout(flag, timeout).expect("wake lock").0;
+        }
+        *flag = false;
+    }
+}
+
+/// The mutable half of a connection that producers (io shard, workers,
+/// the drain waiter) share.
+#[derive(Default)]
+struct ConnState {
+    /// Complete wire frames (length prefix included) awaiting flush.
+    outbound: VecDeque<Vec<u8>>,
+    /// Set when the socket is gone: frames are dropped instead of
+    /// queued, so a worker finishing a job for a dead client never
+    /// grows an unbounded queue. The job outcome is still counted —
+    /// there is just nobody left to tell.
+    closed: bool,
+    /// Set to finish the conversation: the shard flushes what is
+    /// queued, then closes the socket.
+    close_after_flush: bool,
+}
+
+/// A cloneable sender for one connection's outbound frame stream —
+/// the multiplexer's replacement for the old per-connection writer
+/// thread and its `mpsc` channel.
+#[derive(Clone)]
+struct ConnHandle {
+    state: Arc<parking_lot::Mutex<ConnState>>,
+    wake: Arc<ShardWake>,
+}
+
+impl ConnHandle {
+    fn send(&self, response: &Response) {
+        let body = response.encode();
+        let mut frame = Vec::with_capacity(4 + body.len());
+        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&body);
+        {
+            let mut st = self.state.lock();
+            if st.closed {
+                return;
+            }
+            st.outbound.push_back(frame);
+        }
+        self.wake.wake();
+    }
+}
+
+/// Encode and enqueue one response frame for a connection.
+fn send(reply: &ConnHandle, response: &Response) {
+    reply.send(response);
+}
+
 /// One admitted job waiting in (or pulled from) the queue.
 struct Job {
     id: u64,
@@ -115,7 +218,7 @@ struct Job {
     config: AnalysisConfig,
     want_events: bool,
     token: CancelToken,
-    reply: mpsc::Sender<Vec<u8>>,
+    reply: ConnHandle,
     conn_inflight: Arc<AtomicU32>,
 }
 
@@ -163,17 +266,10 @@ impl Shared {
         }
     }
 
-    fn reject(&self, reply: &mpsc::Sender<Vec<u8>>, reason: RejectReason) {
+    fn reject(&self, reply: &ConnHandle, reason: RejectReason) {
         self.counters.jobs_rejected.fetch_add(1, Ordering::Relaxed);
         send(reply, &Response::Rejected { reason });
     }
-}
-
-/// Encode and enqueue one response frame for a connection's writer.
-/// A send to a hung-up connection is dropped silently: the job outcome
-/// is still counted, there is just nobody left to tell.
-fn send(reply: &mpsc::Sender<Vec<u8>>, response: &Response) {
-    let _ = reply.send(response.encode());
 }
 
 /// A resident FIRMRES analysis daemon bound to a TCP address.
@@ -188,8 +284,8 @@ pub struct Server {
 
 impl Server {
     /// Bind the daemon to `addr` (e.g. `"127.0.0.1:0"` for an ephemeral
-    /// port). The cache directory, if configured, is opened lazily by
-    /// the store itself — no I/O happens here beyond the bind.
+    /// port). Opening the cache directory sweeps orphans and, when an
+    /// eviction budget is configured, surveys the store's occupancy.
     pub fn bind(addr: impl ToSocketAddrs, cfg: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
@@ -202,7 +298,10 @@ impl Server {
             next_job_id: AtomicU64::new(1),
             counters: ServiceCounters::default(),
             running_tokens: parking_lot::Mutex::new(HashMap::new()),
-            cache: cfg.cache_dir.as_ref().map(AnalysisCache::new),
+            cache: cfg
+                .cache_dir
+                .as_ref()
+                .map(|dir| AnalysisCache::with_policy(dir, cfg.store.clone())),
             classifier: cfg.classifier.clone(),
             cfg,
         });
@@ -215,8 +314,8 @@ impl Server {
     }
 
     /// Serve connections until drained, then return the final counter
-    /// snapshot. Worker threads and every connection handler are joined
-    /// before this returns.
+    /// snapshot. Worker threads and every io shard are joined before
+    /// this returns.
     pub fn run(self) -> ServiceStatus {
         let workers: Vec<_> = (0..self.shared.cfg.workers)
             .map(|_| {
@@ -225,15 +324,33 @@ impl Server {
             })
             .collect();
 
-        let mut conns = Vec::new();
+        // The io-shard pool: each shard owns an inbox of newly accepted
+        // sockets and a wake latch shared with every producer that can
+        // create work for it.
+        let shard_count = self.shared.cfg.io_threads.max(1);
+        let mut inboxes = Vec::with_capacity(shard_count);
+        let mut wakes = Vec::with_capacity(shard_count);
+        let shards: Vec<_> = (0..shard_count)
+            .map(|_| {
+                let inbox = Arc::new(parking_lot::Mutex::new(Vec::<TcpStream>::new()));
+                let wake = Arc::new(ShardWake::default());
+                inboxes.push(Arc::clone(&inbox));
+                wakes.push(Arc::clone(&wake));
+                let shared = Arc::clone(&self.shared);
+                thread::spawn(move || io_shard_loop(&shared, &inbox, &wake))
+            })
+            .collect();
+
+        let mut next_shard = 0usize;
         loop {
             if self.shared.shutdown.load(Ordering::Acquire) {
                 break;
             }
             match self.listener.accept() {
                 Ok((stream, _)) => {
-                    let shared = Arc::clone(&self.shared);
-                    conns.push(thread::spawn(move || handle_connection(stream, &shared)));
+                    inboxes[next_shard].lock().push(stream);
+                    wakes[next_shard].wake();
+                    next_shard = (next_shard + 1) % shard_count;
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                     thread::sleep(POLL_INTERVAL);
@@ -242,8 +359,8 @@ impl Server {
             }
         }
 
-        // Shutdown: release the workers, then the connection handlers
-        // (their readers poll the shutdown flag and exit on their own).
+        // Shutdown: release the workers, then the shards (they flush
+        // what is queued, bounded by FINAL_FLUSH, and exit).
         {
             let mut qs = self.shared.qs.lock().expect("queue lock");
             qs.stop = true;
@@ -252,8 +369,11 @@ impl Server {
         for w in workers {
             let _ = w.join();
         }
-        for c in conns {
-            let _ = c.join();
+        for wake in &wakes {
+            wake.wake();
+        }
+        for s in shards {
+            let _ = s.join();
         }
         self.shared.status()
     }
@@ -413,87 +533,216 @@ fn run_job(shared: &Shared, job: Job) {
     job.conn_inflight.fetch_sub(1, Ordering::AcqRel);
 }
 
-// ---- connections --------------------------------------------------------
+// ---- the multiplexer ----------------------------------------------------
 
-/// Read one frame, polling the shutdown flag between attempts. Returns
-/// `Ok(None)` on a clean close (EOF between frames) or server shutdown.
-fn poll_read_frame(stream: &mut TcpStream, shared: &Shared) -> Result<Option<Vec<u8>>, WireError> {
-    let mut len = [0u8; 4];
-    let mut filled = 0;
-    while filled < len.len() {
-        if filled == 0 && shared.shutdown.load(Ordering::Acquire) {
-            return Ok(None);
-        }
-        match stream.read(&mut len[filled..]) {
-            Ok(0) if filled == 0 => return Ok(None),
-            Ok(0) => return Err(WireError::Io("eof inside frame length".to_string())),
-            Ok(n) => filled += n,
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut
-                    || e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(WireError::Io(e.to_string())),
-        }
-    }
-    let len = u32::from_le_bytes(len) as usize;
-    if len > MAX_FRAME {
-        return Err(WireError::FrameTooLarge { len: len as u64 });
-    }
-    let mut body = vec![0u8; len];
-    let mut filled = 0;
-    while filled < len {
-        match stream.read(&mut body[filled..]) {
-            Ok(0) => return Err(WireError::Io("eof inside frame body".to_string())),
-            Ok(n) => filled += n,
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut
-                    || e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(WireError::Io(e.to_string())),
-        }
-    }
-    Ok(Some(body))
+/// One socket as an io shard sees it: the stream, its shared outbound
+/// handle, and the reassembly / flush state the sweep loop threads
+/// through.
+struct Conn {
+    stream: TcpStream,
+    handle: ConnHandle,
+    /// Unparsed inbound bytes (partial frames carry across sweeps).
+    rbuf: Vec<u8>,
+    /// The frame currently being written, and how much of it went out.
+    wbuf: Vec<u8>,
+    woff: usize,
+    hello_done: bool,
+    /// Stop parsing input (post-Drain, or after a fatal protocol
+    /// error); the socket stays open until the outbound queue drains.
+    stop_reading: bool,
+    /// Clean EOF seen; the connection closes once every in-flight job
+    /// has answered and the answers are flushed.
+    eof: bool,
+    /// Io error: drop the connection at the end of the sweep.
+    dead: bool,
+    conn_inflight: Arc<AtomicU32>,
 }
 
-fn handle_connection(mut stream: TcpStream, shared: &Shared) {
-    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
-        return;
+impl Conn {
+    fn flushed(&self) -> bool {
+        self.woff == self.wbuf.len() && self.handle.state.lock().outbound.is_empty()
     }
-    // Response frames are small; without NODELAY every round-trip rides
-    // a delayed-ACK timer.
-    let _ = stream.set_nodelay(true);
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
+}
 
-    // The writer thread serializes all frames for this connection;
-    // everything else (reader, workers) sends encoded frames through tx.
-    let (tx, rx) = mpsc::channel::<Vec<u8>>();
-    let writer = thread::spawn(move || {
-        let mut write_half = write_half;
-        while let Ok(frame) = rx.recv() {
-            if wire::write_frame(&mut write_half, &frame).is_err() {
-                // Client gone: keep draining the channel so senders
-                // never block on a dead connection.
-                while rx.recv().is_ok() {}
-                return;
+fn io_shard_loop(
+    shared: &Arc<Shared>,
+    inbox: &parking_lot::Mutex<Vec<TcpStream>>,
+    wake: &Arc<ShardWake>,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    loop {
+        for stream in inbox.lock().drain(..) {
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            // Response frames are one write each; without NODELAY every
+            // round-trip rides a delayed-ACK timer.
+            let _ = stream.set_nodelay(true);
+            conns.push(Conn {
+                stream,
+                handle: ConnHandle {
+                    state: Arc::new(parking_lot::Mutex::new(ConnState::default())),
+                    wake: Arc::clone(wake),
+                },
+                rbuf: Vec::new(),
+                wbuf: Vec::new(),
+                woff: 0,
+                hello_done: false,
+                stop_reading: false,
+                eof: false,
+                dead: false,
+                conn_inflight: Arc::new(AtomicU32::new(0)),
+            });
+        }
+
+        let mut progressed = false;
+        for conn in &mut conns {
+            progressed |= flush_conn(conn);
+            if !conn.dead && !conn.stop_reading && !conn.eof {
+                progressed |= read_conn(conn);
+                progressed |= dispatch_frames(shared, conn);
+            }
+            // Give frames queued by the dispatch a same-sweep flush:
+            // the common request→response round trip never waits for
+            // the next park cycle.
+            progressed |= flush_conn(conn);
+        }
+
+        conns.retain(|conn| {
+            let close_requested = conn.handle.state.lock().close_after_flush;
+            let done = conn.flushed()
+                && (close_requested
+                    || (conn.eof && conn.conn_inflight.load(Ordering::Acquire) == 0));
+            if conn.dead || done {
+                conn.handle.state.lock().closed = true;
+                false
+            } else {
+                true
+            }
+        });
+
+        if shared.shutdown.load(Ordering::Acquire) {
+            final_flush(&mut conns);
+            return;
+        }
+        if !progressed {
+            wake.park(SHARD_PARK);
+        }
+    }
+}
+
+/// Write queued frames until the socket would block. Returns whether
+/// any bytes moved.
+fn flush_conn(conn: &mut Conn) -> bool {
+    let mut progressed = false;
+    loop {
+        if conn.woff == conn.wbuf.len() {
+            let mut st = conn.handle.state.lock();
+            match st.outbound.pop_front() {
+                Some(frame) => {
+                    drop(st);
+                    conn.wbuf = frame;
+                    conn.woff = 0;
+                }
+                None => return progressed,
             }
         }
-    });
-
-    serve_requests(&mut stream, shared, &tx);
-
-    drop(tx);
-    let _ = writer.join();
+        match conn.stream.write(&conn.wbuf[conn.woff..]) {
+            Ok(0) => {
+                conn.dead = true;
+                return true;
+            }
+            Ok(n) => {
+                conn.woff += n;
+                progressed = true;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return progressed,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.dead = true;
+                return true;
+            }
+        }
+    }
 }
 
-fn serve_requests(stream: &mut TcpStream, shared: &Shared, tx: &mpsc::Sender<Vec<u8>>) {
+/// Pull available bytes into the reassembly buffer, up to the fairness
+/// quantum. Returns whether anything arrived.
+fn read_conn(conn: &mut Conn) -> bool {
+    let mut buf = [0u8; 16 * 1024];
+    let mut taken = 0usize;
+    while taken < READ_QUANTUM {
+        match conn.stream.read(&mut buf) {
+            Ok(0) => {
+                conn.eof = true;
+                break;
+            }
+            Ok(n) => {
+                conn.rbuf.extend_from_slice(&buf[..n]);
+                taken += n;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.dead = true;
+                break;
+            }
+        }
+    }
+    taken > 0
+}
+
+/// Reassemble and dispatch every complete frame in the buffer. Returns
+/// whether any frame was handled.
+fn dispatch_frames(shared: &Arc<Shared>, conn: &mut Conn) -> bool {
+    let mut consumed = 0usize;
+    let mut progressed = false;
+    while !conn.stop_reading && !conn.dead {
+        let pending = &conn.rbuf[consumed..];
+        if pending.len() < 4 {
+            break;
+        }
+        let len = u32::from_le_bytes(pending[..4].try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME {
+            // Same contract as the old per-connection reader: oversized
+            // frames answer BadRequest and end the conversation.
+            shared.reject(
+                &conn.handle,
+                RejectReason::BadRequest {
+                    detail: format!("frame of {len} bytes exceeds the cap"),
+                },
+            );
+            close_conn(conn);
+            break;
+        }
+        if pending.len() < 4 + len {
+            break;
+        }
+        let body = pending[4..4 + len].to_vec();
+        consumed += 4 + len;
+        progressed = true;
+        dispatch_one(shared, conn, &body);
+    }
+    if consumed > 0 {
+        conn.rbuf.drain(..consumed);
+    }
+    progressed
+}
+
+/// Finish the conversation: stop parsing, flush what is queued, close.
+fn close_conn(conn: &mut Conn) {
+    conn.stop_reading = true;
+    conn.handle.state.lock().close_after_flush = true;
+}
+
+fn dispatch_one(shared: &Arc<Shared>, conn: &mut Conn, body: &[u8]) {
     // The handshake must come first; anything else is a protocol error.
-    match poll_read_frame(stream, shared) {
-        Ok(Some(body)) => match Request::decode(&body) {
+    if !conn.hello_done {
+        match Request::decode(body) {
             Ok(Request::Hello { version }) if version == PROTOCOL_VERSION => {
+                conn.hello_done = true;
                 send(
-                    tx,
+                    &conn.handle,
                     &Response::HelloOk {
                         version: PROTOCOL_VERSION,
                     },
@@ -501,91 +750,109 @@ fn serve_requests(stream: &mut TcpStream, shared: &Shared, tx: &mpsc::Sender<Vec
             }
             Ok(Request::Hello { .. }) => {
                 shared.reject(
-                    tx,
+                    &conn.handle,
                     RejectReason::VersionMismatch {
                         server: PROTOCOL_VERSION,
                     },
                 );
-                return;
+                close_conn(conn);
             }
             Ok(_) => {
                 shared.reject(
-                    tx,
+                    &conn.handle,
                     RejectReason::BadRequest {
                         detail: "first frame must be Hello".to_string(),
                     },
                 );
-                return;
+                close_conn(conn);
             }
             Err(e) => {
                 shared.reject(
-                    tx,
+                    &conn.handle,
                     RejectReason::BadRequest {
                         detail: e.to_string(),
                     },
                 );
-                return;
+                close_conn(conn);
             }
-        },
-        Ok(None) | Err(_) => return,
-    }
-
-    let conn_inflight = Arc::new(AtomicU32::new(0));
-    loop {
-        let body = match poll_read_frame(stream, shared) {
-            Ok(Some(body)) => body,
-            Ok(None) => return,
-            Err(WireError::FrameTooLarge { len }) => {
-                shared.reject(
-                    tx,
-                    RejectReason::BadRequest {
-                        detail: format!("frame of {len} bytes exceeds the cap"),
-                    },
-                );
-                return;
-            }
-            Err(_) => return,
-        };
-        match Request::decode(&body) {
-            Ok(Request::Hello { .. }) => shared.reject(
-                tx,
-                RejectReason::BadRequest {
-                    detail: "duplicate Hello".to_string(),
-                },
-            ),
-            Ok(Request::Submit {
-                image,
-                config,
-                want_events,
-                deadline_ms,
-            }) => handle_submit(
-                shared,
-                tx,
-                &conn_inflight,
-                image,
-                config,
-                want_events,
-                deadline_ms,
-            ),
-            Ok(Request::Status) => send(tx, &Response::StatusInfo(shared.status())),
-            Ok(Request::Cancel { job_id }) => handle_cancel(shared, tx, job_id),
-            Ok(Request::Drain) => {
-                handle_drain(shared, tx);
-                return;
-            }
-            Err(e) => shared.reject(
-                tx,
-                RejectReason::BadRequest {
-                    detail: e.to_string(),
-                },
-            ),
         }
+        return;
+    }
+    match Request::decode(body) {
+        Ok(Request::Hello { .. }) => shared.reject(
+            &conn.handle,
+            RejectReason::BadRequest {
+                detail: "duplicate Hello".to_string(),
+            },
+        ),
+        Ok(Request::Submit {
+            image,
+            config,
+            want_events,
+            deadline_ms,
+        }) => handle_submit(
+            shared,
+            &conn.handle,
+            &conn.conn_inflight,
+            image,
+            config,
+            want_events,
+            deadline_ms,
+        ),
+        Ok(Request::Status) => send(&conn.handle, &Response::StatusInfo(shared.status())),
+        Ok(Request::Cancel { job_id }) => handle_cancel(shared, &conn.handle, job_id),
+        Ok(Request::Drain) => {
+            // Drain blocks until the queue idles. That wait must not
+            // stall the shard's other connections, so it gets its own
+            // waiter thread; the shard stops parsing this socket and
+            // closes it once DrainOk is flushed.
+            conn.stop_reading = true;
+            let shared = Arc::clone(shared);
+            let handle = conn.handle.clone();
+            thread::spawn(move || {
+                handle_drain(&shared, &handle);
+                handle.state.lock().close_after_flush = true;
+                handle.wake.wake();
+            });
+        }
+        Err(e) => shared.reject(
+            &conn.handle,
+            RejectReason::BadRequest {
+                detail: e.to_string(),
+            },
+        ),
     }
 }
 
+/// Post-shutdown epilogue: keep writing until every surviving client
+/// has its queued frames (the drainer's `DrainOk` above all), bounded
+/// by [`FINAL_FLUSH`].
+fn final_flush(conns: &mut [Conn]) {
+    let deadline = Instant::now() + FINAL_FLUSH;
+    loop {
+        let mut pending = false;
+        for conn in conns.iter_mut() {
+            if conn.dead {
+                continue;
+            }
+            flush_conn(conn);
+            pending |= !conn.dead && !conn.flushed();
+        }
+        if !pending || Instant::now() >= deadline {
+            break;
+        }
+        thread::sleep(SHARD_PARK);
+    }
+    for conn in conns {
+        conn.handle.state.lock().closed = true;
+    }
+}
+
+// ---- request handlers ----------------------------------------------------
+
 fn handle_submit(
     shared: &Shared,
-    tx: &mpsc::Sender<Vec<u8>>,
+    tx: &ConnHandle,
     conn_inflight: &Arc<AtomicU32>,
     image: SubmitImage,
     config: AnalysisConfig,
@@ -645,8 +912,9 @@ fn handle_submit(
         CancelToken::new()
     };
     conn_inflight.fetch_add(1, Ordering::AcqRel);
-    // Accepted goes on the connection's channel before the job becomes
-    // visible to any worker, so no streamed Event frame can precede it.
+    // Accepted goes on the connection's outbound queue before the job
+    // becomes visible to any worker, so no streamed Event frame can
+    // precede it.
     send(tx, &Response::Accepted { job_id });
     qs.queue.push_back(Job {
         id: job_id,
@@ -664,7 +932,7 @@ fn handle_submit(
 /// Answer a submit straight from the cache: `Accepted` then a terminal
 /// `Analysis` frame re-encoded through the same codec a pipeline run
 /// uses, so hit and miss payloads are byte-comparable.
-fn serve_hit(shared: &Shared, tx: &mpsc::Sender<Vec<u8>>, analysis: &firmres::FirmwareAnalysis) {
+fn serve_hit(shared: &Shared, tx: &ConnHandle, analysis: &firmres::FirmwareAnalysis) {
     let job_id = shared.next_job_id.fetch_add(1, Ordering::Relaxed);
     let mut payload = Vec::new();
     put_analysis(&mut payload, analysis);
@@ -681,7 +949,7 @@ fn serve_hit(shared: &Shared, tx: &mpsc::Sender<Vec<u8>>, analysis: &firmres::Fi
     );
 }
 
-fn handle_cancel(shared: &Shared, tx: &mpsc::Sender<Vec<u8>>, job_id: u64) {
+fn handle_cancel(shared: &Shared, tx: &ConnHandle, job_id: u64) {
     // Queued first: remove the job before a worker can claim it. The
     // terminal Cancelled frame goes out under the queue lock, before
     // the idle condvar fires, so a drain blocked on this job cannot
@@ -744,7 +1012,7 @@ fn handle_cancel(shared: &Shared, tx: &mpsc::Sender<Vec<u8>>, job_id: u64) {
     );
 }
 
-fn handle_drain(shared: &Shared, tx: &mpsc::Sender<Vec<u8>>) {
+fn handle_drain(shared: &Shared, tx: &ConnHandle) {
     shared.draining.store(true, Ordering::Release);
     {
         let mut qs = shared.qs.lock().expect("queue lock");
@@ -771,9 +1039,11 @@ mod tests {
     fn default_config_is_usable() {
         let cfg = ServerConfig::default();
         assert!(cfg.workers >= 1);
+        assert!(cfg.io_threads >= 1);
         assert!(cfg.queue_cap >= 1);
         assert!(cfg.conn_inflight_cap >= 1);
         assert!(cfg.cache_dir.is_none());
+        assert_eq!(cfg.store, StorePolicy::default());
     }
 
     #[test]

@@ -119,6 +119,15 @@ fn saturation_is_counted_not_errored() {
     assert_eq!(report.retry_after_ms_max, 17, "hint not propagated");
     assert_eq!(report.from_cache, 0, "server has no cache");
 
+    // The closed loop always honors the back-off hint: every QueueFull
+    // was answered with a jittered sleep in [retry/2, retry].
+    assert_eq!(
+        report.backoff_waits, report.rejected_queue_full,
+        "closed loop must back off on every QueueFull: {report:?}"
+    );
+    assert!(report.backoff_ms_total >= report.backoff_waits * (17 / 2));
+    assert!(report.backoff_ms_total <= report.backoff_waits * 17);
+
     // Outcome accounting is total: every submit landed somewhere.
     assert_eq!(
         report.completed

@@ -126,12 +126,56 @@ cli load "$laddr" "$smoke_dir/fleet-a" --requests 128 --rate 200 \
     > "$smoke_dir/load-warm.txt"
 grep -q 'completed 128 (128 from cache)' "$smoke_dir/load-warm.txt"
 grep -q 'latency p50' "$smoke_dir/load-warm.txt"
+# Many-connection smoke: 64 concurrent sockets against the daemon's
+# fixed 2-thread io pool — every request still answers from cache.
+cli load "$laddr" "$smoke_dir/fleet-a" --requests 128 --connections 64 \
+    > "$smoke_dir/load-many.txt"
+grep -q 'completed 128 (128 from cache)' "$smoke_dir/load-many.txt"
 cli drain "$laddr" > /dev/null
 wait "$load_pid"
 cargo run --release -q -p firmres-bench --bin load_bench -- \
     --devices 64 --rate 200 --out "$smoke_dir/BENCH_load_smoke.json"
 test -s "$smoke_dir/BENCH_load_smoke.json"
 grep -q '"saturation_connections"' "$smoke_dir/BENCH_load_smoke.json"
+
+echo "==> eviction smoke (budgeted sharded serve keeps the store at budget)"
+# A 64-image fleet against a 1 MiB budget overruns the store many times
+# over: the collector must keep occupancy at the budget, surface its
+# counters through cache-stats, and an evicted image resubmitted later
+# must re-derive byte-identically to a local analyze — a miss, never an
+# error.
+cat > "$smoke_dir/evict.conf" <<'EOF'
+[service]
+workers = 2
+
+[store]
+shards = 4
+byte_budget = 1M
+EOF
+cli serve 127.0.0.1:0 --config "$smoke_dir/evict.conf" \
+    --cache "$smoke_dir/evict-cache" \
+    --port-file "$smoke_dir/evict-port" > "$smoke_dir/evict-serve.txt" &
+evict_pid=$!
+for _ in $(seq 1 200); do
+  [ -s "$smoke_dir/evict-port" ] && break
+  sleep 0.1
+done
+eaddr="$(cat "$smoke_dir/evict-port")"
+cli load "$eaddr" "$smoke_dir/fleet-a" --mix bytes --connections 4 > /dev/null
+# The fleet's first image was evicted long ago; resubmitting it is a
+# clean miss whose served report matches a from-scratch local run.
+cli analyze "$smoke_dir/fleet-a/synth-00000.fwi" > "$smoke_dir/evict-local.txt"
+cli submit "$eaddr" "$smoke_dir/fleet-a/synth-00000.fwi" > "$smoke_dir/evict-served.txt"
+cmp "$smoke_dir/evict-local.txt" "$smoke_dir/evict-served.txt"
+cli drain "$eaddr" > /dev/null
+wait "$evict_pid"
+cli cache-stats "$smoke_dir/evict-cache" > "$smoke_dir/evict-stats.txt"
+grep -q 'evictions:' "$smoke_dir/evict-stats.txt"
+grep -q 'per-shard occupancy:' "$smoke_dir/evict-stats.txt"
+# Tracked artifacts (.frac/.fru/.frv) ended at or under the 1 MiB budget.
+find "$smoke_dir/evict-cache" -type f \
+    \( -name '*.frac' -o -name '*.fru' -o -name '*.frv' \) -printf '%s\n' \
+  | awk '{ s += $1 } END { exit !(s <= 1048576) }'
 
 echo "==> service wire + end-to-end suites (release)"
 cargo test --release -q -p firmres-service

@@ -119,11 +119,14 @@ const USAGE: &str = "usage: firmres-cli <command>\n\
   mutate <in.fwi> <out.fwi> <percent> [seed]\n\
 \x20                               write a synthetic update flipping one\n\
 \x20                               immediate in <percent>% of the functions\n\
-  serve <addr> [model] [--cache <dir>] [--workers <n>] [--jobs <n>]\n\
-\x20      [--queue <n>] [--port-file <path>]\n\
+  serve <addr> [model] [--config <file>] [--cache <dir>] [--workers <n>]\n\
+\x20      [--jobs <n>] [--io-threads <n>] [--queue <n>] [--inflight <n>]\n\
+\x20      [--retry-after <ms>] [--shards <n>] [--store-budget <bytes|K|M|G|none>]\n\
+\x20      [--port-file <path>]\n\
 \x20                               run the resident analysis daemon (blocks\n\
-\x20                               until drained; --port-file records the\n\
-\x20                               bound address for ephemeral ports)\n\
+\x20                               until drained; --config reads an INI policy\n\
+\x20                               file, flags override it; --port-file records\n\
+\x20                               the bound address for ephemeral ports)\n\
   submit <addr> <image.fwi> [--hash] [--events] [--deadline <ms>]\n\
 \x20                               submit to a running daemon (--hash asks\n\
 \x20                               the server cache by content hash without\n\
@@ -337,6 +340,13 @@ fn cmd_load(args: &[String]) -> Result<String, String> {
             out,
             "  admission control engaged: server advised retry_after {} ms",
             report.retry_after_ms_max
+        );
+    }
+    if report.backoff_waits > 0 {
+        let _ = writeln!(
+            out,
+            "  backed off {} time(s), {} ms total sleeping on retry_after hints",
+            report.backoff_waits, report.backoff_ms_total
         );
     }
     if report.behind_schedule > 0 {
@@ -627,39 +637,97 @@ fn cmd_mutate(args: &[String]) -> Result<String, String> {
 
 fn cmd_serve(args: &[String]) -> Result<String, String> {
     let mut cache_dir: Option<String> = None;
-    let mut workers: usize = 2;
-    let mut unit_jobs: usize = 1;
-    let mut queue_cap: usize = 32;
     let mut port_file: Option<String> = None;
+    let mut config_file: Option<String> = None;
+    let mut workers: Option<usize> = None;
+    let mut unit_jobs: Option<usize> = None;
+    let mut io_threads: Option<usize> = None;
+    let mut queue_cap: Option<usize> = None;
+    let mut inflight_cap: Option<u32> = None;
+    let mut retry_after: Option<u64> = None;
+    let mut shards: Option<String> = None;
+    let mut store_budget: Option<String> = None;
     let mut positional: Vec<&String> = Vec::new();
     let mut rest = args.iter();
     while let Some(a) = rest.next() {
         match a.as_str() {
             "--cache" => cache_dir = Some(rest.next().ok_or(USAGE)?.clone()),
             "--port-file" => port_file = Some(rest.next().ok_or(USAGE)?.clone()),
-            "--workers" => workers = parse_count(rest.next(), "--workers")?,
-            "--jobs" => unit_jobs = parse_count(rest.next(), "--jobs")?,
+            "--config" => config_file = Some(rest.next().ok_or(USAGE)?.clone()),
+            "--workers" => workers = Some(parse_count(rest.next(), "--workers")?),
+            "--jobs" => unit_jobs = Some(parse_count(rest.next(), "--jobs")?),
+            "--io-threads" => io_threads = Some(parse_count(rest.next(), "--io-threads")?),
             "--queue" => {
-                queue_cap = rest
-                    .next()
-                    .ok_or(USAGE)?
-                    .parse()
-                    .map_err(|_| "--queue takes a capacity".to_string())?;
+                queue_cap = Some(
+                    rest.next()
+                        .ok_or(USAGE)?
+                        .parse()
+                        .map_err(|_| "--queue takes a capacity".to_string())?,
+                );
             }
+            "--inflight" => {
+                inflight_cap = Some(
+                    rest.next()
+                        .ok_or(USAGE)?
+                        .parse()
+                        .map_err(|_| "--inflight takes a cap".to_string())?,
+                );
+            }
+            "--retry-after" => {
+                retry_after = Some(
+                    rest.next()
+                        .ok_or(USAGE)?
+                        .parse()
+                        .map_err(|_| "--retry-after takes milliseconds".to_string())?,
+                );
+            }
+            "--shards" => shards = Some(rest.next().ok_or(USAGE)?.clone()),
+            "--store-budget" => store_budget = Some(rest.next().ok_or(USAGE)?.clone()),
             _ => positional.push(a),
         }
     }
     let addr = positional.first().ok_or(USAGE)?;
     let classifier = load_model(positional.get(1).copied())?;
+
+    // Policy precedence: built-in defaults, then the config file, then
+    // explicit flags — so a deployment file sets the profile and a flag
+    // tweaks one knob of it.
+    let mut svc = match &config_file {
+        Some(path) => firmres_service::ServiceConfig::from_file(path)?,
+        None => firmres_service::ServiceConfig::default(),
+    };
+    if let Some(n) = workers {
+        svc.workers = n;
+    }
+    if let Some(n) = unit_jobs {
+        svc.unit_jobs = n;
+    }
+    if let Some(n) = io_threads {
+        svc.io_threads = n;
+    }
+    if let Some(n) = queue_cap {
+        svc.queue_cap = n;
+    }
+    if let Some(n) = inflight_cap {
+        svc.conn_inflight_cap = n;
+    }
+    if let Some(ms) = retry_after {
+        svc.retry_after_ms = ms;
+    }
+    if let Some(v) = &shards {
+        svc.store.apply("shards", v)?;
+    }
+    if let Some(v) = &store_budget {
+        svc.store.apply("byte_budget", v)?;
+    }
+    svc.store.validate()?;
+
     let server = Server::bind(
         addr.as_str(),
         ServerConfig {
-            workers,
-            unit_jobs,
-            queue_cap,
             cache_dir: cache_dir.map(Into::into),
             classifier,
-            ..ServerConfig::default()
+            ..svc.to_server_config()
         },
     )
     .map_err(|e| format!("cannot bind {addr}: {e}"))?;
@@ -800,6 +868,37 @@ fn cmd_cache_stats(dir: Option<&String>) -> Result<String, String> {
     }
     if stats.foreign > 0 {
         let _ = writeln!(out, "  {} foreign file(s) ignored", stats.foreign);
+    }
+    // Eviction telemetry and the per-shard table appear only for stores
+    // that have a budget, have evicted, or are sharded — a flat
+    // unbounded store surveys exactly as it always has.
+    if stats.evicted_entries > 0 || stats.reclaimed_bytes > 0 || stats.budget_bytes > 0 {
+        let budget = if stats.budget_bytes > 0 {
+            format!(" (budget {} bytes)", stats.budget_bytes)
+        } else {
+            String::new()
+        };
+        let _ = writeln!(
+            out,
+            "  evictions: {} entr{} evicted, {} bytes reclaimed{budget}",
+            stats.evicted_entries,
+            if stats.evicted_entries == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+            stats.reclaimed_bytes
+        );
+    }
+    if stats.shards.len() > 1 {
+        let _ = writeln!(out, "  per-shard occupancy:");
+        for sh in &stats.shards {
+            let _ = writeln!(
+                out,
+                "    {:<5} {:>6} file(s) {:>12} bytes | {:>6} evicted {:>12} bytes reclaimed",
+                sh.name, sh.files, sh.bytes, sh.evicted, sh.reclaimed_bytes
+            );
+        }
     }
     Ok(out)
 }
@@ -1075,6 +1174,22 @@ mod tests {
         let summary = server.join().unwrap().unwrap();
         assert!(summary.contains("served 2 job(s)"), "{summary}");
         let _ = std::fs::remove_file(&port_file);
+    }
+
+    #[test]
+    fn serve_validates_policy_flags_and_config() {
+        // A typoed config key is an error with the offending key named.
+        let cfg_path = temp("bad-serve.conf");
+        std::fs::write(&cfg_path, "[service]\nwrokers = 2\n").unwrap();
+        let err = run(&s(&["serve", "127.0.0.1:0", "--config", &cfg_path])).unwrap_err();
+        assert!(err.contains("wrokers"), "{err}");
+        // Policy flags are validated before the bind.
+        let err = run(&s(&["serve", "127.0.0.1:0", "--shards", "1000"])).unwrap_err();
+        assert!(err.contains("shards"), "{err}");
+        let err = run(&s(&["serve", "127.0.0.1:0", "--store-budget", "lots"])).unwrap_err();
+        assert!(err.contains("byte size"), "{err}");
+        let err = run(&s(&["serve", "127.0.0.1:0", "--io-threads", "0"])).unwrap_err();
+        assert!(err.contains("--io-threads"), "{err}");
     }
 
     #[test]

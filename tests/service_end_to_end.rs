@@ -220,6 +220,63 @@ fn full_queue_rejects_with_retry_hint_instead_of_hanging() {
 }
 
 #[test]
+fn many_idle_connections_share_a_fixed_io_pool() {
+    // 80 concurrent connections against a 2-io-thread server: every one
+    // is serviced (Hello + status round-trips) while the process thread
+    // count stays flat — sockets are multiplexed onto the fixed shard
+    // pool, not handed a thread each.
+    let (addr, handle) = spawn(ServerConfig {
+        workers: 1,
+        io_threads: 2,
+        ..ServerConfig::default()
+    });
+
+    let count_threads = || std::fs::read_dir("/proc/self/task").map(|d| d.count()).ok();
+
+    // One connection first so the server's fixed threads all exist.
+    let mut first = Client::connect(addr).expect("connect");
+    first.status().expect("status");
+    let before = count_threads();
+
+    let mut idle: Vec<Client> = (0..79)
+        .map(|i| Client::connect(addr).unwrap_or_else(|e| panic!("connect {i}: {e:?}")))
+        .collect();
+    for (i, conn) in idle.iter_mut().enumerate() {
+        let status = conn
+            .status()
+            .unwrap_or_else(|e| panic!("status {i}: {e:?}"));
+        assert!(!status.draining);
+    }
+    // The harness runs sibling tests (and their servers) concurrently,
+    // so allow generous noise — the claim is only that 79 extra sockets
+    // did not cost anywhere near 79 extra threads.
+    if let (Some(before), Some(after)) = (before, count_threads()) {
+        assert!(
+            after < before + 40,
+            "79 extra connections must not grow the thread pool: {before} -> {after}"
+        );
+    }
+
+    // The crowded server still does real work: a submit on one of the
+    // multiplexed connections runs while the other 79 sit parked.
+    let dev = firmres_corpus::generate_device(6, 9);
+    let served = idle[0]
+        .submit(
+            SubmitImage::Bytes(dev.firmware.pack().to_vec()),
+            &AnalysisConfig::default(),
+            false,
+            0,
+        )
+        .expect("submit across a crowded server");
+    assert!(!served.from_cache);
+
+    drop(idle);
+    first.drain().expect("drain");
+    let final_status = handle.join().expect("server thread");
+    assert_eq!(final_status.jobs_served, 1);
+}
+
+#[test]
 fn drain_waits_for_the_queue_and_refuses_new_submissions() {
     // No workers: an admitted job sits in the queue forever, so a drain
     // issued after it deterministically blocks until the job is
