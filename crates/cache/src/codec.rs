@@ -385,20 +385,23 @@ pub fn get_field_source(r: &mut Reader) -> Result<FieldSource, DecodeError> {
 
 // ---- IR -----------------------------------------------------------------
 
-fn put_varnode(out: &mut Vec<u8>, v: &Varnode) {
+/// Encode one [`Varnode`] (shared with the `.flix` known-library codec).
+pub fn put_varnode(out: &mut Vec<u8>, v: &Varnode) {
     put_address_space(out, v.space);
     out.put_u64_le(v.offset);
     out.put_u8(v.size);
 }
 
-fn get_varnode(r: &mut Reader) -> Result<Varnode, DecodeError> {
+/// Decode one [`Varnode`].
+pub fn get_varnode(r: &mut Reader) -> Result<Varnode, DecodeError> {
     let space = get_address_space(r)?;
     let offset = r.u64()?;
     let size = r.u8()?;
     Ok(Varnode::new(space, offset, size))
 }
 
-fn put_pcode_op(out: &mut Vec<u8>, op: &PcodeOp) {
+/// Encode one [`PcodeOp`] (shared with the `.flix` known-library codec).
+pub fn put_pcode_op(out: &mut Vec<u8>, op: &PcodeOp) {
     out.put_u64_le(op.addr);
     out.put_u8(op.opcode.tag());
     match &op.output {
@@ -414,7 +417,8 @@ fn put_pcode_op(out: &mut Vec<u8>, op: &PcodeOp) {
     }
 }
 
-fn get_pcode_op(r: &mut Reader) -> Result<PcodeOp, DecodeError> {
+/// Decode one [`PcodeOp`].
+pub fn get_pcode_op(r: &mut Reader) -> Result<PcodeOp, DecodeError> {
     let addr = r.u64()?;
     let Some(opcode) = Opcode::from_tag(r.u8()?) else {
         return err("invalid Opcode tag");
@@ -846,6 +850,9 @@ fn put_counters(out: &mut Vec<u8>, c: &StageCounters) {
         c.cache_misses,
         c.cache_bytes_read,
         c.cache_bytes_written,
+        c.lib_fns_matched,
+        c.lib_traversals_skipped,
+        c.lib_summary_applies,
     ] {
         out.put_u64_le(v);
     }
@@ -864,6 +871,9 @@ fn get_counters(r: &mut Reader) -> Result<StageCounters, DecodeError> {
         cache_misses: r.u64()?,
         cache_bytes_read: r.u64()?,
         cache_bytes_written: r.u64()?,
+        lib_fns_matched: r.u64()?,
+        lib_traversals_skipped: r.u64()?,
+        lib_summary_applies: r.u64()?,
     })
 }
 
@@ -936,6 +946,9 @@ fn put_counter_tag(out: &mut Vec<u8>, c: Counter) {
         Counter::CacheMisses => 8,
         Counter::CacheBytesRead => 9,
         Counter::CacheBytesWritten => 10,
+        Counter::LibFnsMatched => 11,
+        Counter::LibTraversalsSkipped => 12,
+        Counter::LibSummaryApplies => 13,
     });
 }
 
@@ -952,6 +965,9 @@ fn get_counter_tag(r: &mut Reader) -> Result<Counter, DecodeError> {
         8 => Counter::CacheMisses,
         9 => Counter::CacheBytesRead,
         10 => Counter::CacheBytesWritten,
+        11 => Counter::LibFnsMatched,
+        12 => Counter::LibTraversalsSkipped,
+        13 => Counter::LibSummaryApplies,
         _ => return err("invalid Counter tag"),
     })
 }

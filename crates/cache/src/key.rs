@@ -24,8 +24,9 @@ use firmres_semantics::Classifier;
 /// by score instead of stopping at the first hit, changing counters and
 /// diagnostics on multi-candidate images. (The message-unit execution
 /// model shipped alongside did *not* require a bump: output is
-/// byte-identical at any job count.)
-pub const PIPELINE_VERSION: u32 = 2;
+/// byte-identical at any job count.) 3 — the cached counter record grew
+/// the three known-library counters, changing the entry encoding.
+pub const PIPELINE_VERSION: u32 = 3;
 
 /// The [`CacheKey::classifier`] fingerprint of an analysis run with no
 /// trained semantics model.
@@ -123,16 +124,31 @@ impl CacheKey {
 /// `coldpath_bench` gate asserts exactly that), so entries computed
 /// under either mode are interchangeable and must share cache keys.
 ///
+/// The [`TaintConfig::libid`] toggle is likewise excluded — summary
+/// replay is report-byte-identical to full traversal — but the
+/// *effective index* is fingerprinted: an entry computed with a loaded
+/// known-library index records that index's skip counters, so swapping
+/// or removing the index must miss. An analysis with libid off, or on
+/// without an index, consults no index at all; both fold
+/// [`LibIndex::EMPTY_FINGERPRINT`] and therefore share entries.
+///
 /// [`ExeIdConfig::score_threshold`]: firmres::ExeIdConfig
 /// [`TaintConfig`]: firmres_dataflow::TaintConfig
 /// [`TaintConfig::cold_path`]: firmres_dataflow::TaintConfig
+/// [`TaintConfig::libid`]: firmres_dataflow::TaintConfig
+/// [`LibIndex::EMPTY_FINGERPRINT`]: firmres_dataflow::LibIndex::EMPTY_FINGERPRINT
 pub fn config_fingerprint(config: &AnalysisConfig) -> u64 {
-    let mut bytes = Vec::with_capacity(34);
+    let mut bytes = Vec::with_capacity(42);
     bytes.extend_from_slice(&config.exeid.score_threshold.to_bits().to_le_bytes());
     bytes.extend_from_slice(&(config.taint.max_depth as u64).to_le_bytes());
     bytes.extend_from_slice(&(config.taint.max_nodes as u64).to_le_bytes());
     bytes.push(config.taint.overtaint as u8);
     bytes.push(config.taint.decompose_buffers as u8);
+    let lib_fp = match (config.taint.libid, config.taint.lib_index.as_ref()) {
+        (firmres_dataflow::LibId::On, Some(index)) => index.fingerprint(),
+        _ => firmres_dataflow::LibIndex::EMPTY_FINGERPRINT,
+    };
+    bytes.extend_from_slice(&lib_fp.to_le_bytes());
     content_hash_packed(&bytes)
 }
 
@@ -189,6 +205,59 @@ mod tests {
         let mut c = AnalysisConfig::default();
         c.taint.decompose_buffers = !c.taint.decompose_buffers;
         assert_ne!(f0, config_fingerprint(&c));
+    }
+
+    #[test]
+    fn libid_fingerprint_distinguishes_index_but_not_bare_toggle() {
+        use firmres_dataflow::{LibFunc, LibFuncScripts, LibId, LibIndex};
+        use std::sync::Arc;
+
+        let f0 = config_fingerprint(&AnalysisConfig::default());
+
+        // Off and On-without-an-index both consult nothing: same keys.
+        let mut on_bare = AnalysisConfig::default();
+        on_bare.taint.libid = LibId::On;
+        assert_eq!(f0, config_fingerprint(&on_bare), "bare toggle is free");
+
+        let index = |lib: &str| {
+            LibIndex::new(
+                vec![(
+                    7u128,
+                    LibFunc {
+                        lib: lib.to_string(),
+                        version: "1.0".to_string(),
+                        func: "f".to_string(),
+                        entry: 0x40,
+                        scripts: LibFuncScripts::default(),
+                    },
+                )],
+                0x1000,
+            )
+        };
+
+        // A loaded index changes the fingerprint; a *different* index
+        // changes it again (swap forces a miss).
+        let mut with_a = AnalysisConfig::default();
+        with_a.taint.libid = LibId::On;
+        with_a.taint.lib_index = Some(Arc::new(index("liba")));
+        let fa = config_fingerprint(&with_a);
+        assert_ne!(f0, fa, "a loaded index must not share bare entries");
+
+        let mut with_b = AnalysisConfig::default();
+        with_b.taint.libid = LibId::On;
+        with_b.taint.lib_index = Some(Arc::new(index("libb")));
+        assert_ne!(fa, config_fingerprint(&with_b), "index swap misses");
+
+        // Same index content → same fingerprint (entries are reusable).
+        let mut with_a2 = AnalysisConfig::default();
+        with_a2.taint.libid = LibId::On;
+        with_a2.taint.lib_index = Some(Arc::new(index("liba")));
+        assert_eq!(fa, config_fingerprint(&with_a2));
+
+        // An index loaded but toggled Off is never consulted: bare keys.
+        let mut off_loaded = AnalysisConfig::default();
+        off_loaded.taint.lib_index = Some(Arc::new(index("liba")));
+        assert_eq!(f0, config_fingerprint(&off_loaded));
     }
 
     #[test]

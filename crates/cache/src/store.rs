@@ -595,6 +595,79 @@ impl AnalysisCache {
     }
 }
 
+/// Known-library summary usage aggregated over a store's decodable
+/// entries, as reported by [`AnalysisCache::survey_lib_usage`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LibUsage {
+    /// Functions hash-matched against a known-library index.
+    pub fns_matched: u64,
+    /// Library-body traversals replaced by summary replay.
+    pub traversals_skipped: u64,
+    /// Taint-tree nodes emitted by summary replay.
+    pub summary_applies: u64,
+}
+
+impl LibUsage {
+    /// Whether any libid counter is nonzero.
+    pub fn any(&self) -> bool {
+        self.fns_matched > 0 || self.traversals_skipped > 0 || self.summary_applies > 0
+    }
+}
+
+/// Reconstruct a [`CacheKey`] from an entry file stem (the inverse of
+/// [`CacheKey::file_name`]); `None` for foreign names.
+fn parse_entry_stem(stem: &str) -> Option<CacheKey> {
+    let mut parts = stem.split('-');
+    let key = CacheKey {
+        image: u128::from_str_radix(parts.next()?, 16).ok()?,
+        pipeline: u32::from_str_radix(parts.next()?, 16).ok()?,
+        config: u64::from_str_radix(parts.next()?, 16).ok()?,
+        classifier: u64::from_str_radix(parts.next()?, 16).ok()?,
+    };
+    parts.next().is_none().then_some(key)
+}
+
+impl AnalysisCache {
+    /// Sum the known-library counters recorded in every decodable entry
+    /// of the store.
+    ///
+    /// Unlike [`AnalysisCache::stats`] this decodes each entry (the
+    /// counters live in the analysis section), so it is proportional to
+    /// store size — fine for the `cache-stats` survey, not for hot
+    /// paths. Entries that fail to decode (stale schema, damage,
+    /// foreign files) are skipped silently: the survey reports what is
+    /// readable, never errors.
+    pub fn survey_lib_usage(&self) -> LibUsage {
+        let mut usage = LibUsage::default();
+        for (_, dir) in policy::store_dirs(&self.dir, &self.policy) {
+            let Ok(entries) = std::fs::read_dir(&dir) else {
+                continue;
+            };
+            for entry in entries.flatten() {
+                let path = entry.path();
+                if path.extension().and_then(|e| e.to_str()) != Some("frac") {
+                    continue;
+                }
+                let Some(key) = path
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .and_then(parse_entry_stem)
+                else {
+                    continue;
+                };
+                let Ok(cached) = self.load(&key) else {
+                    continue;
+                };
+                let c = &cached.analysis.counters;
+                usage.fns_matched += c.lib_fns_matched;
+                usage.traversals_skipped += c.lib_traversals_skipped;
+                usage.summary_applies += c.lib_summary_applies;
+            }
+        }
+        usage
+    }
+}
+
 struct RawEntry {
     sections: Vec<Vec<u8>>,
     bytes: u64,

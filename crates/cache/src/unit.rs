@@ -812,7 +812,7 @@ pub fn analyze_image_units_incremental(
         });
         records.push(e.record_bytes);
     }
-    merge_unit_event_streams(&mut cx, &views);
+    merge_unit_event_streams(&mut cx, &views, engine.lib_matched());
 
     let blobs: Vec<&[u8]> = records.iter().map(|r| r.as_slice()).collect();
     let mut bytes = Vec::new();

@@ -52,6 +52,12 @@ pub enum Counter {
     CacheBytesRead,
     /// Bytes written to the analysis cache store.
     CacheBytesWritten,
+    /// Functions hash-matched against the known-library index.
+    LibFnsMatched,
+    /// Library-body traversals replaced by taint-script replay.
+    LibTraversalsSkipped,
+    /// Taint-tree nodes emitted by script replay.
+    LibSummaryApplies,
 }
 
 /// Per-stage work counters accumulated over one analysis.
@@ -80,6 +86,12 @@ pub struct StageCounters {
     pub cache_bytes_read: u64,
     /// Bytes written to the analysis cache store.
     pub cache_bytes_written: u64,
+    /// Functions hash-matched against the known-library index (stage 2).
+    pub lib_fns_matched: u64,
+    /// Library-body traversals replaced by script replay (stage 2).
+    pub lib_traversals_skipped: u64,
+    /// Taint-tree nodes emitted by script replay (stage 2).
+    pub lib_summary_applies: u64,
 }
 
 impl StageCounters {
@@ -97,6 +109,9 @@ impl StageCounters {
             Counter::CacheMisses => self.cache_misses += n,
             Counter::CacheBytesRead => self.cache_bytes_read += n,
             Counter::CacheBytesWritten => self.cache_bytes_written += n,
+            Counter::LibFnsMatched => self.lib_fns_matched += n,
+            Counter::LibTraversalsSkipped => self.lib_traversals_skipped += n,
+            Counter::LibSummaryApplies => self.lib_summary_applies += n,
         }
     }
 
@@ -114,6 +129,9 @@ impl StageCounters {
             Counter::CacheMisses => self.cache_misses,
             Counter::CacheBytesRead => self.cache_bytes_read,
             Counter::CacheBytesWritten => self.cache_bytes_written,
+            Counter::LibFnsMatched => self.lib_fns_matched,
+            Counter::LibTraversalsSkipped => self.lib_traversals_skipped,
+            Counter::LibSummaryApplies => self.lib_summary_applies,
         }
     }
 }

@@ -244,7 +244,7 @@ pub fn analyze_firmware_with_jobs(
     let outputs = run_pool(units.len(), jobs, |i| {
         run_message_unit(&engine, &renderer, &classes, &units[i])
     });
-    let records = merge_unit_outputs(&mut cx, outputs);
+    let records = merge_unit_outputs(&mut cx, outputs, engine.lib_matched());
     cx.finish(Some(chosen.path), chosen.handlers, records)
 }
 
@@ -297,7 +297,7 @@ pub fn analyze_firmware_cancellable(
         return Err(cancelled(cancel));
     }
     let outputs = outputs.into_iter().flatten().collect();
-    let records = merge_unit_outputs(&mut cx, outputs);
+    let records = merge_unit_outputs(&mut cx, outputs, engine.lib_matched());
     Ok(cx.finish(Some(chosen.path), chosen.handlers, records))
 }
 

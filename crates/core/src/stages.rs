@@ -488,9 +488,11 @@ fn field_id_unit(
     unit: &MessageUnit,
     ucx: &mut UnitContext,
 ) -> RawMessage {
+    let mut lib_stats = firmres_dataflow::LibStats::default();
     ucx.count(Counter::TaintQueries, 1);
     ucx.taint_query(unit.function, unit.callsite, unit.payload_arg);
-    let tree = engine.trace(unit.function, unit.callsite, unit.payload_arg);
+    let (tree, stats) = engine.trace_with_stats(unit.function, unit.callsite, unit.payload_arg);
+    lib_stats.merge(&stats);
     let unresolved = tree
         .sources()
         .filter(|n| matches!(n.source(), Some(FieldSource::Unresolved { .. })))
@@ -513,7 +515,8 @@ fn field_id_unit(
         if ep_arg != unit.payload_arg {
             ucx.count(Counter::TaintQueries, 1);
             ucx.taint_query(unit.function, unit.callsite, ep_arg);
-            let ep_tree = engine.trace(unit.function, unit.callsite, ep_arg);
+            let (ep_tree, stats) = engine.trace_with_stats(unit.function, unit.callsite, ep_arg);
+            lib_stats.merge(&stats);
             endpoint = ep_tree.sources().find_map(|n| match n.source() {
                 Some(FieldSource::StringConstant { value, .. }) => Some(value.clone()),
                 _ => None,
@@ -525,11 +528,20 @@ fn field_id_unit(
     if matches!(unit.callee.as_str(), "http_post" | "http_get") {
         ucx.count(Counter::TaintQueries, 1);
         ucx.taint_query(unit.function, unit.callsite, 0);
-        let host_tree = engine.trace(unit.function, unit.callsite, 0);
+        let (host_tree, stats) = engine.trace_with_stats(unit.function, unit.callsite, 0);
+        lib_stats.merge(&stats);
         host_lan = host_tree.sources().any(|n| {
             matches!(n.source(), Some(FieldSource::StringConstant { value, .. })
                 if firmres_mft::is_lan_address(value))
         });
+    }
+    // Library-summary accounting, emitted only when nonzero so a run
+    // without an index keeps its event stream byte-identical.
+    if lib_stats.traversals_skipped > 0 {
+        ucx.count(Counter::LibTraversalsSkipped, lib_stats.traversals_skipped);
+    }
+    if lib_stats.summary_applications > 0 {
+        ucx.count(Counter::LibSummaryApplies, lib_stats.summary_applications);
     }
     RawMessage {
         function: unit.function_name.clone(),
@@ -701,6 +713,7 @@ fn memo_hits(keys: impl Iterator<Item = TraceKey>) -> u64 {
 pub fn merge_unit_outputs(
     cx: &mut AnalysisContext<'_>,
     outputs: Vec<UnitOutput>,
+    lib_matched: u64,
 ) -> Vec<MessageRecord> {
     let (records, views): (Vec<_>, Vec<_>) = outputs
         .into_iter()
@@ -713,7 +726,7 @@ pub fn merge_unit_outputs(
             (o.record, view)
         })
         .unzip();
-    merge_unit_event_streams(cx, &views);
+    merge_unit_event_streams(cx, &views, lib_matched);
     records
 }
 
@@ -743,7 +756,20 @@ pub struct UnitView {
 /// classifier's absence plus any unit having rendered slices. Both are
 /// pure functions of the view list, so replaying stored views produces
 /// the exact stream a fresh run of the same units emits.
-pub fn merge_unit_event_streams(cx: &mut AnalysisContext<'_>, units: &[UnitView]) {
+///
+/// `lib_matched` is the image-wide count of functions the taint engine
+/// hash-matched against the known-library index
+/// ([`TaintEngine::lib_matched`] — a pure function of program and index,
+/// so warm drivers recompute the identical value). It is emitted as a
+/// FieldId-stage tail event only when nonzero, keeping index-less
+/// streams byte-identical.
+///
+/// [`TaintEngine::lib_matched`]: firmres_dataflow::TaintEngine::lib_matched
+pub fn merge_unit_event_streams(
+    cx: &mut AnalysisContext<'_>,
+    units: &[UnitView],
+    lib_matched: u64,
+) {
     cx.replay_stage(
         StageKind::FieldId,
         units.iter().map(|u| &u.events.field_id),
@@ -751,6 +777,9 @@ pub fn merge_unit_event_streams(cx: &mut AnalysisContext<'_>, units: &[UnitView]
             let hits = memo_hits(units.iter().flat_map(|u| u.taint_keys.iter().copied()));
             if hits > 0 {
                 cx.count(Counter::TaintCacheHits, hits);
+            }
+            if lib_matched > 0 {
+                cx.count(Counter::LibFnsMatched, lib_matched);
             }
         },
     );
@@ -923,6 +952,10 @@ impl FieldIdStage {
             let hits = memo_hits(keys.into_iter());
             if hits > 0 {
                 cx.count(Counter::TaintCacheHits, hits);
+            }
+            let matched = engine.lib_matched();
+            if matched > 0 {
+                cx.count(Counter::LibFnsMatched, matched);
             }
             raws
         })

@@ -8,6 +8,7 @@
 //! function per [`MessagePlan`] exercising the vendor's construction
 //! style (sprintf templates, cJSON assembly, or strcpy/strcat chains).
 
+use crate::libroster::{emit_roster, RosterLib, ROSTER};
 use crate::plan::{BodyStyle, Delivery, DeviceIdentity, MessagePlan, PlanField, ValueSource};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -92,13 +93,50 @@ pub fn device_cloud_source_with_topology(
     plans: &[MessagePlan],
     handlers: &[HandlerSpec],
 ) -> String {
+    device_cloud_source_with_libraries(identity, plans, handlers, &[])
+}
+
+/// Generate a device-cloud executable that additionally links shared
+/// roster libraries (see `libroster`): `links` are indices into
+/// [`ROSTER`].
+///
+/// With any link present, **all** roster slots are emitted first (real
+/// names for linked libraries, `__pad` decoys otherwise — the layout
+/// that keeps roster functions address-stable for content-hash
+/// matching), and every message function threads values through the
+/// linked libraries' pack/fmt helpers before delivery. With `links`
+/// empty the output is byte-identical to
+/// [`device_cloud_source_with_topology`].
+///
+/// # Panics
+///
+/// Panics if a link index is out of roster range.
+pub fn device_cloud_source_with_libraries(
+    identity: &DeviceIdentity,
+    plans: &[MessagePlan],
+    handlers: &[HandlerSpec],
+    links: &[usize],
+) -> String {
     let mut data = DataPool::default();
     let mut out = String::new();
+    if !links.is_empty() {
+        let mut linked = [false; ROSTER.len()];
+        for &k in links {
+            linked[k] = true;
+        }
+        emit_roster(&mut out, &linked);
+    }
+    let libs: Vec<&RosterLib> = {
+        let mut ks: Vec<usize> = links.to_vec();
+        ks.sort_unstable();
+        ks.dedup();
+        ks.into_iter().map(|k| &ROSTER[k]).collect()
+    };
     let host_lbl = data.label(&identity.cloud_host);
     let lan_lbl = data.label("192.168.1.1");
 
     for plan in plans {
-        emit_message_fn(&mut out, plan, &mut data, &lan_lbl, &host_lbl);
+        emit_message_fn(&mut out, plan, &mut data, &lan_lbl, &host_lbl, &libs);
     }
     for (hi, h) in handlers.iter().enumerate() {
         // Branch labels are image-global: prefix them per handler so
@@ -130,6 +168,7 @@ fn emit_message_fn(
     data: &mut DataPool,
     lan_lbl: &str,
     host_lbl: &str,
+    libs: &[&RosterLib],
 ) {
     // FromRequest fields become named parameters.
     let params: Vec<(usize, String)> = plan
@@ -150,6 +189,14 @@ fn emit_message_fn(
         let _ = writeln!(out, ".local obj 4");
         let _ = writeln!(out, ".local body 4");
     }
+    // Linked-library value slots: one packed value and one formatted
+    // value per linked roster library.
+    for (j, _) in libs.iter().enumerate() {
+        if needs_buf {
+            let _ = writeln!(out, ".local lb{j} 4");
+        }
+        let _ = writeln!(out, ".local lf{j} 4");
+    }
     for (i, f) in plan.fields.iter().enumerate() {
         // Numeric values need a text conversion buffer in strcat bodies.
         if plan.style == BodyStyle::StrcatKV && f.source.is_numeric() {
@@ -169,6 +216,12 @@ fn emit_message_fn(
             }
             ValueSource::Hardcoded(_) => {}
         }
+    }
+
+    // Library calls below are internal `call`s, which clobber ra.
+    if !libs.is_empty() {
+        let _ = writeln!(out, ".local lra 4");
+        let _ = writeln!(out, "    sw  ra, lra(sp)");
     }
 
     // Save request parameters before the body clobbers argument registers.
@@ -225,8 +278,34 @@ fn emit_message_fn(
         BodyStyle::SprintfQuery | BodyStyle::SprintfJson => {
             emit_sprintf_body(out, plan, data);
         }
-        BodyStyle::CJson => emit_cjson_body(out, plan, data),
+        BodyStyle::CJson => emit_cjson_body(out, plan, data, libs),
         BodyStyle::StrcatKV => emit_strcat_body(out, plan, data),
+    }
+
+    // Thread values through the linked shared libraries: pack an NVRAM
+    // value into the buffer through the library's pack helper, and
+    // strcat a config value formatted by its fmt helper. (cJSON bodies
+    // route the fmt value through the object instead — see
+    // `emit_cjson_body`.)
+    if needs_buf {
+        for (j, lib) in libs.iter().enumerate() {
+            let nk = data.label(lib.nv_key);
+            let _ = writeln!(out, "    la  a0, {nk}");
+            let _ = writeln!(out, "    callx nvram_get");
+            let _ = writeln!(out, "    sw  rv, lb{j}(sp)");
+            let _ = writeln!(out, "    lea a0, buf");
+            let _ = writeln!(out, "    lw  a1, lb{j}(sp)");
+            let _ = writeln!(out, "    call {}", lib.pack_fn);
+            let ck = data.label(lib.cfg_key);
+            let _ = writeln!(out, "    la  a0, {ck}");
+            let _ = writeln!(out, "    callx cfg_get");
+            let _ = writeln!(out, "    mov a0, rv");
+            let _ = writeln!(out, "    call {}", lib.fmt_fn);
+            let _ = writeln!(out, "    sw  rv, lf{j}(sp)");
+            let _ = writeln!(out, "    lea a0, buf");
+            let _ = writeln!(out, "    lw  a1, lf{j}(sp)");
+            let _ = writeln!(out, "    callx strcat");
+        }
     }
 
     // Deliver.
@@ -274,6 +353,9 @@ fn emit_message_fn(
             let _ = writeln!(out, "    li  a2, 0");
             let _ = writeln!(out, "    callx http_get");
         }
+    }
+    if !libs.is_empty() {
+        let _ = writeln!(out, "    lw  ra, lra(sp)");
     }
     let _ = writeln!(out, "    ret");
     let _ = writeln!(out, ".endfunc");
@@ -348,7 +430,7 @@ fn emit_sprintf_body(out: &mut String, plan: &MessagePlan, data: &mut DataPool) 
     let _ = writeln!(out, "    callx sprintf");
 }
 
-fn emit_cjson_body(out: &mut String, plan: &MessagePlan, data: &mut DataPool) {
+fn emit_cjson_body(out: &mut String, plan: &MessagePlan, data: &mut DataPool, libs: &[&RosterLib]) {
     let _ = writeln!(out, "    callx cJSON_CreateObject");
     let _ = writeln!(out, "    sw  rv, obj(sp)");
     // Raw-stream deliveries embed their endpoint as a leading field
@@ -377,6 +459,21 @@ fn emit_cjson_body(out: &mut String, plan: &MessagePlan, data: &mut DataPool) {
             "cJSON_AddStringToObject"
         };
         let _ = writeln!(out, "    callx {call}");
+    }
+    // Linked-library fields: a config value formatted through each
+    // linked library's fmt helper, added to the object before printing.
+    for (j, lib) in libs.iter().enumerate() {
+        let ck = data.label(lib.cfg_key);
+        let _ = writeln!(out, "    la  a0, {ck}");
+        let _ = writeln!(out, "    callx cfg_get");
+        let _ = writeln!(out, "    mov a0, rv");
+        let _ = writeln!(out, "    call {}", lib.fmt_fn);
+        let _ = writeln!(out, "    sw  rv, lf{j}(sp)");
+        let k = data.label(lib.field_key);
+        let _ = writeln!(out, "    lw  a0, obj(sp)");
+        let _ = writeln!(out, "    la  a1, {k}");
+        let _ = writeln!(out, "    lw  a2, lf{j}(sp)");
+        let _ = writeln!(out, "    callx cJSON_AddStringToObject");
     }
     let _ = writeln!(out, "    lw  a0, obj(sp)");
     let _ = writeln!(out, "    callx cJSON_Print");

@@ -38,22 +38,27 @@ mod cloudgen;
 mod devices;
 pub mod emulation;
 mod gen;
+mod libroster;
 mod plan;
 mod synth;
 mod update;
 mod vulns;
 
 pub use asmgen::{
-    device_cloud_source, device_cloud_source_with_topology, ipc_daemon_source, local_httpd_source,
-    watchdog_source, HandlerSpec,
+    device_cloud_source, device_cloud_source_with_libraries, device_cloud_source_with_topology,
+    ipc_daemon_source, local_httpd_source, watchdog_source, HandlerSpec,
 };
 pub use cloudgen::build_cloud;
 pub use devices::{device_spec, device_table, DeviceSpec, SprintfUsage};
 pub use gen::{generate_corpus, generate_device, GeneratedDevice};
+pub use libroster::{library_fixture_file, library_fixture_source, RosterLib, ROSTER};
 pub use plan::{
     plan_messages, BodyStyle, Delivery, DeviceIdentity, MessagePlan, PlanField, PlanPolicy,
     PlanResponse, ValueSource,
 };
-pub use synth::{synth_corpus, synth_device, SynthConfig, SynthDevice, SynthSpec};
+pub use synth::{
+    synth_corpus, synth_corpus_with_libraries, synth_device, synth_device_with_libraries,
+    SynthConfig, SynthDevice, SynthSpec,
+};
 pub use update::{mutate_firmware, FirmwareUpdate};
 pub use vulns::{total_vulnerabilities, vulnerable_plans};

@@ -1,0 +1,299 @@
+//! The shared-library roster of the synthetic fleet.
+//!
+//! Real fleets share large third-party regions (zlib, cJSON, OpenSSL …);
+//! the synthetic corpus models that with a fixed roster of three small
+//! "libraries", each contributing a buffer-packing helper and a
+//! value-formatting helper. A synthetic device links 0–3 roster
+//! libraries (seeded, per `(index, seed)`), and `firmres-libid` indexes
+//! the same roster from standalone fixture sources — so the fleet
+//! actually exercises known-library identification end to end.
+//!
+//! # Address stability
+//!
+//! `function_content_hash` covers the function's entry address, so a
+//! roster function only hash-matches the index if it sits at the *same*
+//! address in every linking device and in the standalone fixture. The
+//! emitter guarantees that by always emitting **all** roster slots, in
+//! roster order, at the very top of the executable: linked libraries
+//! keep their real names; unlinked slots become `__pad<N>` decoys with
+//! byte-identical instruction streams (the name only lives in the
+//! symbol table, so code addresses never move). Decoys hash differently
+//! (the name is hashed), are skipped by the index builder, and are dead
+//! code — no handler calls them.
+//!
+//! # Recordability
+//!
+//! Library bodies are deliberately built from the recorder's sound
+//! subset: straight-line code, imports only (no internal calls, no `la`
+//! data references, no constants at or above the data base), and every
+//! value chain threads a *distinct* run of stack slots, so no role ever
+//! trips a duplicate guard key. Chains are long on purpose — that is
+//! the traversal cost the summary replay skips.
+
+use std::fmt::Write as _;
+
+/// One roster library: index metadata plus the shape parameters of its
+/// two functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RosterLib {
+    /// Library name (also the fixture file stem prefix).
+    pub name: &'static str,
+    /// Version string (fixture files are named `<name>-<version>.s`).
+    pub version: &'static str,
+    /// Buffer-packing helper: `fn(dst, src)` appends `src` (and two
+    /// constant runs) into the `dst` buffer via `strcat`.
+    pub pack_fn: &'static str,
+    /// Formatting helper: `fn(val)` derives its return value from
+    /// `val` through one or more `hmac_sign` rounds.
+    pub fmt_fn: &'static str,
+    /// NVRAM key whose value the injected pack call threads through.
+    pub nv_key: &'static str,
+    /// Config key whose value the injected fmt call threads through.
+    pub cfg_key: &'static str,
+    /// JSON field key used when a cJSON-style body routes the fmt
+    /// result into the object.
+    pub field_key: &'static str,
+    /// Stack slots in the pack helper's parameter chain.
+    pack_param_slots: usize,
+    /// `(li constant, slots)` of the pack helper's two constant runs.
+    pack_const: [(u32, usize); 2],
+    /// Stack slots in the fmt helper's parameter chain.
+    fmt_slots: usize,
+    /// `li` constants of the fmt helper's `hmac_sign` rounds (one
+    /// round per constant, chained through `rv`).
+    fmt_rounds: &'static [u32],
+    /// Dead straight-line ops emitted in each helper body. Library
+    /// regions in real firmware are dominated by code the taint walk
+    /// never lands on, yet every region guard's write scan still has to
+    /// sweep it; the ballast models that, so summary replay (which
+    /// skips the scans wholesale) shows its real advantage.
+    ballast: usize,
+}
+
+/// The fixed roster. Order defines the slot layout; every device and
+/// fixture emits these in exactly this order.
+pub const ROSTER: [RosterLib; 3] = [
+    RosterLib {
+        name: "zbuf",
+        version: "1.4",
+        pack_fn: "zb_pack",
+        fmt_fn: "zb_crc",
+        nv_key: "device_id",
+        cfg_key: "fw_version",
+        field_key: "zbTag",
+        pack_param_slots: 8,
+        pack_const: [(17, 4), (99, 4)],
+        fmt_slots: 6,
+        fmt_rounds: &[11, 12],
+        ballast: 520,
+    },
+    RosterLib {
+        name: "jfmt",
+        version: "0.9",
+        pack_fn: "jf_pack",
+        fmt_fn: "jf_sign",
+        nv_key: "serial_no",
+        cfg_key: "hw_version",
+        field_key: "jfSig",
+        pack_param_slots: 6,
+        pack_const: [(7, 3), (23, 3)],
+        fmt_slots: 8,
+        fmt_rounds: &[5],
+        ballast: 600,
+    },
+    RosterLib {
+        name: "cstr",
+        version: "2.1",
+        pack_fn: "cs_cat",
+        fmt_fn: "cs_tag",
+        nv_key: "uid",
+        cfg_key: "model",
+        field_key: "csTag",
+        pack_param_slots: 10,
+        pack_const: [(42, 3), (61, 3)],
+        fmt_slots: 4,
+        fmt_rounds: &[3, 4, 6],
+        ballast: 560,
+    },
+];
+
+/// Emit `.local` declarations for one slot-chain prefix.
+fn emit_chain_locals(out: &mut String, prefix: &str, slots: usize) {
+    for i in 0..slots {
+        let _ = writeln!(out, ".local {prefix}{i} 4");
+    }
+}
+
+/// Store `from` into slot 0, hop it through every slot, load the last
+/// slot into `to`. Each hop is a `lw`/`sw` round trip — the def-use
+/// shape that makes library bodies expensive to traverse.
+fn emit_chain(out: &mut String, from: &str, prefix: &str, slots: usize, to: &str) {
+    let _ = writeln!(out, "    sw  {from}, {prefix}0(sp)");
+    for i in 0..slots - 1 {
+        let _ = writeln!(out, "    lw  t0, {prefix}{i}(sp)");
+        let _ = writeln!(out, "    sw  t0, {prefix}{}(sp)", i + 1);
+    }
+    let _ = writeln!(out, "    lw  {to}, {prefix}{}(sp)", slots - 1);
+}
+
+/// Emit the library's dead ballast: a straight-line dependent compute
+/// run on `t2`, flushed into a single dead slot. Never on any taint
+/// path (so it adds no tree nodes and no script steps), but every
+/// region guard the traversal opens in this function must scan past it.
+fn emit_ballast(out: &mut String, lib: &RosterLib) {
+    let _ = writeln!(out, ".local bz 4");
+    let _ = writeln!(out, "    li  t2, 5");
+    for i in 0..lib.ballast {
+        match i % 4 {
+            0 => {
+                let _ = writeln!(out, "    addi t2, t2, 3");
+            }
+            1 => {
+                let _ = writeln!(out, "    xor t2, t2, t2");
+            }
+            2 => {
+                let _ = writeln!(out, "    add t2, t2, t2");
+            }
+            _ => {
+                let _ = writeln!(out, "    sw  t2, bz(sp)");
+            }
+        }
+    }
+}
+
+/// Emit the pack helper under `name`: `fn(dst, src)` — the `src` chain
+/// plus two constant runs, each `strcat`ed into `dst` (held in `a0`
+/// throughout; imports only write `rv`).
+fn emit_pack_fn(out: &mut String, lib: &RosterLib, name: &str) {
+    let _ = writeln!(out, ".func {name} dst src");
+    emit_chain_locals(out, "pp", lib.pack_param_slots);
+    emit_chain_locals(out, "ca", lib.pack_const[0].1);
+    emit_chain_locals(out, "cb", lib.pack_const[1].1);
+    emit_ballast(out, lib);
+    emit_chain(out, "a1", "pp", lib.pack_param_slots, "a1");
+    let _ = writeln!(out, "    callx strcat");
+    for ((value, slots), prefix) in lib.pack_const.iter().zip(["ca", "cb"]) {
+        let _ = writeln!(out, "    li  t1, {value}");
+        emit_chain(out, "t1", prefix, *slots, "a1");
+        let _ = writeln!(out, "    callx strcat");
+    }
+    let _ = writeln!(out, "    ret");
+    let _ = writeln!(out, ".endfunc");
+    out.push('\n');
+}
+
+/// Emit the fmt helper under `name`: `fn(val)` — chain the parameter,
+/// then derive `rv` through the library's `hmac_sign` rounds.
+fn emit_fmt_fn(out: &mut String, lib: &RosterLib, name: &str) {
+    let _ = writeln!(out, ".func {name} val");
+    emit_chain_locals(out, "fc", lib.fmt_slots);
+    emit_ballast(out, lib);
+    emit_chain(out, "a0", "fc", lib.fmt_slots, "a0");
+    for (i, round) in lib.fmt_rounds.iter().enumerate() {
+        if i > 0 {
+            let _ = writeln!(out, "    mov a0, rv");
+        }
+        let _ = writeln!(out, "    li  a1, {round}");
+        let _ = writeln!(out, "    callx hmac_sign");
+    }
+    let _ = writeln!(out, "    ret");
+    let _ = writeln!(out, ".endfunc");
+    out.push('\n');
+}
+
+/// Emit every roster slot in roster order. `linked[k]` keeps library
+/// `k`'s real names; unlinked slots emit `__pad<N>` decoys with the
+/// identical instruction stream.
+pub fn emit_roster(out: &mut String, linked: &[bool; ROSTER.len()]) {
+    for (k, lib) in ROSTER.iter().enumerate() {
+        let (pack, fmt);
+        let (pack_name, fmt_name) = if linked[k] {
+            (lib.pack_fn, lib.fmt_fn)
+        } else {
+            pack = format!("__pad{}", 2 * k);
+            fmt = format!("__pad{}", 2 * k + 1);
+            (pack.as_str(), fmt.as_str())
+        };
+        emit_pack_fn(out, lib, pack_name);
+        emit_fmt_fn(out, lib, fmt_name);
+    }
+}
+
+/// Standalone fixture source for roster library `k`: the full roster
+/// layout with only library `k` real-named (so its functions sit at
+/// the same addresses as in any linking device), plus a stub `main`.
+/// `libid build` indexes the real functions and skips the `__pad`
+/// decoys and `main`.
+///
+/// # Panics
+///
+/// Panics if `k` is out of roster range.
+pub fn library_fixture_source(k: usize) -> String {
+    assert!(k < ROSTER.len(), "roster has {} libraries", ROSTER.len());
+    let mut out = String::new();
+    let mut linked = [false; ROSTER.len()];
+    linked[k] = true;
+    emit_roster(&mut out, &linked);
+    out.push_str(".func main\n    halt\n.endfunc\n");
+    out
+}
+
+/// Fixture file name for roster library `k` (`<name>-<version>.s`).
+pub fn library_fixture_file(k: usize) -> String {
+    format!("{}-{}.s", ROSTER[k].name, ROSTER[k].version)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use firmres_isa::{lift, Assembler};
+
+    #[test]
+    fn fixtures_assemble_and_layouts_are_address_stable() {
+        let mut entries: Vec<Vec<(String, u64)>> = Vec::new();
+        for k in 0..ROSTER.len() {
+            let exe = Assembler::new()
+                .assemble(&library_fixture_source(k))
+                .unwrap_or_else(|e| panic!("fixture {k} assembles: {e}"));
+            let p = lift(&exe, "fixture").unwrap();
+            entries.push(
+                p.functions()
+                    .map(|f| (f.name().to_string(), f.entry()))
+                    .collect(),
+            );
+        }
+        // Same slot layout in every fixture: addresses agree pairwise,
+        // names differ only between real and decoy slots.
+        for w in entries.windows(2) {
+            let addrs = |v: &Vec<(String, u64)>| v.iter().map(|(_, a)| *a).collect::<Vec<_>>();
+            assert_eq!(addrs(&w[0]), addrs(&w[1]), "slot addresses are fixed");
+        }
+        for (k, lib) in ROSTER.iter().enumerate() {
+            let names: Vec<&str> = entries[k].iter().map(|(n, _)| n.as_str()).collect();
+            assert!(names.contains(&lib.pack_fn), "{names:?}");
+            assert!(names.contains(&lib.fmt_fn), "{names:?}");
+        }
+    }
+
+    #[test]
+    fn roster_functions_record_cleanly() {
+        use firmres_dataflow::TaintEngine;
+        for (k, lib) in ROSTER.iter().enumerate() {
+            let exe = Assembler::new()
+                .assemble(&library_fixture_source(k))
+                .unwrap();
+            let p = lift(&exe, "fixture").unwrap();
+            let recorder = TaintEngine::new(&p);
+            for name in [lib.pack_fn, lib.fmt_fn] {
+                let f = p.function_by_name(name).unwrap();
+                let scripts = recorder.record_lib_function(f.entry()).unwrap();
+                assert!(
+                    scripts.rejected.is_empty(),
+                    "{name}: {:?}",
+                    scripts.rejected
+                );
+                assert!(!scripts.is_empty(), "{name} records at least one role");
+            }
+        }
+    }
+}

@@ -28,10 +28,11 @@
 //! ```
 
 use crate::asmgen::{
-    device_cloud_source_with_topology, ipc_daemon_source, local_httpd_source, watchdog_source,
+    device_cloud_source_with_libraries, ipc_daemon_source, local_httpd_source, watchdog_source,
     HandlerSpec,
 };
 use crate::devices::SprintfUsage;
+use crate::libroster::ROSTER;
 use crate::plan::{
     plan_for_shape, BodyStyle, Delivery, DeviceIdentity, MessagePlan, PlanField, PlanPolicy,
     PlanResponse, PlanShape, ValueSource,
@@ -81,6 +82,9 @@ pub struct SynthSpec {
     pub aux_executables: usize,
     /// Number of uninterpreted filler files in the image.
     pub filler_files: usize,
+    /// Names of the shared roster libraries this device links (empty
+    /// for the plain [`synth_device`] path).
+    pub linked_libraries: Vec<String>,
 }
 
 /// One fully generated synthetic device.
@@ -384,6 +388,36 @@ fn synth_vuln_plans(rng: &mut StdRng, count: usize, device_code: u8) -> Vec<Mess
 /// packed image fails to re-open — generator bugs, not runtime
 /// conditions.
 pub fn synth_device(index: u32, seed: u64) -> SynthDevice {
+    synth_device_impl(index, seed, &[])
+}
+
+/// Generate synthetic device `index` with the seeded library-region
+/// dimension: the device links 0–3 shared libraries drawn from the
+/// fixed [`ROSTER`](crate::ROSTER), byte-deterministic per
+/// `(index, seed)`.
+///
+/// The library draw comes from its own salted seed stream, so for a
+/// device that draws zero links the output is byte-identical to
+/// [`synth_device`] — the plain fleet is a strict subset of the
+/// library-aware one.
+///
+/// # Panics
+///
+/// Panics on internal generator bugs, like [`synth_device`].
+pub fn synth_device_with_libraries(index: u32, seed: u64) -> SynthDevice {
+    let mut lrng = StdRng::seed_from_u64(device_seed(seed, index, 0x001B_1D05));
+    let count = lrng.gen_range(0..=ROSTER.len());
+    let mut idxs: Vec<usize> = (0..ROSTER.len()).collect();
+    for i in 0..count {
+        let j = lrng.gen_range(i..idxs.len());
+        idxs.swap(i, j);
+    }
+    let mut links = idxs[..count].to_vec();
+    links.sort_unstable();
+    synth_device_impl(index, seed, &links)
+}
+
+fn synth_device_impl(index: u32, seed: u64, links: &[usize]) -> SynthDevice {
     let mut rng = StdRng::seed_from_u64(device_seed(seed, index, 0x0005_CA1E));
 
     // --- spec-sheet draw ---------------------------------------------
@@ -517,7 +551,7 @@ pub fn synth_device(index: u32, seed: u64) -> SynthDevice {
     );
 
     let assembler = Assembler::new();
-    let src = device_cloud_source_with_topology(&identity, &plans, &handlers);
+    let src = device_cloud_source_with_libraries(&identity, &plans, &handlers, links);
     let exe = assembler
         .assemble(&src)
         .unwrap_or_else(|e| panic!("synthetic device {index} agent failed to assemble: {e}"));
@@ -568,6 +602,7 @@ pub fn synth_device(index: u32, seed: u64) -> SynthDevice {
             handler_names,
             aux_executables,
             filler_files,
+            linked_libraries: links.iter().map(|&k| ROSTER[k].name.to_string()).collect(),
         },
         identity,
         plans,
@@ -583,6 +618,15 @@ pub fn synth_device(index: u32, seed: u64) -> SynthDevice {
 pub fn synth_corpus(config: &SynthConfig) -> Vec<SynthDevice> {
     (0..config.count)
         .map(|i| synth_device(i, config.seed))
+        .collect()
+}
+
+/// Generate the full library-aware synthetic fleet `0..config.count`
+/// sequentially (the [`synth_device_with_libraries`] dimension; devices
+/// remain independent and byte-deterministic per index).
+pub fn synth_corpus_with_libraries(config: &SynthConfig) -> Vec<SynthDevice> {
+    (0..config.count)
+        .map(|i| synth_device_with_libraries(i, config.seed))
         .collect()
 }
 
@@ -665,6 +709,63 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn library_dimension_is_deterministic_and_zero_links_match_plain() {
+        let mut linked_any = false;
+        let mut unlinked_any = false;
+        for index in 0..24u32 {
+            let a = synth_device_with_libraries(index, 13);
+            let b = synth_device_with_libraries(index, 13);
+            assert_eq!(a.packed, b.packed, "index {index}");
+            assert_eq!(a.spec.linked_libraries, b.spec.linked_libraries);
+            if a.spec.linked_libraries.is_empty() {
+                unlinked_any = true;
+                let plain = synth_device(index, 13);
+                assert_eq!(
+                    a.packed, plain.packed,
+                    "zero links is byte-identical to the plain fleet (index {index})"
+                );
+            } else {
+                linked_any = true;
+                assert!(a.spec.linked_libraries.len() <= ROSTER.len());
+            }
+        }
+        assert!(linked_any, "some devices link libraries");
+        assert!(unlinked_any, "some devices stay plain");
+    }
+
+    #[test]
+    fn linked_devices_carry_roster_functions_at_stable_addresses() {
+        use std::collections::BTreeMap;
+        let mut seen: BTreeMap<String, u64> = BTreeMap::new();
+        let mut devices_checked = 0;
+        for index in 0..24u32 {
+            let dev = synth_device_with_libraries(index, 13);
+            if dev.spec.linked_libraries.is_empty() {
+                continue;
+            }
+            devices_checked += 1;
+            let fw = dev.unpack();
+            let exe = fw.load_executable(&dev.spec.agent_path).unwrap();
+            let prog = lift(&exe, "agent").unwrap();
+            for lib in ROSTER
+                .iter()
+                .filter(|l| dev.spec.linked_libraries.contains(&l.name.to_string()))
+            {
+                for name in [lib.pack_fn, lib.fmt_fn] {
+                    let f = prog.function_by_name(name).unwrap_or_else(|| {
+                        panic!("index {index} links {} but lacks {name}", lib.name)
+                    });
+                    let prev = seen.insert(name.to_string(), f.entry());
+                    if let Some(p) = prev {
+                        assert_eq!(p, f.entry(), "{name} address is fleet-stable");
+                    }
+                }
+            }
+        }
+        assert!(devices_checked > 0, "the 24-device sample links something");
     }
 
     #[test]

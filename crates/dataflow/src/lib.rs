@@ -46,11 +46,16 @@
 #![warn(missing_docs)]
 
 mod defuse;
+mod libsum;
 mod region;
 mod summary;
 mod taint;
 
 pub use defuse::{DefUse, OpRef};
+pub use libsum::{
+    intern_rejection_reason, LibFunc, LibFuncScripts, LibId, LibIndex, LibRegionKey, LibScript,
+    LibStats, LibStep, REJECTION_REASONS,
+};
 pub use region::{resolve_region, Region};
 pub use summary::{
     delivery_endpoint_arg, delivery_payload_arg, incoming_buffer_arg, is_outgoing, summary_for,

@@ -1,0 +1,650 @@
+//! Known-library taint summaries: the runtime side of `firmres-libid`.
+//!
+//! A [`LibIndex`] maps post-lift function-content hashes
+//! (`firmres_ir::function_content_hash`) to [`LibFunc`] entries: the
+//! library's name and version plus **recorded taint scripts** for the
+//! function's parameter-buffer and return-value roles. During analysis,
+//! a function whose hash matches the index is not traversed — the taint
+//! engine replays the recorded script instead (see
+//! `TaintEngine::with_config`), reproducing the reference traversal's
+//! tree byte-for-byte while skipping the def-use chases and region
+//! scans that make library bodies expensive.
+//!
+//! # Why replay is byte-identical
+//!
+//! A content-hash match implies the live function is *identical* to the
+//! function the script was recorded from — same name, entry address,
+//! parameters, op addresses, inputs and successors (the hash covers all
+//! of them). A recorded script is therefore a faithful transcript of
+//! the traversal the engine would perform live, with two classes of
+//! step:
+//!
+//! * **Guards** ([`LibStep::OpenValue`] / [`LibStep::OpenRegion`] /
+//!   [`LibStep::Close`]): the budget and visited-set checks the live
+//!   traversal performs at each recursion entry. Replay re-evaluates
+//!   them against the *live* trace state, pruning exactly the subtrees
+//!   the traversal would prune.
+//! * **Emissions** (`Transform`/`Write`/`ThroughCall`/`Leaf`/`Resume`):
+//!   the tree nodes the traversal adds, replayed verbatim.
+//!
+//! The recorder refuses ("poisons") any script whose replay could
+//! diverge from a live traversal: image-dependent content (data-segment
+//! strings, constants at or above the recording image's data base),
+//! internal callees, caller enumeration, budget exhaustion, and
+//! duplicate guard keys within one script (see `DESIGN.md` §14 for the
+//! full argument). A rejected role simply falls back to full traversal.
+
+use crate::defuse::OpRef;
+use crate::taint::FieldSource;
+use firmres_ir::{Address, PcodeOp, Varnode};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Toggle for known-library identification, in the same Off/On shape as
+/// the other PR-5-style ablation knobs: `Off` is the reference oracle
+/// (full traversal everywhere), `On` replays recorded scripts for
+/// hash-matched functions. Reports are byte-identical either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LibId {
+    /// Full traversal everywhere (the reference oracle).
+    #[default]
+    Off,
+    /// Replay recorded scripts for index-matched functions.
+    On,
+}
+
+/// Per-trace libid counters, memoized alongside the trace itself so
+/// repeated queries replay identical numbers regardless of scheduling.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LibStats {
+    /// Library-body traversals replaced by script replay.
+    pub traversals_skipped: u64,
+    /// Taint-tree nodes emitted by script replay.
+    pub summary_applications: u64,
+}
+
+impl LibStats {
+    /// Fold another trace's counters into this one.
+    pub fn merge(&mut self, other: &LibStats) {
+        self.traversals_skipped += other.traversals_skipped;
+        self.summary_applications += other.summary_applications;
+    }
+}
+
+/// The buffer-region key of an [`LibStep::OpenRegion`] guard. Mirrors
+/// the engine's internal extended-region type, minus the data-segment
+/// variant (the recorder rejects data regions as image-dependent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LibRegionKey {
+    /// A stack buffer at the given frame offset.
+    Stack(i64),
+    /// A heap allocation keyed by its allocation-site address.
+    Alloc(u64),
+    /// A buffer arriving through the pointer parameter at this index.
+    PtrParam(u32),
+}
+
+/// One step of a recorded taint script.
+///
+/// `parent`/`id` are node identifiers from the *recording* trace; the
+/// replayer maps them onto live tree nodes (recorded id `0` is the
+/// application point's parent node).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LibStep {
+    /// Entry guard of a `taint_value` recursion: budget and
+    /// visited-value checks against live state, then the recorded
+    /// subtree up to the matching [`LibStep::Close`].
+    OpenValue {
+        /// Recorded parent node (for the budget leaf).
+        parent: u32,
+        /// Op position the value was traced at.
+        at: OpRef,
+        /// The traced varnode.
+        v: Varnode,
+        /// Depth relative to the script's application point.
+        depth: u32,
+    },
+    /// Entry guard of a `taint_region` recursion.
+    OpenRegion {
+        /// Recorded parent node (for the budget leaf).
+        parent: u32,
+        /// The scanned region.
+        region: LibRegionKey,
+        /// Scan limit, when the region was read mid-function.
+        before: Option<OpRef>,
+        /// Depth relative to the script's application point.
+        depth: u32,
+    },
+    /// Closes the innermost open guard.
+    Close,
+    /// A value-producing operation on the path.
+    Transform {
+        /// Recorded id of the node this step creates.
+        id: u32,
+        /// Recorded parent node.
+        parent: u32,
+        /// The operation (identical to the live op by hash match).
+        op: PcodeOp,
+    },
+    /// A write into the scanned buffer.
+    Write {
+        /// Recorded id of the node this step creates.
+        id: u32,
+        /// Recorded parent node.
+        parent: u32,
+        /// The writing operation.
+        op: PcodeOp,
+        /// Writer label (`"store"`, a summarized callee name, …).
+        via: String,
+    },
+    /// Flow through a summarized import call.
+    ThroughCall {
+        /// Recorded id of the node this step creates.
+        id: u32,
+        /// Recorded parent node.
+        parent: u32,
+        /// The call operation.
+        op: PcodeOp,
+        /// Callee name.
+        callee: String,
+    },
+    /// A terminal field source.
+    Leaf {
+        /// Recorded parent node.
+        parent: u32,
+        /// The source (image-independent by recorder construction).
+        source: FieldSource,
+    },
+    /// Flow reached a library-function parameter: replay adds the
+    /// param-cross node, then continues *live* into the caller's
+    /// argument — the only step that re-enters real traversal.
+    Resume {
+        /// Recorded id of the param-cross node this step creates.
+        id: u32,
+        /// Recorded parent node.
+        parent: u32,
+        /// The parameter varnode.
+        v: Varnode,
+        /// Parameter index.
+        param: u32,
+        /// Depth of the recursion that reached the parameter.
+        depth: u32,
+    },
+}
+
+/// A recorded taint script: the faithful transcript of one traversal
+/// role of one library function.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LibScript {
+    /// The steps, in recording (= traversal) order.
+    pub steps: Vec<LibStep>,
+}
+
+/// The roles recorded for one library function, before index metadata
+/// is attached ([`TaintEngine::record_lib_function`] output).
+///
+/// [`TaintEngine::record_lib_function`]: crate::TaintEngine::record_lib_function
+#[derive(Debug, Clone, Default)]
+pub struct LibFuncScripts {
+    /// Out-parameter scripts by parameter index: replayed when a
+    /// buffer is passed into the function through that pointer.
+    pub params: Vec<(u32, LibScript)>,
+    /// Return-value script: replayed when the function's result is
+    /// traced.
+    pub returns: Option<LibScript>,
+    /// Roles the recorder refused, as `(role, reason)` — surfaced by
+    /// `libid inspect`, harmless at runtime (traversal covers them).
+    pub rejected: Vec<(String, &'static str)>,
+}
+
+/// The closed set of reasons the recorder can refuse a role for.
+/// `.flix` round-trips rejection diagnostics through this table so the
+/// decoded strings stay `&'static` (same discipline as
+/// [`crate::UNRESOLVED_REASONS`]).
+pub const REJECTION_REASONS: &[&str] = &[
+    "data-segment string constant",
+    "caller enumeration reached",
+    "traversal budget exhausted while recording",
+    "duplicate value guard in one role",
+    "duplicate region guard in one role",
+    "internal callee",
+    "image-dependent region",
+    "constant may alias data segment",
+];
+
+/// Map a rejection reason back to its canonical `&'static` form.
+/// Unknown strings (a newer recorder, a damaged file) degrade to a
+/// generic marker rather than failing the load — rejections are purely
+/// diagnostic.
+pub fn intern_rejection_reason(reason: &str) -> &'static str {
+    REJECTION_REASONS
+        .iter()
+        .find(|r| **r == reason)
+        .copied()
+        .unwrap_or("role not recorded")
+}
+
+impl LibFuncScripts {
+    /// Whether any role was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty() && self.returns.is_none()
+    }
+}
+
+/// One known-library function: index metadata plus recorded scripts.
+#[derive(Debug, Clone)]
+pub struct LibFunc {
+    /// Library name (e.g. `zutil`).
+    pub lib: String,
+    /// Library version string.
+    pub version: String,
+    /// Function name (identical in every matching image: the content
+    /// hash covers it).
+    pub func: String,
+    /// Function entry address (likewise hash-covered).
+    pub entry: Address,
+    /// Recorded roles.
+    pub scripts: LibFuncScripts,
+}
+
+impl LibFunc {
+    /// A short human-readable role summary for `libid inspect`.
+    pub fn role_label(&self) -> String {
+        let mut parts = Vec::new();
+        if !self.scripts.params.is_empty() {
+            let idxs: Vec<String> = self
+                .scripts
+                .params
+                .iter()
+                .map(|(i, _)| i.to_string())
+                .collect();
+            parts.push(format!("out-param({})", idxs.join(",")));
+        }
+        if self.scripts.returns.is_some() {
+            parts.push("return".to_string());
+        }
+        if parts.is_empty() {
+            parts.push("none".to_string());
+        }
+        parts.join("+")
+    }
+}
+
+/// An in-memory known-library index: content hash → [`LibFunc`].
+///
+/// Construction computes a stable 64-bit fingerprint over the complete
+/// semantic content; the analysis cache folds it into every key, so
+/// swapping or editing an index can never serve stale results. The
+/// fingerprint of the *absence* of an index is `0` (see
+/// [`LibIndex::EMPTY_FINGERPRINT`]).
+#[derive(Debug, Clone)]
+pub struct LibIndex {
+    entries: BTreeMap<u128, Arc<LibFunc>>,
+    /// Highest data-segment base among the recording images: replay is
+    /// sound only in images whose data segment starts at or above it
+    /// (all recorded constants are below, so none can become a data
+    /// pointer in the live image).
+    const_ceiling: u64,
+    fingerprint: u64,
+}
+
+impl LibIndex {
+    /// The fingerprint of "no index" (and of `LibId::Off`).
+    pub const EMPTY_FINGERPRINT: u64 = 0;
+
+    /// Build an index from entries keyed by function content hash.
+    pub fn new(entries: Vec<(u128, LibFunc)>, const_ceiling: u64) -> LibIndex {
+        let entries: BTreeMap<u128, Arc<LibFunc>> =
+            entries.into_iter().map(|(h, f)| (h, Arc::new(f))).collect();
+        let fingerprint = fingerprint_of(&entries, const_ceiling);
+        LibIndex {
+            entries,
+            const_ceiling,
+            fingerprint,
+        }
+    }
+
+    /// The entry for a function content hash.
+    pub fn get(&self, hash: u128) -> Option<&Arc<LibFunc>> {
+        self.entries.get(&hash)
+    }
+
+    /// All entries in hash order.
+    pub fn iter(&self) -> impl Iterator<Item = (&u128, &Arc<LibFunc>)> {
+        self.entries.iter()
+    }
+
+    /// Number of indexed functions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the index has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The recording images' highest data-segment base.
+    pub fn const_ceiling(&self) -> u64 {
+        self.const_ceiling
+    }
+
+    /// The content fingerprint (never [`LibIndex::EMPTY_FINGERPRINT`]
+    /// for a constructed index — the hash seed guarantees it).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+}
+
+/// FNV-1a 64 over a canonical walk of the index content. Hand-rolled
+/// here (rather than reusing a codec rendering) so an index built in
+/// memory and the same index round-tripped through a `.flix` file
+/// fingerprint identically by construction.
+struct Fnv64(u64);
+
+impl Fnv64 {
+    fn new() -> Fnv64 {
+        Fnv64(0xCBF2_9CE4_8422_2325)
+    }
+    fn byte(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    fn u8(&mut self, v: u8) {
+        self.byte(v);
+    }
+    fn u32(&mut self, v: u32) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+    fn u128(&mut self, v: u128) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+    fn i64(&mut self, v: i64) {
+        self.u64(v as u64);
+    }
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        for b in s.bytes() {
+            self.byte(b);
+        }
+    }
+}
+
+fn hash_varnode(h: &mut Fnv64, v: &Varnode) {
+    h.u8(v.space as u8);
+    h.u64(v.offset);
+    h.u8(v.size);
+}
+
+fn hash_opref(h: &mut Fnv64, r: &OpRef) {
+    h.u32(r.block.0);
+    h.u64(r.index as u64);
+}
+
+fn hash_op(h: &mut Fnv64, op: &PcodeOp) {
+    h.u64(op.addr);
+    h.u8(op.opcode.tag());
+    match &op.output {
+        Some(v) => {
+            h.u8(1);
+            hash_varnode(h, v);
+        }
+        None => h.u8(0),
+    }
+    h.u64(op.inputs.len() as u64);
+    for v in &op.inputs {
+        hash_varnode(h, v);
+    }
+}
+
+fn hash_source(h: &mut Fnv64, s: &FieldSource) {
+    match s {
+        FieldSource::StringConstant { addr, value } => {
+            h.u8(0);
+            h.u64(*addr);
+            h.str(value);
+        }
+        FieldSource::NumericConstant { value } => {
+            h.u8(1);
+            h.u64(*value);
+        }
+        FieldSource::LibCall { kind, callee, key } => {
+            h.u8(2);
+            h.u8(*kind as u8);
+            h.str(callee);
+            match key {
+                Some(k) => {
+                    h.u8(1);
+                    h.str(k);
+                }
+                None => h.u8(0),
+            }
+        }
+        FieldSource::EntryParam { func, index } => {
+            h.u8(3);
+            h.str(func);
+            h.u64(*index as u64);
+        }
+        FieldSource::Unresolved { reason } => {
+            h.u8(4);
+            h.str(reason);
+        }
+    }
+}
+
+fn hash_step(h: &mut Fnv64, step: &LibStep) {
+    match step {
+        LibStep::OpenValue {
+            parent,
+            at,
+            v,
+            depth,
+        } => {
+            h.u8(0);
+            h.u32(*parent);
+            hash_opref(h, at);
+            hash_varnode(h, v);
+            h.u32(*depth);
+        }
+        LibStep::OpenRegion {
+            parent,
+            region,
+            before,
+            depth,
+        } => {
+            h.u8(1);
+            h.u32(*parent);
+            match region {
+                LibRegionKey::Stack(o) => {
+                    h.u8(0);
+                    h.i64(*o);
+                }
+                LibRegionKey::Alloc(a) => {
+                    h.u8(1);
+                    h.u64(*a);
+                }
+                LibRegionKey::PtrParam(i) => {
+                    h.u8(2);
+                    h.u32(*i);
+                }
+            }
+            match before {
+                Some(r) => {
+                    h.u8(1);
+                    hash_opref(h, r);
+                }
+                None => h.u8(0),
+            }
+            h.u32(*depth);
+        }
+        LibStep::Close => h.u8(2),
+        LibStep::Transform { id, parent, op } => {
+            h.u8(3);
+            h.u32(*id);
+            h.u32(*parent);
+            hash_op(h, op);
+        }
+        LibStep::Write {
+            id,
+            parent,
+            op,
+            via,
+        } => {
+            h.u8(4);
+            h.u32(*id);
+            h.u32(*parent);
+            hash_op(h, op);
+            h.str(via);
+        }
+        LibStep::ThroughCall {
+            id,
+            parent,
+            op,
+            callee,
+        } => {
+            h.u8(5);
+            h.u32(*id);
+            h.u32(*parent);
+            hash_op(h, op);
+            h.str(callee);
+        }
+        LibStep::Leaf { parent, source } => {
+            h.u8(6);
+            h.u32(*parent);
+            hash_source(h, source);
+        }
+        LibStep::Resume {
+            id,
+            parent,
+            v,
+            param,
+            depth,
+        } => {
+            h.u8(7);
+            h.u32(*id);
+            h.u32(*parent);
+            hash_varnode(h, v);
+            h.u32(*param);
+            h.u32(*depth);
+        }
+    }
+}
+
+fn hash_script(h: &mut Fnv64, s: &LibScript) {
+    h.u64(s.steps.len() as u64);
+    for step in &s.steps {
+        hash_step(h, step);
+    }
+}
+
+fn fingerprint_of(entries: &BTreeMap<u128, Arc<LibFunc>>, const_ceiling: u64) -> u64 {
+    let mut h = Fnv64::new();
+    h.str("flix-index");
+    h.u64(const_ceiling);
+    h.u64(entries.len() as u64);
+    for (hash, f) in entries {
+        h.u128(*hash);
+        h.str(&f.lib);
+        h.str(&f.version);
+        h.str(&f.func);
+        h.u64(f.entry);
+        h.u64(f.scripts.params.len() as u64);
+        for (i, s) in &f.scripts.params {
+            h.u32(*i);
+            hash_script(&mut h, s);
+        }
+        match &f.scripts.returns {
+            Some(s) => {
+                h.u8(1);
+                hash_script(&mut h, s);
+            }
+            None => h.u8(0),
+        }
+    }
+    // Reserve 0 for "no index": the sentinel the cache fingerprints
+    // LibId::Off (or On with no index loaded) as.
+    let fp = h.0;
+    if fp == LibIndex::EMPTY_FINGERPRINT {
+        1
+    } else {
+        fp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(lib: &str, func: &str) -> LibFunc {
+        LibFunc {
+            lib: lib.into(),
+            version: "1.0".into(),
+            func: func.into(),
+            entry: 0x1_0000,
+            scripts: LibFuncScripts {
+                params: vec![(
+                    0,
+                    LibScript {
+                        steps: vec![
+                            LibStep::OpenRegion {
+                                parent: 0,
+                                region: LibRegionKey::PtrParam(0),
+                                before: None,
+                                depth: 0,
+                            },
+                            LibStep::Leaf {
+                                parent: 0,
+                                source: FieldSource::Unresolved {
+                                    reason: "no writes to buffer",
+                                },
+                            },
+                            LibStep::Close,
+                        ],
+                    },
+                )],
+                returns: None,
+                rejected: Vec::new(),
+            },
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        let a = LibIndex::new(vec![(7, entry("zutil", "z_pack"))], 0x40_0000);
+        let b = LibIndex::new(vec![(7, entry("zutil", "z_pack"))], 0x40_0000);
+        assert_eq!(a.fingerprint(), b.fingerprint(), "same content, same fp");
+        assert_ne!(a.fingerprint(), LibIndex::EMPTY_FINGERPRINT);
+
+        let renamed = LibIndex::new(vec![(7, entry("zutil", "z_unpack"))], 0x40_0000);
+        assert_ne!(a.fingerprint(), renamed.fingerprint(), "content changes fp");
+        let rekeyed = LibIndex::new(vec![(8, entry("zutil", "z_pack"))], 0x40_0000);
+        assert_ne!(
+            a.fingerprint(),
+            rekeyed.fingerprint(),
+            "hash key changes fp"
+        );
+        let refloored = LibIndex::new(vec![(7, entry("zutil", "z_pack"))], 0x41_0000);
+        assert_ne!(a.fingerprint(), refloored.fingerprint());
+    }
+
+    #[test]
+    fn role_labels_cover_both_roles() {
+        let mut f = entry("zutil", "z_pack");
+        assert_eq!(f.role_label(), "out-param(0)");
+        f.scripts.returns = Some(LibScript::default());
+        assert_eq!(f.role_label(), "out-param(0)+return");
+        f.scripts.params.clear();
+        assert_eq!(f.role_label(), "return");
+        f.scripts.returns = None;
+        assert_eq!(f.role_label(), "none");
+    }
+}

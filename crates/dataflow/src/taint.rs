@@ -9,11 +9,14 @@
 //! Tree.
 
 use crate::defuse::{op_at, DefUse, OpRef};
+use crate::libsum::{
+    LibFunc, LibFuncScripts, LibId, LibIndex, LibRegionKey, LibScript, LibStats, LibStep,
+};
 use crate::region::{resolve_region, Region};
 use crate::summary::{summary_for, SourceKind, Summary, SummaryEffect};
 use firmres_ir::{
-    is_import_address, Address, BlockId, CallGraph, ColdPath, FnvBuildHasher, Function, Interner,
-    Opcode, PcodeOp, Program, Sym, Varnode,
+    function_content_hash, is_import_address, Address, BlockId, CallGraph, ColdPath,
+    FnvBuildHasher, Function, Interner, Opcode, PcodeOp, Program, Sym, Varnode,
 };
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
@@ -354,6 +357,17 @@ pub struct TaintConfig {
     /// [`ColdPath`]). Output is byte-identical either way, so this knob
     /// is deliberately **not** part of the cache's config fingerprint.
     pub cold_path: ColdPath,
+    /// Known-library identification (see [`LibId`]): with `On` and a
+    /// [`TaintConfig::lib_index`], functions whose content hash matches
+    /// the index are replayed from recorded scripts instead of being
+    /// traversed. Output is byte-identical either way (the scripts are
+    /// faithful traversal transcripts), so like [`ColdPath`] the toggle
+    /// itself is not fingerprinted — but the *index content* is (see
+    /// `firmres-cache`'s config fingerprint).
+    pub libid: LibId,
+    /// The known-library index consulted when [`TaintConfig::libid`] is
+    /// [`LibId::On`].
+    pub lib_index: Option<Arc<LibIndex>>,
 }
 
 impl Default for TaintConfig {
@@ -364,6 +378,8 @@ impl Default for TaintConfig {
             overtaint: true,
             decompose_buffers: true,
             cold_path: ColdPath::default(),
+            libid: LibId::Off,
+            lib_index: None,
         }
     }
 }
@@ -395,10 +411,16 @@ pub struct TaintEngine<'p> {
     trace_cache: Mutex<TraceCache>,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    /// Functions matched against the known-library index at
+    /// construction: entry address → index entry. Empty unless
+    /// [`TaintConfig::libid`] is On with a loaded index.
+    lib_funcs: HashMap<Address, Arc<LibFunc>, FnvBuildHasher>,
 }
 
 /// Memoized trace results keyed by `(function entry, callsite, argument)`.
-type TraceCache = BTreeMap<(Address, Address, usize), (TaintTree, TraceDeps)>;
+/// The per-trace [`LibStats`] ride in the memo so replayed queries report
+/// the numbers of the original walk, independent of scheduling.
+type TraceCache = BTreeMap<(Address, Address, usize), (TaintTree, TraceDeps, LibStats)>;
 
 /// Extended region used inside the engine: [`Region`] plus buffers that
 /// arrive through a pointer parameter.
@@ -494,6 +516,134 @@ struct Cx {
     visited_regions: VisitedRegions,
     call_stack: Vec<(Address, Address)>, // (caller entry, callsite addr)
     deps: TraceDeps,
+    lib_stats: LibStats,
+    /// Script recording state, present only inside
+    /// [`TaintEngine::record_lib_function`].
+    rec: Option<RecState>,
+}
+
+/// Recording state: the transcript so far, or the first reason the role
+/// was rejected (a poisoned recording keeps traversing but records
+/// nothing further — the result is discarded).
+struct RecState {
+    steps: Vec<LibStep>,
+    poison: Option<&'static str>,
+}
+
+impl Cx {
+    /// Append a step to an active, unpoisoned recording.
+    fn rec_step(&mut self, step: impl FnOnce() -> LibStep) {
+        if let Some(rec) = self.rec.as_mut() {
+            if rec.poison.is_none() {
+                rec.steps.push(step());
+            }
+        }
+    }
+
+    /// Reject the role being recorded (first reason wins). No-op when
+    /// not recording.
+    fn rec_poison(&mut self, reason: &'static str) {
+        if let Some(rec) = self.rec.as_mut() {
+            if rec.poison.is_none() {
+                rec.poison = Some(reason);
+            }
+        }
+    }
+
+    fn recording(&self) -> bool {
+        self.rec.is_some()
+    }
+
+    /// Record a [`LibStep::Transform`] for a node just added.
+    fn rec_transform(&mut self, node: TaintNodeId, parent: TaintNodeId, op: &PcodeOp) {
+        if self.recording() {
+            let op = op.clone();
+            self.rec_step(|| LibStep::Transform {
+                id: node.0 as u32,
+                parent: parent.0 as u32,
+                op,
+            });
+        }
+    }
+
+    /// Record a [`LibStep::Write`] for a node just added.
+    fn rec_write(&mut self, node: TaintNodeId, parent: TaintNodeId, op: &PcodeOp, via: &str) {
+        if self.recording() {
+            let op = op.clone();
+            let via = via.to_string();
+            self.rec_step(|| LibStep::Write {
+                id: node.0 as u32,
+                parent: parent.0 as u32,
+                op,
+                via,
+            });
+        }
+    }
+
+    /// Record a [`LibStep::ThroughCall`] for a node just added.
+    fn rec_through_call(
+        &mut self,
+        node: TaintNodeId,
+        parent: TaintNodeId,
+        op: &PcodeOp,
+        callee: &str,
+    ) {
+        if self.recording() {
+            let op = op.clone();
+            let callee = callee.to_string();
+            self.rec_step(|| LibStep::ThroughCall {
+                id: node.0 as u32,
+                parent: parent.0 as u32,
+                op,
+                callee,
+            });
+        }
+    }
+}
+
+/// The traversal role being recorded for a library function.
+enum RecRole {
+    /// Writes into the buffer arriving through pointer parameter `i`.
+    Param(usize),
+    /// The function's return value.
+    Return,
+}
+
+/// Map the engine's extended region onto the persistable script key.
+/// `None` for data-segment/unknown regions, which are image-dependent
+/// (the recorder poisons the role).
+fn lib_region_key(r: &XRegion) -> Option<LibRegionKey> {
+    match r {
+        XRegion::Plain(Region::Stack(o)) => Some(LibRegionKey::Stack(*o)),
+        XRegion::Plain(Region::Alloc(a)) => Some(LibRegionKey::Alloc(*a)),
+        XRegion::PtrParam(i) => Some(LibRegionKey::PtrParam(*i as u32)),
+        XRegion::Plain(Region::Data(_)) | XRegion::Plain(Region::Unknown) => None,
+    }
+}
+
+/// The inverse of [`lib_region_key`], for replay.
+fn lib_xregion(r: &LibRegionKey) -> XRegion {
+    match r {
+        LibRegionKey::Stack(o) => XRegion::Plain(Region::Stack(*o)),
+        LibRegionKey::Alloc(a) => XRegion::Plain(Region::Alloc(*a)),
+        LibRegionKey::PtrParam(i) => XRegion::PtrParam(*i as usize),
+    }
+}
+
+/// Index just past the subtree of the guard opening at `open`: steps are
+/// well-nested, so count opens/closes until the matching close.
+fn skip_open(steps: &[LibStep], open: usize) -> usize {
+    let mut nesting = 1usize;
+    let mut i = open + 1;
+    while i < steps.len() && nesting > 0 {
+        match steps[i] {
+            LibStep::OpenValue { .. } | LibStep::OpenRegion { .. } => nesting += 1,
+            LibStep::Close => nesting -= 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
 }
 
 impl<'p> TaintEngine<'p> {
@@ -521,6 +671,29 @@ impl<'p> TaintEngine<'p> {
                 summary: None,
             });
         }
+        // Known-library matching. A content-hash match means the live
+        // function is byte- and address-identical to the one the scripts
+        // were recorded from. Replay additionally requires (a) the live
+        // data segment to start at or above the recording's, so no
+        // recorded constant can alias live data (the recorder rejected
+        // everything at or above its own base), and (b) the default
+        // traversal semantics the scripts were recorded under — the
+        // overtaint/naive-sink ablations fall back to full traversal.
+        let mut lib_funcs: HashMap<Address, Arc<LibFunc>, FnvBuildHasher> = HashMap::default();
+        if config.libid == LibId::On {
+            if let Some(index) = config.lib_index.as_ref() {
+                if config.overtaint
+                    && config.decompose_buffers
+                    && program.data_base() >= index.const_ceiling()
+                {
+                    for f in program.functions() {
+                        if let Some(entry) = index.get(function_content_hash(f)) {
+                            lib_funcs.insert(f.entry(), Arc::clone(entry));
+                        }
+                    }
+                }
+            }
+        }
         TaintEngine {
             program,
             callgraph: program.call_graph(),
@@ -532,12 +705,19 @@ impl<'p> TaintEngine<'p> {
             trace_cache: Mutex::new(BTreeMap::new()),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            lib_funcs,
         }
     }
 
     /// The engine's configuration.
     pub fn config(&self) -> &TaintConfig {
         &self.config
+    }
+
+    /// How many of the program's functions matched the known-library
+    /// index at construction (0 when libid is off or no index loaded).
+    pub fn lib_matched(&self) -> u64 {
+        self.lib_funcs.len() as u64
     }
 
     fn du(&self, func: Address) -> Arc<DefUse> {
@@ -627,7 +807,7 @@ impl<'p> TaintEngine<'p> {
     /// query returns a clone of the first result without re-walking the
     /// data flows (see [`TaintEngine::cache_stats`]).
     pub fn trace(&self, func: Address, callsite_addr: Address, arg: usize) -> TaintTree {
-        self.trace_with_deps(func, callsite_addr, arg).0
+        self.trace_full(func, callsite_addr, arg).0
     }
 
     /// [`TaintEngine::trace`] plus the [`TraceDeps`] the walk accumulated.
@@ -641,6 +821,29 @@ impl<'p> TaintEngine<'p> {
         callsite_addr: Address,
         arg: usize,
     ) -> (TaintTree, TraceDeps) {
+        let (tree, deps, _) = self.trace_full(func, callsite_addr, arg);
+        (tree, deps)
+    }
+
+    /// [`TaintEngine::trace`] plus the per-trace known-library counters.
+    /// The counters are memoized with the trace, so a replayed query
+    /// reports the original walk's numbers deterministically.
+    pub fn trace_with_stats(
+        &self,
+        func: Address,
+        callsite_addr: Address,
+        arg: usize,
+    ) -> (TaintTree, LibStats) {
+        let (tree, _, stats) = self.trace_full(func, callsite_addr, arg);
+        (tree, stats)
+    }
+
+    fn trace_full(
+        &self,
+        func: Address,
+        callsite_addr: Address,
+        arg: usize,
+    ) -> (TaintTree, TraceDeps, LibStats) {
         let key = (func, callsite_addr, arg);
         if let Some(cached) = self.trace_cache.lock().get(&key) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -670,7 +873,7 @@ impl<'p> TaintEngine<'p> {
         self.trace_cache
             .lock()
             .get(&(func, callsite_addr, arg))
-            .map(|(_, deps)| deps.clone())
+            .map(|(_, deps, _)| deps.clone())
     }
 
     /// `(hits, misses)` of the trace memo cache so far.
@@ -691,13 +894,15 @@ impl<'p> TaintEngine<'p> {
         func: Address,
         callsite_addr: Address,
         arg: usize,
-    ) -> (TaintTree, TraceDeps) {
+    ) -> (TaintTree, TraceDeps, LibStats) {
         let mut cx = Cx {
             tree: TaintTree::default(),
             visited_vals: VisitedVals::new(self.config.cold_path),
             visited_regions: VisitedRegions::new(self.config.cold_path),
             call_stack: Vec::new(),
             deps: TraceDeps::default(),
+            lib_stats: LibStats::default(),
+            rec: None,
         };
         // The root function is an input even when the lookup fails: the
         // result depends on it staying found/unfound.
@@ -721,7 +926,7 @@ impl<'p> TaintEngine<'p> {
                     reason: "function not found",
                 }),
             );
-            return (cx.tree, cx.deps);
+            return (cx.tree, cx.deps, cx.lib_stats);
         };
         let Some(call) = f.op_at(callsite_addr).cloned() else {
             let root = cx.tree.add(
@@ -742,7 +947,7 @@ impl<'p> TaintEngine<'p> {
                     reason: "callsite not found",
                 }),
             );
-            return (cx.tree, cx.deps);
+            return (cx.tree, cx.deps, cx.lib_stats);
         };
         let delivery = call
             .call_target()
@@ -766,11 +971,11 @@ impl<'p> TaintEngine<'p> {
                     reason: "argument missing",
                 }),
             );
-            return (cx.tree, cx.deps);
+            return (cx.tree, cx.deps, cx.lib_stats);
         };
         let at = self.du(func).position_of(callsite_addr).expect("op exists");
         self.taint_value(&mut cx, func, at, &v, root, 0);
-        (cx.tree, cx.deps)
+        (cx.tree, cx.deps, cx.lib_stats)
     }
 
     fn budget_ok(&self, cx: &Cx, depth: usize) -> bool {
@@ -778,6 +983,27 @@ impl<'p> TaintEngine<'p> {
     }
 
     fn leaf(&self, cx: &mut Cx, func: Address, parent: TaintNodeId, src: FieldSource) {
+        if cx.recording() {
+            // Image-dependent or context-dependent leaves reject the
+            // role; everything else is recorded verbatim. (String
+            // constants live in the data segment; entry-param leaves
+            // come from caller enumeration, whose result depends on the
+            // surrounding image. Budget leaves mean the transcript is
+            // not the complete traversal.)
+            match &src {
+                FieldSource::StringConstant { .. } => cx.rec_poison("data-segment string constant"),
+                FieldSource::EntryParam { .. } => cx.rec_poison("caller enumeration reached"),
+                FieldSource::Unresolved { reason } if *reason == "budget exceeded" => {
+                    cx.rec_poison("traversal budget exhausted while recording")
+                }
+                _ => {}
+            }
+            let recorded = src.clone();
+            cx.rec_step(|| LibStep::Leaf {
+                parent: parent.0 as u32,
+                source: recorded,
+            });
+        }
         cx.tree
             .add(Some(parent), func, None, None, TaintNodeKind::Source(src));
     }
@@ -790,6 +1016,30 @@ impl<'p> TaintEngine<'p> {
     }
 
     fn taint_value(
+        &self,
+        cx: &mut Cx,
+        func: Address,
+        at: OpRef,
+        v: &Varnode,
+        parent: TaintNodeId,
+        depth: usize,
+    ) {
+        if cx.recording() {
+            let rv = v.clone();
+            cx.rec_step(|| LibStep::OpenValue {
+                parent: parent.0 as u32,
+                at,
+                v: rv,
+                depth: depth as u32,
+            });
+            self.taint_value_inner(cx, func, at, v, parent, depth);
+            cx.rec_step(|| LibStep::Close);
+            return;
+        }
+        self.taint_value_inner(cx, func, at, v, parent, depth);
+    }
+
+    fn taint_value_inner(
         &self,
         cx: &mut Cx,
         func: Address,
@@ -811,6 +1061,10 @@ impl<'p> TaintEngine<'p> {
             return;
         }
         if !cx.visited_vals.insert((func, at, v.clone())) {
+            // A transcript with a repeated guard key could replay a
+            // different shape than a live traversal (see DESIGN.md §14),
+            // so a recording-time revisit rejects the role.
+            cx.rec_poison("duplicate value guard in one role");
             return; // already explored this exact fact
         }
         // Constants terminate immediately.
@@ -906,6 +1160,20 @@ impl<'p> TaintEngine<'p> {
             Some(v.clone()),
             TaintNodeKind::ParamCross { param: index },
         );
+        if cx.recording() {
+            // Flow leaves the recorded function here. The transcript
+            // stops at the param-cross node; replay continues *live*
+            // into the concrete caller context of the application point.
+            let rv = v.clone();
+            cx.rec_step(|| LibStep::Resume {
+                id: node.0 as u32,
+                parent: parent.0 as u32,
+                v: rv,
+                param: index as u32,
+                depth: depth as u32,
+            });
+            return;
+        }
         // Prefer the concrete callsite we descended through.
         if let Some((caller, callsite)) = cx.call_stack.pop() {
             let caller_f = self.program.function(caller).expect("caller exists");
@@ -981,6 +1249,7 @@ impl<'p> TaintEngine<'p> {
                         opcode: Opcode::Copy,
                     },
                 );
+                cx.rec_transform(node, parent, op);
                 let input = op.inputs[0].clone();
                 self.taint_value(cx, func, d, &input, node, depth + 1);
             }
@@ -1020,6 +1289,7 @@ impl<'p> TaintEngine<'p> {
                                 opcode: Opcode::Load,
                             },
                         );
+                        cx.rec_transform(node, parent, op);
                         self.taint_region(cx, func, &XRegion::Plain(r), Some(d), node, depth + 1);
                     }
                     Region::Unknown => {
@@ -1042,6 +1312,7 @@ impl<'p> TaintEngine<'p> {
                     op.output.clone(),
                     TaintNodeKind::Transform { opcode },
                 );
+                cx.rec_transform(node, parent, op);
                 let non_const: Vec<Varnode> = op
                     .inputs
                     .iter()
@@ -1130,6 +1401,7 @@ impl<'p> TaintEngine<'p> {
                                     callee: callee_name.clone(),
                                 },
                             );
+                            cx.rec_through_call(node, parent, op, &callee_name);
                             for &s in srcs {
                                 if let Some(arg) = op.call_args().get(s).cloned() {
                                     self.taint_value(cx, func, d, &arg, node, depth + 1);
@@ -1149,6 +1421,7 @@ impl<'p> TaintEngine<'p> {
                                     callee: callee_name.clone(),
                                 },
                             );
+                            cx.rec_through_call(node, parent, op, &callee_name);
                             self.taint_region(
                                 cx,
                                 func,
@@ -1182,6 +1455,7 @@ impl<'p> TaintEngine<'p> {
                         callee: callee_name.clone(),
                     },
                 );
+                cx.rec_through_call(node, parent, op, &callee_name);
                 for arg in op.call_args().to_vec() {
                     self.taint_value(cx, func, d, &arg, node, depth + 1);
                 }
@@ -1201,6 +1475,13 @@ impl<'p> TaintEngine<'p> {
         // whether or not the callee exists (and even when it has no
         // returning ops): the result depends on exactly that state.
         cx.deps.funcs.insert(target);
+        // An internal callee's body is not covered by the recorded
+        // function's content hash, so its traversal cannot be replayed
+        // from this function's script.
+        cx.rec_poison("internal callee");
+        if self.try_apply_return_script(cx, func, op, target, parent, depth) {
+            return;
+        }
         let Some(callee) = self.program.function(target) else {
             self.leaf(
                 cx,
@@ -1247,6 +1528,32 @@ impl<'p> TaintEngine<'p> {
         parent: TaintNodeId,
         depth: usize,
     ) {
+        if cx.recording() {
+            match lib_region_key(region) {
+                Some(key) => cx.rec_step(|| LibStep::OpenRegion {
+                    parent: parent.0 as u32,
+                    region: key,
+                    before,
+                    depth: depth as u32,
+                }),
+                None => cx.rec_poison("image-dependent region"),
+            }
+            self.taint_region_inner(cx, func, region, before, parent, depth);
+            cx.rec_step(|| LibStep::Close);
+            return;
+        }
+        self.taint_region_inner(cx, func, region, before, parent, depth);
+    }
+
+    fn taint_region_inner(
+        &self,
+        cx: &mut Cx,
+        func: Address,
+        region: &XRegion,
+        before: Option<OpRef>,
+        parent: TaintNodeId,
+        depth: usize,
+    ) {
         cx.deps.funcs.insert(func);
         if !self.budget_ok(cx, depth) {
             self.leaf(
@@ -1260,6 +1567,8 @@ impl<'p> TaintEngine<'p> {
             return;
         }
         if !cx.visited_regions.insert(func, region, before) {
+            // Same duplicate-guard rule as for value guards.
+            cx.rec_poison("duplicate region guard in one role");
             return;
         }
         let f = self.program.function(func).expect("function exists");
@@ -1594,16 +1903,22 @@ impl<'p> TaintEngine<'p> {
                     via: hit.via.clone(),
                 },
             );
+            cx.rec_write(node, parent, &hit.op, &hit.via);
             if let Some((callee, param_idx)) = hit.descend {
+                // A callee here is internal: not replayable from the
+                // function being recorded (see taint_call_result).
+                cx.rec_poison("internal callee");
                 cx.call_stack.push((func, hit.op.addr));
-                self.taint_region(
-                    cx,
-                    callee,
-                    &XRegion::PtrParam(param_idx),
-                    None,
-                    node,
-                    depth + 1,
-                );
+                if !self.try_apply_region_script(cx, callee, param_idx, node, depth + 1) {
+                    self.taint_region(
+                        cx,
+                        callee,
+                        &XRegion::PtrParam(param_idx),
+                        None,
+                        node,
+                        depth + 1,
+                    );
+                }
                 cx.call_stack.pop();
                 continue;
             }
@@ -1701,6 +2016,366 @@ impl<'p> TaintEngine<'p> {
         match self.region_of(func, at, v) {
             Region::Data(a) => self.program.string_at(a).map(str::to_string),
             _ => None,
+        }
+    }
+
+    /// Replay the out-param script of an index-matched callee instead of
+    /// scanning its body. `node` is the Write node of the call hit;
+    /// `depth` is the depth the traversal would have entered the callee
+    /// region at. Returns false (caller falls back to traversal) when no
+    /// script applies.
+    fn try_apply_region_script(
+        &self,
+        cx: &mut Cx,
+        callee: Address,
+        param_idx: usize,
+        node: TaintNodeId,
+        depth: usize,
+    ) -> bool {
+        if cx.recording() {
+            return false;
+        }
+        let Some(lib) = self.lib_funcs.get(&callee) else {
+            return false;
+        };
+        let Some((_, script)) = lib
+            .scripts
+            .params
+            .iter()
+            .find(|(i, _)| *i as usize == param_idx)
+        else {
+            return false;
+        };
+        // The role was recorded entering the region at relative depth 0,
+        // so the live entry depth is the replay base.
+        self.apply_script(cx, lib, script, node, depth);
+        true
+    }
+
+    /// Replay the return-value script of an index-matched internal call
+    /// target instead of walking its returns. Mirrors the traversal's
+    /// shape exactly: the ThroughCall node is created live, and the
+    /// callee frame is pushed around the replay so param-crosses resume
+    /// into this callsite. Returns false when no script applies.
+    fn try_apply_return_script(
+        &self,
+        cx: &mut Cx,
+        func: Address,
+        op: &PcodeOp,
+        target: Address,
+        parent: TaintNodeId,
+        depth: usize,
+    ) -> bool {
+        if cx.recording() {
+            return false;
+        }
+        let Some(lib) = self.lib_funcs.get(&target) else {
+            return false;
+        };
+        let Some(script) = lib.scripts.returns.as_ref() else {
+            return false;
+        };
+        let callee_name = self
+            .program
+            .function(target)
+            .expect("index-matched function exists")
+            .name()
+            .to_string();
+        let node = cx.tree.add(
+            Some(parent),
+            func,
+            Some(op.clone()),
+            op.output.clone(),
+            TaintNodeKind::ThroughCall {
+                callee: callee_name,
+            },
+        );
+        cx.call_stack.push((func, op.addr));
+        // Return chains were recorded at relative depth 1 = the live
+        // traversal's depth + 1, so this call's depth is the base.
+        self.apply_script(cx, lib, script, node, depth);
+        cx.call_stack.pop();
+        true
+    }
+
+    /// Replay one recorded script at a live application point.
+    ///
+    /// Guards re-run against live trace state (budget, visited sets), so
+    /// pruning matches what the traversal would have done; emissions
+    /// re-add the recorded nodes verbatim; [`LibStep::Resume`] re-enters
+    /// live traversal in the caller frame, exactly like the traversal's
+    /// param-crossing. Recorded node id 0 maps to `root`.
+    fn apply_script(
+        &self,
+        cx: &mut Cx,
+        lib: &LibFunc,
+        script: &LibScript,
+        root: TaintNodeId,
+        base: usize,
+    ) {
+        cx.lib_stats.traversals_skipped += 1;
+        cx.deps.funcs.insert(lib.entry);
+        let mut map: HashMap<u32, TaintNodeId, FnvBuildHasher> = HashMap::default();
+        map.insert(0, root);
+        let steps = &script.steps;
+        let mut i = 0usize;
+        while i < steps.len() {
+            match &steps[i] {
+                LibStep::OpenValue {
+                    parent,
+                    at,
+                    v,
+                    depth,
+                } => {
+                    let p = map[parent];
+                    let depth = base + *depth as usize;
+                    if !self.budget_ok(cx, depth) {
+                        self.leaf(
+                            cx,
+                            lib.entry,
+                            p,
+                            FieldSource::Unresolved {
+                                reason: "budget exceeded",
+                            },
+                        );
+                        cx.lib_stats.summary_applications += 1;
+                        i = skip_open(steps, i);
+                        continue;
+                    }
+                    if !cx.visited_vals.insert((lib.entry, *at, v.clone())) {
+                        i = skip_open(steps, i);
+                        continue;
+                    }
+                    i += 1;
+                }
+                LibStep::OpenRegion {
+                    parent,
+                    region,
+                    before,
+                    depth,
+                } => {
+                    let p = map[parent];
+                    let depth = base + *depth as usize;
+                    if !self.budget_ok(cx, depth) {
+                        self.leaf(
+                            cx,
+                            lib.entry,
+                            p,
+                            FieldSource::Unresolved {
+                                reason: "budget exceeded",
+                            },
+                        );
+                        cx.lib_stats.summary_applications += 1;
+                        i = skip_open(steps, i);
+                        continue;
+                    }
+                    let xr = lib_xregion(region);
+                    if !cx.visited_regions.insert(lib.entry, &xr, *before) {
+                        i = skip_open(steps, i);
+                        continue;
+                    }
+                    i += 1;
+                }
+                LibStep::Close => {
+                    i += 1;
+                }
+                LibStep::Transform { id, parent, op } => {
+                    let node = cx.tree.add(
+                        Some(map[parent]),
+                        lib.entry,
+                        Some(op.clone()),
+                        op.output.clone(),
+                        TaintNodeKind::Transform { opcode: op.opcode },
+                    );
+                    map.insert(*id, node);
+                    cx.lib_stats.summary_applications += 1;
+                    i += 1;
+                }
+                LibStep::Write {
+                    id,
+                    parent,
+                    op,
+                    via,
+                } => {
+                    let node = cx.tree.add(
+                        Some(map[parent]),
+                        lib.entry,
+                        Some(op.clone()),
+                        None,
+                        TaintNodeKind::Write { via: via.clone() },
+                    );
+                    map.insert(*id, node);
+                    cx.lib_stats.summary_applications += 1;
+                    i += 1;
+                }
+                LibStep::ThroughCall {
+                    id,
+                    parent,
+                    op,
+                    callee,
+                } => {
+                    let node = cx.tree.add(
+                        Some(map[parent]),
+                        lib.entry,
+                        Some(op.clone()),
+                        op.output.clone(),
+                        TaintNodeKind::ThroughCall {
+                            callee: callee.clone(),
+                        },
+                    );
+                    map.insert(*id, node);
+                    cx.lib_stats.summary_applications += 1;
+                    i += 1;
+                }
+                LibStep::Leaf { parent, source } => {
+                    cx.tree.add(
+                        Some(map[parent]),
+                        lib.entry,
+                        None,
+                        None,
+                        TaintNodeKind::Source(source.clone()),
+                    );
+                    cx.lib_stats.summary_applications += 1;
+                    i += 1;
+                }
+                LibStep::Resume {
+                    id,
+                    parent,
+                    v,
+                    param,
+                    depth,
+                } => {
+                    let node = cx.tree.add(
+                        Some(map[parent]),
+                        lib.entry,
+                        None,
+                        Some(v.clone()),
+                        TaintNodeKind::ParamCross {
+                            param: *param as usize,
+                        },
+                    );
+                    map.insert(*id, node);
+                    cx.lib_stats.summary_applications += 1;
+                    // Mirror value_without_defs' concrete-callsite
+                    // branch: both application hooks push the callsite
+                    // frame, so the stack is never empty here.
+                    if let Some((caller, callsite)) = cx.call_stack.pop() {
+                        let caller_f = self.program.function(caller).expect("caller exists");
+                        if let Some(call) = caller_f.op_at(callsite).cloned() {
+                            if let Some(arg) = call.call_args().get(*param as usize).cloned() {
+                                if let Some(at) = self.du(caller).position_of(callsite) {
+                                    self.taint_value(
+                                        cx,
+                                        caller,
+                                        at,
+                                        &arg,
+                                        node,
+                                        base + *depth as usize + 1,
+                                    );
+                                }
+                            }
+                        }
+                        cx.call_stack.push((caller, callsite));
+                    }
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    /// Record replay scripts for the function entered at `entry`, for
+    /// the `firmres-libid` index builder. Returns `None` when the
+    /// function does not exist; otherwise every pointer-parameter role
+    /// and the return role is either recorded or rejected with a reason
+    /// (see [`LibFuncScripts::rejected`]). Rejected roles simply keep
+    /// full traversal at runtime.
+    pub fn record_lib_function(&self, entry: Address) -> Option<LibFuncScripts> {
+        let f = self.program.function(entry)?;
+        let mut out = LibFuncScripts::default();
+        // Image-independence pre-scan: a constant at or above the
+        // recording image's data base could resolve into the data
+        // segment of some image (string probe, data region), so the
+        // whole function is rejected. Call-target constants are exempt —
+        // they are name-derived import addresses or hash-covered
+        // internal entries, not data pointers.
+        let data_base = self.program.data_base();
+        for op in f.ops() {
+            let skip = usize::from(op.opcode == Opcode::Call);
+            for v in op.inputs.iter().skip(skip) {
+                if let Some(c) = v.const_value() {
+                    if c >= data_base {
+                        out.rejected
+                            .push(("function".to_string(), "constant may alias data segment"));
+                        return Some(out);
+                    }
+                }
+            }
+        }
+        for i in 0..f.params().len() {
+            match self.record_role(entry, RecRole::Param(i)) {
+                Ok(script) => out.params.push((i as u32, script)),
+                Err(reason) => out.rejected.push((format!("param{i}"), reason)),
+            }
+        }
+        match self.record_role(entry, RecRole::Return) {
+            Ok(script) => out.returns = Some(script),
+            Err(reason) => out.rejected.push(("return".to_string(), reason)),
+        }
+        Some(out)
+    }
+
+    /// Run one traversal role with a recorder attached and return the
+    /// transcript, or the reason it was rejected.
+    fn record_role(&self, entry: Address, role: RecRole) -> Result<LibScript, &'static str> {
+        let mut cx = Cx {
+            tree: TaintTree::default(),
+            visited_vals: VisitedVals::new(self.config.cold_path),
+            visited_regions: VisitedRegions::new(self.config.cold_path),
+            call_stack: Vec::new(),
+            deps: TraceDeps::default(),
+            lib_stats: LibStats::default(),
+            rec: Some(RecState {
+                steps: Vec::new(),
+                poison: None,
+            }),
+        };
+        // Recorded parent id 0: replay maps it to the application point.
+        let root = cx.tree.add(
+            None,
+            entry,
+            None,
+            None,
+            TaintNodeKind::Root {
+                delivery: "<recording>".into(),
+            },
+        );
+        debug_assert_eq!(root.0, 0);
+        match role {
+            RecRole::Param(i) => {
+                // Same entry shape as taint_write_hits' descend branch,
+                // at relative depth 0.
+                self.taint_region(&mut cx, entry, &XRegion::PtrParam(i), None, root, 0);
+            }
+            RecRole::Return => {
+                // Same returns walk as taint_call_result's internal
+                // branch, at relative depth 1 (= live depth + 1).
+                let f = self.program.function(entry).expect("function exists");
+                let returns: Vec<(OpRef, Varnode)> = {
+                    let du = self.du(entry);
+                    f.ops()
+                        .filter(|o| o.opcode == Opcode::Return && !o.inputs.is_empty())
+                        .filter_map(|o| du.position_of(o.addr).map(|r| (r, o.inputs[0].clone())))
+                        .collect()
+                };
+                for (at, rv) in returns {
+                    self.taint_value(&mut cx, entry, at, &rv, root, 1);
+                }
+            }
+        }
+        let rec = cx.rec.take().expect("recording state present");
+        match rec.poison {
+            Some(reason) => Err(reason),
+            None => Ok(LibScript { steps: rec.steps }),
         }
     }
 }

@@ -1,0 +1,265 @@
+//! Known-library script recording and replay: `LibId::On` must produce
+//! node-for-node identical taint trees to the full-traversal oracle,
+//! while actually skipping the library-body traversals.
+
+use firmres_dataflow::{
+    FieldSource, LibFunc, LibId, LibIndex, TaintConfig, TaintEngine, TaintTree,
+};
+use firmres_ir::{function_content_hash, Program};
+use firmres_isa::{lift, Assembler};
+use std::sync::Arc;
+
+/// Two library-shaped functions: `z_pack` writes its second argument
+/// into the buffer arriving through its first (out-param role), `z_fmt`
+/// derives its return value from its argument (return role). Both
+/// thread values through stack slots, the def-use shape that makes real
+/// library bodies expensive to traverse.
+const SRC: &str = r#"
+.func z_pack dst src
+.local s0 4
+.local s1 4
+    sw  a1, s0(sp)
+    lw  t0, s0(sp)
+    sw  t0, s1(sp)
+    lw  a1, s1(sp)
+    callx strcat
+    ret
+.endfunc
+.func z_fmt val
+.local r0 4
+.local r1 4
+    sw  a0, r0(sp)
+    lw  t0, r0(sp)
+    sw  t0, r1(sp)
+    lw  a0, r1(sp)
+    callx hmac_sign
+    ret
+.endfunc
+.func main
+.local buf 64
+.local v0 4
+.local v1 4
+.local saved 4
+    sw  ra, saved(sp)
+    la  a0, key
+    callx nvram_get
+    sw  rv, v0(sp)
+    lea a0, buf
+    lw  a1, v0(sp)
+    call z_pack
+    la  a0, sk
+    callx cfg_get
+    mov a0, rv
+    call z_fmt
+    sw  rv, v1(sp)
+    lea a0, buf
+    lw  a1, v1(sp)
+    callx strcat
+    lea a1, buf
+    li  a0, 1
+    callx SSL_write
+    lw  ra, saved(sp)
+    ret
+.endfunc
+.data
+key: .asciz "serial"
+sk:  .asciz "secret"
+"#;
+
+fn program() -> Program {
+    let exe = Assembler::new().assemble(SRC).unwrap();
+    lift(&exe, "libid-replay").unwrap()
+}
+
+fn build_index(p: &Program) -> Arc<LibIndex> {
+    let recorder = TaintEngine::new(p);
+    let mut entries = Vec::new();
+    for name in ["z_pack", "z_fmt"] {
+        let f = p.function_by_name(name).unwrap();
+        let scripts = recorder.record_lib_function(f.entry()).unwrap();
+        assert!(
+            scripts.rejected.is_empty(),
+            "{name} roles all record: {:?}",
+            scripts.rejected
+        );
+        assert!(!scripts.is_empty(), "{name} recorded at least one role");
+        entries.push((
+            function_content_hash(f),
+            LibFunc {
+                lib: "zlibx".into(),
+                version: "1.2".into(),
+                func: name.into(),
+                entry: f.entry(),
+                scripts,
+            },
+        ));
+    }
+    Arc::new(LibIndex::new(entries, p.data_base()))
+}
+
+fn delivery_query(p: &Program) -> (u64, u64) {
+    let f = p.function_by_name("main").unwrap();
+    let call = f
+        .callsites()
+        .find(|c| c.call_target().and_then(|t| p.callee_name(t)) == Some("SSL_write"))
+        .unwrap()
+        .addr;
+    (f.entry(), call)
+}
+
+fn render(tree: &TaintTree) -> String {
+    format!("{:?}", tree.nodes())
+}
+
+#[test]
+fn replay_reproduces_the_full_traversal_tree_exactly() {
+    let p = program();
+    let index = build_index(&p);
+    let (func, call) = delivery_query(&p);
+
+    let off = TaintEngine::new(&p);
+    let on = TaintEngine::with_config(
+        &p,
+        TaintConfig {
+            libid: LibId::On,
+            lib_index: Some(Arc::clone(&index)),
+            ..TaintConfig::default()
+        },
+    );
+    assert_eq!(off.lib_matched(), 0);
+    assert_eq!(on.lib_matched(), 2, "both library functions hash-match");
+
+    let (tree_off, stats_off) = off.trace_with_stats(func, call, 1);
+    let (tree_on, stats_on) = on.trace_with_stats(func, call, 1);
+    assert_eq!(
+        render(&tree_off),
+        render(&tree_on),
+        "LibId::On tree is node-for-node identical to the oracle"
+    );
+    assert_eq!(stats_off, Default::default(), "oracle replays nothing");
+    assert!(
+        stats_on.traversals_skipped >= 2,
+        "both the out-param and the return application replayed: {stats_on:?}"
+    );
+    assert!(stats_on.summary_applications > 0, "{stats_on:?}");
+
+    // The trace still reaches the concrete sources through the replayed
+    // library regions.
+    let srcs: Vec<String> = tree_on
+        .sources()
+        .map(|n| n.source().unwrap().to_string())
+        .collect();
+    assert!(
+        srcs.iter().any(|s| s.contains("nvram_get(\"serial\")")),
+        "value packed through z_pack resolves: {srcs:?}"
+    );
+    assert!(
+        srcs.iter().any(|s| s.contains("cfg_get(\"secret\")")),
+        "value derived through z_fmt resolves: {srcs:?}"
+    );
+}
+
+#[test]
+fn deps_match_between_oracle_and_replay() {
+    let p = program();
+    let index = build_index(&p);
+    let (func, call) = delivery_query(&p);
+    let off = TaintEngine::new(&p);
+    let on = TaintEngine::with_config(
+        &p,
+        TaintConfig {
+            libid: LibId::On,
+            lib_index: Some(index),
+            ..TaintConfig::default()
+        },
+    );
+    let (_, deps_off) = off.trace_with_deps(func, call, 1);
+    let (_, deps_on) = on.trace_with_deps(func, call, 1);
+    assert_eq!(
+        deps_off, deps_on,
+        "incremental invalidation sees identical inputs either way"
+    );
+}
+
+#[test]
+fn recorder_rejects_image_dependent_functions() {
+    let src = r#"
+.func uses_data out
+    la  a1, tag
+    callx strcat
+    ret
+.endfunc
+.func main
+    ret
+.endfunc
+.data
+tag: .asciz "v1"
+"#;
+    let exe = Assembler::new().assemble(src).unwrap();
+    let p = lift(&exe, "t").unwrap();
+    let engine = TaintEngine::new(&p);
+    let f = p.function_by_name("uses_data").unwrap();
+    let scripts = engine.record_lib_function(f.entry()).unwrap();
+    assert!(
+        scripts.is_empty(),
+        "data-segment constant rejects every role"
+    );
+    assert!(
+        scripts
+            .rejected
+            .iter()
+            .any(|(_, r)| r.contains("data segment")),
+        "{:?}",
+        scripts.rejected
+    );
+}
+
+#[test]
+fn matching_is_gated_on_ablated_configs() {
+    let p = program();
+    let index = build_index(&p);
+    for (overtaint, decompose) in [(false, true), (true, false)] {
+        let engine = TaintEngine::with_config(
+            &p,
+            TaintConfig {
+                overtaint,
+                decompose_buffers: decompose,
+                libid: LibId::On,
+                lib_index: Some(Arc::clone(&index)),
+                ..TaintConfig::default()
+            },
+        );
+        assert_eq!(
+            engine.lib_matched(),
+            0,
+            "scripts were recorded under default semantics; ablations fall back"
+        );
+    }
+}
+
+#[test]
+fn unresolved_leaves_replay_with_interned_reasons() {
+    // A replayed script may carry Unresolved leaves ("no definition",
+    // "no writes to buffer"); they must compare identical to the
+    // oracle's interned &'static strs.
+    let p = program();
+    let index = build_index(&p);
+    let (func, call) = delivery_query(&p);
+    let on = TaintEngine::with_config(
+        &p,
+        TaintConfig {
+            libid: LibId::On,
+            lib_index: Some(index),
+            ..TaintConfig::default()
+        },
+    );
+    let tree = on.trace(func, call, 1);
+    for node in tree.nodes() {
+        if let Some(FieldSource::Unresolved { reason }) = node.source() {
+            assert!(
+                firmres_dataflow::UNRESOLVED_REASONS.contains(reason),
+                "replayed reason is canonical: {reason}"
+            );
+        }
+    }
+}

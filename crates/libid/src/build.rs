@@ -1,0 +1,225 @@
+//! Index builder: lift a directory of known-library executables and
+//! record taint scripts for every function.
+//!
+//! Input files are either MRE executables (`Executable::to_bytes`
+//! output, any extension) or MR32 assembly sources (`.s` / `.asm`),
+//! which the builder assembles on the fly — handy for fixture
+//! directories checked into a repo. Library name and version come from
+//! the file stem: `zutil-1.2.s` indexes as `zutil` version `1.2`; a
+//! stem without a `-<digit…>` suffix indexes as version `0`.
+
+use crate::flix::FlixError;
+use firmres_dataflow::TaintEngine;
+use firmres_dataflow::{LibFunc, LibIndex};
+use firmres_ir::{function_content_hash, Program};
+use firmres_isa::{lift, Assembler, Executable};
+use std::fs;
+use std::path::Path;
+
+/// What happened to one input file during a build.
+#[derive(Debug)]
+pub struct FileReport {
+    /// File name (not the full path).
+    pub file: String,
+    /// Library name parsed from the stem.
+    pub lib: String,
+    /// Version parsed from the stem.
+    pub version: String,
+    /// Functions indexed with at least one recorded role.
+    pub indexed: usize,
+    /// Roles the recorder refused, across all functions.
+    pub rejected_roles: usize,
+    /// Functions skipped entirely (no recordable role).
+    pub skipped: usize,
+    /// Set when the file could not be assembled/parsed/lifted; the
+    /// file contributes nothing to the index.
+    pub error: Option<String>,
+}
+
+/// Summary of a [`build_index_from_dir`] run.
+#[derive(Debug, Default)]
+pub struct BuildReport {
+    /// Per-file outcomes, in sorted file-name order.
+    pub files: Vec<FileReport>,
+}
+
+impl BuildReport {
+    /// Total functions indexed.
+    pub fn indexed(&self) -> usize {
+        self.files.iter().map(|f| f.indexed).sum()
+    }
+
+    /// Total refused roles (diagnostic only).
+    pub fn rejected_roles(&self) -> usize {
+        self.files.iter().map(|f| f.rejected_roles).sum()
+    }
+
+    /// Render the report as `libid build` prints it.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in &self.files {
+            match &f.error {
+                Some(e) => out.push_str(&format!("  {}: ERROR {e}\n", f.file)),
+                None => out.push_str(&format!(
+                    "  {}: {}@{} indexed {} fn(s), {} role(s) refused, {} fn(s) skipped\n",
+                    f.file, f.lib, f.version, f.indexed, f.rejected_roles, f.skipped
+                )),
+            }
+        }
+        out.push_str(&format!(
+            "indexed {} function(s) total ({} role(s) refused)\n",
+            self.indexed(),
+            self.rejected_roles()
+        ));
+        out
+    }
+}
+
+fn parse_stem(stem: &str) -> (String, String) {
+    if let Some((lib, ver)) = stem.rsplit_once('-') {
+        if ver.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+            return (lib.to_string(), ver.to_string());
+        }
+    }
+    (stem.to_string(), "0".to_string())
+}
+
+fn load_program(path: &Path, name: &str) -> Result<Program, String> {
+    let is_source = matches!(
+        path.extension().and_then(|e| e.to_str()),
+        Some("s") | Some("asm")
+    );
+    let exe: Executable = if is_source {
+        let src = fs::read_to_string(path).map_err(|e| format!("read: {e}"))?;
+        Assembler::new()
+            .assemble(&src)
+            .map_err(|e| format!("assemble: {e}"))?
+    } else {
+        let bytes = fs::read(path).map_err(|e| format!("read: {e}"))?;
+        Executable::from_bytes(&bytes).map_err(|e| format!("parse: {e}"))?
+    };
+    lift(&exe, name).map_err(|e| format!("lift: {e}"))
+}
+
+/// Lift every executable in `dir` and record taint scripts for every
+/// function. Two name classes are skipped: `main` (library files need
+/// an entry symbol for the toolchain but it is not library surface)
+/// and `__`-prefixed functions (padding/placeholder slots that hold
+/// library layouts address-stable; see the corpus roster).
+///
+/// Functions whose every role is refused still enter the report but
+/// not the index. Files that fail to parse are reported and skipped;
+/// the build only errors when the directory itself is unreadable or
+/// contributes no entries at all.
+pub fn build_index_from_dir(dir: &Path) -> Result<(LibIndex, BuildReport), FlixError> {
+    let rd =
+        fs::read_dir(dir).map_err(|e| FlixError(format!("read dir {}: {e}", dir.display())))?;
+    let mut paths: Vec<_> = rd
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_file())
+        .collect();
+    paths.sort();
+
+    let mut report = BuildReport::default();
+    let mut entries = Vec::new();
+    let mut const_ceiling: u64 = 0;
+    for path in paths {
+        let file = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("?")
+            .to_string();
+        let stem = path
+            .file_stem()
+            .and_then(|n| n.to_str())
+            .unwrap_or("lib")
+            .to_string();
+        let (lib, version) = parse_stem(&stem);
+        let mut fr = FileReport {
+            file,
+            lib: lib.clone(),
+            version: version.clone(),
+            indexed: 0,
+            rejected_roles: 0,
+            skipped: 0,
+            error: None,
+        };
+        match load_program(&path, &stem) {
+            Err(e) => fr.error = Some(e),
+            Ok(program) => {
+                // Replay is sound only in images whose data base is at
+                // or above every recording image's: take the max.
+                const_ceiling = const_ceiling.max(program.data_base());
+                let recorder = TaintEngine::new(&program);
+                for f in program.functions() {
+                    if f.name() == "main" || f.name().starts_with("__") {
+                        continue;
+                    }
+                    let Some(scripts) = recorder.record_lib_function(f.entry()) else {
+                        fr.skipped += 1;
+                        continue;
+                    };
+                    fr.rejected_roles += scripts.rejected.len();
+                    if scripts.is_empty() {
+                        fr.skipped += 1;
+                        continue;
+                    }
+                    fr.indexed += 1;
+                    entries.push((
+                        function_content_hash(f),
+                        LibFunc {
+                            lib: lib.clone(),
+                            version: version.clone(),
+                            func: f.name().to_string(),
+                            entry: f.entry(),
+                            scripts,
+                        },
+                    ));
+                }
+            }
+        }
+        report.files.push(fr);
+    }
+    if entries.is_empty() {
+        return Err(FlixError(format!(
+            "no recordable library functions under {}\n{}",
+            dir.display(),
+            report.render()
+        )));
+    }
+    Ok((LibIndex::new(entries, const_ceiling), report))
+}
+
+/// Render an index for `libid inspect`: one line per entry plus a
+/// header, in content-hash order.
+pub fn inspect_lines(index: &LibIndex) -> Vec<String> {
+    let mut out = vec![format!(
+        "flix index: {} entr{}, const ceiling {:#x}, fingerprint {:#018x}",
+        index.len(),
+        if index.len() == 1 { "y" } else { "ies" },
+        index.const_ceiling(),
+        index.fingerprint()
+    )];
+    for (hash, f) in index.iter() {
+        let steps: usize = f
+            .scripts
+            .params
+            .iter()
+            .map(|(_, s)| s.steps.len())
+            .sum::<usize>()
+            + f.scripts.returns.as_ref().map_or(0, |s| s.steps.len());
+        out.push(format!(
+            "  {hash:032x} {}@{} {} entry={:#x} roles={} steps={steps}",
+            f.lib,
+            f.version,
+            f.func,
+            f.entry,
+            f.role_label()
+        ));
+        for (role, reason) in &f.scripts.rejected {
+            out.push(format!("    refused {role}: {reason}"));
+        }
+    }
+    out
+}

@@ -1,0 +1,42 @@
+//! # firmres-libid
+//!
+//! Known-library identification for FIRMRES (ROADMAP item 1(c), after
+//! AutoFirm's reused-library observation): real fleets share large
+//! third-party regions, so the analyzer keeps a sealed **`.flix`
+//! index** mapping post-lift function-content hashes to recorded taint
+//! scripts. Functions that hash-match the index are not traversed —
+//! the taint engine replays the recording (see
+//! `firmres_dataflow::LibIndex`), reproducing the full traversal's
+//! report byte-for-byte while skipping the expensive library-body
+//! def-use work.
+//!
+//! This crate owns the artifact side: the `.flix` codec
+//! ([`encode_index`] / [`decode_index`] / [`write_index`] /
+//! [`load_index`], FRAC-style sealed format), the index builder
+//! ([`build_index_from_dir`], behind `libid build`), and the
+//! [`inspect_lines`] renderer behind `libid inspect`. The runtime
+//! match-and-replay machinery lives in `firmres-dataflow`; cache-key
+//! plumbing (the index fingerprint folds into `CacheKey` and the
+//! unit-bank family key) lives in `firmres-cache`.
+//!
+//! # Examples
+//!
+//! ```
+//! use firmres_dataflow::LibIndex;
+//!
+//! let index = LibIndex::new(Vec::new(), 0x40_0000);
+//! let bytes = firmres_libid::encode_index(&index);
+//! let back = firmres_libid::decode_index(&bytes)?;
+//! assert_eq!(back.fingerprint(), index.fingerprint());
+//! # Ok::<(), firmres_libid::FlixError>(())
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod build;
+mod flix;
+
+pub use build::{build_index_from_dir, inspect_lines, BuildReport, FileReport};
+pub use flix::{
+    decode_index, encode_index, load_index, write_index, FlixError, FLIX_MAGIC, FLIX_SCHEMA_VERSION,
+};

@@ -1,0 +1,153 @@
+//! Hostile-input contract of the `.flix` reader: truncation, bit
+//! flips, oversize length prefixes, trailing garbage, wrong magic and
+//! wrong schema all surface as [`FlixError`] diagnostics — never a
+//! panic, never an allocation blow-up. The analyzer treats every such
+//! error as "no index" and falls back to full traversal.
+
+use firmres_dataflow::{LibFunc, LibFuncScripts, LibIndex};
+use firmres_firmware::content_hash_packed;
+use firmres_libid::{decode_index, encode_index, load_index, FlixError, FLIX_SCHEMA_VERSION};
+use proptest::prelude::*;
+
+/// A small but non-trivial valid index: two entries with empty scripts
+/// (hostile-input handling is about framing, not script content).
+fn valid_bytes() -> Vec<u8> {
+    let entries = vec![
+        (
+            0x0102_0304_0506_0708_090a_0b0c_0d0e_0f10u128,
+            LibFunc {
+                lib: "zlib".into(),
+                version: "1.2.11".into(),
+                func: "deflate".into(),
+                entry: 0x1_0000,
+                scripts: LibFuncScripts::default(),
+            },
+        ),
+        (
+            0xfefe_fefe_fefe_fefe_fefe_fefe_fefe_fefeu128,
+            LibFunc {
+                lib: "cjson".into(),
+                version: "1.7".into(),
+                func: "cJSON_Print".into(),
+                entry: 0x1_0400,
+                scripts: LibFuncScripts::default(),
+            },
+        ),
+    ];
+    encode_index(&LibIndex::new(entries, 0x40_0000))
+}
+
+/// Re-seal `body` (everything before the 8-byte trailer) with a fresh
+/// checksum, so tests can corrupt fields *behind* the checksum and
+/// prove the structural validation still refuses them.
+fn reseal(mut body: Vec<u8>) -> Vec<u8> {
+    let csum = content_hash_packed(&body);
+    body.extend_from_slice(&csum.to_le_bytes());
+    body
+}
+
+fn assert_rejected(bytes: &[u8], what: &str) {
+    let err: FlixError = decode_index(bytes).expect_err(what);
+    assert!(!err.0.is_empty(), "{what}: diagnostic has a message");
+}
+
+#[test]
+fn every_truncation_is_rejected() {
+    let bytes = valid_bytes();
+    for n in 0..bytes.len() {
+        assert_rejected(&bytes[..n], &format!("truncation to {n} bytes"));
+    }
+}
+
+#[test]
+fn single_bit_flips_are_rejected() {
+    let bytes = valid_bytes();
+    for i in 0..bytes.len() {
+        for bit in [0, 3, 7] {
+            let mut b = bytes.clone();
+            b[i] ^= 1 << bit;
+            assert_rejected(&b, &format!("bit {bit} of byte {i} flipped"));
+        }
+    }
+}
+
+#[test]
+fn trailing_garbage_is_rejected() {
+    let bytes = valid_bytes();
+    for extra in [1usize, 7, 64] {
+        let mut b = bytes.clone();
+        b.extend(std::iter::repeat_n(0xAAu8, extra));
+        assert_rejected(&b, &format!("{extra} bytes of trailing garbage"));
+    }
+}
+
+#[test]
+fn oversize_entry_count_is_rejected_without_allocating() {
+    let bytes = valid_bytes();
+    let mut body = bytes[..bytes.len() - 8].to_vec();
+    // The entry count sits after magic (4) + schema (2) + ceiling (8).
+    body[14..18].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert_rejected(&reseal(body), "u32::MAX entry count");
+}
+
+#[test]
+fn oversize_string_length_is_rejected() {
+    let bytes = valid_bytes();
+    let mut body = bytes[..bytes.len() - 8].to_vec();
+    // First string length prefix: entry header is count(4) at 14, then
+    // hash (16) — the lib-name length sits at offset 18 + 16 = 34.
+    body[34..38].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert_rejected(&reseal(body), "u32::MAX string length");
+}
+
+#[test]
+fn wrong_magic_and_wrong_schema_are_rejected_even_when_sealed() {
+    let bytes = valid_bytes();
+
+    let mut body = bytes[..bytes.len() - 8].to_vec();
+    body[..4].copy_from_slice(b"JUNK");
+    assert_rejected(&reseal(body), "wrong magic, valid checksum");
+
+    let mut body = bytes[..bytes.len() - 8].to_vec();
+    body[4..6].copy_from_slice(&(FLIX_SCHEMA_VERSION + 1).to_le_bytes());
+    let err = decode_index(&reseal(body)).expect_err("future schema");
+    assert!(err.0.contains("schema version"), "{err}");
+}
+
+#[test]
+fn empty_and_tiny_inputs_are_rejected() {
+    assert_rejected(&[], "empty file");
+    assert_rejected(b"FLIX", "magic only");
+    assert_rejected(&[0u8; 13], "below minimum length");
+}
+
+#[test]
+fn missing_file_is_a_diagnostic() {
+    let err = load_index(std::path::Path::new("/nonexistent/known.flix"))
+        .expect_err("missing file is an error");
+    assert!(err.0.contains("read"), "{err}");
+}
+
+proptest! {
+    /// Arbitrary corruption at arbitrary positions never panics: it
+    /// either decodes (only when the corruption is a no-op, which the
+    /// checksum makes impossible for in-place edits) or errors.
+    #[test]
+    fn random_corruption_never_panics(
+        pos in 0usize..1024,
+        val in any::<u8>(),
+        chop in 0usize..64,
+    ) {
+        let mut b = valid_bytes();
+        let i = pos % b.len();
+        b[i] = val;
+        b.truncate(b.len().saturating_sub(chop));
+        let _ = decode_index(&b);
+    }
+
+    /// Fully random byte soup never panics.
+    #[test]
+    fn random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode_index(&bytes);
+    }
+}

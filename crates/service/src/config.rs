@@ -21,6 +21,9 @@
 //! high_watermark = 1.0 # GC trigger, as a fraction of the budget
 //! low_watermark = 0.85 # GC target, as a fraction of the budget
 //! exempt_pinned = true # pinned entries survive collection
+//!
+//! [libid]
+//! index = /etc/firmres/known.flix  # known-library index (.flix)
 //! ```
 //!
 //! The format is deliberately tiny — `#`/`;` comments, `[section]`
@@ -54,6 +57,9 @@ pub struct ServiceConfig {
     pub retry_after_ms: u64,
     /// Store sharding and eviction policy (`[store]`).
     pub store: StorePolicy,
+    /// Path to a known-library `.flix` index overlaid on every job
+    /// (`[libid] index`), or `None` to run without one.
+    pub libid_index: Option<String>,
 }
 
 impl Default for ServiceConfig {
@@ -66,6 +72,7 @@ impl Default for ServiceConfig {
             conn_inflight_cap: 8,
             retry_after_ms: 250,
             store: StorePolicy::default(),
+            libid_index: None,
         }
     }
 }
@@ -87,7 +94,10 @@ impl ServiceConfig {
                     return Err(format!("line {lineno}: unterminated section header"));
                 };
                 section = name.trim().to_ascii_lowercase();
-                if !matches!(section.as_str(), "service" | "admission" | "store") {
+                if !matches!(
+                    section.as_str(),
+                    "service" | "admission" | "store" | "libid"
+                ) {
                     return Err(format!("line {lineno}: unknown section [{section}]"));
                 }
                 continue;
@@ -118,10 +128,11 @@ impl ServiceConfig {
         ServiceConfig::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
     }
 
-    /// Lower into the server's runtime tuning. The cache directory and
-    /// classifier are deployment inputs rather than policy, so they
-    /// stay on [`ServerConfig`]'s defaults (`None`) for the caller to
-    /// fill in.
+    /// Lower into the server's runtime tuning. The cache directory,
+    /// classifier and loaded library index are deployment inputs rather
+    /// than policy, so they stay on [`ServerConfig`]'s defaults
+    /// (`None`) for the caller to fill in ([`ServiceConfig::libid_index`]
+    /// names the file; the CLI loads it).
     ///
     /// [`ServerConfig`]: crate::ServerConfig
     pub fn to_server_config(&self) -> crate::server::ServerConfig {
@@ -160,6 +171,13 @@ impl ServiceConfig {
                     .map_err(|_| format!("retry_after_ms: not a duration in ms: {value:?}"))?;
             }
             ("store", _) => self.store.apply(key, value)?,
+            ("libid", "index") => {
+                self.libid_index = if value.is_empty() || value == "none" {
+                    None
+                } else {
+                    Some(value.to_string())
+                };
+            }
             ("", _) => return Err(format!("key {key:?} before any [section] header")),
             (_, _) => return Err(format!("unknown key {key:?} in section [{section}]")),
         }
@@ -199,6 +217,7 @@ mod tests {
             low_watermark = 0.8\n\
             exempt_pinned = false\n";
         let cfg = ServiceConfig::parse(text).expect("full config parses");
+        assert_eq!(cfg.libid_index, None);
         assert_eq!(cfg.workers, 4);
         assert_eq!(cfg.unit_jobs, 2);
         assert_eq!(cfg.io_threads, 3);
@@ -208,6 +227,31 @@ mod tests {
         assert_eq!(cfg.store.shards, 8);
         assert_eq!(cfg.store.byte_budget, Some(2 << 20));
         assert!(!cfg.store.exempt_pinned);
+    }
+
+    #[test]
+    fn libid_section_sets_and_clears_the_index_path() {
+        let cfg = ServiceConfig::parse(
+            "[libid]
+index = /srv/known.flix
+",
+        )
+        .unwrap();
+        assert_eq!(cfg.libid_index.as_deref(), Some("/srv/known.flix"));
+        let cfg = ServiceConfig::parse(
+            "[libid]
+index = none
+",
+        )
+        .unwrap();
+        assert_eq!(cfg.libid_index, None);
+        let err = ServiceConfig::parse(
+            "[libid]
+indexx = x
+",
+        )
+        .unwrap_err();
+        assert!(err.contains("indexx"), "{err}");
     }
 
     #[test]

@@ -107,6 +107,11 @@ pub struct ServerConfig {
     /// keyword fallback — part of the cache identity, so it must match
     /// the local run a served result is compared against.
     pub classifier: Option<Classifier>,
+    /// Known-library index overlaid onto every job's taint config
+    /// (`--libid` / the `[libid]` config section). Part of the cache
+    /// identity: the index fingerprint is folded into every key, so an
+    /// index-less client run never shares entries with an indexed one.
+    pub lib_index: Option<Arc<firmres_dataflow::LibIndex>>,
 }
 
 impl Default for ServerConfig {
@@ -121,6 +126,7 @@ impl Default for ServerConfig {
             cache_dir: None,
             store: StorePolicy::default(),
             classifier: None,
+            lib_index: None,
         }
     }
 }
@@ -136,6 +142,9 @@ struct ServiceCounters {
     cache_misses: AtomicU64,
     unit_hits: AtomicU64,
     unit_misses: AtomicU64,
+    lib_fns_matched: AtomicU64,
+    lib_traversals_skipped: AtomicU64,
+    lib_summary_applies: AtomicU64,
 }
 
 // ---- connection handles --------------------------------------------------
@@ -262,6 +271,9 @@ impl Shared {
             cache_misses: self.counters.cache_misses.load(Ordering::Relaxed),
             unit_hits: self.counters.unit_hits.load(Ordering::Relaxed),
             unit_misses: self.counters.unit_misses.load(Ordering::Relaxed),
+            lib_fns_matched: self.counters.lib_fns_matched.load(Ordering::Relaxed),
+            lib_traversals_skipped: self.counters.lib_traversals_skipped.load(Ordering::Relaxed),
+            lib_summary_applies: self.counters.lib_summary_applies.load(Ordering::Relaxed),
             draining: self.draining.load(Ordering::Acquire),
         }
     }
@@ -405,11 +417,19 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-fn run_job(shared: &Shared, job: Job) {
+fn run_job(shared: &Shared, mut job: Job) {
     shared
         .running_tokens
         .lock()
         .insert(job.id, job.token.clone());
+
+    // Overlay the server's known-library index onto the client-supplied
+    // config before anything keys or runs: the cache key and the
+    // pipeline must see the same effective configuration.
+    if let Some(index) = &shared.cfg.lib_index {
+        job.config.taint.libid = firmres_dataflow::LibId::On;
+        job.config.taint.lib_index = Some(Arc::clone(index));
+    }
 
     let classifier = shared.classifier.as_ref();
     let outcome = match FirmwareImage::unpack(&job.packed) {
@@ -482,6 +502,13 @@ fn run_job(shared: &Shared, job: Job) {
 
     match outcome {
         Ok(analysis) => {
+            let c = &shared.counters;
+            c.lib_fns_matched
+                .fetch_add(analysis.counters.lib_fns_matched, Ordering::Relaxed);
+            c.lib_traversals_skipped
+                .fetch_add(analysis.counters.lib_traversals_skipped, Ordering::Relaxed);
+            c.lib_summary_applies
+                .fetch_add(analysis.counters.lib_summary_applies, Ordering::Relaxed);
             if let Some(cache) = &shared.cache {
                 let key = CacheKey::of_packed(&job.packed, classifier, &job.config);
                 // A full store or unwritable directory degrades the

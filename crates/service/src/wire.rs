@@ -43,7 +43,7 @@ use std::time::Duration;
 
 /// Version of this wire protocol. Bump on any frame-layout change; the
 /// handshake refuses mismatched peers instead of misparsing them.
-pub const PROTOCOL_VERSION: u16 = 2;
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Hard cap on one frame's body length. Larger length prefixes are
 /// refused before any allocation: a hostile or corrupt 4-byte prefix
@@ -234,6 +234,13 @@ pub struct ServiceStatus {
     pub unit_hits: u64,
     /// Message units re-executed while re-analyzing cache misses.
     pub unit_misses: u64,
+    /// Functions hash-matched against the known-library index across
+    /// pipeline runs (0 when the server holds no index).
+    pub lib_fns_matched: u64,
+    /// Library-body traversals replaced by summary replay.
+    pub lib_traversals_skipped: u64,
+    /// Taint-tree nodes emitted by summary replay.
+    pub lib_summary_applies: u64,
     /// Whether the server is draining.
     pub draining: bool,
 }
@@ -419,6 +426,9 @@ fn put_counter(out: &mut Vec<u8>, c: Counter) {
         Counter::CacheMisses => 8,
         Counter::CacheBytesRead => 9,
         Counter::CacheBytesWritten => 10,
+        Counter::LibFnsMatched => 11,
+        Counter::LibTraversalsSkipped => 12,
+        Counter::LibSummaryApplies => 13,
     });
 }
 
@@ -435,6 +445,9 @@ fn get_counter(r: &mut Reader) -> Result<Counter, WireError> {
         8 => Counter::CacheMisses,
         9 => Counter::CacheBytesRead,
         10 => Counter::CacheBytesWritten,
+        11 => Counter::LibFnsMatched,
+        12 => Counter::LibTraversalsSkipped,
+        13 => Counter::LibSummaryApplies,
         t => return Err(WireError::Decode(format!("invalid Counter tag {t}"))),
     })
 }
@@ -578,6 +591,9 @@ fn put_status(out: &mut Vec<u8>, s: &ServiceStatus) {
     out.put_u64_le(s.cache_misses);
     out.put_u64_le(s.unit_hits);
     out.put_u64_le(s.unit_misses);
+    out.put_u64_le(s.lib_fns_matched);
+    out.put_u64_le(s.lib_traversals_skipped);
+    out.put_u64_le(s.lib_summary_applies);
     out.put_u8(s.draining as u8);
 }
 
@@ -593,6 +609,9 @@ fn get_status(r: &mut Reader) -> Result<ServiceStatus, WireError> {
         cache_misses: r.u64()?,
         unit_hits: r.u64()?,
         unit_misses: r.u64()?,
+        lib_fns_matched: r.u64()?,
+        lib_traversals_skipped: r.u64()?,
+        lib_summary_applies: r.u64()?,
         draining: r.boolean()?,
     })
 }
@@ -904,6 +923,9 @@ mod tests {
                 cache_misses: 40,
                 unit_hits: 512,
                 unit_misses: 9,
+                lib_fns_matched: 12,
+                lib_traversals_skipped: 34,
+                lib_summary_applies: 56,
                 draining: true,
             }),
             Response::DrainOk { jobs_served: 100 },

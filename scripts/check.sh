@@ -177,6 +177,34 @@ find "$smoke_dir/evict-cache" -type f \
     \( -name '*.frac' -o -name '*.fru' -o -name '*.frv' \) -printf '%s\n' \
   | awk '{ s += $1 } END { exit !(s <= 1048576) }'
 
+echo "==> known-library identification smoke (libid build → analyze → cmp)"
+# Index the roster fixture libraries, then analyze a linked device with
+# and without the index: the reports must be byte-identical while the
+# indexed run actually skips library traversals (counter must be
+# nonzero in the cache-stats survey — a zero is a silent regression of
+# the whole replay path and fails the gate).
+cli libid fixtures "$smoke_dir/libsrc" > /dev/null
+cli libid build "$smoke_dir/libsrc" "$smoke_dir/known.flix" > "$smoke_dir/libid-build.txt"
+grep -q 'indexed 6 function(s)' "$smoke_dir/libid-build.txt"
+cli libid inspect "$smoke_dir/known.flix" | grep -q 'zb_pack'
+cli synth 8 "$smoke_dir/libfleet" --seed 11 --libraries > /dev/null
+# Device 2 of seed 11 links roster libraries (pinned by the synth
+# dimension's determinism; the counter grep below re-verifies it).
+libdev="$smoke_dir/libfleet/synth-00002.fwi"
+cli analyze "$libdev" > "$smoke_dir/lib-off.txt"
+cli analyze "$libdev" --libid "$smoke_dir/known.flix" > "$smoke_dir/lib-on.txt"
+cmp "$smoke_dir/lib-off.txt" "$smoke_dir/lib-on.txt"
+cli analyze "$libdev" --libid "$smoke_dir/known.flix" --cache "$smoke_dir/lib-cache" > /dev/null
+cli cache-stats "$smoke_dir/lib-cache" > "$smoke_dir/lib-stats.txt"
+grep -E 'library summaries: [1-9][0-9]* function\(s\) matched, [1-9][0-9]* traversal\(s\) skipped' \
+    "$smoke_dir/lib-stats.txt"
+
+echo "==> library summary-replay gate (writes BENCH_libid.json)"
+# Off vs On cold sweep over the library-heavy 200-device fleet: asserts
+# byte-identical reports under the cache codec and enforces the 1.3x
+# taint-stage speedup floor.
+cargo run --release -q -p firmres-bench --bin libid_bench BENCH_libid.json 1.3
+
 echo "==> service wire + end-to-end suites (release)"
 cargo test --release -q -p firmres-service
 cargo test --release -q --test service_end_to_end

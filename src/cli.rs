@@ -59,6 +59,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         Some("analyze") => {
             let mut cache_dir: Option<String> = None;
             let mut update_of: Option<String> = None;
+            let mut libid: Option<String> = None;
             let mut jobs: usize = 1;
             let mut positional: Vec<&String> = Vec::new();
             let mut rest = args[1..].iter();
@@ -67,6 +68,8 @@ pub fn run(args: &[String]) -> Result<String, String> {
                     cache_dir = Some(rest.next().ok_or(USAGE)?.clone());
                 } else if a == "--update-of" {
                     update_of = Some(rest.next().ok_or(USAGE)?.clone());
+                } else if a == "--libid" {
+                    libid = Some(rest.next().ok_or(USAGE)?.clone());
                 } else if a == "--jobs" {
                     jobs = parse_count(rest.next(), "--jobs")?;
                 } else {
@@ -78,9 +81,11 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 positional.get(1).copied(),
                 cache_dir.as_deref(),
                 update_of.as_ref(),
+                libid.as_deref(),
                 jobs,
             )
         }
+        Some("libid") => cmd_libid(&args[1..]),
         Some("mutate") => cmd_mutate(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("submit") => cmd_submit(&args[1..]),
@@ -102,27 +107,38 @@ pub fn run(args: &[String]) -> Result<String, String> {
 
 const USAGE: &str = "usage: firmres-cli <command>\n\
   gen <device-id> <out.fwi>     generate a corpus firmware image\n\
-  synth <count> <out-dir> [--seed <n>] [--jobs <n>]\n\
+  synth <count> <out-dir> [--seed <n>] [--jobs <n>] [--libraries]\n\
 \x20                               synthesize a parameterized device fleet\n\
 \x20                               (byte-deterministic per seed at any job\n\
-\x20                               count; writes synth-00000.fwi …)\n\
+\x20                               count; writes synth-00000.fwi …;\n\
+\x20                               --libraries links 0-3 shared roster\n\
+\x20                               libraries per device)\n\
   inspect <image.fwi>           device info, files, NVRAM\n\
   disasm <image.fwi> <exe>      disassemble an MR32 executable\n\
   lift <image.fwi> <exe>        dump the lifted P-Code IR\n\
   analyze <image.fwi> [model] [--cache <dir>] [--jobs <n>]\n\
-\x20      [--update-of <prev.fwi>]\n\
+\x20      [--update-of <prev.fwi>] [--libid <index.flix>]\n\
 \x20                               run the FIRMRES pipeline (optional model;\n\
 \x20                               --cache reuses/populates an analysis cache;\n\
 \x20                               --jobs parallelizes within the image;\n\
 \x20                               --update-of primes the cache from the\n\
-\x20                               previous firmware version first)\n\
+\x20                               previous firmware version first;\n\
+\x20                               --libid replays known-library taint\n\
+\x20                               summaries from a .flix index)\n\
+  libid build <libdir> <out.flix>\n\
+\x20                               index a directory of known-library\n\
+\x20                               executables (or .s sources) into a\n\
+\x20                               sealed .flix artifact\n\
+  libid inspect <index.flix>    dump a .flix index entry by entry\n\
+  libid fixtures <dir>          write the synthetic roster library\n\
+\x20                               sources (zbuf/jfmt/cstr) into <dir>\n\
   mutate <in.fwi> <out.fwi> <percent> [seed]\n\
 \x20                               write a synthetic update flipping one\n\
 \x20                               immediate in <percent>% of the functions\n\
   serve <addr> [model] [--config <file>] [--cache <dir>] [--workers <n>]\n\
 \x20      [--jobs <n>] [--io-threads <n>] [--queue <n>] [--inflight <n>]\n\
 \x20      [--retry-after <ms>] [--shards <n>] [--store-budget <bytes|K|M|G|none>]\n\
-\x20      [--port-file <path>]\n\
+\x20      [--libid <index.flix>] [--port-file <path>]\n\
 \x20                               run the resident analysis daemon (blocks\n\
 \x20                               until drained; --config reads an INI policy\n\
 \x20                               file, flags override it; --port-file records\n\
@@ -176,6 +192,7 @@ fn cmd_gen(id: Option<&String>, out: Option<&String>) -> Result<String, String> 
 fn cmd_synth(args: &[String]) -> Result<String, String> {
     let mut seed: u64 = 7;
     let mut jobs: usize = 1;
+    let mut libraries = false;
     let mut positional: Vec<&String> = Vec::new();
     let mut rest = args.iter();
     while let Some(a) = rest.next() {
@@ -188,6 +205,7 @@ fn cmd_synth(args: &[String]) -> Result<String, String> {
                     .map_err(|_| "--seed takes a number".to_string())?;
             }
             "--jobs" => jobs = parse_count(rest.next(), "--jobs")?,
+            "--libraries" => libraries = true,
             _ => positional.push(a),
         }
     }
@@ -204,7 +222,11 @@ fn cmd_synth(args: &[String]) -> Result<String, String> {
     // Generation is a pure function of (index, seed), so fanning it out
     // over a pool cannot change any image's bytes — only the wall clock.
     let images = firmres::run_pool(count as usize, jobs, move |i| {
-        firmres_corpus::synth_device(i as u32, seed).packed
+        if libraries {
+            firmres_corpus::synth_device_with_libraries(i as u32, seed).packed
+        } else {
+            firmres_corpus::synth_device(i as u32, seed).packed
+        }
     });
     let mut total_bytes = 0usize;
     for (i, packed) in images.iter().enumerate() {
@@ -214,7 +236,8 @@ fn cmd_synth(args: &[String]) -> Result<String, String> {
         total_bytes += packed.len();
     }
     Ok(format!(
-        "synthesized {count} device(s) into {dir} (seed {seed}, {total_bytes} bytes)\n"
+        "synthesized {count} device(s) into {dir} (seed {seed}{}, {total_bytes} bytes)\n",
+        if libraries { ", shared libraries" } else { "" }
     ))
 }
 
@@ -494,10 +517,15 @@ fn cmd_analyze(
     model_path: Option<&String>,
     cache_dir: Option<&str>,
     update_of: Option<&String>,
+    libid: Option<&str>,
     jobs: usize,
 ) -> Result<String, String> {
     let model = load_model(model_path)?;
-    let config = AnalysisConfig::default();
+    let mut config = AnalysisConfig::default();
+    if let Some(path) = libid {
+        config.taint.libid = firmres_dataflow::LibId::On;
+        config.taint.lib_index = Some(std::sync::Arc::new(load_flix(path)?));
+    }
     if update_of.is_some() && cache_dir.is_none() {
         return Err("analyze --update-of requires --cache <dir>".into());
     }
@@ -605,6 +633,56 @@ fn render_report(out: &mut String, analysis: &firmres::FirmwareAnalysis) {
     append_diagnostics(out, analysis);
 }
 
+/// Load a `.flix` known-library index, mapping codec errors to CLI text.
+fn load_flix(path: &str) -> Result<firmres_dataflow::LibIndex, String> {
+    firmres_libid::load_index(std::path::Path::new(path))
+        .map_err(|e| format!("cannot load libid index {path}: {e}"))
+}
+
+fn cmd_libid(args: &[String]) -> Result<String, String> {
+    match args.first().map(String::as_str) {
+        Some("build") => {
+            let dir = args.get(1).ok_or(USAGE)?;
+            let out_path = args.get(2).ok_or(USAGE)?;
+            let (index, report) = firmres_libid::build_index_from_dir(std::path::Path::new(dir))
+                .map_err(|e| format!("libid build {dir}: {e}"))?;
+            firmres_libid::write_index(std::path::Path::new(out_path), &index)
+                .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+            let mut out = report.render();
+            let _ = writeln!(
+                out,
+                "wrote {out_path}: {} function(s), fingerprint {:016x}",
+                index.len(),
+                index.fingerprint()
+            );
+            Ok(out)
+        }
+        Some("inspect") => {
+            let path = args.get(1).ok_or(USAGE)?;
+            let index = load_flix(path)?;
+            let mut out = String::new();
+            for line in firmres_libid::inspect_lines(&index) {
+                let _ = writeln!(out, "{line}");
+            }
+            Ok(out)
+        }
+        Some("fixtures") => {
+            let dir = args.get(1).ok_or(USAGE)?;
+            std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+            let mut out = String::new();
+            for k in 0..firmres_corpus::ROSTER.len() {
+                let file = firmres_corpus::library_fixture_file(k);
+                let path = std::path::Path::new(dir).join(&file);
+                std::fs::write(&path, firmres_corpus::library_fixture_source(k))
+                    .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+                let _ = writeln!(out, "wrote {}", path.display());
+            }
+            Ok(out)
+        }
+        _ => Err(USAGE.to_string()),
+    }
+}
+
 fn cmd_mutate(args: &[String]) -> Result<String, String> {
     let fw = load_image(args.first())?;
     let out_path = args.get(1).ok_or(USAGE)?;
@@ -647,11 +725,13 @@ fn cmd_serve(args: &[String]) -> Result<String, String> {
     let mut retry_after: Option<u64> = None;
     let mut shards: Option<String> = None;
     let mut store_budget: Option<String> = None;
+    let mut libid: Option<String> = None;
     let mut positional: Vec<&String> = Vec::new();
     let mut rest = args.iter();
     while let Some(a) = rest.next() {
         match a.as_str() {
             "--cache" => cache_dir = Some(rest.next().ok_or(USAGE)?.clone()),
+            "--libid" => libid = Some(rest.next().ok_or(USAGE)?.clone()),
             "--port-file" => port_file = Some(rest.next().ok_or(USAGE)?.clone()),
             "--config" => config_file = Some(rest.next().ok_or(USAGE)?.clone()),
             "--workers" => workers = Some(parse_count(rest.next(), "--workers")?),
@@ -721,12 +801,18 @@ fn cmd_serve(args: &[String]) -> Result<String, String> {
         svc.store.apply("byte_budget", v)?;
     }
     svc.store.validate()?;
+    // The flag overrides the config file's [libid] index path.
+    let lib_index = match libid.as_deref().or(svc.libid_index.as_deref()) {
+        Some(path) => Some(std::sync::Arc::new(load_flix(path)?)),
+        None => None,
+    };
 
     let server = Server::bind(
         addr.as_str(),
         ServerConfig {
             cache_dir: cache_dir.map(Into::into),
             classifier,
+            lib_index,
             ..svc.to_server_config()
         },
     )
@@ -802,9 +888,20 @@ fn cmd_status(addr: Option<&String>) -> Result<String, String> {
     let mut client =
         Client::connect(addr.as_str()).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
     let s = client.status().map_err(|e| format!("status failed: {e}"))?;
+    // The libid segment appears only when the daemon has actually used
+    // an index, so index-less deployments keep the historical line.
+    let libid =
+        if s.lib_fns_matched > 0 || s.lib_traversals_skipped > 0 || s.lib_summary_applies > 0 {
+            format!(
+                " | libid {} matched / {} skipped / {} applied",
+                s.lib_fns_matched, s.lib_traversals_skipped, s.lib_summary_applies
+            )
+        } else {
+            String::new()
+        };
     Ok(format!(
         "queue {}/{} ({} running) | served {} ({} cache hit(s), {} pipeline run(s)) | \
-         units {} spliced / {} re-run | {} rejected | {} cancelled | draining: {}\n",
+         units {} spliced / {} re-run | {} rejected | {} cancelled{libid} | draining: {}\n",
         s.queue_depth,
         s.queue_cap,
         s.inflight,
@@ -829,7 +926,8 @@ fn cmd_drain(addr: Option<&String>) -> Result<String, String> {
 
 fn cmd_cache_stats(dir: Option<&String>) -> Result<String, String> {
     let dir = dir.ok_or(USAGE)?;
-    let stats = AnalysisCache::new(dir)
+    let cache = AnalysisCache::new(dir);
+    let stats = cache
         .stats()
         .map_err(|e| format!("cannot survey {dir}: {e}"))?;
     let mut out = String::new();
@@ -868,6 +966,16 @@ fn cmd_cache_stats(dir: Option<&String>) -> Result<String, String> {
     }
     if stats.foreign > 0 {
         let _ = writeln!(out, "  {} foreign file(s) ignored", stats.foreign);
+    }
+    // Known-library usage recorded in the stored entries; a store from
+    // index-less runs surveys exactly as it always has.
+    let usage = cache.survey_lib_usage();
+    if usage.any() {
+        let _ = writeln!(
+            out,
+            "  library summaries: {} function(s) matched, {} traversal(s) skipped, {} application(s)",
+            usage.fns_matched, usage.traversals_skipped, usage.summary_applies
+        );
     }
     // Eviction telemetry and the per-shard table appear only for stores
     // that have a budget, have evicted, or are sharded — a flat
