@@ -1,0 +1,366 @@
+//! Semantics-stage batching gate: per-slice vs batched vs batched +
+//! certified-None-prefilter vs corpus-deduped classification.
+//!
+//! Harvests every rendered slice from the 22-device synthetic corpus
+//! plus a 200-device synthetic fleet (grouped per device, the
+//! granularity `semantics_unit` batches at), trains the semantics
+//! model on the corpus slices, then times four classification paths
+//! over the identical slice groups:
+//!
+//! - **per_slice** — the pre-batching baseline, reproduced
+//!   arithmetic-for-arithmetic in [`baseline`]: a per-device memo, a
+//!   map-accumulating featurizer, nested per-class weight rows and a
+//!   full softmax per slice — what the semantics stage cost before
+//!   this change.
+//! - **batch** — [`Classifier::predict_batch`] per device, prefilter
+//!   off: one featurizer pass, argmax-only scoring.
+//! - **batch_prefilter** — `predict_batch` with the certified None
+//!   pre-filter proving weak-evidence slices cannot leave `None`.
+//! - **corpus_cache** — a fresh corpus-wide [`ClassCache`] per rep:
+//!   batched + prefiltered classification deduped across the whole
+//!   fleet (shared wrapper slices hit after their first device).
+//!
+//! Every path must produce **identical labels** for every slice — the
+//! batch kernel, the prefilter and the cache are transparent
+//! optimizations, and this binary exits non-zero if any label differs
+//! (or if the full-stack speedup falls below the optional floor, which
+//! `scripts/check.sh` sets at the 1.5× acceptance threshold).
+//!
+//! Usage:
+//! `cargo run --release -p firmres-bench --bin semantics_bench [out.json] [min-speedup]`
+
+use firmres::{analyze_firmware, AnalysisConfig};
+use firmres_corpus::synth_device;
+use firmres_semantics::{ClassCache, Classifier, Primitive};
+use std::time::Instant;
+
+/// The semantics classification path exactly as it stood before the
+/// batching rework, reproduced here so the before/after comparison
+/// measures the historical cost rather than today's shared kernel:
+/// tokens stream into an arena but counts accumulate through an
+/// ordered map, weights live in nested per-class rows (bias at index
+/// [`firmres_semantics::FEATURE_DIM`]), every slice pays a full
+/// softmax, and duplicate
+/// texts within one device are answered from a memo.
+mod baseline {
+    use firmres_semantics::{for_each_token, Primitive, FEATURE_DIM};
+    use std::collections::{BTreeMap, HashMap};
+
+    fn hash_feature(parts: &[&str]) -> usize {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for p in parts {
+            for b in p.as_bytes() {
+                h ^= *b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            h ^= 0x1f;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (h as usize) % FEATURE_DIM
+    }
+
+    /// The historical reusable-buffer featurizer: arena + ordered map.
+    #[derive(Default)]
+    pub struct Featurizer {
+        arena: String,
+        bounds: Vec<(usize, usize)>,
+        counts: BTreeMap<usize, f32>,
+    }
+
+    impl Featurizer {
+        fn features(&mut self, text: &str) -> Vec<(usize, f32)> {
+            self.arena.clear();
+            self.bounds.clear();
+            let (arena, bounds) = (&mut self.arena, &mut self.bounds);
+            for_each_token(text, |t| {
+                let start = arena.len();
+                arena.push_str(t);
+                bounds.push((start, arena.len()));
+            });
+            self.counts.clear();
+            let token = |i: usize| &self.arena[self.bounds[i].0..self.bounds[i].1];
+            for i in 0..self.bounds.len() {
+                *self.counts.entry(hash_feature(&[token(i)])).or_default() += 1.0;
+            }
+            for width in 2..=5usize {
+                if self.bounds.len() < width {
+                    break;
+                }
+                let mut window = [""; 5];
+                for start in 0..=self.bounds.len() - width {
+                    for (k, slot) in window[..width].iter_mut().enumerate() {
+                        *slot = token(start + k);
+                    }
+                    *self
+                        .counts
+                        .entry(hash_feature(&window[..width]))
+                        .or_default() += 0.5;
+                }
+            }
+            let norm: f32 = self.counts.values().map(|v| v * v).sum::<f32>().sqrt();
+            if norm > 0.0 {
+                for v in self.counts.values_mut() {
+                    *v /= norm;
+                }
+            }
+            self.counts.iter().map(|(&i, &v)| (i, v)).collect()
+        }
+    }
+
+    fn softmax_scores(weights: &[Vec<f32>], fv: &[(usize, f32)]) -> Vec<f32> {
+        let mut scores: Vec<f32> = weights
+            .iter()
+            .map(|w| {
+                let mut s = w[FEATURE_DIM];
+                for (j, x) in fv {
+                    s += w[*j] * x;
+                }
+                s
+            })
+            .collect();
+        let max = scores.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for s in &mut scores {
+            *s = (*s - max).exp();
+            sum += *s;
+        }
+        for s in &mut scores {
+            *s /= sum;
+        }
+        scores
+    }
+
+    fn argmax(xs: &[f32]) -> usize {
+        xs.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// One device's worth of pre-batching classification.
+    pub struct PerDevice<'a> {
+        weights: &'a [Vec<f32>],
+        memo: HashMap<String, Primitive>,
+        scratch: Featurizer,
+    }
+
+    impl<'a> PerDevice<'a> {
+        pub fn new(weights: &'a [Vec<f32>]) -> Self {
+            PerDevice {
+                weights,
+                memo: HashMap::new(),
+                scratch: Featurizer::default(),
+            }
+        }
+
+        pub fn classify(&mut self, text: &str) -> Primitive {
+            if let Some(&label) = self.memo.get(text) {
+                return label;
+            }
+            let fv = self.scratch.features(text);
+            let probs = softmax_scores(self.weights, &fv);
+            let label = Primitive::from_index(argmax(&probs)).expect("valid index");
+            self.memo.insert(text.to_string(), label);
+            label
+        }
+    }
+}
+
+/// Slice texts of one device, in rendering order — the unit the
+/// pipeline hands to classification in one batch.
+type Group = Vec<String>;
+
+/// Analyze `packed` images and harvest each device's rendered slice
+/// texts as one group.
+fn harvest(images: &[Vec<u8>], config: &AnalysisConfig) -> Vec<Group> {
+    images
+        .iter()
+        .map(|packed| {
+            let fw = firmres_firmware::FirmwareImage::unpack(packed).expect("image unpacks");
+            let analysis = analyze_firmware(&fw, None, config);
+            let mut group = Vec::new();
+            for record in analysis.identified() {
+                for slice in &record.slices {
+                    group.push(slice.text.clone());
+                }
+            }
+            group
+        })
+        .collect()
+}
+
+struct Pass {
+    wall_ms: f64,
+    labels: Vec<Vec<Primitive>>,
+    prefilter_skips: u64,
+    cache_hits: u64,
+}
+
+/// One timed classification pass over every group.
+fn run_pass(groups: &[Group], model: &Classifier, mode: &str) -> Pass {
+    let dense = model.dense_weights();
+    let corpus_cache = ClassCache::new(0);
+    let mut labels = Vec::with_capacity(groups.len());
+    let mut prefilter_skips = 0u64;
+    let t = Instant::now();
+    for group in groups {
+        let texts: Vec<&str> = group.iter().map(String::as_str).collect();
+        labels.push(match mode {
+            "per_slice" => {
+                let mut memo = baseline::PerDevice::new(&dense);
+                texts.iter().map(|text| memo.classify(text)).collect()
+            }
+            "batch" | "batch_prefilter" => {
+                let outcome = model.predict_batch(&texts, mode == "batch_prefilter");
+                prefilter_skips += outcome.prefilter_skips;
+                outcome.labels
+            }
+            "corpus_cache" => corpus_cache.classify_batch(Some(model), &texts),
+            other => unreachable!("unknown mode {other}"),
+        });
+    }
+    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    let stats = corpus_cache.stats();
+    Pass {
+        wall_ms,
+        labels,
+        prefilter_skips: prefilter_skips.max(stats.prefilter_skips),
+        cache_hits: stats.hits,
+    }
+}
+
+/// Best-of-`reps` pass (labels are deterministic, so the first rep's
+/// labels stand for all of them).
+fn best_pass(groups: &[Group], model: &Classifier, mode: &str, reps: usize) -> Pass {
+    let mut best: Option<Pass> = None;
+    for _ in 0..reps {
+        let p = run_pass(groups, model, mode);
+        best = match best {
+            Some(b) if b.wall_ms <= p.wall_ms => Some(b),
+            _ => Some(p),
+        };
+    }
+    best.expect("reps >= 1")
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_semantics.json".to_string());
+    let min_speedup: Option<f64> = std::env::args().nth(2).map(|s| {
+        s.parse()
+            .unwrap_or_else(|_| panic!("min-speedup must be a number, got {s:?}"))
+    });
+
+    let config = AnalysisConfig::default();
+
+    eprintln!("generating + analyzing the 22-device corpus…");
+    let corpus = firmres_corpus::generate_corpus(7);
+    let corpus_analyses: Vec<_> = corpus
+        .iter()
+        .map(|dev| (dev, analyze_firmware(&dev.firmware, None, &config)))
+        .collect();
+    let dataset = firmres_bench::build_slice_dataset(&corpus_analyses);
+    eprintln!("training the semantics model on {} slices…", dataset.len());
+    let (model, _, _) = firmres_bench::train_semantics_model(&dataset, 7);
+
+    let fleet_count = 200u32;
+    eprintln!("generating + analyzing a {fleet_count}-device synthetic fleet…");
+    let fleet: Vec<Vec<u8>> = (0..fleet_count)
+        .map(|i| synth_device(i, 7).packed)
+        .collect();
+    let mut groups: Vec<Group> = corpus_analyses
+        .iter()
+        .map(|(_, analysis)| {
+            let mut group = Vec::new();
+            for record in analysis.identified() {
+                for slice in &record.slices {
+                    group.push(slice.text.clone());
+                }
+            }
+            group
+        })
+        .collect();
+    groups.extend(harvest(&fleet, &config));
+    let total_slices: usize = groups.iter().map(Vec::len).sum();
+    eprintln!(
+        "{} device group(s), {total_slices} slice(s) total",
+        groups.len()
+    );
+
+    // Warm pass so the first timed configuration is not penalized for
+    // faulting pages in.
+    let _ = run_pass(&groups, &model, "batch");
+
+    let reps = 3;
+    let per_slice = best_pass(&groups, &model, "per_slice", reps);
+    let batch = best_pass(&groups, &model, "batch", reps);
+    let prefiltered = best_pass(&groups, &model, "batch_prefilter", reps);
+    let cached = best_pass(&groups, &model, "corpus_cache", reps);
+
+    let mut failures = 0;
+    let mut identical = true;
+    for (name, pass) in [
+        ("batch", &batch),
+        ("batch_prefilter", &prefiltered),
+        ("corpus_cache", &cached),
+    ] {
+        if pass.labels != per_slice.labels {
+            eprintln!("FAIL: {name} labels differ from the per-slice reference");
+            identical = false;
+            failures += 1;
+        }
+    }
+
+    let speedup_batch = per_slice.wall_ms / batch.wall_ms.max(1e-9);
+    let speedup_full = per_slice.wall_ms / cached.wall_ms.max(1e-9);
+    if let Some(floor) = min_speedup {
+        if speedup_full < floor {
+            eprintln!("FAIL: {speedup_full:.2}x full-stack speedup is below the {floor}x floor");
+            failures += 1;
+        }
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"semantics_batching\",\n",
+            "  \"devices\": {devices},\n",
+            "  \"slices\": {slices},\n",
+            "  \"reps\": {reps},\n",
+            "  \"per_slice_ms\": {per_slice_ms:.3},\n",
+            "  \"batch_ms\": {batch_ms:.3},\n",
+            "  \"batch_prefilter_ms\": {prefilter_ms:.3},\n",
+            "  \"corpus_cache_ms\": {cached_ms:.3},\n",
+            "  \"prefilter_skips\": {prefilter_skips},\n",
+            "  \"corpus_cache_hits\": {cache_hits},\n",
+            "  \"speedup_batch\": {speedup_batch:.2},\n",
+            "  \"speedup_full\": {speedup_full:.2},\n",
+            "  \"labels_identical\": {identical}\n",
+            "}}\n"
+        ),
+        devices = groups.len(),
+        slices = total_slices,
+        reps = reps,
+        per_slice_ms = per_slice.wall_ms,
+        batch_ms = batch.wall_ms,
+        prefilter_ms = prefiltered.wall_ms,
+        cached_ms = cached.wall_ms,
+        prefilter_skips = prefiltered.prefilter_skips,
+        cache_hits = cached.cache_hits,
+        speedup_batch = speedup_batch,
+        speedup_full = speedup_full,
+        identical = identical,
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark output");
+
+    println!(
+        "semantics: per-slice {:.1} ms | batch {:.1} ms | +prefilter {:.1} ms | +corpus cache {:.1} ms | {speedup_full:.2}x | labels identical: {identical}",
+        per_slice.wall_ms, batch.wall_ms, prefiltered.wall_ms, cached.wall_ms
+    );
+    println!("wrote {out_path}");
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -853,6 +853,9 @@ fn put_counters(out: &mut Vec<u8>, c: &StageCounters) {
         c.lib_fns_matched,
         c.lib_traversals_skipped,
         c.lib_summary_applies,
+        c.slices_batched,
+        c.prefilter_skips,
+        c.class_cache_hits,
     ] {
         out.put_u64_le(v);
     }
@@ -874,6 +877,9 @@ fn get_counters(r: &mut Reader) -> Result<StageCounters, DecodeError> {
         lib_fns_matched: r.u64()?,
         lib_traversals_skipped: r.u64()?,
         lib_summary_applies: r.u64()?,
+        slices_batched: r.u64()?,
+        prefilter_skips: r.u64()?,
+        class_cache_hits: r.u64()?,
     })
 }
 
@@ -949,6 +955,9 @@ fn put_counter_tag(out: &mut Vec<u8>, c: Counter) {
         Counter::LibFnsMatched => 11,
         Counter::LibTraversalsSkipped => 12,
         Counter::LibSummaryApplies => 13,
+        Counter::SlicesBatched => 14,
+        Counter::PrefilterSkips => 15,
+        Counter::ClassCacheHits => 16,
     });
 }
 
@@ -968,6 +977,9 @@ fn get_counter_tag(r: &mut Reader) -> Result<Counter, DecodeError> {
         11 => Counter::LibFnsMatched,
         12 => Counter::LibTraversalsSkipped,
         13 => Counter::LibSummaryApplies,
+        14 => Counter::SlicesBatched,
+        15 => Counter::PrefilterSkips,
+        16 => Counter::ClassCacheHits,
         _ => return err("invalid Counter tag"),
     })
 }
@@ -1231,6 +1243,12 @@ mod tests {
             Counter::CacheMisses,
             Counter::CacheBytesRead,
             Counter::CacheBytesWritten,
+            Counter::LibFnsMatched,
+            Counter::LibTraversalsSkipped,
+            Counter::LibSummaryApplies,
+            Counter::SlicesBatched,
+            Counter::PrefilterSkips,
+            Counter::ClassCacheHits,
         ] {
             let mut out = Vec::new();
             put_event(&mut out, &Event::Count(c, 42));

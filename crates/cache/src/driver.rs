@@ -58,6 +58,14 @@ pub struct CacheStats {
     pub verdict_hits: u64,
     /// Executable probes run live on misses.
     pub verdict_misses: u64,
+    /// Slice texts that went through the batched semantics path while
+    /// re-analyzing misses.
+    pub slices_batched: u64,
+    /// Slices the certified None pre-filter resolved without scoring.
+    pub prefilter_skips: u64,
+    /// Slice classifications answered by the corpus-wide class cache
+    /// (cross-image and cross-run dedup under a shared store handle).
+    pub class_cache_hits: u64,
 }
 
 impl CacheStats {
@@ -162,7 +170,10 @@ pub fn analyze_corpus_incremental(
     // through the unit-granular funnel so clean units splice from the
     // bank files. Cache diagnostics are collected per worker and
     // replayed on the caller's observer afterwards (pipeline events are
-    // not streamed for misses, as documented).
+    // not streamed for misses, as documented). Class-cache telemetry is
+    // measured as a delta over the run — the shared cache may arrive
+    // pre-warmed by an earlier corpus under the same store handle.
+    let class_before = cache.class_cache_stats();
     let fresh = run_pool(misses.len(), par.images, |j| {
         let mut local = CollectingObserver::default();
         let out = analyze_image_units_incremental(
@@ -229,6 +240,25 @@ pub fn analyze_corpus_incremental(
             analysis.diagnostics.push(d);
         }
         slots[i] = Some(analysis);
+    }
+
+    // Batched-semantics telemetry: deltas of the store's class-cache
+    // counters over this run, reported corpus-level only (cache warmth
+    // must never perturb per-analysis counters or report bytes).
+    let class_after = cache.class_cache_stats();
+    stats.slices_batched = class_after.batched.saturating_sub(class_before.batched);
+    stats.prefilter_skips = class_after
+        .prefilter_skips
+        .saturating_sub(class_before.prefilter_skips);
+    stats.class_cache_hits = class_after.hits.saturating_sub(class_before.hits);
+    if stats.slices_batched > 0 {
+        observer.count(Counter::SlicesBatched, stats.slices_batched);
+    }
+    if stats.prefilter_skips > 0 {
+        observer.count(Counter::PrefilterSkips, stats.prefilter_skips);
+    }
+    if stats.class_cache_hits > 0 {
+        observer.count(Counter::ClassCacheHits, stats.class_cache_hits);
     }
 
     CorpusOutcome {

@@ -26,7 +26,11 @@ use firmres_semantics::Classifier;
 /// model shipped alongside did *not* require a bump: output is
 /// byte-identical at any job count.) 3 — the cached counter record grew
 /// the three known-library counters, changing the entry encoding.
-pub const PIPELINE_VERSION: u32 = 3;
+/// 4 — the counter record grew the three semantics batching counters,
+/// and argmax tie-breaking in the classifier became first-max-wins
+/// under a total order (previously position-dependent on NaN scores),
+/// which can relabel slices whose class scores tie exactly.
+pub const PIPELINE_VERSION: u32 = 4;
 
 /// The [`CacheKey::classifier`] fingerprint of an analysis run with no
 /// trained semantics model.

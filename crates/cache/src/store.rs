@@ -43,9 +43,11 @@ use firmres::{FirmwareAnalysis, HandlerInfo};
 use firmres_dataflow::TaintSummary;
 use firmres_firmware::content_hash_packed;
 use firmres_mft::MftNodeKind;
+use firmres_semantics::{ClassCache, ClassCacheStats};
+use std::collections::HashMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Version of the entry layout itself (header + sectioning), as opposed
 /// to [`PIPELINE_VERSION`] which covers what the sections *contain*.
@@ -180,6 +182,13 @@ pub struct AnalysisCache {
     /// Present iff the policy sets a byte budget. Clones share the
     /// accounting, so a daemon's workers see one LRU ordering.
     evictor: Option<Arc<Evictor>>,
+    /// Corpus-wide slice-classification caches, one per classifier
+    /// fingerprint (a text's label depends on the model, so caches must
+    /// never be shared across models). In-memory only — labels are
+    /// deterministic, so there is nothing durable to persist. Clones
+    /// share the map, so every image of a corpus run — and every job of
+    /// a daemon — deduplicates against the same cache.
+    class_caches: Arc<Mutex<HashMap<u64, Arc<ClassCache>>>>,
 }
 
 impl AnalysisCache {
@@ -216,6 +225,7 @@ impl AnalysisCache {
             policy,
             orphans_removed,
             evictor,
+            class_caches: Arc::new(Mutex::new(HashMap::new())),
         };
         // Only an inherited store already over the trigger watermark is
         // collected at open; inside the hysteresis band writes accumulate.
@@ -300,6 +310,34 @@ impl AnalysisCache {
     /// The file path an entry for `key` lives at.
     pub fn entry_path(&self, key: &CacheKey) -> PathBuf {
         self.artifact_path(&key.file_name())
+    }
+
+    /// The corpus-wide classification cache for a classifier
+    /// fingerprint, created on first use with the policy's entry budget
+    /// ([`StorePolicy::class_cache_entries`]).
+    pub(crate) fn class_cache(&self, classifier_fp: u64) -> Arc<ClassCache> {
+        let mut caches = self.class_caches.lock().expect("class cache map");
+        Arc::clone(
+            caches
+                .entry(classifier_fp)
+                .or_insert_with(|| Arc::new(ClassCache::new(self.policy.class_cache_entries))),
+        )
+    }
+
+    /// Aggregated counters of every classification cache this store has
+    /// handed out (summed across classifier fingerprints).
+    pub fn class_cache_stats(&self) -> ClassCacheStats {
+        let caches = self.class_caches.lock().expect("class cache map");
+        let mut total = ClassCacheStats::default();
+        for cache in caches.values() {
+            let s = cache.stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.batched += s.batched;
+            total.prefilter_skips += s.prefilter_skips;
+            total.entries += s.entries;
+        }
+        total
     }
 
     /// Persist a finished analysis (plus its stage artifacts) under

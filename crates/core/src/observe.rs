@@ -58,6 +58,12 @@ pub enum Counter {
     LibTraversalsSkipped,
     /// Taint-tree nodes emitted by script replay.
     LibSummaryApplies,
+    /// Slice texts classified through the batched semantics path.
+    SlicesBatched,
+    /// Slices the certified None pre-filter resolved without scoring.
+    PrefilterSkips,
+    /// Slice classifications answered by the corpus-wide class cache.
+    ClassCacheHits,
 }
 
 /// Per-stage work counters accumulated over one analysis.
@@ -92,6 +98,16 @@ pub struct StageCounters {
     pub lib_traversals_skipped: u64,
     /// Taint-tree nodes emitted by script replay (stage 2).
     pub lib_summary_applies: u64,
+    /// Slice texts classified through the batched semantics path
+    /// (stage 3; corpus drivers — warmth-dependent, so never emitted
+    /// per unit).
+    pub slices_batched: u64,
+    /// Slices the certified None pre-filter skipped scoring for
+    /// (corpus drivers; see `slices_batched` on why).
+    pub prefilter_skips: u64,
+    /// Slice classifications answered by the corpus-wide class cache
+    /// (corpus drivers; see `slices_batched` on why).
+    pub class_cache_hits: u64,
 }
 
 impl StageCounters {
@@ -112,6 +128,9 @@ impl StageCounters {
             Counter::LibFnsMatched => self.lib_fns_matched += n,
             Counter::LibTraversalsSkipped => self.lib_traversals_skipped += n,
             Counter::LibSummaryApplies => self.lib_summary_applies += n,
+            Counter::SlicesBatched => self.slices_batched += n,
+            Counter::PrefilterSkips => self.prefilter_skips += n,
+            Counter::ClassCacheHits => self.class_cache_hits += n,
         }
     }
 
@@ -132,6 +151,9 @@ impl StageCounters {
             Counter::LibFnsMatched => self.lib_fns_matched,
             Counter::LibTraversalsSkipped => self.lib_traversals_skipped,
             Counter::LibSummaryApplies => self.lib_summary_applies,
+            Counter::SlicesBatched => self.slices_batched,
+            Counter::PrefilterSkips => self.prefilter_skips,
+            Counter::ClassCacheHits => self.class_cache_hits,
         }
     }
 }

@@ -60,8 +60,9 @@ use firmres_dataflow::{
 use firmres_firmware::FirmwareImage;
 use firmres_ir::{Address, ColdPath, Program};
 use firmres_mft::{mentions_lan, reconstruct, CodeSlice, Mft, SliceRenderer};
-use firmres_semantics::{weak_label, Classifier, Primitive, SliceClassifier};
+use firmres_semantics::{weak_label, ClassCache, Classifier, Primitive};
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The read-only inputs of one analysis, shared by every message unit.
@@ -273,39 +274,64 @@ pub struct SliceSemantics {
     pub primitives: Vec<Vec<Primitive>>,
 }
 
-/// Per-image classification front end, shared by every message unit.
+/// Classification front end shared by every message unit.
 ///
 /// Dispatches on [`ColdPath`]: the reference mode classifies each slice
-/// from scratch (`Classifier::predict` with a model, [`weak_label`]
-/// without), the optimized mode routes through the memoizing
-/// [`SliceClassifier`]. Both return the same primitive for every text;
-/// only the cost differs.
+/// from scratch, one at a time (`Classifier::predict` with a model,
+/// [`weak_label`] without), the optimized mode batches a unit's slices
+/// into one [`ClassCache::classify_batch`] call — shared featurizer
+/// scratch, argmax-only scoring, certified None pre-filter, and a
+/// dedup cache that can be *corpus-wide*: [`UnitClassifier::with_cache`]
+/// accepts a cache shared across images and service requests, while
+/// [`UnitClassifier::new`] makes a private per-image one. Both modes
+/// return the same primitive for every text; only the cost differs.
 pub struct UnitClassifier<'a> {
     mode: ColdPath,
     classifier: Option<&'a Classifier>,
-    memoized: SliceClassifier<'a>,
+    cache: Arc<ClassCache>,
 }
 
 impl<'a> UnitClassifier<'a> {
-    /// Build a front end over an optional trained model.
+    /// Build a front end over an optional trained model, with a private
+    /// (per-image, unbounded) classification cache.
     pub fn new(classifier: Option<&'a Classifier>, mode: ColdPath) -> Self {
+        Self::with_cache(classifier, mode, Arc::new(ClassCache::new(0)))
+    }
+
+    /// Build a front end over a shared classification cache (corpus
+    /// drivers and the service pass one cache across many images; the
+    /// cache never changes labels, so sharing is observability-safe).
+    pub fn with_cache(
+        classifier: Option<&'a Classifier>,
+        mode: ColdPath,
+        cache: Arc<ClassCache>,
+    ) -> Self {
         UnitClassifier {
             mode,
             classifier,
-            memoized: SliceClassifier::new(classifier),
+            cache,
         }
     }
 
-    /// Classify one slice's semantics: with the trained classifier when
+    /// Classify one unit's slice texts: with the trained classifier when
     /// given, otherwise the keyword weak-labeler.
-    pub fn classify(&self, text: &str) -> Primitive {
+    pub fn classify_batch(&self, texts: &[&str]) -> Vec<Primitive> {
         match self.mode {
-            ColdPath::Reference => match self.classifier {
-                Some(c) => c.predict(text).0,
-                None => weak_label(text),
-            },
-            ColdPath::Optimized => self.memoized.classify(text),
+            ColdPath::Reference => texts
+                .iter()
+                .map(|text| match self.classifier {
+                    Some(c) => c.predict(text).0,
+                    None => weak_label(text),
+                })
+                .collect(),
+            ColdPath::Optimized => self.cache.classify_batch(self.classifier, texts),
         }
+    }
+
+    /// The classification cache behind the optimized mode (for
+    /// stats reporting; empty under [`ColdPath::Reference`]).
+    pub fn cache(&self) -> &ClassCache {
+        &self.cache
     }
 }
 
@@ -570,13 +596,20 @@ fn semantics_unit(
 ) {
     let rendered = renderer.slices_for_tree(&raw.mft);
     ucx.count(Counter::SlicesRendered, rendered.len() as u64);
-    let mut labeled = Vec::with_capacity(rendered.len());
-    let mut primitives = Vec::with_capacity(rendered.len());
-    for s in &rendered {
-        let primitive = classes.classify(&s.text);
-        labeled.push((s.source.clone(), primitive));
-        primitives.push(primitive);
-    }
+    // One call for the whole unit: the optimized mode classifies the
+    // batch with a shared featurize pass and the corpus cache. Batch
+    // telemetry (SlicesBatched and friends) is warmth- and
+    // mode-dependent, so it is *not* emitted into the unit's event
+    // buffer — corpus drivers report it from cache stats instead,
+    // keeping per-unit events (and thus report bytes) identical across
+    // modes and job counts.
+    let texts: Vec<&str> = rendered.iter().map(|s| s.text.as_str()).collect();
+    let primitives = classes.classify_batch(&texts);
+    let labeled = rendered
+        .iter()
+        .zip(&primitives)
+        .map(|(s, primitive)| (s.source.clone(), *primitive))
+        .collect();
     (rendered, labeled, primitives)
 }
 

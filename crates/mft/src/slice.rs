@@ -338,7 +338,23 @@ impl<'p> SliceRenderer<'p> {
 
     /// Produce a [`CodeSlice`] for every field leaf of `mft` (see
     /// [`slices_for_tree`]).
+    ///
+    /// Both modes emit identical bytes; the reference mode re-renders
+    /// every operation of every root-to-leaf path from scratch (the
+    /// pre-optimization behaviour, kept as the byte-identity oracle),
+    /// while the optimized mode renders each distinct operation once per
+    /// firmware via the cross-tree line memo and assembles slice text in
+    /// a single buffer.
     pub fn slices_for_tree(&self, mft: &Mft) -> Vec<CodeSlice> {
+        match self.mode {
+            ColdPath::Reference => self.slices_for_tree_reference(mft),
+            ColdPath::Optimized => self.slices_for_tree_memo(mft),
+        }
+    }
+
+    /// The original per-leaf rendering: every operation on every path is
+    /// enriched fresh and joined through intermediate `String`s.
+    fn slices_for_tree_reference(&self, mft: &Mft) -> Vec<CodeSlice> {
         let program = self.program;
         let pieces = piece_map(mft);
         let mut out = Vec::new();
@@ -385,6 +401,108 @@ impl<'p> SliceRenderer<'p> {
             }
             out.push(CodeSlice {
                 text: rendered.join(" ; "),
+                source,
+                leaf,
+                path_hash: mft.path_hash(leaf),
+                piece: info.map(|i| i.piece.clone()),
+            });
+        }
+        out
+    }
+
+    /// Memoized rendering: byte-identical to
+    /// [`Self::slices_for_tree_reference`] (the cold-path gate's report
+    /// comparison pins this), with each node's operation rendered once
+    /// per tree and slice text assembled in one buffer.
+    fn slices_for_tree_memo(&self, mft: &Mft) -> Vec<CodeSlice> {
+        let program = self.program;
+        let pieces = piece_map(mft);
+        // A node's operation renders identically for every leaf whose
+        // path crosses it, and path prefixes are shared (the delivery
+        // call sits on *every* path) — render each node once per tree
+        // instead of once per leaf. The leaf-dependent template
+        // substitution below is applied while copying into the slice
+        // buffer, so the memo stays leaf-independent and the emitted
+        // text is unchanged.
+        let mut node_lines: BTreeMap<MftNodeId, Option<String>> = BTreeMap::new();
+        let mut out = Vec::new();
+        for leaf in mft.leaves() {
+            let source = match &mft.node(leaf).kind {
+                MftNodeKind::Field(s) => s.clone(),
+                _ => continue,
+            };
+            // Collect path root→leaf.
+            let mut path = Vec::new();
+            let mut cur = Some(leaf);
+            while let Some(id) = cur {
+                path.push(id);
+                cur = mft.node(id).parent;
+            }
+            path.reverse();
+            let info = pieces.get(&leaf);
+            // Assemble the slice text directly: appending each line (with
+            // the `" ; "` separator between lines) produces the same
+            // bytes the reference `Vec<String>` + `join(" ; ")` does,
+            // without an owned copy of every memoized line per leaf.
+            let mut text = String::new();
+            for id in &path {
+                let line = node_lines.entry(*id).or_insert_with(|| {
+                    let n = mft.node(*id);
+                    let op = n.op.as_ref()?;
+                    let f = program.function(n.func)?;
+                    let du = self.du(n.func, f);
+                    Some(enrich_op_with(program, f, op, Some(&du)))
+                });
+                if let Some(line) = line {
+                    if !text.is_empty() {
+                        text.push_str(" ; ");
+                    }
+                    // Partial-message separation: this field's slice shows
+                    // only its own piece of a multi-field template, not the
+                    // whole format string (which would leak sibling keys
+                    // into the classifier's context). The streamed scan
+                    // below is `str::replace` (leftmost, non-overlapping)
+                    // writing straight into the slice buffer.
+                    match info {
+                        Some(PieceInfo {
+                            piece,
+                            full_template: Some(full),
+                        }) if !full.is_empty() => {
+                            let mut rest: &str = line;
+                            while let Some(pos) = rest.find(full.as_str()) {
+                                text.push_str(&rest[..pos]);
+                                text.push_str(piece);
+                                rest = &rest[pos + full.len()..];
+                            }
+                            text.push_str(rest);
+                        }
+                        Some(PieceInfo {
+                            piece,
+                            full_template: Some(full),
+                        }) => {
+                            // Degenerate empty template: defer to
+                            // `str::replace` for its exact semantics.
+                            text.push_str(&line.replace(full.as_str(), piece.as_str()));
+                        }
+                        _ => text.push_str(line),
+                    }
+                }
+            }
+            // The leaf itself (source description) closes the slice.
+            if !text.is_empty() {
+                text.push_str(" ; ");
+            }
+            {
+                use std::fmt::Write as _;
+                write!(text, "SRC {source}").expect("write to String");
+            }
+            if let Some(info) = info {
+                text.push_str(" ; FIELD (Cons, \"");
+                text.push_str(&info.piece);
+                text.push_str("\")");
+            }
+            out.push(CodeSlice {
+                text,
                 source,
                 leaf,
                 path_hash: mft.path_hash(leaf),

@@ -158,21 +158,42 @@ pub fn weak_label_with_report(slice_text: &str) -> Option<KeywordHit> {
 struct KeywordIndex {
     ranks: HashMap<&'static str, u32, FnvBuildHasher>,
     flat: Vec<(Primitive, &'static str)>,
+    /// Per-first-byte bitmask of keyword lengths (bit `min(len, 31)`):
+    /// a token whose `(first byte, length)` pair clears its bit cannot
+    /// be a keyword, so the map probe — hashing the token — is skipped.
+    /// Nearly every token of a real slice (registers, hex ids, glue)
+    /// rejects here in two loads.
+    len_masks: [u32; 256],
+}
+
+impl KeywordIndex {
+    fn could_match(&self, token: &str) -> bool {
+        match token.as_bytes().first() {
+            Some(&b) => self.len_masks[b as usize] & (1u32 << token.len().min(31)) != 0,
+            None => false,
+        }
+    }
 }
 
 fn keyword_index() -> &'static KeywordIndex {
     static INDEX: OnceLock<KeywordIndex> = OnceLock::new();
     INDEX.get_or_init(|| {
-        let mut ranks = HashMap::default();
+        let mut ranks: HashMap<&'static str, u32, FnvBuildHasher> = HashMap::default();
         let mut flat = Vec::new();
+        let mut len_masks = [0u32; 256];
         for (primitive, keywords) in DICTIONARIES {
             for kw in *keywords {
                 // First occurrence wins, like the priority scan.
-                ranks.entry(*kw).or_insert(flat.len() as u32);
+                ranks.entry(kw).or_insert(flat.len() as u32);
                 flat.push((*primitive, *kw));
+                len_masks[kw.as_bytes()[0] as usize] |= 1u32 << kw.len().min(31);
             }
         }
-        KeywordIndex { ranks, flat }
+        KeywordIndex {
+            ranks,
+            flat,
+            len_masks,
+        }
     })
 }
 
@@ -190,8 +211,10 @@ pub fn weak_label_streamed(slice_text: &str) -> Option<KeywordHit> {
     let index = keyword_index();
     let mut best = u32::MAX;
     for_each_token(slice_text, |t| {
-        if let Some(&rank) = index.ranks.get(t) {
-            best = best.min(rank);
+        if index.could_match(t) {
+            if let Some(&rank) = index.ranks.get(t) {
+                best = best.min(rank);
+            }
         }
     });
     index

@@ -56,15 +56,14 @@ fn fnv32(bytes: &[u8]) -> u32 {
 impl Classifier {
     /// Serialize the trained model.
     pub fn to_bytes(&self) -> Bytes {
-        let weights = self.weights();
         let mut buf = BytesMut::new();
         buf.put_slice(MAGIC);
         buf.put_u32_le((FEATURE_DIM + 1) as u32);
-        buf.put_u32_le(weights.len() as u32);
-        for row in weights {
-            for w in row {
-                buf.put_f32_le(*w);
-            }
+        buf.put_u32_le(self.n_classes() as u32);
+        // The canonical matrix is row-major, so dumping it in order
+        // reproduces the historical per-row byte layout exactly.
+        for w in self.flat() {
+            buf.put_f32_le(*w);
         }
         let report = self.report();
         buf.put_u32_le(report.epochs as u32);
@@ -105,20 +104,16 @@ impl Classifier {
         if buf.remaining() < row_len * n_classes * 4 + 4 + 16 {
             return Err(ModelError::Corrupt);
         }
-        let mut weights = Vec::with_capacity(n_classes);
-        for _ in 0..n_classes {
-            let mut row = Vec::with_capacity(row_len);
-            for _ in 0..row_len {
-                row.push(buf.get_f32_le());
-            }
-            weights.push(row);
+        let mut flat = Vec::with_capacity(n_classes * row_len);
+        for _ in 0..n_classes * row_len {
+            flat.push(buf.get_f32_le());
         }
         let report = TrainReport {
             epochs: buf.get_u32_le() as usize,
             train_accuracy: buf.get_f64_le(),
             final_loss: buf.get_f64_le(),
         };
-        Ok(Classifier::from_parts(weights, report))
+        Ok(Classifier::from_parts(flat, report))
     }
 }
 

@@ -35,8 +35,23 @@ pub fn for_each_token(text: &str, mut f: impl FnMut(&str)) {
             continue;
         }
         lower.clear();
-        lower.extend(run.chars().map(|c| c.to_ascii_lowercase()));
+        lower.push_str(run);
+        lower.make_ascii_lowercase();
         f(&lower);
+        // A run with no `_` and no lower→upper boundary splits into
+        // exactly one part equal to `lower`, which the condition below
+        // would discard — skip building the parts at all. One cheap
+        // byte scan decides; most runs (plain words, hex ids, numbers)
+        // take this path.
+        let mut compound = false;
+        let mut prev_lower = false;
+        for &b in run.as_bytes() {
+            compound |= b == b'_' || (b.is_ascii_uppercase() && prev_lower);
+            prev_lower = b.is_ascii_lowercase() || b.is_ascii_digit();
+        }
+        if !compound {
+            continue;
+        }
         // Split compound identifiers on `_` and camelCase boundaries.
         parts.clear();
         bounds.clear();
@@ -113,17 +128,25 @@ pub fn featurize(tokens: &[String]) -> Vec<(usize, f32)> {
 /// `Vec<String>` per slice.
 ///
 /// Tokens are streamed into a flat character arena delimited by byte
-/// ranges; the arena, the ranges and the count map are all reused across
-/// calls. The accumulation order (unigrams in token order, then n-gram
-/// windows by ascending width) and the normalization order (ascending
-/// feature index) match [`featurize`] exactly, so every count is built
-/// from the identical sequence of float operations and the output is
+/// ranges, and counts accumulate into a dense [`FEATURE_DIM`]-wide bin
+/// array (32 KiB — cache-resident) instead of an ordered map: each bin
+/// is touched at most a handful of times, so a first-touch index list
+/// plus one sort replaces ~5 map probes per token. Every buffer is
+/// reused across calls. Bit-identity with [`featurize`] holds exactly:
+/// per-index counts accumulate in the same encounter order, the norm
+/// sums squares in ascending index order (the sorted touch list stands
+/// in for the map's key order), and the output is emitted ascending —
+/// the identical sequence of float operations, so the output is
 /// bit-equal, not merely close.
 #[derive(Debug, Default)]
 pub(crate) struct Featurizer {
     arena: String,
     bounds: Vec<(usize, usize)>,
-    counts: std::collections::BTreeMap<usize, f32>,
+    /// Dense accumulation bins. Empty until first use, then exactly
+    /// [`FEATURE_DIM`] long and zeroed between calls via `touched`.
+    bins: Vec<f32>,
+    /// Indices whose bin is nonzero, in first-touch order.
+    touched: Vec<u32>,
 }
 
 impl Featurizer {
@@ -137,10 +160,20 @@ impl Featurizer {
             arena.push_str(t);
             bounds.push((start, arena.len()));
         });
-        self.counts.clear();
+        if self.bins.is_empty() {
+            self.bins = vec![0.0; FEATURE_DIM];
+        }
+        self.touched.clear();
         let token = |i: usize| &self.arena[self.bounds[i].0..self.bounds[i].1];
+        // Counts are sums of +1.0/+0.5, so a zero bin means untouched.
+        let mut add = |idx: usize, w: f32| {
+            if self.bins[idx] == 0.0 {
+                self.touched.push(idx as u32);
+            }
+            self.bins[idx] += w;
+        };
         for i in 0..self.bounds.len() {
-            *self.counts.entry(hash_feature(&[token(i)])).or_default() += 1.0;
+            add(hash_feature(&[token(i)]), 1.0);
         }
         for width in 2..=5usize {
             if self.bounds.len() < width {
@@ -151,19 +184,31 @@ impl Featurizer {
                 for (k, slot) in window[..width].iter_mut().enumerate() {
                     *slot = token(start + k);
                 }
-                *self
-                    .counts
-                    .entry(hash_feature(&window[..width]))
-                    .or_default() += 0.5;
+                add(hash_feature(&window[..width]), 0.5);
             }
         }
-        let norm: f32 = self.counts.values().map(|v| v * v).sum::<f32>().sqrt();
-        if norm > 0.0 {
-            for v in self.counts.values_mut() {
-                *v /= norm;
-            }
+        self.touched.sort_unstable();
+        let norm: f32 = self
+            .touched
+            .iter()
+            .map(|&i| {
+                let v = self.bins[i as usize];
+                v * v
+            })
+            .sum::<f32>()
+            .sqrt();
+        let out = self
+            .touched
+            .iter()
+            .map(|&i| {
+                let v = self.bins[i as usize];
+                (i as usize, if norm > 0.0 { v / norm } else { v })
+            })
+            .collect();
+        for &i in &self.touched {
+            self.bins[i as usize] = 0.0;
         }
-        self.counts.iter().map(|(&i, &v)| (i, v)).collect()
+        out
     }
 }
 

@@ -259,6 +259,14 @@ struct Shared {
 
 impl Shared {
     fn status(&self) -> ServiceStatus {
+        // The classification cache keeps its own atomics; snapshot them
+        // here rather than mirroring into ServiceCounters so the numbers
+        // can never drift from what the cache actually holds.
+        let class = self
+            .cache
+            .as_ref()
+            .map(|c| c.class_cache_stats())
+            .unwrap_or_default();
         let qs = self.qs.lock().expect("queue lock");
         ServiceStatus {
             queue_depth: qs.queue.len() as u32,
@@ -274,6 +282,9 @@ impl Shared {
             lib_fns_matched: self.counters.lib_fns_matched.load(Ordering::Relaxed),
             lib_traversals_skipped: self.counters.lib_traversals_skipped.load(Ordering::Relaxed),
             lib_summary_applies: self.counters.lib_summary_applies.load(Ordering::Relaxed),
+            class_cache_hits: class.hits,
+            prefilter_skips: class.prefilter_skips,
+            class_cache_entries: class.entries,
             draining: self.draining.load(Ordering::Acquire),
         }
     }

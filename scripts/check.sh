@@ -34,6 +34,13 @@ echo "==> cold-path optimization gate (writes BENCH_coldpath.json)"
 # single-thread speedup floor.
 cargo run --release -q -p firmres-bench --bin coldpath_bench BENCH_coldpath.json 1.5
 
+echo "==> semantics batching gate (writes BENCH_semantics.json)"
+# PR-5 per-slice classification (nested weights, full softmax, per-image
+# memo) vs the batched stack over a trained model and a 222-device
+# corpus: asserts label identity across all configurations and enforces
+# the 1.5x full-stack speedup floor.
+cargo run --release -q -p firmres-bench --bin semantics_bench BENCH_semantics.json 1.5
+
 echo "==> incremental re-analysis gate (writes BENCH_incremental.json)"
 # Cold vs 1%-mutated re-analysis through the unit-granular store:
 # asserts every result is byte-identical to the plain pipeline and
@@ -51,6 +58,10 @@ cli gen 14 "$smoke_dir/dev14.fwi" > /dev/null
 # must serve it to a sequential run with an identical report body.
 cli analyze "$smoke_dir/dev14.fwi" --cache "$smoke_dir/cache" --jobs 8 > "$smoke_dir/cold.txt"
 grep -q 'miss — entry stored' "$smoke_dir/cold.txt"
+# The cold run must show the semantics stage going through the batched
+# classification layer (counted by the corpus driver, never in the
+# report body below the summary line).
+grep -q 'batch-classified' "$smoke_dir/cold.txt"
 cli analyze "$smoke_dir/dev14.fwi" --cache "$smoke_dir/cache" > "$smoke_dir/warm.txt"
 grep -q 'hit — pipeline skipped' "$smoke_dir/warm.txt"
 cmp <(tail -n +2 "$smoke_dir/cold.txt") <(tail -n +2 "$smoke_dir/warm.txt")
